@@ -1,0 +1,35 @@
+//! E3 bench: engine runtime under each capture level, across module-work
+//! scales. The interesting number is the *gap* between `off` and `fine` as
+//! per-module work shrinks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use wf_engine::synth::busy_chain;
+use wf_engine::{standard_registry, Executor};
+
+fn bench_capture(c: &mut Criterion) {
+    let exec = Executor::new(standard_registry());
+    for work in [100i64, 10_000] {
+        let (wf, _) = busy_chain(1, 16, work);
+        let mut group = c.benchmark_group(format!("capture_overhead/work={work}"));
+        group.bench_with_input(BenchmarkId::from_parameter("off"), &wf, |b, wf| {
+            b.iter(|| exec.run(wf).expect("runs"))
+        });
+        for (name, level) in [
+            ("coarse", CaptureLevel::Coarse),
+            ("fine", CaptureLevel::Fine),
+        ] {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &wf, |b, wf| {
+                b.iter(|| {
+                    let mut cap = ProvenanceCapture::new(level);
+                    exec.run_observed(wf, &mut cap).expect("runs");
+                    cap.finish_all()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_capture);
+criterion_main!(benches);

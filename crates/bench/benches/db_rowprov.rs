@@ -1,0 +1,45 @@
+//! E12 bench: row-level provenance (database/workflow bridge) — per-row
+//! lineage tracing and taint analysis at growing table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_core::finegrained::{RowLineageTracer, RowRef};
+use wf_engine::{standard_registry, Executor};
+use wf_model::WorkflowBuilder;
+
+fn bench_rowprov(c: &mut Criterion) {
+    for rows in [32usize, 256] {
+        let mut b = WorkflowBuilder::new(1, "db");
+        let src_a = b.add("TableSource");
+        b.param(src_a, "rows", rows as i64).param(src_a, "seed", 1i64);
+        let src_b = b.add("TableSource");
+        b.param(src_b, "rows", rows as i64).param(src_b, "seed", 2i64);
+        let join = b.add("TableJoin");
+        let filter = b.add("TableFilter");
+        b.param(filter, "min", 25.0f64);
+        let agg = b.add("TableAggregate");
+        b.param(agg, "group_col", "grp").param(agg, "agg_col", "value");
+        b.connect(src_a, "out", join, "left")
+            .connect(src_b, "out", join, "right")
+            .connect(join, "out", filter, "in")
+            .connect(filter, "out", agg, "in");
+        let wf = b.build();
+        let exec = Executor::new(standard_registry());
+
+        let mut group = c.benchmark_group(format!("rowprov/rows={rows}"));
+        group.bench_function(BenchmarkId::from_parameter("run_pipeline"), |bch| {
+            bch.iter(|| exec.run(&wf).expect("runs").node_runs.len())
+        });
+        let result = exec.run(&wf).expect("runs");
+        let tracer = RowLineageTracer::new(&wf, &result);
+        group.bench_function(BenchmarkId::from_parameter("base_rows_of_group"), |bch| {
+            bch.iter(|| tracer.base_rows(&RowRef::new(agg, "out", 0)).len())
+        });
+        group.bench_function(BenchmarkId::from_parameter("taint_one_fact"), |bch| {
+            bch.iter(|| tracer.tainted_rows(&RowRef::new(src_a, "out", 0), agg).len())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_rowprov);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E8 bench: version-tree materialization with and without snapshot
+//! caching, and version diffing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_evolution::scenario::evolution_history;
+
+fn bench_evolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evolution/materialize");
+    for depth in [32usize, 256, 1024] {
+        let (plain, tip_p) = evolution_history(1, depth, 0);
+        let (snap, tip_s) = evolution_history(1, depth, 16);
+        group.bench_with_input(
+            BenchmarkId::new("replay", depth),
+            &(plain, tip_p),
+            |b, (t, tip)| b.iter(|| t.materialize(*tip).expect("ok").node_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot16", depth),
+            &(snap, tip_s),
+            |b, (t, tip)| b.iter(|| t.materialize(*tip).expect("ok").node_count()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("evolution/diff");
+    let (tree, tip) = evolution_history(2, 128, 0);
+    let mid = prov_evolution::VersionId(64);
+    group.bench_function("diff_v64_vs_tip", |b| {
+        b.iter(|| tree.diff(mid, tip).expect("diff").change_count())
+    });
+    group.bench_function("common_ancestor", |b| {
+        b.iter(|| tree.common_ancestor(mid, tip))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evolution);
+criterion_main!(benches);

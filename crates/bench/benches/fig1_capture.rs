@@ -1,0 +1,52 @@
+//! E1 bench: running the Figure 1 workflow with each provenance capture
+//! level, plus the core causality queries over its provenance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_core::causality::CausalityGraph;
+use wf_engine::synth::figure1_workflow;
+use wf_engine::{standard_registry, Executor};
+
+fn bench_fig1(c: &mut Criterion) {
+    let (wf, nodes) = figure1_workflow(1);
+    let exec = Executor::new(standard_registry());
+
+    let mut group = c.benchmark_group("fig1/run");
+    for (name, level) in [
+        ("capture_off", CaptureLevel::Off),
+        ("capture_coarse", CaptureLevel::Coarse),
+        ("capture_fine", CaptureLevel::Fine),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cap = ProvenanceCapture::new(level);
+                exec.run_observed(&wf, &mut cap).expect("runs");
+                cap.finish_all()
+            })
+        });
+    }
+    group.finish();
+
+    // Queries over the captured provenance.
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&wf, &mut cap).expect("runs");
+    let retro = cap.take(r.exec).expect("captured");
+    let graph = CausalityGraph::from_retrospective(&retro);
+    let grid = retro.produced(nodes.load, "grid").expect("grid").hash;
+    let iso_file = retro.produced(nodes.save_iso, "file").expect("file").hash;
+
+    let mut group = c.benchmark_group("fig1/queries");
+    group.bench_function("build_causality_graph", |b| {
+        b.iter(|| CausalityGraph::from_retrospective(&retro))
+    });
+    group.bench_function("invalidated_by_scan", |b| {
+        b.iter(|| graph.invalidated_by(grid))
+    });
+    group.bench_function("reproduction_slice", |b| {
+        b.iter(|| graph.reproduction_slice(iso_file))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E2 bench: analogy matching and transfer (Figure 2), at several noise
+//! levels and target sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_evolution::analogy::match_workflows;
+use prov_evolution::{apply_by_analogy, scenario};
+
+fn bench_analogy(c: &mut Criterion) {
+    let (a, b, clean_target) = scenario::figure2_triple();
+
+    let mut group = c.benchmark_group("fig2/transfer");
+    for noise_pct in [0u64, 40, 80] {
+        let target = scenario::noisy_target(7, noise_pct as f64 / 100.0);
+        group.bench_with_input(
+            BenchmarkId::new("noise", noise_pct),
+            &target,
+            |bch, target| {
+                bch.iter(|| apply_by_analogy(&a, &b, target).expect("analogy runs"))
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig2/matching");
+    group.bench_function("clean_target", |bch| {
+        bch.iter(|| match_workflows(&a, &clean_target))
+    });
+    // Larger targets: graft the clean target onto itself repeatedly.
+    for copies in [2usize, 4] {
+        let mut big = clean_target.clone();
+        for i in 0..copies {
+            let extra = scenario::noisy_target(i as u64, 0.3);
+            for node in extra.nodes.values() {
+                let id = big.add_node(&node.module, node.version);
+                big.set_label(id, &format!("{} c{i}", node.label)).expect("label");
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("target_nodes", big.node_count()),
+            &big,
+            |bch, big| bch.iter(|| match_workflows(&a, big)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analogy);
+criterion_main!(benches);

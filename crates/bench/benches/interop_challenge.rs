@@ -1,0 +1,52 @@
+//! E7 bench: dialect capture, OPM translation, integration, and the nine
+//! challenge queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_interop::dialect::{changelog, eventlog, rdfish, slice_runs};
+use prov_interop::{integrate, run_challenge};
+use wf_engine::{standard_registry, Executor};
+
+fn bench_challenge(c: &mut Criterion) {
+    let wf = wf_engine::synth::challenge_workflow(42, 4, 3);
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&wf, &mut cap).expect("runs");
+    let retro = cap.take(r.exec).expect("captured");
+    let part_a = slice_runs(&retro, &["LoadVolume", "AlignWarp", "Reslice"]);
+    let part_b = slice_runs(&retro, &["Softmean"]);
+    let part_c = slice_runs(&retro, &["Slice", "Convert"]);
+
+    let mut group = c.benchmark_group("challenge");
+    group.bench_function("dialect_capture_all_three", |b| {
+        b.iter(|| {
+            let a = rdfish::RdfProvenance::capture(&part_a);
+            let ev = eventlog::EventLogProvenance::capture(&part_b);
+            let ch = changelog::ChangelogProvenance::capture(&part_c, &wf);
+            (a.len(), ev.len(), ch.len())
+        })
+    });
+    let ga = rdfish::RdfProvenance::capture(&part_a).to_opm("a");
+    let gb = eventlog::EventLogProvenance::capture(&part_b).to_opm("b");
+    let gc = changelog::ChangelogProvenance::capture(&part_c, &wf).to_opm("c");
+    group.bench_function("to_opm_all_three", |b| {
+        b.iter(|| {
+            let a = rdfish::RdfProvenance::capture(&part_a).to_opm("a");
+            (a.nodes().len(), a.edges().len())
+        })
+    });
+    group.bench_function("integrate_three_accounts", |b| {
+        b.iter(|| integrate(&[ga.clone(), gb.clone(), gc.clone()]).shared_artifacts)
+    });
+    let setup = run_challenge();
+    group.bench_function("answer_nine_queries", |b| {
+        b.iter(|| setup.answer_queries().len())
+    });
+    group.bench_function("full_challenge_end_to_end", |b| {
+        b.iter(|| run_challenge().integration.shared_artifacts)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_challenge);
+criterion_main!(benches);

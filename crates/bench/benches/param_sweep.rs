@@ -1,0 +1,54 @@
+//! E10 bench: parameter-space exploration with and without
+//! provenance-based caching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wf_engine::sweep::{run_sweep, SweepAxis};
+use wf_engine::{standard_registry, Executor};
+use wf_model::WorkflowBuilder;
+
+fn sweep_workflow() -> (wf_model::Workflow, wf_model::NodeId) {
+    let mut b = WorkflowBuilder::new(1, "sweep");
+    let load = b.add("LoadVolume");
+    b.param(load, "nx", 16i64);
+    b.param(load, "ny", 16i64);
+    b.param(load, "nz", 16i64);
+    let smooth = b.add("SmoothGrid");
+    b.param(smooth, "iterations", 2i64);
+    let iso = b.add("Isosurface");
+    b.connect(load, "grid", smooth, "data")
+        .connect(smooth, "smoothed", iso, "data");
+    (b.build(), iso)
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let (wf, iso) = sweep_workflow();
+    let mut group = c.benchmark_group("param_sweep");
+    group.sample_size(10);
+    for n in [4usize, 16] {
+        let axes = vec![SweepAxis::new(
+            iso,
+            "isovalue",
+            (0..n)
+                .map(|i| (0.1 + 0.8 * i as f64 / n as f64).into())
+                .collect(),
+        )];
+        group.bench_with_input(
+            BenchmarkId::new("uncached", n),
+            &axes,
+            |b, axes| {
+                let exec = Executor::new(standard_registry());
+                b.iter(|| run_sweep(&exec, &wf, axes).expect("sweep").points.len())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cached", n), &axes, |b, axes| {
+            b.iter(|| {
+                let exec = Executor::new(standard_registry()).with_cache(4096);
+                run_sweep(&exec, &wf, axes).expect("sweep").points.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E5 bench: lineage query latency per approach, as the provenance graph
+//! deepens — the crossover experiment behind the tutorial's "simple
+//! queries can be awkward and complex" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_query::PqlEngine;
+use prov_store::{GraphStore, ProvenanceStore, RelStore, TripleStore};
+use wf_engine::synth::busy_chain;
+use wf_engine::{standard_registry, Executor};
+
+fn bench_query(c: &mut Criterion) {
+    for depth in [16usize, 128] {
+        let (wf, nodes) = busy_chain(1, depth, 1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).expect("runs");
+        let retro = cap.take(r.exec).expect("captured");
+        let last = *nodes.last().expect("chain");
+        let target = retro.produced(last, "out").expect("artifact").hash;
+
+        let mut pql = PqlEngine::new();
+        pql.ingest(&retro);
+        let mut graph = GraphStore::new();
+        graph.ingest(&retro);
+        let mut rel = RelStore::new();
+        rel.ingest(&retro);
+        let mut triple = TripleStore::new();
+        triple.ingest(&retro);
+        let query = format!("lineage of artifact {target:016x}");
+
+        let mut group = c.benchmark_group(format!("query_lineage/depth={depth}"));
+        group.bench_function(BenchmarkId::from_parameter("pql"), |b| {
+            b.iter(|| pql.eval(&query).expect("query runs").len())
+        });
+        group.bench_function(BenchmarkId::from_parameter("graph_api"), |b| {
+            b.iter(|| graph.lineage_runs(target).len())
+        });
+        group.bench_function(BenchmarkId::from_parameter("relational_joins"), |b| {
+            b.iter(|| rel.lineage_runs(target).len())
+        });
+        group.bench_function(BenchmarkId::from_parameter("triple_fixpoint"), |b| {
+            b.iter(|| triple.lineage_runs(target).len())
+        });
+        // Parsing alone, to separate language cost from evaluation cost.
+        group.bench_function(BenchmarkId::from_parameter("pql_parse_only"), |b| {
+            b.iter(|| prov_query::parse(&query).expect("parses"))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

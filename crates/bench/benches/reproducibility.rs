@@ -1,0 +1,42 @@
+//! E11 bench: the cost of verifying reproducibility from retrospective
+//! provenance (re-execution + hash comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_core::repro::verify_reproduction;
+use wf_engine::synth::{challenge_workflow, figure1_workflow};
+use wf_engine::{standard_registry, Executor};
+
+fn bench_repro(c: &mut Criterion) {
+    let exec = Executor::new(standard_registry());
+    let mut group = c.benchmark_group("reproducibility");
+    group.sample_size(20);
+
+    let (fig1, _) = figure1_workflow(1);
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&fig1, &mut cap).expect("runs");
+    let retro1 = cap.take(r.exec).expect("captured");
+    group.bench_function("verify_fig1", |b| {
+        b.iter(|| {
+            verify_reproduction(&exec, &fig1, &retro1)
+                .expect("re-run")
+                .matched()
+        })
+    });
+
+    let fmri = challenge_workflow(42, 4, 3);
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&fmri, &mut cap).expect("runs");
+    let retro2 = cap.take(r.exec).expect("captured");
+    group.bench_function("verify_fmri_challenge", |b| {
+        b.iter(|| {
+            verify_reproduction(&exec, &fmri, &retro2)
+                .expect("re-run")
+                .matched()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repro);
+criterion_main!(benches);

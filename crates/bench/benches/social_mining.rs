@@ -1,0 +1,38 @@
+//! E9 bench: fragment mining and recommendation over growing corpora.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_social::corpus::build_corpus;
+use prov_social::{evaluate_recommender, FragmentMiner};
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("social/mine");
+    for n in [20usize, 100, 400] {
+        let corpus = build_corpus(9, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &corpus, |b, corpus| {
+            b.iter(|| FragmentMiner::mine(corpus).pair_count())
+        });
+    }
+    group.finish();
+
+    let corpus = build_corpus(9, 100);
+    let miner = FragmentMiner::mine(&corpus);
+    let mut group = c.benchmark_group("social/recommend");
+    group.bench_function("successor_lookup", |b| {
+        b.iter(|| miner.recommend_successor("LoadVolume").len())
+    });
+    group.bench_function("context_lookup", |b| {
+        b.iter(|| miner.recommend_after(Some("LoadVolume"), "Histogram").len())
+    });
+    group.finish();
+
+    let small = build_corpus(9, 20);
+    let mut group = c.benchmark_group("social/evaluate");
+    group.sample_size(10);
+    group.bench_function("leave_one_out_20", |b| {
+        b.iter(|| evaluate_recommender(&small, 3).hits)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

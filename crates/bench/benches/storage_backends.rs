@@ -1,0 +1,97 @@
+//! E4 bench: ingest and canned-query latency across the four storage
+//! backends, on a shared corpus.
+
+use bench::storage_corpus;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_store::{GraphStore, LogStore, ProvenanceStore, RelStore, TripleStore};
+
+fn bench_storage(c: &mut Criterion) {
+    let corpus = storage_corpus(10, 5, 4);
+    let target = corpus
+        .last()
+        .and_then(|r| r.runs.last())
+        .and_then(|run| run.outputs.first())
+        .map(|(_, h)| *h)
+        .expect("corpus non-empty");
+    let log_path = std::env::temp_dir().join(format!("crit-log-{}.bin", std::process::id()));
+
+    // Ingest.
+    let mut group = c.benchmark_group("storage/ingest");
+    group.bench_function(BenchmarkId::from_parameter("graph"), |b| {
+        b.iter(|| {
+            let mut s = GraphStore::new();
+            for r in &corpus {
+                s.ingest(r);
+            }
+            s.run_count()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("relational"), |b| {
+        b.iter(|| {
+            let mut s = RelStore::new();
+            for r in &corpus {
+                s.ingest(r);
+            }
+            s.run_count()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("triple"), |b| {
+        b.iter(|| {
+            let mut s = TripleStore::new();
+            for r in &corpus {
+                s.ingest(r);
+            }
+            s.run_count()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("log"), |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(&log_path);
+            let mut s = LogStore::open(&log_path).expect("log opens");
+            for r in &corpus {
+                s.ingest(r);
+            }
+            s.run_count()
+        })
+    });
+    group.finish();
+
+    // Queries on pre-populated stores.
+    let mut graph = GraphStore::new();
+    let mut rel = RelStore::new();
+    let mut triple = TripleStore::new();
+    let _ = std::fs::remove_file(&log_path);
+    let mut log = LogStore::open(&log_path).expect("log opens");
+    for r in &corpus {
+        graph.ingest(r);
+        rel.ingest(r);
+        triple.ingest(r);
+        log.ingest(r);
+    }
+    let stores: Vec<(&str, &dyn ProvenanceStore)> = vec![
+        ("graph", &graph),
+        ("relational", &rel),
+        ("triple", &triple),
+        ("log", &log),
+    ];
+
+    let mut group = c.benchmark_group("storage/lineage");
+    for (name, s) in &stores {
+        group.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| s.lineage_runs(target).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("storage/aggregate");
+    for (name, s) in &stores {
+        group.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| s.runs_per_module().len())
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_file(&log_path);
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E6 bench: applying user views (ZOOM-style abstraction) to provenance
+//! graphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_core::causality::CausalityGraph;
+use prov_core::reduce::{summarize_chains, transitive_reduction};
+use prov_core::views::{UserView, ViewedGraph};
+use wf_engine::synth::{layered_dag, LayeredSpec};
+use wf_engine::{standard_registry, Executor};
+use wf_model::NodeId;
+
+fn bench_views(c: &mut Criterion) {
+    for (depth, width) in [(4usize, 3usize), (8, 6)] {
+        let (wf, layers) = layered_dag(
+            1,
+            LayeredSpec {
+                depth,
+                width,
+                fan_in: 2,
+                work: 1,
+                seed: 5,
+            },
+        );
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).expect("runs");
+        let retro = cap.take(r.exec).expect("captured");
+        let graph = CausalityGraph::from_retrospective(&retro);
+        // One group per layer: the natural "stage view".
+        let mut view = UserView::new("stages");
+        for (i, layer) in layers.iter().enumerate() {
+            view = view.group(&format!("stage{i}"), layer.iter().copied());
+        }
+        let all: Vec<NodeId> = layers.into_iter().flatten().collect();
+        let whole = UserView::new("whole").group("all", all);
+
+        let mut group = c.benchmark_group(format!("views/{depth}x{width}"));
+        group.bench_function(BenchmarkId::from_parameter("stage_view"), |b| {
+            b.iter(|| ViewedGraph::apply(&graph, &view).node_count())
+        });
+        group.bench_function(BenchmarkId::from_parameter("whole_view"), |b| {
+            b.iter(|| ViewedGraph::apply(&graph, &whole).node_count())
+        });
+        group.bench_function(BenchmarkId::from_parameter("transitive_reduction"), |b| {
+            b.iter(|| transitive_reduction(&graph).after)
+        });
+        group.bench_function(BenchmarkId::from_parameter("chain_summary"), |b| {
+            b.iter(|| summarize_chains(&graph).summarized_node_count())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_views);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! # bench — experiment harnesses
+//!
+//! One function per experiment of DESIGN.md §3 (E1–E12, plus the E2b and
+//! E4b ablations). Each returns
+//! structured rows so that (a) the `report` binary can print the tables
+//! recorded in EXPERIMENTS.md and (b) the Criterion benches can reuse the
+//! same workload constructors.
+//!
+//! The source paper is a tutorial without numeric tables; these experiments
+//! quantify each *claim* the tutorial makes about the design space (see
+//! DESIGN.md §3 for the mapping and the expected qualitative shapes).
+
+pub mod experiments;
+
+pub use experiments::*;
+
+/// Median wall-clock time of `f` over `reps` runs, in microseconds.
+/// The first (warm-up) run is discarded.
+pub fn time_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    let _ = f(); // warm-up
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(out);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    samples[samples.len() / 2]
+}
+
+/// Render a table: header + rows of equal arity, columns padded.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_us_returns_positive_median() {
+        let t = time_us(3, || (0..1000u64).sum::<u64>());
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+}

@@ -1,0 +1,392 @@
+//! Provenance analytics (§2.4, open problems).
+//!
+//! "The problem of mining and extracting knowledge from provenance data has
+//! been largely unexplored. By analyzing and creating insightful
+//! visualizations of provenance data, scientists can debug their tasks and
+//! obtain a better understanding of their results."
+//!
+//! This module profiles executions from their retrospective provenance
+//! alone: per-module time breakdowns, the duration-weighted **critical
+//! path**, cache effectiveness, artifact-volume accounting, and regression
+//! comparison between two runs of the same workflow.
+
+use crate::model::RetrospectiveProvenance;
+use std::collections::BTreeMap;
+use wf_model::NodeId;
+
+/// Aggregated statistics for one module identity within an execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleProfile {
+    /// Module identity.
+    pub identity: String,
+    /// Number of runs.
+    pub runs: usize,
+    /// Total body time (µs).
+    pub total_micros: u64,
+    /// Longest single run (µs).
+    pub max_micros: u64,
+    /// Runs served from cache.
+    pub cached: usize,
+    /// Failed runs.
+    pub failed: usize,
+}
+
+/// The profile of one execution, derived purely from provenance.
+#[derive(Debug, Clone)]
+pub struct ExecutionProfile {
+    /// Per-identity aggregates, sorted by total time (descending).
+    pub modules: Vec<ModuleProfile>,
+    /// The critical path: the duration-weighted longest dependency chain,
+    /// as (node, identity, elapsed µs) from source to sink.
+    pub critical_path: Vec<(NodeId, String, u64)>,
+    /// Sum of all module body times (µs) — the "sequential work".
+    pub total_work_micros: u64,
+    /// Sum along the critical path (µs) — the best possible parallel
+    /// makespan on infinite executors.
+    pub critical_micros: u64,
+    /// Total bytes of recorded artifacts.
+    pub artifact_bytes: usize,
+    /// Cache hits across all runs.
+    pub cache_hits: usize,
+}
+
+impl ExecutionProfile {
+    /// Inherent parallelism: total work / critical path (≥ 1).
+    pub fn parallelism(&self) -> f64 {
+        if self.critical_micros == 0 {
+            1.0
+        } else {
+            self.total_work_micros as f64 / self.critical_micros as f64
+        }
+    }
+
+    /// The single hottest module identity, if any work was recorded.
+    pub fn bottleneck(&self) -> Option<&ModuleProfile> {
+        self.modules.first()
+    }
+
+    /// Render as a short debugging report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "total work {} us; critical path {} us; parallelism {:.2}x; {} cache hits; {} artifact bytes\n",
+            self.total_work_micros,
+            self.critical_micros,
+            self.parallelism(),
+            self.cache_hits,
+            self.artifact_bytes
+        ));
+        s.push_str("hot modules:\n");
+        for m in self.modules.iter().take(5) {
+            s.push_str(&format!(
+                "  {:<24} {:>4} run(s) {:>10} us total{}{}\n",
+                m.identity,
+                m.runs,
+                m.total_micros,
+                if m.cached > 0 {
+                    format!(", {} cached", m.cached)
+                } else {
+                    String::new()
+                },
+                if m.failed > 0 {
+                    format!(", {} FAILED", m.failed)
+                } else {
+                    String::new()
+                },
+            ));
+        }
+        s.push_str("critical path:\n");
+        for (node, identity, us) in &self.critical_path {
+            s.push_str(&format!("  {node} {identity} ({us} us)\n"));
+        }
+        s
+    }
+}
+
+/// Profile one execution from its retrospective provenance.
+pub fn profile(retro: &RetrospectiveProvenance) -> ExecutionProfile {
+    // Per-identity aggregation.
+    let mut by_identity: BTreeMap<&str, ModuleProfile> = BTreeMap::new();
+    for run in &retro.runs {
+        let e = by_identity
+            .entry(run.identity.as_str())
+            .or_insert_with(|| ModuleProfile {
+                identity: run.identity.clone(),
+                runs: 0,
+                total_micros: 0,
+                max_micros: 0,
+                cached: 0,
+                failed: 0,
+            });
+        e.runs += 1;
+        e.total_micros += run.elapsed_micros;
+        e.max_micros = e.max_micros.max(run.elapsed_micros);
+        if run.from_cache {
+            e.cached += 1;
+        }
+        if run.status == wf_engine::RunStatus::Failed {
+            e.failed += 1;
+        }
+    }
+    let mut modules: Vec<ModuleProfile> = by_identity.into_values().collect();
+    modules.sort_by_key(|m| std::cmp::Reverse(m.total_micros));
+
+    // Run-level dependency graph via shared artifacts, for the critical
+    // path. dist[n] = elapsed(n) + max over predecessors.
+    let mut producers: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+    for run in &retro.runs {
+        for (_, h) in &run.outputs {
+            producers.entry(*h).or_default().push(run.node);
+        }
+    }
+    let elapsed: BTreeMap<NodeId, u64> = retro
+        .runs
+        .iter()
+        .map(|r| (r.node, r.elapsed_micros))
+        .collect();
+    let preds: BTreeMap<NodeId, Vec<NodeId>> = retro
+        .runs
+        .iter()
+        .map(|r| {
+            let mut p: Vec<NodeId> = r
+                .inputs
+                .iter()
+                .flat_map(|(_, h)| producers.get(h).cloned().unwrap_or_default())
+                .collect();
+            p.sort();
+            p.dedup();
+            (r.node, p)
+        })
+        .collect();
+
+    // Longest path by memoized DFS (runs form a DAG).
+    fn longest(
+        n: NodeId,
+        preds: &BTreeMap<NodeId, Vec<NodeId>>,
+        elapsed: &BTreeMap<NodeId, u64>,
+        memo: &mut BTreeMap<NodeId, (u64, Option<NodeId>)>,
+    ) -> u64 {
+        if let Some(&(d, _)) = memo.get(&n) {
+            return d;
+        }
+        let mut best = 0;
+        let mut via = None;
+        for &p in preds.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+            let d = longest(p, preds, elapsed, memo);
+            if d > best || via.is_none() {
+                best = d;
+                via = Some(p);
+            }
+        }
+        let total = best + elapsed.get(&n).copied().unwrap_or(0);
+        memo.insert(n, (total, via));
+        total
+    }
+    let mut memo: BTreeMap<NodeId, (u64, Option<NodeId>)> = BTreeMap::new();
+    let mut tail: Option<NodeId> = None;
+    let mut critical_micros = 0;
+    for run in &retro.runs {
+        let d = longest(run.node, &preds, &elapsed, &mut memo);
+        if d >= critical_micros {
+            critical_micros = d;
+            tail = Some(run.node);
+        }
+    }
+    let mut critical_path = Vec::new();
+    let mut cur = tail;
+    while let Some(n) = cur {
+        let identity = retro
+            .run_of(n)
+            .map(|r| r.identity.clone())
+            .unwrap_or_default();
+        critical_path.push((n, identity, elapsed.get(&n).copied().unwrap_or(0)));
+        cur = memo.get(&n).and_then(|(_, via)| *via);
+    }
+    critical_path.reverse();
+
+    ExecutionProfile {
+        total_work_micros: retro.runs.iter().map(|r| r.elapsed_micros).sum(),
+        critical_micros,
+        artifact_bytes: retro.artifacts.values().map(|a| a.size).sum(),
+        cache_hits: retro.runs.iter().filter(|r| r.from_cache).count(),
+        modules,
+        critical_path,
+    }
+}
+
+/// One regression entry when comparing two executions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The node.
+    pub node: NodeId,
+    /// Module identity.
+    pub identity: String,
+    /// Elapsed µs in the baseline run.
+    pub before_micros: u64,
+    /// Elapsed µs in the new run.
+    pub after_micros: u64,
+}
+
+impl Regression {
+    /// Slowdown factor (after / before; `inf` when before was 0).
+    pub fn factor(&self) -> f64 {
+        if self.before_micros == 0 {
+            f64::INFINITY
+        } else {
+            self.after_micros as f64 / self.before_micros as f64
+        }
+    }
+}
+
+/// Compare two runs of the same workflow node-by-node and report modules
+/// that slowed down by more than `threshold`× (e.g. 2.0). Cached runs are
+/// skipped on either side (their timing is not comparable).
+pub fn find_regressions(
+    before: &RetrospectiveProvenance,
+    after: &RetrospectiveProvenance,
+    threshold: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for b in &before.runs {
+        if b.from_cache {
+            continue;
+        }
+        if let Some(a) = after.run_of(b.node) {
+            if a.from_cache {
+                continue;
+            }
+            let regression = Regression {
+                node: b.node,
+                identity: b.identity.clone(),
+                before_micros: b.elapsed_micros,
+                after_micros: a.elapsed_micros,
+            };
+            if regression.factor() > threshold {
+                out.push(regression);
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.factor()
+            .partial_cmp(&a.factor())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::{standard_registry, Executor};
+    use wf_model::WorkflowBuilder;
+
+    fn run_chain(work: &[i64]) -> RetrospectiveProvenance {
+        let mut b = WorkflowBuilder::new(1, "profile-me");
+        let mut prev = None;
+        for (i, &w) in work.iter().enumerate() {
+            let n = b.add("Busy");
+            b.param(n, "work", w).param(n, "seed", i as i64);
+            if let Some(p) = prev {
+                b.connect(p, "out", n, "in");
+            }
+            prev = Some(n);
+        }
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&b.build(), &mut cap).unwrap();
+        cap.take(r.exec).unwrap()
+    }
+
+    #[test]
+    fn chain_critical_path_is_the_whole_chain() {
+        let retro = run_chain(&[2000, 2000, 2000]);
+        let p = profile(&retro);
+        assert_eq!(p.critical_path.len(), 3);
+        assert_eq!(p.critical_micros, p.total_work_micros);
+        assert!((p.parallelism() - 1.0).abs() < 1e-9);
+        assert_eq!(p.modules.len(), 1);
+        assert_eq!(p.modules[0].runs, 3);
+    }
+
+    #[test]
+    fn parallel_branches_show_parallelism() {
+        // Two heavy independent branches joined at the end.
+        let mut b = WorkflowBuilder::new(1, "diamond");
+        let a = b.add("Busy");
+        b.param(a, "work", 20000i64);
+        let c = b.add("Busy");
+        b.param(c, "work", 20000i64).param(c, "seed", 1i64);
+        let join = b.add("SynthStage");
+        b.param(join, "work", 10i64);
+        b.connect(a, "out", join, "in0").connect(c, "out", join, "in1");
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&b.build(), &mut cap).unwrap();
+        let p = profile(&cap.take(r.exec).unwrap());
+        assert!(
+            p.parallelism() > 1.3,
+            "two equal branches give ~2x: {:.2}",
+            p.parallelism()
+        );
+        // The critical path passes through exactly one branch + the join.
+        assert_eq!(p.critical_path.len(), 2);
+        assert_eq!(p.critical_path.last().unwrap().0, join);
+    }
+
+    #[test]
+    fn bottleneck_is_the_heaviest_module() {
+        let mut b = WorkflowBuilder::new(1, "mixed");
+        let light = b.add("ConstInt");
+        let heavy = b.add("Busy");
+        b.param(heavy, "work", 50000i64);
+        b.connect(light, "out", heavy, "in");
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&b.build(), &mut cap).unwrap();
+        let p = profile(&cap.take(r.exec).unwrap());
+        assert_eq!(p.bottleneck().unwrap().identity, "Busy@1");
+        let rendered = p.render();
+        assert!(rendered.contains("Busy@1"));
+        assert!(rendered.contains("critical path"));
+    }
+
+    #[test]
+    fn failed_runs_flagged_in_profile() {
+        let mut b = WorkflowBuilder::new(1, "flaky");
+        let bad = b.add("FailIf");
+        b.param(bad, "fail", true);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&b.build(), &mut cap).unwrap();
+        let p = profile(&cap.take(r.exec).unwrap());
+        assert_eq!(p.modules[0].failed, 1);
+        assert!(p.render().contains("FAILED"));
+    }
+
+    #[test]
+    fn cache_hits_counted() {
+        let (wf, _) = wf_engine::synth::figure1_workflow(1);
+        let exec = Executor::new(standard_registry()).with_cache(128);
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        exec.run_observed(&wf, &mut cap).unwrap();
+        let r2 = exec.run_observed(&wf, &mut cap).unwrap();
+        let p = profile(&cap.take(r2.exec).unwrap());
+        assert_eq!(p.cache_hits, 8);
+        assert_eq!(p.total_work_micros, 0, "cached runs record zero body time");
+    }
+
+    #[test]
+    fn regressions_detected_between_runs() {
+        let fast = run_chain(&[500, 500]);
+        // Simulate a slower second run by scaling recorded times.
+        let mut slow = fast.clone();
+        slow.runs[1].elapsed_micros = fast.runs[1].elapsed_micros * 10 + 1000;
+        let regs = find_regressions(&fast, &slow, 2.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].node, slow.runs[1].node);
+        assert!(regs[0].factor() > 2.0);
+        // No false positives comparing a run to itself.
+        assert!(find_regressions(&fast, &fast, 2.0).is_empty());
+    }
+}

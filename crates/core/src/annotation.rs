@@ -1,0 +1,232 @@
+//! User-defined provenance: annotations.
+//!
+//! "Another key component of provenance is user-defined information …
+//! documentation that cannot be automatically captured but records important
+//! decisions and notes. … annotations can be added at different levels of
+//! granularity and associated with different components of both prospective
+//! and retrospective provenance" (§2.2, Figure 1's yellow boxes).
+
+use crate::model::ArtifactHash;
+use serde::{Deserialize, Serialize};
+use wf_engine::ExecId;
+use wf_model::{ConnId, NodeId, WorkflowId};
+
+/// What an annotation is attached to: any component of prospective or
+/// retrospective provenance, at any granularity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Subject {
+    /// A whole workflow specification.
+    Workflow(WorkflowId),
+    /// A module instance in a specification.
+    Node(WorkflowId, NodeId),
+    /// A connection in a specification.
+    Connection(WorkflowId, ConnId),
+    /// A whole execution.
+    Execution(ExecId),
+    /// One module run within an execution.
+    Run(ExecId, NodeId),
+    /// A data artifact, by content hash.
+    Artifact(ArtifactHash),
+    /// A version in a workflow's evolution history.
+    Version(WorkflowId, u64),
+}
+
+/// One annotation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// Identifier within the store.
+    pub id: u64,
+    /// What the annotation is attached to.
+    pub subject: Subject,
+    /// Machine-usable key (e.g. `"quality"`, `"todo"`); free-form.
+    pub key: String,
+    /// The note text.
+    pub text: String,
+    /// Who wrote it.
+    pub author: String,
+    /// When (ms since epoch).
+    pub at_millis: u64,
+}
+
+/// A store of annotations with subject/key/author indexes and free-text
+/// search.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotationStore {
+    annotations: Vec<Annotation>,
+    next_id: u64,
+}
+
+impl AnnotationStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an annotation; returns its id.
+    pub fn annotate(
+        &mut self,
+        subject: Subject,
+        key: &str,
+        text: &str,
+        author: &str,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.annotations.push(Annotation {
+            id,
+            subject,
+            key: key.to_string(),
+            text: text.to_string(),
+            author: author.to_string(),
+            at_millis: wf_engine::event::now_millis(),
+        });
+        id
+    }
+
+    /// Remove an annotation by id. Returns it if present.
+    pub fn remove(&mut self, id: u64) -> Option<Annotation> {
+        let pos = self.annotations.iter().position(|a| a.id == id)?;
+        Some(self.annotations.remove(pos))
+    }
+
+    /// All annotations on a subject.
+    pub fn on(&self, subject: Subject) -> Vec<&Annotation> {
+        self.annotations
+            .iter()
+            .filter(|a| a.subject == subject)
+            .collect()
+    }
+
+    /// All annotations with a key.
+    pub fn with_key<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a Annotation> {
+        self.annotations.iter().filter(move |a| a.key == key)
+    }
+
+    /// All annotations by an author.
+    pub fn by_author<'a>(&'a self, author: &'a str) -> impl Iterator<Item = &'a Annotation> {
+        self.annotations.iter().filter(move |a| a.author == author)
+    }
+
+    /// Case-insensitive substring search over text and keys.
+    pub fn search(&self, needle: &str) -> Vec<&Annotation> {
+        let needle = needle.to_lowercase();
+        self.annotations
+            .iter()
+            .filter(|a| {
+                a.text.to_lowercase().contains(&needle)
+                    || a.key.to_lowercase().contains(&needle)
+            })
+            .collect()
+    }
+
+    /// Iterate over all annotations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Annotation> {
+        self.annotations.iter()
+    }
+
+    /// Number of annotations.
+    pub fn len(&self) -> usize {
+        self.annotations.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.annotations.is_empty()
+    }
+
+    /// Merge another store into this one, reassigning ids.
+    pub fn merge(&mut self, other: &AnnotationStore) {
+        for a in &other.annotations {
+            let id = self.next_id;
+            self.next_id += 1;
+            let mut a = a.clone();
+            a.id = id;
+            self.annotations.push(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> AnnotationStore {
+        let mut s = AnnotationStore::new();
+        s.annotate(
+            Subject::Node(WorkflowId(1), NodeId(0)),
+            "note",
+            "CT scan from the defective scanner batch",
+            "susan",
+        );
+        s.annotate(
+            Subject::Artifact(0xabc),
+            "quality",
+            "verified against phantom data",
+            "juliana",
+        );
+        s.annotate(
+            Subject::Execution(ExecId(3)),
+            "note",
+            "re-run after parameter fix",
+            "susan",
+        );
+        s
+    }
+
+    #[test]
+    fn annotations_attach_at_every_granularity() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.on(Subject::Artifact(0xabc)).len(), 1);
+        assert_eq!(s.on(Subject::Node(WorkflowId(1), NodeId(0))).len(), 1);
+        assert!(s.on(Subject::Workflow(WorkflowId(9))).is_empty());
+    }
+
+    #[test]
+    fn filters_by_key_and_author() {
+        let s = store();
+        assert_eq!(s.with_key("note").count(), 2);
+        assert_eq!(s.by_author("susan").count(), 2);
+        assert_eq!(s.by_author("nobody").count(), 0);
+    }
+
+    #[test]
+    fn search_is_case_insensitive() {
+        let s = store();
+        assert_eq!(s.search("DEFECTIVE").len(), 1);
+        assert_eq!(s.search("quality").len(), 1, "matches the key too");
+        assert!(s.search("zzz").is_empty());
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut s = store();
+        let removed = s.remove(0).unwrap();
+        assert!(removed.text.contains("defective"));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(0).is_none());
+    }
+
+    #[test]
+    fn merge_reassigns_ids() {
+        let mut a = store();
+        let b = store();
+        a.merge(&b);
+        assert_eq!(a.len(), 6);
+        let mut ids: Vec<u64> = a.iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6, "no duplicate ids after merge");
+    }
+
+    #[test]
+    fn store_roundtrips_serde() {
+        let s = store();
+        let j = serde_json::to_string(&s).unwrap();
+        let back: AnnotationStore = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.search("phantom").len(), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! Provenance capture: turning the engine's event stream into
+//! retrospective provenance.
+//!
+//! "Workflow systems … can be easily instrumented to automatically capture
+//! provenance" (§2.2). [`ProvenanceCapture`] is that instrument: it
+//! implements [`wf_engine::ExecObserver`] and accumulates a
+//! [`RetrospectiveProvenance`] record per workflow run. The granularity is
+//! configurable — the cost of each level is exactly what experiment E3
+//! measures:
+//!
+//! * [`CaptureLevel::Off`] — record nothing (baseline).
+//! * [`CaptureLevel::Coarse`] — module runs with parameters, status, and
+//!   output artifacts; no input bindings, no previews.
+//! * [`CaptureLevel::Fine`] — everything: input bindings per port, inline
+//!   previews of small scalar values, full artifact records.
+
+use crate::model::{Artifact, Environment, ModuleRun, RetrospectiveProvenance};
+use std::collections::BTreeMap;
+use wf_engine::{EngineEvent, ExecId, ExecObserver, ValueMeta};
+use wf_model::{NodeId, ParamValue};
+
+/// How much provenance to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CaptureLevel {
+    /// Record nothing.
+    Off,
+    /// Runs, parameters, statuses, and outputs.
+    Coarse,
+    /// Everything, including input bindings and scalar previews.
+    Fine,
+}
+
+/// In-progress record of one module run.
+#[derive(Debug, Clone)]
+struct PendingRun {
+    identity: String,
+    params: Vec<(String, ParamValue)>,
+    started_millis: u64,
+    inputs: Vec<(String, u64)>,
+    outputs: Vec<(String, u64)>,
+}
+
+/// In-progress record of one workflow run.
+#[derive(Debug, Clone)]
+struct PendingExec {
+    workflow: wf_model::WorkflowId,
+    workflow_name: String,
+    started_millis: u64,
+    pending: BTreeMap<NodeId, PendingRun>,
+    finished: Vec<ModuleRun>,
+    artifacts: BTreeMap<u64, Artifact>,
+}
+
+/// The provenance-capture observer.
+///
+/// One capture instance can observe many executions (sequentially or
+/// interleaved — records are keyed by [`ExecId`]); completed records are
+/// retrieved with [`ProvenanceCapture::take`] or drained with
+/// [`ProvenanceCapture::finish_all`].
+#[derive(Debug)]
+pub struct ProvenanceCapture {
+    level: CaptureLevel,
+    threads: usize,
+    active: BTreeMap<ExecId, PendingExec>,
+    completed: BTreeMap<ExecId, RetrospectiveProvenance>,
+}
+
+impl ProvenanceCapture {
+    /// A capture instrument at the given level.
+    pub fn new(level: CaptureLevel) -> Self {
+        Self {
+            level,
+            threads: 1,
+            active: BTreeMap::new(),
+            completed: BTreeMap::new(),
+        }
+    }
+
+    /// Record the executor thread count in the environment.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured capture level.
+    pub fn level(&self) -> CaptureLevel {
+        self.level
+    }
+
+    /// Take the completed record of one run.
+    pub fn take(&mut self, exec: ExecId) -> Option<RetrospectiveProvenance> {
+        self.completed.remove(&exec)
+    }
+
+    /// Drain all completed records, in run order.
+    pub fn finish_all(&mut self) -> Vec<RetrospectiveProvenance> {
+        std::mem::take(&mut self.completed).into_values().collect()
+    }
+
+    /// Number of completed records waiting to be taken.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    fn record_artifact(&mut self, exec: ExecId, meta: &ValueMeta) {
+        if let Some(pe) = self.active.get_mut(&exec) {
+            pe.artifacts.entry(meta.hash).or_insert_with(|| Artifact {
+                hash: meta.hash,
+                dtype: meta.dtype.clone(),
+                size: meta.size,
+                preview: meta.preview.clone(),
+            });
+        }
+    }
+}
+
+impl ExecObserver for ProvenanceCapture {
+    fn on_event(&mut self, event: &EngineEvent) {
+        if self.level == CaptureLevel::Off {
+            return;
+        }
+        let fine = self.level == CaptureLevel::Fine;
+        match event {
+            EngineEvent::WorkflowStarted {
+                exec,
+                workflow,
+                name,
+                at_millis,
+            } => {
+                self.active.insert(
+                    *exec,
+                    PendingExec {
+                        workflow: *workflow,
+                        workflow_name: name.clone(),
+                        started_millis: *at_millis,
+                        pending: BTreeMap::new(),
+                        finished: Vec::new(),
+                        artifacts: BTreeMap::new(),
+                    },
+                );
+            }
+            EngineEvent::ModuleStarted {
+                exec,
+                node,
+                identity,
+                params,
+                at_millis,
+            } => {
+                if let Some(pe) = self.active.get_mut(exec) {
+                    pe.pending.insert(
+                        *node,
+                        PendingRun {
+                            identity: identity.clone(),
+                            params: params.clone(),
+                            started_millis: *at_millis,
+                            inputs: Vec::new(),
+                            outputs: Vec::new(),
+                        },
+                    );
+                }
+            }
+            EngineEvent::InputBound {
+                exec,
+                node,
+                port,
+                meta,
+            } => {
+                if fine {
+                    self.record_artifact(*exec, meta);
+                    if let Some(pe) = self.active.get_mut(exec) {
+                        if let Some(run) = pe.pending.get_mut(node) {
+                            run.inputs.push((port.clone(), meta.hash));
+                        }
+                    }
+                }
+            }
+            EngineEvent::OutputProduced {
+                exec,
+                node,
+                port,
+                meta,
+            } => {
+                self.record_artifact(*exec, meta);
+                if let Some(pe) = self.active.get_mut(exec) {
+                    if let Some(run) = pe.pending.get_mut(node) {
+                        run.outputs.push((port.clone(), meta.hash));
+                    }
+                    if !fine {
+                        // Coarse capture keeps artifact records lean.
+                        if let Some(a) = pe.artifacts.get_mut(&meta.hash) {
+                            a.preview = None;
+                        }
+                    }
+                }
+            }
+            EngineEvent::ModuleFinished {
+                exec,
+                node,
+                status,
+                elapsed_micros,
+                from_cache,
+                error,
+            } => {
+                if let Some(pe) = self.active.get_mut(exec) {
+                    let partial = pe.pending.remove(node);
+                    let (identity, params, started_millis, inputs, outputs) = match partial {
+                        Some(p) => (p.identity, p.params, p.started_millis, p.inputs, p.outputs),
+                        // Skipped modules never emit ModuleStarted.
+                        None => (String::new(), Vec::new(), 0, Vec::new(), Vec::new()),
+                    };
+                    pe.finished.push(ModuleRun {
+                        node: *node,
+                        identity,
+                        params,
+                        status: *status,
+                        started_millis,
+                        elapsed_micros: *elapsed_micros,
+                        from_cache: *from_cache,
+                        error: error.clone(),
+                        inputs,
+                        outputs,
+                    });
+                }
+            }
+            EngineEvent::WorkflowFinished {
+                exec,
+                status,
+                at_millis,
+            } => {
+                if let Some(pe) = self.active.remove(exec) {
+                    self.completed.insert(
+                        *exec,
+                        RetrospectiveProvenance {
+                            exec: *exec,
+                            workflow: pe.workflow,
+                            workflow_name: pe.workflow_name,
+                            status: *status,
+                            started_millis: pe.started_millis,
+                            finished_millis: *at_millis,
+                            runs: pe.finished,
+                            artifacts: pe.artifacts,
+                            environment: Environment::current(self.threads),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor, RunStatus};
+
+    fn capture_fig1(level: CaptureLevel) -> RetrospectiveProvenance {
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(level);
+        let result = exec.run_observed(&wf, &mut cap).unwrap();
+        cap.take(result.exec).expect("capture must complete")
+    }
+
+    #[test]
+    fn fine_capture_records_full_log() {
+        let retro = capture_fig1(CaptureLevel::Fine);
+        assert_eq!(retro.status, RunStatus::Succeeded);
+        assert_eq!(retro.run_count(), 8, "Figure 1 has eight modules");
+        // Every non-source run has recorded inputs.
+        let hist = retro
+            .runs
+            .iter()
+            .find(|r| r.identity == "Histogram@1")
+            .unwrap();
+        assert_eq!(hist.inputs.len(), 1);
+        assert_eq!(hist.outputs.len(), 1);
+        // The grid artifact is shared between the two branches.
+        let load = retro
+            .runs
+            .iter()
+            .find(|r| r.identity == "LoadVolume@1")
+            .unwrap();
+        let grid_hash = load.outputs[0].1;
+        assert_eq!(retro.users_of(grid_hash).len(), 2);
+        assert!(!retro.artifacts.is_empty());
+    }
+
+    #[test]
+    fn coarse_capture_drops_input_bindings() {
+        let retro = capture_fig1(CaptureLevel::Coarse);
+        assert_eq!(retro.run_count(), 8);
+        assert!(retro.runs.iter().all(|r| r.inputs.is_empty()));
+        assert!(retro.runs.iter().all(|r| !r.outputs.is_empty()));
+        assert!(retro.artifacts.values().all(|a| a.preview.is_none()));
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Off);
+        let result = exec.run_observed(&wf, &mut cap).unwrap();
+        assert!(cap.take(result.exec).is_none());
+        assert_eq!(cap.completed_count(), 0);
+    }
+
+    #[test]
+    fn capture_works_across_multiple_runs() {
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r1 = exec.run_observed(&wf, &mut cap).unwrap();
+        let r2 = exec.run_observed(&wf, &mut cap).unwrap();
+        assert_eq!(cap.completed_count(), 2);
+        let p1 = cap.take(r1.exec).unwrap();
+        let p2 = cap.take(r2.exec).unwrap();
+        assert_ne!(p1.exec, p2.exec);
+        // Same spec, same inputs: identical artifact sets.
+        assert_eq!(
+            p1.artifacts.keys().collect::<Vec<_>>(),
+            p2.artifacts.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn parallel_execution_capture_is_complete() {
+        let wf = wf_engine::synth::challenge_workflow(2, 4, 3);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine).with_threads(4);
+        let result = exec.run_parallel(&wf, 4, &mut cap).unwrap();
+        let retro = cap.take(result.exec).unwrap();
+        assert_eq!(retro.run_count(), wf.node_count());
+        assert_eq!(retro.environment.threads, 4);
+    }
+
+    #[test]
+    fn failed_runs_still_have_provenance() {
+        let mut b = wf_model::WorkflowBuilder::new(1, "failing");
+        let src = b.add("ConstInt");
+        let bad = b.add("FailIf");
+        let sink = b.add("Identity");
+        b.param(bad, "fail", true)
+            .connect(src, "out", bad, "in")
+            .connect(bad, "out", sink, "in");
+        let wf = b.build();
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let result = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(result.exec).unwrap();
+        assert_eq!(retro.status, RunStatus::Failed);
+        assert_eq!(retro.run_of(bad).unwrap().status, RunStatus::Failed);
+        assert_eq!(retro.run_of(sink).unwrap().status, RunStatus::Skipped);
+        assert_eq!(retro.run_of(src).unwrap().status, RunStatus::Succeeded);
+    }
+
+    #[test]
+    fn cached_runs_are_flagged_in_provenance() {
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry()).with_cache(128);
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        exec.run_observed(&wf, &mut cap).unwrap();
+        let r2 = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r2.exec).unwrap();
+        assert!(retro.runs.iter().all(|r| r.from_cache));
+        // Cached runs still record their output artifacts.
+        assert!(retro.runs.iter().all(|r| !r.outputs.is_empty()));
+    }
+}

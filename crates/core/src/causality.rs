@@ -1,0 +1,459 @@
+//! The causality graph: "the dependency relationships among data products
+//! and the processes that generate them" (§2.2).
+//!
+//! Nodes are data artifacts and module runs; edges point in *dataflow
+//! direction* (cause → effect): an artifact has an edge to every run that
+//! used it, and a run has an edge to every artifact it generated.
+//!
+//! * **upstream closure** (walk edges backwards) = lineage: "what was the
+//!   process used to create this data product?"
+//! * **downstream closure** (walk edges forwards) = impact: "in the event
+//!   that the CT scanner used to generate `head.120.vtk` is found to be
+//!   defective, results that depend on the scan can be invalidated."
+//! * **data–data dependencies** are obtained by composing the two edge
+//!   kinds and skipping the runs.
+
+use crate::model::{ArtifactHash, RetrospectiveProvenance};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use wf_model::graph::Digraph;
+use wf_model::NodeId;
+
+/// A node of the causality graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProvNodeRef {
+    /// A data artifact, by content hash.
+    Artifact(ArtifactHash),
+    /// A module run, by node id (unique within one execution).
+    Run(NodeId),
+}
+
+impl fmt::Display for ProvNodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvNodeRef::Artifact(h) => write!(f, "artifact:{h:016x}"),
+            ProvNodeRef::Run(n) => write!(f, "run:{n}"),
+        }
+    }
+}
+
+/// The causality graph of one execution.
+#[derive(Debug, Clone)]
+pub struct CausalityGraph {
+    graph: Digraph,
+    nodes: Vec<ProvNodeRef>,
+    index: BTreeMap<ProvNodeRef, usize>,
+    /// Labels for runs (module identities), for rendering.
+    run_labels: BTreeMap<NodeId, String>,
+}
+
+impl CausalityGraph {
+    /// Build from retrospective provenance captured at `Fine` level (input
+    /// bindings present). Coarse provenance yields a graph with generated
+    /// edges only — see [`CausalityGraph::from_retrospective_with_spec`].
+    pub fn from_retrospective(retro: &RetrospectiveProvenance) -> Self {
+        Self::build(retro, None)
+    }
+
+    /// Build from coarse provenance plus the specification: input edges are
+    /// inferred by matching each connection's upstream output artifact —
+    /// causality "can be inferred from both prospective and retrospective
+    /// provenance" (§2.2).
+    pub fn from_retrospective_with_spec(
+        retro: &RetrospectiveProvenance,
+        spec: &wf_model::Workflow,
+    ) -> Self {
+        Self::build(retro, Some(spec))
+    }
+
+    fn build(retro: &RetrospectiveProvenance, spec: Option<&wf_model::Workflow>) -> Self {
+        let mut nodes: Vec<ProvNodeRef> = Vec::new();
+        let mut index: BTreeMap<ProvNodeRef, usize> = BTreeMap::new();
+        let mut run_labels = BTreeMap::new();
+        let mut intern = |r: ProvNodeRef, nodes: &mut Vec<ProvNodeRef>| -> usize {
+            *index.entry(r).or_insert_with(|| {
+                nodes.push(r);
+                nodes.len() - 1
+            })
+        };
+
+        // Pre-intern all nodes.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for run in &retro.runs {
+            let r = intern(ProvNodeRef::Run(run.node), &mut nodes);
+            run_labels.insert(run.node, run.identity.clone());
+            for (_, h) in &run.outputs {
+                let a = intern(ProvNodeRef::Artifact(*h), &mut nodes);
+                edges.push((r, a));
+            }
+            for (_, h) in &run.inputs {
+                let a = intern(ProvNodeRef::Artifact(*h), &mut nodes);
+                edges.push((a, r));
+            }
+        }
+        // Inferred input edges from the specification (coarse capture).
+        if let Some(wf) = spec {
+            for run in &retro.runs {
+                for conn in wf.inputs_of(run.node) {
+                    if let Some(up) = retro.run_of(conn.from.node) {
+                        if let Some((_, h)) =
+                            up.outputs.iter().find(|(p, _)| *p == conn.from.port)
+                        {
+                            let a = intern(ProvNodeRef::Artifact(*h), &mut nodes);
+                            let r = intern(ProvNodeRef::Run(run.node), &mut nodes);
+                            edges.push((a, r));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut graph = Digraph::with_nodes(nodes.len());
+        edges.sort_unstable();
+        edges.dedup();
+        for (u, v) in edges {
+            graph.add_edge(u, v);
+        }
+        Self {
+            graph,
+            nodes,
+            index,
+            run_labels,
+        }
+    }
+
+    /// Number of nodes (artifacts + runs).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[ProvNodeRef] {
+        &self.nodes
+    }
+
+    /// The module identity of a run node, if known.
+    pub fn run_label(&self, node: NodeId) -> Option<&str> {
+        self.run_labels.get(&node).map(String::as_str)
+    }
+
+    /// Direct causes of a node (immediate predecessors).
+    pub fn causes(&self, of: ProvNodeRef) -> Vec<ProvNodeRef> {
+        match self.index.get(&of) {
+            None => Vec::new(),
+            Some(&i) => self
+                .graph
+                .predecessors(i)
+                .iter()
+                .map(|&p| self.nodes[p])
+                .collect(),
+        }
+    }
+
+    /// Direct effects of a node (immediate successors).
+    pub fn effects(&self, of: ProvNodeRef) -> Vec<ProvNodeRef> {
+        match self.index.get(&of) {
+            None => Vec::new(),
+            Some(&i) => self
+                .graph
+                .successors(i)
+                .iter()
+                .map(|&s| self.nodes[s])
+                .collect(),
+        }
+    }
+
+    /// Upstream closure (lineage) of a node, optionally depth-bounded,
+    /// excluding the node itself. Depth counts graph edges (an
+    /// artifact→run→artifact hop is depth 2).
+    pub fn upstream(&self, of: ProvNodeRef, max_depth: Option<usize>) -> Vec<ProvNodeRef> {
+        self.closure(of, true, max_depth)
+    }
+
+    /// Downstream closure (impact set) of a node, excluding the node itself.
+    pub fn downstream(&self, of: ProvNodeRef, max_depth: Option<usize>) -> Vec<ProvNodeRef> {
+        self.closure(of, false, max_depth)
+    }
+
+    fn closure(
+        &self,
+        of: ProvNodeRef,
+        reverse: bool,
+        max_depth: Option<usize>,
+    ) -> Vec<ProvNodeRef> {
+        let Some(&start) = self.index.get(&of) else {
+            return Vec::new();
+        };
+        let depths = self.graph.bfs_depths(start, reverse, max_depth);
+        let mut out: Vec<ProvNodeRef> = depths
+            .iter()
+            .enumerate()
+            .filter(|&(i, d)| d.is_some() && i != start)
+            .map(|(i, _)| self.nodes[i])
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Data–data dependencies: every artifact in the upstream closure of
+    /// `artifact` ("were two data products derived from the same raw
+    /// data?" reduces to intersecting these sets).
+    pub fn data_dependencies(&self, artifact: ArtifactHash) -> BTreeSet<ArtifactHash> {
+        self.upstream(ProvNodeRef::Artifact(artifact), None)
+            .into_iter()
+            .filter_map(|n| match n {
+                ProvNodeRef::Artifact(h) => Some(h),
+                ProvNodeRef::Run(_) => None,
+            })
+            .collect()
+    }
+
+    /// Was `product` (transitively) derived from `source`?
+    pub fn derived_from(&self, product: ArtifactHash, source: ArtifactHash) -> bool {
+        self.data_dependencies(product).contains(&source)
+    }
+
+    /// Do two products share any raw-data ancestor? Returns the shared
+    /// ancestors.
+    pub fn common_ancestors(
+        &self,
+        a: ArtifactHash,
+        b: ArtifactHash,
+    ) -> BTreeSet<ArtifactHash> {
+        let da = self.data_dependencies(a);
+        let db = self.data_dependencies(b);
+        da.intersection(&db).copied().collect()
+    }
+
+    /// The invalidation set of an artifact: every artifact transitively
+    /// derived from it (the defective-scanner query of §2.2).
+    pub fn invalidated_by(&self, artifact: ArtifactHash) -> BTreeSet<ArtifactHash> {
+        self.downstream(ProvNodeRef::Artifact(artifact), None)
+            .into_iter()
+            .filter_map(|n| match n {
+                ProvNodeRef::Artifact(h) => Some(h),
+                ProvNodeRef::Run(_) => None,
+            })
+            .collect()
+    }
+
+    /// The reproduction slice of an artifact: the module runs (as node ids)
+    /// that must re-execute to re-derive it, in dependency order.
+    pub fn reproduction_slice(&self, artifact: ArtifactHash) -> Vec<NodeId> {
+        let mut runs: BTreeSet<NodeId> = self
+            .upstream(ProvNodeRef::Artifact(artifact), None)
+            .into_iter()
+            .filter_map(|n| match n {
+                ProvNodeRef::Run(id) => Some(id),
+                ProvNodeRef::Artifact(_) => None,
+            })
+            .collect();
+        // The direct generator is upstream at depth 1 and included above;
+        // also include generators reachable at depth 0? (none — artifact
+        // itself is excluded). Order by topological order of the graph.
+        let order = self
+            .graph
+            .topo_order()
+            .unwrap_or_else(|| (0..self.nodes.len()).collect());
+        let mut slice = Vec::with_capacity(runs.len());
+        for i in order {
+            if let ProvNodeRef::Run(id) = self.nodes[i] {
+                if runs.remove(&id) {
+                    slice.push(id);
+                }
+            }
+        }
+        slice
+    }
+
+    /// All edges as (cause, effect) pairs.
+    pub fn edge_list(&self) -> Vec<(ProvNodeRef, ProvNodeRef)> {
+        let mut out = Vec::with_capacity(self.graph.edge_count());
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &j in self.graph.successors(i) {
+                out.push((*n, self.nodes[j]));
+            }
+        }
+        out
+    }
+
+    /// Render as Graphviz DOT (used by examples and docs).
+    pub fn render_dot(&self) -> String {
+        let mut s = String::from("digraph causality {\n  rankdir=LR;\n");
+        for n in &self.nodes {
+            match n {
+                ProvNodeRef::Artifact(h) => {
+                    s.push_str(&format!(
+                        "  \"a{h:x}\" [shape=ellipse, label=\"{h:08x}\"];\n"
+                    ));
+                }
+                ProvNodeRef::Run(id) => {
+                    let label = self
+                        .run_labels
+                        .get(id)
+                        .cloned()
+                        .unwrap_or_else(|| id.to_string());
+                    s.push_str(&format!("  \"r{id}\" [shape=box, label=\"{label}\"];\n"));
+                }
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let from = match n {
+                ProvNodeRef::Artifact(h) => format!("a{h:x}"),
+                ProvNodeRef::Run(id) => format!("r{id}"),
+            };
+            for &j in self.graph.successors(i) {
+                let to = match &self.nodes[j] {
+                    ProvNodeRef::Artifact(h) => format!("a{h:x}"),
+                    ProvNodeRef::Run(id) => format!("r{id}"),
+                };
+                s.push_str(&format!("  \"{from}\" -> \"{to}\";\n"));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn fig1() -> (RetrospectiveProvenance, wf_engine::synth::Figure1Nodes) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        (cap.take(r.exec).unwrap(), nodes)
+    }
+
+    #[test]
+    fn graph_has_runs_and_artifacts() {
+        let (retro, _) = fig1();
+        let g = CausalityGraph::from_retrospective(&retro);
+        assert_eq!(
+            g.nodes()
+                .iter()
+                .filter(|n| matches!(n, ProvNodeRef::Run(_)))
+                .count(),
+            8
+        );
+        assert!(g.edge_count() >= 8 + 7, "outputs + input bindings");
+    }
+
+    #[test]
+    fn lineage_of_histogram_file_excludes_iso_branch() {
+        let (retro, nodes) = fig1();
+        let g = CausalityGraph::from_retrospective(&retro);
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        let up = g.upstream(ProvNodeRef::Artifact(hist_file), None);
+        let runs: BTreeSet<NodeId> = up
+            .iter()
+            .filter_map(|n| match n {
+                ProvNodeRef::Run(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert!(runs.contains(&nodes.load));
+        assert!(runs.contains(&nodes.hist));
+        assert!(runs.contains(&nodes.plot));
+        assert!(runs.contains(&nodes.save_hist));
+        assert!(!runs.contains(&nodes.iso), "iso branch is not a cause");
+        assert!(!runs.contains(&nodes.render));
+    }
+
+    #[test]
+    fn defective_scanner_invalidates_both_products() {
+        let (retro, nodes) = fig1();
+        let g = CausalityGraph::from_retrospective(&retro);
+        let scan = retro.produced(nodes.load, "grid").unwrap().hash;
+        let invalid = g.invalidated_by(scan);
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
+        assert!(invalid.contains(&hist_file));
+        assert!(invalid.contains(&iso_file));
+    }
+
+    #[test]
+    fn common_ancestors_answers_same_raw_data_question() {
+        let (retro, nodes) = fig1();
+        let g = CausalityGraph::from_retrospective(&retro);
+        let scan = retro.produced(nodes.load, "grid").unwrap().hash;
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
+        let shared = g.common_ancestors(hist_file, iso_file);
+        assert!(shared.contains(&scan), "both derive from the CT scan");
+        assert!(g.derived_from(hist_file, scan));
+        assert!(!g.derived_from(scan, hist_file));
+    }
+
+    #[test]
+    fn depth_bound_limits_lineage() {
+        let (retro, nodes) = fig1();
+        let g = CausalityGraph::from_retrospective(&retro);
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        // Depth 1 reaches only the SaveFile run.
+        let d1 = g.upstream(ProvNodeRef::Artifact(hist_file), Some(1));
+        assert_eq!(d1, vec![ProvNodeRef::Run(nodes.save_hist)]);
+        let all = g.upstream(ProvNodeRef::Artifact(hist_file), None);
+        assert!(all.len() > d1.len());
+    }
+
+    #[test]
+    fn reproduction_slice_is_in_dependency_order() {
+        let (retro, nodes) = fig1();
+        let g = CausalityGraph::from_retrospective(&retro);
+        let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
+        let slice = g.reproduction_slice(iso_file);
+        let pos = |id: NodeId| slice.iter().position(|&x| x == id).unwrap();
+        assert!(pos(nodes.load) < pos(nodes.iso));
+        assert!(pos(nodes.iso) < pos(nodes.smooth));
+        assert!(pos(nodes.smooth) < pos(nodes.render));
+        assert!(pos(nodes.render) < pos(nodes.save_iso));
+        assert!(!slice.contains(&nodes.hist), "histogram branch not needed");
+    }
+
+    #[test]
+    fn coarse_provenance_plus_spec_recovers_dependencies() {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Coarse);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        // Without the spec: no input edges, so lineage is shallow.
+        let g0 = CausalityGraph::from_retrospective(&retro);
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        let up0 = g0.upstream(ProvNodeRef::Artifact(hist_file), None);
+        // With the spec: full lineage recovered.
+        let g1 = CausalityGraph::from_retrospective_with_spec(&retro, &wf);
+        let up1 = g1.upstream(ProvNodeRef::Artifact(hist_file), None);
+        assert!(up1.len() > up0.len());
+        assert!(up1.contains(&ProvNodeRef::Run(nodes.load)));
+    }
+
+    #[test]
+    fn unknown_node_queries_are_empty() {
+        let (retro, _) = fig1();
+        let g = CausalityGraph::from_retrospective(&retro);
+        assert!(g.upstream(ProvNodeRef::Artifact(0xdead), None).is_empty());
+        assert!(g.causes(ProvNodeRef::Run(NodeId(999))).is_empty());
+    }
+
+    #[test]
+    fn dot_rendering_contains_nodes_and_edges() {
+        let (retro, _) = fig1();
+        let g = CausalityGraph::from_retrospective(&retro);
+        let dot = g.render_dot();
+        assert!(dot.starts_with("digraph causality"));
+        assert!(dot.contains("LoadVolume@1"));
+        assert!(dot.contains("->"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # prov-core — provenance for scientific workflows
+//!
+//! The subject of Davidson & Freire's SIGMOD'08 tutorial, as a library.
+//! "The provenance of a data product contains information about the process
+//! and data used to derive the data product" (§1); this crate captures,
+//! models, and exploits that information:
+//!
+//! * [`model`] — the two forms of provenance (§2.2): **prospective**
+//!   (the workflow specification, the "recipe") and **retrospective**
+//!   (a detailed log of one execution: module runs, data artifacts,
+//!   environment).
+//! * [`capture`] — the engine observer that records retrospective
+//!   provenance at configurable granularity (Off / Coarse / Fine).
+//! * [`causality`] — the dependency graph between artifacts and runs, with
+//!   lineage, downstream-invalidation, and reproduction-slice queries
+//!   (the "defective CT scanner" scenario of §2.2).
+//! * [`annotation`] — user-defined provenance at every granularity.
+//! * [`opm`] — the Open Provenance Model interlingua with its inference
+//!   rules (the interoperability substrate of §2.4).
+//! * [`views`] — ZOOM-style user views that abstract provenance graphs
+//!   without breaking visible reachability (§2.4 "information overload").
+//! * [`reduce`] — structural overload reduction (transitive reduction,
+//!   chain summarization).
+//! * [`diffprov`] — explain differences between two data products by
+//!   comparing their provenance (§1).
+//! * [`finegrained`] — row-level (database) provenance composed across
+//!   workflow operators (§2.4 "connecting database and workflow
+//!   provenance").
+//! * [`analytics`] — execution profiling from provenance: critical paths,
+//!   bottlenecks, regression comparison (§2.4 "provenance analytics").
+//! * [`repro`] — re-execute from provenance and verify artifact fidelity
+//!   (§2.3 "provenance and scientific publications").
+//! * [`publication`] — research objects: named, annotated, verifiable
+//!   provenance bundles accompanying a publication.
+
+pub mod analytics;
+pub mod annotation;
+pub mod capture;
+pub mod causality;
+pub mod diffprov;
+pub mod finegrained;
+pub mod model;
+pub mod opm;
+pub mod publication;
+pub mod reduce;
+pub mod repro;
+pub mod views;
+
+pub use analytics::{profile, ExecutionProfile};
+pub use annotation::{Annotation, AnnotationStore, Subject};
+pub use capture::{CaptureLevel, ProvenanceCapture};
+pub use causality::{CausalityGraph, ProvNodeRef};
+pub use finegrained::{RowLineageTracer, RowRef};
+pub use model::{
+    Artifact, Environment, ModuleRun, ProspectiveProvenance, ProvenanceBundle,
+    RetrospectiveProvenance,
+};
+pub use opm::{OpmEdge, OpmGraph, OpmNodeId};
+pub use publication::ResearchObject;
+pub use repro::ReproReport;
+pub use views::{UserView, ViewedGraph};

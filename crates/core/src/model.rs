@@ -1,0 +1,413 @@
+//! The provenance data model: prospective and retrospective provenance.
+//!
+//! "There are two distinct forms of provenance: *prospective* and
+//! *retrospective*. Prospective provenance captures the specification of a
+//! computational task … Retrospective provenance captures the steps that
+//! were executed as well as information about the execution environment"
+//! (§2.2, after Clifford et al.).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wf_engine::{ExecId, RunStatus};
+use wf_model::{NodeId, ParamValue, Workflow, WorkflowId};
+
+/// Identity of a data artifact: its stable content hash.
+///
+/// Two artifacts with equal content are the *same* artifact wherever they
+/// appear — this is what lets provenance connect runs within and across
+/// systems (and what the Provenance Challenge integration joins on).
+pub type ArtifactHash = u64;
+
+/// A data artifact observed during execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Content hash (identity).
+    pub hash: ArtifactHash,
+    /// Rendered data type (e.g. `grid`, `table`, `bytes`).
+    pub dtype: String,
+    /// Approximate payload size in bytes.
+    pub size: usize,
+    /// Inline preview for small scalars (fine-grained capture only).
+    pub preview: Option<String>,
+}
+
+impl Artifact {
+    /// Hex digest display form.
+    pub fn digest(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+/// One executed module within a run — one record of the "detailed log of
+/// the execution of a computational task".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleRun {
+    /// The node of the specification that ran.
+    pub node: NodeId,
+    /// Module identity `name@version`.
+    pub identity: String,
+    /// Effective parameters at run time.
+    pub params: Vec<(String, ParamValue)>,
+    /// Outcome.
+    pub status: RunStatus,
+    /// Start timestamp (ms since epoch).
+    pub started_millis: u64,
+    /// Module-body duration in microseconds.
+    pub elapsed_micros: u64,
+    /// Whether the outputs came from the memoization cache.
+    pub from_cache: bool,
+    /// Failure message when `status` is `Failed`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// Input bindings: (port, artifact hash). Fine-grained capture only.
+    pub inputs: Vec<(String, ArtifactHash)>,
+    /// Outputs produced: (port, artifact hash).
+    pub outputs: Vec<(String, ArtifactHash)>,
+}
+
+/// The execution environment recorded with retrospective provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    /// Operating system family.
+    pub os: String,
+    /// CPU architecture.
+    pub arch: String,
+    /// Engine version string.
+    pub engine: String,
+    /// Number of executor threads used.
+    pub threads: usize,
+}
+
+impl Environment {
+    /// Capture the current environment.
+    pub fn current(threads: usize) -> Self {
+        Self {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            engine: format!("wf-engine {}", env!("CARGO_PKG_VERSION")),
+            threads,
+        }
+    }
+}
+
+/// Retrospective provenance of one workflow run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrospectiveProvenance {
+    /// The run.
+    pub exec: ExecId,
+    /// The workflow specification that ran.
+    pub workflow: WorkflowId,
+    /// Specification name at run time.
+    pub workflow_name: String,
+    /// Overall outcome.
+    pub status: RunStatus,
+    /// Start timestamp (ms since epoch).
+    pub started_millis: u64,
+    /// End timestamp (ms since epoch).
+    pub finished_millis: u64,
+    /// Module runs, in completion order.
+    pub runs: Vec<ModuleRun>,
+    /// All artifacts observed, keyed by content hash.
+    pub artifacts: BTreeMap<ArtifactHash, Artifact>,
+    /// Execution environment.
+    pub environment: Environment,
+}
+
+impl RetrospectiveProvenance {
+    /// The run record for a node, if it ran.
+    pub fn run_of(&self, node: NodeId) -> Option<&ModuleRun> {
+        self.runs.iter().find(|r| r.node == node)
+    }
+
+    /// Artifacts produced on a node's output port.
+    pub fn produced(&self, node: NodeId, port: &str) -> Option<&Artifact> {
+        let run = self.run_of(node)?;
+        let (_, hash) = run.outputs.iter().find(|(p, _)| p == port)?;
+        self.artifacts.get(hash)
+    }
+
+    /// The module runs that *generated* an artifact (usually one; cached
+    /// re-runs can add more).
+    pub fn generators_of(&self, artifact: ArtifactHash) -> Vec<&ModuleRun> {
+        self.runs
+            .iter()
+            .filter(|r| r.outputs.iter().any(|(_, h)| *h == artifact))
+            .collect()
+    }
+
+    /// The module runs that *used* an artifact.
+    pub fn users_of(&self, artifact: ArtifactHash) -> Vec<&ModuleRun> {
+        self.runs
+            .iter()
+            .filter(|r| r.inputs.iter().any(|(_, h)| *h == artifact))
+            .collect()
+    }
+
+    /// Number of module runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Render a human-readable execution log (the right-hand side of
+    /// Figure 1).
+    pub fn render_log(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "execution {} of workflow '{}' ({}): {}\n",
+            self.exec, self.workflow_name, self.workflow, self.status
+        ));
+        s.push_str(&format!(
+            "environment: {}/{} on {} threads, {}\n",
+            self.environment.os, self.environment.arch, self.environment.threads,
+            self.environment.engine
+        ));
+        for r in &self.runs {
+            s.push_str(&format!(
+                "  {} {} [{}us{}] {}{}\n",
+                r.node,
+                r.identity,
+                r.elapsed_micros,
+                if r.from_cache { ", cached" } else { "" },
+                r.status,
+                r.error
+                    .as_deref()
+                    .map(|e| format!(": {e}"))
+                    .unwrap_or_default()
+            ));
+            for (port, hash) in &r.inputs {
+                s.push_str(&format!("    <- {port}: {hash:016x}\n"));
+            }
+            for (port, hash) in &r.outputs {
+                let annot = self
+                    .artifacts
+                    .get(hash)
+                    .map(|a| format!(" ({}, {} bytes)", a.dtype, a.size))
+                    .unwrap_or_default();
+                s.push_str(&format!("    -> {port}: {hash:016x}{annot}\n"));
+            }
+        }
+        s
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Prospective provenance: the specification plus versioning metadata —
+/// "a recipe to derive these kinds of data products" (Figure 1 caption).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProspectiveProvenance {
+    /// The workflow specification.
+    pub workflow: Workflow,
+    /// The version-tree node this specification corresponds to, when the
+    /// workflow is under evolution provenance (`prov-evolution`).
+    pub version: Option<u64>,
+    /// When the specification was captured (ms since epoch).
+    pub captured_millis: u64,
+}
+
+impl ProspectiveProvenance {
+    /// Capture a specification now.
+    pub fn of(workflow: &Workflow) -> Self {
+        Self {
+            workflow: workflow.clone(),
+            version: None,
+            captured_millis: wf_engine::event::now_millis(),
+        }
+    }
+
+    /// Attach an evolution-provenance version id.
+    pub fn at_version(mut self, version: u64) -> Self {
+        self.version = Some(version);
+        self
+    }
+
+    /// Render the recipe as indented module lines with wiring — the
+    /// left-hand side of Figure 1.
+    pub fn render_recipe(&self) -> String {
+        let mut s = format!("workflow '{}' ({})\n", self.workflow.name, self.workflow.id);
+        if let Some(v) = self.version {
+            s.push_str(&format!("  at version {v}\n"));
+        }
+        let order = self
+            .workflow
+            .topo_nodes()
+            .unwrap_or_else(|| self.workflow.nodes.keys().copied().collect());
+        for id in order {
+            if let Ok(n) = self.workflow.node(id) {
+                s.push_str(&format!("  {} {} '{}'", n.id, n.kind_identity(), n.label));
+                if !n.params.is_empty() {
+                    let ps: Vec<String> =
+                        n.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    s.push_str(&format!(" [{}]", ps.join(", ")));
+                }
+                s.push('\n');
+                for c in self.workflow.inputs_of(id) {
+                    s.push_str(&format!(
+                        "    {}.{} -> {}\n",
+                        c.from.node, c.from.port, c.to.port
+                    ));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// The complete provenance of a set of data products: the recipe and the
+/// log, side by side — Figure 1 as a data structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceBundle {
+    /// Prospective provenance.
+    pub prospective: ProspectiveProvenance,
+    /// Retrospective provenance of one run of the specification.
+    pub retrospective: RetrospectiveProvenance,
+}
+
+impl ProvenanceBundle {
+    /// Bundle a specification with one of its runs.
+    pub fn new(
+        prospective: ProspectiveProvenance,
+        retrospective: RetrospectiveProvenance,
+    ) -> Self {
+        Self {
+            prospective,
+            retrospective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_retro() -> RetrospectiveProvenance {
+        let mut artifacts = BTreeMap::new();
+        artifacts.insert(
+            11,
+            Artifact {
+                hash: 11,
+                dtype: "grid".into(),
+                size: 4096,
+                preview: None,
+            },
+        );
+        artifacts.insert(
+            22,
+            Artifact {
+                hash: 22,
+                dtype: "table".into(),
+                size: 256,
+                preview: None,
+            },
+        );
+        RetrospectiveProvenance {
+            exec: ExecId(0),
+            workflow: WorkflowId(1),
+            workflow_name: "demo".into(),
+            status: RunStatus::Succeeded,
+            started_millis: 100,
+            finished_millis: 200,
+            runs: vec![
+                ModuleRun {
+                    node: NodeId(0),
+                    identity: "LoadVolume@1".into(),
+                    params: vec![("path".into(), "head.120.vtk".into())],
+                    status: RunStatus::Succeeded,
+                    started_millis: 100,
+                    elapsed_micros: 500,
+                    from_cache: false,
+                    error: None,
+                    inputs: vec![],
+                    outputs: vec![("grid".into(), 11)],
+                },
+                ModuleRun {
+                    node: NodeId(1),
+                    identity: "Histogram@1".into(),
+                    params: vec![("bins".into(), ParamValue::Int(32))],
+                    status: RunStatus::Succeeded,
+                    started_millis: 150,
+                    elapsed_micros: 300,
+                    from_cache: false,
+                    error: None,
+                    inputs: vec![("data".into(), 11)],
+                    outputs: vec![("table".into(), 22)],
+                },
+            ],
+            artifacts,
+            environment: Environment::current(1),
+        }
+    }
+
+    #[test]
+    fn generators_and_users() {
+        let p = sample_retro();
+        let gens = p.generators_of(22);
+        assert_eq!(gens.len(), 1);
+        assert_eq!(gens[0].identity, "Histogram@1");
+        let users = p.users_of(11);
+        assert_eq!(users.len(), 1);
+        assert_eq!(users[0].node, NodeId(1));
+        assert!(p.generators_of(999).is_empty());
+    }
+
+    #[test]
+    fn produced_lookup() {
+        let p = sample_retro();
+        let a = p.produced(NodeId(1), "table").unwrap();
+        assert_eq!(a.dtype, "table");
+        assert!(p.produced(NodeId(1), "nope").is_none());
+        assert!(p.produced(NodeId(9), "table").is_none());
+    }
+
+    #[test]
+    fn render_log_mentions_runs_and_artifacts() {
+        let p = sample_retro();
+        let log = p.render_log();
+        assert!(log.contains("LoadVolume@1"));
+        assert!(log.contains("Histogram@1"));
+        assert!(log.contains("000000000000000b"), "artifact 11 in hex: {log}");
+        assert!(log.contains("succeeded"));
+    }
+
+    #[test]
+    fn retro_roundtrips_json() {
+        let p = sample_retro();
+        let s = p.to_json().unwrap();
+        let back = RetrospectiveProvenance::from_json(&s).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn prospective_recipe_renders_wiring() {
+        let mut b = wf_model::WorkflowBuilder::new(1, "demo");
+        let a = b.add("LoadVolume");
+        let h = b.add("Histogram");
+        b.connect(a, "grid", h, "data");
+        b.param(h, "bins", 32i64);
+        let pro = ProspectiveProvenance::of(&b.build()).at_version(7);
+        let recipe = pro.render_recipe();
+        assert!(recipe.contains("at version 7"));
+        assert!(recipe.contains("LoadVolume@1"));
+        assert!(recipe.contains("bins=32"));
+        assert!(recipe.contains("n0.grid -> data"));
+    }
+
+    #[test]
+    fn artifact_digest_formats_hash() {
+        let a = Artifact {
+            hash: 0xdead_beef,
+            dtype: "bytes".into(),
+            size: 1,
+            preview: None,
+        };
+        assert_eq!(a.digest(), "00000000deadbeef");
+    }
+}

@@ -1,0 +1,225 @@
+//! Reproducible publications: research objects.
+//!
+//! §2.3: "Provenance management infrastructure and tools will have the
+//! potential to transform scientific publications as we know them today" —
+//! SIGMOD'08 itself introduced the experimental-repeatability requirement.
+//!
+//! A [`ResearchObject`] is the publishable unit: for each figure/result of
+//! a paper, the full [`ProvenanceBundle`] (recipe + log), plus the authors'
+//! annotations and free-text descriptions. It serializes to a single JSON
+//! document, and [`ResearchObject::verify`] re-executes every bundle and
+//! checks all artifact hashes — the "repeatability review" as a function
+//! call.
+
+use crate::annotation::AnnotationStore;
+use crate::model::{ProspectiveProvenance, ProvenanceBundle, RetrospectiveProvenance};
+use crate::repro::{verify_reproduction, ReproReport};
+use serde::{Deserialize, Serialize};
+use wf_engine::{ExecError, Executor};
+
+/// One published result: a named provenance bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedResult {
+    /// Identifier within the object (e.g. `"figure-3"`, `"table-1"`).
+    pub key: String,
+    /// What this result shows, in the authors' words.
+    pub caption: String,
+    /// The recipe and the log.
+    pub bundle: ProvenanceBundle,
+}
+
+/// A self-contained, verifiable companion to a publication.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResearchObject {
+    /// Publication title.
+    pub title: String,
+    /// Authors.
+    pub authors: Vec<String>,
+    /// Free-text abstract / notes.
+    pub description: String,
+    /// The published results, in presentation order.
+    pub results: Vec<PublishedResult>,
+    /// The authors' annotations over any provenance subject.
+    pub annotations: AnnotationStore,
+}
+
+/// The verification outcome for one published result.
+#[derive(Debug)]
+pub struct ResultVerification {
+    /// The result key.
+    pub key: String,
+    /// The reproduction report.
+    pub report: ReproReport,
+}
+
+impl ResearchObject {
+    /// Start an empty research object.
+    pub fn new(title: &str, authors: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            authors: authors.iter().map(|s| s.to_string()).collect(),
+            description: String::new(),
+            results: Vec::new(),
+            annotations: AnnotationStore::new(),
+        }
+    }
+
+    /// Attach a result: the workflow that produced it and the captured run.
+    pub fn publish(
+        &mut self,
+        key: &str,
+        caption: &str,
+        prospective: ProspectiveProvenance,
+        retrospective: RetrospectiveProvenance,
+    ) {
+        self.results.push(PublishedResult {
+            key: key.to_string(),
+            caption: caption.to_string(),
+            bundle: ProvenanceBundle::new(prospective, retrospective),
+        });
+    }
+
+    /// Look up a result by key.
+    pub fn result(&self, key: &str) -> Option<&PublishedResult> {
+        self.results.iter().find(|r| r.key == key)
+    }
+
+    /// Number of published results.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Is the object empty?
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Re-execute every bundle with `executor` and verify all artifact
+    /// hashes — the repeatability review.
+    pub fn verify(&self, executor: &Executor) -> Result<Vec<ResultVerification>, ExecError> {
+        let mut out = Vec::with_capacity(self.results.len());
+        for r in &self.results {
+            let report = verify_reproduction(
+                executor,
+                &r.bundle.prospective.workflow,
+                &r.bundle.retrospective,
+            )?;
+            out.push(ResultVerification {
+                key: r.key.clone(),
+                report,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Did every result reproduce exactly?
+    pub fn is_repeatable(&self, executor: &Executor) -> Result<bool, ExecError> {
+        Ok(self
+            .verify(executor)?
+            .iter()
+            .all(|v| v.report.is_exact()))
+    }
+
+    /// Serialize the whole object to one JSON document.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Load from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::Subject;
+    use crate::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::{standard_registry, Executor};
+
+    fn object_with_fig1() -> (ResearchObject, Executor) {
+        let (wf, nodes) = wf_engine::synth::figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let mut obj = ResearchObject::new(
+            "Visualizing CT volumes",
+            &["S. Davidson", "J. Freire"],
+        );
+        obj.annotations.annotate(
+            Subject::Node(wf.id, nodes.load),
+            "dataset",
+            "head.120.vtk, public phantom",
+            "authors",
+        );
+        obj.publish(
+            "figure-1",
+            "Histogram and smoothed isosurface of the head CT volume",
+            ProspectiveProvenance::of(&wf),
+            retro,
+        );
+        (obj, exec)
+    }
+
+    #[test]
+    fn publish_and_lookup() {
+        let (obj, _) = object_with_fig1();
+        assert_eq!(obj.len(), 1);
+        assert!(!obj.is_empty());
+        let r = obj.result("figure-1").unwrap();
+        assert!(r.caption.contains("isosurface"));
+        assert!(obj.result("figure-9").is_none());
+    }
+
+    #[test]
+    fn verification_passes_for_faithful_object() {
+        let (obj, exec) = object_with_fig1();
+        assert!(obj.is_repeatable(&exec).unwrap());
+        let vs = obj.verify(&exec).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].key, "figure-1");
+        assert_eq!(vs[0].report.fidelity(), 1.0);
+    }
+
+    #[test]
+    fn verification_fails_for_doctored_object() {
+        let (mut obj, exec) = object_with_fig1();
+        // Doctor a recorded artifact hash — a result the recipe does not
+        // actually produce.
+        let retro = &mut obj.results[0].bundle.retrospective;
+        let last = retro.runs.last_mut().unwrap();
+        last.outputs[0].1 ^= 0xdead_beef;
+        assert!(!obj.is_repeatable(&exec).unwrap());
+        let vs = obj.verify(&exec).unwrap();
+        assert!(vs[0].report.fidelity() < 1.0);
+    }
+
+    #[test]
+    fn research_object_roundtrips_json() {
+        let (obj, exec) = object_with_fig1();
+        let json = obj.to_json().unwrap();
+        let back = ResearchObject::from_json(&json).unwrap();
+        assert_eq!(back, obj);
+        // A downloaded research object verifies on the reviewer's machine.
+        assert!(back.is_repeatable(&exec).unwrap());
+        assert_eq!(back.annotations.len(), 1);
+    }
+
+    #[test]
+    fn multi_result_objects() {
+        let (mut obj, exec) = object_with_fig1();
+        let wf2 = wf_engine::synth::challenge_workflow(2, 2, 1);
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf2, &mut cap).unwrap();
+        obj.publish(
+            "figure-2",
+            "fMRI atlas pipeline",
+            ProspectiveProvenance::of(&wf2),
+            cap.take(r.exec).unwrap(),
+        );
+        assert_eq!(obj.len(), 2);
+        assert!(obj.is_repeatable(&exec).unwrap());
+    }
+}

@@ -1,0 +1,217 @@
+//! Reproducibility: re-executing from provenance and verifying the results.
+//!
+//! §2.3: "a detailed record of the steps followed to produce a result
+//! allows others to reproduce and validate these results" — SIGMOD'08
+//! itself introduced the "experimental repeatability requirement" this
+//! module mechanizes: re-run the recipe, compare every artifact hash
+//! against the retrospective record, and report fidelity.
+
+use crate::model::RetrospectiveProvenance;
+use std::fmt;
+use wf_engine::{ExecError, Executor, RunStatus};
+use wf_model::{NodeId, Workflow};
+
+/// One artifact comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactCheck {
+    /// Producing node.
+    pub node: NodeId,
+    /// Output port.
+    pub port: String,
+    /// Hash recorded in the original provenance.
+    pub expected: u64,
+    /// Hash observed in the re-execution (`None` = not produced).
+    pub actual: Option<u64>,
+}
+
+impl ArtifactCheck {
+    /// Did the re-execution reproduce this artifact bit-identically?
+    pub fn matched(&self) -> bool {
+        self.actual == Some(self.expected)
+    }
+}
+
+/// The reproduction report.
+#[derive(Debug, Clone)]
+pub struct ReproReport {
+    /// All artifact comparisons (one per recorded output).
+    pub checks: Vec<ArtifactCheck>,
+    /// Status of the re-execution.
+    pub rerun_status: RunStatus,
+}
+
+impl ReproReport {
+    /// Number of artifacts reproduced exactly.
+    pub fn matched(&self) -> usize {
+        self.checks.iter().filter(|c| c.matched()).count()
+    }
+
+    /// Total recorded artifacts compared.
+    pub fn total(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// Fidelity in [0, 1]: fraction of artifacts reproduced exactly.
+    pub fn fidelity(&self) -> f64 {
+        if self.checks.is_empty() {
+            1.0
+        } else {
+            self.matched() as f64 / self.total() as f64
+        }
+    }
+
+    /// Fully reproducible?
+    pub fn is_exact(&self) -> bool {
+        self.matched() == self.total() && self.rerun_status == RunStatus::Succeeded
+    }
+
+    /// The failing checks.
+    pub fn mismatches(&self) -> Vec<&ArtifactCheck> {
+        self.checks.iter().filter(|c| !c.matched()).collect()
+    }
+}
+
+impl fmt::Display for ReproReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reproduced {}/{} artifacts ({:.1}%), rerun {}",
+            self.matched(),
+            self.total(),
+            self.fidelity() * 100.0,
+            self.rerun_status
+        )
+    }
+}
+
+/// Re-execute `workflow` (the prospective provenance that `retro` was
+/// recorded against) and compare every recorded output artifact.
+pub fn verify_reproduction(
+    executor: &Executor,
+    workflow: &Workflow,
+    retro: &RetrospectiveProvenance,
+) -> Result<ReproReport, ExecError> {
+    let result = executor.run(workflow)?;
+    let mut checks = Vec::new();
+    for run in &retro.runs {
+        for (port, expected) in &run.outputs {
+            let actual = result
+                .output(run.node, port)
+                .map(|v| v.content_hash());
+            checks.push(ArtifactCheck {
+                node: run.node,
+                port: port.clone(),
+                expected: *expected,
+                actual,
+            });
+        }
+    }
+    Ok(ReproReport {
+        checks,
+        rerun_status: result.status,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::registry::{ExecInput, Outputs};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Value};
+    use wf_model::{ModuleKind, ParamValue, PortSpec, WorkflowBuilder};
+
+    #[test]
+    fn deterministic_workflow_reproduces_exactly() {
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let report = verify_reproduction(&exec, &wf, &retro).unwrap();
+        assert!(report.is_exact(), "{report}");
+        assert_eq!(report.fidelity(), 1.0);
+        assert_eq!(report.total(), 8);
+    }
+
+    #[test]
+    fn changed_spec_fails_reproduction_downstream_only() {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        // Re-run against a tampered recipe.
+        let mut wf2 = wf.clone();
+        wf2.set_param(nodes.hist, "bins", ParamValue::Int(7)).unwrap();
+        let report = verify_reproduction(&exec, &wf2, &retro).unwrap();
+        assert!(!report.is_exact());
+        assert!(report.fidelity() < 1.0);
+        // The isosurface branch is untouched: its artifacts still match.
+        assert!(report
+            .checks
+            .iter()
+            .filter(|c| c.node == nodes.save_iso)
+            .all(|c| c.matched()));
+        // The histogram branch does not.
+        assert!(report
+            .checks
+            .iter()
+            .filter(|c| c.node == nodes.plot)
+            .all(|c| !c.matched()));
+    }
+
+    /// A module whose output depends on a process-local counter — the kind
+    /// of hidden nondeterminism that breaks repeatability.
+    fn nondet_registry() -> wf_engine::ModuleRegistry {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        static COUNTER: AtomicI64 = AtomicI64::new(0);
+        let mut r = standard_registry();
+        r.register(
+            ModuleKind::new("WallClock")
+                .output(PortSpec::required("out", wf_model::DataType::Integer)),
+            |_input: &ExecInput| {
+                let mut out = Outputs::new();
+                out.insert(
+                    "out".into(),
+                    Value::Int(COUNTER.fetch_add(1, Ordering::Relaxed)),
+                );
+                Ok(out)
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn injected_nondeterminism_is_detected() {
+        let mut b = WorkflowBuilder::new(1, "nondet");
+        let clock = b.add("WallClock");
+        let stable = b.add("ConstInt");
+        b.param(stable, "value", 5i64);
+        let sum = b.add("AddInt");
+        b.connect(clock, "out", sum, "a")
+            .connect(stable, "out", sum, "b");
+        let wf = b.build();
+        let exec = Executor::new(nondet_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let report = verify_reproduction(&exec, &wf, &retro).unwrap();
+        assert!(!report.is_exact());
+        // ConstInt still reproduces; WallClock and AddInt do not.
+        assert_eq!(report.matched(), 1);
+        assert_eq!(report.mismatches().len(), 2);
+        let mism = report.mismatches();
+        assert!(mism.iter().all(|c| c.actual.is_some()));
+    }
+
+    #[test]
+    fn empty_provenance_is_trivially_exact() {
+        let report = ReproReport {
+            checks: vec![],
+            rerun_status: RunStatus::Succeeded,
+        };
+        assert!(report.is_exact());
+        assert_eq!(report.fidelity(), 1.0);
+    }
+}

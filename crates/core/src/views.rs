@@ -1,0 +1,377 @@
+//! User views over provenance — ZOOM-style abstraction (§2.4 "information
+//! overload"; Biton et al., ICDE'08).
+//!
+//! A [`UserView`] partitions the module runs of an execution into named
+//! *composite* groups. The induced [`ViewedGraph`] shows one node per group
+//! and hides every artifact that is strictly internal to a group, shrinking
+//! the provenance a user must read while **preserving reachability between
+//! all visible nodes** (checked by `soundness` tests here and by property
+//! tests in the integration suite).
+
+use crate::causality::{CausalityGraph, ProvNodeRef};
+use crate::model::ArtifactHash;
+use std::collections::{BTreeMap, BTreeSet};
+use wf_model::NodeId;
+
+/// A partition of module runs into named composite groups.
+#[derive(Debug, Clone, Default)]
+pub struct UserView {
+    /// View name.
+    pub name: String,
+    groups: BTreeMap<String, BTreeSet<NodeId>>,
+}
+
+impl UserView {
+    /// An empty view.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// Assign nodes to a named group. Extends the group if it exists.
+    /// Returns `self` for chaining.
+    pub fn group(mut self, name: &str, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.groups
+            .entry(name.to_string())
+            .or_default()
+            .extend(nodes);
+        self
+    }
+
+    /// The groups of the view.
+    pub fn groups(&self) -> &BTreeMap<String, BTreeSet<NodeId>> {
+        &self.groups
+    }
+
+    /// Check the partition is disjoint; returns offending nodes.
+    pub fn overlapping_nodes(&self) -> Vec<NodeId> {
+        let mut seen = BTreeSet::new();
+        let mut bad = Vec::new();
+        for nodes in self.groups.values() {
+            for &n in nodes {
+                if !seen.insert(n) {
+                    bad.push(n);
+                }
+            }
+        }
+        bad
+    }
+
+    /// The group containing a node, if assigned.
+    pub fn group_of(&self, node: NodeId) -> Option<&str> {
+        self.groups
+            .iter()
+            .find(|(_, nodes)| nodes.contains(&node))
+            .map(|(name, _)| name.as_str())
+    }
+}
+
+/// A node of the abstracted provenance graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViewNode {
+    /// A composite group of module runs.
+    Group(String),
+    /// A visible data artifact.
+    Artifact(ArtifactHash),
+}
+
+/// The provenance graph induced by a user view.
+#[derive(Debug, Clone)]
+pub struct ViewedGraph {
+    /// Nodes of the abstracted graph.
+    pub nodes: BTreeSet<ViewNode>,
+    /// Edges in dataflow direction (cause → effect).
+    pub edges: BTreeSet<(ViewNode, ViewNode)>,
+    /// Artifacts hidden by the abstraction.
+    pub hidden_artifacts: BTreeSet<ArtifactHash>,
+    base_nodes: usize,
+    base_edges: usize,
+}
+
+impl ViewedGraph {
+    /// Apply `view` to a causality graph. Runs not assigned to any group
+    /// become singleton groups named `"<node>"`.
+    pub fn apply(base: &CausalityGraph, view: &UserView) -> Self {
+        // Group assignment for every run in the base graph.
+        let mut group_of: BTreeMap<NodeId, String> = BTreeMap::new();
+        for (gname, members) in view.groups() {
+            for &n in members {
+                group_of.insert(n, gname.clone());
+            }
+        }
+        for n in base.nodes() {
+            if let ProvNodeRef::Run(id) = n {
+                group_of
+                    .entry(*id)
+                    .or_insert_with(|| format!("{id}"));
+            }
+        }
+
+        // Classify artifacts: the set of groups touching each artifact.
+        let mut touching: BTreeMap<ArtifactHash, BTreeSet<String>> = BTreeMap::new();
+        let mut has_generator: BTreeSet<ArtifactHash> = BTreeSet::new();
+        let mut has_user: BTreeSet<ArtifactHash> = BTreeSet::new();
+        for n in base.nodes() {
+            if let ProvNodeRef::Artifact(h) = n {
+                let entry = touching.entry(*h).or_default();
+                for c in base.causes(*n) {
+                    if let ProvNodeRef::Run(r) = c {
+                        entry.insert(group_of[&r].clone());
+                        has_generator.insert(*h);
+                    }
+                }
+                for e in base.effects(*n) {
+                    if let ProvNodeRef::Run(r) = e {
+                        entry.insert(group_of[&r].clone());
+                        has_user.insert(*h);
+                    }
+                }
+            }
+        }
+
+        let mut nodes: BTreeSet<ViewNode> = BTreeSet::new();
+        let mut edges: BTreeSet<(ViewNode, ViewNode)> = BTreeSet::new();
+        let mut hidden: BTreeSet<ArtifactHash> = BTreeSet::new();
+
+        for g in group_of.values() {
+            nodes.insert(ViewNode::Group(g.clone()));
+        }
+
+        for (h, groups) in &touching {
+            let internal = groups.len() <= 1
+                && has_generator.contains(h)
+                && has_user.contains(h);
+            if internal {
+                hidden.insert(*h);
+                continue;
+            }
+            nodes.insert(ViewNode::Artifact(*h));
+        }
+
+        // Edges between visible nodes.
+        for n in base.nodes() {
+            if let ProvNodeRef::Artifact(h) = n {
+                if hidden.contains(h) {
+                    continue;
+                }
+                for c in base.causes(*n) {
+                    if let ProvNodeRef::Run(r) = c {
+                        edges.insert((
+                            ViewNode::Group(group_of[&r].clone()),
+                            ViewNode::Artifact(*h),
+                        ));
+                    }
+                }
+                for e in base.effects(*n) {
+                    if let ProvNodeRef::Run(r) = e {
+                        edges.insert((
+                            ViewNode::Artifact(*h),
+                            ViewNode::Group(group_of[&r].clone()),
+                        ));
+                    }
+                }
+            }
+        }
+
+        Self {
+            nodes,
+            edges,
+            hidden_artifacts: hidden,
+            base_nodes: base.node_count(),
+            base_edges: base.edge_count(),
+        }
+    }
+
+    /// Abstracted node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Abstracted edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Size reduction: abstracted nodes / base nodes (smaller is better).
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.base_nodes == 0 {
+            1.0
+        } else {
+            self.node_count() as f64 / self.base_nodes as f64
+        }
+    }
+
+    /// Base graph size the view was computed from: (nodes, edges).
+    pub fn base_size(&self) -> (usize, usize) {
+        (self.base_nodes, self.base_edges)
+    }
+
+    /// Is `to` reachable from `from` in the abstracted graph?
+    pub fn reachable(&self, from: &ViewNode, to: &ViewNode) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut adj: BTreeMap<&ViewNode, Vec<&ViewNode>> = BTreeMap::new();
+        for (a, b) in &self.edges {
+            adj.entry(a).or_default().push(b);
+        }
+        let mut seen: BTreeSet<&ViewNode> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            if let Some(next) = adj.get(x) {
+                for &n in next {
+                    if seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{CaptureLevel, ProvenanceCapture};
+    use crate::model::RetrospectiveProvenance;
+    use wf_engine::synth::{figure1_workflow, Figure1Nodes};
+    use wf_engine::{standard_registry, Executor};
+
+    fn fig1() -> (RetrospectiveProvenance, Figure1Nodes) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        (cap.take(r.exec).unwrap(), nodes)
+    }
+
+    fn branch_view(nodes: &Figure1Nodes) -> UserView {
+        UserView::new("branches")
+            .group("histogram-branch", [nodes.hist, nodes.plot, nodes.save_hist])
+            .group(
+                "iso-branch",
+                [nodes.iso, nodes.smooth, nodes.render, nodes.save_iso],
+            )
+    }
+
+    #[test]
+    fn view_shrinks_the_graph() {
+        let (retro, nodes) = fig1();
+        let base = CausalityGraph::from_retrospective(&retro);
+        let viewed = ViewedGraph::apply(&base, &branch_view(&nodes));
+        assert!(viewed.node_count() < base.node_count());
+        assert!(viewed.reduction_ratio() < 1.0);
+        assert!(!viewed.hidden_artifacts.is_empty());
+    }
+
+    #[test]
+    fn internal_artifacts_hidden_boundary_kept() {
+        let (retro, nodes) = fig1();
+        let base = CausalityGraph::from_retrospective(&retro);
+        let viewed = ViewedGraph::apply(&base, &branch_view(&nodes));
+        // The CT grid crosses from the load singleton into both branches:
+        // must stay visible.
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        assert!(viewed.nodes.contains(&ViewNode::Artifact(grid)));
+        // The histogram table is internal to the histogram branch: hidden.
+        let table = retro.produced(nodes.hist, "table").unwrap().hash;
+        assert!(viewed.hidden_artifacts.contains(&table));
+        // Final products are sinks (no user): visible.
+        let product = retro.produced(nodes.save_iso, "file").unwrap().hash;
+        assert!(viewed.nodes.contains(&ViewNode::Artifact(product)));
+    }
+
+    #[test]
+    fn soundness_reachability_preserved_between_visible_artifacts() {
+        let (retro, nodes) = fig1();
+        let base = CausalityGraph::from_retrospective(&retro);
+        let viewed = ViewedGraph::apply(&base, &branch_view(&nodes));
+        let visible: Vec<ArtifactHash> = viewed
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                ViewNode::Artifact(h) => Some(*h),
+                _ => None,
+            })
+            .collect();
+        for &a in &visible {
+            let down = base.downstream(ProvNodeRef::Artifact(a), None);
+            for &b in &visible {
+                if a == b {
+                    continue;
+                }
+                let base_reach = down.contains(&ProvNodeRef::Artifact(b));
+                let view_reach = viewed.reachable(
+                    &ViewNode::Artifact(a),
+                    &ViewNode::Artifact(b),
+                );
+                assert_eq!(
+                    base_reach, view_reach,
+                    "reachability {a:x} -> {b:x} must be preserved"
+                );
+                let _ = nodes;
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_view_keeps_everything_visible() {
+        let (retro, _) = fig1();
+        let base = CausalityGraph::from_retrospective(&retro);
+        let viewed = ViewedGraph::apply(&base, &UserView::new("identity"));
+        // Singleton groups: every artifact still has its endpoints in
+        // different groups or is terminal, except artifacts both produced
+        // and consumed by... singletons differ, so nothing is hidden.
+        assert!(viewed.hidden_artifacts.is_empty());
+        assert_eq!(viewed.node_count(), base.node_count());
+    }
+
+    #[test]
+    fn whole_workflow_view_collapses_to_sources_and_sinks() {
+        let (retro, nodes) = fig1();
+        let base = CausalityGraph::from_retrospective(&retro);
+        let all = UserView::new("all").group(
+            "everything",
+            [
+                nodes.load,
+                nodes.hist,
+                nodes.plot,
+                nodes.save_hist,
+                nodes.iso,
+                nodes.smooth,
+                nodes.render,
+                nodes.save_iso,
+            ],
+        );
+        let viewed = ViewedGraph::apply(&base, &all);
+        let groups = viewed
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, ViewNode::Group(_)))
+            .count();
+        assert_eq!(groups, 1);
+        // Only terminal artifacts (the two saved files) stay visible.
+        let artifacts = viewed
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, ViewNode::Artifact(_)))
+            .count();
+        assert_eq!(artifacts, 2);
+    }
+
+    #[test]
+    fn overlapping_groups_detected() {
+        let v = UserView::new("bad")
+            .group("g1", [NodeId(1), NodeId(2)])
+            .group("g2", [NodeId(2), NodeId(3)]);
+        assert_eq!(v.overlapping_nodes(), vec![NodeId(2)]);
+        assert_eq!(v.group_of(NodeId(3)), Some("g2"));
+        assert_eq!(v.group_of(NodeId(9)), None);
+    }
+}

@@ -1,0 +1,480 @@
+//! Refinement by analogy — Figure 2 of the tutorial (Scheidegger et al.,
+//! InfoVis'07).
+//!
+//! "The user chooses a pair of data products to serve as an analogy
+//! template … then chooses a set of other workflows to apply the same
+//! change automatically. … Note that the surrounding modules do not match
+//! exactly: the system identifies the most likely match."
+//!
+//! The pipeline:
+//!
+//! 1. [`crate::diff::diff_workflows`] computes the change
+//!    `a → b` (the analogy template);
+//! 2. [`match_workflows`] finds the most likely embedding of `a`'s modules
+//!    inside the target `c`, by iterative label-and-neighbourhood scoring
+//!    (a similarity-flooding style fixpoint) followed by greedy injective
+//!    assignment;
+//! 3. [`apply_by_analogy`] transplants the change through that mapping —
+//!    deleting mapped deletions, re-applying parameter changes, grafting
+//!    added nodes, and rewiring connections — and reports what could not
+//!    be carried over.
+
+use crate::diff::diff_workflows;
+use std::collections::{BTreeMap, BTreeSet};
+use wf_model::{Endpoint, ModelError, NodeId, Workflow};
+
+/// A (partial, injective) mapping from nodes of one workflow to nodes of
+/// another, with per-pair confidence scores in [0, 1].
+#[derive(Debug, Clone, Default)]
+pub struct NodeMatching {
+    /// source node → (target node, score).
+    pub pairs: BTreeMap<NodeId, (NodeId, f64)>,
+}
+
+impl NodeMatching {
+    /// The matched target of a source node.
+    pub fn target(&self, source: NodeId) -> Option<NodeId> {
+        self.pairs.get(&source).map(|(t, _)| *t)
+    }
+
+    /// Mean score over matched pairs (0 when nothing matched).
+    pub fn mean_score(&self) -> f64 {
+        if self.pairs.is_empty() {
+            0.0
+        } else {
+            self.pairs.values().map(|(_, s)| s).sum::<f64>() / self.pairs.len() as f64
+        }
+    }
+}
+
+fn label_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    // Dice coefficient over character bigrams: robust to small renames.
+    let grams = |s: &str| -> BTreeSet<(char, char)> {
+        let chars: Vec<char> = s.to_lowercase().chars().collect();
+        chars.windows(2).map(|w| (w[0], w[1])).collect()
+    };
+    let (ga, gb) = (grams(a), grams(b));
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let inter = ga.intersection(&gb).count() as f64;
+    2.0 * inter / (ga.len() + gb.len()) as f64
+}
+
+/// Find the most likely embedding of `source`'s nodes in `target`.
+///
+/// Scores start from module/label similarity and are refined for
+/// `iterations` rounds by mixing in the best-matching neighbours' scores
+/// (similarity flooding); the final injective assignment is greedy by
+/// descending score, cut off at `threshold`.
+pub fn match_workflows(source: &Workflow, target: &Workflow) -> NodeMatching {
+    match_workflows_with(source, target, 3, 0.3)
+}
+
+/// [`match_workflows`] with explicit refinement rounds and score threshold.
+pub fn match_workflows_with(
+    source: &Workflow,
+    target: &Workflow,
+    iterations: usize,
+    threshold: f64,
+) -> NodeMatching {
+    let s_ids: Vec<NodeId> = source.nodes.keys().copied().collect();
+    let t_ids: Vec<NodeId> = target.nodes.keys().copied().collect();
+    if s_ids.is_empty() || t_ids.is_empty() {
+        return NodeMatching::default();
+    }
+
+    // Base similarity: module identity dominates; labels refine.
+    let base = |sa: NodeId, ta: NodeId| -> f64 {
+        let ns = &source.nodes[&sa];
+        let nt = &target.nodes[&ta];
+        let module = if ns.module == nt.module {
+            if ns.version == nt.version {
+                1.0
+            } else {
+                0.85
+            }
+        } else {
+            0.0
+        };
+        0.75 * module + 0.25 * label_similarity(&ns.label, &nt.label)
+    };
+
+    let mut score: Vec<Vec<f64>> = s_ids
+        .iter()
+        .map(|&sa| t_ids.iter().map(|&ta| base(sa, ta)).collect())
+        .collect();
+
+    // Neighbourhoods in both directions.
+    let neighbours = |wf: &Workflow, n: NodeId| -> (Vec<NodeId>, Vec<NodeId>) {
+        let preds = wf.inputs_of(n).map(|c| c.from.node).collect();
+        let succs = wf.outputs_of(n).map(|c| c.to.node).collect();
+        (preds, succs)
+    };
+    let s_nbrs: Vec<(Vec<NodeId>, Vec<NodeId>)> =
+        s_ids.iter().map(|&n| neighbours(source, n)).collect();
+    let t_nbrs: Vec<(Vec<NodeId>, Vec<NodeId>)> =
+        t_ids.iter().map(|&n| neighbours(target, n)).collect();
+    let s_index: BTreeMap<NodeId, usize> =
+        s_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let t_index: BTreeMap<NodeId, usize> =
+        t_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    for _ in 0..iterations {
+        let mut next = score.clone();
+        for (i, _) in s_ids.iter().enumerate() {
+            for (j, _) in t_ids.iter().enumerate() {
+                let side = |s_side: &[NodeId], t_side: &[NodeId]| -> f64 {
+                    if s_side.is_empty() && t_side.is_empty() {
+                        // Both are boundaries on this side: structural
+                        // agreement, contribute the current score.
+                        return score[i][j];
+                    }
+                    if s_side.is_empty() || t_side.is_empty() {
+                        // One-sided boundary: mild structural disagreement.
+                        return 0.5 * score[i][j];
+                    }
+                    // Average over source neighbours of their best target
+                    // counterpart.
+                    s_side
+                        .iter()
+                        .map(|sn| {
+                            t_side
+                                .iter()
+                                .map(|tn| score[s_index[sn]][t_index[tn]])
+                                .fold(0.0f64, f64::max)
+                        })
+                        .sum::<f64>()
+                        / s_side.len() as f64
+                };
+                let pred_sim = side(&s_nbrs[i].0, &t_nbrs[j].0);
+                let succ_sim = side(&s_nbrs[i].1, &t_nbrs[j].1);
+                next[i][j] = 0.5 * score[i][j] + 0.25 * pred_sim + 0.25 * succ_sim;
+            }
+        }
+        score = next;
+    }
+
+    // Base-compatibility floor: never match nodes of entirely different
+    // modules just because their neighbourhoods rhyme.
+    for (i, &sa) in s_ids.iter().enumerate() {
+        for (j, &ta) in t_ids.iter().enumerate() {
+            if base(sa, ta) == 0.0 {
+                score[i][j] = 0.0;
+            }
+        }
+    }
+
+    // Greedy injective assignment by descending score.
+    let mut triples: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, row) in score.iter().enumerate() {
+        for (j, &s) in row.iter().enumerate() {
+            if s >= threshold {
+                triples.push((s, i, j));
+            }
+        }
+    }
+    triples.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_s = vec![false; s_ids.len()];
+    let mut used_t = vec![false; t_ids.len()];
+    let mut pairs = BTreeMap::new();
+    for (s, i, j) in triples {
+        if !used_s[i] && !used_t[j] {
+            used_s[i] = true;
+            used_t[j] = true;
+            pairs.insert(s_ids[i], (t_ids[j], s));
+        }
+    }
+    NodeMatching { pairs }
+}
+
+/// The result of applying an analogy.
+#[derive(Debug, Clone)]
+pub struct AnalogyResult {
+    /// The refined target workflow (`c` with the `a → b` change applied).
+    pub workflow: Workflow,
+    /// The matching used, with scores (the UI would display this as the
+    /// orange/blue overlay of Figure 2).
+    pub matching: NodeMatching,
+    /// Source nodes of the template that found no counterpart in the
+    /// target.
+    pub unmatched: Vec<NodeId>,
+    /// Changes that could not be transplanted, human-readable.
+    pub skipped: Vec<String>,
+    /// Count of elementary changes applied.
+    pub applied: usize,
+}
+
+impl AnalogyResult {
+    /// Did every elementary change transplant cleanly?
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// Apply the change `a → b` to `c` by analogy (Figure 2).
+pub fn apply_by_analogy(
+    a: &Workflow,
+    b: &Workflow,
+    c: &Workflow,
+) -> Result<AnalogyResult, ModelError> {
+    let diff = diff_workflows(a, b);
+    let matching = match_workflows(a, c);
+    let mut out = c.clone();
+    let mut skipped = Vec::new();
+    let mut applied = 0usize;
+
+    let unmatched: Vec<NodeId> = a
+        .nodes
+        .keys()
+        .filter(|id| matching.target(**id).is_none())
+        .copied()
+        .collect();
+
+    // New nodes of b get fresh ids in c; remember the correspondence.
+    let mut new_ids: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    for id in &diff.only_right {
+        let node = &b.nodes[id];
+        let nid = out.add_node(&node.module, node.version);
+        out.set_label(nid, &node.label)?;
+        for (k, v) in &node.params {
+            out.set_param(nid, k, v.clone())?;
+        }
+        new_ids.insert(*id, nid);
+        applied += 1;
+    }
+
+    // Map an endpoint of the template into c.
+    let map_node = |id: NodeId| -> Option<NodeId> {
+        new_ids.get(&id).copied().or_else(|| matching.target(id))
+    };
+
+    // Deleted nodes: delete the matched counterparts.
+    for id in &diff.only_left {
+        match matching.target(*id) {
+            Some(t) => {
+                out.remove_node(t)?;
+                applied += 1;
+            }
+            None => skipped.push(format!("delete of {id}: no counterpart in target")),
+        }
+    }
+
+    // Deleted connections: remove the corresponding target connection.
+    for conn in &diff.conns_only_left {
+        let (Some(f), Some(t)) = (map_node(conn.from.node), map_node(conn.to.node)) else {
+            skipped.push(format!(
+                "disconnect {}.{} -> {}.{}: endpoints unmatched",
+                conn.from.node, conn.from.port, conn.to.node, conn.to.port
+            ));
+            continue;
+        };
+        let found = out
+            .conns
+            .values()
+            .find(|c| c.from.node == f && c.to.node == t && c.to.port == conn.to.port)
+            .map(|c| c.id);
+        match found {
+            Some(cid) => {
+                out.remove_connection(cid)?;
+                applied += 1;
+            }
+            None => skipped.push(format!(
+                "disconnect {f}.{} -> {t}.{}: no such connection in target",
+                conn.from.port, conn.to.port
+            )),
+        }
+    }
+
+    // Parameter changes on matched nodes.
+    for (node, name, _, new) in &diff.param_changes {
+        match matching.target(*node).or_else(|| new_ids.get(node).copied()) {
+            Some(t) => {
+                match new {
+                    Some(v) => {
+                        out.set_param(t, name, v.clone())?;
+                    }
+                    None => {
+                        out.unset_param(t, name)?;
+                    }
+                }
+                applied += 1;
+            }
+            None => skipped.push(format!("param {node}.{name}: no counterpart in target")),
+        }
+    }
+
+    // Added connections, rewired through the mapping. If the target input
+    // port is already fed, the analogy *re*-wires it (Figure 2's orange
+    // edge removal), replacing the previous connection.
+    for conn in &diff.conns_only_right {
+        let (Some(f), Some(t)) = (map_node(conn.from.node), map_node(conn.to.node)) else {
+            skipped.push(format!(
+                "connect {}.{} -> {}.{}: endpoints unmatched",
+                conn.from.node, conn.from.port, conn.to.node, conn.to.port
+            ));
+            continue;
+        };
+        if let Some(existing) = out
+            .conns
+            .values()
+            .find(|c| c.to.node == t && c.to.port == conn.to.port)
+            .map(|c| c.id)
+        {
+            out.remove_connection(existing)?;
+        }
+        match out.connect(
+            Endpoint::new(f, &conn.from.port),
+            Endpoint::new(t, &conn.to.port),
+        ) {
+            Ok(_) => applied += 1,
+            Err(e) => skipped.push(format!(
+                "connect {f}.{} -> {t}.{}: {e}",
+                conn.from.port, conn.to.port
+            )),
+        }
+    }
+
+    Ok(AnalogyResult {
+        workflow: out,
+        matching,
+        unmatched,
+        skipped,
+        applied,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn label_similarity_behaves() {
+        assert_eq!(label_similarity("render", "render"), 1.0);
+        assert!(label_similarity("render view", "render view 2") > 0.6);
+        assert!(label_similarity("alpha", "zq") < 0.2);
+    }
+
+    #[test]
+    fn identical_workflows_match_perfectly() {
+        let (a, _, _) = scenario::figure2_triple();
+        let m = match_workflows(&a, &a.clone());
+        assert_eq!(m.pairs.len(), a.node_count());
+        for (s, (t, score)) in &m.pairs {
+            assert_eq!(s, t);
+            assert!(*score > 0.8, "self-match score {score}");
+        }
+    }
+
+    #[test]
+    fn matching_respects_structure_over_duplicates() {
+        // Two Identity nodes: one mid-chain, one sink. Structure must
+        // disambiguate which matches which.
+        use wf_model::WorkflowBuilder;
+        let build = |id: u64| {
+            let mut b = WorkflowBuilder::new(id, "chain");
+            let s = b.add("ConstInt");
+            let mid = b.add("Identity");
+            let sink = b.add("Identity");
+            b.connect(s, "out", mid, "in").connect(mid, "out", sink, "in");
+            (b.build(), mid, sink)
+        };
+        let (a, a_mid, a_sink) = build(1);
+        let (c, c_mid, c_sink) = build(2);
+        let m = match_workflows(&a, &c);
+        assert_eq!(m.target(a_mid), Some(c_mid));
+        assert_eq!(m.target(a_sink), Some(c_sink));
+    }
+
+    #[test]
+    fn figure2_smoothing_transplants() {
+        let (a, b, c) = scenario::figure2_triple();
+        let result = apply_by_analogy(&a, &b, &c).unwrap();
+        assert!(result.is_clean(), "skipped: {:?}", result.skipped);
+        let out = &result.workflow;
+        // A SmoothMesh now exists in c'.
+        let smooth: Vec<_> = out
+            .nodes
+            .values()
+            .filter(|n| n.module == "SmoothMesh")
+            .collect();
+        assert_eq!(smooth.len(), 1);
+        let smooth = smooth[0].id;
+        // Wired between c's isosurface and c's renderer.
+        let iso = out.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
+        let render = out.nodes.values().find(|n| n.module == "RenderMesh").unwrap().id;
+        assert!(out
+            .conns
+            .values()
+            .any(|cn| cn.from.node == iso && cn.to.node == smooth));
+        assert!(out
+            .conns
+            .values()
+            .any(|cn| cn.from.node == smooth && cn.to.node == render));
+        // The direct iso->render edge is gone.
+        assert!(!out
+            .conns
+            .values()
+            .any(|cn| cn.from.node == iso && cn.to.node == render));
+        // c's own extra branch is untouched.
+        assert!(out.nodes.values().any(|n| n.module == "Histogram"));
+        assert!(result.matching.mean_score() > 0.5);
+    }
+
+    #[test]
+    fn analogy_reports_unmatched_when_target_lacks_context() {
+        let (a, b, _) = scenario::figure2_triple();
+        // A target with no isosurface pipeline at all.
+        let mut bld = wf_model::WorkflowBuilder::new(9, "unrelated");
+        let l = bld.add("LoadVolume");
+        let h = bld.add("Histogram");
+        bld.connect(l, "grid", h, "data");
+        let c = bld.build();
+        let result = apply_by_analogy(&a, &b, &c).unwrap();
+        assert!(!result.skipped.is_empty(), "rewiring must fail somewhere");
+        assert!(!result.unmatched.is_empty());
+    }
+
+    #[test]
+    fn param_change_analogy() {
+        let (a, _, c) = scenario::figure2_triple();
+        // Template: only change isovalue 0.4 -> 0.7.
+        let mut b2 = a.clone();
+        let iso = b2.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
+        b2.set_param(iso, "isovalue", 0.7f64.into()).unwrap();
+        let result = apply_by_analogy(&a, &b2, &c).unwrap();
+        assert!(result.is_clean());
+        let c_iso = result
+            .workflow
+            .nodes
+            .values()
+            .find(|n| n.module == "Isosurface")
+            .unwrap();
+        assert_eq!(
+            c_iso.params.get("isovalue"),
+            Some(&wf_model::ParamValue::Float(0.7))
+        );
+    }
+
+    #[test]
+    fn deletion_analogy_removes_counterpart() {
+        let (a, _, c) = scenario::figure2_triple();
+        // Template: delete the save step.
+        let mut b2 = a.clone();
+        let save = b2.nodes.values().find(|n| n.module == "SaveFile").unwrap().id;
+        b2.remove_node(save).unwrap();
+        let before = c.nodes.values().filter(|n| n.module == "SaveFile").count();
+        let result = apply_by_analogy(&a, &b2, &c).unwrap();
+        let after = result
+            .workflow
+            .nodes
+            .values()
+            .filter(|n| n.module == "SaveFile")
+            .count();
+        assert_eq!(after, before - 1);
+    }
+}

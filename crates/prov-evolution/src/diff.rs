@@ -1,0 +1,246 @@
+//! Structural diffs between workflow versions.
+//!
+//! §2.3: provenance lets users "compare and understand differences between
+//! workflows". Within one version tree, node identifiers are stable, so
+//! diffing is an id-aligned comparison; across *unrelated* workflows the
+//! [`crate::analogy`] matcher supplies the alignment first.
+
+use std::collections::BTreeSet;
+use wf_model::workflow::Connection;
+use wf_model::{NodeId, ParamValue, Workflow};
+
+/// The structural difference between two workflows with shared node ids.
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowDiff {
+    /// Node ids present in both (same id; module may differ — see
+    /// `module_changes`).
+    pub matched: Vec<NodeId>,
+    /// Nodes only in the left workflow.
+    pub only_left: Vec<NodeId>,
+    /// Nodes only in the right workflow.
+    pub only_right: Vec<NodeId>,
+    /// `(node, param, left value, right value)` for parameter differences
+    /// on matched nodes (`None` = unset on that side).
+    pub param_changes: Vec<(NodeId, String, Option<ParamValue>, Option<ParamValue>)>,
+    /// Matched nodes whose module identity changed: `(node, left, right)`.
+    pub module_changes: Vec<(NodeId, String, String)>,
+    /// Connections only in the left workflow.
+    pub conns_only_left: Vec<Connection>,
+    /// Connections only in the right workflow.
+    pub conns_only_right: Vec<Connection>,
+}
+
+impl WorkflowDiff {
+    /// Are the two workflows structurally identical?
+    pub fn is_empty(&self) -> bool {
+        self.only_left.is_empty()
+            && self.only_right.is_empty()
+            && self.param_changes.is_empty()
+            && self.module_changes.is_empty()
+            && self.conns_only_left.is_empty()
+            && self.conns_only_right.is_empty()
+    }
+
+    /// Total number of elementary differences.
+    pub fn change_count(&self) -> usize {
+        self.only_left.len()
+            + self.only_right.len()
+            + self.param_changes.len()
+            + self.module_changes.len()
+            + self.conns_only_left.len()
+            + self.conns_only_right.len()
+    }
+
+    /// Render one change per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for n in &self.only_left {
+            s.push_str(&format!("- node {n}\n"));
+        }
+        for n in &self.only_right {
+            s.push_str(&format!("+ node {n}\n"));
+        }
+        for (n, l, r) in &self.module_changes {
+            s.push_str(&format!("~ node {n}: {l} -> {r}\n"));
+        }
+        for (n, p, l, r) in &self.param_changes {
+            s.push_str(&format!(
+                "~ param {n}.{p}: {} -> {}\n",
+                l.as_ref().map(|v| v.render()).unwrap_or_else(|| "<unset>".into()),
+                r.as_ref().map(|v| v.render()).unwrap_or_else(|| "<unset>".into()),
+            ));
+        }
+        for c in &self.conns_only_left {
+            s.push_str(&format!(
+                "- conn {}.{} -> {}.{}\n",
+                c.from.node, c.from.port, c.to.node, c.to.port
+            ));
+        }
+        for c in &self.conns_only_right {
+            s.push_str(&format!(
+                "+ conn {}.{} -> {}.{}\n",
+                c.from.node, c.from.port, c.to.node, c.to.port
+            ));
+        }
+        s
+    }
+}
+
+/// Diff two workflows whose node ids share an identifier space (versions of
+/// one evolving workflow).
+pub fn diff_workflows(left: &Workflow, right: &Workflow) -> WorkflowDiff {
+    let mut diff = WorkflowDiff::default();
+    for (id, lnode) in &left.nodes {
+        match right.nodes.get(id) {
+            None => diff.only_left.push(*id),
+            Some(rnode) => {
+                diff.matched.push(*id);
+                if lnode.kind_identity() != rnode.kind_identity() {
+                    diff.module_changes.push((
+                        *id,
+                        lnode.kind_identity(),
+                        rnode.kind_identity(),
+                    ));
+                }
+                let params: BTreeSet<&String> =
+                    lnode.params.keys().chain(rnode.params.keys()).collect();
+                for p in params {
+                    let l = lnode.params.get(p);
+                    let r = rnode.params.get(p);
+                    if l != r {
+                        diff.param_changes.push((
+                            *id,
+                            p.clone(),
+                            l.cloned(),
+                            r.cloned(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for id in right.nodes.keys() {
+        if !left.nodes.contains_key(id) {
+            diff.only_right.push(*id);
+        }
+    }
+    // Connections compared by endpoints (ids may differ across branches).
+    let key = |c: &Connection| {
+        (
+            c.from.node,
+            c.from.port.clone(),
+            c.to.node,
+            c.to.port.clone(),
+        )
+    };
+    let rset: BTreeSet<_> = right.conns.values().map(key).collect();
+    let lset: BTreeSet<_> = left.conns.values().map(key).collect();
+    for c in left.conns.values() {
+        if !rset.contains(&key(c)) {
+            diff.conns_only_left.push(c.clone());
+        }
+    }
+    for c in right.conns.values() {
+        if !lset.contains(&key(c)) {
+            diff.conns_only_right.push(c.clone());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{Endpoint, WorkflowBuilder};
+
+    fn base() -> Workflow {
+        let mut b = WorkflowBuilder::new(1, "base");
+        let l = b.add("LoadVolume");
+        let i = b.add("Isosurface");
+        let r = b.add("RenderMesh");
+        b.connect(l, "grid", i, "data").connect(i, "mesh", r, "mesh");
+        b.param(i, "isovalue", 0.5f64);
+        b.build()
+    }
+
+    #[test]
+    fn identical_workflows_diff_empty() {
+        let a = base();
+        let d = diff_workflows(&a, &a.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.change_count(), 0);
+        assert_eq!(d.matched.len(), 3);
+    }
+
+    #[test]
+    fn added_node_and_rewiring_detected() {
+        let a = base();
+        let mut b = a.clone();
+        // Insert SmoothMesh between Isosurface and RenderMesh.
+        let iso = b.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
+        let render = b.nodes.values().find(|n| n.module == "RenderMesh").unwrap().id;
+        let old_conn = b
+            .conns
+            .values()
+            .find(|c| c.from.node == iso && c.to.node == render)
+            .unwrap()
+            .id;
+        b.remove_connection(old_conn).unwrap();
+        let smooth = b.add_node("SmoothMesh", 1);
+        b.connect(Endpoint::new(iso, "mesh"), Endpoint::new(smooth, "mesh"))
+            .unwrap();
+        b.connect(Endpoint::new(smooth, "mesh"), Endpoint::new(render, "mesh"))
+            .unwrap();
+        let d = diff_workflows(&a, &b);
+        assert_eq!(d.only_right, vec![smooth]);
+        assert!(d.only_left.is_empty());
+        assert_eq!(d.conns_only_left.len(), 1);
+        assert_eq!(d.conns_only_right.len(), 2);
+        let rendered = d.render();
+        assert!(rendered.contains("+ node"));
+        assert!(rendered.contains("- conn"));
+    }
+
+    #[test]
+    fn param_change_detected_both_directions() {
+        let a = base();
+        let mut b = a.clone();
+        let iso = b.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
+        b.set_param(iso, "isovalue", 0.8f64.into()).unwrap();
+        b.set_param(iso, "extra", 1i64.into()).unwrap();
+        let d = diff_workflows(&a, &b);
+        assert_eq!(d.param_changes.len(), 2);
+        let iso_change = d
+            .param_changes
+            .iter()
+            .find(|(_, p, ..)| p == "isovalue")
+            .unwrap();
+        assert_eq!(iso_change.2, Some(ParamValue::Float(0.5)));
+        assert_eq!(iso_change.3, Some(ParamValue::Float(0.8)));
+        let extra = d.param_changes.iter().find(|(_, p, ..)| p == "extra").unwrap();
+        assert_eq!(extra.2, None);
+    }
+
+    #[test]
+    fn module_revision_detected() {
+        let a = base();
+        let mut b = a.clone();
+        let iso = b.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
+        b.nodes.get_mut(&iso).unwrap().version = 2;
+        let d = diff_workflows(&a, &b);
+        assert_eq!(d.module_changes.len(), 1);
+        assert_eq!(d.module_changes[0].1, "Isosurface@1");
+        assert_eq!(d.module_changes[0].2, "Isosurface@2");
+    }
+
+    #[test]
+    fn deleted_node_detected() {
+        let a = base();
+        let mut b = a.clone();
+        let render = b.nodes.values().find(|n| n.module == "RenderMesh").unwrap().id;
+        b.remove_node(render).unwrap();
+        let d = diff_workflows(&a, &b);
+        assert_eq!(d.only_left, vec![render]);
+        assert_eq!(d.conns_only_left.len(), 1);
+    }
+}

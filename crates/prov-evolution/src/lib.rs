@@ -1,0 +1,28 @@
+//! # prov-evolution — workflow evolution provenance
+//!
+//! The VisTrails-style "change-based" provenance the tutorial presents in
+//! §2.3: every edit to a workflow is an [`action::Action`]; the history of
+//! a workflow is a [`tree::VersionTree`] whose nodes are versions and whose
+//! edges are actions. From this one structure fall out:
+//!
+//! * materialization of any version by action replay (with snapshot
+//!   caching — experiment E8 measures the trade-off),
+//! * structural [`diff`]s between any two versions,
+//! * **refinement by analogy** ([`analogy`]) — Figure 2 of the paper: take
+//!   the difference between two versions and graft it onto a *different*
+//!   but structurally similar workflow via approximate graph matching,
+//! * deterministic [`scenario`] generators used by tests and benchmarks,
+//! * safe module [`upgrade`] planning, committed as ordinary actions.
+
+pub mod action;
+pub mod analogy;
+pub mod diff;
+pub mod scenario;
+pub mod tree;
+pub mod upgrade;
+
+pub use action::Action;
+pub use analogy::{apply_by_analogy, AnalogyResult, NodeMatching};
+pub use diff::{diff_workflows, WorkflowDiff};
+pub use tree::{VersionId, VersionTree};
+pub use upgrade::{plan_upgrades, UpgradePlan};

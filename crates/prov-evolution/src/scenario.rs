@@ -1,0 +1,260 @@
+//! Deterministic scenario generators for evolution experiments.
+//!
+//! These build the Figure 2 workflow triple, noisy analogy targets of
+//! controlled dissimilarity (experiment E2), and synthetic evolution
+//! histories (experiment E8).
+
+use crate::action::Action;
+use crate::tree::{VersionId, VersionTree};
+use std::collections::BTreeMap;
+use wf_model::workflow::Node;
+use wf_model::{NodeId, ParamValue, Workflow, WorkflowBuilder, WorkflowId};
+
+/// Minimal deterministic RNG (SplitMix64) so scenarios need no external
+/// crates in library code.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 > (1.0 - p)
+    }
+}
+
+/// The Figure 2 triple `(a, b, c)`:
+///
+/// * `a` — a visualization pipeline: load → isosurface → render → save;
+/// * `b` — `a` refined with a `SmoothMesh` step before rendering (the
+///   analogy template `a → b`);
+/// * `c` — a *different* workflow by another user: different data, labels,
+///   parameters, plus an extra histogram branch — but with a recognizable
+///   load → isosurface → render → save backbone for the matcher to find.
+pub fn figure2_triple() -> (Workflow, Workflow, Workflow) {
+    // a
+    let mut ba = WorkflowBuilder::new(10, "quick viz");
+    let load = ba.add_labeled("LoadVolume", "download data");
+    ba.param(load, "path", "earthquake.vtk");
+    let iso = ba.add("Isosurface");
+    ba.param(iso, "isovalue", 0.4f64);
+    let render = ba.add_labeled("RenderMesh", "simple visualization");
+    let save = ba.add("SaveFile");
+    ba.param(save, "name", "quake.png");
+    ba.connect(load, "grid", iso, "data")
+        .connect(iso, "mesh", render, "mesh")
+        .connect(render, "image", save, "in");
+    let a = ba.build();
+
+    // b = a + smoothing
+    let mut b = a.clone();
+    let conn = b
+        .conns
+        .values()
+        .find(|c| c.from.node == iso && c.to.node == render)
+        .expect("iso->render edge exists")
+        .id;
+    b.remove_connection(conn).expect("connection removable");
+    let smooth = b.add_node("SmoothMesh", 1);
+    b.set_param(smooth, "iterations", ParamValue::Int(3))
+        .expect("param settable");
+    b.connect(
+        wf_model::Endpoint::new(iso, "mesh"),
+        wf_model::Endpoint::new(smooth, "mesh"),
+    )
+    .expect("wire iso->smooth");
+    b.connect(
+        wf_model::Endpoint::new(smooth, "mesh"),
+        wf_model::Endpoint::new(render, "mesh"),
+    )
+    .expect("wire smooth->render");
+    b.name = "quick viz + smoothing".into();
+
+    // c: same backbone, different everything else.
+    let mut bc = WorkflowBuilder::new(11, "brain study");
+    let c_load = bc.add_labeled("LoadVolume", "load brain scan");
+    bc.param(c_load, "path", "brain.44.vtk");
+    bc.param(c_load, "nx", 12i64);
+    let c_iso = bc.add_labeled("Isosurface", "cortex surface");
+    bc.param(c_iso, "isovalue", 0.3f64);
+    let c_render = bc.add_labeled("RenderMesh", "last visualization");
+    bc.param(c_render, "azimuth", 0.7f64);
+    let c_save = bc.add("SaveFile");
+    bc.param(c_save, "name", "cortex.png");
+    // Extra branch a naive matcher could get lost in.
+    let c_hist = bc.add("Histogram");
+    let c_plot = bc.add("PlotTable");
+    bc.connect(c_load, "grid", c_iso, "data")
+        .connect(c_iso, "mesh", c_render, "mesh")
+        .connect(c_render, "image", c_save, "in")
+        .connect(c_load, "grid", c_hist, "data")
+        .connect(c_hist, "table", c_plot, "table");
+    let c = bc.build();
+
+    (a, b, c)
+}
+
+/// Build an analogy target like `c` above, then degrade its similarity to
+/// the Figure 2 source with structural noise: with probability `noise`
+/// per step, relabel backbone nodes, insert decoy modules of the *same
+/// kinds* as the backbone, and drop the save stage. At `noise = 0` this is
+/// the clean `c`; near `noise = 1` the matcher should start failing —
+/// the sweep experiment E2 measures exactly where.
+pub fn noisy_target(seed: u64, noise: f64) -> Workflow {
+    let (_, _, c) = figure2_triple();
+    let mut rng = Rng(seed.wrapping_mul(2654435761).wrapping_add(17));
+    let mut wf = c;
+    let backbone: Vec<NodeId> = wf.nodes.keys().copied().collect();
+    for id in backbone {
+        if rng.chance(noise) {
+            let scrambled = format!("step {}", rng.next() % 1000);
+            wf.set_label(id, &scrambled).expect("node exists");
+        }
+    }
+    // Decoy nodes of backbone kinds (unwired or loosely wired).
+    for kind in ["Isosurface", "RenderMesh", "LoadVolume"] {
+        if rng.chance(noise) {
+            let decoy = wf.add_node(kind, 1);
+            wf.set_label(decoy, &format!("decoy {}", rng.next() % 100))
+                .expect("decoy exists");
+        }
+    }
+    if rng.chance(noise * 0.5) {
+        if let Some(save) = wf
+            .nodes
+            .values()
+            .find(|n| n.module == "SaveFile")
+            .map(|n| n.id)
+        {
+            wf.remove_node(save).expect("save removable");
+        }
+    }
+    // Harsh noise can remove a backbone stage the template needs to rewire
+    // against — the regime where analogy transfer genuinely fails.
+    if rng.chance(noise * 0.4) {
+        if let Some(render) = wf
+            .nodes
+            .values()
+            .find(|n| n.module == "RenderMesh" && !n.label.starts_with("decoy"))
+            .map(|n| n.id)
+        {
+            wf.remove_node(render).expect("render removable");
+        }
+    }
+    wf
+}
+
+/// A linear evolution history of `depth` commits over `Busy` modules,
+/// alternating adds and parameter tweaks — the workload of the
+/// version-tree materialization experiment (E8).
+pub fn evolution_history(seed: u64, depth: usize, snapshot_every: usize) -> (VersionTree, VersionId) {
+    let mut tree = VersionTree::new(WorkflowId(1), "synthetic history");
+    if snapshot_every > 0 {
+        tree = tree.with_snapshots(snapshot_every);
+    }
+    let mut rng = Rng(seed);
+    let mut cur = tree.root();
+    let mut next_node = 0u64;
+    let mut existing: Vec<NodeId> = Vec::new();
+    for i in 0..depth {
+        let action = if existing.is_empty() || i % 3 != 2 {
+            let id = NodeId(next_node);
+            next_node += 1;
+            existing.push(id);
+            Action::AddNode {
+                node: Node {
+                    id,
+                    module: "Busy".into(),
+                    version: 1,
+                    label: format!("stage {i}"),
+                    params: BTreeMap::new(),
+                },
+            }
+        } else {
+            let victim = existing[(rng.next() as usize) % existing.len()];
+            Action::SetParam {
+                node: victim,
+                name: "work".into(),
+                new: Some(ParamValue::Int((rng.next() % 1000) as i64)),
+                old: None,
+            }
+        };
+        cur = tree.commit(cur, action, "generator").expect("commit");
+    }
+    (tree, cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analogy::apply_by_analogy;
+
+    #[test]
+    fn triple_shapes_are_right() {
+        let (a, b, c) = figure2_triple();
+        assert_eq!(a.node_count(), 4);
+        assert_eq!(b.node_count(), 5);
+        assert_eq!(c.node_count(), 6);
+        assert!(b.nodes.values().any(|n| n.module == "SmoothMesh"));
+        assert!(!c.nodes.values().any(|n| n.module == "SmoothMesh"));
+    }
+
+    #[test]
+    fn noisy_target_is_deterministic_per_seed() {
+        let x = noisy_target(5, 0.5);
+        let y = noisy_target(5, 0.5);
+        assert_eq!(x, y);
+        let z = noisy_target(6, 0.5);
+        assert!(x != z || x.node_count() == z.node_count());
+    }
+
+    #[test]
+    fn zero_noise_target_is_clean() {
+        let (_, _, c) = figure2_triple();
+        let t = noisy_target(1, 0.0);
+        assert_eq!(t.node_count(), c.node_count());
+    }
+
+    #[test]
+    fn analogy_success_degrades_with_noise() {
+        let (a, b, _) = figure2_triple();
+        let clean_ok = {
+            let t = noisy_target(3, 0.0);
+            let r = apply_by_analogy(&a, &b, &t).unwrap();
+            r.is_clean()
+        };
+        assert!(clean_ok, "noise-free transfer must succeed");
+        // At extreme noise across many seeds, at least some transfers
+        // degrade (lower mean score or skipped changes).
+        let mut degraded = 0;
+        for seed in 0..10 {
+            let t = noisy_target(seed, 0.95);
+            let r = apply_by_analogy(&a, &b, &t).unwrap();
+            if !r.is_clean() || r.matching.mean_score() < 0.8 {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "extreme noise must hurt at least sometimes");
+    }
+
+    #[test]
+    fn evolution_history_materializes() {
+        let (tree, tip) = evolution_history(7, 20, 0);
+        assert_eq!(tree.len(), 21);
+        let wf = tree.materialize(tip).unwrap();
+        assert!(wf.node_count() >= 13, "roughly 2/3 of commits add nodes");
+        let (tree_s, tip_s) = evolution_history(7, 20, 5);
+        assert_eq!(
+            tree_s.materialize(tip_s).unwrap(),
+            wf,
+            "snapshots must not change semantics"
+        );
+        assert!(tree_s.replay_cost(tip_s) < tree.replay_cost(tip));
+    }
+}

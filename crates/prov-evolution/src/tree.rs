@@ -1,0 +1,494 @@
+//! The version tree: evolution provenance of a workflow specification.
+//!
+//! "VisTrails … has been designed to support provenance" (§2.2) by storing
+//! not a set of workflows but a *tree of versions*, where each edge is an
+//! edit action. Nothing is ever lost: exploratory dead ends stay as
+//! branches, any version can be materialized by replaying its action path,
+//! and the difference between versions is first-class.
+
+use crate::action::Action;
+use crate::diff::{diff_workflows, WorkflowDiff};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wf_model::{ModelError, Workflow, WorkflowId};
+
+/// Milliseconds since the Unix epoch (commit timestamps).
+fn now_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Identifier of a version in the tree.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct VersionId(pub u64);
+
+impl std::fmt::Display for VersionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One version node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionNode {
+    /// The version.
+    pub id: VersionId,
+    /// Parent version (`None` for the root).
+    pub parent: Option<VersionId>,
+    /// The action that transforms the parent into this version (`None`
+    /// for the root).
+    pub action: Option<Action>,
+    /// Optional human tag ("final", "camera-ready run").
+    pub tag: Option<String>,
+    /// Who made the edit.
+    pub author: String,
+    /// When (ms since epoch).
+    pub at_millis: u64,
+}
+
+/// The version tree of one workflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VersionTree {
+    /// Identifier shared by every materialized version.
+    pub workflow: WorkflowId,
+    /// Name of the root (empty) version.
+    pub base_name: String,
+    nodes: BTreeMap<VersionId, VersionNode>,
+    next: u64,
+    /// Snapshot interval: a materialized snapshot is cached every
+    /// `snapshot_every` levels of depth (0 = never).
+    snapshot_every: usize,
+    #[serde(skip)]
+    snapshots: BTreeMap<VersionId, Workflow>,
+}
+
+impl VersionTree {
+    /// A tree whose root is the empty workflow.
+    pub fn new(workflow: WorkflowId, base_name: &str) -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            VersionId(0),
+            VersionNode {
+                id: VersionId(0),
+                parent: None,
+                action: None,
+                tag: None,
+                author: "system".into(),
+                at_millis: 0,
+            },
+        );
+        Self {
+            workflow,
+            base_name: base_name.to_string(),
+            nodes,
+            next: 1,
+            snapshot_every: 0,
+            snapshots: BTreeMap::new(),
+        }
+    }
+
+    /// Enable snapshot caching every `every` levels of depth.
+    pub fn with_snapshots(mut self, every: usize) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// The root version.
+    pub fn root(&self) -> VersionId {
+        VersionId(0)
+    }
+
+    /// Commit an action as a child of `parent`. Returns the new version.
+    pub fn commit(
+        &mut self,
+        parent: VersionId,
+        action: Action,
+        author: &str,
+    ) -> Result<VersionId, ModelError> {
+        if !self.nodes.contains_key(&parent) {
+            return Err(ModelError::Serde(format!("unknown version {parent}")));
+        }
+        let id = VersionId(self.next);
+        self.next += 1;
+        self.nodes.insert(
+            id,
+            VersionNode {
+                id,
+                parent: Some(parent),
+                action: Some(action),
+                tag: None,
+                author: author.to_string(),
+                at_millis: now_millis(),
+            },
+        );
+        // Populate the snapshot cache at the configured interval.
+        if self.snapshot_every > 0 && self.depth(id).is_multiple_of(self.snapshot_every) {
+            if let Ok(wf) = self.materialize(id) {
+                self.snapshots.insert(id, wf);
+            }
+        }
+        Ok(id)
+    }
+
+    /// Commit a linear sequence of actions; returns the final version.
+    pub fn commit_all(
+        &mut self,
+        parent: VersionId,
+        actions: Vec<Action>,
+        author: &str,
+    ) -> Result<VersionId, ModelError> {
+        let mut cur = parent;
+        for a in actions {
+            cur = self.commit(cur, a, author)?;
+        }
+        Ok(cur)
+    }
+
+    /// Tag a version.
+    pub fn tag(&mut self, version: VersionId, tag: &str) -> Result<(), ModelError> {
+        let node = self
+            .nodes
+            .get_mut(&version)
+            .ok_or_else(|| ModelError::Serde(format!("unknown version {version}")))?;
+        node.tag = Some(tag.to_string());
+        Ok(())
+    }
+
+    /// Find a version by tag.
+    pub fn find_tag(&self, tag: &str) -> Option<VersionId> {
+        self.nodes
+            .values()
+            .find(|n| n.tag.as_deref() == Some(tag))
+            .map(|n| n.id)
+    }
+
+    /// The version node.
+    pub fn node(&self, version: VersionId) -> Option<&VersionNode> {
+        self.nodes.get(&version)
+    }
+
+    /// Number of versions (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the tree trivial (root only)?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Children of a version.
+    pub fn children(&self, version: VersionId) -> Vec<VersionId> {
+        self.nodes
+            .values()
+            .filter(|n| n.parent == Some(version))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Depth of a version (root = 0).
+    pub fn depth(&self, version: VersionId) -> usize {
+        self.path_from_root(version).len().saturating_sub(1)
+    }
+
+    /// The versions from the root to `version`, inclusive.
+    pub fn path_from_root(&self, version: VersionId) -> Vec<VersionId> {
+        let mut path = Vec::new();
+        let mut cur = Some(version);
+        while let Some(v) = cur {
+            path.push(v);
+            cur = self.nodes.get(&v).and_then(|n| n.parent);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Lowest common ancestor of two versions.
+    pub fn common_ancestor(&self, a: VersionId, b: VersionId) -> Option<VersionId> {
+        let pa = self.path_from_root(a);
+        let pb = self.path_from_root(b);
+        pa.iter()
+            .zip(pb.iter())
+            .take_while(|(x, y)| x == y)
+            .map(|(x, _)| *x)
+            .last()
+    }
+
+    /// Materialize a version by replaying its action path from the root
+    /// (or from the nearest cached snapshot at or below it).
+    pub fn materialize(&self, version: VersionId) -> Result<Workflow, ModelError> {
+        if !self.nodes.contains_key(&version) {
+            return Err(ModelError::Serde(format!("unknown version {version}")));
+        }
+        let path = self.path_from_root(version);
+        // Find the deepest snapshot on the path.
+        let mut start_idx = 0;
+        let mut wf = Workflow::new(self.workflow, &self.base_name);
+        for (i, v) in path.iter().enumerate().rev() {
+            if let Some(snap) = self.snapshots.get(v) {
+                wf = snap.clone();
+                start_idx = i + 1;
+                break;
+            }
+        }
+        for v in &path[start_idx..] {
+            if let Some(action) = self.nodes[v].action.as_ref() {
+                action.apply(&mut wf)?;
+            }
+        }
+        Ok(wf)
+    }
+
+    /// Number of replayed actions a materialization of `version` would
+    /// need (diagnostics for the snapshot experiment).
+    pub fn replay_cost(&self, version: VersionId) -> usize {
+        let path = self.path_from_root(version);
+        for (i, v) in path.iter().enumerate().rev() {
+            if self.snapshots.contains_key(v) {
+                return path.len() - 1 - i;
+            }
+        }
+        path.len().saturating_sub(1)
+    }
+
+    /// Structural diff between two versions.
+    pub fn diff(&self, a: VersionId, b: VersionId) -> Result<WorkflowDiff, ModelError> {
+        Ok(diff_workflows(&self.materialize(a)?, &self.materialize(b)?))
+    }
+
+    /// Import an existing workflow as a child of `parent`: one action per
+    /// node, connection, and parameter. Returns the resulting version.
+    pub fn import_workflow(
+        &mut self,
+        parent: VersionId,
+        wf: &Workflow,
+        author: &str,
+    ) -> Result<VersionId, ModelError> {
+        let mut actions = Vec::new();
+        for node in wf.nodes.values() {
+            let mut bare = node.clone();
+            bare.params = BTreeMap::new();
+            actions.push(Action::AddNode { node: bare });
+            for (k, v) in &node.params {
+                actions.push(Action::SetParam {
+                    node: node.id,
+                    name: k.clone(),
+                    new: Some(v.clone()),
+                    old: None,
+                });
+            }
+        }
+        for conn in wf.conns.values() {
+            actions.push(Action::AddConnection { conn: conn.clone() });
+        }
+        if wf.name != self.base_name {
+            actions.push(Action::Rename {
+                new: wf.name.clone(),
+                old: self.base_name.clone(),
+            });
+        }
+        self.commit_all(parent, actions, author)
+    }
+
+    /// Render the tree as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_rec(self.root(), 0, &mut out);
+        out
+    }
+
+    fn render_rec(&self, v: VersionId, depth: usize, out: &mut String) {
+        let node = &self.nodes[&v];
+        let desc = node
+            .action
+            .as_ref()
+            .map(|a| a.describe())
+            .unwrap_or_else(|| "(root)".into());
+        let tag = node
+            .tag
+            .as_ref()
+            .map(|t| format!(" [{t}]"))
+            .unwrap_or_default();
+        out.push_str(&format!("{}{v}{tag}: {desc}\n", "  ".repeat(depth)));
+        for c in self.children(v) {
+            self.render_rec(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::workflow::Node;
+    use wf_model::{NodeId, ParamValue};
+
+    fn add_node_action(id: u64, module: &str) -> Action {
+        Action::AddNode {
+            node: Node {
+                id: NodeId(id),
+                module: module.to_string(),
+                version: 1,
+                label: module.to_string(),
+                params: BTreeMap::new(),
+            },
+        }
+    }
+
+    fn linear_tree(n: usize) -> (VersionTree, Vec<VersionId>) {
+        let mut t = VersionTree::new(WorkflowId(1), "evolving");
+        let mut versions = vec![t.root()];
+        let mut cur = t.root();
+        for i in 0..n {
+            cur = t
+                .commit(cur, add_node_action(i as u64, "Busy"), "susan")
+                .unwrap();
+            versions.push(cur);
+        }
+        (t, versions)
+    }
+
+    #[test]
+    fn materialize_replays_history() {
+        let (t, versions) = linear_tree(5);
+        let wf = t.materialize(versions[5]).unwrap();
+        assert_eq!(wf.node_count(), 5);
+        let wf2 = t.materialize(versions[2]).unwrap();
+        assert_eq!(wf2.node_count(), 2);
+        let root = t.materialize(t.root()).unwrap();
+        assert_eq!(root.node_count(), 0);
+    }
+
+    #[test]
+    fn branching_preserves_both_lines() {
+        let (mut t, versions) = linear_tree(2);
+        // Branch from version 1 with a different module.
+        let branch = t
+            .commit(versions[1], add_node_action(10, "Histogram"), "juliana")
+            .unwrap();
+        let main = t.materialize(versions[2]).unwrap();
+        let side = t.materialize(branch).unwrap();
+        assert_eq!(main.node_count(), 2);
+        assert_eq!(side.node_count(), 2);
+        assert!(side.nodes.values().any(|n| n.module == "Histogram"));
+        assert!(!main.nodes.values().any(|n| n.module == "Histogram"));
+        assert_eq!(t.children(versions[1]).len(), 2);
+    }
+
+    #[test]
+    fn common_ancestor_found() {
+        let (mut t, versions) = linear_tree(3);
+        let branch = t
+            .commit(versions[1], add_node_action(20, "X"), "a")
+            .unwrap();
+        assert_eq!(t.common_ancestor(versions[3], branch), Some(versions[1]));
+        assert_eq!(t.common_ancestor(versions[3], versions[2]), Some(versions[2]));
+        assert_eq!(t.common_ancestor(t.root(), branch), Some(t.root()));
+    }
+
+    #[test]
+    fn tags_resolve() {
+        let (mut t, versions) = linear_tree(2);
+        t.tag(versions[2], "camera-ready").unwrap();
+        assert_eq!(t.find_tag("camera-ready"), Some(versions[2]));
+        assert_eq!(t.find_tag("nope"), None);
+        assert!(t.tag(VersionId(99), "x").is_err());
+    }
+
+    #[test]
+    fn snapshots_reduce_replay_cost() {
+        let mut t = VersionTree::new(WorkflowId(1), "snap").with_snapshots(4);
+        let mut cur = t.root();
+        for i in 0..10 {
+            cur = t.commit(cur, add_node_action(i, "Busy"), "s").unwrap();
+        }
+        // Depth 10 with snapshots at 4 and 8: replay cost 2 from v8.
+        assert_eq!(t.replay_cost(cur), 2);
+        let wf = t.materialize(cur).unwrap();
+        assert_eq!(wf.node_count(), 10);
+        // Without snapshots the cost is the full depth.
+        let (t2, versions) = linear_tree(10);
+        assert_eq!(t2.replay_cost(versions[10]), 10);
+    }
+
+    #[test]
+    fn snapshot_and_replay_materializations_agree() {
+        let mut with = VersionTree::new(WorkflowId(1), "snap").with_snapshots(3);
+        let mut without = VersionTree::new(WorkflowId(1), "snap");
+        let mut cw = with.root();
+        let mut cwo = without.root();
+        for i in 0..9 {
+            let act = add_node_action(i, "Busy");
+            cw = with.commit(cw, act.clone(), "s").unwrap();
+            cwo = without.commit(cwo, act, "s").unwrap();
+        }
+        assert_eq!(
+            with.materialize(cw).unwrap(),
+            without.materialize(cwo).unwrap()
+        );
+    }
+
+    #[test]
+    fn import_workflow_roundtrips() {
+        let mut b = wf_model::WorkflowBuilder::new(1, "imported");
+        let a = b.add("LoadVolume");
+        let h = b.add("Histogram");
+        b.connect(a, "grid", h, "data");
+        b.param(h, "bins", 16i64);
+        let wf = b.build();
+        let mut t = VersionTree::new(WorkflowId(1), "imported");
+        let v = t.import_workflow(t.root(), &wf, "susan").unwrap();
+        let back = t.materialize(v).unwrap();
+        assert_eq!(back.node_count(), wf.node_count());
+        assert_eq!(back.conn_count(), wf.conn_count());
+        assert_eq!(
+            back.nodes.values().find(|n| n.module == "Histogram").unwrap().params
+                .get("bins"),
+            Some(&ParamValue::Int(16))
+        );
+    }
+
+    #[test]
+    fn diff_between_versions() {
+        let (mut t, versions) = linear_tree(2);
+        let v3 = t
+            .commit(
+                versions[2],
+                Action::SetParam {
+                    node: NodeId(0),
+                    name: "work".into(),
+                    new: Some(ParamValue::Int(5)),
+                    old: None,
+                },
+                "s",
+            )
+            .unwrap();
+        let d = t.diff(versions[2], v3).unwrap();
+        assert_eq!(d.param_changes.len(), 1);
+        assert!(d.only_left.is_empty() && d.only_right.is_empty());
+    }
+
+    #[test]
+    fn render_shows_tree_structure() {
+        let (mut t, versions) = linear_tree(2);
+        t.commit(versions[1], add_node_action(9, "X"), "a").unwrap();
+        t.tag(versions[2], "tip").unwrap();
+        let s = t.render();
+        assert!(s.contains("(root)"));
+        assert!(s.contains("[tip]"));
+        assert!(s.contains("add n9 (X@1)"));
+    }
+
+    #[test]
+    fn unknown_versions_error() {
+        let (mut t, _) = linear_tree(1);
+        assert!(t.materialize(VersionId(99)).is_err());
+        assert!(t
+            .commit(VersionId(99), add_node_action(0, "X"), "a")
+            .is_err());
+    }
+}

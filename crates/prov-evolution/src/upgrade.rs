@@ -1,0 +1,255 @@
+//! Module upgrades as evolution provenance.
+//!
+//! Module libraries evolve under a workflow's feet: the retrospective log
+//! records that `Histogram@1` computed last year's figure, while the
+//! catalog now offers `Histogram@3`. Upgrading is itself an *edit* — so it
+//! belongs in the version tree as ordinary [`Action::SetVersion`] commits,
+//! keeping the old behaviour reachable forever (reproducibility) while the
+//! head moves forward.
+//!
+//! [`plan_upgrades`] computes a safe upgrade plan against a catalog:
+//! a node is upgraded only if the newer kind still offers every port its
+//! existing connections use and every parameter it binds; anything else is
+//! reported as skipped with the reason.
+
+use crate::action::Action;
+use wf_model::{ModuleCatalog, NodeId, Workflow};
+
+/// The result of planning upgrades for one workflow.
+#[derive(Debug, Clone, Default)]
+pub struct UpgradePlan {
+    /// Ready-to-commit actions (one `SetVersion` per upgraded node).
+    pub actions: Vec<Action>,
+    /// Nodes upgraded: (node, from, to).
+    pub upgraded: Vec<(NodeId, u32, u32)>,
+    /// Nodes already at the newest version.
+    pub current: Vec<NodeId>,
+    /// Nodes that could not be upgraded: (node, reason).
+    pub skipped: Vec<(NodeId, String)>,
+}
+
+impl UpgradePlan {
+    /// Is there anything to do?
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Render one line per decision.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (n, from, to) in &self.upgraded {
+            s.push_str(&format!("upgrade {n}: v{from} -> v{to}\n"));
+        }
+        for n in &self.current {
+            s.push_str(&format!("current {n}: already newest\n"));
+        }
+        for (n, reason) in &self.skipped {
+            s.push_str(&format!("skip    {n}: {reason}\n"));
+        }
+        s
+    }
+}
+
+/// Plan upgrading every node of `wf` to the newest version of its module
+/// kind available in `catalog`.
+pub fn plan_upgrades(wf: &Workflow, catalog: &ModuleCatalog) -> UpgradePlan {
+    let mut plan = UpgradePlan::default();
+    for node in wf.nodes.values() {
+        let Some(latest) = catalog.latest(&node.module) else {
+            plan.skipped
+                .push((node.id, format!("kind '{}' not in catalog", node.module)));
+            continue;
+        };
+        if latest.version <= node.version {
+            plan.current.push(node.id);
+            continue;
+        }
+        // Safety: every input port fed by a connection must still exist
+        // (with a type accepting what flows in is checked by validate();
+        // here we check presence), every output port used must still
+        // exist, and every bound parameter must still be declared.
+        let mut reason = None;
+        for conn in wf.inputs_of(node.id) {
+            if latest.input_port(&conn.to.port).is_none() {
+                reason = Some(format!(
+                    "v{} dropped input port '{}'",
+                    latest.version, conn.to.port
+                ));
+                break;
+            }
+        }
+        if reason.is_none() {
+            for conn in wf.outputs_of(node.id) {
+                if latest.output_port(&conn.from.port).is_none() {
+                    reason = Some(format!(
+                        "v{} dropped output port '{}'",
+                        latest.version, conn.from.port
+                    ));
+                    break;
+                }
+            }
+        }
+        if reason.is_none() {
+            for pname in node.params.keys() {
+                if latest.param_spec(pname).is_none() {
+                    reason = Some(format!(
+                        "v{} dropped parameter '{pname}'",
+                        latest.version
+                    ));
+                    break;
+                }
+            }
+        }
+        match reason {
+            Some(r) => plan.skipped.push((node.id, r)),
+            None => {
+                plan.upgraded.push((node.id, node.version, latest.version));
+                plan.actions.push(Action::SetVersion {
+                    node: node.id,
+                    new: latest.version,
+                    old: node.version,
+                });
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::VersionTree;
+    use wf_model::{ModuleKind, ParamSpec, PortSpec, WorkflowBuilder, WorkflowId};
+
+    fn catalog() -> ModuleCatalog {
+        let mut c = ModuleCatalog::new();
+        c.register(
+            ModuleKind::new("Histogram")
+                .version(1)
+                .input(PortSpec::required("data", wf_model::DataType::Grid))
+                .output(PortSpec::required("table", wf_model::DataType::Table))
+                .param(ParamSpec::new("bins", 64i64)),
+        );
+        c.register(
+            ModuleKind::new("Histogram")
+                .version(3)
+                .input(PortSpec::required("data", wf_model::DataType::Grid))
+                .output(PortSpec::required("table", wf_model::DataType::Table))
+                .param(ParamSpec::new("bins", 64i64))
+                .param(ParamSpec::new("normalize", false)),
+        );
+        c.register(
+            ModuleKind::new("Render")
+                .version(1)
+                .input(PortSpec::required("table", wf_model::DataType::Table))
+                .output(PortSpec::required("image", wf_model::DataType::Image)),
+        );
+        c.register(
+            // v2 renamed its input port: incompatible with wired instances.
+            ModuleKind::new("Render")
+                .version(2)
+                .input(PortSpec::required("data", wf_model::DataType::Table))
+                .output(PortSpec::required("image", wf_model::DataType::Image)),
+        );
+        c.register(
+            ModuleKind::new("Load")
+                .version(1)
+                .output(PortSpec::required("grid", wf_model::DataType::Grid)),
+        );
+        c
+    }
+
+    fn wf() -> Workflow {
+        let mut b = WorkflowBuilder::new(1, "upgrade-me");
+        let l = b.add("Load");
+        let h = b.add("Histogram");
+        b.param(h, "bins", 32i64);
+        let r = b.add("Render");
+        b.connect(l, "grid", h, "data").connect(h, "table", r, "table");
+        b.build()
+    }
+
+    #[test]
+    fn compatible_upgrade_planned_incompatible_skipped() {
+        let wf = wf();
+        let plan = plan_upgrades(&wf, &catalog());
+        assert_eq!(plan.upgraded.len(), 1, "{}", plan.render());
+        assert_eq!(plan.upgraded[0].1, 1);
+        assert_eq!(plan.upgraded[0].2, 3);
+        // Render v2 renamed 'table' -> 'data': must be skipped.
+        assert_eq!(plan.skipped.len(), 1);
+        assert!(plan.skipped[0].1.contains("dropped input port 'table'"));
+        // Load is already newest.
+        assert_eq!(plan.current.len(), 1);
+        let rendered = plan.render();
+        assert!(rendered.contains("upgrade") && rendered.contains("skip"));
+    }
+
+    #[test]
+    fn dropped_parameter_blocks_upgrade() {
+        let mut c = catalog();
+        c.register(
+            ModuleKind::new("Histogram")
+                .version(4)
+                .input(PortSpec::required("data", wf_model::DataType::Grid))
+                .output(PortSpec::required("table", wf_model::DataType::Table)),
+            // no params at all: the bound 'bins' is gone
+        );
+        let plan = plan_upgrades(&wf(), &c);
+        assert!(plan
+            .skipped
+            .iter()
+            .any(|(_, r)| r.contains("dropped parameter 'bins'")));
+    }
+
+    #[test]
+    fn unknown_kind_reported() {
+        let wf = wf();
+        let plan = plan_upgrades(&wf, &ModuleCatalog::new());
+        assert_eq!(plan.skipped.len(), 3);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn upgrades_commit_into_the_version_tree_and_invert() {
+        let base = wf();
+        let mut tree = VersionTree::new(WorkflowId(1), "upgrade-me");
+        let v1 = tree.import_workflow(tree.root(), &base, "susan").unwrap();
+        let plan = plan_upgrades(&base, &catalog());
+        let v2 = tree.commit_all(v1, plan.actions.clone(), "susan").unwrap();
+        let upgraded = tree.materialize(v2).unwrap();
+        let hist = upgraded
+            .nodes
+            .values()
+            .find(|n| n.module == "Histogram")
+            .unwrap();
+        assert_eq!(hist.version, 3);
+        // The old behaviour stays reachable at v1.
+        let old = tree.materialize(v1).unwrap();
+        assert_eq!(
+            old.nodes
+                .values()
+                .find(|n| n.module == "Histogram")
+                .unwrap()
+                .version,
+            1
+        );
+        // And the action inverts cleanly.
+        let mut back = upgraded.clone();
+        for a in plan.actions.iter().rev() {
+            a.invert().apply(&mut back).unwrap();
+        }
+        assert_eq!(back.nodes, old.nodes);
+    }
+
+    #[test]
+    fn idempotent_after_upgrade() {
+        let mut w = wf();
+        for a in plan_upgrades(&w, &catalog()).actions {
+            a.apply(&mut w).unwrap();
+        }
+        let again = plan_upgrades(&w, &catalog());
+        assert!(again.upgraded.is_empty());
+        assert_eq!(again.current.len(), 2, "Load and Histogram now current");
+    }
+}

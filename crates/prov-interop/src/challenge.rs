@@ -1,0 +1,469 @@
+//! The First Provenance Challenge, rebuilt end to end.
+//!
+//! The challenge workload is the fMRI atlas pipeline (align_warp ×4 →
+//! reslice ×4 → softmean → slicer ×3 → convert ×3). We execute it once on
+//! our engine, *split* the resulting provenance across three simulated
+//! systems (stages 1–2 in a Taverna-like RDF system, stage 3 in a
+//! Kepler-like event-log system, stages 4–5 in a VisTrails-like
+//! spec+log system), translate each dialect into OPM, integrate, and
+//! answer the challenge's nine canonical queries over the integrated
+//! graph — including the annotation-based ones.
+//!
+//! The point the tutorial makes (§2.4) is visible in the numbers: most
+//! queries are *unanswerable* (or only partially answerable) against any
+//! single system's account, and become answerable after integration.
+
+use crate::dialect::{changelog, eventlog, rdfish, slice_runs};
+use crate::integrate::{integrate, IntegrationReport};
+use prov_core::annotation::{AnnotationStore, Subject};
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_core::model::RetrospectiveProvenance;
+use prov_core::opm::{OpmGraph, OpmNodeId, OpmNodeKind};
+use wf_engine::{standard_registry, Executor};
+use wf_model::Workflow;
+
+/// Everything the challenge produces.
+#[derive(Debug)]
+pub struct ChallengeSetup {
+    /// The fMRI workflow specification.
+    pub workflow: Workflow,
+    /// Ground-truth provenance of the single execution.
+    pub retro: RetrospectiveProvenance,
+    /// Per-system OPM accounts: (system name, graph).
+    pub accounts: Vec<(String, OpmGraph)>,
+    /// The integration report (merged graph inside).
+    pub integration: IntegrationReport,
+    /// User annotations added during the study.
+    pub annotations: AnnotationStore,
+}
+
+/// The answer to one challenge query.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// Query number (1–9).
+    pub id: u8,
+    /// The question, paraphrased.
+    pub question: String,
+    /// Result items (labels).
+    pub items: Vec<String>,
+    /// Whether the integrated graph produced the expected non-empty
+    /// answer.
+    pub answerable: bool,
+}
+
+impl QueryAnswer {
+    /// Number of result items.
+    pub fn count(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Execute the challenge workload and build the three-system setup.
+pub fn run_challenge() -> ChallengeSetup {
+    let workflow = wf_engine::synth::challenge_workflow(42, 4, 3);
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let result = exec
+        .run_observed(&workflow, &mut cap)
+        .expect("challenge workflow must run");
+    let retro = cap.take(result.exec).expect("capture completes");
+
+    // Split across systems by pipeline stage.
+    let part_a = slice_runs(&retro, &["LoadVolume", "AlignWarp", "Reslice"]);
+    let part_b = slice_runs(&retro, &["Softmean"]);
+    let part_c = slice_runs(&retro, &["Slice", "Convert"]);
+
+    let ga = rdfish::RdfProvenance::capture(&part_a).to_opm("challenge/taverna-sim");
+    let gb = eventlog::EventLogProvenance::capture(&part_b).to_opm("challenge/kepler-sim");
+    let gc = changelog::ChangelogProvenance::capture(&part_c, &workflow)
+        .to_opm("challenge/vistrails-sim");
+
+    let integration = integrate(&[ga.clone(), gb.clone(), gc.clone()]);
+
+    // Annotations: the challenge's Q7/Q8 postulate user-added metadata.
+    let mut annotations = AnnotationStore::new();
+    for run in &retro.runs {
+        if run.identity.starts_with("AlignWarp") {
+            // Annotate the first two alignment runs as coming from one
+            // center.
+            let idx = retro
+                .runs
+                .iter()
+                .filter(|r| r.identity.starts_with("AlignWarp"))
+                .position(|r| r.node == run.node)
+                .unwrap_or(9);
+            if idx < 2 {
+                annotations.annotate(
+                    Subject::Run(retro.exec, run.node),
+                    "center",
+                    "UChicago",
+                    "challenge-team",
+                );
+            }
+        }
+    }
+
+    ChallengeSetup {
+        workflow,
+        retro,
+        accounts: vec![
+            ("taverna-sim".to_string(), ga),
+            ("kepler-sim".to_string(), gb),
+            ("vistrails-sim".to_string(), gc),
+        ],
+        integration,
+        annotations,
+    }
+}
+
+impl ChallengeSetup {
+    /// The artifact label (digest) of the first final atlas graphic
+    /// (Convert output).
+    pub fn atlas_graphic_label(&self) -> String {
+        let run = self
+            .retro
+            .runs
+            .iter()
+            .find(|r| r.identity.starts_with("Convert"))
+            .expect("convert ran");
+        format!("{:016x}", run.outputs[0].1)
+    }
+
+    fn artifact(&self, g: &OpmGraph, label: &str) -> Option<OpmNodeId> {
+        g.find(OpmNodeKind::Artifact, label)
+    }
+
+    /// The module activity of a process node, dialect-agnostically: the
+    /// RDF dialect keeps it in the `activity` property, the others in the
+    /// label.
+    fn activity(g: &OpmGraph, id: OpmNodeId) -> String {
+        g.prop(id, "activity")
+            .map(str::to_string)
+            .or_else(|| g.get(id).map(|n| n.label.clone()))
+            .unwrap_or_default()
+    }
+
+    /// The process labels contributing to an artifact in a graph.
+    pub fn lineage_process_labels(&self, g: &OpmGraph, label: &str) -> Vec<String> {
+        let Some(a) = self.artifact(g, label) else {
+            return Vec::new();
+        };
+        let mut v: Vec<String> = g
+            .contributing_processes(a)
+            .into_iter()
+            .filter_map(|p| g.get(p).map(|n| n.label.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Answer the nine challenge queries over the integrated graph.
+    pub fn answer_queries(&self) -> Vec<QueryAnswer> {
+        let g = &self.integration.graph;
+        let atlas_file = self.atlas_graphic_label();
+        let mut answers = Vec::new();
+
+        // Q1: the entire process that led to the atlas graphic.
+        let q1 = self.lineage_process_labels(g, &atlas_file);
+        answers.push(QueryAnswer {
+            id: 1,
+            question: "Find the process that led to Atlas X Graphic".into(),
+            answerable: q1.len() >= 13, // convert+slicer+softmean+4 reslice+4 align+≥3 loads
+            items: q1,
+        });
+
+        // Q2: same, excluding everything before Softmean.
+        let softmean = g
+            .nodes()
+            .iter()
+            .find(|n| n.kind == OpmNodeKind::Process && n.label.starts_with("Softmean"))
+            .map(|n| n.id);
+        let q2: Vec<String> = match softmean {
+            None => Vec::new(),
+            Some(sm) => {
+                // Processes upstream of the file but not upstream of
+                // softmean's inputs.
+                let before: std::collections::BTreeSet<String> = g
+                    .edges()
+                    .iter()
+                    .filter_map(|e| match e {
+                        prov_core::opm::OpmEdge::Used {
+                            process, artifact, ..
+                        } if *process == sm => Some(*artifact),
+                        _ => None,
+                    })
+                    .flat_map(|a| g.contributing_processes(a))
+                    .filter_map(|p| g.get(p).map(|n| n.label.clone()))
+                    .collect();
+                self.lineage_process_labels(g, &atlas_file)
+                    .into_iter()
+                    .filter(|l| !before.contains(l))
+                    .collect()
+            }
+        };
+        answers.push(QueryAnswer {
+            id: 2,
+            question: "Find the process that led to Atlas X Graphic, excluding \
+                       everything prior to averaging with softmean"
+                .into(),
+            answerable: q2.len() == 3,
+            items: q2,
+        });
+
+        // Q3: stage 3–5 details (softmean, slicer, convert runs).
+        let q3: Vec<String> = g
+            .nodes()
+            .iter()
+            .filter(|n| {
+                n.kind == OpmNodeKind::Process
+                    && (n.label.starts_with("Softmean")
+                        || n.label.starts_with("Slice")
+                        || n.label.starts_with("Convert"))
+            })
+            .map(|n| {
+                let params: Vec<String> = ["param:axis", "param:index", "param:format"]
+                    .iter()
+                    .filter_map(|k| g.prop(n.id, k).map(|v| format!("{k}={v}")))
+                    .collect();
+                if params.is_empty() {
+                    n.label.clone()
+                } else {
+                    format!("{} [{}]", n.label, params.join(", "))
+                }
+            })
+            .collect();
+        answers.push(QueryAnswer {
+            id: 3,
+            question: "Find the Stage 3, 4 and 5 details of the process".into(),
+            answerable: q3.len() == 7,
+            items: q3,
+        });
+
+        // Q4: align_warp invocations with a 12th-order model.
+        let q4: Vec<String> = g
+            .nodes_with_prop(OpmNodeKind::Process, "param:model", "12")
+            .into_iter()
+            .filter(|id| Self::activity(g, *id).starts_with("AlignWarp"))
+            .filter_map(|id| g.get(id))
+            .map(|n| n.label.clone())
+            .collect();
+        answers.push(QueryAnswer {
+            id: 4,
+            question: "Find all invocations of align_warp using a twelfth-order \
+                       nonlinear model"
+                .into(),
+            answerable: q4.len() == 4,
+            items: q4,
+        });
+
+        // Q5: atlas graphics from workflows where alignment used model 12.
+        let model12: Vec<OpmNodeId> = g
+            .nodes_with_prop(OpmNodeKind::Process, "param:model", "12")
+            .into_iter()
+            .filter(|id| Self::activity(g, *id).starts_with("AlignWarp"))
+            .collect();
+        let q5: Vec<String> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == OpmNodeKind::Artifact)
+            .filter(|n| {
+                // A graphic: generated by a Convert process.
+                g.edges().iter().any(|e| {
+                    matches!(e, prov_core::opm::OpmEdge::WasGeneratedBy { artifact, process, .. }
+                        if *artifact == n.id
+                        && g.get(*process).map(|p| p.label.starts_with("Convert")).unwrap_or(false))
+                })
+            })
+            .filter(|n| {
+                let procs = g.contributing_processes(n.id);
+                model12.iter().any(|m| procs.contains(m))
+            })
+            .map(|n| n.label.clone())
+            .collect();
+        answers.push(QueryAnswer {
+            id: 5,
+            question: "Find all Atlas Graphic images output from workflows where \
+                       alignment used a 12th-order model"
+                .into(),
+            answerable: q5.len() == 3,
+            items: q5,
+        });
+
+        // Q6: softmean outputs whose inputs were aligned with model 12.
+        let q6: Vec<String> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == OpmNodeKind::Artifact)
+            .filter(|n| {
+                g.edges().iter().any(|e| {
+                    matches!(e, prov_core::opm::OpmEdge::WasGeneratedBy { artifact, process, .. }
+                        if *artifact == n.id
+                        && g.get(*process).map(|p| p.label.starts_with("Softmean")).unwrap_or(false))
+                })
+            })
+            .filter(|n| {
+                let procs = g.contributing_processes(n.id);
+                model12.iter().any(|m| procs.contains(m))
+            })
+            .map(|n| n.label.clone())
+            .collect();
+        answers.push(QueryAnswer {
+            id: 6,
+            question: "Find the averaged images of softmean where the input images \
+                       were aligned with a 12th-order model"
+                .into(),
+            answerable: q6.len() == 1,
+            items: q6,
+        });
+
+        // Q7: runs annotated center=UChicago.
+        let annotated: Vec<(wf_engine::ExecId, wf_model::NodeId)> = self
+            .annotations
+            .with_key("center")
+            .filter(|a| a.text == "UChicago")
+            .filter_map(|a| match a.subject {
+                Subject::Run(e, n) => Some((e, n)),
+                _ => None,
+            })
+            .collect();
+        let q7: Vec<String> = annotated
+            .iter()
+            .filter_map(|(_, n)| self.retro.run_of(*n))
+            .map(|r| r.identity.clone())
+            .collect();
+        answers.push(QueryAnswer {
+            id: 7,
+            question: "Find runs annotated with center = UChicago".into(),
+            answerable: q7.len() == 2,
+            items: q7,
+        });
+
+        // Q8: outputs of the annotated runs (annotations joined with the
+        // integrated graph).
+        let q8: Vec<String> = annotated
+            .iter()
+            .filter_map(|(_, n)| self.retro.run_of(*n))
+            .flat_map(|r| r.outputs.iter().map(|(_, h)| format!("{h:016x}")))
+            .filter(|label| self.artifact(g, label).is_some())
+            .collect();
+        answers.push(QueryAnswer {
+            id: 8,
+            question: "Find the outputs of the annotated runs, in the integrated \
+                       provenance"
+                .into(),
+            answerable: q8.len() == 2,
+            items: q8,
+        });
+
+        // Q9: everything derived from the first anatomy image.
+        let anatomy = self
+            .retro
+            .runs
+            .iter()
+            .find(|r| r.identity.starts_with("LoadVolume") && {
+                r.params
+                    .iter()
+                    .any(|(k, v)| k == "path" && v.render().contains("anatomy1"))
+            })
+            .map(|r| format!("{:016x}", r.outputs[0].1));
+        let q9: Vec<String> = match anatomy.and_then(|l| self.artifact(g, &l)) {
+            None => Vec::new(),
+            Some(src) => g
+                .nodes()
+                .iter()
+                .filter(|n| n.kind == OpmNodeKind::Artifact && n.id != src)
+                .filter(|n| g.derived_star(n.id).contains(&src))
+                .map(|n| n.label.clone())
+                .collect(),
+        };
+        answers.push(QueryAnswer {
+            id: 9,
+            question: "Find everything derived from the anatomy1 image".into(),
+            answerable: q9.len() >= 8, // warp, resliced, atlas, 3 slices, 3 files
+            items: q9,
+        });
+
+        answers
+    }
+
+    /// Answer Q1 against each single-system account (without integration),
+    /// to quantify how much each system alone can see.
+    pub fn q1_coverage_per_account(&self) -> Vec<(String, usize)> {
+        let atlas_file = self.atlas_graphic_label();
+        self.accounts
+            .iter()
+            .map(|(name, g)| {
+                (
+                    name.clone(),
+                    self.lineage_process_labels(g, &atlas_file).len(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn challenge_runs_and_integrates() {
+        let setup = run_challenge();
+        assert_eq!(setup.accounts.len(), 3);
+        assert!(setup.integration.shared_artifacts >= 4, "{}",
+            setup.integration.summary());
+        assert!(setup.integration.inferred_edges > 0);
+        assert_eq!(setup.annotations.len(), 2);
+    }
+
+    #[test]
+    fn all_nine_queries_answerable_after_integration() {
+        let setup = run_challenge();
+        let answers = setup.answer_queries();
+        assert_eq!(answers.len(), 9);
+        for a in &answers {
+            assert!(
+                a.answerable,
+                "Q{} not answerable: {} -> {:?}",
+                a.id, a.question, a.items
+            );
+        }
+    }
+
+    #[test]
+    fn single_accounts_see_less_than_integration() {
+        let setup = run_challenge();
+        let integrated = setup
+            .lineage_process_labels(&setup.integration.graph, &setup.atlas_graphic_label());
+        for (name, count) in setup.q1_coverage_per_account() {
+            assert!(
+                count < integrated.len(),
+                "{name} alone sees {count} >= integrated {}",
+                integrated.len()
+            );
+        }
+    }
+
+    #[test]
+    fn q2_is_exactly_the_post_softmean_stages() {
+        let setup = run_challenge();
+        let answers = setup.answer_queries();
+        let q2 = &answers[1];
+        assert_eq!(q2.count(), 3);
+        let joined = q2.items.join(" ");
+        assert!(joined.contains("Softmean"));
+        assert!(joined.contains("Convert"));
+        assert!(joined.contains("Slice"));
+    }
+
+    #[test]
+    fn q4_finds_all_four_alignments() {
+        let setup = run_challenge();
+        let answers = setup.answer_queries();
+        assert_eq!(answers[3].count(), 4);
+        assert!(answers[3]
+            .items
+            .iter()
+            .all(|l| l.starts_with("proc/") || l.starts_with("AlignWarp")));
+    }
+}

@@ -1,0 +1,738 @@
+//! Provenance dialects: three independently shaped representations of the
+//! same execution, simulating the heterogeneity the Provenance Challenge
+//! set out to integrate.
+//!
+//! Each dialect has its own native structure and serialization, a capture
+//! constructor from (a slice of) retrospective provenance, and a lossy-but-
+//! joinable translation to OPM. Artifacts are everywhere labelled by their
+//! content digest — the join key of cross-system integration.
+
+use prov_core::model::{ModuleRun, RetrospectiveProvenance};
+use prov_core::opm::{OpmEdge, OpmGraph};
+use serde::{Deserialize, Serialize};
+use wf_engine::RunStatus;
+
+fn digest(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Filter a retrospective record down to runs of the given module names —
+/// used to split one execution across simulated systems.
+pub fn slice_runs(retro: &RetrospectiveProvenance, modules: &[&str]) -> RetrospectiveProvenance {
+    let runs: Vec<ModuleRun> = retro
+        .runs
+        .iter()
+        .filter(|r| modules.iter().any(|m| r.identity.starts_with(m)))
+        .cloned()
+        .collect();
+    let touched: std::collections::BTreeSet<u64> = runs
+        .iter()
+        .flat_map(|r| {
+            r.inputs
+                .iter()
+                .chain(r.outputs.iter())
+                .map(|(_, h)| *h)
+        })
+        .collect();
+    RetrospectiveProvenance {
+        runs,
+        artifacts: retro
+            .artifacts
+            .iter()
+            .filter(|(h, _)| touched.contains(h))
+            .map(|(h, a)| (*h, a.clone()))
+            .collect(),
+        ..retro.clone()
+    }
+}
+
+pub mod rdfish {
+    //! A Taverna-like RDF dialect: provenance as subject–predicate–object
+    //! triples with its own vocabulary.
+
+    use super::*;
+
+    /// One triple.
+    pub type Triple = (String, String, String);
+
+    /// The RDF-ish provenance document.
+    #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+    pub struct RdfProvenance {
+        /// All triples, in capture order.
+        pub triples: Vec<Triple>,
+    }
+
+    impl RdfProvenance {
+        /// Capture from retrospective provenance.
+        pub fn capture(retro: &RetrospectiveProvenance) -> Self {
+            let mut triples = Vec::new();
+            for run in &retro.runs {
+                if run.status == RunStatus::Skipped {
+                    continue;
+                }
+                let p = format!("proc/{}-{}", retro.exec.0, run.node.raw());
+                triples.push((p.clone(), "rdf:type".into(), "t2:ProcessRun".into()));
+                triples.push((p.clone(), "t2:runsActivity".into(), run.identity.clone()));
+                for (name, v) in &run.params {
+                    triples.push((
+                        p.clone(),
+                        format!("t2:param/{name}"),
+                        v.render(),
+                    ));
+                }
+                for (port, h) in &run.inputs {
+                    let d = format!("data/{}", digest(*h));
+                    triples.push((p.clone(), format!("t2:consumed/{port}"), d.clone()));
+                    triples.push((d, "rdf:type".into(), "t2:DataDocument".into()));
+                }
+                for (port, h) in &run.outputs {
+                    let d = format!("data/{}", digest(*h));
+                    triples.push((d.clone(), format!("t2:producedBy/{port}"), p.clone()));
+                    triples.push((d, "rdf:type".into(), "t2:DataDocument".into()));
+                }
+            }
+            Self { triples }
+        }
+
+        /// Translate into OPM, asserting in `account`.
+        pub fn to_opm(&self, account: &str) -> OpmGraph {
+            let mut g = OpmGraph::new();
+            let agent = g.agent("taverna-sim");
+            for (s, p, o) in &self.triples {
+                if p == "rdf:type" {
+                    continue;
+                }
+                if let Some(port) = p.strip_prefix("t2:consumed/") {
+                    let proc_node = g.process(s);
+                    let art = g.artifact(o.strip_prefix("data/").unwrap_or(o));
+                    g.add_edge(OpmEdge::Used {
+                        process: proc_node,
+                        artifact: art,
+                        role: port.to_string(),
+                        account: account.to_string(),
+                    });
+                } else if let Some(port) = p.strip_prefix("t2:producedBy/") {
+                    let art = g.artifact(s.strip_prefix("data/").unwrap_or(s));
+                    let proc_node = g.process(o);
+                    g.add_edge(OpmEdge::WasGeneratedBy {
+                        artifact: art,
+                        process: proc_node,
+                        role: port.to_string(),
+                        account: account.to_string(),
+                    });
+                } else if let Some(name) = p.strip_prefix("t2:param/") {
+                    let proc_node = g.process(s);
+                    g.set_prop(proc_node, &format!("param:{name}"), o);
+                } else if p == "t2:runsActivity" {
+                    let proc_node = g.process(s);
+                    g.set_prop(proc_node, "activity", o);
+                    g.add_edge(OpmEdge::WasControlledBy {
+                        process: proc_node,
+                        agent,
+                        role: "enactor".into(),
+                        account: account.to_string(),
+                    });
+                }
+            }
+            g
+        }
+
+        /// Import an OPM graph back into the RDF dialect — the reverse
+        /// translator (real challenge systems both exported *and*
+        /// imported). Only `used`/`wasGeneratedBy` assertions and process
+        /// properties are representable; inferred edges are skipped.
+        pub fn from_opm(g: &prov_core::opm::OpmGraph) -> Self {
+            use prov_core::opm::{OpmEdge, OpmNodeKind};
+            let mut triples = Vec::new();
+            let label = |id| {
+                g.get(id).map(|n| n.label.clone()).unwrap_or_default()
+            };
+            for n in g.nodes() {
+                match n.kind {
+                    OpmNodeKind::Process => {
+                        let p = n.label.clone();
+                        triples.push((p.clone(), "rdf:type".into(), "t2:ProcessRun".into()));
+                        if let Some(act) = g.prop(n.id, "activity") {
+                            triples.push((p.clone(), "t2:runsActivity".into(), act.to_string()));
+                        }
+                        // Re-export parameter annotations.
+                        for (key, v) in g.props_of(n.id) {
+                            if let Some(name) = key.strip_prefix("param:") {
+                                triples.push((
+                                    p.clone(),
+                                    format!("t2:param/{name}"),
+                                    v.to_string(),
+                                ));
+                            }
+                        }
+                    }
+                    OpmNodeKind::Artifact => {
+                        triples.push((
+                            format!("data/{}", n.label),
+                            "rdf:type".into(),
+                            "t2:DataDocument".into(),
+                        ));
+                    }
+                    OpmNodeKind::Agent => {}
+                }
+            }
+            for e in g.edges() {
+                match e {
+                    OpmEdge::Used {
+                        process,
+                        artifact,
+                        role,
+                        account,
+                    } if account != "inferred" => {
+                        triples.push((
+                            label(*process),
+                            format!("t2:consumed/{role}"),
+                            format!("data/{}", label(*artifact)),
+                        ));
+                    }
+                    OpmEdge::WasGeneratedBy {
+                        artifact,
+                        process,
+                        role,
+                        account,
+                    } if account != "inferred" => {
+                        triples.push((
+                            format!("data/{}", label(*artifact)),
+                            format!("t2:producedBy/{role}"),
+                            label(*process),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            Self { triples }
+        }
+
+        /// Number of triples.
+        pub fn len(&self) -> usize {
+            self.triples.len()
+        }
+
+        /// Is the document empty?
+        pub fn is_empty(&self) -> bool {
+            self.triples.is_empty()
+        }
+    }
+}
+
+pub mod eventlog {
+    //! A Kepler/Karma-like event-stream dialect: provenance as a totally
+    //! ordered log of actor lifecycle and token I/O events.
+
+    use super::*;
+
+    /// Event types of the log.
+    #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+    pub enum EventKind {
+        /// Actor started firing.
+        FireStart,
+        /// Actor read a token.
+        Read {
+            /// Port name.
+            port: String,
+            /// Token id (content digest).
+            token: String,
+        },
+        /// Actor wrote a token.
+        Write {
+            /// Port name.
+            port: String,
+            /// Token id (content digest).
+            token: String,
+        },
+        /// Actor finished firing.
+        FireEnd {
+            /// Whether the firing succeeded.
+            ok: bool,
+        },
+    }
+
+    /// One log event.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct LogEvent {
+        /// Sequence number.
+        pub seq: u64,
+        /// Actor (module) name with instance suffix.
+        pub actor: String,
+        /// The event.
+        pub kind: EventKind,
+    }
+
+    /// The event-log provenance document.
+    #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+    pub struct EventLogProvenance {
+        /// The ordered event stream.
+        pub events: Vec<LogEvent>,
+    }
+
+    impl EventLogProvenance {
+        /// Capture from retrospective provenance.
+        pub fn capture(retro: &RetrospectiveProvenance) -> Self {
+            let mut events = Vec::new();
+            let mut seq = 0u64;
+            let mut push = |actor: &str, kind: EventKind, seq: &mut u64| {
+                events.push(LogEvent {
+                    seq: *seq,
+                    actor: actor.to_string(),
+                    kind,
+                });
+                *seq += 1;
+            };
+            for run in &retro.runs {
+                if run.status == RunStatus::Skipped {
+                    continue;
+                }
+                let actor = format!("{}.{}", run.identity, run.node.raw());
+                push(&actor, EventKind::FireStart, &mut seq);
+                for (port, h) in &run.inputs {
+                    push(
+                        &actor,
+                        EventKind::Read {
+                            port: port.clone(),
+                            token: digest(*h),
+                        },
+                        &mut seq,
+                    );
+                }
+                for (port, h) in &run.outputs {
+                    push(
+                        &actor,
+                        EventKind::Write {
+                            port: port.clone(),
+                            token: digest(*h),
+                        },
+                        &mut seq,
+                    );
+                }
+                push(
+                    &actor,
+                    EventKind::FireEnd {
+                        ok: run.status == RunStatus::Succeeded,
+                    },
+                    &mut seq,
+                );
+            }
+            Self { events }
+        }
+
+        /// Translate into OPM, asserting in `account`.
+        pub fn to_opm(&self, account: &str) -> OpmGraph {
+            let mut g = OpmGraph::new();
+            let agent = g.agent("kepler-sim");
+            for ev in &self.events {
+                let proc_node = g.process(&ev.actor);
+                match &ev.kind {
+                    EventKind::FireStart => {
+                        g.add_edge(OpmEdge::WasControlledBy {
+                            process: proc_node,
+                            agent,
+                            role: "director".into(),
+                            account: account.to_string(),
+                        });
+                    }
+                    EventKind::Read { port, token } => {
+                        let art = g.artifact(token);
+                        g.add_edge(OpmEdge::Used {
+                            process: proc_node,
+                            artifact: art,
+                            role: port.clone(),
+                            account: account.to_string(),
+                        });
+                    }
+                    EventKind::Write { port, token } => {
+                        let art = g.artifact(token);
+                        g.add_edge(OpmEdge::WasGeneratedBy {
+                            artifact: art,
+                            process: proc_node,
+                            role: port.clone(),
+                            account: account.to_string(),
+                        });
+                    }
+                    EventKind::FireEnd { ok } => {
+                        g.set_prop(
+                            proc_node,
+                            "status",
+                            if *ok { "succeeded" } else { "failed" },
+                        );
+                    }
+                }
+            }
+            g
+        }
+
+        /// Number of events.
+        pub fn len(&self) -> usize {
+            self.events.len()
+        }
+
+        /// Is the log empty?
+        pub fn is_empty(&self) -> bool {
+            self.events.is_empty()
+        }
+    }
+}
+
+pub mod changelog {
+    //! A VisTrails-like dialect: the *specification* (prospective
+    //! provenance, change-based in the real system) plus a per-node run
+    //! log referencing the spec.
+
+    use super::*;
+    use wf_model::Workflow;
+
+    /// One run-log entry.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct RunEntry {
+        /// Node id in the spec.
+        pub node: u64,
+        /// Module identity.
+        pub identity: String,
+        /// Parameters rendered as text.
+        pub params: Vec<(String, String)>,
+        /// Input digests per port.
+        pub inputs: Vec<(String, String)>,
+        /// Output digests per port.
+        pub outputs: Vec<(String, String)>,
+    }
+
+    /// The spec+log provenance document.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct ChangelogProvenance {
+        /// The workflow specification (prospective provenance).
+        pub spec: Workflow,
+        /// Per-node run entries.
+        pub entries: Vec<RunEntry>,
+    }
+
+    impl ChangelogProvenance {
+        /// Capture from retrospective provenance plus its specification.
+        pub fn capture(retro: &RetrospectiveProvenance, spec: &Workflow) -> Self {
+            let entries = retro
+                .runs
+                .iter()
+                .filter(|r| r.status != RunStatus::Skipped)
+                .map(|r| RunEntry {
+                    node: r.node.raw(),
+                    identity: r.identity.clone(),
+                    params: r
+                        .params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.render()))
+                        .collect(),
+                    inputs: r
+                        .inputs
+                        .iter()
+                        .map(|(p, h)| (p.clone(), digest(*h)))
+                        .collect(),
+                    outputs: r
+                        .outputs
+                        .iter()
+                        .map(|(p, h)| (p.clone(), digest(*h)))
+                        .collect(),
+                })
+                .collect();
+            Self {
+                spec: spec.clone(),
+                entries,
+            }
+        }
+
+        /// Translate into OPM, asserting in `account`.
+        pub fn to_opm(&self, account: &str) -> OpmGraph {
+            let mut g = OpmGraph::new();
+            let agent = g.agent("vistrails-sim");
+            for e in &self.entries {
+                let label = self
+                    .spec
+                    .nodes
+                    .values()
+                    .find(|n| n.id.raw() == e.node)
+                    .map(|n| n.label.clone())
+                    .unwrap_or_else(|| e.identity.clone());
+                let proc_node = g.process(&format!("{}:{}", e.identity, e.node));
+                g.set_prop(proc_node, "label", &label);
+                for (k, v) in &e.params {
+                    g.set_prop(proc_node, &format!("param:{k}"), v);
+                }
+                g.add_edge(OpmEdge::WasControlledBy {
+                    process: proc_node,
+                    agent,
+                    role: "executor".into(),
+                    account: account.to_string(),
+                });
+                for (port, d) in &e.inputs {
+                    let art = g.artifact(d);
+                    g.add_edge(OpmEdge::Used {
+                        process: proc_node,
+                        artifact: art,
+                        role: port.clone(),
+                        account: account.to_string(),
+                    });
+                }
+                for (port, d) in &e.outputs {
+                    let art = g.artifact(d);
+                    g.add_edge(OpmEdge::WasGeneratedBy {
+                        artifact: art,
+                        process: proc_node,
+                        role: port.clone(),
+                        account: account.to_string(),
+                    });
+                }
+            }
+            g
+        }
+
+        /// Number of run entries.
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// Is the log empty?
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use prov_core::opm::OpmNodeKind;
+    use wf_engine::{standard_registry, Executor};
+
+    fn fig1_retro() -> (RetrospectiveProvenance, wf_model::Workflow) {
+        let (wf, _) = wf_engine::synth::figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        (cap.take(r.exec).unwrap(), wf)
+    }
+
+    #[test]
+    fn slice_runs_filters_runs_and_artifacts() {
+        let (retro, _) = fig1_retro();
+        let part = slice_runs(&retro, &["Histogram", "PlotTable"]);
+        assert_eq!(part.runs.len(), 2);
+        assert!(part.artifacts.len() < retro.artifacts.len());
+        assert!(part.artifacts.len() >= 3, "grid, table, image");
+    }
+
+    #[test]
+    fn rdfish_roundtrip_to_opm() {
+        let (retro, _) = fig1_retro();
+        let doc = rdfish::RdfProvenance::capture(&retro);
+        assert!(!doc.is_empty());
+        let g = doc.to_opm("taverna-acct");
+        assert_eq!(
+            g.nodes()
+                .iter()
+                .filter(|n| n.kind == OpmNodeKind::Process)
+                .count(),
+            8
+        );
+        assert!(g.check().is_empty());
+        // Parameters survive as props.
+        let hist = g
+            .nodes()
+            .iter()
+            .find(|n| {
+                n.kind == OpmNodeKind::Process
+                    && g.prop(n.id, "activity") == Some("Histogram@1")
+            })
+            .unwrap();
+        assert_eq!(g.prop(hist.id, "param:bins"), Some("32"));
+    }
+
+    #[test]
+    fn eventlog_captures_ordered_lifecycle() {
+        let (retro, _) = fig1_retro();
+        let log = eventlog::EventLogProvenance::capture(&retro);
+        // 8 runs: 8 starts + 7 reads + 8 writes + 8 ends = 31 events.
+        assert_eq!(log.len(), 31);
+        let seqs: Vec<u64> = log.events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        let g = log.to_opm("kepler-acct");
+        assert_eq!(
+            g.nodes()
+                .iter()
+                .filter(|n| n.kind == OpmNodeKind::Process)
+                .count(),
+            8
+        );
+    }
+
+    #[test]
+    fn changelog_keeps_spec_and_labels() {
+        let (retro, wf) = fig1_retro();
+        let doc = changelog::ChangelogProvenance::capture(&retro, &wf);
+        assert_eq!(doc.len(), 8);
+        assert_eq!(doc.spec.node_count(), 8);
+        let g = doc.to_opm("vistrails-acct");
+        let save = g
+            .nodes()
+            .iter()
+            .find(|n| g.prop(n.id, "label") == Some("save histogram"));
+        assert!(save.is_some(), "spec labels carried into OPM props");
+    }
+
+    #[test]
+    fn dialects_serialize() {
+        let (retro, wf) = fig1_retro();
+        let a = rdfish::RdfProvenance::capture(&retro);
+        let b = eventlog::EventLogProvenance::capture(&retro);
+        let c = changelog::ChangelogProvenance::capture(&retro, &wf);
+        let aj = serde_json::to_string(&a).unwrap();
+        let bj = serde_json::to_string(&b).unwrap();
+        let cj = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<rdfish::RdfProvenance>(&aj).unwrap(), a);
+        assert_eq!(
+            serde_json::from_str::<eventlog::EventLogProvenance>(&bj).unwrap(),
+            b
+        );
+        assert_eq!(
+            serde_json::from_str::<changelog::ChangelogProvenance>(&cj).unwrap(),
+            c
+        );
+    }
+
+    #[test]
+    fn rdfish_semantic_roundtrip_through_opm() {
+        // capture -> OPM -> rdfish -> OPM must preserve the causal
+        // assertions (nodes and used/generated edges).
+        let (retro, _) = fig1_retro();
+        let original = rdfish::RdfProvenance::capture(&retro);
+        let opm1 = original.to_opm("acct");
+        let reimported = rdfish::RdfProvenance::from_opm(&opm1);
+        let opm2 = reimported.to_opm("acct");
+        let causal = |g: &OpmGraph| {
+            let mut v: Vec<String> = g
+                .edges()
+                .iter()
+                .filter_map(|e| match e {
+                    prov_core::opm::OpmEdge::Used {
+                        process,
+                        artifact,
+                        role,
+                        ..
+                    } => Some(format!(
+                        "used {} {} {}",
+                        g.get(*process).unwrap().label,
+                        role,
+                        g.get(*artifact).unwrap().label
+                    )),
+                    prov_core::opm::OpmEdge::WasGeneratedBy {
+                        artifact,
+                        process,
+                        role,
+                        ..
+                    } => Some(format!(
+                        "gen {} {} {}",
+                        g.get(*artifact).unwrap().label,
+                        role,
+                        g.get(*process).unwrap().label
+                    )),
+                    _ => None,
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(causal(&opm1), causal(&opm2));
+        // Parameters survive the round trip too.
+        let hist = |g: &OpmGraph| {
+            g.nodes()
+                .iter()
+                .find(|n| g.prop(n.id, "activity") == Some("Histogram@1"))
+                .and_then(|n| g.prop(n.id, "param:bins").map(str::to_string))
+        };
+        assert_eq!(hist(&opm1), hist(&opm2));
+        assert_eq!(hist(&opm1), Some("32".to_string()));
+    }
+
+    #[test]
+    fn skipped_runs_are_excluded_from_all_dialects() {
+        // A failing workflow: the skipped downstream run must not appear
+        // as a process in any dialect (it never executed).
+        let mut b = wf_model::WorkflowBuilder::new(1, "failing");
+        let ok = b.add("ConstInt");
+        let bad = b.add("FailIf");
+        b.param(bad, "fail", true);
+        let skipped = b.add("Identity");
+        b.connect(ok, "out", bad, "in")
+            .connect(bad, "out", skipped, "in");
+        let wf = b.build();
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+
+        let rdf = rdfish::RdfProvenance::capture(&retro);
+        let procs = rdf
+            .triples
+            .iter()
+            .filter(|(_, p, o)| p == "rdf:type" && o == "t2:ProcessRun")
+            .count();
+        assert_eq!(procs, 2, "ConstInt + FailIf; skipped Identity excluded");
+
+        let log = eventlog::EventLogProvenance::capture(&retro);
+        assert!(log
+            .events
+            .iter()
+            .all(|e| !e.actor.starts_with("Identity")));
+        // The failed firing is recorded as not-ok.
+        assert!(log.events.iter().any(|e| matches!(
+            e.kind,
+            eventlog::EventKind::FireEnd { ok: false }
+        )));
+
+        let ch = changelog::ChangelogProvenance::capture(&retro, &wf);
+        assert_eq!(ch.len(), 2);
+    }
+
+    #[test]
+    fn empty_provenance_produces_empty_dialects() {
+        let retro = RetrospectiveProvenance {
+            exec: wf_engine::ExecId(0),
+            workflow: wf_model::WorkflowId(1),
+            workflow_name: "empty".into(),
+            status: wf_engine::RunStatus::Succeeded,
+            started_millis: 0,
+            finished_millis: 0,
+            runs: vec![],
+            artifacts: Default::default(),
+            environment: prov_core::model::Environment::current(1),
+        };
+        assert!(rdfish::RdfProvenance::capture(&retro).is_empty());
+        assert!(eventlog::EventLogProvenance::capture(&retro).is_empty());
+        let wf = wf_model::Workflow::new(wf_model::WorkflowId(1), "empty");
+        assert!(changelog::ChangelogProvenance::capture(&retro, &wf).is_empty());
+    }
+
+    #[test]
+    fn all_dialects_agree_on_artifact_labels() {
+        // The content digests are the join key: every dialect must label
+        // artifacts identically.
+        let (retro, wf) = fig1_retro();
+        let ga = rdfish::RdfProvenance::capture(&retro).to_opm("a");
+        let gb = eventlog::EventLogProvenance::capture(&retro).to_opm("b");
+        let gc = changelog::ChangelogProvenance::capture(&retro, &wf).to_opm("c");
+        let arts = |g: &OpmGraph| {
+            let mut v: Vec<String> = g
+                .nodes()
+                .iter()
+                .filter(|n| n.kind == OpmNodeKind::Artifact)
+                .map(|n| n.label.clone())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(arts(&ga), arts(&gb));
+        assert_eq!(arts(&gb), arts(&gc));
+    }
+}

@@ -1,0 +1,28 @@
+//! # prov-interop — provenance interoperability
+//!
+//! §2.4: "Complex data products may result from long processing chains that
+//! require multiple tools … it becomes necessary to integrate provenance
+//! derived from different systems and represented using different models.
+//! This was the goal of the Second Provenance Challenge."
+//!
+//! This crate rebuilds that setting end to end:
+//!
+//! * three independently shaped provenance **dialects**, simulating the
+//!   heterogeneity of the challenge participants:
+//!   [`dialect::rdfish`] (Taverna-like RDF triples),
+//!   [`dialect::eventlog`] (Kepler/Karma-like event streams), and
+//!   [`dialect::changelog`] (VisTrails-like versioned spec + run log);
+//! * a translator from each dialect into the OPM interlingua
+//!   ([`prov_core::opm`]), joining artifacts on content digests;
+//! * [`integrate`](mod@integrate) — multi-system OPM account merging with
+//!   coverage statistics;
+//! * [`challenge`] — the First Provenance Challenge fMRI workload run
+//!   across the three simulated systems, plus the challenge's **nine
+//!   canonical queries** answered over the integrated graph.
+
+pub mod challenge;
+pub mod dialect;
+pub mod integrate;
+
+pub use challenge::{run_challenge, ChallengeSetup, QueryAnswer};
+pub use integrate::{integrate, IntegrationReport};

@@ -1,0 +1,134 @@
+//! The PQL abstract syntax tree.
+
+/// Traversal direction of a lineage-style query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `lineage of …` — upstream, toward causes.
+    Upstream,
+    /// `impact of …` — downstream, toward effects.
+    Downstream,
+}
+
+/// What a query is anchored on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// An artifact by content digest.
+    Artifact(u64),
+    /// A run by `exec/node`.
+    Run(u64, u64),
+}
+
+/// Filterable fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// Module identity (`name@version`; bare `name` matches any version).
+    Module,
+    /// Run status: `succeeded` / `failed` / `skipped`.
+    Status,
+    /// Artifact data type (`grid`, `table`, …).
+    Dtype,
+    /// Execution id.
+    Exec,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Neq,
+    /// `contains` (substring, case-insensitive).
+    Contains,
+}
+
+/// One comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comparison {
+    /// The field.
+    pub field: Field,
+    /// The operator.
+    pub op: Op,
+    /// The right-hand side, as written.
+    pub value: String,
+}
+
+/// A filter in disjunctive normal form: `where a = x and b != y or c = z`
+/// parses as `(a = x AND b != y) OR (c = z)` — `and` binds tighter than
+/// `or`. An empty condition is "always true".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Condition {
+    /// The disjuncts; each is a conjunction of comparisons. Empty means
+    /// "always true".
+    pub any_of: Vec<Vec<Comparison>>,
+}
+
+impl Condition {
+    /// A condition with a single conjunction (the common case).
+    pub fn all(clauses: Vec<Comparison>) -> Self {
+        if clauses.is_empty() {
+            Condition::default()
+        } else {
+            Condition {
+                any_of: vec![clauses],
+            }
+        }
+    }
+
+    /// Is this the trivial always-true condition?
+    pub fn is_trivial(&self) -> bool {
+        self.any_of.is_empty()
+    }
+}
+
+/// Entity class of `count` / `list` queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entity {
+    /// Module runs.
+    Runs,
+    /// Data artifacts.
+    Artifacts,
+    /// Whole workflow executions.
+    Executions,
+}
+
+/// A parsed PQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `lineage of <target> [depth N] [where …]` /
+    /// `impact of <target> [depth N] [where …]`.
+    Closure {
+        /// Up- or downstream.
+        direction: Direction,
+        /// Anchor.
+        target: Target,
+        /// Optional depth bound (edges).
+        depth: Option<usize>,
+        /// Optional filter over the resulting nodes.
+        filter: Condition,
+    },
+    /// `count runs|artifacts [where …]`.
+    Count {
+        /// Entity class.
+        entity: Entity,
+        /// Optional filter.
+        filter: Condition,
+    },
+    /// `list runs|artifacts [where …]`.
+    List {
+        /// Entity class.
+        entity: Entity,
+        /// Optional filter.
+        filter: Condition,
+    },
+    /// `paths from <target> to <target> [max N]` — all simple derivation
+    /// paths in dataflow direction.
+    Paths {
+        /// Path source (cause side).
+        from: Target,
+        /// Path destination (effect side).
+        to: Target,
+        /// Optional maximum path length in edges.
+        max_len: Option<usize>,
+    },
+}

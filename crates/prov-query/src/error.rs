@@ -1,0 +1,52 @@
+//! PQL errors.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, or evaluating PQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PqlError {
+    /// A character the lexer cannot start a token with.
+    Lex {
+        /// Byte offset of the offending character.
+        at: usize,
+        /// The character.
+        ch: char,
+    },
+    /// The parser expected something else.
+    Parse {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// The query referenced something the engine cannot resolve.
+    Eval(String),
+}
+
+impl fmt::Display for PqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PqlError::Lex { at, ch } => write!(f, "unexpected character {ch:?} at byte {at}"),
+            PqlError::Parse { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            PqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = PqlError::Parse {
+            expected: "'of'".into(),
+            found: "'from'".into(),
+        };
+        assert_eq!(e.to_string(), "expected 'of', found 'from'");
+    }
+}

@@ -1,0 +1,579 @@
+//! The PQL evaluator.
+//!
+//! Evaluates parsed queries over ingested retrospective provenance using a
+//! native adjacency representation — the "designed for provenance" query
+//! path that experiment E5 compares against relational join chains and
+//! triple-pattern fixpoints.
+
+use crate::ast::*;
+use crate::error::PqlError;
+use crate::parser::parse;
+use prov_core::model::RetrospectiveProvenance;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use wf_engine::ExecId;
+use wf_model::NodeId;
+
+/// Internal graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum PNode {
+    Artifact(u64),
+    Run(ExecId, NodeId),
+}
+
+/// A node in a query result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResultNode {
+    /// A module run.
+    Run {
+        /// Execution id.
+        exec: u64,
+        /// Node id.
+        node: u64,
+        /// Module identity.
+        identity: String,
+        /// Run status.
+        status: String,
+    },
+    /// A data artifact.
+    Artifact {
+        /// Content hash.
+        hash: u64,
+        /// Data type.
+        dtype: String,
+    },
+    /// A whole workflow execution.
+    Execution {
+        /// Execution id.
+        exec: u64,
+        /// Workflow name.
+        workflow: String,
+        /// Overall status.
+        status: String,
+    },
+}
+
+impl ResultNode {
+    /// One-line rendering.
+    pub fn render(&self) -> String {
+        match self {
+            ResultNode::Run {
+                exec,
+                node,
+                identity,
+                status,
+            } => format!("run {exec}/{node} {identity} [{status}]"),
+            ResultNode::Artifact { hash, dtype } => {
+                format!("artifact {hash:016x} ({dtype})")
+            }
+            ResultNode::Execution {
+                exec,
+                workflow,
+                status,
+            } => format!("execution {exec} '{workflow}' [{status}]"),
+        }
+    }
+}
+
+/// The result of a PQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Nodes, from closure or list queries.
+    Nodes(Vec<ResultNode>),
+    /// A count.
+    Count(usize),
+    /// Simple paths, each a node sequence in dataflow direction.
+    Paths(Vec<Vec<ResultNode>>),
+}
+
+impl QueryResult {
+    /// Render as text, one entry per line.
+    pub fn render(&self) -> String {
+        match self {
+            QueryResult::Count(n) => n.to_string(),
+            QueryResult::Nodes(nodes) => nodes
+                .iter()
+                .map(ResultNode::render)
+                .collect::<Vec<_>>()
+                .join("\n"),
+            QueryResult::Paths(paths) => paths
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .map(ResultNode::render)
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                })
+                .collect::<Vec<_>>()
+                .join("\n"),
+        }
+    }
+
+    /// Number of result entries (nodes, paths, or the count itself).
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResult::Count(n) => *n,
+            QueryResult::Nodes(v) => v.len(),
+            QueryResult::Paths(v) => v.len(),
+        }
+    }
+
+    /// Is the result empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunInfo {
+    identity: String,
+    status: String,
+}
+
+#[derive(Debug, Clone)]
+struct ExecInfo {
+    workflow: String,
+    status: String,
+}
+
+/// The PQL query engine: ingest provenance, evaluate query strings.
+#[derive(Debug, Default)]
+pub struct PqlEngine {
+    runs: BTreeMap<(ExecId, NodeId), RunInfo>,
+    execs: BTreeMap<ExecId, ExecInfo>,
+    artifacts: BTreeMap<u64, String>,
+    succ: BTreeMap<PNode, Vec<PNode>>,
+    pred: BTreeMap<PNode, Vec<PNode>>,
+}
+
+impl PqlEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one execution's provenance.
+    pub fn ingest(&mut self, retro: &RetrospectiveProvenance) {
+        self.execs.insert(
+            retro.exec,
+            ExecInfo {
+                workflow: retro.workflow_name.clone(),
+                status: retro.status.to_string(),
+            },
+        );
+        for (h, a) in &retro.artifacts {
+            self.artifacts.entry(*h).or_insert_with(|| a.dtype.clone());
+        }
+        for run in &retro.runs {
+            let r = PNode::Run(retro.exec, run.node);
+            self.runs.insert(
+                (retro.exec, run.node),
+                RunInfo {
+                    identity: run.identity.clone(),
+                    status: run.status.to_string(),
+                },
+            );
+            for (_, h) in &run.inputs {
+                self.artifacts.entry(*h).or_default();
+                self.edge(PNode::Artifact(*h), r);
+            }
+            for (_, h) in &run.outputs {
+                self.artifacts.entry(*h).or_default();
+                self.edge(r, PNode::Artifact(*h));
+            }
+        }
+    }
+
+    fn edge(&mut self, from: PNode, to: PNode) {
+        let s = self.succ.entry(from).or_default();
+        if !s.contains(&to) {
+            s.push(to);
+            self.pred.entry(to).or_default().push(from);
+        }
+    }
+
+    /// Parse and evaluate a PQL query string.
+    pub fn eval(&self, query: &str) -> Result<QueryResult, PqlError> {
+        self.eval_query(&parse(query)?)
+    }
+
+    /// Evaluate a parsed query.
+    pub fn eval_query(&self, query: &Query) -> Result<QueryResult, PqlError> {
+        match query {
+            Query::Closure {
+                direction,
+                target,
+                depth,
+                filter,
+            } => {
+                let start = self.resolve(*target)?;
+                let reverse = *direction == Direction::Upstream;
+                let mut out = Vec::new();
+                let mut seen: BTreeSet<PNode> = [start].into();
+                let mut q: VecDeque<(PNode, usize)> = [(start, 0usize)].into();
+                while let Some((n, d)) = q.pop_front() {
+                    if let Some(limit) = depth {
+                        if d == *limit {
+                            continue;
+                        }
+                    }
+                    let next = if reverse { &self.pred } else { &self.succ };
+                    if let Some(ns) = next.get(&n) {
+                        for &m in ns {
+                            if seen.insert(m) {
+                                if self.matches(m, filter) {
+                                    out.push(self.describe(m));
+                                }
+                                q.push_back((m, d + 1));
+                            }
+                        }
+                    }
+                }
+                Ok(QueryResult::Nodes(out))
+            }
+            Query::Count { entity, filter } => {
+                Ok(QueryResult::Count(self.select(*entity, filter).len()))
+            }
+            Query::List { entity, filter } => {
+                Ok(QueryResult::Nodes(self.select(*entity, filter)))
+            }
+            Query::Paths { from, to, max_len } => {
+                let from = self.resolve(*from)?;
+                let to = self.resolve(*to)?;
+                let cap = max_len.unwrap_or(16);
+                let mut paths = Vec::new();
+                let mut stack = vec![from];
+                let mut on_path: BTreeSet<PNode> = [from].into();
+                self.dfs_paths(from, to, cap, &mut stack, &mut on_path, &mut paths);
+                Ok(QueryResult::Paths(
+                    paths
+                        .into_iter()
+                        .map(|p| p.into_iter().map(|n| self.describe(n)).collect())
+                        .collect(),
+                ))
+            }
+        }
+    }
+
+    fn dfs_paths(
+        &self,
+        cur: PNode,
+        to: PNode,
+        budget: usize,
+        stack: &mut Vec<PNode>,
+        on_path: &mut BTreeSet<PNode>,
+        out: &mut Vec<Vec<PNode>>,
+    ) {
+        if cur == to {
+            out.push(stack.clone());
+            return;
+        }
+        if budget == 0 {
+            return;
+        }
+        if let Some(ns) = self.succ.get(&cur) {
+            for &n in ns {
+                if on_path.insert(n) {
+                    stack.push(n);
+                    self.dfs_paths(n, to, budget - 1, stack, on_path, out);
+                    stack.pop();
+                    on_path.remove(&n);
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, t: Target) -> Result<PNode, PqlError> {
+        match t {
+            Target::Artifact(h) => {
+                if self.artifacts.contains_key(&h) {
+                    Ok(PNode::Artifact(h))
+                } else {
+                    Err(PqlError::Eval(format!("unknown artifact {h:016x}")))
+                }
+            }
+            Target::Run(e, n) => {
+                let key = (ExecId(e), NodeId(n));
+                if self.runs.contains_key(&key) {
+                    Ok(PNode::Run(key.0, key.1))
+                } else {
+                    Err(PqlError::Eval(format!("unknown run {e}/{n}")))
+                }
+            }
+        }
+    }
+
+    fn select(&self, entity: Entity, filter: &Condition) -> Vec<ResultNode> {
+        match entity {
+            Entity::Runs => self
+                .runs
+                .keys()
+                .map(|&(e, n)| PNode::Run(e, n))
+                .filter(|n| self.matches(*n, filter))
+                .map(|n| self.describe(n))
+                .collect(),
+            Entity::Artifacts => self
+                .artifacts
+                .keys()
+                .map(|&h| PNode::Artifact(h))
+                .filter(|n| self.matches(*n, filter))
+                .map(|n| self.describe(n))
+                .collect(),
+            Entity::Executions => self
+                .execs
+                .iter()
+                .filter(|(e, info)| {
+                    self.matches_fields(filter, |field| match field {
+                        Field::Status => Some(info.status.clone()),
+                        Field::Exec => Some(e.0.to_string()),
+                        Field::Module => Some(info.workflow.clone()),
+                        Field::Dtype => None,
+                    })
+                })
+                .map(|(e, info)| ResultNode::Execution {
+                    exec: e.0,
+                    workflow: info.workflow.clone(),
+                    status: info.status.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluate a condition given a field resolver (DNF semantics).
+    fn matches_fields(
+        &self,
+        cond: &Condition,
+        resolve: impl Fn(Field) -> Option<String>,
+    ) -> bool {
+        if cond.is_trivial() {
+            return true;
+        }
+        cond.any_of.iter().any(|conj| {
+            conj.iter().all(|c| {
+                let Some(actual) = resolve(c.field) else {
+                    return false;
+                };
+                Self::compare(c, &actual)
+            })
+        })
+    }
+
+    /// One comparison against a resolved field value.
+    fn compare(c: &Comparison, actual: &str) -> bool {
+        let actual_l = actual.to_lowercase();
+        let value_l = c.value.to_lowercase();
+        match c.op {
+            Op::Eq => {
+                actual_l == value_l
+                    || (c.field == Field::Module
+                        && actual_l.split('@').next() == Some(value_l.as_str()))
+            }
+            Op::Neq => actual_l != value_l,
+            Op::Contains => actual_l.contains(&value_l),
+        }
+    }
+
+    fn matches(&self, n: PNode, cond: &Condition) -> bool {
+        self.matches_fields(cond, |field| match (n, field) {
+            (PNode::Run(e, node), Field::Module) => {
+                self.runs.get(&(e, node)).map(|r| r.identity.clone())
+            }
+            (PNode::Run(e, node), Field::Status) => {
+                self.runs.get(&(e, node)).map(|r| r.status.clone())
+            }
+            (PNode::Run(e, _), Field::Exec) => Some(e.0.to_string()),
+            (PNode::Artifact(h), Field::Dtype) => self.artifacts.get(&h).cloned(),
+            // A field that does not apply to this node kind: the node
+            // fails the filter (so `where module = X` selects runs only).
+            _ => None,
+        })
+    }
+
+    fn describe(&self, n: PNode) -> ResultNode {
+        match n {
+            PNode::Run(e, node) => {
+                let info = self.runs.get(&(e, node));
+                ResultNode::Run {
+                    exec: e.0,
+                    node: node.raw(),
+                    identity: info.map(|r| r.identity.clone()).unwrap_or_default(),
+                    status: info.map(|r| r.status.clone()).unwrap_or_default(),
+                }
+            }
+            PNode::Artifact(h) => ResultNode::Artifact {
+                hash: h,
+                dtype: self.artifacts.get(&h).cloned().unwrap_or_default(),
+            },
+        }
+    }
+
+    /// Number of ingested runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of known artifacts.
+    pub fn artifact_count(&self) -> usize {
+        self.artifacts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn engine() -> (
+        PqlEngine,
+        RetrospectiveProvenance,
+        wf_engine::synth::Figure1Nodes,
+    ) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let mut e = PqlEngine::new();
+        e.ingest(&retro);
+        (e, retro, nodes)
+    }
+
+    #[test]
+    fn lineage_query_end_to_end() {
+        let (e, retro, nodes) = engine();
+        let file = retro.produced(nodes.save_hist, "file").unwrap();
+        let q = format!("lineage of artifact {}", file.digest());
+        let result = e.eval(&q).unwrap();
+        let rendered = result.render();
+        assert!(rendered.contains("LoadVolume@1"));
+        assert!(rendered.contains("Histogram@1"));
+        assert!(!rendered.contains("Isosurface@1"));
+    }
+
+    #[test]
+    fn lineage_with_module_filter() {
+        let (e, retro, nodes) = engine();
+        let file = retro.produced(nodes.save_hist, "file").unwrap();
+        let q = format!(
+            "lineage of artifact {} where module = \"Histogram@1\"",
+            file.digest()
+        );
+        let result = e.eval(&q).unwrap();
+        assert_eq!(result.len(), 1);
+        // Bare module name matches any version.
+        let q = format!(
+            "lineage of artifact {} where module = histogram",
+            file.digest()
+        );
+        assert_eq!(e.eval(&q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn impact_query_finds_derived_products() {
+        let (e, retro, nodes) = engine();
+        let grid = retro.produced(nodes.load, "grid").unwrap();
+        let q = format!("impact of artifact {} where dtype = bytes", grid.digest());
+        let result = e.eval(&q).unwrap();
+        assert_eq!(result.len(), 2, "both saved files derive from the scan");
+    }
+
+    #[test]
+    fn count_and_list() {
+        let (e, ..) = engine();
+        assert_eq!(e.eval("count runs").unwrap(), QueryResult::Count(8));
+        assert_eq!(
+            e.eval("count runs where status = succeeded").unwrap(),
+            QueryResult::Count(8)
+        );
+        assert_eq!(
+            e.eval("count runs where module contains save").unwrap(),
+            QueryResult::Count(2)
+        );
+        let grids = e.eval("list artifacts where dtype = grid").unwrap();
+        assert_eq!(grids.len(), 1);
+    }
+
+    #[test]
+    fn depth_bound_respected() {
+        let (e, retro, nodes) = engine();
+        let file = retro.produced(nodes.save_hist, "file").unwrap();
+        let shallow = e
+            .eval(&format!("lineage of artifact {} depth 1", file.digest()))
+            .unwrap();
+        assert_eq!(shallow.len(), 1, "only the SaveFile run at depth 1");
+        let deep = e
+            .eval(&format!("lineage of artifact {}", file.digest()))
+            .unwrap();
+        assert!(deep.len() > shallow.len());
+    }
+
+    #[test]
+    fn paths_enumerates_derivation_routes() {
+        let (e, retro, nodes) = engine();
+        let grid = retro.produced(nodes.load, "grid").unwrap();
+        let file = retro.produced(nodes.save_iso, "file").unwrap();
+        let q = format!(
+            "paths from artifact {} to artifact {}",
+            grid.digest(),
+            file.digest()
+        );
+        let result = e.eval(&q).unwrap();
+        assert_eq!(result.len(), 1, "a single derivation route");
+        if let QueryResult::Paths(paths) = &result {
+            // grid -> iso -> mesh -> smooth -> mesh' -> render -> image -> save -> file
+            assert_eq!(paths[0].len(), 9);
+        } else {
+            panic!("expected paths");
+        }
+    }
+
+    #[test]
+    fn paths_max_bound_prunes() {
+        let (e, retro, nodes) = engine();
+        let grid = retro.produced(nodes.load, "grid").unwrap();
+        let file = retro.produced(nodes.save_iso, "file").unwrap();
+        let q = format!(
+            "paths from artifact {} to artifact {} max 3",
+            grid.digest(),
+            file.digest()
+        );
+        assert!(e.eval(&q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_targets_error() {
+        let (e, ..) = engine();
+        let err = e.eval("lineage of artifact 00000000000000aa").unwrap_err();
+        assert!(matches!(err, PqlError::Eval(_)));
+        let err = e.eval("impact of run 9/9").unwrap_err();
+        assert!(err.to_string().contains("unknown run"));
+    }
+
+    #[test]
+    fn run_target_closure() {
+        let (e, retro, nodes) = engine();
+        let q = format!("impact of run {}/{}", retro.exec.0, nodes.load.raw());
+        let result = e.eval(&q).unwrap();
+        // Everything downstream of the load: 7 runs + their artifacts.
+        assert!(result.len() >= 7);
+    }
+
+    #[test]
+    fn multiple_executions_scoped_by_exec_filter() {
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        exec.run_observed(&wf, &mut cap).unwrap();
+        exec.run_observed(&wf, &mut cap).unwrap();
+        let mut e = PqlEngine::new();
+        for retro in cap.finish_all() {
+            e.ingest(&retro);
+        }
+        assert_eq!(e.eval("count runs").unwrap(), QueryResult::Count(16));
+        assert_eq!(
+            e.eval("count runs where exec = 0").unwrap(),
+            QueryResult::Count(8)
+        );
+    }
+}

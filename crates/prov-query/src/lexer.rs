@@ -1,0 +1,209 @@
+//! The PQL lexer: hand-written, zero-dependency tokenizer.
+
+use crate::error::PqlError;
+
+/// A PQL token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Bare word: keyword or identifier (case-insensitive keywords).
+    Word(String),
+    /// Quoted string literal (double quotes, `\"` escape).
+    Str(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Hex literal (8–16 hex digits, an artifact digest).
+    Hex(u64),
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Neq,
+    /// `/` (separator inside run references).
+    Slash,
+}
+
+impl Token {
+    /// Human-readable token description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Word(w) => format!("'{w}'"),
+            Token::Str(s) => format!("string {s:?}"),
+            Token::Int(i) => format!("integer {i}"),
+            Token::Hex(h) => format!("hex {h:x}"),
+            Token::Eq => "'='".into(),
+            Token::Neq => "'!='".into(),
+            Token::Slash => "'/'".into(),
+        }
+    }
+}
+
+/// Tokenize a PQL query. Comments run from `--` to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>, PqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        match c {
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Neq);
+                i += 2;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                let mut closed = false;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch == '\\' && bytes.get(i + 1) == Some(&b'"') {
+                        s.push('"');
+                        i += 2;
+                    } else if ch == '"' {
+                        closed = true;
+                        i += 1;
+                        break;
+                    } else {
+                        s.push(ch);
+                        i += 1;
+                    }
+                }
+                if !closed {
+                    return Err(PqlError::Parse {
+                        expected: "closing '\"'".into(),
+                        found: "end of input".into(),
+                    });
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'@'
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'-' && i + 1 < bytes.len()
+                            && (bytes[i + 1] as char).is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                // Classification: all-hex & 8..=16 chars with at least one
+                // alpha hex digit or length 16 → hex digest; all digits →
+                // integer; otherwise a word.
+                if word.chars().all(|c| c.is_ascii_digit()) {
+                    tokens.push(Token::Int(word.parse().map_err(|_| PqlError::Parse {
+                        expected: "integer".into(),
+                        found: word.to_string(),
+                    })?));
+                } else if word.len() >= 8
+                    && word.len() <= 16
+                    && word.chars().all(|c| c.is_ascii_hexdigit())
+                {
+                    tokens.push(Token::Hex(
+                        u64::from_str_radix(word, 16).map_err(|_| PqlError::Parse {
+                            expected: "hex digest".into(),
+                            found: word.to_string(),
+                        })?,
+                    ));
+                } else {
+                    tokens.push(Token::Word(word.to_lowercase()));
+                }
+            }
+            other => {
+                return Err(PqlError::Lex { at: i, ch: other });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_keywords_and_literals() {
+        let toks = lex("lineage of artifact 3f2a90bc41d07e55 depth 4").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("lineage".into()),
+                Token::Word("of".into()),
+                Token::Word("artifact".into()),
+                Token::Hex(0x3f2a90bc41d07e55),
+                Token::Word("depth".into()),
+                Token::Int(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = lex(r#"where module = "Histo\"gram""#).unwrap();
+        assert_eq!(toks[3], Token::Str("Histo\"gram".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("count runs -- how many?\nwhere status = failed").unwrap();
+        assert_eq!(toks.len(), 6);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a = b != 0/1").unwrap();
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::Neq));
+        assert!(toks.contains(&Token::Slash));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("LINEAGE Of Artifact 00000000000000ff").unwrap();
+        assert_eq!(toks[0], Token::Word("lineage".into()));
+    }
+
+    #[test]
+    fn module_identity_stays_a_word() {
+        let toks = lex("Histogram@1").unwrap();
+        assert_eq!(toks, vec![Token::Word("histogram@1".into())]);
+    }
+
+    #[test]
+    fn short_digit_runs_are_ints_not_hex() {
+        assert_eq!(lex("1234567").unwrap(), vec![Token::Int(1234567)]);
+        // 8 digits, all numeric → still an integer by the all-digits rule.
+        assert_eq!(lex("12345678").unwrap(), vec![Token::Int(12345678)]);
+        // Mixed hex digits of the right length → hex.
+        assert_eq!(lex("00ff00ff").unwrap(), vec![Token::Hex(0x00ff00ff)]);
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let err = lex("count ?").unwrap_err();
+        assert_eq!(err, PqlError::Lex { at: 6, ch: '?' });
+    }
+}

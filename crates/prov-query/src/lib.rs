@@ -1,0 +1,38 @@
+//! # prov-query — PQL, a query language designed for provenance
+//!
+//! §2.2 of the tutorial: provenance systems "require users to write queries
+//! in languages like SQL, Prolog and SPARQL … none of them have been
+//! designed for provenance. For that reason, simple queries can be awkward
+//! and complex." PQL makes the tutorial's running questions one-liners:
+//!
+//! ```text
+//! lineage of artifact 3f2a90bc41d07e55            -- who/what created this?
+//! lineage of artifact 3f2a… depth 4 where module = "Histogram@1"
+//! impact of artifact 3f2a90bc41d07e55             -- what must be invalidated?
+//! count runs where status = failed
+//! list artifacts where dtype = grid
+//! paths from artifact 3f2a… to artifact 9c01…     -- derivation routes
+//! ```
+//!
+//! The crate contains a hand-written [`lexer`] and recursive-descent
+//! [`parser`], a tiny [`ast`] with a canonical [`render`]er
+//! (`query.to_string()` reparses to the same AST), an [`eval`]uator over
+//! the native graph store, and a [`qbe`] (query-by-example) subgraph
+//! matcher — the engine that would sit beneath the visual query interfaces
+//! of [4, 34]. Filters support `and`/`or` (DNF) over the fields `module`,
+//! `status`, `dtype`, and `exec`; `count`/`list` work over `runs`,
+//! `artifacts`, and `executions`.
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod qbe;
+pub mod render;
+
+pub use ast::{Comparison, Condition, Direction, Entity, Field, Op, Query, Target};
+pub use error::PqlError;
+pub use eval::{PqlEngine, QueryResult, ResultNode};
+pub use parser::parse;
+pub use qbe::{ExampleGraph, Match};

@@ -1,0 +1,311 @@
+//! Recursive-descent parser for PQL.
+
+use crate::ast::*;
+use crate::error::PqlError;
+use crate::lexer::{lex, Token};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &str) -> PqlError {
+        PqlError::Parse {
+            expected: expected.to_string(),
+            found: self
+                .peek()
+                .map(|t| t.describe())
+                .unwrap_or_else(|| "end of input".into()),
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), PqlError> {
+        match self.peek() {
+            Some(Token::Word(w)) if w == word => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(&format!("'{word}'"))),
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token::Word(w)) if w == word) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn target(&mut self) -> Result<Target, PqlError> {
+        if self.eat_word("artifact") {
+            match self.next() {
+                Some(Token::Hex(h)) => Ok(Target::Artifact(h)),
+                Some(Token::Int(i)) => Ok(Target::Artifact(i)),
+                _ => Err(self.err("artifact digest")),
+            }
+        } else if self.eat_word("run") {
+            let exec = match self.next() {
+                Some(Token::Int(i)) => i,
+                _ => return Err(self.err("execution id")),
+            };
+            match self.peek() {
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("'/'")),
+            }
+            let node = match self.next() {
+                Some(Token::Int(i)) => i,
+                _ => return Err(self.err("node id")),
+            };
+            Ok(Target::Run(exec, node))
+        } else {
+            Err(self.err("'artifact' or 'run'"))
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition, PqlError> {
+        if !self.eat_word("where") {
+            return Ok(Condition::default());
+        }
+        let mut any_of = Vec::new();
+        loop {
+            any_of.push(self.conjunction()?);
+            if !self.eat_word("or") {
+                break;
+            }
+        }
+        Ok(Condition { any_of })
+    }
+
+    /// One `and`-separated conjunction of comparisons.
+    fn conjunction(&mut self) -> Result<Vec<Comparison>, PqlError> {
+        let mut clauses = Vec::new();
+        loop {
+            let field = match self.next() {
+                Some(Token::Word(w)) => match w.as_str() {
+                    "module" => Field::Module,
+                    "status" => Field::Status,
+                    "dtype" => Field::Dtype,
+                    "exec" => Field::Exec,
+                    other => {
+                        return Err(PqlError::Parse {
+                            expected: "field (module|status|dtype|exec)".into(),
+                            found: format!("'{other}'"),
+                        })
+                    }
+                },
+                _ => return Err(self.err("field name")),
+            };
+            let op = match self.next() {
+                Some(Token::Eq) => Op::Eq,
+                Some(Token::Neq) => Op::Neq,
+                Some(Token::Word(w)) if w == "contains" => Op::Contains,
+                _ => return Err(self.err("'=', '!=' or 'contains'")),
+            };
+            let value = match self.next() {
+                Some(Token::Str(s)) => s,
+                Some(Token::Word(w)) => w,
+                Some(Token::Int(i)) => i.to_string(),
+                Some(Token::Hex(h)) => format!("{h:016x}"),
+                _ => return Err(self.err("value")),
+            };
+            clauses.push(Comparison { field, op, value });
+            if !self.eat_word("and") {
+                break;
+            }
+        }
+        Ok(clauses)
+    }
+
+    fn depth(&mut self) -> Result<Option<usize>, PqlError> {
+        if self.eat_word("depth") {
+            match self.next() {
+                Some(Token::Int(i)) => Ok(Some(i as usize)),
+                _ => Err(self.err("depth bound")),
+            }
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn entity(&mut self) -> Result<Entity, PqlError> {
+        if self.eat_word("runs") {
+            Ok(Entity::Runs)
+        } else if self.eat_word("artifacts") {
+            Ok(Entity::Artifacts)
+        } else if self.eat_word("executions") {
+            Ok(Entity::Executions)
+        } else {
+            Err(self.err("'runs', 'artifacts' or 'executions'"))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, PqlError> {
+        let q = if self.eat_word("lineage") || self.eat_word("impact") {
+            let direction = match &self.tokens[self.pos - 1] {
+                Token::Word(w) if w == "lineage" => Direction::Upstream,
+                _ => Direction::Downstream,
+            };
+            self.expect_word("of")?;
+            let target = self.target()?;
+            let depth = self.depth()?;
+            let filter = self.condition()?;
+            Query::Closure {
+                direction,
+                target,
+                depth,
+                filter,
+            }
+        } else if self.eat_word("count") {
+            Query::Count {
+                entity: self.entity()?,
+                filter: self.condition()?,
+            }
+        } else if self.eat_word("list") {
+            Query::List {
+                entity: self.entity()?,
+                filter: self.condition()?,
+            }
+        } else if self.eat_word("paths") {
+            self.expect_word("from")?;
+            let from = self.target()?;
+            self.expect_word("to")?;
+            let to = self.target()?;
+            let max_len = if self.eat_word("max") {
+                match self.next() {
+                    Some(Token::Int(i)) => Some(i as usize),
+                    _ => return Err(self.err("path length bound")),
+                }
+            } else {
+                None
+            };
+            Query::Paths { from, to, max_len }
+        } else {
+            return Err(self.err("'lineage', 'impact', 'count', 'list' or 'paths'"));
+        };
+        if self.pos != self.tokens.len() {
+            return Err(self.err("end of query"));
+        }
+        Ok(q)
+    }
+}
+
+/// Parse a PQL query string.
+pub fn parse(input: &str) -> Result<Query, PqlError> {
+    let tokens = lex(input)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_lineage_with_depth_and_filter() {
+        let q = parse(
+            "lineage of artifact 3f2a90bc41d07e55 depth 4 where module = \"Histogram@1\"",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            Query::Closure {
+                direction: Direction::Upstream,
+                target: Target::Artifact(0x3f2a90bc41d07e55),
+                depth: Some(4),
+                filter: Condition::all(vec![Comparison {
+                    field: Field::Module,
+                    op: Op::Eq,
+                    value: "Histogram@1".into()
+                }])
+            }
+        );
+    }
+
+    #[test]
+    fn parses_impact() {
+        let q = parse("impact of artifact 00ff00ff00ff00ff").unwrap();
+        assert!(matches!(
+            q,
+            Query::Closure {
+                direction: Direction::Downstream,
+                depth: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_count_with_conjunction() {
+        let q = parse("count runs where status = failed and module contains align").unwrap();
+        let Query::Count { entity, filter } = q else {
+            panic!()
+        };
+        assert_eq!(entity, Entity::Runs);
+        assert_eq!(filter.any_of.len(), 1);
+        assert_eq!(filter.any_of[0].len(), 2);
+        assert_eq!(filter.any_of[0][1].op, Op::Contains);
+    }
+
+    #[test]
+    fn parses_list_artifacts() {
+        let q = parse("list artifacts where dtype = grid").unwrap();
+        assert!(matches!(
+            q,
+            Query::List {
+                entity: Entity::Artifacts,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_paths_with_bound() {
+        let q = parse("paths from artifact 00000000000000aa to run 0/5 max 6").unwrap();
+        assert_eq!(
+            q,
+            Query::Paths {
+                from: Target::Artifact(0xaa),
+                to: Target::Run(0, 5),
+                max_len: Some(6)
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = parse("count runs bogus").unwrap_err();
+        assert!(err.to_string().contains("end of query"));
+    }
+
+    #[test]
+    fn missing_of_reported() {
+        let err = parse("lineage artifact 00000000000000aa").unwrap_err();
+        assert!(err.to_string().contains("'of'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_field_reported() {
+        let err = parse("count runs where color = red").unwrap_err();
+        assert!(err.to_string().contains("field"));
+    }
+
+    #[test]
+    fn run_target_requires_slash() {
+        assert!(parse("lineage of run 0 5").is_err());
+        assert!(parse("lineage of run 0/5").is_ok());
+    }
+}

@@ -1,0 +1,280 @@
+//! Query-by-example: structural matching of a small example graph against
+//! provenance.
+//!
+//! The tutorial contrasts textual query languages with "recent work on
+//! intuitive visual interfaces to query workflows" [4, 34]. A visual
+//! interface lets the user *draw* the pattern — a few boxes ("a Histogram
+//! fed by some load module, feeding anything that saves a file") — and the
+//! system finds all embeddings. This module is the matching engine beneath
+//! such an interface: backtracking subgraph isomorphism over run-level
+//! provenance with per-node label constraints.
+
+use prov_core::model::RetrospectiveProvenance;
+use std::collections::BTreeMap;
+use wf_model::NodeId;
+
+/// A constraint on the module identity of a matched run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelConstraint {
+    /// Match any run.
+    Any,
+    /// Exact module identity (`name@version`).
+    Exact(String),
+    /// Module name prefix before `@` (any version).
+    Name(String),
+}
+
+impl LabelConstraint {
+    fn accepts(&self, identity: &str) -> bool {
+        match self {
+            LabelConstraint::Any => true,
+            LabelConstraint::Exact(s) => identity == s,
+            LabelConstraint::Name(s) => identity.split('@').next() == Some(s.as_str()),
+        }
+    }
+}
+
+/// The example (pattern) graph: pattern nodes with label constraints and
+/// directed dataflow edges between them.
+#[derive(Debug, Clone, Default)]
+pub struct ExampleGraph {
+    constraints: Vec<LabelConstraint>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl ExampleGraph {
+    /// An empty example.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a pattern node matching any module.
+    pub fn any(&mut self) -> usize {
+        self.constraints.push(LabelConstraint::Any);
+        self.constraints.len() - 1
+    }
+
+    /// Add a pattern node matching a module name (any version).
+    pub fn module(&mut self, name: &str) -> usize {
+        self.constraints.push(LabelConstraint::Name(name.to_string()));
+        self.constraints.len() - 1
+    }
+
+    /// Add a pattern node matching an exact identity.
+    pub fn exact(&mut self, identity: &str) -> usize {
+        self.constraints
+            .push(LabelConstraint::Exact(identity.to_string()));
+        self.constraints.len() - 1
+    }
+
+    /// Require dataflow from pattern node `from` to pattern node `to`
+    /// (matched runs must be connected by at least one artifact).
+    pub fn edge(&mut self, from: usize, to: usize) {
+        self.edges.push((from, to));
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Is the pattern empty?
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+/// One embedding of the example in the provenance: pattern node index →
+/// matched run node.
+pub type Match = BTreeMap<usize, NodeId>;
+
+/// Find all embeddings of `example` in `retro`'s run-level dataflow graph.
+///
+/// Matching is injective (two pattern nodes never map to the same run) and
+/// edge-preserving (a pattern edge requires direct run→run dataflow).
+pub fn find_matches(example: &ExampleGraph, retro: &RetrospectiveProvenance) -> Vec<Match> {
+    // Build the run-level dataflow graph: r1 -> r2 iff some artifact
+    // produced by r1 is consumed by r2.
+    let mut produced: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+    for run in &retro.runs {
+        for (_, h) in &run.outputs {
+            produced.entry(*h).or_default().push(run.node);
+        }
+    }
+    let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    let mut identities: BTreeMap<NodeId, &str> = BTreeMap::new();
+    for run in &retro.runs {
+        identities.insert(run.node, &run.identity);
+        for (_, h) in &run.inputs {
+            if let Some(sources) = produced.get(h) {
+                for &s in sources {
+                    adj.entry(s).or_default().push(run.node);
+                }
+            }
+        }
+    }
+    let has_edge = |a: NodeId, b: NodeId| {
+        adj.get(&a).map(|v| v.contains(&b)).unwrap_or(false)
+    };
+
+    let runs: Vec<NodeId> = retro.runs.iter().map(|r| r.node).collect();
+    let mut matches = Vec::new();
+    let mut assignment: Vec<Option<NodeId>> = vec![None; example.len()];
+
+    fn backtrack(
+        i: usize,
+        example: &ExampleGraph,
+        runs: &[NodeId],
+        identities: &BTreeMap<NodeId, &str>,
+        has_edge: &dyn Fn(NodeId, NodeId) -> bool,
+        assignment: &mut Vec<Option<NodeId>>,
+        matches: &mut Vec<Match>,
+    ) {
+        if i == example.len() {
+            matches.push(
+                assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(k, v)| (k, v.expect("complete assignment")))
+                    .collect(),
+            );
+            return;
+        }
+        'candidates: for &run in runs {
+            if assignment.iter().flatten().any(|&r| r == run) {
+                continue;
+            }
+            if !example.constraints[i].accepts(identities.get(&run).copied().unwrap_or(""))
+            {
+                continue;
+            }
+            // Check edges to already-assigned pattern nodes.
+            for &(a, b) in &example.edges {
+                if a == i {
+                    if let Some(Some(rb)) = assignment.get(b) {
+                        if !has_edge(run, *rb) {
+                            continue 'candidates;
+                        }
+                    }
+                }
+                if b == i {
+                    if let Some(Some(ra)) = assignment.get(a) {
+                        if !has_edge(*ra, run) {
+                            continue 'candidates;
+                        }
+                    }
+                }
+            }
+            assignment[i] = Some(run);
+            backtrack(i + 1, example, runs, identities, has_edge, assignment, matches);
+            assignment[i] = None;
+        }
+    }
+
+    backtrack(
+        0,
+        example,
+        &runs,
+        &identities,
+        &has_edge,
+        &mut assignment,
+        &mut matches,
+    );
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn fig1() -> (RetrospectiveProvenance, wf_engine::synth::Figure1Nodes) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        (cap.take(r.exec).unwrap(), nodes)
+    }
+
+    #[test]
+    fn single_node_pattern_matches_each_run_of_module() {
+        let (retro, nodes) = fig1();
+        let mut ex = ExampleGraph::new();
+        ex.module("SaveFile");
+        let ms = find_matches(&ex, &retro);
+        assert_eq!(ms.len(), 2);
+        let matched: Vec<NodeId> = ms.iter().map(|m| m[&0]).collect();
+        assert!(matched.contains(&nodes.save_hist));
+        assert!(matched.contains(&nodes.save_iso));
+    }
+
+    #[test]
+    fn two_node_chain_pattern() {
+        let (retro, nodes) = fig1();
+        let mut ex = ExampleGraph::new();
+        let h = ex.module("Histogram");
+        let p = ex.any();
+        ex.edge(h, p);
+        let ms = find_matches(&ex, &retro);
+        assert_eq!(ms.len(), 1, "only PlotTable consumes the histogram");
+        assert_eq!(ms[0][&h], nodes.hist);
+        assert_eq!(ms[0][&p], nodes.plot);
+    }
+
+    #[test]
+    fn fanout_pattern_finds_both_branches() {
+        let (retro, nodes) = fig1();
+        // Load feeding two distinct consumers.
+        let mut ex = ExampleGraph::new();
+        let load = ex.module("LoadVolume");
+        let c1 = ex.any();
+        let c2 = ex.any();
+        ex.edge(load, c1);
+        ex.edge(load, c2);
+        let ms = find_matches(&ex, &retro);
+        // (hist, iso) and (iso, hist): 2 injective embeddings.
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert_eq!(m[&load], nodes.load);
+            assert_ne!(m[&c1], m[&c2]);
+        }
+    }
+
+    #[test]
+    fn exact_constraint_filters_versions() {
+        let (retro, _) = fig1();
+        let mut ex = ExampleGraph::new();
+        ex.exact("Histogram@1");
+        assert_eq!(find_matches(&ex, &retro).len(), 1);
+        let mut ex = ExampleGraph::new();
+        ex.exact("Histogram@2");
+        assert!(find_matches(&ex, &retro).is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_edge_yields_no_match() {
+        let (retro, _) = fig1();
+        let mut ex = ExampleGraph::new();
+        // Histogram feeding Isosurface never happens.
+        let h = ex.module("Histogram");
+        let i = ex.module("Isosurface");
+        ex.edge(h, i);
+        assert!(find_matches(&ex, &retro).is_empty());
+    }
+
+    #[test]
+    fn three_stage_pipeline_pattern() {
+        let (retro, nodes) = fig1();
+        let mut ex = ExampleGraph::new();
+        let a = ex.module("Isosurface");
+        let b = ex.module("SmoothMesh");
+        let c = ex.module("RenderMesh");
+        ex.edge(a, b);
+        ex.edge(b, c);
+        let ms = find_matches(&ex, &retro);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0][&b], nodes.smooth);
+    }
+}

@@ -1,0 +1,173 @@
+//! Canonical rendering of parsed PQL queries.
+//!
+//! `query.to_string()` produces text that parses back to the same AST
+//! (values are always quoted, so casing survives the case-insensitive
+//! lexer). Used by tooling that stores or displays saved queries, and by
+//! the parse/render round-trip property tests.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::Module => write!(f, "module"),
+            Field::Status => write!(f, "status"),
+            Field::Dtype => write!(f, "dtype"),
+            Field::Exec => write!(f, "exec"),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Eq => write!(f, "="),
+            Op::Neq => write!(f, "!="),
+            Op::Contains => write!(f, "contains"),
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} \"{}\"",
+            self.field,
+            self.op,
+            self.value.replace('"', "\\\"")
+        )
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, conj) in self.any_of.iter().enumerate() {
+            if i > 0 {
+                write!(f, " or ")?;
+            }
+            for (j, c) in conj.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " and ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Artifact(h) => write!(f, "artifact {h:016x}"),
+            Target::Run(e, n) => write!(f, "run {e}/{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Entity::Runs => write!(f, "runs"),
+            Entity::Artifacts => write!(f, "artifacts"),
+            Entity::Executions => write!(f, "executions"),
+        }
+    }
+}
+
+fn write_filter(f: &mut fmt::Formatter<'_>, filter: &Condition) -> fmt::Result {
+    if !filter.is_trivial() {
+        write!(f, " where {filter}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Closure {
+                direction,
+                target,
+                depth,
+                filter,
+            } => {
+                let verb = match direction {
+                    Direction::Upstream => "lineage",
+                    Direction::Downstream => "impact",
+                };
+                write!(f, "{verb} of {target}")?;
+                if let Some(d) = depth {
+                    write!(f, " depth {d}")?;
+                }
+                write_filter(f, filter)
+            }
+            Query::Count { entity, filter } => {
+                write!(f, "count {entity}")?;
+                write_filter(f, filter)
+            }
+            Query::List { entity, filter } => {
+                write!(f, "list {entity}")?;
+                write_filter(f, filter)
+            }
+            Query::Paths { from, to, max_len } => {
+                write!(f, "paths from {from} to {to}")?;
+                if let Some(m) = max_len {
+                    write!(f, " max {m}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    fn roundtrips(q: &str) {
+        let parsed = parse(q).unwrap();
+        let rendered = parsed.to_string();
+        let reparsed = parse(&rendered).unwrap_or_else(|e| {
+            panic!("rendered query {rendered:?} failed to parse: {e}")
+        });
+        assert_eq!(reparsed, parsed, "{q} -> {rendered}");
+    }
+
+    #[test]
+    fn canonical_rendering_roundtrips() {
+        for q in [
+            "lineage of artifact 00000000000000ff",
+            "impact of run 3/7 depth 2",
+            "lineage of artifact 00000000000000ff depth 9 where module = histogram",
+            "count runs where status = failed and module contains align",
+            "count runs where status = failed or status = skipped",
+            "list artifacts where dtype = grid or dtype = table and exec = 0",
+            "count executions",
+            "list executions where status = succeeded",
+            "paths from artifact 00000000000000aa to run 0/5 max 6",
+            "paths from run 1/2 to artifact 00000000000000bb",
+        ] {
+            roundtrips(q);
+        }
+    }
+
+    #[test]
+    fn rendering_quotes_values() {
+        let q = parse("count runs where module = \"Align Warp\"").unwrap();
+        assert_eq!(q.to_string(), "count runs where module = \"Align Warp\"");
+    }
+
+    #[test]
+    fn dnf_structure_survives() {
+        // and binds tighter than or.
+        let q = parse("count runs where exec = 0 and status = failed or exec = 1").unwrap();
+        let s = q.to_string();
+        assert_eq!(
+            s,
+            "count runs where exec = \"0\" and status = \"failed\" or exec = \"1\""
+        );
+        assert_eq!(parse(&s).unwrap(), q);
+    }
+}

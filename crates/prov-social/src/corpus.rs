@@ -1,0 +1,127 @@
+//! Deterministic corpus generators: a simulated community of users
+//! building variations of common scientific pipelines.
+//!
+//! Templates encode *plausible* module sequences with correct port wiring
+//! (taken from the `wf-engine` standard library), so that mined patterns
+//! reflect real structure rather than random noise.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wf_model::{NodeId, Workflow, WorkflowBuilder};
+
+/// A template step: module name, its output port, and the input port that
+/// receives the previous step's output.
+type Step = (&'static str, &'static str, &'static str);
+
+/// The pipeline templates of the simulated community. Optional steps are
+/// marked and dropped randomly per instance.
+fn templates() -> Vec<(&'static str, Vec<(Step, bool)>)> {
+    vec![
+        (
+            "volume visualization",
+            vec![
+                ((("LoadVolume"), "grid", ""), false),
+                (("SmoothGrid", "smoothed", "data"), true),
+                (("Isosurface", "mesh", "data"), false),
+                (("SmoothMesh", "mesh", "mesh"), true),
+                (("RenderMesh", "image", "mesh"), false),
+                (("SaveFile", "file", "in"), true),
+            ],
+        ),
+        (
+            "histogram analysis",
+            vec![
+                (("LoadVolume", "grid", ""), false),
+                (("Downsample", "out", "data"), true),
+                (("Histogram", "table", "data"), false),
+                (("PlotTable", "image", "table"), false),
+                (("SaveFile", "file", "in"), true),
+            ],
+        ),
+        (
+            "summary statistics",
+            vec![
+                (("LoadVolume", "grid", ""), false),
+                (("SmoothGrid", "smoothed", "data"), true),
+                (("GridStats", "stats", "data"), false),
+                (("FormatReport", "report", "stats"), false),
+            ],
+        ),
+        (
+            "slice export",
+            vec![
+                (("LoadVolume", "grid", ""), false),
+                (("Threshold", "mask", "data"), true),
+                (("Slice", "image", "data"), false),
+                (("Convert", "file", "image"), false),
+            ],
+        ),
+    ]
+}
+
+/// Generate one workflow from a template choice and RNG.
+fn instantiate(id: u64, rng: &mut StdRng) -> Workflow {
+    let ts = templates();
+    let (name, steps) = &ts[rng.random_range(0..ts.len())];
+    let mut b = WorkflowBuilder::new(id, &format!("{name} #{id}"));
+    let mut prev: Option<(NodeId, &'static str)> = None;
+    for ((module, out_port, in_port), optional) in steps {
+        if *optional && rng.random_bool(0.4) {
+            continue;
+        }
+        let n = b.add(module);
+        if *module == "LoadVolume" {
+            b.param(n, "path", format!("dataset-{}.vtk", rng.random_range(0..20u32)));
+        }
+        if *module == "Histogram" {
+            b.param(n, "bins", i64::from(rng.random_range(4..9u8)) * 8);
+        }
+        if let Some((p, p_out)) = prev {
+            b.connect(p, p_out, n, in_port);
+        }
+        prev = Some((n, out_port));
+    }
+    b.build()
+}
+
+/// Generate a corpus of `n` workflows, deterministically from `seed`.
+pub fn build_corpus(seed: u64, n: usize) -> Vec<Workflow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| instantiate(i as u64, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = build_corpus(7, 10);
+        let b = build_corpus(7, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn corpus_has_varied_shapes() {
+        let corpus = build_corpus(1, 40);
+        let sizes: std::collections::BTreeSet<usize> =
+            corpus.iter().map(|w| w.node_count()).collect();
+        assert!(sizes.len() >= 3, "optional steps produce varied sizes");
+        let names: std::collections::BTreeSet<&str> = corpus
+            .iter()
+            .map(|w| w.name.split(" #").next().unwrap())
+            .collect();
+        assert!(names.len() >= 3, "multiple templates used");
+    }
+
+    #[test]
+    fn corpus_workflows_are_valid_dags() {
+        for w in build_corpus(3, 30) {
+            assert!(w.topo_nodes().is_some());
+            assert!(w.node_count() >= 2);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # prov-social — social analysis of scientific workflows
+//!
+//! §2.3 of the tutorial: "a new class of Web site has emerged that enables
+//! users to upload and collectively analyze many types of data … this trend
+//! is expanding to the scientific domain where a number of collaboratories
+//! are under development. Science collaboratories aim to bridge this gap by
+//! allowing scientists to share, re-use and refine their workflows."
+//!
+//! This crate is the in-process substrate of such a collaboratory:
+//!
+//! * [`repo`] — a multi-user workflow repository with uploads, forks
+//!   (derivation attribution), tags, and search;
+//! * [`mine`] — provenance analytics (§2.4 "provenance analytics …
+//!   largely unexplored"): frequent-fragment mining over the corpus and
+//!   completion recommendations ("users who connected X usually follow
+//!   with Y"), with a held-out evaluation harness (experiment E9);
+//! * [`corpus`] — deterministic corpus generators simulating a community
+//!   of users building variations of common pipelines.
+
+pub mod corpus;
+pub mod mine;
+pub mod repo;
+
+pub use mine::{evaluate_recommender, FragmentMiner, RecommendationEval};
+pub use repo::{Collaboratory, Entry, EntryId, UserId};

@@ -1,0 +1,256 @@
+//! Provenance analytics: mining the corpus for knowledge re-use.
+//!
+//! §2.4: "The problem of mining and extracting knowledge from provenance
+//! data has been largely unexplored. … Mining this data may also lead to
+//! the discovery of patterns that can potentially simplify the notoriously
+//! hard, time-consuming process of designing and refining scientific
+//! workflows." The concrete application here is *completion
+//! recommendation* ("users who connected X usually follow with Y"), with a
+//! held-out accuracy evaluation — experiment E9.
+
+use std::collections::BTreeMap;
+use wf_model::Workflow;
+
+/// Frequencies of module-level fragments mined from a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct FragmentMiner {
+    /// Directed pair counts: (from module, to module) → occurrences.
+    pairs: BTreeMap<(String, String), usize>,
+    /// Directed path-of-3 counts.
+    triples: BTreeMap<(String, String, String), usize>,
+    /// Workflows mined.
+    pub corpus_size: usize,
+}
+
+impl FragmentMiner {
+    /// Mine a corpus.
+    pub fn mine(corpus: &[Workflow]) -> Self {
+        let mut m = FragmentMiner {
+            corpus_size: corpus.len(),
+            ..Default::default()
+        };
+        for wf in corpus {
+            m.add(wf);
+        }
+        m
+    }
+
+    /// Add one workflow to the statistics.
+    pub fn add(&mut self, wf: &Workflow) {
+        for c in wf.conns.values() {
+            let (Ok(from), Ok(to)) = (wf.node(c.from.node), wf.node(c.to.node)) else {
+                continue;
+            };
+            *self
+                .pairs
+                .entry((from.module.clone(), to.module.clone()))
+                .or_default() += 1;
+            // Extend to triples through `to`'s outgoing connections.
+            for c2 in wf.outputs_of(c.to.node) {
+                if let Ok(third) = wf.node(c2.to.node) {
+                    *self
+                        .triples
+                        .entry((
+                            from.module.clone(),
+                            to.module.clone(),
+                            third.module.clone(),
+                        ))
+                        .or_default() += 1;
+                }
+            }
+        }
+    }
+
+    /// Ranked successor recommendations for a module: "after `module`,
+    /// users usually add …". Ties broken alphabetically for determinism.
+    pub fn recommend_successor(&self, module: &str) -> Vec<(String, usize)> {
+        let mut v: Vec<(String, usize)> = self
+            .pairs
+            .iter()
+            .filter(|((from, _), _)| from == module)
+            .map(|((_, to), n)| (to.clone(), *n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Ranked recommendations conditioned on the *two* preceding modules
+    /// (uses triple statistics, falling back to pairs).
+    pub fn recommend_after(&self, prev: Option<&str>, module: &str) -> Vec<(String, usize)> {
+        if let Some(p) = prev {
+            let mut v: Vec<(String, usize)> = self
+                .triples
+                .iter()
+                .filter(|((a, b, _), _)| a == p && b == module)
+                .map(|((_, _, c), n)| (c.clone(), *n))
+                .collect();
+            if !v.is_empty() {
+                v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                return v;
+            }
+        }
+        self.recommend_successor(module)
+    }
+
+    /// All pairs with support ≥ `min_support`, most frequent first.
+    pub fn frequent_pairs(&self, min_support: usize) -> Vec<((String, String), usize)> {
+        let mut v: Vec<_> = self
+            .pairs
+            .iter()
+            .filter(|(_, &n)| n >= min_support)
+            .map(|(k, &n)| (k.clone(), n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// All triples with support ≥ `min_support`, most frequent first.
+    pub fn frequent_triples(
+        &self,
+        min_support: usize,
+    ) -> Vec<((String, String, String), usize)> {
+        let mut v: Vec<_> = self
+            .triples
+            .iter()
+            .filter(|(_, &n)| n >= min_support)
+            .map(|(k, &n)| (k.clone(), n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of distinct mined pairs.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// Result of the held-out recommendation evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecommendationEval {
+    /// Prediction trials performed.
+    pub trials: usize,
+    /// Trials where the true module was in the top-k recommendations.
+    pub hits: usize,
+    /// The k used.
+    pub k: usize,
+}
+
+impl RecommendationEval {
+    /// hit@k rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Leave-one-out evaluation: for every workflow, hide it from the miner,
+/// then for each of its sink modules ask the miner to predict it from its
+/// predecessor. Counts a hit when the true module appears in the top-`k`.
+pub fn evaluate_recommender(corpus: &[Workflow], k: usize) -> RecommendationEval {
+    let mut eval = RecommendationEval {
+        k,
+        ..Default::default()
+    };
+    for (i, held_out) in corpus.iter().enumerate() {
+        let rest: Vec<Workflow> = corpus
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, w)| w.clone())
+            .collect();
+        let miner = FragmentMiner::mine(&rest);
+        for sink in held_out.sink_nodes() {
+            let Some(conn) = held_out.inputs_of(sink).next() else {
+                continue;
+            };
+            let (Ok(pred), Ok(truth)) =
+                (held_out.node(conn.from.node), held_out.node(sink))
+            else {
+                continue;
+            };
+            let grand = held_out
+                .inputs_of(pred.id)
+                .next()
+                .and_then(|c| held_out.node(c.from.node).ok())
+                .map(|n| n.module.clone());
+            let recs = miner.recommend_after(grand.as_deref(), &pred.module);
+            eval.trials += 1;
+            if recs.iter().take(k).any(|(m, _)| *m == truth.module) {
+                eval.hits += 1;
+            }
+        }
+    }
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::build_corpus;
+
+    #[test]
+    fn mining_counts_pairs_and_triples() {
+        let corpus = build_corpus(1, 30);
+        let miner = FragmentMiner::mine(&corpus);
+        assert!(miner.pair_count() > 3);
+        // LoadVolume is in every template; it must have successors.
+        let recs = miner.recommend_successor("LoadVolume");
+        assert!(!recs.is_empty());
+        // Recommendations are sorted by support.
+        assert!(recs.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(!miner.frequent_pairs(2).is_empty());
+        assert!(!miner.frequent_triples(1).is_empty());
+    }
+
+    #[test]
+    fn histogram_is_followed_by_plot() {
+        let corpus = build_corpus(2, 50);
+        let miner = FragmentMiner::mine(&corpus);
+        let recs = miner.recommend_successor("Histogram");
+        assert_eq!(recs[0].0, "PlotTable", "the corpus wires Histogram->PlotTable");
+    }
+
+    #[test]
+    fn triple_conditioning_beats_or_equals_pairs() {
+        let corpus = build_corpus(3, 50);
+        let miner = FragmentMiner::mine(&corpus);
+        // After (Isosurface -> RenderMesh), SaveFile dominates.
+        let recs = miner.recommend_after(Some("Isosurface"), "RenderMesh");
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].0, "SaveFile");
+        // Unknown context falls back to pair statistics.
+        let fallback = miner.recommend_after(Some("Nonexistent"), "RenderMesh");
+        assert_eq!(fallback, miner.recommend_successor("RenderMesh"));
+    }
+
+    #[test]
+    fn recommender_beats_chance_on_heldout_corpus() {
+        let corpus = build_corpus(4, 40);
+        let eval = evaluate_recommender(&corpus, 2);
+        assert!(eval.trials > 10);
+        assert!(
+            eval.hit_rate() > 0.5,
+            "hit@2 = {:.2} over {} trials",
+            eval.hit_rate(),
+            eval.trials
+        );
+    }
+
+    #[test]
+    fn more_data_does_not_hurt_much() {
+        let small = evaluate_recommender(&build_corpus(5, 10), 3);
+        let large = evaluate_recommender(&build_corpus(5, 60), 3);
+        assert!(large.hit_rate() + 0.15 >= small.hit_rate());
+    }
+
+    #[test]
+    fn empty_corpus_evaluates_to_zero() {
+        let eval = evaluate_recommender(&[], 3);
+        assert_eq!(eval.trials, 0);
+        assert_eq!(eval.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The collaboratory: a multi-user repository of shared workflows.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use wf_model::Workflow;
+
+/// Identifier of a registered user.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct UserId(pub u64);
+
+/// Identifier of a repository entry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct EntryId(pub u64);
+
+/// A shared workflow in the repository.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Entry id.
+    pub id: EntryId,
+    /// Owner.
+    pub owner: UserId,
+    /// The shared workflow specification.
+    pub workflow: Workflow,
+    /// Free-form tags.
+    pub tags: BTreeSet<String>,
+    /// Short description.
+    pub description: String,
+    /// The entry this one was forked from, if any — derivation
+    /// *attribution*, social provenance.
+    pub derived_from: Option<EntryId>,
+    /// Upload time (ms since epoch).
+    pub uploaded_millis: u64,
+}
+
+/// The collaboratory.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Collaboratory {
+    users: BTreeMap<UserId, String>,
+    entries: BTreeMap<EntryId, Entry>,
+    next_user: u64,
+    next_entry: u64,
+}
+
+impl Collaboratory {
+    /// An empty collaboratory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a user.
+    pub fn register(&mut self, name: &str) -> UserId {
+        let id = UserId(self.next_user);
+        self.next_user += 1;
+        self.users.insert(id, name.to_string());
+        id
+    }
+
+    /// A user's display name.
+    pub fn user_name(&self, id: UserId) -> Option<&str> {
+        self.users.get(&id).map(String::as_str)
+    }
+
+    /// Upload a workflow.
+    pub fn upload(&mut self, owner: UserId, wf: &Workflow, description: &str) -> EntryId {
+        self.insert(owner, wf, description, None)
+    }
+
+    /// Fork an existing entry: the new entry records its ancestry.
+    pub fn fork(
+        &mut self,
+        owner: UserId,
+        from: EntryId,
+        wf: &Workflow,
+        description: &str,
+    ) -> Option<EntryId> {
+        if !self.entries.contains_key(&from) {
+            return None;
+        }
+        Some(self.insert(owner, wf, description, Some(from)))
+    }
+
+    fn insert(
+        &mut self,
+        owner: UserId,
+        wf: &Workflow,
+        description: &str,
+        derived_from: Option<EntryId>,
+    ) -> EntryId {
+        let id = EntryId(self.next_entry);
+        self.next_entry += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                id,
+                owner,
+                workflow: wf.clone(),
+                tags: BTreeSet::new(),
+                description: description.to_string(),
+                derived_from,
+                uploaded_millis: now_millis(),
+            },
+        );
+        id
+    }
+
+    /// Tag an entry.
+    pub fn tag(&mut self, entry: EntryId, tag: &str) -> bool {
+        match self.entries.get_mut(&entry) {
+            Some(e) => {
+                e.tags.insert(tag.to_string());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Look up an entry.
+    pub fn entry(&self, id: EntryId) -> Option<&Entry> {
+        self.entries.get(&id)
+    }
+
+    /// All entries, in upload order.
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the repository empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries owned by a user.
+    pub fn by_user(&self, user: UserId) -> Vec<&Entry> {
+        self.entries.values().filter(|e| e.owner == user).collect()
+    }
+
+    /// Case-insensitive search over names, descriptions, tags, and module
+    /// names.
+    pub fn search(&self, needle: &str) -> Vec<&Entry> {
+        let needle = needle.to_lowercase();
+        self.entries
+            .values()
+            .filter(|e| {
+                e.workflow.name.to_lowercase().contains(&needle)
+                    || e.description.to_lowercase().contains(&needle)
+                    || e.tags.iter().any(|t| t.to_lowercase().contains(&needle))
+                    || e.workflow
+                        .nodes
+                        .values()
+                        .any(|n| n.module.to_lowercase().contains(&needle))
+            })
+            .collect()
+    }
+
+    /// The fork ancestry of an entry, oldest first (attribution chain).
+    pub fn attribution_chain(&self, entry: EntryId) -> Vec<EntryId> {
+        let mut chain = Vec::new();
+        let mut cur = Some(entry);
+        while let Some(id) = cur {
+            chain.push(id);
+            cur = self.entries.get(&id).and_then(|e| e.derived_from);
+            if chain.len() > self.entries.len() {
+                break; // cycle guard; cannot happen through the public API
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Direct forks of an entry.
+    pub fn forks_of(&self, entry: EntryId) -> Vec<EntryId> {
+        self.entries
+            .values()
+            .filter(|e| e.derived_from == Some(entry))
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Module usage counts across the corpus ("wisdom of the crowds").
+    pub fn popular_modules(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for e in self.entries.values() {
+            for n in e.workflow.nodes.values() {
+                *counts.entry(n.module.clone()).or_default() += 1;
+            }
+        }
+        let mut v: Vec<(String, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+fn now_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::WorkflowBuilder;
+
+    fn wf(name: &str, modules: &[&str]) -> Workflow {
+        let mut b = WorkflowBuilder::new(1, name);
+        let nodes: Vec<_> = modules.iter().map(|m| b.add(m)).collect();
+        for w in nodes.windows(2) {
+            b.connect(w[0], "out", w[1], "in");
+        }
+        b.build()
+    }
+
+    fn seeded() -> (Collaboratory, UserId, UserId, EntryId) {
+        let mut c = Collaboratory::new();
+        let susan = c.register("susan");
+        let juliana = c.register("juliana");
+        let e = c.upload(susan, &wf("ct pipeline", &["LoadVolume", "Isosurface"]), "CT viz");
+        c.tag(e, "medical");
+        (c, susan, juliana, e)
+    }
+
+    #[test]
+    fn upload_tag_and_lookup() {
+        let (c, susan, _, e) = seeded();
+        let entry = c.entry(e).unwrap();
+        assert_eq!(entry.owner, susan);
+        assert!(entry.tags.contains("medical"));
+        assert_eq!(c.user_name(susan), Some("susan"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fork_builds_attribution_chain() {
+        let (mut c, _, juliana, e) = seeded();
+        let f1 = c
+            .fork(juliana, e, &wf("ct v2", &["LoadVolume", "Isosurface", "SmoothMesh"]), "smoother")
+            .unwrap();
+        let f2 = c
+            .fork(juliana, f1, &wf("ct v3", &["LoadVolume", "Isosurface", "SmoothMesh", "RenderMesh"]), "rendered")
+            .unwrap();
+        assert_eq!(c.attribution_chain(f2), vec![e, f1, f2]);
+        assert_eq!(c.forks_of(e), vec![f1]);
+        assert!(c.fork(juliana, EntryId(99), &wf("x", &["A"]), "").is_none());
+    }
+
+    #[test]
+    fn search_covers_all_facets() {
+        let (mut c, susan, ..) = seeded();
+        c.upload(susan, &wf("genomics", &["AlignWarp"]), "sequence study");
+        assert_eq!(c.search("medical").len(), 1, "by tag");
+        assert_eq!(c.search("GENOMICS").len(), 1, "by name, case-insensitive");
+        assert_eq!(c.search("alignwarp").len(), 1, "by module");
+        assert_eq!(c.search("study").len(), 1, "by description");
+        assert!(c.search("zzz").is_empty());
+    }
+
+    #[test]
+    fn popularity_counts_across_entries() {
+        let (mut c, susan, ..) = seeded();
+        c.upload(susan, &wf("second", &["LoadVolume", "Histogram"]), "");
+        let pop = c.popular_modules();
+        assert_eq!(pop[0], ("LoadVolume".to_string(), 2));
+    }
+
+    #[test]
+    fn by_user_filters() {
+        let (mut c, susan, juliana, _) = seeded();
+        c.upload(juliana, &wf("hers", &["Histogram"]), "");
+        assert_eq!(c.by_user(susan).len(), 1);
+        assert_eq!(c.by_user(juliana).len(), 1);
+    }
+
+    #[test]
+    fn repo_roundtrips_serde() {
+        let (c, ..) = seeded();
+        let j = serde_json::to_string(&c).unwrap();
+        let back: Collaboratory = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.search("medical").len(), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! The backend-neutral query surface.
+//!
+//! Every storage backend answers the same canned provenance queries so that
+//! experiments compare storage *strategies*, not feature sets. The queries
+//! are the tutorial's running examples: "who created this data product?",
+//! "what was the process used to create it?", plus a flat aggregate (the
+//! kind of query relational layouts are good at).
+
+use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
+use wf_engine::ExecId;
+use wf_model::NodeId;
+
+/// A module run identified across executions.
+pub type RunRef = (ExecId, NodeId);
+
+/// The canned query surface implemented by every backend.
+pub trait ProvenanceStore {
+    /// Backend name for reports.
+    fn backend_name(&self) -> &'static str;
+
+    /// Load one execution's retrospective provenance.
+    fn ingest(&mut self, retro: &RetrospectiveProvenance);
+
+    /// Q1 — "who created this data product?": the runs that generated the
+    /// artifact, across all ingested executions.
+    fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef>;
+
+    /// Q2 — "what was the process used to create it?": every run in the
+    /// artifact's transitive upstream closure, across executions (artifacts
+    /// join on content hash).
+    fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef>;
+
+    /// Q3 — downstream impact: every artifact transitively derived from
+    /// this one.
+    fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash>;
+
+    /// Q4 — flat aggregate: how many runs of each module identity exist?
+    /// Returns (identity, count) sorted by identity.
+    fn runs_per_module(&self) -> Vec<(String, usize)>;
+
+    /// Total module runs ingested.
+    fn run_count(&self) -> usize;
+
+    /// Approximate resident size in bytes (for the storage-footprint
+    /// comparison; estimates follow each backend's actual layout).
+    fn approx_bytes(&self) -> usize;
+}
+
+/// Shared test/benchmark helper: canonical sort for run refs.
+pub fn sort_runs(mut runs: Vec<RunRef>) -> Vec<RunRef> {
+    runs.sort();
+    runs.dedup();
+    runs
+}
+
+/// Shared test/benchmark helper: canonical sort for artifact sets.
+pub fn sort_artifacts(mut arts: Vec<ArtifactHash>) -> Vec<ArtifactHash> {
+    arts.sort_unstable();
+    arts.dedup();
+    arts
+}

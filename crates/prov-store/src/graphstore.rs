@@ -1,0 +1,317 @@
+//! The native provenance graph store.
+//!
+//! This is the backend "designed for provenance" the tutorial says existing
+//! standard-language stores are not: nodes are artifacts and runs,
+//! adjacency lists are materialized in both directions, and lineage is a
+//! direct graph traversal — no joins, no pattern matching.
+//!
+//! Artifacts are global (keyed by content hash), so ingesting several
+//! executions automatically connects provenance *across* runs whenever one
+//! run consumed what another produced.
+
+use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Interned node of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum GNode {
+    Artifact(ArtifactHash),
+    Run(RunRef),
+}
+
+/// Metadata kept per run.
+#[derive(Debug, Clone)]
+struct RunMeta {
+    identity: String,
+}
+
+/// The adjacency-indexed provenance graph store.
+#[derive(Debug, Default)]
+pub struct GraphStore {
+    index: HashMap<GNode, usize>,
+    nodes: Vec<GNode>,
+    succ: Vec<Vec<usize>>, // cause -> effect (dataflow direction)
+    pred: Vec<Vec<usize>>,
+    runs: HashMap<RunRef, RunMeta>,
+    edge_count: usize,
+}
+
+impl GraphStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, n: GNode) -> usize {
+        if let Some(&i) = self.index.get(&n) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(n);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        self.index.insert(n, i);
+        i
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize) {
+        if !self.succ[from].contains(&to) {
+            self.succ[from].push(to);
+            self.pred[to].push(from);
+            self.edge_count += 1;
+        }
+    }
+
+    /// Number of nodes (runs + artifacts).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The module identity of a run, if ingested.
+    pub fn run_identity(&self, run: RunRef) -> Option<&str> {
+        self.runs.get(&run).map(|m| m.identity.as_str())
+    }
+
+    fn closure(&self, start: GNode, reverse: bool) -> Vec<GNode> {
+        let Some(&s) = self.index.get(&start) else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; self.nodes.len()];
+        seen[s] = true;
+        let mut q = VecDeque::from([s]);
+        let mut out = Vec::new();
+        while let Some(u) = q.pop_front() {
+            let next = if reverse { &self.pred[u] } else { &self.succ[u] };
+            for &v in next {
+                if !seen[v] {
+                    seen[v] = true;
+                    out.push(self.nodes[v]);
+                    q.push_back(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ProvenanceStore for GraphStore {
+    fn backend_name(&self) -> &'static str {
+        "graph"
+    }
+
+    fn ingest(&mut self, retro: &RetrospectiveProvenance) {
+        for run in &retro.runs {
+            let rref: RunRef = (retro.exec, run.node);
+            self.runs.insert(
+                rref,
+                RunMeta {
+                    identity: run.identity.clone(),
+                },
+            );
+            let r = self.intern(GNode::Run(rref));
+            for (_, h) in &run.inputs {
+                let a = self.intern(GNode::Artifact(*h));
+                self.add_edge(a, r);
+            }
+            for (_, h) in &run.outputs {
+                let a = self.intern(GNode::Artifact(*h));
+                self.add_edge(r, a);
+            }
+        }
+    }
+
+    fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        let Some(&i) = self.index.get(&GNode::Artifact(artifact)) else {
+            return Vec::new();
+        };
+        sort_runs(
+            self.pred[i]
+                .iter()
+                .filter_map(|&p| match self.nodes[p] {
+                    GNode::Run(r) => Some(r),
+                    GNode::Artifact(_) => None,
+                })
+                .collect(),
+        )
+    }
+
+    fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        sort_runs(
+            self.closure(GNode::Artifact(artifact), true)
+                .into_iter()
+                .filter_map(|n| match n {
+                    GNode::Run(r) => Some(r),
+                    GNode::Artifact(_) => None,
+                })
+                .collect(),
+        )
+    }
+
+    fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
+        sort_artifacts(
+            self.closure(GNode::Artifact(artifact), false)
+                .into_iter()
+                .filter_map(|n| match n {
+                    GNode::Artifact(h) => Some(h),
+                    GNode::Run(_) => None,
+                })
+                .collect(),
+        )
+    }
+
+    fn runs_per_module(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for meta in self.runs.values() {
+            *counts.entry(meta.identity.as_str()).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
+    fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let node_bytes = self.nodes.len() * (std::mem::size_of::<GNode>() + 16);
+        let edge_bytes = self.edge_count * 2 * std::mem::size_of::<usize>();
+        let meta_bytes: usize = self
+            .runs
+            .values()
+            .map(|m| m.identity.len() + std::mem::size_of::<RunRef>() + 16)
+            .sum();
+        node_bytes + edge_bytes + meta_bytes
+    }
+}
+
+/// Cross-execution helper used by tests: all executions whose runs touch an
+/// artifact.
+pub fn executions_touching(store: &GraphStore, artifact: ArtifactHash) -> BTreeSet<u64> {
+    let mut out: BTreeSet<u64> = store
+        .lineage_runs(artifact)
+        .into_iter()
+        .map(|(e, _)| e.0)
+        .collect();
+    out.extend(store.generators(artifact).into_iter().map(|(e, _)| e.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn fig1_retro() -> (RetrospectiveProvenance, wf_engine::synth::Figure1Nodes) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        (cap.take(r.exec).unwrap(), nodes)
+    }
+
+    #[test]
+    fn ingest_and_generators() {
+        let (retro, nodes) = fig1_retro();
+        let mut s = GraphStore::new();
+        s.ingest(&retro);
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        let gens = s.generators(grid);
+        assert_eq!(gens, vec![(retro.exec, nodes.load)]);
+        assert_eq!(s.run_identity((retro.exec, nodes.load)), Some("LoadVolume@1"));
+    }
+
+    #[test]
+    fn lineage_crosses_the_whole_branch() {
+        let (retro, nodes) = fig1_retro();
+        let mut s = GraphStore::new();
+        s.ingest(&retro);
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        let lineage = s.lineage_runs(hist_file);
+        let node_ids: Vec<_> = lineage.iter().map(|(_, n)| *n).collect();
+        assert!(node_ids.contains(&nodes.load));
+        assert!(node_ids.contains(&nodes.hist));
+        assert!(!node_ids.contains(&nodes.iso));
+    }
+
+    #[test]
+    fn derived_artifacts_cover_downstream() {
+        let (retro, nodes) = fig1_retro();
+        let mut s = GraphStore::new();
+        s.ingest(&retro);
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        let derived = s.derived_artifacts(grid);
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        assert!(derived.contains(&hist_file));
+    }
+
+    #[test]
+    fn runs_per_module_counts() {
+        let (retro, _) = fig1_retro();
+        let mut s = GraphStore::new();
+        s.ingest(&retro);
+        let counts = s.runs_per_module();
+        assert!(counts.contains(&("SaveFile@1".to_string(), 2)));
+        assert!(counts.contains(&("Histogram@1".to_string(), 1)));
+        assert_eq!(s.run_count(), 8);
+    }
+
+    #[test]
+    fn cross_execution_join_on_artifact_hash() {
+        // Two executions of the same workflow produce the same artifacts:
+        // the store unifies them, and lineage spans both runs.
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r1 = exec.run_observed(&wf, &mut cap).unwrap();
+        let r2 = exec.run_observed(&wf, &mut cap).unwrap();
+        let p1 = cap.take(r1.exec).unwrap();
+        let p2 = cap.take(r2.exec).unwrap();
+        let mut s = GraphStore::new();
+        s.ingest(&p1);
+        s.ingest(&p2);
+        let grid = p1.produced(nodes.load, "grid").unwrap().hash;
+        assert_eq!(s.generators(grid).len(), 2, "one generator per execution");
+        let touching = executions_touching(&s, grid);
+        assert_eq!(touching.len(), 2);
+    }
+
+    #[test]
+    fn unknown_artifact_queries_are_empty() {
+        let s = GraphStore::new();
+        assert!(s.generators(42).is_empty());
+        assert!(s.lineage_runs(42).is_empty());
+        assert!(s.derived_artifacts(42).is_empty());
+        assert_eq!(s.run_count(), 0);
+    }
+
+    #[test]
+    fn ingest_is_idempotent_for_edges() {
+        let (retro, _) = fig1_retro();
+        let mut s = GraphStore::new();
+        s.ingest(&retro);
+        let e1 = s.edge_count();
+        let n1 = s.node_count();
+        s.ingest(&retro);
+        assert_eq!(s.edge_count(), e1);
+        assert_eq!(s.node_count(), n1);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let (retro, _) = fig1_retro();
+        let mut s = GraphStore::new();
+        let empty = s.approx_bytes();
+        s.ingest(&retro);
+        assert!(s.approx_bytes() > empty);
+    }
+}

@@ -1,0 +1,32 @@
+//! # prov-store — storage and access infrastructure for provenance
+//!
+//! §2.2 of the tutorial observes that "a wide variety of data models and
+//! storage systems have been used, ranging from specialized Semantic Web
+//! languages … and XML dialects that are stored as files … to tuples stored
+//! in relational database tables", and that query solutions "are closely
+//! tied to the storage models used". This crate implements that spectrum so
+//! the trade-offs can be measured (experiments E4/E5):
+//!
+//! * [`graphstore`] — a native, adjacency-indexed provenance graph store
+//!   (the "designed for provenance" point in the design space);
+//! * [`triplestore`] — an RDF-style triple store with SPO/POS/OSP indexes
+//!   and a basic-graph-pattern matcher (the SPARQL-ish baseline);
+//! * [`relstore`] — a miniature relational engine (typed columns, hash
+//!   joins, aggregation) over a fixed provenance schema (the SQL-ish
+//!   baseline);
+//! * [`logstore`] — an append-only, CRC-framed binary log with snapshots
+//!   and compaction (the durability substrate);
+//! * [`api`] — the [`api::ProvenanceStore`] trait: the canned queries every
+//!   backend must answer, so benchmarks compare like for like.
+
+pub mod api;
+pub mod graphstore;
+pub mod logstore;
+pub mod relstore;
+pub mod triplestore;
+
+pub use api::ProvenanceStore;
+pub use graphstore::GraphStore;
+pub use logstore::LogStore;
+pub use relstore::{RelStore, Relation, RelValue, Schema};
+pub use triplestore::{Term, TripleStore};

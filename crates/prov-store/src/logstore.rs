@@ -1,0 +1,465 @@
+//! An append-only, CRC-framed provenance log with snapshots and compaction.
+//!
+//! Represents the "XML dialects that are stored as files" end of the
+//! spectrum (§2.2): durable, cheap to write, and with *no* index — every
+//! query is a scan over the parsed records, which is exactly the cost
+//! profile experiment E4 contrasts with the indexed backends.
+//!
+//! Frame format, little-endian:
+//!
+//! ```text
+//! [len: u32] [crc32(payload): u32] [payload: len bytes of JSON]
+//! ```
+//!
+//! Recovery tolerates a truncated final frame (a crash mid-append) and
+//! stops at the first CRC mismatch, reporting how much was recovered.
+
+use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// CRC-32 (IEEE 802.3) over a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table generated at first use.
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (i, e) in t.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 {
+                        0xedb8_8320 ^ (c >> 1)
+                    } else {
+                        c >> 1
+                    };
+                }
+                *e = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Errors raised by the log store.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record failed to serialize/deserialize.
+    Codec(String),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log i/o error: {e}"),
+            LogError::Codec(m) => write!(f, "log codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// Outcome of replaying a log file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Records recovered, in append order.
+    pub records: Vec<RetrospectiveProvenance>,
+    /// Bytes of valid frames consumed.
+    pub valid_bytes: u64,
+    /// True when a truncated or corrupt tail was discarded.
+    pub truncated_tail: bool,
+}
+
+/// The append-only provenance log.
+#[derive(Debug)]
+pub struct LogStore {
+    path: PathBuf,
+    file: File,
+    /// Parsed records (the query working set).
+    records: Vec<RetrospectiveProvenance>,
+}
+
+impl LogStore {
+    /// Open (or create) a log at `path`, replaying existing records.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, LogError> {
+        let path = path.as_ref().to_path_buf();
+        let replay = Self::replay(&path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        // Truncate any corrupt tail so future appends are clean.
+        file.set_len(replay.valid_bytes)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Self {
+            path,
+            file,
+            records: replay.records,
+        })
+    }
+
+    /// Replay a log file without opening it for writing.
+    pub fn replay(path: impl AsRef<Path>) -> Result<Replay, LogError> {
+        let mut records = Vec::new();
+        let mut valid_bytes = 0u64;
+        let mut truncated = false;
+        let data = match std::fs::read(path.as_ref()) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let mut off = 0usize;
+        while off + 8 <= data.len() {
+            let len =
+                u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("4 bytes"));
+            if off + 8 + len > data.len() {
+                truncated = true;
+                break;
+            }
+            let payload = &data[off + 8..off + 8 + len];
+            if crc32(payload) != crc {
+                truncated = true;
+                break;
+            }
+            match serde_json::from_slice::<RetrospectiveProvenance>(payload) {
+                Ok(r) => records.push(r),
+                Err(e) => return Err(LogError::Codec(e.to_string())),
+            }
+            off += 8 + len;
+            valid_bytes = off as u64;
+        }
+        if off < data.len() && off + 8 > data.len() {
+            truncated = true;
+        }
+        Ok(Replay {
+            records,
+            valid_bytes,
+            truncated_tail: truncated,
+        })
+    }
+
+    /// Append one record and flush.
+    pub fn append(&mut self, retro: &RetrospectiveProvenance) -> Result<(), LogError> {
+        let payload =
+            serde_json::to_vec(retro).map_err(|e| LogError::Codec(e.to_string()))?;
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.records.push(retro.clone());
+        Ok(())
+    }
+
+    /// Compact: rewrite the log keeping only the *latest* record per
+    /// execution id (re-ingested executions supersede older records).
+    /// Returns the number of records dropped.
+    pub fn compact(&mut self) -> Result<usize, LogError> {
+        let mut latest: Vec<RetrospectiveProvenance> = Vec::new();
+        for r in &self.records {
+            if let Some(slot) = latest.iter_mut().find(|x| x.exec == r.exec) {
+                *slot = r.clone();
+            } else {
+                latest.push(r.clone());
+            }
+        }
+        let dropped = self.records.len() - latest.len();
+        let tmp = self.path.with_extension("compact");
+        {
+            let mut f = File::create(&tmp)?;
+            for r in &latest {
+                let payload =
+                    serde_json::to_vec(r).map_err(|e| LogError::Codec(e.to_string()))?;
+                f.write_all(&(payload.len() as u32).to_le_bytes())?;
+                f.write_all(&crc32(&payload).to_le_bytes())?;
+                f.write_all(&payload)?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.records = latest;
+        Ok(dropped)
+    }
+
+    /// The in-memory records, in append order.
+    pub fn records(&self) -> &[RetrospectiveProvenance] {
+        &self.records
+    }
+
+    /// Current file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+impl ProvenanceStore for LogStore {
+    fn backend_name(&self) -> &'static str {
+        "log"
+    }
+
+    fn ingest(&mut self, retro: &RetrospectiveProvenance) {
+        self.append(retro).expect("log append failed");
+    }
+
+    fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        // Unindexed: scan every record.
+        let mut out = Vec::new();
+        for rec in &self.records {
+            for run in &rec.runs {
+                if run.outputs.iter().any(|(_, h)| *h == artifact) {
+                    out.push((rec.exec, run.node));
+                }
+            }
+        }
+        sort_runs(out)
+    }
+
+    fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        let mut result: Vec<RunRef> = Vec::new();
+        let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
+        let mut seen_arts: std::collections::BTreeSet<ArtifactHash> =
+            [artifact].into_iter().collect();
+        let mut frontier = vec![artifact];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for a in frontier.drain(..) {
+                for rec in &self.records {
+                    for run in &rec.runs {
+                        if run.outputs.iter().any(|(_, h)| *h == a)
+                            && seen_runs.insert((rec.exec, run.node))
+                        {
+                            result.push((rec.exec, run.node));
+                            for (_, h) in &run.inputs {
+                                if seen_arts.insert(*h) {
+                                    next.push(*h);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        sort_runs(result)
+    }
+
+    fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
+        let mut result = Vec::new();
+        let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
+        let mut seen_arts: std::collections::BTreeSet<ArtifactHash> =
+            [artifact].into_iter().collect();
+        let mut frontier = vec![artifact];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for a in frontier.drain(..) {
+                for rec in &self.records {
+                    for run in &rec.runs {
+                        if run.inputs.iter().any(|(_, h)| *h == a)
+                            && seen_runs.insert((rec.exec, run.node))
+                        {
+                            for (_, h) in &run.outputs {
+                                if seen_arts.insert(*h) {
+                                    result.push(*h);
+                                    next.push(*h);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        sort_artifacts(result)
+    }
+
+    fn runs_per_module(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for rec in &self.records {
+            for run in &rec.runs {
+                *counts.entry(run.identity.clone()).or_default() += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+
+    fn run_count(&self) -> usize {
+        self.records.iter().map(|r| r.runs.len()).sum()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.file_bytes() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "prov-log-{}-{}-{name}.bin",
+            std::process::id(),
+            wf_engine::event::now_millis()
+        ));
+        p
+    }
+
+    fn fig1_retro() -> (RetrospectiveProvenance, wf_engine::synth::Figure1Nodes) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        (cap.take(r.exec).unwrap(), nodes)
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_a686);
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let path = temp_path("roundtrip");
+        let (retro, _) = fig1_retro();
+        {
+            let mut log = LogStore::open(&path).unwrap();
+            log.append(&retro).unwrap();
+            log.append(&retro).unwrap();
+        }
+        let replay = LogStore::replay(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(!replay.truncated_tail);
+        assert_eq!(replay.records[0], retro);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_restores_records() {
+        let path = temp_path("reopen");
+        let (retro, _) = fig1_retro();
+        {
+            let mut log = LogStore::open(&path).unwrap();
+            log.append(&retro).unwrap();
+        }
+        let log = LogStore::open(&path).unwrap();
+        assert_eq!(log.records().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_discarded() {
+        let path = temp_path("trunc");
+        let (retro, _) = fig1_retro();
+        {
+            let mut log = LogStore::open(&path).unwrap();
+            log.append(&retro).unwrap();
+            log.append(&retro).unwrap();
+        }
+        // Chop 10 bytes off the end (mid-frame crash).
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+        let replay = LogStore::replay(&path).unwrap();
+        assert_eq!(replay.records.len(), 1, "only the intact frame survives");
+        assert!(replay.truncated_tail);
+        // Re-opening truncates and appends cleanly after the valid prefix.
+        let mut log = LogStore::open(&path).unwrap();
+        log.append(&retro).unwrap();
+        let replay = LogStore::replay(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(!replay.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_detected() {
+        let path = temp_path("crc");
+        let (retro, _) = fig1_retro();
+        {
+            let mut log = LogStore::open(&path).unwrap();
+            log.append(&retro).unwrap();
+        }
+        // Flip a payload byte.
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+        let replay = LogStore::replay(&path).unwrap();
+        assert_eq!(replay.records.len(), 0);
+        assert!(replay.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_keeps_latest_per_exec() {
+        let path = temp_path("compact");
+        let (retro, _) = fig1_retro();
+        let mut newer = retro.clone();
+        newer.workflow_name = "updated".into();
+        let mut log = LogStore::open(&path).unwrap();
+        log.append(&retro).unwrap();
+        log.append(&newer).unwrap(); // same exec id
+        let before = log.file_bytes();
+        let dropped = log.compact().unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.records()[0].workflow_name, "updated");
+        assert!(log.file_bytes() < before);
+        // Still appendable and replayable after compaction.
+        log.append(&retro).unwrap();
+        drop(log);
+        let replay = LogStore::replay(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn log_store_answers_canned_queries_like_graph_store() {
+        use crate::graphstore::GraphStore;
+        let path = temp_path("queries");
+        let (retro, nodes) = fig1_retro();
+        let mut log = LogStore::open(&path).unwrap();
+        log.ingest(&retro);
+        let mut gs = GraphStore::new();
+        gs.ingest(&retro);
+        let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        assert_eq!(log.lineage_runs(iso_file), gs.lineage_runs(iso_file));
+        assert_eq!(log.generators(grid), gs.generators(grid));
+        assert_eq!(log.derived_artifacts(grid), gs.derived_artifacts(grid));
+        assert_eq!(log.runs_per_module(), gs.runs_per_module());
+        assert_eq!(log.run_count(), 8);
+        assert!(log.approx_bytes() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

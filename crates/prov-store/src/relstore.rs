@@ -1,0 +1,676 @@
+//! A miniature relational engine over a fixed provenance schema.
+//!
+//! Represents the "tuples stored in relational database tables" end of the
+//! storage spectrum (§2.2). The engine is small but real: typed columns,
+//! heap tables, equality hash indexes, and composable physical operators
+//! (scan → filter → hash-join → project → aggregate). Lineage becomes a
+//! chain of self-joins over `run_inputs ⋈ run_outputs` — one join per
+//! depth level, the asymptotic behaviour experiment E5 exposes.
+//!
+//! The provenance schema:
+//!
+//! ```text
+//! runs(exec, node, identity, status, elapsed_micros)
+//! run_inputs(exec, node, port, artifact)
+//! run_outputs(exec, node, port, artifact)
+//! artifacts(hash, dtype, size)
+//! ```
+
+use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
+use std::collections::HashMap;
+use std::fmt;
+use wf_engine::ExecId;
+use wf_model::NodeId;
+
+/// A relational value.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum RelValue {
+    /// 64-bit integer (also used for ids and hashes).
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Text(String),
+}
+
+impl RelValue {
+    /// Equality hash used by hash joins and indexes (floats by bits).
+    fn key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        match self {
+            RelValue::Int(i) => {
+                0u8.hash(&mut h);
+                i.hash(&mut h);
+            }
+            RelValue::Float(f) => {
+                1u8.hash(&mut h);
+                f.to_bits().hash(&mut h);
+            }
+            RelValue::Text(s) => {
+                2u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// The integer value, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            RelValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The text value, if any.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            RelValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RelValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelValue::Int(i) => write!(f, "{i}"),
+            RelValue::Float(x) => write!(f, "{x}"),
+            RelValue::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for RelValue {
+    fn from(v: i64) -> Self {
+        RelValue::Int(v)
+    }
+}
+impl From<&str> for RelValue {
+    fn from(v: &str) -> Self {
+        RelValue::Text(v.to_string())
+    }
+}
+impl From<String> for RelValue {
+    fn from(v: String) -> Self {
+        RelValue::Text(v)
+    }
+}
+impl From<f64> for RelValue {
+    fn from(v: f64) -> Self {
+        RelValue::Float(v)
+    }
+}
+
+/// A table schema: ordered column names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Column names in position order.
+    pub columns: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema.
+    pub fn new(columns: &[&str]) -> Self {
+        Self {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// Position of a column.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column '{name}' in {:?}", self.columns))
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// An in-memory relation: schema + rows (+ optional hash indexes).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// The schema.
+    pub schema: Schema,
+    /// The rows.
+    pub rows: Vec<Vec<RelValue>>,
+    /// Equality indexes: column position → value-key → row ids.
+    indexes: HashMap<usize, HashMap<u64, Vec<usize>>>,
+}
+
+impl Relation {
+    /// An empty relation.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Insert a row; maintains any indexes. Panics on arity mismatch.
+    pub fn insert(&mut self, row: Vec<RelValue>) {
+        assert_eq!(row.len(), self.schema.width(), "row arity mismatch");
+        let id = self.rows.len();
+        for (&col, index) in self.indexes.iter_mut() {
+            index.entry(row[col].key()).or_default().push(id);
+        }
+        self.rows.push(row);
+    }
+
+    /// Create an equality hash index on a column.
+    pub fn create_index(&mut self, column: &str) {
+        let col = self.schema.col(column);
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (id, row) in self.rows.iter().enumerate() {
+            index.entry(row[col].key()).or_default().push(id);
+        }
+        self.indexes.insert(col, index);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index lookup: rows where `column = value`. Falls back to a scan if
+    /// the column is not indexed.
+    pub fn lookup<'a>(&'a self, column: &str, value: &RelValue) -> Vec<&'a Vec<RelValue>> {
+        let col = self.schema.col(column);
+        if let Some(index) = self.indexes.get(&col) {
+            index
+                .get(&value.key())
+                .map(|ids| {
+                    ids.iter()
+                        .map(|&i| &self.rows[i])
+                        .filter(|r| r[col] == *value)
+                        .collect()
+                })
+                .unwrap_or_default()
+        } else {
+            self.rows.iter().filter(|r| r[col] == *value).collect()
+        }
+    }
+
+    /// Full scan with a predicate: σ.
+    pub fn filter(&self, pred: impl Fn(&[RelValue]) -> bool) -> Relation {
+        let mut out = Relation::new(self.schema.clone());
+        for row in &self.rows {
+            if pred(row) {
+                out.insert(row.clone());
+            }
+        }
+        out
+    }
+
+    /// Projection: π. Column names may repeat.
+    pub fn project(&self, columns: &[&str]) -> Relation {
+        let idxs: Vec<usize> = columns.iter().map(|c| self.schema.col(c)).collect();
+        let mut out = Relation::new(Schema::new(columns));
+        for row in &self.rows {
+            out.insert(idxs.iter().map(|&i| row[i].clone()).collect());
+        }
+        out
+    }
+
+    /// Hash join: ⋈ on `self.left_col = other.right_col`. Output schema is
+    /// the concatenation, right columns prefixed with `r_` when they
+    /// collide with a left column name.
+    pub fn hash_join(&self, left_col: &str, other: &Relation, right_col: &str) -> Relation {
+        let lc = self.schema.col(left_col);
+        let rc = other.schema.col(right_col);
+        // Build on the smaller side.
+        let mut cols: Vec<String> = self.schema.columns.clone();
+        for c in &other.schema.columns {
+            if cols.contains(c) {
+                cols.push(format!("r_{c}"));
+            } else {
+                cols.push(c.clone());
+            }
+        }
+        let mut out = Relation::new(Schema {
+            columns: cols,
+        });
+        let mut table: HashMap<u64, Vec<&Vec<RelValue>>> = HashMap::new();
+        for row in &other.rows {
+            table.entry(row[rc].key()).or_default().push(row);
+        }
+        for lrow in &self.rows {
+            if let Some(matches) = table.get(&lrow[lc].key()) {
+                for rrow in matches {
+                    if rrow[rc] == lrow[lc] {
+                        let mut row = lrow.clone();
+                        row.extend(rrow.iter().cloned());
+                        out.insert(row);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Grouped count: γ. Returns (group value, count) pairs sorted by
+    /// group.
+    pub fn count_by(&self, column: &str) -> Vec<(RelValue, usize)> {
+        let col = self.schema.col(column);
+        let mut groups: Vec<(RelValue, usize)> = Vec::new();
+        'rows: for row in &self.rows {
+            for g in groups.iter_mut() {
+                if g.0 == row[col] {
+                    g.1 += 1;
+                    continue 'rows;
+                }
+            }
+            groups.push((row[col].clone(), 1));
+        }
+        groups.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        groups
+    }
+
+    /// Distinct rows (preserving first-seen order).
+    pub fn distinct(&self) -> Relation {
+        let mut out = Relation::new(self.schema.clone());
+        let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+        for row in &self.rows {
+            let key = row.iter().fold(0u64, |acc, v| {
+                acc.wrapping_mul(0x100000001b3).wrapping_add(v.key())
+            });
+            let candidates = seen.entry(key).or_default();
+            if !candidates.iter().any(|&i| out.rows[i] == *row) {
+                candidates.push(out.rows.len());
+                out.insert(row.clone());
+            }
+        }
+        out
+    }
+
+    /// Approximate resident bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let cell = |v: &RelValue| match v {
+            RelValue::Int(_) | RelValue::Float(_) => 16,
+            RelValue::Text(s) => 24 + s.len(),
+        };
+        let rows: usize = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(cell).sum::<usize>() + 24)
+            .sum();
+        let idx: usize = self
+            .indexes
+            .values()
+            .map(|i| i.values().map(|v| v.len() * 8 + 16).sum::<usize>())
+            .sum();
+        rows + idx
+    }
+}
+
+/// The relational provenance store.
+#[derive(Debug)]
+pub struct RelStore {
+    /// `runs(exec, node, identity, status, elapsed_micros)`.
+    pub runs: Relation,
+    /// `run_inputs(exec, node, port, artifact)`.
+    pub run_inputs: Relation,
+    /// `run_outputs(exec, node, port, artifact)`.
+    pub run_outputs: Relation,
+    /// `artifacts(hash, dtype, size)`.
+    pub artifacts: Relation,
+}
+
+impl Default for RelStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RelStore {
+    /// An empty store with **no** indexes: every lookup is a scan. The
+    /// ablation point of experiment E4b — quantifying what the hash
+    /// indexes buy.
+    pub fn new_unindexed() -> Self {
+        Self {
+            runs: Relation::new(Schema::new(&[
+                "exec",
+                "node",
+                "identity",
+                "status",
+                "elapsed_micros",
+            ])),
+            run_inputs: Relation::new(Schema::new(&["exec", "node", "port", "artifact"])),
+            run_outputs: Relation::new(Schema::new(&["exec", "node", "port", "artifact"])),
+            artifacts: Relation::new(Schema::new(&["hash", "dtype", "size"])),
+        }
+    }
+
+    /// An empty store with indexes on the join columns.
+    pub fn new() -> Self {
+        let mut runs = Relation::new(Schema::new(&[
+            "exec",
+            "node",
+            "identity",
+            "status",
+            "elapsed_micros",
+        ]));
+        runs.create_index("node");
+        let mut run_inputs =
+            Relation::new(Schema::new(&["exec", "node", "port", "artifact"]));
+        run_inputs.create_index("artifact");
+        run_inputs.create_index("node");
+        let mut run_outputs =
+            Relation::new(Schema::new(&["exec", "node", "port", "artifact"]));
+        run_outputs.create_index("artifact");
+        run_outputs.create_index("node");
+        let mut artifacts = Relation::new(Schema::new(&["hash", "dtype", "size"]));
+        artifacts.create_index("hash");
+        Self {
+            runs,
+            run_inputs,
+            run_outputs,
+            artifacts,
+        }
+    }
+
+    fn run_ref(row_exec: &RelValue, row_node: &RelValue) -> Option<RunRef> {
+        Some((
+            ExecId(row_exec.as_int()? as u64),
+            NodeId(row_node.as_int()? as u64),
+        ))
+    }
+}
+
+/// Artifact hashes are stored as `i64` (bit-cast) in the `artifact` and
+/// `hash` columns.
+fn art_val(h: ArtifactHash) -> RelValue {
+    RelValue::Int(h as i64)
+}
+
+impl ProvenanceStore for RelStore {
+    fn backend_name(&self) -> &'static str {
+        "relational"
+    }
+
+    fn ingest(&mut self, retro: &RetrospectiveProvenance) {
+        for run in &retro.runs {
+            self.runs.insert(vec![
+                RelValue::Int(retro.exec.0 as i64),
+                RelValue::Int(run.node.raw() as i64),
+                run.identity.as_str().into(),
+                run.status.to_string().into(),
+                RelValue::Int(run.elapsed_micros as i64),
+            ]);
+            for (port, h) in &run.inputs {
+                self.run_inputs.insert(vec![
+                    RelValue::Int(retro.exec.0 as i64),
+                    RelValue::Int(run.node.raw() as i64),
+                    port.as_str().into(),
+                    art_val(*h),
+                ]);
+            }
+            for (port, h) in &run.outputs {
+                self.run_outputs.insert(vec![
+                    RelValue::Int(retro.exec.0 as i64),
+                    RelValue::Int(run.node.raw() as i64),
+                    port.as_str().into(),
+                    art_val(*h),
+                ]);
+            }
+        }
+        for a in retro.artifacts.values() {
+            if self.artifacts.lookup("hash", &art_val(a.hash)).is_empty() {
+                self.artifacts.insert(vec![
+                    art_val(a.hash),
+                    a.dtype.as_str().into(),
+                    RelValue::Int(a.size as i64),
+                ]);
+            }
+        }
+    }
+
+    fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        sort_runs(
+            self.run_outputs
+                .lookup("artifact", &art_val(artifact))
+                .into_iter()
+                .filter_map(|row| RelStore::run_ref(&row[0], &row[1]))
+                .collect(),
+        )
+    }
+
+    fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        // Iterated self-join: artifacts_k = π_artifact(run_inputs ⋈_node
+        // (σ_artifact∈frontier run_outputs)); one join round per depth.
+        let mut result: Vec<RunRef> = Vec::new();
+        let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
+        let mut seen_arts: std::collections::BTreeSet<ArtifactHash> = Default::default();
+        let mut frontier = vec![artifact];
+        seen_arts.insert(artifact);
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for a in frontier.drain(..) {
+                for out_row in self.run_outputs.lookup("artifact", &art_val(a)) {
+                    let Some(run) = RelStore::run_ref(&out_row[0], &out_row[1]) else {
+                        continue;
+                    };
+                    if !seen_runs.insert(run) {
+                        continue;
+                    }
+                    result.push(run);
+                    // Join to this run's inputs (index-nested-loop join on
+                    // node, filtered by exec).
+                    for in_row in self
+                        .run_inputs
+                        .lookup("node", &RelValue::Int(run.1.raw() as i64))
+                    {
+                        if in_row[0].as_int() == Some(run.0 .0 as i64) {
+                            if let Some(h) = in_row[3].as_int() {
+                                let h = h as u64;
+                                if seen_arts.insert(h) {
+                                    next.push(h);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        sort_runs(result)
+    }
+
+    fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
+        let mut result = Vec::new();
+        let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
+        let mut seen_arts: std::collections::BTreeSet<ArtifactHash> =
+            [artifact].into_iter().collect();
+        let mut frontier = vec![artifact];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for a in frontier.drain(..) {
+                for in_row in self.run_inputs.lookup("artifact", &art_val(a)) {
+                    let Some(run) = RelStore::run_ref(&in_row[0], &in_row[1]) else {
+                        continue;
+                    };
+                    if !seen_runs.insert(run) {
+                        continue;
+                    }
+                    for out_row in self
+                        .run_outputs
+                        .lookup("node", &RelValue::Int(run.1.raw() as i64))
+                    {
+                        if out_row[0].as_int() == Some(run.0 .0 as i64) {
+                            if let Some(h) = out_row[3].as_int() {
+                                let h = h as u64;
+                                if seen_arts.insert(h) {
+                                    result.push(h);
+                                    next.push(h);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        sort_artifacts(result)
+    }
+
+    fn runs_per_module(&self) -> Vec<(String, usize)> {
+        self.runs
+            .count_by("identity")
+            .into_iter()
+            .filter_map(|(v, c)| v.as_text().map(|s| (s.to_string(), c)))
+            .collect()
+    }
+
+    fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.runs.approx_bytes()
+            + self.run_inputs.approx_bytes()
+            + self.run_outputs.approx_bytes()
+            + self.artifacts.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    #[test]
+    fn relation_insert_filter_project() {
+        let mut r = Relation::new(Schema::new(&["a", "b"]));
+        r.insert(vec![1i64.into(), "x".into()]);
+        r.insert(vec![2i64.into(), "y".into()]);
+        r.insert(vec![3i64.into(), "x".into()]);
+        let f = r.filter(|row| row[1] == RelValue::Text("x".into()));
+        assert_eq!(f.len(), 2);
+        let p = f.project(&["a"]);
+        assert_eq!(p.schema.columns, vec!["a"]);
+        assert_eq!(p.rows, vec![vec![RelValue::Int(1)], vec![RelValue::Int(3)]]);
+    }
+
+    #[test]
+    fn hash_join_matches_and_renames() {
+        let mut l = Relation::new(Schema::new(&["id", "name"]));
+        l.insert(vec![1i64.into(), "alpha".into()]);
+        l.insert(vec![2i64.into(), "beta".into()]);
+        let mut r = Relation::new(Schema::new(&["id", "score"]));
+        r.insert(vec![1i64.into(), 10.0.into()]);
+        r.insert(vec![1i64.into(), 20.0.into()]);
+        r.insert(vec![3i64.into(), 30.0.into()]);
+        let j = l.hash_join("id", &r, "id");
+        assert_eq!(j.len(), 2, "id=1 matches twice, id=2 none");
+        assert_eq!(j.schema.columns, vec!["id", "name", "r_id", "score"]);
+    }
+
+    #[test]
+    fn index_lookup_equals_scan() {
+        let mut r = Relation::new(Schema::new(&["k", "v"]));
+        for i in 0..100i64 {
+            r.insert(vec![(i % 10).into(), i.into()]);
+        }
+        let scanned = r.lookup("k", &RelValue::Int(3)).len();
+        r.create_index("k");
+        let indexed = r.lookup("k", &RelValue::Int(3)).len();
+        assert_eq!(scanned, indexed);
+        assert_eq!(indexed, 10);
+        // Index maintained on later inserts.
+        r.insert(vec![3i64.into(), 999i64.into()]);
+        assert_eq!(r.lookup("k", &RelValue::Int(3)).len(), 11);
+    }
+
+    #[test]
+    fn count_by_and_distinct() {
+        let mut r = Relation::new(Schema::new(&["m"]));
+        for m in ["a", "b", "a", "a"] {
+            r.insert(vec![m.into()]);
+        }
+        let counts = r.count_by("m");
+        assert_eq!(
+            counts,
+            vec![(RelValue::Text("a".into()), 3), (RelValue::Text("b".into()), 1)]
+        );
+        assert_eq!(r.distinct().len(), 2);
+    }
+
+    fn fig1_store() -> (
+        RelStore,
+        RetrospectiveProvenance,
+        wf_engine::synth::Figure1Nodes,
+    ) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let mut s = RelStore::new();
+        s.ingest(&retro);
+        (s, retro, nodes)
+    }
+
+    #[test]
+    fn provenance_schema_populated() {
+        let (s, retro, _) = fig1_store();
+        assert_eq!(s.runs.len(), 8);
+        assert_eq!(s.run_outputs.len(), 8);
+        assert_eq!(s.run_inputs.len(), 7);
+        assert_eq!(s.artifacts.len(), retro.artifacts.len());
+    }
+
+    #[test]
+    fn rel_store_agrees_with_graph_store() {
+        use crate::graphstore::GraphStore;
+        let (rs, retro, nodes) = fig1_store();
+        let mut gs = GraphStore::new();
+        gs.ingest(&retro);
+        let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        assert_eq!(rs.lineage_runs(iso_file), gs.lineage_runs(iso_file));
+        assert_eq!(rs.generators(grid), gs.generators(grid));
+        assert_eq!(rs.derived_artifacts(grid), gs.derived_artifacts(grid));
+        assert_eq!(rs.runs_per_module(), gs.runs_per_module());
+        assert_eq!(rs.run_count(), gs.run_count());
+    }
+
+    #[test]
+    fn unindexed_store_answers_identically() {
+        let (indexed, retro, nodes) = fig1_store();
+        let mut plain = RelStore::new_unindexed();
+        plain.ingest(&retro);
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
+        assert_eq!(plain.lineage_runs(iso_file), indexed.lineage_runs(iso_file));
+        assert_eq!(plain.generators(grid), indexed.generators(grid));
+        assert_eq!(plain.derived_artifacts(grid), indexed.derived_artifacts(grid));
+    }
+
+    #[test]
+    fn aggregate_query_over_runs() {
+        let (s, ..) = fig1_store();
+        let counts = s.runs_per_module();
+        assert!(counts.contains(&("SaveFile@1".to_string(), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_panics() {
+        let r = Relation::new(Schema::new(&["a"]));
+        r.project(&["zzz"]);
+    }
+}

@@ -1,0 +1,514 @@
+//! An RDF-style triple store with SPO/POS/OSP indexes.
+//!
+//! Represents the Semantic-Web end of the storage spectrum (Taverna's RDF
+//! provenance, the SPARQL-queried systems of §2.2). Terms are interned
+//! strings; triples live in three B-tree indexes so any single-bound
+//! pattern is a range scan; conjunctive queries are basic graph patterns
+//! evaluated by backtracking joins.
+//!
+//! Lineage over a triple store needs *repeated* pattern joins (SPARQL 1.0
+//! had no transitive closure) — exactly the "simple queries can be awkward"
+//! pain the tutorial describes, and measurably slower than the native graph
+//! traversal (experiment E5).
+
+use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
+use std::collections::{BTreeSet, HashMap};
+use wf_engine::ExecId;
+use wf_model::NodeId;
+
+/// An interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term(pub u32);
+
+/// A position in a triple pattern: constant or named variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pat {
+    /// A constant term.
+    Const(Term),
+    /// A variable, named for binding.
+    Var(&'static str),
+}
+
+/// One triple pattern of a basic graph pattern.
+#[derive(Debug, Clone)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: Pat,
+    /// Predicate position.
+    pub p: Pat,
+    /// Object position.
+    pub o: Pat,
+}
+
+/// The triple store.
+#[derive(Debug, Default)]
+pub struct TripleStore {
+    dict: Vec<String>,
+    dict_index: HashMap<String, u32>,
+    spo: BTreeSet<(u32, u32, u32)>,
+    pos: BTreeSet<(u32, u32, u32)>,
+    osp: BTreeSet<(u32, u32, u32)>,
+}
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string as a term.
+    pub fn term(&mut self, s: &str) -> Term {
+        if let Some(&i) = self.dict_index.get(s) {
+            return Term(i);
+        }
+        let i = self.dict.len() as u32;
+        self.dict.push(s.to_string());
+        self.dict_index.insert(s.to_string(), i);
+        Term(i)
+    }
+
+    /// Look up an existing term without interning.
+    pub fn lookup(&self, s: &str) -> Option<Term> {
+        self.dict_index.get(s).map(|&i| Term(i))
+    }
+
+    /// The string of a term.
+    pub fn resolve(&self, t: Term) -> &str {
+        &self.dict[t.0 as usize]
+    }
+
+    /// Insert a triple of strings.
+    pub fn insert(&mut self, s: &str, p: &str, o: &str) {
+        let (s, p, o) = (self.term(s).0, self.term(p).0, self.term(o).0);
+        self.spo.insert((s, p, o));
+        self.pos.insert((p, o, s));
+        self.osp.insert((o, s, p));
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Match a single pattern with optional bound positions; returns
+    /// matching triples as (s, p, o) terms. Chooses the index with the
+    /// longest bound prefix.
+    pub fn pattern(
+        &self,
+        s: Option<Term>,
+        p: Option<Term>,
+        o: Option<Term>,
+    ) -> Vec<(Term, Term, Term)> {
+        const MAX: u32 = u32::MAX;
+        let out: Vec<(u32, u32, u32)> = match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s.0, p.0, o.0)) {
+                    vec![(s.0, p.0, o.0)]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s.0, p.0, 0)..=(s.0, p.0, MAX))
+                .copied()
+                .collect(),
+            (Some(s), None, None) => self
+                .spo
+                .range((s.0, 0, 0)..=(s.0, MAX, MAX))
+                .copied()
+                .collect(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .range((o.0, s.0, 0)..=(o.0, s.0, MAX))
+                .map(|&(oo, ss, pp)| (ss, pp, oo))
+                .collect(),
+            (None, Some(p), Some(o)) => self
+                .pos
+                .range((p.0, o.0, 0)..=(p.0, o.0, MAX))
+                .map(|&(pp, oo, ss)| (ss, pp, oo))
+                .collect(),
+            (None, Some(p), None) => self
+                .pos
+                .range((p.0, 0, 0)..=(p.0, MAX, MAX))
+                .map(|&(pp, oo, ss)| (ss, pp, oo))
+                .collect(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o.0, 0, 0)..=(o.0, MAX, MAX))
+                .map(|&(oo, ss, pp)| (ss, pp, oo))
+                .collect(),
+            (None, None, None) => self.spo.iter().copied().collect(),
+        };
+        out.into_iter()
+            .map(|(s, p, o)| (Term(s), Term(p), Term(o)))
+            .collect()
+    }
+
+    /// Evaluate a basic graph pattern by backtracking joins in pattern
+    /// order. Returns all variable bindings.
+    pub fn query(&self, bgp: &[TriplePattern]) -> Vec<HashMap<&'static str, Term>> {
+        let mut results = Vec::new();
+        let mut binding: HashMap<&'static str, Term> = HashMap::new();
+        self.join(bgp, 0, &mut binding, &mut results);
+        results
+    }
+
+    fn join(
+        &self,
+        bgp: &[TriplePattern],
+        i: usize,
+        binding: &mut HashMap<&'static str, Term>,
+        results: &mut Vec<HashMap<&'static str, Term>>,
+    ) {
+        if i == bgp.len() {
+            results.push(binding.clone());
+            return;
+        }
+        let pat = &bgp[i];
+        let resolve = |p: &Pat, binding: &HashMap<&'static str, Term>| match p {
+            Pat::Const(t) => (Some(*t), None),
+            Pat::Var(v) => (binding.get(v).copied(), Some(*v)),
+        };
+        let (s, sv) = resolve(&pat.s, binding);
+        let (p, pv) = resolve(&pat.p, binding);
+        let (o, ov) = resolve(&pat.o, binding);
+        for (ts, tp, to) in self.pattern(s, p, o) {
+            let mut added: Vec<&'static str> = Vec::new();
+            let mut ok = true;
+            for (val, var, bound) in [(ts, sv, s), (tp, pv, p), (to, ov, o)] {
+                if bound.is_none() {
+                    if let Some(v) = var {
+                        match binding.get(v) {
+                            Some(&existing) if existing != val => {
+                                ok = false;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                binding.insert(v, val);
+                                added.push(v);
+                            }
+                        }
+                    }
+                }
+            }
+            if ok {
+                self.join(bgp, i + 1, binding, results);
+            }
+            for v in added {
+                binding.remove(v);
+            }
+        }
+    }
+
+    /// Approximate resident bytes (dictionary + three indexes).
+    pub fn approx_bytes_internal(&self) -> usize {
+        let dict: usize = self.dict.iter().map(|s| s.len() + 24 + s.len() + 8).sum();
+        let idx = self.spo.len() * 12 * 3;
+        dict + idx
+    }
+}
+
+// ---- provenance encoding -------------------------------------------------
+
+fn run_iri(exec: ExecId, node: NodeId) -> String {
+    format!("run:{}/{}", exec.0, node.raw())
+}
+
+fn artifact_iri(h: ArtifactHash) -> String {
+    format!("artifact:{h:016x}")
+}
+
+fn parse_run_iri(s: &str) -> Option<RunRef> {
+    let rest = s.strip_prefix("run:")?;
+    let (e, n) = rest.split_once('/')?;
+    Some((ExecId(e.parse().ok()?), NodeId(n.parse().ok()?)))
+}
+
+fn parse_artifact_iri(s: &str) -> Option<ArtifactHash> {
+    u64::from_str_radix(s.strip_prefix("artifact:")?, 16).ok()
+}
+
+impl ProvenanceStore for TripleStore {
+    fn backend_name(&self) -> &'static str {
+        "triple"
+    }
+
+    fn ingest(&mut self, retro: &RetrospectiveProvenance) {
+        for run in &retro.runs {
+            let r = run_iri(retro.exec, run.node);
+            self.insert(&r, "prov:type", "prov:Run");
+            self.insert(&r, "prov:identity", &run.identity);
+            self.insert(&r, "prov:status", &run.status.to_string());
+            self.insert(&r, "prov:inExecution", &format!("exec:{}", retro.exec.0));
+            for (port, h) in &run.inputs {
+                let a = artifact_iri(*h);
+                self.insert(&r, "prov:used", &a);
+                self.insert(&a, "prov:type", "prov:Artifact");
+                let _ = port;
+            }
+            for (port, h) in &run.outputs {
+                let a = artifact_iri(*h);
+                self.insert(&a, "prov:generatedBy", &r);
+                self.insert(&a, "prov:type", "prov:Artifact");
+                let _ = port;
+            }
+        }
+    }
+
+    fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        let Some(a) = self.lookup(&artifact_iri(artifact)) else {
+            return Vec::new();
+        };
+        let Some(p) = self.lookup("prov:generatedBy") else {
+            return Vec::new();
+        };
+        sort_runs(
+            self.pattern(Some(a), Some(p), None)
+                .into_iter()
+                .filter_map(|(_, _, o)| parse_run_iri(self.resolve(o)))
+                .collect(),
+        )
+    }
+
+    fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        // Iterated pattern joins: frontier of artifacts -> generating runs
+        // -> artifacts those runs used -> ... until fixpoint. This is the
+        // only way to express transitivity with plain BGPs.
+        let Some(gen_p) = self.lookup("prov:generatedBy") else {
+            return Vec::new();
+        };
+        let used_p = self.lookup("prov:used");
+        let mut runs: BTreeSet<Term> = BTreeSet::new();
+        let mut seen_art: BTreeSet<Term> = BTreeSet::new();
+        let mut frontier: Vec<Term> = match self.lookup(&artifact_iri(artifact)) {
+            Some(t) => vec![t],
+            None => return Vec::new(),
+        };
+        seen_art.insert(frontier[0]);
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for a in frontier.drain(..) {
+                for (_, _, r) in self.pattern(Some(a), Some(gen_p), None) {
+                    if runs.insert(r) {
+                        if let Some(used_p) = used_p {
+                            for (_, _, a2) in self.pattern(Some(r), Some(used_p), None) {
+                                if seen_art.insert(a2) {
+                                    next.push(a2);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        sort_runs(
+            runs.into_iter()
+                .filter_map(|r| parse_run_iri(self.resolve(r)))
+                .collect(),
+        )
+    }
+
+    fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
+        let Some(used_p) = self.lookup("prov:used") else {
+            return Vec::new();
+        };
+        let Some(gen_p) = self.lookup("prov:generatedBy") else {
+            return Vec::new();
+        };
+        let mut arts: BTreeSet<Term> = BTreeSet::new();
+        let mut seen_run: BTreeSet<Term> = BTreeSet::new();
+        let mut frontier: Vec<Term> = match self.lookup(&artifact_iri(artifact)) {
+            Some(t) => vec![t],
+            None => return Vec::new(),
+        };
+        let start = frontier[0];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for a in frontier.drain(..) {
+                // runs that used a
+                for (r, _, _) in self.pattern(None, Some(used_p), Some(a)) {
+                    if seen_run.insert(r) {
+                        // artifacts generated by r
+                        for (a2, _, _) in self.pattern(None, Some(gen_p), Some(r)) {
+                            if arts.insert(a2) {
+                                next.push(a2);
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        arts.remove(&start);
+        sort_artifacts(
+            arts.into_iter()
+                .filter_map(|a| parse_artifact_iri(self.resolve(a)))
+                .collect(),
+        )
+    }
+
+    fn runs_per_module(&self) -> Vec<(String, usize)> {
+        let Some(p) = self.lookup("prov:identity") else {
+            return Vec::new();
+        };
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for (_, _, o) in self.pattern(None, Some(p), None) {
+            *counts.entry(self.resolve(o).to_string()).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    fn run_count(&self) -> usize {
+        self.lookup("prov:identity")
+            .map(|p| self.pattern(None, Some(p), None).len())
+            .unwrap_or(0)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.approx_bytes_internal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn fig1_store() -> (
+        TripleStore,
+        RetrospectiveProvenance,
+        wf_engine::synth::Figure1Nodes,
+    ) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let mut s = TripleStore::new();
+        s.ingest(&retro);
+        (s, retro, nodes)
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut s = TripleStore::new();
+        let a = s.term("x");
+        let b = s.term("x");
+        assert_eq!(a, b);
+        assert_eq!(s.resolve(a), "x");
+        assert_eq!(s.lookup("x"), Some(a));
+        assert_eq!(s.lookup("y"), None);
+    }
+
+    #[test]
+    fn pattern_single_bound_positions() {
+        let mut s = TripleStore::new();
+        s.insert("a", "knows", "b");
+        s.insert("a", "knows", "c");
+        s.insert("b", "knows", "c");
+        let a = s.lookup("a").unwrap();
+        let knows = s.lookup("knows").unwrap();
+        let c = s.lookup("c").unwrap();
+        assert_eq!(s.pattern(Some(a), Some(knows), None).len(), 2);
+        assert_eq!(s.pattern(None, Some(knows), Some(c)).len(), 2);
+        assert_eq!(s.pattern(Some(a), None, Some(c)).len(), 1);
+        assert_eq!(s.pattern(None, None, None).len(), 3);
+        assert_eq!(s.pattern(Some(c), Some(knows), None).len(), 0);
+    }
+
+    #[test]
+    fn bgp_join_with_shared_variable() {
+        let mut s = TripleStore::new();
+        s.insert("a", "knows", "b");
+        s.insert("b", "knows", "c");
+        s.insert("c", "knows", "d");
+        let knows = s.lookup("knows").unwrap();
+        // ?x knows ?y . ?y knows ?z — two-hop paths
+        let bgp = vec![
+            TriplePattern {
+                s: Pat::Var("x"),
+                p: Pat::Const(knows),
+                o: Pat::Var("y"),
+            },
+            TriplePattern {
+                s: Pat::Var("y"),
+                p: Pat::Const(knows),
+                o: Pat::Var("z"),
+            },
+        ];
+        let results = s.query(&bgp);
+        assert_eq!(results.len(), 2, "a-b-c and b-c-d");
+        for b in &results {
+            assert!(b.contains_key("x") && b.contains_key("y") && b.contains_key("z"));
+        }
+    }
+
+    #[test]
+    fn bgp_repeated_variable_filters() {
+        let mut s = TripleStore::new();
+        s.insert("a", "p", "a");
+        s.insert("a", "p", "b");
+        let p = s.lookup("p").unwrap();
+        // ?x p ?x — self-loops only
+        let bgp = vec![TriplePattern {
+            s: Pat::Var("x"),
+            p: Pat::Const(p),
+            o: Pat::Var("x"),
+        }];
+        let results = s.query(&bgp);
+        assert_eq!(results.len(), 1);
+        assert_eq!(s.resolve(results[0]["x"]), "a");
+    }
+
+    #[test]
+    fn provenance_queries_match_expectations() {
+        let (s, retro, nodes) = fig1_store();
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        assert_eq!(s.generators(grid), vec![(retro.exec, nodes.load)]);
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        let lineage = s.lineage_runs(hist_file);
+        let ids: Vec<_> = lineage.iter().map(|(_, n)| *n).collect();
+        assert!(ids.contains(&nodes.load) && ids.contains(&nodes.hist));
+        assert!(!ids.contains(&nodes.iso));
+        let derived = s.derived_artifacts(grid);
+        assert!(derived.contains(&hist_file));
+        assert_eq!(s.run_count(), 8);
+        assert!(s
+            .runs_per_module()
+            .contains(&("SaveFile@1".to_string(), 2)));
+    }
+
+    #[test]
+    fn triple_and_graph_store_agree() {
+        use crate::graphstore::GraphStore;
+        let (ts, retro, nodes) = fig1_store();
+        let mut gs = GraphStore::new();
+        gs.ingest(&retro);
+        let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
+        assert_eq!(ts.lineage_runs(iso_file), gs.lineage_runs(iso_file));
+        assert_eq!(ts.generators(iso_file), gs.generators(iso_file));
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        assert_eq!(ts.derived_artifacts(grid), gs.derived_artifacts(grid));
+        assert_eq!(ts.runs_per_module(), gs.runs_per_module());
+    }
+
+    #[test]
+    fn empty_store_queries_are_empty() {
+        let s = TripleStore::new();
+        assert!(s.generators(1).is_empty());
+        assert!(s.lineage_runs(1).is_empty());
+        assert!(s.is_empty());
+        assert_eq!(s.run_count(), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Provenance-based memoization of module runs.
+//!
+//! Because retrospective provenance records exactly which module revision,
+//! parameters, and input artifacts produced an output, the same key
+//! identifies *redundant computation*: a module run whose key was seen
+//! before can be answered from the cache. This is what makes "scalable
+//! exploration of large parameter spaces" (§2.3) tractable — a sweep that
+//! changes one downstream parameter re-executes only the suffix.
+
+use crate::value::{ContentHasher, Value};
+use std::collections::{HashMap, VecDeque};
+
+/// Cache key of a module run: module identity + effective parameters +
+/// input artifact hashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub u64);
+
+/// Compute the cache key for a module run.
+///
+/// `params` and `inputs` must be iterated in a deterministic (sorted) order;
+/// the executor passes `BTreeMap` iterators, which are.
+pub fn cache_key<'a>(
+    identity: &str,
+    params: impl Iterator<Item = (&'a String, String)>,
+    inputs: impl Iterator<Item = (&'a String, u64)>,
+) -> CacheKey {
+    let mut h = ContentHasher::new();
+    h.update(identity.as_bytes());
+    h.update(&[0xff]);
+    for (name, rendered) in params {
+        h.update(name.as_bytes());
+        h.update(&[0]);
+        h.update(rendered.as_bytes());
+        h.update(&[1]);
+    }
+    h.update(&[0xfe]);
+    for (port, hash) in inputs {
+        h.update(port.as_bytes());
+        h.update(&[0]);
+        h.update_u64(hash);
+    }
+    CacheKey(h.finish())
+}
+
+/// Statistics of cache behaviour, reported by experiment E10.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted due to the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded FIFO cache of module-run outputs.
+///
+/// FIFO (rather than LRU) keeps the implementation simple and is a fine fit
+/// for sweep workloads, whose reuse pattern is dominated by the shared
+/// upstream prefix that is inserted once and hit many times immediately
+/// after.
+#[derive(Debug)]
+pub struct RunCache {
+    map: HashMap<CacheKey, Vec<(String, Value)>>,
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl RunCache {
+    /// A cache bounded to `capacity` module-run entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a run; clones the outputs on hit (values are `Arc`-backed,
+    /// so cloning bulk data is cheap).
+    pub fn get(&mut self, key: CacheKey) -> Option<Vec<(String, Value)>> {
+        match self.map.get(&key) {
+            Some(v) => {
+                self.stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a run's outputs, evicting the oldest entry when full.
+    pub fn insert(&mut self, key: CacheKey, outputs: Vec<(String, Value)>) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(key, outputs);
+        self.order.push_back(key);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop all entries and reset statistics.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey(n)
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let mut c = RunCache::new(4);
+        assert!(c.get(key(1)).is_none());
+        c.insert(key(1), vec![("out".into(), Value::Int(1))]);
+        assert_eq!(
+            c.get(key(1)).unwrap(),
+            vec![("out".to_string(), Value::Int(1))]
+        );
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let mut c = RunCache::new(2);
+        c.insert(key(1), vec![]);
+        c.insert(key(2), vec![]);
+        c.insert(key(3), vec![]); // evicts 1
+        assert!(c.get(key(1)).is_none());
+        assert!(c.get(key(2)).is_some());
+        assert!(c.get(key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut c = RunCache::new(2);
+        c.insert(key(1), vec![("a".into(), Value::Int(1))]);
+        c.insert(key(1), vec![("a".into(), Value::Int(999))]);
+        assert_eq!(
+            c.get(key(1)).unwrap()[0].1,
+            Value::Int(1),
+            "first insert wins; keys are content-derived so payloads match anyway"
+        );
+    }
+
+    #[test]
+    fn cache_key_sensitive_to_all_components() {
+        let params_a = vec![("bins".to_string(), "64".to_string())];
+        let params_b = vec![("bins".to_string(), "32".to_string())];
+        let inputs_a = vec![("data".to_string(), 111u64)];
+        let inputs_b = vec![("data".to_string(), 222u64)];
+        let k = |id: &str, p: &[(String, String)], i: &[(String, u64)]| {
+            cache_key(
+                id,
+                p.iter().map(|(a, b)| (a, b.clone())),
+                i.iter().map(|(a, b)| (a, *b)),
+            )
+        };
+        let base = k("Hist@1", &params_a, &inputs_a);
+        assert_ne!(base, k("Hist@2", &params_a, &inputs_a));
+        assert_ne!(base, k("Hist@1", &params_b, &inputs_a));
+        assert_ne!(base, k("Hist@1", &params_a, &inputs_b));
+        assert_eq!(base, k("Hist@1", &params_a, &inputs_a));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = RunCache::new(2);
+        c.insert(key(1), vec![]);
+        c.get(key(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+}

@@ -1,0 +1,515 @@
+//! Database operators as workflow modules, with row-level provenance.
+//!
+//! §2.4 of the tutorial (open problems): "In many scientific applications,
+//! database manipulations co-exist with the execution of workflow modules:
+//! Data is selected from a database, potentially joined with data from other
+//! databases, reformatted, and used in an analysis. … Combining these
+//! disparate forms of provenance information will require a framework in
+//! which database operators and workflow modules can be treated uniformly."
+//!
+//! This module *is* that framework's engine half: relational operators
+//! (source / filter / project / join / aggregate / union) that run as
+//! ordinary workflow modules — so module-level causality falls out of the
+//! normal capture path — and that additionally emit a **`rowprov`** output:
+//! a table mapping each output row to the input rows that contributed to it
+//! (why-provenance). `prov-core::finegrained` composes these per-operator
+//! maps into end-to-end row lineage across the workflow.
+//!
+//! ## The `rowprov` convention
+//!
+//! Every operator's `rowprov` table has columns `[out_row, input, in_row]`:
+//!
+//! * `out_row` — row index in the operator's `out` table;
+//! * `input` — index of the input port in the *lexicographic order of the
+//!   bound input port names* (0 for unary operators);
+//! * `in_row` — row index in the table that arrived on that port.
+
+use crate::error::ExecError;
+use crate::registry::{ExecInput, ModuleRegistry, Outputs};
+use crate::stdlib::SplitMix64;
+use crate::value::{Table, Value};
+use wf_model::{DataType, ModuleKind, ParamSpec, PortSpec};
+
+/// The `rowprov` schema shared by every database operator.
+pub const ROWPROV_COLUMNS: [&str; 3] = ["out_row", "input", "in_row"];
+
+fn rowprov_table(entries: Vec<(usize, usize, usize)>) -> Value {
+    Value::Table(Table::new(
+        ROWPROV_COLUMNS.iter().map(|s| s.to_string()).collect(),
+        entries
+            .into_iter()
+            .map(|(o, p, i)| vec![o as f64, p as f64, i as f64])
+            .collect(),
+    ))
+}
+
+fn out2(table: Table, rowprov: Vec<(usize, usize, usize)>) -> Outputs {
+    let mut m = Outputs::new();
+    m.insert("out".into(), Value::Table(table));
+    m.insert("rowprov".into(), rowprov_table(rowprov));
+    m
+}
+
+fn fail(input: &ExecInput, identity: &str, message: impl Into<String>) -> ExecError {
+    ExecError::ModuleFailed {
+        node: input.node,
+        identity: identity.to_string(),
+        message: message.into(),
+    }
+}
+
+fn db_kind(name: &str) -> ModuleKind {
+    ModuleKind::new(name)
+        .category("database")
+        .output(PortSpec::required("out", DataType::Table))
+        .output(
+            PortSpec::required("rowprov", DataType::Table)
+                .with_doc("row-level why-provenance: [out_row, input, in_row]"),
+        )
+}
+
+/// Register the database-operator modules into a registry.
+pub fn register_database(r: &mut ModuleRegistry) {
+    r.register(
+        db_kind("TableSource")
+            .doc("Deterministic synthetic base table (id, value, grp) — the 'database' being queried")
+            .param(ParamSpec::new("rows", 16i64))
+            .param(ParamSpec::new("seed", 0i64))
+            .param(ParamSpec::new("groups", 4i64)),
+        |input: &ExecInput| {
+            let n = input.param_i64("rows")?.max(0) as usize;
+            let seed = input.param_i64("seed")? as u64;
+            let groups = input.param_i64("groups")?.max(1) as f64;
+            let mut rng = SplitMix64::new(seed);
+            let rows = (0..n)
+                .map(|i| {
+                    vec![
+                        i as f64,
+                        (rng.next_f64() * 100.0 * 8.0).round() / 8.0,
+                        (rng.next_u64() % groups as u64) as f64,
+                    ]
+                })
+                .collect();
+            let table = Table::new(
+                vec!["id".into(), "value".into(), "grp".into()],
+                rows,
+            );
+            // A source's rows have no upstream provenance.
+            let mut m = Outputs::new();
+            m.insert("out".into(), Value::Table(table));
+            m.insert("rowprov".into(), rowprov_table(Vec::new()));
+            Ok(m)
+        },
+    );
+
+    r.register(
+        db_kind("TableFilter")
+            .doc("σ: keep rows where `column` >= `min` (why-provenance: one input row per output row)")
+            .input(PortSpec::required("in", DataType::Table))
+            .param(ParamSpec::new("column", "value"))
+            .param(ParamSpec::new("min", 0.0f64)),
+        |input: &ExecInput| {
+            let t = input.table("in")?;
+            let col = input.param_text("column")?;
+            let min = input.param_f64("min")?;
+            let ci = t
+                .column_index(col)
+                .ok_or_else(|| fail(input, "TableFilter@1", format!("no column '{col}'")))?;
+            let mut rows = Vec::new();
+            let mut prov = Vec::new();
+            for (i, row) in t.rows.iter().enumerate() {
+                if row[ci] >= min {
+                    prov.push((rows.len(), 0, i));
+                    rows.push(row.clone());
+                }
+            }
+            Ok(out2(Table::new(t.columns.clone(), rows), prov))
+        },
+    );
+
+    r.register(
+        db_kind("TableProject")
+            .doc("π: keep a comma-separated list of columns (rowprov is the identity map)")
+            .input(PortSpec::required("in", DataType::Table))
+            .param(ParamSpec::new("columns", "id,value")),
+        |input: &ExecInput| {
+            let t = input.table("in")?;
+            let wanted: Vec<&str> = input
+                .param_text("columns")?
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            let mut idxs = Vec::with_capacity(wanted.len());
+            for w in &wanted {
+                idxs.push(t.column_index(w).ok_or_else(|| {
+                    fail(input, "TableProject@1", format!("no column '{w}'"))
+                })?);
+            }
+            let rows: Vec<Vec<f64>> = t
+                .rows
+                .iter()
+                .map(|r| idxs.iter().map(|&i| r[i]).collect())
+                .collect();
+            let prov = (0..rows.len()).map(|i| (i, 0, i)).collect();
+            Ok(out2(
+                Table::new(wanted.iter().map(|s| s.to_string()).collect(), rows),
+                prov,
+            ))
+        },
+    );
+
+    r.register(
+        db_kind("TableJoin")
+            .doc("⋈: equality join on `left_col` = `right_col`; right columns are prefixed r_; \
+                  rowprov records both contributing rows per output row")
+            .input(PortSpec::required("left", DataType::Table))
+            .input(PortSpec::required("right", DataType::Table))
+            .param(ParamSpec::new("left_col", "id"))
+            .param(ParamSpec::new("right_col", "id")),
+        |input: &ExecInput| {
+            let l = input.table("left")?;
+            let rt = input.table("right")?;
+            let lc = input.param_text("left_col")?;
+            let rc = input.param_text("right_col")?;
+            let li = l
+                .column_index(lc)
+                .ok_or_else(|| fail(input, "TableJoin@1", format!("no left column '{lc}'")))?;
+            let ri = rt
+                .column_index(rc)
+                .ok_or_else(|| fail(input, "TableJoin@1", format!("no right column '{rc}'")))?;
+            let mut cols = l.columns.clone();
+            for c in &rt.columns {
+                cols.push(format!("r_{c}"));
+            }
+            let mut rows = Vec::new();
+            let mut prov = Vec::new();
+            // Input index convention: lexicographic port order — "left" is
+            // 0, "right" is 1 (happens to match).
+            for (i, lrow) in l.rows.iter().enumerate() {
+                for (j, rrow) in rt.rows.iter().enumerate() {
+                    if lrow[li] == rrow[ri] {
+                        let out_row = rows.len();
+                        let mut row = lrow.clone();
+                        row.extend(rrow.iter().copied());
+                        rows.push(row);
+                        prov.push((out_row, 0, i));
+                        prov.push((out_row, 1, j));
+                    }
+                }
+            }
+            Ok(out2(Table::new(cols, rows), prov))
+        },
+    );
+
+    r.register(
+        db_kind("TableAggregate")
+            .doc("γ: group by `group_col`, aggregate `agg_col` with sum|count|mean; \
+                  rowprov records every contributing input row per group")
+            .input(PortSpec::required("in", DataType::Table))
+            .param(ParamSpec::new("group_col", "grp"))
+            .param(ParamSpec::new("agg_col", "value"))
+            .param(ParamSpec::new("op", "sum")),
+        |input: &ExecInput| {
+            let t = input.table("in")?;
+            let gc = input.param_text("group_col")?;
+            let ac = input.param_text("agg_col")?;
+            let op = input.param_text("op")?;
+            let gi = t.column_index(gc).ok_or_else(|| {
+                fail(input, "TableAggregate@1", format!("no column '{gc}'"))
+            })?;
+            let ai = t.column_index(ac).ok_or_else(|| {
+                fail(input, "TableAggregate@1", format!("no column '{ac}'"))
+            })?;
+            // Stable group order: first appearance.
+            let mut order: Vec<f64> = Vec::new();
+            let mut members: Vec<Vec<usize>> = Vec::new();
+            for (i, row) in t.rows.iter().enumerate() {
+                match order.iter().position(|&g| g == row[gi]) {
+                    Some(k) => members[k].push(i),
+                    None => {
+                        order.push(row[gi]);
+                        members.push(vec![i]);
+                    }
+                }
+            }
+            let mut rows = Vec::new();
+            let mut prov = Vec::new();
+            for (k, (g, ms)) in order.iter().zip(members.iter()).enumerate() {
+                let vals: Vec<f64> = ms.iter().map(|&i| t.rows[i][ai]).collect();
+                let agg = match op {
+                    "sum" => vals.iter().sum::<f64>(),
+                    "count" => vals.len() as f64,
+                    "mean" => vals.iter().sum::<f64>() / vals.len().max(1) as f64,
+                    other => {
+                        return Err(fail(
+                            input,
+                            "TableAggregate@1",
+                            format!("unknown op '{other}'"),
+                        ))
+                    }
+                };
+                rows.push(vec![*g, agg]);
+                for &m in ms {
+                    prov.push((k, 0, m));
+                }
+            }
+            Ok(out2(
+                Table::new(vec![gc.to_string(), format!("{op}_{ac}")], rows),
+                prov,
+            ))
+        },
+    );
+
+    r.register(
+        db_kind("TableUnion")
+            .doc("∪ (bag union): concatenate two union-compatible tables")
+            .input(PortSpec::required("a", DataType::Table))
+            .input(PortSpec::required("b", DataType::Table)),
+        |input: &ExecInput| {
+            let a = input.table("a")?;
+            let b = input.table("b")?;
+            if a.columns != b.columns {
+                return Err(fail(input, "TableUnion@1", "union-incompatible schemas"));
+            }
+            let mut rows = Vec::with_capacity(a.len() + b.len());
+            let mut prov = Vec::with_capacity(a.len() + b.len());
+            for (i, r) in a.rows.iter().enumerate() {
+                prov.push((rows.len(), 0, i));
+                rows.push(r.clone());
+            }
+            for (i, r) in b.rows.iter().enumerate() {
+                prov.push((rows.len(), 1, i));
+                rows.push(r.clone());
+            }
+            Ok(out2(Table::new(a.columns.clone(), rows), prov))
+        },
+    );
+
+    r.register(
+        ModuleKind::new("TableToGrid")
+            .category("database")
+            .doc("Bridge from the database world into the scientific world: pack a table column into a 1-D grid")
+            .input(PortSpec::required("in", DataType::Table))
+            .output(PortSpec::required("grid", DataType::Grid))
+            .param(ParamSpec::new("column", "value")),
+        |input: &ExecInput| {
+            let t = input.table("in")?;
+            let col = input.param_text("column")?;
+            let vals = t.column(col).ok_or_else(|| {
+                fail(input, "TableToGrid@1", format!("no column '{col}'"))
+            })?;
+            let n = vals.len().max(1);
+            let mut data = vals;
+            if data.is_empty() {
+                data.push(0.0);
+            }
+            let mut m = Outputs::new();
+            m.insert(
+                "grid".into(),
+                Value::Grid(crate::value::Grid::new((n, 1, 1), data)),
+            );
+            Ok(m)
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stdlib::{run_module, standard_registry};
+
+    fn reg() -> ModuleRegistry {
+        standard_registry()
+    }
+
+    fn source(reg: &ModuleRegistry, rows: i64, seed: i64) -> Value {
+        run_module(
+            reg,
+            "TableSource",
+            vec![("rows", rows.into()), ("seed", seed.into())],
+            vec![],
+        )
+        .unwrap()["out"]
+            .clone()
+    }
+
+    fn prov_entries(v: &Value) -> Vec<(usize, usize, usize)> {
+        let t = v.as_table().unwrap();
+        t.rows
+            .iter()
+            .map(|r| (r[0] as usize, r[1] as usize, r[2] as usize))
+            .collect()
+    }
+
+    #[test]
+    fn source_is_deterministic_with_group_column() {
+        let r = reg();
+        let a = source(&r, 10, 1);
+        let b = source(&r, 10, 1);
+        assert_eq!(a.content_hash(), b.content_hash());
+        let t = a.as_table().unwrap();
+        assert_eq!(t.columns, vec!["id", "value", "grp"]);
+        assert!(t.column("grp").unwrap().iter().all(|&g| g < 4.0));
+    }
+
+    #[test]
+    fn filter_rowprov_maps_surviving_rows() {
+        let r = reg();
+        let src = source(&r, 12, 2);
+        let out = run_module(
+            &r,
+            "TableFilter",
+            vec![("column", "value".into()), ("min", 50.0f64.into())],
+            vec![("in", src.clone())],
+        )
+        .unwrap();
+        let kept = out["out"].as_table().unwrap();
+        let prov = prov_entries(&out["rowprov"]);
+        assert_eq!(prov.len(), kept.len());
+        let src_t = src.as_table().unwrap();
+        for (o, p, i) in prov {
+            assert_eq!(p, 0);
+            // The provenance pointer is correct: the rows really match.
+            assert_eq!(kept.rows[o], src_t.rows[i]);
+            assert!(src_t.rows[i][1] >= 50.0);
+        }
+    }
+
+    #[test]
+    fn project_keeps_and_orders_columns() {
+        let r = reg();
+        let src = source(&r, 5, 3);
+        let out = run_module(
+            &r,
+            "TableProject",
+            vec![("columns", "grp,id".into())],
+            vec![("in", src)],
+        )
+        .unwrap();
+        let t = out["out"].as_table().unwrap();
+        assert_eq!(t.columns, vec!["grp", "id"]);
+        assert_eq!(prov_entries(&out["rowprov"]).len(), 5);
+        let err = run_module(
+            &r,
+            "TableProject",
+            vec![("columns", "nope".into())],
+            vec![("in", source(&reg(), 2, 1))],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no column"));
+    }
+
+    #[test]
+    fn join_records_both_sides() {
+        let r = reg();
+        let left = Value::Table(Table::new(
+            vec!["id".into(), "x".into()],
+            vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]],
+        ));
+        let right = Value::Table(Table::new(
+            vec!["id".into(), "y".into()],
+            vec![vec![2.0, 200.0], vec![2.0, 222.0], vec![9.0, 900.0]],
+        ));
+        let out = run_module(
+            &r,
+            "TableJoin",
+            vec![],
+            vec![("left", left), ("right", right)],
+        )
+        .unwrap();
+        let t = out["out"].as_table().unwrap();
+        assert_eq!(t.len(), 2, "id=2 matches twice");
+        assert_eq!(t.columns, vec!["id", "x", "r_id", "r_y"]);
+        let prov = prov_entries(&out["rowprov"]);
+        // Each output row has exactly two provenance entries (left+right).
+        assert_eq!(prov.len(), 4);
+        assert!(prov.contains(&(0, 0, 1)) && prov.contains(&(0, 1, 0)));
+        assert!(prov.contains(&(1, 0, 1)) && prov.contains(&(1, 1, 1)));
+    }
+
+    #[test]
+    fn aggregate_links_every_group_member() {
+        let r = reg();
+        let t = Value::Table(Table::new(
+            vec!["grp".into(), "value".into()],
+            vec![
+                vec![0.0, 1.0],
+                vec![1.0, 10.0],
+                vec![0.0, 2.0],
+                vec![1.0, 20.0],
+                vec![0.0, 3.0],
+            ],
+        ));
+        let out = run_module(
+            &r,
+            "TableAggregate",
+            vec![("op", "sum".into())],
+            vec![("in", t)],
+        )
+        .unwrap();
+        let agg = out["out"].as_table().unwrap();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg.rows[0], vec![0.0, 6.0]);
+        assert_eq!(agg.rows[1], vec![1.0, 30.0]);
+        let prov = prov_entries(&out["rowprov"]);
+        let g0: Vec<usize> = prov.iter().filter(|(o, _, _)| *o == 0).map(|(_, _, i)| *i).collect();
+        assert_eq!(g0, vec![0, 2, 4], "why-provenance of group 0's sum");
+        // count and mean work too
+        for (op, expect) in [("count", 3.0), ("mean", 2.0)] {
+            let out = run_module(
+                &r,
+                "TableAggregate",
+                vec![("op", op.into())],
+                vec![(
+                    "in",
+                    Value::Table(Table::new(
+                        vec!["grp".into(), "value".into()],
+                        vec![vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0]],
+                    )),
+                )],
+            )
+            .unwrap();
+            assert_eq!(out["out"].as_table().unwrap().rows[0][1], expect, "{op}");
+        }
+    }
+
+    #[test]
+    fn union_requires_compatible_schemas() {
+        let r = reg();
+        let a = Value::Table(Table::new(vec!["x".into()], vec![vec![1.0]]));
+        let b = Value::Table(Table::new(vec!["x".into()], vec![vec![2.0], vec![3.0]]));
+        let out = run_module(&r, "TableUnion", vec![], vec![("a", a.clone()), ("b", b)]).unwrap();
+        assert_eq!(out["out"].as_table().unwrap().len(), 3);
+        let prov = prov_entries(&out["rowprov"]);
+        assert_eq!(prov, vec![(0, 0, 0), (1, 1, 0), (2, 1, 1)]);
+        let bad = Value::Table(Table::new(vec!["y".into()], vec![vec![0.0]]));
+        assert!(run_module(&r, "TableUnion", vec![], vec![("a", a), ("b", bad)]).is_err());
+    }
+
+    #[test]
+    fn table_to_grid_bridges_worlds() {
+        let r = reg();
+        let src = source(&r, 8, 4);
+        let out = run_module(&r, "TableToGrid", vec![], vec![("in", src)]).unwrap();
+        let g = out["grid"].as_grid().unwrap();
+        assert_eq!(g.dims, (8, 1, 1));
+    }
+
+    #[test]
+    fn database_modules_are_in_standard_registry() {
+        let r = reg();
+        for m in [
+            "TableSource",
+            "TableFilter",
+            "TableProject",
+            "TableJoin",
+            "TableAggregate",
+            "TableUnion",
+            "TableToGrid",
+        ] {
+            assert!(r.catalog().get(m, 1).is_ok(), "{m} missing");
+            assert!(r.executor(&format!("{m}@1")).is_ok(), "{m} body missing");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Typed errors for workflow execution.
+
+use std::fmt;
+use wf_model::{ModelError, NodeId};
+
+/// Errors raised while executing a workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The specification failed validation; run `validate` for details.
+    InvalidWorkflow(String),
+    /// No executor is registered for a module kind.
+    NoExecutor {
+        /// The unresolvable `name@version`.
+        identity: String,
+    },
+    /// A required input port received no value at runtime.
+    MissingInput {
+        /// Node whose input is missing.
+        node: NodeId,
+        /// Port name.
+        port: String,
+    },
+    /// A module body failed.
+    ModuleFailed {
+        /// Failing node.
+        node: NodeId,
+        /// Module identity.
+        identity: String,
+        /// Failure message from the module body.
+        message: String,
+    },
+    /// A module received a value of the wrong type (stdlib-level check).
+    BadInputType {
+        /// Expected description.
+        expected: String,
+        /// What arrived instead.
+        got: String,
+    },
+    /// A parameter was missing or had the wrong type.
+    BadParam {
+        /// Parameter name.
+        name: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// An underlying model error.
+    Model(String),
+    /// A module declared an output port it then failed to produce.
+    MissingOutput {
+        /// Node at fault.
+        node: NodeId,
+        /// The undelivered port.
+        port: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidWorkflow(msg) => write!(f, "invalid workflow: {msg}"),
+            ExecError::NoExecutor { identity } => {
+                write!(f, "no executor registered for {identity}")
+            }
+            ExecError::MissingInput { node, port } => {
+                write!(f, "node {node}: required input '{port}' has no value")
+            }
+            ExecError::ModuleFailed {
+                node,
+                identity,
+                message,
+            } => write!(f, "node {node} ({identity}) failed: {message}"),
+            ExecError::BadInputType { expected, got } => {
+                write!(f, "bad input type: expected {expected}, got {got}")
+            }
+            ExecError::BadParam { name, message } => {
+                write!(f, "bad parameter '{name}': {message}")
+            }
+            ExecError::Model(msg) => write!(f, "model error: {msg}"),
+            ExecError::MissingOutput { node, port } => {
+                write!(f, "node {node}: module did not produce output '{port}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ModelError> for ExecError {
+    fn from(e: ModelError) -> Self {
+        ExecError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ExecError::ModuleFailed {
+            node: NodeId(2),
+            identity: "AlignWarp@1".into(),
+            message: "reference grid is empty".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("n2") && s.contains("AlignWarp@1") && s.contains("empty"));
+    }
+
+    #[test]
+    fn model_errors_convert() {
+        let e: ExecError = ModelError::UnknownNode(NodeId(1)).into();
+        assert!(matches!(e, ExecError::Model(_)));
+    }
+}

@@ -1,0 +1,189 @@
+//! The provenance instrumentation surface of the engine.
+//!
+//! "One of the major advantages to using workflow systems is that they can
+//! be easily instrumented to automatically capture provenance — this
+//! information can be accessed directly through system APIs" (§2.2).
+//! [`ExecObserver`] is that API: the executor emits one [`EngineEvent`] per
+//! lifecycle transition, and provenance capture (in `prov-core`), progress
+//! displays, and tests all subscribe to the same stream.
+
+use crate::exec::{ExecId, RunStatus};
+use crate::value::Value;
+use wf_model::{NodeId, ParamValue, WorkflowId};
+
+/// Lightweight description of a value that crossed a port: its type, its
+/// content hash, and its approximate size — everything retrospective
+/// provenance needs without retaining the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueMeta {
+    /// Rendered data type (e.g. `grid`, `table`).
+    pub dtype: String,
+    /// Stable content hash of the value.
+    pub hash: u64,
+    /// Approximate payload size in bytes.
+    pub size: usize,
+    /// Inline preview for small scalar values (fine-grained capture);
+    /// `None` for bulk data.
+    pub preview: Option<String>,
+}
+
+impl ValueMeta {
+    /// Describe a value; `with_preview` controls whether small scalars are
+    /// inlined (fine-grained capture).
+    pub fn of(value: &Value, with_preview: bool) -> Self {
+        let preview = if with_preview && value.size_bytes() <= 64 {
+            Some(value.to_string())
+        } else {
+            None
+        };
+        Self {
+            dtype: value.dtype().to_string(),
+            hash: value.content_hash(),
+            size: value.size_bytes(),
+            preview,
+        }
+    }
+}
+
+/// One engine lifecycle event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// A workflow run began.
+    WorkflowStarted {
+        /// The run.
+        exec: ExecId,
+        /// The workflow specification being run.
+        workflow: WorkflowId,
+        /// Specification name.
+        name: String,
+        /// Wall-clock timestamp, milliseconds since the Unix epoch.
+        at_millis: u64,
+    },
+    /// A module run began.
+    ModuleStarted {
+        /// The enclosing workflow run.
+        exec: ExecId,
+        /// The node being executed.
+        node: NodeId,
+        /// Module identity `name@version`.
+        identity: String,
+        /// Effective parameters (defaults merged with instance bindings).
+        params: Vec<(String, ParamValue)>,
+        /// Wall-clock timestamp, ms since epoch.
+        at_millis: u64,
+    },
+    /// A value arrived on a module's input port.
+    InputBound {
+        /// The enclosing workflow run.
+        exec: ExecId,
+        /// Consuming node.
+        node: NodeId,
+        /// Input port name.
+        port: String,
+        /// Description of the consumed value.
+        meta: ValueMeta,
+    },
+    /// A module produced a value on an output port.
+    OutputProduced {
+        /// The enclosing workflow run.
+        exec: ExecId,
+        /// Producing node.
+        node: NodeId,
+        /// Output port name.
+        port: String,
+        /// Description of the produced value.
+        meta: ValueMeta,
+    },
+    /// A module run ended.
+    ModuleFinished {
+        /// The enclosing workflow run.
+        exec: ExecId,
+        /// The node.
+        node: NodeId,
+        /// Outcome.
+        status: RunStatus,
+        /// Duration of the module body in microseconds.
+        elapsed_micros: u64,
+        /// Whether the result came from the memoization cache.
+        from_cache: bool,
+        /// Failure message when `status` is `Failed`.
+        error: Option<String>,
+    },
+    /// The workflow run ended.
+    WorkflowFinished {
+        /// The run.
+        exec: ExecId,
+        /// Outcome of the run as a whole.
+        status: RunStatus,
+        /// Wall-clock timestamp, ms since epoch.
+        at_millis: u64,
+    },
+}
+
+/// Subscriber to the engine's event stream.
+///
+/// Observers run synchronously inside the executor (capture overhead is
+/// measured in experiment E3, exactly because it sits on this path).
+pub trait ExecObserver: Send {
+    /// Receive one event.
+    fn on_event(&mut self, event: &EngineEvent);
+}
+
+/// An observer that retains every event — used by tests and by simple
+/// capture pipelines.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    /// All events seen so far, in emission order.
+    pub events: Vec<EngineEvent>,
+}
+
+impl ExecObserver for RecordingObserver {
+    fn on_event(&mut self, event: &EngineEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Milliseconds since the Unix epoch (engine-wide wall clock).
+pub fn now_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_meta_previews_small_scalars_only() {
+        let m = ValueMeta::of(&Value::Int(7), true);
+        assert_eq!(m.preview.as_deref(), Some("7"));
+        assert_eq!(m.dtype, "int");
+        let big = Value::Bytes(bytes::Bytes::from(vec![0u8; 1024]));
+        let m = ValueMeta::of(&big, true);
+        assert!(m.preview.is_none());
+        let m = ValueMeta::of(&Value::Int(7), false);
+        assert!(m.preview.is_none());
+    }
+
+    #[test]
+    fn recording_observer_accumulates() {
+        let mut obs = RecordingObserver::default();
+        let ev = EngineEvent::WorkflowFinished {
+            exec: ExecId(1),
+            status: RunStatus::Succeeded,
+            at_millis: 0,
+        };
+        obs.on_event(&ev);
+        obs.on_event(&ev);
+        assert_eq!(obs.events.len(), 2);
+    }
+
+    #[test]
+    fn clock_is_monotonic_enough() {
+        let a = now_millis();
+        let b = now_millis();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,925 @@
+//! The execution drivers: sequential and parallel dataflow evaluation.
+//!
+//! Both drivers obey the same contract: modules run when all of their input
+//! values are available; each lifecycle transition is reported to the
+//! observer; failures mark the failing node `Failed` and everything
+//! downstream of it `Skipped` (partial results are kept — a failed run still
+//! has provenance, which is often when provenance matters most).
+
+use crate::cache::{cache_key, RunCache};
+use crate::error::ExecError;
+use crate::event::{now_millis, EngineEvent, ExecObserver, ValueMeta};
+use crate::registry::{ExecInput, ModuleRegistry};
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use wf_model::{NodeId, Workflow};
+
+/// Identifier of one workflow run.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct ExecId(pub u64);
+
+impl fmt::Display for ExecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run{}", self.0)
+    }
+}
+
+/// Outcome of a module run or a whole workflow run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum RunStatus {
+    /// Completed normally.
+    Succeeded,
+    /// The module body (or some module of the workflow) failed.
+    Failed,
+    /// Not executed because an upstream dependency failed.
+    Skipped,
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunStatus::Succeeded => write!(f, "succeeded"),
+            RunStatus::Failed => write!(f, "failed"),
+            RunStatus::Skipped => write!(f, "skipped"),
+        }
+    }
+}
+
+/// Record of one module run inside an execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRunRecord {
+    /// The node.
+    pub node: NodeId,
+    /// Module identity `name@version`.
+    pub identity: String,
+    /// Outcome.
+    pub status: RunStatus,
+    /// Module-body duration in microseconds (0 for skipped runs).
+    pub elapsed_micros: u64,
+    /// Whether outputs were served from the memoization cache.
+    pub from_cache: bool,
+    /// Failure message, if the module failed.
+    pub error: Option<String>,
+}
+
+/// The result of running a workflow.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// The run identifier.
+    pub exec: ExecId,
+    /// Overall outcome: `Succeeded` iff every module succeeded.
+    pub status: RunStatus,
+    /// Per-node records.
+    pub node_runs: BTreeMap<NodeId, NodeRunRecord>,
+    /// Every value produced on any output port.
+    pub values: BTreeMap<(NodeId, String), Value>,
+    /// Wall-clock duration of the whole run in microseconds.
+    pub elapsed_micros: u64,
+}
+
+impl ExecutionResult {
+    /// The value produced on `node`'s output `port`, if the node ran.
+    pub fn output(&self, node: NodeId, port: &str) -> Option<&Value> {
+        self.values.get(&(node, port.to_string()))
+    }
+
+    /// Did every module succeed?
+    pub fn succeeded(&self) -> bool {
+        self.status == RunStatus::Succeeded
+    }
+
+    /// Number of module runs served from cache.
+    pub fn cache_hits(&self) -> usize {
+        self.node_runs.values().filter(|r| r.from_cache).count()
+    }
+}
+
+/// Observer that discards everything (capture level "Off").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl ExecObserver for NullObserver {
+    fn on_event(&mut self, _event: &EngineEvent) {}
+}
+
+/// The workflow executor.
+pub struct Executor {
+    registry: Arc<ModuleRegistry>,
+    cache: Option<Arc<Mutex<RunCache>>>,
+    next_exec: AtomicU64,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("registry", &self.registry)
+            .field("cache", &self.cache.is_some())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// An executor over a registry, without memoization.
+    pub fn new(registry: ModuleRegistry) -> Self {
+        Self {
+            registry: Arc::new(registry),
+            cache: None,
+            next_exec: AtomicU64::new(0),
+        }
+    }
+
+    /// Enable memoization with a cache bounded to `capacity` module runs.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(Arc::new(Mutex::new(RunCache::new(capacity))));
+        self
+    }
+
+    /// The registry backing this executor.
+    pub fn registry(&self) -> &ModuleRegistry {
+        &self.registry
+    }
+
+    /// Cache statistics, if memoization is enabled.
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.cache.as_ref().map(|c| c.lock().stats())
+    }
+
+    /// Clear the memoization cache.
+    pub fn clear_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.lock().clear();
+        }
+    }
+
+    fn allocate_exec(&self) -> ExecId {
+        ExecId(self.next_exec.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Prime the memoization cache from a previous execution of `wf`:
+    /// every successful module run of `previous` becomes a cache entry, so
+    /// a subsequent run of an *edited* copy of `wf` re-executes only the
+    /// nodes downstream of the change — partial re-execution, driven
+    /// purely by provenance identity. Returns the number of runs primed.
+    ///
+    /// No-op (returning 0) when the executor has no cache.
+    pub fn warm_cache_from(&self, wf: &Workflow, previous: &ExecutionResult) -> usize {
+        let Some(cache) = &self.cache else {
+            return 0;
+        };
+        let mut primed = 0;
+        for (node_id, record) in &previous.node_runs {
+            if record.status != RunStatus::Succeeded {
+                continue;
+            }
+            let Ok(node) = wf.node(*node_id) else { continue };
+            let Ok(params) =
+                self.registry
+                    .effective_params(&node.module, node.version, &node.params)
+            else {
+                continue;
+            };
+            // Reconstruct the input bindings this run saw.
+            let mut inputs: BTreeMap<String, u64> = BTreeMap::new();
+            for conn in wf.inputs_of(*node_id) {
+                if let Some(v) = previous
+                    .values
+                    .get(&(conn.from.node, conn.from.port.clone()))
+                {
+                    inputs.insert(conn.to.port.clone(), v.content_hash());
+                }
+            }
+            let key = cache_key(
+                &record.identity,
+                params.iter().map(|(k, v)| (k, v.render())),
+                inputs.iter().map(|(k, h)| (k, *h)),
+            );
+            let outputs: Vec<(String, Value)> = previous
+                .values
+                .iter()
+                .filter(|((n, _), _)| n == node_id)
+                .map(|((_, port), v)| (port.clone(), v.clone()))
+                .collect();
+            if !outputs.is_empty() {
+                cache.lock().insert(key, outputs);
+                primed += 1;
+            }
+        }
+        primed
+    }
+
+    /// Run a workflow, discarding events.
+    pub fn run(&self, wf: &Workflow) -> Result<ExecutionResult, ExecError> {
+        self.run_observed(wf, &mut NullObserver)
+    }
+
+    /// Run a workflow sequentially in topological order, reporting every
+    /// lifecycle event to `observer`.
+    pub fn run_observed(
+        &self,
+        wf: &Workflow,
+        observer: &mut dyn ExecObserver,
+    ) -> Result<ExecutionResult, ExecError> {
+        let order = wf
+            .topo_nodes()
+            .ok_or_else(|| ExecError::InvalidWorkflow("workflow has a cycle".into()))?;
+        let exec = self.allocate_exec();
+        let started = Instant::now();
+        observer.on_event(&EngineEvent::WorkflowStarted {
+            exec,
+            workflow: wf.id,
+            name: wf.name.clone(),
+            at_millis: now_millis(),
+        });
+
+        let mut values: BTreeMap<(NodeId, String), Value> = BTreeMap::new();
+        let mut records: BTreeMap<NodeId, NodeRunRecord> = BTreeMap::new();
+        let mut failed_nodes: Vec<NodeId> = Vec::new();
+
+        for node_id in order {
+            let upstream_failed = wf.inputs_of(node_id).any(|c| {
+                records
+                    .get(&c.from.node)
+                    .map(|r| r.status != RunStatus::Succeeded)
+                    .unwrap_or(false)
+            });
+            if upstream_failed {
+                let node = wf.node(node_id)?;
+                records.insert(
+                    node_id,
+                    NodeRunRecord {
+                        node: node_id,
+                        identity: node.kind_identity(),
+                        status: RunStatus::Skipped,
+                        elapsed_micros: 0,
+                        from_cache: false,
+                        error: None,
+                    },
+                );
+                observer.on_event(&EngineEvent::ModuleFinished {
+                    exec,
+                    node: node_id,
+                    status: RunStatus::Skipped,
+                    elapsed_micros: 0,
+                    from_cache: false,
+                    error: None,
+                });
+                continue;
+            }
+            let record = self.run_node(wf, node_id, exec, &mut values, observer)?;
+            if record.status == RunStatus::Failed {
+                failed_nodes.push(node_id);
+            }
+            records.insert(node_id, record);
+        }
+
+        let status = if failed_nodes.is_empty() {
+            RunStatus::Succeeded
+        } else {
+            RunStatus::Failed
+        };
+        observer.on_event(&EngineEvent::WorkflowFinished {
+            exec,
+            status,
+            at_millis: now_millis(),
+        });
+        Ok(ExecutionResult {
+            exec,
+            status,
+            node_runs: records,
+            values,
+            elapsed_micros: started.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// Execute one node: bind inputs, consult the cache, run the body, route
+    /// outputs. Returns the run record; produced values land in `values`.
+    fn run_node(
+        &self,
+        wf: &Workflow,
+        node_id: NodeId,
+        exec: ExecId,
+        values: &mut BTreeMap<(NodeId, String), Value>,
+        observer: &mut dyn ExecObserver,
+    ) -> Result<NodeRunRecord, ExecError> {
+        let node = wf.node(node_id)?;
+        let identity = node.kind_identity();
+        let params = self
+            .registry
+            .effective_params(&node.module, node.version, &node.params)?;
+
+        // Bind inputs from upstream outputs.
+        let mut inputs: BTreeMap<String, Value> = BTreeMap::new();
+        for conn in wf.inputs_of(node_id) {
+            if let Some(v) = values.get(&(conn.from.node, conn.from.port.clone())) {
+                inputs.insert(conn.to.port.clone(), v.clone());
+            }
+        }
+
+        observer.on_event(&EngineEvent::ModuleStarted {
+            exec,
+            node: node_id,
+            identity: identity.clone(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            at_millis: now_millis(),
+        });
+        for (port, v) in &inputs {
+            observer.on_event(&EngineEvent::InputBound {
+                exec,
+                node: node_id,
+                port: port.clone(),
+                meta: ValueMeta::of(v, true),
+            });
+        }
+
+        // Cache lookup.
+        let key = cache_key(
+            &identity,
+            params.iter().map(|(k, v)| (k, v.render())),
+            inputs.iter().map(|(k, v)| (k, v.content_hash())),
+        );
+        if let Some(cache) = &self.cache {
+            if let Some(outputs) = cache.lock().get(key) {
+                for (port, v) in &outputs {
+                    observer.on_event(&EngineEvent::OutputProduced {
+                        exec,
+                        node: node_id,
+                        port: port.clone(),
+                        meta: ValueMeta::of(v, true),
+                    });
+                    values.insert((node_id, port.clone()), v.clone());
+                }
+                observer.on_event(&EngineEvent::ModuleFinished {
+                    exec,
+                    node: node_id,
+                    status: RunStatus::Succeeded,
+                    elapsed_micros: 0,
+                    from_cache: true,
+                    error: None,
+                });
+                return Ok(NodeRunRecord {
+                    node: node_id,
+                    identity,
+                    status: RunStatus::Succeeded,
+                    elapsed_micros: 0,
+                    from_cache: true,
+                    error: None,
+                });
+            }
+        }
+
+        // Run the body.
+        let body = self.registry.executor(&identity)?;
+        let input = ExecInput {
+            node: node_id,
+            params,
+            inputs,
+        };
+        let t0 = Instant::now();
+        let result = body.execute(&input);
+        let elapsed = t0.elapsed().as_micros() as u64;
+
+        match result {
+            Ok(outputs) => {
+                let out_vec: Vec<(String, Value)> =
+                    outputs.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                for (port, v) in &outputs {
+                    observer.on_event(&EngineEvent::OutputProduced {
+                        exec,
+                        node: node_id,
+                        port: port.clone(),
+                        meta: ValueMeta::of(v, true),
+                    });
+                    values.insert((node_id, port.clone()), v.clone());
+                }
+                if let Some(cache) = &self.cache {
+                    cache.lock().insert(key, out_vec);
+                }
+                observer.on_event(&EngineEvent::ModuleFinished {
+                    exec,
+                    node: node_id,
+                    status: RunStatus::Succeeded,
+                    elapsed_micros: elapsed,
+                    from_cache: false,
+                    error: None,
+                });
+                Ok(NodeRunRecord {
+                    node: node_id,
+                    identity,
+                    status: RunStatus::Succeeded,
+                    elapsed_micros: elapsed,
+                    from_cache: false,
+                    error: None,
+                })
+            }
+            Err(e) => {
+                observer.on_event(&EngineEvent::ModuleFinished {
+                    exec,
+                    node: node_id,
+                    status: RunStatus::Failed,
+                    elapsed_micros: elapsed,
+                    from_cache: false,
+                    error: Some(e.to_string()),
+                });
+                Ok(NodeRunRecord {
+                    node: node_id,
+                    identity,
+                    status: RunStatus::Failed,
+                    elapsed_micros: elapsed,
+                    from_cache: false,
+                    error: Some(e.to_string()),
+                })
+            }
+        }
+    }
+
+    /// Run a workflow with up to `threads` modules executing concurrently.
+    ///
+    /// Same contract as [`Executor::run_observed`]; events from concurrent
+    /// modules interleave, but each module's own events stay ordered.
+    pub fn run_parallel(
+        &self,
+        wf: &Workflow,
+        threads: usize,
+        observer: &mut dyn ExecObserver,
+    ) -> Result<ExecutionResult, ExecError> {
+        let threads = threads.max(1);
+        let (g, ids, index) = wf.digraph();
+        if !g.is_dag() {
+            return Err(ExecError::InvalidWorkflow("workflow has a cycle".into()));
+        }
+        let exec = self.allocate_exec();
+        let started = Instant::now();
+
+        // Shared mutable state.
+        struct Shared {
+            values: BTreeMap<(NodeId, String), Value>,
+            records: BTreeMap<NodeId, NodeRunRecord>,
+            pending: Vec<usize>, // remaining unfinished predecessors
+            ready: VecDeque<usize>,
+            running: usize,
+            done: usize,
+        }
+        let n = ids.len();
+        let mut pending: Vec<usize> = vec![0; n];
+        for (i, p) in pending.iter_mut().enumerate() {
+            *p = g.predecessors(i).len();
+        }
+        let ready: VecDeque<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+        let shared = Mutex::new(Shared {
+            values: BTreeMap::new(),
+            records: BTreeMap::new(),
+            pending,
+            ready,
+            running: 0,
+            done: 0,
+        });
+        let observer = Mutex::new(observer);
+
+        observer.lock().on_event(&EngineEvent::WorkflowStarted {
+            exec,
+            workflow: wf.id,
+            name: wf.name.clone(),
+            at_millis: now_millis(),
+        });
+
+        let worker_error: Mutex<Option<ExecError>> = Mutex::new(None);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(n.max(1)) {
+                scope.spawn(|_| loop {
+                    // Claim a ready node or decide we are finished.
+                    let claimed = {
+                        let mut s = shared.lock();
+                        if s.done == n {
+                            None
+                        } else if let Some(i) = s.ready.pop_front() {
+                            s.running += 1;
+                            Some(i)
+                        } else if s.running == 0 {
+                            // No work, nothing running: only possible when
+                            // done == n, but guard against lost wakeups.
+                            None
+                        } else {
+                            // Busy-wait politely for more work.
+                            drop(s);
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    };
+                    let Some(i) = claimed else { break };
+                    let node_id = ids[i];
+
+                    // Determine skip-vs-run from predecessor records.
+                    let upstream_failed = {
+                        let s = shared.lock();
+                        g.predecessors(i).iter().any(|&p| {
+                            s.records
+                                .get(&ids[p])
+                                .map(|r| r.status != RunStatus::Succeeded)
+                                .unwrap_or(true)
+                        })
+                    };
+
+                    let record = if upstream_failed {
+                        let identity = wf
+                            .node(node_id)
+                            .map(|nd| nd.kind_identity())
+                            .unwrap_or_default();
+                        observer.lock().on_event(&EngineEvent::ModuleFinished {
+                            exec,
+                            node: node_id,
+                            status: RunStatus::Skipped,
+                            elapsed_micros: 0,
+                            from_cache: false,
+                            error: None,
+                        });
+                        NodeRunRecord {
+                            node: node_id,
+                            identity,
+                            status: RunStatus::Skipped,
+                            elapsed_micros: 0,
+                            from_cache: false,
+                            error: None,
+                        }
+                    } else {
+                        // Copy the inputs we need, then run without holding
+                        // the state lock (module bodies can be slow).
+                        let mut local_values = {
+                            let s = shared.lock();
+                            let mut m = BTreeMap::new();
+                            for conn in wf.inputs_of(node_id) {
+                                let k = (conn.from.node, conn.from.port.clone());
+                                if let Some(v) = s.values.get(&k) {
+                                    m.insert(k, v.clone());
+                                }
+                            }
+                            m
+                        };
+                        let mut obs_guard = ObserverProxy {
+                            inner: &observer,
+                        };
+                        match self.run_node(wf, node_id, exec, &mut local_values, &mut obs_guard)
+                        {
+                            Ok(rec) => {
+                                let mut s = shared.lock();
+                                for ((nid, port), v) in local_values {
+                                    if nid == node_id {
+                                        s.values.insert((nid, port), v);
+                                    }
+                                }
+                                rec
+                            }
+                            Err(e) => {
+                                *worker_error.lock() = Some(e);
+                                let mut s = shared.lock();
+                                s.running -= 1;
+                                s.done = n; // force drain
+                                break;
+                            }
+                        }
+                    };
+
+                    let mut s = shared.lock();
+                    s.records.insert(node_id, record);
+                    s.running -= 1;
+                    s.done += 1;
+                    for &succ in g.successors(i) {
+                        s.pending[succ] -= 1;
+                        if s.pending[succ] == 0 {
+                            s.ready.push_back(succ);
+                        }
+                    }
+                });
+            }
+        })
+        .map_err(|_| ExecError::InvalidWorkflow("executor thread panicked".into()))?;
+
+        if let Some(e) = worker_error.into_inner() {
+            return Err(e);
+        }
+        let shared = shared.into_inner();
+        let _ = index;
+        let status = if shared
+            .records
+            .values()
+            .all(|r| r.status == RunStatus::Succeeded)
+        {
+            RunStatus::Succeeded
+        } else {
+            RunStatus::Failed
+        };
+        observer.lock().on_event(&EngineEvent::WorkflowFinished {
+            exec,
+            status,
+            at_millis: now_millis(),
+        });
+        Ok(ExecutionResult {
+            exec,
+            status,
+            node_runs: shared.records,
+            values: shared.values,
+            elapsed_micros: started.elapsed().as_micros() as u64,
+        })
+    }
+}
+
+/// Adapter letting `run_node` (which takes `&mut dyn ExecObserver`) publish
+/// through the parallel driver's mutex-protected observer.
+struct ObserverProxy<'a, 'b> {
+    inner: &'a Mutex<&'b mut dyn ExecObserver>,
+}
+
+impl ExecObserver for ObserverProxy<'_, '_> {
+    fn on_event(&mut self, event: &EngineEvent) {
+        self.inner.lock().on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RecordingObserver;
+    use crate::registry::Outputs;
+    use wf_model::{ModuleKind, ParamSpec, PortSpec, WorkflowBuilder};
+
+    fn test_registry() -> ModuleRegistry {
+        let mut r = ModuleRegistry::new();
+        r.register(
+            ModuleKind::new("Const")
+                .output(PortSpec::required("out", wf_model::DataType::Integer))
+                .param(ParamSpec::new("value", 1i64)),
+            |input: &ExecInput| {
+                let mut out = Outputs::new();
+                out.insert("out".into(), Value::Int(input.param_i64("value")?));
+                Ok(out)
+            },
+        );
+        r.register(
+            ModuleKind::new("Add")
+                .input(PortSpec::required("a", wf_model::DataType::Integer))
+                .input(PortSpec::required("b", wf_model::DataType::Integer))
+                .output(PortSpec::required("out", wf_model::DataType::Integer)),
+            |input: &ExecInput| {
+                let a = input.input("a")?.as_i64().unwrap_or(0);
+                let b = input.input("b")?.as_i64().unwrap_or(0);
+                let mut out = Outputs::new();
+                out.insert("out".into(), Value::Int(a + b));
+                Ok(out)
+            },
+        );
+        r.register(
+            ModuleKind::new("Fail")
+                .input(PortSpec::optional("in", wf_model::DataType::Any))
+                .output(PortSpec::required("out", wf_model::DataType::Integer)),
+            |input: &ExecInput| {
+                Err(ExecError::ModuleFailed {
+                    node: input.node,
+                    identity: "Fail@1".into(),
+                    message: "intentional".into(),
+                })
+            },
+        );
+        r
+    }
+
+    fn add_workflow() -> (wf_model::Workflow, NodeId, NodeId, NodeId) {
+        let mut b = WorkflowBuilder::new(1, "add");
+        let x = b.add("Const");
+        let y = b.add("Const");
+        let s = b.add("Add");
+        b.param(x, "value", 20i64)
+            .param(y, "value", 22i64)
+            .connect(x, "out", s, "a")
+            .connect(y, "out", s, "b");
+        (b.build(), x, y, s)
+    }
+
+    #[test]
+    fn sequential_run_computes_dataflow() {
+        let (wf, _, _, s) = add_workflow();
+        let exec = Executor::new(test_registry());
+        let result = exec.run(&wf).unwrap();
+        assert!(result.succeeded());
+        assert_eq!(result.output(s, "out"), Some(&Value::Int(42)));
+        assert_eq!(result.node_runs.len(), 3);
+    }
+
+    #[test]
+    fn events_cover_full_lifecycle() {
+        let (wf, _, _, _) = add_workflow();
+        let exec = Executor::new(test_registry());
+        let mut obs = RecordingObserver::default();
+        exec.run_observed(&wf, &mut obs).unwrap();
+        let starts = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::ModuleStarted { .. }))
+            .count();
+        let outputs = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::OutputProduced { .. }))
+            .count();
+        let inputs = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::InputBound { .. }))
+            .count();
+        assert_eq!(starts, 3);
+        assert_eq!(outputs, 3);
+        assert_eq!(inputs, 2, "Add has two bound inputs");
+        assert!(matches!(
+            obs.events.first(),
+            Some(EngineEvent::WorkflowStarted { .. })
+        ));
+        assert!(matches!(
+            obs.events.last(),
+            Some(EngineEvent::WorkflowFinished {
+                status: RunStatus::Succeeded,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn failure_skips_downstream_and_keeps_partials() {
+        let mut b = WorkflowBuilder::new(1, "failing");
+        let ok = b.add("Const");
+        let bad = b.add("Fail");
+        let sum = b.add("Add");
+        b.connect(ok, "out", sum, "a").connect(bad, "out", sum, "b");
+        let wf = b.build();
+        let exec = Executor::new(test_registry());
+        let result = exec.run(&wf).unwrap();
+        assert_eq!(result.status, RunStatus::Failed);
+        assert_eq!(result.node_runs[&bad].status, RunStatus::Failed);
+        assert!(result.node_runs[&bad]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("intentional"));
+        assert_eq!(result.node_runs[&sum].status, RunStatus::Skipped);
+        assert_eq!(result.node_runs[&ok].status, RunStatus::Succeeded);
+        assert!(result.output(ok, "out").is_some(), "partial value kept");
+    }
+
+    #[test]
+    fn cache_serves_second_run() {
+        let (wf, _, _, s) = add_workflow();
+        let exec = Executor::new(test_registry()).with_cache(64);
+        let r1 = exec.run(&wf).unwrap();
+        assert_eq!(r1.cache_hits(), 0);
+        let r2 = exec.run(&wf).unwrap();
+        assert_eq!(r2.cache_hits(), 3, "all three modules memoized");
+        assert_eq!(r2.output(s, "out"), Some(&Value::Int(42)));
+        let stats = exec.cache_stats().unwrap();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn cache_invalidated_by_param_change() {
+        let (wf, x, _, s) = add_workflow();
+        let exec = Executor::new(test_registry()).with_cache(64);
+        exec.run(&wf).unwrap();
+        let mut wf2 = wf.clone();
+        wf2.set_param(x, "value", wf_model::ParamValue::Int(100))
+            .unwrap();
+        let r = exec.run(&wf2).unwrap();
+        assert_eq!(r.output(s, "out"), Some(&Value::Int(122)));
+        // Const y is cached; Const x and Add must re-run.
+        assert_eq!(r.cache_hits(), 1);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let (wf, _, _, s) = add_workflow();
+        let exec = Executor::new(test_registry());
+        let mut obs = NullObserver;
+        let result = exec.run_parallel(&wf, 4, &mut obs).unwrap();
+        assert!(result.succeeded());
+        assert_eq!(result.output(s, "out"), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn parallel_failure_propagates_skips() {
+        let mut b = WorkflowBuilder::new(1, "failing");
+        let bad = b.add("Fail");
+        let next = b.add("Add");
+        let ok = b.add("Const");
+        b.connect(bad, "out", next, "a")
+            .connect(ok, "out", next, "b");
+        let wf = b.build();
+        let exec = Executor::new(test_registry());
+        let result = exec.run_parallel(&wf, 2, &mut NullObserver).unwrap();
+        assert_eq!(result.status, RunStatus::Failed);
+        assert_eq!(result.node_runs[&next].status, RunStatus::Skipped);
+    }
+
+    #[test]
+    fn wide_parallel_fanout_completes() {
+        let mut b = WorkflowBuilder::new(1, "wide");
+        let srcs: Vec<NodeId> = (0..16).map(|_| b.add("Const")).collect();
+        for (i, &s) in srcs.iter().enumerate() {
+            b.param(s, "value", i as i64);
+        }
+        let wf = b.build();
+        let exec = Executor::new(test_registry());
+        let result = exec.run_parallel(&wf, 4, &mut NullObserver).unwrap();
+        assert!(result.succeeded());
+        assert_eq!(result.values.len(), 16);
+    }
+
+    #[test]
+    fn warm_cache_enables_partial_reexecution() {
+        // Run once on a plain executor, then warm a cached executor from
+        // the result: an edited workflow re-runs only the changed suffix.
+        let (wf, x, _, s) = add_workflow();
+        let plain = Executor::new(test_registry());
+        let previous = plain.run(&wf).unwrap();
+
+        let cached = Executor::new(test_registry()).with_cache(64);
+        let primed = cached.warm_cache_from(&wf, &previous);
+        assert_eq!(primed, 3);
+
+        // Unchanged workflow: everything comes from the warm cache.
+        let r = cached.run(&wf).unwrap();
+        assert_eq!(r.cache_hits(), 3);
+
+        // Edit one source parameter: only it and the sum re-run.
+        let mut wf2 = wf.clone();
+        wf2.set_param(x, "value", wf_model::ParamValue::Int(1))
+            .unwrap();
+        cached.clear_cache();
+        cached.warm_cache_from(&wf, &previous);
+        let r = cached.run(&wf2).unwrap();
+        assert_eq!(r.cache_hits(), 1, "only the untouched Const is reused");
+        assert_eq!(r.output(s, "out"), Some(&Value::Int(23)));
+    }
+
+    #[test]
+    fn warm_cache_skips_failed_runs() {
+        let mut b = WorkflowBuilder::new(1, "partially-failing");
+        let ok = b.add("Const");
+        let bad = b.add("Fail");
+        b.connect(ok, "out", bad, "in");
+        let wf = b.build();
+        let plain = Executor::new(test_registry());
+        let previous = plain.run(&wf).unwrap();
+        assert_eq!(previous.status, RunStatus::Failed);
+
+        let cached = Executor::new(test_registry()).with_cache(16);
+        // Only the successful Const run is primed.
+        assert_eq!(cached.warm_cache_from(&wf, &previous), 1);
+    }
+
+    #[test]
+    fn warm_cache_without_cache_is_noop() {
+        let (wf, ..) = add_workflow();
+        let exec = Executor::new(test_registry());
+        let previous = exec.run(&wf).unwrap();
+        assert_eq!(exec.warm_cache_from(&wf, &previous), 0);
+    }
+
+    #[test]
+    fn exec_ids_are_unique_per_run() {
+        let (wf, ..) = add_workflow();
+        let exec = Executor::new(test_registry());
+        let a = exec.run(&wf).unwrap().exec;
+        let b = exec.run(&wf).unwrap().exec;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn missing_executor_surfaces_as_error() {
+        let mut b = WorkflowBuilder::new(1, "unknown");
+        b.add("Ghost");
+        let wf = b.build();
+        let exec = Executor::new(test_registry());
+        assert!(exec.run(&wf).is_err());
+        // The parallel driver surfaces the same error instead of hanging.
+        assert!(exec.run_parallel(&wf, 4, &mut NullObserver).is_err());
+    }
+}

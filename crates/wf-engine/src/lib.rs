@@ -1,0 +1,43 @@
+//! # wf-engine — dataflow workflow execution engine
+//!
+//! Executes [`wf_model::Workflow`] specifications under the dataflow model
+//! the tutorial describes (§2.1): "the execution order of workflow modules
+//! is determined by the flow of data through the workflow".
+//!
+//! The engine is *instrumented for provenance* (§2.2): every run emits a
+//! stream of [`event::EngineEvent`]s through the [`event::ExecObserver`]
+//! trait; `prov-core` turns that stream into retrospective provenance.
+//!
+//! Contents:
+//!
+//! * [`value`] — runtime values (scalars, grids, tables, meshes, images)
+//!   with stable content hashing for artifact identity,
+//! * [`registry`] — module-executor registry,
+//! * [`stdlib`] — the builtin scientific module library (everything
+//!   Figure 1 and the Provenance Challenge pipelines need),
+//! * [`exec`] — sequential and parallel execution drivers,
+//! * [`cache`] — provenance-based memoization of module runs,
+//! * [`dbops`] — database operators as workflow modules with row-level
+//!   provenance (the §2.4 "connecting database and workflow provenance"
+//!   substrate),
+//! * [`sweep`] — parameter-space exploration on top of the cache,
+//! * [`synth`] — synthetic workload generators for tests and benchmarks.
+
+pub mod cache;
+pub mod dbops;
+pub mod error;
+pub mod event;
+pub mod exec;
+pub mod registry;
+pub mod stdlib;
+pub mod sweep;
+pub mod synth;
+pub mod value;
+
+pub use cache::RunCache;
+pub use error::ExecError;
+pub use event::{EngineEvent, ExecObserver, ValueMeta};
+pub use exec::{ExecId, ExecutionResult, Executor, NodeRunRecord, RunStatus};
+pub use registry::{ExecInput, ModuleExec, ModuleRegistry};
+pub use stdlib::standard_registry;
+pub use value::{Grid, Image, Mesh, Table, Value};

@@ -1,0 +1,309 @@
+//! The module-executor registry: binding module kinds to Rust
+//! implementations.
+
+use crate::error::ExecError;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use wf_model::{ModuleCatalog, ModuleKind, NodeId, ParamValue};
+
+/// Everything a module body sees when it runs: its effective parameters
+/// (instance bindings merged over kind defaults) and the values bound to its
+/// input ports.
+#[derive(Debug, Clone)]
+pub struct ExecInput {
+    /// The node being executed (for error reporting).
+    pub node: NodeId,
+    /// Effective parameters.
+    pub params: BTreeMap<String, ParamValue>,
+    /// Values on input ports.
+    pub inputs: BTreeMap<String, Value>,
+}
+
+impl ExecInput {
+    /// Required input port; error if absent.
+    pub fn input(&self, port: &str) -> Result<&Value, ExecError> {
+        self.inputs.get(port).ok_or_else(|| ExecError::MissingInput {
+            node: self.node,
+            port: port.to_string(),
+        })
+    }
+
+    /// Optional input port.
+    pub fn input_opt(&self, port: &str) -> Option<&Value> {
+        self.inputs.get(port)
+    }
+
+    /// Required grid input.
+    pub fn grid(&self, port: &str) -> Result<&crate::value::Grid, ExecError> {
+        let v = self.input(port)?;
+        v.as_grid().ok_or_else(|| ExecError::BadInputType {
+            expected: format!("grid on port '{port}'"),
+            got: v.dtype().to_string(),
+        })
+    }
+
+    /// Required table input.
+    pub fn table(&self, port: &str) -> Result<&crate::value::Table, ExecError> {
+        let v = self.input(port)?;
+        v.as_table().ok_or_else(|| ExecError::BadInputType {
+            expected: format!("table on port '{port}'"),
+            got: v.dtype().to_string(),
+        })
+    }
+
+    /// Required mesh input.
+    pub fn mesh(&self, port: &str) -> Result<&crate::value::Mesh, ExecError> {
+        let v = self.input(port)?;
+        v.as_mesh().ok_or_else(|| ExecError::BadInputType {
+            expected: format!("mesh on port '{port}'"),
+            got: v.dtype().to_string(),
+        })
+    }
+
+    /// Required image input.
+    pub fn image(&self, port: &str) -> Result<&crate::value::Image, ExecError> {
+        let v = self.input(port)?;
+        v.as_image().ok_or_else(|| ExecError::BadInputType {
+            expected: format!("image on port '{port}'"),
+            got: v.dtype().to_string(),
+        })
+    }
+
+    /// Integer parameter (must exist — kinds declare defaults).
+    pub fn param_i64(&self, name: &str) -> Result<i64, ExecError> {
+        self.params
+            .get(name)
+            .and_then(ParamValue::as_i64)
+            .ok_or_else(|| ExecError::BadParam {
+                name: name.to_string(),
+                message: "expected an integer".into(),
+            })
+    }
+
+    /// Float parameter (integers widen).
+    pub fn param_f64(&self, name: &str) -> Result<f64, ExecError> {
+        self.params
+            .get(name)
+            .and_then(ParamValue::as_f64)
+            .ok_or_else(|| ExecError::BadParam {
+                name: name.to_string(),
+                message: "expected a number".into(),
+            })
+    }
+
+    /// Text parameter.
+    pub fn param_text(&self, name: &str) -> Result<&str, ExecError> {
+        self.params
+            .get(name)
+            .and_then(ParamValue::as_text)
+            .ok_or_else(|| ExecError::BadParam {
+                name: name.to_string(),
+                message: "expected text".into(),
+            })
+    }
+
+    /// Boolean parameter.
+    pub fn param_bool(&self, name: &str) -> Result<bool, ExecError> {
+        self.params
+            .get(name)
+            .and_then(ParamValue::as_bool)
+            .ok_or_else(|| ExecError::BadParam {
+                name: name.to_string(),
+                message: "expected a boolean".into(),
+            })
+    }
+}
+
+/// Output map produced by a module body: port name → value.
+pub type Outputs = BTreeMap<String, Value>;
+
+/// A module implementation.
+pub trait ModuleExec: Send + Sync {
+    /// Run the module body.
+    fn execute(&self, input: &ExecInput) -> Result<Outputs, ExecError>;
+}
+
+impl<F> ModuleExec for F
+where
+    F: Fn(&ExecInput) -> Result<Outputs, ExecError> + Send + Sync,
+{
+    fn execute(&self, input: &ExecInput) -> Result<Outputs, ExecError> {
+        self(input)
+    }
+}
+
+/// Registry pairing a [`ModuleCatalog`] (the *declarations*) with executor
+/// implementations (the *bodies*), keyed by kind identity `name@version`.
+#[derive(Clone)]
+pub struct ModuleRegistry {
+    catalog: ModuleCatalog,
+    impls: HashMap<String, Arc<dyn ModuleExec>>,
+}
+
+impl std::fmt::Debug for ModuleRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleRegistry")
+            .field("kinds", &self.catalog.len())
+            .field("impls", &self.impls.len())
+            .finish()
+    }
+}
+
+impl Default for ModuleRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModuleRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            catalog: ModuleCatalog::new(),
+            impls: HashMap::new(),
+        }
+    }
+
+    /// Register a kind together with its implementation.
+    pub fn register(&mut self, kind: ModuleKind, body: impl ModuleExec + 'static) {
+        let identity = kind.identity();
+        self.catalog.register(kind);
+        self.impls.insert(identity, Arc::new(body));
+    }
+
+    /// Register a declaration only (validation without execution — e.g.
+    /// composite kinds that are flattened away before running).
+    pub fn declare(&mut self, kind: ModuleKind) {
+        self.catalog.register(kind);
+    }
+
+    /// The catalog of declared kinds.
+    pub fn catalog(&self) -> &ModuleCatalog {
+        &self.catalog
+    }
+
+    /// Resolve an implementation by identity.
+    pub fn executor(&self, identity: &str) -> Result<Arc<dyn ModuleExec>, ExecError> {
+        self.impls
+            .get(identity)
+            .cloned()
+            .ok_or_else(|| ExecError::NoExecutor {
+                identity: identity.to_string(),
+            })
+    }
+
+    /// Effective parameters for a node: kind defaults overlaid with the
+    /// node's bindings.
+    pub fn effective_params(
+        &self,
+        module: &str,
+        version: u32,
+        bindings: &BTreeMap<String, ParamValue>,
+    ) -> Result<BTreeMap<String, ParamValue>, ExecError> {
+        let kind = self
+            .catalog
+            .get(module, version)
+            .map_err(|e| ExecError::Model(e.to_string()))?;
+        let mut params: BTreeMap<String, ParamValue> = kind
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.default.clone()))
+            .collect();
+        for (k, v) in bindings {
+            params.insert(k.clone(), v.clone());
+        }
+        Ok(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_model::{ParamSpec, PortSpec};
+
+    fn double_kind() -> ModuleKind {
+        ModuleKind::new("Double")
+            .input(PortSpec::required("in", wf_model::DataType::Integer))
+            .output(PortSpec::required("out", wf_model::DataType::Integer))
+            .param(ParamSpec::new("offset", 0i64))
+    }
+
+    fn registry() -> ModuleRegistry {
+        let mut r = ModuleRegistry::new();
+        r.register(double_kind(), |input: &ExecInput| {
+            let v = input.input("in")?.as_i64().unwrap_or(0);
+            let off = input.param_i64("offset")?;
+            let mut out = Outputs::new();
+            out.insert("out".into(), Value::Int(v * 2 + off));
+            Ok(out)
+        });
+        r
+    }
+
+    #[test]
+    fn registered_body_executes() {
+        let r = registry();
+        let body = r.executor("Double@1").unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), Value::Int(21));
+        let input = ExecInput {
+            node: NodeId(0),
+            params: r.effective_params("Double", 1, &BTreeMap::new()).unwrap(),
+            inputs,
+        };
+        let out = body.execute(&input).unwrap();
+        assert_eq!(out.get("out"), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn effective_params_merge_defaults_and_bindings() {
+        let r = registry();
+        let mut b = BTreeMap::new();
+        b.insert("offset".to_string(), ParamValue::Int(5));
+        let p = r.effective_params("Double", 1, &b).unwrap();
+        assert_eq!(p.get("offset"), Some(&ParamValue::Int(5)));
+        let p = r.effective_params("Double", 1, &BTreeMap::new()).unwrap();
+        assert_eq!(p.get("offset"), Some(&ParamValue::Int(0)));
+    }
+
+    #[test]
+    fn missing_executor_is_an_error() {
+        let r = registry();
+        assert!(matches!(
+            r.executor("Nope@1"),
+            Err(ExecError::NoExecutor { .. })
+        ));
+    }
+
+    #[test]
+    fn exec_input_typed_accessors_enforce_types() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("g".to_string(), Value::Int(1));
+        let input = ExecInput {
+            node: NodeId(3),
+            params: BTreeMap::new(),
+            inputs,
+        };
+        assert!(matches!(
+            input.grid("g"),
+            Err(ExecError::BadInputType { .. })
+        ));
+        assert!(matches!(
+            input.input("missing"),
+            Err(ExecError::MissingInput { .. })
+        ));
+        assert!(matches!(
+            input.param_i64("absent"),
+            Err(ExecError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn declare_without_body_resolves_in_catalog_only() {
+        let mut r = ModuleRegistry::new();
+        r.declare(double_kind());
+        assert!(r.catalog().get("Double", 1).is_ok());
+        assert!(r.executor("Double@1").is_err());
+    }
+}

@@ -1,0 +1,1359 @@
+//! The builtin scientific module library.
+//!
+//! Everything the tutorial's running examples need, implemented as
+//! deterministic synthetic stand-ins (see DESIGN.md §6 for the substitution
+//! record):
+//!
+//! * **Figure 1** (medical imaging): `LoadVolume` simulates reading the
+//!   CT scan `head.120.vtk`; `Histogram`, `Isosurface`, `SmoothMesh`,
+//!   `RenderMesh`, `PlotTable`, and `SaveFile` rebuild both branches of the
+//!   figure's workflow.
+//! * **Provenance Challenge** (fMRI): `AlignWarp`, `Reslice`, `Softmean`,
+//!   `Slice`, and `Convert` rebuild the five-stage challenge pipeline.
+//! * **Benchmarks**: `Busy` and `SynthStage` provide tunable deterministic
+//!   work for the capture-overhead and sweep experiments.
+//!
+//! All modules are pure functions of (parameters, inputs): same key, same
+//! output — the property provenance-based caching and the reproducibility
+//! checker rely on.
+
+use crate::error::ExecError;
+use crate::registry::{ExecInput, ModuleRegistry, Outputs};
+use crate::value::{fnv1a, ContentHasher, Grid, Image, Mesh, Table, Value};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use wf_model::{DataType, ModuleKind, ParamSpec, PortSpec};
+
+/// Deterministic 64-bit RNG (SplitMix64), used by synthetic data sources so
+/// that the platform has no hidden nondeterminism.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn out1(port: &str, value: Value) -> Outputs {
+    let mut m = Outputs::new();
+    m.insert(port.to_string(), value);
+    m
+}
+
+fn fail(input: &ExecInput, identity: &str, message: impl Into<String>) -> ExecError {
+    ExecError::ModuleFailed {
+        node: input.node,
+        identity: identity.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Generate the deterministic synthetic volume for a "file path". The field
+/// mixes a radially symmetric structure (so isosurfaces are non-trivial)
+/// with seeded noise, entirely determined by `(path, dims)`.
+fn synth_volume(seed: u64, nx: usize, ny: usize, nz: usize, noise: f64) -> Grid {
+    let mut rng = SplitMix64::new(seed);
+    let mut data = Vec::with_capacity(nx * ny * nz);
+    let (cx, cy, cz) = (
+        (nx.max(1) - 1) as f64 / 2.0,
+        (ny.max(1) - 1) as f64 / 2.0,
+        (nz.max(1) - 1) as f64 / 2.0,
+    );
+    let rmax = (cx * cx + cy * cy + cz * cz).sqrt().max(1.0);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                let dz = z as f64 - cz;
+                let r = (dx * dx + dy * dy + dz * dz).sqrt() / rmax;
+                let shell = (1.0 - r).max(0.0);
+                let ripple = (r * 12.0).sin() * 0.15;
+                let n = (rng.next_f64() - 0.5) * noise;
+                data.push((shell + ripple + n).clamp(-1.0, 2.0));
+            }
+        }
+    }
+    Grid::new((nx, ny, nz), data)
+}
+
+fn grid_dims_param(input: &ExecInput) -> Result<(usize, usize, usize), ExecError> {
+    let nx = input.param_i64("nx")?.max(1) as usize;
+    let ny = input.param_i64("ny")?.max(1) as usize;
+    let nz = input.param_i64("nz")?.max(1) as usize;
+    Ok((nx, ny, nz))
+}
+
+fn register_sources(r: &mut ModuleRegistry) {
+    r.register(
+        ModuleKind::new("LoadVolume")
+            .category("io")
+            .doc("Simulate loading a volumetric dataset from a file path (Figure 1's head.120.vtk)")
+            .output(PortSpec::required("grid", DataType::Grid))
+            .param(ParamSpec::new("path", "volume.vtk").with_doc("simulated file path"))
+            .param(ParamSpec::new("nx", 16i64))
+            .param(ParamSpec::new("ny", 16i64))
+            .param(ParamSpec::new("nz", 16i64)),
+        |input: &ExecInput| {
+            let path = input.param_text("path")?;
+            let (nx, ny, nz) = grid_dims_param(input)?;
+            let seed = fnv1a(path.as_bytes());
+            Ok(out1("grid", Value::Grid(synth_volume(seed, nx, ny, nz, 0.05))))
+        },
+    );
+    r.register(
+        ModuleKind::new("SyntheticGrid")
+            .category("io")
+            .doc("Deterministic synthetic volume from an explicit seed")
+            .output(PortSpec::required("grid", DataType::Grid))
+            .param(ParamSpec::new("seed", 0i64))
+            .param(ParamSpec::new("noise", 0.1f64))
+            .param(ParamSpec::new("nx", 16i64))
+            .param(ParamSpec::new("ny", 16i64))
+            .param(ParamSpec::new("nz", 16i64)),
+        |input: &ExecInput| {
+            let seed = input.param_i64("seed")? as u64;
+            let noise = input.param_f64("noise")?;
+            let (nx, ny, nz) = grid_dims_param(input)?;
+            Ok(out1("grid", Value::Grid(synth_volume(seed, nx, ny, nz, noise))))
+        },
+    );
+    r.register(
+        ModuleKind::new("SaveFile")
+            .category("io")
+            .doc("Persist any value as a simulated file artifact (name + content digest)")
+            .input(PortSpec::required("in", DataType::Any))
+            .output(PortSpec::required("file", DataType::Bytes))
+            .param(ParamSpec::new("name", "out.dat").with_doc("simulated file name")),
+        |input: &ExecInput| {
+            let v = input.input("in")?;
+            let name = input.param_text("name")?;
+            let payload = format!("{name}\n{}\n{}", v.dtype(), v.digest());
+            Ok(out1("file", Value::Bytes(Bytes::from(payload.into_bytes()))))
+        },
+    );
+}
+
+fn register_analysis(r: &mut ModuleRegistry) {
+    r.register(
+        ModuleKind::new("Histogram")
+            .category("analysis")
+            .doc("Bin the scalar values of a grid into a frequency table")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("table", DataType::Table))
+            .param(ParamSpec::new("bins", 64i64)),
+        |input: &ExecInput| {
+            let g = input.grid("data")?;
+            let bins = input.param_i64("bins")?.max(1) as usize;
+            let (lo, hi) = g.range();
+            let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+            let mut counts = vec![0f64; bins];
+            for &v in g.data.iter() {
+                let mut b = ((v - lo) / width) as usize;
+                if b >= bins {
+                    b = bins - 1;
+                }
+                counts[b] += 1.0;
+            }
+            let rows = counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| vec![lo + i as f64 * width, lo + (i + 1) as f64 * width, c])
+                .collect();
+            Ok(out1(
+                "table",
+                Value::Table(Table::new(
+                    vec!["bin_lo".into(), "bin_hi".into(), "count".into()],
+                    rows,
+                )),
+            ))
+        },
+    );
+    r.register(
+        ModuleKind::new("Threshold")
+            .category("analysis")
+            .doc("Binary mask of samples above a level")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("mask", DataType::Grid))
+            .param(ParamSpec::new("level", 0.5f64)),
+        |input: &ExecInput| {
+            let g = input.grid("data")?;
+            let level = input.param_f64("level")?;
+            let data = g
+                .data
+                .iter()
+                .map(|&v| if v >= level { 1.0 } else { 0.0 })
+                .collect();
+            Ok(out1("mask", Value::Grid(Grid::new(g.dims, data))))
+        },
+    );
+    r.register(
+        ModuleKind::new("SmoothGrid")
+            .category("analysis")
+            .doc("Iterated 6-neighbour box smoothing")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("smoothed", DataType::Grid))
+            .param(ParamSpec::new("iterations", 1i64)),
+        |input: &ExecInput| {
+            let g = input.grid("data")?;
+            let iters = input.param_i64("iterations")?.max(0) as usize;
+            let (nx, ny, nz) = g.dims;
+            let mut cur: Vec<f64> = g.data.as_ref().clone();
+            let idx = |x: usize, y: usize, z: usize| x + nx * (y + ny * z);
+            for _ in 0..iters {
+                let mut next = cur.clone();
+                for z in 0..nz {
+                    for y in 0..ny {
+                        for x in 0..nx {
+                            let mut sum = cur[idx(x, y, z)];
+                            let mut n = 1.0;
+                            if x > 0 { sum += cur[idx(x - 1, y, z)]; n += 1.0; }
+                            if x + 1 < nx { sum += cur[idx(x + 1, y, z)]; n += 1.0; }
+                            if y > 0 { sum += cur[idx(x, y - 1, z)]; n += 1.0; }
+                            if y + 1 < ny { sum += cur[idx(x, y + 1, z)]; n += 1.0; }
+                            if z > 0 { sum += cur[idx(x, y, z - 1)]; n += 1.0; }
+                            if z + 1 < nz { sum += cur[idx(x, y, z + 1)]; n += 1.0; }
+                            next[idx(x, y, z)] = sum / n;
+                        }
+                    }
+                }
+                cur = next;
+            }
+            Ok(out1("smoothed", Value::Grid(Grid::new(g.dims, cur))))
+        },
+    );
+    r.register(
+        ModuleKind::new("Downsample")
+            .category("analysis")
+            .doc("Reduce resolution by an integer factor (block averaging)")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("out", DataType::Grid))
+            .param(ParamSpec::new("factor", 2i64)),
+        |input: &ExecInput| {
+            let g = input.grid("data")?;
+            let f = input.param_i64("factor")?.max(1) as usize;
+            let (nx, ny, nz) = g.dims;
+            let (mx, my, mz) = ((nx / f).max(1), (ny / f).max(1), (nz / f).max(1));
+            let mut data = Vec::with_capacity(mx * my * mz);
+            for z in 0..mz {
+                for y in 0..my {
+                    for x in 0..mx {
+                        let mut sum = 0.0;
+                        let mut n = 0.0;
+                        for dz in 0..f {
+                            for dy in 0..f {
+                                for dx in 0..f {
+                                    let (sx, sy, sz) = (x * f + dx, y * f + dy, z * f + dz);
+                                    if sx < nx && sy < ny && sz < nz {
+                                        sum += g.at(sx, sy, sz);
+                                        n += 1.0;
+                                    }
+                                }
+                            }
+                        }
+                        data.push(if n > 0.0 { sum / n } else { 0.0 });
+                    }
+                }
+            }
+            Ok(out1("out", Value::Grid(Grid::new((mx, my, mz), data))))
+        },
+    );
+    r.register(
+        ModuleKind::new("GridStats")
+            .category("analysis")
+            .doc("Summary statistics of a grid (min, max, mean, std)")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("stats", DataType::Table)),
+        |input: &ExecInput| {
+            let g = input.grid("data")?;
+            let n = g.len().max(1) as f64;
+            let mean = g.data.iter().sum::<f64>() / n;
+            let var = g.data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            let (lo, hi) = g.range();
+            Ok(out1(
+                "stats",
+                Value::Table(Table::new(
+                    vec!["min".into(), "max".into(), "mean".into(), "std".into()],
+                    vec![vec![lo, hi, mean, var.sqrt()]],
+                )),
+            ))
+        },
+    );
+    r.register(
+        ModuleKind::new("GridCombine")
+            .category("analysis")
+            .doc("Pointwise combination of two grids of identical dimensions")
+            .input(PortSpec::required("a", DataType::Grid))
+            .input(PortSpec::required("b", DataType::Grid))
+            .output(PortSpec::required("out", DataType::Grid))
+            .param(ParamSpec::new("op", "add").with_doc("add | sub | mul")),
+        |input: &ExecInput| {
+            let a = input.grid("a")?;
+            let b = input.grid("b")?;
+            if a.dims != b.dims {
+                return Err(fail(
+                    input,
+                    "GridCombine@1",
+                    format!("dimension mismatch: {:?} vs {:?}", a.dims, b.dims),
+                ));
+            }
+            let op = input.param_text("op")?;
+            let f: fn(f64, f64) -> f64 = match op {
+                "add" => |x, y| x + y,
+                "sub" => |x, y| x - y,
+                "mul" => |x, y| x * y,
+                other => {
+                    return Err(fail(input, "GridCombine@1", format!("unknown op '{other}'")))
+                }
+            };
+            let data = a
+                .data
+                .iter()
+                .zip(b.data.iter())
+                .map(|(&x, &y)| f(x, y))
+                .collect();
+            Ok(out1("out", Value::Grid(Grid::new(a.dims, data))))
+        },
+    );
+    r.register(
+        ModuleKind::new("Scale")
+            .category("analysis")
+            .doc("Multiply every sample by a factor")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("out", DataType::Grid))
+            .param(ParamSpec::new("factor", 1.0f64)),
+        |input: &ExecInput| {
+            let g = input.grid("data")?;
+            let k = input.param_f64("factor")?;
+            let data = g.data.iter().map(|&v| v * k).collect();
+            Ok(out1("out", Value::Grid(Grid::new(g.dims, data))))
+        },
+    );
+}
+
+/// Vertex-neighbourhood Laplacian smoothing used by `SmoothMesh`.
+fn laplacian_smooth(mesh: &Mesh, iterations: usize) -> Mesh {
+    let nv = mesh.vertices.len();
+    let mut neighbours: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for t in mesh.triangles.iter() {
+        let [a, b, c] = *t;
+        for (u, v) in [(a, b), (b, c), (c, a)] {
+            if !neighbours[u as usize].contains(&v) {
+                neighbours[u as usize].push(v);
+            }
+            if !neighbours[v as usize].contains(&u) {
+                neighbours[v as usize].push(u);
+            }
+        }
+    }
+    let mut verts: Vec<[f64; 3]> = mesh.vertices.as_ref().clone();
+    for _ in 0..iterations {
+        let mut next = verts.clone();
+        for (i, ns) in neighbours.iter().enumerate() {
+            if ns.is_empty() {
+                continue;
+            }
+            let mut acc = [0.0f64; 3];
+            for &n in ns {
+                for k in 0..3 {
+                    acc[k] += verts[n as usize][k];
+                }
+            }
+            for k in 0..3 {
+                // Blend halfway toward the neighbourhood centroid.
+                next[i][k] = 0.5 * verts[i][k] + 0.5 * acc[k] / ns.len() as f64;
+            }
+        }
+        verts = next;
+    }
+    Mesh::new(verts, mesh.triangles.as_ref().clone())
+}
+
+fn register_visualization(r: &mut ModuleRegistry) {
+    r.register(
+        ModuleKind::new("Isosurface")
+            .category("visualization")
+            .doc("Extract an isosurface mesh at a scalar level (simplified marching cells)")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("mesh", DataType::Mesh))
+            .param(ParamSpec::new("isovalue", 0.5f64)),
+        |input: &ExecInput| {
+            let g = input.grid("data")?;
+            let iso = input.param_f64("isovalue")?;
+            let (nx, ny, nz) = g.dims;
+            let mut vertices: Vec<[f64; 3]> = Vec::new();
+            let mut triangles: Vec<[u32; 3]> = Vec::new();
+            // For every cell whose corners straddle the isovalue, emit a
+            // small triangle at the cell centre. Not watertight geometry —
+            // deterministic stand-in with the right complexity profile.
+            for z in 0..nz.saturating_sub(1) {
+                for y in 0..ny.saturating_sub(1) {
+                    for x in 0..nx.saturating_sub(1) {
+                        let corners = [
+                            g.at(x, y, z),
+                            g.at(x + 1, y, z),
+                            g.at(x, y + 1, z),
+                            g.at(x, y, z + 1),
+                            g.at(x + 1, y + 1, z),
+                            g.at(x + 1, y, z + 1),
+                            g.at(x, y + 1, z + 1),
+                            g.at(x + 1, y + 1, z + 1),
+                        ];
+                        let above = corners.iter().filter(|&&v| v >= iso).count();
+                        if above == 0 || above == 8 {
+                            continue;
+                        }
+                        let base = vertices.len() as u32;
+                        let (fx, fy, fz) = (x as f64 + 0.5, y as f64 + 0.5, z as f64 + 0.5);
+                        vertices.push([fx, fy, fz]);
+                        vertices.push([fx + 0.5, fy, fz]);
+                        vertices.push([fx, fy + 0.5, fz]);
+                        triangles.push([base, base + 1, base + 2]);
+                    }
+                }
+            }
+            Ok(out1("mesh", Value::Mesh(Mesh::new(vertices, triangles))))
+        },
+    );
+    r.register(
+        ModuleKind::new("SmoothMesh")
+            .category("visualization")
+            .doc("Laplacian mesh smoothing (the Figure 2 refinement module)")
+            .input(PortSpec::required("mesh", DataType::Mesh))
+            .output(PortSpec::required("mesh", DataType::Mesh))
+            .param(ParamSpec::new("iterations", 2i64)),
+        |input: &ExecInput| {
+            let m = input.mesh("mesh")?;
+            let iters = input.param_i64("iterations")?.max(0) as usize;
+            Ok(out1("mesh", Value::Mesh(laplacian_smooth(m, iters))))
+        },
+    );
+    r.register(
+        ModuleKind::new("RenderMesh")
+            .category("visualization")
+            .doc("Orthographic point-splat rendering of a mesh into a grayscale image")
+            .input(PortSpec::required("mesh", DataType::Mesh))
+            .output(PortSpec::required("image", DataType::Image))
+            .param(ParamSpec::new("width", 64i64))
+            .param(ParamSpec::new("height", 64i64))
+            .param(ParamSpec::new("azimuth", 0.0f64)),
+        |input: &ExecInput| {
+            let m = input.mesh("mesh")?;
+            let w = input.param_i64("width")?.max(1) as usize;
+            let h = input.param_i64("height")?.max(1) as usize;
+            let az = input.param_f64("azimuth")?;
+            let (sin_a, cos_a) = az.sin_cos();
+            let mut pixels = vec![0u8; w * h];
+            if !m.vertices.is_empty() {
+                let (mut lo, mut hi) = ([f64::INFINITY; 2], [f64::NEG_INFINITY; 2]);
+                let project = |v: &[f64; 3]| {
+                    let px = v[0] * cos_a + v[1] * sin_a;
+                    let py = v[2];
+                    (px, py)
+                };
+                for v in m.vertices.iter() {
+                    let (px, py) = project(v);
+                    lo[0] = lo[0].min(px);
+                    lo[1] = lo[1].min(py);
+                    hi[0] = hi[0].max(px);
+                    hi[1] = hi[1].max(py);
+                }
+                let span = |i: usize| (hi[i] - lo[i]).max(1e-9);
+                for v in m.vertices.iter() {
+                    let (px, py) = project(v);
+                    let ix = (((px - lo[0]) / span(0)) * (w - 1) as f64) as usize;
+                    let iy = (((py - lo[1]) / span(1)) * (h - 1) as f64) as usize;
+                    let p = &mut pixels[iy.min(h - 1) * w + ix.min(w - 1)];
+                    *p = p.saturating_add(40);
+                }
+            }
+            Ok(out1("image", Value::Image(Image::new(w, h, pixels))))
+        },
+    );
+    r.register(
+        ModuleKind::new("PlotTable")
+            .category("visualization")
+            .doc("Bar plot of one table column (Figure 1's histogram image)")
+            .input(PortSpec::required("table", DataType::Table))
+            .output(PortSpec::required("image", DataType::Image))
+            .param(ParamSpec::new("width", 64i64))
+            .param(ParamSpec::new("height", 64i64))
+            .param(ParamSpec::new("column", "count")),
+        |input: &ExecInput| {
+            let t = input.table("table")?;
+            let w = input.param_i64("width")?.max(1) as usize;
+            let h = input.param_i64("height")?.max(1) as usize;
+            let col = input.param_text("column")?;
+            let values = t.column(col).ok_or_else(|| {
+                fail(input, "PlotTable@1", format!("no column '{col}'"))
+            })?;
+            let mut pixels = vec![0u8; w * h];
+            if !values.is_empty() {
+                let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+                for x in 0..w {
+                    let i = x * values.len() / w;
+                    let bar = ((values[i] / max) * h as f64) as usize;
+                    for y in 0..bar.min(h) {
+                        pixels[(h - 1 - y) * w + x] = 255;
+                    }
+                }
+            }
+            Ok(out1("image", Value::Image(Image::new(w, h, pixels))))
+        },
+    );
+    r.register(
+        ModuleKind::new("Slice")
+            .category("visualization")
+            .doc("Extract one axis-aligned plane of a grid as a grayscale image")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("image", DataType::Image))
+            .param(ParamSpec::new("axis", "z").with_doc("x | y | z"))
+            .param(ParamSpec::new("index", 0i64)),
+        |input: &ExecInput| {
+            let g = input.grid("data")?;
+            let axis = input.param_text("axis")?;
+            let index = input.param_i64("index")?.max(0) as usize;
+            let (nx, ny, nz) = g.dims;
+            let (lo, hi) = g.range();
+            let norm = |v: f64| {
+                if hi > lo {
+                    (((v - lo) / (hi - lo)) * 255.0) as u8
+                } else {
+                    0
+                }
+            };
+            type PlaneFn<'a> = Box<dyn Fn(usize, usize) -> f64 + 'a>;
+            let (w, h, get): (usize, usize, PlaneFn) = match axis {
+                "x" => {
+                    let i = index.min(nx.saturating_sub(1));
+                    (ny, nz, Box::new(move |a, b| g.at(i, a, b)))
+                }
+                "y" => {
+                    let i = index.min(ny.saturating_sub(1));
+                    (nx, nz, Box::new(move |a, b| g.at(a, i, b)))
+                }
+                "z" => {
+                    let i = index.min(nz.saturating_sub(1));
+                    (nx, ny, Box::new(move |a, b| g.at(a, b, i)))
+                }
+                other => {
+                    return Err(fail(input, "Slice@1", format!("unknown axis '{other}'")))
+                }
+            };
+            let mut pixels = Vec::with_capacity(w * h);
+            for b in 0..h {
+                for a in 0..w {
+                    pixels.push(norm(get(a, b)));
+                }
+            }
+            Ok(out1("image", Value::Image(Image::new(w, h, pixels))))
+        },
+    );
+}
+
+fn register_challenge(r: &mut ModuleRegistry) {
+    r.register(
+        ModuleKind::new("AlignWarp")
+            .category("challenge")
+            .doc("Determine a warp aligning an anatomy volume to a reference (fMRI challenge stage 1)")
+            .input(PortSpec::required("anatomy", DataType::Grid))
+            .input(PortSpec::required("reference", DataType::Grid))
+            .output(PortSpec::required("warp", DataType::Table))
+            .param(ParamSpec::new("model", 12i64).with_doc("warp model order")),
+        |input: &ExecInput| {
+            let a = input.grid("anatomy")?;
+            let rf = input.grid("reference")?;
+            if rf.is_empty() {
+                return Err(fail(input, "AlignWarp@1", "reference grid is empty"));
+            }
+            let model = input.param_i64("model")?.max(1) as usize;
+            // Deterministic pseudo-registration: derive warp coefficients
+            // from the two volumes' statistics and hashes.
+            let mut h = ContentHasher::new();
+            h.update_u64(Value::Grid(a.clone()).content_hash());
+            h.update_u64(Value::Grid(rf.clone()).content_hash());
+            let mut rng = SplitMix64::new(h.finish());
+            let mean_a = a.data.iter().sum::<f64>() / a.len().max(1) as f64;
+            let mean_r = rf.data.iter().sum::<f64>() / rf.len().max(1) as f64;
+            let rows = (0..model)
+                .map(|i| vec![i as f64, mean_r - mean_a + (rng.next_f64() - 0.5) * 0.01])
+                .collect();
+            Ok(out1(
+                "warp",
+                Value::Table(Table::new(vec!["coef".into(), "value".into()], rows)),
+            ))
+        },
+    );
+    r.register(
+        ModuleKind::new("Reslice")
+            .category("challenge")
+            .doc("Apply a warp to an anatomy volume (fMRI challenge stage 2)")
+            .input(PortSpec::required("anatomy", DataType::Grid))
+            .input(PortSpec::required("warp", DataType::Table))
+            .output(PortSpec::required("resliced", DataType::Grid)),
+        |input: &ExecInput| {
+            let g = input.grid("anatomy")?;
+            let w = input.table("warp")?;
+            let shift = w.column("value").map(|v| v.iter().sum::<f64>()).unwrap_or(0.0);
+            let data = g.data.iter().map(|&v| v + shift / 10.0).collect();
+            Ok(out1("resliced", Value::Grid(Grid::new(g.dims, data))))
+        },
+    );
+    r.register(
+        ModuleKind::new("Softmean")
+            .category("challenge")
+            .doc("Average up to four resliced volumes into an atlas (fMRI challenge stage 3)")
+            .input(PortSpec::required("i1", DataType::Grid))
+            .input(PortSpec::optional("i2", DataType::Grid))
+            .input(PortSpec::optional("i3", DataType::Grid))
+            .input(PortSpec::optional("i4", DataType::Grid))
+            .output(PortSpec::required("atlas", DataType::Grid)),
+        |input: &ExecInput| {
+            let first = input.grid("i1")?;
+            let mut grids = vec![first];
+            for port in ["i2", "i3", "i4"] {
+                if let Some(v) = input.input_opt(port) {
+                    let g = v.as_grid().ok_or_else(|| ExecError::BadInputType {
+                        expected: format!("grid on port '{port}'"),
+                        got: v.dtype().to_string(),
+                    })?;
+                    if g.dims != first.dims {
+                        return Err(fail(input, "Softmean@1", "volume dimension mismatch"));
+                    }
+                    grids.push(g);
+                }
+            }
+            let n = grids.len() as f64;
+            let data = (0..first.len())
+                .map(|i| grids.iter().map(|g| g.data[i]).sum::<f64>() / n)
+                .collect();
+            Ok(out1("atlas", Value::Grid(Grid::new(first.dims, data))))
+        },
+    );
+    r.register(
+        ModuleKind::new("Convert")
+            .category("challenge")
+            .doc("Convert an image to a simulated graphic file (fMRI challenge stage 5)")
+            .input(PortSpec::required("image", DataType::Image))
+            .output(PortSpec::required("file", DataType::Bytes))
+            .param(ParamSpec::new("format", "pgm")),
+        |input: &ExecInput| {
+            let img = input.image("image")?;
+            let format = input.param_text("format")?;
+            let mut bytes = format!("{format} {} {}\n", img.width, img.height).into_bytes();
+            bytes.extend_from_slice(&img.pixels);
+            Ok(out1("file", Value::Bytes(Bytes::from(bytes))))
+        },
+    );
+}
+
+fn register_util(r: &mut ModuleRegistry) {
+    r.register(
+        ModuleKind::new("ConstInt")
+            .category("util")
+            .doc("Constant integer source")
+            .output(PortSpec::required("out", DataType::Integer))
+            .param(ParamSpec::new("value", 0i64)),
+        |input: &ExecInput| Ok(out1("out", Value::Int(input.param_i64("value")?))),
+    );
+    r.register(
+        ModuleKind::new("ConstFloat")
+            .category("util")
+            .doc("Constant float source")
+            .output(PortSpec::required("out", DataType::Float))
+            .param(ParamSpec::new("value", 0.0f64)),
+        |input: &ExecInput| Ok(out1("out", Value::Float(input.param_f64("value")?))),
+    );
+    r.register(
+        ModuleKind::new("ConstText")
+            .category("util")
+            .doc("Constant text source")
+            .output(PortSpec::required("out", DataType::Text))
+            .param(ParamSpec::new("value", "")),
+        |input: &ExecInput| {
+            Ok(out1("out", Value::Text(input.param_text("value")?.to_string())))
+        },
+    );
+    r.register(
+        ModuleKind::new("Identity")
+            .category("util")
+            .doc("Pass a value through unchanged")
+            .input(PortSpec::required("in", DataType::Any))
+            .output(PortSpec::required("out", DataType::Any)),
+        |input: &ExecInput| Ok(out1("out", input.input("in")?.clone())),
+    );
+    r.register(
+        ModuleKind::new("AddInt")
+            .category("util")
+            .doc("Integer addition")
+            .input(PortSpec::required("a", DataType::Integer))
+            .input(PortSpec::required("b", DataType::Integer))
+            .output(PortSpec::required("out", DataType::Integer)),
+        |input: &ExecInput| {
+            let a = input.input("a")?.as_i64().unwrap_or(0);
+            let b = input.input("b")?.as_i64().unwrap_or(0);
+            Ok(out1("out", Value::Int(a.wrapping_add(b))))
+        },
+    );
+    r.register(
+        ModuleKind::new("Busy")
+            .category("util")
+            .doc("Deterministic busy work: `work` rounds of hashing. The workhorse of the capture-overhead experiment.")
+            .input(PortSpec::optional("in", DataType::Any))
+            .output(PortSpec::required("out", DataType::Integer))
+            .param(ParamSpec::new("work", 1000i64))
+            .param(ParamSpec::new("seed", 0i64)),
+        |input: &ExecInput| {
+            let work = input.param_i64("work")?.max(0) as u64;
+            let seed = input.param_i64("seed")? as u64;
+            let mut acc = seed ^ input
+                .input_opt("in")
+                .map(|v| v.content_hash())
+                .unwrap_or(0);
+            for i in 0..work {
+                let mut h = ContentHasher::new();
+                h.update_u64(acc);
+                h.update_u64(i);
+                acc = h.finish();
+            }
+            Ok(out1("out", Value::Int(acc as i64)))
+        },
+    );
+    r.register(
+        ModuleKind::new("FailIf")
+            .category("util")
+            .doc("Fail on demand (failure-injection for tests and experiments)")
+            .input(PortSpec::optional("in", DataType::Any))
+            .output(PortSpec::required("out", DataType::Any))
+            .param(ParamSpec::new("fail", false))
+            .param(ParamSpec::new("message", "injected failure")),
+        |input: &ExecInput| {
+            if input.param_bool("fail")? {
+                return Err(fail(
+                    input,
+                    "FailIf@1",
+                    input.param_text("message")?.to_string(),
+                ));
+            }
+            Ok(out1(
+                "out",
+                input.input_opt("in").cloned().unwrap_or(Value::Bool(true)),
+            ))
+        },
+    );
+    r.register(
+        ModuleKind::new("Concat")
+            .category("util")
+            .doc("Concatenate two text values")
+            .input(PortSpec::required("a", DataType::Text))
+            .input(PortSpec::required("b", DataType::Text))
+            .output(PortSpec::required("out", DataType::Text)),
+        |input: &ExecInput| {
+            let a = input.input("a")?.as_text().unwrap_or_default().to_string();
+            let b = input.input("b")?.as_text().unwrap_or_default();
+            Ok(out1("out", Value::Text(a + b)))
+        },
+    );
+    r.register(
+        ModuleKind::new("FormatReport")
+            .category("util")
+            .doc("Render a one-row statistics table as a text report")
+            .input(PortSpec::required("stats", DataType::Table))
+            .output(PortSpec::required("report", DataType::Text)),
+        |input: &ExecInput| {
+            let t = input.table("stats")?;
+            let mut s = String::new();
+            for (i, c) in t.columns.iter().enumerate() {
+                let v = t.rows.first().map(|r| r[i]).unwrap_or(f64::NAN);
+                s.push_str(&format!("{c}={v:.4}\n"));
+            }
+            Ok(out1("report", Value::Text(s)))
+        },
+    );
+    r.register(
+        ModuleKind::new("SynthStage")
+            .category("util")
+            .doc("Generic synthetic pipeline stage: hashes its inputs with tunable work. Used by generated benchmark DAGs.")
+            .input(PortSpec::optional("in0", DataType::Any))
+            .input(PortSpec::optional("in1", DataType::Any))
+            .input(PortSpec::optional("in2", DataType::Any))
+            .input(PortSpec::optional("in3", DataType::Any))
+            .output(PortSpec::required("out", DataType::Integer))
+            .param(ParamSpec::new("work", 100i64))
+            .param(ParamSpec::new("seed", 0i64)),
+        |input: &ExecInput| {
+            let mut h = ContentHasher::new();
+            h.update_u64(input.param_i64("seed")? as u64);
+            for port in ["in0", "in1", "in2", "in3"] {
+                if let Some(v) = input.input_opt(port) {
+                    h.update_u64(v.content_hash());
+                }
+            }
+            let mut acc = h.finish();
+            for i in 0..input.param_i64("work")?.max(0) as u64 {
+                let mut hh = ContentHasher::new();
+                hh.update_u64(acc);
+                hh.update_u64(i);
+                acc = hh.finish();
+            }
+            Ok(out1("out", Value::Int(acc as i64)))
+        },
+    );
+    r.register(
+        ModuleKind::new("Range")
+            .category("util")
+            .doc("List of floats 0..n")
+            .output(PortSpec::required("out", DataType::List(Box::new(DataType::Float))))
+            .param(ParamSpec::new("n", 10i64)),
+        |input: &ExecInput| {
+            let n = input.param_i64("n")?.max(0);
+            Ok(out1(
+                "out",
+                Value::List((0..n).map(|i| Value::Float(i as f64)).collect()),
+            ))
+        },
+    );
+    r.register(
+        ModuleKind::new("SumList")
+            .category("util")
+            .doc("Sum of a numeric list")
+            .input(PortSpec::required("in", DataType::List(Box::new(DataType::Float))))
+            .output(PortSpec::required("out", DataType::Float)),
+        |input: &ExecInput| {
+            let v = input.input("in")?;
+            let Value::List(items) = v else {
+                return Err(ExecError::BadInputType {
+                    expected: "list on port 'in'".into(),
+                    got: v.dtype().to_string(),
+                });
+            };
+            let sum: f64 = items.iter().filter_map(Value::as_f64).sum();
+            Ok(out1("out", Value::Float(sum)))
+        },
+    );
+}
+
+/// Build the standard module registry containing the whole builtin library.
+pub fn standard_registry() -> ModuleRegistry {
+    let mut r = ModuleRegistry::new();
+    register_sources(&mut r);
+    register_analysis(&mut r);
+    register_visualization(&mut r);
+    register_challenge(&mut r);
+    register_util(&mut r);
+    crate::dbops::register_database(&mut r);
+    r
+}
+
+/// Convenience: run a single module of the standard library directly
+/// (used heavily by unit tests).
+pub fn run_module(
+    registry: &ModuleRegistry,
+    name: &str,
+    params: Vec<(&str, wf_model::ParamValue)>,
+    inputs: Vec<(&str, Value)>,
+) -> Result<Outputs, ExecError> {
+    let bindings: BTreeMap<String, wf_model::ParamValue> = params
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let effective = registry.effective_params(name, 1, &bindings)?;
+    let body = registry.executor(&format!("{name}@1"))?;
+    body.execute(&ExecInput {
+        node: wf_model::NodeId(0),
+        params: effective,
+        inputs: inputs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> ModuleRegistry {
+        standard_registry()
+    }
+
+    fn load_head(reg: &ModuleRegistry) -> Grid {
+        let out = run_module(
+            reg,
+            "LoadVolume",
+            vec![("path", "head.120.vtk".into())],
+            vec![],
+        )
+        .unwrap();
+        out["grid"].as_grid().unwrap().clone()
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let x = SplitMix64::new(7).next_f64();
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn load_volume_is_reproducible_and_path_sensitive() {
+        let r = reg();
+        let a = load_head(&r);
+        let b = load_head(&r);
+        assert_eq!(
+            Value::Grid(a.clone()).content_hash(),
+            Value::Grid(b).content_hash()
+        );
+        let other = run_module(
+            &r,
+            "LoadVolume",
+            vec![("path", "other.vtk".into())],
+            vec![],
+        )
+        .unwrap();
+        assert_ne!(
+            Value::Grid(a).content_hash(),
+            other["grid"].content_hash()
+        );
+    }
+
+    #[test]
+    fn histogram_counts_every_sample() {
+        let r = reg();
+        let g = load_head(&r);
+        let n = g.len() as f64;
+        let out = run_module(
+            &r,
+            "Histogram",
+            vec![("bins", 16i64.into())],
+            vec![("data", Value::Grid(g))],
+        )
+        .unwrap();
+        let t = out["table"].as_table().unwrap();
+        assert_eq!(t.len(), 16);
+        let total: f64 = t.column("count").unwrap().iter().sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn threshold_produces_binary_mask() {
+        let r = reg();
+        let g = Grid::new((2, 2, 1), vec![0.1, 0.9, 0.5, 0.4]);
+        let out = run_module(
+            &r,
+            "Threshold",
+            vec![("level", 0.5f64.into())],
+            vec![("data", Value::Grid(g))],
+        )
+        .unwrap();
+        let m = out["mask"].as_grid().unwrap();
+        assert_eq!(m.data.as_ref(), &vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn smooth_grid_reduces_variance() {
+        let r = reg();
+        let g = load_head(&r);
+        let var = |g: &Grid| {
+            let n = g.len() as f64;
+            let mean = g.data.iter().sum::<f64>() / n;
+            g.data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n
+        };
+        let before = var(&g);
+        let out = run_module(
+            &r,
+            "SmoothGrid",
+            vec![("iterations", 3i64.into())],
+            vec![("data", Value::Grid(g))],
+        )
+        .unwrap();
+        let after = var(out["smoothed"].as_grid().unwrap());
+        assert!(after < before, "smoothing must reduce variance");
+    }
+
+    #[test]
+    fn downsample_shrinks_dims() {
+        let r = reg();
+        let g = load_head(&r); // 16^3
+        let out = run_module(
+            &r,
+            "Downsample",
+            vec![("factor", 4i64.into())],
+            vec![("data", Value::Grid(g))],
+        )
+        .unwrap();
+        assert_eq!(out["out"].as_grid().unwrap().dims, (4, 4, 4));
+    }
+
+    #[test]
+    fn grid_combine_checks_dims_and_op() {
+        let r = reg();
+        let a = Grid::new((2, 1, 1), vec![1.0, 2.0]);
+        let b = Grid::new((2, 1, 1), vec![10.0, 20.0]);
+        let out = run_module(
+            &r,
+            "GridCombine",
+            vec![("op", "add".into())],
+            vec![("a", Value::Grid(a.clone())), ("b", Value::Grid(b))],
+        )
+        .unwrap();
+        assert_eq!(out["out"].as_grid().unwrap().data.as_ref(), &vec![11.0, 22.0]);
+        let bad = Grid::new((3, 1, 1), vec![0.0; 3]);
+        let err = run_module(
+            &r,
+            "GridCombine",
+            vec![],
+            vec![("a", Value::Grid(a.clone())), ("b", Value::Grid(bad))],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("dimension mismatch"));
+        let err = run_module(
+            &r,
+            "GridCombine",
+            vec![("op", "xor".into())],
+            vec![("a", Value::Grid(a.clone())), ("b", Value::Grid(a))],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown op"));
+    }
+
+    #[test]
+    fn isosurface_emits_triangles_on_structured_data() {
+        let r = reg();
+        let g = load_head(&r);
+        let out = run_module(
+            &r,
+            "Isosurface",
+            vec![("isovalue", 0.5f64.into())],
+            vec![("data", Value::Grid(g))],
+        )
+        .unwrap();
+        let m = out["mesh"].as_mesh().unwrap();
+        assert!(!m.triangles.is_empty(), "head volume must have an isosurface");
+        assert_eq!(m.vertices.len(), m.triangles.len() * 3);
+    }
+
+    #[test]
+    fn smooth_mesh_changes_geometry_but_not_topology() {
+        let r = reg();
+        let g = load_head(&r);
+        let iso = run_module(
+            &r,
+            "Isosurface",
+            vec![],
+            vec![("data", Value::Grid(g))],
+        )
+        .unwrap();
+        let before = iso["mesh"].as_mesh().unwrap().clone();
+        let out = run_module(
+            &r,
+            "SmoothMesh",
+            vec![("iterations", 2i64.into())],
+            vec![("mesh", Value::Mesh(before.clone()))],
+        )
+        .unwrap();
+        let after = out["mesh"].as_mesh().unwrap();
+        assert_eq!(after.triangles, before.triangles);
+        assert_ne!(after.vertices, before.vertices);
+    }
+
+    #[test]
+    fn render_and_plot_produce_nonblank_images() {
+        let r = reg();
+        let g = load_head(&r);
+        let iso = run_module(&r, "Isosurface", vec![], vec![("data", Value::Grid(g.clone()))])
+            .unwrap();
+        let img = run_module(
+            &r,
+            "RenderMesh",
+            vec![],
+            vec![("mesh", iso["mesh"].clone())],
+        )
+        .unwrap();
+        let im = img["image"].as_image().unwrap();
+        assert!(im.pixels.iter().any(|&p| p > 0));
+
+        let hist = run_module(&r, "Histogram", vec![], vec![("data", Value::Grid(g))]).unwrap();
+        let plot = run_module(
+            &r,
+            "PlotTable",
+            vec![],
+            vec![("table", hist["table"].clone())],
+        )
+        .unwrap();
+        assert!(plot["image"]
+            .as_image()
+            .unwrap()
+            .pixels
+            .iter()
+            .any(|&p| p > 0));
+    }
+
+    #[test]
+    fn plot_table_missing_column_fails() {
+        let r = reg();
+        let t = Table::new(vec!["x".into()], vec![vec![1.0]]);
+        let err = run_module(
+            &r,
+            "PlotTable",
+            vec![("column", "nope".into())],
+            vec![("table", Value::Table(t))],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no column"));
+    }
+
+    #[test]
+    fn slice_axes_have_right_shapes() {
+        let r = reg();
+        let g = Grid::new((4, 3, 2), (0..24).map(|i| i as f64).collect());
+        for (axis, w, h) in [("x", 3, 2), ("y", 4, 2), ("z", 4, 3)] {
+            let out = run_module(
+                &r,
+                "Slice",
+                vec![("axis", axis.into()), ("index", 1i64.into())],
+                vec![("data", Value::Grid(g.clone()))],
+            )
+            .unwrap();
+            let img = out["image"].as_image().unwrap();
+            assert_eq!((img.width, img.height), (w, h), "axis {axis}");
+        }
+        let err = run_module(
+            &r,
+            "Slice",
+            vec![("axis", "w".into())],
+            vec![("data", Value::Grid(g))],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown axis"));
+    }
+
+    #[test]
+    fn challenge_pipeline_stages_compose() {
+        let r = reg();
+        let anatomy = load_head(&r);
+        let reference = run_module(
+            &r,
+            "SyntheticGrid",
+            vec![("seed", 42i64.into())],
+            vec![],
+        )
+        .unwrap()["grid"]
+            .clone();
+        let warp = run_module(
+            &r,
+            "AlignWarp",
+            vec![],
+            vec![
+                ("anatomy", Value::Grid(anatomy.clone())),
+                ("reference", reference.clone()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(warp["warp"].as_table().unwrap().len(), 12);
+        let resliced = run_module(
+            &r,
+            "Reslice",
+            vec![],
+            vec![
+                ("anatomy", Value::Grid(anatomy.clone())),
+                ("warp", warp["warp"].clone()),
+            ],
+        )
+        .unwrap();
+        let atlas = run_module(
+            &r,
+            "Softmean",
+            vec![],
+            vec![
+                ("i1", resliced["resliced"].clone()),
+                ("i2", resliced["resliced"].clone()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            atlas["atlas"].as_grid().unwrap().dims,
+            anatomy.dims
+        );
+        let slice = run_module(
+            &r,
+            "Slice",
+            vec![],
+            vec![("data", atlas["atlas"].clone())],
+        )
+        .unwrap();
+        let file = run_module(
+            &r,
+            "Convert",
+            vec![],
+            vec![("image", slice["image"].clone())],
+        )
+        .unwrap();
+        match &file["file"] {
+            Value::Bytes(b) => assert!(b.starts_with(b"pgm 16 16")),
+            other => panic!("expected bytes, got {other}"),
+        }
+    }
+
+    #[test]
+    fn softmean_rejects_mismatched_dims() {
+        let r = reg();
+        let a = Grid::new((2, 2, 1), vec![0.0; 4]);
+        let b = Grid::new((3, 1, 1), vec![0.0; 3]);
+        let err = run_module(
+            &r,
+            "Softmean",
+            vec![],
+            vec![("i1", Value::Grid(a)), ("i2", Value::Grid(b))],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("dimension mismatch"));
+    }
+
+    #[test]
+    fn busy_output_depends_on_work_seed_and_input() {
+        let r = reg();
+        let base = run_module(&r, "Busy", vec![], vec![]).unwrap()["out"].clone();
+        let same = run_module(&r, "Busy", vec![], vec![]).unwrap()["out"].clone();
+        assert_eq!(base, same);
+        let more = run_module(&r, "Busy", vec![("work", 2000i64.into())], vec![]).unwrap()
+            ["out"]
+            .clone();
+        assert_ne!(base, more);
+        let seeded = run_module(&r, "Busy", vec![("seed", 9i64.into())], vec![]).unwrap()
+            ["out"]
+            .clone();
+        assert_ne!(base, seeded);
+        let with_in =
+            run_module(&r, "Busy", vec![], vec![("in", Value::Int(5))]).unwrap()["out"].clone();
+        assert_ne!(base, with_in);
+    }
+
+    #[test]
+    fn fail_if_injects_failures() {
+        let r = reg();
+        assert!(run_module(&r, "FailIf", vec![("fail", false.into())], vec![]).is_ok());
+        let err = run_module(
+            &r,
+            "FailIf",
+            vec![("fail", true.into()), ("message", "boom".into())],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn util_modules_behave() {
+        let r = reg();
+        let c = run_module(&r, "ConstInt", vec![("value", 5i64.into())], vec![]).unwrap();
+        assert_eq!(c["out"], Value::Int(5));
+        let s = run_module(
+            &r,
+            "AddInt",
+            vec![],
+            vec![("a", Value::Int(2)), ("b", Value::Int(3))],
+        )
+        .unwrap();
+        assert_eq!(s["out"], Value::Int(5));
+        let t = run_module(
+            &r,
+            "Concat",
+            vec![],
+            vec![
+                ("a", Value::Text("head-".into())),
+                ("b", Value::Text("hist".into())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t["out"], Value::Text("head-hist".into()));
+        let range = run_module(&r, "Range", vec![("n", 4i64.into())], vec![]).unwrap();
+        let sum = run_module(&r, "SumList", vec![], vec![("in", range["out"].clone())]).unwrap();
+        assert_eq!(sum["out"], Value::Float(6.0));
+        let id = run_module(&r, "Identity", vec![], vec![("in", Value::Int(9))]).unwrap();
+        assert_eq!(id["out"], Value::Int(9));
+    }
+
+    #[test]
+    fn grid_stats_and_report() {
+        let r = reg();
+        let g = Grid::new((2, 1, 1), vec![0.0, 2.0]);
+        let stats = run_module(&r, "GridStats", vec![], vec![("data", Value::Grid(g))]).unwrap();
+        let t = stats["stats"].as_table().unwrap();
+        assert_eq!(t.column("min").unwrap()[0], 0.0);
+        assert_eq!(t.column("max").unwrap()[0], 2.0);
+        assert_eq!(t.column("mean").unwrap()[0], 1.0);
+        let rep = run_module(
+            &r,
+            "FormatReport",
+            vec![],
+            vec![("stats", stats["stats"].clone())],
+        )
+        .unwrap();
+        assert!(rep["report"].as_text().unwrap().contains("mean=1.0000"));
+    }
+
+    #[test]
+    fn synth_stage_is_input_sensitive() {
+        let r = reg();
+        let a = run_module(&r, "SynthStage", vec![], vec![("in0", Value::Int(1))]).unwrap();
+        let b = run_module(&r, "SynthStage", vec![], vec![("in0", Value::Int(2))]).unwrap();
+        assert_ne!(a["out"], b["out"]);
+    }
+
+    #[test]
+    fn save_file_encodes_name_and_digest() {
+        let r = reg();
+        let out = run_module(
+            &r,
+            "SaveFile",
+            vec![("name", "head-hist.png".into())],
+            vec![("in", Value::Int(1))],
+        )
+        .unwrap();
+        match &out["file"] {
+            Value::Bytes(b) => {
+                let s = String::from_utf8(b.to_vec()).unwrap();
+                assert!(s.starts_with("head-hist.png\n"));
+                assert!(s.contains(&Value::Int(1).digest()));
+            }
+            other => panic!("expected bytes, got {other}"),
+        }
+    }
+
+    #[test]
+    fn standard_registry_declares_everything_it_implements() {
+        let r = reg();
+        assert!(r.catalog().len() >= 25);
+        for kind in r.catalog().iter() {
+            assert!(
+                r.executor(&kind.identity()).is_ok(),
+                "kind {} has no executor",
+                kind.identity()
+            );
+            assert!(!kind.doc.is_empty(), "kind {} lacks docs", kind.identity());
+        }
+    }
+}

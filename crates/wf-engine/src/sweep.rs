@@ -1,0 +1,224 @@
+//! Parameter-space exploration (§2.3: "scalable exploration of large
+//! parameter spaces").
+//!
+//! A sweep runs one workflow under the cartesian product of parameter
+//! assignments. With provenance-based caching enabled, configurations that
+//! share an upstream prefix recompute only the differing suffix — the
+//! mechanism experiment E10 quantifies.
+
+use crate::error::ExecError;
+use crate::exec::{ExecutionResult, Executor};
+use std::fmt;
+use wf_model::{NodeId, ParamValue, Workflow};
+
+/// One swept dimension: a (node, parameter) position and the values to try.
+#[derive(Debug, Clone)]
+pub struct SweepAxis {
+    /// The node whose parameter is swept.
+    pub node: NodeId,
+    /// The parameter name.
+    pub param: String,
+    /// The values to try.
+    pub values: Vec<ParamValue>,
+}
+
+impl SweepAxis {
+    /// Construct an axis.
+    pub fn new(node: NodeId, param: &str, values: Vec<ParamValue>) -> Self {
+        Self {
+            node,
+            param: param.to_string(),
+            values,
+        }
+    }
+}
+
+/// One point of a sweep: the assignment and the run it produced.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept assignments, one per axis, in axis order.
+    pub assignment: Vec<(NodeId, String, ParamValue)>,
+    /// The execution result at this point.
+    pub result: ExecutionResult,
+}
+
+impl fmt::Display for SweepPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (node, param, value)) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{node}.{param}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a whole sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// All points, in cartesian-product order (last axis fastest).
+    pub points: Vec<SweepPoint>,
+    /// Total module runs across all points.
+    pub total_module_runs: usize,
+    /// Module runs answered from cache.
+    pub cached_module_runs: usize,
+}
+
+impl SweepResult {
+    /// Fraction of module runs served from cache.
+    pub fn cache_ratio(&self) -> f64 {
+        if self.total_module_runs == 0 {
+            0.0
+        } else {
+            self.cached_module_runs as f64 / self.total_module_runs as f64
+        }
+    }
+}
+
+/// Run the cartesian product of `axes` over `wf` with `executor`.
+///
+/// The workflow is cloned per configuration so the input specification is
+/// never mutated (prospective provenance stays intact); each configuration's
+/// provenance is the executor's ordinary event stream.
+pub fn run_sweep(
+    executor: &Executor,
+    wf: &Workflow,
+    axes: &[SweepAxis],
+) -> Result<SweepResult, ExecError> {
+    let mut points = Vec::new();
+    let mut total = 0usize;
+    let mut cached = 0usize;
+    let mut indices = vec![0usize; axes.len()];
+    loop {
+        // Materialize this configuration.
+        let mut config = wf.clone();
+        let mut assignment = Vec::with_capacity(axes.len());
+        for (axis, &i) in axes.iter().zip(indices.iter()) {
+            let value = axis.values[i].clone();
+            config.set_param(axis.node, &axis.param, value.clone())?;
+            assignment.push((axis.node, axis.param.clone(), value));
+        }
+        let result = executor.run(&config)?;
+        total += result.node_runs.len();
+        cached += result.cache_hits();
+        points.push(SweepPoint { assignment, result });
+
+        // Odometer increment (last axis fastest).
+        let mut k = axes.len();
+        loop {
+            if k == 0 {
+                return Ok(SweepResult {
+                    points,
+                    total_module_runs: total,
+                    cached_module_runs: cached,
+                });
+            }
+            k -= 1;
+            indices[k] += 1;
+            if indices[k] < axes[k].values.len() {
+                break;
+            }
+            indices[k] = 0;
+        }
+        if axes.is_empty() {
+            // A zero-axis sweep is the single base configuration.
+            return Ok(SweepResult {
+                points,
+                total_module_runs: total,
+                cached_module_runs: cached,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stdlib::standard_registry;
+    use wf_model::WorkflowBuilder;
+
+    /// LoadVolume -> Histogram -> PlotTable : sweeping downstream params
+    /// must reuse the upstream work.
+    fn pipeline() -> (Workflow, NodeId, NodeId) {
+        let mut b = WorkflowBuilder::new(1, "sweep-me");
+        let load = b.add("LoadVolume");
+        let hist = b.add("Histogram");
+        let plot = b.add("PlotTable");
+        b.connect(load, "grid", hist, "data")
+            .connect(hist, "table", plot, "table");
+        (b.build(), load, hist)
+    }
+
+    #[test]
+    fn sweep_enumerates_cartesian_product() {
+        let (wf, _, hist) = pipeline();
+        let exec = Executor::new(standard_registry());
+        let axes = vec![SweepAxis::new(
+            hist,
+            "bins",
+            vec![8i64.into(), 16i64.into(), 32i64.into()],
+        )];
+        let sweep = run_sweep(&exec, &wf, &axes).unwrap();
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.points.iter().all(|p| p.result.succeeded()));
+    }
+
+    #[test]
+    fn two_axes_multiply() {
+        let (wf, load, hist) = pipeline();
+        let exec = Executor::new(standard_registry());
+        let axes = vec![
+            SweepAxis::new(load, "nx", vec![8i64.into(), 12i64.into()]),
+            SweepAxis::new(hist, "bins", vec![4i64.into(), 8i64.into(), 16i64.into()]),
+        ];
+        let sweep = run_sweep(&exec, &wf, &axes).unwrap();
+        assert_eq!(sweep.points.len(), 6);
+        // Last axis fastest: first two points share the nx assignment.
+        assert_eq!(sweep.points[0].assignment[0].2, sweep.points[1].assignment[0].2);
+        assert_ne!(sweep.points[0].assignment[1].2, sweep.points[1].assignment[1].2);
+    }
+
+    #[test]
+    fn caching_reuses_shared_prefix() {
+        let (wf, _, hist) = pipeline();
+        let exec = Executor::new(standard_registry()).with_cache(1024);
+        let axes = vec![SweepAxis::new(
+            hist,
+            "bins",
+            vec![8i64.into(), 16i64.into(), 32i64.into(), 64i64.into()],
+        )];
+        let sweep = run_sweep(&exec, &wf, &axes).unwrap();
+        // LoadVolume is identical in all 4 configs: 3 of its 4 runs hit.
+        assert_eq!(sweep.cached_module_runs, 3);
+        assert_eq!(sweep.total_module_runs, 12);
+        assert!((sweep.cache_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_cache_means_no_hits() {
+        let (wf, _, hist) = pipeline();
+        let exec = Executor::new(standard_registry());
+        let axes = vec![SweepAxis::new(hist, "bins", vec![8i64.into(), 16i64.into()])];
+        let sweep = run_sweep(&exec, &wf, &axes).unwrap();
+        assert_eq!(sweep.cached_module_runs, 0);
+    }
+
+    #[test]
+    fn empty_axes_runs_base_config_once() {
+        let (wf, ..) = pipeline();
+        let exec = Executor::new(standard_registry());
+        let sweep = run_sweep(&exec, &wf, &[]).unwrap();
+        assert_eq!(sweep.points.len(), 1);
+    }
+
+    #[test]
+    fn sweep_point_display_names_assignments() {
+        let (wf, _, hist) = pipeline();
+        let exec = Executor::new(standard_registry());
+        let axes = vec![SweepAxis::new(hist, "bins", vec![8i64.into()])];
+        let sweep = run_sweep(&exec, &wf, &axes).unwrap();
+        let s = sweep.points[0].to_string();
+        assert!(s.contains("bins=8"), "{s}");
+    }
+}

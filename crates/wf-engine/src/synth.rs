@@ -1,0 +1,309 @@
+//! Synthetic workflow generators for tests and benchmarks.
+//!
+//! Experiments need workflows of controlled *shape* (depth, width, fan-in)
+//! and controlled *work per module*; these generators produce them from the
+//! `SynthStage` and `Busy` modules of the standard library, deterministically
+//! from a seed.
+
+use crate::stdlib::SplitMix64;
+use wf_model::{NodeId, Workflow, WorkflowBuilder};
+
+/// Shape parameters of a generated layered DAG.
+#[derive(Debug, Clone, Copy)]
+pub struct LayeredSpec {
+    /// Number of layers (pipeline depth).
+    pub depth: usize,
+    /// Modules per layer (pipeline width).
+    pub width: usize,
+    /// Max incoming edges per node from the previous layer (1..=4, the
+    /// `SynthStage` port count).
+    pub fan_in: usize,
+    /// `work` parameter of every stage.
+    pub work: i64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for LayeredSpec {
+    fn default() -> Self {
+        Self {
+            depth: 4,
+            width: 4,
+            fan_in: 2,
+            work: 100,
+            seed: 1,
+        }
+    }
+}
+
+/// Generate a layered DAG of `SynthStage` modules: `depth` layers of
+/// `width` nodes, each node reading from up to `fan_in` random nodes of the
+/// previous layer. Returns the workflow and the node grid (layer-major).
+pub fn layered_dag(id: u64, spec: LayeredSpec) -> (Workflow, Vec<Vec<NodeId>>) {
+    let mut rng = SplitMix64::new(spec.seed);
+    let mut b = WorkflowBuilder::new(id, &format!("synth-{}x{}", spec.depth, spec.width));
+    let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(spec.depth);
+    for layer in 0..spec.depth {
+        let mut nodes = Vec::with_capacity(spec.width);
+        for w in 0..spec.width {
+            let n = b.add("SynthStage");
+            b.param(n, "work", spec.work);
+            b.param(n, "seed", (layer * spec.width + w) as i64);
+            nodes.push(n);
+        }
+        if layer > 0 {
+            let prev = layers[layer - 1].clone();
+            for &n in &nodes {
+                let fan = 1 + (rng.next_u64() as usize) % spec.fan_in.clamp(1, 4);
+                // Choose `fan` distinct predecessors.
+                let mut chosen: Vec<usize> = Vec::new();
+                while chosen.len() < fan.min(prev.len()) {
+                    let c = (rng.next_u64() as usize) % prev.len();
+                    if !chosen.contains(&c) {
+                        chosen.push(c);
+                    }
+                }
+                for (slot, &c) in chosen.iter().enumerate() {
+                    b.connect(prev[c], "out", n, &format!("in{slot}"));
+                }
+            }
+        }
+        layers.push(nodes);
+    }
+    (b.build(), layers)
+}
+
+/// Generate a linear chain of `Busy` modules with a given per-module work
+/// amount — the workload of the capture-overhead experiment (E3).
+pub fn busy_chain(id: u64, len: usize, work: i64) -> (Workflow, Vec<NodeId>) {
+    let mut b = WorkflowBuilder::new(id, &format!("busy-chain-{len}"));
+    let mut nodes = Vec::with_capacity(len);
+    let mut prev: Option<NodeId> = None;
+    for i in 0..len {
+        let n = b.add("Busy");
+        b.param(n, "work", work);
+        b.param(n, "seed", i as i64);
+        if let Some(p) = prev {
+            b.connect(p, "out", n, "in");
+        }
+        prev = Some(n);
+        nodes.push(n);
+    }
+    (b.build(), nodes)
+}
+
+/// The Figure 1 medical-imaging workflow: load a CT volume, derive (a) a
+/// histogram plot saved as `head-hist.png` and (b) a smoothed isosurface
+/// visualization saved as `head-iso.png`.
+///
+/// Returns the workflow plus the nodes of interest:
+/// `(load, histogram, plot, save_hist, isosurface, smooth, render, save_iso)`.
+pub fn figure1_workflow(id: u64) -> (Workflow, Figure1Nodes) {
+    let mut b = WorkflowBuilder::new(id, "visualize-head-ct");
+    let load = b.add_labeled("LoadVolume", "load CT scan");
+    b.param(load, "path", "head.120.vtk");
+    // Branch 1: histogram of the scalar values.
+    let hist = b.add("Histogram");
+    b.param(hist, "bins", 32i64);
+    let plot = b.add("PlotTable");
+    let save_hist = b.add_labeled("SaveFile", "save histogram");
+    b.param(save_hist, "name", "head-hist.png");
+    // Branch 2: isosurface visualization.
+    let iso = b.add("Isosurface");
+    b.param(iso, "isovalue", 0.4f64);
+    let smooth = b.add("SmoothMesh");
+    let render = b.add("RenderMesh");
+    let save_iso = b.add_labeled("SaveFile", "save isosurface view");
+    b.param(save_iso, "name", "head-iso.png");
+
+    b.connect(load, "grid", hist, "data")
+        .connect(hist, "table", plot, "table")
+        .connect(plot, "image", save_hist, "in")
+        .connect(load, "grid", iso, "data")
+        .connect(iso, "mesh", smooth, "mesh")
+        .connect(smooth, "mesh", render, "mesh")
+        .connect(render, "image", save_iso, "in");
+    (
+        b.build(),
+        Figure1Nodes {
+            load,
+            hist,
+            plot,
+            save_hist,
+            iso,
+            smooth,
+            render,
+            save_iso,
+        },
+    )
+}
+
+/// Node handles of the Figure 1 workflow.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure1Nodes {
+    /// `LoadVolume` node.
+    pub load: NodeId,
+    /// `Histogram` node.
+    pub hist: NodeId,
+    /// `PlotTable` node.
+    pub plot: NodeId,
+    /// `SaveFile` node for the histogram branch.
+    pub save_hist: NodeId,
+    /// `Isosurface` node.
+    pub iso: NodeId,
+    /// `SmoothMesh` node.
+    pub smooth: NodeId,
+    /// `RenderMesh` node.
+    pub render: NodeId,
+    /// `SaveFile` node for the isosurface branch.
+    pub save_iso: NodeId,
+}
+
+/// The First Provenance Challenge fMRI workflow (simplified to one of the
+/// four anatomy inputs fanned to `n_subjects` AlignWarp/Reslice chains,
+/// averaged by Softmean, then sliced and converted along `n_slices` axes).
+pub fn challenge_workflow(id: u64, n_subjects: usize, n_slices: usize) -> Workflow {
+    let n_subjects = n_subjects.clamp(1, 4);
+    let n_slices = n_slices.clamp(1, 3);
+    let mut b = WorkflowBuilder::new(id, "fmri-challenge");
+    let reference = b.add_labeled("LoadVolume", "reference brain");
+    b.param(reference, "path", "reference.img");
+    let softmean = b.add("Softmean");
+    for s in 0..n_subjects {
+        let anatomy = b.add_labeled("LoadVolume", &format!("anatomy{}", s + 1));
+        b.param(anatomy, "path", format!("anatomy{}.img", s + 1));
+        let align = b.add_labeled("AlignWarp", &format!("align{}", s + 1));
+        let reslice = b.add_labeled("Reslice", &format!("reslice{}", s + 1));
+        b.connect(anatomy, "grid", align, "anatomy")
+            .connect(reference, "grid", align, "reference")
+            .connect(anatomy, "grid", reslice, "anatomy")
+            .connect(align, "warp", reslice, "warp")
+            .connect(reslice, "resliced", softmean, &format!("i{}", s + 1));
+    }
+    for (i, axis) in ["x", "y", "z"].iter().take(n_slices).enumerate() {
+        let slicer = b.add_labeled("Slice", &format!("slicer-{axis}"));
+        b.param(slicer, "axis", *axis);
+        b.param(slicer, "index", 8i64);
+        let convert = b.add_labeled("Convert", &format!("convert-{axis}"));
+        b.connect(softmean, "atlas", slicer, "data")
+            .connect(slicer, "image", convert, "image");
+        let _ = i;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::stdlib::standard_registry;
+    use wf_model::validate;
+
+    #[test]
+    fn layered_dag_has_expected_shape_and_runs() {
+        let spec = LayeredSpec {
+            depth: 3,
+            width: 4,
+            fan_in: 2,
+            work: 10,
+            seed: 42,
+        };
+        let (wf, layers) = layered_dag(1, spec);
+        assert_eq!(wf.node_count(), 12);
+        assert_eq!(layers.len(), 3);
+        let exec = Executor::new(standard_registry());
+        let result = exec.run(&wf).unwrap();
+        assert!(result.succeeded());
+    }
+
+    #[test]
+    fn layered_dag_is_deterministic() {
+        let spec = LayeredSpec::default();
+        let (a, _) = layered_dag(1, spec);
+        let (b, _) = layered_dag(1, spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn busy_chain_runs_in_order() {
+        let (wf, nodes) = busy_chain(1, 5, 10);
+        assert_eq!(wf.conn_count(), 4);
+        let exec = Executor::new(standard_registry());
+        let result = exec.run(&wf).unwrap();
+        assert!(result.succeeded());
+        assert!(result.output(nodes[4], "out").is_some());
+    }
+
+    #[test]
+    fn figure1_workflow_validates_and_runs() {
+        let (wf, nodes) = figure1_workflow(1);
+        let reg = standard_registry();
+        let report = validate(&wf, reg.catalog());
+        assert!(report.is_valid(), "{}", report.render());
+        let exec = Executor::new(reg);
+        let result = exec.run(&wf).unwrap();
+        assert!(result.succeeded());
+        // Both data products exist.
+        assert!(result.output(nodes.save_hist, "file").is_some());
+        assert!(result.output(nodes.save_iso, "file").is_some());
+    }
+
+    #[test]
+    fn challenge_workflow_validates_and_runs() {
+        let wf = challenge_workflow(1, 4, 3);
+        let reg = standard_registry();
+        let report = validate(&wf, reg.catalog());
+        assert!(report.is_valid(), "{}", report.render());
+        let exec = Executor::new(reg);
+        let result = exec.run(&wf).unwrap();
+        assert!(result.succeeded(), "{:?}", result.node_runs);
+        // 1 reference + 4*(anatomy+align+reslice) + softmean + 3*(slice+convert)
+        assert_eq!(wf.node_count(), 1 + 12 + 1 + 6);
+    }
+
+    #[test]
+    fn deep_wide_parallel_stress() {
+        let spec = LayeredSpec {
+            depth: 8,
+            width: 8,
+            fan_in: 3,
+            work: 5,
+            seed: 99,
+        };
+        let (wf, _) = layered_dag(9, spec);
+        let exec = Executor::new(standard_registry());
+        let seq = exec.run(&wf).unwrap();
+        for threads in [2, 8] {
+            let par = exec
+                .run_parallel(&wf, threads, &mut crate::exec::NullObserver)
+                .unwrap();
+            assert!(par.succeeded());
+            assert_eq!(par.values.len(), seq.values.len());
+            for (k, v) in &seq.values {
+                assert_eq!(
+                    par.values.get(k).map(|x| x.content_hash()),
+                    Some(v.content_hash()),
+                    "{threads} threads, value {k:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn challenge_workflow_parallel_matches_sequential() {
+        let wf = challenge_workflow(1, 2, 2);
+        let exec = Executor::new(standard_registry());
+        let seq = exec.run(&wf).unwrap();
+        let par = exec
+            .run_parallel(&wf, 4, &mut crate::exec::NullObserver)
+            .unwrap();
+        assert_eq!(seq.status, par.status);
+        for (k, v) in &seq.values {
+            assert_eq!(
+                par.values.get(k).map(|x| x.content_hash()),
+                Some(v.content_hash()),
+                "value at {k:?} differs"
+            );
+        }
+    }
+}

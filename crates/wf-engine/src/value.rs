@@ -1,0 +1,611 @@
+//! Runtime values flowing along workflow connections, with stable content
+//! hashing.
+//!
+//! Content hashes are the linchpin of the whole provenance platform: they
+//! give *data artifacts* an identity independent of where they live, which
+//! is (a) how retrospective provenance refers to data, (b) the cache key of
+//! provenance-based memoization, (c) the join key when integrating
+//! provenance captured by different systems (the Provenance Challenge), and
+//! (d) the equality test of the reproducibility checker.
+//!
+//! The hash is FNV-1a (64-bit) over a canonical byte encoding. It is stable
+//! across processes and platforms; it is *not* cryptographic — adequate for
+//! a research platform where adversarial collisions are out of scope.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use wf_model::DataType;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// Incremental FNV-1a hasher over canonical byte encodings.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+}
+
+impl ContentHasher {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a u64 (little-endian).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorb an f64 via its bit pattern (canonicalizing -0.0 to 0.0 so
+    /// equal numbers hash equal).
+    pub fn update_f64(&mut self, v: f64) {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.update(&v.to_bits().to_le_bytes());
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hash a standalone byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = ContentHasher::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// A structured volumetric grid — the stand-in for Figure 1's
+/// `head.120.vtk` CT-scan dataset. Data is shared via `Arc` so that passing
+/// grids between modules is O(1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Dimensions (nx, ny, nz).
+    pub dims: (usize, usize, usize),
+    /// Scalar values in x-fastest order; length = nx·ny·nz.
+    pub data: Arc<Vec<f64>>,
+}
+
+impl Grid {
+    /// Construct a grid; panics if `data` length does not match `dims`.
+    pub fn new(dims: (usize, usize, usize), data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            dims.0 * dims.1 * dims.2,
+            "grid data length must equal nx*ny*nz"
+        );
+        Self {
+            dims,
+            data: Arc::new(data),
+        }
+    }
+
+    /// Number of scalar samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the grid empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Sample at (x, y, z); panics when out of range.
+    pub fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        let (nx, ny, _) = self.dims;
+        self.data[x + nx * (y + ny * z)]
+    }
+
+    /// Minimum and maximum scalar values (0.0, 0.0 for empty grids).
+    pub fn range(&self) -> (f64, f64) {
+        self.data.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &v| (lo.min(v), hi.max(v)),
+        )
+        .into_finite()
+    }
+}
+
+trait IntoFinite {
+    fn into_finite(self) -> (f64, f64);
+}
+impl IntoFinite for (f64, f64) {
+    fn into_finite(self) -> (f64, f64) {
+        if self.0.is_finite() {
+            self
+        } else {
+            (0.0, 0.0)
+        }
+    }
+}
+
+/// A numeric table: named columns over f64 rows (histograms, warp
+/// parameters, statistics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows; each row has `columns.len()` entries.
+    pub rows: Arc<Vec<Vec<f64>>>,
+}
+
+impl Table {
+    /// Construct a table; panics if any row width mismatches the header.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<f64>>) -> Self {
+        for r in &rows {
+            assert_eq!(r.len(), columns.len(), "row width must match header");
+        }
+        Self {
+            columns,
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All values of one column.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let i = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| r[i]).collect())
+    }
+}
+
+/// A rendered grayscale image artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major grayscale pixels, length = width·height.
+    pub pixels: Arc<Vec<u8>>,
+}
+
+impl Image {
+    /// Construct an image; panics on size mismatch.
+    pub fn new(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        Self {
+            width,
+            height,
+            pixels: Arc::new(pixels),
+        }
+    }
+
+    /// A black image.
+    pub fn blank(width: usize, height: usize) -> Self {
+        Self::new(width, height, vec![0; width * height])
+    }
+}
+
+/// Triangle-mesh geometry (isosurface output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    /// Vertex positions.
+    pub vertices: Arc<Vec<[f64; 3]>>,
+    /// Triangles as vertex-index triples.
+    pub triangles: Arc<Vec<[u32; 3]>>,
+}
+
+impl Mesh {
+    /// Construct a mesh.
+    pub fn new(vertices: Vec<[f64; 3]>, triangles: Vec<[u32; 3]>) -> Self {
+        Self {
+            vertices: Arc::new(vertices),
+            triangles: Arc::new(triangles),
+        }
+    }
+
+    /// An empty mesh.
+    pub fn empty() -> Self {
+        Self::new(Vec::new(), Vec::new())
+    }
+}
+
+/// A runtime value on a workflow connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes (simulated files).
+    Bytes(Bytes),
+    /// Homogeneous-ish list.
+    List(Vec<Value>),
+    /// Record with named fields.
+    Record(BTreeMap<String, Value>),
+    /// Volumetric grid.
+    Grid(Grid),
+    /// Numeric table.
+    Table(Table),
+    /// Image.
+    Image(Image),
+    /// Mesh.
+    Mesh(Mesh),
+}
+
+impl Value {
+    /// The [`DataType`] of this value (lists of mixed element types report
+    /// `list<any>`).
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Value::Bool(_) => DataType::Boolean,
+            Value::Int(_) => DataType::Integer,
+            Value::Float(_) => DataType::Float,
+            Value::Text(_) => DataType::Text,
+            Value::Bytes(_) => DataType::Bytes,
+            Value::List(items) => {
+                let elem = match items.first() {
+                    None => DataType::Any,
+                    Some(first) => {
+                        let t = first.dtype();
+                        if items.iter().all(|v| v.dtype() == t) {
+                            t
+                        } else {
+                            DataType::Any
+                        }
+                    }
+                };
+                DataType::List(Box::new(elem))
+            }
+            Value::Record(fields) => DataType::Record(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.dtype()))
+                    .collect(),
+            ),
+            Value::Grid(_) => DataType::Grid,
+            Value::Table(_) => DataType::Table,
+            Value::Image(_) => DataType::Image,
+            Value::Mesh(_) => DataType::Mesh,
+        }
+    }
+
+    /// Stable content hash: equal values hash equal across processes.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = ContentHasher::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    /// Hex digest of the content hash, the display form used in provenance
+    /// records and logs (like Figure 1's retrospective log entries).
+    pub fn digest(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
+    fn hash_into(&self, h: &mut ContentHasher) {
+        match self {
+            Value::Bool(b) => {
+                h.update(b"B");
+                h.update(&[*b as u8]);
+            }
+            Value::Int(i) => {
+                h.update(b"I");
+                h.update(&i.to_le_bytes());
+            }
+            Value::Float(x) => {
+                h.update(b"F");
+                h.update_f64(*x);
+            }
+            Value::Text(s) => {
+                h.update(b"T");
+                h.update(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                h.update(b"Y");
+                h.update(b);
+            }
+            Value::List(items) => {
+                h.update(b"L");
+                h.update_u64(items.len() as u64);
+                for v in items {
+                    v.hash_into(h);
+                }
+            }
+            Value::Record(fields) => {
+                h.update(b"R");
+                h.update_u64(fields.len() as u64);
+                for (k, v) in fields {
+                    h.update(k.as_bytes());
+                    h.update(&[0]);
+                    v.hash_into(h);
+                }
+            }
+            Value::Grid(g) => {
+                h.update(b"G");
+                h.update_u64(g.dims.0 as u64);
+                h.update_u64(g.dims.1 as u64);
+                h.update_u64(g.dims.2 as u64);
+                for &v in g.data.iter() {
+                    h.update_f64(v);
+                }
+            }
+            Value::Table(t) => {
+                h.update(b"A");
+                for c in &t.columns {
+                    h.update(c.as_bytes());
+                    h.update(&[0]);
+                }
+                h.update_u64(t.rows.len() as u64);
+                for row in t.rows.iter() {
+                    for &v in row {
+                        h.update_f64(v);
+                    }
+                }
+            }
+            Value::Image(img) => {
+                h.update(b"M");
+                h.update_u64(img.width as u64);
+                h.update_u64(img.height as u64);
+                h.update(&img.pixels);
+            }
+            Value::Mesh(m) => {
+                h.update(b"H");
+                h.update_u64(m.vertices.len() as u64);
+                for v in m.vertices.iter() {
+                    h.update_f64(v[0]);
+                    h.update_f64(v[1]);
+                    h.update_f64(v[2]);
+                }
+                h.update_u64(m.triangles.len() as u64);
+                for t in m.triangles.iter() {
+                    h.update_u64(t[0] as u64);
+                    h.update_u64(t[1] as u64);
+                    h.update_u64(t[2] as u64);
+                }
+            }
+        }
+    }
+
+    /// Approximate payload size in bytes, used by provenance records and
+    /// cache accounting.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Text(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+            Value::List(items) => items.iter().map(Value::size_bytes).sum(),
+            Value::Record(fields) => fields
+                .iter()
+                .map(|(k, v)| k.len() + v.size_bytes())
+                .sum(),
+            Value::Grid(g) => g.len() * 8,
+            Value::Table(t) => t.rows.iter().map(|r| r.len() * 8).sum(),
+            Value::Image(i) => i.pixels.len(),
+            Value::Mesh(m) => m.vertices.len() * 24 + m.triangles.len() * 12,
+        }
+    }
+
+    /// The float value, widening integers; `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer value if this is an [`Value::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The grid if this is a [`Value::Grid`].
+    pub fn as_grid(&self) -> Option<&Grid> {
+        match self {
+            Value::Grid(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The table if this is a [`Value::Table`].
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The mesh if this is a [`Value::Mesh`].
+    pub fn as_mesh(&self) -> Option<&Mesh> {
+        match self {
+            Value::Mesh(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The image if this is an [`Value::Image`].
+    pub fn as_image(&self) -> Option<&Image> {
+        match self {
+            Value::Image(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The text if this is a [`Value::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::List(items) => write!(f, "<list of {}>", items.len()),
+            Value::Record(fields) => write!(f, "<record of {}>", fields.len()),
+            Value::Grid(g) => write!(
+                f,
+                "<grid {}x{}x{}>",
+                g.dims.0, g.dims.1, g.dims.2
+            ),
+            Value::Table(t) => write!(f, "<table {}x{}>", t.len(), t.columns.len()),
+            Value::Image(i) => write!(f, "<image {}x{}>", i.width, i.height),
+            Value::Mesh(m) => write!(
+                f,
+                "<mesh {} verts, {} tris>",
+                m.vertices.len(),
+                m.triangles.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal_and_different_differ() {
+        let a = Value::List(vec![Value::Int(1), Value::Text("x".into())]);
+        let b = Value::List(vec![Value::Int(1), Value::Text("x".into())]);
+        let c = Value::List(vec![Value::Int(2), Value::Text("x".into())]);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn hash_distinguishes_types_with_same_payload() {
+        assert_ne!(
+            Value::Int(0).content_hash(),
+            Value::Float(0.0).content_hash()
+        );
+        assert_ne!(
+            Value::Text("ab".into()).content_hash(),
+            Value::Bytes(Bytes::from_static(b"ab")).content_hash()
+        );
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        assert_eq!(
+            Value::Float(0.0).content_hash(),
+            Value::Float(-0.0).content_hash()
+        );
+    }
+
+    #[test]
+    fn digest_is_16_hex_chars_and_stable() {
+        let d = Value::Int(42).digest();
+        assert_eq!(d.len(), 16);
+        assert_eq!(d, Value::Int(42).digest());
+    }
+
+    #[test]
+    fn grid_accessors() {
+        let g = Grid::new((2, 2, 1), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g.at(1, 0, 0), 2.0);
+        assert_eq!(g.at(0, 1, 0), 3.0);
+        assert_eq!(g.range(), (1.0, 4.0));
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid data length")]
+    fn grid_size_mismatch_panics() {
+        let _ = Grid::new((2, 2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn table_columns() {
+        let t = Table::new(
+            vec!["bin".into(), "count".into()],
+            vec![vec![0.0, 5.0], vec![1.0, 7.0]],
+        );
+        assert_eq!(t.column("count"), Some(vec![5.0, 7.0]));
+        assert_eq!(t.column("nope"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn dtype_reflects_structure() {
+        use wf_model::DataType as T;
+        assert_eq!(Value::Int(1).dtype(), T::Integer);
+        assert_eq!(
+            Value::List(vec![Value::Float(1.0), Value::Float(2.0)]).dtype(),
+            T::List(Box::new(T::Float))
+        );
+        assert_eq!(
+            Value::List(vec![Value::Float(1.0), Value::Text("x".into())]).dtype(),
+            T::List(Box::new(T::Any))
+        );
+        let mut rec = BTreeMap::new();
+        rec.insert("a".to_string(), Value::Bool(true));
+        assert_eq!(
+            Value::Record(rec).dtype(),
+            T::Record(vec![("a".into(), T::Boolean)])
+        );
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(Value::Int(1).size_bytes(), 8);
+        let g = Value::Grid(Grid::new((2, 1, 1), vec![0.0, 1.0]));
+        assert_eq!(g.size_bytes(), 16);
+        let img = Value::Image(Image::blank(4, 4));
+        assert_eq!(img.size_bytes(), 16);
+    }
+
+    #[test]
+    fn grid_clone_is_shallow() {
+        let g = Grid::new((1, 1, 1), vec![9.0]);
+        let g2 = g.clone();
+        assert!(Arc::ptr_eq(&g.data, &g2.data));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(
+            Value::Grid(Grid::new((1, 2, 3), vec![0.0; 6])).to_string(),
+            "<grid 1x2x3>"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Fluent construction of workflows, mirroring how visual workflow editors
+//! compose pipelines: drop modules, wire ports, set parameters.
+
+use crate::ident::{NodeId, WorkflowId};
+use crate::module::ParamValue;
+use crate::workflow::{Endpoint, Workflow};
+
+/// Builder for [`Workflow`] used pervasively by examples, tests, and the
+/// synthetic-workload generators.
+///
+/// Panics on wiring errors: builders are for code that *constructs* known
+/// shapes (a misuse is a bug in the caller, not a runtime condition). Code
+/// that manipulates untrusted specifications uses [`Workflow`]'s fallible
+/// API directly.
+#[derive(Debug)]
+pub struct WorkflowBuilder {
+    wf: Workflow,
+}
+
+impl WorkflowBuilder {
+    /// Start building a workflow.
+    pub fn new(id: u64, name: &str) -> Self {
+        Self {
+            wf: Workflow::new(WorkflowId(id), name),
+        }
+    }
+
+    /// Add a module instance at version 1.
+    pub fn add(&mut self, module: &str) -> NodeId {
+        self.wf.add_node(module, 1)
+    }
+
+    /// Add a module instance at a specific version.
+    pub fn add_versioned(&mut self, module: &str, version: u32) -> NodeId {
+        self.wf.add_node(module, version)
+    }
+
+    /// Add a module instance and immediately label it.
+    pub fn add_labeled(&mut self, module: &str, label: &str) -> NodeId {
+        let id = self.wf.add_node(module, 1);
+        self.wf
+            .set_label(id, label)
+            .expect("node just added must exist");
+        id
+    }
+
+    /// Wire `from.port_out` to `to.port_in`.
+    pub fn connect(&mut self, from: NodeId, port_out: &str, to: NodeId, port_in: &str) -> &mut Self {
+        self.wf
+            .connect(Endpoint::new(from, port_out), Endpoint::new(to, port_in))
+            .unwrap_or_else(|e| panic!("builder wiring error: {e}"));
+        self
+    }
+
+    /// Set a parameter.
+    pub fn param(&mut self, node: NodeId, name: &str, value: impl Into<ParamValue>) -> &mut Self {
+        self.wf
+            .set_param(node, name, value.into())
+            .unwrap_or_else(|e| panic!("builder param error: {e}"));
+        self
+    }
+
+    /// Finish, yielding the workflow.
+    pub fn build(self) -> Workflow {
+        self.wf
+    }
+
+    /// Peek at the workflow under construction.
+    pub fn workflow(&self) -> &Workflow {
+        &self.wf
+    }
+}
+
+/// Build a linear chain `module[0] -> module[1] -> ...` where every module
+/// exposes an `out` output and an `in` input (the convention followed by the
+/// generic test modules). Returns the workflow and node ids in chain order.
+pub fn chain(id: u64, name: &str, modules: &[&str]) -> (Workflow, Vec<NodeId>) {
+    let mut b = WorkflowBuilder::new(id, name);
+    let nodes: Vec<NodeId> = modules.iter().map(|m| b.add(m)).collect();
+    for pair in nodes.windows(2) {
+        b.connect(pair[0], "out", pair[1], "in");
+    }
+    (b.build(), nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_wired_workflow() {
+        let mut b = WorkflowBuilder::new(1, "demo");
+        let src = b.add_labeled("Source", "ct scan");
+        let hist = b.add("Histogram");
+        b.connect(src, "grid", hist, "data").param(hist, "bins", 32i64);
+        let w = b.build();
+        assert_eq!(w.node_count(), 2);
+        assert_eq!(w.conn_count(), 1);
+        assert_eq!(w.node(src).unwrap().label, "ct scan");
+        assert_eq!(
+            w.node(hist).unwrap().params.get("bins"),
+            Some(&crate::module::ParamValue::Int(32))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "builder wiring error")]
+    fn builder_panics_on_cycle() {
+        let mut b = WorkflowBuilder::new(1, "bad");
+        let a = b.add("A");
+        let c = b.add("B");
+        b.connect(a, "out", c, "in");
+        b.connect(c, "out", a, "in");
+    }
+
+    #[test]
+    fn chain_helper_builds_linear_pipeline() {
+        let (w, nodes) = chain(7, "chain", &["A", "B", "C", "D"]);
+        assert_eq!(w.node_count(), 4);
+        assert_eq!(w.conn_count(), 3);
+        assert_eq!(w.topo_nodes().unwrap(), nodes);
+    }
+}

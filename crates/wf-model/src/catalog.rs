@@ -1,0 +1,161 @@
+//! The module catalog: the registry of module kinds available to workflows.
+//!
+//! A workflow node references its kind by `(name, version)`; the catalog
+//! resolves that reference during validation and execution. Catalogs are
+//! also the unit of sharing in the collaboratory: publishing a module makes
+//! it available to everyone's workflows.
+
+use crate::error::ModelError;
+use crate::module::ModuleKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A registry of [`ModuleKind`]s keyed by `(name, version)`.
+///
+/// Serialized as a flat list of kinds (JSON object keys must be strings,
+/// and a list is also the natural interchange form for catalogs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<ModuleKind>", into = "Vec<ModuleKind>")]
+pub struct ModuleCatalog {
+    kinds: BTreeMap<(String, u32), ModuleKind>,
+}
+
+impl From<Vec<ModuleKind>> for ModuleCatalog {
+    fn from(v: Vec<ModuleKind>) -> Self {
+        let mut c = ModuleCatalog::new();
+        for k in v {
+            c.register(k);
+        }
+        c
+    }
+}
+
+impl From<ModuleCatalog> for Vec<ModuleKind> {
+    fn from(c: ModuleCatalog) -> Self {
+        c.kinds.into_values().collect()
+    }
+}
+
+impl ModuleCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a kind. Re-registering the same `(name, version)` replaces
+    /// the previous definition (used by tests; real deployments bump the
+    /// version instead).
+    pub fn register(&mut self, kind: ModuleKind) {
+        self.kinds
+            .insert((kind.name.clone(), kind.version), kind);
+    }
+
+    /// Resolve an exact `(name, version)` reference.
+    pub fn get(&self, name: &str, version: u32) -> Result<&ModuleKind, ModelError> {
+        self.kinds
+            .get(&(name.to_string(), version))
+            .ok_or_else(|| ModelError::UnknownModuleKind {
+                name: name.to_string(),
+                version,
+            })
+    }
+
+    /// The newest registered version of `name`, if any.
+    pub fn latest(&self, name: &str) -> Option<&ModuleKind> {
+        self.kinds
+            .range((name.to_string(), 0)..=(name.to_string(), u32::MAX))
+            .next_back()
+            .map(|(_, k)| k)
+    }
+
+    /// Iterate over all registered kinds in `(name, version)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &ModuleKind> {
+        self.kinds.values()
+    }
+
+    /// Number of registered kinds.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Merge another catalog into this one (other wins on conflicts).
+    pub fn merge(&mut self, other: &ModuleCatalog) {
+        for k in other.iter() {
+            self.register(k.clone());
+        }
+    }
+
+    /// All kinds in a category, in name order.
+    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a ModuleKind> {
+        self.iter().filter(move |k| k.category == category)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{ModuleKind, PortSpec};
+    use crate::types::DataType;
+
+    fn catalog() -> ModuleCatalog {
+        let mut c = ModuleCatalog::new();
+        c.register(ModuleKind::new("Load").version(1).category("io"));
+        c.register(ModuleKind::new("Load").version(3).category("io"));
+        c.register(
+            ModuleKind::new("Render")
+                .version(2)
+                .category("visualization")
+                .input(PortSpec::required("mesh", DataType::Mesh)),
+        );
+        c
+    }
+
+    #[test]
+    fn exact_lookup_and_missing() {
+        let c = catalog();
+        assert!(c.get("Load", 1).is_ok());
+        assert!(matches!(
+            c.get("Load", 2),
+            Err(ModelError::UnknownModuleKind { .. })
+        ));
+    }
+
+    #[test]
+    fn latest_picks_highest_version() {
+        let c = catalog();
+        assert_eq!(c.latest("Load").unwrap().version, 3);
+        assert!(c.latest("Nope").is_none());
+    }
+
+    #[test]
+    fn category_filter() {
+        let c = catalog();
+        let io: Vec<_> = c.by_category("io").map(|k| k.identity()).collect();
+        assert_eq!(io, vec!["Load@1", "Load@3"]);
+    }
+
+    #[test]
+    fn merge_prefers_other() {
+        let mut a = ModuleCatalog::new();
+        a.register(ModuleKind::new("X").doc("old"));
+        let mut b = ModuleCatalog::new();
+        b.register(ModuleKind::new("X").doc("new"));
+        a.merge(&b);
+        assert_eq!(a.get("X", 1).unwrap().doc, "new");
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn catalog_roundtrips_serde() {
+        let c = catalog();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: ModuleCatalog = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.latest("Load").unwrap().version, 3);
+    }
+}

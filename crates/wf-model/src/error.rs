@@ -1,0 +1,106 @@
+//! Typed errors for the workflow model.
+
+use crate::ident::{ConnId, NodeId};
+use std::fmt;
+
+/// Errors raised while constructing or manipulating workflow specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A node identifier was not found in the workflow.
+    UnknownNode(NodeId),
+    /// A connection identifier was not found in the workflow.
+    UnknownConnection(ConnId),
+    /// A module kind (name, version) is not registered in the catalog.
+    UnknownModuleKind {
+        /// Module kind name.
+        name: String,
+        /// Requested version.
+        version: u32,
+    },
+    /// A port name does not exist on the referenced module kind.
+    UnknownPort {
+        /// The node whose module kind was consulted.
+        node: NodeId,
+        /// The offending port name.
+        port: String,
+        /// Whether an input port was expected (otherwise output).
+        input: bool,
+    },
+    /// A parameter name does not exist on the referenced module kind.
+    UnknownParam {
+        /// The node whose module kind was consulted.
+        node: NodeId,
+        /// The offending parameter name.
+        param: String,
+    },
+    /// An edit would create a duplicate connection into an input port.
+    PortOccupied {
+        /// Target node.
+        node: NodeId,
+        /// Target input port already fed by another connection.
+        port: String,
+    },
+    /// An edit would introduce a cycle into the DAG.
+    WouldCycle {
+        /// Source node of the offending connection.
+        from: NodeId,
+        /// Target node of the offending connection.
+        to: NodeId,
+    },
+    /// A composite module referenced an inner entity that does not exist.
+    BadCompositeMapping(String),
+    /// Serialization / deserialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            ModelError::UnknownConnection(id) => write!(f, "unknown connection {id}"),
+            ModelError::UnknownModuleKind { name, version } => {
+                write!(f, "unknown module kind {name}@{version}")
+            }
+            ModelError::UnknownPort { node, port, input } => write!(
+                f,
+                "unknown {} port '{port}' on node {node}",
+                if *input { "input" } else { "output" }
+            ),
+            ModelError::UnknownParam { node, param } => {
+                write!(f, "unknown parameter '{param}' on node {node}")
+            }
+            ModelError::PortOccupied { node, port } => {
+                write!(f, "input port '{port}' on node {node} is already connected")
+            }
+            ModelError::WouldCycle { from, to } => {
+                write!(f, "connecting {from} -> {to} would create a cycle")
+            }
+            ModelError::BadCompositeMapping(msg) => {
+                write!(f, "bad composite module mapping: {msg}")
+            }
+            ModelError::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = ModelError::UnknownPort {
+            node: NodeId(4),
+            port: "values".into(),
+            input: true,
+        };
+        assert_eq!(e.to_string(), "unknown input port 'values' on node n4");
+        let e = ModelError::WouldCycle {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
+        assert!(e.to_string().contains("cycle"));
+    }
+}

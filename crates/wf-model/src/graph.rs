@@ -1,0 +1,394 @@
+//! Generic directed-graph utilities shared across the platform.
+//!
+//! Workflows, causality graphs, OPM graphs, and version trees are all
+//! directed graphs; this module centralizes the classic algorithms so each
+//! crate works over a uniform, index-based representation. Callers map their
+//! domain identifiers to dense `usize` indexes (see [`Digraph::with_nodes`]).
+
+use std::collections::VecDeque;
+
+/// A directed graph over dense `usize` node indexes with forward and
+/// reverse adjacency lists.
+#[derive(Debug, Clone, Default)]
+pub struct Digraph {
+    /// Forward adjacency: `succ[u]` lists v with an edge u → v.
+    succ: Vec<Vec<usize>>,
+    /// Reverse adjacency: `pred[v]` lists u with an edge u → v.
+    pred: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl Digraph {
+    /// An empty graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Add a node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        self.succ.len() - 1
+    }
+
+    /// Add a directed edge `u → v`. Parallel edges are permitted (two
+    /// connections between the same module pair on different ports).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.succ.len() && v < self.succ.len(), "edge endpoint out of range");
+        self.succ[u].push(v);
+        self.pred[v].push(u);
+        self.edges += 1;
+    }
+
+    /// Successors of `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.succ[u]
+    }
+
+    /// Predecessors of `u`.
+    pub fn predecessors(&self, u: usize) -> &[usize] {
+        &self.pred[u]
+    }
+
+    /// Kahn's algorithm. Returns a topological order, or `None` if the graph
+    /// has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let n = self.node_count();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.succ[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// True iff the graph is acyclic.
+    pub fn is_dag(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// Nodes reachable from `start` following edges forward
+    /// (`start` included).
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        self.bfs(start, false)
+    }
+
+    /// Nodes that can reach `start` following edges backward
+    /// (`start` included). This is the *upstream closure* used for lineage.
+    pub fn reaching(&self, start: usize) -> Vec<bool> {
+        self.bfs(start, true)
+    }
+
+    /// BFS with a depth bound; `None` depth means unbounded.
+    /// Returns (visited flags, depth of each visited node).
+    pub fn bfs_depths(
+        &self,
+        start: usize,
+        reverse: bool,
+        max_depth: Option<usize>,
+    ) -> Vec<Option<usize>> {
+        let n = self.node_count();
+        let mut depth = vec![None; n];
+        if start >= n {
+            return depth;
+        }
+        let mut q = VecDeque::new();
+        depth[start] = Some(0);
+        q.push_back(start);
+        while let Some(u) = q.pop_front() {
+            let du = depth[u].expect("queued nodes have depths");
+            if let Some(m) = max_depth {
+                if du == m {
+                    continue;
+                }
+            }
+            let next = if reverse { &self.pred[u] } else { &self.succ[u] };
+            for &v in next {
+                if depth[v].is_none() {
+                    depth[v] = Some(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        depth
+    }
+
+    fn bfs(&self, start: usize, reverse: bool) -> Vec<bool> {
+        self.bfs_depths(start, reverse, None)
+            .into_iter()
+            .map(|d| d.is_some())
+            .collect()
+    }
+
+    /// Full transitive closure as a boolean matrix; `closure[u][v]` is true
+    /// iff v is reachable from u (u reaches itself). O(V·(V+E)).
+    pub fn transitive_closure(&self) -> Vec<Vec<bool>> {
+        (0..self.node_count())
+            .map(|u| self.reachable_from(u))
+            .collect()
+    }
+
+    /// Strongly connected components via Tarjan's algorithm (iterative).
+    /// Returns, for each node, its component index; components are numbered
+    /// in reverse topological order of the condensation.
+    pub fn tarjan_scc(&self) -> Vec<usize> {
+        let n = self.node_count();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![usize::MAX; n];
+        let mut stack = Vec::new();
+        let mut next_index = 0usize;
+        let mut next_comp = 0usize;
+
+        // Iterative DFS: frame = (node, next child position).
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (u, ref mut ci)) = call.last_mut() {
+                if *ci == 0 {
+                    index[u] = next_index;
+                    low[u] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u] = true;
+                }
+                if *ci < self.succ[u].len() {
+                    let v = self.succ[u][*ci];
+                    *ci += 1;
+                    if index[v] == usize::MAX {
+                        call.push((v, 0));
+                    } else if on_stack[v] {
+                        low[u] = low[u].min(index[v]);
+                    }
+                } else {
+                    if low[u] == index[u] {
+                        loop {
+                            let w = stack.pop().expect("scc stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == u {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                    call.pop();
+                    if let Some(&mut (p, _)) = call.last_mut() {
+                        low[p] = low[p].min(low[u]);
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    /// Transitive reduction of a DAG: the minimal edge set with the same
+    /// reachability. Panics if the graph is not a DAG. Returns the list of
+    /// retained `(u, v)` edges (deduplicated).
+    pub fn transitive_reduction(&self) -> Vec<(usize, usize)> {
+        let order = self.topo_order().expect("transitive_reduction requires a DAG");
+        let n = self.node_count();
+        // position in topological order, for longest-path comparison
+        let mut pos = vec![0usize; n];
+        for (i, &u) in order.iter().enumerate() {
+            pos[u] = i;
+        }
+        // An edge u→v is redundant iff v is reachable from u via a path of
+        // length ≥ 2. Check by BFS from each distinct successor of u.
+        let mut kept = Vec::new();
+        for u in 0..n {
+            let mut uniq: Vec<usize> = self.succ[u].clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            for &v in &uniq {
+                let mut redundant = false;
+                // BFS from u through successors other than the direct edge.
+                let mut seen = vec![false; n];
+                let mut q: VecDeque<usize> = VecDeque::new();
+                for &w in &uniq {
+                    if w != v && pos[w] < pos[v] && !seen[w] {
+                        seen[w] = true;
+                        q.push_back(w);
+                    }
+                }
+                while let Some(x) = q.pop_front() {
+                    if x == v {
+                        redundant = true;
+                        break;
+                    }
+                    for &y in &self.succ[x] {
+                        if !seen[y] && pos[y] <= pos[v] {
+                            seen[y] = true;
+                            q.push_back(y);
+                        }
+                    }
+                }
+                if !redundant {
+                    kept.push((u, v));
+                }
+            }
+        }
+        kept
+    }
+
+    /// Longest path length (in edges) in a DAG; `None` if cyclic.
+    pub fn longest_path_len(&self) -> Option<usize> {
+        let order = self.topo_order()?;
+        let mut dist = vec![0usize; self.node_count()];
+        let mut best = 0;
+        for &u in &order {
+            for &v in &self.succ[u] {
+                if dist[u] + 1 > dist[v] {
+                    dist[v] = dist[u] + 1;
+                    best = best.max(dist[v]);
+                }
+            }
+        }
+        Some(best)
+    }
+
+    /// All source nodes (no predecessors).
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.node_count())
+            .filter(|&v| self.pred[v].is_empty())
+            .collect()
+    }
+
+    /// All sink nodes (no successors).
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.node_count())
+            .filter(|&v| self.succ[v].is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Digraph {
+        // 0 → 1 → 3, 0 → 2 → 3, plus shortcut 0 → 3
+        let mut g = Digraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(0, 3);
+        g
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order().unwrap();
+        let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Digraph::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        assert!(!g.is_dag());
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn reachability_forward_and_backward() {
+        let g = diamond();
+        let fwd = g.reachable_from(1);
+        assert_eq!(fwd, vec![false, true, false, true]);
+        let back = g.reaching(3);
+        assert_eq!(back, vec![true, true, true, true]);
+    }
+
+    #[test]
+    fn bfs_depth_bound_limits_frontier() {
+        let mut g = Digraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let d = g.bfs_depths(0, false, Some(2));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), None]);
+    }
+
+    #[test]
+    fn scc_groups_cycles() {
+        let mut g = Digraph::with_nodes(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0); // {0,1,2} is a component
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let comp = g.tarjan_scc();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[2], comp[3]);
+        assert_ne!(comp[3], comp[4]);
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcut() {
+        let g = diamond();
+        let kept = g.transitive_reduction();
+        assert!(kept.contains(&(0, 1)));
+        assert!(kept.contains(&(0, 2)));
+        assert!(kept.contains(&(1, 3)));
+        assert!(kept.contains(&(2, 3)));
+        assert!(!kept.contains(&(0, 3)), "the shortcut edge is redundant");
+    }
+
+    #[test]
+    fn longest_path_of_chain() {
+        let mut g = Digraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert_eq!(g.longest_path_len(), Some(3));
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let g = diamond();
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+    }
+
+    #[test]
+    fn transitive_closure_matches_reachability() {
+        let g = diamond();
+        let tc = g.transitive_closure();
+        assert!(tc[0][3]);
+        assert!(!tc[1][2]);
+        assert!(tc[2][3]);
+    }
+}

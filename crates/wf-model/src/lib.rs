@@ -1,0 +1,40 @@
+//! # wf-model — workflow specification model
+//!
+//! The structural substrate of the provenance platform: scientific workflows
+//! "can be viewed as graphs, where nodes represent processes (or modules) and
+//! edges capture the flow of data between the processes" (Davidson & Freire,
+//! SIGMOD'08, §2.1).
+//!
+//! This crate defines:
+//!
+//! * a small structural [type system](types) for data flowing on edges,
+//! * [module kinds](module) — typed, versioned module definitions,
+//! * [workflows](workflow) — DAGs of module instances wired by connections,
+//! * [validation](mod@validate) — cycle detection, port/type checking,
+//! * [composite modules](subworkflow) — sub-workflows packaged as modules,
+//! * generic [digraph utilities](mod@graph) shared by the rest of the platform,
+//! * an ergonomic [`builder`] used throughout examples and tests.
+//!
+//! A serialized [`Workflow`] **is** prospective provenance at rest: the
+//! "recipe" one follows to derive a class of data products.
+
+pub mod builder;
+pub mod catalog;
+pub mod error;
+pub mod graph;
+pub mod ident;
+pub mod module;
+pub mod subworkflow;
+pub mod types;
+pub mod validate;
+pub mod workflow;
+
+pub use builder::WorkflowBuilder;
+pub use catalog::ModuleCatalog;
+pub use error::ModelError;
+pub use ident::{ConnId, NodeId, WorkflowId};
+pub use module::{ModuleKind, ParamSpec, ParamValue, PortSpec};
+pub use subworkflow::CompositeModule;
+pub use types::DataType;
+pub use validate::{validate, ValidationReport};
+pub use workflow::{Connection, Endpoint, Node, Workflow};

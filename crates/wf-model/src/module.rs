@@ -1,0 +1,315 @@
+//! Module kinds: the typed, versioned vocabulary a workflow is built from.
+//!
+//! A *module kind* is a definition — "Histogram, version 2, takes a grid and
+//! an integer bin count, produces a table" — while a [`crate::Node`] is an
+//! *instance* of a kind placed in a particular workflow with particular
+//! parameter bindings. Kinds are versioned because module evolution is part
+//! of workflow evolution provenance: a retrospective log must record exactly
+//! which revision of a module computed an artifact.
+
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Declaration of one input or output port on a module kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortSpec {
+    /// Port name, unique among the ports on the same side of the module.
+    pub name: String,
+    /// Type of the values flowing through the port.
+    pub dtype: DataType,
+    /// For input ports: must the port be connected for the workflow to run?
+    pub required: bool,
+    /// Human-readable description.
+    pub doc: String,
+}
+
+impl PortSpec {
+    /// A required port.
+    pub fn required(name: &str, dtype: DataType) -> Self {
+        Self {
+            name: name.to_string(),
+            dtype,
+            required: true,
+            doc: String::new(),
+        }
+    }
+
+    /// An optional port.
+    pub fn optional(name: &str, dtype: DataType) -> Self {
+        Self {
+            required: false,
+            ..Self::required(name, dtype)
+        }
+    }
+
+    /// Attach documentation to the port.
+    pub fn with_doc(mut self, doc: &str) -> Self {
+        self.doc = doc.to_string();
+        self
+    }
+}
+
+/// A parameter value: the scalar knobs of a module instance.
+///
+/// Parameters are distinct from ports: they are bound in the *specification*
+/// (prospective provenance) rather than flowing at runtime, which is why
+/// parameter changes are first-class edit actions in evolution provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// Boolean parameter.
+    Bool(bool),
+    /// Integer parameter.
+    Int(i64),
+    /// Float parameter.
+    Float(f64),
+    /// Text parameter.
+    Text(String),
+}
+
+impl ParamValue {
+    /// Stable display form used in hashes, logs, and diffs.
+    pub fn render(&self) -> String {
+        match self {
+            ParamValue::Bool(b) => b.to_string(),
+            ParamValue::Int(i) => i.to_string(),
+            ParamValue::Float(x) => format!("{x:?}"),
+            ParamValue::Text(s) => s.clone(),
+        }
+    }
+
+    /// The float value, widening integers; `None` for other variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(x) => Some(*x),
+            ParamValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer value if this is an [`ParamValue::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The text value if this is a [`ParamValue::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            ParamValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value if this is a [`ParamValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for ParamValue {
+    fn from(v: bool) -> Self {
+        ParamValue::Bool(v)
+    }
+}
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Float(v)
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Text(v.to_string())
+    }
+}
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Text(v)
+    }
+}
+
+/// Declaration of one parameter on a module kind, with its default.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Parameter name, unique within the kind.
+    pub name: String,
+    /// Default value, also fixing the parameter's type.
+    pub default: ParamValue,
+    /// Human-readable description.
+    pub doc: String,
+}
+
+impl ParamSpec {
+    /// A parameter with a default value.
+    pub fn new(name: &str, default: impl Into<ParamValue>) -> Self {
+        Self {
+            name: name.to_string(),
+            default: default.into(),
+            doc: String::new(),
+        }
+    }
+
+    /// Attach documentation to the parameter.
+    pub fn with_doc(mut self, doc: &str) -> Self {
+        self.doc = doc.to_string();
+        self
+    }
+}
+
+/// A versioned module definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleKind {
+    /// Kind name (e.g. `"Histogram"`), unique together with `version`.
+    pub name: String,
+    /// Revision of the definition.
+    pub version: u32,
+    /// Grouping used by catalogs and UIs (e.g. `"visualization"`).
+    pub category: String,
+    /// Human-readable description.
+    pub doc: String,
+    /// Input ports.
+    pub inputs: Vec<PortSpec>,
+    /// Output ports.
+    pub outputs: Vec<PortSpec>,
+    /// Parameters.
+    pub params: Vec<ParamSpec>,
+}
+
+impl ModuleKind {
+    /// Start a new kind at version 1 with no ports or parameters.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            version: 1,
+            category: "general".to_string(),
+            doc: String::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Set the version.
+    pub fn version(mut self, v: u32) -> Self {
+        self.version = v;
+        self
+    }
+
+    /// Set the category.
+    pub fn category(mut self, c: &str) -> Self {
+        self.category = c.to_string();
+        self
+    }
+
+    /// Set the documentation string.
+    pub fn doc(mut self, d: &str) -> Self {
+        self.doc = d.to_string();
+        self
+    }
+
+    /// Add an input port.
+    pub fn input(mut self, port: PortSpec) -> Self {
+        self.inputs.push(port);
+        self
+    }
+
+    /// Add an output port.
+    pub fn output(mut self, port: PortSpec) -> Self {
+        self.outputs.push(port);
+        self
+    }
+
+    /// Add a parameter.
+    pub fn param(mut self, p: ParamSpec) -> Self {
+        self.params.push(p);
+        self
+    }
+
+    /// Look up an input port by name.
+    pub fn input_port(&self, name: &str) -> Option<&PortSpec> {
+        self.inputs.iter().find(|p| p.name == name)
+    }
+
+    /// Look up an output port by name.
+    pub fn output_port(&self, name: &str) -> Option<&PortSpec> {
+        self.outputs.iter().find(|p| p.name == name)
+    }
+
+    /// Look up a parameter by name.
+    pub fn param_spec(&self, name: &str) -> Option<&ParamSpec> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// `name@version`, the canonical identity used in provenance records.
+    pub fn identity(&self) -> String {
+        format!("{}@{}", self.name, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn histogram() -> ModuleKind {
+        ModuleKind::new("Histogram")
+            .version(2)
+            .category("analysis")
+            .doc("Bin scalar values of a grid into a frequency table")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("table", DataType::Table))
+            .param(ParamSpec::new("bins", 64i64).with_doc("number of bins"))
+    }
+
+    #[test]
+    fn builder_accumulates_ports_and_params() {
+        let k = histogram();
+        assert_eq!(k.identity(), "Histogram@2");
+        assert_eq!(k.inputs.len(), 1);
+        assert_eq!(k.outputs.len(), 1);
+        assert_eq!(k.param_spec("bins").unwrap().default, ParamValue::Int(64));
+        assert!(k.input_port("data").is_some());
+        assert!(k.input_port("nope").is_none());
+        assert!(k.output_port("table").is_some());
+    }
+
+    #[test]
+    fn param_value_conversions() {
+        assert_eq!(ParamValue::from(3i64).as_i64(), Some(3));
+        assert_eq!(ParamValue::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(ParamValue::from(7i64).as_f64(), Some(7.0));
+        assert_eq!(ParamValue::from("x").as_text(), Some("x"));
+        assert_eq!(ParamValue::from(true).as_bool(), Some(true));
+        assert_eq!(ParamValue::from("x").as_i64(), None);
+    }
+
+    #[test]
+    fn param_render_is_stable_for_floats() {
+        assert_eq!(ParamValue::Float(0.1).render(), "0.1");
+        assert_eq!(ParamValue::Float(1.0).render(), "1.0");
+    }
+
+    #[test]
+    fn kind_roundtrips_serde() {
+        let k = histogram();
+        let s = serde_json::to_string(&k).unwrap();
+        let back: ModuleKind = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, k);
+    }
+}

@@ -1,0 +1,467 @@
+//! Composite modules: a workflow packaged as a reusable module.
+//!
+//! Figure 1 of the tutorial shows "the sub-workflow on the left" deriving
+//! `head-hist.png` — sub-workflows are both an authoring convenience and the
+//! basis of *user views* over provenance (a composite is exactly the kind of
+//! abstraction ZOOM exposes). A [`CompositeModule`] carries its inner
+//! workflow plus mappings from its outer ports to inner endpoints;
+//! [`flatten`] expands composites for execution while remembering which
+//! composite each inner node came from (so provenance can be re-abstracted).
+
+use crate::catalog::ModuleCatalog;
+use crate::error::ModelError;
+use crate::ident::NodeId;
+use crate::module::ModuleKind;
+use crate::workflow::{Endpoint, Workflow};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A workflow packaged as a module kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeModule {
+    /// The outer-facing module kind (ports of the composite).
+    pub kind: ModuleKind,
+    /// The inner workflow implementing the composite.
+    pub inner: Workflow,
+    /// Outer input port → inner (node, input port) it feeds.
+    pub input_map: BTreeMap<String, Endpoint>,
+    /// Outer output port → inner (node, output port) it exposes.
+    pub output_map: BTreeMap<String, Endpoint>,
+}
+
+impl CompositeModule {
+    /// Check that every mapped endpoint exists in the inner workflow and
+    /// every outer port is mapped.
+    pub fn check(&self) -> Result<(), ModelError> {
+        for port in &self.kind.inputs {
+            let ep = self.input_map.get(&port.name).ok_or_else(|| {
+                ModelError::BadCompositeMapping(format!("input '{}' unmapped", port.name))
+            })?;
+            if !self.inner.nodes.contains_key(&ep.node) {
+                return Err(ModelError::BadCompositeMapping(format!(
+                    "input '{}' maps to missing inner node {}",
+                    port.name, ep.node
+                )));
+            }
+        }
+        for port in &self.kind.outputs {
+            let ep = self.output_map.get(&port.name).ok_or_else(|| {
+                ModelError::BadCompositeMapping(format!("output '{}' unmapped", port.name))
+            })?;
+            if !self.inner.nodes.contains_key(&ep.node) {
+                return Err(ModelError::BadCompositeMapping(format!(
+                    "output '{}' maps to missing inner node {}",
+                    port.name, ep.node
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of flattening: the expanded workflow plus, for every node that came
+/// out of a composite, the originating (outer composite node, composite kind
+/// name, inner node id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flattened {
+    /// The expanded, composite-free workflow.
+    pub workflow: Workflow,
+    /// For nodes produced by expansion: flattened node id → provenance of
+    /// the expansion.
+    pub origin: BTreeMap<NodeId, CompositeOrigin>,
+}
+
+/// Where a flattened node came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositeOrigin {
+    /// The composite instance node in the outer workflow.
+    pub outer_node: NodeId,
+    /// The composite kind name.
+    pub composite: String,
+    /// The node id inside the composite's inner workflow.
+    pub inner_node: NodeId,
+}
+
+/// Expand every node of `wf` whose module kind names a composite in
+/// `composites`. One level of expansion per call; call repeatedly (or use
+/// [`flatten_fully`]) for nested composites.
+pub fn flatten(
+    wf: &Workflow,
+    composites: &BTreeMap<String, CompositeModule>,
+) -> Result<Flattened, ModelError> {
+    let mut out = Workflow::new(wf.id, &wf.name);
+    let mut origin: BTreeMap<NodeId, CompositeOrigin> = BTreeMap::new();
+    // Old plain node -> new node id. Plain nodes KEEP their identifiers
+    // (flattening must not renumber untouched nodes: provenance and origin
+    // metadata reference them across repeated expansion passes).
+    let mut plain: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    // (composite outer node, inner node) -> new node id.
+    let mut expanded: BTreeMap<(NodeId, NodeId), NodeId> = BTreeMap::new();
+
+    // First pass: copy plain nodes verbatim, so their ids survive and the
+    // id generator is positioned past every retained id.
+    for node in wf.nodes.values() {
+        if !composites.contains_key(&node.module) {
+            out.insert_node(node.clone());
+            plain.insert(node.id, node.id);
+        }
+    }
+    // Expansion must not recycle the ids of the composite instances it
+    // removes either: retire the whole input id range.
+    if let Some(max_id) = wf.nodes.keys().map(|n| n.raw()).max() {
+        out.retire_node_ids(max_id);
+    }
+
+    for node in wf.nodes.values() {
+        match composites.get(&node.module) {
+            None => {}
+            Some(comp) => {
+                comp.check()?;
+                for inner in comp.inner.nodes.values() {
+                    let id = out.add_node(&inner.module, inner.version);
+                    out.set_label(id, &format!("{}/{}", node.label, inner.label))?;
+                    for (k, v) in &inner.params {
+                        out.set_param(id, k, v.clone())?;
+                    }
+                    // Parameters set on the composite instance override inner
+                    // defaults when names collide (the composite re-exports
+                    // its knobs).
+                    for (k, v) in &node.params {
+                        if comp
+                            .inner
+                            .nodes
+                            .get(&inner.id)
+                            .map(|n| n.params.contains_key(k))
+                            .unwrap_or(false)
+                            || inner.params.contains_key(k)
+                        {
+                            out.set_param(id, k, v.clone())?;
+                        }
+                    }
+                    expanded.insert((node.id, inner.id), id);
+                    origin.insert(
+                        id,
+                        CompositeOrigin {
+                            outer_node: node.id,
+                            composite: node.module.clone(),
+                            inner_node: inner.id,
+                        },
+                    );
+                }
+                // Inner connections.
+                for c in comp.inner.conns.values() {
+                    let from = expanded[&(node.id, c.from.node)];
+                    let to = expanded[&(node.id, c.to.node)];
+                    out.connect(
+                        Endpoint::new(from, &c.from.port),
+                        Endpoint::new(to, &c.to.port),
+                    )?;
+                }
+            }
+        }
+    }
+
+    // Outer connections, rerouting composite endpoints through the maps.
+    for c in wf.conns.values() {
+        let from_node = wf.node(c.from.node)?;
+        let to_node = wf.node(c.to.node)?;
+        let from_ep = match composites.get(&from_node.module) {
+            None => Endpoint::new(plain[&c.from.node], &c.from.port),
+            Some(comp) => {
+                let inner = comp.output_map.get(&c.from.port).ok_or_else(|| {
+                    ModelError::BadCompositeMapping(format!(
+                        "composite '{}' has no output '{}'",
+                        from_node.module, c.from.port
+                    ))
+                })?;
+                Endpoint::new(expanded[&(c.from.node, inner.node)], &inner.port)
+            }
+        };
+        let to_ep = match composites.get(&to_node.module) {
+            None => Endpoint::new(plain[&c.to.node], &c.to.port),
+            Some(comp) => {
+                let inner = comp.input_map.get(&c.to.port).ok_or_else(|| {
+                    ModelError::BadCompositeMapping(format!(
+                        "composite '{}' has no input '{}'",
+                        to_node.module, c.to.port
+                    ))
+                })?;
+                Endpoint::new(expanded[&(c.to.node, inner.node)], &inner.port)
+            }
+        };
+        out.connect(from_ep, to_ep)?;
+    }
+
+    Ok(Flattened {
+        workflow: out,
+        origin,
+    })
+}
+
+/// Flatten until no composite instances remain (bounded by a depth limit of
+/// 32 to catch accidental recursive composites).
+pub fn flatten_fully(
+    wf: &Workflow,
+    composites: &BTreeMap<String, CompositeModule>,
+) -> Result<Flattened, ModelError> {
+    let mut current = flatten(wf, composites)?;
+    for _ in 0..32 {
+        let has_composite = current
+            .workflow
+            .nodes
+            .values()
+            .any(|n| composites.contains_key(&n.module));
+        if !has_composite {
+            return Ok(current);
+        }
+        let next = flatten(&current.workflow, composites)?;
+        // Chain origins: a node expanded at level k+1 descends from whatever
+        // its level-k ancestor descended from.
+        let mut origin = next.origin.clone();
+        for (new_id, o) in &next.origin {
+            if let Some(prev) = current.origin.get(&o.outer_node) {
+                origin.insert(*new_id, prev.clone());
+            }
+        }
+        for (id, o) in &current.origin {
+            // Plain-copied nodes keep their old origin if still present.
+            if next.workflow.nodes.contains_key(id) && !origin.contains_key(id) {
+                origin.insert(*id, o.clone());
+            }
+        }
+        current = Flattened {
+            workflow: next.workflow,
+            origin,
+        };
+    }
+    Err(ModelError::BadCompositeMapping(
+        "composite expansion did not terminate (recursive composite?)".into(),
+    ))
+}
+
+/// Register a composite's outer kind in a catalog so validation can resolve
+/// instances of it before flattening.
+pub fn register_composite(catalog: &mut ModuleCatalog, comp: &CompositeModule) {
+    catalog.register(comp.kind.clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{ModuleKind, PortSpec};
+    use crate::types::DataType;
+    use crate::WorkflowBuilder;
+
+    /// Composite "HistoPlot" = Histogram -> Plot, exposing input `data`
+    /// and output `image`.
+    fn histoplot() -> CompositeModule {
+        let mut b = WorkflowBuilder::new(100, "histoplot-inner");
+        let h = b.add("Histogram");
+        let p = b.add("Plot");
+        b.connect(h, "table", p, "table");
+        b.param(h, "bins", 16i64);
+        let inner = b.build();
+        let kind = ModuleKind::new("HistoPlot")
+            .category("composite")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("image", DataType::Image));
+        let mut input_map = BTreeMap::new();
+        input_map.insert("data".to_string(), Endpoint::new(h, "data"));
+        let mut output_map = BTreeMap::new();
+        output_map.insert("image".to_string(), Endpoint::new(p, "image"));
+        CompositeModule {
+            kind,
+            inner,
+            input_map,
+            output_map,
+        }
+    }
+
+    fn composites() -> BTreeMap<String, CompositeModule> {
+        let mut m = BTreeMap::new();
+        m.insert("HistoPlot".to_string(), histoplot());
+        m
+    }
+
+    #[test]
+    fn composite_check_catches_unmapped_port() {
+        let mut c = histoplot();
+        c.input_map.clear();
+        assert!(matches!(c.check(), Err(ModelError::BadCompositeMapping(_))));
+    }
+
+    #[test]
+    fn flatten_expands_and_rewires() {
+        let mut b = WorkflowBuilder::new(1, "outer");
+        let src = b.add("Source");
+        let hp = b.add("HistoPlot");
+        let save = b.add("Save");
+        b.connect(src, "grid", hp, "data");
+        b.connect(hp, "image", save, "in");
+        let outer = b.build();
+
+        let flat = flatten(&outer, &composites()).unwrap();
+        // Source, Histogram, Plot, Save
+        assert_eq!(flat.workflow.node_count(), 4);
+        assert_eq!(flat.workflow.conn_count(), 3);
+        // No composite nodes remain.
+        assert!(flat
+            .workflow
+            .nodes
+            .values()
+            .all(|n| n.module != "HistoPlot"));
+        // Two nodes carry composite origin.
+        assert_eq!(flat.origin.len(), 2);
+        assert!(flat
+            .origin
+            .values()
+            .all(|o| o.composite == "HistoPlot" && o.outer_node == hp));
+        // The chain is connected end to end.
+        let topo = flat.workflow.topo_nodes().unwrap();
+        let modules: Vec<&str> = topo
+            .iter()
+            .map(|id| flat.workflow.node(*id).unwrap().module.as_str())
+            .collect();
+        assert_eq!(modules, vec!["Source", "Histogram", "Plot", "Save"]);
+    }
+
+    #[test]
+    fn composite_params_propagate_by_name() {
+        let mut b = WorkflowBuilder::new(1, "outer");
+        let src = b.add("Source");
+        let hp = b.add("HistoPlot");
+        b.connect(src, "grid", hp, "data");
+        b.param(hp, "bins", 99i64);
+        let outer = b.build();
+        let flat = flatten(&outer, &composites()).unwrap();
+        let hist = flat
+            .workflow
+            .nodes
+            .values()
+            .find(|n| n.module == "Histogram")
+            .unwrap();
+        assert_eq!(
+            hist.params.get("bins"),
+            Some(&crate::module::ParamValue::Int(99))
+        );
+    }
+
+    #[test]
+    fn labels_carry_composite_path() {
+        let mut b = WorkflowBuilder::new(1, "outer");
+        let src = b.add("Source");
+        let hp = b.add_labeled("HistoPlot", "hp1");
+        b.connect(src, "grid", hp, "data");
+        let flat = flatten(&b.build(), &composites()).unwrap();
+        assert!(flat
+            .workflow
+            .nodes
+            .values()
+            .any(|n| n.label == "hp1/Histogram"));
+    }
+
+    #[test]
+    fn flatten_fully_expands_nested_composites() {
+        // "DoublePlot" contains a HistoPlot instance — two levels deep.
+        let mut b = WorkflowBuilder::new(200, "doubleplot-inner");
+        let hp = b.add("HistoPlot");
+        let save = b.add("Save");
+        b.connect(hp, "image", save, "in");
+        let inner = b.build();
+        let kind = ModuleKind::new("DoublePlot")
+            .category("composite")
+            .input(PortSpec::required("data", DataType::Grid))
+            .output(PortSpec::required("file", DataType::Bytes));
+        let mut input_map = BTreeMap::new();
+        input_map.insert("data".to_string(), Endpoint::new(hp, "data"));
+        let mut output_map = BTreeMap::new();
+        output_map.insert("file".to_string(), Endpoint::new(save, "out"));
+        let double = CompositeModule {
+            kind,
+            inner,
+            input_map,
+            output_map,
+        };
+        let mut comps = composites();
+        comps.insert("DoublePlot".to_string(), double);
+
+        let mut b = WorkflowBuilder::new(1, "outer");
+        let src = b.add("Source");
+        let dp = b.add("DoublePlot");
+        b.connect(src, "grid", dp, "data");
+        let outer = b.build();
+
+        let flat = flatten_fully(&outer, &comps).unwrap();
+        // Source + (Histogram + Plot from HistoPlot) + Save
+        assert_eq!(flat.workflow.node_count(), 4);
+        assert!(flat
+            .workflow
+            .nodes
+            .values()
+            .all(|n| !comps.contains_key(&n.module)));
+        // The expansion is fully wired end to end.
+        let topo = flat.workflow.topo_nodes().unwrap();
+        let modules: Vec<&str> = topo
+            .iter()
+            .map(|id| flat.workflow.node(*id).unwrap().module.as_str())
+            .collect();
+        assert_eq!(modules, vec!["Source", "Histogram", "Plot", "Save"]);
+        // Every expanded node has composite origin metadata.
+        assert_eq!(flat.origin.len(), 3);
+    }
+
+    #[test]
+    fn recursive_composites_terminate_with_error() {
+        // A composite whose inner workflow instantiates itself.
+        let mut b = WorkflowBuilder::new(300, "loop-inner");
+        let selfref = b.add("Ouroboros");
+        let _ = selfref;
+        let inner = b.build();
+        let kind = ModuleKind::new("Ouroboros").category("composite");
+        let comp = CompositeModule {
+            kind,
+            inner,
+            input_map: BTreeMap::new(),
+            output_map: BTreeMap::new(),
+        };
+        let mut comps = BTreeMap::new();
+        comps.insert("Ouroboros".to_string(), comp);
+        let mut b = WorkflowBuilder::new(1, "outer");
+        b.add("Ouroboros");
+        let err = flatten_fully(&b.build(), &comps).unwrap_err();
+        assert!(err.to_string().contains("did not terminate"));
+    }
+
+    #[test]
+    fn register_composite_makes_instances_validate() {
+        use crate::validate::validate;
+        let comp = histoplot();
+        let mut catalog = ModuleCatalog::new();
+        // Register the leaf kinds the outer workflow uses.
+        catalog.register(
+            ModuleKind::new("Source").output(PortSpec::required("grid", DataType::Grid)),
+        );
+        let mut b = WorkflowBuilder::new(1, "outer");
+        let src = b.add("Source");
+        let hp = b.add("HistoPlot");
+        b.connect(src, "grid", hp, "data");
+        let wf = b.build();
+        // Before registration the composite kind is unknown.
+        assert!(!validate(&wf, &catalog).is_valid());
+        register_composite(&mut catalog, &comp);
+        let report = validate(&wf, &catalog);
+        assert!(report.is_valid(), "{}", report.render());
+    }
+
+    #[test]
+    fn flatten_fully_handles_no_composites() {
+        let mut b = WorkflowBuilder::new(1, "plain");
+        let a = b.add("A");
+        let c = b.add("B");
+        b.connect(a, "out", c, "in");
+        let wf = b.build();
+        let flat = flatten_fully(&wf, &BTreeMap::new()).unwrap();
+        assert_eq!(flat.workflow.node_count(), 2);
+        assert!(flat.origin.is_empty());
+    }
+}

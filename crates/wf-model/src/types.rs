@@ -1,0 +1,172 @@
+//! A small structural type system for the data flowing along workflow edges.
+//!
+//! Scientific workflow systems attach types to module ports so that
+//! specifications can be checked *before* an expensive run — this is part of
+//! what makes a workflow "a (structured) database" where a script is "an
+//! unstructured document" (SIGMOD'08 tutorial, §2.1).
+//!
+//! The system is deliberately structural and shallow: it needs to be rich
+//! enough to catch real wiring mistakes in the module library (connecting a
+//! histogram to a port expecting a volumetric grid) without becoming a
+//! research project of its own.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of a value carried on a workflow connection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Top type: accepts any value. Used by generic utility modules.
+    Any,
+    /// Boolean flag.
+    Boolean,
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Raw bytes (files, images on disk, serialized blobs).
+    Bytes,
+    /// Homogeneous list of an element type.
+    List(Box<DataType>),
+    /// Record with named, typed fields (field order is significant).
+    Record(Vec<(String, DataType)>),
+    /// Structured volumetric grid (the CT-scan dataset of Figure 1).
+    Grid,
+    /// Tabular dataset with named columns.
+    Table,
+    /// Rendered image artifact.
+    Image,
+    /// Triangle-mesh geometry (output of isosurface extraction).
+    Mesh,
+}
+
+impl DataType {
+    /// Can a value of type `source` legally flow into a port of type `self`?
+    ///
+    /// The relation is reflexive; `Any` accepts everything and is accepted
+    /// everywhere (it is both top and a wildcard — workflow systems in this
+    /// space are permissive about untyped utility modules); `Integer` may
+    /// flow into `Float` (widening); lists and records are covariant.
+    pub fn accepts(&self, source: &DataType) -> bool {
+        use DataType::*;
+        match (self, source) {
+            (Any, _) | (_, Any) => true,
+            (Float, Integer) => true,
+            (List(a), List(b)) => a.accepts(b),
+            (Record(fa), Record(fb)) => {
+                // Width and depth subtyping: the source must provide every
+                // field the sink declares, with compatible types.
+                fa.iter().all(|(name, ta)| {
+                    fb.iter()
+                        .any(|(nb, tb)| nb == name && ta.accepts(tb))
+                })
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Short canonical name used in diagnostics and serialized catalogs.
+    pub fn name(&self) -> String {
+        self.to_string()
+    }
+
+    /// Is this one of the scalar (non-container, non-domain) types?
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            DataType::Boolean | DataType::Integer | DataType::Float | DataType::Text
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Any => write!(f, "any"),
+            DataType::Boolean => write!(f, "bool"),
+            DataType::Integer => write!(f, "int"),
+            DataType::Float => write!(f, "float"),
+            DataType::Text => write!(f, "text"),
+            DataType::Bytes => write!(f, "bytes"),
+            DataType::List(e) => write!(f, "list<{e}>"),
+            DataType::Record(fields) => {
+                write!(f, "record{{")?;
+                for (i, (n, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                write!(f, "}}")
+            }
+            DataType::Grid => write!(f, "grid"),
+            DataType::Table => write!(f, "table"),
+            DataType::Image => write!(f, "image"),
+            DataType::Mesh => write!(f, "mesh"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DataType::*;
+    use super::*;
+
+    #[test]
+    fn reflexive_acceptance() {
+        for t in [Boolean, Integer, Float, Text, Bytes, Grid, Table, Image, Mesh] {
+            assert!(t.accepts(&t), "{t} should accept itself");
+        }
+    }
+
+    #[test]
+    fn any_is_wildcard_both_ways() {
+        assert!(Any.accepts(&Grid));
+        assert!(Grid.accepts(&Any));
+    }
+
+    #[test]
+    fn integer_widens_to_float_but_not_back() {
+        assert!(Float.accepts(&Integer));
+        assert!(!Integer.accepts(&Float));
+    }
+
+    #[test]
+    fn lists_are_covariant() {
+        assert!(List(Box::new(Float)).accepts(&List(Box::new(Integer))));
+        assert!(!List(Box::new(Integer)).accepts(&List(Box::new(Float))));
+    }
+
+    #[test]
+    fn record_width_subtyping() {
+        let narrow = Record(vec![("x".into(), Float)]);
+        let wide = Record(vec![("x".into(), Integer), ("y".into(), Text)]);
+        assert!(narrow.accepts(&wide), "extra fields in source are fine");
+        assert!(!wide.accepts(&narrow), "missing field y must be rejected");
+    }
+
+    #[test]
+    fn distinct_domain_types_do_not_mix() {
+        assert!(!Grid.accepts(&Table));
+        assert!(!Image.accepts(&Mesh));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(List(Box::new(Integer)).to_string(), "list<int>");
+        assert_eq!(
+            Record(vec![("a".into(), Text), ("b".into(), Grid)]).to_string(),
+            "record{a: text, b: grid}"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Record(vec![("xs".into(), List(Box::new(Float)))]);
+        let s = serde_json::to_string(&t).unwrap();
+        let back: DataType = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,390 @@
+//! Structural validation of workflow specifications against a catalog.
+//!
+//! Validation is what turns "a bag of boxes and arrows" into a *checked*
+//! prospective-provenance document: every problem found here is a run that
+//! would have failed (or silently lied) at execution time.
+
+use crate::catalog::ModuleCatalog;
+use crate::ident::{ConnId, NodeId};
+use crate::workflow::Workflow;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// Node references a module kind absent from the catalog.
+    UnknownKind {
+        /// Offending node.
+        node: NodeId,
+        /// The unresolvable `name@version`.
+        identity: String,
+    },
+    /// Connection endpoint names a port that does not exist on the kind.
+    UnknownPort {
+        /// Offending connection.
+        conn: ConnId,
+        /// Node whose kind was consulted.
+        node: NodeId,
+        /// Missing port name.
+        port: String,
+        /// True if the port was looked up among inputs.
+        input: bool,
+    },
+    /// Connection carries a type the target port does not accept.
+    TypeMismatch {
+        /// Offending connection.
+        conn: ConnId,
+        /// Source type name.
+        from_type: String,
+        /// Target type name.
+        to_type: String,
+    },
+    /// A required input port has no incoming connection.
+    MissingRequiredInput {
+        /// Node with the unsatisfied port.
+        node: NodeId,
+        /// Unconnected required port.
+        port: String,
+    },
+    /// A parameter binding names a parameter the kind does not declare.
+    UnknownParam {
+        /// Node with the stray binding.
+        node: NodeId,
+        /// Parameter name.
+        param: String,
+    },
+    /// The graph contains a cycle (only possible via replayed histories).
+    Cycle,
+    /// A connection references a node that is not in the workflow.
+    DanglingConnection {
+        /// Offending connection.
+        conn: ConnId,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::UnknownKind { node, identity } => {
+                write!(f, "node {node}: unknown module kind {identity}")
+            }
+            Finding::UnknownPort {
+                conn,
+                node,
+                port,
+                input,
+            } => write!(
+                f,
+                "connection {conn}: no {} port '{port}' on node {node}",
+                if *input { "input" } else { "output" }
+            ),
+            Finding::TypeMismatch {
+                conn,
+                from_type,
+                to_type,
+            } => write!(
+                f,
+                "connection {conn}: type {from_type} does not flow into {to_type}"
+            ),
+            Finding::MissingRequiredInput { node, port } => {
+                write!(f, "node {node}: required input '{port}' is not connected")
+            }
+            Finding::UnknownParam { node, param } => {
+                write!(f, "node {node}: unknown parameter '{param}'")
+            }
+            Finding::Cycle => write!(f, "workflow contains a cycle"),
+            Finding::DanglingConnection { conn } => {
+                write!(f, "connection {conn} references a missing node")
+            }
+        }
+    }
+}
+
+/// The result of validating a workflow.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// All findings, in deterministic order.
+    pub findings: Vec<Finding>,
+}
+
+impl ValidationReport {
+    /// True iff no findings were recorded.
+    pub fn is_valid(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render all findings, one per line.
+    pub fn render(&self) -> String {
+        self.findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Validate `wf` against `catalog`.
+pub fn validate(wf: &Workflow, catalog: &ModuleCatalog) -> ValidationReport {
+    let mut findings = Vec::new();
+
+    // 1. Kind resolution and stray parameters.
+    for node in wf.nodes.values() {
+        match catalog.get(&node.module, node.version) {
+            Err(_) => findings.push(Finding::UnknownKind {
+                node: node.id,
+                identity: node.kind_identity(),
+            }),
+            Ok(kind) => {
+                for pname in node.params.keys() {
+                    if kind.param_spec(pname).is_none() {
+                        findings.push(Finding::UnknownParam {
+                            node: node.id,
+                            param: pname.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Connection endpoints: existence, port names, types.
+    for conn in wf.conns.values() {
+        let from_node = wf.nodes.get(&conn.from.node);
+        let to_node = wf.nodes.get(&conn.to.node);
+        let (from_node, to_node) = match (from_node, to_node) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                findings.push(Finding::DanglingConnection { conn: conn.id });
+                continue;
+            }
+        };
+        let from_kind = catalog.get(&from_node.module, from_node.version).ok();
+        let to_kind = catalog.get(&to_node.module, to_node.version).ok();
+        let out_port = from_kind.and_then(|k| k.output_port(&conn.from.port));
+        let in_port = to_kind.and_then(|k| k.input_port(&conn.to.port));
+        if from_kind.is_some() && out_port.is_none() {
+            findings.push(Finding::UnknownPort {
+                conn: conn.id,
+                node: from_node.id,
+                port: conn.from.port.clone(),
+                input: false,
+            });
+        }
+        if to_kind.is_some() && in_port.is_none() {
+            findings.push(Finding::UnknownPort {
+                conn: conn.id,
+                node: to_node.id,
+                port: conn.to.port.clone(),
+                input: true,
+            });
+        }
+        if let (Some(op), Some(ip)) = (out_port, in_port) {
+            if !ip.dtype.accepts(&op.dtype) {
+                findings.push(Finding::TypeMismatch {
+                    conn: conn.id,
+                    from_type: op.dtype.name(),
+                    to_type: ip.dtype.name(),
+                });
+            }
+        }
+    }
+
+    // 3. Required-input coverage.
+    let fed: BTreeSet<(NodeId, &str)> = wf
+        .conns
+        .values()
+        .map(|c| (c.to.node, c.to.port.as_str()))
+        .collect();
+    for node in wf.nodes.values() {
+        if let Ok(kind) = catalog.get(&node.module, node.version) {
+            for port in &kind.inputs {
+                if port.required && !fed.contains(&(node.id, port.name.as_str())) {
+                    findings.push(Finding::MissingRequiredInput {
+                        node: node.id,
+                        port: port.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // 4. Acyclicity.
+    let (g, _, _) = wf.digraph();
+    if !g.is_dag() {
+        findings.push(Finding::Cycle);
+    }
+
+    ValidationReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{ModuleKind, ParamSpec, PortSpec};
+    use crate::types::DataType;
+    use crate::workflow::Endpoint;
+    use crate::WorkflowId;
+
+    fn catalog() -> ModuleCatalog {
+        let mut c = ModuleCatalog::new();
+        c.register(
+            ModuleKind::new("Source")
+                .output(PortSpec::required("grid", DataType::Grid))
+                .param(ParamSpec::new("path", "")),
+        );
+        c.register(
+            ModuleKind::new("Histogram")
+                .input(PortSpec::required("data", DataType::Grid))
+                .input(PortSpec::optional("mask", DataType::Grid))
+                .output(PortSpec::required("table", DataType::Table))
+                .param(ParamSpec::new("bins", 64i64)),
+        );
+        c.register(
+            ModuleKind::new("Render")
+                .input(PortSpec::required("table", DataType::Table))
+                .output(PortSpec::required("image", DataType::Image)),
+        );
+        c
+    }
+
+    fn valid_wf() -> Workflow {
+        let mut w = Workflow::new(WorkflowId(1), "v");
+        let s = w.add_node("Source", 1);
+        let h = w.add_node("Histogram", 1);
+        let r = w.add_node("Render", 1);
+        w.connect(Endpoint::new(s, "grid"), Endpoint::new(h, "data"))
+            .unwrap();
+        w.connect(Endpoint::new(h, "table"), Endpoint::new(r, "table"))
+            .unwrap();
+        w
+    }
+
+    #[test]
+    fn valid_workflow_passes() {
+        let report = validate(&valid_wf(), &catalog());
+        assert!(report.is_valid(), "{}", report.render());
+    }
+
+    #[test]
+    fn unknown_kind_reported() {
+        let mut w = valid_wf();
+        w.add_node("Mystery", 9);
+        let report = validate(&w, &catalog());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UnknownKind { identity, .. } if identity == "Mystery@9")));
+    }
+
+    #[test]
+    fn unknown_port_reported_on_both_sides() {
+        let mut w = Workflow::new(WorkflowId(1), "w");
+        let s = w.add_node("Source", 1);
+        let h = w.add_node("Histogram", 1);
+        w.connect(Endpoint::new(s, "bogus"), Endpoint::new(h, "nope"))
+            .unwrap();
+        // satisfy the required port so only port findings fire
+        w.connect(Endpoint::new(s, "grid"), Endpoint::new(h, "data"))
+            .unwrap();
+        let report = validate(&w, &catalog());
+        let ports: Vec<bool> = report
+            .findings
+            .iter()
+            .filter_map(|f| match f {
+                Finding::UnknownPort { input, .. } => Some(*input),
+                _ => None,
+            })
+            .collect();
+        assert!(ports.contains(&true) && ports.contains(&false));
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let mut w = Workflow::new(WorkflowId(1), "w");
+        let s = w.add_node("Source", 1);
+        let r = w.add_node("Render", 1);
+        // grid into a table port
+        w.connect(Endpoint::new(s, "grid"), Endpoint::new(r, "table"))
+            .unwrap();
+        let report = validate(&w, &catalog());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn missing_required_input_reported_but_optional_ok() {
+        let mut w = Workflow::new(WorkflowId(1), "w");
+        w.add_node("Histogram", 1);
+        let report = validate(&w, &catalog());
+        let missing: Vec<&str> = report
+            .findings
+            .iter()
+            .filter_map(|f| match f {
+                Finding::MissingRequiredInput { port, .. } => Some(port.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(missing, vec!["data"], "mask is optional");
+    }
+
+    #[test]
+    fn stray_param_reported() {
+        let mut w = valid_wf();
+        let h = w
+            .nodes
+            .values()
+            .find(|n| n.module == "Histogram")
+            .unwrap()
+            .id;
+        w.set_param(h, "bogus", 1i64.into()).unwrap();
+        let report = validate(&w, &catalog());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UnknownParam { param, .. } if param == "bogus")));
+    }
+
+    #[test]
+    fn replayed_cycle_detected() {
+        use crate::workflow::Connection;
+        use crate::{ConnId, NodeId};
+        let mut w = Workflow::new(WorkflowId(1), "w");
+        let a = w.add_node("Source", 1);
+        let b = w.add_node("Render", 1);
+        // bypass the public API, as an action replay would
+        w.insert_connection(Connection {
+            id: ConnId(100),
+            from: Endpoint::new(a, "grid"),
+            to: Endpoint::new(b, "table"),
+        });
+        w.insert_connection(Connection {
+            id: ConnId(101),
+            from: Endpoint::new(b, "image"),
+            to: Endpoint::new(a, "x"),
+        });
+        let report = validate(&w, &catalog());
+        assert!(report.findings.contains(&Finding::Cycle));
+        let _ = NodeId(0);
+    }
+
+    #[test]
+    fn dangling_connection_reported() {
+        use crate::workflow::Connection;
+        use crate::{ConnId, NodeId};
+        let mut w = Workflow::new(WorkflowId(1), "w");
+        let a = w.add_node("Source", 1);
+        w.insert_connection(Connection {
+            id: ConnId(5),
+            from: Endpoint::new(a, "grid"),
+            to: Endpoint::new(NodeId(999), "data"),
+        });
+        let report = validate(&w, &catalog());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::DanglingConnection { .. })));
+    }
+}

@@ -1,0 +1,508 @@
+//! The workflow specification: a DAG of module instances wired by
+//! connections. This structure *is* prospective provenance.
+
+use crate::error::ModelError;
+use crate::graph::Digraph;
+use crate::ident::{ConnId, IdGen, NodeId, WorkflowId};
+use crate::module::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A module instance placed in a workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier, stable across edits of this workflow.
+    pub id: NodeId,
+    /// Module kind name, resolved against a [`crate::ModuleCatalog`].
+    pub module: String,
+    /// Module kind version.
+    pub version: u32,
+    /// Instance label (defaults to the kind name); labels need not be unique
+    /// but help humans and the analogy matcher.
+    pub label: String,
+    /// Parameter bindings overriding the kind's defaults.
+    pub params: BTreeMap<String, ParamValue>,
+}
+
+impl Node {
+    /// `module@version`, the kind identity this node references.
+    pub fn kind_identity(&self) -> String {
+        format!("{}@{}", self.module, self.version)
+    }
+}
+
+/// One endpoint of a connection: a port on a node.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// The node.
+    pub node: NodeId,
+    /// The port name on that node's module kind.
+    pub port: String,
+}
+
+impl Endpoint {
+    /// Construct an endpoint.
+    pub fn new(node: NodeId, port: &str) -> Self {
+        Self {
+            node,
+            port: port.to_string(),
+        }
+    }
+}
+
+/// A dataflow edge from an output port to an input port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Connection {
+    /// Identifier, stable across edits of this workflow.
+    pub id: ConnId,
+    /// Source: an output port.
+    pub from: Endpoint,
+    /// Target: an input port.
+    pub to: Endpoint,
+}
+
+/// A workflow specification: the prospective-provenance "recipe".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Identifier of this specification.
+    pub id: WorkflowId,
+    /// Human-readable name.
+    pub name: String,
+    /// Module instances, keyed by id.
+    pub nodes: BTreeMap<NodeId, Node>,
+    /// Connections, keyed by id.
+    pub conns: BTreeMap<ConnId, Connection>,
+    node_ids: IdGen,
+    conn_ids: IdGen,
+}
+
+impl Workflow {
+    /// An empty workflow.
+    pub fn new(id: WorkflowId, name: &str) -> Self {
+        Self {
+            id,
+            name: name.to_string(),
+            nodes: BTreeMap::new(),
+            conns: BTreeMap::new(),
+            node_ids: IdGen::new(),
+            conn_ids: IdGen::new(),
+        }
+    }
+
+    /// Add a module instance, allocating its id.
+    pub fn add_node(&mut self, module: &str, version: u32) -> NodeId {
+        let id = NodeId(self.node_ids.next_raw());
+        self.nodes.insert(
+            id,
+            Node {
+                id,
+                module: module.to_string(),
+                version,
+                label: module.to_string(),
+                params: BTreeMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Insert a node with an explicit id (action replay). Reserves the id.
+    pub fn insert_node(&mut self, node: Node) {
+        self.node_ids.reserve(node.id.raw());
+        self.nodes.insert(node.id, node);
+    }
+
+    /// Retire every node id up to and including `up_to`: future
+    /// [`Workflow::add_node`] calls will allocate strictly greater ids.
+    /// Used by transformations (e.g. composite flattening) that must not
+    /// recycle identifiers of nodes they removed.
+    pub fn retire_node_ids(&mut self, up_to: u64) {
+        self.node_ids.reserve(up_to);
+    }
+
+    /// Remove a node and every connection touching it. Returns the removed
+    /// node and connections, enabling inverse actions.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<(Node, Vec<Connection>), ModelError> {
+        let node = self.nodes.remove(&id).ok_or(ModelError::UnknownNode(id))?;
+        let touching: Vec<ConnId> = self
+            .conns
+            .values()
+            .filter(|c| c.from.node == id || c.to.node == id)
+            .map(|c| c.id)
+            .collect();
+        let mut removed = Vec::with_capacity(touching.len());
+        for cid in touching {
+            if let Some(c) = self.conns.remove(&cid) {
+                removed.push(c);
+            }
+        }
+        Ok((node, removed))
+    }
+
+    /// Connect `from` (an output port) to `to` (an input port), allocating
+    /// the connection id. Rejects unknown nodes, an already-fed input port,
+    /// and edges that would create a cycle. Port-name and type checking
+    /// against the catalog happens in [`crate::validate()`], which has access
+    /// to module kinds.
+    pub fn connect(&mut self, from: Endpoint, to: Endpoint) -> Result<ConnId, ModelError> {
+        if !self.nodes.contains_key(&from.node) {
+            return Err(ModelError::UnknownNode(from.node));
+        }
+        if !self.nodes.contains_key(&to.node) {
+            return Err(ModelError::UnknownNode(to.node));
+        }
+        if self
+            .conns
+            .values()
+            .any(|c| c.to == to)
+        {
+            return Err(ModelError::PortOccupied {
+                node: to.node,
+                port: to.port.clone(),
+            });
+        }
+        // Cycle check: would `to.node` reach `from.node`?
+        if from.node == to.node || self.reaches(to.node, from.node) {
+            return Err(ModelError::WouldCycle {
+                from: from.node,
+                to: to.node,
+            });
+        }
+        let id = ConnId(self.conn_ids.next_raw());
+        self.conns.insert(id, Connection { id, from, to });
+        Ok(id)
+    }
+
+    /// Insert a connection with an explicit id (action replay), skipping the
+    /// occupancy and cycle checks — replay trusts the recorded history.
+    pub fn insert_connection(&mut self, conn: Connection) {
+        self.conn_ids.reserve(conn.id.raw());
+        self.conns.insert(conn.id, conn);
+    }
+
+    /// Remove a connection.
+    pub fn remove_connection(&mut self, id: ConnId) -> Result<Connection, ModelError> {
+        self.conns
+            .remove(&id)
+            .ok_or(ModelError::UnknownConnection(id))
+    }
+
+    /// Set a parameter on a node. Returns the previous value, if any.
+    pub fn set_param(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        value: ParamValue,
+    ) -> Result<Option<ParamValue>, ModelError> {
+        let n = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(ModelError::UnknownNode(node))?;
+        Ok(n.params.insert(name.to_string(), value))
+    }
+
+    /// Remove a parameter binding (falling back to the kind default).
+    pub fn unset_param(
+        &mut self,
+        node: NodeId,
+        name: &str,
+    ) -> Result<Option<ParamValue>, ModelError> {
+        let n = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(ModelError::UnknownNode(node))?;
+        Ok(n.params.remove(name))
+    }
+
+    /// Set the module version of a node (module upgrades in evolution
+    /// provenance). Returns the previous version.
+    pub fn set_version(&mut self, node: NodeId, version: u32) -> Result<u32, ModelError> {
+        let n = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(ModelError::UnknownNode(node))?;
+        Ok(std::mem::replace(&mut n.version, version))
+    }
+
+    /// Set the label of a node. Returns the previous label.
+    pub fn set_label(&mut self, node: NodeId, label: &str) -> Result<String, ModelError> {
+        let n = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(ModelError::UnknownNode(node))?;
+        Ok(std::mem::replace(&mut n.label, label.to_string()))
+    }
+
+    /// Get a node.
+    pub fn node(&self, id: NodeId) -> Result<&Node, ModelError> {
+        self.nodes.get(&id).ok_or(ModelError::UnknownNode(id))
+    }
+
+    /// Get a connection.
+    pub fn connection(&self, id: ConnId) -> Result<&Connection, ModelError> {
+        self.conns.get(&id).ok_or(ModelError::UnknownConnection(id))
+    }
+
+    /// Connections feeding a node's input ports.
+    pub fn inputs_of(&self, node: NodeId) -> impl Iterator<Item = &Connection> {
+        self.conns.values().filter(move |c| c.to.node == node)
+    }
+
+    /// Connections leaving a node's output ports.
+    pub fn outputs_of(&self, node: NodeId) -> impl Iterator<Item = &Connection> {
+        self.conns.values().filter(move |c| c.from.node == node)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Build the dense index graph and the NodeId ↔ index mappings.
+    pub fn digraph(&self) -> (Digraph, Vec<NodeId>, BTreeMap<NodeId, usize>) {
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let index: BTreeMap<NodeId, usize> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let mut g = Digraph::with_nodes(ids.len());
+        for c in self.conns.values() {
+            // Connections referencing deleted nodes cannot occur through the
+            // public API, but replayed histories are trusted; skip dangling
+            // edges defensively so analysis never panics.
+            if let (Some(&u), Some(&v)) = (index.get(&c.from.node), index.get(&c.to.node)) {
+                g.add_edge(u, v);
+            }
+        }
+        (g, ids, index)
+    }
+
+    /// Does `from` reach `to` by following connections forward?
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        let (g, _, index) = self.digraph();
+        match (index.get(&from), index.get(&to)) {
+            (Some(&u), Some(&v)) => g.reachable_from(u)[v],
+            _ => false,
+        }
+    }
+
+    /// Nodes in topological order; `None` if (via replayed history) a cycle
+    /// exists.
+    pub fn topo_nodes(&self) -> Option<Vec<NodeId>> {
+        let (g, ids, _) = self.digraph();
+        g.topo_order()
+            .map(|order| order.into_iter().map(|i| ids[i]).collect())
+    }
+
+    /// Source nodes (no incoming connections).
+    pub fn source_nodes(&self) -> Vec<NodeId> {
+        let (g, ids, _) = self.digraph();
+        g.sources().into_iter().map(|i| ids[i]).collect()
+    }
+
+    /// Sink nodes (no outgoing connections) — the workflow's data products.
+    pub fn sink_nodes(&self) -> Vec<NodeId> {
+        let (g, ids, _) = self.digraph();
+        g.sinks().into_iter().map(|i| ids[i]).collect()
+    }
+
+    /// Render the specification as Graphviz DOT (boxes = modules, edges =
+    /// dataflow, labelled with ports) — the visual form workflow systems
+    /// present to users.
+    pub fn render_dot(&self) -> String {
+        let mut s = format!("digraph \"{}\" {{\n  rankdir=LR;\n", self.name);
+        for n in self.nodes.values() {
+            let label = if n.label == n.module {
+                n.kind_identity()
+            } else {
+                format!("{}\\n{}", n.label, n.kind_identity())
+            };
+            s.push_str(&format!("  \"{}\" [shape=box, label=\"{label}\"];\n", n.id));
+        }
+        for c in self.conns.values() {
+            s.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}->{}\"];\n",
+                c.from.node, c.to.node, c.from.port, c.to.port
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Serialize to canonical JSON (prospective provenance at rest).
+    pub fn to_json(&self) -> Result<String, ModelError> {
+        serde_json::to_string_pretty(self).map_err(|e| ModelError::Serde(e.to_string()))
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, ModelError> {
+        serde_json::from_str(s).map_err(|e| ModelError::Serde(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf() -> Workflow {
+        Workflow::new(WorkflowId(1), "test")
+    }
+
+    #[test]
+    fn add_and_connect_nodes() {
+        let mut w = wf();
+        let a = w.add_node("Load", 1);
+        let b = w.add_node("Histogram", 1);
+        let c = w
+            .connect(Endpoint::new(a, "out"), Endpoint::new(b, "data"))
+            .unwrap();
+        assert_eq!(w.node_count(), 2);
+        assert_eq!(w.conn_count(), 1);
+        assert_eq!(w.connection(c).unwrap().from.node, a);
+    }
+
+    #[test]
+    fn input_port_occupancy_enforced() {
+        let mut w = wf();
+        let a = w.add_node("A", 1);
+        let b = w.add_node("B", 1);
+        let c = w.add_node("C", 1);
+        w.connect(Endpoint::new(a, "out"), Endpoint::new(c, "in"))
+            .unwrap();
+        let err = w
+            .connect(Endpoint::new(b, "out"), Endpoint::new(c, "in"))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::PortOccupied { .. }));
+    }
+
+    #[test]
+    fn cycles_rejected_including_self_loop() {
+        let mut w = wf();
+        let a = w.add_node("A", 1);
+        let b = w.add_node("B", 1);
+        w.connect(Endpoint::new(a, "out"), Endpoint::new(b, "in"))
+            .unwrap();
+        let err = w
+            .connect(Endpoint::new(b, "out"), Endpoint::new(a, "in"))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::WouldCycle { .. }));
+        let err = w
+            .connect(Endpoint::new(a, "loop"), Endpoint::new(a, "in2"))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::WouldCycle { .. }));
+    }
+
+    #[test]
+    fn remove_node_cascades_connections() {
+        let mut w = wf();
+        let a = w.add_node("A", 1);
+        let b = w.add_node("B", 1);
+        let c = w.add_node("C", 1);
+        w.connect(Endpoint::new(a, "out"), Endpoint::new(b, "in"))
+            .unwrap();
+        w.connect(Endpoint::new(b, "out"), Endpoint::new(c, "in"))
+            .unwrap();
+        let (node, removed) = w.remove_node(b).unwrap();
+        assert_eq!(node.module, "B");
+        assert_eq!(removed.len(), 2);
+        assert_eq!(w.conn_count(), 0);
+        assert!(w.remove_node(b).is_err());
+    }
+
+    #[test]
+    fn node_ids_never_reused_after_delete() {
+        let mut w = wf();
+        let a = w.add_node("A", 1);
+        w.remove_node(a).unwrap();
+        let b = w.add_node("B", 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn params_set_and_unset() {
+        let mut w = wf();
+        let a = w.add_node("A", 1);
+        assert_eq!(w.set_param(a, "bins", 32i64.into()).unwrap(), None);
+        assert_eq!(
+            w.set_param(a, "bins", 64i64.into()).unwrap(),
+            Some(ParamValue::Int(32))
+        );
+        assert_eq!(
+            w.unset_param(a, "bins").unwrap(),
+            Some(ParamValue::Int(64))
+        );
+        assert!(w.set_param(NodeId(99), "x", 1i64.into()).is_err());
+    }
+
+    #[test]
+    fn topo_sources_sinks() {
+        let mut w = wf();
+        let a = w.add_node("A", 1);
+        let b = w.add_node("B", 1);
+        let c = w.add_node("C", 1);
+        w.connect(Endpoint::new(a, "o"), Endpoint::new(b, "i"))
+            .unwrap();
+        w.connect(Endpoint::new(b, "o"), Endpoint::new(c, "i"))
+            .unwrap();
+        assert_eq!(w.topo_nodes().unwrap(), vec![a, b, c]);
+        assert_eq!(w.source_nodes(), vec![a]);
+        assert_eq!(w.sink_nodes(), vec![c]);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut w = wf();
+        let a = w.add_node("Load", 2);
+        let b = w.add_node("Render", 1);
+        w.set_param(a, "path", "head.120.vtk".into()).unwrap();
+        w.connect(Endpoint::new(a, "out"), Endpoint::new(b, "in"))
+            .unwrap();
+        let s = w.to_json().unwrap();
+        let back = Workflow::from_json(&s).unwrap();
+        assert_eq!(back, w);
+        // Id generators must survive the round trip: adding after reload
+        // must not collide.
+        let mut back = back;
+        let c = back.add_node("New", 1);
+        assert!(c != a && c != b);
+    }
+
+    #[test]
+    fn dot_rendering_lists_nodes_and_edges() {
+        let mut w = wf();
+        let a = w.add_node("LoadVolume", 1);
+        let b = w.add_node("Histogram", 2);
+        w.set_label(a, "scan").unwrap();
+        w.connect(Endpoint::new(a, "grid"), Endpoint::new(b, "data"))
+            .unwrap();
+        let dot = w.render_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("scan"));
+        assert!(dot.contains("Histogram@2"));
+        assert!(dot.contains("grid->data"));
+    }
+
+    #[test]
+    fn retire_node_ids_prevents_reuse() {
+        let mut w = wf();
+        w.retire_node_ids(41);
+        let a = w.add_node("A", 1);
+        assert_eq!(a, NodeId(42));
+        // Retiring backwards has no effect.
+        w.retire_node_ids(3);
+        let b = w.add_node("B", 1);
+        assert_eq!(b, NodeId(43));
+    }
+
+    #[test]
+    fn labels_default_to_module_and_can_change() {
+        let mut w = wf();
+        let a = w.add_node("Histogram", 1);
+        assert_eq!(w.node(a).unwrap().label, "Histogram");
+        let old = w.set_label(a, "head histogram").unwrap();
+        assert_eq!(old, "Histogram");
+        assert_eq!(w.node(a).unwrap().label, "head histogram");
+    }
+}

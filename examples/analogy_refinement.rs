@@ -1,0 +1,89 @@
+//! Figure 2 of the paper, end to end: refining workflows by analogy.
+//!
+//! A user improves their quick visualization by smoothing the isosurface
+//! (versions `a -> b` in a version tree). Another user's workflow `c` —
+//! different data, different labels, an extra analysis branch — receives
+//! the *same* change automatically: the system diffs `a -> b`, finds the
+//! most likely match of `a` inside `c`, and transplants the refinement.
+//!
+//! Run with: `cargo run --example analogy_refinement`
+
+use provenance_workflows::evolution::scenario;
+use provenance_workflows::prelude::*;
+
+fn main() {
+    let (a, b, c) = scenario::figure2_triple();
+
+    // --- evolution provenance: record a -> b in a version tree ------------
+    let mut tree = VersionTree::new(WorkflowId(10), "quick viz");
+    let va = tree.import_workflow(tree.root(), &a, "alice").expect("import a");
+    tree.tag(va, "original").expect("tag");
+    // Commit the difference a -> b as actions.
+    let d = diff_workflows(&a, &b);
+    let mut actions = Vec::new();
+    for conn in &d.conns_only_left {
+        actions.push(Action::DeleteConnection { conn: conn.clone() });
+    }
+    for id in &d.only_right {
+        actions.push(Action::AddNode {
+            node: b.nodes[id].clone(),
+        });
+    }
+    for conn in &d.conns_only_right {
+        actions.push(Action::AddConnection { conn: conn.clone() });
+    }
+    let vb = tree.commit_all(va, actions, "alice").expect("commit diff");
+    tree.tag(vb, "smoothed").expect("tag");
+    println!("== version tree ==");
+    println!("{}", tree.render());
+    let materialized_b = tree.materialize(vb).expect("materialize");
+    assert!(materialized_b
+        .nodes
+        .values()
+        .any(|n| n.module == "SmoothMesh"));
+
+    // --- the analogy template ---------------------------------------------
+    println!("== analogy template (diff a -> b) ==");
+    println!("{}", d.render());
+
+    // --- apply to the other user's workflow -------------------------------
+    println!("== target workflow c (another user) ==");
+    println!("{}", ProspectiveProvenance::of(&c).render_recipe());
+
+    let result = apply_by_analogy(&a, &b, &c).expect("analogy applies");
+    println!(
+        "== matching (mean score {:.2}) ==",
+        result.matching.mean_score()
+    );
+    for (src, (tgt, score)) in &result.matching.pairs {
+        println!(
+            "  {} '{}' -> {} '{}' ({score:.2})",
+            src, a.node(*src).expect("src node").label,
+            tgt, c.node(*tgt).expect("tgt node").label,
+        );
+    }
+    assert!(result.is_clean(), "skipped: {:?}", result.skipped);
+
+    println!("== refined workflow c' ==");
+    println!("{}", ProspectiveProvenance::of(&result.workflow).render_recipe());
+
+    // --- verify: both refined workflows actually run ----------------------
+    let exec = Executor::new(standard_registry());
+    let run_b = exec.run(&materialized_b).expect("b runs");
+    let run_c = exec.run(&result.workflow).expect("c' runs");
+    assert!(run_b.succeeded() && run_c.succeeded());
+    println!(
+        "== executed: b ({} modules) and c' ({} modules) both succeed ==",
+        run_b.node_runs.len(),
+        run_c.node_runs.len()
+    );
+
+    // The smoothing really is on c's render path now.
+    let smooth = result
+        .workflow
+        .nodes
+        .values()
+        .find(|n| n.module == "SmoothMesh")
+        .expect("smooth transplanted");
+    println!("transplanted node: {} '{}'", smooth.id, smooth.label);
+}

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from the `report` binary's output.
+
+Usage:
+    cargo run --release -p bench --bin report > /tmp/report.txt
+    python3 scripts/gen_experiments.py /tmp/report.txt > EXPERIMENTS.md
+
+The measured tables come from the report; the claim/expectation/verdict
+prose is maintained here.
+"""
+
+import re
+import sys
+
+SECTIONS = [
+    (
+        "E1",
+        "E1 — Figure 1: prospective vs. retrospective provenance",
+        'Figure 1 shows a medical-imaging workflow whose definition is a "recipe" (prospective provenance) and whose run yields a detailed log (retrospective provenance); data dependencies let results be invalidated "in the event that the CT scanner … is found to be defective".',
+        "The 8-module specification produces 8 module runs and 8 artifacts; invalidating the scan must invalidate every downstream artifact in both branches; the isosurface product's reproduction slice must contain exactly its 5-stage branch.",
+        "Reproduced. All 7 downstream artifacts are invalidated by the defective scan, and the reproduction slice is exactly load → isosurface → smooth → render → save (5 runs), excluding the histogram branch.",
+    ),
+    (
+        "E2",
+        "E2 — Figure 2: refinement by analogy",
+        '"The user chooses a pair of data products to serve as an analogy template … the system identifies the most likely match" even when "the surrounding modules do not match exactly".',
+        "At zero structural noise the transfer succeeds cleanly with high matcher confidence; as labels are scrambled, decoys added, and backbone stages removed, confidence decays and some transfers fail.",
+        "Reproduced. Clean-transfer rate and mean match score both decay with noise (score ≈0.91 → ≈0.66); transfer stays ~40–50 µs at these sizes.",
+    ),
+    (
+        "E2b",
+        "E2b — ablation: neighbourhood refinement in the matcher",
+        "Figure 2's caption: \"the surrounding modules do not match exactly: the system identifies the most likely match\" — implying matching must exploit *structure*, not just labels.",
+        "On pipelines with duplicate module kinds and scrambled labels (only position disambiguates), label-only matching (0 refinement iterations) should be near chance; with neighbourhood refinement, near perfect.",
+        "Confirmed, decisively: one similarity-flooding iteration lifts duplicate-match accuracy from ≈0.12 (worse than the 1/3 chance level — ties break adversarially) to 1.00, at negligible cost. The structural component of the matcher is what makes Figure 2 possible.",
+    ),
+    (
+        "E3",
+        "E3 — provenance capture overhead",
+        '"Workflow systems … can be easily instrumented to automatically capture provenance" (§2.2) — i.e., capture is cheap relative to real module work.',
+        "Fine-grained capture costs more than coarse, which costs more than off; overhead shrinks toward zero as per-module work grows (capture cost is per-event, work is per-module).",
+        "Reproduced. With tiny modules (200 hash rounds) fine capture adds ~10–25%; at realistic module weights (≥2000 rounds) the overhead is within measurement noise (≈±2%).",
+    ),
+    (
+        "E4",
+        "E4 — storage backends",
+        '"A wide variety of data models and storage systems have been used … RDF and XML dialects stored as files … tuples stored in relational database tables", and query solutions are "closely tied to the storage models used" (§2.2).',
+        "The purpose-built graph store should win lineage traversals and ingest; the relational layout should win flat aggregates; the unindexed log should be cheap to write but slow to query; the triple store pays dictionary + three-index overhead on ingest.",
+        "Reproduced. The graph store is fastest on ingest and lineage; the relational store wins the flat aggregate (single indexed-column scan) but pays ~6× on lineage joins; the triple store has the slowest ingest (3 indexes + interning); the log's queries are full scans.",
+    ),
+    (
+        "E4b",
+        "E4b — ablation: relational hash indexes on/off",
+        "The relational baseline of §2.2 is only competitive because real systems index their provenance tables.",
+        "Index-backed lookups turn each join probe from O(rows) into ~O(1); the gap should widen with corpus size.",
+        "Confirmed: the index speedup grows from 2× at 5 executions to ~16× at 80, with identical answers (asserted in the harness).",
+    ),
+    (
+        "E5",
+        "E5 — query approaches vs. provenance depth",
+        '"Languages like SQL, Prolog and SPARQL … none of them have been designed for provenance. For that reason, simple queries can be awkward and complex" (§2.2) — lineage needs recursion that join-based engines emulate with one join round per depth level.',
+        "Native graph traversal scales near-linearly with small constants; relational self-join chains and triple-pattern fixpoints grow markedly faster; PQL pays a small language overhead over the raw graph API.",
+        "Reproduced. At depth 512 the native traversal is ~14–19× faster than the relational join chain and the triple fixpoint; PQL's language layer costs ~2× over raw adjacency at small depths, dominated by result materialization at large depths.",
+    ),
+    (
+        "E6",
+        "E6 — user views against information overload",
+        '"The growth in the volume of provenance data also calls for techniques that deal with information overload" (§2.4); ZOOM-style user views abstract provenance without losing derivations.',
+        "Fewer, larger composite groups hide more internal artifacts and shrink the graph monotonically; with one group per run (k = 24) nothing is hidden. Derivations between visible artifacts are never lost (property-tested).",
+        "Reproduced. The 48-node provenance graph shrinks to 9 nodes (ratio 0.19) under a single-composite view and returns to 48 at singleton granularity; reduction is monotone in group size.",
+    ),
+    (
+        "E7",
+        "E7 — interoperability: the Provenance Challenge",
+        '"It becomes necessary to integrate provenance derived from different systems and represented using different models. This was the goal of the Second Provenance Challenge … preliminary results … indicate that such an integration is possible" (§2.4).',
+        "No single system's account can answer the cross-system queries (each holds only its stages); after OPM integration joined on artifact content hashes, all nine challenge queries become answerable.",
+        "Reproduced. Alone, the three simulated systems see 0, 0, and 2 of the 16 processes in the atlas graphic's lineage; the integrated OPM graph sees all 16 and answers all nine challenge queries (including the annotation-joined ones).",
+    ),
+    (
+        "E8",
+        "E8 — workflow evolution: version materialization",
+        '"Managing rapidly-evolving scientific workflows" (§2.3, [20]): change-based histories store actions, so materializing a version replays its path.',
+        "Replay cost grows linearly with history depth; snapshot caching bounds the replayed suffix (depth mod interval), amortizing materialization.",
+        "Reproduced. Pure replay grows linearly; with snapshots every 16 commits the replayed suffix stays ≤ 15 actions and materialization time flattens (dominated by the snapshot clone).",
+    ),
+    (
+        "E9",
+        "E9 — social analysis: mined recommendations",
+        '"Useful knowledge is embedded in provenance which can be re-used to simplify the construction of workflows" (§2.3); mining it is "largely unexplored" (§2.4).',
+        "Held-out completion accuracy rises with corpus size and saturates; mining cost grows with the corpus.",
+        "Reproduced. hit@1 rises ≈0.70 → ≈0.99 from 10 to 100 corpus workflows; hit@3 saturates at 1.00 by 30 workflows; mining stays linear and cheap.",
+    ),
+    (
+        "E10",
+        "E10 — parameter exploration with provenance-based caching",
+        'Provenance enables "scalable exploration of large parameter spaces" (§2.3): runs sharing upstream inputs need not recompute them.',
+        "With memoization keyed on (module, params, input hashes), only the swept suffix re-executes: executed module runs drop from 3n to n+2 and the speedup grows with the sweep width toward the prefix/suffix cost ratio.",
+        "Reproduced. Executed runs drop exactly as predicted (192 → 66 at 64 configs); wall-clock speedup grows with sweep size (bounded by the isosurface stage, which legitimately must re-run per configuration).",
+    ),
+    (
+        "E11",
+        "E11 — reproducibility",
+        '"A detailed record of the steps followed to produce a result allows others to reproduce and validate these results" (§2.3; SIGMOD\'08\'s own repeatability requirement).',
+        "Deterministic workflows reproduce bit-identically from their retrospective record; a tampered recipe or a nondeterministic module is detected as fidelity < 1, localized to the affected branch.",
+        "Reproduced. The deterministic Figure 1 workflow reproduces 8/8 artifacts; tampering with one parameter drops exactly the downstream branch (5/8 — the untouched isosurface branch still reproduces); an injected clock module is caught (1/3).",
+    ),
+    (
+        "E12",
+        "E12 — connecting database and workflow provenance",
+        '§2.4, open problems: "database operators and workflow modules can be treated uniformly" with "the interaction between the structure of data and the structure of workflows" captured — our database operators run as ordinary modules and additionally emit row-level why-provenance.',
+        "When one database fact turns out to be wrong, module-level provenance must invalidate every downstream artifact (the whole aggregate table: taint 1.0), while row-level provenance invalidates only the aggregate groups the fact actually fed — about 1/groups on average.",
+        "Confirmed. With 8 groups, the mean row-level taint per bad fact is ≈0.12 ≈ 1/8 — an 8× precision gain over module-level invalidation, independent of table size; single-row trace cost grows with the join's fan-in as expected.",
+    ),
+]
+
+INTRO = """# EXPERIMENTS — paper vs. measured
+
+The source paper (Davidson & Freire, SIGMOD'08) is a **tutorial**: it has no
+numeric tables. Its empirical content is two figures and a set of qualitative
+claims about the provenance design space. DESIGN.md §3 maps each claim to an
+experiment (E1–E12 plus ablations); this file records, for each, the paper's
+claim, the expected qualitative *shape*, and what our implementation
+measures.
+
+All numbers below were produced by `cargo run --release -p bench --bin
+report` (regenerate this file with `scripts/gen_experiments.py`). Absolute
+values are machine-dependent; the shapes are not. Criterion microbenchmarks
+for the same workloads live in `crates/bench/benches/`.
+
+"""
+
+SUMMARY = """## Summary
+
+Every qualitative claim the tutorial makes about the provenance design space
+held in this implementation: capture is near-free against real module work
+(E3), purpose-built provenance storage and querying beat standard-language
+emulations with widening margins (E4, E4b, E5), views and reductions tame
+overload without losing derivations (E6), OPM integration turns three
+mutually unintelligible accounts into one queryable record (E7),
+change-based evolution provenance is cheap to materialize and
+snapshot-boundable (E8), and the provenance byproducts — caching,
+diff-explanation, recommendation, reproducibility checking, row-level
+invalidation — all behave as the paper envisioned (E1, E2, E9, E10, E11,
+E12). The ablations additionally show *why*: structural neighbourhood
+refinement (not labels) is what finds Figure 2's "most likely match" (E2b),
+and indexing is what keeps the relational strategy in the race (E4b).
+"""
+
+
+def main() -> None:
+    report = open(sys.argv[1]).read()
+    sections: dict[str, list[str]] = {}
+    cur = None
+    for line in report.splitlines():
+        m = re.match(r"## (E\d+b?) —", line)
+        if m:
+            cur = m.group(1)
+            sections[cur] = []
+        if cur:
+            sections[cur].append(line)
+    blocks = {k: "\n".join(v).strip() for k, v in sections.items()}
+
+    out = [INTRO]
+    for key, title, claim, expect, verdict in SECTIONS:
+        table = blocks[key].split("\n\n", 1)[1]
+        out.append(
+            f"## {title}\n\n"
+            f"**Paper claim.** {claim}\n\n"
+            f"**Expected shape.** {expect}\n\n"
+            f"```text\n{table}\n```\n\n"
+            f"**Verdict.** {verdict}\n\n"
+        )
+    out.append(SUMMARY)
+    sys.stdout.write("".join(out))
+
+
+if __name__ == "__main__":
+    main()

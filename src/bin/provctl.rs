@@ -1,0 +1,225 @@
+//! `provctl` — the command-line face of the platform.
+//!
+//! §2.4: "Information management systems are notoriously hard to use … As
+//! the need for these systems grows … usability is of paramount
+//! importance." This tool makes every capability reachable from a shell
+//! over plain JSON files:
+//!
+//! ```text
+//! provctl demo fig1 wf.json            # write a demo workflow spec
+//! provctl validate wf.json             # check the spec against the catalog
+//! provctl recipe wf.json               # render prospective provenance
+//! provctl run wf.json prov.json        # execute, capture retrospective provenance
+//! provctl log prov.json                # render the execution log
+//! provctl query prov.json "count runs" # PQL over captured provenance
+//! provctl lineage prov.json <digest>   # lineage of an artifact
+//! provctl dot prov.json                # causality graph as Graphviz DOT
+//! provctl profile prov.json            # bottlenecks + critical path
+//! provctl verify wf.json prov.json     # repeatability check
+//! ```
+
+use provenance_workflows::prelude::*;
+use provenance_workflows::provenance::analytics;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Print to stdout, exiting quietly on a broken pipe (e.g. `provctl … | head`).
+fn out(text: &str) {
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = stdout.write_all(text.as_bytes()) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: provctl <command> [args]\n\
+         commands:\n\
+         \x20 demo <fig1|fig2|challenge|db> <out.json>   write a demo workflow\n\
+         \x20 validate <wf.json>                         validate against the standard catalog\n\
+         \x20 recipe   <wf.json>                         render prospective provenance\n\
+         \x20 run      <wf.json> <prov.json> [fine|coarse]  execute and capture\n\
+         \x20 log      <prov.json>                       render the execution log\n\
+         \x20 query    <prov.json...> <pql>              evaluate a PQL query\n\
+         \x20 lineage  <prov.json> <artifact-digest>     lineage of an artifact\n\
+         \x20 dot      <prov.json>                       causality graph as DOT\n\
+         \x20 wfdot    <wf.json>                         workflow spec as DOT\n\
+         \x20 profile  <prov.json>                       analytics: hot modules, critical path\n\
+         \x20 verify   <wf.json> <prov.json>             repeatability check"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_workflow(path: &str) -> Result<Workflow, String> {
+    Workflow::from_json(&read(path)?).map_err(|e| format!("bad workflow in {path}: {e}"))
+}
+
+fn load_prov(path: &str) -> Result<RetrospectiveProvenance, String> {
+    RetrospectiveProvenance::from_json(&read(path)?)
+        .map_err(|e| format!("bad provenance in {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["demo", which, out] => {
+            let wf = match *which {
+                "fig1" => wf_engine::synth::figure1_workflow(1).0,
+                "fig2" => provenance_workflows::evolution::scenario::figure2_triple().2,
+                "challenge" => wf_engine::synth::challenge_workflow(1, 4, 3),
+                "db" => {
+                    let mut b = WorkflowBuilder::new(1, "db-demo");
+                    let a = b.add("TableSource");
+                    b.param(a, "rows", 16i64);
+                    let f = b.add("TableFilter");
+                    b.param(f, "min", 40.0f64);
+                    let g = b.add("TableAggregate");
+                    b.connect(a, "out", f, "in").connect(f, "out", g, "in");
+                    b.build()
+                }
+                other => return Err(format!("unknown demo '{other}'")),
+            };
+            std::fs::write(out, wf.to_json().map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "wrote {out}: '{}' ({} modules, {} connections)",
+                wf.name,
+                wf.node_count(),
+                wf.conn_count()
+            );
+            Ok(())
+        }
+        ["validate", path] => {
+            let wf = load_workflow(path)?;
+            let registry = standard_registry();
+            let report = validate(&wf, registry.catalog());
+            if report.is_valid() {
+                println!("{path}: valid ({} modules)", wf.node_count());
+                Ok(())
+            } else {
+                Err(format!("{path}: INVALID\n{}", report.render()))
+            }
+        }
+        ["recipe", path] => {
+            let wf = load_workflow(path)?;
+            out(&provenance_workflows::provenance::ProspectiveProvenance::of(&wf)
+                .render_recipe());
+            Ok(())
+        }
+        ["run", wf_path, prov_path, rest @ ..] => {
+            let wf = load_workflow(wf_path)?;
+            let level = match rest {
+                [] | ["fine"] => CaptureLevel::Fine,
+                ["coarse"] => CaptureLevel::Coarse,
+                other => return Err(format!("unknown capture level {other:?}")),
+            };
+            let exec = Executor::new(standard_registry());
+            let mut cap = ProvenanceCapture::new(level);
+            let result = exec
+                .run_observed(&wf, &mut cap)
+                .map_err(|e| e.to_string())?;
+            let retro = cap
+                .take(result.exec)
+                .ok_or_else(|| "capture produced no record".to_string())?;
+            std::fs::write(prov_path, retro.to_json().map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{}: {} ({} module runs, {} artifacts) -> {prov_path}",
+                wf.name,
+                retro.status,
+                retro.run_count(),
+                retro.artifacts.len()
+            );
+            if retro.status != RunStatus::Succeeded {
+                return Err("workflow failed (provenance captured)".into());
+            }
+            Ok(())
+        }
+        ["log", path] => {
+            out(&load_prov(path)?.render_log());
+            Ok(())
+        }
+        ["query", middle @ .., pql] if !middle.is_empty() => {
+            let mut engine = PqlEngine::new();
+            for p in middle {
+                engine.ingest(&load_prov(p)?);
+            }
+            let result = engine.eval(pql).map_err(|e| e.to_string())?;
+            out(&format!("{}\n", result.render()));
+            Ok(())
+        }
+        ["lineage", path, digest] => {
+            let retro = load_prov(path)?;
+            let mut engine = PqlEngine::new();
+            engine.ingest(&retro);
+            let result = engine
+                .eval(&format!("lineage of artifact {digest}"))
+                .map_err(|e| e.to_string())?;
+            out(&format!("{}\n", result.render()));
+            Ok(())
+        }
+        ["wfdot", path] => {
+            let wf = load_workflow(path)?;
+            out(&wf.render_dot());
+            Ok(())
+        }
+        ["dot", path] => {
+            let retro = load_prov(path)?;
+            out(&CausalityGraph::from_retrospective(&retro).render_dot());
+            Ok(())
+        }
+        ["profile", path] => {
+            let retro = load_prov(path)?;
+            out(&analytics::profile(&retro).render());
+            Ok(())
+        }
+        ["verify", wf_path, prov_path] => {
+            let wf = load_workflow(wf_path)?;
+            let retro = load_prov(prov_path)?;
+            let exec = Executor::new(standard_registry());
+            let report =
+                provenance_workflows::provenance::repro::verify_reproduction(&exec, &wf, &retro)
+                    .map_err(|e| e.to_string())?;
+            println!("{report}");
+            if report.is_exact() {
+                Ok(())
+            } else {
+                for m in report.mismatches() {
+                    eprintln!(
+                        "  mismatch at {}.{}: recorded {:016x}, got {}",
+                        m.node,
+                        m.port,
+                        m.expected,
+                        m.actual
+                            .map(|h| format!("{h:016x}"))
+                            .unwrap_or_else(|| "<missing>".into())
+                    );
+                }
+                Err("reproduction failed".into())
+            }
+        }
+        _ => {
+            usage();
+            Err(String::new())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("provctl: {msg}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

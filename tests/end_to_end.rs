@@ -1,0 +1,354 @@
+//! Cross-crate integration tests: the full platform working together on
+//! the paper's running examples.
+
+use provenance_workflows::prelude::*;
+use provenance_workflows::provenance::repro::verify_reproduction;
+use wf_engine::synth::{challenge_workflow, figure1_workflow};
+
+fn capture_run(wf: &Workflow) -> (Executor, RetrospectiveProvenance) {
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(wf, &mut cap).expect("workflow runs");
+    let retro = cap.take(r.exec).expect("capture completes");
+    (exec, retro)
+}
+
+#[test]
+fn all_four_stores_agree_on_figure1_queries() {
+    let (wf, nodes) = figure1_workflow(1);
+    let (_, retro) = capture_run(&wf);
+
+    let mut graph = GraphStore::new();
+    let mut rel = RelStore::new();
+    let mut triple = TripleStore::new();
+    let mut path = std::env::temp_dir();
+    path.push(format!("e2e-log-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut log = LogStore::open(&path).expect("log opens");
+
+    for s in [
+        &mut graph as &mut dyn ProvenanceStore,
+        &mut rel,
+        &mut triple,
+        &mut log,
+    ] {
+        s.ingest(&retro);
+    }
+
+    let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+    let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
+
+    let stores: Vec<&dyn ProvenanceStore> = vec![&graph, &rel, &triple, &log];
+    let reference_lineage = graph.lineage_runs(iso_file);
+    let reference_derived = graph.derived_artifacts(grid);
+    assert!(!reference_lineage.is_empty());
+    for s in &stores {
+        assert_eq!(
+            s.lineage_runs(iso_file),
+            reference_lineage,
+            "{} lineage differs",
+            s.backend_name()
+        );
+        assert_eq!(
+            s.derived_artifacts(grid),
+            reference_derived,
+            "{} derived differs",
+            s.backend_name()
+        );
+        assert_eq!(s.run_count(), 8, "{}", s.backend_name());
+        assert_eq!(
+            s.generators(grid),
+            vec![(retro.exec, nodes.load)],
+            "{}",
+            s.backend_name()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn pql_agrees_with_store_api() {
+    let (wf, nodes) = figure1_workflow(1);
+    let (_, retro) = capture_run(&wf);
+    let mut store = GraphStore::new();
+    store.ingest(&retro);
+    let mut pql = PqlEngine::new();
+    pql.ingest(&retro);
+
+    let iso_file = retro.produced(nodes.save_iso, "file").unwrap();
+    // PQL lineage runs == store lineage runs.
+    let result = pql
+        .eval(&format!(
+            "lineage of artifact {} where status = succeeded",
+            iso_file.digest()
+        ))
+        .unwrap();
+    let api = store.lineage_runs(iso_file.hash);
+    assert_eq!(result.len(), api.len());
+}
+
+#[test]
+fn opm_conversion_preserves_causality_answers() {
+    let (wf, nodes) = figure1_workflow(1);
+    let (_, retro) = capture_run(&wf);
+    let causality = CausalityGraph::from_retrospective(&retro);
+    let mut opm = OpmGraph::from_retrospective(&retro, "engine", "tester");
+    opm.infer_completions();
+
+    let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+    let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+
+    // Causality says the histogram file derives from the grid.
+    assert!(causality.derived_from(hist_file, grid));
+    // OPM agrees after completion inference.
+    let g_art = opm
+        .find(
+            provenance_workflows::provenance::opm::OpmNodeKind::Artifact,
+            &format!("{grid:016x}"),
+        )
+        .unwrap();
+    let f_art = opm
+        .find(
+            provenance_workflows::provenance::opm::OpmNodeKind::Artifact,
+            &format!("{hist_file:016x}"),
+        )
+        .unwrap();
+    assert!(opm.derived_star(f_art).contains(&g_art));
+}
+
+#[test]
+fn sweep_with_cache_records_cached_provenance() {
+    use provenance_workflows::engine::sweep::{run_sweep, SweepAxis};
+    let mut b = WorkflowBuilder::new(1, "sweep");
+    let load = b.add("LoadVolume");
+    let iso = b.add("Isosurface");
+    b.connect(load, "grid", iso, "data");
+    let wf = b.build();
+    let exec = Executor::new(standard_registry()).with_cache(256);
+    let axes = vec![SweepAxis::new(
+        iso,
+        "isovalue",
+        vec![0.2f64.into(), 0.4f64.into(), 0.6f64.into()],
+    )];
+    let sweep = run_sweep(&exec, &wf, &axes).expect("sweep runs");
+    assert_eq!(sweep.points.len(), 3);
+    // LoadVolume cached for points 2 and 3.
+    assert_eq!(sweep.cached_module_runs, 2);
+    // Different isovalues give different meshes.
+    let meshes: std::collections::BTreeSet<u64> = sweep
+        .points
+        .iter()
+        .map(|p| p.result.output(iso, "mesh").unwrap().content_hash())
+        .collect();
+    assert_eq!(meshes.len(), 3);
+}
+
+#[test]
+fn parallel_and_sequential_runs_have_identical_provenance_structure() {
+    let wf = challenge_workflow(5, 3, 2);
+    let exec = Executor::new(standard_registry());
+    let mut cap_seq = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r1 = exec.run_observed(&wf, &mut cap_seq).unwrap();
+    let seq = cap_seq.take(r1.exec).unwrap();
+
+    let mut cap_par = ProvenanceCapture::new(CaptureLevel::Fine).with_threads(4);
+    let r2 = exec.run_parallel(&wf, 4, &mut cap_par).unwrap();
+    let par = cap_par.take(r2.exec).unwrap();
+
+    assert_eq!(seq.run_count(), par.run_count());
+    // Same artifacts (identical hashes), regardless of scheduling.
+    assert_eq!(
+        seq.artifacts.keys().collect::<Vec<_>>(),
+        par.artifacts.keys().collect::<Vec<_>>()
+    );
+    // Same causality answers.
+    let gs = CausalityGraph::from_retrospective(&seq);
+    let gp = CausalityGraph::from_retrospective(&par);
+    for a in seq.artifacts.keys() {
+        assert_eq!(
+            gs.data_dependencies(*a),
+            gp.data_dependencies(*a),
+            "artifact {a:x}"
+        );
+    }
+}
+
+#[test]
+fn versioned_workflow_runs_reproduce_across_materializations() {
+    // Author in a version tree, materialize, run, check reproduction.
+    let (wf, _) = figure1_workflow(1);
+    let mut tree = VersionTree::new(wf.id, &wf.name);
+    let v = tree.import_workflow(tree.root(), &wf, "author").unwrap();
+    let materialized = tree.materialize(v).unwrap();
+
+    let (exec, retro) = capture_run(&materialized);
+    let report = verify_reproduction(&exec, &materialized, &retro).unwrap();
+    assert!(report.is_exact(), "{report}");
+
+    // The prospective provenance can reference the version.
+    let pro = ProspectiveProvenance::of(&materialized).at_version(v.0);
+    assert!(pro.render_recipe().contains(&format!("at version {}", v.0)));
+}
+
+#[test]
+fn coarse_capture_plus_spec_supports_stores() {
+    // Coarse capture lacks input bindings; the spec-augmented causality
+    // graph restores lineage for analysis even then.
+    let (wf, nodes) = figure1_workflow(1);
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Coarse);
+    let r = exec.run_observed(&wf, &mut cap).unwrap();
+    let retro = cap.take(r.exec).unwrap();
+    let g = CausalityGraph::from_retrospective_with_spec(&retro, &wf);
+    let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
+    let slice = g.reproduction_slice(iso_file);
+    assert!(slice.contains(&nodes.load));
+    assert!(slice.contains(&nodes.render));
+}
+
+#[test]
+fn annotations_survive_serde_with_full_bundle() {
+    let (wf, nodes) = figure1_workflow(1);
+    let (_, retro) = capture_run(&wf);
+    let mut notes = AnnotationStore::new();
+    notes.annotate(
+        Subject::Run(retro.exec, nodes.hist),
+        "method",
+        "32 equal-width bins",
+        "susan",
+    );
+    let bundle = ProvenanceBundle::new(ProspectiveProvenance::of(&wf), retro);
+    let bundle_json = serde_json::to_string(&bundle).unwrap();
+    let notes_json = serde_json::to_string(&notes).unwrap();
+    let bundle2: ProvenanceBundle = serde_json::from_str(&bundle_json).unwrap();
+    let notes2: AnnotationStore = serde_json::from_str(&notes_json).unwrap();
+    assert_eq!(bundle2.retrospective.run_count(), 8);
+    assert_eq!(notes2.on(Subject::Run(bundle2.retrospective.exec, nodes.hist)).len(), 1);
+}
+
+#[test]
+fn failed_run_diagnosis_via_pql() {
+    let mut b = WorkflowBuilder::new(1, "flaky");
+    let src = b.add("ConstInt");
+    let bad = b.add("FailIf");
+    b.param(bad, "fail", true);
+    b.param(bad, "message", "disk full");
+    let sink = b.add("Identity");
+    b.connect(src, "out", bad, "in").connect(bad, "out", sink, "in");
+    let wf = b.build();
+    let (_, retro) = capture_run(&wf);
+    assert_eq!(retro.status, RunStatus::Failed);
+
+    let mut pql = PqlEngine::new();
+    pql.ingest(&retro);
+    assert_eq!(
+        pql.eval("count runs where status = failed").unwrap(),
+        QueryResult::Count(1)
+    );
+    assert_eq!(
+        pql.eval("count runs where status = skipped").unwrap(),
+        QueryResult::Count(1)
+    );
+    let failed = pql
+        .eval("list runs where status = failed")
+        .unwrap()
+        .render();
+    assert!(failed.contains("FailIf@1"));
+    // The recorded error message is in the retrospective log.
+    let run = retro.run_of(bad).unwrap();
+    assert_eq!(run.status, RunStatus::Failed);
+}
+
+#[test]
+fn share_reuse_refine_collaboratory_cycle() {
+    // §2.3's collaboratory vision end to end: alice shares a workflow,
+    // records a refinement in her version tree, and the platform carries
+    // the same refinement to bob's (different) workflow by analogy — then
+    // bob's refined workflow actually runs, and his fork is attributed.
+    use provenance_workflows::evolution::scenario;
+    let (a, b, _) = scenario::figure2_triple();
+
+    let mut collab = Collaboratory::new();
+    let alice = collab.register("alice");
+    let bob = collab.register("bob");
+
+    // Alice shares `a`, then shares the refined `b` as a fork of it.
+    let ea = collab.upload(alice, &a, "quick viz");
+    let eb = collab.fork(alice, ea, &b, "with smoothing").unwrap();
+
+    // Alice's evolution provenance records how a became b.
+    let mut tree = VersionTree::new(a.id, &a.name);
+    let va = tree.import_workflow(tree.root(), &a, "alice").unwrap();
+    let d = diff_workflows(&a, &b);
+    let mut actions = Vec::new();
+    for conn in &d.conns_only_left {
+        actions.push(Action::DeleteConnection { conn: conn.clone() });
+    }
+    for id in &d.only_right {
+        actions.push(Action::AddNode { node: b.nodes[id].clone() });
+    }
+    for conn in &d.conns_only_right {
+        actions.push(Action::AddConnection { conn: conn.clone() });
+    }
+    let vb = tree.commit_all(va, actions, "alice").unwrap();
+    assert_eq!(tree.materialize(vb).unwrap().node_count(), b.node_count());
+
+    // Bob finds alice's refinement and applies it to HIS workflow.
+    let found = collab.search("smoothing");
+    assert!(found.iter().any(|e| e.id == eb));
+    // Bob's workflow differs from alice's (other data, labels, an extra
+    // branch) but has no unwired decoys — it must actually run.
+    let bob_wf = scenario::noisy_target(3, 0.0);
+    let refined = prov_evolution::apply_by_analogy(&a, &b, &bob_wf).unwrap();
+    let ec = collab
+        .fork(bob, eb, &refined.workflow, "smoothing via analogy")
+        .unwrap();
+    assert_eq!(collab.attribution_chain(ec), vec![ea, eb, ec]);
+
+    // Bob's refined workflow really runs, with provenance.
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let result = exec.run_observed(&refined.workflow, &mut cap).unwrap();
+    assert!(result.succeeded());
+    let retro = cap.take(result.exec).unwrap();
+    assert!(retro.runs.iter().any(|r| r.identity == "SmoothMesh@1"));
+}
+
+#[test]
+fn research_object_full_cycle() {
+    // Publish two results with annotations, serialize the research
+    // object, reload it elsewhere, and pass the repeatability review.
+    use provenance_workflows::provenance::publication::ResearchObject;
+    use provenance_workflows::provenance::ProspectiveProvenance;
+    let exec = Executor::new(standard_registry());
+    let mut obj = ResearchObject::new("Atlas study", &["alice", "bob"]);
+
+    let (fig1, nodes) = wf_engine::synth::figure1_workflow(1);
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&fig1, &mut cap).unwrap();
+    let retro = cap.take(r.exec).unwrap();
+    obj.annotations.annotate(
+        Subject::Run(retro.exec, nodes.hist),
+        "method",
+        "32 bins, equal width",
+        "alice",
+    );
+    obj.publish("figure-1", "CT visualization", ProspectiveProvenance::of(&fig1), retro);
+
+    let fmri = wf_engine::synth::challenge_workflow(7, 2, 2);
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&fmri, &mut cap).unwrap();
+    obj.publish(
+        "figure-2",
+        "fMRI atlas",
+        ProspectiveProvenance::of(&fmri),
+        cap.take(r.exec).unwrap(),
+    );
+
+    let json = obj.to_json().unwrap();
+    let reviewer_copy = ResearchObject::from_json(&json).unwrap();
+    let reviewer_exec = Executor::new(standard_registry());
+    assert!(reviewer_copy.is_repeatable(&reviewer_exec).unwrap());
+    assert_eq!(reviewer_copy.len(), 2);
+    assert_eq!(reviewer_copy.annotations.len(), 1);
+}

@@ -1,0 +1,170 @@
+//! PQL language specification tests: grammar corner cases, DNF filter
+//! semantics, the `executions` entity, and a generative parse/render
+//! round-trip.
+
+use proptest::prelude::*;
+use prov_query::{parse, Comparison, Condition, Direction, Entity, Field, Op, Query, Target};
+use provenance_workflows::prelude::*;
+
+fn fig1_engine() -> (PqlEngine, RetrospectiveProvenance) {
+    let (wf, _) = wf_engine::synth::figure1_workflow(1);
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&wf, &mut cap).unwrap();
+    let retro = cap.take(r.exec).unwrap();
+    let mut e = PqlEngine::new();
+    e.ingest(&retro);
+    (e, retro)
+}
+
+#[test]
+fn or_filter_unions_disjuncts() {
+    let (e, _) = fig1_engine();
+    let hist = e
+        .eval("count runs where module = histogram")
+        .unwrap()
+        .len();
+    let iso = e
+        .eval("count runs where module = isosurface")
+        .unwrap()
+        .len();
+    let both = e
+        .eval("count runs where module = histogram or module = isosurface")
+        .unwrap()
+        .len();
+    assert_eq!(hist, 1);
+    assert_eq!(iso, 1);
+    assert_eq!(both, 2);
+}
+
+#[test]
+fn and_binds_tighter_than_or() {
+    let (e, _) = fig1_engine();
+    // (module = histogram AND status = failed) OR module = isosurface
+    // The first disjunct is empty (nothing failed), so only iso matches.
+    let n = e
+        .eval("count runs where module = histogram and status = failed or module = isosurface")
+        .unwrap()
+        .len();
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn executions_entity_counts_and_filters() {
+    let (wf, _) = wf_engine::synth::figure1_workflow(1);
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    exec.run_observed(&wf, &mut cap).unwrap();
+    exec.run_observed(&wf, &mut cap).unwrap();
+    // A failing run too.
+    let mut b = WorkflowBuilder::new(2, "failing");
+    let bad = b.add("FailIf");
+    b.param(bad, "fail", true);
+    exec.run_observed(&b.build(), &mut cap).unwrap();
+
+    let mut e = PqlEngine::new();
+    for retro in cap.finish_all() {
+        e.ingest(&retro);
+    }
+    assert_eq!(e.eval("count executions").unwrap(), QueryResult::Count(3));
+    assert_eq!(
+        e.eval("count executions where status = failed").unwrap(),
+        QueryResult::Count(1)
+    );
+    let listed = e
+        .eval("list executions where status = succeeded")
+        .unwrap()
+        .render();
+    assert!(listed.contains("visualize-head-ct"));
+}
+
+#[test]
+fn filter_on_closure_applies_dnf() {
+    let (e, retro) = fig1_engine();
+    let file = retro
+        .runs
+        .iter()
+        .find(|r| r.identity == "SaveFile@1")
+        .unwrap()
+        .outputs[0]
+        .1;
+    let q = format!(
+        "lineage of artifact {file:016x} where module = histogram or module = loadvolume"
+    );
+    let n = e.eval(&q).unwrap().len();
+    assert_eq!(n, 2);
+}
+
+// --- generative parse/render round-trip ---------------------------------
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        Just(Field::Module),
+        Just(Field::Status),
+        Just(Field::Dtype),
+        Just(Field::Exec),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::Eq), Just(Op::Neq), Just(Op::Contains)]
+}
+
+fn arb_comparison() -> impl Strategy<Value = Comparison> {
+    (arb_field(), arb_op(), "[a-z0-9_@. ]{0,16}").prop_map(|(field, op, value)| {
+        Comparison { field, op, value }
+    })
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_comparison(), 1..3),
+        0..3,
+    )
+    .prop_map(|any_of| Condition { any_of })
+}
+
+fn arb_target() -> impl Strategy<Value = Target> {
+    prop_oneof![
+        any::<u64>().prop_map(Target::Artifact),
+        (0u64..1000, 0u64..1000).prop_map(|(e, n)| Target::Run(e, n)),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let entity = prop_oneof![
+        Just(Entity::Runs),
+        Just(Entity::Artifacts),
+        Just(Entity::Executions)
+    ];
+    prop_oneof![
+        (
+            prop_oneof![Just(Direction::Upstream), Just(Direction::Downstream)],
+            arb_target(),
+            proptest::option::of(0usize..64),
+            arb_condition()
+        )
+            .prop_map(|(direction, target, depth, filter)| Query::Closure {
+                direction,
+                target,
+                depth,
+                filter
+            }),
+        (entity.clone(), arb_condition())
+            .prop_map(|(entity, filter)| Query::Count { entity, filter }),
+        (entity, arb_condition())
+            .prop_map(|(entity, filter)| Query::List { entity, filter }),
+        (arb_target(), arb_target(), proptest::option::of(1usize..32))
+            .prop_map(|(from, to, max_len)| Query::Paths { from, to, max_len }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn parse_render_roundtrip(q in arb_query()) {
+        let rendered = q.to_string();
+        let reparsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("{rendered:?} failed to reparse: {e}"));
+        prop_assert_eq!(reparsed, q);
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests over evolution provenance: action algebra,
+//! version-tree replay, diff laws, and analogy behaviour.
+
+use proptest::prelude::*;
+use prov_evolution::{diff_workflows, Action, VersionTree};
+use std::collections::BTreeMap;
+use wf_model::workflow::Node;
+use wf_model::{NodeId, ParamValue, Workflow, WorkflowId};
+
+/// A random edit script, encoded so every op can be made applicable.
+#[derive(Debug, Clone)]
+enum Op {
+    Add,
+    Connect(u8, u8),
+    SetParam(u8, i64),
+    Relabel(u8),
+    Delete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add),
+        (0u8..20, 0u8..20).prop_map(|(a, b)| Op::Connect(a, b)),
+        (0u8..20, -100i64..100).prop_map(|(a, v)| Op::SetParam(a, v)),
+        (0u8..20).prop_map(Op::Relabel),
+        (0u8..20).prop_map(Op::Delete),
+    ]
+}
+
+/// Turn a random script into a list of concrete, applicable `Action`s by
+/// simulating it on a scratch workflow.
+fn concretize(script: &[Op]) -> Vec<Action> {
+    let mut wf = Workflow::new(WorkflowId(1), "scratch");
+    let mut actions = Vec::new();
+    let mut alive: Vec<NodeId> = Vec::new();
+    for op in script {
+        match op {
+            Op::Add => {
+                let id = wf.add_node("Busy", 1);
+                alive.push(id);
+                actions.push(Action::AddNode {
+                    node: wf.node(id).expect("just added").clone(),
+                });
+            }
+            Op::Connect(a, b) => {
+                if alive.len() >= 2 {
+                    let from = alive[*a as usize % alive.len()];
+                    let to = alive[*b as usize % alive.len()];
+                    let port = format!("in{}", a % 4);
+                    if let Ok(cid) = wf.connect(
+                        wf_model::Endpoint::new(from, "out"),
+                        wf_model::Endpoint::new(to, &port),
+                    ) {
+                        actions.push(Action::AddConnection {
+                            conn: wf.connection(cid).expect("just added").clone(),
+                        });
+                    }
+                }
+            }
+            Op::SetParam(a, v) => {
+                if !alive.is_empty() {
+                    let node = alive[*a as usize % alive.len()];
+                    let old = wf
+                        .set_param(node, "work", ParamValue::Int(*v))
+                        .expect("node alive");
+                    actions.push(Action::SetParam {
+                        node,
+                        name: "work".into(),
+                        new: Some(ParamValue::Int(*v)),
+                        old,
+                    });
+                }
+            }
+            Op::Relabel(a) => {
+                if !alive.is_empty() {
+                    let node = alive[*a as usize % alive.len()];
+                    let new = format!("label{a}");
+                    let old = wf.set_label(node, &new).expect("node alive");
+                    actions.push(Action::SetLabel { node, new, old });
+                }
+            }
+            Op::Delete(a) => {
+                if !alive.is_empty() {
+                    let idx = *a as usize % alive.len();
+                    let node = alive.remove(idx);
+                    let full = wf.node(node).expect("node alive").clone();
+                    let (_, severed) = wf.remove_node(node).expect("removable");
+                    actions.push(Action::DeleteNode {
+                        node: full,
+                        severed,
+                    });
+                }
+            }
+        }
+    }
+    actions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_replay_equals_direct_application(script in proptest::collection::vec(op_strategy(), 0..40)) {
+        let actions = concretize(&script);
+        // Direct application.
+        let mut direct = Workflow::new(WorkflowId(1), "scratch");
+        for a in &actions {
+            a.apply(&mut direct).expect("applicable by construction");
+        }
+        // Through a version tree.
+        let mut tree = VersionTree::new(WorkflowId(1), "scratch");
+        let tip = tree.commit_all(tree.root(), actions.clone(), "prop").unwrap();
+        prop_assert_eq!(tree.materialize(tip).unwrap(), direct);
+        // And with snapshots enabled.
+        let mut snap_tree = VersionTree::new(WorkflowId(1), "scratch").with_snapshots(3);
+        let snap_tip = snap_tree.commit_all(snap_tree.root(), actions, "prop").unwrap();
+        prop_assert_eq!(snap_tree.materialize(snap_tip).unwrap(), tree.materialize(tip).unwrap());
+    }
+
+    #[test]
+    fn apply_then_inverse_is_identity(script in proptest::collection::vec(op_strategy(), 1..30)) {
+        let actions = concretize(&script);
+        let mut wf = Workflow::new(WorkflowId(1), "scratch");
+        let mut states = vec![wf.clone()];
+        for a in &actions {
+            a.apply(&mut wf).unwrap();
+            states.push(wf.clone());
+        }
+        // Undo in reverse order; each step must restore the prior state
+        // (up to id-generator position, which only moves forward — compare
+        // nodes, connections, and name).
+        for (a, expected) in actions.iter().rev().zip(states.iter().rev().skip(1)) {
+            a.invert().apply(&mut wf).unwrap();
+            prop_assert_eq!(&wf.nodes, &expected.nodes);
+            prop_assert_eq!(&wf.conns, &expected.conns);
+            prop_assert_eq!(&wf.name, &expected.name);
+        }
+    }
+
+    #[test]
+    fn diff_is_empty_iff_equal(script in proptest::collection::vec(op_strategy(), 0..25)) {
+        let actions = concretize(&script);
+        let mut wf = Workflow::new(WorkflowId(1), "scratch");
+        for a in &actions {
+            a.apply(&mut wf).unwrap();
+        }
+        let d = diff_workflows(&wf, &wf.clone());
+        prop_assert!(d.is_empty());
+        // Any single extra add makes it non-empty.
+        let mut wf2 = wf.clone();
+        let extra = Action::AddNode {
+            node: Node {
+                id: NodeId(10_000),
+                module: "Extra".into(),
+                version: 1,
+                label: "extra".into(),
+                params: BTreeMap::new(),
+            },
+        };
+        extra.apply(&mut wf2).unwrap();
+        let d2 = diff_workflows(&wf, &wf2);
+        prop_assert!(!d2.is_empty());
+        prop_assert_eq!(d2.only_right.len(), 1);
+    }
+
+    #[test]
+    fn diff_change_count_bounded_by_action_count(
+        script in proptest::collection::vec(op_strategy(), 0..25)
+    ) {
+        let actions = concretize(&script);
+        let mut before = Workflow::new(WorkflowId(1), "scratch");
+        // Apply first half, snapshot, apply rest.
+        let half = actions.len() / 2;
+        for a in &actions[..half] {
+            a.apply(&mut before).unwrap();
+        }
+        let mut after = before.clone();
+        for a in &actions[half..] {
+            a.apply(&mut after).unwrap();
+        }
+        let d = diff_workflows(&before, &after);
+        // Deleting a node severs connections too, so each action causes at
+        // most (1 + severed) differences; a loose but useful bound is the
+        // total structural size.
+        let bound = (actions.len() - half) * 8 + 1;
+        prop_assert!(
+            d.change_count() <= bound,
+            "{} changes from {} actions",
+            d.change_count(),
+            actions.len() - half
+        );
+    }
+
+    #[test]
+    fn analogy_on_identical_target_reproduces_change(seed in 0u64..50) {
+        // For any (a -> b) template, applying it by analogy to a == a
+        // itself must reproduce b's module multiset.
+        let _ = seed;
+        let (a, b, _) = prov_evolution::scenario::figure2_triple();
+        let result = prov_evolution::apply_by_analogy(&a, &b, &a.clone()).unwrap();
+        prop_assert!(result.is_clean(), "{:?}", result.skipped);
+        let multiset = |w: &Workflow| {
+            let mut v: Vec<&str> = w.nodes.values().map(|n| n.module.as_str()).collect();
+            v.sort();
+            v.into_iter().map(str::to_string).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(multiset(&result.workflow), multiset(&b));
+        prop_assert_eq!(result.workflow.conn_count(), b.conn_count());
+    }
+
+    #[test]
+    fn noisy_analogy_never_panics_and_reports(seed in 0u64..60, noise_pct in 0u32..101) {
+        let noise = noise_pct as f64 / 100.0;
+        let (a, b, _) = prov_evolution::scenario::figure2_triple();
+        let target = prov_evolution::scenario::noisy_target(seed, noise);
+        let result = prov_evolution::apply_by_analogy(&a, &b, &target).unwrap();
+        // The result is always a valid DAG.
+        prop_assert!(result.workflow.topo_nodes().is_some());
+        // Accounting is consistent: every template change either applied
+        // or was reported skipped.
+        let template_changes = diff_workflows(&a, &b).change_count();
+        prop_assert!(result.applied + result.skipped.len() >= template_changes,
+            "applied {} + skipped {} < template {}",
+            result.applied, result.skipped.len(), template_changes);
+    }
+}

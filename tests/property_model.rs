@@ -1,0 +1,183 @@
+//! Property-based tests over the workflow model: DAG invariants, type
+//! system laws, and serialization round-trips.
+
+use proptest::prelude::*;
+use wf_model::graph::Digraph;
+use wf_model::{DataType, ParamValue, Workflow, WorkflowId};
+
+/// Strategy: a random DAG as an edge list over `n` nodes, with edges only
+/// from lower to higher indexes (guaranteeing acyclicity).
+fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 2).prop_map(
+            move |pairs| {
+                pairs
+                    .into_iter()
+                    .filter(|(a, b)| a < b)
+                    .collect::<Vec<_>>()
+            },
+        );
+        (Just(n), edges)
+    })
+}
+
+fn arbitrary_dtype() -> impl Strategy<Value = DataType> {
+    let leaf = prop_oneof![
+        Just(DataType::Any),
+        Just(DataType::Boolean),
+        Just(DataType::Integer),
+        Just(DataType::Float),
+        Just(DataType::Text),
+        Just(DataType::Bytes),
+        Just(DataType::Grid),
+        Just(DataType::Table),
+        Just(DataType::Image),
+        Just(DataType::Mesh),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| DataType::List(Box::new(t))),
+            proptest::collection::vec(("[a-c]{1,3}", inner), 0..3)
+                .prop_map(DataType::Record),
+        ]
+    })
+}
+
+fn arbitrary_param() -> impl Strategy<Value = ParamValue> {
+    prop_oneof![
+        any::<bool>().prop_map(ParamValue::Bool),
+        any::<i64>().prop_map(ParamValue::Int),
+        // Finite floats only: NaN breaks PartialEq-based comparisons by
+        // design.
+        (-1e12f64..1e12).prop_map(ParamValue::Float),
+        "[ -~]{0,24}".prop_map(ParamValue::Text),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn topo_order_is_consistent_with_edges((n, edges) in dag_strategy()) {
+        let mut g = Digraph::with_nodes(n);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        let order = g.topo_order().expect("construction guarantees a DAG");
+        prop_assert_eq!(order.len(), n);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for &(a, b) in &edges {
+            prop_assert!(pos[a] < pos[b]);
+        }
+    }
+
+    #[test]
+    fn reachability_duality((n, edges) in dag_strategy()) {
+        let mut g = Digraph::with_nodes(n);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        // v reachable from u  <=>  u reaches v via reverse traversal.
+        for u in 0..n {
+            let fwd = g.reachable_from(u);
+            for (v, &fwd_uv) in fwd.iter().enumerate() {
+                let back = g.reaching(v);
+                prop_assert_eq!(fwd_uv, back[u], "u={} v={}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_reachability((n, edges) in dag_strategy()) {
+        let mut g = Digraph::with_nodes(n);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        let kept = g.transitive_reduction();
+        let mut h = Digraph::with_nodes(n);
+        for (a, b) in &kept {
+            h.add_edge(*a, *b);
+        }
+        for u in 0..n {
+            prop_assert_eq!(g.reachable_from(u), h.reachable_from(u), "node {}", u);
+        }
+    }
+
+    #[test]
+    fn scc_of_dag_is_all_singletons((n, edges) in dag_strategy()) {
+        let mut g = Digraph::with_nodes(n);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        let comp = g.tarjan_scc();
+        let distinct: std::collections::BTreeSet<usize> = comp.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), n);
+    }
+
+    #[test]
+    fn dtype_acceptance_is_reflexive(t in arbitrary_dtype()) {
+        prop_assert!(t.accepts(&t));
+    }
+
+    #[test]
+    fn dtype_serde_roundtrip(t in arbitrary_dtype()) {
+        let s = serde_json::to_string(&t).unwrap();
+        let back: DataType = serde_json::from_str(&s).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn any_accepts_everything(t in arbitrary_dtype()) {
+        prop_assert!(DataType::Any.accepts(&t));
+        prop_assert!(t.accepts(&DataType::Any));
+    }
+
+    #[test]
+    fn param_value_serde_roundtrip(p in arbitrary_param()) {
+        let s = serde_json::to_string(&p).unwrap();
+        let back: ParamValue = serde_json::from_str(&s).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn workflow_edit_sequences_keep_dag(
+        ops in proptest::collection::vec((0u8..3, 0u64..12, 0u64..12), 1..60)
+    ) {
+        // Random add-node / connect / remove-node sequences can never
+        // produce a cyclic workflow through the public API.
+        let mut wf = Workflow::new(WorkflowId(1), "fuzz");
+        let mut ids = Vec::new();
+        for (op, a, b) in ops {
+            match op {
+                0 => ids.push(wf.add_node("M", 1)),
+                1 => {
+                    if !ids.is_empty() {
+                        let from = ids[(a as usize) % ids.len()];
+                        let to = ids[(b as usize) % ids.len()];
+                        let _ = wf.connect(
+                            wf_model::Endpoint::new(from, "out"),
+                            wf_model::Endpoint::new(to, &format!("in{}", a % 4)),
+                        );
+                    }
+                }
+                _ => {
+                    if !ids.is_empty() {
+                        let victim = ids.remove((a as usize) % ids.len());
+                        if wf.nodes.contains_key(&victim) {
+                            let _ = wf.remove_node(victim);
+                        }
+                    }
+                }
+            }
+            prop_assert!(wf.topo_nodes().is_some(), "cycle slipped through");
+        }
+        // JSON round-trip at the end preserves the whole state.
+        let json = wf.to_json().unwrap();
+        let back = Workflow::from_json(&json).unwrap();
+        prop_assert_eq!(back, wf);
+    }
+}

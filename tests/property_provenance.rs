@@ -1,0 +1,283 @@
+//! Property-based tests over provenance capture, causality, stores, and
+//! user views, driven by randomly shaped synthetic workflows.
+
+use proptest::prelude::*;
+use provenance_workflows::prelude::*;
+use provenance_workflows::provenance::analytics;
+use provenance_workflows::provenance::finegrained::{RowLineageTracer, RowRef};
+use provenance_workflows::provenance::views::ViewNode;
+use wf_engine::synth::{layered_dag, LayeredSpec};
+
+fn run_layered(
+    depth: usize,
+    width: usize,
+    fan_in: usize,
+    seed: u64,
+) -> RetrospectiveProvenance {
+    let (wf, _) = layered_dag(
+        1,
+        LayeredSpec {
+            depth,
+            width,
+            fan_in,
+            work: 1,
+            seed,
+        },
+    );
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&wf, &mut cap).expect("runs");
+    cap.take(r.exec).expect("captured")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn causality_graph_is_acyclic_and_bipartite(
+        depth in 1usize..5, width in 1usize..5, fan in 1usize..4, seed in 0u64..1000
+    ) {
+        let retro = run_layered(depth, width, fan, seed);
+        let g = CausalityGraph::from_retrospective(&retro);
+        // Bipartite: every edge joins a run and an artifact.
+        for (a, b) in g.edge_list() {
+            let ok = matches!(
+                (a, b),
+                (ProvNodeRef::Run(_), ProvNodeRef::Artifact(_))
+                    | (ProvNodeRef::Artifact(_), ProvNodeRef::Run(_))
+            );
+            prop_assert!(ok, "non-bipartite edge {a} -> {b}");
+        }
+        // Acyclic: upstream of any node never contains itself.
+        for n in g.nodes() {
+            prop_assert!(!g.upstream(*n, None).contains(n));
+        }
+    }
+
+    #[test]
+    fn upstream_downstream_duality(
+        depth in 2usize..5, width in 1usize..4, seed in 0u64..500
+    ) {
+        let retro = run_layered(depth, width, 2, seed);
+        let g = CausalityGraph::from_retrospective(&retro);
+        let nodes = g.nodes().to_vec();
+        for &a in nodes.iter().take(8) {
+            let down = g.downstream(a, None);
+            for &b in nodes.iter().take(8) {
+                if a == b { continue; }
+                let forward = down.contains(&b);
+                let backward = g.upstream(b, None).contains(&a);
+                prop_assert_eq!(forward, backward, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn all_stores_agree_on_random_workflows(
+        depth in 1usize..4, width in 1usize..4, seed in 0u64..200
+    ) {
+        let retro = run_layered(depth, width, 2, seed);
+        let mut graph = GraphStore::new();
+        let mut rel = RelStore::new();
+        let mut triple = TripleStore::new();
+        graph.ingest(&retro);
+        rel.ingest(&retro);
+        triple.ingest(&retro);
+        for run in retro.runs.iter().take(6) {
+            for (_, h) in &run.outputs {
+                prop_assert_eq!(graph.lineage_runs(*h), rel.lineage_runs(*h));
+                prop_assert_eq!(graph.lineage_runs(*h), triple.lineage_runs(*h));
+                prop_assert_eq!(graph.generators(*h), rel.generators(*h));
+                prop_assert_eq!(graph.derived_artifacts(*h), triple.derived_artifacts(*h));
+            }
+        }
+        prop_assert_eq!(graph.run_count(), rel.run_count());
+        prop_assert_eq!(rel.runs_per_module(), triple.runs_per_module());
+    }
+
+    #[test]
+    fn view_abstraction_is_complete_for_visible_artifacts(
+        depth in 2usize..5, width in 1usize..4, seed in 0u64..300, groups in 1usize..4
+    ) {
+        // Soundness direction that holds for ANY partition: if b is
+        // derived from a in the base graph, the viewed graph must also
+        // reach b from a (abstraction may over-approximate but never lose
+        // derivations).
+        let retro = run_layered(depth, width, 2, seed);
+        let g = CausalityGraph::from_retrospective(&retro);
+        // Partition runs round-robin into `groups` groups.
+        let mut view = UserView::new("random");
+        let run_ids: Vec<NodeId> = retro.runs.iter().map(|r| r.node).collect();
+        for gi in 0..groups {
+            let members: Vec<NodeId> = run_ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % groups == gi)
+                .map(|(_, id)| *id)
+                .collect();
+            view = view.group(&format!("g{gi}"), members);
+        }
+        let viewed = ViewedGraph::apply(&g, &view);
+        let visible: Vec<u64> = viewed
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                ViewNode::Artifact(h) => Some(*h),
+                _ => None,
+            })
+            .collect();
+        for &a in visible.iter().take(6) {
+            for &b in visible.iter().take(6) {
+                if a == b { continue; }
+                let base_reach = g
+                    .downstream(ProvNodeRef::Artifact(a), None)
+                    .contains(&ProvNodeRef::Artifact(b));
+                if base_reach {
+                    prop_assert!(
+                        viewed.reachable(&ViewNode::Artifact(a), &ViewNode::Artifact(b)),
+                        "derivation {a:x} -> {b:x} lost by abstraction"
+                    );
+                }
+            }
+        }
+        // The abstraction never grows the graph.
+        let (base_nodes, _) = viewed.base_size();
+        prop_assert!(viewed.node_count() <= base_nodes);
+    }
+
+    #[test]
+    fn memoized_rerun_hits_every_module(
+        depth in 1usize..4, width in 1usize..4, seed in 0u64..200
+    ) {
+        let (wf, _) = layered_dag(
+            1,
+            LayeredSpec { depth, width, fan_in: 2, work: 1, seed },
+        );
+        let exec = Executor::new(standard_registry()).with_cache(4096);
+        let r1 = exec.run(&wf).expect("first run");
+        prop_assert_eq!(r1.cache_hits(), 0);
+        let r2 = exec.run(&wf).expect("second run");
+        prop_assert_eq!(r2.cache_hits(), wf.node_count());
+        // Outputs identical.
+        for (k, v) in &r1.values {
+            prop_assert_eq!(
+                r2.values.get(k).map(|x| x.content_hash()),
+                Some(v.content_hash())
+            );
+        }
+    }
+
+    #[test]
+    fn retrospective_provenance_roundtrips_json(
+        depth in 1usize..4, width in 1usize..3, seed in 0u64..100
+    ) {
+        let retro = run_layered(depth, width, 2, seed);
+        let json = retro.to_json().unwrap();
+        let back = RetrospectiveProvenance::from_json(&json).unwrap();
+        prop_assert_eq!(back, retro);
+    }
+
+    #[test]
+    fn opm_completion_is_idempotent_and_valid(
+        depth in 1usize..4, width in 1usize..4, seed in 0u64..200
+    ) {
+        let retro = run_layered(depth, width, 2, seed);
+        let mut opm = OpmGraph::from_retrospective(&retro, "acct", "agent");
+        prop_assert!(opm.check().is_empty());
+        opm.infer_completions();
+        prop_assert_eq!(opm.infer_completions(), 0, "second pass adds nothing");
+    }
+
+    #[test]
+    fn critical_path_bounds_hold(
+        depth in 1usize..5, width in 1usize..4, seed in 0u64..200
+    ) {
+        let retro = run_layered(depth, width, 2, seed);
+        let p = analytics::profile(&retro);
+        // Critical path never exceeds total work and is at least the
+        // heaviest single run.
+        prop_assert!(p.critical_micros <= p.total_work_micros);
+        let heaviest = retro.runs.iter().map(|r| r.elapsed_micros).max().unwrap_or(0);
+        prop_assert!(p.critical_micros >= heaviest);
+        prop_assert!(p.parallelism() >= 0.99);
+        // The critical path is a real dependency chain: consecutive nodes
+        // are linked by a shared artifact.
+        for pair in p.critical_path.windows(2) {
+            let up = retro.run_of(pair[0].0).expect("run exists");
+            let down = retro.run_of(pair[1].0).expect("run exists");
+            let linked = up.outputs.iter().any(|(_, h)| {
+                down.inputs.iter().any(|(_, h2)| h2 == h)
+            });
+            prop_assert!(linked, "critical path edge {} -> {} unbacked", pair[0].0, pair[1].0);
+        }
+    }
+
+    #[test]
+    fn row_lineage_and_taint_are_inverse(
+        rows in 4usize..24, seed in 0u64..50
+    ) {
+        // source -> filter -> aggregate database pipeline.
+        let mut b = WorkflowBuilder::new(1, "db-prop");
+        let src = b.add("TableSource");
+        b.param(src, "rows", rows as i64).param(src, "seed", seed as i64);
+        let filter = b.add("TableFilter");
+        b.param(filter, "min", 30.0f64);
+        let agg = b.add("TableAggregate");
+        b.param(agg, "group_col", "grp").param(agg, "agg_col", "value");
+        b.connect(src, "out", filter, "in").connect(filter, "out", agg, "in");
+        let wf = b.build();
+        let result = Executor::new(standard_registry()).run(&wf).expect("runs");
+        let tracer = RowLineageTracer::new(&wf, &result);
+        let n_groups = match result.output(agg, "out") {
+            Some(wf_engine::Value::Table(t)) => t.len(),
+            _ => 0,
+        };
+        // Inverse property: base row b taints group g  <=>  b is in g's
+        // base rows.
+        for g in 0..n_groups {
+            let base = tracer.base_rows(&RowRef::new(agg, "out", g));
+            for br in &base {
+                prop_assert!(tracer.tainted_rows(br, agg).contains(&g));
+            }
+        }
+        for r in 0..rows {
+            let fact = RowRef::new(src, "out", r);
+            for g in tracer.tainted_rows(&fact, agg) {
+                prop_assert!(
+                    tracer.base_rows(&RowRef::new(agg, "out", g)).contains(&fact)
+                );
+            }
+        }
+        // Every aggregate group has at least one base fact (sources are
+        // the only base), and base facts are source rows.
+        for g in 0..n_groups {
+            let base = tracer.base_rows(&RowRef::new(agg, "out", g));
+            prop_assert!(!base.is_empty());
+            prop_assert!(base.iter().all(|b| b.node == src));
+        }
+    }
+
+    #[test]
+    fn pql_lineage_agrees_with_stores_on_random_graphs(
+        depth in 1usize..5, width in 1usize..4, seed in 0u64..300
+    ) {
+        let retro = run_layered(depth, width, 2, seed);
+        let mut pql = PqlEngine::new();
+        pql.ingest(&retro);
+        let mut store = GraphStore::new();
+        store.ingest(&retro);
+        for run in retro.runs.iter().take(5) {
+            for (_, h) in &run.outputs {
+                let q = format!("lineage of artifact {h:016x} where status = succeeded");
+                let via_pql = pql.eval(&q).expect("query runs").len();
+                let via_store = store.lineage_runs(*h).len();
+                prop_assert_eq!(via_pql, via_store, "artifact {:016x}", h);
+            }
+        }
+        // Totals agree too.
+        prop_assert_eq!(
+            pql.eval("count runs").unwrap().len(),
+            store.run_count()
+        );
+    }
+}
