@@ -10,14 +10,17 @@ fn bench_rowprov(c: &mut Criterion) {
     for rows in [32usize, 256] {
         let mut b = WorkflowBuilder::new(1, "db");
         let src_a = b.add("TableSource");
-        b.param(src_a, "rows", rows as i64).param(src_a, "seed", 1i64);
+        b.param(src_a, "rows", rows as i64)
+            .param(src_a, "seed", 1i64);
         let src_b = b.add("TableSource");
-        b.param(src_b, "rows", rows as i64).param(src_b, "seed", 2i64);
+        b.param(src_b, "rows", rows as i64)
+            .param(src_b, "seed", 2i64);
         let join = b.add("TableJoin");
         let filter = b.add("TableFilter");
         b.param(filter, "min", 25.0f64);
         let agg = b.add("TableAggregate");
-        b.param(agg, "group_col", "grp").param(agg, "agg_col", "value");
+        b.param(agg, "group_col", "grp")
+            .param(agg, "agg_col", "value");
         b.connect(src_a, "out", join, "left")
             .connect(src_b, "out", join, "right")
             .connect(join, "out", filter, "in")
@@ -35,7 +38,11 @@ fn bench_rowprov(c: &mut Criterion) {
             bch.iter(|| tracer.base_rows(&RowRef::new(agg, "out", 0)).len())
         });
         group.bench_function(BenchmarkId::from_parameter("taint_one_fact"), |bch| {
-            bch.iter(|| tracer.tainted_rows(&RowRef::new(src_a, "out", 0), agg).len())
+            bch.iter(|| {
+                tracer
+                    .tainted_rows(&RowRef::new(src_a, "out", 0), agg)
+                    .len()
+            })
         });
         group.finish();
     }

@@ -14,9 +14,7 @@ fn bench_analogy(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("noise", noise_pct),
             &target,
-            |bch, target| {
-                bch.iter(|| apply_by_analogy(&a, &b, target).expect("analogy runs"))
-            },
+            |bch, target| bch.iter(|| apply_by_analogy(&a, &b, target).expect("analogy runs")),
         );
     }
     group.finish();
@@ -32,7 +30,8 @@ fn bench_analogy(c: &mut Criterion) {
             let extra = scenario::noisy_target(i as u64, 0.3);
             for node in extra.nodes.values() {
                 let id = big.add_node(&node.module, node.version);
-                big.set_label(id, &format!("{} c{i}", node.label)).expect("label");
+                big.set_label(id, &format!("{} c{i}", node.label))
+                    .expect("label");
             }
         }
         group.bench_with_input(

@@ -32,14 +32,10 @@ fn bench_sweep(c: &mut Criterion) {
                 .map(|i| (0.1 + 0.8 * i as f64 / n as f64).into())
                 .collect(),
         )];
-        group.bench_with_input(
-            BenchmarkId::new("uncached", n),
-            &axes,
-            |b, axes| {
-                let exec = Executor::new(standard_registry());
-                b.iter(|| run_sweep(&exec, &wf, axes).expect("sweep").points.len())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("uncached", n), &axes, |b, axes| {
+            let exec = Executor::new(standard_registry());
+            b.iter(|| run_sweep(&exec, &wf, axes).expect("sweep").points.len())
+        });
         group.bench_with_input(BenchmarkId::new("cached", n), &axes, |b, axes| {
             b.iter(|| {
                 let exec = Executor::new(standard_registry()).with_cache(4096);

@@ -12,196 +12,402 @@ fn main() {
     // ---- E1 ----------------------------------------------------------
     let r = experiment_fig1();
     println!("## E1 — Figure 1: the medical-imaging workflow\n");
-    println!("{}", render_table(
-        &["spec modules", "spec conns", "runs", "artifacts", "invalidated by bad scan", "iso repro slice"],
-        &[vec![
-            r.spec_modules.to_string(),
-            r.spec_connections.to_string(),
-            r.runs.to_string(),
-            r.artifacts.to_string(),
-            r.invalidated.to_string(),
-            r.iso_slice_len.to_string(),
-        ]],
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "spec modules",
+                "spec conns",
+                "runs",
+                "artifacts",
+                "invalidated by bad scan",
+                "iso repro slice"
+            ],
+            &[vec![
+                r.spec_modules.to_string(),
+                r.spec_connections.to_string(),
+                r.runs.to_string(),
+                r.artifacts.to_string(),
+                r.invalidated.to_string(),
+                r.iso_slice_len.to_string(),
+            ]],
+        )
+    );
 
     // ---- E2 ----------------------------------------------------------
     println!("## E2 — Figure 2: refinement by analogy vs structural noise\n");
     let rows = experiment_analogy(&[0.0, 0.2, 0.4, 0.6, 0.8, 1.0], 20);
-    println!("{}", render_table(
-        &["noise", "clean transfer rate", "mean match score", "time (us)"],
-        &rows.iter().map(|r| vec![
-            format!("{:.1}", r.noise),
-            format!("{:.2}", r.clean_rate),
-            format!("{:.2}", r.mean_score),
-            format!("{:.0}", r.time_us),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "noise",
+                "clean transfer rate",
+                "mean match score",
+                "time (us)"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    format!("{:.1}", r.noise),
+                    format!("{:.2}", r.clean_rate),
+                    format!("{:.2}", r.mean_score),
+                    format!("{:.0}", r.time_us),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E2b ---------------------------------------------------------
     println!("## E2b — ablation: neighbourhood refinement in the matcher\n");
     let rows = experiment_analogy_ablation(&[0, 1, 3, 5], 40);
-    println!("{}", render_table(
-        &["refinement iterations", "duplicate-match accuracy", "time (us)"],
-        &rows.iter().map(|r| vec![
-            r.iterations.to_string(),
-            format!("{:.2}", r.accuracy),
-            format!("{:.0}", r.time_us),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "refinement iterations",
+                "duplicate-match accuracy",
+                "time (us)"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.iterations.to_string(),
+                    format!("{:.2}", r.accuracy),
+                    format!("{:.0}", r.time_us),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E3 ----------------------------------------------------------
     println!("## E3 — provenance capture overhead\n");
-    let rows = experiment_capture_overhead(
-        &[(8, 200), (8, 2000), (8, 20000), (32, 2000)],
-        9,
+    let rows = experiment_capture_overhead(&[(8, 200), (8, 2000), (8, 20000), (32, 2000)], 9);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "chain",
+                "work/module",
+                "off (us)",
+                "coarse (us)",
+                "fine (us)",
+                "fine overhead"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.chain_len.to_string(),
+                    r.work.to_string(),
+                    format!("{:.0}", r.off_us),
+                    format!("{:.0}", r.coarse_us),
+                    format!("{:.0}", r.fine_us),
+                    format!("{:+.1}%", r.fine_overhead_pct()),
+                ])
+                .collect::<Vec<_>>(),
+        )
     );
-    println!("{}", render_table(
-        &["chain", "work/module", "off (us)", "coarse (us)", "fine (us)", "fine overhead"],
-        &rows.iter().map(|r| vec![
-            r.chain_len.to_string(),
-            r.work.to_string(),
-            format!("{:.0}", r.off_us),
-            format!("{:.0}", r.coarse_us),
-            format!("{:.0}", r.fine_us),
-            format!("{:+.1}%", r.fine_overhead_pct()),
-        ]).collect::<Vec<_>>(),
-    ));
 
     // ---- E4 ----------------------------------------------------------
     println!("## E4 — storage backends (corpus: 20 executions of 6x4 DAGs)\n");
     let corpus = storage_corpus(20, 6, 4);
     let rows = experiment_storage(&corpus, 7);
-    println!("{}", render_table(
-        &["backend", "ingest (us)", "approx bytes", "lineage query (us)", "aggregate (us)"],
-        &rows.iter().map(|r| vec![
-            r.backend.clone(),
-            format!("{:.0}", r.ingest_us),
-            r.bytes.to_string(),
-            format!("{:.1}", r.lineage_us),
-            format!("{:.1}", r.aggregate_us),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "backend",
+                "ingest (us)",
+                "approx bytes",
+                "lineage query (us)",
+                "aggregate (us)"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.backend.clone(),
+                    format!("{:.0}", r.ingest_us),
+                    r.bytes.to_string(),
+                    format!("{:.1}", r.lineage_us),
+                    format!("{:.1}", r.aggregate_us),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E4b ---------------------------------------------------------
     println!("## E4b — ablation: relational hash indexes on/off\n");
     let rows = experiment_index_ablation(&[5, 20, 80], 7);
-    println!("{}", render_table(
-        &["corpus (execs)", "indexed lineage (us)", "unindexed lineage (us)", "speedup"],
-        &rows.iter().map(|r| vec![
-            r.corpus.to_string(),
-            format!("{:.1}", r.indexed_us),
-            format!("{:.1}", r.unindexed_us),
-            format!("{:.1}x", r.speedup()),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "corpus (execs)",
+                "indexed lineage (us)",
+                "unindexed lineage (us)",
+                "speedup"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.corpus.to_string(),
+                    format!("{:.1}", r.indexed_us),
+                    format!("{:.1}", r.unindexed_us),
+                    format!("{:.1}x", r.speedup()),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E5 ----------------------------------------------------------
     println!("## E5 — lineage query latency vs provenance depth\n");
     let rows = experiment_query(&[8, 32, 128, 512], 7);
-    println!("{}", render_table(
-        &["depth", "PQL (us)", "graph store (us)", "relational joins (us)", "triple fixpoint (us)"],
-        &rows.iter().map(|r| vec![
-            r.depth.to_string(),
-            format!("{:.1}", r.pql_us),
-            format!("{:.1}", r.graph_us),
-            format!("{:.1}", r.relational_us),
-            format!("{:.1}", r.triple_us),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "depth",
+                "PQL (us)",
+                "graph store (us)",
+                "relational joins (us)",
+                "triple fixpoint (us)"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.depth.to_string(),
+                    format!("{:.1}", r.pql_us),
+                    format!("{:.1}", r.graph_us),
+                    format!("{:.1}", r.relational_us),
+                    format!("{:.1}", r.triple_us),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E6 ----------------------------------------------------------
     println!("## E6 — user views: overload reduction vs granularity\n");
     let rows = experiment_views(&[1, 2, 4, 8, 24]);
-    println!("{}", render_table(
-        &["groups", "base nodes", "viewed nodes", "hidden artifacts", "ratio"],
-        &rows.iter().map(|r| vec![
-            r.groups.to_string(),
-            r.base_nodes.to_string(),
-            r.viewed_nodes.to_string(),
-            r.hidden.to_string(),
-            format!("{:.2}", r.ratio()),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "groups",
+                "base nodes",
+                "viewed nodes",
+                "hidden artifacts",
+                "ratio"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.groups.to_string(),
+                    r.base_nodes.to_string(),
+                    r.viewed_nodes.to_string(),
+                    r.hidden.to_string(),
+                    format!("{:.2}", r.ratio()),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E7 ----------------------------------------------------------
     println!("## E7 — Provenance Challenge: integration coverage\n");
     let rows = experiment_challenge();
-    println!("{}", render_table(
-        &["configuration", "Q1 lineage processes", "all nine answerable"],
-        &rows.iter().map(|r| vec![
-            r.configuration.clone(),
-            r.q1_processes.to_string(),
-            r.all_nine.to_string(),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "configuration",
+                "Q1 lineage processes",
+                "all nine answerable"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.configuration.clone(),
+                    r.q1_processes.to_string(),
+                    r.all_nine.to_string(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E8 ----------------------------------------------------------
     println!("## E8 — version materialization vs history depth\n");
     let rows = experiment_evolution(&[20, 70, 270, 1030], 7);
-    println!("{}", render_table(
-        &["depth", "replay (us)", "with snapshots (us)", "actions replayed", "with snapshots"],
-        &rows.iter().map(|r| vec![
-            r.depth.to_string(),
-            format!("{:.0}", r.replay_us),
-            format!("{:.0}", r.snapshot_us),
-            r.replay_actions.to_string(),
-            r.snapshot_actions.to_string(),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "depth",
+                "replay (us)",
+                "with snapshots (us)",
+                "actions replayed",
+                "with snapshots"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.depth.to_string(),
+                    format!("{:.0}", r.replay_us),
+                    format!("{:.0}", r.snapshot_us),
+                    r.replay_actions.to_string(),
+                    r.snapshot_actions.to_string(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E9 ----------------------------------------------------------
     println!("## E9 — completion recommendation vs corpus size\n");
     let rows = experiment_mining(&[10, 30, 100], 5);
-    println!("{}", render_table(
-        &["corpus", "hit@1", "hit@3", "mining time (us)"],
-        &rows.iter().map(|r| vec![
-            r.corpus.to_string(),
-            format!("{:.2}", r.hit1),
-            format!("{:.2}", r.hit3),
-            format!("{:.0}", r.mine_us),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &["corpus", "hit@1", "hit@3", "mining time (us)"],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.corpus.to_string(),
+                    format!("{:.2}", r.hit1),
+                    format!("{:.2}", r.hit3),
+                    format!("{:.0}", r.mine_us),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E10 ---------------------------------------------------------
     println!("## E10 — parameter sweeps with provenance-based caching\n");
     let rows = experiment_sweep(&[4, 16, 64], 5);
-    println!("{}", render_table(
-        &["configs", "module runs (no cache)", "module runs (cache)", "no cache (us)", "cache (us)", "speedup"],
-        &rows.iter().map(|r| vec![
-            r.configs.to_string(),
-            r.runs_uncached.to_string(),
-            r.runs_cached.to_string(),
-            format!("{:.0}", r.uncached_us),
-            format!("{:.0}", r.cached_us),
-            format!("{:.1}x", r.speedup()),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "configs",
+                "module runs (no cache)",
+                "module runs (cache)",
+                "no cache (us)",
+                "cache (us)",
+                "speedup"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.configs.to_string(),
+                    r.runs_uncached.to_string(),
+                    r.runs_cached.to_string(),
+                    format!("{:.0}", r.uncached_us),
+                    format!("{:.0}", r.cached_us),
+                    format!("{:.1}x", r.speedup()),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E11 ---------------------------------------------------------
     println!("## E11 — reproducibility fidelity\n");
     let rows = experiment_repro();
-    println!("{}", render_table(
-        &["scenario", "artifacts", "matched", "fidelity"],
-        &rows.iter().map(|r| vec![
-            r.scenario.clone(),
-            r.artifacts.to_string(),
-            r.matched.to_string(),
-            format!("{:.2}", r.fidelity),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &["scenario", "artifacts", "matched", "fidelity"],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.scenario.clone(),
+                    r.artifacts.to_string(),
+                    r.matched.to_string(),
+                    format!("{:.2}", r.fidelity),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
     // ---- E12 ---------------------------------------------------------
     println!("## E12 — row-level vs module-level invalidation precision\n");
     let rows = experiment_finegrained(&[16, 64, 256], 7);
-    println!("{}", render_table(
-        &["source rows", "groups", "row-level taint", "module-level taint", "trace (us)"],
-        &rows.iter().map(|r| vec![
-            r.source_rows.to_string(),
-            r.groups.to_string(),
-            format!("{:.2}", r.row_level_taint),
-            format!("{:.2}", r.module_level_taint),
-            format!("{:.1}", r.trace_us),
-        ]).collect::<Vec<_>>(),
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "source rows",
+                "groups",
+                "row-level taint",
+                "module-level taint",
+                "trace (us)"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.source_rows.to_string(),
+                    r.groups.to_string(),
+                    format!("{:.2}", r.row_level_taint),
+                    format!("{:.2}", r.module_level_taint),
+                    format!("{:.1}", r.trace_us),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 
+    // ---- E13 ---------------------------------------------------------
+    println!("## E13 — retry recovery under injected transient faults\n");
+    let rows = experiment_faults(&[1, 2, 3, 4, 5], 5);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "seed",
+                "injected",
+                "status",
+                "retried runs",
+                "backoff (us)",
+                "clean (us)",
+                "faulty (us)",
+                "overhead %"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.seed.to_string(),
+                    r.injected.to_string(),
+                    r.status.clone(),
+                    r.retried_runs.to_string(),
+                    r.backoff_us.to_string(),
+                    format!("{:.1}", r.clean_us),
+                    format!("{:.1}", r.faulty_us),
+                    format!("{:.1}", r.overhead_pct()),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    // ---- E14 ---------------------------------------------------------
+    println!("## E14 — checkpoint resume after a permanent fault\n");
+    let rows = experiment_resume(&[4, 6, 8]);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "depth",
+                "modules",
+                "reused",
+                "re-executed",
+                "recovered",
+                "lineage valid"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.depth.to_string(),
+                    r.modules.to_string(),
+                    r.reused.to_string(),
+                    r.reexecuted.to_string(),
+                    r.recovered.to_string(),
+                    r.valid.to_string(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
 }

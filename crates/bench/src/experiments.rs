@@ -83,8 +83,7 @@ pub fn experiment_analogy(noises: &[f64], seeds: u64) -> Vec<AnalogyRow> {
             let mut score_sum = 0.0;
             for seed in 0..seeds {
                 let target = scenario::noisy_target(seed, noise);
-                let r = prov_evolution::apply_by_analogy(&a, &b, &target)
-                    .expect("analogy runs");
+                let r = prov_evolution::apply_by_analogy(&a, &b, &target).expect("analogy runs");
                 if r.is_clean() {
                     clean += 1;
                 }
@@ -640,18 +639,26 @@ pub fn experiment_sweep(config_counts: &[usize], reps: usize) -> Vec<SweepRow> {
             let axes = vec![SweepAxis::new(
                 iso,
                 "isovalue",
-                (0..n).map(|i| (0.1 + 0.8 * i as f64 / n as f64).into()).collect(),
+                (0..n)
+                    .map(|i| (0.1 + 0.8 * i as f64 / n as f64).into())
+                    .collect(),
             )];
 
             let exec_plain = Executor::new(standard_registry());
             let uncached_us = time_us(reps, || {
-                run_sweep(&exec_plain, &wf, &axes).expect("sweep").points.len()
+                run_sweep(&exec_plain, &wf, &axes)
+                    .expect("sweep")
+                    .points
+                    .len()
             });
             let plain = run_sweep(&exec_plain, &wf, &axes).expect("sweep");
 
             let cached_us = time_us(reps, || {
                 let exec_cached = Executor::new(standard_registry()).with_cache(4096);
-                run_sweep(&exec_cached, &wf, &axes).expect("sweep").points.len()
+                run_sweep(&exec_cached, &wf, &axes)
+                    .expect("sweep")
+                    .points
+                    .len()
             });
             let exec_cached = Executor::new(standard_registry()).with_cache(4096);
             let cached = run_sweep(&exec_cached, &wf, &axes).expect("sweep");
@@ -717,8 +724,10 @@ pub fn experiment_repro() -> Vec<ReproRow> {
     use std::sync::atomic::{AtomicI64, Ordering};
     static TICK: AtomicI64 = AtomicI64::new(0);
     registry.register(
-        wf_model::ModuleKind::new("Clock")
-            .output(wf_model::PortSpec::required("out", wf_model::DataType::Integer)),
+        wf_model::ModuleKind::new("Clock").output(wf_model::PortSpec::required(
+            "out",
+            wf_model::DataType::Integer,
+        )),
         |_input: &wf_engine::ExecInput| {
             let mut out = std::collections::BTreeMap::new();
             out.insert(
@@ -787,7 +796,8 @@ pub fn experiment_finegrained(source_sizes: &[usize], reps: usize) -> Vec<FineGr
             b.param(src_b, "rows", n as i64).param(src_b, "seed", 2i64);
             let join = b.add("TableJoin");
             let agg = b.add("TableAggregate");
-            b.param(agg, "group_col", "grp").param(agg, "agg_col", "value");
+            b.param(agg, "group_col", "grp")
+                .param(agg, "agg_col", "value");
             b.connect(src_a, "out", join, "left")
                 .connect(src_b, "out", join, "right")
                 .connect(join, "out", agg, "in");
@@ -807,11 +817,7 @@ pub fn experiment_finegrained(source_sizes: &[usize], reps: usize) -> Vec<FineGr
                     .len();
                 total_frac += tainted as f64 / groups.max(1) as f64;
             }
-            let trace_us = time_us(reps, || {
-                tracer
-                    .base_rows(&RowRef::new(agg, "out", 0))
-                    .len()
-            });
+            let trace_us = time_us(reps, || tracer.base_rows(&RowRef::new(agg, "out", 0)).len());
             FineGrainedRow {
                 source_rows: n,
                 groups,
@@ -860,7 +866,10 @@ mod tests {
     #[test]
     fn e3_fine_costs_at_least_as_much_as_off() {
         let rows = experiment_capture_overhead(&[(6, 2000)], 5);
-        assert!(rows[0].fine_us >= rows[0].off_us * 0.8, "sanity: timing noise bound");
+        assert!(
+            rows[0].fine_us >= rows[0].off_us * 0.8,
+            "sanity: timing noise bound"
+        );
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Fault-tolerance experiments (E13/E14 of DESIGN.md §3): recovery under
+//! deterministic fault injection, and the cost/benefit of checkpoint
+//! resume.
+//!
+//! E13 injects seeded transient faults ([`wf_engine::FaultPlan::random`])
+//! into a synthetic DAG run under a retry policy and reports how many
+//! module runs needed retries, how much backoff was spent, and the
+//! wall-clock overhead relative to a fault-free run. E14 fails one node
+//! permanently, resumes from the checkpoint, and reports how much work the
+//! resume avoided (cache-reused runs vs re-executed runs).
+
+use crate::time_us;
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_core::repro::check_resume;
+use wf_engine::synth::{layered_dag, LayeredSpec};
+use wf_engine::{standard_registry, ExecPolicy, Executor, FaultPlan, RetryPolicy};
+
+/// One row of the fault-recovery experiment (E13).
+#[derive(Debug)]
+pub struct FaultRow {
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Faults scheduled by the plan.
+    pub injected: usize,
+    /// Final run status under retries.
+    pub status: String,
+    /// Module runs that needed more than one attempt.
+    pub retried_runs: usize,
+    /// Total recorded backoff across all runs, in microseconds.
+    pub backoff_us: u64,
+    /// Median fault-free run time, in microseconds.
+    pub clean_us: f64,
+    /// Median faulty run time (same plan every rep), in microseconds.
+    pub faulty_us: f64,
+}
+
+impl FaultRow {
+    /// Wall-clock overhead of recovery relative to the fault-free run.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.clean_us <= 0.0 {
+            return 0.0;
+        }
+        (self.faulty_us - self.clean_us) / self.clean_us * 100.0
+    }
+}
+
+/// Run E13: for each seed, inject a random transient fault plan into a
+/// layered DAG and run it under a 3-attempt retry policy.
+pub fn experiment_faults(seeds: &[u64], reps: usize) -> Vec<FaultRow> {
+    let spec = LayeredSpec {
+        depth: 4,
+        width: 3,
+        fan_in: 2,
+        work: 200,
+        seed: 7,
+    };
+    let (wf, _) = layered_dag(1, spec);
+    let clean_exec = Executor::new(standard_registry());
+    let clean_us = time_us(reps, || clean_exec.run(&wf).expect("clean run"));
+    seeds
+        .iter()
+        .map(|&seed| {
+            let plan = FaultPlan::random(&wf, seed);
+            let injected = plan.len();
+            let exec = Executor::new(standard_registry())
+                .with_policy(
+                    ExecPolicy::new()
+                        .with_retry(RetryPolicy::attempts(3).backoff(50, 2.0, 400).jitter(0.2))
+                        .with_seed(seed),
+                )
+                .with_faults(plan);
+            let faulty_us = time_us(reps, || exec.run(&wf).expect("recovered run"));
+            let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+            let r = exec.run_observed(&wf, &mut cap).expect("recovered run");
+            let retro = cap.take(r.exec).expect("capture");
+            FaultRow {
+                seed,
+                injected,
+                status: retro.status.to_string(),
+                retried_runs: retro.runs.iter().filter(|r| r.attempts > 1).count(),
+                backoff_us: retro.runs.iter().map(|r| r.backoff_micros).sum(),
+                clean_us,
+                faulty_us,
+            }
+        })
+        .collect()
+}
+
+/// One row of the checkpoint-resume experiment (E14).
+#[derive(Debug)]
+pub struct ResumeRow {
+    /// DAG depth (layers).
+    pub depth: usize,
+    /// Total modules in the workflow.
+    pub modules: usize,
+    /// Succeeded runs replayed from the checkpoint cache.
+    pub reused: usize,
+    /// Runs actually re-executed by the resume.
+    pub reexecuted: usize,
+    /// Originally failed or skipped nodes recovered by the resume.
+    pub recovered: usize,
+    /// Did `check_resume` validate the recovery lineage?
+    pub valid: bool,
+}
+
+/// Run E14: fail one mid-DAG node permanently, resume from the checkpoint
+/// with the fault cleared, and measure how much work the resume avoided.
+pub fn experiment_resume(depths: &[usize]) -> Vec<ResumeRow> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let spec = LayeredSpec {
+                depth,
+                width: 3,
+                fan_in: 2,
+                work: 100,
+                seed: 11,
+            };
+            let (wf, layers) = layered_dag(1, spec);
+            let victim = layers[depth / 2][0];
+            let failing = Executor::new(standard_registry())
+                .with_faults(FaultPlan::new().fail_always(victim, "permanent fault"));
+            let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+            let r1 = failing.run_observed(&wf, &mut cap).expect("faulted run");
+            let original = cap.take(r1.exec).expect("capture");
+            let healthy = Executor::new(standard_registry()).with_cache(256);
+            let r2 = healthy.resume(&wf, &r1, &mut cap).expect("resumed run");
+            let resumed = cap.take(r2.exec).expect("capture");
+            let check = check_resume(&original, &resumed);
+            ResumeRow {
+                depth,
+                modules: wf.node_count(),
+                reused: resumed.runs.iter().filter(|r| r.from_cache).count(),
+                reexecuted: resumed.runs.iter().filter(|r| !r.from_cache).count(),
+                recovered: check.recovered.len(),
+                valid: check.is_valid(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_recover_under_retries() {
+        let rows = experiment_faults(&[1, 2, 3], 2);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.status, "succeeded", "transient faults recover");
+            if row.injected > 0 {
+                assert!(row.retried_runs > 0, "faults force retries");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_avoids_reexecuting_succeeded_work() {
+        let rows = experiment_resume(&[4, 6]);
+        for row in &rows {
+            assert!(row.valid, "recovery lineage validates");
+            assert!(row.reused > 0, "checkpoint reuse happens");
+            assert!(row.recovered > 0, "failed work is recovered");
+            assert_eq!(row.reused + row.reexecuted, row.modules);
+        }
+    }
+}

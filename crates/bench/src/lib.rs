@@ -11,8 +11,10 @@
 //! DESIGN.md §3 for the mapping and the expected qualitative shapes).
 
 pub mod experiments;
+pub mod faults;
 
 pub use experiments::*;
+pub use faults::*;
 
 /// Median wall-clock time of `f` over `reps` runs, in microseconds.
 /// The first (warm-up) run is discarded.

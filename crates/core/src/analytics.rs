@@ -319,7 +319,8 @@ mod tests {
         b.param(c, "work", 20000i64).param(c, "seed", 1i64);
         let join = b.add("SynthStage");
         b.param(join, "work", 10i64);
-        b.connect(a, "out", join, "in0").connect(c, "out", join, "in1");
+        b.connect(a, "out", join, "in0")
+            .connect(c, "out", join, "in1");
         let exec = Executor::new(standard_registry());
         let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
         let r = exec.run_observed(&b.build(), &mut cap).unwrap();

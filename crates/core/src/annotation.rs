@@ -13,9 +13,7 @@ use wf_model::{ConnId, NodeId, WorkflowId};
 
 /// What an annotation is attached to: any component of prospective or
 /// retrospective provenance, at any granularity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Subject {
     /// A whole workflow specification.
     Workflow(WorkflowId),
@@ -65,13 +63,7 @@ impl AnnotationStore {
     }
 
     /// Add an annotation; returns its id.
-    pub fn annotate(
-        &mut self,
-        subject: Subject,
-        key: &str,
-        text: &str,
-        author: &str,
-    ) -> u64 {
+    pub fn annotate(&mut self, subject: Subject, key: &str, text: &str, author: &str) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.annotations.push(Annotation {
@@ -115,8 +107,7 @@ impl AnnotationStore {
         self.annotations
             .iter()
             .filter(|a| {
-                a.text.to_lowercase().contains(&needle)
-                    || a.key.to_lowercase().contains(&needle)
+                a.text.to_lowercase().contains(&needle) || a.key.to_lowercase().contains(&needle)
             })
             .collect()
     }

@@ -38,6 +38,8 @@ struct PendingRun {
     started_millis: u64,
     inputs: Vec<(String, u64)>,
     outputs: Vec<(String, u64)>,
+    attempts: u32,
+    backoff_micros: u64,
 }
 
 /// In-progress record of one workflow run.
@@ -49,6 +51,7 @@ struct PendingExec {
     pending: BTreeMap<NodeId, PendingRun>,
     finished: Vec<ModuleRun>,
     artifacts: BTreeMap<u64, Artifact>,
+    resumed_from: Option<ExecId>,
 }
 
 /// The provenance-capture observer.
@@ -136,6 +139,7 @@ impl ExecObserver for ProvenanceCapture {
                         pending: BTreeMap::new(),
                         finished: Vec::new(),
                         artifacts: BTreeMap::new(),
+                        resumed_from: None,
                     },
                 );
             }
@@ -155,6 +159,8 @@ impl ExecObserver for ProvenanceCapture {
                             started_millis: *at_millis,
                             inputs: Vec::new(),
                             outputs: Vec::new(),
+                            attempts: 1,
+                            backoff_micros: 0,
                         },
                     );
                 }
@@ -202,23 +208,29 @@ impl ExecObserver for ProvenanceCapture {
                 error,
             } => {
                 if let Some(pe) = self.active.get_mut(exec) {
-                    let partial = pe.pending.remove(node);
-                    let (identity, params, started_millis, inputs, outputs) = match partial {
-                        Some(p) => (p.identity, p.params, p.started_millis, p.inputs, p.outputs),
-                        // Skipped modules never emit ModuleStarted.
-                        None => (String::new(), Vec::new(), 0, Vec::new(), Vec::new()),
-                    };
+                    // Skipped modules never emit ModuleStarted.
+                    let partial = pe.pending.remove(node).unwrap_or(PendingRun {
+                        identity: String::new(),
+                        params: Vec::new(),
+                        started_millis: 0,
+                        inputs: Vec::new(),
+                        outputs: Vec::new(),
+                        attempts: 0,
+                        backoff_micros: 0,
+                    });
                     pe.finished.push(ModuleRun {
                         node: *node,
-                        identity,
-                        params,
+                        identity: partial.identity,
+                        params: partial.params,
                         status: *status,
-                        started_millis,
+                        started_millis: partial.started_millis,
                         elapsed_micros: *elapsed_micros,
                         from_cache: *from_cache,
                         error: error.clone(),
-                        inputs,
-                        outputs,
+                        inputs: partial.inputs,
+                        outputs: partial.outputs,
+                        attempts: partial.attempts,
+                        backoff_micros: partial.backoff_micros,
                     });
                 }
             }
@@ -240,10 +252,44 @@ impl ExecObserver for ProvenanceCapture {
                             runs: pe.finished,
                             artifacts: pe.artifacts,
                             environment: Environment::current(self.threads),
+                            resumed_from: pe.resumed_from,
                         },
                     );
                 }
             }
+            EngineEvent::AttemptStarted {
+                exec,
+                node,
+                attempt,
+            } => {
+                if let Some(pe) = self.active.get_mut(exec) {
+                    if let Some(run) = pe.pending.get_mut(node) {
+                        run.attempts = (*attempt).max(run.attempts);
+                    }
+                }
+            }
+            EngineEvent::BackoffStarted {
+                exec,
+                node,
+                delay_micros,
+                ..
+            } => {
+                if let Some(pe) = self.active.get_mut(exec) {
+                    if let Some(run) = pe.pending.get_mut(node) {
+                        run.backoff_micros += *delay_micros;
+                    }
+                }
+            }
+            EngineEvent::RunResumed {
+                exec, resumed_from, ..
+            } => {
+                if let Some(pe) = self.active.get_mut(exec) {
+                    pe.resumed_from = Some(*resumed_from);
+                }
+            }
+            // Per-attempt failures and timeouts are summarized by the
+            // attempt counter and the final ModuleFinished error.
+            EngineEvent::AttemptFailed { .. } | EngineEvent::ModuleTimedOut { .. } => {}
         }
     }
 }
@@ -352,6 +398,46 @@ mod tests {
         assert_eq!(retro.run_of(bad).unwrap().status, RunStatus::Failed);
         assert_eq!(retro.run_of(sink).unwrap().status, RunStatus::Skipped);
         assert_eq!(retro.run_of(src).unwrap().status, RunStatus::Succeeded);
+    }
+
+    #[test]
+    fn retries_and_resume_lineage_are_captured() {
+        use wf_engine::{ExecPolicy, FaultPlan, RetryPolicy};
+        let mut b = wf_model::WorkflowBuilder::new(1, "flaky");
+        let src = b.add("ConstInt");
+        let sink = b.add("Identity");
+        b.connect(src, "out", sink, "in");
+        let wf = b.build();
+
+        // Transient fault: attempt 1 fails, attempt 2 succeeds; the full
+        // recovery history lands in the retrospective record.
+        let exec = Executor::new(standard_registry())
+            .with_policy(
+                ExecPolicy::new().with_retry(RetryPolicy::attempts(3).backoff(50, 2.0, 200)),
+            )
+            .with_faults(FaultPlan::new().fail_on(src, 1, "transient"));
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let result = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(result.exec).unwrap();
+        assert_eq!(retro.status, RunStatus::Succeeded);
+        let run = retro.run_of(src).unwrap();
+        assert_eq!(run.attempts, 2, "both attempts recorded");
+        assert!(run.backoff_micros >= 50, "backoff wait recorded");
+        assert!(retro.render_log().contains("2 attempts"));
+
+        // Permanent fault, then resume: the resumed record links back.
+        let failing = Executor::new(standard_registry())
+            .with_faults(FaultPlan::new().fail_always(src, "dead"));
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let previous = failing.run_observed(&wf, &mut cap).unwrap();
+        assert_eq!(previous.status, RunStatus::Failed);
+
+        let healthy = Executor::new(standard_registry()).with_cache(64);
+        let resumed = healthy.resume(&wf, &previous, &mut cap).unwrap();
+        assert_eq!(resumed.status, RunStatus::Succeeded);
+        let retro = cap.take(resumed.exec).unwrap();
+        assert_eq!(retro.resumed_from, Some(previous.exec));
+        assert!(retro.render_log().contains("resumed from failed execution"));
     }
 
     #[test]

@@ -96,8 +96,7 @@ impl CausalityGraph {
             for run in &retro.runs {
                 for conn in wf.inputs_of(run.node) {
                     if let Some(up) = retro.run_of(conn.from.node) {
-                        if let Some((_, h)) =
-                            up.outputs.iter().find(|(p, _)| *p == conn.from.port)
+                        if let Some((_, h)) = up.outputs.iter().find(|(p, _)| *p == conn.from.port)
                         {
                             let a = intern(ProvNodeRef::Artifact(*h), &mut nodes);
                             let r = intern(ProvNodeRef::Run(run.node), &mut nodes);
@@ -220,11 +219,7 @@ impl CausalityGraph {
 
     /// Do two products share any raw-data ancestor? Returns the shared
     /// ancestors.
-    pub fn common_ancestors(
-        &self,
-        a: ArtifactHash,
-        b: ArtifactHash,
-    ) -> BTreeSet<ArtifactHash> {
+    pub fn common_ancestors(&self, a: ArtifactHash, b: ArtifactHash) -> BTreeSet<ArtifactHash> {
         let da = self.data_dependencies(a);
         let db = self.data_dependencies(b);
         da.intersection(&db).copied().collect()

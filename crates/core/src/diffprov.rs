@@ -78,8 +78,13 @@ impl fmt::Display for Difference {
             } => write!(
                 f,
                 "{node} ({identity}): parameter '{param}' changed {} -> {}",
-                left.as_ref().map(|v| v.render()).unwrap_or_else(|| "<unset>".into()),
-                right.as_ref().map(|v| v.render()).unwrap_or_else(|| "<unset>".into()),
+                left.as_ref()
+                    .map(|v| v.render())
+                    .unwrap_or_else(|| "<unset>".into()),
+                right
+                    .as_ref()
+                    .map(|v| v.render())
+                    .unwrap_or_else(|| "<unset>".into()),
             ),
             Difference::ModuleRevision { node, left, right } => {
                 write!(f, "{node}: module revision changed {left} -> {right}")
@@ -201,9 +206,7 @@ pub fn diff_products(
                 // artifact, where the producing step is *outside* both
                 // slices (i.e. raw data changed, not an upstream module).
                 for (port, lh) in &lrun.inputs {
-                    if let Some((_, rh)) =
-                        rrun.inputs.iter().find(|(p, _)| p == port)
-                    {
+                    if let Some((_, rh)) = rrun.inputs.iter().find(|(p, _)| p == port) {
                         if lh != rh {
                             let l_explained = left
                                 .generators_of(*lh)
@@ -274,7 +277,8 @@ mod tests {
         let (wf, nodes) = figure1_workflow(1);
         let p1 = run(&wf);
         let mut wf2 = wf.clone();
-        wf2.set_param(nodes.hist, "bins", ParamValue::Int(8)).unwrap();
+        wf2.set_param(nodes.hist, "bins", ParamValue::Int(8))
+            .unwrap();
         let p2 = run(&wf2);
         let h1 = p1.produced(nodes.save_hist, "file").unwrap().hash;
         let h2 = p2.produced(nodes.save_hist, "file").unwrap().hash;

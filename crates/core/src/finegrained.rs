@@ -194,11 +194,14 @@ mod tests {
         let src_b = b.add_labeled("TableSource", "reference db");
         b.param(src_b, "rows", 12i64).param(src_b, "seed", 2i64);
         let join = b.add("TableJoin");
-        b.param(join, "left_col", "id").param(join, "right_col", "id");
+        b.param(join, "left_col", "id")
+            .param(join, "right_col", "id");
         let filter = b.add("TableFilter");
-        b.param(filter, "column", "value").param(filter, "min", 30.0f64);
+        b.param(filter, "column", "value")
+            .param(filter, "min", 30.0f64);
         let agg = b.add("TableAggregate");
-        b.param(agg, "group_col", "grp").param(agg, "agg_col", "value");
+        b.param(agg, "group_col", "grp")
+            .param(agg, "agg_col", "value");
         b.connect(src_a, "out", join, "left")
             .connect(src_b, "out", join, "right")
             .connect(join, "out", filter, "in")
@@ -226,7 +229,12 @@ mod tests {
         let (wf, src_a, src_b, _, _, agg) = pipeline();
         let result = run(&wf);
         let tracer = RowLineageTracer::new(&wf, &result);
-        let out = result.output(agg, "out").unwrap().as_table().unwrap().clone();
+        let out = result
+            .output(agg, "out")
+            .unwrap()
+            .as_table()
+            .unwrap()
+            .clone();
         assert!(!out.is_empty(), "aggregate produced groups");
         let base = tracer.base_rows(&RowRef::new(agg, "out", 0));
         assert!(!base.is_empty());
@@ -244,8 +252,18 @@ mod tests {
         let tracer = RowLineageTracer::new(&wf, &result);
         // For a filter row, the left-source base row's value must match the
         // filter row's value column (the join preserved left columns).
-        let fil = result.output(filter, "out").unwrap().as_table().unwrap().clone();
-        let src = result.output(src_a, "out").unwrap().as_table().unwrap().clone();
+        let fil = result
+            .output(filter, "out")
+            .unwrap()
+            .as_table()
+            .unwrap()
+            .clone();
+        let src = result
+            .output(src_a, "out")
+            .unwrap()
+            .as_table()
+            .unwrap()
+            .clone();
         let vi = fil.column_index("value").unwrap();
         for row in 0..fil.len() {
             let base = tracer.base_rows(&RowRef::new(filter, "out", row));
@@ -264,7 +282,12 @@ mod tests {
         let (wf, src_a, _, _, _, agg) = pipeline();
         let result = run(&wf);
         let tracer = RowLineageTracer::new(&wf, &result);
-        let out = result.output(agg, "out").unwrap().as_table().unwrap().clone();
+        let out = result
+            .output(agg, "out")
+            .unwrap()
+            .as_table()
+            .unwrap()
+            .clone();
         // Pick a base row that actually contributed to group 0.
         let base = tracer
             .base_rows(&RowRef::new(agg, "out", 0))

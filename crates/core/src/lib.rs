@@ -57,5 +57,5 @@ pub use model::{
 };
 pub use opm::{OpmEdge, OpmGraph, OpmNodeId};
 pub use publication::ResearchObject;
-pub use repro::ReproReport;
+pub use repro::{check_resume, ReproReport, ResumeCheck};
 pub use views::{UserView, ViewedGraph};

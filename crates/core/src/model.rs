@@ -63,6 +63,31 @@ pub struct ModuleRun {
     pub inputs: Vec<(String, ArtifactHash)>,
     /// Outputs produced: (port, artifact hash).
     pub outputs: Vec<(String, ArtifactHash)>,
+    /// Number of body attempts made (>1 when a retry policy re-attempted
+    /// the module). Serialized only when retries actually happened, so
+    /// records from engines without fault tolerance read back unchanged.
+    #[serde(
+        default = "default_attempts",
+        skip_serializing_if = "is_single_attempt"
+    )]
+    pub attempts: u32,
+    /// Total time spent waiting out retry backoffs, in microseconds.
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub backoff_micros: u64,
+}
+
+fn default_attempts() -> u32 {
+    1
+}
+
+#[allow(clippy::trivially_copy_pass_by_ref)] // serde requires &T
+fn is_single_attempt(attempts: &u32) -> bool {
+    *attempts <= 1
+}
+
+#[allow(clippy::trivially_copy_pass_by_ref)] // serde requires &T
+fn is_zero_u64(v: &u64) -> bool {
+    *v == 0
 }
 
 /// The execution environment recorded with retrospective provenance.
@@ -111,6 +136,10 @@ pub struct RetrospectiveProvenance {
     pub artifacts: BTreeMap<ArtifactHash, Artifact>,
     /// Execution environment.
     pub environment: Environment,
+    /// When this run resumed an earlier failed run, that run's id — the
+    /// resume lineage link that makes recovery itself queryable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resumed_from: Option<ExecId>,
 }
 
 impl RetrospectiveProvenance {
@@ -156,18 +185,28 @@ impl RetrospectiveProvenance {
             "execution {} of workflow '{}' ({}): {}\n",
             self.exec, self.workflow_name, self.workflow, self.status
         ));
+        if let Some(from) = self.resumed_from {
+            s.push_str(&format!("resumed from failed execution {from}\n"));
+        }
         s.push_str(&format!(
             "environment: {}/{} on {} threads, {}\n",
-            self.environment.os, self.environment.arch, self.environment.threads,
+            self.environment.os,
+            self.environment.arch,
+            self.environment.threads,
             self.environment.engine
         ));
         for r in &self.runs {
             s.push_str(&format!(
-                "  {} {} [{}us{}] {}{}\n",
+                "  {} {} [{}us{}{}] {}{}\n",
                 r.node,
                 r.identity,
                 r.elapsed_micros,
                 if r.from_cache { ", cached" } else { "" },
+                if r.attempts > 1 {
+                    format!(", {} attempts", r.attempts)
+                } else {
+                    String::new()
+                },
                 r.status,
                 r.error
                     .as_deref()
@@ -273,10 +312,7 @@ pub struct ProvenanceBundle {
 
 impl ProvenanceBundle {
     /// Bundle a specification with one of its runs.
-    pub fn new(
-        prospective: ProspectiveProvenance,
-        retrospective: RetrospectiveProvenance,
-    ) -> Self {
+    pub fn new(prospective: ProspectiveProvenance, retrospective: RetrospectiveProvenance) -> Self {
         Self {
             prospective,
             retrospective,
@@ -327,6 +363,8 @@ mod tests {
                     error: None,
                     inputs: vec![],
                     outputs: vec![("grid".into(), 11)],
+                    attempts: 1,
+                    backoff_micros: 0,
                 },
                 ModuleRun {
                     node: NodeId(1),
@@ -339,10 +377,13 @@ mod tests {
                     error: None,
                     inputs: vec![("data".into(), 11)],
                     outputs: vec![("table".into(), 22)],
+                    attempts: 1,
+                    backoff_micros: 0,
                 },
             ],
             artifacts,
             environment: Environment::current(1),
+            resumed_from: None,
         }
     }
 
@@ -373,7 +414,10 @@ mod tests {
         let log = p.render_log();
         assert!(log.contains("LoadVolume@1"));
         assert!(log.contains("Histogram@1"));
-        assert!(log.contains("000000000000000b"), "artifact 11 in hex: {log}");
+        assert!(
+            log.contains("000000000000000b"),
+            "artifact 11 in hex: {log}"
+        );
         assert!(log.contains("succeeded"));
     }
 

@@ -114,10 +114,7 @@ impl ResearchObject {
 
     /// Did every result reproduce exactly?
     pub fn is_repeatable(&self, executor: &Executor) -> Result<bool, ExecError> {
-        Ok(self
-            .verify(executor)?
-            .iter()
-            .all(|v| v.report.is_exact()))
+        Ok(self.verify(executor)?.iter().all(|v| v.report.is_exact()))
     }
 
     /// Serialize the whole object to one JSON document.
@@ -144,10 +141,7 @@ mod tests {
         let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
         let r = exec.run_observed(&wf, &mut cap).unwrap();
         let retro = cap.take(r.exec).unwrap();
-        let mut obj = ResearchObject::new(
-            "Visualizing CT volumes",
-            &["S. Davidson", "J. Freire"],
-        );
+        let mut obj = ResearchObject::new("Visualizing CT volumes", &["S. Davidson", "J. Freire"]);
         obj.annotations.annotate(
             Subject::Node(wf.id, nodes.load),
             "dataset",

@@ -39,11 +39,8 @@ impl ReductionStats {
 /// construction: artifacts cannot precede their generators).
 pub fn transitive_reduction(g: &CausalityGraph) -> ReductionStats {
     let nodes = g.nodes();
-    let index: BTreeMap<ProvNodeRef, usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (*n, i))
-        .collect();
+    let index: BTreeMap<ProvNodeRef, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
     let mut dg = Digraph::with_nodes(nodes.len());
     let mut before = 0;
     for (a, b) in g.edge_list() {

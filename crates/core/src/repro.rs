@@ -95,9 +95,7 @@ pub fn verify_reproduction(
     let mut checks = Vec::new();
     for run in &retro.runs {
         for (port, expected) in &run.outputs {
-            let actual = result
-                .output(run.node, port)
-                .map(|v| v.content_hash());
+            let actual = result.output(run.node, port).map(|v| v.content_hash());
             checks.push(ArtifactCheck {
                 node: run.node,
                 port: port.clone(),
@@ -110,6 +108,65 @@ pub fn verify_reproduction(
         checks,
         rerun_status: result.status,
     })
+}
+
+/// Validation of a resumed run against the failed run it recovered from,
+/// computed purely from the two retrospective records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeCheck {
+    /// Does the resumed record link back to the original run's id?
+    pub links_back: bool,
+    /// Nodes replayed from the checkpoint whose recorded outputs match the
+    /// original run's outputs exactly.
+    pub reused_consistent: bool,
+    /// Nodes that failed or were skipped originally and succeeded in the
+    /// resumed run — the work the resume actually recovered.
+    pub recovered: Vec<NodeId>,
+}
+
+impl ResumeCheck {
+    /// Is the resumed run a valid recovery: linked back, with every reused
+    /// result consistent and at least everything failed/skipped recovered?
+    pub fn is_valid(&self) -> bool {
+        self.links_back && self.reused_consistent
+    }
+}
+
+/// Compare a resumed run's provenance against the failed run it resumed.
+///
+/// Checks that the resumed record's lineage points at `original`, that
+/// every cache-replayed module reproduces the original output hashes, and
+/// reports which originally failed or skipped nodes now succeeded.
+pub fn check_resume(
+    original: &RetrospectiveProvenance,
+    resumed: &RetrospectiveProvenance,
+) -> ResumeCheck {
+    let links_back = resumed.resumed_from == Some(original.exec);
+    // A cache hit in the resumed run is checkpoint reuse only when that
+    // node succeeded originally; other hits are ordinary intra-run
+    // memoization (e.g. two identical modules fed the same input) and say
+    // nothing about the checkpoint.
+    let reused_consistent = resumed
+        .runs
+        .iter()
+        .filter(|r| r.from_cache)
+        .filter_map(|r| Some((r, original.run_of(r.node)?)))
+        .filter(|(_, orig)| orig.status == RunStatus::Succeeded)
+        .all(|(r, orig)| orig.outputs == r.outputs);
+    let recovered = original
+        .runs
+        .iter()
+        .filter(|r| r.status != RunStatus::Succeeded)
+        .filter_map(|r| {
+            let now = resumed.run_of(r.node)?;
+            (now.status == RunStatus::Succeeded).then_some(r.node)
+        })
+        .collect();
+    ResumeCheck {
+        links_back,
+        reused_consistent,
+        recovered,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +200,8 @@ mod tests {
         let retro = cap.take(r.exec).unwrap();
         // Re-run against a tampered recipe.
         let mut wf2 = wf.clone();
-        wf2.set_param(nodes.hist, "bins", ParamValue::Int(7)).unwrap();
+        wf2.set_param(nodes.hist, "bins", ParamValue::Int(7))
+            .unwrap();
         let report = verify_reproduction(&exec, &wf2, &retro).unwrap();
         assert!(!report.is_exact());
         assert!(report.fidelity() < 1.0);
@@ -203,6 +261,41 @@ mod tests {
         assert_eq!(report.mismatches().len(), 2);
         let mism = report.mismatches();
         assert!(mism.iter().all(|c| c.actual.is_some()));
+    }
+
+    #[test]
+    fn check_resume_validates_recovery_lineage() {
+        use wf_engine::FaultPlan;
+        let mut b = WorkflowBuilder::new(1, "recoverable");
+        let src = b.add("ConstInt");
+        let bad = b.add("Identity");
+        let sink = b.add("Identity");
+        b.connect(src, "out", bad, "in")
+            .connect(bad, "out", sink, "in");
+        let wf = b.build();
+
+        let failing = Executor::new(standard_registry())
+            .with_faults(FaultPlan::new().fail_always(bad, "dead"));
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r1 = failing.run_observed(&wf, &mut cap).unwrap();
+        let original = cap.take(r1.exec).unwrap();
+        assert_eq!(original.status, RunStatus::Failed);
+
+        let healthy = Executor::new(standard_registry()).with_cache(64);
+        let r2 = healthy.resume(&wf, &r1, &mut cap).unwrap();
+        let resumed = cap.take(r2.exec).unwrap();
+
+        let check = check_resume(&original, &resumed);
+        assert!(check.is_valid(), "{check:?}");
+        assert!(check.links_back);
+        assert!(check.reused_consistent);
+        assert_eq!(check.recovered, vec![bad, sink], "failed + skipped nodes");
+
+        // An unrelated clean run does not validate as a resume.
+        let clean_exec = Executor::new(standard_registry());
+        let r3 = clean_exec.run_observed(&wf, &mut cap).unwrap();
+        let unrelated = cap.take(r3.exec).unwrap();
+        assert!(!check_resume(&original, &unrelated).links_back);
     }
 
     #[test]

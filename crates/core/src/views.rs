@@ -103,9 +103,7 @@ impl ViewedGraph {
         }
         for n in base.nodes() {
             if let ProvNodeRef::Run(id) = n {
-                group_of
-                    .entry(*id)
-                    .or_insert_with(|| format!("{id}"));
+                group_of.entry(*id).or_insert_with(|| format!("{id}"));
             }
         }
 
@@ -140,9 +138,7 @@ impl ViewedGraph {
         }
 
         for (h, groups) in &touching {
-            let internal = groups.len() <= 1
-                && has_generator.contains(h)
-                && has_user.contains(h);
+            let internal = groups.len() <= 1 && has_generator.contains(h) && has_user.contains(h);
             if internal {
                 hidden.insert(*h);
                 continue;
@@ -253,7 +249,10 @@ mod tests {
 
     fn branch_view(nodes: &Figure1Nodes) -> UserView {
         UserView::new("branches")
-            .group("histogram-branch", [nodes.hist, nodes.plot, nodes.save_hist])
+            .group(
+                "histogram-branch",
+                [nodes.hist, nodes.plot, nodes.save_hist],
+            )
             .group(
                 "iso-branch",
                 [nodes.iso, nodes.smooth, nodes.render, nodes.save_iso],
@@ -307,10 +306,7 @@ mod tests {
                     continue;
                 }
                 let base_reach = down.contains(&ProvNodeRef::Artifact(b));
-                let view_reach = viewed.reachable(
-                    &ViewNode::Artifact(a),
-                    &ViewNode::Artifact(b),
-                );
+                let view_reach = viewed.reachable(&ViewNode::Artifact(a), &ViewNode::Artifact(b));
                 assert_eq!(
                     base_reach, view_reach,
                     "reachability {a:x} -> {b:x} must be preserved"

@@ -90,17 +90,13 @@ impl Action {
                 wf.insert_node(node.clone());
                 Ok(())
             }
-            Action::DeleteNode { node, .. } => {
-                wf.remove_node(node.id).map(|_| ())
-            }
+            Action::DeleteNode { node, .. } => wf.remove_node(node.id).map(|_| ()),
             Action::AddConnection { conn } => {
                 // Validate through the public API; preserve the recorded id.
                 wf.insert_connection(conn.clone());
                 Ok(())
             }
-            Action::DeleteConnection { conn } => {
-                wf.remove_connection(conn.id).map(|_| ())
-            }
+            Action::DeleteConnection { conn } => wf.remove_connection(conn.id).map(|_| ()),
             Action::SetParam {
                 node, name, new, ..
             } => match new {
@@ -112,9 +108,7 @@ impl Action {
                 wf.name = new.clone();
                 Ok(())
             }
-            Action::SetVersion { node, new, .. } => {
-                wf.set_version(*node, *new).map(|_| ())
-            }
+            Action::SetVersion { node, new, .. } => wf.set_version(*node, *new).map(|_| ()),
             Action::Restore { node, conns } => {
                 wf.insert_node(node.clone());
                 for c in conns {
@@ -146,7 +140,10 @@ impl Action {
             Action::AddConnection { conn } => Action::DeleteConnection { conn: conn.clone() },
             Action::DeleteConnection { conn } => Action::AddConnection { conn: conn.clone() },
             Action::SetParam {
-                node, name, new, old,
+                node,
+                name,
+                new,
+                old,
             } => Action::SetParam {
                 node: *node,
                 name: name.clone(),
@@ -191,7 +188,9 @@ impl Action {
                 "disconnect {}.{} -> {}.{}",
                 conn.from.node, conn.from.port, conn.to.node, conn.to.port
             ),
-            Action::SetParam { node, name, new, .. } => match new {
+            Action::SetParam {
+                node, name, new, ..
+            } => match new {
                 Some(v) => format!("set {node}.{name} = {v}"),
                 None => format!("unset {node}.{name}"),
             },

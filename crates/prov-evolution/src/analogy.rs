@@ -118,10 +118,8 @@ pub fn match_workflows_with(
         s_ids.iter().map(|&n| neighbours(source, n)).collect();
     let t_nbrs: Vec<(Vec<NodeId>, Vec<NodeId>)> =
         t_ids.iter().map(|&n| neighbours(target, n)).collect();
-    let s_index: BTreeMap<NodeId, usize> =
-        s_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-    let t_index: BTreeMap<NodeId, usize> =
-        t_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let s_index: BTreeMap<NodeId, usize> = s_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let t_index: BTreeMap<NodeId, usize> = t_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
 
     for _ in 0..iterations {
         let mut next = score.clone();
@@ -291,7 +289,10 @@ pub fn apply_by_analogy(
 
     // Parameter changes on matched nodes.
     for (node, name, _, new) in &diff.param_changes {
-        match matching.target(*node).or_else(|| new_ids.get(node).copied()) {
+        match matching
+            .target(*node)
+            .or_else(|| new_ids.get(node).copied())
+        {
             Some(t) => {
                 match new {
                     Some(v) => {
@@ -380,7 +381,8 @@ mod tests {
             let s = b.add("ConstInt");
             let mid = b.add("Identity");
             let sink = b.add("Identity");
-            b.connect(s, "out", mid, "in").connect(mid, "out", sink, "in");
+            b.connect(s, "out", mid, "in")
+                .connect(mid, "out", sink, "in");
             (b.build(), mid, sink)
         };
         let (a, a_mid, a_sink) = build(1);
@@ -405,8 +407,18 @@ mod tests {
         assert_eq!(smooth.len(), 1);
         let smooth = smooth[0].id;
         // Wired between c's isosurface and c's renderer.
-        let iso = out.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
-        let render = out.nodes.values().find(|n| n.module == "RenderMesh").unwrap().id;
+        let iso = out
+            .nodes
+            .values()
+            .find(|n| n.module == "Isosurface")
+            .unwrap()
+            .id;
+        let render = out
+            .nodes
+            .values()
+            .find(|n| n.module == "RenderMesh")
+            .unwrap()
+            .id;
         assert!(out
             .conns
             .values()
@@ -444,7 +456,12 @@ mod tests {
         let (a, _, c) = scenario::figure2_triple();
         // Template: only change isovalue 0.4 -> 0.7.
         let mut b2 = a.clone();
-        let iso = b2.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
+        let iso = b2
+            .nodes
+            .values()
+            .find(|n| n.module == "Isosurface")
+            .unwrap()
+            .id;
         b2.set_param(iso, "isovalue", 0.7f64.into()).unwrap();
         let result = apply_by_analogy(&a, &b2, &c).unwrap();
         assert!(result.is_clean());
@@ -465,7 +482,12 @@ mod tests {
         let (a, _, c) = scenario::figure2_triple();
         // Template: delete the save step.
         let mut b2 = a.clone();
-        let save = b2.nodes.values().find(|n| n.module == "SaveFile").unwrap().id;
+        let save = b2
+            .nodes
+            .values()
+            .find(|n| n.module == "SaveFile")
+            .unwrap()
+            .id;
         b2.remove_node(save).unwrap();
         let before = c.nodes.values().filter(|n| n.module == "SaveFile").count();
         let result = apply_by_analogy(&a, &b2, &c).unwrap();

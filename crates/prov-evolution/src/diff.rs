@@ -66,8 +66,12 @@ impl WorkflowDiff {
         for (n, p, l, r) in &self.param_changes {
             s.push_str(&format!(
                 "~ param {n}.{p}: {} -> {}\n",
-                l.as_ref().map(|v| v.render()).unwrap_or_else(|| "<unset>".into()),
-                r.as_ref().map(|v| v.render()).unwrap_or_else(|| "<unset>".into()),
+                l.as_ref()
+                    .map(|v| v.render())
+                    .unwrap_or_else(|| "<unset>".into()),
+                r.as_ref()
+                    .map(|v| v.render())
+                    .unwrap_or_else(|| "<unset>".into()),
             ));
         }
         for c in &self.conns_only_left {
@@ -96,11 +100,8 @@ pub fn diff_workflows(left: &Workflow, right: &Workflow) -> WorkflowDiff {
             Some(rnode) => {
                 diff.matched.push(*id);
                 if lnode.kind_identity() != rnode.kind_identity() {
-                    diff.module_changes.push((
-                        *id,
-                        lnode.kind_identity(),
-                        rnode.kind_identity(),
-                    ));
+                    diff.module_changes
+                        .push((*id, lnode.kind_identity(), rnode.kind_identity()));
                 }
                 let params: BTreeSet<&String> =
                     lnode.params.keys().chain(rnode.params.keys()).collect();
@@ -108,12 +109,8 @@ pub fn diff_workflows(left: &Workflow, right: &Workflow) -> WorkflowDiff {
                     let l = lnode.params.get(p);
                     let r = rnode.params.get(p);
                     if l != r {
-                        diff.param_changes.push((
-                            *id,
-                            p.clone(),
-                            l.cloned(),
-                            r.cloned(),
-                        ));
+                        diff.param_changes
+                            .push((*id, p.clone(), l.cloned(), r.cloned()));
                     }
                 }
             }
@@ -158,7 +155,8 @@ mod tests {
         let l = b.add("LoadVolume");
         let i = b.add("Isosurface");
         let r = b.add("RenderMesh");
-        b.connect(l, "grid", i, "data").connect(i, "mesh", r, "mesh");
+        b.connect(l, "grid", i, "data")
+            .connect(i, "mesh", r, "mesh");
         b.param(i, "isovalue", 0.5f64);
         b.build()
     }
@@ -177,8 +175,18 @@ mod tests {
         let a = base();
         let mut b = a.clone();
         // Insert SmoothMesh between Isosurface and RenderMesh.
-        let iso = b.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
-        let render = b.nodes.values().find(|n| n.module == "RenderMesh").unwrap().id;
+        let iso = b
+            .nodes
+            .values()
+            .find(|n| n.module == "Isosurface")
+            .unwrap()
+            .id;
+        let render = b
+            .nodes
+            .values()
+            .find(|n| n.module == "RenderMesh")
+            .unwrap()
+            .id;
         let old_conn = b
             .conns
             .values()
@@ -205,7 +213,12 @@ mod tests {
     fn param_change_detected_both_directions() {
         let a = base();
         let mut b = a.clone();
-        let iso = b.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
+        let iso = b
+            .nodes
+            .values()
+            .find(|n| n.module == "Isosurface")
+            .unwrap()
+            .id;
         b.set_param(iso, "isovalue", 0.8f64.into()).unwrap();
         b.set_param(iso, "extra", 1i64.into()).unwrap();
         let d = diff_workflows(&a, &b);
@@ -217,7 +230,11 @@ mod tests {
             .unwrap();
         assert_eq!(iso_change.2, Some(ParamValue::Float(0.5)));
         assert_eq!(iso_change.3, Some(ParamValue::Float(0.8)));
-        let extra = d.param_changes.iter().find(|(_, p, ..)| p == "extra").unwrap();
+        let extra = d
+            .param_changes
+            .iter()
+            .find(|(_, p, ..)| p == "extra")
+            .unwrap();
         assert_eq!(extra.2, None);
     }
 
@@ -225,7 +242,12 @@ mod tests {
     fn module_revision_detected() {
         let a = base();
         let mut b = a.clone();
-        let iso = b.nodes.values().find(|n| n.module == "Isosurface").unwrap().id;
+        let iso = b
+            .nodes
+            .values()
+            .find(|n| n.module == "Isosurface")
+            .unwrap()
+            .id;
         b.nodes.get_mut(&iso).unwrap().version = 2;
         let d = diff_workflows(&a, &b);
         assert_eq!(d.module_changes.len(), 1);
@@ -237,7 +259,12 @@ mod tests {
     fn deleted_node_detected() {
         let a = base();
         let mut b = a.clone();
-        let render = b.nodes.values().find(|n| n.module == "RenderMesh").unwrap().id;
+        let render = b
+            .nodes
+            .values()
+            .find(|n| n.module == "RenderMesh")
+            .unwrap()
+            .id;
         b.remove_node(render).unwrap();
         let d = diff_workflows(&a, &b);
         assert_eq!(d.only_left, vec![render]);

@@ -153,7 +153,11 @@ pub fn noisy_target(seed: u64, noise: f64) -> Workflow {
 /// A linear evolution history of `depth` commits over `Busy` modules,
 /// alternating adds and parameter tweaks — the workload of the
 /// version-tree materialization experiment (E8).
-pub fn evolution_history(seed: u64, depth: usize, snapshot_every: usize) -> (VersionTree, VersionId) {
+pub fn evolution_history(
+    seed: u64,
+    depth: usize,
+    snapshot_every: usize,
+) -> (VersionTree, VersionId) {
     let mut tree = VersionTree::new(WorkflowId(1), "synthetic history");
     if snapshot_every > 0 {
         tree = tree.with_snapshots(snapshot_every);

@@ -21,9 +21,7 @@ fn now_millis() -> u64 {
 }
 
 /// Identifier of a version in the tree.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct VersionId(pub u64);
 
@@ -386,7 +384,10 @@ mod tests {
             .commit(versions[1], add_node_action(20, "X"), "a")
             .unwrap();
         assert_eq!(t.common_ancestor(versions[3], branch), Some(versions[1]));
-        assert_eq!(t.common_ancestor(versions[3], versions[2]), Some(versions[2]));
+        assert_eq!(
+            t.common_ancestor(versions[3], versions[2]),
+            Some(versions[2])
+        );
         assert_eq!(t.common_ancestor(t.root(), branch), Some(t.root()));
     }
 
@@ -446,7 +447,11 @@ mod tests {
         assert_eq!(back.node_count(), wf.node_count());
         assert_eq!(back.conn_count(), wf.conn_count());
         assert_eq!(
-            back.nodes.values().find(|n| n.module == "Histogram").unwrap().params
+            back.nodes
+                .values()
+                .find(|n| n.module == "Histogram")
+                .unwrap()
+                .params
                 .get("bins"),
             Some(&ParamValue::Int(16))
         );

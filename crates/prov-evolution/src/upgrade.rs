@@ -92,10 +92,7 @@ pub fn plan_upgrades(wf: &Workflow, catalog: &ModuleCatalog) -> UpgradePlan {
         if reason.is_none() {
             for pname in node.params.keys() {
                 if latest.param_spec(pname).is_none() {
-                    reason = Some(format!(
-                        "v{} dropped parameter '{pname}'",
-                        latest.version
-                    ));
+                    reason = Some(format!("v{} dropped parameter '{pname}'", latest.version));
                     break;
                 }
             }
@@ -165,7 +162,8 @@ mod tests {
         let h = b.add("Histogram");
         b.param(h, "bins", 32i64);
         let r = b.add("Render");
-        b.connect(l, "grid", h, "data").connect(h, "table", r, "table");
+        b.connect(l, "grid", h, "data")
+            .connect(h, "table", r, "table");
         b.build()
     }
 

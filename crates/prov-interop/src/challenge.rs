@@ -360,10 +360,12 @@ impl ChallengeSetup {
             .retro
             .runs
             .iter()
-            .find(|r| r.identity.starts_with("LoadVolume") && {
-                r.params
-                    .iter()
-                    .any(|(k, v)| k == "path" && v.render().contains("anatomy1"))
+            .find(|r| {
+                r.identity.starts_with("LoadVolume") && {
+                    r.params
+                        .iter()
+                        .any(|(k, v)| k == "path" && v.render().contains("anatomy1"))
+                }
             })
             .map(|r| format!("{:016x}", r.outputs[0].1));
         let q9: Vec<String> = match anatomy.and_then(|l| self.artifact(g, &l)) {
@@ -410,8 +412,11 @@ mod tests {
     fn challenge_runs_and_integrates() {
         let setup = run_challenge();
         assert_eq!(setup.accounts.len(), 3);
-        assert!(setup.integration.shared_artifacts >= 4, "{}",
-            setup.integration.summary());
+        assert!(
+            setup.integration.shared_artifacts >= 4,
+            "{}",
+            setup.integration.summary()
+        );
         assert!(setup.integration.inferred_edges > 0);
         assert_eq!(setup.annotations.len(), 2);
     }
@@ -433,8 +438,8 @@ mod tests {
     #[test]
     fn single_accounts_see_less_than_integration() {
         let setup = run_challenge();
-        let integrated = setup
-            .lineage_process_labels(&setup.integration.graph, &setup.atlas_graphic_label());
+        let integrated =
+            setup.lineage_process_labels(&setup.integration.graph, &setup.atlas_graphic_label());
         for (name, count) in setup.q1_coverage_per_account() {
             assert!(
                 count < integrated.len(),

@@ -27,12 +27,7 @@ pub fn slice_runs(retro: &RetrospectiveProvenance, modules: &[&str]) -> Retrospe
         .collect();
     let touched: std::collections::BTreeSet<u64> = runs
         .iter()
-        .flat_map(|r| {
-            r.inputs
-                .iter()
-                .chain(r.outputs.iter())
-                .map(|(_, h)| *h)
-        })
+        .flat_map(|r| r.inputs.iter().chain(r.outputs.iter()).map(|(_, h)| *h))
         .collect();
     RetrospectiveProvenance {
         runs,
@@ -74,11 +69,7 @@ pub mod rdfish {
                 triples.push((p.clone(), "rdf:type".into(), "t2:ProcessRun".into()));
                 triples.push((p.clone(), "t2:runsActivity".into(), run.identity.clone()));
                 for (name, v) in &run.params {
-                    triples.push((
-                        p.clone(),
-                        format!("t2:param/{name}"),
-                        v.render(),
-                    ));
+                    triples.push((p.clone(), format!("t2:param/{name}"), v.render()));
                 }
                 for (port, h) in &run.inputs {
                     let d = format!("data/{}", digest(*h));
@@ -144,9 +135,7 @@ pub mod rdfish {
         pub fn from_opm(g: &prov_core::opm::OpmGraph) -> Self {
             use prov_core::opm::{OpmEdge, OpmNodeKind};
             let mut triples = Vec::new();
-            let label = |id| {
-                g.get(id).map(|n| n.label.clone()).unwrap_or_default()
-            };
+            let label = |id| g.get(id).map(|n| n.label.clone()).unwrap_or_default();
             for n in g.nodes() {
                 match n.kind {
                     OpmNodeKind::Process => {
@@ -542,8 +531,7 @@ mod tests {
             .nodes()
             .iter()
             .find(|n| {
-                n.kind == OpmNodeKind::Process
-                    && g.prop(n.id, "activity") == Some("Histogram@1")
+                n.kind == OpmNodeKind::Process && g.prop(n.id, "activity") == Some("Histogram@1")
             })
             .unwrap();
         assert_eq!(g.prop(hist.id, "param:bins"), Some("32"));
@@ -590,7 +578,10 @@ mod tests {
         let aj = serde_json::to_string(&a).unwrap();
         let bj = serde_json::to_string(&b).unwrap();
         let cj = serde_json::to_string(&c).unwrap();
-        assert_eq!(serde_json::from_str::<rdfish::RdfProvenance>(&aj).unwrap(), a);
+        assert_eq!(
+            serde_json::from_str::<rdfish::RdfProvenance>(&aj).unwrap(),
+            a
+        );
         assert_eq!(
             serde_json::from_str::<eventlog::EventLogProvenance>(&bj).unwrap(),
             b
@@ -681,15 +672,12 @@ mod tests {
         assert_eq!(procs, 2, "ConstInt + FailIf; skipped Identity excluded");
 
         let log = eventlog::EventLogProvenance::capture(&retro);
+        assert!(log.events.iter().all(|e| !e.actor.starts_with("Identity")));
+        // The failed firing is recorded as not-ok.
         assert!(log
             .events
             .iter()
-            .all(|e| !e.actor.starts_with("Identity")));
-        // The failed firing is recorded as not-ok.
-        assert!(log.events.iter().any(|e| matches!(
-            e.kind,
-            eventlog::EventKind::FireEnd { ok: false }
-        )));
+            .any(|e| matches!(e.kind, eventlog::EventKind::FireEnd { ok: false })));
 
         let ch = changelog::ChangelogProvenance::capture(&retro, &wf);
         assert_eq!(ch.len(), 2);
@@ -707,6 +695,7 @@ mod tests {
             runs: vec![],
             artifacts: Default::default(),
             environment: prov_core::model::Environment::current(1),
+            resumed_from: None,
         };
         assert!(rdfish::RdfProvenance::capture(&retro).is_empty());
         assert!(eventlog::EventLogProvenance::capture(&retro).is_empty());

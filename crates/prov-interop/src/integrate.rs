@@ -77,10 +77,7 @@ pub fn integrate(graphs: &[OpmGraph]) -> IntegrationReport {
             }
         }
     }
-    let shared = artifact_accounts
-        .values()
-        .filter(|s| s.len() >= 2)
-        .count();
+    let shared = artifact_accounts.values().filter(|s| s.len() >= 2).count();
     let inferred = merged.infer_completions();
     let total_artifacts = merged
         .nodes()

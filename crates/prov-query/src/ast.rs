@@ -29,6 +29,8 @@ pub enum Field {
     Dtype,
     /// Execution id.
     Exec,
+    /// Module-run attempt count (retried runs have `attempts > 1`).
+    Attempts,
 }
 
 /// Comparison operators.

@@ -127,6 +127,7 @@ impl QueryResult {
 struct RunInfo {
     identity: String,
     status: String,
+    attempts: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -170,6 +171,7 @@ impl PqlEngine {
                 RunInfo {
                     identity: run.identity.clone(),
                     status: run.status.to_string(),
+                    attempts: run.attempts,
                 },
             );
             for (_, h) in &run.inputs {
@@ -233,9 +235,7 @@ impl PqlEngine {
             Query::Count { entity, filter } => {
                 Ok(QueryResult::Count(self.select(*entity, filter).len()))
             }
-            Query::List { entity, filter } => {
-                Ok(QueryResult::Nodes(self.select(*entity, filter)))
-            }
+            Query::List { entity, filter } => Ok(QueryResult::Nodes(self.select(*entity, filter))),
             Query::Paths { from, to, max_len } => {
                 let from = self.resolve(*from)?;
                 let to = self.resolve(*to)?;
@@ -326,7 +326,7 @@ impl PqlEngine {
                         Field::Status => Some(info.status.clone()),
                         Field::Exec => Some(e.0.to_string()),
                         Field::Module => Some(info.workflow.clone()),
-                        Field::Dtype => None,
+                        Field::Dtype | Field::Attempts => None,
                     })
                 })
                 .map(|(e, info)| ResultNode::Execution {
@@ -339,11 +339,7 @@ impl PqlEngine {
     }
 
     /// Evaluate a condition given a field resolver (DNF semantics).
-    fn matches_fields(
-        &self,
-        cond: &Condition,
-        resolve: impl Fn(Field) -> Option<String>,
-    ) -> bool {
+    fn matches_fields(&self, cond: &Condition, resolve: impl Fn(Field) -> Option<String>) -> bool {
         if cond.is_trivial() {
             return true;
         }
@@ -381,6 +377,9 @@ impl PqlEngine {
                 self.runs.get(&(e, node)).map(|r| r.status.clone())
             }
             (PNode::Run(e, _), Field::Exec) => Some(e.0.to_string()),
+            (PNode::Run(e, node), Field::Attempts) => {
+                self.runs.get(&(e, node)).map(|r| r.attempts.to_string())
+            }
             (PNode::Artifact(h), Field::Dtype) => self.artifacts.get(&h).cloned(),
             // A field that does not apply to this node kind: the node
             // fails the filter (so `where module = X` selects runs only).
@@ -574,6 +573,32 @@ mod tests {
         assert_eq!(
             e.eval("count runs where exec = 0").unwrap(),
             QueryResult::Count(8)
+        );
+    }
+
+    #[test]
+    fn attempts_field_finds_retried_runs() {
+        use wf_engine::{ExecPolicy, FaultPlan, RetryPolicy};
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry())
+            .with_policy(ExecPolicy::new().with_retry(RetryPolicy::attempts(3)))
+            .with_faults(FaultPlan::new().fail_on(nodes.hist, 1, "transient"));
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let mut e = PqlEngine::new();
+        e.ingest(&retro);
+        // The retried histogram run is the only one with attempts != 1.
+        let retried = e.eval("list runs where attempts != 1").unwrap();
+        assert_eq!(retried.len(), 1);
+        assert!(retried.render().contains("Histogram"));
+        assert_eq!(
+            e.eval("count runs where attempts = 2").unwrap(),
+            QueryResult::Count(1)
+        );
+        assert_eq!(
+            e.eval("count runs where attempts = 1").unwrap(),
+            QueryResult::Count(7)
         );
     }
 }

@@ -99,7 +99,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>, PqlError> {
                         || bytes[i] == b'_'
                         || bytes[i] == b'@'
                         || bytes[i] == b'.'
-                        || bytes[i] == b'-' && i + 1 < bytes.len()
+                        || bytes[i] == b'-'
+                            && i + 1 < bytes.len()
                             && (bytes[i + 1] as char).is_ascii_alphanumeric())
                 {
                     i += 1;
@@ -117,12 +118,12 @@ pub fn lex(input: &str) -> Result<Vec<Token>, PqlError> {
                     && word.len() <= 16
                     && word.chars().all(|c| c.is_ascii_hexdigit())
                 {
-                    tokens.push(Token::Hex(
-                        u64::from_str_radix(word, 16).map_err(|_| PqlError::Parse {
+                    tokens.push(Token::Hex(u64::from_str_radix(word, 16).map_err(|_| {
+                        PqlError::Parse {
                             expected: "hex digest".into(),
                             found: word.to_string(),
-                        })?,
-                    ));
+                        }
+                    })?));
                 } else {
                     tokens.push(Token::Word(word.to_lowercase()));
                 }

@@ -20,8 +20,9 @@
 //! the native graph store, and a [`qbe`] (query-by-example) subgraph
 //! matcher — the engine that would sit beneath the visual query interfaces
 //! of [4, 34]. Filters support `and`/`or` (DNF) over the fields `module`,
-//! `status`, `dtype`, and `exec`; `count`/`list` work over `runs`,
-//! `artifacts`, and `executions`.
+//! `status`, `dtype`, `exec`, and `attempts` (retried runs have
+//! `attempts > 1`); `count`/`list` work over `runs`, `artifacts`, and
+//! `executions`.
 
 pub mod ast;
 pub mod error;

@@ -101,9 +101,10 @@ impl Parser {
                     "status" => Field::Status,
                     "dtype" => Field::Dtype,
                     "exec" => Field::Exec,
+                    "attempts" => Field::Attempts,
                     other => {
                         return Err(PqlError::Parse {
-                            expected: "field (module|status|dtype|exec)".into(),
+                            expected: "field (module|status|dtype|exec|attempts)".into(),
                             found: format!("'{other}'"),
                         })
                     }
@@ -216,10 +217,9 @@ mod tests {
 
     #[test]
     fn parses_lineage_with_depth_and_filter() {
-        let q = parse(
-            "lineage of artifact 3f2a90bc41d07e55 depth 4 where module = \"Histogram@1\"",
-        )
-        .unwrap();
+        let q =
+            parse("lineage of artifact 3f2a90bc41d07e55 depth 4 where module = \"Histogram@1\"")
+                .unwrap();
         assert_eq!(
             q,
             Query::Closure {

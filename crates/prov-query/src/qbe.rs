@@ -56,7 +56,8 @@ impl ExampleGraph {
 
     /// Add a pattern node matching a module name (any version).
     pub fn module(&mut self, name: &str) -> usize {
-        self.constraints.push(LabelConstraint::Name(name.to_string()));
+        self.constraints
+            .push(LabelConstraint::Name(name.to_string()));
         self.constraints.len() - 1
     }
 
@@ -113,9 +114,7 @@ pub fn find_matches(example: &ExampleGraph, retro: &RetrospectiveProvenance) -> 
             }
         }
     }
-    let has_edge = |a: NodeId, b: NodeId| {
-        adj.get(&a).map(|v| v.contains(&b)).unwrap_or(false)
-    };
+    let has_edge = |a: NodeId, b: NodeId| adj.get(&a).map(|v| v.contains(&b)).unwrap_or(false);
 
     let runs: Vec<NodeId> = retro.runs.iter().map(|r| r.node).collect();
     let mut matches = Vec::new();
@@ -144,8 +143,7 @@ pub fn find_matches(example: &ExampleGraph, retro: &RetrospectiveProvenance) -> 
             if assignment.iter().flatten().any(|&r| r == run) {
                 continue;
             }
-            if !example.constraints[i].accepts(identities.get(&run).copied().unwrap_or(""))
-            {
+            if !example.constraints[i].accepts(identities.get(&run).copied().unwrap_or("")) {
                 continue;
             }
             // Check edges to already-assigned pattern nodes.
@@ -166,7 +164,15 @@ pub fn find_matches(example: &ExampleGraph, retro: &RetrospectiveProvenance) -> 
                 }
             }
             assignment[i] = Some(run);
-            backtrack(i + 1, example, runs, identities, has_edge, assignment, matches);
+            backtrack(
+                i + 1,
+                example,
+                runs,
+                identities,
+                has_edge,
+                assignment,
+                matches,
+            );
             assignment[i] = None;
         }
     }

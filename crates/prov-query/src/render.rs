@@ -15,6 +15,7 @@ impl fmt::Display for Field {
             Field::Status => write!(f, "status"),
             Field::Dtype => write!(f, "dtype"),
             Field::Exec => write!(f, "exec"),
+            Field::Attempts => write!(f, "attempts"),
         }
     }
 }
@@ -129,9 +130,8 @@ mod tests {
     fn roundtrips(q: &str) {
         let parsed = parse(q).unwrap();
         let rendered = parsed.to_string();
-        let reparsed = parse(&rendered).unwrap_or_else(|e| {
-            panic!("rendered query {rendered:?} failed to parse: {e}")
-        });
+        let reparsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered query {rendered:?} failed to parse: {e}"));
         assert_eq!(reparsed, parsed, "{q} -> {rendered}");
     }
 

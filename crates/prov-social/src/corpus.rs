@@ -71,7 +71,11 @@ fn instantiate(id: u64, rng: &mut StdRng) -> Workflow {
         }
         let n = b.add(module);
         if *module == "LoadVolume" {
-            b.param(n, "path", format!("dataset-{}.vtk", rng.random_range(0..20u32)));
+            b.param(
+                n,
+                "path",
+                format!("dataset-{}.vtk", rng.random_range(0..20u32)),
+            );
         }
         if *module == "Histogram" {
             b.param(n, "bins", i64::from(rng.random_range(4..9u8)) * 8);
@@ -87,9 +91,7 @@ fn instantiate(id: u64, rng: &mut StdRng) -> Workflow {
 /// Generate a corpus of `n` workflows, deterministically from `seed`.
 pub fn build_corpus(seed: u64, n: usize) -> Vec<Workflow> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|i| instantiate(i as u64, &mut rng))
-        .collect()
+    (0..n).map(|i| instantiate(i as u64, &mut rng)).collect()
 }
 
 #[cfg(test)]

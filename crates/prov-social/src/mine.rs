@@ -50,11 +50,7 @@ impl FragmentMiner {
                 if let Ok(third) = wf.node(c2.to.node) {
                     *self
                         .triples
-                        .entry((
-                            from.module.clone(),
-                            to.module.clone(),
-                            third.module.clone(),
-                        ))
+                        .entry((from.module.clone(), to.module.clone(), third.module.clone()))
                         .or_default() += 1;
                 }
             }
@@ -105,10 +101,7 @@ impl FragmentMiner {
     }
 
     /// All triples with support ≥ `min_support`, most frequent first.
-    pub fn frequent_triples(
-        &self,
-        min_support: usize,
-    ) -> Vec<((String, String, String), usize)> {
+    pub fn frequent_triples(&self, min_support: usize) -> Vec<((String, String, String), usize)> {
         let mut v: Vec<_> = self
             .triples
             .iter()
@@ -167,9 +160,7 @@ pub fn evaluate_recommender(corpus: &[Workflow], k: usize) -> RecommendationEval
             let Some(conn) = held_out.inputs_of(sink).next() else {
                 continue;
             };
-            let (Ok(pred), Ok(truth)) =
-                (held_out.node(conn.from.node), held_out.node(sink))
-            else {
+            let (Ok(pred), Ok(truth)) = (held_out.node(conn.from.node), held_out.node(sink)) else {
                 continue;
             };
             let grand = held_out
@@ -211,7 +202,10 @@ mod tests {
         let corpus = build_corpus(2, 50);
         let miner = FragmentMiner::mine(&corpus);
         let recs = miner.recommend_successor("Histogram");
-        assert_eq!(recs[0].0, "PlotTable", "the corpus wires Histogram->PlotTable");
+        assert_eq!(
+            recs[0].0, "PlotTable",
+            "the corpus wires Histogram->PlotTable"
+        );
     }
 
     #[test]

@@ -5,16 +5,12 @@ use std::collections::{BTreeMap, BTreeSet};
 use wf_model::Workflow;
 
 /// Identifier of a registered user.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct UserId(pub u64);
 
 /// Identifier of a repository entry.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct EntryId(pub u64);
 
@@ -226,7 +222,11 @@ mod tests {
         let mut c = Collaboratory::new();
         let susan = c.register("susan");
         let juliana = c.register("juliana");
-        let e = c.upload(susan, &wf("ct pipeline", &["LoadVolume", "Isosurface"]), "CT viz");
+        let e = c.upload(
+            susan,
+            &wf("ct pipeline", &["LoadVolume", "Isosurface"]),
+            "CT viz",
+        );
         c.tag(e, "medical");
         (c, susan, juliana, e)
     }
@@ -245,10 +245,23 @@ mod tests {
     fn fork_builds_attribution_chain() {
         let (mut c, _, juliana, e) = seeded();
         let f1 = c
-            .fork(juliana, e, &wf("ct v2", &["LoadVolume", "Isosurface", "SmoothMesh"]), "smoother")
+            .fork(
+                juliana,
+                e,
+                &wf("ct v2", &["LoadVolume", "Isosurface", "SmoothMesh"]),
+                "smoother",
+            )
             .unwrap();
         let f2 = c
-            .fork(juliana, f1, &wf("ct v3", &["LoadVolume", "Isosurface", "SmoothMesh", "RenderMesh"]), "rendered")
+            .fork(
+                juliana,
+                f1,
+                &wf(
+                    "ct v3",
+                    &["LoadVolume", "Isosurface", "SmoothMesh", "RenderMesh"],
+                ),
+                "rendered",
+            )
             .unwrap();
         assert_eq!(c.attribution_chain(f2), vec![e, f1, f2]);
         assert_eq!(c.forks_of(e), vec![f1]);

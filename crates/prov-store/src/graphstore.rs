@@ -87,7 +87,11 @@ impl GraphStore {
         let mut q = VecDeque::from([s]);
         let mut out = Vec::new();
         while let Some(u) = q.pop_front() {
-            let next = if reverse { &self.pred[u] } else { &self.succ[u] };
+            let next = if reverse {
+                &self.pred[u]
+            } else {
+                &self.succ[u]
+            };
             for &v in next {
                 if !seen[v] {
                     seen[v] = true;
@@ -227,7 +231,10 @@ mod tests {
         let grid = retro.produced(nodes.load, "grid").unwrap().hash;
         let gens = s.generators(grid);
         assert_eq!(gens, vec![(retro.exec, nodes.load)]);
-        assert_eq!(s.run_identity((retro.exec, nodes.load)), Some("LoadVolume@1"));
+        assert_eq!(
+            s.run_identity((retro.exec, nodes.load)),
+            Some("LoadVolume@1")
+        );
     }
 
     #[test]

@@ -28,5 +28,5 @@ pub mod triplestore;
 pub use api::ProvenanceStore;
 pub use graphstore::GraphStore;
 pub use logstore::LogStore;
-pub use relstore::{RelStore, Relation, RelValue, Schema};
+pub use relstore::{RelStore, RelValue, Relation, Schema};
 pub use triplestore::{Term, TripleStore};

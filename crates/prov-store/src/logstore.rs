@@ -129,8 +129,7 @@ impl LogStore {
         };
         let mut off = 0usize;
         while off + 8 <= data.len() {
-            let len =
-                u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes")) as usize;
             let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("4 bytes"));
             if off + 8 + len > data.len() {
                 truncated = true;
@@ -160,8 +159,7 @@ impl LogStore {
 
     /// Append one record and flush.
     pub fn append(&mut self, retro: &RetrospectiveProvenance) -> Result<(), LogError> {
-        let payload =
-            serde_json::to_vec(retro).map_err(|e| LogError::Codec(e.to_string()))?;
+        let payload = serde_json::to_vec(retro).map_err(|e| LogError::Codec(e.to_string()))?;
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -189,8 +187,7 @@ impl LogStore {
         {
             let mut f = File::create(&tmp)?;
             for r in &latest {
-                let payload =
-                    serde_json::to_vec(r).map_err(|e| LogError::Codec(e.to_string()))?;
+                let payload = serde_json::to_vec(r).map_err(|e| LogError::Codec(e.to_string()))?;
                 f.write_all(&(payload.len() as u32).to_le_bytes())?;
                 f.write_all(&crc32(&payload).to_le_bytes())?;
                 f.write_all(&payload)?;

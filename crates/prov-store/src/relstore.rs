@@ -239,9 +239,7 @@ impl Relation {
                 cols.push(c.clone());
             }
         }
-        let mut out = Relation::new(Schema {
-            columns: cols,
-        });
+        let mut out = Relation::new(Schema { columns: cols });
         let mut table: HashMap<u64, Vec<&Vec<RelValue>>> = HashMap::new();
         for row in &other.rows {
             table.entry(row[rc].key()).or_default().push(row);
@@ -363,12 +361,10 @@ impl RelStore {
             "elapsed_micros",
         ]));
         runs.create_index("node");
-        let mut run_inputs =
-            Relation::new(Schema::new(&["exec", "node", "port", "artifact"]));
+        let mut run_inputs = Relation::new(Schema::new(&["exec", "node", "port", "artifact"]));
         run_inputs.create_index("artifact");
         run_inputs.create_index("node");
-        let mut run_outputs =
-            Relation::new(Schema::new(&["exec", "node", "port", "artifact"]));
+        let mut run_outputs = Relation::new(Schema::new(&["exec", "node", "port", "artifact"]));
         run_outputs.create_index("artifact");
         run_outputs.create_index("node");
         let mut artifacts = Relation::new(Schema::new(&["hash", "dtype", "size"]));
@@ -604,7 +600,10 @@ mod tests {
         let counts = r.count_by("m");
         assert_eq!(
             counts,
-            vec![(RelValue::Text("a".into()), 3), (RelValue::Text("b".into()), 1)]
+            vec![
+                (RelValue::Text("a".into()), 3),
+                (RelValue::Text("b".into()), 1)
+            ]
         );
         assert_eq!(r.distinct().len(), 2);
     }
@@ -657,7 +656,10 @@ mod tests {
         let iso_file = retro.produced(nodes.save_iso, "file").unwrap().hash;
         assert_eq!(plain.lineage_runs(iso_file), indexed.lineage_runs(iso_file));
         assert_eq!(plain.generators(grid), indexed.generators(grid));
-        assert_eq!(plain.derived_artifacts(grid), indexed.derived_artifacts(grid));
+        assert_eq!(
+            plain.derived_artifacts(grid),
+            indexed.derived_artifacts(grid)
+        );
     }
 
     #[test]

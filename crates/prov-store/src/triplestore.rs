@@ -484,9 +484,7 @@ mod tests {
         let derived = s.derived_artifacts(grid);
         assert!(derived.contains(&hist_file));
         assert_eq!(s.run_count(), 8);
-        assert!(s
-            .runs_per_module()
-            .contains(&("SaveFile@1".to_string(), 2)));
+        assert!(s.runs_per_module().contains(&("SaveFile@1".to_string(), 2)));
     }
 
     #[test]

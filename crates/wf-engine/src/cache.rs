@@ -120,6 +120,13 @@ impl RunCache {
         self.order.push_back(key);
     }
 
+    /// Is a run cached under `key`? Does not touch statistics (unlike
+    /// [`RunCache::get`]), so tests can inspect the cache without skewing
+    /// hit rates.
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -208,6 +215,15 @@ mod tests {
         assert_ne!(base, k("Hist@1", &params_b, &inputs_a));
         assert_ne!(base, k("Hist@1", &params_a, &inputs_b));
         assert_eq!(base, k("Hist@1", &params_a, &inputs_a));
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats() {
+        let mut c = RunCache::new(2);
+        c.insert(key(1), vec![]);
+        assert!(c.contains(key(1)));
+        assert!(!c.contains(key(2)));
+        assert_eq!(c.stats(), CacheStats::default());
     }
 
     #[test]

@@ -142,9 +142,10 @@ pub fn register_database(r: &mut ModuleRegistry) {
                 .collect();
             let mut idxs = Vec::with_capacity(wanted.len());
             for w in &wanted {
-                idxs.push(t.column_index(w).ok_or_else(|| {
-                    fail(input, "TableProject@1", format!("no column '{w}'"))
-                })?);
+                idxs.push(
+                    t.column_index(w)
+                        .ok_or_else(|| fail(input, "TableProject@1", format!("no column '{w}'")))?,
+                );
             }
             let rows: Vec<Vec<f64>> = t
                 .rows
@@ -161,8 +162,10 @@ pub fn register_database(r: &mut ModuleRegistry) {
 
     r.register(
         db_kind("TableJoin")
-            .doc("⋈: equality join on `left_col` = `right_col`; right columns are prefixed r_; \
-                  rowprov records both contributing rows per output row")
+            .doc(
+                "⋈: equality join on `left_col` = `right_col`; right columns are prefixed r_; \
+                  rowprov records both contributing rows per output row",
+            )
             .input(PortSpec::required("left", DataType::Table))
             .input(PortSpec::required("right", DataType::Table))
             .param(ParamSpec::new("left_col", "id"))
@@ -204,8 +207,10 @@ pub fn register_database(r: &mut ModuleRegistry) {
 
     r.register(
         db_kind("TableAggregate")
-            .doc("γ: group by `group_col`, aggregate `agg_col` with sum|count|mean; \
-                  rowprov records every contributing input row per group")
+            .doc(
+                "γ: group by `group_col`, aggregate `agg_col` with sum|count|mean; \
+                  rowprov records every contributing input row per group",
+            )
             .input(PortSpec::required("in", DataType::Table))
             .param(ParamSpec::new("group_col", "grp"))
             .param(ParamSpec::new("agg_col", "value"))
@@ -215,12 +220,12 @@ pub fn register_database(r: &mut ModuleRegistry) {
             let gc = input.param_text("group_col")?;
             let ac = input.param_text("agg_col")?;
             let op = input.param_text("op")?;
-            let gi = t.column_index(gc).ok_or_else(|| {
-                fail(input, "TableAggregate@1", format!("no column '{gc}'"))
-            })?;
-            let ai = t.column_index(ac).ok_or_else(|| {
-                fail(input, "TableAggregate@1", format!("no column '{ac}'"))
-            })?;
+            let gi = t
+                .column_index(gc)
+                .ok_or_else(|| fail(input, "TableAggregate@1", format!("no column '{gc}'")))?;
+            let ai = t
+                .column_index(ac)
+                .ok_or_else(|| fail(input, "TableAggregate@1", format!("no column '{ac}'")))?;
             // Stable group order: first appearance.
             let mut order: Vec<f64> = Vec::new();
             let mut members: Vec<Vec<usize>> = Vec::new();
@@ -453,7 +458,11 @@ mod tests {
         assert_eq!(agg.rows[0], vec![0.0, 6.0]);
         assert_eq!(agg.rows[1], vec![1.0, 30.0]);
         let prov = prov_entries(&out["rowprov"]);
-        let g0: Vec<usize> = prov.iter().filter(|(o, _, _)| *o == 0).map(|(_, _, i)| *i).collect();
+        let g0: Vec<usize> = prov
+            .iter()
+            .filter(|(o, _, _)| *o == 0)
+            .map(|(_, _, i)| *i)
+            .collect();
         assert_eq!(g0, vec![0, 2, 4], "why-provenance of group 0's sum");
         // count and mean work too
         for (op, expect) in [("count", 3.0), ("mean", 2.0)] {

@@ -52,6 +52,55 @@ pub enum ExecError {
         /// The undelivered port.
         port: String,
     },
+    /// A module body (or a worker thread running it) panicked.
+    WorkerPanicked {
+        /// The node that was running, when known.
+        node: Option<NodeId>,
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// A module body exceeded its execution deadline.
+    DeadlineExceeded {
+        /// The node that timed out.
+        node: NodeId,
+        /// The enforced limit in microseconds.
+        limit_micros: u64,
+    },
+}
+
+/// Coarse classification of an [`ExecError`], used by retry policies to
+/// decide which failures are worth re-attempting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorClass {
+    /// A module body reported failure (`ModuleFailed`) — often transient.
+    Failure,
+    /// A module body or worker panicked — often transient.
+    Panic,
+    /// A module body ran past its deadline — often transient.
+    Timeout,
+    /// The module rejected its inputs or parameters; retrying the same
+    /// inputs cannot help.
+    BadInput,
+    /// The specification or registry is wrong (cycles, missing executors,
+    /// missing ports); retrying cannot help.
+    Structural,
+}
+
+impl ExecError {
+    /// The retry classification of this error.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            ExecError::ModuleFailed { .. } => ErrorClass::Failure,
+            ExecError::WorkerPanicked { .. } => ErrorClass::Panic,
+            ExecError::DeadlineExceeded { .. } => ErrorClass::Timeout,
+            ExecError::BadInputType { .. } | ExecError::BadParam { .. } => ErrorClass::BadInput,
+            ExecError::InvalidWorkflow(_)
+            | ExecError::NoExecutor { .. }
+            | ExecError::MissingInput { .. }
+            | ExecError::Model(_)
+            | ExecError::MissingOutput { .. } => ErrorClass::Structural,
+        }
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -78,6 +127,13 @@ impl fmt::Display for ExecError {
             ExecError::Model(msg) => write!(f, "model error: {msg}"),
             ExecError::MissingOutput { node, port } => {
                 write!(f, "node {node}: module did not produce output '{port}'")
+            }
+            ExecError::WorkerPanicked { node, message } => match node {
+                Some(n) => write!(f, "node {n}: module body panicked: {message}"),
+                None => write!(f, "executor thread panicked: {message}"),
+            },
+            ExecError::DeadlineExceeded { node, limit_micros } => {
+                write!(f, "node {node}: deadline of {limit_micros}us exceeded")
             }
         }
     }
@@ -110,5 +166,66 @@ mod tests {
     fn model_errors_convert() {
         let e: ExecError = ModelError::UnknownNode(NodeId(1)).into();
         assert!(matches!(e, ExecError::Model(_)));
+    }
+
+    #[test]
+    fn classes_separate_transient_from_permanent() {
+        assert_eq!(
+            ExecError::ModuleFailed {
+                node: NodeId(0),
+                identity: "X@1".into(),
+                message: "flaky".into(),
+            }
+            .class(),
+            ErrorClass::Failure
+        );
+        assert_eq!(
+            ExecError::WorkerPanicked {
+                node: Some(NodeId(1)),
+                message: "boom".into(),
+            }
+            .class(),
+            ErrorClass::Panic
+        );
+        assert_eq!(
+            ExecError::DeadlineExceeded {
+                node: NodeId(1),
+                limit_micros: 5,
+            }
+            .class(),
+            ErrorClass::Timeout
+        );
+        assert_eq!(
+            ExecError::BadParam {
+                name: "bins".into(),
+                message: "negative".into(),
+            }
+            .class(),
+            ErrorClass::BadInput
+        );
+        assert_eq!(
+            ExecError::InvalidWorkflow("cycle".into()).class(),
+            ErrorClass::Structural
+        );
+    }
+
+    #[test]
+    fn panic_and_timeout_messages_render() {
+        let p = ExecError::WorkerPanicked {
+            node: Some(NodeId(3)),
+            message: "index out of bounds".into(),
+        };
+        assert!(p.to_string().contains("n3"));
+        assert!(p.to_string().contains("index out of bounds"));
+        let anon = ExecError::WorkerPanicked {
+            node: None,
+            message: "?".into(),
+        };
+        assert!(anon.to_string().contains("executor thread"));
+        let t = ExecError::DeadlineExceeded {
+            node: NodeId(7),
+            limit_micros: 1500,
+        };
+        assert!(t.to_string().contains("1500us"));
     }
 }

@@ -118,6 +118,67 @@ pub enum EngineEvent {
         /// Wall-clock timestamp, ms since epoch.
         at_millis: u64,
     },
+    /// A retry attempt of a module body began (the first attempt is implied
+    /// by [`EngineEvent::ModuleStarted`]; this event fires for attempt 2
+    /// onward).
+    AttemptStarted {
+        /// The enclosing workflow run.
+        exec: ExecId,
+        /// The node being re-attempted.
+        node: NodeId,
+        /// Attempt number, 1-based.
+        attempt: u32,
+    },
+    /// One attempt of a module body failed. Fires once per failed attempt;
+    /// the final failure is additionally summarized by
+    /// [`EngineEvent::ModuleFinished`] with `status: Failed`.
+    AttemptFailed {
+        /// The enclosing workflow run.
+        exec: ExecId,
+        /// The failing node.
+        node: NodeId,
+        /// Attempt number, 1-based.
+        attempt: u32,
+        /// Rendered error.
+        error: String,
+        /// Whether the retry policy schedules another attempt.
+        will_retry: bool,
+    },
+    /// The engine is waiting out a retry backoff.
+    BackoffStarted {
+        /// The enclosing workflow run.
+        exec: ExecId,
+        /// The node awaiting retry.
+        node: NodeId,
+        /// The attempt that will run after the backoff, 1-based.
+        next_attempt: u32,
+        /// Backoff duration in microseconds (deterministic given the
+        /// policy's jitter seed).
+        delay_micros: u64,
+    },
+    /// A module body overran its deadline and was abandoned.
+    ModuleTimedOut {
+        /// The enclosing workflow run.
+        exec: ExecId,
+        /// The node that timed out.
+        node: NodeId,
+        /// The attempt that timed out, 1-based.
+        attempt: u32,
+        /// The enforced limit in microseconds.
+        limit_micros: u64,
+    },
+    /// This run resumes an earlier, failed run: already-successful work was
+    /// replayed from its checkpoint (run cache + run record) rather than
+    /// re-executed. Fires immediately after
+    /// [`EngineEvent::WorkflowStarted`].
+    RunResumed {
+        /// The resuming run.
+        exec: ExecId,
+        /// The failed run being resumed.
+        resumed_from: ExecId,
+        /// Number of module results replayed from the checkpoint.
+        reused: usize,
+    },
 }
 
 /// Subscriber to the engine's event stream.

@@ -9,28 +9,22 @@
 use crate::cache::{cache_key, RunCache};
 use crate::error::ExecError;
 use crate::event::{now_millis, EngineEvent, ExecObserver, ValueMeta};
-use crate::registry::{ExecInput, ModuleRegistry};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::policy::{Deadline, ExecPolicy};
+use crate::registry::{ExecInput, ModuleExec, ModuleRegistry, Outputs};
 use crate::value::Value;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wf_model::{NodeId, Workflow};
 
 /// Identifier of one workflow run.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 #[serde(transparent)]
 pub struct ExecId(pub u64);
@@ -42,9 +36,7 @@ impl fmt::Display for ExecId {
 }
 
 /// Outcome of a module run or a whole workflow run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum RunStatus {
     /// Completed normally.
     Succeeded,
@@ -79,6 +71,9 @@ pub struct NodeRunRecord {
     pub from_cache: bool,
     /// Failure message, if the module failed.
     pub error: Option<String>,
+    /// Number of body attempts made (1 for ordinary runs and cache hits,
+    /// 0 for skipped nodes, >1 when a retry policy re-attempted the body).
+    pub attempts: u32,
 }
 
 /// The result of running a workflow.
@@ -94,6 +89,8 @@ pub struct ExecutionResult {
     pub values: BTreeMap<(NodeId, String), Value>,
     /// Wall-clock duration of the whole run in microseconds.
     pub elapsed_micros: u64,
+    /// When this run resumed an earlier failed run, that run's id.
+    pub resumed_from: Option<ExecId>,
 }
 
 impl ExecutionResult {
@@ -111,6 +108,41 @@ impl ExecutionResult {
     pub fn cache_hits(&self) -> usize {
         self.node_runs.values().filter(|r| r.from_cache).count()
     }
+
+    /// A deterministic digest of everything *reproducible* about this run:
+    /// per-node statuses, identities, attempt counts, cache provenance,
+    /// error messages, and the content hashes of every produced value.
+    /// Wall-clock fields (`elapsed_micros`) and run identity (`exec`,
+    /// `resumed_from`) are excluded, so two runs of the same workflow under
+    /// the same seeds — sequential or parallel — fingerprint identically.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::value::ContentHasher::new();
+        h.update_u64(match self.status {
+            RunStatus::Succeeded => 0,
+            RunStatus::Failed => 1,
+            RunStatus::Skipped => 2,
+        });
+        h.update_u64(self.node_runs.len() as u64);
+        for (node, r) in &self.node_runs {
+            h.update_u64(node.0);
+            h.update(r.identity.as_bytes());
+            h.update_u64(match r.status {
+                RunStatus::Succeeded => 0,
+                RunStatus::Failed => 1,
+                RunStatus::Skipped => 2,
+            });
+            h.update_u64(u64::from(r.from_cache));
+            h.update_u64(u64::from(r.attempts));
+            h.update(r.error.as_deref().unwrap_or("").as_bytes());
+        }
+        h.update_u64(self.values.len() as u64);
+        for ((node, port), v) in &self.values {
+            h.update_u64(node.0);
+            h.update(port.as_bytes());
+            h.update_u64(v.content_hash());
+        }
+        h.finish()
+    }
 }
 
 /// Observer that discards everything (capture level "Off").
@@ -125,6 +157,8 @@ impl ExecObserver for NullObserver {
 pub struct Executor {
     registry: Arc<ModuleRegistry>,
     cache: Option<Arc<Mutex<RunCache>>>,
+    policy: ExecPolicy,
+    faults: Option<FaultPlan>,
     next_exec: AtomicU64,
 }
 
@@ -133,6 +167,8 @@ impl fmt::Debug for Executor {
         f.debug_struct("Executor")
             .field("registry", &self.registry)
             .field("cache", &self.cache.is_some())
+            .field("policy", &self.policy)
+            .field("faults", &self.faults.as_ref().map(|p| p.len()))
             .finish()
     }
 }
@@ -143,6 +179,8 @@ impl Executor {
         Self {
             registry: Arc::new(registry),
             cache: None,
+            policy: ExecPolicy::new(),
+            faults: None,
             next_exec: AtomicU64::new(0),
         }
     }
@@ -151,6 +189,24 @@ impl Executor {
     pub fn with_cache(mut self, capacity: usize) -> Self {
         self.cache = Some(Arc::new(Mutex::new(RunCache::new(capacity))));
         self
+    }
+
+    /// Set the fault-tolerance policy (retries, backoff, deadlines).
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Install a fault-injection plan (testing only): scheduled faults are
+    /// injected into module bodies exactly as the plan dictates.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The active fault-tolerance policy.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
     }
 
     /// The registry backing this executor.
@@ -190,7 +246,9 @@ impl Executor {
             if record.status != RunStatus::Succeeded {
                 continue;
             }
-            let Ok(node) = wf.node(*node_id) else { continue };
+            let Ok(node) = wf.node(*node_id) else {
+                continue;
+            };
             let Ok(params) =
                 self.registry
                     .effective_params(&node.module, node.version, &node.params)
@@ -238,6 +296,58 @@ impl Executor {
         wf: &Workflow,
         observer: &mut dyn ExecObserver,
     ) -> Result<ExecutionResult, ExecError> {
+        self.run_inner(wf, observer, None)
+    }
+
+    /// Resume a failed run sequentially: successful module results from
+    /// `previous` are replayed through the memoization cache, so only
+    /// failed and skipped nodes re-execute. The resumed run's provenance
+    /// links back to `previous.exec` via [`EngineEvent::RunResumed`] and
+    /// [`ExecutionResult::resumed_from`].
+    ///
+    /// Requires a cache ([`Executor::with_cache`]) to hold the checkpoint.
+    pub fn resume(
+        &self,
+        wf: &Workflow,
+        previous: &ExecutionResult,
+        observer: &mut dyn ExecObserver,
+    ) -> Result<ExecutionResult, ExecError> {
+        let reused = self.prepare_resume(wf, previous)?;
+        self.run_inner(wf, observer, Some((previous.exec, reused)))
+    }
+
+    /// Resume a failed run with the parallel driver; see
+    /// [`Executor::resume`].
+    pub fn resume_parallel(
+        &self,
+        wf: &Workflow,
+        previous: &ExecutionResult,
+        threads: usize,
+        observer: &mut dyn ExecObserver,
+    ) -> Result<ExecutionResult, ExecError> {
+        let reused = self.prepare_resume(wf, previous)?;
+        self.run_parallel_inner(wf, threads, observer, Some((previous.exec, reused)))
+    }
+
+    fn prepare_resume(
+        &self,
+        wf: &Workflow,
+        previous: &ExecutionResult,
+    ) -> Result<usize, ExecError> {
+        if self.cache.is_none() {
+            return Err(ExecError::InvalidWorkflow(
+                "resume requires a memoization cache (Executor::with_cache)".into(),
+            ));
+        }
+        Ok(self.warm_cache_from(wf, previous))
+    }
+
+    fn run_inner(
+        &self,
+        wf: &Workflow,
+        observer: &mut dyn ExecObserver,
+        resumed: Option<(ExecId, usize)>,
+    ) -> Result<ExecutionResult, ExecError> {
         let order = wf
             .topo_nodes()
             .ok_or_else(|| ExecError::InvalidWorkflow("workflow has a cycle".into()))?;
@@ -249,6 +359,13 @@ impl Executor {
             name: wf.name.clone(),
             at_millis: now_millis(),
         });
+        if let Some((resumed_from, reused)) = resumed {
+            observer.on_event(&EngineEvent::RunResumed {
+                exec,
+                resumed_from,
+                reused,
+            });
+        }
 
         let mut values: BTreeMap<(NodeId, String), Value> = BTreeMap::new();
         let mut records: BTreeMap<NodeId, NodeRunRecord> = BTreeMap::new();
@@ -272,6 +389,7 @@ impl Executor {
                         elapsed_micros: 0,
                         from_cache: false,
                         error: None,
+                        attempts: 0,
                     },
                 );
                 observer.on_event(&EngineEvent::ModuleFinished {
@@ -307,11 +425,13 @@ impl Executor {
             node_runs: records,
             values,
             elapsed_micros: started.elapsed().as_micros() as u64,
+            resumed_from: resumed.map(|(from, _)| from),
         })
     }
 
-    /// Execute one node: bind inputs, consult the cache, run the body, route
-    /// outputs. Returns the run record; produced values land in `values`.
+    /// Execute one node: bind inputs, consult the cache, run the body under
+    /// the node's retry policy and deadline, route outputs. Returns the run
+    /// record; produced values land in `values`.
     fn run_node(
         &self,
         wf: &Workflow,
@@ -338,10 +458,7 @@ impl Executor {
             exec,
             node: node_id,
             identity: identity.clone(),
-            params: params
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
+            params: params.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
             at_millis: now_millis(),
         });
         for (port, v) in &inputs {
@@ -385,71 +502,183 @@ impl Executor {
                     elapsed_micros: 0,
                     from_cache: true,
                     error: None,
+                    attempts: 1,
                 });
             }
         }
 
-        // Run the body.
+        // Run the body under the node's retry policy and deadline.
         let body = self.registry.executor(&identity)?;
         let input = ExecInput {
             node: node_id,
             params,
             inputs,
         };
-        let t0 = Instant::now();
-        let result = body.execute(&input);
-        let elapsed = t0.elapsed().as_micros() as u64;
+        // Retry resolution: node override > module-kind hint > workflow-wide.
+        let retry = self
+            .policy
+            .node_retry
+            .get(&node_id)
+            .or_else(|| self.registry.retry_hint(&identity))
+            .unwrap_or(&self.policy.retry);
+        let deadline = self.policy.deadline_for(node_id);
+        let mut attempt: u32 = 1;
+        let mut elapsed_total: u64 = 0;
+        loop {
+            if attempt > 1 {
+                observer.on_event(&EngineEvent::AttemptStarted {
+                    exec,
+                    node: node_id,
+                    attempt,
+                });
+            }
+            let t0 = Instant::now();
+            let result = self.execute_attempt(&body, &input, node_id, &identity, attempt, deadline);
+            elapsed_total += t0.elapsed().as_micros() as u64;
 
-        match result {
-            Ok(outputs) => {
-                let out_vec: Vec<(String, Value)> =
-                    outputs.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-                for (port, v) in &outputs {
-                    observer.on_event(&EngineEvent::OutputProduced {
+            let e = match result {
+                Ok(outputs) => {
+                    let out_vec: Vec<(String, Value)> = outputs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    for (port, v) in &outputs {
+                        observer.on_event(&EngineEvent::OutputProduced {
+                            exec,
+                            node: node_id,
+                            port: port.clone(),
+                            meta: ValueMeta::of(v, true),
+                        });
+                        values.insert((node_id, port.clone()), v.clone());
+                    }
+                    if let Some(cache) = &self.cache {
+                        cache.lock().insert(key, out_vec);
+                    }
+                    observer.on_event(&EngineEvent::ModuleFinished {
                         exec,
                         node: node_id,
-                        port: port.clone(),
-                        meta: ValueMeta::of(v, true),
+                        status: RunStatus::Succeeded,
+                        elapsed_micros: elapsed_total,
+                        from_cache: false,
+                        error: None,
                     });
-                    values.insert((node_id, port.clone()), v.clone());
+                    return Ok(NodeRunRecord {
+                        node: node_id,
+                        identity,
+                        status: RunStatus::Succeeded,
+                        elapsed_micros: elapsed_total,
+                        from_cache: false,
+                        error: None,
+                        attempts: attempt,
+                    });
                 }
-                if let Some(cache) = &self.cache {
-                    cache.lock().insert(key, out_vec);
-                }
-                observer.on_event(&EngineEvent::ModuleFinished {
+                Err(e) => e,
+            };
+
+            if let ExecError::DeadlineExceeded { limit_micros, .. } = &e {
+                observer.on_event(&EngineEvent::ModuleTimedOut {
                     exec,
                     node: node_id,
-                    status: RunStatus::Succeeded,
-                    elapsed_micros: elapsed,
-                    from_cache: false,
-                    error: None,
+                    attempt,
+                    limit_micros: *limit_micros,
                 });
-                Ok(NodeRunRecord {
-                    node: node_id,
-                    identity,
-                    status: RunStatus::Succeeded,
-                    elapsed_micros: elapsed,
-                    from_cache: false,
-                    error: None,
-                })
             }
-            Err(e) => {
+            let will_retry = retry.should_retry(attempt, e.class());
+            observer.on_event(&EngineEvent::AttemptFailed {
+                exec,
+                node: node_id,
+                attempt,
+                error: e.to_string(),
+                will_retry,
+            });
+            if !will_retry {
                 observer.on_event(&EngineEvent::ModuleFinished {
                     exec,
                     node: node_id,
                     status: RunStatus::Failed,
-                    elapsed_micros: elapsed,
+                    elapsed_micros: elapsed_total,
                     from_cache: false,
                     error: Some(e.to_string()),
                 });
-                Ok(NodeRunRecord {
+                return Ok(NodeRunRecord {
                     node: node_id,
                     identity,
                     status: RunStatus::Failed,
-                    elapsed_micros: elapsed,
+                    elapsed_micros: elapsed_total,
                     from_cache: false,
                     error: Some(e.to_string()),
+                    attempts: attempt,
+                });
+            }
+            let delay = retry.backoff_micros(self.policy.jitter_seed, node_id, attempt);
+            observer.on_event(&EngineEvent::BackoffStarted {
+                exec,
+                node: node_id,
+                next_attempt: attempt + 1,
+                delay_micros: delay,
+            });
+            if delay > 0 {
+                std::thread::sleep(Duration::from_micros(delay));
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Run one attempt of a module body: apply any injected fault, isolate
+    /// panics, and enforce the deadline (by running the body on a watchdog
+    /// thread — a timed-out body is abandoned, not cancelled).
+    fn execute_attempt(
+        &self,
+        body: &Arc<dyn ModuleExec>,
+        input: &ExecInput,
+        node_id: NodeId,
+        identity: &str,
+        attempt: u32,
+        deadline: Option<Deadline>,
+    ) -> Result<Outputs, ExecError> {
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|p| p.action(node_id, attempt))
+            .cloned();
+        if let Some(FaultAction::Fail { message }) = &fault {
+            return Err(ExecError::ModuleFailed {
+                node: node_id,
+                identity: identity.to_string(),
+                message: message.clone(),
+            });
+        }
+        match deadline {
+            None => catch_unwind(AssertUnwindSafe(|| {
+                attempt_body(body.as_ref(), input, fault.as_ref())
+            }))
+            .unwrap_or_else(|payload| {
+                Err(ExecError::WorkerPanicked {
+                    node: Some(node_id),
+                    message: panic_message(&*payload),
                 })
+            }),
+            Some(d) => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                let body = Arc::clone(body);
+                let input = input.clone();
+                std::thread::spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        attempt_body(body.as_ref(), &input, fault.as_ref())
+                    }));
+                    let _ = tx.send(outcome);
+                });
+                match rx.recv_timeout(Duration::from_micros(d.limit_micros)) {
+                    Ok(Ok(result)) => result,
+                    Ok(Err(payload)) => Err(ExecError::WorkerPanicked {
+                        node: Some(node_id),
+                        message: panic_message(&*payload),
+                    }),
+                    Err(_) => Err(ExecError::DeadlineExceeded {
+                        node: node_id,
+                        limit_micros: d.limit_micros,
+                    }),
+                }
             }
         }
     }
@@ -463,6 +692,16 @@ impl Executor {
         wf: &Workflow,
         threads: usize,
         observer: &mut dyn ExecObserver,
+    ) -> Result<ExecutionResult, ExecError> {
+        self.run_parallel_inner(wf, threads, observer, None)
+    }
+
+    fn run_parallel_inner(
+        &self,
+        wf: &Workflow,
+        threads: usize,
+        observer: &mut dyn ExecObserver,
+        resumed: Option<(ExecId, usize)>,
     ) -> Result<ExecutionResult, ExecError> {
         let threads = threads.max(1);
         let (g, ids, index) = wf.digraph();
@@ -503,6 +742,13 @@ impl Executor {
             name: wf.name.clone(),
             at_millis: now_millis(),
         });
+        if let Some((resumed_from, reused)) = resumed {
+            observer.lock().on_event(&EngineEvent::RunResumed {
+                exec,
+                resumed_from,
+                reused,
+            });
+        }
 
         let worker_error: Mutex<Option<ExecError>> = Mutex::new(None);
 
@@ -562,6 +808,7 @@ impl Executor {
                             elapsed_micros: 0,
                             from_cache: false,
                             error: None,
+                            attempts: 0,
                         }
                     } else {
                         // Copy the inputs we need, then run without holding
@@ -577,11 +824,8 @@ impl Executor {
                             }
                             m
                         };
-                        let mut obs_guard = ObserverProxy {
-                            inner: &observer,
-                        };
-                        match self.run_node(wf, node_id, exec, &mut local_values, &mut obs_guard)
-                        {
+                        let mut obs_guard = ObserverProxy { inner: &observer };
+                        match self.run_node(wf, node_id, exec, &mut local_values, &mut obs_guard) {
                             Ok(rec) => {
                                 let mut s = shared.lock();
                                 for ((nid, port), v) in local_values {
@@ -614,7 +858,10 @@ impl Executor {
                 });
             }
         })
-        .map_err(|_| ExecError::InvalidWorkflow("executor thread panicked".into()))?;
+        .map_err(|payload| ExecError::WorkerPanicked {
+            node: None,
+            message: panic_message(&*payload),
+        })?;
 
         if let Some(e) = worker_error.into_inner() {
             return Err(e);
@@ -641,6 +888,7 @@ impl Executor {
             node_runs: shared.records,
             values: shared.values,
             elapsed_micros: started.elapsed().as_micros() as u64,
+            resumed_from: resumed.map(|(from, _)| from),
         })
     }
 }
@@ -654,6 +902,36 @@ struct ObserverProxy<'a, 'b> {
 impl ExecObserver for ObserverProxy<'_, '_> {
     fn on_event(&mut self, event: &EngineEvent) {
         self.inner.lock().on_event(event);
+    }
+}
+
+/// Run a module body, first applying an injected `Delay` or `Panic` fault
+/// (a `Delay` runs *inside* the attempt so it counts against the deadline;
+/// `Fail` faults are short-circuited by the caller before the body runs).
+fn attempt_body(
+    body: &dyn ModuleExec,
+    input: &ExecInput,
+    fault: Option<&FaultAction>,
+) -> Result<Outputs, ExecError> {
+    match fault {
+        Some(FaultAction::Delay { micros }) => {
+            std::thread::sleep(Duration::from_micros(*micros));
+        }
+        Some(FaultAction::Panic { message }) => panic!("{}", message.clone()),
+        _ => {}
+    }
+    body.execute(input)
+}
+
+/// Render a panic payload: panics carry `&str` or `String` payloads in
+/// practice; anything else becomes an opaque marker.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -921,5 +1199,224 @@ mod tests {
         assert!(exec.run(&wf).is_err());
         // The parallel driver surfaces the same error instead of hanging.
         assert!(exec.run_parallel(&wf, 4, &mut NullObserver).is_err());
+    }
+
+    use crate::fault::FaultPlan;
+    use crate::policy::{Deadline, ExecPolicy, RetryPolicy};
+
+    #[test]
+    fn transient_fault_recovers_under_retry_policy() {
+        let (wf, x, _, s) = add_workflow();
+        let exec = Executor::new(test_registry())
+            .with_policy(ExecPolicy::new().with_retry(RetryPolicy::attempts(3)))
+            .with_faults(FaultPlan::new().fail_on(x, 1, "flaky network"));
+        let mut obs = RecordingObserver::default();
+        let result = exec.run_observed(&wf, &mut obs).unwrap();
+        assert!(result.succeeded());
+        assert_eq!(result.output(s, "out"), Some(&Value::Int(42)));
+        assert_eq!(
+            result.node_runs[&x].attempts, 2,
+            "failed once, then succeeded"
+        );
+        // Both attempts and the retry decision are visible as events.
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            EngineEvent::AttemptFailed { node, attempt: 1, will_retry: true, .. } if *node == x
+        )));
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            EngineEvent::AttemptStarted { node, attempt: 2, .. } if *node == x
+        )));
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            EngineEvent::BackoffStarted { node, next_attempt: 2, .. } if *node == x
+        )));
+    }
+
+    #[test]
+    fn permanent_fault_exhausts_attempts_and_fails() {
+        let (wf, x, _, s) = add_workflow();
+        let exec = Executor::new(test_registry())
+            .with_policy(ExecPolicy::new().with_retry(RetryPolicy::attempts(3)))
+            .with_faults(FaultPlan::new().fail_always(x, "disk gone"));
+        let mut obs = RecordingObserver::default();
+        let result = exec.run_observed(&wf, &mut obs).unwrap();
+        assert_eq!(result.status, RunStatus::Failed);
+        assert_eq!(result.node_runs[&x].attempts, 3, "all attempts consumed");
+        assert_eq!(result.node_runs[&s].status, RunStatus::Skipped);
+        let failed_attempts = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::AttemptFailed { node, .. } if *node == x))
+            .count();
+        assert_eq!(failed_attempts, 3);
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            EngineEvent::AttemptFailed {
+                will_retry: false,
+                attempt: 3,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn injected_panic_is_contained_as_worker_panicked() {
+        let (wf, x, _, s) = add_workflow();
+        let exec =
+            Executor::new(test_registry()).with_faults(FaultPlan::new().panic_on(x, 1, "boom"));
+        let result = exec.run(&wf).unwrap();
+        assert_eq!(result.status, RunStatus::Failed);
+        let err = result.node_runs[&x].error.as_deref().unwrap();
+        assert!(err.contains("panicked") && err.contains("boom"), "{err}");
+        assert_eq!(result.node_runs[&s].status, RunStatus::Skipped);
+    }
+
+    #[test]
+    fn deadline_abandons_stalled_module() {
+        let (wf, x, _, _) = add_workflow();
+        let exec = Executor::new(test_registry())
+            .with_policy(ExecPolicy::new().with_deadline(Deadline::millis(20)))
+            .with_faults(FaultPlan::new().delay_on(x, 1, 500_000));
+        let mut obs = RecordingObserver::default();
+        let result = exec.run_observed(&wf, &mut obs).unwrap();
+        assert_eq!(result.status, RunStatus::Failed);
+        let err = result.node_runs[&x].error.as_deref().unwrap();
+        assert!(err.contains("deadline"), "{err}");
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            EngineEvent::ModuleTimedOut { node, .. } if *node == x
+        )));
+    }
+
+    #[test]
+    fn timeout_retries_when_policy_allows() {
+        let (wf, x, _, _) = add_workflow();
+        // Stall only the first attempt; the second attempt runs clean.
+        let exec = Executor::new(test_registry())
+            .with_policy(
+                ExecPolicy::new()
+                    .with_retry(RetryPolicy::attempts(2))
+                    .with_deadline(Deadline::millis(20)),
+            )
+            .with_faults(FaultPlan::new().delay_on(x, 1, 500_000));
+        let result = exec.run(&wf).unwrap();
+        assert!(result.succeeded());
+        assert_eq!(result.node_runs[&x].attempts, 2);
+    }
+
+    #[test]
+    fn registry_retry_hint_applies_without_exec_policy() {
+        let (wf, x, _, _) = add_workflow();
+        let mut registry = test_registry();
+        registry.declare_retry("Const@1", RetryPolicy::attempts(2));
+        let exec = Executor::new(registry).with_faults(FaultPlan::new().fail_on(x, 1, "flaky"));
+        let result = exec.run(&wf).unwrap();
+        assert!(result.succeeded(), "kind-level hint retried the fault");
+        assert_eq!(result.node_runs[&x].attempts, 2);
+    }
+
+    #[test]
+    fn failed_runs_are_never_cached_and_retried_success_caches_once() {
+        let (wf, x, _, _) = add_workflow();
+        let exec = Executor::new(test_registry())
+            .with_cache(64)
+            .with_policy(ExecPolicy::new().with_retry(RetryPolicy::attempts(2)))
+            .with_faults(FaultPlan::new().fail_always(x, "dead"));
+        let r1 = exec.run(&wf).unwrap();
+        assert_eq!(r1.status, RunStatus::Failed);
+        // Re-running must re-attempt the failed node, not serve it cached.
+        let r2 = exec.run(&wf).unwrap();
+        assert_eq!(r2.status, RunStatus::Failed);
+        assert!(
+            !r2.node_runs[&x].from_cache,
+            "failure never served from cache"
+        );
+        assert_eq!(r2.node_runs[&x].attempts, 2, "body re-attempted");
+
+        // A retried-then-succeeded module is cached exactly once.
+        let exec = Executor::new(test_registry())
+            .with_cache(64)
+            .with_policy(ExecPolicy::new().with_retry(RetryPolicy::attempts(3)))
+            .with_faults(FaultPlan::new().fail_on(x, 1, "flaky"));
+        let r1 = exec.run(&wf).unwrap();
+        assert!(r1.succeeded());
+        assert_eq!(exec.cache_stats().unwrap().misses, 3, "one miss per module");
+        let r2 = exec.run(&wf).unwrap();
+        assert_eq!(r2.cache_hits(), 3, "second run fully memoized");
+        assert_eq!(r2.node_runs[&x].attempts, 1, "cache hits count one attempt");
+    }
+
+    #[test]
+    fn resume_reexecutes_only_failed_nodes() {
+        let (wf, x, y, s) = add_workflow();
+        let failing =
+            Executor::new(test_registry()).with_faults(FaultPlan::new().fail_always(x, "dead"));
+        let previous = failing.run(&wf).unwrap();
+        assert_eq!(previous.status, RunStatus::Failed);
+        assert_eq!(previous.node_runs[&y].status, RunStatus::Succeeded);
+        assert_eq!(previous.node_runs[&s].status, RunStatus::Skipped);
+
+        // Resume on a healthy executor: y replays from the checkpoint,
+        // x and s re-execute.
+        let healthy = Executor::new(test_registry()).with_cache(64);
+        let mut obs = RecordingObserver::default();
+        let resumed = healthy.resume(&wf, &previous, &mut obs).unwrap();
+        assert!(resumed.succeeded());
+        assert_eq!(resumed.output(s, "out"), Some(&Value::Int(42)));
+        assert_eq!(resumed.resumed_from, Some(previous.exec));
+        assert_eq!(resumed.cache_hits(), 1, "only y is replayed");
+        assert!(resumed.node_runs[&y].from_cache);
+        assert!(!resumed.node_runs[&x].from_cache);
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            EngineEvent::RunResumed { resumed_from, reused: 1, .. }
+                if *resumed_from == previous.exec
+        )));
+
+        // The parallel driver resumes identically.
+        let healthy = Executor::new(test_registry()).with_cache(64);
+        let resumed_par = healthy
+            .resume_parallel(&wf, &previous, 4, &mut NullObserver)
+            .unwrap();
+        assert!(resumed_par.succeeded());
+        assert_eq!(resumed_par.cache_hits(), 1);
+        assert_eq!(resumed_par.fingerprint(), resumed.fingerprint());
+    }
+
+    #[test]
+    fn resume_without_cache_is_rejected() {
+        let (wf, ..) = add_workflow();
+        let exec = Executor::new(test_registry());
+        let previous = exec.run(&wf).unwrap();
+        assert!(exec.resume(&wf, &previous, &mut NullObserver).is_err());
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_across_drivers_and_seeds() {
+        let (wf, x, ..) = add_workflow();
+        let run_with = |parallel: bool| {
+            let exec = Executor::new(test_registry())
+                .with_policy(
+                    ExecPolicy::new()
+                        .with_retry(RetryPolicy::attempts(3).backoff(10, 2.0, 100).jitter(0.5))
+                        .with_seed(99),
+                )
+                .with_faults(FaultPlan::new().fail_on(x, 1, "flaky"));
+            if parallel {
+                exec.run_parallel(&wf, 4, &mut NullObserver).unwrap()
+            } else {
+                exec.run(&wf).unwrap()
+            }
+        };
+        let a = run_with(false);
+        let b = run_with(false);
+        let c = run_with(true);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "sequential replay");
+        assert_eq!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "parallel matches sequential"
+        );
     }
 }

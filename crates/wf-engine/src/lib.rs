@@ -16,6 +16,9 @@
 //! * [`stdlib`] — the builtin scientific module library (everything
 //!   Figure 1 and the Provenance Challenge pipelines need),
 //! * [`exec`] — sequential and parallel execution drivers,
+//! * [`policy`] — retry policies, backoff, and deadlines (fault-tolerant
+//!   execution with provenance-recorded recovery),
+//! * [`fault`] — deterministic fault injection for testing recovery,
 //! * [`cache`] — provenance-based memoization of module runs,
 //! * [`dbops`] — database operators as workflow modules with row-level
 //!   provenance (the §2.4 "connecting database and workflow provenance"
@@ -28,6 +31,8 @@ pub mod dbops;
 pub mod error;
 pub mod event;
 pub mod exec;
+pub mod fault;
+pub mod policy;
 pub mod registry;
 pub mod stdlib;
 pub mod sweep;
@@ -35,9 +40,11 @@ pub mod synth;
 pub mod value;
 
 pub use cache::RunCache;
-pub use error::ExecError;
+pub use error::{ErrorClass, ExecError};
 pub use event::{EngineEvent, ExecObserver, ValueMeta};
-pub use exec::{ExecId, ExecutionResult, Executor, NodeRunRecord, RunStatus};
+pub use exec::{ExecId, ExecutionResult, Executor, NodeRunRecord, NullObserver, RunStatus};
+pub use fault::{FaultAction, FaultPlan};
+pub use policy::{Deadline, ExecPolicy, RetryPolicy};
 pub use registry::{ExecInput, ModuleExec, ModuleRegistry};
 pub use stdlib::standard_registry;
 pub use value::{Grid, Image, Mesh, Table, Value};

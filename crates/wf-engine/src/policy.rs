@@ -1,0 +1,299 @@
+//! Fault-tolerance policy: retries, backoff, and deadlines.
+//!
+//! Scientific workflows run for hours against flaky resources; discarding a
+//! whole run because one module hit a transient error wastes everything
+//! provenance was supposed to protect. A [`RetryPolicy`] describes how many
+//! times a module body may be attempted and how long to wait between
+//! attempts (exponential backoff with *deterministic, seeded* jitter — the
+//! same seed replays the same schedule, so recovery behaviour is itself
+//! reproducible). An [`ExecPolicy`] scopes retry policies and deadlines to
+//! a whole workflow with per-node overrides.
+//!
+//! Every retry, backoff, and timeout decision made under these policies is
+//! reported through [`crate::ExecObserver`] so that retrospective
+//! provenance records the full recovery history.
+
+use crate::error::ErrorClass;
+use crate::stdlib::SplitMix64;
+use std::collections::{BTreeMap, BTreeSet};
+use wf_model::NodeId;
+
+/// How (and whether) to retry a failing module body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (including the first); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in microseconds (0 = no wait).
+    pub base_backoff_micros: u64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub multiplier: f64,
+    /// Upper bound on any single backoff, in microseconds.
+    pub max_backoff_micros: u64,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a factor
+    /// drawn deterministically from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Which error classes are worth retrying.
+    pub retry_on: BTreeSet<ErrorClass>,
+}
+
+/// The error classes that usually denote transient faults.
+fn transient_classes() -> BTreeSet<ErrorClass> {
+    [ErrorClass::Failure, ErrorClass::Panic, ErrorClass::Timeout]
+        .into_iter()
+        .collect()
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::never()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail fast (the engine's historical
+    /// behaviour).
+    pub fn never() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff_micros: 0,
+            multiplier: 2.0,
+            max_backoff_micros: 0,
+            jitter: 0.0,
+            retry_on: BTreeSet::new(),
+        }
+    }
+
+    /// Up to `max_attempts` attempts for transient faults (module failure,
+    /// panic, timeout), with no backoff. Chain [`RetryPolicy::backoff`] to
+    /// add a delay schedule.
+    pub fn attempts(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            base_backoff_micros: 0,
+            multiplier: 2.0,
+            max_backoff_micros: 0,
+            jitter: 0.0,
+            retry_on: transient_classes(),
+        }
+    }
+
+    /// Set an exponential backoff schedule: `base` microseconds before the
+    /// second attempt, multiplied by `multiplier` per subsequent attempt,
+    /// capped at `max` microseconds.
+    pub fn backoff(mut self, base_micros: u64, multiplier: f64, max_micros: u64) -> Self {
+        self.base_backoff_micros = base_micros;
+        self.multiplier = if multiplier.is_finite() && multiplier >= 1.0 {
+            multiplier
+        } else {
+            1.0
+        };
+        self.max_backoff_micros = max_micros.max(base_micros);
+        self
+    }
+
+    /// Set the jitter fraction (clamped to `[0, 1]`).
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Also retry errors of `class` (e.g. [`ErrorClass::BadInput`] when a
+    /// module is known to misreport transient faults as input errors).
+    pub fn retry_also(mut self, class: ErrorClass) -> Self {
+        self.retry_on.insert(class);
+        self
+    }
+
+    /// Should a failure of `class` on attempt `attempt` (1-based) be
+    /// retried under this policy?
+    pub fn should_retry(&self, attempt: u32, class: ErrorClass) -> bool {
+        attempt < self.max_attempts && self.retry_on.contains(&class)
+    }
+
+    /// The backoff before attempt `attempt + 1`, given that attempt
+    /// `attempt` (1-based) just failed. Deterministic in
+    /// `(seed, node, attempt)` regardless of scheduling order, so parallel
+    /// runs replay the same schedule as sequential ones.
+    pub fn backoff_micros(&self, seed: u64, node: NodeId, attempt: u32) -> u64 {
+        if self.base_backoff_micros == 0 {
+            return 0;
+        }
+        let exp = self
+            .multiplier
+            .powi(attempt.saturating_sub(1).min(62) as i32);
+        let raw = (self.base_backoff_micros as f64 * exp).min(self.max_backoff_micros as f64);
+        if self.jitter <= 0.0 {
+            return raw as u64;
+        }
+        // Derive a per-(seed, node, attempt) stream so jitter does not
+        // depend on the order in which nodes happen to fail.
+        let stream = seed
+            ^ node.0.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ u64::from(attempt).wrapping_mul(0xd1b5_4a32_d192_ed03);
+        let mut rng = SplitMix64::new(stream);
+        let factor = 1.0 + self.jitter * (2.0 * rng.next_f64() - 1.0);
+        (raw * factor).max(0.0) as u64
+    }
+}
+
+/// A wall-clock deadline for one module body, in microseconds.
+///
+/// Enforced by running the body on a watchdog thread: when the limit
+/// passes, the attempt is abandoned (the thread is detached — module
+/// bodies cannot be cancelled preemptively) and the engine reports
+/// [`crate::ExecError::DeadlineExceeded`], which retry policies classify
+/// as [`ErrorClass::Timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    /// The limit in microseconds.
+    pub limit_micros: u64,
+}
+
+impl Deadline {
+    /// A deadline of `limit_micros` microseconds.
+    pub fn micros(limit_micros: u64) -> Self {
+        Self { limit_micros }
+    }
+
+    /// A deadline of `millis` milliseconds.
+    pub fn millis(millis: u64) -> Self {
+        Self {
+            limit_micros: millis.saturating_mul(1000),
+        }
+    }
+}
+
+/// Fault-tolerance policy for a whole workflow run: a default retry policy
+/// and deadline, with per-node overrides, plus the seed that makes backoff
+/// jitter reproducible.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecPolicy {
+    /// Workflow-wide retry policy (default: no retries).
+    pub retry: RetryPolicy,
+    /// Per-node retry overrides.
+    pub node_retry: BTreeMap<NodeId, RetryPolicy>,
+    /// Workflow-wide module-body deadline (default: none).
+    pub deadline: Option<Deadline>,
+    /// Per-node deadline overrides.
+    pub node_deadline: BTreeMap<NodeId, Deadline>,
+    /// Seed for deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl ExecPolicy {
+    /// The engine's historical behaviour: one attempt, no deadlines.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the workflow-wide retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Override the retry policy for one node.
+    pub fn retry_for_node(mut self, node: NodeId, retry: RetryPolicy) -> Self {
+        self.node_retry.insert(node, retry);
+        self
+    }
+
+    /// Set the workflow-wide module-body deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Override the deadline for one node.
+    pub fn deadline_for_node(mut self, node: NodeId, deadline: Deadline) -> Self {
+        self.node_deadline.insert(node, deadline);
+        self
+    }
+
+    /// Set the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The effective retry policy for `node`.
+    pub fn retry_for(&self, node: NodeId) -> &RetryPolicy {
+        self.node_retry.get(&node).unwrap_or(&self.retry)
+    }
+
+    /// The effective deadline for `node`, if any.
+    pub fn deadline_for(&self, node: NodeId) -> Option<Deadline> {
+        self.node_deadline.get(&node).copied().or(self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_policy_never_retries() {
+        let p = RetryPolicy::never();
+        assert!(!p.should_retry(1, ErrorClass::Failure));
+        assert_eq!(p.backoff_micros(1, NodeId(0), 1), 0);
+    }
+
+    #[test]
+    fn attempts_policy_retries_transient_only() {
+        let p = RetryPolicy::attempts(3);
+        assert!(p.should_retry(1, ErrorClass::Failure));
+        assert!(p.should_retry(2, ErrorClass::Panic));
+        assert!(p.should_retry(1, ErrorClass::Timeout));
+        assert!(
+            !p.should_retry(3, ErrorClass::Failure),
+            "attempts exhausted"
+        );
+        assert!(!p.should_retry(1, ErrorClass::BadInput));
+        assert!(!p.should_retry(1, ErrorClass::Structural));
+        assert!(p
+            .retry_also(ErrorClass::BadInput)
+            .should_retry(1, ErrorClass::BadInput));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::attempts(6).backoff(100, 2.0, 350);
+        let n = NodeId(1);
+        assert_eq!(p.backoff_micros(0, n, 1), 100);
+        assert_eq!(p.backoff_micros(0, n, 2), 200);
+        assert_eq!(p.backoff_micros(0, n, 3), 350, "capped");
+        assert_eq!(p.backoff_micros(0, n, 4), 350);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::attempts(4)
+            .backoff(1000, 2.0, 100_000)
+            .jitter(0.5);
+        let a = p.backoff_micros(42, NodeId(3), 1);
+        let b = p.backoff_micros(42, NodeId(3), 1);
+        assert_eq!(a, b, "same seed, node, attempt: same backoff");
+        assert!((500..=1500).contains(&a), "within jitter bounds: {a}");
+        // Different node or seed: (almost surely) a different draw.
+        let c = p.backoff_micros(42, NodeId(4), 1);
+        let d = p.backoff_micros(43, NodeId(3), 1);
+        assert!(a != c || a != d, "jitter streams are separated");
+    }
+
+    #[test]
+    fn exec_policy_resolves_overrides() {
+        let policy = ExecPolicy::new()
+            .with_retry(RetryPolicy::attempts(2))
+            .retry_for_node(NodeId(9), RetryPolicy::attempts(5))
+            .with_deadline(Deadline::millis(10))
+            .deadline_for_node(NodeId(9), Deadline::micros(77));
+        assert_eq!(policy.retry_for(NodeId(0)).max_attempts, 2);
+        assert_eq!(policy.retry_for(NodeId(9)).max_attempts, 5);
+        assert_eq!(
+            policy.deadline_for(NodeId(0)),
+            Some(Deadline::micros(10_000))
+        );
+        assert_eq!(policy.deadline_for(NodeId(9)), Some(Deadline::micros(77)));
+        assert_eq!(ExecPolicy::new().deadline_for(NodeId(0)), None);
+    }
+}

@@ -2,6 +2,7 @@
 //! implementations.
 
 use crate::error::ExecError;
+use crate::policy::RetryPolicy;
 use crate::value::Value;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -23,10 +24,12 @@ pub struct ExecInput {
 impl ExecInput {
     /// Required input port; error if absent.
     pub fn input(&self, port: &str) -> Result<&Value, ExecError> {
-        self.inputs.get(port).ok_or_else(|| ExecError::MissingInput {
-            node: self.node,
-            port: port.to_string(),
-        })
+        self.inputs
+            .get(port)
+            .ok_or_else(|| ExecError::MissingInput {
+                node: self.node,
+                port: port.to_string(),
+            })
     }
 
     /// Optional input port.
@@ -139,6 +142,7 @@ where
 pub struct ModuleRegistry {
     catalog: ModuleCatalog,
     impls: HashMap<String, Arc<dyn ModuleExec>>,
+    retry_hints: HashMap<String, RetryPolicy>,
 }
 
 impl std::fmt::Debug for ModuleRegistry {
@@ -146,6 +150,7 @@ impl std::fmt::Debug for ModuleRegistry {
         f.debug_struct("ModuleRegistry")
             .field("kinds", &self.catalog.len())
             .field("impls", &self.impls.len())
+            .field("retry_hints", &self.retry_hints.len())
             .finish()
     }
 }
@@ -162,7 +167,21 @@ impl ModuleRegistry {
         Self {
             catalog: ModuleCatalog::new(),
             impls: HashMap::new(),
+            retry_hints: HashMap::new(),
         }
+    }
+
+    /// Declare a default retry policy for every instance of a module kind
+    /// (e.g. a remote-fetch module known to be flaky). Node-level overrides
+    /// in [`crate::ExecPolicy`] take precedence; the workflow-wide policy is
+    /// the fallback.
+    pub fn declare_retry(&mut self, identity: &str, policy: RetryPolicy) {
+        self.retry_hints.insert(identity.to_string(), policy);
+    }
+
+    /// The declared retry hint for a kind identity, if any.
+    pub fn retry_hint(&self, identity: &str) -> Option<&RetryPolicy> {
+        self.retry_hints.get(identity)
     }
 
     /// Register a kind together with its implementation.

@@ -116,7 +116,10 @@ fn register_sources(r: &mut ModuleRegistry) {
             let path = input.param_text("path")?;
             let (nx, ny, nz) = grid_dims_param(input)?;
             let seed = fnv1a(path.as_bytes());
-            Ok(out1("grid", Value::Grid(synth_volume(seed, nx, ny, nz, 0.05))))
+            Ok(out1(
+                "grid",
+                Value::Grid(synth_volume(seed, nx, ny, nz, 0.05)),
+            ))
         },
     );
     r.register(
@@ -133,7 +136,10 @@ fn register_sources(r: &mut ModuleRegistry) {
             let seed = input.param_i64("seed")? as u64;
             let noise = input.param_f64("noise")?;
             let (nx, ny, nz) = grid_dims_param(input)?;
-            Ok(out1("grid", Value::Grid(synth_volume(seed, nx, ny, nz, noise))))
+            Ok(out1(
+                "grid",
+                Value::Grid(synth_volume(seed, nx, ny, nz, noise)),
+            ))
         },
     );
     r.register(
@@ -147,7 +153,10 @@ fn register_sources(r: &mut ModuleRegistry) {
             let v = input.input("in")?;
             let name = input.param_text("name")?;
             let payload = format!("{name}\n{}\n{}", v.dtype(), v.digest());
-            Ok(out1("file", Value::Bytes(Bytes::from(payload.into_bytes()))))
+            Ok(out1(
+                "file",
+                Value::Bytes(Bytes::from(payload.into_bytes())),
+            ))
         },
     );
 }
@@ -164,7 +173,11 @@ fn register_analysis(r: &mut ModuleRegistry) {
             let g = input.grid("data")?;
             let bins = input.param_i64("bins")?.max(1) as usize;
             let (lo, hi) = g.range();
-            let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+            let width = if hi > lo {
+                (hi - lo) / bins as f64
+            } else {
+                1.0
+            };
             let mut counts = vec![0f64; bins];
             for &v in g.data.iter() {
                 let mut b = ((v - lo) / width) as usize;
@@ -180,10 +193,10 @@ fn register_analysis(r: &mut ModuleRegistry) {
                 .collect();
             Ok(out1(
                 "table",
-                Value::Table(Table::new(
+                Value::Table(Table::try_new(
                     vec!["bin_lo".into(), "bin_hi".into(), "count".into()],
                     rows,
-                )),
+                )?),
             ))
         },
     );
@@ -202,7 +215,7 @@ fn register_analysis(r: &mut ModuleRegistry) {
                 .iter()
                 .map(|&v| if v >= level { 1.0 } else { 0.0 })
                 .collect();
-            Ok(out1("mask", Value::Grid(Grid::new(g.dims, data))))
+            Ok(out1("mask", Value::Grid(Grid::try_new(g.dims, data)?)))
         },
     );
     r.register(
@@ -225,19 +238,37 @@ fn register_analysis(r: &mut ModuleRegistry) {
                         for x in 0..nx {
                             let mut sum = cur[idx(x, y, z)];
                             let mut n = 1.0;
-                            if x > 0 { sum += cur[idx(x - 1, y, z)]; n += 1.0; }
-                            if x + 1 < nx { sum += cur[idx(x + 1, y, z)]; n += 1.0; }
-                            if y > 0 { sum += cur[idx(x, y - 1, z)]; n += 1.0; }
-                            if y + 1 < ny { sum += cur[idx(x, y + 1, z)]; n += 1.0; }
-                            if z > 0 { sum += cur[idx(x, y, z - 1)]; n += 1.0; }
-                            if z + 1 < nz { sum += cur[idx(x, y, z + 1)]; n += 1.0; }
+                            if x > 0 {
+                                sum += cur[idx(x - 1, y, z)];
+                                n += 1.0;
+                            }
+                            if x + 1 < nx {
+                                sum += cur[idx(x + 1, y, z)];
+                                n += 1.0;
+                            }
+                            if y > 0 {
+                                sum += cur[idx(x, y - 1, z)];
+                                n += 1.0;
+                            }
+                            if y + 1 < ny {
+                                sum += cur[idx(x, y + 1, z)];
+                                n += 1.0;
+                            }
+                            if z > 0 {
+                                sum += cur[idx(x, y, z - 1)];
+                                n += 1.0;
+                            }
+                            if z + 1 < nz {
+                                sum += cur[idx(x, y, z + 1)];
+                                n += 1.0;
+                            }
                             next[idx(x, y, z)] = sum / n;
                         }
                     }
                 }
                 cur = next;
             }
-            Ok(out1("smoothed", Value::Grid(Grid::new(g.dims, cur))))
+            Ok(out1("smoothed", Value::Grid(Grid::try_new(g.dims, cur)?)))
         },
     );
     r.register(
@@ -273,7 +304,7 @@ fn register_analysis(r: &mut ModuleRegistry) {
                     }
                 }
             }
-            Ok(out1("out", Value::Grid(Grid::new((mx, my, mz), data))))
+            Ok(out1("out", Value::Grid(Grid::try_new((mx, my, mz), data)?)))
         },
     );
     r.register(
@@ -290,10 +321,10 @@ fn register_analysis(r: &mut ModuleRegistry) {
             let (lo, hi) = g.range();
             Ok(out1(
                 "stats",
-                Value::Table(Table::new(
+                Value::Table(Table::try_new(
                     vec!["min".into(), "max".into(), "mean".into(), "std".into()],
                     vec![vec![lo, hi, mean, var.sqrt()]],
-                )),
+                )?),
             ))
         },
     );
@@ -321,7 +352,11 @@ fn register_analysis(r: &mut ModuleRegistry) {
                 "sub" => |x, y| x - y,
                 "mul" => |x, y| x * y,
                 other => {
-                    return Err(fail(input, "GridCombine@1", format!("unknown op '{other}'")))
+                    return Err(fail(
+                        input,
+                        "GridCombine@1",
+                        format!("unknown op '{other}'"),
+                    ))
                 }
             };
             let data = a
@@ -330,7 +365,7 @@ fn register_analysis(r: &mut ModuleRegistry) {
                 .zip(b.data.iter())
                 .map(|(&x, &y)| f(x, y))
                 .collect();
-            Ok(out1("out", Value::Grid(Grid::new(a.dims, data))))
+            Ok(out1("out", Value::Grid(Grid::try_new(a.dims, data)?)))
         },
     );
     r.register(
@@ -344,7 +379,7 @@ fn register_analysis(r: &mut ModuleRegistry) {
             let g = input.grid("data")?;
             let k = input.param_f64("factor")?;
             let data = g.data.iter().map(|&v| v * k).collect();
-            Ok(out1("out", Value::Grid(Grid::new(g.dims, data))))
+            Ok(out1("out", Value::Grid(Grid::try_new(g.dims, data)?)))
         },
     );
 }
@@ -485,7 +520,7 @@ fn register_visualization(r: &mut ModuleRegistry) {
                     *p = p.saturating_add(40);
                 }
             }
-            Ok(out1("image", Value::Image(Image::new(w, h, pixels))))
+            Ok(out1("image", Value::Image(Image::try_new(w, h, pixels)?)))
         },
     );
     r.register(
@@ -502,9 +537,9 @@ fn register_visualization(r: &mut ModuleRegistry) {
             let w = input.param_i64("width")?.max(1) as usize;
             let h = input.param_i64("height")?.max(1) as usize;
             let col = input.param_text("column")?;
-            let values = t.column(col).ok_or_else(|| {
-                fail(input, "PlotTable@1", format!("no column '{col}'"))
-            })?;
+            let values = t
+                .column(col)
+                .ok_or_else(|| fail(input, "PlotTable@1", format!("no column '{col}'")))?;
             let mut pixels = vec![0u8; w * h];
             if !values.is_empty() {
                 let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
@@ -516,7 +551,7 @@ fn register_visualization(r: &mut ModuleRegistry) {
                     }
                 }
             }
-            Ok(out1("image", Value::Image(Image::new(w, h, pixels))))
+            Ok(out1("image", Value::Image(Image::try_new(w, h, pixels)?)))
         },
     );
     r.register(
@@ -554,9 +589,7 @@ fn register_visualization(r: &mut ModuleRegistry) {
                     let i = index.min(nz.saturating_sub(1));
                     (nx, ny, Box::new(move |a, b| g.at(a, b, i)))
                 }
-                other => {
-                    return Err(fail(input, "Slice@1", format!("unknown axis '{other}'")))
-                }
+                other => return Err(fail(input, "Slice@1", format!("unknown axis '{other}'"))),
             };
             let mut pixels = Vec::with_capacity(w * h);
             for b in 0..h {
@@ -564,7 +597,7 @@ fn register_visualization(r: &mut ModuleRegistry) {
                     pixels.push(norm(get(a, b)));
                 }
             }
-            Ok(out1("image", Value::Image(Image::new(w, h, pixels))))
+            Ok(out1("image", Value::Image(Image::try_new(w, h, pixels)?)))
         },
     );
 }
@@ -598,7 +631,7 @@ fn register_challenge(r: &mut ModuleRegistry) {
                 .collect();
             Ok(out1(
                 "warp",
-                Value::Table(Table::new(vec!["coef".into(), "value".into()], rows)),
+                Value::Table(Table::try_new(vec!["coef".into(), "value".into()], rows)?),
             ))
         },
     );
@@ -612,9 +645,12 @@ fn register_challenge(r: &mut ModuleRegistry) {
         |input: &ExecInput| {
             let g = input.grid("anatomy")?;
             let w = input.table("warp")?;
-            let shift = w.column("value").map(|v| v.iter().sum::<f64>()).unwrap_or(0.0);
+            let shift = w
+                .column("value")
+                .map(|v| v.iter().sum::<f64>())
+                .unwrap_or(0.0);
             let data = g.data.iter().map(|&v| v + shift / 10.0).collect();
-            Ok(out1("resliced", Value::Grid(Grid::new(g.dims, data))))
+            Ok(out1("resliced", Value::Grid(Grid::try_new(g.dims, data)?)))
         },
     );
     r.register(
@@ -645,7 +681,7 @@ fn register_challenge(r: &mut ModuleRegistry) {
             let data = (0..first.len())
                 .map(|i| grids.iter().map(|g| g.data[i]).sum::<f64>() / n)
                 .collect();
-            Ok(out1("atlas", Value::Grid(Grid::new(first.dims, data))))
+            Ok(out1("atlas", Value::Grid(Grid::try_new(first.dims, data)?)))
         },
     );
     r.register(
@@ -689,7 +725,10 @@ fn register_util(r: &mut ModuleRegistry) {
             .output(PortSpec::required("out", DataType::Text))
             .param(ParamSpec::new("value", "")),
         |input: &ExecInput| {
-            Ok(out1("out", Value::Text(input.param_text("value")?.to_string())))
+            Ok(out1(
+                "out",
+                Value::Text(input.param_text("value")?.to_string()),
+            ))
         },
     );
     r.register(
@@ -821,7 +860,10 @@ fn register_util(r: &mut ModuleRegistry) {
         ModuleKind::new("Range")
             .category("util")
             .doc("List of floats 0..n")
-            .output(PortSpec::required("out", DataType::List(Box::new(DataType::Float))))
+            .output(PortSpec::required(
+                "out",
+                DataType::List(Box::new(DataType::Float)),
+            ))
             .param(ParamSpec::new("n", 10i64)),
         |input: &ExecInput| {
             let n = input.param_i64("n")?.max(0);
@@ -835,7 +877,10 @@ fn register_util(r: &mut ModuleRegistry) {
         ModuleKind::new("SumList")
             .category("util")
             .doc("Sum of a numeric list")
-            .input(PortSpec::required("in", DataType::List(Box::new(DataType::Float))))
+            .input(PortSpec::required(
+                "in",
+                DataType::List(Box::new(DataType::Float)),
+            ))
             .output(PortSpec::required("out", DataType::Float)),
         |input: &ExecInput| {
             let v = input.input("in")?;
@@ -926,17 +971,9 @@ mod tests {
             Value::Grid(a.clone()).content_hash(),
             Value::Grid(b).content_hash()
         );
-        let other = run_module(
-            &r,
-            "LoadVolume",
-            vec![("path", "other.vtk".into())],
-            vec![],
-        )
-        .unwrap();
-        assert_ne!(
-            Value::Grid(a).content_hash(),
-            other["grid"].content_hash()
-        );
+        let other =
+            run_module(&r, "LoadVolume", vec![("path", "other.vtk".into())], vec![]).unwrap();
+        assert_ne!(Value::Grid(a).content_hash(), other["grid"].content_hash());
     }
 
     #[test]
@@ -1019,7 +1056,10 @@ mod tests {
             vec![("a", Value::Grid(a.clone())), ("b", Value::Grid(b))],
         )
         .unwrap();
-        assert_eq!(out["out"].as_grid().unwrap().data.as_ref(), &vec![11.0, 22.0]);
+        assert_eq!(
+            out["out"].as_grid().unwrap().data.as_ref(),
+            &vec![11.0, 22.0]
+        );
         let bad = Grid::new((3, 1, 1), vec![0.0; 3]);
         let err = run_module(
             &r,
@@ -1051,7 +1091,10 @@ mod tests {
         )
         .unwrap();
         let m = out["mesh"].as_mesh().unwrap();
-        assert!(!m.triangles.is_empty(), "head volume must have an isosurface");
+        assert!(
+            !m.triangles.is_empty(),
+            "head volume must have an isosurface"
+        );
         assert_eq!(m.vertices.len(), m.triangles.len() * 3);
     }
 
@@ -1059,13 +1102,7 @@ mod tests {
     fn smooth_mesh_changes_geometry_but_not_topology() {
         let r = reg();
         let g = load_head(&r);
-        let iso = run_module(
-            &r,
-            "Isosurface",
-            vec![],
-            vec![("data", Value::Grid(g))],
-        )
-        .unwrap();
+        let iso = run_module(&r, "Isosurface", vec![], vec![("data", Value::Grid(g))]).unwrap();
         let before = iso["mesh"].as_mesh().unwrap().clone();
         let out = run_module(
             &r,
@@ -1083,8 +1120,13 @@ mod tests {
     fn render_and_plot_produce_nonblank_images() {
         let r = reg();
         let g = load_head(&r);
-        let iso = run_module(&r, "Isosurface", vec![], vec![("data", Value::Grid(g.clone()))])
-            .unwrap();
+        let iso = run_module(
+            &r,
+            "Isosurface",
+            vec![],
+            vec![("data", Value::Grid(g.clone()))],
+        )
+        .unwrap();
         let img = run_module(
             &r,
             "RenderMesh",
@@ -1154,13 +1196,8 @@ mod tests {
     fn challenge_pipeline_stages_compose() {
         let r = reg();
         let anatomy = load_head(&r);
-        let reference = run_module(
-            &r,
-            "SyntheticGrid",
-            vec![("seed", 42i64.into())],
-            vec![],
-        )
-        .unwrap()["grid"]
+        let reference = run_module(&r, "SyntheticGrid", vec![("seed", 42i64.into())], vec![])
+            .unwrap()["grid"]
             .clone();
         let warp = run_module(
             &r,
@@ -1193,17 +1230,9 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(
-            atlas["atlas"].as_grid().unwrap().dims,
-            anatomy.dims
-        );
-        let slice = run_module(
-            &r,
-            "Slice",
-            vec![],
-            vec![("data", atlas["atlas"].clone())],
-        )
-        .unwrap();
+        assert_eq!(atlas["atlas"].as_grid().unwrap().dims, anatomy.dims);
+        let slice =
+            run_module(&r, "Slice", vec![], vec![("data", atlas["atlas"].clone())]).unwrap();
         let file = run_module(
             &r,
             "Convert",
@@ -1238,13 +1267,11 @@ mod tests {
         let base = run_module(&r, "Busy", vec![], vec![]).unwrap()["out"].clone();
         let same = run_module(&r, "Busy", vec![], vec![]).unwrap()["out"].clone();
         assert_eq!(base, same);
-        let more = run_module(&r, "Busy", vec![("work", 2000i64.into())], vec![]).unwrap()
-            ["out"]
-            .clone();
+        let more =
+            run_module(&r, "Busy", vec![("work", 2000i64.into())], vec![]).unwrap()["out"].clone();
         assert_ne!(base, more);
-        let seeded = run_module(&r, "Busy", vec![("seed", 9i64.into())], vec![]).unwrap()
-            ["out"]
-            .clone();
+        let seeded =
+            run_module(&r, "Busy", vec![("seed", 9i64.into())], vec![]).unwrap()["out"].clone();
         assert_ne!(base, seeded);
         let with_in =
             run_module(&r, "Busy", vec![], vec![("in", Value::Int(5))]).unwrap()["out"].clone();

@@ -175,8 +175,14 @@ mod tests {
         let sweep = run_sweep(&exec, &wf, &axes).unwrap();
         assert_eq!(sweep.points.len(), 6);
         // Last axis fastest: first two points share the nx assignment.
-        assert_eq!(sweep.points[0].assignment[0].2, sweep.points[1].assignment[0].2);
-        assert_ne!(sweep.points[0].assignment[1].2, sweep.points[1].assignment[1].2);
+        assert_eq!(
+            sweep.points[0].assignment[0].2,
+            sweep.points[1].assignment[0].2
+        );
+        assert_ne!(
+            sweep.points[0].assignment[1].2,
+            sweep.points[1].assignment[1].2
+        );
     }
 
     #[test]
@@ -199,7 +205,11 @@ mod tests {
     fn no_cache_means_no_hits() {
         let (wf, _, hist) = pipeline();
         let exec = Executor::new(standard_registry());
-        let axes = vec![SweepAxis::new(hist, "bins", vec![8i64.into(), 16i64.into()])];
+        let axes = vec![SweepAxis::new(
+            hist,
+            "bins",
+            vec![8i64.into(), 16i64.into()],
+        )];
         let sweep = run_sweep(&exec, &wf, &axes).unwrap();
         assert_eq!(sweep.cached_module_runs, 0);
     }

@@ -85,16 +85,35 @@ pub struct Grid {
 
 impl Grid {
     /// Construct a grid; panics if `data` length does not match `dims`.
+    /// Module bodies should prefer [`Grid::try_new`], which reports the
+    /// mismatch as a typed error instead of tearing down the worker.
     pub fn new(dims: (usize, usize, usize), data: Vec<f64>) -> Self {
-        assert_eq!(
-            data.len(),
-            dims.0 * dims.1 * dims.2,
-            "grid data length must equal nx*ny*nz"
-        );
-        Self {
+        match Self::try_new(dims, data) {
+            Ok(g) => g,
+            Err(e) => panic!("grid data length must equal nx*ny*nz: {e}"),
+        }
+    }
+
+    /// Construct a grid, reporting a dims/data mismatch as
+    /// [`crate::ExecError::BadInputType`].
+    pub fn try_new(
+        dims: (usize, usize, usize),
+        data: Vec<f64>,
+    ) -> Result<Self, crate::error::ExecError> {
+        let expected = dims.0 * dims.1 * dims.2;
+        if data.len() != expected {
+            return Err(crate::error::ExecError::BadInputType {
+                expected: format!(
+                    "grid of {}x{}x{} = {expected} samples",
+                    dims.0, dims.1, dims.2
+                ),
+                got: format!("{} samples", data.len()),
+            });
+        }
+        Ok(Self {
             dims,
             data: Arc::new(data),
-        }
+        })
     }
 
     /// Number of scalar samples.
@@ -115,11 +134,12 @@ impl Grid {
 
     /// Minimum and maximum scalar values (0.0, 0.0 for empty grids).
     pub fn range(&self) -> (f64, f64) {
-        self.data.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &v| (lo.min(v), hi.max(v)),
-        )
-        .into_finite()
+        self.data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
+            .into_finite()
     }
 }
 
@@ -148,14 +168,32 @@ pub struct Table {
 
 impl Table {
     /// Construct a table; panics if any row width mismatches the header.
+    /// Module bodies should prefer [`Table::try_new`].
     pub fn new(columns: Vec<String>, rows: Vec<Vec<f64>>) -> Self {
-        for r in &rows {
-            assert_eq!(r.len(), columns.len(), "row width must match header");
+        match Self::try_new(columns, rows) {
+            Ok(t) => t,
+            Err(e) => panic!("row width must match header: {e}"),
         }
-        Self {
+    }
+
+    /// Construct a table, reporting a ragged row as
+    /// [`crate::ExecError::BadInputType`].
+    pub fn try_new(
+        columns: Vec<String>,
+        rows: Vec<Vec<f64>>,
+    ) -> Result<Self, crate::error::ExecError> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != columns.len() {
+                return Err(crate::error::ExecError::BadInputType {
+                    expected: format!("rows of width {}", columns.len()),
+                    got: format!("row {i} of width {}", r.len()),
+                });
+            }
+        }
+        Ok(Self {
             columns,
             rows: Arc::new(rows),
-        }
+        })
     }
 
     /// Number of rows.
@@ -192,14 +230,33 @@ pub struct Image {
 }
 
 impl Image {
-    /// Construct an image; panics on size mismatch.
+    /// Construct an image; panics on size mismatch. Module bodies should
+    /// prefer [`Image::try_new`].
     pub fn new(width: usize, height: usize, pixels: Vec<u8>) -> Self {
-        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
-        Self {
+        match Self::try_new(width, height, pixels) {
+            Ok(i) => i,
+            Err(e) => panic!("pixel buffer size mismatch: {e}"),
+        }
+    }
+
+    /// Construct an image, reporting a buffer-size mismatch as
+    /// [`crate::ExecError::BadInputType`].
+    pub fn try_new(
+        width: usize,
+        height: usize,
+        pixels: Vec<u8>,
+    ) -> Result<Self, crate::error::ExecError> {
+        if pixels.len() != width * height {
+            return Err(crate::error::ExecError::BadInputType {
+                expected: format!("image of {width}x{height} = {} pixels", width * height),
+                got: format!("{} pixels", pixels.len()),
+            });
+        }
+        Ok(Self {
             width,
             height,
             pixels: Arc::new(pixels),
-        }
+        })
     }
 
     /// A black image.
@@ -283,12 +340,9 @@ impl Value {
                 };
                 DataType::List(Box::new(elem))
             }
-            Value::Record(fields) => DataType::Record(
-                fields
-                    .iter()
-                    .map(|(k, v)| (k.clone(), v.dtype()))
-                    .collect(),
-            ),
+            Value::Record(fields) => {
+                DataType::Record(fields.iter().map(|(k, v)| (k.clone(), v.dtype())).collect())
+            }
             Value::Grid(_) => DataType::Grid,
             Value::Table(_) => DataType::Table,
             Value::Image(_) => DataType::Image,
@@ -402,10 +456,7 @@ impl Value {
             Value::Text(s) => s.len(),
             Value::Bytes(b) => b.len(),
             Value::List(items) => items.iter().map(Value::size_bytes).sum(),
-            Value::Record(fields) => fields
-                .iter()
-                .map(|(k, v)| k.len() + v.size_bytes())
-                .sum(),
+            Value::Record(fields) => fields.iter().map(|(k, v)| k.len() + v.size_bytes()).sum(),
             Value::Grid(g) => g.len() * 8,
             Value::Table(t) => t.rows.iter().map(|r| r.len() * 8).sum(),
             Value::Image(i) => i.pixels.len(),
@@ -481,11 +532,7 @@ impl fmt::Display for Value {
             Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
             Value::List(items) => write!(f, "<list of {}>", items.len()),
             Value::Record(fields) => write!(f, "<record of {}>", fields.len()),
-            Value::Grid(g) => write!(
-                f,
-                "<grid {}x{}x{}>",
-                g.dims.0, g.dims.1, g.dims.2
-            ),
+            Value::Grid(g) => write!(f, "<grid {}x{}x{}>", g.dims.0, g.dims.1, g.dims.2),
             Value::Table(t) => write!(f, "<table {}x{}>", t.len(), t.columns.len()),
             Value::Image(i) => write!(f, "<image {}x{}>", i.width, i.height),
             Value::Mesh(m) => write!(
@@ -551,6 +598,24 @@ mod tests {
     #[should_panic(expected = "grid data length")]
     fn grid_size_mismatch_panics() {
         let _ = Grid::new((2, 2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn try_new_reports_shape_errors_without_panicking() {
+        use crate::error::ExecError;
+        assert!(Grid::try_new((2, 2, 1), vec![0.0; 4]).is_ok());
+        assert!(matches!(
+            Grid::try_new((2, 2, 2), vec![0.0; 3]),
+            Err(ExecError::BadInputType { .. })
+        ));
+        assert!(Table::try_new(vec!["a".into()], vec![vec![1.0]]).is_ok());
+        assert!(matches!(
+            Table::try_new(vec!["a".into()], vec![vec![1.0, 2.0]]),
+            Err(ExecError::BadInputType { .. })
+        ));
+        assert!(Image::try_new(2, 2, vec![0; 4]).is_ok());
+        let err = Image::try_new(2, 2, vec![0; 3]).unwrap_err();
+        assert!(err.to_string().contains("4 pixels"), "{err}");
     }
 
     #[test]

@@ -45,7 +45,13 @@ impl WorkflowBuilder {
     }
 
     /// Wire `from.port_out` to `to.port_in`.
-    pub fn connect(&mut self, from: NodeId, port_out: &str, to: NodeId, port_in: &str) -> &mut Self {
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        port_out: &str,
+        to: NodeId,
+        port_in: &str,
+    ) -> &mut Self {
         self.wf
             .connect(Endpoint::new(from, port_out), Endpoint::new(to, port_in))
             .unwrap_or_else(|e| panic!("builder wiring error: {e}"));
@@ -92,7 +98,8 @@ mod tests {
         let mut b = WorkflowBuilder::new(1, "demo");
         let src = b.add_labeled("Source", "ct scan");
         let hist = b.add("Histogram");
-        b.connect(src, "grid", hist, "data").param(hist, "bins", 32i64);
+        b.connect(src, "grid", hist, "data")
+            .param(hist, "bins", 32i64);
         let w = b.build();
         assert_eq!(w.node_count(), 2);
         assert_eq!(w.conn_count(), 1);

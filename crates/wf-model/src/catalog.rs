@@ -46,8 +46,7 @@ impl ModuleCatalog {
     /// the previous definition (used by tests; real deployments bump the
     /// version instead).
     pub fn register(&mut self, kind: ModuleKind) {
-        self.kinds
-            .insert((kind.name.clone(), kind.version), kind);
+        self.kinds.insert((kind.name.clone(), kind.version), kind);
     }
 
     /// Resolve an exact `(name, version)` reference.

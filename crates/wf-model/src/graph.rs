@@ -48,7 +48,10 @@ impl Digraph {
     /// Add a directed edge `u → v`. Parallel edges are permitted (two
     /// connections between the same module pair on different ports).
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.succ.len() && v < self.succ.len(), "edge endpoint out of range");
+        assert!(
+            u < self.succ.len() && v < self.succ.len(),
+            "edge endpoint out of range"
+        );
         self.succ[u].push(v);
         self.pred[v].push(u);
         self.edges += 1;
@@ -123,7 +126,11 @@ impl Digraph {
                     continue;
                 }
             }
-            let next = if reverse { &self.pred[u] } else { &self.succ[u] };
+            let next = if reverse {
+                &self.pred[u]
+            } else {
+                &self.succ[u]
+            };
             for &v in next {
                 if depth[v].is_none() {
                     depth[v] = Some(du + 1);
@@ -210,7 +217,9 @@ impl Digraph {
     /// reachability. Panics if the graph is not a DAG. Returns the list of
     /// retained `(u, v)` edges (deduplicated).
     pub fn transitive_reduction(&self) -> Vec<(usize, usize)> {
-        let order = self.topo_order().expect("transitive_reduction requires a DAG");
+        let order = self
+            .topo_order()
+            .expect("transitive_reduction requires a DAG");
         let n = self.node_count();
         // position in topological order, for longest-path comparison
         let mut pos = vec![0usize; n];

@@ -438,9 +438,8 @@ mod tests {
         let comp = histoplot();
         let mut catalog = ModuleCatalog::new();
         // Register the leaf kinds the outer workflow uses.
-        catalog.register(
-            ModuleKind::new("Source").output(PortSpec::required("grid", DataType::Grid)),
-        );
+        catalog
+            .register(ModuleKind::new("Source").output(PortSpec::required("grid", DataType::Grid)));
         let mut b = WorkflowBuilder::new(1, "outer");
         let src = b.add("Source");
         let hp = b.add("HistoPlot");

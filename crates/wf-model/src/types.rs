@@ -58,10 +58,8 @@ impl DataType {
             (Record(fa), Record(fb)) => {
                 // Width and depth subtyping: the source must provide every
                 // field the sink declares, with compatible types.
-                fa.iter().all(|(name, ta)| {
-                    fb.iter()
-                        .any(|(nb, tb)| nb == name && ta.accepts(tb))
-                })
+                fa.iter()
+                    .all(|(name, ta)| fb.iter().any(|(nb, tb)| nb == name && ta.accepts(tb)))
             }
             (a, b) => a == b,
         }
@@ -116,7 +114,9 @@ mod tests {
 
     #[test]
     fn reflexive_acceptance() {
-        for t in [Boolean, Integer, Float, Text, Bytes, Grid, Table, Image, Mesh] {
+        for t in [
+            Boolean, Integer, Float, Text, Bytes, Grid, Table, Image, Mesh,
+        ] {
             assert!(t.accepts(&t), "{t} should accept itself");
         }
     }

@@ -271,10 +271,9 @@ mod tests {
         let mut w = valid_wf();
         w.add_node("Mystery", 9);
         let report = validate(&w, &catalog());
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| matches!(f, Finding::UnknownKind { identity, .. } if identity == "Mystery@9")));
+        assert!(report.findings.iter().any(
+            |f| matches!(f, Finding::UnknownKind { identity, .. } if identity == "Mystery@9")
+        ));
     }
 
     #[test]

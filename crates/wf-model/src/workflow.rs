@@ -150,11 +150,7 @@ impl Workflow {
         if !self.nodes.contains_key(&to.node) {
             return Err(ModelError::UnknownNode(to.node));
         }
-        if self
-            .conns
-            .values()
-            .any(|c| c.to == to)
-        {
+        if self.conns.values().any(|c| c.to == to) {
             return Err(ModelError::PortOccupied {
                 node: to.node,
                 port: to.port.clone(),
@@ -429,10 +425,7 @@ mod tests {
             w.set_param(a, "bins", 64i64.into()).unwrap(),
             Some(ParamValue::Int(32))
         );
-        assert_eq!(
-            w.unset_param(a, "bins").unwrap(),
-            Some(ParamValue::Int(64))
-        );
+        assert_eq!(w.unset_param(a, "bins").unwrap(), Some(ParamValue::Int(64)));
         assert!(w.set_param(NodeId(99), "x", 1i64.into()).is_err());
     }
 

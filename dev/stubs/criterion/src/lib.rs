@@ -1,0 +1,1 @@
+//! Offline typecheck stub for `criterion` (resolution placeholder only).

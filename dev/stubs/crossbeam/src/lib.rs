@@ -1,0 +1,72 @@
+//! Offline stub for `crossbeam` (scoped threads only).
+//!
+//! Unlike the real crate, "spawned" closures run eagerly on the calling
+//! thread, one after another — no real parallelism, but the same results
+//! and the same panic-propagation contract (`scope` returns `Err` with the
+//! payload of the first panicking unjoined closure), which is what the
+//! engine's parallel driver relies on. Good enough to build and run the
+//! test suite without network access.
+
+pub mod thread {
+    use std::cell::RefCell;
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Sequential stand-in for `crossbeam::thread::Scope`.
+    pub struct Scope<'env> {
+        panic: RefCell<Option<Box<dyn std::any::Any + Send + 'static>>>,
+        _marker: PhantomData<&'env mut &'env ()>,
+    }
+
+    /// Handle to an already-finished "spawned" closure.
+    pub struct ScopedJoinHandle<'scope, T> {
+        result: std::thread::Result<T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// The closure already ran at spawn time; return its outcome.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.result
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        /// Run `f` immediately on the calling thread.
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let result = catch_unwind(AssertUnwindSafe(|| f(self))).map_err(|payload| {
+                // The payload goes to `scope()`'s Err (the common path:
+                // handles are rarely joined); the handle gets a marker.
+                let mut slot = self.panic.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                Box::new("panic payload taken by scope") as Box<dyn std::any::Any + Send>
+            });
+            ScopedJoinHandle {
+                result,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Run `f` with a scope whose spawns execute sequentially.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let s = Scope {
+            panic: RefCell::new(None),
+            _marker: PhantomData,
+        };
+        let r = catch_unwind(AssertUnwindSafe(|| f(&s)))?;
+        match s.panic.into_inner() {
+            Some(payload) => Err(payload),
+            None => Ok(r),
+        }
+    }
+}

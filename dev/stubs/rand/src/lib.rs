@@ -1,0 +1,27 @@
+//! Offline typecheck stub for `rand` (the slice of API this workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub trait RngExt {
+    fn random_range<T>(&mut self, range: std::ops::Range<T>) -> T {
+        let _ = range;
+        unimplemented!("rand stub")
+    }
+
+    fn random_bool(&mut self, _p: f64) -> bool {
+        unimplemented!("rand stub")
+    }
+}
+
+pub mod rngs {
+    pub struct StdRng(u64);
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self(state)
+        }
+    }
+
+    impl super::RngExt for StdRng {}
+}

@@ -1,0 +1,17 @@
+//! Offline typecheck stub for `serde`. See dev/stubs/README.md.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+pub trait Deserialize<'de>: Sized {
+    /// Stub.
+    fn deserialize_stub() {}
+}
+impl<'de, T> Deserialize<'de> for T {}
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+pub mod ser {
+    pub use super::Serialize;
+}
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,35 @@
+//! Offline typecheck stub for `serde_json`. All functions panic at runtime.
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    unimplemented!("serde_json stub")
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    unimplemented!("serde_json stub")
+}
+
+pub fn to_vec<T: ?Sized + serde::Serialize>(_value: &T) -> Result<Vec<u8>> {
+    unimplemented!("serde_json stub")
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    unimplemented!("serde_json stub")
+}
+
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_v: &'a [u8]) -> Result<T> {
+    unimplemented!("serde_json stub")
+}

@@ -16,7 +16,9 @@ fn main() {
 
     // --- evolution provenance: record a -> b in a version tree ------------
     let mut tree = VersionTree::new(WorkflowId(10), "quick viz");
-    let va = tree.import_workflow(tree.root(), &a, "alice").expect("import a");
+    let va = tree
+        .import_workflow(tree.root(), &a, "alice")
+        .expect("import a");
     tree.tag(va, "original").expect("tag");
     // Commit the difference a -> b as actions.
     let d = diff_workflows(&a, &b);
@@ -58,14 +60,19 @@ fn main() {
     for (src, (tgt, score)) in &result.matching.pairs {
         println!(
             "  {} '{}' -> {} '{}' ({score:.2})",
-            src, a.node(*src).expect("src node").label,
-            tgt, c.node(*tgt).expect("tgt node").label,
+            src,
+            a.node(*src).expect("src node").label,
+            tgt,
+            c.node(*tgt).expect("tgt node").label,
         );
     }
     assert!(result.is_clean(), "skipped: {:?}", result.skipped);
 
     println!("== refined workflow c' ==");
-    println!("{}", ProspectiveProvenance::of(&result.workflow).render_recipe());
+    println!(
+        "{}",
+        ProspectiveProvenance::of(&result.workflow).render_recipe()
+    );
 
     // --- verify: both refined workflows actually run ----------------------
     let exec = Executor::new(standard_registry());

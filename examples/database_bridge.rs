@@ -17,14 +17,18 @@ fn main() {
     // --- the mixed database/workflow pipeline ------------------------------
     let mut b = WorkflowBuilder::new(1, "db-to-analysis");
     let measurements = b.add_labeled("TableSource", "measurements db");
-    b.param(measurements, "rows", 24i64).param(measurements, "seed", 7i64);
+    b.param(measurements, "rows", 24i64)
+        .param(measurements, "seed", 7i64);
     let reference = b.add_labeled("TableSource", "reference db");
-    b.param(reference, "rows", 24i64).param(reference, "seed", 8i64);
+    b.param(reference, "rows", 24i64)
+        .param(reference, "seed", 8i64);
     let join = b.add("TableJoin");
     let filter = b.add("TableFilter");
-    b.param(filter, "column", "value").param(filter, "min", 25.0f64);
+    b.param(filter, "column", "value")
+        .param(filter, "min", 25.0f64);
     let agg = b.add("TableAggregate");
-    b.param(agg, "group_col", "grp").param(agg, "agg_col", "value");
+    b.param(agg, "group_col", "grp")
+        .param(agg, "agg_col", "value");
     let bridge = b.add_labeled("TableToGrid", "into the scientific world");
     b.param(bridge, "column", "sum_value");
     let stats = b.add("GridStats");
@@ -53,8 +57,10 @@ fn main() {
     let graph = CausalityGraph::from_retrospective(&retro);
     let final_report = retro.produced(report, "report").expect("artifact").hash;
     let db_a = retro.produced(measurements, "out").expect("table").hash;
-    println!("== module level: the report derives from the measurements db? {} ==",
-        graph.derived_from(final_report, db_a));
+    println!(
+        "== module level: the report derives from the measurements db? {} ==",
+        graph.derived_from(final_report, db_a)
+    );
     let slice = graph.reproduction_slice(final_report);
     println!(
         "reproduction slice: {}",
@@ -67,7 +73,12 @@ fn main() {
 
     // --- row-level provenance (database side) ------------------------------
     let tracer = RowLineageTracer::new(&wf, &result);
-    let agg_table = result.output(agg, "out").expect("agg").as_table().expect("table").clone();
+    let agg_table = result
+        .output(agg, "out")
+        .expect("agg")
+        .as_table()
+        .expect("table")
+        .clone();
     println!("== row level: why-provenance of each aggregate group ==");
     for row in 0..agg_table.len() {
         let r = RowRef::new(agg, "out", row);

@@ -1,0 +1,155 @@
+//! Fault-tolerant execution walkthrough: retries with backoff, deadline
+//! enforcement, deterministic fault injection, and checkpoint/resume —
+//! all recorded in provenance and queryable with PQL.
+//!
+//! Run with: `cargo run --example fault_tolerance`
+
+use provenance_workflows::engine::{EngineEvent, ExecObserver};
+use provenance_workflows::prelude::*;
+
+fn main() {
+    let (wf, nodes) = provenance_workflows::engine::synth::figure1_workflow(1);
+
+    // 1. A transient fault on the histogram node, healed by retries.
+    println!("== transient fault, healed by retries ==");
+    let plan = FaultPlan::new().fail_on(nodes.hist, 1, "simulated I/O error");
+    let exec = Executor::new(standard_registry())
+        .with_policy(
+            ExecPolicy::new()
+                .with_retry(
+                    RetryPolicy::attempts(3)
+                        .backoff(5_000, 2.0, 100_000)
+                        .jitter(0.3),
+                )
+                .with_seed(42),
+        )
+        .with_faults(plan);
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r1 = exec.run_observed(&wf, &mut cap).unwrap();
+    let retro1 = cap.take(r1.exec).unwrap();
+    println!("status: {}", retro1.status);
+    for run in retro1.runs.iter().filter(|r| r.attempts > 1) {
+        println!(
+            "  {} recovered after {} attempts ({} us of backoff)",
+            run.identity, run.attempts, run.backoff_micros
+        );
+    }
+
+    // 2. The recovery history is queryable provenance.
+    let mut pql = PqlEngine::new();
+    pql.ingest(&retro1);
+    for q in [
+        "count runs where attempts != 1",
+        "list runs where attempts = 2",
+    ] {
+        println!("pql> {q}\n{}", pql.eval(q).unwrap().render());
+    }
+
+    // 3. A permanent fault fails the run; resume recovers from checkpoint.
+    println!("\n== permanent fault, then checkpoint/resume ==");
+    let broken = Executor::new(standard_registry())
+        .with_cache(256)
+        .with_faults(FaultPlan::new().fail_always(nodes.iso, "disk full"));
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let failed = broken.run_observed(&wf, &mut cap).unwrap();
+    let retro_failed = cap.take(failed.exec).unwrap();
+    println!("first run: {}", retro_failed.status);
+
+    let healthy = Executor::new(standard_registry()).with_cache(256);
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let resumed = healthy.resume(&wf, &failed, &mut cap).unwrap();
+    let retro_resumed = cap.take(resumed.exec).unwrap();
+    let reused = resumed.node_runs.values().filter(|r| r.from_cache).count();
+    println!(
+        "resumed run: {} ({} modules replayed from checkpoint, resumed from exec {})",
+        retro_resumed.status,
+        reused,
+        resumed.resumed_from.unwrap()
+    );
+    let check = check_resume(&retro_failed, &retro_resumed);
+    println!(
+        "recovery valid: {} (recovered nodes: {:?})",
+        check.is_valid(),
+        check.recovered
+    );
+
+    // 4. Deadlines turn runaway modules into retryable timeouts.
+    println!("\n== deadline enforcement ==");
+    let slow = Executor::new(standard_registry())
+        .with_policy(ExecPolicy::new().with_deadline(Deadline::millis(5)))
+        .with_faults(FaultPlan::new().delay_on(nodes.smooth, 1, 50_000));
+    match slow.run(&wf) {
+        Ok(r) => {
+            let run = r
+                .node_runs
+                .values()
+                .find(|n| n.node == nodes.smooth)
+                .unwrap();
+            println!(
+                "smooth: {:?} ({})",
+                run.status,
+                run.error.as_deref().unwrap_or("-")
+            );
+        }
+        Err(e) => println!("run failed: {e}"),
+    }
+
+    // 5. Same seed, same faults, same run — bit-for-bit.
+    println!("\n== deterministic replay ==");
+    let mk = || {
+        Executor::new(standard_registry())
+            .with_policy(
+                ExecPolicy::new()
+                    .with_retry(
+                        RetryPolicy::attempts(3)
+                            .backoff(1_000, 2.0, 8_000)
+                            .jitter(0.5),
+                    )
+                    .with_seed(7),
+            )
+            .with_faults(FaultPlan::random(&wf, 7))
+    };
+    let a = mk().run(&wf).unwrap();
+    let b = mk().run(&wf).unwrap();
+    println!(
+        "two runs, same seed: fingerprints {} / {} ({})",
+        a.fingerprint(),
+        b.fingerprint(),
+        if a.fingerprint() == b.fingerprint() {
+            "identical"
+        } else {
+            "DIFFERENT"
+        }
+    );
+
+    // Observer view: every attempt/backoff/timeout surfaces as an event.
+    let mut events = Count::default();
+    let exec = Executor::new(standard_registry())
+        .with_policy(
+            ExecPolicy::new()
+                .with_retry(RetryPolicy::attempts(3).backoff(1_000, 2.0, 8_000))
+                .with_seed(3),
+        )
+        .with_faults(FaultPlan::new().fail_on(nodes.load, 1, "flaky source"));
+    exec.run_observed(&wf, &mut events).unwrap();
+    println!(
+        "\nobserver saw {} attempt-failed and {} backoff events",
+        events.failed, events.backoff
+    );
+}
+
+#[derive(Default)]
+struct Count {
+    failed: usize,
+    backoff: usize,
+}
+
+impl ExecObserver for Count {
+    fn on_event(&mut self, event: &EngineEvent) {
+        match event {
+            EngineEvent::AttemptFailed { .. } => self.failed += 1,
+            EngineEvent::BackoffStarted { .. } => self.backoff += 1,
+            _ => {}
+        }
+    }
+}

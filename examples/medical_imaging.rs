@@ -76,7 +76,10 @@ fn main() {
 
     // --- user views: collapse the two branches ----------------------------
     let view = UserView::new("branch view")
-        .group("histogram branch", [nodes.hist, nodes.plot, nodes.save_hist])
+        .group(
+            "histogram branch",
+            [nodes.hist, nodes.plot, nodes.save_hist],
+        )
         .group(
             "isosurface branch",
             [nodes.iso, nodes.smooth, nodes.render, nodes.save_iso],
@@ -90,9 +93,7 @@ fn main() {
         (1.0 - viewed.reduction_ratio()) * 100.0,
         viewed.hidden_artifacts.len()
     );
-    assert!(viewed
-        .nodes
-        .contains(&ViewNode::Artifact(grid)));
+    assert!(viewed.nodes.contains(&ViewNode::Artifact(grid)));
 
     // --- causality graph as DOT for external rendering --------------------
     println!("== causality graph (Graphviz DOT, truncated) ==");

@@ -55,7 +55,11 @@ fn main() {
             a.id,
             a.question,
             a.count(),
-            if a.answerable { "" } else { "  [NOT ANSWERABLE]" }
+            if a.answerable {
+                ""
+            } else {
+                "  [NOT ANSWERABLE]"
+            }
         );
         for item in a.items.iter().take(4) {
             println!("      {item}");

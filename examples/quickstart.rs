@@ -45,7 +45,8 @@ fn main() {
     println!("== provenance questions ==");
     println!(
         "who created the plot image? {:?}",
-        retro.generators_of(image)
+        retro
+            .generators_of(image)
             .iter()
             .map(|r| r.identity.as_str())
             .collect::<Vec<_>>()
@@ -68,10 +69,8 @@ fn main() {
 
     // Reproducibility check (the SIGMOD'08 repeatability requirement).
     let exec2 = Executor::new(standard_registry());
-    let repro = provenance_workflows::provenance::repro::verify_reproduction(
-        &exec2, &wf, &retro,
-    )
-    .expect("re-run succeeds");
+    let repro = provenance_workflows::provenance::repro::verify_reproduction(&exec2, &wf, &retro)
+        .expect("re-run succeeds");
     println!("== reproducibility == {repro}");
     assert!(repro.is_exact());
 }

@@ -28,8 +28,7 @@ fn main() {
         &["S. Davidson", "J. Freire"],
     );
     paper.description =
-        "Companion research object: every figure ships with its full provenance."
-            .to_string();
+        "Companion research object: every figure ships with its full provenance.".to_string();
 
     let (fig1, nodes) = wf_engine::synth::figure1_workflow(1);
     let retro1 = capture(&exec, &fig1);

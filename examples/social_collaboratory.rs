@@ -24,10 +24,17 @@ fn main() {
             collab.tag(e, "analysis");
         }
     }
-    println!("== collaboratory: {} entries from {} users ==", collab.len(), users.len());
+    println!(
+        "== collaboratory: {} entries from {} users ==",
+        collab.len(),
+        users.len()
+    );
 
     // --- search and popularity ("wisdom of the crowds") --------------------
-    println!("== search 'histogram' -> {} entries ==", collab.search("histogram").len());
+    println!(
+        "== search 'histogram' -> {} entries ==",
+        collab.search("histogram").len()
+    );
     println!("== most used modules ==");
     for (module, count) in collab.popular_modules().into_iter().take(5) {
         println!("  {module}: {count}");

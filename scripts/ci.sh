@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: build, test, lint, format.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "CI gate passed."

@@ -10,6 +10,8 @@
 //! provctl validate wf.json             # check the spec against the catalog
 //! provctl recipe wf.json               # render prospective provenance
 //! provctl run wf.json prov.json        # execute, capture retrospective provenance
+//! provctl run wf.json prov.json retries=2 timeout_ms=500   # with fault tolerance
+//! provctl resumecheck old.json new.json # validate recovery lineage
 //! provctl log prov.json                # render the execution log
 //! provctl query prov.json "count runs" # PQL over captured provenance
 //! provctl lineage prov.json <digest>   # lineage of an artifact
@@ -40,7 +42,9 @@ fn usage() -> ExitCode {
          \x20 demo <fig1|fig2|challenge|db> <out.json>   write a demo workflow\n\
          \x20 validate <wf.json>                         validate against the standard catalog\n\
          \x20 recipe   <wf.json>                         render prospective provenance\n\
-         \x20 run      <wf.json> <prov.json> [fine|coarse]  execute and capture\n\
+         \x20 run      <wf.json> <prov.json> [fine|coarse]\n\
+         \x20          [retries=N] [timeout_ms=N]          execute and capture\n\
+         \x20 resumecheck <original.json> <resumed.json>   validate recovery lineage\n\
          \x20 log      <prov.json>                       render the execution log\n\
          \x20 query    <prov.json...> <pql>              evaluate a PQL query\n\
          \x20 lineage  <prov.json> <artifact-digest>     lineage of an artifact\n\
@@ -109,18 +113,35 @@ fn run() -> Result<(), String> {
         }
         ["recipe", path] => {
             let wf = load_workflow(path)?;
-            out(&provenance_workflows::provenance::ProspectiveProvenance::of(&wf)
-                .render_recipe());
+            out(&provenance_workflows::provenance::ProspectiveProvenance::of(&wf).render_recipe());
             Ok(())
         }
         ["run", wf_path, prov_path, rest @ ..] => {
             let wf = load_workflow(wf_path)?;
-            let level = match rest {
-                [] | ["fine"] => CaptureLevel::Fine,
-                ["coarse"] => CaptureLevel::Coarse,
-                other => return Err(format!("unknown capture level {other:?}")),
-            };
-            let exec = Executor::new(standard_registry());
+            let mut level = CaptureLevel::Fine;
+            let mut policy = ExecPolicy::new();
+            for opt in rest {
+                match *opt {
+                    "fine" => level = CaptureLevel::Fine,
+                    "coarse" => level = CaptureLevel::Coarse,
+                    _ => {
+                        let (key, value) = opt
+                            .split_once('=')
+                            .ok_or_else(|| format!("unknown run option '{opt}'"))?;
+                        let n: u64 = value
+                            .parse()
+                            .map_err(|_| format!("{key} needs an integer, got '{value}'"))?;
+                        policy = match key {
+                            "retries" => policy.with_retry(
+                                RetryPolicy::attempts(n as u32 + 1).backoff(10_000, 2.0, 1_000_000),
+                            ),
+                            "timeout_ms" => policy.with_deadline(Deadline::millis(n)),
+                            other => return Err(format!("unknown run option '{other}'")),
+                        };
+                    }
+                }
+            }
+            let exec = Executor::new(standard_registry()).with_policy(policy);
             let mut cap = ProvenanceCapture::new(level);
             let result = exec
                 .run_observed(&wf, &mut cap)
@@ -141,6 +162,31 @@ fn run() -> Result<(), String> {
                 return Err("workflow failed (provenance captured)".into());
             }
             Ok(())
+        }
+        ["resumecheck", original_path, resumed_path] => {
+            let original = load_prov(original_path)?;
+            let resumed = load_prov(resumed_path)?;
+            let check = check_resume(&original, &resumed);
+            println!(
+                "links back: {}\nreused outputs consistent: {}\nrecovered nodes: {}",
+                check.links_back,
+                check.reused_consistent,
+                if check.recovered.is_empty() {
+                    "none".to_string()
+                } else {
+                    check
+                        .recovered
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            );
+            if check.is_valid() {
+                Ok(())
+            } else {
+                Err("resumed record is not a valid recovery of the original".into())
+            }
         }
         ["log", path] => {
             out(&load_prov(path)?.render_log());

@@ -88,19 +88,21 @@ pub mod social {
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use prov_core::{check_resume, ResumeCheck};
     pub use prov_core::{
-        Annotation, AnnotationStore, CaptureLevel, CausalityGraph, OpmGraph,
-        ProspectiveProvenance, ProvNodeRef, ProvenanceBundle, ProvenanceCapture,
-        RetrospectiveProvenance, Subject, UserView, ViewedGraph,
+        Annotation, AnnotationStore, CaptureLevel, CausalityGraph, OpmGraph, ProspectiveProvenance,
+        ProvNodeRef, ProvenanceBundle, ProvenanceCapture, RetrospectiveProvenance, Subject,
+        UserView, ViewedGraph,
     };
-    pub use prov_evolution::{
-        apply_by_analogy, diff_workflows, Action, VersionId, VersionTree,
-    };
+    pub use prov_evolution::{apply_by_analogy, diff_workflows, Action, VersionId, VersionTree};
     pub use prov_interop::{integrate, run_challenge};
     pub use prov_query::{parse as parse_pql, PqlEngine, QueryResult};
     pub use prov_social::{Collaboratory, FragmentMiner};
     pub use prov_store::{GraphStore, LogStore, ProvenanceStore, RelStore, TripleStore};
-    pub use wf_engine::{standard_registry, ExecId, Executor, RunStatus, Value};
+    pub use wf_engine::{
+        standard_registry, Deadline, ErrorClass, ExecId, ExecPolicy, Executor, FaultAction,
+        FaultPlan, RetryPolicy, RunStatus, Value,
+    };
     pub use wf_model::{
         validate, DataType, ModuleCatalog, ModuleKind, NodeId, ParamValue, Workflow,
         WorkflowBuilder, WorkflowId,

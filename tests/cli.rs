@@ -11,10 +11,7 @@ fn provctl(args: &[&str]) -> Output {
 }
 
 fn tempdir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "provctl-test-{}-{tag}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("provctl-test-{}-{tag}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
     dir
 }

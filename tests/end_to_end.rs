@@ -223,7 +223,12 @@ fn annotations_survive_serde_with_full_bundle() {
     let bundle2: ProvenanceBundle = serde_json::from_str(&bundle_json).unwrap();
     let notes2: AnnotationStore = serde_json::from_str(&notes_json).unwrap();
     assert_eq!(bundle2.retrospective.run_count(), 8);
-    assert_eq!(notes2.on(Subject::Run(bundle2.retrospective.exec, nodes.hist)).len(), 1);
+    assert_eq!(
+        notes2
+            .on(Subject::Run(bundle2.retrospective.exec, nodes.hist))
+            .len(),
+        1
+    );
 }
 
 #[test]
@@ -234,7 +239,8 @@ fn failed_run_diagnosis_via_pql() {
     b.param(bad, "fail", true);
     b.param(bad, "message", "disk full");
     let sink = b.add("Identity");
-    b.connect(src, "out", bad, "in").connect(bad, "out", sink, "in");
+    b.connect(src, "out", bad, "in")
+        .connect(bad, "out", sink, "in");
     let wf = b.build();
     let (_, retro) = capture_run(&wf);
     assert_eq!(retro.status, RunStatus::Failed);
@@ -285,7 +291,9 @@ fn share_reuse_refine_collaboratory_cycle() {
         actions.push(Action::DeleteConnection { conn: conn.clone() });
     }
     for id in &d.only_right {
-        actions.push(Action::AddNode { node: b.nodes[id].clone() });
+        actions.push(Action::AddNode {
+            node: b.nodes[id].clone(),
+        });
     }
     for conn in &d.conns_only_right {
         actions.push(Action::AddConnection { conn: conn.clone() });
@@ -333,7 +341,12 @@ fn research_object_full_cycle() {
         "32 bins, equal width",
         "alice",
     );
-    obj.publish("figure-1", "CT visualization", ProspectiveProvenance::of(&fig1), retro);
+    obj.publish(
+        "figure-1",
+        "CT visualization",
+        ProspectiveProvenance::of(&fig1),
+        retro,
+    );
 
     let fmri = wf_engine::synth::challenge_workflow(7, 2, 2);
     let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
@@ -351,4 +364,132 @@ fn research_object_full_cycle() {
     assert!(reviewer_copy.is_repeatable(&reviewer_exec).unwrap());
     assert_eq!(reviewer_copy.len(), 2);
     assert_eq!(reviewer_copy.annotations.len(), 1);
+}
+
+#[test]
+fn transient_fault_recovery_is_visible_in_events_and_provenance() {
+    // A module fails on its first attempt and succeeds on the second; the
+    // recovery must be visible at every layer: engine events, the captured
+    // retrospective record, the rendered log, and PQL.
+    use wf_engine::event::{EngineEvent, RecordingObserver};
+    let (wf, nodes) = figure1_workflow(1);
+    let exec = Executor::new(standard_registry())
+        .with_policy(
+            ExecPolicy::new().with_retry(
+                RetryPolicy::attempts(3)
+                    .backoff(100, 2.0, 1_000)
+                    .jitter(0.5),
+            ),
+        )
+        .with_faults(FaultPlan::new().fail_on(nodes.hist, 1, "transient glitch"));
+
+    let mut obs = RecordingObserver::default();
+    let r = exec.run_observed(&wf, &mut obs).unwrap();
+    assert_eq!(r.status, RunStatus::Succeeded, "second attempt recovers");
+    assert!(obs.events.iter().any(|e| matches!(
+        e,
+        EngineEvent::AttemptFailed { node, attempt: 1, will_retry: true, .. }
+            if *node == nodes.hist
+    )));
+    assert!(obs.events.iter().any(|e| matches!(
+        e,
+        EngineEvent::BackoffStarted { node, next_attempt: 2, delay_micros, .. }
+            if *node == nodes.hist && *delay_micros > 0
+    )));
+    assert!(obs.events.iter().any(|e| matches!(
+        e,
+        EngineEvent::AttemptStarted { node, attempt: 2, .. } if *node == nodes.hist
+    )));
+
+    // Same run, captured as provenance: the record carries the recovery.
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&wf, &mut cap).unwrap();
+    let retro = cap.take(r.exec).unwrap();
+    assert_eq!(retro.status, RunStatus::Succeeded);
+    let hist = retro.run_of(nodes.hist).unwrap();
+    assert_eq!(hist.attempts, 2);
+    assert!(hist.backoff_micros > 0);
+    assert!(retro.render_log().contains("2 attempts"));
+
+    let mut pql = PqlEngine::new();
+    pql.ingest(&retro);
+    assert_eq!(
+        pql.eval("count runs where attempts != 1").unwrap(),
+        QueryResult::Count(1)
+    );
+    assert!(pql
+        .eval("list runs where attempts = 2")
+        .unwrap()
+        .render()
+        .contains("Histogram"));
+}
+
+#[test]
+fn resume_reuses_checkpoint_and_links_lineage() {
+    // A permanently faulted run leaves a checkpoint; the resume re-executes
+    // only the failed/skipped nodes, serves everything else from cache, and
+    // its provenance links back to the failed execution.
+    let (wf, nodes) = figure1_workflow(1);
+    let failing = Executor::new(standard_registry())
+        .with_faults(FaultPlan::new().fail_always(nodes.iso, "scanner offline"));
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r1 = failing.run_observed(&wf, &mut cap).unwrap();
+    let original = cap.take(r1.exec).unwrap();
+    assert_eq!(original.status, RunStatus::Failed);
+    let succeeded_before = original
+        .runs
+        .iter()
+        .filter(|r| r.status == RunStatus::Succeeded)
+        .count();
+
+    let healthy = Executor::new(standard_registry()).with_cache(64);
+    let r2 = healthy.resume(&wf, &r1, &mut cap).unwrap();
+    let resumed = cap.take(r2.exec).unwrap();
+    assert_eq!(resumed.status, RunStatus::Succeeded);
+    assert_eq!(
+        resumed.resumed_from,
+        Some(original.exec),
+        "lineage links back"
+    );
+    assert!(resumed
+        .render_log()
+        .contains("resumed from failed execution"));
+
+    // Exactly the originally-succeeded nodes come from the checkpoint; the
+    // failed isosurface branch is re-executed.
+    let from_cache: Vec<_> = resumed
+        .runs
+        .iter()
+        .filter(|r| r.from_cache)
+        .map(|r| r.node)
+        .collect();
+    assert_eq!(from_cache.len(), succeeded_before);
+    assert!(!from_cache.contains(&nodes.iso));
+    assert!(!from_cache.contains(&nodes.save_iso));
+
+    let check = check_resume(&original, &resumed);
+    assert!(check.is_valid(), "{check:?}");
+    assert!(check.recovered.contains(&nodes.iso));
+}
+
+#[test]
+fn failed_outputs_are_never_served_from_cache() {
+    // A cache-enabled executor must not memoize failures: re-running a
+    // faulted workflow re-executes the failed node (and fails again), while
+    // its succeeded upstream work is a legitimate cache hit.
+    let (wf, nodes) = figure1_workflow(1);
+    let exec = Executor::new(standard_registry())
+        .with_cache(64)
+        .with_faults(FaultPlan::new().fail_always(nodes.render, "no GPU"));
+    let r1 = exec.run(&wf).unwrap();
+    assert_eq!(r1.status, RunStatus::Failed);
+    let r2 = exec.run(&wf).unwrap();
+    assert_eq!(r2.status, RunStatus::Failed, "failure is not cached away");
+    assert!(!r2.node_runs[&nodes.render].from_cache);
+    assert_eq!(r2.node_runs[&nodes.render].status, RunStatus::Failed);
+    assert!(
+        r2.node_runs[&nodes.smooth].from_cache,
+        "good work is reused"
+    );
+    assert_eq!(r2.node_runs[&nodes.save_iso].status, RunStatus::Skipped);
 }

@@ -20,10 +20,7 @@ fn fig1_engine() -> (PqlEngine, RetrospectiveProvenance) {
 #[test]
 fn or_filter_unions_disjuncts() {
     let (e, _) = fig1_engine();
-    let hist = e
-        .eval("count runs where module = histogram")
-        .unwrap()
-        .len();
+    let hist = e.eval("count runs where module = histogram").unwrap().len();
     let iso = e
         .eval("count runs where module = isosurface")
         .unwrap()
@@ -88,9 +85,8 @@ fn filter_on_closure_applies_dnf() {
         .unwrap()
         .outputs[0]
         .1;
-    let q = format!(
-        "lineage of artifact {file:016x} where module = histogram or module = loadvolume"
-    );
+    let q =
+        format!("lineage of artifact {file:016x} where module = histogram or module = loadvolume");
     let n = e.eval(&q).unwrap().len();
     assert_eq!(n, 2);
 }
@@ -111,17 +107,16 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn arb_comparison() -> impl Strategy<Value = Comparison> {
-    (arb_field(), arb_op(), "[a-z0-9_@. ]{0,16}").prop_map(|(field, op, value)| {
-        Comparison { field, op, value }
+    (arb_field(), arb_op(), "[a-z0-9_@. ]{0,16}").prop_map(|(field, op, value)| Comparison {
+        field,
+        op,
+        value,
     })
 }
 
 fn arb_condition() -> impl Strategy<Value = Condition> {
-    proptest::collection::vec(
-        proptest::collection::vec(arb_comparison(), 1..3),
-        0..3,
-    )
-    .prop_map(|any_of| Condition { any_of })
+    proptest::collection::vec(proptest::collection::vec(arb_comparison(), 1..3), 0..3)
+        .prop_map(|any_of| Condition { any_of })
 }
 
 fn arb_target() -> impl Strategy<Value = Target> {
@@ -152,8 +147,7 @@ fn arb_query() -> impl Strategy<Value = Query> {
             }),
         (entity.clone(), arb_condition())
             .prop_map(|(entity, filter)| Query::Count { entity, filter }),
-        (entity, arb_condition())
-            .prop_map(|(entity, filter)| Query::List { entity, filter }),
+        (entity, arb_condition()).prop_map(|(entity, filter)| Query::List { entity, filter }),
         (arb_target(), arb_target(), proptest::option::of(1usize..32))
             .prop_map(|(from, to, max_len)| Query::Paths { from, to, max_len }),
     ]

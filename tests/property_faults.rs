@@ -1,0 +1,122 @@
+//! Property-based tests over fault-tolerant execution: deterministic
+//! replay of seeded fault plans and checkpoint-resume equivalence, driven
+//! by randomly shaped synthetic workflows.
+
+use proptest::prelude::*;
+use provenance_workflows::prelude::*;
+use std::collections::BTreeMap;
+use wf_engine::synth::{layered_dag, LayeredSpec};
+
+fn faulty_executor(seed: u64, wf: &Workflow) -> Executor {
+    Executor::new(standard_registry())
+        .with_policy(
+            ExecPolicy::new()
+                .with_retry(RetryPolicy::attempts(3).backoff(20, 2.0, 200).jitter(0.5))
+                .with_seed(seed),
+        )
+        .with_faults(FaultPlan::random(wf, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn same_seed_replays_identical_run_records(
+        depth in 1usize..4, width in 1usize..4, seed in 0u64..500
+    ) {
+        // The same fault seed must reproduce the same run record —
+        // attempts, statuses, outputs — in the sequential driver, across
+        // repeated runs, and in the parallel driver.
+        let (wf, _) = layered_dag(
+            1,
+            LayeredSpec { depth, width, fan_in: 2, work: 1, seed },
+        );
+        let a = faulty_executor(seed, &wf).run(&wf).expect("first run");
+        let b = faulty_executor(seed, &wf).run(&wf).expect("replay");
+        prop_assert_eq!(a.fingerprint(), b.fingerprint(), "sequential replay");
+        let c = faulty_executor(seed, &wf)
+            .run_parallel(&wf, 4, &mut wf_engine::NullObserver)
+            .expect("parallel run");
+        prop_assert_eq!(a.fingerprint(), c.fingerprint(), "parallel replay");
+    }
+
+    #[test]
+    fn transient_faults_always_recover_under_retries(
+        depth in 1usize..4, width in 1usize..4, seed in 0u64..500
+    ) {
+        // `FaultPlan::random` schedules transient faults only (worst case:
+        // failures on attempts 1 and 2), so a 3-attempt policy must always
+        // drive the run to success, with retries recorded where faults hit.
+        let (wf, layers) = layered_dag(
+            1,
+            LayeredSpec { depth, width, fan_in: 2, work: 1, seed },
+        );
+        let plan = FaultPlan::random(&wf, seed);
+        // Delay faults are benign without a deadline; only nodes with a
+        // scheduled failure or panic are forced into a retry (random plans
+        // always start faulting at attempt 1).
+        let failing_nodes = layers
+            .iter()
+            .flatten()
+            .filter(|&&n| {
+                (1..=3).any(|a| matches!(
+                    plan.action(n, a),
+                    Some(FaultAction::Fail { .. }) | Some(FaultAction::Panic { .. })
+                ))
+            })
+            .count();
+        let result = faulty_executor(seed, &wf).run(&wf).expect("runs");
+        prop_assert_eq!(result.status, RunStatus::Succeeded);
+        let retried = result
+            .node_runs
+            .values()
+            .filter(|r| r.attempts > 1)
+            .count();
+        prop_assert_eq!(retried, failing_nodes, "every faulted node retried");
+    }
+
+    #[test]
+    fn resume_after_failure_matches_clean_run(
+        depth in 2usize..5, width in 1usize..4, seed in 0u64..500,
+        victim_ix in 0usize..64
+    ) {
+        // Fail one arbitrary node permanently, resume from the checkpoint,
+        // and require the final outputs to be exactly those of a fault-free
+        // run — with only the failed/skipped nodes re-executed.
+        let (wf, layers) = layered_dag(
+            1,
+            LayeredSpec { depth, width, fan_in: 2, work: 1, seed },
+        );
+        let nodes: Vec<NodeId> = layers.iter().flatten().copied().collect();
+        let victim = nodes[victim_ix % nodes.len()];
+        let failing = Executor::new(standard_registry())
+            .with_faults(FaultPlan::new().fail_always(victim, "permanent"));
+        let r1 = failing.run(&wf).expect("faulted run completes");
+        prop_assert_eq!(r1.status, RunStatus::Failed);
+
+        let healthy = Executor::new(standard_registry()).with_cache(4096);
+        let mut obs = wf_engine::event::RecordingObserver::default();
+        let r2 = healthy.resume(&wf, &r1, &mut obs).expect("resume");
+        prop_assert_eq!(r2.status, RunStatus::Succeeded);
+        prop_assert_eq!(r2.resumed_from, Some(r1.exec));
+
+        // Only nodes that succeeded before may be cache hits, and every
+        // originally-failed/skipped node was re-executed.
+        for (node, run) in &r2.node_runs {
+            let before = r1.node_runs[node].status;
+            if before != RunStatus::Succeeded {
+                prop_assert!(!run.from_cache, "{node} replayed a bad result");
+            }
+        }
+
+        // Final outputs equal a clean run's.
+        let clean = Executor::new(standard_registry()).run(&wf).expect("clean");
+        let hashes = |r: &wf_engine::ExecutionResult| -> BTreeMap<_, _> {
+            r.values
+                .iter()
+                .map(|(k, v)| (k.clone(), v.content_hash()))
+                .collect()
+        };
+        prop_assert_eq!(hashes(&r2), hashes(&clean));
+    }
+}

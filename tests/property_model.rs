@@ -9,14 +9,8 @@ use wf_model::{DataType, ParamValue, Workflow, WorkflowId};
 /// from lower to higher indexes (guaranteeing acyclicity).
 fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (2usize..24).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 2).prop_map(
-            move |pairs| {
-                pairs
-                    .into_iter()
-                    .filter(|(a, b)| a < b)
-                    .collect::<Vec<_>>()
-            },
-        );
+        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 2)
+            .prop_map(move |pairs| pairs.into_iter().filter(|(a, b)| a < b).collect::<Vec<_>>());
         (Just(n), edges)
     })
 }
@@ -37,8 +31,7 @@ fn arbitrary_dtype() -> impl Strategy<Value = DataType> {
     leaf.prop_recursive(3, 16, 4, |inner| {
         prop_oneof![
             inner.clone().prop_map(|t| DataType::List(Box::new(t))),
-            proptest::collection::vec(("[a-c]{1,3}", inner), 0..3)
-                .prop_map(DataType::Record),
+            proptest::collection::vec(("[a-c]{1,3}", inner), 0..3).prop_map(DataType::Record),
         ]
     })
 }

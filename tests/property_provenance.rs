@@ -8,12 +8,7 @@ use provenance_workflows::provenance::finegrained::{RowLineageTracer, RowRef};
 use provenance_workflows::provenance::views::ViewNode;
 use wf_engine::synth::{layered_dag, LayeredSpec};
 
-fn run_layered(
-    depth: usize,
-    width: usize,
-    fan_in: usize,
-    seed: u64,
-) -> RetrospectiveProvenance {
+fn run_layered(depth: usize, width: usize, fan_in: usize, seed: u64) -> RetrospectiveProvenance {
     let (wf, _) = layered_dag(
         1,
         LayeredSpec {
