@@ -1,0 +1,54 @@
+//! E15 bench: engine runtime unobserved vs. with telemetry (spans +
+//! metrics) vs. with telemetry and provenance capture fanned out on one
+//! stream. The claim under test: watching a run costs a few percent, not
+//! a constant factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_telemetry::Telemetry;
+use wf_engine::synth::{layered_dag, LayeredSpec};
+use wf_engine::{standard_registry, Executor, FanoutObserver};
+
+fn bench_telemetry(c: &mut Criterion) {
+    let exec = Executor::new(standard_registry());
+    for work in [100i64, 10_000] {
+        let (wf, _) = layered_dag(
+            1,
+            LayeredSpec {
+                depth: 4,
+                width: 4,
+                fan_in: 2,
+                work,
+                seed: 42,
+            },
+        );
+        let mut group = c.benchmark_group(format!("telemetry_overhead/work={work}"));
+        group.bench_with_input(BenchmarkId::from_parameter("unobserved"), &wf, |b, wf| {
+            b.iter(|| exec.run(wf).expect("runs"))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("telemetry"), &wf, |b, wf| {
+            b.iter(|| {
+                let mut tel = Telemetry::new();
+                exec.run_observed(wf, &mut tel).expect("runs");
+                tel.take_trace().len()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter("telemetry+capture"),
+            &wf,
+            |b, wf| {
+                b.iter(|| {
+                    let mut tel = Telemetry::new();
+                    let mut cap = ProvenanceCapture::new(CaptureLevel::Coarse);
+                    let mut fan = FanoutObserver::new().with(&mut tel).with(&mut cap);
+                    exec.run_observed(wf, &mut fan).expect("runs");
+                    cap.finish_all()
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

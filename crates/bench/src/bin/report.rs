@@ -6,7 +6,52 @@
 
 use bench::*;
 
+/// E15 prints its table and drops `BENCH_telemetry.json` next to the
+/// working directory. Factored out so `report telemetry` can regenerate
+/// just this section.
+fn report_telemetry(reps: usize) {
+    println!("## E15 — telemetry overhead: the cost of watching a run\n");
+    let rows = experiment_telemetry(reps);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "threads",
+                "spans",
+                "unobserved (us)",
+                "telemetry (us)",
+                "+capture (us)",
+                "telemetry %",
+                "+capture %"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.workload.clone(),
+                    r.threads.to_string(),
+                    r.spans.to_string(),
+                    format!("{:.1}", r.unobserved_us),
+                    format!("{:.1}", r.observed_us),
+                    format!("{:.1}", r.with_capture_us),
+                    format!("{:+.2}", r.observed_overhead_pct()),
+                    format!("{:+.2}", r.capture_overhead_pct()),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    let json = telemetry_json(&rows);
+    match std::fs::write("BENCH_telemetry.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_telemetry.json"),
+        Err(e) => eprintln!("could not write BENCH_telemetry.json: {e}"),
+    }
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("telemetry") {
+        report_telemetry(21);
+        return;
+    }
     println!("# provenance-workflows experiment report\n");
 
     // ---- E1 ----------------------------------------------------------
@@ -410,4 +455,7 @@ fn main() {
                 .collect::<Vec<_>>(),
         )
     );
+
+    // ---- E15 ---------------------------------------------------------
+    report_telemetry(21);
 }

@@ -12,9 +12,11 @@
 
 pub mod experiments;
 pub mod faults;
+pub mod telemetry;
 
 pub use experiments::*;
 pub use faults::*;
+pub use telemetry::*;
 
 /// Median wall-clock time of `f` over `reps` runs, in microseconds.
 /// The first (warm-up) run is discarded.

@@ -1,0 +1,270 @@
+//! E15: what does watching a run cost?
+//!
+//! Telemetry is only honest if observing the system barely perturbs it.
+//! This experiment runs the same workloads unobserved (null observer),
+//! with full telemetry (spans + metrics), and with telemetry *and*
+//! provenance capture fanned out on one stream, and reports the relative
+//! overhead. Results also land in `BENCH_telemetry.json` in a stable
+//! machine-readable shape.
+
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_telemetry::Telemetry;
+use wf_engine::synth::{layered_dag, LayeredSpec};
+use wf_engine::{standard_registry, ExecObserver, Executor, FanoutObserver, NullObserver};
+use wf_model::{NodeId, ParamValue, Workflow};
+
+/// One workload × observer-configuration measurement.
+#[derive(Debug)]
+pub struct TelemetryRow {
+    /// Workload description.
+    pub workload: String,
+    /// Executor threads (1 = sequential driver).
+    pub threads: usize,
+    /// Workflow runs per repetition.
+    pub runs_per_rep: usize,
+    /// Median duration with a null observer (µs).
+    pub unobserved_us: f64,
+    /// Median duration with spans + metrics collected (µs).
+    pub observed_us: f64,
+    /// Median duration with telemetry *and* provenance capture fanned
+    /// out on the same stream (µs).
+    pub with_capture_us: f64,
+    /// Spans collected per repetition when observed.
+    pub spans: usize,
+}
+
+impl TelemetryRow {
+    /// Telemetry overhead relative to unobserved, in percent.
+    pub fn observed_overhead_pct(&self) -> f64 {
+        (self.observed_us / self.unobserved_us - 1.0) * 100.0
+    }
+
+    /// Telemetry + capture overhead relative to unobserved, in percent.
+    pub fn capture_overhead_pct(&self) -> f64 {
+        (self.with_capture_us / self.unobserved_us - 1.0) * 100.0
+    }
+}
+
+/// Median wall times of three variants measured *interleaved* (one
+/// sample of each per round, after a warm-up round), so slow machine
+/// drift — thermal throttling, background load — hits all variants
+/// equally instead of biasing whichever ran last.
+fn medians3(
+    reps: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+    mut c: impl FnMut(),
+) -> (f64, f64, f64) {
+    let mut sa = Vec::with_capacity(reps);
+    let mut sb = Vec::with_capacity(reps);
+    let mut sc = Vec::with_capacity(reps);
+    a();
+    b();
+    c();
+    let sample = |f: &mut dyn FnMut()| {
+        let t = std::time::Instant::now();
+        f();
+        t.elapsed().as_secs_f64() * 1e6
+    };
+    for _ in 0..reps {
+        sa.push(sample(&mut a));
+        sb.push(sample(&mut b));
+        sc.push(sample(&mut c));
+    }
+    let med = |s: &mut Vec<f64>| {
+        s.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        s[s.len() / 2]
+    };
+    (med(&mut sa), med(&mut sb), med(&mut sc))
+}
+
+/// The parameter-sweep pipeline of E10 (load → smooth → isosurface) and
+/// the node whose `isovalue` the sweep varies.
+fn sweep_pipeline() -> (Workflow, NodeId) {
+    let mut b = wf_model::WorkflowBuilder::new(1, "telemetry-sweep");
+    let load = b.add("LoadVolume");
+    b.param(load, "nx", 16i64);
+    b.param(load, "ny", 16i64);
+    b.param(load, "nz", 16i64);
+    let smooth = b.add("SmoothGrid");
+    b.param(smooth, "iterations", 3i64);
+    let iso = b.add("Isosurface");
+    b.connect(load, "grid", smooth, "data")
+        .connect(smooth, "smoothed", iso, "data");
+    (b.build(), iso)
+}
+
+/// Run the sweep workload under `observer`: `configs` isovalues, one
+/// sequential run each (the same shape `run_sweep` produces, but with an
+/// observer attached). Returns the number of workflow runs.
+fn drive_sweep(
+    exec: &Executor,
+    wf: &Workflow,
+    iso: NodeId,
+    configs: usize,
+    observer: &mut dyn ExecObserver,
+) -> usize {
+    for i in 0..configs {
+        let mut config = wf.clone();
+        let v: ParamValue = (0.1 + 0.8 * i as f64 / configs as f64).into();
+        config.set_param(iso, "isovalue", v).expect("param exists");
+        exec.run_observed(&config, observer).expect("sweep runs");
+    }
+    configs
+}
+
+fn run_dag(exec: &Executor, wf: &Workflow, threads: usize, observer: &mut dyn ExecObserver) {
+    if threads > 1 {
+        exec.run_parallel(wf, threads, observer).expect("runs");
+    } else {
+        exec.run_observed(wf, observer).expect("runs");
+    }
+}
+
+/// Run E15: the parameter-sweep pipeline (sequential) and a layered DAG
+/// under both drivers, each unobserved / with telemetry / with telemetry
+/// + capture.
+pub fn experiment_telemetry(reps: usize) -> Vec<TelemetryRow> {
+    let mut rows = Vec::new();
+
+    // Workload A: the E10 parameter sweep, 16 configurations.
+    {
+        let (wf, iso) = sweep_pipeline();
+        let configs = 16;
+        let exec = Executor::new(standard_registry());
+        let (unobserved_us, observed_us, with_capture_us) = medians3(
+            reps,
+            || {
+                drive_sweep(&exec, &wf, iso, configs, &mut NullObserver);
+            },
+            || {
+                let mut tel = Telemetry::new();
+                drive_sweep(&exec, &wf, iso, configs, &mut tel);
+                tel.take_trace();
+            },
+            || {
+                let mut tel = Telemetry::new();
+                let mut cap = ProvenanceCapture::new(CaptureLevel::Coarse);
+                let mut fan = FanoutObserver::new().with(&mut tel).with(&mut cap);
+                drive_sweep(&exec, &wf, iso, configs, &mut fan);
+                cap.finish_all();
+            },
+        );
+        let mut tel = Telemetry::new();
+        drive_sweep(&exec, &wf, iso, configs, &mut tel);
+        rows.push(TelemetryRow {
+            workload: format!("sweep x{configs} (load-smooth-iso)"),
+            threads: 1,
+            runs_per_rep: configs,
+            unobserved_us,
+            observed_us,
+            with_capture_us,
+            spans: tel.take_trace().len(),
+        });
+    }
+
+    // Workload B: a layered DAG under the sequential and parallel drivers.
+    for threads in [1usize, 4] {
+        let (wf, _) = layered_dag(
+            1,
+            LayeredSpec {
+                depth: 4,
+                width: 6,
+                fan_in: 2,
+                work: 5000,
+                seed: 42,
+            },
+        );
+        let exec = Executor::new(standard_registry());
+        let (unobserved_us, observed_us, with_capture_us) = medians3(
+            reps,
+            || run_dag(&exec, &wf, threads, &mut NullObserver),
+            || {
+                let mut tel = Telemetry::new();
+                run_dag(&exec, &wf, threads, &mut tel);
+                tel.take_trace();
+            },
+            || {
+                let mut tel = Telemetry::new();
+                let mut cap = ProvenanceCapture::new(CaptureLevel::Coarse);
+                let mut fan = FanoutObserver::new().with(&mut tel).with(&mut cap);
+                run_dag(&exec, &wf, threads, &mut fan);
+                cap.finish_all();
+            },
+        );
+        let mut tel = Telemetry::new();
+        run_dag(&exec, &wf, threads, &mut tel);
+        rows.push(TelemetryRow {
+            workload: "layered 4x6 work=5000".into(),
+            threads,
+            runs_per_rep: 1,
+            unobserved_us,
+            observed_us,
+            with_capture_us,
+            spans: tel.take_trace().len(),
+        });
+    }
+
+    rows
+}
+
+/// Render E15 rows as the stable machine-readable `BENCH_telemetry.json`
+/// document (hand-rendered: no JSON library on this path).
+pub fn telemetry_json(rows: &[TelemetryRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"E15 telemetry overhead\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"runs_per_rep\": {}, \
+             \"unobserved_us\": {:.1}, \"observed_us\": {:.1}, \"with_capture_us\": {:.1}, \
+             \"spans\": {}, \"observed_overhead_pct\": {:.2}, \"capture_overhead_pct\": {:.2}}}{}\n",
+            r.workload,
+            r.threads,
+            r.runs_per_rep,
+            r.unobserved_us,
+            r.observed_us,
+            r.with_capture_us,
+            r.spans,
+            r.observed_overhead_pct(),
+            r.capture_overhead_pct(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_produces_three_workloads_with_spans() {
+        let rows = experiment_telemetry(1);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].workload.starts_with("sweep"));
+        // The sweep collects one run span + three module spans + three
+        // attempt spans per configuration.
+        assert_eq!(rows[0].spans, 16 * 7);
+        assert_eq!(rows[1].threads, 1);
+        assert_eq!(rows[2].threads, 4);
+        for r in &rows {
+            assert!(r.unobserved_us > 0.0);
+            assert!(r.observed_us > 0.0);
+            assert!(r.with_capture_us > 0.0);
+            assert!(r.spans > 0);
+        }
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_complete() {
+        let rows = experiment_telemetry(1);
+        let doc = telemetry_json(&rows);
+        let parsed = prov_telemetry::parse_json(&doc).expect("valid JSON");
+        let arr = parsed.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(arr.len(), rows.len());
+        for row in arr {
+            assert!(row.get("observed_overhead_pct").is_some());
+            assert!(row.get("unobserved_us").is_some());
+        }
+    }
+}

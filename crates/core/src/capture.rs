@@ -288,8 +288,12 @@ impl ExecObserver for ProvenanceCapture {
                 }
             }
             // Per-attempt failures and timeouts are summarized by the
-            // attempt counter and the final ModuleFinished error.
-            EngineEvent::AttemptFailed { .. } | EngineEvent::ModuleTimedOut { .. } => {}
+            // attempt counter and the final ModuleFinished error; cache
+            // probes are summarized by `from_cache` (telemetry consumes
+            // the raw lookup events instead).
+            EngineEvent::AttemptFailed { .. }
+            | EngineEvent::ModuleTimedOut { .. }
+            | EngineEvent::CacheChecked { .. } => {}
         }
     }
 }

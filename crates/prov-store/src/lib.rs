@@ -17,16 +17,20 @@
 //! * [`logstore`] — an append-only, CRC-framed binary log with snapshots
 //!   and compaction (the durability substrate);
 //! * [`api`] — the [`api::ProvenanceStore`] trait: the canned queries every
-//!   backend must answer, so benchmarks compare like for like.
+//!   backend must answer, so benchmarks compare like for like;
+//! * [`spanstore`] — storage for telemetry spans (the timing half of
+//!   retrospective provenance), with JSONL persistence.
 
 pub mod api;
 pub mod graphstore;
 pub mod logstore;
 pub mod relstore;
+pub mod spanstore;
 pub mod triplestore;
 
 pub use api::ProvenanceStore;
 pub use graphstore::GraphStore;
 pub use logstore::LogStore;
 pub use relstore::{RelStore, RelValue, Relation, Schema};
+pub use spanstore::SpanStore;
 pub use triplestore::{Term, TripleStore};

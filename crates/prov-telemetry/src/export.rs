@@ -1,0 +1,231 @@
+//! Trace exporters: Chrome `chrome://tracing` JSON and line-delimited
+//! JSON span logs, plus validators and a JSONL re-importer.
+//!
+//! All rendering is hand-rolled (no JSON library on the runtime path);
+//! the crate's own mini parser ([`crate::json`]) closes the loop for
+//! validation and ingestion, so export → validate → import works in
+//! fully offline builds.
+
+use crate::json::{self, escape, JsonValue};
+use crate::span::{Span, SpanId, SpanKind, Trace};
+use wf_engine::ExecId;
+use wf_model::NodeId;
+
+/// Render a trace as Chrome trace-event JSON (the `chrome://tracing` /
+/// Perfetto format): one complete (`"ph":"X"`) event per span, with the
+/// run id as `pid` and the node id as `tid` so modules land on separate
+/// tracks.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}",
+            escape(&s.name),
+            s.kind.label(),
+            s.start_micros,
+            s.duration_micros(),
+            s.exec.0,
+            s.node.map(|n| n.0).unwrap_or(0),
+        ));
+        out.push_str(",\"args\":{");
+        out.push_str(&format!("\"span\":{}", s.id.0));
+        if let Some(p) = s.parent {
+            out.push_str(&format!(",\"parent\":{}", p.0));
+        }
+        for (k, v) in &s.attrs {
+            out.push_str(&format!(",\"{}\":\"{}\"", escape(k), escape(v)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Check that a string is a structurally valid Chrome trace: parses as
+/// JSON, has a `traceEvents` array, and every event carries `name`,
+/// `ph`, `ts`, and a non-negative `dur`. Returns the event count.
+pub fn validate_chrome_trace(input: &str) -> Result<usize, String> {
+    let doc = json::parse(input).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+    for (i, ev) in events.iter().enumerate() {
+        for key in ["name", "ph", "ts", "dur"] {
+            if ev.get(key).is_none() {
+                return Err(format!("event {i} missing \"{key}\""));
+            }
+        }
+        if ev.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            return Err(format!("event {i} has ph != \"X\""));
+        }
+        if ev.get("dur").and_then(JsonValue::as_f64).unwrap_or(-1.0) < 0.0 {
+            return Err(format!("event {i} has negative dur"));
+        }
+    }
+    Ok(events.len())
+}
+
+/// Render a trace as a JSONL span log: one JSON object per line, stable
+/// field order, suitable for `grep`/`jq` pipelines and re-import with
+/// [`spans_from_jsonl`].
+pub fn spans_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for s in &trace.spans {
+        out.push_str(&format!(
+            "{{\"span\":{},\"kind\":\"{}\",\"name\":\"{}\",\"exec\":{},\"start\":{},\"end\":{}",
+            s.id.0,
+            s.kind.label(),
+            escape(&s.name),
+            s.exec.0,
+            s.start_micros,
+            s.end_micros,
+        ));
+        if let Some(p) = s.parent {
+            out.push_str(&format!(",\"parent\":{}", p.0));
+        }
+        if let Some(n) = s.node {
+            out.push_str(&format!(",\"node\":{}", n.0));
+        }
+        if !s.attrs.is_empty() {
+            out.push_str(",\"attrs\":{");
+            for (i, (k, v)) in s.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+            }
+            out.push('}');
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn kind_from_label(label: &str) -> Option<SpanKind> {
+    Some(match label {
+        "run" => SpanKind::Run,
+        "module" => SpanKind::Module,
+        "attempt" => SpanKind::Attempt,
+        "backoff" => SpanKind::Backoff,
+        "cache" => SpanKind::CacheLookup,
+        _ => return None,
+    })
+}
+
+/// Re-import a JSONL span log produced by [`spans_jsonl`]. Blank lines
+/// are skipped; any malformed line is an error naming its line number.
+pub fn spans_from_jsonl(input: &str) -> Result<Trace, String> {
+    let mut spans = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |what: &str| format!("line {}: {}", lineno + 1, what);
+        let doc = json::parse(line).map_err(|e| bad(&e.to_string()))?;
+        let u = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| bad(&format!("missing or non-integer \"{key}\"")))
+        };
+        let kind_label = doc
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("missing \"kind\""))?;
+        let kind = kind_from_label(kind_label)
+            .ok_or_else(|| bad(&format!("unknown kind \"{kind_label}\"")))?;
+        let mut attrs = Vec::new();
+        if let Some(JsonValue::Object(m)) = doc.get("attrs") {
+            for (k, v) in m {
+                if let Some(s) = v.as_str() {
+                    attrs.push((k.clone(), s.to_string()));
+                }
+            }
+        }
+        spans.push(Span {
+            id: SpanId(u("span")?),
+            parent: doc.get("parent").and_then(JsonValue::as_u64).map(SpanId),
+            kind,
+            name: doc
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            exec: ExecId(u("exec")?),
+            node: doc.get("node").and_then(JsonValue::as_u64).map(NodeId),
+            start_micros: u("start")?,
+            end_micros: u("end")?,
+            attrs,
+        });
+    }
+    Ok(Trace { spans })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanCollector;
+    use wf_engine::{standard_registry, Executor};
+    use wf_model::WorkflowBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = WorkflowBuilder::new(1, "export \"demo\"\n");
+        let a = b.add("ConstInt");
+        b.param(a, "value", 1i64);
+        let c = b.add("Identity");
+        b.connect(a, "out", c, "in");
+        let exec = Executor::new(standard_registry()).with_cache(8);
+        let mut col = SpanCollector::new();
+        exec.run_observed(&b.build(), &mut col).unwrap();
+        col.take_trace()
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_validator() {
+        let trace = sample_trace();
+        let rendered = chrome_trace_json(&trace);
+        let n = validate_chrome_trace(&rendered).unwrap();
+        assert_eq!(n, trace.len());
+        // The workflow name (with quote and newline) survived escaping.
+        let doc = json::parse(&rendered).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("export \"demo\"\n")));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"name":"x"}]}"#).is_err(),
+            "events missing ph/ts/dur are rejected"
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_spans_exactly() {
+        let trace = sample_trace();
+        let log = spans_jsonl(&trace);
+        assert_eq!(log.lines().count(), trace.len());
+        let back = spans_from_jsonl(&log).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn jsonl_import_reports_the_bad_line() {
+        let err = spans_from_jsonl("\n{\"span\":0}\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let t = Trace::default();
+        assert_eq!(validate_chrome_trace(&chrome_trace_json(&t)).unwrap(), 0);
+        assert_eq!(spans_from_jsonl(&spans_jsonl(&t)).unwrap(), t);
+    }
+}

@@ -1,0 +1,126 @@
+//! # prov-telemetry — observability over the provenance stream
+//!
+//! The engine already narrates every run as an [`wf_engine::EngineEvent`]
+//! stream so provenance can be captured (§2.2 of the tutorial). This
+//! crate points a second consumer at the *same* stream and turns it into
+//! operational telemetry — the "analyzing provenance data to debug tasks
+//! and understand results" opportunity of §2.4, applied to the running
+//! system itself:
+//!
+//! * [`span`] — structured spans (run → module → attempt / backoff /
+//!   cache-lookup) with parent/child links, collected by an ordinary
+//!   [`wf_engine::ExecObserver`],
+//! * [`metrics`] — counters, gauges, and fixed-bucket histograms with a
+//!   Prometheus text renderer,
+//! * [`profile`] — per-module self time, the duration-weighted critical
+//!   path, and parallel speedup/utilization, computed from a live run
+//!   *or* purely from stored retrospective provenance,
+//! * [`export`] — Chrome `chrome://tracing` JSON and JSONL span logs,
+//!   with validators and a re-importer,
+//! * [`json`] — the dependency-free mini JSON reader backing the
+//!   validators.
+//!
+//! Telemetry composes with provenance capture through
+//! [`wf_engine::FanoutObserver`]: one run, many subscribers, no engine
+//! changes. [`Telemetry`] bundles a span collector and a metrics
+//! observer into a single subscriber for the common case.
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod span;
+
+pub use export::{chrome_trace_json, spans_from_jsonl, spans_jsonl, validate_chrome_trace};
+pub use json::{parse as parse_json, JsonError, JsonValue};
+pub use metrics::{Counter, Gauge, Histogram, MetricsObserver, MetricsRegistry};
+pub use profile::{profile_result, profile_retro, CriticalHop, ModuleStat, RunProfile};
+pub use span::{Span, SpanCollector, SpanId, SpanKind, Trace};
+
+use wf_engine::{EngineEvent, ExecObserver};
+
+/// The all-in-one telemetry subscriber: spans + metrics from one stream.
+///
+/// ```
+/// use prov_telemetry::Telemetry;
+/// use wf_engine::{standard_registry, Executor};
+/// use wf_model::WorkflowBuilder;
+///
+/// let mut b = WorkflowBuilder::new(1, "demo");
+/// let n = b.add("ConstInt");
+/// b.param(n, "value", 7i64);
+/// let exec = Executor::new(standard_registry());
+/// let mut tel = Telemetry::new();
+/// exec.run_observed(&b.build(), &mut tel).unwrap();
+/// let trace = tel.take_trace();
+/// assert_eq!(trace.of_kind(prov_telemetry::SpanKind::Run).count(), 1);
+/// assert!(tel.metrics.render_prometheus().contains("wf_runs_started_total 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// The span collector.
+    pub spans: SpanCollector,
+    /// The metrics observer.
+    pub metrics: MetricsObserver,
+}
+
+impl Telemetry {
+    /// A fresh bundle with its own metrics registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the trace collected so far (see [`SpanCollector::take_trace`]).
+    pub fn take_trace(&mut self) -> Trace {
+        self.spans.take_trace()
+    }
+
+    /// Render all metrics in Prometheus text format.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics.render_prometheus()
+    }
+}
+
+impl ExecObserver for Telemetry {
+    fn on_event(&mut self, event: &EngineEvent) {
+        self.spans.on_event(event);
+        self.metrics.on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::{standard_registry, Executor, FanoutObserver};
+    use wf_model::WorkflowBuilder;
+
+    #[test]
+    fn telemetry_composes_with_capture_via_fanout() {
+        let mut b = WorkflowBuilder::new(1, "combo");
+        let a = b.add("Busy");
+        b.param(a, "work", 100i64);
+        let c = b.add("Identity");
+        b.connect(a, "out", c, "in");
+        let wf = b.build();
+
+        let exec = Executor::new(standard_registry());
+        let mut tel = Telemetry::new();
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let exec_id = {
+            let mut fan = FanoutObserver::new().with(&mut tel).with(&mut cap);
+            exec.run_observed(&wf, &mut fan).unwrap().exec
+        };
+
+        // Both subscribers saw the whole run.
+        let trace = tel.take_trace();
+        assert_eq!(trace.of_kind(SpanKind::Module).count(), 2);
+        let retro = cap.take(exec_id).unwrap();
+        assert_eq!(retro.runs.len(), 2);
+
+        // And the retrospective profile agrees with the live metrics.
+        let profile = profile_retro(&retro);
+        assert_eq!(profile.modules.len(), 2);
+        assert_eq!(tel.metrics.modules_started.get(), 2);
+    }
+}

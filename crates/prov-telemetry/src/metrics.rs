@@ -1,0 +1,552 @@
+//! Counters, gauges, and fixed-bucket histograms with a Prometheus
+//! text-exposition renderer, plus an [`ExecObserver`] that populates a
+//! standard set of workflow metrics from the engine's event stream.
+//!
+//! Instruments are `Arc`-shared and atomic, so holders can record from
+//! any thread while a scraper renders concurrently; the registry itself
+//! is only locked to register or render.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use wf_engine::{EngineEvent, ExecObserver, RunStatus};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// Buckets are defined by inclusive upper bounds; one implicit overflow
+/// bucket (`+Inf`) catches everything above the last bound. Bounds are
+/// fixed at construction — no allocation or rebinning on the hot path.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds (must be
+    /// strictly increasing; an `+Inf` bucket is added implicitly).
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Default bounds for microsecond latencies: 10us … 10s, roughly
+    /// logarithmic.
+    pub fn latency_bounds() -> Vec<u64> {
+        vec![
+            10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 10_000_000,
+        ]
+    }
+
+    /// Default bounds for value sizes in bytes: 64B … 64MB.
+    pub fn size_bounds() -> Vec<u64> {
+        vec![
+            64,
+            1 << 10,
+            16 << 10,
+            256 << 10,
+            1 << 20,
+            16 << 20,
+            64 << 20,
+        ]
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Cumulative count of observations `<= bound` for each configured
+    /// bound, ending with the total (the `+Inf` bucket).
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            out.push((self.bounds.get(i).copied(), acc));
+        }
+        out
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Registered {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// A named collection of instruments with a Prometheus text renderer.
+///
+/// Registration returns `Arc` handles; recording through a handle never
+/// touches the registry lock.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    instruments: Mutex<Vec<Registered>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("instruments", &self.instruments.lock().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or fetch the existing) counter called `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut reg = self.instruments.lock();
+        if let Some(r) = reg.iter().find(|r| r.name == name) {
+            if let Instrument::Counter(c) = &r.instrument {
+                return Arc::clone(c);
+            }
+        }
+        let c = Arc::new(Counter::default());
+        reg.push(Registered {
+            name: name.into(),
+            help: help.into(),
+            instrument: Instrument::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Register (or fetch the existing) gauge called `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut reg = self.instruments.lock();
+        if let Some(r) = reg.iter().find(|r| r.name == name) {
+            if let Instrument::Gauge(g) = &r.instrument {
+                return Arc::clone(g);
+            }
+        }
+        let g = Arc::new(Gauge::default());
+        reg.push(Registered {
+            name: name.into(),
+            help: help.into(),
+            instrument: Instrument::Gauge(Arc::clone(&g)),
+        });
+        g
+    }
+
+    /// Register (or fetch the existing) histogram called `name`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut reg = self.instruments.lock();
+        if let Some(r) = reg.iter().find(|r| r.name == name) {
+            if let Instrument::Histogram(h) = &r.instrument {
+                return Arc::clone(h);
+            }
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        reg.push(Registered {
+            name: name.into(),
+            help: help.into(),
+            instrument: Instrument::Histogram(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// Render every instrument in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let reg = self.instruments.lock();
+        let mut out = String::new();
+        for r in reg.iter() {
+            match &r.instrument {
+                Instrument::Counter(c) => {
+                    out.push_str(&format!("# HELP {} {}\n", r.name, r.help));
+                    out.push_str(&format!("# TYPE {} counter\n", r.name));
+                    out.push_str(&format!("{} {}\n", r.name, c.get()));
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(&format!("# HELP {} {}\n", r.name, r.help));
+                    out.push_str(&format!("# TYPE {} gauge\n", r.name));
+                    out.push_str(&format!("{} {}\n", r.name, g.get()));
+                }
+                Instrument::Histogram(h) => {
+                    out.push_str(&format!("# HELP {} {}\n", r.name, r.help));
+                    out.push_str(&format!("# TYPE {} histogram\n", r.name));
+                    for (bound, cum) in h.cumulative() {
+                        let le = match bound {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".into(),
+                        };
+                        out.push_str(&format!("{}_bucket{{le=\"{}\"}} {}\n", r.name, le, cum));
+                    }
+                    out.push_str(&format!("{}_sum {}\n", r.name, h.sum()));
+                    out.push_str(&format!("{}_count {}\n", r.name, h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The standard workflow metric set, fed from the engine event stream.
+///
+/// All instrument handles are public so callers can read them directly
+/// in tests and benchmarks without text-scraping.
+#[derive(Debug)]
+pub struct MetricsObserver {
+    registry: Arc<MetricsRegistry>,
+    /// Workflow runs started.
+    pub runs_started: Arc<Counter>,
+    /// Workflow runs that finished successfully.
+    pub runs_succeeded: Arc<Counter>,
+    /// Workflow runs that finished failed.
+    pub runs_failed: Arc<Counter>,
+    /// Runs resumed from a previous execution.
+    pub runs_resumed: Arc<Counter>,
+    /// Module executions started (cache hits included).
+    pub modules_started: Arc<Counter>,
+    /// Modules that finished failed.
+    pub modules_failed: Arc<Counter>,
+    /// Modules skipped because an upstream failed.
+    pub modules_skipped: Arc<Counter>,
+    /// Module body attempts (first tries and retries).
+    pub attempts: Arc<Counter>,
+    /// Attempts that failed.
+    pub attempt_failures: Arc<Counter>,
+    /// Attempts that timed out against a deadline.
+    pub timeouts: Arc<Counter>,
+    /// Retry-backoff waits entered.
+    pub backoffs: Arc<Counter>,
+    /// Memoization cache hits.
+    pub cache_hits: Arc<Counter>,
+    /// Memoization cache misses.
+    pub cache_misses: Arc<Counter>,
+    /// Modules currently executing.
+    pub inflight_modules: Arc<Gauge>,
+    /// Workflow runs currently executing.
+    pub active_runs: Arc<Gauge>,
+    /// Module wall latency in microseconds.
+    pub module_latency: Arc<Histogram>,
+    /// Backoff delays in microseconds.
+    pub backoff_delay: Arc<Histogram>,
+    /// Produced output value sizes in bytes (from `ValueMeta.size`).
+    pub output_bytes: Arc<Histogram>,
+    /// Cache lookup latency in microseconds.
+    pub cache_lookup_latency: Arc<Histogram>,
+}
+
+impl Default for MetricsObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsObserver {
+    /// An observer over a fresh registry.
+    pub fn new() -> Self {
+        Self::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// An observer registering its instruments into `registry`.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        let r = &registry;
+        let lat = Histogram::latency_bounds();
+        let sz = Histogram::size_bounds();
+        Self {
+            runs_started: r.counter("wf_runs_started_total", "Workflow runs started"),
+            runs_succeeded: r.counter("wf_runs_succeeded_total", "Workflow runs succeeded"),
+            runs_failed: r.counter("wf_runs_failed_total", "Workflow runs failed"),
+            runs_resumed: r.counter("wf_runs_resumed_total", "Runs resumed from a checkpoint"),
+            modules_started: r.counter("wf_modules_started_total", "Module executions started"),
+            modules_failed: r.counter("wf_modules_failed_total", "Module executions failed"),
+            modules_skipped: r.counter(
+                "wf_modules_skipped_total",
+                "Modules skipped after upstream failure",
+            ),
+            attempts: r.counter("wf_attempts_total", "Module body attempts"),
+            attempt_failures: r.counter("wf_attempt_failures_total", "Failed attempts"),
+            timeouts: r.counter("wf_timeouts_total", "Attempts exceeding their deadline"),
+            backoffs: r.counter("wf_backoffs_total", "Retry-backoff waits entered"),
+            cache_hits: r.counter("wf_cache_hits_total", "Memoization cache hits"),
+            cache_misses: r.counter("wf_cache_misses_total", "Memoization cache misses"),
+            inflight_modules: r.gauge("wf_inflight_modules", "Modules currently executing"),
+            active_runs: r.gauge("wf_active_runs", "Workflow runs currently executing"),
+            module_latency: r.histogram(
+                "wf_module_latency_micros",
+                "Module wall latency (us)",
+                &lat,
+            ),
+            backoff_delay: r.histogram("wf_backoff_delay_micros", "Retry backoff delay (us)", &lat),
+            output_bytes: r.histogram(
+                "wf_output_value_bytes",
+                "Produced output value sizes (bytes)",
+                &sz,
+            ),
+            cache_lookup_latency: r.histogram(
+                "wf_cache_lookup_micros",
+                "Memoization cache lookup latency (us)",
+                &lat,
+            ),
+            registry,
+        }
+    }
+
+    /// The registry holding this observer's instruments.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Render all instruments in Prometheus text format.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+}
+
+impl ExecObserver for MetricsObserver {
+    fn on_event(&mut self, event: &EngineEvent) {
+        match event {
+            EngineEvent::WorkflowStarted { .. } => {
+                self.runs_started.inc();
+                self.active_runs.inc();
+            }
+            EngineEvent::RunResumed { .. } => self.runs_resumed.inc(),
+            EngineEvent::ModuleStarted { .. } => {
+                self.modules_started.inc();
+                self.inflight_modules.inc();
+                // The first attempt is implicit in ModuleStarted; retries
+                // arrive as explicit AttemptStarted events.
+                self.attempts.inc();
+            }
+            EngineEvent::AttemptStarted { .. } => self.attempts.inc(),
+            EngineEvent::AttemptFailed { .. } => self.attempt_failures.inc(),
+            EngineEvent::ModuleTimedOut { .. } => self.timeouts.inc(),
+            EngineEvent::BackoffStarted { delay_micros, .. } => {
+                self.backoffs.inc();
+                self.backoff_delay.observe(*delay_micros);
+            }
+            EngineEvent::CacheChecked {
+                hit,
+                elapsed_micros,
+                ..
+            } => {
+                if *hit {
+                    self.cache_hits.inc();
+                } else {
+                    self.cache_misses.inc();
+                }
+                self.cache_lookup_latency.observe(*elapsed_micros);
+            }
+            EngineEvent::OutputProduced { meta, .. } => {
+                self.output_bytes.observe(meta.size as u64);
+            }
+            EngineEvent::ModuleFinished {
+                status,
+                elapsed_micros,
+                ..
+            } => match status {
+                RunStatus::Skipped => self.modules_skipped.inc(),
+                other => {
+                    self.inflight_modules.dec();
+                    self.module_latency.observe(*elapsed_micros);
+                    if *other == RunStatus::Failed {
+                        self.modules_failed.inc();
+                    }
+                }
+            },
+            EngineEvent::WorkflowFinished { status, .. } => {
+                self.active_runs.dec();
+                match status {
+                    RunStatus::Succeeded => self.runs_succeeded.inc(),
+                    _ => self.runs_failed.inc(),
+                }
+            }
+            EngineEvent::InputBound { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_engine::{standard_registry, Executor};
+    use wf_model::WorkflowBuilder;
+
+    fn small_wf() -> wf_model::Workflow {
+        let mut b = WorkflowBuilder::new(1, "m");
+        let a = b.add("ConstInt");
+        b.param(a, "value", 7i64);
+        let c = b.add("Identity");
+        b.connect(a, "out", c, "in");
+        b.build()
+    }
+
+    #[test]
+    fn histogram_buckets_and_render() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 7, 50, 500, 5000, 50000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 5 + 7 + 50 + 500 + 5000 + 50000);
+        let cum = h.cumulative();
+        assert_eq!(cum[0], (Some(10), 2));
+        assert_eq!(cum[1], (Some(100), 3));
+        assert_eq!(cum[2], (Some(1000), 4));
+        assert_eq!(cum[3], (None, 6));
+    }
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("demo_total", "a demo counter");
+        c.add(3);
+        let g = reg.gauge("demo_gauge", "a demo gauge");
+        g.set(-2);
+        let h = reg.histogram("demo_micros", "a demo histogram", &[10, 100]);
+        h.observe(5);
+        h.observe(500);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE demo_total counter"));
+        assert!(text.contains("demo_total 3"));
+        assert!(text.contains("demo_gauge -2"));
+        assert!(text.contains("demo_micros_bucket{le=\"10\"} 1"));
+        assert!(text.contains("demo_micros_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("demo_micros_sum 505"));
+        assert!(text.contains("demo_micros_count 2"));
+    }
+
+    #[test]
+    fn registering_twice_returns_the_same_instrument() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("same_total", "h");
+        let b = reg.counter("same_total", "h");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn observer_counts_runs_modules_and_cache_traffic() {
+        let wf = small_wf();
+        let exec = Executor::new(standard_registry()).with_cache(16);
+        let mut m = MetricsObserver::new();
+        exec.run_observed(&wf, &mut m).unwrap();
+        exec.run_observed(&wf, &mut m).unwrap();
+        assert_eq!(m.runs_started.get(), 2);
+        assert_eq!(m.runs_succeeded.get(), 2);
+        assert_eq!(m.modules_started.get(), 4);
+        assert_eq!(m.cache_misses.get(), 2);
+        assert_eq!(m.cache_hits.get(), 2);
+        assert_eq!(m.inflight_modules.get(), 0, "gauge returns to zero");
+        assert_eq!(m.active_runs.get(), 0);
+        assert_eq!(m.module_latency.count(), 4);
+        assert!(m.output_bytes.count() >= 4);
+        let text = m.render_prometheus();
+        assert!(text.contains("wf_runs_started_total 2"));
+        assert!(text.contains("wf_cache_hits_total 2"));
+    }
+
+    #[test]
+    fn observer_counts_failures_and_skips() {
+        let mut b = WorkflowBuilder::new(1, "f");
+        let bad = b.add("FailIf");
+        b.param(bad, "fail", true);
+        let down = b.add("Identity");
+        b.connect(bad, "out", down, "in");
+        let exec = Executor::new(standard_registry());
+        let mut m = MetricsObserver::new();
+        exec.run_observed(&b.build(), &mut m).unwrap();
+        assert_eq!(m.runs_failed.get(), 1);
+        assert_eq!(m.modules_failed.get(), 1);
+        assert_eq!(m.modules_skipped.get(), 1);
+        assert_eq!(m.attempt_failures.get(), 1);
+        assert_eq!(m.inflight_modules.get(), 0);
+    }
+}

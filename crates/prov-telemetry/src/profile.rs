@@ -1,0 +1,460 @@
+//! Run profiling: per-module self time, the critical path, and parallel
+//! efficiency — computed either from a live [`ExecutionResult`] or purely
+//! from stored [`RetrospectiveProvenance`], so old runs can be profiled
+//! retroactively without re-execution.
+//!
+//! The critical path is the duration-weighted longest dependency chain:
+//! the best possible makespan on infinitely many executors. Comparing it
+//! against the actual wall time and the total sequential work yields the
+//! achieved speedup and per-thread utilization.
+
+use prov_core::RetrospectiveProvenance;
+use std::collections::BTreeMap;
+use wf_engine::{ExecutionResult, RunStatus};
+use wf_model::{NodeId, Workflow};
+
+/// Per-module timing within one profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleStat {
+    /// The node that ran.
+    pub node: NodeId,
+    /// Module identity `name@version`.
+    pub identity: String,
+    /// Module body self time in microseconds (0 for cache hits/skips).
+    pub self_micros: u64,
+    /// Body attempts made.
+    pub attempts: u32,
+    /// Whether outputs came from the memoization cache.
+    pub from_cache: bool,
+    /// Outcome.
+    pub status: RunStatus,
+}
+
+/// One hop along the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalHop {
+    /// The node.
+    pub node: NodeId,
+    /// Module identity.
+    pub identity: String,
+    /// Self time contributed to the path (µs).
+    pub self_micros: u64,
+}
+
+/// The timing profile of one workflow run.
+#[derive(Debug, Clone)]
+pub struct RunProfile {
+    /// Workflow name (empty when unknown).
+    pub name: String,
+    /// Executor threads the run used (1 = sequential).
+    pub threads: usize,
+    /// Actual wall-clock duration of the run (µs).
+    pub wall_micros: u64,
+    /// Sum of all module self times (µs) — the sequential work.
+    pub total_work_micros: u64,
+    /// Duration-weighted longest dependency chain (µs).
+    pub critical_micros: u64,
+    /// The critical path, source to sink.
+    pub critical_path: Vec<CriticalHop>,
+    /// Per-module stats, hottest first.
+    pub modules: Vec<ModuleStat>,
+    /// Modules served from cache.
+    pub cache_hits: usize,
+}
+
+impl RunProfile {
+    /// Achieved speedup: sequential work over actual wall time.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_micros == 0 {
+            1.0
+        } else {
+            self.total_work_micros as f64 / self.wall_micros as f64
+        }
+    }
+
+    /// Fraction of the thread pool doing useful work: speedup / threads.
+    pub fn utilization(&self) -> f64 {
+        if self.threads == 0 {
+            0.0
+        } else {
+            self.speedup() / self.threads as f64
+        }
+    }
+
+    /// Upper bound on any speedup: work / critical path (Amdahl-style).
+    pub fn parallelism_bound(&self) -> f64 {
+        if self.critical_micros == 0 {
+            1.0
+        } else {
+            self.total_work_micros as f64 / self.critical_micros as f64
+        }
+    }
+
+    /// The `n` hottest modules by self time.
+    pub fn hotspots(&self, n: usize) -> &[ModuleStat] {
+        &self.modules[..n.min(self.modules.len())]
+    }
+
+    /// Render a human-readable report showing wall time, work, the
+    /// critical path, utilization, and the top-`top_n` hotspots.
+    pub fn render(&self, top_n: usize) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "run profile: {} ({} modules, {} thread{})\n",
+            if self.name.is_empty() {
+                "<unnamed>"
+            } else {
+                &self.name
+            },
+            self.modules.len(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        ));
+        s.push_str(&format!(
+            "  wall {:>10} us   work {:>10} us   critical {:>10} us\n",
+            self.wall_micros, self.total_work_micros, self.critical_micros
+        ));
+        s.push_str(&format!(
+            "  speedup {:.2}x of {:.2}x possible; utilization {:.0}%; {} cache hit(s)\n",
+            self.speedup(),
+            self.parallelism_bound(),
+            self.utilization() * 100.0,
+            self.cache_hits,
+        ));
+        s.push_str(&format!("top {} modules by self time:\n", top_n));
+        for m in self.hotspots(top_n) {
+            let share = if self.total_work_micros == 0 {
+                0.0
+            } else {
+                100.0 * m.self_micros as f64 / self.total_work_micros as f64
+            };
+            s.push_str(&format!(
+                "  {:<6} {:<24} {:>10} us {:>5.1}%{}{}{}\n",
+                m.node.to_string(),
+                m.identity,
+                m.self_micros,
+                share,
+                if m.from_cache { "  cached" } else { "" },
+                if m.attempts > 1 {
+                    format!("  {} attempts", m.attempts)
+                } else {
+                    String::new()
+                },
+                match m.status {
+                    RunStatus::Failed => "  FAILED",
+                    RunStatus::Skipped => "  skipped",
+                    RunStatus::Succeeded => "",
+                },
+            ));
+        }
+        s.push_str("critical path:\n");
+        for hop in &self.critical_path {
+            s.push_str(&format!(
+                "  {} {} ({} us)\n",
+                hop.node, hop.identity, hop.self_micros
+            ));
+        }
+        s
+    }
+}
+
+/// Longest path over `(node, self_micros)` with predecessor lists.
+/// Returns (critical total, path source→sink).
+fn critical_path(
+    elapsed: &BTreeMap<NodeId, u64>,
+    preds: &BTreeMap<NodeId, Vec<NodeId>>,
+    identities: &BTreeMap<NodeId, String>,
+) -> (u64, Vec<CriticalHop>) {
+    // dist[n] = elapsed(n) + max over predecessors, memoized; iterative
+    // DFS so deep chains cannot overflow the stack.
+    let mut memo: BTreeMap<NodeId, (u64, Option<NodeId>)> = BTreeMap::new();
+    for &start in elapsed.keys() {
+        if memo.contains_key(&start) {
+            continue;
+        }
+        let mut stack = vec![start];
+        while let Some(&n) = stack.last() {
+            if memo.contains_key(&n) {
+                stack.pop();
+                continue;
+            }
+            let ps = preds.get(&n).map(|v| v.as_slice()).unwrap_or(&[]);
+            let unresolved: Vec<NodeId> = ps
+                .iter()
+                .copied()
+                .filter(|p| !memo.contains_key(p))
+                .collect();
+            if unresolved.is_empty() {
+                let mut best = 0;
+                let mut via = None;
+                for &p in ps {
+                    let d = memo[&p].0;
+                    if d > best || via.is_none() {
+                        best = d;
+                        via = Some(p);
+                    }
+                }
+                memo.insert(n, (best + elapsed.get(&n).copied().unwrap_or(0), via));
+                stack.pop();
+            } else {
+                stack.extend(unresolved);
+            }
+        }
+    }
+    let mut tail: Option<NodeId> = None;
+    let mut total = 0;
+    for (&n, &(d, _)) in &memo {
+        if d >= total {
+            total = d;
+            tail = Some(n);
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = tail;
+    while let Some(n) = cur {
+        path.push(CriticalHop {
+            node: n,
+            identity: identities.get(&n).cloned().unwrap_or_default(),
+            self_micros: elapsed.get(&n).copied().unwrap_or(0),
+        });
+        cur = memo.get(&n).and_then(|(_, via)| *via);
+    }
+    path.reverse();
+    (total, path)
+}
+
+fn finish(
+    name: String,
+    threads: usize,
+    wall_micros: u64,
+    mut modules: Vec<ModuleStat>,
+    preds: BTreeMap<NodeId, Vec<NodeId>>,
+) -> RunProfile {
+    let elapsed: BTreeMap<NodeId, u64> = modules.iter().map(|m| (m.node, m.self_micros)).collect();
+    let identities: BTreeMap<NodeId, String> = modules
+        .iter()
+        .map(|m| (m.node, m.identity.clone()))
+        .collect();
+    let (critical_micros, critical_path) = critical_path(&elapsed, &preds, &identities);
+    let total_work_micros = modules.iter().map(|m| m.self_micros).sum();
+    let cache_hits = modules.iter().filter(|m| m.from_cache).count();
+    modules.sort_by_key(|m| std::cmp::Reverse(m.self_micros));
+    RunProfile {
+        name,
+        threads,
+        wall_micros,
+        total_work_micros,
+        critical_micros,
+        critical_path,
+        modules,
+        cache_hits,
+    }
+}
+
+/// Profile a run purely from stored retrospective provenance.
+///
+/// Dependencies are reconstructed the same way lineage queries see them:
+/// node A precedes node B when B consumed an artifact A produced
+/// (fine-grained capture records those bindings). Wall time comes from
+/// the run's start/finish timestamps; the thread count from the recorded
+/// execution environment.
+pub fn profile_retro(retro: &RetrospectiveProvenance) -> RunProfile {
+    let mut producers: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+    for run in &retro.runs {
+        for (_, h) in &run.outputs {
+            producers.entry(*h).or_default().push(run.node);
+        }
+    }
+    let preds: BTreeMap<NodeId, Vec<NodeId>> = retro
+        .runs
+        .iter()
+        .map(|r| {
+            let mut p: Vec<NodeId> = r
+                .inputs
+                .iter()
+                .flat_map(|(_, h)| producers.get(h).cloned().unwrap_or_default())
+                .filter(|&n| n != r.node)
+                .collect();
+            p.sort();
+            p.dedup();
+            (r.node, p)
+        })
+        .collect();
+    let modules: Vec<ModuleStat> = retro
+        .runs
+        .iter()
+        .map(|r| ModuleStat {
+            node: r.node,
+            identity: r.identity.clone(),
+            self_micros: if r.from_cache { 0 } else { r.elapsed_micros },
+            attempts: r.attempts,
+            from_cache: r.from_cache,
+            status: r.status,
+        })
+        .collect();
+    let wall_micros = retro
+        .finished_millis
+        .saturating_sub(retro.started_millis)
+        .saturating_mul(1000);
+    finish(
+        retro.workflow_name.clone(),
+        retro.environment.threads.max(1),
+        wall_micros,
+        modules,
+        preds,
+    )
+}
+
+/// Profile a live [`ExecutionResult`] against its workflow specification.
+///
+/// Dependencies come straight from the specification's connections, and
+/// wall time from the result's monotonic clock — no provenance capture
+/// needs to have been attached.
+pub fn profile_result(result: &ExecutionResult, wf: &Workflow, threads: usize) -> RunProfile {
+    let preds: BTreeMap<NodeId, Vec<NodeId>> = result
+        .node_runs
+        .keys()
+        .map(|&n| {
+            let mut p: Vec<NodeId> = wf.inputs_of(n).map(|c| c.from.node).collect();
+            p.sort();
+            p.dedup();
+            (n, p)
+        })
+        .collect();
+    let modules: Vec<ModuleStat> = result
+        .node_runs
+        .values()
+        .map(|r| ModuleStat {
+            node: r.node,
+            identity: r.identity.clone(),
+            self_micros: if r.from_cache { 0 } else { r.elapsed_micros },
+            attempts: r.attempts,
+            from_cache: r.from_cache,
+            status: r.status,
+        })
+        .collect();
+    finish(
+        wf.name.clone(),
+        threads.max(1),
+        result.elapsed_micros,
+        modules,
+        preds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::{standard_registry, Executor};
+    use wf_model::WorkflowBuilder;
+
+    /// diamond: a → (b, c) → d, with b much heavier than c.
+    fn diamond() -> (wf_model::Workflow, [NodeId; 4]) {
+        let mut b = WorkflowBuilder::new(1, "diamond");
+        let a = b.add("Busy");
+        b.param(a, "work", 200i64);
+        let x = b.add("Busy");
+        b.param(x, "work", 4000i64).param(x, "seed", 1i64);
+        let y = b.add("Busy");
+        b.param(y, "work", 200i64).param(y, "seed", 2i64);
+        let d = b.add("AddInt");
+        b.connect(a, "out", x, "in");
+        b.connect(a, "out", y, "in");
+        b.connect(x, "out", d, "a");
+        b.connect(y, "out", d, "b");
+        (b.build(), [a, x, y, d])
+    }
+
+    #[test]
+    fn live_profile_finds_the_heavy_branch() {
+        let (wf, [a, x, _, d]) = diamond();
+        let exec = Executor::new(standard_registry());
+        let r = exec.run(&wf).unwrap();
+        let p = profile_result(&r, &wf, 1);
+        assert_eq!(p.modules.len(), 4);
+        assert_eq!(
+            p.total_work_micros,
+            r.node_runs.values().map(|n| n.elapsed_micros).sum()
+        );
+        // Critical path must route through the heavy branch: a → x → d.
+        let hops: Vec<NodeId> = p.critical_path.iter().map(|h| h.node).collect();
+        assert_eq!(hops, vec![a, x, d]);
+        assert!(p.critical_micros <= p.total_work_micros);
+        assert!(p.parallelism_bound() >= 1.0);
+        let rendered = p.render(3);
+        assert!(rendered.contains("critical path"));
+        assert!(rendered.contains("speedup"));
+    }
+
+    #[test]
+    fn retro_profile_matches_live_topology() {
+        let (wf, [a, x, _, d]) = diamond();
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let p = profile_retro(&retro);
+        assert_eq!(p.name, "diamond");
+        assert_eq!(p.modules.len(), 4);
+        let hops: Vec<NodeId> = p.critical_path.iter().map(|h| h.node).collect();
+        assert_eq!(hops, vec![a, x, d], "artifact lineage rebuilds the DAG");
+        assert_eq!(p.threads, retro.environment.threads.max(1));
+    }
+
+    #[test]
+    fn cache_hits_contribute_zero_self_time() {
+        let (wf, _) = diamond();
+        let exec = Executor::new(standard_registry()).with_cache(32);
+        exec.run(&wf).unwrap();
+        let r2 = exec.run(&wf).unwrap();
+        let p = profile_result(&r2, &wf, 1);
+        assert_eq!(p.cache_hits, 4);
+        assert_eq!(p.total_work_micros, 0);
+        assert_eq!(p.critical_micros, 0);
+    }
+
+    #[test]
+    fn parallel_run_yields_speedup_at_most_the_bound() {
+        let (wf, _layers) = wf_engine::synth::layered_dag(
+            1,
+            wf_engine::synth::LayeredSpec {
+                depth: 3,
+                width: 4,
+                fan_in: 2,
+                work: 2000,
+                seed: 7,
+            },
+        );
+        let exec = Executor::new(standard_registry());
+        let mut obs = wf_engine::NullObserver;
+        let r = exec.run_parallel(&wf, 4, &mut obs).unwrap();
+        let p = profile_result(&r, &wf, 4);
+        assert!(p.speedup() > 0.0);
+        // Measured speedup cannot exceed the DAG's inherent parallelism
+        // by more than timer noise.
+        assert!(p.speedup() <= p.parallelism_bound() * 1.5 + 1.0);
+        assert!(p.utilization() <= 1.5);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        let mut b = WorkflowBuilder::new(1, "deep");
+        let mut prev = None;
+        let mut nodes = Vec::new();
+        for i in 0..3000 {
+            let id = b.add("Busy");
+            b.param(id, "work", 1i64).param(id, "seed", i as i64);
+            if let Some(p) = prev {
+                b.connect(p, "out", id, "in");
+            }
+            prev = Some(id);
+            nodes.push(id);
+        }
+        let wf = b.build();
+        let exec = Executor::new(standard_registry());
+        let r = exec.run(&wf).unwrap();
+        let p = profile_result(&r, &wf, 1);
+        assert_eq!(p.critical_path.len(), 3000);
+    }
+}

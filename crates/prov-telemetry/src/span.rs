@@ -1,0 +1,569 @@
+//! Structured spans over the engine's event stream.
+//!
+//! One span per workflow run, module run, module attempt, backoff wait,
+//! and cache lookup, with parent/child links mirroring the execution
+//! hierarchy (run → module → attempt/backoff/lookup). The collector is an
+//! ordinary [`ExecObserver`]: it holds no locks of its own, so it is
+//! lock-cheap under the sequential driver and inherits the parallel
+//! driver's single observer mutex (the same seam provenance capture
+//! already sits on).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wf_engine::event::now_micros;
+use wf_engine::{EngineEvent, ExecId, ExecObserver};
+use wf_model::NodeId;
+
+/// Identifier of one span, unique within a [`SpanCollector`]'s lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SpanId(pub u64);
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "span{}", self.0)
+    }
+}
+
+/// What a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// One whole workflow run.
+    Run,
+    /// One module run (covers all attempts, waits, and lookups).
+    Module,
+    /// One attempt of a module body.
+    Attempt,
+    /// A retry-backoff wait.
+    Backoff,
+    /// A memoization-cache probe.
+    CacheLookup,
+}
+
+impl SpanKind {
+    /// Lower-case label used by exporters (Chrome trace `cat`, JSONL).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::Module => "module",
+            SpanKind::Attempt => "attempt",
+            SpanKind::Backoff => "backoff",
+            SpanKind::CacheLookup => "cache",
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Span identity.
+    pub id: SpanId,
+    /// Enclosing span, if any (run spans are roots).
+    pub parent: Option<SpanId>,
+    /// What this span measures.
+    pub kind: SpanKind,
+    /// Human-readable name (workflow name, module identity, …).
+    pub name: String,
+    /// The workflow run this span belongs to.
+    pub exec: ExecId,
+    /// The node, for module-scoped spans.
+    pub node: Option<NodeId>,
+    /// Start instant on the process-monotonic microsecond clock.
+    pub start_micros: u64,
+    /// End instant on the same clock (`>= start_micros`).
+    pub end_micros: u64,
+    /// Free-form key/value annotations (status, errors, sizes, …).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Span duration in microseconds.
+    pub fn duration_micros(&self) -> u64 {
+        self.end_micros.saturating_sub(self.start_micros)
+    }
+
+    /// The value of an attribute, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A finished collection of spans, ordered by start time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// All completed spans.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans belonging to one workflow run.
+    pub fn spans_of(&self, exec: ExecId) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.exec == exec)
+    }
+
+    /// The root (run) span of one workflow run.
+    pub fn run_span(&self, exec: ExecId) -> Option<&Span> {
+        self.spans
+            .iter()
+            .find(|s| s.exec == exec && s.kind == SpanKind::Run)
+    }
+
+    /// Spans of one kind.
+    pub fn of_kind(&self, kind: SpanKind) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Children of a span, in start order.
+    pub fn children_of(&self, id: SpanId) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+}
+
+/// A span still being measured.
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    span: Span,
+}
+
+/// The in-process span collector.
+///
+/// Subscribes to the [`EngineEvent`] stream and assembles one [`Trace`].
+/// A single collector can observe many runs, sequentially or interleaved
+/// (spans are keyed by `ExecId`); retrieve the result with
+/// [`SpanCollector::take_trace`].
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    next_id: u64,
+    completed: Vec<Span>,
+    open_runs: BTreeMap<ExecId, OpenSpan>,
+    open_modules: BTreeMap<(ExecId, NodeId), OpenSpan>,
+    open_attempts: BTreeMap<(ExecId, NodeId), OpenSpan>,
+}
+
+impl SpanCollector {
+    /// A fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of completed spans so far.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Take the trace collected so far (completed spans only; spans of
+    /// still-running executions stay pending). Spans are ordered by start
+    /// instant, ties broken by span id (creation order).
+    pub fn take_trace(&mut self) -> Trace {
+        let mut spans = std::mem::take(&mut self.completed);
+        spans.sort_by_key(|s| (s.start_micros, s.id));
+        Trace { spans }
+    }
+
+    fn alloc(&mut self) -> SpanId {
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn open(
+        &mut self,
+        parent: Option<SpanId>,
+        kind: SpanKind,
+        name: String,
+        exec: ExecId,
+        node: Option<NodeId>,
+    ) -> OpenSpan {
+        let id = self.alloc();
+        OpenSpan {
+            span: Span {
+                id,
+                parent,
+                kind,
+                name,
+                exec,
+                node,
+                start_micros: now_micros(),
+                end_micros: 0,
+                attrs: Vec::new(),
+            },
+        }
+    }
+
+    fn close(&mut self, mut open: OpenSpan) {
+        open.span.end_micros = now_micros().max(open.span.start_micros);
+        self.completed.push(open.span);
+    }
+
+    /// Record a span whose extent is already known (backoffs, lookups).
+    /// The span's `id` is assigned here; its `end_micros` is clamped to
+    /// not precede `start_micros`.
+    fn push_interval(&mut self, mut span: Span) {
+        span.id = self.alloc();
+        span.end_micros = span.end_micros.max(span.start_micros);
+        self.completed.push(span);
+    }
+
+    fn run_id(&self, exec: ExecId) -> Option<SpanId> {
+        self.open_runs.get(&exec).map(|o| o.span.id)
+    }
+
+    fn module_id(&self, exec: ExecId, node: NodeId) -> Option<SpanId> {
+        self.open_modules.get(&(exec, node)).map(|o| o.span.id)
+    }
+}
+
+impl ExecObserver for SpanCollector {
+    fn on_event(&mut self, event: &EngineEvent) {
+        match event {
+            EngineEvent::WorkflowStarted { exec, name, .. } => {
+                let open = self.open(None, SpanKind::Run, name.clone(), *exec, None);
+                self.open_runs.insert(*exec, open);
+            }
+            EngineEvent::RunResumed {
+                exec,
+                resumed_from,
+                reused,
+            } => {
+                if let Some(run) = self.open_runs.get_mut(exec) {
+                    run.span
+                        .attrs
+                        .push(("resumed_from".into(), resumed_from.to_string()));
+                    run.span.attrs.push(("reused".into(), reused.to_string()));
+                }
+            }
+            EngineEvent::ModuleStarted {
+                exec,
+                node,
+                identity,
+                ..
+            } => {
+                let parent = self.run_id(*exec);
+                let module = self.open(
+                    parent,
+                    SpanKind::Module,
+                    identity.clone(),
+                    *exec,
+                    Some(*node),
+                );
+                // The first attempt starts with the module itself; retries
+                // open subsequent attempt spans via `AttemptStarted`.
+                let attempt = self.open(
+                    Some(module.span.id),
+                    SpanKind::Attempt,
+                    format!("{identity} attempt 1"),
+                    *exec,
+                    Some(*node),
+                );
+                self.open_modules.insert((*exec, *node), module);
+                self.open_attempts.insert((*exec, *node), attempt);
+            }
+            EngineEvent::AttemptStarted {
+                exec,
+                node,
+                attempt,
+            } => {
+                let parent = self.module_id(*exec, *node);
+                let name = self
+                    .open_modules
+                    .get(&(*exec, *node))
+                    .map(|m| format!("{} attempt {attempt}", m.span.name))
+                    .unwrap_or_else(|| format!("attempt {attempt}"));
+                let open = self.open(parent, SpanKind::Attempt, name, *exec, Some(*node));
+                self.open_attempts.insert((*exec, *node), open);
+            }
+            EngineEvent::AttemptFailed {
+                exec,
+                node,
+                error,
+                will_retry,
+                ..
+            } => {
+                if let Some(mut open) = self.open_attempts.remove(&(*exec, *node)) {
+                    open.span.attrs.push(("error".into(), error.clone()));
+                    open.span
+                        .attrs
+                        .push(("will_retry".into(), will_retry.to_string()));
+                    self.close(open);
+                }
+            }
+            EngineEvent::ModuleTimedOut {
+                exec,
+                node,
+                limit_micros,
+                ..
+            } => {
+                if let Some(open) = self.open_attempts.get_mut(&(*exec, *node)) {
+                    open.span
+                        .attrs
+                        .push(("timed_out_limit_micros".into(), limit_micros.to_string()));
+                }
+            }
+            EngineEvent::BackoffStarted {
+                exec,
+                node,
+                next_attempt,
+                delay_micros,
+            } => {
+                // The wait happens immediately after this event; its extent
+                // is known up front.
+                let parent = self.module_id(*exec, *node);
+                let start = now_micros();
+                self.push_interval(Span {
+                    id: SpanId(0),
+                    parent,
+                    kind: SpanKind::Backoff,
+                    name: format!("backoff before attempt {next_attempt}"),
+                    exec: *exec,
+                    node: Some(*node),
+                    start_micros: start,
+                    end_micros: start + delay_micros,
+                    attrs: vec![("delay_micros".into(), delay_micros.to_string())],
+                });
+            }
+            EngineEvent::CacheChecked {
+                exec,
+                node,
+                hit,
+                elapsed_micros,
+            } => {
+                let parent = self.module_id(*exec, *node);
+                let end = now_micros();
+                self.push_interval(Span {
+                    id: SpanId(0),
+                    parent,
+                    kind: SpanKind::CacheLookup,
+                    name: "cache lookup".into(),
+                    exec: *exec,
+                    node: Some(*node),
+                    start_micros: end.saturating_sub(*elapsed_micros),
+                    end_micros: end,
+                    attrs: vec![("hit".into(), hit.to_string())],
+                });
+            }
+            EngineEvent::OutputProduced {
+                exec,
+                node,
+                port,
+                meta,
+            } => {
+                if let Some(open) = self.open_modules.get_mut(&(*exec, *node)) {
+                    open.span.attrs.push((
+                        format!("out:{port}"),
+                        format!("{} {}B", meta.dtype, meta.size),
+                    ));
+                }
+            }
+            EngineEvent::ModuleFinished {
+                exec,
+                node,
+                status,
+                from_cache,
+                error,
+                ..
+            } => {
+                // A cache-served module never ran its body: drop the
+                // speculative attempt-1 span instead of recording it.
+                if let Some(attempt) = self.open_attempts.remove(&(*exec, *node)) {
+                    if !*from_cache {
+                        let mut attempt = attempt;
+                        attempt.span.attrs.push(("status".into(), "ok".into()));
+                        self.close(attempt);
+                    }
+                }
+                if let Some(mut module) = self.open_modules.remove(&(*exec, *node)) {
+                    module
+                        .span
+                        .attrs
+                        .push(("status".into(), status.to_string()));
+                    if *from_cache {
+                        module.span.attrs.push(("from_cache".into(), "true".into()));
+                    }
+                    if let Some(e) = error {
+                        module.span.attrs.push(("error".into(), e.clone()));
+                    }
+                    self.close(module);
+                }
+                // Skipped nodes never emitted ModuleStarted: record a
+                // zero-length marker span so the trace stays complete.
+                else if *status == wf_engine::RunStatus::Skipped {
+                    let parent = self.run_id(*exec);
+                    let at = now_micros();
+                    self.push_interval(Span {
+                        id: SpanId(0),
+                        parent,
+                        kind: SpanKind::Module,
+                        name: "skipped".into(),
+                        exec: *exec,
+                        node: Some(*node),
+                        start_micros: at,
+                        end_micros: at,
+                        attrs: vec![("status".into(), "skipped".into())],
+                    });
+                }
+            }
+            EngineEvent::WorkflowFinished { exec, status, .. } => {
+                if let Some(mut run) = self.open_runs.remove(exec) {
+                    run.span.attrs.push(("status".into(), status.to_string()));
+                    self.close(run);
+                }
+            }
+            EngineEvent::InputBound { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_engine::{standard_registry, ExecPolicy, Executor, FaultPlan, RetryPolicy};
+    use wf_model::WorkflowBuilder;
+
+    fn chain(n: usize) -> wf_model::Workflow {
+        let mut b = WorkflowBuilder::new(1, "chain");
+        let mut prev = None;
+        for i in 0..n {
+            let id = b.add("Busy");
+            b.param(id, "work", 50i64).param(id, "seed", i as i64);
+            if let Some(p) = prev {
+                b.connect(p, "out", id, "in");
+            }
+            prev = Some(id);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn one_span_per_run_module_and_attempt() {
+        let wf = chain(3);
+        let exec = Executor::new(standard_registry());
+        let mut col = SpanCollector::new();
+        let r = exec.run_observed(&wf, &mut col).unwrap();
+        let trace = col.take_trace();
+        assert_eq!(trace.of_kind(SpanKind::Run).count(), 1);
+        assert_eq!(trace.of_kind(SpanKind::Module).count(), 3);
+        assert_eq!(trace.of_kind(SpanKind::Attempt).count(), 3);
+        let run = trace.run_span(r.exec).unwrap();
+        assert_eq!(run.attr("status"), Some("succeeded"));
+        // Every module span is a child of the run span; every attempt span
+        // a child of its module span.
+        for m in trace.of_kind(SpanKind::Module) {
+            assert_eq!(m.parent, Some(run.id));
+            assert!(m.end_micros >= m.start_micros);
+            let kids = trace.children_of(m.id);
+            assert_eq!(kids.len(), 1);
+            assert_eq!(kids[0].kind, SpanKind::Attempt);
+        }
+    }
+
+    #[test]
+    fn retries_produce_attempt_and_backoff_spans() {
+        let mut b = WorkflowBuilder::new(1, "flaky");
+        let n = b.add("ConstInt");
+        let wf = b.build();
+        let exec = Executor::new(standard_registry())
+            .with_policy(
+                ExecPolicy::new().with_retry(RetryPolicy::attempts(3).backoff(100, 2.0, 400)),
+            )
+            .with_faults(FaultPlan::new().fail_on(n, 1, "transient"));
+        let mut col = SpanCollector::new();
+        exec.run_observed(&wf, &mut col).unwrap();
+        let trace = col.take_trace();
+        let attempts: Vec<_> = trace.of_kind(SpanKind::Attempt).collect();
+        assert_eq!(attempts.len(), 2, "failed attempt + successful retry");
+        assert_eq!(attempts[0].attr("will_retry"), Some("true"));
+        assert!(attempts[0].attr("error").unwrap().contains("transient"));
+        let backoffs: Vec<_> = trace.of_kind(SpanKind::Backoff).collect();
+        assert_eq!(backoffs.len(), 1);
+        assert!(backoffs[0].duration_micros() >= 100);
+    }
+
+    #[test]
+    fn cache_lookup_spans_record_hits_and_misses() {
+        let wf = chain(2);
+        let exec = Executor::new(standard_registry()).with_cache(64);
+        let mut col = SpanCollector::new();
+        exec.run_observed(&wf, &mut col).unwrap();
+        exec.run_observed(&wf, &mut col).unwrap();
+        let trace = col.take_trace();
+        let lookups: Vec<_> = trace.of_kind(SpanKind::CacheLookup).collect();
+        assert_eq!(lookups.len(), 4);
+        assert_eq!(
+            lookups
+                .iter()
+                .filter(|s| s.attr("hit") == Some("true"))
+                .count(),
+            2
+        );
+        // Cache-served modules have no attempt span (no body ran).
+        assert_eq!(trace.of_kind(SpanKind::Attempt).count(), 2);
+        assert_eq!(trace.of_kind(SpanKind::Module).count(), 4);
+    }
+
+    #[test]
+    fn skipped_nodes_get_marker_spans() {
+        let mut b = WorkflowBuilder::new(1, "failing");
+        let bad = b.add("FailIf");
+        b.param(bad, "fail", true);
+        let down = b.add("Identity");
+        b.connect(bad, "out", down, "in");
+        let exec = Executor::new(standard_registry());
+        let mut col = SpanCollector::new();
+        exec.run_observed(&b.build(), &mut col).unwrap();
+        let trace = col.take_trace();
+        let skipped: Vec<_> = trace
+            .of_kind(SpanKind::Module)
+            .filter(|s| s.attr("status") == Some("skipped"))
+            .collect();
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].node, Some(down));
+        assert_eq!(skipped[0].duration_micros(), 0);
+    }
+
+    #[test]
+    fn parallel_driver_produces_a_complete_trace() {
+        let wf = wf_engine::synth::challenge_workflow(2, 4, 3);
+        let exec = Executor::new(standard_registry());
+        let mut col = SpanCollector::new();
+        let r = exec.run_parallel(&wf, 4, &mut col).unwrap();
+        let trace = col.take_trace();
+        assert_eq!(trace.of_kind(SpanKind::Run).count(), 1);
+        assert_eq!(trace.of_kind(SpanKind::Module).count(), wf.node_count());
+        let run = trace.run_span(r.exec).unwrap();
+        for s in trace.spans_of(r.exec) {
+            assert!(s.start_micros >= run.start_micros);
+            assert!(s.kind == SpanKind::Run || s.end_micros <= run.end_micros + 1000);
+        }
+    }
+
+    #[test]
+    fn interleaved_runs_stay_separated() {
+        let wf = chain(2);
+        let exec = Executor::new(standard_registry());
+        let mut col = SpanCollector::new();
+        let a = exec.run_observed(&wf, &mut col).unwrap();
+        let b = exec.run_observed(&wf, &mut col).unwrap();
+        let trace = col.take_trace();
+        assert_eq!(
+            trace.spans_of(a.exec).count(),
+            5,
+            "run + 2 modules + 2 attempts"
+        );
+        assert_eq!(trace.spans_of(b.exec).count(), 5);
+        assert!(trace.run_span(a.exec).is_some());
+        assert!(trace.run_span(b.exec).is_some());
+    }
+}

@@ -94,6 +94,19 @@ pub enum EngineEvent {
         /// Description of the produced value.
         meta: ValueMeta,
     },
+    /// The memoization cache was consulted for a module run. Emitted once
+    /// per executed module on executors with a cache attached — telemetry
+    /// turns these into cache-lookup spans and hit/miss counters.
+    CacheChecked {
+        /// The enclosing workflow run.
+        exec: ExecId,
+        /// The node whose key was probed.
+        node: NodeId,
+        /// Whether the probe hit (outputs were replayed from the cache).
+        hit: bool,
+        /// Time spent in the lookup itself, in microseconds.
+        elapsed_micros: u64,
+    },
     /// A module run ended.
     ModuleFinished {
         /// The enclosing workflow run.
@@ -204,12 +217,83 @@ impl ExecObserver for RecordingObserver {
     }
 }
 
+/// An observer that broadcasts every event to several sinks, in order —
+/// how telemetry (spans, metrics) composes with provenance capture on a
+/// single run: each subsystem stays an independent [`ExecObserver`] and the
+/// executor sees one.
+///
+/// Per-node event ordering is preserved for every sink: each incoming event
+/// is forwarded to all sinks before the next event is accepted.
+#[derive(Default)]
+pub struct FanoutObserver<'a> {
+    sinks: Vec<&'a mut dyn ExecObserver>,
+}
+
+impl std::fmt::Debug for FanoutObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutObserver")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl<'a> FanoutObserver<'a> {
+    /// An empty fan-out (events are dropped until a sink is attached).
+    pub fn new() -> Self {
+        Self { sinks: Vec::new() }
+    }
+
+    /// Attach a sink (builder style).
+    pub fn with(mut self, sink: &'a mut dyn ExecObserver) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Attach a sink.
+    pub fn push(&mut self, sink: &'a mut dyn ExecObserver) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl ExecObserver for FanoutObserver<'_> {
+    fn on_event(&mut self, event: &EngineEvent) {
+        for sink in &mut self.sinks {
+            sink.on_event(event);
+        }
+    }
+}
+
 /// Milliseconds since the Unix epoch (engine-wide wall clock).
 pub fn now_millis() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)
         .unwrap_or(0)
+}
+
+/// Monotonic microseconds since a process-wide anchor (the first call).
+///
+/// Unlike [`now_millis`] this clock never goes backwards and has the
+/// resolution profiling needs; all span and [`crate::exec::NodeRunRecord`]
+/// timestamps use it, so timings are comparable across runs and threads
+/// within one process.
+pub fn now_micros() -> u64 {
+    use std::sync::OnceLock;
+    static ANCHOR: OnceLock<std::time::Instant> = OnceLock::new();
+    ANCHOR
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_micros() as u64
 }
 
 #[cfg(test)]
@@ -246,5 +330,35 @@ mod tests {
         let a = now_millis();
         let b = now_millis();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let mut prev = now_micros();
+        for _ in 0..100 {
+            let t = now_micros();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn fanout_broadcasts_in_order_to_every_sink() {
+        let mut a = RecordingObserver::default();
+        let mut b = RecordingObserver::default();
+        {
+            let mut fan = FanoutObserver::new().with(&mut a).with(&mut b);
+            assert_eq!(fan.len(), 2);
+            assert!(!fan.is_empty());
+            for i in 0..3 {
+                fan.on_event(&EngineEvent::WorkflowFinished {
+                    exec: ExecId(i),
+                    status: RunStatus::Succeeded,
+                    at_millis: i,
+                });
+            }
+        }
+        assert_eq!(a.events.len(), 3);
+        assert_eq!(a.events, b.events, "identical streams at every sink");
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::cache::{cache_key, RunCache};
 use crate::error::ExecError;
-use crate::event::{now_millis, EngineEvent, ExecObserver, ValueMeta};
+use crate::event::{now_micros, now_millis, EngineEvent, ExecObserver, ValueMeta};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::policy::{Deadline, ExecPolicy};
 use crate::registry::{ExecInput, ModuleExec, ModuleRegistry, Outputs};
@@ -74,6 +74,22 @@ pub struct NodeRunRecord {
     /// Number of body attempts made (1 for ordinary runs and cache hits,
     /// 0 for skipped nodes, >1 when a retry policy re-attempted the body).
     pub attempts: u32,
+    /// When the module run began, on the process-monotonic microsecond
+    /// clock ([`now_micros`]). Recorded directly on the record so a run is
+    /// profilable without any capture subscriber attached.
+    pub started_micros: u64,
+    /// When the module run ended, on the same monotonic clock. Always
+    /// `>= started_micros`; for skipped nodes both carry the skip instant.
+    pub finished_micros: u64,
+}
+
+impl NodeRunRecord {
+    /// Wall-clock extent of this module run in microseconds (monotonic
+    /// end minus start — includes retries, backoff waits, and cache
+    /// lookups, unlike the body-only `elapsed_micros`).
+    pub fn wall_micros(&self) -> u64 {
+        self.finished_micros.saturating_sub(self.started_micros)
+    }
 }
 
 /// The result of running a workflow.
@@ -112,9 +128,10 @@ impl ExecutionResult {
     /// A deterministic digest of everything *reproducible* about this run:
     /// per-node statuses, identities, attempt counts, cache provenance,
     /// error messages, and the content hashes of every produced value.
-    /// Wall-clock fields (`elapsed_micros`) and run identity (`exec`,
-    /// `resumed_from`) are excluded, so two runs of the same workflow under
-    /// the same seeds — sequential or parallel — fingerprint identically.
+    /// Wall-clock fields (`elapsed_micros`, `started_micros`,
+    /// `finished_micros`) and run identity (`exec`, `resumed_from`) are
+    /// excluded, so two runs of the same workflow under the same seeds —
+    /// sequential or parallel — fingerprint identically.
     pub fn fingerprint(&self) -> u64 {
         let mut h = crate::value::ContentHasher::new();
         h.update_u64(match self.status {
@@ -353,19 +370,7 @@ impl Executor {
             .ok_or_else(|| ExecError::InvalidWorkflow("workflow has a cycle".into()))?;
         let exec = self.allocate_exec();
         let started = Instant::now();
-        observer.on_event(&EngineEvent::WorkflowStarted {
-            exec,
-            workflow: wf.id,
-            name: wf.name.clone(),
-            at_millis: now_millis(),
-        });
-        if let Some((resumed_from, reused)) = resumed {
-            observer.on_event(&EngineEvent::RunResumed {
-                exec,
-                resumed_from,
-                reused,
-            });
-        }
+        emit_run_started(observer, exec, wf, resumed);
 
         let mut values: BTreeMap<(NodeId, String), Value> = BTreeMap::new();
         let mut records: BTreeMap<NodeId, NodeRunRecord> = BTreeMap::new();
@@ -382,24 +387,8 @@ impl Executor {
                 let node = wf.node(node_id)?;
                 records.insert(
                     node_id,
-                    NodeRunRecord {
-                        node: node_id,
-                        identity: node.kind_identity(),
-                        status: RunStatus::Skipped,
-                        elapsed_micros: 0,
-                        from_cache: false,
-                        error: None,
-                        attempts: 0,
-                    },
+                    skip_node(observer, exec, node_id, node.kind_identity()),
                 );
-                observer.on_event(&EngineEvent::ModuleFinished {
-                    exec,
-                    node: node_id,
-                    status: RunStatus::Skipped,
-                    elapsed_micros: 0,
-                    from_cache: false,
-                    error: None,
-                });
                 continue;
             }
             let record = self.run_node(wf, node_id, exec, &mut values, observer)?;
@@ -414,11 +403,7 @@ impl Executor {
         } else {
             RunStatus::Failed
         };
-        observer.on_event(&EngineEvent::WorkflowFinished {
-            exec,
-            status,
-            at_millis: now_millis(),
-        });
+        emit_run_finished(observer, exec, status);
         Ok(ExecutionResult {
             exec,
             status,
@@ -454,6 +439,7 @@ impl Executor {
             }
         }
 
+        let started_micros = now_micros();
         observer.on_event(&EngineEvent::ModuleStarted {
             exec,
             node: node_id,
@@ -477,7 +463,15 @@ impl Executor {
             inputs.iter().map(|(k, v)| (k, v.content_hash())),
         );
         if let Some(cache) = &self.cache {
-            if let Some(outputs) = cache.lock().get(key) {
+            let lookup_started = Instant::now();
+            let hit = cache.lock().get(key);
+            observer.on_event(&EngineEvent::CacheChecked {
+                exec,
+                node: node_id,
+                hit: hit.is_some(),
+                elapsed_micros: lookup_started.elapsed().as_micros() as u64,
+            });
+            if let Some(outputs) = hit {
                 for (port, v) in &outputs {
                     observer.on_event(&EngineEvent::OutputProduced {
                         exec,
@@ -503,6 +497,8 @@ impl Executor {
                     from_cache: true,
                     error: None,
                     attempts: 1,
+                    started_micros,
+                    finished_micros: now_micros(),
                 });
             }
         }
@@ -570,6 +566,8 @@ impl Executor {
                         from_cache: false,
                         error: None,
                         attempts: attempt,
+                        started_micros,
+                        finished_micros: now_micros(),
                     });
                 }
                 Err(e) => e,
@@ -608,6 +606,8 @@ impl Executor {
                     from_cache: false,
                     error: Some(e.to_string()),
                     attempts: attempt,
+                    started_micros,
+                    finished_micros: now_micros(),
                 });
             }
             let delay = retry.backoff_micros(self.policy.jitter_seed, node_id, attempt);
@@ -736,19 +736,7 @@ impl Executor {
         });
         let observer = Mutex::new(observer);
 
-        observer.lock().on_event(&EngineEvent::WorkflowStarted {
-            exec,
-            workflow: wf.id,
-            name: wf.name.clone(),
-            at_millis: now_millis(),
-        });
-        if let Some((resumed_from, reused)) = resumed {
-            observer.lock().on_event(&EngineEvent::RunResumed {
-                exec,
-                resumed_from,
-                reused,
-            });
-        }
+        emit_run_started(&mut **observer.lock(), exec, wf, resumed);
 
         let worker_error: Mutex<Option<ExecError>> = Mutex::new(None);
 
@@ -793,23 +781,7 @@ impl Executor {
                             .node(node_id)
                             .map(|nd| nd.kind_identity())
                             .unwrap_or_default();
-                        observer.lock().on_event(&EngineEvent::ModuleFinished {
-                            exec,
-                            node: node_id,
-                            status: RunStatus::Skipped,
-                            elapsed_micros: 0,
-                            from_cache: false,
-                            error: None,
-                        });
-                        NodeRunRecord {
-                            node: node_id,
-                            identity,
-                            status: RunStatus::Skipped,
-                            elapsed_micros: 0,
-                            from_cache: false,
-                            error: None,
-                            attempts: 0,
-                        }
+                        skip_node(&mut **observer.lock(), exec, node_id, identity)
                     } else {
                         // Copy the inputs we need, then run without holding
                         // the state lock (module bodies can be slow).
@@ -877,11 +849,7 @@ impl Executor {
         } else {
             RunStatus::Failed
         };
-        observer.lock().on_event(&EngineEvent::WorkflowFinished {
-            exec,
-            status,
-            at_millis: now_millis(),
-        });
+        emit_run_finished(&mut **observer.lock(), exec, status);
         Ok(ExecutionResult {
             exec,
             status,
@@ -890,6 +858,76 @@ impl Executor {
             elapsed_micros: started.elapsed().as_micros() as u64,
             resumed_from: resumed.map(|(from, _)| from),
         })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event-emission plumbing shared by the sequential and parallel drivers.
+// Both drivers MUST emit the same stream for the same run shape; keeping
+// the emission in one place is what guarantees it (and gives telemetry a
+// single seam to reason about).
+// ---------------------------------------------------------------------
+
+/// Emit the run-started event, plus the resume-lineage event when this run
+/// replays an earlier failed run's checkpoint.
+fn emit_run_started(
+    observer: &mut dyn ExecObserver,
+    exec: ExecId,
+    wf: &Workflow,
+    resumed: Option<(ExecId, usize)>,
+) {
+    observer.on_event(&EngineEvent::WorkflowStarted {
+        exec,
+        workflow: wf.id,
+        name: wf.name.clone(),
+        at_millis: now_millis(),
+    });
+    if let Some((resumed_from, reused)) = resumed {
+        observer.on_event(&EngineEvent::RunResumed {
+            exec,
+            resumed_from,
+            reused,
+        });
+    }
+}
+
+/// Emit the run-finished event.
+fn emit_run_finished(observer: &mut dyn ExecObserver, exec: ExecId, status: RunStatus) {
+    observer.on_event(&EngineEvent::WorkflowFinished {
+        exec,
+        status,
+        at_millis: now_millis(),
+    });
+}
+
+/// Record and report one node skipped because an upstream dependency did
+/// not succeed: emits the terminal `ModuleFinished { Skipped }` event
+/// (skipped nodes never emit `ModuleStarted`) and builds the run record.
+fn skip_node(
+    observer: &mut dyn ExecObserver,
+    exec: ExecId,
+    node_id: NodeId,
+    identity: String,
+) -> NodeRunRecord {
+    let at = now_micros();
+    observer.on_event(&EngineEvent::ModuleFinished {
+        exec,
+        node: node_id,
+        status: RunStatus::Skipped,
+        elapsed_micros: 0,
+        from_cache: false,
+        error: None,
+    });
+    NodeRunRecord {
+        node: node_id,
+        identity,
+        status: RunStatus::Skipped,
+        elapsed_micros: 0,
+        from_cache: false,
+        error: None,
+        attempts: 0,
+        started_micros: at,
+        finished_micros: at,
     }
 }
 
@@ -1179,6 +1217,64 @@ mod tests {
         let exec = Executor::new(test_registry());
         let previous = exec.run(&wf).unwrap();
         assert_eq!(exec.warm_cache_from(&wf, &previous), 0);
+    }
+
+    #[test]
+    fn records_carry_monotonic_timestamps_without_capture() {
+        // Satellite guarantee: timing is on the record itself, so profiling
+        // works with no observer attached at all.
+        let (wf, x, y, s) = add_workflow();
+        let exec = Executor::new(test_registry());
+        let r = exec.run(&wf).unwrap();
+        for rec in r.node_runs.values() {
+            assert!(rec.finished_micros >= rec.started_micros);
+            assert!(rec.wall_micros() >= rec.elapsed_micros / 2, "sane extent");
+        }
+        // Dataflow order is visible in the timestamps: the sum starts only
+        // after both sources finished.
+        let sum_start = r.node_runs[&s].started_micros;
+        assert!(r.node_runs[&x].finished_micros <= sum_start);
+        assert!(r.node_runs[&y].finished_micros <= sum_start);
+        // Skipped nodes carry the skip instant on both edges.
+        let mut b = WorkflowBuilder::new(1, "failing");
+        let bad = b.add("Fail");
+        let down = b.add("Add");
+        b.connect(bad, "out", down, "a");
+        let r = Executor::new(test_registry()).run(&b.build()).unwrap();
+        let skip = &r.node_runs[&down];
+        assert_eq!(skip.status, RunStatus::Skipped);
+        assert_eq!(skip.started_micros, skip.finished_micros);
+        assert!(skip.started_micros > 0);
+    }
+
+    #[test]
+    fn cache_lookups_are_evented() {
+        let (wf, ..) = add_workflow();
+        let exec = Executor::new(test_registry()).with_cache(64);
+        let mut obs = RecordingObserver::default();
+        exec.run_observed(&wf, &mut obs).unwrap();
+        let misses = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::CacheChecked { hit: false, .. }))
+            .count();
+        assert_eq!(misses, 3, "every module probed and missed");
+        let mut obs = RecordingObserver::default();
+        exec.run_observed(&wf, &mut obs).unwrap();
+        let hits = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::CacheChecked { hit: true, .. }))
+            .count();
+        assert_eq!(hits, 3, "second run hits on every module");
+        // No cache, no cache events.
+        let exec = Executor::new(test_registry());
+        let mut obs = RecordingObserver::default();
+        exec.run_observed(&wf, &mut obs).unwrap();
+        assert!(!obs
+            .events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::CacheChecked { .. })));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod value;
 
 pub use cache::RunCache;
 pub use error::{ErrorClass, ExecError};
-pub use event::{EngineEvent, ExecObserver, ValueMeta};
+pub use event::{EngineEvent, ExecObserver, FanoutObserver, ValueMeta};
 pub use exec::{ExecId, ExecutionResult, Executor, NodeRunRecord, NullObserver, RunStatus};
 pub use fault::{FaultAction, FaultPlan};
 pub use policy::{Deadline, ExecPolicy, RetryPolicy};

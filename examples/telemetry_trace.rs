@@ -1,0 +1,73 @@
+//! Telemetry walkthrough: observe one run with spans + metrics riding
+//! next to provenance capture on a single event stream, export a Chrome
+//! trace, print Prometheus metrics, and profile the run twice — live and
+//! retroactively from the stored provenance alone.
+//!
+//! Run with: `cargo run --example telemetry_trace`
+
+use provenance_workflows::prelude::*;
+use provenance_workflows::telemetry;
+
+fn main() {
+    let (wf, _) = provenance_workflows::engine::synth::figure1_workflow(1);
+
+    // 1. One run, three consumers on one fan-out: span collection,
+    //    metrics, and provenance capture. The engine sees one observer.
+    let exec = Executor::new(standard_registry()).with_cache(256);
+    let mut tel = Telemetry::new();
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine).with_threads(4);
+    let result = {
+        let mut fan = FanoutObserver::new().with(&mut tel).with(&mut cap);
+        exec.run_parallel(&wf, 4, &mut fan).expect("workflow runs")
+    };
+    println!("run {}: {}", result.exec, result.status);
+
+    // 2. Spans: the structured timeline of the run.
+    let trace = tel.take_trace();
+    println!("\n== spans ({}) ==", trace.len());
+    for span in trace.spans.iter().take(6) {
+        println!(
+            "  [{}] {:<28} {:>8} us",
+            span.kind.label(),
+            span.name,
+            span.duration_micros()
+        );
+    }
+
+    // 3. Export: Chrome tracing JSON (open in chrome://tracing or
+    //    Perfetto) and a grep-able JSONL span log.
+    let chrome = telemetry::chrome_trace_json(&trace);
+    let events = telemetry::validate_chrome_trace(&chrome).expect("valid trace");
+    let out = std::env::temp_dir().join("fig1-trace.json");
+    std::fs::write(&out, &chrome).expect("write trace");
+    println!("\nwrote {} ({} events)", out.display(), events);
+
+    // 4. Metrics: Prometheus text exposition from the same stream.
+    println!("\n== metrics (excerpt) ==");
+    for line in tel
+        .render_prometheus()
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .take(8)
+    {
+        println!("  {line}");
+    }
+
+    // 5. Profile the live run...
+    let profile = profile_result(&result, &wf, 4);
+    println!("\n== live profile ==");
+    print!("{}", profile.render(3));
+
+    // 6. ...and the *stored* provenance, months later, no re-execution:
+    //    same critical path, straight from the provenance record.
+    let retro = cap.take(result.exec).expect("captured");
+    let retro_profile = profile_retro(&retro);
+    println!("== retrospective profile (from provenance alone) ==");
+    print!("{}", retro_profile.render(3));
+
+    assert_eq!(
+        profile.critical_path.len(),
+        retro_profile.critical_path.len(),
+        "live and retrospective agree on the critical path"
+    );
+}

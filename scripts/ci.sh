@@ -10,6 +10,15 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> telemetry smoke: trace a demo run, validate the Chrome trace"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/provctl demo fig1 "$SMOKE_DIR/wf.json"
+./target/release/provctl trace "$SMOKE_DIR/wf.json" "$SMOKE_DIR/trace.json" \
+    "spans=$SMOKE_DIR/spans.jsonl" threads=4
+./target/release/provctl tracecheck "$SMOKE_DIR/trace.json"
+./target/release/provctl metrics "$SMOKE_DIR/wf.json" | grep -q "wf_runs_started_total 1"
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 

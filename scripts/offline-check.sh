@@ -40,7 +40,7 @@ cargo check --workspace --lib --bins
 
 echo "==> cargo test (non-proptest targets)"
 cargo test -q -p wf-model -p wf-engine -p prov-query -p prov-evolution \
-    -p prov-social --lib
+    -p prov-social -p prov-telemetry --lib
 cargo test -q --test end_to_end --test cli || true
 
 echo "offline check done (serde/proptest-dependent tests need real crates)."

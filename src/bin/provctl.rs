@@ -16,12 +16,15 @@
 //! provctl query prov.json "count runs" # PQL over captured provenance
 //! provctl lineage prov.json <digest>   # lineage of an artifact
 //! provctl dot prov.json                # causality graph as Graphviz DOT
-//! provctl profile prov.json            # bottlenecks + critical path
+//! provctl profile prov.json            # self time, critical path, utilization
 //! provctl verify wf.json prov.json     # repeatability check
+//! provctl trace wf.json trace.json     # run with telemetry, export Chrome trace
+//! provctl tracecheck trace.json        # validate a Chrome trace file
+//! provctl metrics wf.json              # run and print Prometheus metrics
 //! ```
 
 use provenance_workflows::prelude::*;
-use provenance_workflows::provenance::analytics;
+use provenance_workflows::telemetry;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -50,8 +53,12 @@ fn usage() -> ExitCode {
          \x20 lineage  <prov.json> <artifact-digest>     lineage of an artifact\n\
          \x20 dot      <prov.json>                       causality graph as DOT\n\
          \x20 wfdot    <wf.json>                         workflow spec as DOT\n\
-         \x20 profile  <prov.json>                       analytics: hot modules, critical path\n\
-         \x20 verify   <wf.json> <prov.json>             repeatability check"
+         \x20 profile  <prov.json> [top=N]               self time, critical path, utilization\n\
+         \x20 verify   <wf.json> <prov.json>             repeatability check\n\
+         \x20 trace    <wf.json> <trace.json>\n\
+         \x20          [spans=<file>] [threads=N]          run with telemetry, export Chrome trace\n\
+         \x20 tracecheck <trace.json>                    validate a Chrome trace file\n\
+         \x20 metrics  <wf.json> [threads=N]             run and print Prometheus metrics"
     );
     ExitCode::from(2)
 }
@@ -221,9 +228,114 @@ fn run() -> Result<(), String> {
             out(&CausalityGraph::from_retrospective(&retro).render_dot());
             Ok(())
         }
-        ["profile", path] => {
+        ["profile", path, rest @ ..] => {
+            let mut top = 5usize;
+            for opt in rest {
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("unknown profile option '{opt}'"))?;
+                match key {
+                    "top" => {
+                        top = value
+                            .parse()
+                            .map_err(|_| format!("top needs an integer, got '{value}'"))?
+                    }
+                    other => return Err(format!("unknown profile option '{other}'")),
+                }
+            }
             let retro = load_prov(path)?;
-            out(&analytics::profile(&retro).render());
+            out(&profile_retro(&retro).render(top));
+            Ok(())
+        }
+        ["trace", wf_path, trace_path, rest @ ..] => {
+            let wf = load_workflow(wf_path)?;
+            let mut threads = 1usize;
+            let mut spans_path: Option<&str> = None;
+            for opt in rest {
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("unknown trace option '{opt}'"))?;
+                match key {
+                    "threads" => {
+                        threads = value
+                            .parse()
+                            .map_err(|_| format!("threads needs an integer, got '{value}'"))?
+                    }
+                    "spans" => spans_path = Some(value),
+                    other => return Err(format!("unknown trace option '{other}'")),
+                }
+            }
+            // Telemetry rides alongside provenance capture on one fan-out:
+            // the run is observed once, consumed twice.
+            let exec = Executor::new(standard_registry());
+            let mut tel = Telemetry::new();
+            let mut cap = ProvenanceCapture::new(CaptureLevel::Coarse).with_threads(threads);
+            let result = {
+                let mut fan = FanoutObserver::new().with(&mut tel).with(&mut cap);
+                if threads > 1 {
+                    exec.run_parallel(&wf, threads, &mut fan)
+                } else {
+                    exec.run_observed(&wf, &mut fan)
+                }
+                .map_err(|e| e.to_string())?
+            };
+            let trace = tel.take_trace();
+            let json = telemetry::chrome_trace_json(&trace);
+            let events = telemetry::validate_chrome_trace(&json)?;
+            std::fs::write(trace_path, &json).map_err(|e| e.to_string())?;
+            if let Some(p) = spans_path {
+                std::fs::write(p, telemetry::spans_jsonl(&trace)).map_err(|e| e.to_string())?;
+            }
+            let profile = profile_result(&result, &wf, threads);
+            println!(
+                "{}: {} ({} spans -> {trace_path}{})",
+                wf.name,
+                result.status,
+                events,
+                spans_path
+                    .map(|p| format!(", span log -> {p}"))
+                    .unwrap_or_default(),
+            );
+            println!(
+                "wall {} us, work {} us, critical {} us, speedup {:.2}x, utilization {:.0}%",
+                profile.wall_micros,
+                profile.total_work_micros,
+                profile.critical_micros,
+                profile.speedup(),
+                profile.utilization() * 100.0,
+            );
+            Ok(())
+        }
+        ["tracecheck", path] => {
+            let events = telemetry::validate_chrome_trace(&read(path)?)?;
+            println!("{path}: valid Chrome trace ({events} events)");
+            Ok(())
+        }
+        ["metrics", wf_path, rest @ ..] => {
+            let wf = load_workflow(wf_path)?;
+            let mut threads = 1usize;
+            for opt in rest {
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("unknown metrics option '{opt}'"))?;
+                match key {
+                    "threads" => {
+                        threads = value
+                            .parse()
+                            .map_err(|_| format!("threads needs an integer, got '{value}'"))?
+                    }
+                    other => return Err(format!("unknown metrics option '{other}'")),
+                }
+            }
+            let exec = Executor::new(standard_registry()).with_cache(256);
+            let mut m = MetricsObserver::new();
+            if threads > 1 {
+                exec.run_parallel(&wf, threads, &mut m)
+            } else {
+                exec.run_observed(&wf, &mut m)
+            }
+            .map_err(|e| e.to_string())?;
+            out(&m.render_prometheus());
             Ok(())
         }
         ["verify", wf_path, prov_path] => {

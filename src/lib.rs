@@ -16,6 +16,7 @@
 //! | querying / PQL (§2.2) | `prov-query` | [`query`] |
 //! | evolution + analogy (§2.3, Fig. 2) | `prov-evolution` | [`evolution`] |
 //! | interoperability / OPM / Challenge (§2.4) | `prov-interop` | [`interop`] |
+//! | telemetry: spans, metrics, profiling (§2.4) | `prov-telemetry` | [`telemetry`] |
 //! | social analysis / mining (§2.3–2.4) | `prov-social` | [`social`] |
 //!
 //! ## Quickstart
@@ -86,6 +87,11 @@ pub mod social {
     pub use prov_social::*;
 }
 
+/// Spans, metrics, profiling, trace export (`prov-telemetry`).
+pub mod telemetry {
+    pub use prov_telemetry::*;
+}
+
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use prov_core::{check_resume, ResumeCheck};
@@ -98,10 +104,13 @@ pub mod prelude {
     pub use prov_interop::{integrate, run_challenge};
     pub use prov_query::{parse as parse_pql, PqlEngine, QueryResult};
     pub use prov_social::{Collaboratory, FragmentMiner};
-    pub use prov_store::{GraphStore, LogStore, ProvenanceStore, RelStore, TripleStore};
+    pub use prov_store::{GraphStore, LogStore, ProvenanceStore, RelStore, SpanStore, TripleStore};
+    pub use prov_telemetry::{
+        profile_result, profile_retro, MetricsObserver, RunProfile, SpanCollector, Telemetry, Trace,
+    };
     pub use wf_engine::{
-        standard_registry, Deadline, ErrorClass, ExecId, ExecPolicy, Executor, FaultAction,
-        FaultPlan, RetryPolicy, RunStatus, Value,
+        standard_registry, Deadline, ErrorClass, ExecId, ExecPolicy, Executor, FanoutObserver,
+        FaultAction, FaultPlan, RetryPolicy, RunStatus, Value,
     };
     pub use wf_model::{
         validate, DataType, ModuleCatalog, ModuleKind, NodeId, ParamValue, Workflow,

@@ -175,3 +175,83 @@ fn failing_workflow_reports_and_captures() {
     assert_eq!(stdout(&o).trim(), "1");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn trace_exports_a_valid_chrome_trace_with_span_log() {
+    let dir = tempdir("trace");
+    let wf = dir.join("wf.json");
+    let trace = dir.join("trace.json");
+    let spans = dir.join("spans.jsonl");
+    let spans_opt = format!("spans={}", spans.to_str().unwrap());
+    provctl(&["demo", "fig1", wf.to_str().unwrap()]);
+
+    let o = provctl(&[
+        "trace",
+        wf.to_str().unwrap(),
+        trace.to_str().unwrap(),
+        &spans_opt,
+        "threads=4",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("succeeded"));
+    assert!(stdout(&o).contains("speedup"));
+
+    // The written file passes the independent validator command.
+    let o = provctl(&["tracecheck", trace.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("valid Chrome trace"));
+
+    // The span log has one JSON object per line and survives grep-ability:
+    // the run span mentions the workflow, module spans their identities.
+    let log = std::fs::read_to_string(&spans).unwrap();
+    assert!(log.lines().count() >= 9, "run + 8 modules at minimum");
+    assert!(log.contains("\"kind\":\"run\""));
+    assert!(log.contains("\"kind\":\"module\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tracecheck_rejects_non_trace_files() {
+    let dir = tempdir("tracecheck");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"notATrace\":true}").unwrap();
+    let o = provctl(&["tracecheck", bad.to_str().unwrap()]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("traceEvents"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_prints_prometheus_text() {
+    let dir = tempdir("metrics");
+    let wf = dir.join("wf.json");
+    provctl(&["demo", "fig1", wf.to_str().unwrap()]);
+    let o = provctl(&["metrics", wf.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let text = stdout(&o);
+    assert!(text.contains("# TYPE wf_runs_started_total counter"));
+    assert!(text.contains("wf_runs_started_total 1"));
+    assert!(text.contains("wf_modules_started_total 8"));
+    assert!(text.contains("wf_module_latency_micros_bucket{le=\"+Inf\"} 8"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_reports_critical_path_and_utilization_from_stored_provenance() {
+    let dir = tempdir("profile-retro");
+    let wf = dir.join("wf.json");
+    let prov = dir.join("prov.json");
+    provctl(&["demo", "fig1", wf.to_str().unwrap()]);
+    provctl(&["run", wf.to_str().unwrap(), prov.to_str().unwrap()]);
+
+    // Profiling needs only the stored provenance file — no re-execution,
+    // no workflow spec.
+    let o = provctl(&["profile", prov.to_str().unwrap(), "top=3"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let text = stdout(&o);
+    assert!(text.contains("critical path:"));
+    assert!(text.contains("top 3 modules by self time"));
+    assert!(text.contains("utilization"));
+    assert!(text.contains("speedup"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the engine's event stream as a telemetry
+//! source: the parallel driver must emit a *complete*, *topologically
+//! consistent* stream (telemetry is only trustworthy if the stream is),
+//! and the fan-out observer must hand every sink the identical sequence.
+
+use proptest::prelude::*;
+use provenance_workflows::prelude::*;
+use provenance_workflows::telemetry::{SpanCollector, SpanKind};
+use std::collections::BTreeMap;
+use wf_engine::event::RecordingObserver;
+use wf_engine::synth::{layered_dag, LayeredSpec};
+use wf_engine::EngineEvent;
+
+/// The node a module-scoped event talks about, if any.
+fn node_of(e: &EngineEvent) -> Option<NodeId> {
+    match e {
+        EngineEvent::ModuleStarted { node, .. }
+        | EngineEvent::InputBound { node, .. }
+        | EngineEvent::OutputProduced { node, .. }
+        | EngineEvent::CacheChecked { node, .. }
+        | EngineEvent::AttemptStarted { node, .. }
+        | EngineEvent::AttemptFailed { node, .. }
+        | EngineEvent::BackoffStarted { node, .. }
+        | EngineEvent::ModuleTimedOut { node, .. }
+        | EngineEvent::ModuleFinished { node, .. } => Some(*node),
+        EngineEvent::WorkflowStarted { .. }
+        | EngineEvent::RunResumed { .. }
+        | EngineEvent::WorkflowFinished { .. } => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_stream_is_complete_and_topologically_consistent(
+        depth in 1usize..5, width in 1usize..5, threads in 1usize..6, seed in 0u64..500
+    ) {
+        let (wf, _) = layered_dag(
+            1,
+            LayeredSpec { depth, width, fan_in: 2, work: 1, seed },
+        );
+        let exec = Executor::new(standard_registry());
+        let mut obs = RecordingObserver::default();
+        exec.run_parallel(&wf, threads, &mut obs).expect("runs");
+        let events = &obs.events;
+
+        // The run is bracketed: WorkflowStarted first, WorkflowFinished last.
+        prop_assert!(matches!(events.first(), Some(EngineEvent::WorkflowStarted { .. })));
+        prop_assert!(matches!(events.last(), Some(EngineEvent::WorkflowFinished { .. })));
+
+        // Completeness: every node emits exactly one ModuleStarted and
+        // exactly one terminal ModuleFinished, in that order.
+        let mut started: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut finished: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (i, e) in events.iter().enumerate() {
+            match e {
+                EngineEvent::ModuleStarted { node, .. } => {
+                    prop_assert!(started.insert(*node, i).is_none(), "duplicate start");
+                }
+                EngineEvent::ModuleFinished { node, .. } => {
+                    prop_assert!(finished.insert(*node, i).is_none(), "duplicate finish");
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(started.len(), wf.node_count());
+        prop_assert_eq!(finished.len(), wf.node_count());
+        for (node, s) in &started {
+            prop_assert!(finished[node] > *s, "finish after start for {node}");
+        }
+
+        // Per-node ordering: every event about a node sits inside that
+        // node's [started, finished] bracket.
+        for (i, e) in events.iter().enumerate() {
+            if let Some(node) = node_of(e) {
+                prop_assert!(i >= started[&node], "event before start: {e:?}");
+                prop_assert!(i <= finished[&node], "event after finish: {e:?}");
+            }
+        }
+
+        // Topological consistency: a module can only start after every
+        // upstream producer finished — the dataflow order is visible in
+        // the stream itself, which is what makes retrospective span
+        // reconstruction sound.
+        for node in started.keys() {
+            for conn in wf.inputs_of(*node) {
+                prop_assert!(
+                    finished[&conn.from.node] < started[node],
+                    "{} started before its input {} finished",
+                    node, conn.from.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_hands_every_sink_the_identical_stream(
+        depth in 1usize..4, width in 1usize..4, threads in 1usize..5, seed in 0u64..500
+    ) {
+        let (wf, _) = layered_dag(
+            1,
+            LayeredSpec { depth, width, fan_in: 2, work: 1, seed },
+        );
+        let exec = Executor::new(standard_registry());
+        let mut a = RecordingObserver::default();
+        let mut b = RecordingObserver::default();
+        {
+            let mut fan = FanoutObserver::new().with(&mut a).with(&mut b);
+            exec.run_parallel(&wf, threads, &mut fan).expect("runs");
+        }
+        prop_assert!(!a.events.is_empty());
+        prop_assert_eq!(&a.events, &b.events, "sinks saw different streams");
+    }
+
+    #[test]
+    fn spans_from_a_parallel_run_are_well_formed(
+        depth in 1usize..4, width in 1usize..4, threads in 1usize..5, seed in 0u64..500
+    ) {
+        let (wf, _) = layered_dag(
+            1,
+            LayeredSpec { depth, width, fan_in: 2, work: 1, seed },
+        );
+        let exec = Executor::new(standard_registry());
+        let mut col = SpanCollector::new();
+        let r = exec.run_parallel(&wf, threads, &mut col).expect("runs");
+        let trace = col.take_trace();
+
+        // One run span; one module span per node; parents resolve; every
+        // child interval nests inside its module span's extent.
+        let run = trace.run_span(r.exec).expect("run span");
+        prop_assert_eq!(trace.of_kind(SpanKind::Run).count(), 1);
+        prop_assert_eq!(trace.of_kind(SpanKind::Module).count(), wf.node_count());
+        for s in &trace.spans {
+            prop_assert!(s.end_micros >= s.start_micros);
+            match s.parent {
+                None => prop_assert_eq!(s.kind, SpanKind::Run),
+                Some(p) => {
+                    let parent = trace.spans.iter().find(|x| x.id == p).expect("parent exists");
+                    prop_assert!(parent.kind == SpanKind::Run || parent.kind == SpanKind::Module);
+                }
+            }
+        }
+        for m in trace.of_kind(SpanKind::Module) {
+            prop_assert_eq!(m.parent, Some(run.id));
+            for child in trace.children_of(m.id) {
+                prop_assert!(child.start_micros >= m.start_micros);
+                prop_assert!(child.end_micros <= m.end_micros);
+            }
+        }
+    }
+}
