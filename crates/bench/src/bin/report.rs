@@ -47,9 +47,57 @@ fn report_telemetry(reps: usize) {
     }
 }
 
+/// E16 prints its table and drops `BENCH_query.json` next to the working
+/// directory. Factored out so `report query` can regenerate just this
+/// section.
+fn report_query(reps: usize) {
+    println!("## E16 — query observability overhead: the cost of counting accesses\n");
+    let corpus = challenge_corpus(12);
+    let rows = experiment_queryobs(&corpus, reps);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "backend",
+                "query",
+                "rows",
+                "unobserved (us)",
+                "observed (us)",
+                "overhead %",
+                "accesses"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.backend.clone(),
+                    r.query.clone(),
+                    r.rows.to_string(),
+                    format!("{:.1}", r.unobserved_us),
+                    format!("{:.1}", r.observed_us),
+                    format!("{:+.2}", r.overhead_pct()),
+                    r.accesses.render(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!(
+        "overall (time-weighted): {:+.2}%\n",
+        overall_overhead_pct(&rows)
+    );
+    let json = query_obs_json(&rows);
+    match std::fs::write("BENCH_query.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_query.json"),
+        Err(e) => eprintln!("could not write BENCH_query.json: {e}"),
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("telemetry") {
         report_telemetry(21);
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("query") {
+        report_query(21);
         return;
     }
     println!("# provenance-workflows experiment report\n");
@@ -458,4 +506,7 @@ fn main() {
 
     // ---- E15 ---------------------------------------------------------
     report_telemetry(21);
+
+    // ---- E16 ---------------------------------------------------------
+    report_query(21);
 }

@@ -12,10 +12,12 @@
 
 pub mod experiments;
 pub mod faults;
+pub mod queryobs;
 pub mod telemetry;
 
 pub use experiments::*;
 pub use faults::*;
+pub use queryobs::*;
 pub use telemetry::*;
 
 /// Median wall-clock time of `f` over `reps` runs, in microseconds.

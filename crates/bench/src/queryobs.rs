@@ -1,0 +1,266 @@
+//! E16: what does watching a *query* cost?
+//!
+//! The store instrumentation (`StoreStats`) stays on by default, so its
+//! price must be negligible. This experiment runs the Provenance
+//! Challenge query suite (lineage, generating runs, impact, runs per
+//! module) against all four backends twice — recorder disabled
+//! (unobserved baseline) and enabled — measured interleaved like E15 so
+//! machine drift hits both variants equally. Each timed sample loops the
+//! query many times: single evaluations are microsecond-scale and would
+//! drown in timer noise. Results land in `BENCH_query.json`, including
+//! the access profile that explains *why* the backends differ.
+
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
+use prov_store::{GraphStore, LogStore, ProvenanceStore, RelStore, StatsSnapshot, TripleStore};
+use wf_engine::synth::challenge_workflow;
+use wf_engine::{standard_registry, Executor};
+
+/// Query evaluations per timed sample (one "rep" = this many runs of the
+/// query). Raises each sample well above timer resolution.
+const INNER_LOOP: usize = 32;
+
+/// One backend × query measurement.
+#[derive(Debug)]
+pub struct QueryObsRow {
+    /// Backend name (`graph` / `relational` / `triple` / `log`).
+    pub backend: String,
+    /// Query name from the challenge suite.
+    pub query: String,
+    /// Result rows the query produces.
+    pub rows: usize,
+    /// Median time per sample with the recorder disabled (µs, whole
+    /// inner loop).
+    pub unobserved_us: f64,
+    /// Median time per sample with the recorder enabled (µs).
+    pub observed_us: f64,
+    /// Access profile of one observed evaluation.
+    pub accesses: StatsSnapshot,
+}
+
+impl QueryObsRow {
+    /// Observation overhead relative to the disabled recorder, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.observed_us / self.unobserved_us - 1.0) * 100.0
+    }
+}
+
+/// Median wall times of two variants measured interleaved (one sample of
+/// each per round, after a warm-up round).
+fn medians2(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let mut sa = Vec::with_capacity(reps);
+    let mut sb = Vec::with_capacity(reps);
+    a();
+    b();
+    let sample = |f: &mut dyn FnMut()| {
+        let t = std::time::Instant::now();
+        f();
+        t.elapsed().as_secs_f64() * 1e6
+    };
+    for _ in 0..reps {
+        sa.push(sample(&mut a));
+        sb.push(sample(&mut b));
+    }
+    let med = |s: &mut Vec<f64>| {
+        s.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        s[s.len() / 2]
+    };
+    (med(&mut sa), med(&mut sb))
+}
+
+/// A corpus of captured Provenance Challenge executions.
+pub fn challenge_corpus(n_execs: usize) -> Vec<RetrospectiveProvenance> {
+    let exec = Executor::new(standard_registry());
+    let mut out = Vec::with_capacity(n_execs);
+    for i in 0..n_execs {
+        let wf = challenge_workflow(i as u64 + 1, 3, 3);
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).expect("runs");
+        out.push(cap.take(r.exec).expect("captured"));
+    }
+    out
+}
+
+/// The query suite's anchors: a deep lineage target (last artifact of the
+/// last execution) and an impact source (first artifact of the first).
+fn anchors(corpus: &[RetrospectiveProvenance]) -> (ArtifactHash, ArtifactHash) {
+    let target = corpus
+        .last()
+        .and_then(|r| r.runs.last())
+        .and_then(|run| run.outputs.first())
+        .map(|(_, h)| *h)
+        .expect("corpus non-empty");
+    let source = corpus
+        .first()
+        .and_then(|r| r.runs.first())
+        .and_then(|run| run.outputs.first())
+        .map(|(_, h)| *h)
+        .expect("corpus non-empty");
+    (target, source)
+}
+
+/// Run E16 over the four backends. The log backend runs ephemeral — the
+/// comparison is about access patterns, not disk framing.
+pub fn experiment_queryobs(corpus: &[RetrospectiveProvenance], reps: usize) -> Vec<QueryObsRow> {
+    let (target, source) = anchors(corpus);
+
+    type Maker = Box<dyn Fn() -> Box<dyn ProvenanceStore>>;
+    let makers: Vec<Maker> = vec![
+        Box::new(|| Box::new(GraphStore::new())),
+        Box::new(|| Box::new(RelStore::new())),
+        Box::new(|| Box::new(TripleStore::new())),
+        Box::new(|| Box::new(LogStore::ephemeral())),
+    ];
+
+    type Q = (&'static str, Box<dyn Fn(&dyn ProvenanceStore) -> usize>);
+    let suite: Vec<Q> = vec![
+        ("lineage", Box::new(move |s| s.lineage_runs(target).len())),
+        ("generators", Box::new(move |s| s.generators(target).len())),
+        (
+            "impact",
+            Box::new(move |s| s.derived_artifacts(source).len()),
+        ),
+        ("runs_per_module", Box::new(|s| s.runs_per_module().len())),
+    ];
+
+    let mut rows = Vec::new();
+    for maker in &makers {
+        let mut store = maker();
+        for r in corpus {
+            store.ingest(r);
+        }
+        let store = &*store;
+        for (name, q) in &suite {
+            let (unobserved_us, observed_us) = medians2(
+                reps,
+                || {
+                    store.stats().set_enabled(false);
+                    for _ in 0..INNER_LOOP {
+                        std::hint::black_box(q(store));
+                    }
+                },
+                || {
+                    store.stats().set_enabled(true);
+                    for _ in 0..INNER_LOOP {
+                        std::hint::black_box(q(store));
+                    }
+                },
+            );
+            store.stats().set_enabled(true);
+            let before = store.stats().snapshot();
+            let rows_out = q(store);
+            let accesses = store.stats().snapshot().delta(&before);
+            rows.push(QueryObsRow {
+                backend: store.backend_name().to_string(),
+                query: name.to_string(),
+                rows: rows_out,
+                unobserved_us,
+                observed_us,
+                accesses,
+            });
+        }
+    }
+    rows
+}
+
+/// Aggregate overhead across all rows: total observed time vs total
+/// unobserved time, in percent (time-weighted, so fast queries cannot
+/// dominate through ratio noise).
+pub fn overall_overhead_pct(rows: &[QueryObsRow]) -> f64 {
+    let unob: f64 = rows.iter().map(|r| r.unobserved_us).sum();
+    let obs: f64 = rows.iter().map(|r| r.observed_us).sum();
+    (obs / unob - 1.0) * 100.0
+}
+
+/// Render E16 rows as the stable machine-readable `BENCH_query.json`
+/// document (hand-rendered: no JSON library on this path).
+pub fn query_obs_json(rows: &[QueryObsRow]) -> String {
+    let mut out =
+        String::from("{\n  \"experiment\": \"E16 query observability overhead\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let a = &r.accesses;
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"query\": \"{}\", \"rows\": {}, \
+             \"unobserved_us\": {:.1}, \"observed_us\": {:.1}, \"overhead_pct\": {:.2}, \
+             \"accesses\": {{\"nodes\": {}, \"edges\": {}, \"triples\": {}, \"rows\": {}, \
+             \"records\": {}, \"keyed\": {}, \"scans\": {}}}}}{}\n",
+            r.backend,
+            r.query,
+            r.rows,
+            r.unobserved_us,
+            r.observed_us,
+            r.overhead_pct(),
+            a.node_reads,
+            a.edge_reads,
+            a.triple_reads,
+            a.row_reads,
+            a.record_reads,
+            a.keyed_lookups,
+            a.scans,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"overall_overhead_pct\": {:.2}\n}}\n",
+        overall_overhead_pct(rows)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_four_backends_and_four_queries() {
+        let corpus = challenge_corpus(3);
+        let rows = experiment_queryobs(&corpus, 1);
+        assert_eq!(rows.len(), 16);
+        let backends: std::collections::BTreeSet<&str> =
+            rows.iter().map(|r| r.backend.as_str()).collect();
+        assert_eq!(
+            backends.into_iter().collect::<Vec<_>>(),
+            ["graph", "log", "relational", "triple"]
+        );
+        for r in &rows {
+            assert!(r.unobserved_us > 0.0 && r.observed_us > 0.0);
+        }
+        // Backends agree on every answer (same rows for the same query).
+        for q in ["lineage", "generators", "impact", "runs_per_module"] {
+            let answers: std::collections::BTreeSet<usize> = rows
+                .iter()
+                .filter(|r| r.query == q)
+                .map(|r| r.rows)
+                .collect();
+            assert_eq!(answers.len(), 1, "backends disagree on {q}: {answers:?}");
+        }
+        // The access profiles explain the work: every lineage evaluation
+        // touched *something*, and the log backend always scans.
+        for r in rows.iter().filter(|r| r.query == "lineage") {
+            assert!(
+                r.accesses.total_reads() + r.accesses.keyed_lookups + r.accesses.scans > 0,
+                "{} lineage recorded no accesses",
+                r.backend
+            );
+        }
+        assert!(rows
+            .iter()
+            .filter(|r| r.backend == "log")
+            .all(|r| r.accesses.scans > 0));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_has_the_aggregate() {
+        let corpus = challenge_corpus(2);
+        let rows = experiment_queryobs(&corpus, 1);
+        let doc = query_obs_json(&rows);
+        let parsed = prov_telemetry::parse_json(&doc).expect("valid JSON");
+        let arr = parsed.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(arr.len(), rows.len());
+        for row in arr {
+            assert!(row.get("overhead_pct").is_some());
+            assert!(row.get("accesses").unwrap().get("scans").is_some());
+        }
+        assert!(parsed.get("overall_overhead_pct").is_some());
+    }
+}

@@ -9,15 +9,25 @@ use crate::ast::*;
 use crate::error::PqlError;
 use crate::parser::parse;
 use prov_core::model::RetrospectiveProvenance;
+use prov_store::StoreStats;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use wf_engine::ExecId;
 use wf_model::NodeId;
 
-/// Internal graph node.
+/// Internal graph node (crate-visible so the plan executor can traverse).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-enum PNode {
+pub(crate) enum PNode {
     Artifact(u64),
     Run(ExecId, NodeId),
+}
+
+/// An entity enumerated by a scan: a graph node or a whole execution.
+/// Executions are not graph nodes (no edges), so the plan's Scan operator
+/// needs this wider item type to cover `list executions`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ScanItem {
+    Node(PNode),
+    Exec(ExecId),
 }
 
 /// A node in a query result.
@@ -144,6 +154,7 @@ pub struct PqlEngine {
     artifacts: BTreeMap<u64, String>,
     succ: BTreeMap<PNode, Vec<PNode>>,
     pred: BTreeMap<PNode, Vec<PNode>>,
+    stats: StoreStats,
 }
 
 impl PqlEngine {
@@ -320,21 +331,33 @@ impl PqlEngine {
                 .collect(),
             Entity::Executions => self
                 .execs
-                .iter()
-                .filter(|(e, info)| {
-                    self.matches_fields(filter, |field| match field {
-                        Field::Status => Some(info.status.clone()),
-                        Field::Exec => Some(e.0.to_string()),
-                        Field::Module => Some(info.workflow.clone()),
-                        Field::Dtype | Field::Attempts => None,
-                    })
-                })
-                .map(|(e, info)| ResultNode::Execution {
-                    exec: e.0,
-                    workflow: info.workflow.clone(),
-                    status: info.status.clone(),
-                })
+                .keys()
+                .filter(|&&e| self.exec_matches(e, filter))
+                .map(|&e| self.describe_exec(e))
                 .collect(),
+        }
+    }
+
+    /// Condition evaluation for a whole execution (shared by `select` and
+    /// the plan executor so both use identical field-resolution rules).
+    fn exec_matches(&self, e: ExecId, cond: &Condition) -> bool {
+        let Some(info) = self.execs.get(&e) else {
+            return false;
+        };
+        self.matches_fields(cond, |field| match field {
+            Field::Status => Some(info.status.clone()),
+            Field::Exec => Some(e.0.to_string()),
+            Field::Module => Some(info.workflow.clone()),
+            Field::Dtype | Field::Attempts => None,
+        })
+    }
+
+    fn describe_exec(&self, e: ExecId) -> ResultNode {
+        let info = self.execs.get(&e);
+        ResultNode::Execution {
+            exec: e.0,
+            workflow: info.map(|i| i.workflow.clone()).unwrap_or_default(),
+            status: info.map(|i| i.status.clone()).unwrap_or_default(),
         }
     }
 
@@ -402,6 +425,81 @@ impl PqlEngine {
                 hash: h,
                 dtype: self.artifacts.get(&h).cloned().unwrap_or_default(),
             },
+        }
+    }
+
+    // ---- counted accessors (the plan executor's access layer) ----------
+    //
+    // `eval_query` above is deliberately left un-instrumented: it is the
+    // reference implementation the plan executor must match (the property
+    // test in tests/property_query_plan.rs checks result equality). The
+    // accessors below do the same primitive reads but bump the engine's
+    // `StoreStats`, so EXPLAIN ANALYZE can attribute access counts to
+    // individual plan operators via snapshot deltas.
+
+    /// The engine's access recorder (bumped only by the plan executor).
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Counted anchor resolution: one keyed lookup + one node read.
+    pub(crate) fn resolve_counted(&self, t: Target) -> Result<PNode, PqlError> {
+        self.stats.add_keyed_lookups(1);
+        self.stats.add_node_reads(1);
+        self.resolve(t)
+    }
+
+    /// Counted adjacency access: one keyed lookup, one node read, and one
+    /// edge read per adjacency entry.
+    pub(crate) fn neighbors_counted(&self, n: PNode, reverse: bool) -> &[PNode] {
+        self.stats.add_keyed_lookups(1);
+        self.stats.add_node_reads(1);
+        let m = if reverse { &self.pred } else { &self.succ };
+        let ns = m.get(&n).map(|v| v.as_slice()).unwrap_or(&[]);
+        self.stats.add_edge_reads(ns.len() as u64);
+        ns
+    }
+
+    /// Counted entity enumeration: one scan + one node read per entity, in
+    /// the same (key) order `select` iterates.
+    pub(crate) fn scan_entity(&self, entity: Entity) -> Vec<ScanItem> {
+        self.stats.add_scans(1);
+        let items: Vec<ScanItem> = match entity {
+            Entity::Runs => self
+                .runs
+                .keys()
+                .map(|&(e, n)| ScanItem::Node(PNode::Run(e, n)))
+                .collect(),
+            Entity::Artifacts => self
+                .artifacts
+                .keys()
+                .map(|&h| ScanItem::Node(PNode::Artifact(h)))
+                .collect(),
+            Entity::Executions => self.execs.keys().map(|&e| ScanItem::Exec(e)).collect(),
+        };
+        self.stats.add_node_reads(items.len() as u64);
+        items
+    }
+
+    /// Counted filter check: reads the item's metadata (one node read)
+    /// unless the condition is trivially true.
+    pub(crate) fn item_matches(&self, item: ScanItem, cond: &Condition) -> bool {
+        if cond.is_trivial() {
+            return true;
+        }
+        self.stats.add_node_reads(1);
+        match item {
+            ScanItem::Node(n) => self.matches(n, cond),
+            ScanItem::Exec(e) => self.exec_matches(e, cond),
+        }
+    }
+
+    /// Counted result materialization: one node read for the metadata.
+    pub(crate) fn describe_item(&self, item: ScanItem) -> ResultNode {
+        self.stats.add_node_reads(1);
+        match item {
+            ScanItem::Node(n) => self.describe(n),
+            ScanItem::Exec(e) => self.describe_exec(e),
         }
     }
 

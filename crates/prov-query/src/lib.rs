@@ -24,16 +24,28 @@
 //! `attempts > 1`); `count`/`list` work over `runs`, `artifacts`, and
 //! `executions`.
 
+//!
+//! Query observability (EXPLAIN / EXPLAIN ANALYZE) lives in [`plan`]: an
+//! explicit logical operator tree per query, an analyzing executor that
+//! annotates every operator with rows, self-time, and store accesses, and
+//! a backend ANALYZE over the shared `ProvenanceStore` surface. [`obs`]
+//! adds the runtime side: query spans, labeled metrics, and a ring-buffer
+//! slow-query log.
+
 pub mod ast;
 pub mod error;
 pub mod eval;
 pub mod lexer;
+pub mod obs;
 pub mod parser;
+pub mod plan;
 pub mod qbe;
 pub mod render;
 
 pub use ast::{Comparison, Condition, Direction, Entity, Field, Op, Query, Target};
 pub use error::PqlError;
 pub use eval::{PqlEngine, QueryResult, ResultNode};
+pub use obs::{QueryObserver, SlowQueryEntry, SlowQueryLog};
 pub use parser::parse;
+pub use plan::{analyze, analyze_store, Analysis, OpReport, Plan, PlanNode, PlanOp, StoreAnalysis};
 pub use qbe::{ExampleGraph, Match};

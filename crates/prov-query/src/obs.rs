@@ -1,0 +1,475 @@
+//! Runtime query observability: spans, metrics, and a slow-query log.
+//!
+//! [`plan`](crate::plan) answers "what did *this* query do?"; this module
+//! answers "what have queries been doing?". A [`QueryObserver`] wraps
+//! evaluation, emitting one [`SpanKind::Query`] span per query, feeding a
+//! latency histogram and per-backend labeled counters into a shared
+//! [`MetricsRegistry`] (Prometheus-renderable alongside the engine's own
+//! metrics), and retaining the slowest queries in a bounded ring buffer —
+//! the [`SlowQueryLog`] — so the interesting tail survives long after the
+//! queries themselves have returned.
+
+use crate::ast::Query;
+use crate::error::PqlError;
+use crate::eval::{PqlEngine, QueryResult};
+use crate::plan::{analyze, analyze_store};
+use prov_store::{ProvenanceStore, StatsSnapshot};
+use prov_telemetry::json::escape;
+use prov_telemetry::{MetricsRegistry, Span, SpanId, SpanKind, Trace};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use wf_engine::event::now_micros;
+use wf_engine::ExecId;
+
+/// One retained slow query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// The query, in canonical PQL text.
+    pub query: String,
+    /// Which backend answered it (`engine`, `graph`, `triple`, …).
+    pub backend: String,
+    /// Wall-clock evaluation time.
+    pub duration_micros: u64,
+    /// Result rows produced.
+    pub rows: usize,
+    /// Store accesses attributed to the query.
+    pub accesses: StatsSnapshot,
+    /// Admission order (monotone across the log's lifetime; survives
+    /// evictions, so readers can tell how much history scrolled past).
+    pub seq: u64,
+}
+
+impl SlowQueryEntry {
+    /// One human-readable line: `#seq  12345us  7 rows  [backend]  query  (accesses)`.
+    pub fn render(&self) -> String {
+        format!(
+            "#{}  {}us  {} rows  [{}]  {}  ({})",
+            self.seq,
+            self.duration_micros,
+            self.rows,
+            self.backend,
+            self.query,
+            self.accesses.render()
+        )
+    }
+}
+
+/// A bounded ring buffer of the queries that crossed a latency threshold.
+///
+/// Every query is offered via [`SlowQueryLog::observe`]; only those at or
+/// above `threshold_micros` are admitted, and once `capacity` entries are
+/// held the oldest is evicted. `seen`/`admitted`/`dropped` counters keep
+/// the totals honest even after eviction.
+#[derive(Debug, Clone)]
+pub struct SlowQueryLog {
+    threshold_micros: u64,
+    capacity: usize,
+    entries: VecDeque<SlowQueryEntry>,
+    seen: u64,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl Default for SlowQueryLog {
+    fn default() -> Self {
+        Self::new(1_000, 128)
+    }
+}
+
+impl SlowQueryLog {
+    /// A log admitting queries of at least `threshold_micros`, retaining
+    /// the most recent `capacity` of them (capacity 0 is clamped to 1).
+    pub fn new(threshold_micros: u64, capacity: usize) -> Self {
+        SlowQueryLog {
+            threshold_micros,
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            seen: 0,
+            dropped: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// The admission threshold in microseconds.
+    pub fn threshold_micros(&self) -> u64 {
+        self.threshold_micros
+    }
+
+    /// Offer one query observation; returns whether it was admitted.
+    pub fn observe(
+        &mut self,
+        query: &str,
+        backend: &str,
+        duration_micros: u64,
+        rows: usize,
+        accesses: StatsSnapshot,
+    ) -> bool {
+        self.seen += 1;
+        if duration_micros < self.threshold_micros {
+            return false;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(SlowQueryEntry {
+            query: query.to_string(),
+            backend: backend.to_string(),
+            duration_micros,
+            rows,
+            accesses,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+        true
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &SlowQueryEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total queries offered (admitted or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Admitted entries evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Human-readable dump: a header line plus one line per entry,
+    /// slowest first.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "slow-query log: {} retained (threshold {}us, {} seen, {} evicted)\n",
+            self.entries.len(),
+            self.threshold_micros,
+            self.seen,
+            self.dropped
+        );
+        let mut sorted: Vec<&SlowQueryEntry> = self.entries.iter().collect();
+        sorted.sort_by_key(|e| std::cmp::Reverse(e.duration_micros));
+        for e in sorted {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize retained entries as JSONL, one object per line, oldest
+    /// first (hand-rendered; no JSON library on this path).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let a = &e.accesses;
+            out.push_str(&format!(
+                "{{\"seq\":{},\"query\":\"{}\",\"backend\":\"{}\",\"micros\":{},\"rows\":{},\
+                 \"accesses\":{{\"nodes\":{},\"edges\":{},\"triples\":{},\"rows\":{},\
+                 \"records\":{},\"keyed\":{},\"scans\":{},\"bytes\":{}}}}}\n",
+                e.seq,
+                escape(&e.query),
+                escape(&e.backend),
+                e.duration_micros,
+                e.rows,
+                a.node_reads,
+                a.edge_reads,
+                a.triple_reads,
+                a.row_reads,
+                a.record_reads,
+                a.keyed_lookups,
+                a.scans,
+                a.bytes_deserialized
+            ));
+        }
+        out
+    }
+}
+
+/// Latency-histogram bucket bounds in microseconds (1us .. 1s).
+const LATENCY_BOUNDS: &[u64] = &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// The per-query observability front end: spans + metrics + slow log.
+///
+/// Every observed query produces one [`SpanKind::Query`] span (retrieve
+/// them with [`QueryObserver::take_trace`]), bumps
+/// `pql_queries_total{backend=…}` and the shared
+/// `pql_query_latency_micros` histogram in the registry, adds its store
+/// accesses to `pql_store_reads_total`/`pql_keyed_lookups_total`/
+/// `pql_scans_total`, and is offered to the [`SlowQueryLog`].
+#[derive(Debug)]
+pub struct QueryObserver {
+    /// The metrics registry the observer publishes into (shareable with
+    /// other telemetry producers; render with
+    /// [`MetricsRegistry::render_prometheus`]).
+    pub registry: Arc<MetricsRegistry>,
+    /// The slow-query ring buffer.
+    pub slowlog: SlowQueryLog,
+    spans: Vec<Span>,
+    next_span: u64,
+}
+
+impl Default for QueryObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryObserver {
+    /// An observer with its own registry and a default slow-query log
+    /// (1ms threshold, 128 entries).
+    pub fn new() -> Self {
+        Self::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// An observer publishing into an existing registry.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        QueryObserver {
+            registry,
+            slowlog: SlowQueryLog::default(),
+            spans: Vec::new(),
+            next_span: 0,
+        }
+    }
+
+    /// Replace the slow-query log configuration (builder-style).
+    pub fn with_slowlog(mut self, threshold_micros: u64, capacity: usize) -> Self {
+        self.slowlog = SlowQueryLog::new(threshold_micros, capacity);
+        self
+    }
+
+    /// Record one completed query evaluation. This is the low-level entry
+    /// point behind [`QueryObserver::eval_observed`] /
+    /// [`QueryObserver::eval_store_observed`]; it is public so callers
+    /// with their own evaluation path can still feed the same telemetry.
+    pub fn record(
+        &mut self,
+        query: &str,
+        backend: &str,
+        duration_micros: u64,
+        rows: usize,
+        accesses: StatsSnapshot,
+    ) {
+        let end = now_micros();
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.spans.push(Span {
+            id,
+            parent: None,
+            kind: SpanKind::Query,
+            name: query.to_string(),
+            exec: ExecId(0),
+            node: None,
+            start_micros: end.saturating_sub(duration_micros),
+            end_micros: end,
+            attrs: vec![
+                ("backend".into(), backend.to_string()),
+                ("rows".into(), rows.to_string()),
+                ("accesses".into(), accesses.render()),
+            ],
+        });
+
+        let labels = [("backend", backend)];
+        self.registry
+            .counter_with("pql_queries_total", "PQL queries evaluated", &labels)
+            .inc();
+        self.registry
+            .histogram_with(
+                "pql_query_latency_micros",
+                "PQL query latency",
+                LATENCY_BOUNDS,
+                &labels,
+            )
+            .observe(duration_micros);
+        let reads =
+            self.registry
+                .counter_with("pql_store_reads_total", "store element reads", &labels);
+        reads.add(accesses.total_reads());
+        self.registry
+            .counter_with("pql_keyed_lookups_total", "index-served lookups", &labels)
+            .add(accesses.keyed_lookups);
+        self.registry
+            .counter_with("pql_scans_total", "full scans", &labels)
+            .add(accesses.scans);
+        if self
+            .slowlog
+            .observe(query, backend, duration_micros, rows, accesses)
+        {
+            self.registry
+                .counter_with("pql_slow_queries_total", "slow-log admissions", &labels)
+                .inc();
+        }
+    }
+
+    /// Evaluate a query against the PQL engine with full observation
+    /// (runs the analyzing executor, so per-operator stats feed the
+    /// telemetry), returning the ordinary result.
+    pub fn eval_observed(
+        &mut self,
+        engine: &PqlEngine,
+        query: &Query,
+    ) -> Result<QueryResult, PqlError> {
+        let analysis = analyze(engine, query)?;
+        self.record(
+            &query.to_string(),
+            "engine",
+            analysis.total_micros,
+            analysis.result.len(),
+            analysis.total_accesses(),
+        );
+        Ok(analysis.result)
+    }
+
+    /// Evaluate a store-mappable query against a backend with full
+    /// observation, returning its row count (see
+    /// [`analyze_store`] for the supported query shapes).
+    pub fn eval_store_observed(
+        &mut self,
+        store: &dyn ProvenanceStore,
+        backend: &str,
+        query: &Query,
+    ) -> Result<usize, PqlError> {
+        let sa = analyze_store(store, query)?;
+        self.record(
+            &query.to_string(),
+            backend,
+            sa.total_micros,
+            sa.rows,
+            sa.total_accesses(),
+        );
+        Ok(sa.rows)
+    }
+
+    /// Number of query spans collected so far.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Take the collected query spans as a [`Trace`] (exportable with
+    /// the `prov-telemetry` Chrome/JSONL exporters).
+    pub fn take_trace(&mut self) -> Trace {
+        let mut spans = std::mem::take(&mut self.spans);
+        spans.sort_by_key(|s| (s.start_micros, s.id));
+        Trace { spans }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use prov_core::{Artifact, RetrospectiveProvenance};
+    use prov_store::GraphStore;
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn fixture() -> (PqlEngine, RetrospectiveProvenance, Artifact) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let hist = retro.produced(nodes.save_hist, "file").unwrap().clone();
+        let mut e = PqlEngine::new();
+        e.ingest(&retro);
+        (e, retro, hist)
+    }
+
+    #[test]
+    fn slowlog_admits_by_threshold_and_evicts_in_order() {
+        let mut log = SlowQueryLog::new(100, 2);
+        assert!(!log.observe("q1", "engine", 50, 1, StatsSnapshot::default()));
+        assert!(log.observe("q2", "engine", 150, 1, StatsSnapshot::default()));
+        assert!(log.observe("q3", "engine", 250, 1, StatsSnapshot::default()));
+        assert!(log.observe("q4", "engine", 350, 1, StatsSnapshot::default()));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.seen(), 4);
+        assert_eq!(log.dropped(), 1);
+        let kept: Vec<&str> = log.entries().map(|e| e.query.as_str()).collect();
+        assert_eq!(kept, ["q3", "q4"], "oldest admitted entry evicted");
+        // seq keeps counting across evictions.
+        assert_eq!(log.entries().map(|e| e.seq).collect::<Vec<_>>(), [1, 2]);
+        let dump = log.render();
+        assert!(dump.contains("2 retained"));
+        assert!(dump.contains("threshold 100us"));
+        // Slowest first in the rendered dump.
+        assert!(dump.find("#2").unwrap() < dump.find("#1").unwrap());
+    }
+
+    #[test]
+    fn slowlog_jsonl_lines_parse_with_the_mini_reader() {
+        let mut log = SlowQueryLog::new(0, 8);
+        let snap = StatsSnapshot {
+            node_reads: 3,
+            scans: 1,
+            ..Default::default()
+        };
+        log.observe("count runs where status = \"failed\"", "graph", 42, 0, snap);
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        let doc = prov_telemetry::parse_json(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            doc.get("query").unwrap().as_str(),
+            Some("count runs where status = \"failed\"")
+        );
+        assert_eq!(doc.get("micros").unwrap().as_u64(), Some(42));
+        let acc = doc.get("accesses").unwrap();
+        assert_eq!(acc.get("nodes").unwrap().as_u64(), Some(3));
+        assert_eq!(acc.get("scans").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn observer_emits_spans_metrics_and_slowlog_entries() {
+        let (e, _, hist) = fixture();
+        let mut obs = QueryObserver::new().with_slowlog(0, 16);
+        let q = parse(&format!("lineage of artifact {}", hist.digest())).unwrap();
+        let r = obs.eval_observed(&e, &q).unwrap();
+        assert_eq!(r, e.eval_query(&q).unwrap(), "observation changes nothing");
+        let q2 = parse("count runs").unwrap();
+        obs.eval_observed(&e, &q2).unwrap();
+
+        assert_eq!(obs.span_count(), 2);
+        let trace = obs.take_trace();
+        assert_eq!(trace.of_kind(SpanKind::Query).count(), 2);
+        let span = trace
+            .spans
+            .iter()
+            .find(|s| s.name.starts_with("lineage"))
+            .unwrap();
+        assert_eq!(span.attr("backend"), Some("engine"));
+        assert!(span.attr("accesses").unwrap().contains("nodes="));
+
+        let text = obs.registry.render_prometheus();
+        assert!(text.contains("pql_queries_total{backend=\"engine\"} 2"));
+        assert!(text.contains("pql_query_latency_micros_count{backend=\"engine\"} 2"));
+        assert!(text.contains("pql_slow_queries_total{backend=\"engine\"} 2"));
+        assert_eq!(obs.slowlog.len(), 2, "threshold 0 admits everything");
+    }
+
+    #[test]
+    fn observer_covers_store_backends_with_labels() {
+        let (_, retro, hist) = fixture();
+        let mut store = GraphStore::new();
+        store.ingest(&retro);
+        let mut obs = QueryObserver::new().with_slowlog(u64::MAX, 4);
+        let q = parse(&format!("lineage of artifact {}", hist.digest())).unwrap();
+        let rows = obs.eval_store_observed(&store, "graph", &q).unwrap();
+        assert_eq!(rows, store.lineage_runs(hist.hash).len());
+        let text = obs.registry.render_prometheus();
+        assert!(text.contains("pql_queries_total{backend=\"graph\"} 1"));
+        assert!(obs.slowlog.is_empty(), "u64::MAX threshold admits nothing");
+        assert_eq!(obs.slowlog.seen(), 1);
+    }
+}

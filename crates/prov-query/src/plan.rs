@@ -1,0 +1,784 @@
+//! Logical plans and EXPLAIN / EXPLAIN ANALYZE for PQL.
+//!
+//! §2.2 frames provenance querying as a storage-strategy vs.
+//! query-efficiency trade-off, but an evaluator alone keeps that trade-off
+//! invisible. This module makes it inspectable, database-style:
+//!
+//! * [`Plan::of`] derives an explicit logical operator tree from a parsed
+//!   [`Query`] (`provctl explain` renders it);
+//! * [`analyze`] executes the plan against a [`PqlEngine`], timing every
+//!   operator and attributing store accesses to it via
+//!   [`StatsSnapshot`] deltas of the engine's counted access layer
+//!   (EXPLAIN ANALYZE). The executor reproduces `PqlEngine::eval_query`
+//!   exactly — same traversal rules, same result order — which the
+//!   plan/eval equivalence property test pins down;
+//! * [`analyze_store`] runs the queries that map onto the backend-neutral
+//!   [`ProvenanceStore`] surface against *any* backend, reporting the
+//!   per-operator access counts of that backend's [`StoreStats`] recorder
+//!   — the same question answered four ways, with the work itemized.
+
+use crate::ast::*;
+use crate::error::PqlError;
+use crate::eval::{PNode, PqlEngine, QueryResult, ScanItem};
+use prov_store::{ProvenanceStore, StatsSnapshot};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A logical plan operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Resolve the query's anchor node (keyed lookup).
+    Anchor {
+        /// The anchor.
+        target: Target,
+    },
+    /// Breadth-first closure from the anchor.
+    Traverse {
+        /// Up- or downstream.
+        direction: Direction,
+        /// Optional depth bound (edges).
+        depth: Option<usize>,
+    },
+    /// Enumerate all entities of a class (full scan).
+    Scan {
+        /// The entity class.
+        entity: Entity,
+    },
+    /// Keep rows satisfying a condition.
+    Filter {
+        /// The condition (DNF).
+        filter: Condition,
+    },
+    /// Depth-first enumeration of simple paths between two anchors.
+    EnumeratePaths {
+        /// Maximum path length in edges (default applied).
+        max_len: usize,
+    },
+    /// Materialize result rows (metadata reads).
+    Collect,
+    /// Count rows instead of materializing them.
+    CountRows,
+}
+
+impl PlanOp {
+    /// Human-readable operator label, e.g. `Traverse (upstream, depth ≤ 3)`.
+    pub fn label(&self) -> String {
+        match self {
+            PlanOp::Anchor { target } => format!("Anchor ({target})"),
+            PlanOp::Traverse { direction, depth } => {
+                let dir = match direction {
+                    Direction::Upstream => "upstream",
+                    Direction::Downstream => "downstream",
+                };
+                match depth {
+                    Some(d) => format!("Traverse ({dir}, depth <= {d})"),
+                    None => format!("Traverse ({dir})"),
+                }
+            }
+            PlanOp::Scan { entity } => format!("Scan ({entity})"),
+            PlanOp::Filter { filter } => format!("Filter ({filter})"),
+            PlanOp::EnumeratePaths { max_len } => {
+                format!("EnumeratePaths (simple, max {max_len} edges)")
+            }
+            PlanOp::Collect => "Collect".to_string(),
+            PlanOp::CountRows => "CountRows".to_string(),
+        }
+    }
+}
+
+/// A node of the logical plan tree: an operator and its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// The operator.
+    pub op: PlanOp,
+    /// Input operators (upstream in dataflow order).
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    fn leaf(op: PlanOp) -> Self {
+        PlanNode {
+            op,
+            children: Vec::new(),
+        }
+    }
+
+    fn over(op: PlanOp, child: PlanNode) -> Self {
+        PlanNode {
+            op,
+            children: vec![child],
+        }
+    }
+}
+
+/// The logical plan of a PQL query: a small operator tree, rendered
+/// root-first (the root produces the final result; children are inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The root operator.
+    pub root: PlanNode,
+}
+
+impl Plan {
+    /// Derive the logical plan of a parsed query.
+    pub fn of(query: &Query) -> Plan {
+        let root = match query {
+            Query::Closure {
+                direction,
+                target,
+                depth,
+                filter,
+            } => {
+                let mut node = PlanNode::over(
+                    PlanOp::Traverse {
+                        direction: *direction,
+                        depth: *depth,
+                    },
+                    PlanNode::leaf(PlanOp::Anchor { target: *target }),
+                );
+                if !filter.is_trivial() {
+                    node = PlanNode::over(
+                        PlanOp::Filter {
+                            filter: filter.clone(),
+                        },
+                        node,
+                    );
+                }
+                PlanNode::over(PlanOp::Collect, node)
+            }
+            Query::Count { entity, filter } | Query::List { entity, filter } => {
+                let mut node = PlanNode::leaf(PlanOp::Scan { entity: *entity });
+                if !filter.is_trivial() {
+                    node = PlanNode::over(
+                        PlanOp::Filter {
+                            filter: filter.clone(),
+                        },
+                        node,
+                    );
+                }
+                let top = if matches!(query, Query::Count { .. }) {
+                    PlanOp::CountRows
+                } else {
+                    PlanOp::Collect
+                };
+                PlanNode::over(top, node)
+            }
+            Query::Paths { from, to, max_len } => PlanNode::over(
+                PlanOp::Collect,
+                PlanNode {
+                    op: PlanOp::EnumeratePaths {
+                        max_len: max_len.unwrap_or(16),
+                    },
+                    children: vec![
+                        PlanNode::leaf(PlanOp::Anchor { target: *from }),
+                        PlanNode::leaf(PlanOp::Anchor { target: *to }),
+                    ],
+                },
+            ),
+        };
+        Plan { root }
+    }
+
+    /// Render the plan as an indented tree, root first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, 0, &mut |line| {
+            out.push_str(&line);
+            out.push('\n');
+        });
+        out
+    }
+
+    /// The operators in render order with their tree depths.
+    fn flatten(&self) -> Vec<(usize, PlanOp)> {
+        let mut out = Vec::new();
+        fn walk(n: &PlanNode, depth: usize, out: &mut Vec<(usize, PlanOp)>) {
+            out.push((depth, n.op.clone()));
+            for c in &n.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        walk(&self.root, 0, &mut out);
+        out
+    }
+}
+
+fn render_node(n: &PlanNode, depth: usize, emit: &mut impl FnMut(String)) {
+    let indent = if depth == 0 {
+        String::new()
+    } else {
+        format!("{}+- ", "   ".repeat(depth - 1))
+    };
+    emit(format!("{indent}{}", n.op.label()));
+    for c in &n.children {
+        render_node(c, depth + 1, emit);
+    }
+}
+
+/// Per-operator statistics from an EXPLAIN ANALYZE run.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Operator label (see [`PlanOp::label`]).
+    pub label: String,
+    /// Tree depth, for indented rendering.
+    pub depth: usize,
+    /// Rows flowing into the operator.
+    pub rows_in: usize,
+    /// Rows the operator produced.
+    pub rows_out: usize,
+    /// Wall-clock time spent in the operator itself.
+    pub self_micros: u64,
+    /// Store accesses attributed to the operator (snapshot delta).
+    pub accesses: StatsSnapshot,
+}
+
+impl OpReport {
+    fn line(&self) -> String {
+        let indent = if self.depth == 0 {
+            String::new()
+        } else {
+            format!("{}+- ", "   ".repeat(self.depth - 1))
+        };
+        format!(
+            "{indent}{}  (rows={}->{}, {}us; {})",
+            self.label,
+            self.rows_in,
+            self.rows_out,
+            self.self_micros,
+            self.accesses.render()
+        )
+    }
+}
+
+/// The outcome of EXPLAIN ANALYZE over a [`PqlEngine`].
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The logical plan that was executed.
+    pub plan: Plan,
+    /// The query result (identical to `PqlEngine::eval_query`).
+    pub result: QueryResult,
+    /// Total wall-clock time.
+    pub total_micros: u64,
+    /// Per-operator reports, in plan (render) order.
+    pub ops: Vec<OpReport>,
+}
+
+impl Analysis {
+    /// Sum of all per-operator access deltas.
+    pub fn total_accesses(&self) -> StatsSnapshot {
+        self.ops
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, op| acc.merge(&op.accesses))
+    }
+
+    /// Render the annotated plan tree plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&op.line());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "total: {} rows, {}us, accesses: {}\n",
+            self.result.len(),
+            self.total_micros,
+            self.total_accesses().render()
+        ));
+        out
+    }
+}
+
+/// A measured stage: runs `f`, returns its output plus (self-time µs,
+/// access delta) against the engine's recorder.
+fn measured<T>(engine: &PqlEngine, f: impl FnOnce() -> T) -> (T, u64, StatsSnapshot) {
+    let before = engine.stats().snapshot();
+    let t0 = Instant::now();
+    let out = f();
+    let micros = t0.elapsed().as_micros() as u64;
+    let delta = engine.stats().snapshot().delta(&before);
+    (out, micros, delta)
+}
+
+/// EXPLAIN ANALYZE: execute `query` through the logical plan, annotating
+/// every operator with rows in/out, self-time, and store-access counts.
+/// The result is guaranteed identical to `PqlEngine::eval_query`.
+pub fn analyze(engine: &PqlEngine, query: &Query) -> Result<Analysis, PqlError> {
+    let plan = Plan::of(query);
+    let t_total = Instant::now();
+    // Reports are first built in execution order (leaves before roots),
+    // then matched back to the plan's render order.
+    let mut exec_reports: Vec<(PlanOp, usize, usize, u64, StatsSnapshot)> = Vec::new();
+
+    let result = match query {
+        Query::Closure {
+            direction,
+            target,
+            depth,
+            filter,
+        } => {
+            let (anchor, t, d) = measured(engine, || engine.resolve_counted(*target));
+            let anchor = anchor?;
+            exec_reports.push((PlanOp::Anchor { target: *target }, 0, 1, t, d));
+
+            let reverse = *direction == Direction::Upstream;
+            // Same BFS as eval_query: nodes at the depth limit are included
+            // but not expanded; discovery order is result order.
+            let (discovered, t, dstats) = measured(engine, || {
+                let mut discovered: Vec<PNode> = Vec::new();
+                let mut seen: BTreeSet<PNode> = [anchor].into();
+                let mut q: VecDeque<(PNode, usize)> = [(anchor, 0usize)].into();
+                while let Some((n, d)) = q.pop_front() {
+                    if let Some(limit) = depth {
+                        if d == *limit {
+                            continue;
+                        }
+                    }
+                    for &m in engine.neighbors_counted(n, reverse) {
+                        if seen.insert(m) {
+                            discovered.push(m);
+                            q.push_back((m, d + 1));
+                        }
+                    }
+                }
+                discovered
+            });
+            exec_reports.push((
+                PlanOp::Traverse {
+                    direction: *direction,
+                    depth: *depth,
+                },
+                1,
+                discovered.len(),
+                t,
+                dstats,
+            ));
+
+            let kept = if filter.is_trivial() {
+                discovered
+            } else {
+                let rows_in = discovered.len();
+                let (kept, t, d) = measured(engine, || {
+                    discovered
+                        .into_iter()
+                        .filter(|&n| engine.item_matches(ScanItem::Node(n), filter))
+                        .collect::<Vec<_>>()
+                });
+                exec_reports.push((
+                    PlanOp::Filter {
+                        filter: filter.clone(),
+                    },
+                    rows_in,
+                    kept.len(),
+                    t,
+                    d,
+                ));
+                kept
+            };
+
+            let rows_in = kept.len();
+            let (rows, t, d) = measured(engine, || {
+                kept.into_iter()
+                    .map(|n| engine.describe_item(ScanItem::Node(n)))
+                    .collect::<Vec<_>>()
+            });
+            exec_reports.push((PlanOp::Collect, rows_in, rows.len(), t, d));
+            QueryResult::Nodes(rows)
+        }
+        Query::Count { entity, filter } | Query::List { entity, filter } => {
+            let (items, t, d) = measured(engine, || engine.scan_entity(*entity));
+            exec_reports.push((PlanOp::Scan { entity: *entity }, 0, items.len(), t, d));
+
+            let kept = if filter.is_trivial() {
+                items
+            } else {
+                let rows_in = items.len();
+                let (kept, t, d) = measured(engine, || {
+                    items
+                        .into_iter()
+                        .filter(|&it| engine.item_matches(it, filter))
+                        .collect::<Vec<_>>()
+                });
+                exec_reports.push((
+                    PlanOp::Filter {
+                        filter: filter.clone(),
+                    },
+                    rows_in,
+                    kept.len(),
+                    t,
+                    d,
+                ));
+                kept
+            };
+
+            let rows_in = kept.len();
+            if matches!(query, Query::Count { .. }) {
+                let n = kept.len();
+                exec_reports.push((PlanOp::CountRows, rows_in, n, 0, StatsSnapshot::default()));
+                QueryResult::Count(n)
+            } else {
+                let (rows, t, d) = measured(engine, || {
+                    kept.into_iter()
+                        .map(|it| engine.describe_item(it))
+                        .collect::<Vec<_>>()
+                });
+                exec_reports.push((PlanOp::Collect, rows_in, rows.len(), t, d));
+                QueryResult::Nodes(rows)
+            }
+        }
+        Query::Paths { from, to, max_len } => {
+            let (a, t, d) = measured(engine, || engine.resolve_counted(*from));
+            let a = a?;
+            exec_reports.push((PlanOp::Anchor { target: *from }, 0, 1, t, d));
+            let (b, t, d) = measured(engine, || engine.resolve_counted(*to));
+            let b = b?;
+            exec_reports.push((PlanOp::Anchor { target: *to }, 0, 1, t, d));
+
+            let cap = max_len.unwrap_or(16);
+            // Same DFS as eval_query: simple paths over succ edges with a
+            // length budget.
+            let (paths, t, d) = measured(engine, || {
+                let mut paths: Vec<Vec<PNode>> = Vec::new();
+                let mut stack = vec![a];
+                let mut on_path: BTreeSet<PNode> = [a].into();
+                dfs_counted(engine, a, b, cap, &mut stack, &mut on_path, &mut paths);
+                paths
+            });
+            exec_reports.push((
+                PlanOp::EnumeratePaths { max_len: cap },
+                2,
+                paths.len(),
+                t,
+                d,
+            ));
+
+            let rows_in = paths.len();
+            let (rendered, t, d) = measured(engine, || {
+                paths
+                    .into_iter()
+                    .map(|p| {
+                        p.into_iter()
+                            .map(|n| engine.describe_item(ScanItem::Node(n)))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
+            });
+            exec_reports.push((PlanOp::Collect, rows_in, rendered.len(), t, d));
+            QueryResult::Paths(rendered)
+        }
+    };
+
+    let total_micros = t_total.elapsed().as_micros() as u64;
+    // Match execution-order reports to the plan's render order by operator
+    // identity (each operator appears exactly once per anchor slot).
+    let mut ops = Vec::new();
+    let mut remaining = exec_reports;
+    for (depth, op) in plan.flatten() {
+        let idx = remaining
+            .iter()
+            .position(|(o, ..)| *o == op)
+            .expect("every plan operator is executed exactly once");
+        let (o, rows_in, rows_out, self_micros, accesses) = remaining.remove(idx);
+        ops.push(OpReport {
+            label: o.label(),
+            depth,
+            rows_in,
+            rows_out,
+            self_micros,
+            accesses,
+        });
+    }
+    Ok(Analysis {
+        plan,
+        result,
+        total_micros,
+        ops,
+    })
+}
+
+fn dfs_counted(
+    engine: &PqlEngine,
+    cur: PNode,
+    to: PNode,
+    budget: usize,
+    stack: &mut Vec<PNode>,
+    on_path: &mut BTreeSet<PNode>,
+    out: &mut Vec<Vec<PNode>>,
+) {
+    if cur == to {
+        out.push(stack.clone());
+        return;
+    }
+    if budget == 0 {
+        return;
+    }
+    for &n in engine.neighbors_counted(cur, false) {
+        if on_path.insert(n) {
+            stack.push(n);
+            dfs_counted(engine, n, to, budget - 1, stack, on_path, out);
+            stack.pop();
+            on_path.remove(&n);
+        }
+    }
+}
+
+// ---- backend ANALYZE over the canned-query surface -----------------------
+
+/// The outcome of running a (mappable) PQL query against a
+/// [`ProvenanceStore`] backend with access accounting.
+#[derive(Debug, Clone)]
+pub struct StoreAnalysis {
+    /// Backend name (`graph` / `triple` / `relational` / `log`).
+    pub backend: String,
+    /// Per-operator reports.
+    pub ops: Vec<OpReport>,
+    /// Result rows the backend produced.
+    pub rows: usize,
+    /// Total wall-clock time.
+    pub total_micros: u64,
+}
+
+impl StoreAnalysis {
+    /// Sum of all per-operator access deltas.
+    pub fn total_accesses(&self) -> StatsSnapshot {
+        self.ops
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, op| acc.merge(&op.accesses))
+    }
+
+    /// Render the backend's annotated operator list plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = format!("backend: {}\n", self.backend);
+        for op in &self.ops {
+            out.push_str(&op.line());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "total: {} rows, {}us, accesses: {}\n",
+            self.rows,
+            self.total_micros,
+            self.total_accesses().render()
+        ));
+        out
+    }
+}
+
+/// EXPLAIN ANALYZE against an arbitrary store backend.
+///
+/// Only query shapes that map onto the backend-neutral canned-query
+/// surface are supported:
+///
+/// * `lineage of artifact H` → `lineage_runs` (upstream closure, runs);
+/// * `lineage of artifact H depth 1` → `generators`;
+/// * `impact of artifact H` → `derived_artifacts` (downstream closure —
+///   note the store surface returns the artifact side only);
+/// * `count runs` → `run_count`.
+///
+/// Filters, run anchors, depth bounds other than 1, `list`, and `paths`
+/// exist only in the PQL engine and are rejected with an
+/// [`PqlError::Eval`] naming the supported forms.
+pub fn analyze_store(
+    store: &dyn ProvenanceStore,
+    query: &Query,
+) -> Result<StoreAnalysis, PqlError> {
+    let unsupported = || {
+        PqlError::Eval(format!(
+            "query '{query}' does not map onto the backend-neutral store surface; \
+             supported forms: 'lineage of artifact H', 'lineage of artifact H depth 1', \
+             'impact of artifact H', 'count runs'"
+        ))
+    };
+    let t0 = Instant::now();
+    let before = store.stats().snapshot();
+    let (label, rows) = match query {
+        Query::Closure {
+            direction: Direction::Upstream,
+            target: Target::Artifact(h),
+            depth: None,
+            filter,
+        } if filter.is_trivial() => (
+            "TransitiveClosure (upstream runs) [lineage_runs]".to_string(),
+            store.lineage_runs(*h).len(),
+        ),
+        Query::Closure {
+            direction: Direction::Upstream,
+            target: Target::Artifact(h),
+            depth: Some(1),
+            filter,
+        } if filter.is_trivial() => (
+            "KeyedProbe (generating runs) [generators]".to_string(),
+            store.generators(*h).len(),
+        ),
+        Query::Closure {
+            direction: Direction::Downstream,
+            target: Target::Artifact(h),
+            depth: None,
+            filter,
+        } if filter.is_trivial() => (
+            "TransitiveClosure (downstream artifacts) [derived_artifacts]".to_string(),
+            store.derived_artifacts(*h).len(),
+        ),
+        Query::Count {
+            entity: Entity::Runs,
+            filter,
+        } if filter.is_trivial() => (
+            "Aggregate (count) [run_count]".to_string(),
+            store.run_count(),
+        ),
+        _ => return Err(unsupported()),
+    };
+    let total_micros = t0.elapsed().as_micros() as u64;
+    let accesses = store.stats().snapshot().delta(&before);
+    Ok(StoreAnalysis {
+        backend: store.backend_name().to_string(),
+        ops: vec![OpReport {
+            label,
+            depth: 0,
+            rows_in: 1,
+            rows_out: rows,
+            self_micros: total_micros,
+            accesses,
+        }],
+        rows,
+        total_micros,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use prov_core::model::RetrospectiveProvenance;
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn engine() -> (
+        PqlEngine,
+        RetrospectiveProvenance,
+        wf_engine::synth::Figure1Nodes,
+    ) {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let retro = cap.take(r.exec).unwrap();
+        let mut e = PqlEngine::new();
+        e.ingest(&retro);
+        (e, retro, nodes)
+    }
+
+    #[test]
+    fn plan_shapes_match_query_shapes() {
+        let q = parse("lineage of artifact 00000000000000ff where module = x").unwrap();
+        let p = Plan::of(&q);
+        let r = p.render();
+        assert!(r.starts_with("Collect"));
+        assert!(r.contains("Filter"));
+        assert!(r.contains("Traverse (upstream)"));
+        assert!(r.contains("Anchor (artifact 00000000000000ff)"));
+
+        let q = parse("count runs").unwrap();
+        let r = Plan::of(&q).render();
+        assert!(r.starts_with("CountRows"));
+        assert!(r.contains("Scan (runs)"));
+        assert!(!r.contains("Filter"), "trivial filter elided");
+
+        let q = parse("paths from artifact 00000000000000aa to run 0/5 max 6").unwrap();
+        let r = Plan::of(&q).render();
+        assert!(r.contains("EnumeratePaths (simple, max 6 edges)"));
+        assert_eq!(r.matches("Anchor").count(), 2);
+    }
+
+    #[test]
+    fn analyze_matches_eval_on_every_query_shape() {
+        let (e, retro, nodes) = engine();
+        let file = retro.produced(nodes.save_hist, "file").unwrap();
+        let grid = retro.produced(nodes.load, "grid").unwrap();
+        for q in [
+            format!("lineage of artifact {}", file.digest()),
+            format!("lineage of artifact {} depth 1", file.digest()),
+            format!(
+                "lineage of artifact {} where module = histogram",
+                file.digest()
+            ),
+            format!("impact of artifact {}", grid.digest()),
+            "count runs".to_string(),
+            "count runs where status = failed or status = skipped".to_string(),
+            "list artifacts where dtype = grid".to_string(),
+            "list executions".to_string(),
+            format!(
+                "paths from artifact {} to artifact {}",
+                grid.digest(),
+                retro.produced(nodes.save_iso, "file").unwrap().digest()
+            ),
+        ] {
+            let parsed = parse(&q).unwrap();
+            let analysis = analyze(&e, &parsed).unwrap();
+            let plain = e.eval_query(&parsed).unwrap();
+            assert_eq!(analysis.result, plain, "divergence on {q}");
+        }
+    }
+
+    #[test]
+    fn analyze_attributes_accesses_to_operators() {
+        let (e, retro, nodes) = engine();
+        let file = retro.produced(nodes.save_hist, "file").unwrap();
+        let q = parse(&format!(
+            "lineage of artifact {} where module = histogram",
+            file.digest()
+        ))
+        .unwrap();
+        let before = e.stats().snapshot();
+        let analysis = analyze(&e, &q).unwrap();
+        let engine_delta = e.stats().snapshot().delta(&before);
+        // Exactness: per-op deltas partition the engine's total work.
+        assert_eq!(analysis.total_accesses(), engine_delta);
+        assert_eq!(analysis.ops.len(), 4, "Collect, Filter, Traverse, Anchor");
+        let traverse = analysis
+            .ops
+            .iter()
+            .find(|o| o.label.starts_with("Traverse"))
+            .unwrap();
+        assert!(traverse.accesses.edge_reads > 0);
+        assert!(traverse.rows_out >= traverse.rows_in);
+        let rendered = analysis.render();
+        assert!(rendered.contains("total:"));
+        assert!(rendered.contains("rows="));
+    }
+
+    #[test]
+    fn analyze_errors_match_eval_errors() {
+        let (e, ..) = engine();
+        let q = parse("lineage of artifact 00000000000000aa").unwrap();
+        let a = analyze(&e, &q).unwrap_err();
+        let b = e.eval_query(&q).unwrap_err();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn analyze_store_reports_backend_accesses() {
+        use prov_store::GraphStore;
+        let (_, retro, nodes) = engine();
+        let mut gs = GraphStore::new();
+        gs.ingest(&retro);
+        let file = retro.produced(nodes.save_hist, "file").unwrap();
+        let q = parse(&format!("lineage of artifact {}", file.digest())).unwrap();
+        let before = gs.stats().snapshot();
+        let a = analyze_store(&gs, &q).unwrap();
+        let delta = gs.stats().snapshot().delta(&before);
+        assert_eq!(a.total_accesses(), delta, "op deltas == store delta");
+        assert_eq!(a.backend, "graph");
+        assert!(a.rows > 0);
+        assert!(a.render().contains("TransitiveClosure"));
+    }
+
+    #[test]
+    fn analyze_store_rejects_unmappable_queries() {
+        use prov_store::GraphStore;
+        let gs = GraphStore::new();
+        let q = parse("list artifacts").unwrap();
+        let err = analyze_store(&gs, &q).unwrap_err();
+        assert!(err.to_string().contains("supported forms"));
+    }
+}

@@ -6,6 +6,7 @@
 //! "what was the process used to create it?", plus a flat aggregate (the
 //! kind of query relational layouts are good at).
 
+use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use wf_engine::ExecId;
 use wf_model::NodeId;
@@ -17,6 +18,11 @@ pub type RunRef = (ExecId, NodeId);
 pub trait ProvenanceStore {
     /// Backend name for reports.
     fn backend_name(&self) -> &'static str;
+
+    /// The access recorder this backend bumps on its query paths (Q1–Q4).
+    /// Ingest cost is deliberately not counted — the stats describe the
+    /// cost of *answering* queries, not of building the store.
+    fn stats(&self) -> &StoreStats;
 
     /// Load one execution's retrospective provenance.
     fn ingest(&mut self, retro: &RetrospectiveProvenance);

@@ -10,6 +10,7 @@
 //! run consumed what another produced.
 
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -35,6 +36,7 @@ pub struct GraphStore {
     pred: Vec<Vec<usize>>,
     runs: HashMap<RunRef, RunMeta>,
     edge_count: usize,
+    stats: StoreStats,
 }
 
 impl GraphStore {
@@ -79,6 +81,7 @@ impl GraphStore {
     }
 
     fn closure(&self, start: GNode, reverse: bool) -> Vec<GNode> {
+        self.stats.add_keyed_lookups(1);
         let Some(&s) = self.index.get(&start) else {
             return Vec::new();
         };
@@ -87,11 +90,13 @@ impl GraphStore {
         let mut q = VecDeque::from([s]);
         let mut out = Vec::new();
         while let Some(u) = q.pop_front() {
+            self.stats.add_node_reads(1);
             let next = if reverse {
                 &self.pred[u]
             } else {
                 &self.succ[u]
             };
+            self.stats.add_edge_reads(next.len() as u64);
             for &v in next {
                 if !seen[v] {
                     seen[v] = true;
@@ -107,6 +112,10 @@ impl GraphStore {
 impl ProvenanceStore for GraphStore {
     fn backend_name(&self) -> &'static str {
         "graph"
+    }
+
+    fn stats(&self) -> &StoreStats {
+        &self.stats
     }
 
     fn ingest(&mut self, retro: &RetrospectiveProvenance) {
@@ -131,9 +140,12 @@ impl ProvenanceStore for GraphStore {
     }
 
     fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        self.stats.add_keyed_lookups(1);
         let Some(&i) = self.index.get(&GNode::Artifact(artifact)) else {
             return Vec::new();
         };
+        self.stats.add_node_reads(1);
+        self.stats.add_edge_reads(self.pred[i].len() as u64);
         sort_runs(
             self.pred[i]
                 .iter()
@@ -170,6 +182,8 @@ impl ProvenanceStore for GraphStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
+        self.stats.add_scans(1);
+        self.stats.add_node_reads(self.runs.len() as u64);
         let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
         for meta in self.runs.values() {
             *counts.entry(meta.identity.as_str()).or_default() += 1;
@@ -311,6 +325,25 @@ mod tests {
         s.ingest(&retro);
         assert_eq!(s.edge_count(), e1);
         assert_eq!(s.node_count(), n1);
+    }
+
+    #[test]
+    fn stats_count_query_work_but_not_ingest() {
+        let (retro, nodes) = fig1_retro();
+        let mut s = GraphStore::new();
+        s.ingest(&retro);
+        assert_eq!(s.stats().snapshot().total_reads(), 0, "ingest not counted");
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        let before = s.stats().snapshot();
+        let _ = s.generators(grid);
+        let d = s.stats().snapshot().delta(&before);
+        assert_eq!(d.keyed_lookups, 1);
+        assert_eq!(d.node_reads, 1);
+        assert!(d.edge_reads >= 1);
+        let before = s.stats().snapshot();
+        let _ = s.lineage_runs(grid);
+        let d = s.stats().snapshot().delta(&before);
+        assert!(d.node_reads > 1, "closure visits several nodes");
     }
 
     #[test]

@@ -19,13 +19,17 @@
 //! * [`api`] — the [`api::ProvenanceStore`] trait: the canned queries every
 //!   backend must answer, so benchmarks compare like for like;
 //! * [`spanstore`] — storage for telemetry spans (the timing half of
-//!   retrospective provenance), with JSONL persistence.
+//!   retrospective provenance), with JSONL persistence;
+//! * [`stats`] — the [`stats::StoreStats`] access recorder every backend
+//!   carries, so the *same* query can be measured (reads, scans vs. keyed
+//!   lookups, bytes) across all four storage strategies (experiment E16).
 
 pub mod api;
 pub mod graphstore;
 pub mod logstore;
 pub mod relstore;
 pub mod spanstore;
+pub mod stats;
 pub mod triplestore;
 
 pub use api::ProvenanceStore;
@@ -33,4 +37,5 @@ pub use graphstore::GraphStore;
 pub use logstore::LogStore;
 pub use relstore::{RelStore, RelValue, Relation, Schema};
 pub use spanstore::SpanStore;
+pub use stats::{StatsSnapshot, StoreStats};
 pub use triplestore::{Term, TripleStore};

@@ -15,6 +15,7 @@
 //! stops at the first CRC mismatch, reporting how much was recovered.
 
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -88,12 +89,18 @@ pub struct Replay {
 }
 
 /// The append-only provenance log.
+///
+/// Normally backed by a file ([`LogStore::open`]); the ephemeral variant
+/// ([`LogStore::ephemeral`]) keeps the same scan-everything query profile
+/// without touching disk or the serializer, which is what the query
+/// benchmark (E16) uses to compare access patterns across backends.
 #[derive(Debug)]
 pub struct LogStore {
-    path: PathBuf,
-    file: File,
+    path: Option<PathBuf>,
+    file: Option<File>,
     /// Parsed records (the query working set).
     records: Vec<RetrospectiveProvenance>,
+    stats: StoreStats,
 }
 
 impl LogStore {
@@ -110,11 +117,31 @@ impl LogStore {
         // Truncate any corrupt tail so future appends are clean.
         file.set_len(replay.valid_bytes)?;
         file.seek(SeekFrom::End(0))?;
+        let stats = StoreStats::new();
+        stats.add_bytes_deserialized(replay.valid_bytes);
         Ok(Self {
-            path,
-            file,
+            path: Some(path),
+            file: Some(file),
             records: replay.records,
+            stats,
         })
+    }
+
+    /// An in-memory log with no backing file: appends only push onto the
+    /// record vector (no framing, no serialization), while every query
+    /// keeps the log store's scan-everything cost profile.
+    pub fn ephemeral() -> Self {
+        Self {
+            path: None,
+            file: None,
+            records: Vec::new(),
+            stats: StoreStats::new(),
+        }
+    }
+
+    /// Whether this store has a backing file.
+    pub fn is_ephemeral(&self) -> bool {
+        self.file.is_none()
     }
 
     /// Replay a log file without opening it for writing.
@@ -157,15 +184,17 @@ impl LogStore {
         })
     }
 
-    /// Append one record and flush.
+    /// Append one record and flush (in-memory only for ephemeral stores).
     pub fn append(&mut self, retro: &RetrospectiveProvenance) -> Result<(), LogError> {
-        let payload = serde_json::to_vec(retro).map_err(|e| LogError::Codec(e.to_string()))?;
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        self.file.flush()?;
+        if let Some(file) = self.file.as_mut() {
+            let payload = serde_json::to_vec(retro).map_err(|e| LogError::Codec(e.to_string()))?;
+            let mut frame = Vec::with_capacity(payload.len() + 8);
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            file.write_all(&frame)?;
+            file.flush()?;
+        }
         self.records.push(retro.clone());
         Ok(())
     }
@@ -183,20 +212,24 @@ impl LogStore {
             }
         }
         let dropped = self.records.len() - latest.len();
-        let tmp = self.path.with_extension("compact");
-        {
-            let mut f = File::create(&tmp)?;
-            for r in &latest {
-                let payload = serde_json::to_vec(r).map_err(|e| LogError::Codec(e.to_string()))?;
-                f.write_all(&(payload.len() as u32).to_le_bytes())?;
-                f.write_all(&crc32(&payload).to_le_bytes())?;
-                f.write_all(&payload)?;
+        if let Some(path) = self.path.as_ref() {
+            let tmp = path.with_extension("compact");
+            {
+                let mut f = File::create(&tmp)?;
+                for r in &latest {
+                    let payload =
+                        serde_json::to_vec(r).map_err(|e| LogError::Codec(e.to_string()))?;
+                    f.write_all(&(payload.len() as u32).to_le_bytes())?;
+                    f.write_all(&crc32(&payload).to_le_bytes())?;
+                    f.write_all(&payload)?;
+                }
+                f.flush()?;
             }
-            f.flush()?;
+            std::fs::rename(&tmp, path)?;
+            let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+            file.seek(SeekFrom::End(0))?;
+            self.file = Some(file);
         }
-        std::fs::rename(&tmp, &self.path)?;
-        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        self.file.seek(SeekFrom::End(0))?;
         self.records = latest;
         Ok(dropped)
     }
@@ -206,9 +239,19 @@ impl LogStore {
         &self.records
     }
 
-    /// Current file size in bytes.
+    /// Current file size in bytes (0 for ephemeral stores).
     pub fn file_bytes(&self) -> u64 {
-        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+        self.path
+            .as_ref()
+            .and_then(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+
+    /// One full pass over the record working set, for the stats recorder.
+    fn count_scan(&self) {
+        self.stats.add_scans(1);
+        self.stats.add_record_reads(self.records.len() as u64);
     }
 }
 
@@ -217,12 +260,17 @@ impl ProvenanceStore for LogStore {
         "log"
     }
 
+    fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
     fn ingest(&mut self, retro: &RetrospectiveProvenance) {
         self.append(retro).expect("log append failed");
     }
 
     fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
         // Unindexed: scan every record.
+        self.count_scan();
         let mut out = Vec::new();
         for rec in &self.records {
             for run in &rec.runs {
@@ -243,6 +291,8 @@ impl ProvenanceStore for LogStore {
         while !frontier.is_empty() {
             let mut next = Vec::new();
             for a in frontier.drain(..) {
+                // One whole-log pass per frontier artifact — no index.
+                self.count_scan();
                 for rec in &self.records {
                     for run in &rec.runs {
                         if run.outputs.iter().any(|(_, h)| *h == a)
@@ -272,6 +322,7 @@ impl ProvenanceStore for LogStore {
         while !frontier.is_empty() {
             let mut next = Vec::new();
             for a in frontier.drain(..) {
+                self.count_scan();
                 for rec in &self.records {
                     for run in &rec.runs {
                         if run.inputs.iter().any(|(_, h)| *h == a)
@@ -293,6 +344,7 @@ impl ProvenanceStore for LogStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
+        self.count_scan();
         let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
         for rec in &self.records {
             for run in &rec.runs {
@@ -307,7 +359,26 @@ impl ProvenanceStore for LogStore {
     }
 
     fn approx_bytes(&self) -> usize {
-        self.file_bytes() as usize
+        if self.is_ephemeral() {
+            // No file to measure: estimate the frames an on-disk log of the
+            // same records would occupy (structural, serializer-free).
+            self.records
+                .iter()
+                .map(|r| {
+                    64 + r.workflow_name.len()
+                        + r.runs
+                            .iter()
+                            .map(|run| {
+                                96 + run.identity.len()
+                                    + 24 * (run.inputs.len() + run.outputs.len())
+                            })
+                            .sum::<usize>()
+                        + 48 * r.artifacts.len()
+                })
+                .sum()
+        } else {
+            self.file_bytes() as usize
+        }
     }
 }
 
@@ -438,6 +509,47 @@ mod tests {
         let replay = LogStore::replay(&path).unwrap();
         assert_eq!(replay.records.len(), 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ephemeral_store_matches_file_backed_answers() {
+        let path = temp_path("ephemeral");
+        let (retro, nodes) = fig1_retro();
+        let mut on_disk = LogStore::open(&path).unwrap();
+        on_disk.ingest(&retro);
+        let mut in_mem = LogStore::ephemeral();
+        in_mem.ingest(&retro);
+        assert!(in_mem.is_ephemeral() && !on_disk.is_ephemeral());
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        assert_eq!(in_mem.generators(grid), on_disk.generators(grid));
+        assert_eq!(in_mem.lineage_runs(grid), on_disk.lineage_runs(grid));
+        assert_eq!(in_mem.runs_per_module(), on_disk.runs_per_module());
+        assert_eq!(in_mem.run_count(), on_disk.run_count());
+        assert_eq!(in_mem.file_bytes(), 0);
+        assert!(in_mem.approx_bytes() > 0, "structural size estimate");
+        // Compaction works in memory too.
+        in_mem.ingest(&retro);
+        assert_eq!(in_mem.compact().unwrap(), 1);
+        assert_eq!(in_mem.records().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_count_one_scan_per_query_pass() {
+        let (retro, nodes) = fig1_retro();
+        let mut log = LogStore::ephemeral();
+        log.ingest(&retro);
+        assert_eq!(log.stats().snapshot().total_reads(), 0, "ingest uncounted");
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        let before = log.stats().snapshot();
+        let _ = log.generators(grid);
+        let d = log.stats().snapshot().delta(&before);
+        assert_eq!(d.scans, 1);
+        assert_eq!(d.record_reads, 1, "one record ingested, one read");
+        let before = log.stats().snapshot();
+        let _ = log.lineage_runs(grid);
+        let d = log.stats().snapshot().delta(&before);
+        assert!(d.scans >= 1, "at least one pass per frontier level");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! ```
 
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::collections::HashMap;
 use std::fmt;
@@ -179,6 +180,11 @@ impl Relation {
         self.rows.len()
     }
 
+    /// Whether an equality index exists on `column`.
+    pub fn is_indexed(&self, column: &str) -> bool {
+        self.indexes.contains_key(&self.schema.col(column))
+    }
+
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -324,6 +330,7 @@ pub struct RelStore {
     pub run_outputs: Relation,
     /// `artifacts(hash, dtype, size)`.
     pub artifacts: Relation,
+    stats: StoreStats,
 }
 
 impl Default for RelStore {
@@ -348,6 +355,7 @@ impl RelStore {
             run_inputs: Relation::new(Schema::new(&["exec", "node", "port", "artifact"])),
             run_outputs: Relation::new(Schema::new(&["exec", "node", "port", "artifact"])),
             artifacts: Relation::new(Schema::new(&["hash", "dtype", "size"])),
+            stats: StoreStats::new(),
         }
     }
 
@@ -374,6 +382,7 @@ impl RelStore {
             run_inputs,
             run_outputs,
             artifacts,
+            stats: StoreStats::new(),
         }
     }
 
@@ -382,6 +391,26 @@ impl RelStore {
             ExecId(row_exec.as_int()? as u64),
             NodeId(row_node.as_int()? as u64),
         ))
+    }
+
+    /// Stats-recording lookup used by the query paths: an indexed column is
+    /// a keyed probe reading only the matching rows; an unindexed column
+    /// forces a scan of the whole relation.
+    fn counted_lookup<'a>(
+        &'a self,
+        rel: &'a Relation,
+        column: &str,
+        value: &RelValue,
+    ) -> Vec<&'a Vec<RelValue>> {
+        let out = rel.lookup(column, value);
+        if rel.is_indexed(column) {
+            self.stats.add_keyed_lookups(1);
+            self.stats.add_row_reads(out.len() as u64);
+        } else {
+            self.stats.add_scans(1);
+            self.stats.add_row_reads(rel.len() as u64);
+        }
+        out
     }
 }
 
@@ -394,6 +423,10 @@ fn art_val(h: ArtifactHash) -> RelValue {
 impl ProvenanceStore for RelStore {
     fn backend_name(&self) -> &'static str {
         "relational"
+    }
+
+    fn stats(&self) -> &StoreStats {
+        &self.stats
     }
 
     fn ingest(&mut self, retro: &RetrospectiveProvenance) {
@@ -435,8 +468,7 @@ impl ProvenanceStore for RelStore {
 
     fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
         sort_runs(
-            self.run_outputs
-                .lookup("artifact", &art_val(artifact))
+            self.counted_lookup(&self.run_outputs, "artifact", &art_val(artifact))
                 .into_iter()
                 .filter_map(|row| RelStore::run_ref(&row[0], &row[1]))
                 .collect(),
@@ -454,7 +486,7 @@ impl ProvenanceStore for RelStore {
         while !frontier.is_empty() {
             let mut next = Vec::new();
             for a in frontier.drain(..) {
-                for out_row in self.run_outputs.lookup("artifact", &art_val(a)) {
+                for out_row in self.counted_lookup(&self.run_outputs, "artifact", &art_val(a)) {
                     let Some(run) = RelStore::run_ref(&out_row[0], &out_row[1]) else {
                         continue;
                     };
@@ -464,10 +496,11 @@ impl ProvenanceStore for RelStore {
                     result.push(run);
                     // Join to this run's inputs (index-nested-loop join on
                     // node, filtered by exec).
-                    for in_row in self
-                        .run_inputs
-                        .lookup("node", &RelValue::Int(run.1.raw() as i64))
-                    {
+                    for in_row in self.counted_lookup(
+                        &self.run_inputs,
+                        "node",
+                        &RelValue::Int(run.1.raw() as i64),
+                    ) {
                         if in_row[0].as_int() == Some(run.0 .0 as i64) {
                             if let Some(h) = in_row[3].as_int() {
                                 let h = h as u64;
@@ -493,17 +526,18 @@ impl ProvenanceStore for RelStore {
         while !frontier.is_empty() {
             let mut next = Vec::new();
             for a in frontier.drain(..) {
-                for in_row in self.run_inputs.lookup("artifact", &art_val(a)) {
+                for in_row in self.counted_lookup(&self.run_inputs, "artifact", &art_val(a)) {
                     let Some(run) = RelStore::run_ref(&in_row[0], &in_row[1]) else {
                         continue;
                     };
                     if !seen_runs.insert(run) {
                         continue;
                     }
-                    for out_row in self
-                        .run_outputs
-                        .lookup("node", &RelValue::Int(run.1.raw() as i64))
-                    {
+                    for out_row in self.counted_lookup(
+                        &self.run_outputs,
+                        "node",
+                        &RelValue::Int(run.1.raw() as i64),
+                    ) {
                         if out_row[0].as_int() == Some(run.0 .0 as i64) {
                             if let Some(h) = out_row[3].as_int() {
                                 let h = h as u64;
@@ -522,6 +556,8 @@ impl ProvenanceStore for RelStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
+        self.stats.add_scans(1);
+        self.stats.add_row_reads(self.runs.len() as u64);
         self.runs
             .count_by("identity")
             .into_iter()
@@ -659,6 +695,26 @@ mod tests {
         assert_eq!(
             plain.derived_artifacts(grid),
             indexed.derived_artifacts(grid)
+        );
+    }
+
+    #[test]
+    fn stats_show_indexed_probes_vs_unindexed_scans() {
+        let (indexed, retro, nodes) = fig1_store();
+        let mut plain = RelStore::new_unindexed();
+        plain.ingest(&retro);
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        let _ = indexed.generators(grid);
+        let _ = plain.generators(grid);
+        let i = indexed.stats().snapshot();
+        let p = plain.stats().snapshot();
+        assert_eq!(i.keyed_lookups, 1);
+        assert_eq!(i.scans, 0);
+        assert_eq!(p.keyed_lookups, 0);
+        assert_eq!(p.scans, 1);
+        assert!(
+            p.row_reads > i.row_reads,
+            "unindexed lookup reads the whole table"
         );
     }
 

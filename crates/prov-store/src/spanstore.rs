@@ -7,7 +7,7 @@
 //! `prov-telemetry`, so a store can be dumped to disk, shipped, and
 //! re-ingested without a JSON library.
 
-use prov_telemetry::{spans_from_jsonl, spans_jsonl, Span, SpanKind, Trace};
+use prov_telemetry::{spans_from_jsonl_lossy, spans_jsonl, JsonlSkip, Span, SpanKind, Trace};
 use std::collections::BTreeMap;
 use wf_engine::ExecId;
 
@@ -90,11 +90,17 @@ impl SpanStore {
 
     /// Rebuild a store from a JSONL log produced by [`SpanStore::to_jsonl`]
     /// (or any `prov-telemetry` span log).
-    pub fn from_jsonl(input: &str) -> Result<Self, String> {
-        let trace = spans_from_jsonl(input)?;
+    ///
+    /// The load is lenient: a malformed line (torn write, truncated tail,
+    /// hand-edited log) is skipped and reported rather than failing the
+    /// whole load, so one bad record never costs every other span in the
+    /// file. Callers that need strictness can assert the skip list is
+    /// empty.
+    pub fn from_jsonl(input: &str) -> (Self, Vec<JsonlSkip>) {
+        let (trace, skipped) = spans_from_jsonl_lossy(input);
         let mut store = Self::new();
         store.ingest_trace(&trace);
-        Ok(store)
+        (store, skipped)
     }
 
     /// Rough in-memory footprint in bytes (for capacity experiments).
@@ -156,9 +162,25 @@ mod tests {
         let mut store = SpanStore::new();
         store.ingest_trace(&trace);
         let log = store.to_jsonl();
-        let back = SpanStore::from_jsonl(&log).unwrap();
+        let (back, skipped) = SpanStore::from_jsonl(&log);
+        assert!(skipped.is_empty());
         assert_eq!(back.len(), store.len());
         assert_eq!(back.spans_of(e1), store.spans_of(e1));
+    }
+
+    #[test]
+    fn corrupted_line_mid_file_is_skipped_and_reported() {
+        let (trace, _, _) = collected();
+        let mut store = SpanStore::new();
+        store.ingest_trace(&trace);
+        let mut lines: Vec<String> = store.to_jsonl().lines().map(String::from).collect();
+        let mid = lines.len() / 2;
+        lines[mid] = "{\"span\":7,\"kind\":\"module\",\"na".into();
+        let (back, skipped) = SpanStore::from_jsonl(&lines.join("\n"));
+        assert_eq!(back.len(), store.len() - 1, "every intact span survives");
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].line, mid + 1);
+        assert!(!skipped[0].reason.is_empty());
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Instrumented store access: [`StoreStats`] counts the primitive read
+//! operations a backend performs while answering queries.
+//!
+//! §2.2 of the tutorial frames provenance management as a storage-strategy
+//! vs. query-efficiency trade-off. The canned-query experiment (E5) shows
+//! the *end-to-end* times; `StoreStats` opens the box and shows *why* — how
+//! many node/edge/triple/row/record reads each backend issued, and whether
+//! it got to use a keyed lookup or had to scan. Every
+//! [`crate::ProvenanceStore`] backend carries one recorder and bumps it on
+//! its query paths (ingest is deliberately not counted: the stats describe
+//! the cost of *answering* a query, not of building the store).
+//!
+//! Counters use [`Cell`] rather than atomics: queries against a single
+//! store are single-threaded in this codebase, and a `Cell` bump is one
+//! unsynchronized add — cheap enough to leave on in the hot path (the E16
+//! acceptance bar is <5% overhead with observation enabled). Recording can
+//! still be switched off wholesale with [`StoreStats::set_enabled`], which
+//! is what the E16 harness uses for its unobserved baseline.
+
+use std::cell::Cell;
+
+/// Counters for the primitive read operations of a store backend.
+///
+/// Interior-mutable so that read-only query methods (`&self`) can record
+/// their work. Obtain a point-in-time copy with [`StoreStats::snapshot`]
+/// and attribute work to a region of code by subtracting snapshots with
+/// [`StatsSnapshot::delta`].
+#[derive(Debug)]
+pub struct StoreStats {
+    /// Graph-shaped node materializations (graph store, PQL engine).
+    node_reads: Cell<u64>,
+    /// Adjacency-list entries followed (graph store, PQL engine).
+    edge_reads: Cell<u64>,
+    /// Triples produced by index pattern matches (triple store).
+    triple_reads: Cell<u64>,
+    /// Relational rows read out of heap tables (relational store).
+    row_reads: Cell<u64>,
+    /// Log records replayed or re-examined (log store).
+    record_reads: Cell<u64>,
+    /// Accesses served by a key or index (hash/B-tree probe).
+    keyed_lookups: Cell<u64>,
+    /// Accesses that had to walk a whole table/log/index.
+    scans: Cell<u64>,
+    /// Bytes decoded from a serialized representation.
+    bytes_deserialized: Cell<u64>,
+    /// When false, every bump is a no-op (the unobserved baseline).
+    enabled: Cell<bool>,
+}
+
+impl Default for StoreStats {
+    fn default() -> Self {
+        StoreStats {
+            node_reads: Cell::new(0),
+            edge_reads: Cell::new(0),
+            triple_reads: Cell::new(0),
+            row_reads: Cell::new(0),
+            record_reads: Cell::new(0),
+            keyed_lookups: Cell::new(0),
+            scans: Cell::new(0),
+            bytes_deserialized: Cell::new(0),
+            enabled: Cell::new(true),
+        }
+    }
+}
+
+macro_rules! bump {
+    ($(#[$doc:meta])* $name:ident, $field:ident) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(&self, n: u64) {
+            if self.enabled.get() {
+                self.$field.set(self.$field.get() + n);
+            }
+        }
+    };
+}
+
+impl StoreStats {
+    /// A fresh recorder with all counters zero and recording enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    bump!(
+        /// Record `n` node materializations.
+        add_node_reads,
+        node_reads
+    );
+    bump!(
+        /// Record `n` adjacency entries followed.
+        add_edge_reads,
+        edge_reads
+    );
+    bump!(
+        /// Record `n` triples produced by pattern matches.
+        add_triple_reads,
+        triple_reads
+    );
+    bump!(
+        /// Record `n` relational rows read.
+        add_row_reads,
+        row_reads
+    );
+    bump!(
+        /// Record `n` log records examined.
+        add_record_reads,
+        record_reads
+    );
+    bump!(
+        /// Record `n` keyed (index-served) lookups.
+        add_keyed_lookups,
+        keyed_lookups
+    );
+    bump!(
+        /// Record `n` full scans.
+        add_scans,
+        scans
+    );
+    bump!(
+        /// Record `n` bytes decoded from serialized form.
+        add_bytes_deserialized,
+        bytes_deserialized
+    );
+
+    /// Turn recording on or off. Counters keep their values either way.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    /// Whether bumps are currently being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Reset every counter to zero (recording state is unchanged).
+    pub fn reset(&self) {
+        self.node_reads.set(0);
+        self.edge_reads.set(0);
+        self.triple_reads.set(0);
+        self.row_reads.set(0);
+        self.record_reads.set(0);
+        self.keyed_lookups.set(0);
+        self.scans.set(0);
+        self.bytes_deserialized.set(0);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            node_reads: self.node_reads.get(),
+            edge_reads: self.edge_reads.get(),
+            triple_reads: self.triple_reads.get(),
+            row_reads: self.row_reads.get(),
+            record_reads: self.record_reads.get(),
+            keyed_lookups: self.keyed_lookups.get(),
+            scans: self.scans.get(),
+            bytes_deserialized: self.bytes_deserialized.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`StoreStats`] counters; plain data, `Copy`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Graph-shaped node materializations.
+    pub node_reads: u64,
+    /// Adjacency-list entries followed.
+    pub edge_reads: u64,
+    /// Triples produced by index pattern matches.
+    pub triple_reads: u64,
+    /// Relational rows read out of heap tables.
+    pub row_reads: u64,
+    /// Log records replayed or re-examined.
+    pub record_reads: u64,
+    /// Accesses served by a key or index.
+    pub keyed_lookups: u64,
+    /// Accesses that walked a whole table/log/index.
+    pub scans: u64,
+    /// Bytes decoded from a serialized representation.
+    pub bytes_deserialized: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating): the work done
+    /// between the `earlier` snapshot and this one.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            node_reads: self.node_reads.saturating_sub(earlier.node_reads),
+            edge_reads: self.edge_reads.saturating_sub(earlier.edge_reads),
+            triple_reads: self.triple_reads.saturating_sub(earlier.triple_reads),
+            row_reads: self.row_reads.saturating_sub(earlier.row_reads),
+            record_reads: self.record_reads.saturating_sub(earlier.record_reads),
+            keyed_lookups: self.keyed_lookups.saturating_sub(earlier.keyed_lookups),
+            scans: self.scans.saturating_sub(earlier.scans),
+            bytes_deserialized: self
+                .bytes_deserialized
+                .saturating_sub(earlier.bytes_deserialized),
+        }
+    }
+
+    /// Counter-wise sum of two snapshots.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            node_reads: self.node_reads + other.node_reads,
+            edge_reads: self.edge_reads + other.edge_reads,
+            triple_reads: self.triple_reads + other.triple_reads,
+            row_reads: self.row_reads + other.row_reads,
+            record_reads: self.record_reads + other.record_reads,
+            keyed_lookups: self.keyed_lookups + other.keyed_lookups,
+            scans: self.scans + other.scans,
+            bytes_deserialized: self.bytes_deserialized + other.bytes_deserialized,
+        }
+    }
+
+    /// Total element reads of any kind (nodes + edges + triples + rows +
+    /// records). Lookup/scan/byte counters are access *shapes*, not reads,
+    /// and are excluded.
+    pub fn total_reads(&self) -> u64 {
+        self.node_reads + self.edge_reads + self.triple_reads + self.row_reads + self.record_reads
+    }
+
+    /// Compact single-line rendering of the non-zero counters, e.g.
+    /// `nodes=3 edges=7 keyed=4`. Returns `"-"` when everything is zero.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (label, v) in [
+            ("nodes", self.node_reads),
+            ("edges", self.edge_reads),
+            ("triples", self.triple_reads),
+            ("rows", self.row_reads),
+            ("records", self.record_reads),
+            ("keyed", self.keyed_lookups),
+            ("scans", self.scans),
+            ("bytes", self.bytes_deserialized),
+        ] {
+            if v > 0 {
+                parts.push(format!("{label}={v}"));
+            }
+        }
+        if parts.is_empty() {
+            "-".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bumps_accumulate_and_snapshot() {
+        let s = StoreStats::new();
+        s.add_node_reads(3);
+        s.add_edge_reads(2);
+        s.add_keyed_lookups(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.node_reads, 3);
+        assert_eq!(snap.edge_reads, 2);
+        assert_eq!(snap.keyed_lookups, 1);
+        assert_eq!(snap.total_reads(), 5);
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_bumps() {
+        let s = StoreStats::new();
+        s.add_scans(1);
+        s.set_enabled(false);
+        s.add_scans(10);
+        s.add_row_reads(10);
+        s.set_enabled(true);
+        s.add_scans(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.scans, 2);
+        assert_eq!(snap.row_reads, 0);
+    }
+
+    #[test]
+    fn delta_attributes_work_between_snapshots() {
+        let s = StoreStats::new();
+        s.add_triple_reads(5);
+        let before = s.snapshot();
+        s.add_triple_reads(7);
+        s.add_scans(1);
+        let after = s.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.triple_reads, 7);
+        assert_eq!(d.scans, 1);
+        assert_eq!(d.node_reads, 0);
+    }
+
+    #[test]
+    fn merge_sums_counterwise() {
+        let a = StatsSnapshot {
+            node_reads: 1,
+            scans: 2,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            node_reads: 10,
+            keyed_lookups: 4,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.node_reads, 11);
+        assert_eq!(m.scans, 2);
+        assert_eq!(m.keyed_lookups, 4);
+    }
+
+    #[test]
+    fn render_is_compact_and_skips_zeros() {
+        let s = StoreStats::new();
+        assert_eq!(s.snapshot().render(), "-");
+        s.add_node_reads(3);
+        s.add_scans(1);
+        assert_eq!(s.snapshot().render(), "nodes=3 scans=1");
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_enabled_state() {
+        let s = StoreStats::new();
+        s.add_record_reads(9);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert!(s.enabled());
+    }
+}

@@ -12,6 +12,7 @@
 //! traversal (experiment E5).
 
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::collections::{BTreeSet, HashMap};
 use wf_engine::ExecId;
@@ -49,6 +50,7 @@ pub struct TripleStore {
     spo: BTreeSet<(u32, u32, u32)>,
     pos: BTreeSet<(u32, u32, u32)>,
     osp: BTreeSet<(u32, u32, u32)>,
+    stats: StoreStats,
 }
 
 impl TripleStore {
@@ -106,6 +108,13 @@ impl TripleStore {
         o: Option<Term>,
     ) -> Vec<(Term, Term, Term)> {
         const MAX: u32 = u32::MAX;
+        // The all-unbound pattern is the one shape no index prefix serves:
+        // it walks the whole SPO index. Everything else is a keyed range.
+        if s.is_none() && p.is_none() && o.is_none() {
+            self.stats.add_scans(1);
+        } else {
+            self.stats.add_keyed_lookups(1);
+        }
         let out: Vec<(u32, u32, u32)> = match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
                 if self.spo.contains(&(s.0, p.0, o.0)) {
@@ -146,6 +155,7 @@ impl TripleStore {
                 .collect(),
             (None, None, None) => self.spo.iter().copied().collect(),
         };
+        self.stats.add_triple_reads(out.len() as u64);
         out.into_iter()
             .map(|(s, p, o)| (Term(s), Term(p), Term(o)))
             .collect()
@@ -239,6 +249,10 @@ fn parse_artifact_iri(s: &str) -> Option<ArtifactHash> {
 impl ProvenanceStore for TripleStore {
     fn backend_name(&self) -> &'static str {
         "triple"
+    }
+
+    fn stats(&self) -> &StoreStats {
+        &self.stats
     }
 
     fn ingest(&mut self, retro: &RetrospectiveProvenance) {
@@ -499,6 +513,24 @@ mod tests {
         let grid = retro.produced(nodes.load, "grid").unwrap().hash;
         assert_eq!(ts.derived_artifacts(grid), gs.derived_artifacts(grid));
         assert_eq!(ts.runs_per_module(), gs.runs_per_module());
+    }
+
+    #[test]
+    fn stats_distinguish_keyed_patterns_from_full_scans() {
+        let (s, retro, nodes) = fig1_store();
+        assert_eq!(s.stats().snapshot().total_reads(), 0, "ingest not counted");
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        let before = s.stats().snapshot();
+        let _ = s.generators(grid);
+        let d = s.stats().snapshot().delta(&before);
+        assert_eq!(d.keyed_lookups, 1);
+        assert_eq!(d.scans, 0);
+        assert!(d.triple_reads >= 1);
+        let before = s.stats().snapshot();
+        let _ = s.pattern(None, None, None);
+        let d = s.stats().snapshot().delta(&before);
+        assert_eq!(d.scans, 1);
+        assert_eq!(d.triple_reads, s.len() as u64);
     }
 
     #[test]

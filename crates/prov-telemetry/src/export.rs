@@ -112,8 +112,66 @@ fn kind_from_label(label: &str) -> Option<SpanKind> {
         "attempt" => SpanKind::Attempt,
         "backoff" => SpanKind::Backoff,
         "cache" => SpanKind::CacheLookup,
+        "query" => SpanKind::Query,
         _ => return None,
     })
+}
+
+/// A JSONL line the lossy importer could not turn into a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlSkip {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for JsonlSkip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+/// Parse one JSONL span line. `Ok(None)` for blank lines.
+fn parse_span_line(line: &str) -> Result<Option<Span>, String> {
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    let doc = json::parse(line).map_err(|e| e.to_string())?;
+    let u = |key: &str| {
+        doc.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("missing or non-integer \"{key}\""))
+    };
+    let kind_label = doc
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"kind\"")?;
+    let kind =
+        kind_from_label(kind_label).ok_or_else(|| format!("unknown kind \"{kind_label}\""))?;
+    let mut attrs = Vec::new();
+    if let Some(JsonValue::Object(m)) = doc.get("attrs") {
+        for (k, v) in m {
+            if let Some(s) = v.as_str() {
+                attrs.push((k.clone(), s.to_string()));
+            }
+        }
+    }
+    Ok(Some(Span {
+        id: SpanId(u("span")?),
+        parent: doc.get("parent").and_then(JsonValue::as_u64).map(SpanId),
+        kind,
+        name: doc
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        exec: ExecId(u("exec")?),
+        node: doc.get("node").and_then(JsonValue::as_u64).map(NodeId),
+        start_micros: u("start")?,
+        end_micros: u("end")?,
+        attrs,
+    }))
 }
 
 /// Re-import a JSONL span log produced by [`spans_jsonl`]. Blank lines
@@ -121,47 +179,33 @@ fn kind_from_label(label: &str) -> Option<SpanKind> {
 pub fn spans_from_jsonl(input: &str) -> Result<Trace, String> {
     let mut spans = Vec::new();
     for (lineno, line) in input.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+        match parse_span_line(line) {
+            Ok(Some(span)) => spans.push(span),
+            Ok(None) => {}
+            Err(e) => return Err(format!("line {}: {}", lineno + 1, e)),
         }
-        let bad = |what: &str| format!("line {}: {}", lineno + 1, what);
-        let doc = json::parse(line).map_err(|e| bad(&e.to_string()))?;
-        let u = |key: &str| {
-            doc.get(key)
-                .and_then(JsonValue::as_u64)
-                .ok_or_else(|| bad(&format!("missing or non-integer \"{key}\"")))
-        };
-        let kind_label = doc
-            .get("kind")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| bad("missing \"kind\""))?;
-        let kind = kind_from_label(kind_label)
-            .ok_or_else(|| bad(&format!("unknown kind \"{kind_label}\"")))?;
-        let mut attrs = Vec::new();
-        if let Some(JsonValue::Object(m)) = doc.get("attrs") {
-            for (k, v) in m {
-                if let Some(s) = v.as_str() {
-                    attrs.push((k.clone(), s.to_string()));
-                }
-            }
-        }
-        spans.push(Span {
-            id: SpanId(u("span")?),
-            parent: doc.get("parent").and_then(JsonValue::as_u64).map(SpanId),
-            kind,
-            name: doc
-                .get("name")
-                .and_then(JsonValue::as_str)
-                .unwrap_or_default()
-                .to_string(),
-            exec: ExecId(u("exec")?),
-            node: doc.get("node").and_then(JsonValue::as_u64).map(NodeId),
-            start_micros: u("start")?,
-            end_micros: u("end")?,
-            attrs,
-        });
     }
     Ok(Trace { spans })
+}
+
+/// Lenient variant of [`spans_from_jsonl`]: malformed lines are skipped
+/// and reported instead of failing the whole load, so one corrupted line
+/// (a torn write, a truncated tail) does not cost every other span in
+/// the file.
+pub fn spans_from_jsonl_lossy(input: &str) -> (Trace, Vec<JsonlSkip>) {
+    let mut spans = Vec::new();
+    let mut skipped = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        match parse_span_line(line) {
+            Ok(Some(span)) => spans.push(span),
+            Ok(None) => {}
+            Err(reason) => skipped.push(JsonlSkip {
+                line: lineno + 1,
+                reason,
+            }),
+        }
+    }
+    (Trace { spans }, skipped)
 }
 
 #[cfg(test)]
@@ -220,6 +264,25 @@ mod tests {
     fn jsonl_import_reports_the_bad_line() {
         let err = spans_from_jsonl("\n{\"span\":0}\n").unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn lossy_import_keeps_good_spans_and_reports_bad_lines() {
+        let trace = sample_trace();
+        let mut lines: Vec<String> = spans_jsonl(&trace).lines().map(String::from).collect();
+        // Corrupt a line in the middle of the file (torn write).
+        let mid = lines.len() / 2;
+        lines[mid] = "{\"span\":1,\"kind\":\"mod".into();
+        lines.push("not json at all".into());
+        let input = lines.join("\n");
+        let (back, skipped) = spans_from_jsonl_lossy(&input);
+        assert_eq!(back.len(), trace.len() - 1, "only the torn span is lost");
+        assert_eq!(skipped.len(), 2);
+        assert_eq!(skipped[0].line, mid + 1);
+        assert_eq!(skipped[1].line, lines.len());
+        assert!(skipped[1]
+            .to_string()
+            .starts_with(&format!("line {}:", lines.len())));
     }
 
     #[test]

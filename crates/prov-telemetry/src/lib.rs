@@ -31,7 +31,10 @@ pub mod metrics;
 pub mod profile;
 pub mod span;
 
-pub use export::{chrome_trace_json, spans_from_jsonl, spans_jsonl, validate_chrome_trace};
+pub use export::{
+    chrome_trace_json, spans_from_jsonl, spans_from_jsonl_lossy, spans_jsonl,
+    validate_chrome_trace, JsonlSkip,
+};
 pub use json::{parse as parse_json, JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, MetricsObserver, MetricsRegistry};
 pub use profile::{profile_result, profile_retro, CriticalHop, ModuleStat, RunProfile};

@@ -160,10 +160,49 @@ enum Instrument {
     Histogram(Arc<Histogram>),
 }
 
+impl Instrument {
+    /// Prometheus metric type keyword.
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
 struct Registered {
     name: String,
     help: String,
+    /// Label set, in registration order; empty for unlabeled instruments.
+    labels: Vec<(String, String)>,
     instrument: Instrument,
+}
+
+/// Escape a label value for Prometheus text exposition: backslash, double
+/// quote, and line feed must be escaped (in that order of care — escaping
+/// the backslash first keeps the others unambiguous).
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render a label set as `{k="v",…}` with escaped values; empty string for
+/// no labels. `extra` appends one more pair (used for histogram `le`).
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
 }
 
 /// A named collection of instruments with a Prometheus text renderer.
@@ -191,8 +230,16 @@ impl MetricsRegistry {
 
     /// Register (or fetch the existing) counter called `name`.
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch the existing) counter called `name` with a label
+    /// set. The identity of an instrument is (name, labels): the same name
+    /// with different labels yields distinct counters in one family.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let labels = owned_labels(labels);
         let mut reg = self.instruments.lock();
-        if let Some(r) = reg.iter().find(|r| r.name == name) {
+        if let Some(r) = reg.iter().find(|r| r.name == name && r.labels == labels) {
             if let Instrument::Counter(c) = &r.instrument {
                 return Arc::clone(c);
             }
@@ -201,6 +248,7 @@ impl MetricsRegistry {
         reg.push(Registered {
             name: name.into(),
             help: help.into(),
+            labels,
             instrument: Instrument::Counter(Arc::clone(&c)),
         });
         c
@@ -208,8 +256,15 @@ impl MetricsRegistry {
 
     /// Register (or fetch the existing) gauge called `name`.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch the existing) gauge called `name` with a label
+    /// set (see [`MetricsRegistry::counter_with`] for identity rules).
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let labels = owned_labels(labels);
         let mut reg = self.instruments.lock();
-        if let Some(r) = reg.iter().find(|r| r.name == name) {
+        if let Some(r) = reg.iter().find(|r| r.name == name && r.labels == labels) {
             if let Instrument::Gauge(g) = &r.instrument {
                 return Arc::clone(g);
             }
@@ -218,6 +273,7 @@ impl MetricsRegistry {
         reg.push(Registered {
             name: name.into(),
             help: help.into(),
+            labels,
             instrument: Instrument::Gauge(Arc::clone(&g)),
         });
         g
@@ -225,8 +281,23 @@ impl MetricsRegistry {
 
     /// Register (or fetch the existing) histogram called `name`.
     pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Register (or fetch the existing) histogram called `name` with a
+    /// label set (see [`MetricsRegistry::counter_with`] for identity
+    /// rules). The `le` bucket label is appended after the instrument's
+    /// own labels when rendering.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let labels = owned_labels(labels);
         let mut reg = self.instruments.lock();
-        if let Some(r) = reg.iter().find(|r| r.name == name) {
+        if let Some(r) = reg.iter().find(|r| r.name == name && r.labels == labels) {
             if let Instrument::Histogram(h) = &r.instrument {
                 return Arc::clone(h);
             }
@@ -235,44 +306,66 @@ impl MetricsRegistry {
         reg.push(Registered {
             name: name.into(),
             help: help.into(),
+            labels,
             instrument: Instrument::Histogram(Arc::clone(&h)),
         });
         h
     }
 
     /// Render every instrument in the Prometheus text exposition format.
+    ///
+    /// Instruments sharing a name form one metric family: `# HELP` and
+    /// `# TYPE` are emitted once per family (from its first registration)
+    /// and all of the family's samples follow contiguously, as the
+    /// exposition format requires.
     pub fn render_prometheus(&self) -> String {
         let reg = self.instruments.lock();
         let mut out = String::new();
+        let mut rendered: Vec<&str> = Vec::new();
         for r in reg.iter() {
-            match &r.instrument {
-                Instrument::Counter(c) => {
-                    out.push_str(&format!("# HELP {} {}\n", r.name, r.help));
-                    out.push_str(&format!("# TYPE {} counter\n", r.name));
-                    out.push_str(&format!("{} {}\n", r.name, c.get()));
-                }
-                Instrument::Gauge(g) => {
-                    out.push_str(&format!("# HELP {} {}\n", r.name, r.help));
-                    out.push_str(&format!("# TYPE {} gauge\n", r.name));
-                    out.push_str(&format!("{} {}\n", r.name, g.get()));
-                }
-                Instrument::Histogram(h) => {
-                    out.push_str(&format!("# HELP {} {}\n", r.name, r.help));
-                    out.push_str(&format!("# TYPE {} histogram\n", r.name));
-                    for (bound, cum) in h.cumulative() {
-                        let le = match bound {
-                            Some(b) => b.to_string(),
-                            None => "+Inf".into(),
-                        };
-                        out.push_str(&format!("{}_bucket{{le=\"{}\"}} {}\n", r.name, le, cum));
+            if rendered.contains(&r.name.as_str()) {
+                continue;
+            }
+            rendered.push(&r.name);
+            out.push_str(&format!("# HELP {} {}\n", r.name, r.help));
+            out.push_str(&format!("# TYPE {} {}\n", r.name, r.instrument.type_name()));
+            for member in reg.iter().filter(|m| m.name == r.name) {
+                let labels = render_labels(&member.labels, None);
+                match &member.instrument {
+                    Instrument::Counter(c) => {
+                        out.push_str(&format!("{}{} {}\n", member.name, labels, c.get()));
                     }
-                    out.push_str(&format!("{}_sum {}\n", r.name, h.sum()));
-                    out.push_str(&format!("{}_count {}\n", r.name, h.count()));
+                    Instrument::Gauge(g) => {
+                        out.push_str(&format!("{}{} {}\n", member.name, labels, g.get()));
+                    }
+                    Instrument::Histogram(h) => {
+                        for (bound, cum) in h.cumulative() {
+                            let le = match bound {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".into(),
+                            };
+                            let bucket_labels =
+                                render_labels(&member.labels, Some(("le", le.as_str())));
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                member.name, bucket_labels, cum
+                            ));
+                        }
+                        out.push_str(&format!("{}_sum{} {}\n", member.name, labels, h.sum()));
+                        out.push_str(&format!("{}_count{} {}\n", member.name, labels, h.count()));
+                    }
                 }
             }
         }
         out
     }
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
 }
 
 /// The standard workflow metric set, fed from the engine event stream.
@@ -510,6 +603,42 @@ mod tests {
         a.inc();
         b.inc();
         assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn labeled_instruments_form_one_family_with_escaped_values() {
+        let reg = MetricsRegistry::new();
+        let graph = reg.counter_with("pql_queries_total", "queries", &[("backend", "graph")]);
+        let triple = reg.counter_with("pql_queries_total", "queries", &[("backend", "triple")]);
+        graph.add(4);
+        triple.add(1);
+        // Same (name, labels) => same instrument; different labels => distinct.
+        let again = reg.counter_with("pql_queries_total", "queries", &[("backend", "graph")]);
+        again.inc();
+        assert_eq!(graph.get(), 5);
+        assert_eq!(triple.get(), 1);
+
+        // A value exercising every escape the exposition format requires:
+        // backslash, double quote, and newline.
+        let nasty = reg.counter_with("pql_slow_total", "slow", &[("query", "a\\b\"c\nd")]);
+        nasty.inc();
+
+        let h = reg.histogram_with("pql_latency_micros", "lat", &[10], &[("backend", "rel")]);
+        h.observe(3);
+
+        let text = reg.render_prometheus();
+        // One HELP/TYPE per family even with two members.
+        assert_eq!(text.matches("# HELP pql_queries_total").count(), 1);
+        assert_eq!(text.matches("# TYPE pql_queries_total counter").count(), 1);
+        assert!(text.contains("pql_queries_total{backend=\"graph\"} 5"));
+        assert!(text.contains("pql_queries_total{backend=\"triple\"} 1"));
+        // Escapes: \ -> \\, " -> \", newline -> \n (two characters).
+        assert!(text.contains("pql_slow_total{query=\"a\\\\b\\\"c\\nd\"} 1"));
+        // Histogram appends `le` after the instrument's own labels.
+        assert!(text.contains("pql_latency_micros_bucket{backend=\"rel\",le=\"10\"} 1"));
+        assert!(text.contains("pql_latency_micros_bucket{backend=\"rel\",le=\"+Inf\"} 1"));
+        assert!(text.contains("pql_latency_micros_sum{backend=\"rel\"} 3"));
+        assert!(text.contains("pql_latency_micros_count{backend=\"rel\"} 1"));
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub enum SpanKind {
     Backoff,
     /// A memoization-cache probe.
     CacheLookup,
+    /// One PQL query evaluation (emitted by the query observer, not the
+    /// engine event stream).
+    Query,
 }
 
 impl SpanKind {
@@ -49,6 +52,7 @@ impl SpanKind {
             SpanKind::Attempt => "attempt",
             SpanKind::Backoff => "backoff",
             SpanKind::CacheLookup => "cache",
+            SpanKind::Query => "query",
         }
     }
 }

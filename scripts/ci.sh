@@ -19,6 +19,23 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 ./target/release/provctl tracecheck "$SMOKE_DIR/trace.json"
 ./target/release/provctl metrics "$SMOKE_DIR/wf.json" | grep -q "wf_runs_started_total 1"
 
+echo "==> query-observability smoke: EXPLAIN/ANALYZE + slow-query log on the challenge workload"
+./target/release/provctl demo challenge "$SMOKE_DIR/challenge.json"
+./target/release/provctl run "$SMOKE_DIR/challenge.json" "$SMOKE_DIR/challenge-prov.json"
+DIGEST="$(./target/release/provctl query "$SMOKE_DIR/challenge-prov.json" "list artifacts" | awk 'NR==1{print $2}')"
+./target/release/provctl explain "lineage of artifact $DIGEST"
+./target/release/provctl explain "$SMOKE_DIR/challenge-prov.json" \
+    "lineage of artifact $DIGEST" analyze | grep -q "total:"
+./target/release/provctl explain "$SMOKE_DIR/challenge-prov.json" \
+    "lineage of artifact $DIGEST" backend=graph | grep -q "backend: graph"
+./target/release/provctl slowlog "$SMOKE_DIR/challenge-prov.json" threshold_us=0 \
+    "out=$SMOKE_DIR/slow-queries.jsonl" | grep -q "slow-query log:"
+test -s "$SMOKE_DIR/slow-queries.jsonl"
+
+echo "==> E16: query observability overhead benchmark"
+cargo run --release -q -p bench --bin report query
+test -s BENCH_query.json
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -14,6 +14,8 @@
 //! provctl resumecheck old.json new.json # validate recovery lineage
 //! provctl log prov.json                # render the execution log
 //! provctl query prov.json "count runs" # PQL over captured provenance
+//! provctl explain prov.json "lineage of artifact <digest>" analyze   # EXPLAIN / ANALYZE
+//! provctl slowlog prov.json threshold_us=100   # slow-query log over a canned workload
 //! provctl lineage prov.json <digest>   # lineage of an artifact
 //! provctl dot prov.json                # causality graph as Graphviz DOT
 //! provctl profile prov.json            # self time, critical path, utilization
@@ -50,6 +52,13 @@ fn usage() -> ExitCode {
          \x20 resumecheck <original.json> <resumed.json>   validate recovery lineage\n\
          \x20 log      <prov.json>                       render the execution log\n\
          \x20 query    <prov.json...> <pql>              evaluate a PQL query\n\
+         \x20 explain  <prov.json...> <pql> [analyze]\n\
+         \x20          [backend=graph|triple|relational|log]  show the logical plan; with\n\
+         \x20                                             'analyze', execute and annotate each\n\
+         \x20                                             operator with rows/time/store accesses\n\
+         \x20 slowlog  <prov.json...> [threshold_us=N] [out=<file.jsonl>]\n\
+         \x20                                             run the canned query workload on every\n\
+         \x20                                             backend, dump the slow-query log\n\
          \x20 lineage  <prov.json> <artifact-digest>     lineage of an artifact\n\
          \x20 dot      <prov.json>                       causality graph as DOT\n\
          \x20 wfdot    <wf.json>                         workflow spec as DOT\n\
@@ -74,6 +83,22 @@ fn load_workflow(path: &str) -> Result<Workflow, String> {
 fn load_prov(path: &str) -> Result<RetrospectiveProvenance, String> {
     RetrospectiveProvenance::from_json(&read(path)?)
         .map_err(|e| format!("bad provenance in {path}: {e}"))
+}
+
+/// An empty store backend by name (the log backend is ephemeral — the
+/// CLI workload exercises its scan profile, not its on-disk framing).
+fn make_store(name: &str) -> Result<Box<dyn ProvenanceStore>, String> {
+    Ok(match name {
+        "graph" => Box::new(GraphStore::new()),
+        "triple" => Box::new(TripleStore::new()),
+        "relational" | "rel" => Box::new(RelStore::new()),
+        "log" => Box::new(LogStore::ephemeral()),
+        other => {
+            return Err(format!(
+                "unknown backend '{other}' (expected graph|triple|relational|log)"
+            ))
+        }
+    })
 }
 
 fn run() -> Result<(), String> {
@@ -206,6 +231,122 @@ fn run() -> Result<(), String> {
             }
             let result = engine.eval(pql).map_err(|e| e.to_string())?;
             out(&format!("{}\n", result.render()));
+            Ok(())
+        }
+        ["explain", rest @ ..] => {
+            // Positional args: provenance files then the query; options
+            // ('analyze', 'backend=...') may follow the query.
+            let mut analyze_mode = false;
+            let mut backend: Option<&str> = None;
+            let mut positional: Vec<&str> = Vec::new();
+            for a in rest {
+                match *a {
+                    "analyze" => analyze_mode = true,
+                    _ if a.starts_with("backend=") => backend = Some(&a["backend=".len()..]),
+                    _ => positional.push(a),
+                }
+            }
+            let (pql, files) = positional
+                .split_last()
+                .ok_or("usage: explain <prov.json...> <pql> [analyze] [backend=...]")?;
+            let query = parse_pql(pql).map_err(|e| e.to_string())?;
+            match backend {
+                None if !analyze_mode => {
+                    out(&Plan::of(&query).render());
+                }
+                None => {
+                    if files.is_empty() {
+                        return Err("explain analyze needs at least one prov.json".into());
+                    }
+                    let mut engine = PqlEngine::new();
+                    for p in files {
+                        engine.ingest(&load_prov(p)?);
+                    }
+                    out(&analyze(&engine, &query)
+                        .map_err(|e| e.to_string())?
+                        .render());
+                }
+                Some(name) => {
+                    if files.is_empty() {
+                        return Err("explain backend=... needs at least one prov.json".into());
+                    }
+                    let mut store = make_store(name)?;
+                    for p in files {
+                        store.ingest(&load_prov(p)?);
+                    }
+                    out(&analyze_store(store.as_ref(), &query)
+                        .map_err(|e| e.to_string())?
+                        .render());
+                }
+            }
+            Ok(())
+        }
+        ["slowlog", rest @ ..] => {
+            let mut threshold_us = 0u64;
+            let mut out_path: Option<&str> = None;
+            let mut files: Vec<&str> = Vec::new();
+            for a in rest {
+                if let Some(v) = a.strip_prefix("threshold_us=") {
+                    threshold_us = v
+                        .parse()
+                        .map_err(|_| format!("threshold_us needs an integer, got '{v}'"))?;
+                } else if let Some(v) = a.strip_prefix("out=") {
+                    out_path = Some(v);
+                } else {
+                    files.push(a);
+                }
+            }
+            if files.is_empty() {
+                return Err("usage: slowlog <prov.json...> [threshold_us=N] [out=<file>]".into());
+            }
+            let mut engine = PqlEngine::new();
+            let mut retros = Vec::new();
+            for p in &files {
+                let retro = load_prov(p)?;
+                engine.ingest(&retro);
+                retros.push(retro);
+            }
+            let mut obs = QueryObserver::new().with_slowlog(threshold_us, 256);
+            // The canned workload: the Provenance Challenge question shapes
+            // over the first few artifacts, on the engine and every backend.
+            let digests: Vec<String> = retros
+                .iter()
+                .flat_map(|r| r.artifacts.values())
+                .take(4)
+                .map(|a| a.digest())
+                .collect();
+            let mut engine_queries = vec!["count runs".to_string(), "list runs".to_string()];
+            for d in &digests {
+                engine_queries.push(format!("lineage of artifact {d}"));
+                engine_queries.push(format!("impact of artifact {d}"));
+            }
+            for q in &engine_queries {
+                let parsed = parse_pql(q).map_err(|e| e.to_string())?;
+                obs.eval_observed(&engine, &parsed)
+                    .map_err(|e| e.to_string())?;
+            }
+            for name in ["graph", "triple", "relational", "log"] {
+                let mut store = make_store(name)?;
+                for r in &retros {
+                    store.ingest(r);
+                }
+                let mut store_queries = vec!["count runs".to_string()];
+                for d in &digests {
+                    store_queries.push(format!("lineage of artifact {d}"));
+                    store_queries.push(format!("lineage of artifact {d} depth 1"));
+                    store_queries.push(format!("impact of artifact {d}"));
+                }
+                for q in &store_queries {
+                    let parsed = parse_pql(q).map_err(|e| e.to_string())?;
+                    obs.eval_store_observed(store.as_ref(), name, &parsed)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            out(&obs.slowlog.render());
+            if let Some(p) = out_path {
+                std::fs::write(p, obs.slowlog.to_jsonl()).map_err(|e| e.to_string())?;
+                println!("slow-query log (JSONL) -> {p}");
+            }
             Ok(())
         }
         ["lineage", path, digest] => {

@@ -102,9 +102,15 @@ pub mod prelude {
     };
     pub use prov_evolution::{apply_by_analogy, diff_workflows, Action, VersionId, VersionTree};
     pub use prov_interop::{integrate, run_challenge};
-    pub use prov_query::{parse as parse_pql, PqlEngine, QueryResult};
+    pub use prov_query::{
+        analyze, analyze_store, parse as parse_pql, Plan, PqlEngine, QueryObserver, QueryResult,
+        SlowQueryLog,
+    };
     pub use prov_social::{Collaboratory, FragmentMiner};
-    pub use prov_store::{GraphStore, LogStore, ProvenanceStore, RelStore, SpanStore, TripleStore};
+    pub use prov_store::{
+        GraphStore, LogStore, ProvenanceStore, RelStore, SpanStore, StatsSnapshot, StoreStats,
+        TripleStore,
+    };
     pub use prov_telemetry::{
         profile_result, profile_retro, MetricsObserver, RunProfile, SpanCollector, Telemetry, Trace,
     };

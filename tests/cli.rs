@@ -237,6 +237,95 @@ fn metrics_prints_prometheus_text() {
 }
 
 #[test]
+fn explain_prints_plan_analyze_stats_and_backend_reports() {
+    let dir = tempdir("explain");
+    let wf = dir.join("wf.json");
+    let prov = dir.join("prov.json");
+    provctl(&["demo", "fig1", wf.to_str().unwrap()]);
+    provctl(&["run", wf.to_str().unwrap(), prov.to_str().unwrap()]);
+    let prov_s = prov.to_str().unwrap();
+
+    // Plain EXPLAIN needs no provenance: it renders the logical plan.
+    let o = provctl(&["explain", "lineage of artifact 00000000000000ff"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let plan = stdout(&o);
+    assert!(plan.starts_with("Collect"), "{plan}");
+    assert!(plan.contains("+- Traverse (upstream)"));
+    assert!(plan.contains("Anchor (artifact 00000000000000ff)"));
+
+    // Find a real digest to analyze.
+    let o = provctl(&["query", prov_s, "list artifacts where dtype = bytes"]);
+    let digest = stdout(&o)
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1).map(str::to_string))
+        .expect("a bytes artifact exists");
+    let q = format!("lineage of artifact {digest}");
+
+    // EXPLAIN ANALYZE annotates every operator with rows/time/accesses.
+    let o = provctl(&["explain", prov_s, &q, "analyze"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let text = stdout(&o);
+    assert!(text.contains("rows="), "{text}");
+    assert!(text.contains("total:"), "{text}");
+    assert!(text.contains("accesses:"), "{text}");
+
+    // Backend ANALYZE reports the chosen backend's access profile.
+    for backend in ["graph", "triple", "relational", "log"] {
+        let opt = format!("backend={backend}");
+        let o = provctl(&["explain", prov_s, &q, &opt]);
+        assert!(o.status.success(), "[{backend}] {}", stderr(&o));
+        let text = stdout(&o);
+        assert!(text.starts_with(&format!("backend: {backend}")), "{text}");
+        assert!(text.contains("TransitiveClosure"), "{text}");
+    }
+
+    // Unknown backends are rejected with the valid names.
+    let o = provctl(&["explain", prov_s, &q, "backend=quantum"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("graph"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slowlog_retains_queries_and_writes_jsonl() {
+    let dir = tempdir("slowlog");
+    let wf = dir.join("wf.json");
+    let prov = dir.join("prov.json");
+    let jsonl = dir.join("slow.jsonl");
+    provctl(&["demo", "fig1", wf.to_str().unwrap()]);
+    provctl(&["run", wf.to_str().unwrap(), prov.to_str().unwrap()]);
+
+    // Threshold 0 admits the whole canned workload.
+    let out_opt = format!("out={}", jsonl.to_str().unwrap());
+    let o = provctl(&[
+        "slowlog",
+        prov.to_str().unwrap(),
+        "threshold_us=0",
+        &out_opt,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let text = stdout(&o);
+    assert!(text.contains("slow-query log:"), "{text}");
+    assert!(text.contains("threshold 0us"), "{text}");
+    assert!(text.contains("[graph]") && text.contains("[log]"), "{text}");
+    assert!(text.contains("lineage of artifact"), "{text}");
+
+    // The JSONL dump has one parsable object per retained entry.
+    let dump = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(dump.lines().count() > 4, "canned workload retained");
+    assert!(dump.lines().all(|l| l.starts_with("{\"seq\":")), "{dump}");
+    assert!(dump.contains("\"backend\":\"relational\""));
+
+    // An unreachable threshold retains nothing but still reports totals.
+    let o = provctl(&["slowlog", prov.to_str().unwrap(), "threshold_us=999999999"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let text = stdout(&o);
+    assert!(text.contains("0 retained"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn profile_reports_critical_path_and_utilization_from_stored_provenance() {
     let dir = tempdir("profile-retro");
     let wf = dir.join("wf.json");

@@ -1,0 +1,118 @@
+//! Plan/eval equivalence properties: on randomly shaped provenance
+//! graphs, EXPLAIN ANALYZE must produce exactly the result of the
+//! un-instrumented evaluator, its per-operator access deltas must
+//! partition the engine's counted work, and row counts must be
+//! internally consistent (root operator output == result cardinality,
+//! closures monotone in their depth bound).
+
+use proptest::prelude::*;
+use provenance_workflows::prelude::*;
+use wf_engine::synth::{layered_dag, LayeredSpec};
+
+fn run_layered(depth: usize, width: usize, fan_in: usize, seed: u64) -> RetrospectiveProvenance {
+    let (wf, _) = layered_dag(
+        1,
+        LayeredSpec {
+            depth,
+            width,
+            fan_in,
+            work: 1,
+            seed,
+        },
+    );
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&wf, &mut cap).expect("runs");
+    cap.take(r.exec).expect("captured")
+}
+
+fn engine_over(retro: &RetrospectiveProvenance) -> PqlEngine {
+    let mut e = PqlEngine::new();
+    e.ingest(retro);
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn analyze_matches_eval_on_generated_graphs(
+        depth in 1usize..5, width in 1usize..4, fan in 1usize..4, seed in 0u64..500
+    ) {
+        let retro = run_layered(depth, width, fan, seed);
+        let e = engine_over(&retro);
+        let anchors: Vec<u64> = retro.artifacts.keys().copied().take(3).collect();
+
+        let mut queries = vec![
+            "count runs".to_string(),
+            "list runs".to_string(),
+            "count runs where status = failed or status = succeeded".to_string(),
+            "list artifacts".to_string(),
+        ];
+        for h in &anchors {
+            queries.push(format!("lineage of artifact {h:016x}"));
+            queries.push(format!("lineage of artifact {h:016x} depth 1"));
+            queries.push(format!("impact of artifact {h:016x}"));
+            queries.push(format!("impact of artifact {h:016x} where status = succeeded"));
+        }
+        if anchors.len() >= 2 {
+            queries.push(format!(
+                "paths from artifact {:016x} to artifact {:016x} max 6",
+                anchors[0], anchors[1]
+            ));
+        }
+
+        for q in &queries {
+            let parsed = parse_pql(q).unwrap();
+            let before = e.stats().snapshot();
+            let analysis = analyze(&e, &parsed);
+            let delta = e.stats().snapshot().delta(&before);
+            let plain = e.eval_query(&parsed);
+            match (analysis, plain) {
+                (Ok(a), Ok(p)) => {
+                    // Result sets are identical, including row order.
+                    prop_assert_eq!(&a.result, &p, "result diverges on '{}'", q);
+                    // Per-operator access deltas partition the counted work.
+                    prop_assert_eq!(a.total_accesses(), delta, "accesses diverge on '{}'", q);
+                    // Root operator output is the result cardinality, and
+                    // the annotated rendering agrees.
+                    prop_assert_eq!(a.ops[0].rows_out, p.len(), "root rows_out on '{}'", q);
+                    prop_assert_eq!(
+                        a.render().lines().count(),
+                        a.ops.len() + 1,
+                        "one line per operator plus the summary on '{}'", q
+                    );
+                }
+                (Err(ea), Err(ep)) => prop_assert_eq!(ea, ep, "errors diverge on '{}'", q),
+                (a, p) => prop_assert!(
+                    false,
+                    "one side failed on '{}': analyze={:?} eval={:?}", q, a.map(|x| x.result), p
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn closure_row_counts_are_monotone_in_the_depth_bound(
+        depth in 2usize..5, width in 1usize..4, seed in 0u64..300
+    ) {
+        let retro = run_layered(depth, width, 2, seed);
+        let e = engine_over(&retro);
+        for h in retro.artifacts.keys().copied().take(3) {
+            let mut prev = 0usize;
+            for d in 1usize..4 {
+                let q = parse_pql(&format!("lineage of artifact {h:016x} depth {d}")).unwrap();
+                let a = analyze(&e, &q).unwrap();
+                prop_assert_eq!(a.result.len(), e.eval_query(&q).unwrap().len());
+                prop_assert!(
+                    a.result.len() >= prev,
+                    "closure shrank when the depth bound grew: {} < {prev}",
+                    a.result.len()
+                );
+                prev = a.result.len();
+            }
+            let unbounded = parse_pql(&format!("lineage of artifact {h:016x}")).unwrap();
+            prop_assert!(analyze(&e, &unbounded).unwrap().result.len() >= prev);
+        }
+    }
+}
