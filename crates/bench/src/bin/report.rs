@@ -91,6 +91,55 @@ fn report_query(reps: usize) {
     }
 }
 
+/// E17 prints its table and drops `BENCH_optimizer.json` next to the
+/// working directory. Factored out so `report optimizer` can regenerate
+/// just this section.
+fn report_optimizer(reps: usize) {
+    println!("## E17 — cost-based optimizer: naive vs index-accelerated query paths\n");
+    let corpus = challenge_corpus(12);
+    let rows = experiment_optimizer(&corpus, reps);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "backend",
+                "query",
+                "rows",
+                "eligible",
+                "naive (us)",
+                "optimized (us)",
+                "speedup"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.backend.clone(),
+                    r.query.clone(),
+                    r.rows.to_string(),
+                    r.index_eligible.to_string(),
+                    format!("{:.1}", r.naive_us),
+                    format!("{:.1}", r.optimized_us),
+                    format!("{:.2}x", r.speedup()),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    for b in ["graph", "relational", "triple", "log"] {
+        if let Some(s) = median_eligible_speedup(&rows, b) {
+            println!("median eligible speedup ({b}): {s:.2}x");
+        }
+    }
+    println!(
+        "worst ineligible regression: {:+.2}%\n",
+        worst_ineligible_regression_pct(&rows)
+    );
+    let json = optimizer_json(&rows);
+    match std::fs::write("BENCH_optimizer.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_optimizer.json"),
+        Err(e) => eprintln!("could not write BENCH_optimizer.json: {e}"),
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("telemetry") {
         report_telemetry(21);
@@ -98,6 +147,10 @@ fn main() {
     }
     if std::env::args().nth(1).as_deref() == Some("query") {
         report_query(21);
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("optimizer") {
+        report_optimizer(21);
         return;
     }
     println!("# provenance-workflows experiment report\n");
@@ -509,4 +562,7 @@ fn main() {
 
     // ---- E16 ---------------------------------------------------------
     report_query(21);
+
+    // ---- E17 ---------------------------------------------------------
+    report_optimizer(21);
 }

@@ -12,11 +12,13 @@
 
 pub mod experiments;
 pub mod faults;
+pub mod optimizer;
 pub mod queryobs;
 pub mod telemetry;
 
 pub use experiments::*;
 pub use faults::*;
+pub use optimizer::*;
 pub use queryobs::*;
 pub use telemetry::*;
 

@@ -1,0 +1,274 @@
+//! E17: what does the cost-based optimizer buy per backend?
+//!
+//! Every store backend now keeps secondary indexes (adjacency lists,
+//! module counters, hash buckets, offset indexes) next to its primary
+//! layout and answers the canned query surface through them when
+//! `set_optimized(true)` is flipped. This experiment measures the same
+//! Provenance Challenge query shapes as E16 — lineage, generating runs,
+//! impact, runs per module — naive vs optimized, interleaved so machine
+//! drift hits both variants equally, and records the medians per backend
+//! per shape in `BENCH_optimizer.json`. Before timing anything it asserts
+//! that both modes return identical answers — speed bought with wrong
+//! results is worthless.
+//!
+//! Expected shape: large wins where the naive path scans (the log backend
+//! on every shape, every backend on the aggregate), parity where the
+//! naive path is already keyed (graph-store traversals), and no
+//! meaningful regression anywhere — index maintenance is paid at ingest,
+//! not at query time.
+
+use crate::queryobs::{anchors, medians2};
+use prov_core::model::RetrospectiveProvenance;
+use prov_store::{
+    sort_artifacts, sort_runs, GraphStore, LogStore, ProvenanceStore, RelStore, TripleStore,
+};
+
+/// Query evaluations per timed sample (matches E16's scale).
+const INNER_LOOP: usize = 32;
+
+/// One backend × query-shape measurement.
+#[derive(Debug)]
+pub struct OptimizerRow {
+    /// Backend name (`graph` / `relational` / `triple` / `log`).
+    pub backend: String,
+    /// Query shape from the challenge suite.
+    pub query: String,
+    /// Result rows (identical in both modes).
+    pub rows: usize,
+    /// Does this backend have an index-accelerated path for this shape?
+    pub index_eligible: bool,
+    /// Median time per sample in naive mode (µs, whole inner loop).
+    pub naive_us: f64,
+    /// Median time per sample in optimized mode (µs).
+    pub optimized_us: f64,
+}
+
+impl OptimizerRow {
+    /// Naive time over optimized time (>1 means the optimizer won).
+    pub fn speedup(&self) -> f64 {
+        self.naive_us / self.optimized_us
+    }
+}
+
+/// The four store backends, freshly ingested from `corpus`.
+fn stores(corpus: &[RetrospectiveProvenance]) -> Vec<Box<dyn ProvenanceStore>> {
+    let mut out: Vec<Box<dyn ProvenanceStore>> = vec![
+        Box::new(GraphStore::new()),
+        Box::new(RelStore::new()),
+        Box::new(TripleStore::new()),
+        Box::new(LogStore::ephemeral()),
+    ];
+    for store in &mut out {
+        for r in corpus {
+            store.ingest(r);
+        }
+    }
+    out
+}
+
+/// Which (backend, shape) pairs have an index-accelerated path. The graph
+/// and relational backends already answer traversals through keyed
+/// structures, so only the aggregate gains an index there; the triple and
+/// log backends replace pattern joins / full scans on every shape.
+pub fn index_eligible(backend: &str, query: &str) -> bool {
+    match backend {
+        "triple" | "log" => true,
+        "graph" | "relational" => query == "runs_per_module",
+        _ => false,
+    }
+}
+
+/// Both modes must agree on every answer before any timing is trusted.
+fn check_agreement(store: &dyn ProvenanceStore, target: u64, source: u64) {
+    let answers = |s: &dyn ProvenanceStore| {
+        (
+            sort_runs(s.lineage_runs(target)),
+            sort_runs(s.generators(target)),
+            sort_artifacts(s.derived_artifacts(source)),
+            s.runs_per_module(),
+        )
+    };
+    store.set_optimized(false);
+    let naive = answers(store);
+    store.set_optimized(true);
+    let fast = answers(store);
+    assert_eq!(
+        naive,
+        fast,
+        "optimized mode diverges on backend {}",
+        store.backend_name()
+    );
+    store.set_optimized(false);
+}
+
+/// Run E17 over the four backends: per query shape, median naive vs
+/// optimized sample times, interleaved.
+pub fn experiment_optimizer(corpus: &[RetrospectiveProvenance], reps: usize) -> Vec<OptimizerRow> {
+    let (target, source) = anchors(corpus);
+
+    type Q = (&'static str, Box<dyn Fn(&dyn ProvenanceStore) -> usize>);
+    let suite: Vec<Q> = vec![
+        ("lineage", Box::new(move |s| s.lineage_runs(target).len())),
+        ("generators", Box::new(move |s| s.generators(target).len())),
+        (
+            "impact",
+            Box::new(move |s| s.derived_artifacts(source).len()),
+        ),
+        ("runs_per_module", Box::new(|s| s.runs_per_module().len())),
+    ];
+
+    let mut rows = Vec::new();
+    for store in stores(corpus) {
+        let store = &*store;
+        check_agreement(store, target, source);
+        for (name, q) in &suite {
+            let (naive_us, optimized_us) = medians2(
+                reps,
+                || {
+                    store.set_optimized(false);
+                    for _ in 0..INNER_LOOP {
+                        std::hint::black_box(q(store));
+                    }
+                },
+                || {
+                    store.set_optimized(true);
+                    for _ in 0..INNER_LOOP {
+                        std::hint::black_box(q(store));
+                    }
+                },
+            );
+            store.set_optimized(true);
+            let rows_out = q(store);
+            store.set_optimized(false);
+            rows.push(OptimizerRow {
+                backend: store.backend_name().to_string(),
+                query: name.to_string(),
+                rows: rows_out,
+                index_eligible: index_eligible(store.backend_name(), name),
+                naive_us,
+                optimized_us,
+            });
+        }
+    }
+    rows
+}
+
+/// Median speedup of a backend's index-eligible rows (`None` if it has
+/// none). The acceptance bar: >= 2x on at least two backends.
+pub fn median_eligible_speedup(rows: &[OptimizerRow], backend: &str) -> Option<f64> {
+    let mut speedups: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.backend == backend && r.index_eligible)
+        .map(OptimizerRow::speedup)
+        .collect();
+    if speedups.is_empty() {
+        return None;
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+    Some(speedups[speedups.len() / 2])
+}
+
+/// Worst slowdown among index-ineligible rows, in percent (positive =
+/// optimized mode was slower). The acceptance bar: <= 10%.
+pub fn worst_ineligible_regression_pct(rows: &[OptimizerRow]) -> f64 {
+    rows.iter()
+        .filter(|r| !r.index_eligible)
+        .map(|r| (r.optimized_us / r.naive_us - 1.0) * 100.0)
+        .fold(f64::MIN, f64::max)
+}
+
+/// Render E17 rows as the stable machine-readable `BENCH_optimizer.json`
+/// document (hand-rendered: no JSON library on this path).
+pub fn optimizer_json(rows: &[OptimizerRow]) -> String {
+    let mut out =
+        String::from("{\n  \"experiment\": \"E17 cost-based optimizer speedup\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"query\": \"{}\", \"rows\": {}, \
+             \"index_eligible\": {}, \"naive_us\": {:.1}, \"optimized_us\": {:.1}, \
+             \"speedup\": {:.2}}}{}\n",
+            r.backend,
+            r.query,
+            r.rows,
+            r.index_eligible,
+            r.naive_us,
+            r.optimized_us,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"median_eligible_speedup\": {\n");
+    let backends = ["graph", "relational", "triple", "log"];
+    for (i, b) in backends.iter().enumerate() {
+        let median = median_eligible_speedup(rows, b)
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            "    \"{b}\": {median}{}\n",
+            if i + 1 < backends.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  }},\n  \"worst_ineligible_regression_pct\": {:.2}\n}}\n",
+        worst_ineligible_regression_pct(rows)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queryobs::challenge_corpus;
+
+    #[test]
+    fn suite_covers_backends_and_modes_agree() {
+        let corpus = challenge_corpus(3);
+        let rows = experiment_optimizer(&corpus, 1);
+        assert_eq!(rows.len(), 16, "4 backends x 4 shapes");
+        let backends: std::collections::BTreeSet<&str> =
+            rows.iter().map(|r| r.backend.as_str()).collect();
+        assert_eq!(
+            backends.into_iter().collect::<Vec<_>>(),
+            ["graph", "log", "relational", "triple"]
+        );
+        // Backends agree on every answer (and check_agreement inside the
+        // experiment already asserted naive == optimized per backend).
+        for q in ["lineage", "generators", "impact", "runs_per_module"] {
+            let answers: std::collections::BTreeSet<usize> = rows
+                .iter()
+                .filter(|r| r.query == q)
+                .map(|r| r.rows)
+                .collect();
+            assert_eq!(answers.len(), 1, "backends disagree on {q}: {answers:?}");
+        }
+        for r in &rows {
+            assert!(r.naive_us > 0.0 && r.optimized_us > 0.0);
+        }
+        // Eligibility map: log/triple everywhere, graph/relational on the
+        // aggregate only.
+        assert!(rows
+            .iter()
+            .filter(|r| r.backend == "log" || r.backend == "triple")
+            .all(|r| r.index_eligible));
+        assert!(rows
+            .iter()
+            .filter(|r| r.backend == "graph" || r.backend == "relational")
+            .all(|r| r.index_eligible == (r.query == "runs_per_module")));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_has_the_summary() {
+        let corpus = challenge_corpus(2);
+        let rows = experiment_optimizer(&corpus, 1);
+        let doc = optimizer_json(&rows);
+        let parsed = prov_telemetry::parse_json(&doc).expect("valid JSON");
+        let arr = parsed.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(arr.len(), rows.len());
+        for row in arr {
+            assert!(row.get("speedup").is_some());
+            assert!(row.get("index_eligible").is_some());
+        }
+        assert!(parsed.get("median_eligible_speedup").is_some());
+        assert!(parsed.get("worst_ineligible_regression_pct").is_some());
+    }
+}

@@ -47,7 +47,7 @@ impl QueryObsRow {
 
 /// Median wall times of two variants measured interleaved (one sample of
 /// each per round, after a warm-up round).
-fn medians2(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+pub(crate) fn medians2(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
     let mut sa = Vec::with_capacity(reps);
     let mut sb = Vec::with_capacity(reps);
     a();
@@ -83,7 +83,7 @@ pub fn challenge_corpus(n_execs: usize) -> Vec<RetrospectiveProvenance> {
 
 /// The query suite's anchors: a deep lineage target (last artifact of the
 /// last execution) and an impact source (first artifact of the first).
-fn anchors(corpus: &[RetrospectiveProvenance]) -> (ArtifactHash, ArtifactHash) {
+pub(crate) fn anchors(corpus: &[RetrospectiveProvenance]) -> (ArtifactHash, ArtifactHash) {
     let target = corpus
         .last()
         .and_then(|r| r.runs.last())

@@ -155,6 +155,16 @@ pub struct PqlEngine {
     succ: BTreeMap<PNode, Vec<PNode>>,
     pred: BTreeMap<PNode, Vec<PNode>>,
     stats: StoreStats,
+    // Secondary indexes for the cost-based optimizer (crate::optimize).
+    // Keys are lowercased; module identities are indexed under both the
+    // full `name@version` form and the bare name, mirroring the module
+    // `=` semantics in `compare`. Postings are rebuilt after each ingest
+    // by iterating the primary maps, so they stay in scan (key) order —
+    // index-driven evaluation preserves naive result order.
+    module_index: BTreeMap<String, Vec<(ExecId, NodeId)>>,
+    status_index: BTreeMap<String, Vec<(ExecId, NodeId)>>,
+    dtype_index: BTreeMap<String, Vec<u64>>,
+    generation: u64,
 }
 
 impl PqlEngine {
@@ -193,6 +203,35 @@ impl PqlEngine {
                 self.artifacts.entry(*h).or_default();
                 self.edge(r, PNode::Artifact(*h));
             }
+        }
+        self.rebuild_indexes();
+    }
+
+    /// Rebuild the secondary indexes from the primary maps. Iterating the
+    /// BTreeMaps keeps every posting list in scan order; bumping the
+    /// generation invalidates cached results (see `optimize::QueryCache`).
+    fn rebuild_indexes(&mut self) {
+        self.generation += 1;
+        self.module_index.clear();
+        self.status_index.clear();
+        self.dtype_index.clear();
+        for (&key, info) in &self.runs {
+            let full = info.identity.to_lowercase();
+            let bare = full.split('@').next().unwrap_or_default().to_string();
+            if bare != full {
+                self.module_index.entry(bare).or_default().push(key);
+            }
+            self.module_index.entry(full).or_default().push(key);
+            self.status_index
+                .entry(info.status.to_lowercase())
+                .or_default()
+                .push(key);
+        }
+        for (&h, dtype) in &self.artifacts {
+            self.dtype_index
+                .entry(dtype.to_lowercase())
+                .or_default()
+                .push(h);
         }
     }
 
@@ -512,6 +551,79 @@ impl PqlEngine {
     pub fn artifact_count(&self) -> usize {
         self.artifacts.len()
     }
+
+    /// Number of ingested executions.
+    pub fn exec_count(&self) -> usize {
+        self.execs.len()
+    }
+
+    /// Number of dataflow edges (each counted once, in the succ direction).
+    pub fn edge_count(&self) -> usize {
+        self.succ.values().map(Vec::len).sum()
+    }
+
+    /// Index generation: bumped on every ingest. Cached query results tagged
+    /// with an older generation are stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    // ---- secondary-index accessors (the optimizer's access layer) -------
+
+    /// Counted probe of a run index (`module` or `status`): one keyed
+    /// lookup plus one node read per posting entry. Returns `None` for
+    /// fields that have no run index; an unknown key is an empty posting.
+    pub(crate) fn probe_run_index(&self, field: Field, value: &str) -> Option<&[(ExecId, NodeId)]> {
+        let index = match field {
+            Field::Module => &self.module_index,
+            Field::Status => &self.status_index,
+            _ => return None,
+        };
+        self.stats.add_keyed_lookups(1);
+        let posting = index
+            .get(&value.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        self.stats.add_node_reads(posting.len() as u64);
+        Some(posting)
+    }
+
+    /// Counted probe of the artifact `dtype` index.
+    pub(crate) fn probe_artifact_index(&self, value: &str) -> &[u64] {
+        self.stats.add_keyed_lookups(1);
+        let posting = self
+            .dtype_index
+            .get(&value.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        self.stats.add_node_reads(posting.len() as u64);
+        posting
+    }
+
+    /// Uncounted posting length, for cost estimation only. `None` means the
+    /// (entity, field) pair has no index.
+    pub(crate) fn posting_len(&self, entity: Entity, field: Field, value: &str) -> Option<usize> {
+        let key = value.to_lowercase();
+        match (entity, field) {
+            (Entity::Runs, Field::Module) => Some(self.module_index.get(&key).map_or(0, Vec::len)),
+            (Entity::Runs, Field::Status) => Some(self.status_index.get(&key).map_or(0, Vec::len)),
+            (Entity::Artifacts, Field::Dtype) => {
+                Some(self.dtype_index.get(&key).map_or(0, Vec::len))
+            }
+            _ => None,
+        }
+    }
+
+    /// Counted metadata cardinality: answers trivial `count` queries from
+    /// stored sizes (one keyed lookup, no scan).
+    pub(crate) fn meta_count(&self, entity: Entity) -> usize {
+        self.stats.add_keyed_lookups(1);
+        match entity {
+            Entity::Runs => self.runs.len(),
+            Entity::Artifacts => self.artifacts.len(),
+            Entity::Executions => self.execs.len(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -671,6 +783,47 @@ mod tests {
         assert_eq!(
             e.eval("count runs where exec = 0").unwrap(),
             QueryResult::Count(8)
+        );
+    }
+
+    #[test]
+    fn secondary_indexes_track_ingest_and_preserve_scan_order() {
+        let (mut e, ..) = engine();
+        assert_eq!(e.generation(), 1);
+        // Bare and full module keys point at the same runs.
+        let full = e.probe_run_index(Field::Module, "Histogram@1").unwrap();
+        assert_eq!(full.len(), 1);
+        let bare: Vec<_> = e
+            .probe_run_index(Field::Module, "histogram")
+            .unwrap()
+            .to_vec();
+        assert_eq!(bare, full.to_vec());
+        // Status postings cover every run, in scan (key) order.
+        let all: Vec<_> = e
+            .probe_run_index(Field::Status, "succeeded")
+            .unwrap()
+            .to_vec();
+        assert_eq!(all.len(), e.run_count());
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted, "postings stay in scan order");
+        // Unknown keys are empty postings, unindexed fields are None.
+        assert!(e.probe_run_index(Field::Status, "nope").unwrap().is_empty());
+        assert!(e.probe_run_index(Field::Exec, "0").is_none());
+        assert_eq!(
+            e.posting_len(Entity::Artifacts, Field::Dtype, "grid"),
+            Some(1)
+        );
+        // Re-ingesting bumps the generation and refreshes postings.
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        e.ingest(&cap.take(r.exec).unwrap());
+        assert_eq!(e.generation(), 2);
+        assert_eq!(
+            e.probe_run_index(Field::Status, "succeeded").unwrap().len(),
+            e.run_count()
         );
     }
 

@@ -7,7 +7,7 @@ use crate::error::PqlError;
 pub enum Token {
     /// Bare word: keyword or identifier (case-insensitive keywords).
     Word(String),
-    /// Quoted string literal (double quotes, `\"` escape).
+    /// Quoted string literal (double quotes, `\"` and `\\` escapes).
     Str(String),
     /// Unsigned integer literal.
     Int(u64),
@@ -75,6 +75,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, PqlError> {
                     if ch == '\\' && bytes.get(i + 1) == Some(&b'"') {
                         s.push('"');
                         i += 2;
+                    } else if ch == '\\' && bytes.get(i + 1) == Some(&b'\\') {
+                        s.push('\\');
+                        i += 2;
                     } else if ch == '"' {
                         closed = true;
                         i += 1;
@@ -106,10 +109,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>, PqlError> {
                     i += 1;
                 }
                 let word = &input[start..i];
-                // Classification: all-hex & 8..=16 chars with at least one
-                // alpha hex digit or length 16 → hex digest; all digits →
-                // integer; otherwise a word.
-                if word.chars().all(|c| c.is_ascii_digit()) {
+                // Classification: exactly 16 hex chars → hex digest (the
+                // canonical digest width — even when every digit happens to
+                // be decimal, so rendered digests reparse as digests, not as
+                // decimal integers); all digits → integer; all-hex & 8..=15
+                // chars with at least one alpha hex digit → hex digest;
+                // otherwise a word.
+                if word.len() == 16 && word.chars().all(|c| c.is_ascii_hexdigit()) {
+                    tokens.push(Token::Hex(u64::from_str_radix(word, 16).map_err(|_| {
+                        PqlError::Parse {
+                            expected: "hex digest".into(),
+                            found: word.to_string(),
+                        }
+                    })?));
+                } else if word.chars().all(|c| c.is_ascii_digit()) {
                     tokens.push(Token::Int(word.parse().map_err(|_| PqlError::Parse {
                         expected: "integer".into(),
                         found: word.to_string(),
@@ -200,6 +213,37 @@ mod tests {
         assert_eq!(lex("12345678").unwrap(), vec![Token::Int(12345678)]);
         // Mixed hex digits of the right length → hex.
         assert_eq!(lex("00ff00ff").unwrap(), vec![Token::Hex(0x00ff00ff)]);
+    }
+
+    #[test]
+    fn backslash_escapes_roundtrip_in_strings() {
+        // `\\` is a literal backslash; a value may even end in one.
+        let toks = lex(r#"where module = "a\\b""#).unwrap();
+        assert_eq!(toks[3], Token::Str("a\\b".into()));
+        let toks = lex(r#"where module = "trailing\\""#).unwrap();
+        assert_eq!(toks[3], Token::Str("trailing\\".into()));
+        // Escaped backslash before an escaped quote.
+        let toks = lex(r#"where module = "a\\\"b""#).unwrap();
+        assert_eq!(toks[3], Token::Str("a\\\"b".into()));
+    }
+
+    #[test]
+    fn sixteen_decimal_digits_are_a_digest_not_an_int() {
+        // The canonical digest rendering is 16 hex chars; when all of them
+        // happen to be decimal the word must still reparse as a digest.
+        assert_eq!(
+            lex("0000000000000010").unwrap(),
+            vec![Token::Hex(0x0000000000000010)]
+        );
+        assert_eq!(
+            lex("1111222233334444").unwrap(),
+            vec![Token::Hex(0x1111222233334444)]
+        );
+        // 17 decimal digits exceed the digest width → plain integer.
+        assert_eq!(
+            lex("10000000000000000").unwrap(),
+            vec![Token::Int(10_000_000_000_000_000)]
+        );
     }
 
     #[test]

@@ -30,13 +30,18 @@
 //! annotates every operator with rows, self-time, and store accesses, and
 //! a backend ANALYZE over the shared `ProvenanceStore` surface. [`obs`]
 //! adds the runtime side: query spans, labeled metrics, and a ring-buffer
-//! slow-query log.
+//! slow-query log. [`optimize`] rewrites plans cost-based — predicate
+//! pushdown into secondary indexes, metadata-backed counts, adjacency
+//! probes — plus a bounded LRU result cache; optimized evaluation is
+//! result-identical to the naive evaluator by construction and by the
+//! four-backend differential test harness.
 
 pub mod ast;
 pub mod error;
 pub mod eval;
 pub mod lexer;
 pub mod obs;
+pub mod optimize;
 pub mod parser;
 pub mod plan;
 pub mod qbe;
@@ -46,6 +51,11 @@ pub use ast::{Comparison, Condition, Direction, Entity, Field, Op, Query, Target
 pub use error::PqlError;
 pub use eval::{PqlEngine, QueryResult, ResultNode};
 pub use obs::{QueryObserver, SlowQueryEntry, SlowQueryLog};
+pub use optimize::{
+    analyze_optimized, eval_cached, eval_optimized, optimize, Optimization, QueryCache,
+};
 pub use parser::parse;
-pub use plan::{analyze, analyze_store, Analysis, OpReport, Plan, PlanNode, PlanOp, StoreAnalysis};
+pub use plan::{
+    analyze, analyze_store, Analysis, CostModel, OpReport, Plan, PlanNode, PlanOp, StoreAnalysis,
+};
 pub use qbe::{ExampleGraph, Match};

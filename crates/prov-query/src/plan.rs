@@ -59,6 +59,27 @@ pub enum PlanOp {
     Collect,
     /// Count rows instead of materializing them.
     CountRows,
+    /// Probe a secondary index instead of scanning: the union of the
+    /// postings for the chosen `(field = value)` keys, in scan order.
+    /// Produced only by the optimizer (see [`crate::optimize`]).
+    IndexLookup {
+        /// The entity class the index covers.
+        entity: Entity,
+        /// The probed `(field, value)` keys, one per disjunct.
+        keys: Vec<(Field, String)>,
+    },
+    /// Answer a trivial count from stored metadata (no scan). Produced only
+    /// by the optimizer.
+    MetaCount {
+        /// The entity class counted.
+        entity: Entity,
+    },
+    /// Single-step adjacency probe replacing a depth-1 traversal. Produced
+    /// only by the optimizer.
+    NeighborProbe {
+        /// Up- or downstream.
+        direction: Direction,
+    },
 }
 
 impl PlanOp {
@@ -83,6 +104,22 @@ impl PlanOp {
             }
             PlanOp::Collect => "Collect".to_string(),
             PlanOp::CountRows => "CountRows".to_string(),
+            PlanOp::IndexLookup { entity, keys } => {
+                let keys = keys
+                    .iter()
+                    .map(|(f, v)| format!("{f} = \"{v}\""))
+                    .collect::<Vec<_>>()
+                    .join(" | ");
+                format!("IndexLookup ({entity}: {keys})")
+            }
+            PlanOp::MetaCount { entity } => format!("MetaCount ({entity}) [stored cardinality]"),
+            PlanOp::NeighborProbe { direction } => {
+                let dir = match direction {
+                    Direction::Upstream => "upstream",
+                    Direction::Downstream => "downstream",
+                };
+                format!("NeighborProbe ({dir}) [adjacency]")
+            }
         }
     }
 }
@@ -97,14 +134,14 @@ pub struct PlanNode {
 }
 
 impl PlanNode {
-    fn leaf(op: PlanOp) -> Self {
+    pub(crate) fn leaf(op: PlanOp) -> Self {
         PlanNode {
             op,
             children: Vec::new(),
         }
     }
 
-    fn over(op: PlanOp, child: PlanNode) -> Self {
+    pub(crate) fn over(op: PlanOp, child: PlanNode) -> Self {
         PlanNode {
             op,
             children: vec![child],
@@ -191,7 +228,7 @@ impl Plan {
     }
 
     /// The operators in render order with their tree depths.
-    fn flatten(&self) -> Vec<(usize, PlanOp)> {
+    pub(crate) fn flatten(&self) -> Vec<(usize, PlanOp)> {
         let mut out = Vec::new();
         fn walk(n: &PlanNode, depth: usize, out: &mut Vec<(usize, PlanOp)>) {
             out.push((depth, n.op.clone()));
@@ -227,6 +264,9 @@ pub struct OpReport {
     pub rows_in: usize,
     /// Rows the operator produced.
     pub rows_out: usize,
+    /// Cost-model row estimate for the operator's output, when the model
+    /// has one (compare against `rows_out` to judge the estimate).
+    pub est_rows: Option<u64>,
     /// Wall-clock time spent in the operator itself.
     pub self_micros: u64,
     /// Store accesses attributed to the operator (snapshot delta).
@@ -240,8 +280,12 @@ impl OpReport {
         } else {
             format!("{}+- ", "   ".repeat(self.depth - 1))
         };
+        let est = self
+            .est_rows
+            .map(|e| format!(" est={e}"))
+            .unwrap_or_default();
         format!(
-            "{indent}{}  (rows={}->{}, {}us; {})",
+            "{indent}{}  (rows={}->{}{est}, {}us; {})",
             self.label,
             self.rows_in,
             self.rows_out,
@@ -289,9 +333,113 @@ impl Analysis {
     }
 }
 
+/// Cheap cardinality statistics about an engine, from which row estimates
+/// are derived. This is the cost model the optimizer ranks alternatives
+/// with: scans cost their entity cardinality, index probes cost their
+/// posting lengths, metadata counts cost one lookup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostModel {
+    /// Ingested module runs.
+    pub runs: u64,
+    /// Known artifacts.
+    pub artifacts: u64,
+    /// Ingested executions.
+    pub execs: u64,
+    /// Dataflow edges.
+    pub edges: u64,
+}
+
+impl CostModel {
+    /// Snapshot the engine's cardinalities.
+    pub fn of_engine(engine: &PqlEngine) -> Self {
+        CostModel {
+            runs: engine.run_count() as u64,
+            artifacts: engine.artifact_count() as u64,
+            execs: engine.exec_count() as u64,
+            edges: engine.edge_count() as u64,
+        }
+    }
+
+    /// Rows a full scan of the entity class produces.
+    pub fn entity_rows(&self, entity: Entity) -> u64 {
+        match entity {
+            Entity::Runs => self.runs,
+            Entity::Artifacts => self.artifacts,
+            Entity::Executions => self.execs,
+        }
+    }
+
+    /// Graph nodes (runs + artifacts) — the ceiling for closure sizes.
+    pub fn graph_nodes(&self) -> u64 {
+        self.runs + self.artifacts
+    }
+
+    /// Average adjacency-list length, rounded up.
+    pub fn avg_degree(&self) -> u64 {
+        let nodes = self.graph_nodes().max(1);
+        self.edges.div_ceil(nodes).max(1)
+    }
+
+    /// Output-row estimates for every operator of `plan`, aligned with the
+    /// plan's render order. `None` means "no estimate" (e.g. simple-path
+    /// enumeration, whose output size the model does not predict).
+    pub fn plan_estimates(&self, plan: &Plan) -> Vec<Option<u64>> {
+        let mut out = Vec::new();
+        self.walk_estimates(&plan.root, &mut out);
+        out
+    }
+
+    fn walk_estimates(&self, node: &PlanNode, out: &mut Vec<Option<u64>>) -> Option<u64> {
+        let slot = out.len();
+        out.push(None);
+        let mut input: Option<u64> = None;
+        for child in &node.children {
+            let e = self.walk_estimates(child, out);
+            input = match (input, e) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        let est = match &node.op {
+            PlanOp::Anchor { .. } => Some(1),
+            PlanOp::Scan { entity } => Some(self.entity_rows(*entity)),
+            // The stored cardinality is known exactly at plan time, and
+            // count operators report the count as their row count.
+            PlanOp::MetaCount { entity } => Some(self.entity_rows(*entity)),
+            PlanOp::IndexLookup { entity, keys } => {
+                // Without live posting lengths, assume uniform selectivity
+                // per probed key. The optimizer overrides this with exact
+                // posting lengths when it builds the lookup.
+                let per_key = self
+                    .entity_rows(*entity)
+                    .div_ceil((keys.len() as u64).max(1));
+                Some(per_key.min(self.entity_rows(*entity)))
+            }
+            PlanOp::Traverse { depth, .. } => match depth {
+                Some(d) => {
+                    let mut reach = 1u64;
+                    for _ in 0..*d {
+                        reach = reach.saturating_mul(self.avg_degree());
+                    }
+                    Some(reach.min(self.graph_nodes()))
+                }
+                None => Some(self.graph_nodes()),
+            },
+            PlanOp::NeighborProbe { .. } => Some(self.avg_degree().min(self.graph_nodes())),
+            // One-third selectivity is the model's generic guess for a
+            // residual predicate.
+            PlanOp::Filter { .. } => input.map(|i| i.div_ceil(3)),
+            PlanOp::Collect | PlanOp::CountRows => input,
+            PlanOp::EnumeratePaths { .. } => None,
+        };
+        out[slot] = est;
+        est
+    }
+}
+
 /// A measured stage: runs `f`, returns its output plus (self-time µs,
 /// access delta) against the engine's recorder.
-fn measured<T>(engine: &PqlEngine, f: impl FnOnce() -> T) -> (T, u64, StatsSnapshot) {
+pub(crate) fn measured<T>(engine: &PqlEngine, f: impl FnOnce() -> T) -> (T, u64, StatsSnapshot) {
     let before = engine.stats().snapshot();
     let t0 = Instant::now();
     let out = f();
@@ -469,11 +617,12 @@ pub fn analyze(engine: &PqlEngine, query: &Query) -> Result<Analysis, PqlError> 
     };
 
     let total_micros = t_total.elapsed().as_micros() as u64;
+    let estimates = CostModel::of_engine(engine).plan_estimates(&plan);
     // Match execution-order reports to the plan's render order by operator
     // identity (each operator appears exactly once per anchor slot).
     let mut ops = Vec::new();
     let mut remaining = exec_reports;
-    for (depth, op) in plan.flatten() {
+    for ((depth, op), est_rows) in plan.flatten().into_iter().zip(estimates) {
         let idx = remaining
             .iter()
             .position(|(o, ..)| *o == op)
@@ -484,6 +633,7 @@ pub fn analyze(engine: &PqlEngine, query: &Query) -> Result<Analysis, PqlError> 
             depth,
             rows_in,
             rows_out,
+            est_rows,
             self_micros,
             accesses,
         });
@@ -590,7 +740,7 @@ pub fn analyze_store(
     };
     let t0 = Instant::now();
     let before = store.stats().snapshot();
-    let (label, rows) = match query {
+    let (mut label, rows) = match query {
         Query::Closure {
             direction: Direction::Upstream,
             target: Target::Artifact(h),
@@ -629,6 +779,9 @@ pub fn analyze_store(
     };
     let total_micros = t0.elapsed().as_micros() as u64;
     let accesses = store.stats().snapshot().delta(&before);
+    if store.optimized() {
+        label.push_str(" (indexed)");
+    }
     Ok(StoreAnalysis {
         backend: store.backend_name().to_string(),
         ops: vec![OpReport {
@@ -636,6 +789,7 @@ pub fn analyze_store(
             depth: 0,
             rows_in: 1,
             rows_out: rows,
+            est_rows: None,
             self_micros: total_micros,
             accesses,
         }],

@@ -32,12 +32,14 @@ impl fmt::Display for Op {
 
 impl fmt::Display for Comparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Backslashes first, so escape markers introduced for quotes are
+        // not themselves re-escaped.
         write!(
             f,
             "{} {} \"{}\"",
             self.field,
             self.op,
-            self.value.replace('"', "\\\"")
+            self.value.replace('\\', "\\\\").replace('"', "\\\"")
         )
     }
 }
@@ -157,6 +159,28 @@ mod tests {
     fn rendering_quotes_values() {
         let q = parse("count runs where module = \"Align Warp\"").unwrap();
         assert_eq!(q.to_string(), "count runs where module = \"Align Warp\"");
+    }
+
+    #[test]
+    fn values_with_quotes_and_backslashes_roundtrip() {
+        for q in [
+            r#"count runs where module = "His\"to""#,
+            r#"count runs where module = "a\\b""#,
+            r#"count runs where module = "trailing\\""#,
+            r#"count runs where module = "a\\\"b""#,
+        ] {
+            roundtrips(q);
+        }
+    }
+
+    #[test]
+    fn all_decimal_digest_roundtrips() {
+        // A digest whose 16 hex digits are all decimal must not collapse
+        // into a (differently-valued) decimal integer on reparse.
+        roundtrips("lineage of artifact 16");
+        let q = parse("lineage of artifact 16").unwrap();
+        assert_eq!(q.to_string(), "lineage of artifact 0000000000000010");
+        assert_eq!(parse(&q.to_string()).unwrap(), q);
     }
 
     #[test]

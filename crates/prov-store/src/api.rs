@@ -47,6 +47,18 @@ pub trait ProvenanceStore {
     /// Total module runs ingested.
     fn run_count(&self) -> usize;
 
+    /// Switch the backend between its naive query paths (the default) and
+    /// its index-accelerated paths. Both modes must produce identical
+    /// results; only the access pattern (and therefore the `StoreStats`
+    /// profile) may differ. Backends without an accelerated path ignore
+    /// the switch.
+    fn set_optimized(&self, _on: bool) {}
+
+    /// Whether the index-accelerated paths are currently selected.
+    fn optimized(&self) -> bool {
+        false
+    }
+
     /// Approximate resident size in bytes (for the storage-footprint
     /// comparison; estimates follow each backend's actual layout).
     fn approx_bytes(&self) -> usize;

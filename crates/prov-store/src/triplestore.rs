@@ -14,7 +14,8 @@
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
-use std::collections::{BTreeSet, HashMap};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use wf_engine::ExecId;
 use wf_model::NodeId;
 
@@ -50,6 +51,18 @@ pub struct TripleStore {
     spo: BTreeSet<(u32, u32, u32)>,
     pos: BTreeSet<(u32, u32, u32)>,
     osp: BTreeSet<(u32, u32, u32)>,
+    /// Adjacency indexes over the lineage predicates, maintained on
+    /// insert (only for triples new to SPO, so they stay duplicate-free).
+    /// They let the optimized traversals replace B-tree range scans with
+    /// hash probes.
+    adj_generated_by: HashMap<u32, Vec<u32>>, // artifact -> generating runs
+    adj_generates: HashMap<u32, Vec<u32>>, // run -> generated artifacts
+    adj_used: HashMap<u32, Vec<u32>>,      // run -> used artifacts
+    adj_used_by: HashMap<u32, Vec<u32>>,   // artifact -> consuming runs
+    /// Aggregate index: count of `prov:identity` triples per identity term.
+    module_counts: BTreeMap<u32, usize>,
+    identity_triples: usize,
+    optimized: Cell<bool>,
     stats: StoreStats,
 }
 
@@ -83,9 +96,35 @@ impl TripleStore {
     /// Insert a triple of strings.
     pub fn insert(&mut self, s: &str, p: &str, o: &str) {
         let (s, p, o) = (self.term(s).0, self.term(p).0, self.term(o).0);
-        self.spo.insert((s, p, o));
+        if self.spo.insert((s, p, o)) {
+            // A genuinely new triple: mirror it into the secondary
+            // adjacency/aggregate indexes (duplicates never reach here).
+            match self.dict[p as usize].as_str() {
+                "prov:generatedBy" => {
+                    self.adj_generated_by.entry(s).or_default().push(o);
+                    self.adj_generates.entry(o).or_default().push(s);
+                }
+                "prov:used" => {
+                    self.adj_used.entry(s).or_default().push(o);
+                    self.adj_used_by.entry(o).or_default().push(s);
+                }
+                "prov:identity" => {
+                    *self.module_counts.entry(o).or_default() += 1;
+                    self.identity_triples += 1;
+                }
+                _ => {}
+            }
+        }
         self.pos.insert((p, o, s));
         self.osp.insert((o, s, p));
+    }
+
+    /// Probe one adjacency index, with keyed-lookup accounting.
+    fn adj<'a>(&self, index: &'a HashMap<u32, Vec<u32>>, key: u32) -> &'a [u32] {
+        self.stats.add_keyed_lookups(1);
+        let out = index.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+        self.stats.add_triple_reads(out.len() as u64);
+        out
     }
 
     /// Number of triples.
@@ -281,6 +320,14 @@ impl ProvenanceStore for TripleStore {
         let Some(a) = self.lookup(&artifact_iri(artifact)) else {
             return Vec::new();
         };
+        if self.optimized.get() {
+            return sort_runs(
+                self.adj(&self.adj_generated_by, a.0)
+                    .iter()
+                    .filter_map(|&r| parse_run_iri(self.resolve(Term(r))))
+                    .collect(),
+            );
+        }
         let Some(p) = self.lookup("prov:generatedBy") else {
             return Vec::new();
         };
@@ -296,6 +343,37 @@ impl ProvenanceStore for TripleStore {
         // Iterated pattern joins: frontier of artifacts -> generating runs
         // -> artifacts those runs used -> ... until fixpoint. This is the
         // only way to express transitivity with plain BGPs.
+        if self.optimized.get() {
+            // Same fixpoint, but each probe is a hash-indexed adjacency
+            // read instead of a B-tree range scan.
+            let mut runs: BTreeSet<u32> = BTreeSet::new();
+            let mut seen_art: BTreeSet<u32> = BTreeSet::new();
+            let mut frontier: Vec<u32> = match self.lookup(&artifact_iri(artifact)) {
+                Some(t) => vec![t.0],
+                None => return Vec::new(),
+            };
+            seen_art.insert(frontier[0]);
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for a in frontier.drain(..) {
+                    for &r in self.adj(&self.adj_generated_by, a) {
+                        if runs.insert(r) {
+                            for &a2 in self.adj(&self.adj_used, r) {
+                                if seen_art.insert(a2) {
+                                    next.push(a2);
+                                }
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            return sort_runs(
+                runs.into_iter()
+                    .filter_map(|r| parse_run_iri(self.resolve(Term(r))))
+                    .collect(),
+            );
+        }
         let Some(gen_p) = self.lookup("prov:generatedBy") else {
             return Vec::new();
         };
@@ -332,6 +410,36 @@ impl ProvenanceStore for TripleStore {
     }
 
     fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
+        if self.optimized.get() {
+            let mut arts: BTreeSet<u32> = BTreeSet::new();
+            let mut seen_run: BTreeSet<u32> = BTreeSet::new();
+            let mut frontier: Vec<u32> = match self.lookup(&artifact_iri(artifact)) {
+                Some(t) => vec![t.0],
+                None => return Vec::new(),
+            };
+            let start = frontier[0];
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for a in frontier.drain(..) {
+                    for &r in self.adj(&self.adj_used_by, a) {
+                        if seen_run.insert(r) {
+                            for &a2 in self.adj(&self.adj_generates, r) {
+                                if arts.insert(a2) {
+                                    next.push(a2);
+                                }
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            arts.remove(&start);
+            return sort_artifacts(
+                arts.into_iter()
+                    .filter_map(|a| parse_artifact_iri(self.resolve(Term(a))))
+                    .collect(),
+            );
+        }
         let Some(used_p) = self.lookup("prov:used") else {
             return Vec::new();
         };
@@ -371,6 +479,17 @@ impl ProvenanceStore for TripleStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
+        if self.optimized.get() {
+            // The per-identity counts are maintained on insert; only the
+            // aggregate entries themselves are read back.
+            self.stats.add_keyed_lookups(1);
+            self.stats.add_triple_reads(self.module_counts.len() as u64);
+            let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+            for (&term, &n) in &self.module_counts {
+                counts.insert(self.resolve(Term(term)).to_string(), n);
+            }
+            return counts.into_iter().collect();
+        }
         let Some(p) = self.lookup("prov:identity") else {
             return Vec::new();
         };
@@ -382,9 +501,21 @@ impl ProvenanceStore for TripleStore {
     }
 
     fn run_count(&self) -> usize {
+        if self.optimized.get() {
+            self.stats.add_keyed_lookups(1);
+            return self.identity_triples;
+        }
         self.lookup("prov:identity")
             .map(|p| self.pattern(None, Some(p), None).len())
             .unwrap_or(0)
+    }
+
+    fn set_optimized(&self, on: bool) {
+        self.optimized.set(on);
+    }
+
+    fn optimized(&self) -> bool {
+        self.optimized.get()
     }
 
     fn approx_bytes(&self) -> usize {
@@ -531,6 +662,40 @@ mod tests {
         let d = s.stats().snapshot().delta(&before);
         assert_eq!(d.scans, 1);
         assert_eq!(d.triple_reads, s.len() as u64);
+    }
+
+    #[test]
+    fn optimized_adjacency_paths_agree_with_pattern_joins() {
+        let (s, retro, nodes) = fig1_store();
+        let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+        let hist_file = retro.produced(nodes.save_hist, "file").unwrap().hash;
+        let naive = (
+            s.generators(grid),
+            s.lineage_runs(hist_file),
+            s.derived_artifacts(grid),
+            s.runs_per_module(),
+            s.run_count(),
+        );
+        s.set_optimized(true);
+        assert!(s.optimized());
+        let before = s.stats().snapshot();
+        let fast = (
+            s.generators(grid),
+            s.lineage_runs(hist_file),
+            s.derived_artifacts(grid),
+            s.runs_per_module(),
+            s.run_count(),
+        );
+        let d = s.stats().snapshot().delta(&before);
+        assert_eq!(fast, naive, "adjacency answers must equal pattern joins");
+        assert_eq!(d.scans, 0, "optimized paths never scan");
+        assert!(d.keyed_lookups >= 5, "every probe is keyed");
+        s.set_optimized(false);
+        // Unknown anchors stay empty in optimized mode too.
+        s.set_optimized(true);
+        assert!(s.generators(0xdead).is_empty());
+        assert!(s.lineage_runs(0xdead).is_empty());
+        assert!(s.derived_artifacts(0xdead).is_empty());
     }
 
     #[test]

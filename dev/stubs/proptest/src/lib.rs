@@ -1,1 +1,464 @@
-//! Offline typecheck stub for `proptest` (resolution placeholder only).
+//! Offline *functional* stand-in for `proptest`.
+//!
+//! Unlike the other stubs (which only satisfy dependency resolution), this
+//! one actually generates values, because the workspace's property tests
+//! are part of the tier-1 suite and must be runnable on air-gapped
+//! machines. It implements exactly the surface those tests use —
+//! `proptest!`, `prop_oneof!`, `Just`, `any`, ranges, `&str` regex
+//! strategies limited to `[class]{m,n}` segments, tuples, `collection::vec`,
+//! `option::of`, `prop_map` / `prop_flat_map` / `prop_recursive`, and the
+//! `prop_assert*` macros — with deterministic seeding per test name and
+//! the case count taken from `PROPTEST_CASES` (default 64). There is no
+//! shrinking: a failing case fails with the generated value in the panic
+//! message via the normal assert formatting.
+
+pub mod test_runner {
+    /// Stand-in for `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases (overridable via `PROPTEST_CASES`).
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Case count when the property declares no config.
+    pub fn default_cases() -> u32 {
+        env_cases().unwrap_or(64)
+    }
+
+    /// The environment knob wins over the in-source config.
+    pub fn override_cases(explicit: u32) -> u32 {
+        env_cases().unwrap_or(explicit)
+    }
+
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
+    /// A small deterministic LCG; seeding is by test name, so every
+    /// property gets a distinct but reproducible stream.
+    pub struct Rng(u64);
+
+    impl Rng {
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Rng(h | 1)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            // The low bits of an LCG are weak; fold the high half in.
+            self.0 ^ (self.0 >> 31)
+        }
+
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n.max(1) as u64) as usize
+        }
+
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::rc::Rc;
+
+    /// A value generator. The real crate separates strategies from value
+    /// trees (for shrinking); this stub generates directly.
+    pub trait Strategy {
+        type Value;
+        fn gen_value(&self, rng: &mut Rng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Arb<U>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            U: 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            Arb::from_fn(move |rng| f(self.gen_value(rng)))
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> Arb<S::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy + 'static,
+            S::Value: 'static,
+            F: Fn(Self::Value) -> S + 'static,
+        {
+            Arb::from_fn(move |rng| f(self.gen_value(rng)).gen_value(rng))
+        }
+
+        /// Build `depth` layers of `recurse` over the base strategy. The
+        /// size-tuning parameters of the real crate are ignored.
+        fn prop_recursive<S, F>(self, depth: u32, _desired: u32, _branch: u32, recurse: F) -> Arb<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(Arb<Self::Value>) -> S,
+        {
+            let mut cur = boxed(self);
+            for _ in 0..depth {
+                cur = boxed(recurse(cur));
+            }
+            cur
+        }
+    }
+
+    /// A boxed, clonable strategy (the stub's `BoxedStrategy`).
+    pub struct Arb<T> {
+        gen: Rc<dyn Fn(&mut Rng) -> T>,
+    }
+
+    impl<T> Clone for Arb<T> {
+        fn clone(&self) -> Self {
+            Arb {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Arb<T> {
+        pub fn from_fn(f: impl Fn(&mut Rng) -> T + 'static) -> Self {
+            Arb { gen: Rc::new(f) }
+        }
+    }
+
+    impl<T> Strategy for Arb<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut Rng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Erase a strategy's concrete type.
+    pub fn boxed<S>(s: S) -> Arb<S::Value>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        Arb::from_fn(move |rng| s.gen_value(rng))
+    }
+
+    /// `Just(v)`: always produces a clone of `v`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Arb<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<Arb<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut Rng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, usize);
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+        fn gen_value(&self, rng: &mut Rng) -> u64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_u64() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<i64> {
+        type Value = i64;
+        fn gen_value(&self, rng: &mut Rng) -> i64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end.wrapping_sub(self.start) as u64;
+            self.start.wrapping_add((rng.next_u64() % span) as i64)
+        }
+    }
+
+    impl Strategy for std::ops::Range<i32> {
+        type Value = i32;
+        fn gen_value(&self, rng: &mut Rng) -> i32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = (self.end as i64 - self.start as i64) as u64;
+            (self.start as i64 + (rng.next_u64() % span) as i64) as i32
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut Rng) -> f64 {
+            self.start + rng.unit() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn gen_value(&self, rng: &mut Rng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+    /// `&str` as a regex strategy. Supports concatenations of
+    /// `[class]{m,n}`, `[class]{n}`, `[class]`, and literal characters —
+    /// the subset this workspace's tests use. Classes support ranges
+    /// (`a-z`, ` -~`) and backslash escapes.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut Rng) -> String {
+            let chars: Vec<char> = self.chars().collect();
+            let mut out = String::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let (alphabet, next) = if chars[i] == '[' {
+                    parse_class(&chars, i + 1, self)
+                } else if chars[i] == '\\' && i + 1 < chars.len() {
+                    (vec![chars[i + 1]], i + 2)
+                } else {
+                    (vec![chars[i]], i + 1)
+                };
+                i = next;
+                let (lo, hi, next) = parse_repeat(&chars, i, self);
+                i = next;
+                let n = lo + rng.below(hi - lo + 1);
+                for _ in 0..n {
+                    out.push(alphabet[rng.below(alphabet.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pat: &str) -> (Vec<char>, usize) {
+        let mut alphabet = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            // A range like `a-z` (the `-` must not be the last char).
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let end = chars[i + 2];
+                assert!(c <= end, "bad class range in regex strategy {pat:?}");
+                alphabet.extend(c..=end);
+                i += 3;
+            } else {
+                alphabet.push(c);
+                i += 1;
+            }
+        }
+        assert!(
+            i < chars.len(),
+            "unterminated class in regex strategy {pat:?}"
+        );
+        (alphabet, i + 1)
+    }
+
+    fn parse_repeat(chars: &[char], i: usize, pat: &str) -> (usize, usize, usize) {
+        if i >= chars.len() || chars[i] != '{' {
+            return (1, 1, i);
+        }
+        let close = chars[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .unwrap_or_else(|| panic!("unterminated repeat in regex strategy {pat:?}"))
+            + i;
+        let body: String = chars[i + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((a, b)) => (
+                a.parse().expect("repeat lower bound"),
+                b.parse().expect("repeat upper bound"),
+            ),
+            None => {
+                let n = body.parse().expect("repeat count");
+                (n, n)
+            }
+        };
+        (lo, hi, close + 1)
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut Rng) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut Rng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut Rng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    pub fn any<T: Arbitrary + 'static>() -> Arb<T> {
+        Arb::from_fn(T::arbitrary)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Arb, Strategy};
+
+    /// A vector of `len` elements drawn from `element`.
+    pub fn vec<S>(element: S, len: std::ops::Range<usize>) -> Arb<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        assert!(len.start < len.end, "empty length range");
+        Arb::from_fn(move |rng| {
+            let n = len.start + rng.below(len.end - len.start);
+            (0..n).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Arb, Strategy};
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S>(inner: S) -> Arb<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        Arb::from_fn(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.gen_value(rng))
+            }
+        })
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arb, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cases = $crate::test_runner::override_cases(($cfg).cases); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cases = $crate::test_runner::default_cases(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cases = $cases:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $cases;
+                let mut __rng = $crate::test_runner::Rng::from_name(stringify!($name));
+                for __case in 0..cases {
+                    // Strategy constructors are pure, so re-evaluating
+                    // them per case is equivalent and keeps the macro
+                    // hygienic without generated bindings.
+                    $(let $pat = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}

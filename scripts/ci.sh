@@ -32,9 +32,23 @@ DIGEST="$(./target/release/provctl query "$SMOKE_DIR/challenge-prov.json" "list 
     "out=$SMOKE_DIR/slow-queries.jsonl" | grep -q "slow-query log:"
 test -s "$SMOKE_DIR/slow-queries.jsonl"
 
+echo "==> optimizer smoke: EXPLAIN --optimized + differential harness"
+./target/release/provctl explain "count runs" --optimized | grep -q "MetaCount"
+./target/release/provctl explain "$SMOKE_DIR/challenge-prov.json" \
+    "lineage of artifact $DIGEST" analyze --optimized | grep -q "total:"
+./target/release/provctl explain "$SMOKE_DIR/challenge-prov.json" \
+    "lineage of artifact $DIGEST" backend=graph --optimized | grep -q "(indexed)"
+# PROPTEST_CASES bounds both the proptest properties and the differential
+# query harness; keep the CI smoke cheap, go deeper locally by raising it.
+PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test differential_query
+
 echo "==> E16: query observability overhead benchmark"
 cargo run --release -q -p bench --bin report query
 test -s BENCH_query.json
+
+echo "==> E17: cost-based optimizer benchmark"
+cargo run --release -q -p bench --bin report optimizer
+test -s BENCH_optimizer.json
 
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -15,6 +15,7 @@
 //! provctl log prov.json                # render the execution log
 //! provctl query prov.json "count runs" # PQL over captured provenance
 //! provctl explain prov.json "lineage of artifact <digest>" analyze   # EXPLAIN / ANALYZE
+//! provctl explain prov.json "count runs" analyze --optimized   # cost-based rewrites + indexes
 //! provctl slowlog prov.json threshold_us=100   # slow-query log over a canned workload
 //! provctl lineage prov.json <digest>   # lineage of an artifact
 //! provctl dot prov.json                # causality graph as Graphviz DOT
@@ -52,10 +53,12 @@ fn usage() -> ExitCode {
          \x20 resumecheck <original.json> <resumed.json>   validate recovery lineage\n\
          \x20 log      <prov.json>                       render the execution log\n\
          \x20 query    <prov.json...> <pql>              evaluate a PQL query\n\
-         \x20 explain  <prov.json...> <pql> [analyze]\n\
+         \x20 explain  <prov.json...> <pql> [analyze] [--optimized]\n\
          \x20          [backend=graph|triple|relational|log]  show the logical plan; with\n\
          \x20                                             'analyze', execute and annotate each\n\
-         \x20                                             operator with rows/time/store accesses\n\
+         \x20                                             operator with rows/time/store accesses;\n\
+         \x20                                             with '--optimized', apply cost-based\n\
+         \x20                                             rewrites / the backend's index paths\n\
          \x20 slowlog  <prov.json...> [threshold_us=N] [out=<file.jsonl>]\n\
          \x20                                             run the canned query workload on every\n\
          \x20                                             backend, dump the slow-query log\n\
@@ -235,24 +238,37 @@ fn run() -> Result<(), String> {
         }
         ["explain", rest @ ..] => {
             // Positional args: provenance files then the query; options
-            // ('analyze', 'backend=...') may follow the query.
+            // ('analyze', '--optimized', 'backend=...') may follow the query.
             let mut analyze_mode = false;
+            let mut optimized = false;
             let mut backend: Option<&str> = None;
             let mut positional: Vec<&str> = Vec::new();
             for a in rest {
                 match *a {
                     "analyze" => analyze_mode = true,
+                    "--optimized" | "optimized" => optimized = true,
                     _ if a.starts_with("backend=") => backend = Some(&a["backend=".len()..]),
                     _ => positional.push(a),
                 }
             }
-            let (pql, files) = positional
-                .split_last()
-                .ok_or("usage: explain <prov.json...> <pql> [analyze] [backend=...]")?;
+            let (pql, files) = positional.split_last().ok_or(
+                "usage: explain <prov.json...> <pql> [analyze] [--optimized] [backend=...]",
+            )?;
             let query = parse_pql(pql).map_err(|e| e.to_string())?;
             match backend {
                 None if !analyze_mode => {
-                    out(&Plan::of(&query).render());
+                    if optimized {
+                        // Cost decisions read the engine's statistics, so
+                        // ingest whatever provenance was given (none is
+                        // fine: structural rewrites still show).
+                        let mut engine = PqlEngine::new();
+                        for p in files {
+                            engine.ingest(&load_prov(p)?);
+                        }
+                        out(&optimize_pql(&engine, &query).render());
+                    } else {
+                        out(&Plan::of(&query).render());
+                    }
                 }
                 None => {
                     if files.is_empty() {
@@ -262,9 +278,12 @@ fn run() -> Result<(), String> {
                     for p in files {
                         engine.ingest(&load_prov(p)?);
                     }
-                    out(&analyze(&engine, &query)
-                        .map_err(|e| e.to_string())?
-                        .render());
+                    let analysis = if optimized {
+                        analyze_optimized(&engine, &query)
+                    } else {
+                        analyze(&engine, &query)
+                    };
+                    out(&analysis.map_err(|e| e.to_string())?.render());
                 }
                 Some(name) => {
                     if files.is_empty() {
@@ -274,6 +293,7 @@ fn run() -> Result<(), String> {
                     for p in files {
                         store.ingest(&load_prov(p)?);
                     }
+                    store.set_optimized(optimized);
                     out(&analyze_store(store.as_ref(), &query)
                         .map_err(|e| e.to_string())?
                         .render());

@@ -103,8 +103,9 @@ pub mod prelude {
     pub use prov_evolution::{apply_by_analogy, diff_workflows, Action, VersionId, VersionTree};
     pub use prov_interop::{integrate, run_challenge};
     pub use prov_query::{
-        analyze, analyze_store, parse as parse_pql, Plan, PqlEngine, QueryObserver, QueryResult,
-        SlowQueryLog,
+        analyze, analyze_optimized, analyze_store, eval_cached, eval_optimized,
+        optimize as optimize_pql, parse as parse_pql, Optimization, Plan, PqlEngine, QueryCache,
+        QueryObserver, QueryResult, SlowQueryLog,
     };
     pub use prov_social::{Collaboratory, FragmentMiner};
     pub use prov_store::{

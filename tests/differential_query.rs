@@ -1,0 +1,510 @@
+//! Four-backend differential test harness for the PQL optimizer.
+//!
+//! A seeded generator produces random PQL queries (anchored on digests and
+//! exec ids that really exist in the ingested corpus, plus deliberate
+//! misses). Every query is evaluated:
+//!
+//! * on the engine: naive `eval_query` vs cost-based `eval_optimized` vs
+//!   the LRU-cached path — all three must agree exactly (order included),
+//!   and an error in one mode must be an error in every mode;
+//! * on the four store backends, for the query shapes that map onto the
+//!   backend-neutral store surface: naive vs `set_optimized(true)` on
+//!   each backend — all eight canonical result sets must be identical.
+//!
+//! On divergence the harness shrinks the query (dropping filter clauses,
+//! depth bounds, and disjuncts) and fails with the minimal offending
+//! query so the bug report is readable.
+//!
+//! Case count comes from `PROPTEST_CASES` (default 256) so CI can run a
+//! cheap smoke pass while local runs go deep.
+
+use prov_query::{
+    analyze_store, eval_cached, eval_optimized, parse, Comparison, Condition, Direction, Entity,
+    Field, Op, Query, QueryCache, Target,
+};
+use provenance_workflows::prelude::*;
+use provenance_workflows::store::{sort_artifacts, sort_runs};
+use wf_engine::synth::challenge_workflow;
+
+// ---- deterministic RNG ---------------------------------------------------
+
+/// A tiny LCG: deterministic across platforms, no dependencies, seedable.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+    fn chance(&mut self, pct: u64) -> bool {
+        self.next() % 100 < pct
+    }
+}
+
+// ---- corpus and value pools ----------------------------------------------
+
+/// Real values harvested from the ingested corpus, so generated queries
+/// hit actual data most of the time instead of always missing.
+struct Pools {
+    digests: Vec<u64>,
+    execs: Vec<u64>,
+    nodes: Vec<u64>,
+    modules: Vec<String>,
+}
+
+fn corpus() -> (PqlEngine, Vec<Box<dyn ProvenanceStore>>, Pools) {
+    let exec = Executor::new(standard_registry());
+    let mut engine = PqlEngine::new();
+    let mut stores: Vec<Box<dyn ProvenanceStore>> = vec![
+        Box::new(GraphStore::new()),
+        Box::new(RelStore::new()),
+        Box::new(TripleStore::new()),
+        Box::new(LogStore::ephemeral()),
+    ];
+    let mut pools = Pools {
+        digests: Vec::new(),
+        execs: Vec::new(),
+        nodes: Vec::new(),
+        modules: Vec::new(),
+    };
+    for i in 0..4u64 {
+        let wf = challenge_workflow(i + 1, 3, 3);
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).expect("workflow runs");
+        let retro = cap.take(r.exec).expect("captured");
+        engine.ingest(&retro);
+        for s in &mut stores {
+            s.ingest(&retro);
+        }
+        pools.execs.push(retro.exec.0);
+        for run in &retro.runs {
+            pools.nodes.push(run.node.0);
+            pools.modules.push(run.identity.clone());
+            if let Some(bare) = run.identity.split('@').next() {
+                pools.modules.push(bare.to_string());
+            }
+            for (_, h) in &run.outputs {
+                pools.digests.push(*h);
+            }
+        }
+    }
+    pools.digests.sort_unstable();
+    pools.digests.dedup();
+    pools.modules.sort();
+    pools.modules.dedup();
+    (engine, stores, pools)
+}
+
+// ---- query generator -----------------------------------------------------
+
+fn gen_target(rng: &mut Lcg, pools: &Pools) -> Target {
+    if rng.chance(70) {
+        Target::Artifact(*rng.pick(&pools.digests))
+    } else if rng.chance(50) {
+        // A digest that almost certainly misses.
+        Target::Artifact(rng.next())
+    } else {
+        Target::Run(*rng.pick(&pools.execs), *rng.pick(&pools.nodes))
+    }
+}
+
+fn gen_comparison(rng: &mut Lcg, pools: &Pools) -> Comparison {
+    let field = *rng.pick(&[
+        Field::Module,
+        Field::Status,
+        Field::Dtype,
+        Field::Exec,
+        Field::Attempts,
+    ]);
+    let op = *rng.pick(&[Op::Eq, Op::Eq, Op::Neq, Op::Contains]);
+    let value = match field {
+        Field::Module => {
+            if rng.chance(80) {
+                rng.pick(&pools.modules).clone()
+            } else {
+                "no such module".to_string()
+            }
+        }
+        Field::Status => rng.pick(&["succeeded", "failed", "skipped"]).to_string(),
+        Field::Dtype => rng
+            .pick(&["grid", "table", "histogram", "image", "bytes", "nothing"])
+            .to_string(),
+        Field::Exec => {
+            if rng.chance(80) {
+                rng.pick(&pools.execs).to_string()
+            } else {
+                "999999".to_string()
+            }
+        }
+        Field::Attempts => rng.pick(&["1", "2", "3"]).to_string(),
+    };
+    Comparison { field, op, value }
+}
+
+fn gen_condition(rng: &mut Lcg, pools: &Pools) -> Condition {
+    let disjuncts = rng.below(3); // 0 = trivial
+    Condition {
+        any_of: (0..disjuncts)
+            .map(|_| {
+                (0..1 + rng.below(2))
+                    .map(|_| gen_comparison(rng, pools))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn gen_query(rng: &mut Lcg, pools: &Pools) -> Query {
+    let entity = *rng.pick(&[Entity::Runs, Entity::Artifacts, Entity::Executions]);
+    match rng.below(6) {
+        0 | 1 => Query::Closure {
+            direction: *rng.pick(&[Direction::Upstream, Direction::Downstream]),
+            target: gen_target(rng, pools),
+            depth: match rng.below(4) {
+                0 => Some(1),
+                1 => Some(1 + rng.below(5)),
+                _ => None,
+            },
+            filter: gen_condition(rng, pools),
+        },
+        2 => Query::Count {
+            entity,
+            filter: gen_condition(rng, pools),
+        },
+        3 => Query::List {
+            entity,
+            filter: gen_condition(rng, pools),
+        },
+        _ => {
+            // Bias toward Count/List with filters — that is where the
+            // index rewrites live.
+            Query::Count {
+                entity,
+                filter: Condition {
+                    any_of: vec![(0..1 + rng.below(2))
+                        .map(|_| gen_comparison(rng, pools))
+                        .collect()],
+                },
+            }
+        }
+    }
+}
+
+// ---- differential check --------------------------------------------------
+
+/// Canonical store-surface answer for a mappable query shape, or `None`
+/// when the shape only exists in the engine.
+fn store_answer(store: &dyn ProvenanceStore, q: &Query) -> Option<String> {
+    match q {
+        Query::Closure {
+            direction: Direction::Upstream,
+            target: Target::Artifact(h),
+            depth: None,
+            filter,
+        } if filter.is_trivial() => Some(format!("{:?}", sort_runs(store.lineage_runs(*h)))),
+        Query::Closure {
+            direction: Direction::Upstream,
+            target: Target::Artifact(h),
+            depth: Some(1),
+            filter,
+        } if filter.is_trivial() => Some(format!("{:?}", sort_runs(store.generators(*h)))),
+        Query::Closure {
+            direction: Direction::Downstream,
+            target: Target::Artifact(h),
+            depth: None,
+            filter,
+        } if filter.is_trivial() => {
+            Some(format!("{:?}", sort_artifacts(store.derived_artifacts(*h))))
+        }
+        Query::Count {
+            entity: Entity::Runs,
+            filter,
+        } if filter.is_trivial() => Some(format!("{}", store.run_count())),
+        _ => None,
+    }
+}
+
+/// Run one query through every mode on every backend. Returns a
+/// divergence description, or `None` when all modes agree.
+fn divergence(
+    engine: &PqlEngine,
+    stores: &[Box<dyn ProvenanceStore>],
+    cache: &mut QueryCache,
+    q: &Query,
+) -> Option<String> {
+    // Mode 1/2: engine naive vs optimized.
+    let naive = engine.eval_query(q);
+    let fast = eval_optimized(engine, q);
+    match (&naive, &fast) {
+        (Ok(a), Ok(b)) if a == b => {}
+        (Err(_), Err(_)) => {}
+        _ => return Some(format!("engine naive {naive:?} != optimized {fast:?}")),
+    }
+    // Mode 3: the LRU-cached path (twice: fill, then hit).
+    if let Ok(expected) = &naive {
+        for pass in ["fill", "hit"] {
+            match eval_cached(engine, q, cache) {
+                Ok(c) if &c == expected => {}
+                other => return Some(format!("cached ({pass}) {other:?} != naive {expected:?}")),
+            }
+        }
+    }
+    // Modes 4..11: four backends x {naive, optimized} on mappable shapes.
+    let mut answers: Vec<(String, String)> = Vec::new();
+    for store in stores {
+        for optimized in [false, true] {
+            store.set_optimized(optimized);
+            let label = format!(
+                "{}/{}",
+                store.backend_name(),
+                if optimized { "optimized" } else { "naive" }
+            );
+            if let Some(ans) = store_answer(store.as_ref(), q) {
+                answers.push((label, ans));
+            }
+            store.set_optimized(false);
+        }
+    }
+    if let Some((first_label, first)) = answers.first() {
+        for (label, ans) in &answers[1..] {
+            if ans != first {
+                return Some(format!(
+                    "store results diverge: {first_label} gave {first} but {label} gave {ans}"
+                ));
+            }
+        }
+    }
+    None
+}
+
+// ---- shrinking -----------------------------------------------------------
+
+/// One-step simplifications of a query, most aggressive first.
+fn shrink_candidates(q: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+    let shrunk_filters = |filter: &Condition| {
+        let mut fs = Vec::new();
+        if !filter.is_trivial() {
+            fs.push(Condition::default());
+            for i in 0..filter.any_of.len() {
+                let mut any_of = filter.any_of.clone();
+                any_of.remove(i);
+                fs.push(Condition { any_of });
+            }
+            for (i, conj) in filter.any_of.iter().enumerate() {
+                if conj.len() > 1 {
+                    for j in 0..conj.len() {
+                        let mut any_of = filter.any_of.clone();
+                        any_of[i].remove(j);
+                        let _ = i;
+                        fs.push(Condition { any_of });
+                    }
+                }
+            }
+        }
+        fs
+    };
+    match q {
+        Query::Closure {
+            direction,
+            target,
+            depth,
+            filter,
+        } => {
+            for f in shrunk_filters(filter) {
+                out.push(Query::Closure {
+                    direction: *direction,
+                    target: *target,
+                    depth: *depth,
+                    filter: f,
+                });
+            }
+            if depth.is_some() {
+                out.push(Query::Closure {
+                    direction: *direction,
+                    target: *target,
+                    depth: None,
+                    filter: filter.clone(),
+                });
+            }
+        }
+        Query::Count { entity, filter } | Query::List { entity, filter } => {
+            for f in shrunk_filters(filter) {
+                out.push(match q {
+                    Query::List { .. } => Query::List {
+                        entity: *entity,
+                        filter: f,
+                    },
+                    _ => Query::Count {
+                        entity: *entity,
+                        filter: f,
+                    },
+                });
+            }
+        }
+        Query::Paths { .. } => {}
+    }
+    out
+}
+
+/// Greedily shrink a failing query to a minimal one that still fails.
+fn minimize(q: &Query, mut still_fails: impl FnMut(&Query) -> bool) -> Query {
+    let mut current = q.clone();
+    loop {
+        let step = shrink_candidates(&current)
+            .into_iter()
+            .find(|cand| still_fails(cand));
+        match step {
+            Some(smaller) => current = smaller,
+            None => return current,
+        }
+    }
+}
+
+// ---- the harness ---------------------------------------------------------
+
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+#[test]
+fn optimized_evaluation_never_diverges_from_naive_on_any_backend() {
+    let (engine, stores, pools) = corpus();
+    let mut cache = QueryCache::new(64);
+    let mut rng = Lcg::new(0xD1FF);
+    let cases = case_count();
+    let mut mapped = 0usize;
+
+    for case in 0..cases {
+        let q = gen_query(&mut rng, &pools);
+        // Queries must survive the text round trip before anything else:
+        // the differential claim is about what users can actually type.
+        let rendered = q.to_string();
+        let reparsed = parse(&rendered).unwrap_or_else(|e| {
+            panic!("case {case}: generated query {rendered:?} unparseable: {e}")
+        });
+        assert_eq!(
+            reparsed, q,
+            "case {case}: {rendered:?} reparses differently"
+        );
+
+        if store_answer(stores[0].as_ref(), &q).is_some() {
+            mapped += 1;
+        }
+        if let Some(report) = divergence(&engine, &stores, &mut cache, &q) {
+            let minimal = minimize(&q, |cand| {
+                divergence(&engine, &stores, &mut cache, cand).is_some()
+            });
+            let min_report = divergence(&engine, &stores, &mut cache, &minimal).unwrap_or(report);
+            panic!(
+                "case {case}/{cases} diverged.\n  original: {q}\n  minimal:  {minimal}\n  {min_report}"
+            );
+        }
+    }
+    // The generator must actually exercise the store surface, not just
+    // engine-only shapes.
+    assert!(
+        mapped >= cases / 20,
+        "only {mapped}/{cases} generated queries mapped onto the store surface"
+    );
+}
+
+#[test]
+fn store_analyze_agrees_with_direct_surface_in_both_modes() {
+    // A focused differential on ANALYZE itself: for each mappable canned
+    // shape, `analyze_store` must report the same row count naive and
+    // optimized, on every backend.
+    let (_, stores, pools) = corpus();
+    let digest = pools.digests[pools.digests.len() / 2];
+    let queries = [
+        format!("lineage of artifact {digest:016x}"),
+        format!("lineage of artifact {digest:016x} depth 1"),
+        format!("impact of artifact {digest:016x}"),
+        "count runs".to_string(),
+    ];
+    for store in &stores {
+        for q in &queries {
+            let parsed = parse(q).unwrap();
+            store.set_optimized(false);
+            let naive = analyze_store(store.as_ref(), &parsed).unwrap();
+            store.set_optimized(true);
+            let fast = analyze_store(store.as_ref(), &parsed).unwrap();
+            store.set_optimized(false);
+            assert_eq!(
+                naive.rows,
+                fast.rows,
+                "[{}] {q}: ANALYZE rows differ between modes",
+                store.backend_name()
+            );
+            assert!(
+                fast.render().contains("(indexed)"),
+                "[{}] {q}: optimized ANALYZE does not say so",
+                store.backend_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn shrinker_reduces_to_a_minimal_failing_query() {
+    // The shrinker itself is load-bearing on failure, so pin its behavior
+    // with a synthetic oracle: "fails iff the filter mentions module".
+    let full = Query::Count {
+        entity: Entity::Runs,
+        filter: Condition {
+            any_of: vec![
+                vec![
+                    Comparison {
+                        field: Field::Module,
+                        op: Op::Eq,
+                        value: "align_warp".into(),
+                    },
+                    Comparison {
+                        field: Field::Status,
+                        op: Op::Eq,
+                        value: "succeeded".into(),
+                    },
+                ],
+                vec![Comparison {
+                    field: Field::Dtype,
+                    op: Op::Eq,
+                    value: "grid".into(),
+                }],
+            ],
+        },
+    };
+    let mentions_module = |q: &Query| match q {
+        Query::Count { filter, .. } => filter
+            .any_of
+            .iter()
+            .flatten()
+            .any(|c| c.field == Field::Module),
+        _ => false,
+    };
+    let minimal = minimize(&full, mentions_module);
+    match &minimal {
+        Query::Count { filter, .. } => {
+            assert_eq!(filter.any_of.len(), 1, "kept one disjunct: {minimal}");
+            assert_eq!(filter.any_of[0].len(), 1, "kept one clause: {minimal}");
+            assert_eq!(filter.any_of[0][0].field, Field::Module);
+        }
+        other => panic!("shrinker changed the query shape: {other}"),
+    }
+}

@@ -107,7 +107,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn arb_comparison() -> impl Strategy<Value = Comparison> {
-    (arb_field(), arb_op(), "[a-z0-9_@. ]{0,16}").prop_map(|(field, op, value)| Comparison {
+    // The alphabet deliberately includes `"` and `\` — the renderer must
+    // escape both (backslash first) for quoted values to round-trip.
+    (arb_field(), arb_op(), r#"[a-z0-9_@. "\\]{0,16}"#).prop_map(|(field, op, value)| Comparison {
         field,
         op,
         value,
@@ -160,5 +162,39 @@ proptest! {
         let reparsed = parse(&rendered)
             .unwrap_or_else(|e| panic!("{rendered:?} failed to reparse: {e}"));
         prop_assert_eq!(reparsed, q);
+    }
+
+    /// The canonical rendering is a fixed point: rendering, reparsing, and
+    /// rendering again changes nothing, textually or structurally.
+    #[test]
+    fn canonical_rendering_is_idempotent(q in arb_query()) {
+        let r1 = q.to_string();
+        let p1 = parse(&r1).unwrap_or_else(|e| panic!("{r1:?} failed to reparse: {e}"));
+        let r2 = p1.to_string();
+        let p2 = parse(&r2).unwrap_or_else(|e| panic!("{r2:?} failed to reparse: {e}"));
+        prop_assert_eq!(&r1, &r2, "render(parse(render)) drifted");
+        prop_assert_eq!(p1, p2, "reparse of the canonical form drifted");
+    }
+}
+
+/// Inputs that historically broke the round trip: backslashes in quoted
+/// values (renderer escaped `"` but not `\`), and digests whose canonical
+/// zero-padded hex rendering is all decimal digits (the lexer classified
+/// them as integers on reparse).
+#[test]
+fn roundtrip_regressions_hold() {
+    for q in [
+        r#"count runs where module = "a\\b""#,
+        r#"count runs where module = "say \"hi\" twice""#,
+        r#"list artifacts where dtype contains "\\\\server\\share""#,
+        "lineage of artifact 16",
+        "lineage of artifact 1311768467294899695", // 0x123456789abcdef
+        "paths from artifact 16 to artifact 32",
+    ] {
+        let p1 = parse(q).unwrap_or_else(|e| panic!("{q:?} failed to parse: {e}"));
+        let r1 = p1.to_string();
+        let p2 = parse(&r1).unwrap_or_else(|e| panic!("canonical {r1:?} failed to reparse: {e}"));
+        assert_eq!(p1, p2, "AST drifted across the round trip for {q:?}");
+        assert_eq!(r1, p2.to_string(), "rendering not idempotent for {q:?}");
     }
 }

@@ -135,6 +135,105 @@ fn engine_analyze_counts_match_engine_stats_and_eval() {
 }
 
 #[test]
+fn analyze_store_counts_stay_exact_on_index_paths() {
+    // Same contract as the naive-mode test above, with the backends in
+    // optimized mode: ANALYZE's access counts must still equal the
+    // externally observed StoreStats delta, the rows must match naive
+    // mode, and indexed lookups must register as keyed reads — never as
+    // scans pretending to be fast.
+    let (retro, target, source) = captured();
+    let stores = all_backends(&retro);
+    let queries = [
+        format!("lineage of artifact {target}"),
+        format!("lineage of artifact {target} depth 1"),
+        format!("impact of artifact {source}"),
+        "count runs".to_string(),
+    ];
+    for store in &stores {
+        let name = store.backend_name();
+        for q in &queries {
+            let parsed = parse_pql(q).unwrap();
+            store.set_optimized(false);
+            let naive = analyze_store(store.as_ref(), &parsed).unwrap();
+
+            store.set_optimized(true);
+            let before = store.stats().snapshot();
+            let fast = analyze_store(store.as_ref(), &parsed).unwrap();
+            let outer = store.stats().snapshot().delta(&before);
+            store.set_optimized(false);
+
+            assert_eq!(
+                fast.total_accesses(),
+                outer,
+                "[{name}] {q}: optimized ANALYZE accesses != StoreStats delta"
+            );
+            assert_eq!(fast.rows, naive.rows, "[{name}] {q}: rows differ by mode");
+            assert!(
+                fast.render().contains("(indexed)"),
+                "[{name}] {q}: optimized plan not labeled"
+            );
+        }
+
+        // The aggregate is the index showcase on every backend: optimized
+        // `count runs` is a keyed metadata read, not a scan.
+        store.set_optimized(true);
+        let parsed = parse_pql("count runs").unwrap();
+        let sa = analyze_store(store.as_ref(), &parsed).unwrap();
+        store.set_optimized(false);
+        let acc = sa.total_accesses();
+        assert_eq!(acc.scans, 0, "[{name}] optimized count runs still scans");
+        assert!(
+            acc.keyed_lookups > 0,
+            "[{name}] optimized count runs recorded no keyed lookup"
+        );
+    }
+}
+
+#[test]
+fn engine_optimized_analyze_counts_match_engine_stats_and_eval() {
+    // analyze_optimized must satisfy the same partition invariant as the
+    // naive analyzer: per-operator access deltas sum to the engine-wide
+    // StoreStats delta, and the result is identical to plain evaluation.
+    let (retro, target, _) = captured();
+    let mut engine = PqlEngine::new();
+    engine.ingest(&retro);
+
+    for q in [
+        format!("lineage of artifact {target} depth 1"),
+        "count runs".to_string(),
+        "count runs where module = histogram".to_string(),
+        "list artifacts where dtype = grid".to_string(),
+        "count executions where status = succeeded".to_string(),
+    ] {
+        let parsed = parse_pql(&q).unwrap();
+        let before = engine.stats().snapshot();
+        let analysis = analyze_optimized(&engine, &parsed).unwrap();
+        let delta = engine.stats().snapshot().delta(&before);
+        assert_eq!(
+            analysis.total_accesses(),
+            delta,
+            "{q}: optimized per-operator deltas do not partition the work"
+        );
+        assert_eq!(
+            analysis.result,
+            engine.eval_query(&parsed).unwrap(),
+            "{q}: optimized ANALYZE result diverges from naive evaluation"
+        );
+        assert_eq!(analysis.ops[0].rows_out, analysis.result.len(), "{q}");
+    }
+
+    // Rewritten shapes hit the secondary indexes: keyed reads, zero scans.
+    for q in ["count runs", "count runs where module = histogram"] {
+        let parsed = parse_pql(q).unwrap();
+        let acc = analyze_optimized(&engine, &parsed)
+            .unwrap()
+            .total_accesses();
+        assert_eq!(acc.scans, 0, "{q}: optimized engine path scans");
+        assert!(acc.keyed_lookups > 0, "{q}: no keyed lookup recorded");
+    }
+}
+
+#[test]
 fn observer_front_end_covers_every_backend_and_exports_cleanly() {
     let (retro, target, _) = captured();
     let mut engine = PqlEngine::new();
