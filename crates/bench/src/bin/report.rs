@@ -140,7 +140,74 @@ fn report_optimizer(reps: usize) {
     }
 }
 
+/// E18 drives the concurrent provenance server with the closed-loop load
+/// generator and drops `BENCH_server.json` next to the working directory.
+/// Factored out so `report server` can regenerate just this section.
+/// Client count honors `PROVBENCH_CLIENTS` (default 8, minimum 2).
+fn report_server(requests_per_client: usize) {
+    use prov_server::{run_load, LoadConfig, ProvServer, ServerConfig};
+    use std::sync::Arc;
+
+    println!("## E18 — concurrent provenance server: closed-loop mixed load\n");
+    let clients = std::env::var("PROVBENCH_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8)
+        .max(2);
+    let server = Arc::new(ProvServer::new(ServerConfig::default()));
+    let config = LoadConfig {
+        clients,
+        requests_per_client,
+        namespaces: vec!["physics".into(), "biology".into()],
+        ingest_percent: 25,
+    };
+    let report = run_load(&server, &config);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "clients",
+                "requests",
+                "ingests",
+                "queries",
+                "cache hits",
+                "shed",
+                "rps",
+                "p50 (us)",
+                "p99 (us)",
+                "p999 (us)",
+                "consistent"
+            ],
+            &[vec![
+                report.clients.to_string(),
+                report.requests.to_string(),
+                report.ingests_acked.to_string(),
+                report.queries_answered.to_string(),
+                report.cache_hits.to_string(),
+                report.backpressure.to_string(),
+                format!("{:.0}", report.throughput_rps),
+                report.p50_micros.to_string(),
+                report.p99_micros.to_string(),
+                report.p999_micros.to_string(),
+                report.consistent.to_string(),
+            ]],
+        )
+    );
+    if !report.consistent {
+        eprintln!("CONSISTENCY VIOLATIONS: {:?}", report.violations);
+    }
+    let json = report.render_json();
+    match std::fs::write("BENCH_server.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_server.json"),
+        Err(e) => eprintln!("could not write BENCH_server.json: {e}"),
+    }
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("server") {
+        report_server(250);
+        return;
+    }
     if std::env::args().nth(1).as_deref() == Some("telemetry") {
         report_telemetry(21);
         return;
@@ -565,4 +632,7 @@ fn main() {
 
     // ---- E17 ---------------------------------------------------------
     report_optimizer(21);
+
+    // ---- E18 ---------------------------------------------------------
+    report_server(250);
 }

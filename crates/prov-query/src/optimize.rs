@@ -512,24 +512,33 @@ impl QueryCache {
         Plan::of(query).render()
     }
 
-    /// Look up a cached result; stale-generation entries are evicted.
+    /// Look up a cached result. Every stale-generation entry for this
+    /// backend is swept out first — not just the looked-up key — so one
+    /// generation bump cannot leave old results (and their memory) pinned
+    /// behind plan keys that never get queried again.
     pub fn get(&mut self, backend: &str, plan_key: &str, generation: u64) -> Option<QueryResult> {
+        self.sweep_stale(backend, generation);
         if let Some(i) = self
             .entries
             .iter()
             .position(|e| e.backend == backend && e.plan_key == plan_key)
         {
-            if self.entries[i].generation == generation {
-                let entry = self.entries.remove(i);
-                let result = entry.result.clone();
-                self.entries.push(entry);
-                self.hits += 1;
-                return Some(result);
-            }
-            self.entries.remove(i);
+            let entry = self.entries.remove(i);
+            let result = entry.result.clone();
+            self.entries.push(entry);
+            self.hits += 1;
+            return Some(result);
         }
         self.misses += 1;
         None
+    }
+
+    /// Drop every entry for `backend` whose generation is not `current`.
+    /// Called on each lookup; callers that learn of an ingest out of band
+    /// (e.g. the server's write path) can also sweep eagerly.
+    pub fn sweep_stale(&mut self, backend: &str, current: u64) {
+        self.entries
+            .retain(|e| e.backend != backend || e.generation == current);
     }
 
     /// Insert (or refresh) a result, evicting the least recently used
@@ -752,6 +761,44 @@ mod tests {
             e.eval("count runs where status = succeeded").unwrap()
         );
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn generation_bump_sweeps_all_stale_entries_not_just_the_looked_up_key() {
+        let (mut e, ..) = engine();
+        let mut cache = QueryCache::new(64);
+        // Populate many distinct plans at the current generation.
+        let queries = [
+            "count runs",
+            "count artifacts",
+            "count executions",
+            "list runs",
+            "list artifacts",
+            "list executions",
+            "count runs where status = succeeded",
+            "list runs where module = histogram",
+        ];
+        for q in &queries {
+            eval_cached(&e, &parse(q).unwrap(), &mut cache).unwrap();
+        }
+        assert_eq!(cache.len(), queries.len());
+        // Ingest bumps the generation: every old-generation entry is now
+        // stale, not only the one we happen to look up next.
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        e.ingest(&cap.take(r.exec).unwrap());
+        eval_cached(&e, &parse("count runs").unwrap(), &mut cache).unwrap();
+        assert_eq!(
+            cache.len(),
+            1,
+            "one lookup after the bump must sweep every stale entry"
+        );
+        // The retained entry is the fresh one and still serves hits.
+        let hits = cache.hits();
+        eval_cached(&e, &parse("count runs").unwrap(), &mut cache).unwrap();
+        assert_eq!(cache.hits(), hits + 1);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Admission control: a bounded in-flight window and per-tenant token
+//! buckets.
+//!
+//! A long-running service protecting shared stores cannot let load grow
+//! without bound — the paper's collaboratory vision (§2.3) only works if
+//! one greedy client cannot starve everyone else. Two mechanisms compose:
+//!
+//! * [`Admission`] bounds the number of requests being served at once.
+//!   When the window is full the request is **rejected immediately**
+//!   (503-style) rather than queued, keeping latency honest under
+//!   overload — the closed-loop client owns the retry policy.
+//! * [`RateLimiter`] meters each `(tenant, namespace)` pair with a token
+//!   bucket (burst capacity + steady refill), so tenants get isolated
+//!   throughput envelopes inside the shared window (429-style rejection).
+//!
+//! Both are purely `std`: a mutex-guarded counter and mutex-guarded
+//! buckets. Neither is on a per-row hot path — they run once per request.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+/// Bounded-concurrency gate: at most `limit` permits outstanding.
+#[derive(Debug)]
+pub struct Admission {
+    limit: usize,
+    inflight: Mutex<usize>,
+    rejected: AtomicU64,
+    admitted: AtomicU64,
+}
+
+impl Admission {
+    /// A gate admitting at most `limit` concurrent requests (minimum 1).
+    pub fn new(limit: usize) -> Self {
+        Admission {
+            limit: limit.max(1),
+            inflight: Mutex::new(0),
+            rejected: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to enter the window. `None` means the window is full and the
+    /// request must be rejected with backpressure.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        if *inflight >= self.limit {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        *inflight += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Some(Permit { gate: self })
+    }
+
+    /// The window size.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Requests currently holding a permit.
+    pub fn inflight(&self) -> usize {
+        *self.inflight.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Requests admitted over the gate's lifetime.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected over the gate's lifetime.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    fn release(&self) {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        *inflight = inflight.saturating_sub(1);
+    }
+}
+
+/// An admission slot; releases its place in the window on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.release()
+    }
+}
+
+/// One tenant's token bucket.
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Token-bucket rate limiting per `(tenant, namespace)`.
+///
+/// Each key gets `burst` tokens of headroom refilled at `per_second`
+/// tokens per second; a request costs one token. A `per_second` of 0
+/// disables metering (every request passes), which is the single-user
+/// CLI default.
+#[derive(Debug)]
+pub struct RateLimiter {
+    burst: f64,
+    per_second: f64,
+    buckets: RwLock<HashMap<(String, String), Mutex<Bucket>>>,
+    throttled: AtomicU64,
+}
+
+impl RateLimiter {
+    /// A limiter granting `burst` tokens of headroom and `per_second`
+    /// steady-state requests per second to every `(tenant, namespace)`.
+    pub fn new(burst: u32, per_second: f64) -> Self {
+        RateLimiter {
+            burst: f64::from(burst.max(1)),
+            per_second,
+            buckets: RwLock::new(HashMap::new()),
+            throttled: AtomicU64::new(0),
+        }
+    }
+
+    /// Spend one token for `tenant` on `namespace`. Returns false when the
+    /// bucket is empty (the caller rejects with 429-style backpressure).
+    pub fn try_take(&self, tenant: &str, namespace: &str) -> bool {
+        if self.per_second <= 0.0 {
+            return true;
+        }
+        let key = (tenant.to_string(), namespace.to_string());
+        // Fast path: bucket exists.
+        {
+            let map = self.buckets.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(bucket) = map.get(&key) {
+                return self.spend(bucket);
+            }
+        }
+        let mut map = self.buckets.write().unwrap_or_else(|e| e.into_inner());
+        let bucket = map.entry(key).or_insert_with(|| {
+            Mutex::new(Bucket {
+                tokens: self.burst,
+                last: Instant::now(),
+            })
+        });
+        self.spend(bucket)
+    }
+
+    fn spend(&self, bucket: &Mutex<Bucket>) -> bool {
+        let mut b = bucket.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        let elapsed = now.duration_since(b.last).as_secs_f64();
+        b.last = now;
+        b.tokens = (b.tokens + elapsed * self.per_second).min(self.burst);
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            self.throttled.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Requests rejected by metering over the limiter's lifetime.
+    pub fn throttled(&self) -> u64 {
+        self.throttled.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn window_admits_up_to_limit_then_rejects() {
+        let gate = Admission::new(2);
+        let a = gate.try_acquire().expect("first");
+        let b = gate.try_acquire().expect("second");
+        assert!(gate.try_acquire().is_none(), "window full");
+        assert_eq!(gate.inflight(), 2);
+        assert_eq!(gate.rejected(), 1);
+        drop(a);
+        let c = gate.try_acquire().expect("slot freed");
+        drop(b);
+        drop(c);
+        assert_eq!(gate.inflight(), 0);
+        assert_eq!(gate.admitted(), 3);
+    }
+
+    #[test]
+    fn window_is_exact_under_contention() {
+        let gate = Arc::new(Admission::new(4));
+        let peak = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                let gate = Arc::clone(&gate);
+                let peak = Arc::clone(&peak);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        if let Some(_permit) = gate.try_acquire() {
+                            let now = gate.inflight() as u64;
+                            peak.fetch_max(now, Ordering::Relaxed);
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::Relaxed) <= 4, "window never exceeded");
+        assert_eq!(gate.inflight(), 0, "all permits returned");
+    }
+
+    #[test]
+    fn token_bucket_meters_per_tenant() {
+        let limiter = RateLimiter::new(3, 0.000001); // effectively no refill
+        for _ in 0..3 {
+            assert!(limiter.try_take("alice", "ns"));
+        }
+        assert!(!limiter.try_take("alice", "ns"), "alice's burst is spent");
+        assert!(limiter.try_take("bob", "ns"), "bob has his own bucket");
+        assert!(
+            limiter.try_take("alice", "other"),
+            "per-namespace isolation: alice has a fresh bucket elsewhere"
+        );
+        assert_eq!(limiter.throttled(), 1);
+    }
+
+    #[test]
+    fn zero_rate_disables_metering() {
+        let limiter = RateLimiter::new(1, 0.0);
+        for _ in 0..100 {
+            assert!(limiter.try_take("anyone", "ns"));
+        }
+        assert_eq!(limiter.throttled(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Service errors with HTTP-style status codes.
+//!
+//! Every rejection the server can produce is explicit and classifiable:
+//! admission control and rate limiting surface as 429/503-style errors the
+//! client is expected to back off from, while malformed requests and
+//! unknown namespaces are the caller's fault (4xx). Nothing panics across
+//! the service boundary.
+
+use prov_query::PqlError;
+use std::fmt;
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The server's bounded in-flight window is full: admission control
+    /// rejected the request instead of queueing unboundedly (503-style
+    /// backpressure; retry with backoff).
+    Overloaded {
+        /// Requests currently being served.
+        inflight: usize,
+        /// The admission window size.
+        limit: usize,
+    },
+    /// The tenant exhausted its token bucket for this namespace
+    /// (429-style; retry after the bucket refills).
+    RateLimited {
+        /// The tenant that was throttled.
+        tenant: String,
+        /// The namespace the request addressed.
+        namespace: String,
+    },
+    /// The namespace does not exist (and the operation does not create
+    /// namespaces implicitly).
+    NoSuchNamespace(String),
+    /// The request itself was malformed: bad JSON, missing fields, an
+    /// unparsable provenance document.
+    BadRequest(String),
+    /// The PQL query failed to parse or evaluate.
+    Query(String),
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ServerError {
+    /// The HTTP status code this rejection maps to.
+    pub fn status_code(&self) -> u16 {
+        match self {
+            ServerError::Overloaded { .. } => 503,
+            ServerError::RateLimited { .. } => 429,
+            ServerError::NoSuchNamespace(_) => 404,
+            ServerError::BadRequest(_) => 400,
+            ServerError::Query(_) => 422,
+            ServerError::ShuttingDown => 503,
+        }
+    }
+
+    /// A stable machine-readable label (`overloaded`, `rate_limited`, …)
+    /// used in metrics and in the JSON error body.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::RateLimited { .. } => "rate_limited",
+            ServerError::NoSuchNamespace(_) => "no_such_namespace",
+            ServerError::BadRequest(_) => "bad_request",
+            ServerError::Query(_) => "query_error",
+            ServerError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Is this a load-shedding rejection the client should retry after a
+    /// backoff (as opposed to a request it must fix)?
+    pub fn is_backpressure(&self) -> bool {
+        matches!(
+            self,
+            ServerError::Overloaded { .. } | ServerError::RateLimited { .. }
+        )
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { inflight, limit } => {
+                write!(f, "overloaded: {inflight}/{limit} requests in flight")
+            }
+            ServerError::RateLimited { tenant, namespace } => {
+                write!(
+                    f,
+                    "tenant '{tenant}' rate-limited on namespace '{namespace}'"
+                )
+            }
+            ServerError::NoSuchNamespace(ns) => write!(f, "no such namespace '{ns}'"),
+            ServerError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServerError::Query(msg) => write!(f, "query error: {msg}"),
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<PqlError> for ServerError {
+    fn from(e: PqlError) -> Self {
+        ServerError::Query(e.to_string())
+    }
+}

@@ -1,0 +1,641 @@
+//! A minimal dependency-free HTTP/1.1 front end over [`ProvServer`].
+//!
+//! Pure `std::net`: a listener thread accepts connections and hands them
+//! to a **bounded** worker pool over a rendezvous-ish channel. When every
+//! worker is busy and the handoff queue is full, the connection is
+//! answered `503` immediately — the accept loop never queues unboundedly,
+//! mirroring the in-process admission window.
+//!
+//! Routes (all bodies JSON, see `crate::wire` for the codec):
+//!
+//! | method | path           | body                                        |
+//! |--------|----------------|---------------------------------------------|
+//! | GET    | `/healthz`     | —                                           |
+//! | GET    | `/metrics`     | — (Prometheus text)                         |
+//! | POST   | `/v1/create`   | `{tenant, namespace}`                       |
+//! | POST   | `/v1/ingest`   | `{tenant, namespace, retro}`                |
+//! | POST   | `/v1/query`    | `{tenant, namespace, pql}`                  |
+//! | POST   | `/v1/stats`    | `{tenant, namespace}`                       |
+//! | POST   | `/v1/shutdown` | `{}` (drains, then stops the listener)      |
+//!
+//! Errors come back as `{"error": kind, "message": ...}` with the status
+//! code from [`ServerError::status_code`].
+
+use crate::error::ServerError;
+use crate::server::{ProvServer, Request, RequestBody, ResponseBody};
+use crate::wire;
+use prov_telemetry::parse_json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cap on request body size (16 MiB) — a malformed Content-Length cannot
+/// make a worker allocate without bound.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// Per-connection socket timeout so a stalled client cannot pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running HTTP front end; dropping it (or calling
+/// [`HttpServer::shutdown`]) stops the listener and joins every thread.
+pub struct HttpServer {
+    server: Arc<ProvServer>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve `server`
+    /// with `workers` handler threads.
+    pub fn bind(
+        server: Arc<ProvServer>,
+        addr: &str,
+        workers: usize,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = workers.max(1);
+        // Small handoff buffer: accepted connections wait here only while
+        // a worker finishes its current request; overflow is shed as 503.
+        let (tx, rx) = sync_channel::<TcpStream>(workers);
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || worker_loop(&server, &rx, local))
+            })
+            .collect();
+        let accept_server = Arc::clone(&server);
+        let accept_thread = std::thread::spawn(move || accept_loop(&accept_server, &listener, &tx));
+        Ok(HttpServer {
+            server,
+            addr: local,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind this front end.
+    pub fn server(&self) -> &Arc<ProvServer> {
+        &self.server
+    }
+
+    /// Drain: reject new requests, stop the listener, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Block until the server is shut down *remotely* (a client POSTs
+    /// `/v1/shutdown`), then join every thread. This is what
+    /// `provctl serve` sits in.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.server.begin_shutdown();
+        // Unblock the accept loop: it re-checks the shutdown flag per
+        // connection, so one self-connect is enough.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(server: &ProvServer, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        if server.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Every worker busy and the handoff buffer full: shed load
+                // at the door exactly like the admission window would.
+                let err = ServerError::Overloaded {
+                    inflight: server.server_stats().inflight,
+                    limit: server.config().max_inflight,
+                };
+                let _ = write_response(
+                    &mut stream,
+                    err.status_code(),
+                    "application/json",
+                    &wire::render_json(&wire::error_to_json(&err)),
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping tx disconnects the channel; workers drain and exit.
+}
+
+fn worker_loop(server: &ProvServer, rx: &Arc<Mutex<Receiver<TcpStream>>>, addr: SocketAddr) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match stream {
+            Ok(mut stream) => {
+                let _ = handle_connection(server, &mut stream);
+                if server.is_shutting_down() {
+                    // A request (e.g. POST /v1/shutdown) flipped the drain
+                    // flag: poke the accept loop so it re-checks and exits
+                    // instead of blocking on the next connection.
+                    let _ = TcpStream::connect(addr);
+                }
+            }
+            Err(_) => break, // listener gone
+        }
+    }
+}
+
+/// One parsed HTTP request line + headers + body.
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+}
+
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None); // peer closed without sending anything
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Ok(Some(HttpRequest {
+            method,
+            path,
+            body: String::new(),
+        }));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    }))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn handle_connection(server: &ProvServer, stream: &mut TcpStream) -> std::io::Result<()> {
+    let Some(req) = read_request(stream)? else {
+        return Ok(());
+    };
+    let (status, content_type, body) = route(server, &req);
+    write_response(stream, status, content_type, &body)
+}
+
+fn route(server: &ProvServer, req: &HttpRequest) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            if server.is_shutting_down() {
+                (503, "text/plain", "draining\n".to_string())
+            } else {
+                (200, "text/plain", "ok\n".to_string())
+            }
+        }
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4",
+            server.registry().render_prometheus(),
+        ),
+        ("POST", "/v1/shutdown") => {
+            server.begin_shutdown();
+            (200, "application/json", "{\"draining\":true}".to_string())
+        }
+        ("POST", "/v1/create" | "/v1/ingest" | "/v1/query" | "/v1/stats") => {
+            match api_request(&req.path, &req.body) {
+                Ok(request) => match server.handle(&request) {
+                    Ok(response) => (200, "application/json", render_response(&response)),
+                    Err(err) => (
+                        err.status_code(),
+                        "application/json",
+                        wire::render_json(&wire::error_to_json(&err)),
+                    ),
+                },
+                Err(err) => (
+                    err.status_code(),
+                    "application/json",
+                    wire::render_json(&wire::error_to_json(&err)),
+                ),
+            }
+        }
+        ("POST" | "GET", _) => (
+            404,
+            "application/json",
+            wire::render_json(&wire::error_to_json(&ServerError::BadRequest(format!(
+                "no such route {} {}",
+                req.method, req.path
+            )))),
+        ),
+        _ => (
+            405,
+            "application/json",
+            wire::render_json(&wire::error_to_json(&ServerError::BadRequest(format!(
+                "method {} not allowed",
+                req.method
+            )))),
+        ),
+    }
+}
+
+/// Decode one `/v1/*` body into a service [`Request`].
+fn api_request(path: &str, body: &str) -> Result<Request, ServerError> {
+    let v =
+        parse_json(body).map_err(|e| ServerError::BadRequest(format!("invalid JSON body: {e}")))?;
+    let tenant = v
+        .get("tenant")
+        .and_then(|t| t.as_str())
+        .ok_or_else(|| ServerError::BadRequest("missing field 'tenant'".into()))?
+        .to_string();
+    let namespace = v
+        .get("namespace")
+        .and_then(|t| t.as_str())
+        .ok_or_else(|| ServerError::BadRequest("missing field 'namespace'".into()))?
+        .to_string();
+    let body = match path {
+        "/v1/create" => RequestBody::CreateNamespace,
+        "/v1/ingest" => {
+            let retro = v
+                .get("retro")
+                .ok_or_else(|| ServerError::BadRequest("missing field 'retro'".into()))?;
+            RequestBody::Ingest(Box::new(wire::retro_from_json(retro)?))
+        }
+        "/v1/query" => RequestBody::Query {
+            pql: v
+                .get("pql")
+                .and_then(|p| p.as_str())
+                .ok_or_else(|| ServerError::BadRequest("missing field 'pql'".into()))?
+                .to_string(),
+        },
+        "/v1/stats" => RequestBody::Stats,
+        _ => unreachable!("route() only forwards known /v1 paths"),
+    };
+    Ok(Request {
+        tenant,
+        namespace,
+        body,
+    })
+}
+
+fn render_response(response: &ResponseBody) -> String {
+    match response {
+        ResponseBody::Created(ns) => wire::render_json(&prov_telemetry::JsonValue::Object(
+            [(
+                "created".to_string(),
+                prov_telemetry::JsonValue::String(ns.clone()),
+            )]
+            .into_iter()
+            .collect(),
+        )),
+        ResponseBody::Ingested(ack) => wire::render_json(&wire::ack_to_json(ack)),
+        ResponseBody::Query(reply) => wire::render_json(&wire::reply_to_json(reply)),
+        ResponseBody::Stats(stats) => wire::render_json(&wire::stats_to_json(stats)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A tiny blocking client (shared by tests, provctl, and the load generator)
+// ---------------------------------------------------------------------------
+
+/// A minimal blocking HTTP/1.1 client for the routes above.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    tenant: String,
+}
+
+/// A decoded HTTP response: status code + body text.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw response body.
+    pub body: String,
+}
+
+impl HttpClient {
+    /// A client for the server at `addr`, authenticating as `tenant`.
+    pub fn new(addr: SocketAddr, tenant: &str) -> Self {
+        HttpClient {
+            addr,
+            tenant: tenant.to_string(),
+        }
+    }
+
+    /// The tenant this client sends as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Raw request against any path.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> std::io::Result<HttpReply> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: prov-server\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                break;
+            }
+            if header.trim_end().is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.trim_end().split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length.min(MAX_BODY)];
+        reader.read_exact(&mut body)?;
+        Ok(HttpReply {
+            status,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+
+    fn post(
+        &self,
+        path: &str,
+        mut fields: Vec<(&str, prov_telemetry::JsonValue)>,
+        namespace: &str,
+    ) -> std::io::Result<HttpReply> {
+        fields.push((
+            "tenant",
+            prov_telemetry::JsonValue::String(self.tenant.clone()),
+        ));
+        fields.push((
+            "namespace",
+            prov_telemetry::JsonValue::String(namespace.to_string()),
+        ));
+        let body = wire::render_json(&prov_telemetry::JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ));
+        self.request("POST", path, &body)
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self) -> std::io::Result<HttpReply> {
+        self.request("GET", "/healthz", "")
+    }
+
+    /// `GET /metrics`.
+    pub fn metrics(&self) -> std::io::Result<HttpReply> {
+        self.request("GET", "/metrics", "")
+    }
+
+    /// `POST /v1/create`.
+    pub fn create(&self, namespace: &str) -> std::io::Result<HttpReply> {
+        self.post("/v1/create", Vec::new(), namespace)
+    }
+
+    /// `POST /v1/ingest`.
+    pub fn ingest(
+        &self,
+        namespace: &str,
+        retro: &prov_core::model::RetrospectiveProvenance,
+    ) -> std::io::Result<HttpReply> {
+        self.post(
+            "/v1/ingest",
+            vec![("retro", wire::retro_to_json(retro))],
+            namespace,
+        )
+    }
+
+    /// `POST /v1/query`.
+    pub fn query(&self, namespace: &str, pql: &str) -> std::io::Result<HttpReply> {
+        self.post(
+            "/v1/query",
+            vec![("pql", prov_telemetry::JsonValue::String(pql.to_string()))],
+            namespace,
+        )
+    }
+
+    /// `POST /v1/stats`.
+    pub fn stats(&self, namespace: &str) -> std::io::Result<HttpReply> {
+        self.post("/v1/stats", Vec::new(), namespace)
+    }
+
+    /// `POST /v1/shutdown`.
+    pub fn shutdown(&self) -> std::io::Result<HttpReply> {
+        self.request("POST", "/v1/shutdown", "{}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn retro(seed: u64) -> prov_core::model::RetrospectiveProvenance {
+        let (wf, _) = figure1_workflow(seed);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        cap.take(r.exec).unwrap()
+    }
+
+    fn start() -> HttpServer {
+        let server = Arc::new(ProvServer::new(ServerConfig::default()));
+        HttpServer::bind(server, "127.0.0.1:0", 4).expect("bind ephemeral")
+    }
+
+    #[test]
+    fn health_ingest_query_stats_over_http() {
+        let http = start();
+        let client = HttpClient::new(http.addr(), "alice");
+        assert_eq!(client.healthz().unwrap().status, 200);
+
+        let reply = client.ingest("lab", &retro(1)).unwrap();
+        assert_eq!(reply.status, 200, "body: {}", reply.body);
+        let ack = wire::ack_from_json(&parse_json(&reply.body).unwrap()).unwrap();
+        assert_eq!((ack.generation, ack.total_runs), (1, 8));
+
+        let reply = client.query("lab", "count runs").unwrap();
+        assert_eq!(reply.status, 200, "body: {}", reply.body);
+        let q = wire::reply_from_json(&parse_json(&reply.body).unwrap()).unwrap();
+        assert_eq!(q.result, prov_query::QueryResult::Count(8));
+
+        let reply = client.stats("lab").unwrap();
+        assert_eq!(reply.status, 200);
+        let stats = wire::stats_from_json(&parse_json(&reply.body).unwrap()).unwrap();
+        assert_eq!(stats.runs, 8);
+        assert_eq!(stats.store_runs, 8);
+
+        let metrics = client.metrics().unwrap();
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.body.contains("prov_server_requests_total"));
+        http.shutdown();
+    }
+
+    #[test]
+    fn http_errors_carry_json_bodies_and_status_codes() {
+        let http = start();
+        let client = HttpClient::new(http.addr(), "alice");
+        // Unknown namespace -> 404.
+        let reply = client.query("ghost", "count runs").unwrap();
+        assert_eq!(reply.status, 404);
+        assert!(reply.body.contains("no_such_namespace"));
+        // Bad PQL -> 422.
+        client.ingest("lab", &retro(1)).unwrap();
+        let reply = client.query("lab", "gibberish query").unwrap();
+        assert_eq!(reply.status, 422);
+        assert!(reply.body.contains("query_error"));
+        // Invalid JSON -> 400.
+        let reply = client.request("POST", "/v1/query", "{not json").unwrap();
+        assert_eq!(reply.status, 400);
+        // Unknown route -> 404.
+        let reply = client.request("GET", "/nope", "").unwrap();
+        assert_eq!(reply.status, 404);
+        http.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_the_server() {
+        let http = start();
+        let addr = http.addr();
+        let client = HttpClient::new(addr, "alice");
+        client.ingest("lab", &retro(1)).unwrap();
+        let reply = client.shutdown().unwrap();
+        assert_eq!(reply.status, 200);
+        // After the drain flag, requests that still get through are 503s
+        // until the listener closes; eventually connections are refused.
+        http.shutdown();
+        let still_healthy = HttpClient::new(addr, "alice")
+            .healthz()
+            .map(|r| r.status == 200)
+            .unwrap_or(false);
+        assert!(!still_healthy, "listener must be gone or draining");
+    }
+
+    #[test]
+    fn concurrent_http_clients_share_the_store() {
+        let http = start();
+        let addr = http.addr();
+        let base = retro(1);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let base = base.clone();
+                scope.spawn(move || {
+                    let client = HttpClient::new(addr, &format!("tenant-{t}"));
+                    let mut doc = base.clone();
+                    doc.exec = wf_engine::ExecId(1000 + t);
+                    let reply = client.ingest("shared", &doc).unwrap();
+                    assert_eq!(reply.status, 200, "body: {}", reply.body);
+                });
+            }
+        });
+        let client = HttpClient::new(addr, "checker");
+        let reply = client.stats("shared").unwrap();
+        let stats = wire::stats_from_json(&parse_json(&reply.body).unwrap()).unwrap();
+        assert_eq!(stats.executions, 4, "all four concurrent ingests landed");
+        assert_eq!(stats.generation, 4);
+        http.shutdown();
+    }
+}

@@ -1,0 +1,40 @@
+//! prov-server: a concurrent multi-tenant provenance service.
+//!
+//! Davidson & Freire's survey frames provenance management as a *service*
+//! problem: many scientists, one shared store of workflow provenance, with
+//! querying as the interface (§2.2–2.3). Everything else in this workspace
+//! is single-owner — `provctl` builds a store, queries it, exits. This
+//! crate makes the stores long-running and shared:
+//!
+//! * [`ProvServer`] owns per-namespace state (a PQL engine, a
+//!   [`prov_store::SharedStore`] graph store, a result cache, a query
+//!   observer) behind `&self` entry points safe to call from any thread;
+//! * admission control ([`admission`]) bounds in-flight work and meters
+//!   tenants with token buckets — overload is shed with explicit
+//!   429/503-style errors, never unbounded queueing;
+//! * the [`http`] front end serves the whole API as HTTP/1.1 + JSON using
+//!   only `std::net`, with a hand-written codec ([`wire`]) over the
+//!   workspace's dependency-free JSON parser (no serde needed);
+//! * the in-process [`Session`] API offers the same request path without
+//!   sockets, for tests, benchmarks, and embedding;
+//! * a closed-loop load generator ([`loadgen`]) drives mixed
+//!   ingest/query traffic and verifies zero lost writes, engine/store
+//!   agreement, and exact counter accounting afterwards.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod error;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use admission::{Admission, RateLimiter};
+pub use error::ServerError;
+pub use http::{HttpClient, HttpReply, HttpServer};
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use server::{
+    IngestAck, Namespace, NamespaceStats, ProvServer, QueryReply, Request, RequestBody,
+    ResponseBody, ServerConfig, ServerStats, Session,
+};

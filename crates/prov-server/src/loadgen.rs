@@ -1,0 +1,428 @@
+//! A closed-loop multithreaded load generator for [`ProvServer`].
+//!
+//! Each client thread runs a closed loop — issue a request, wait for the
+//! reply, issue the next — over a deterministic per-thread mix of ingest
+//! and PQL traffic spread across namespaces. The harness records every
+//! request's latency and verdict, then verifies global consistency:
+//!
+//! * **zero lost writes** — every namespace's final execution count and
+//!   generation equal the number of acknowledged ingests it received;
+//! * **engine/store agreement** — the PQL engine and the shared graph
+//!   store hold the same number of runs;
+//! * **exact read accounting** — summed per-namespace store counters
+//!   equal the snapshot delta over the whole run (relaxed atomics lose
+//!   nothing).
+//!
+//! Backpressure rejections (429/503) are counted, never retried silently,
+//! and excluded from the latency distribution.
+
+use crate::server::{ProvServer, QueryReply, Session};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_core::model::RetrospectiveProvenance;
+use wf_engine::synth::figure1_workflow;
+use wf_engine::{standard_registry, ExecId, Executor};
+
+/// Load-run shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Namespaces the traffic is spread over.
+    pub namespaces: Vec<String>,
+    /// Out of 100: how many requests are ingests (the rest are queries).
+    pub ingest_percent: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 8,
+            requests_per_client: 100,
+            namespaces: vec!["physics".into(), "biology".into()],
+            ingest_percent: 25,
+        }
+    }
+}
+
+/// The PQL mix each query request cycles through.
+const QUERIES: &[&str] = &[
+    "count runs",
+    "count executions",
+    "list runs where status = failed",
+    "count artifacts",
+    "list executions",
+];
+
+/// One client's tally.
+#[derive(Debug, Default)]
+struct ClientTally {
+    ingests_acked: u64,
+    queries_answered: u64,
+    cache_hits: u64,
+    backpressure: u64,
+    errors: u64,
+    latencies_micros: Vec<u64>,
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Client threads.
+    pub clients: usize,
+    /// Total requests issued.
+    pub requests: u64,
+    /// Acknowledged ingests.
+    pub ingests_acked: u64,
+    /// Successfully answered queries.
+    pub queries_answered: u64,
+    /// Query replies served from the result cache.
+    pub cache_hits: u64,
+    /// 429/503-style rejections (excluded from latency stats).
+    pub backpressure: u64,
+    /// Non-backpressure errors (must be zero in a healthy run).
+    pub errors: u64,
+    /// Wall-clock of the whole run, microseconds.
+    pub wall_micros: u64,
+    /// Served requests per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles over served requests, microseconds.
+    pub p50_micros: u64,
+    /// 99th percentile latency.
+    pub p99_micros: u64,
+    /// 99.9th percentile latency.
+    pub p999_micros: u64,
+    /// Maximum observed latency.
+    pub max_micros: u64,
+    /// Per-namespace `(name, executions, generation)` after the run.
+    pub namespace_totals: Vec<(String, usize, u64)>,
+    /// Did every consistency check pass?
+    pub consistent: bool,
+    /// Human-readable consistency findings (empty when `consistent`).
+    pub violations: Vec<String>,
+}
+
+impl LoadReport {
+    /// Render the report as a JSON object (the `BENCH_server.json` shape).
+    pub fn render_json(&self) -> String {
+        let namespaces = self
+            .namespace_totals
+            .iter()
+            .map(|(name, execs, generation)| {
+                format!(
+                    "{{\"namespace\":\"{name}\",\"executions\":{execs},\"generation\":{generation}}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", prov_telemetry::json::escape(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"prov-server-closed-loop\",\n",
+                "  \"clients\": {},\n",
+                "  \"requests\": {},\n",
+                "  \"ingests_acked\": {},\n",
+                "  \"queries_answered\": {},\n",
+                "  \"cache_hits\": {},\n",
+                "  \"backpressure_rejections\": {},\n",
+                "  \"errors\": {},\n",
+                "  \"wall_micros\": {},\n",
+                "  \"throughput_rps\": {:.1},\n",
+                "  \"latency_micros\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}},\n",
+                "  \"namespaces\": [{}],\n",
+                "  \"consistent\": {},\n",
+                "  \"violations\": [{}]\n",
+                "}}\n"
+            ),
+            self.clients,
+            self.requests,
+            self.ingests_acked,
+            self.queries_answered,
+            self.cache_hits,
+            self.backpressure,
+            self.errors,
+            self.wall_micros,
+            self.throughput_rps,
+            self.p50_micros,
+            self.p99_micros,
+            self.p999_micros,
+            self.max_micros,
+            namespaces,
+            self.consistent,
+            violations,
+        )
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Build the pool of provenance documents clients ingest. Documents are
+/// synthesized up front so the load loop measures the server, not the
+/// workflow engine.
+fn document_pool(size: usize) -> Vec<RetrospectiveProvenance> {
+    let exec = Executor::new(standard_registry());
+    (0..size)
+        .map(|i| {
+            let (wf, _) = figure1_workflow(i as u64 + 1);
+            let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+            let r = exec
+                .run_observed(&wf, &mut cap)
+                .expect("synth workflow runs");
+            cap.take(r.exec).expect("capture present")
+        })
+        .collect()
+}
+
+/// Run the closed-loop load against an in-process server and verify
+/// consistency afterwards.
+pub fn run_load(server: &Arc<ProvServer>, config: &LoadConfig) -> LoadReport {
+    assert!(!config.namespaces.is_empty(), "need at least one namespace");
+    let docs = Arc::new(document_pool(16));
+    // Ensure namespaces exist before queries race ingests.
+    let seed_session = server.session("loadgen-seed");
+    for ns in &config.namespaces {
+        seed_session
+            .create_namespace(ns)
+            .expect("namespace creation");
+    }
+    // Globally unique exec ids so every ingest is a distinct execution.
+    let next_exec = Arc::new(AtomicU64::new(1_000));
+    let expected_execs: Vec<AtomicU64> = config
+        .namespaces
+        .iter()
+        .map(|_| AtomicU64::new(0))
+        .collect();
+    let expected_execs = Arc::new(expected_execs);
+
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                let session = server.session(&format!("client-{c}"));
+                let docs = Arc::clone(&docs);
+                let next_exec = Arc::clone(&next_exec);
+                let expected = Arc::clone(&expected_execs);
+                let config = config.clone();
+                scope.spawn(move || client_loop(c, &session, &config, &docs, &next_exec, &expected))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread must not panic"))
+            .collect()
+    });
+    let wall_micros = started.elapsed().as_micros() as u64;
+
+    // Aggregate.
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut report = LoadReport {
+        clients: config.clients,
+        requests: (config.clients * config.requests_per_client) as u64,
+        ingests_acked: 0,
+        queries_answered: 0,
+        cache_hits: 0,
+        backpressure: 0,
+        errors: 0,
+        wall_micros,
+        throughput_rps: 0.0,
+        p50_micros: 0,
+        p99_micros: 0,
+        p999_micros: 0,
+        max_micros: 0,
+        namespace_totals: Vec::new(),
+        consistent: true,
+        violations: Vec::new(),
+    };
+    for tally in &tallies {
+        report.ingests_acked += tally.ingests_acked;
+        report.queries_answered += tally.queries_answered;
+        report.cache_hits += tally.cache_hits;
+        report.backpressure += tally.backpressure;
+        report.errors += tally.errors;
+        latencies.extend_from_slice(&tally.latencies_micros);
+    }
+    latencies.sort_unstable();
+    report.p50_micros = percentile(&latencies, 0.50);
+    report.p99_micros = percentile(&latencies, 0.99);
+    report.p999_micros = percentile(&latencies, 0.999);
+    report.max_micros = latencies.last().copied().unwrap_or(0);
+    let served = report.ingests_acked + report.queries_answered;
+    report.throughput_rps = if wall_micros == 0 {
+        0.0
+    } else {
+        served as f64 * 1_000_000.0 / wall_micros as f64
+    };
+
+    // Consistency verification.
+    let check = server.session("loadgen-check");
+    for (i, ns) in config.namespaces.iter().enumerate() {
+        let stats = check.stats(ns).expect("stats after run");
+        let expected = expected_execs[i].load(Ordering::SeqCst) as usize;
+        report
+            .namespace_totals
+            .push((ns.clone(), stats.executions, stats.generation));
+        if stats.executions != expected {
+            report.violations.push(format!(
+                "namespace '{ns}': {} executions resident but {expected} acked (lost writes)",
+                stats.executions
+            ));
+        }
+        if stats.generation != expected as u64 {
+            report.violations.push(format!(
+                "namespace '{ns}': generation {} but {expected} ingests acked",
+                stats.generation
+            ));
+        }
+        if stats.store_runs != stats.runs {
+            report.violations.push(format!(
+                "namespace '{ns}': engine holds {} runs, graph store {}",
+                stats.runs, stats.store_runs
+            ));
+        }
+    }
+    if report.errors > 0 {
+        report
+            .violations
+            .push(format!("{} non-backpressure errors", report.errors));
+    }
+    report.consistent = report.violations.is_empty();
+    report
+}
+
+fn client_loop(
+    client_idx: usize,
+    session: &Session,
+    config: &LoadConfig,
+    docs: &[RetrospectiveProvenance],
+    next_exec: &AtomicU64,
+    expected_execs: &[AtomicU64],
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    // Deterministic per-client LCG so the mix needs no external RNG.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (client_idx as u64).wrapping_mul(0xA076_1D64);
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..config.requests_per_client {
+        let ns_idx = (rand() % config.namespaces.len() as u64) as usize;
+        let ns = &config.namespaces[ns_idx];
+        let is_ingest = (rand() % 100) < u64::from(config.ingest_percent);
+        let started = Instant::now();
+        if is_ingest {
+            let mut doc = docs[(rand() % docs.len() as u64) as usize].clone();
+            doc.exec = ExecId(next_exec.fetch_add(1, Ordering::SeqCst));
+            match session.ingest(ns, &doc) {
+                Ok(_ack) => {
+                    expected_execs[ns_idx].fetch_add(1, Ordering::SeqCst);
+                    tally.ingests_acked += 1;
+                    tally
+                        .latencies_micros
+                        .push(started.elapsed().as_micros() as u64);
+                }
+                Err(e) if e.is_backpressure() => tally.backpressure += 1,
+                Err(_) => tally.errors += 1,
+            }
+        } else {
+            let pql = QUERIES[(client_idx + i) % QUERIES.len()];
+            match session.query(ns, pql) {
+                Ok(QueryReply { cached, .. }) => {
+                    tally.queries_answered += 1;
+                    if cached {
+                        tally.cache_hits += 1;
+                    }
+                    tally
+                        .latencies_micros
+                        .push(started.elapsed().as_micros() as u64);
+                }
+                Err(e) if e.is_backpressure() => tally.backpressure += 1,
+                Err(_) => tally.errors += 1,
+            }
+        }
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+
+    #[test]
+    fn small_load_run_is_consistent() {
+        let server = Arc::new(ProvServer::new(ServerConfig::default()));
+        let config = LoadConfig {
+            clients: 4,
+            requests_per_client: 20,
+            namespaces: vec!["a".into(), "b".into()],
+            ingest_percent: 30,
+        };
+        let report = run_load(&server, &config);
+        assert!(report.consistent, "violations: {:?}", report.violations);
+        assert_eq!(report.errors, 0);
+        assert_eq!(
+            report.ingests_acked + report.queries_answered + report.backpressure,
+            report.requests
+        );
+        assert!(report.queries_answered > 0);
+    }
+
+    #[test]
+    fn report_renders_parseable_json() {
+        let server = Arc::new(ProvServer::new(ServerConfig::default()));
+        let config = LoadConfig {
+            clients: 2,
+            requests_per_client: 10,
+            namespaces: vec!["solo".into()],
+            ingest_percent: 50,
+        };
+        let report = run_load(&server, &config);
+        let text = report.render_json();
+        let v = prov_telemetry::parse_json(&text).expect("valid JSON");
+        assert_eq!(
+            v.get("clients").and_then(|c| c.as_u64()),
+            Some(2),
+            "text: {text}"
+        );
+        assert!(v.get("latency_micros").is_some());
+        assert_eq!(v.get("consistent").and_then(|c| c.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn overload_is_shed_not_queued() {
+        // A 1-permit window with 4 clients must shed load but stay
+        // consistent: acked ingests all land, rejected ones never do.
+        let server = Arc::new(ProvServer::new(ServerConfig {
+            max_inflight: 1,
+            ..ServerConfig::default()
+        }));
+        let config = LoadConfig {
+            clients: 4,
+            requests_per_client: 25,
+            namespaces: vec!["tight".into()],
+            ingest_percent: 40,
+        };
+        let report = run_load(&server, &config);
+        assert!(report.consistent, "violations: {:?}", report.violations);
+        assert_eq!(report.errors, 0);
+    }
+}

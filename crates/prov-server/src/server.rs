@@ -1,0 +1,817 @@
+//! The concurrent multi-tenant provenance service.
+//!
+//! [`ProvServer`] owns the stores. Clients — in-process [`Session`]s or
+//! the HTTP front end (`crate::http`) — send [`Request`]s; the server
+//! applies admission control, per-tenant rate limits, and namespace
+//! isolation, then serves ingest and PQL against shared state:
+//!
+//! * each [`Namespace`] owns one `RwLock<PqlEngine>` (ingest = write lock,
+//!   queries = read lock, generation bumps under the write lock) and one
+//!   [`SharedStore<GraphStore>`] answering the canned store queries;
+//! * a bounded admission window ([`crate::admission::Admission`]) sheds
+//!   load with explicit 503-style rejections instead of queueing;
+//! * a token-bucket [`crate::admission::RateLimiter`] isolates tenants;
+//! * every query lands one request-scoped span in the namespace's
+//!   [`QueryObserver`], all feeding one server-wide [`MetricsRegistry`].
+//!
+//! Store counters are relaxed atomics (see `prov_store::stats`), so the
+//! *totals* stay exact under any interleaving of concurrent readers;
+//! per-operator ANALYZE attribution is exact whenever a query runs without
+//! overlapping readers on the same namespace.
+
+use crate::admission::{Admission, RateLimiter};
+use crate::error::ServerError;
+use prov_core::model::RetrospectiveProvenance;
+use prov_query::{analyze_optimized, parse, PqlEngine, QueryCache, QueryObserver, QueryResult};
+use prov_store::{GraphStore, ProvenanceStore, SharedStore};
+use prov_telemetry::{MetricsRegistry, Trace};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Tuning knobs for a [`ProvServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum requests served concurrently before 503-style rejection.
+    pub max_inflight: usize,
+    /// Token-bucket burst per `(tenant, namespace)`.
+    pub tenant_burst: u32,
+    /// Steady-state requests/second per `(tenant, namespace)`;
+    /// `0.0` disables rate limiting (the single-user default).
+    pub tenant_rate_per_sec: f64,
+    /// Bounded LRU query-result cache entries per namespace.
+    pub cache_capacity: usize,
+    /// Slow-query log admission threshold in microseconds.
+    pub slowlog_threshold_micros: u64,
+    /// Create namespaces on first ingest (`true`) or require explicit
+    /// [`RequestBody::CreateNamespace`] (`false`).
+    pub auto_create_namespaces: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_inflight: 64,
+            tenant_burst: 64,
+            tenant_rate_per_sec: 0.0,
+            cache_capacity: 128,
+            slowlog_threshold_micros: 1_000,
+            auto_create_namespaces: true,
+        }
+    }
+}
+
+/// One tenant-visible, isolated provenance domain.
+///
+/// All state a request can touch lives here; requests for namespace A can
+/// never observe (or block behind the write lock of) namespace B.
+#[derive(Debug)]
+pub struct Namespace {
+    name: String,
+    engine: RwLock<PqlEngine>,
+    graph: SharedStore<GraphStore>,
+    cache: Mutex<QueryCache>,
+    observer: Mutex<QueryObserver>,
+    ingests: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl Namespace {
+    fn new(name: &str, config: &ServerConfig, registry: Arc<MetricsRegistry>) -> Self {
+        Namespace {
+            name: name.to_string(),
+            engine: RwLock::new(PqlEngine::new()),
+            graph: SharedStore::new(GraphStore::new()),
+            cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+            observer: Mutex::new(
+                QueryObserver::with_registry(registry)
+                    .with_slowlog(config.slowlog_threshold_micros, 128),
+            ),
+            ingests: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// The namespace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared canned-query store for this namespace.
+    pub fn store(&self) -> &SharedStore<GraphStore> {
+        &self.graph
+    }
+
+    fn read_engine(&self) -> std::sync::RwLockReadGuard<'_, PqlEngine> {
+        self.engine.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_engine(&self) -> std::sync::RwLockWriteGuard<'_, PqlEngine> {
+        self.engine.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// What a request asks for.
+#[derive(Debug, Clone)]
+pub enum RequestBody {
+    /// Create the namespace (idempotent).
+    CreateNamespace,
+    /// Ingest one execution's retrospective provenance.
+    Ingest(Box<RetrospectiveProvenance>),
+    /// Evaluate a PQL query.
+    Query {
+        /// The query text.
+        pql: String,
+    },
+    /// Per-namespace statistics.
+    Stats,
+}
+
+impl RequestBody {
+    /// Stable label for metrics.
+    pub fn op(&self) -> &'static str {
+        match self {
+            RequestBody::CreateNamespace => "create",
+            RequestBody::Ingest(_) => "ingest",
+            RequestBody::Query { .. } => "query",
+            RequestBody::Stats => "stats",
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Who is asking (rate-limit key).
+    pub tenant: String,
+    /// Which isolated domain the request addresses.
+    pub namespace: String,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// Acknowledgement of one ingested execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestAck {
+    /// The namespace written to.
+    pub namespace: String,
+    /// Engine generation after the ingest (monotone per namespace).
+    pub generation: u64,
+    /// Module runs in the ingested execution.
+    pub runs_ingested: usize,
+    /// Total runs resident in the namespace afterwards.
+    pub total_runs: usize,
+}
+
+/// A served query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// The result rows/count/paths.
+    pub result: QueryResult,
+    /// The engine generation the result was computed against.
+    pub generation: u64,
+    /// Server-side evaluation time (0 for cache hits).
+    pub micros: u64,
+    /// Served from the namespace's result cache?
+    pub cached: bool,
+}
+
+/// Point-in-time numbers for one namespace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamespaceStats {
+    /// Namespace name.
+    pub namespace: String,
+    /// Module runs in the engine.
+    pub runs: usize,
+    /// Artifacts in the engine.
+    pub artifacts: usize,
+    /// Executions in the engine.
+    pub executions: usize,
+    /// Ingest generation.
+    pub generation: u64,
+    /// Ingest requests served.
+    pub ingests: u64,
+    /// Query requests served.
+    pub queries: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Runs resident in the shared graph store (must equal `runs`).
+    pub store_runs: usize,
+}
+
+/// Server-wide admission numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests currently in flight.
+    pub inflight: usize,
+    /// Requests admitted since start.
+    pub admitted: u64,
+    /// Requests shed by the admission window.
+    pub rejected: u64,
+    /// Requests shed by tenant rate limits.
+    pub throttled: u64,
+    /// Namespaces resident.
+    pub namespaces: usize,
+}
+
+/// What a request returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Namespace exists now.
+    Created(String),
+    /// Ingest acknowledged.
+    Ingested(IngestAck),
+    /// Query answered.
+    Query(QueryReply),
+    /// Namespace statistics.
+    Stats(NamespaceStats),
+}
+
+/// The long-running concurrent provenance service.
+///
+/// Construct once, wrap in an [`Arc`], and serve from as many threads as
+/// you like: every entry point takes `&self`.
+#[derive(Debug)]
+pub struct ProvServer {
+    config: ServerConfig,
+    registry: Arc<MetricsRegistry>,
+    admission: Admission,
+    limiter: RateLimiter,
+    namespaces: RwLock<BTreeMap<String, Arc<Namespace>>>,
+    shutdown: AtomicBool,
+}
+
+/// Validate a tenant or namespace name: 1–64 chars of `[A-Za-z0-9._-]`.
+fn validate_name(kind: &str, name: &str) -> Result<(), ServerError> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(ServerError::BadRequest(format!(
+            "{kind} must be 1-64 characters, got {}",
+            name.len()
+        )));
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(ServerError::BadRequest(format!(
+            "{kind} contains invalid character {c:?} (allowed: [A-Za-z0-9._-])"
+        )));
+    }
+    Ok(())
+}
+
+impl ProvServer {
+    /// A server with the given configuration and a fresh metrics registry.
+    pub fn new(config: ServerConfig) -> Self {
+        ProvServer {
+            admission: Admission::new(config.max_inflight),
+            limiter: RateLimiter::new(config.tenant_burst, config.tenant_rate_per_sec),
+            config,
+            registry: Arc::new(MetricsRegistry::new()),
+            namespaces: RwLock::new(BTreeMap::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The server-wide metrics registry (Prometheus-renderable).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Flag the server as draining: every subsequent request is rejected
+    /// with [`ServerError::ShuttingDown`].
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Is the server draining?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Serve one request end to end: admission window, tenant rate limit,
+    /// namespace resolution, dispatch. This is the single entry point both
+    /// the in-process [`Session`] API and the HTTP front end go through.
+    pub fn handle(&self, req: &Request) -> Result<ResponseBody, ServerError> {
+        if self.is_shutting_down() {
+            return Err(ServerError::ShuttingDown);
+        }
+        validate_name("tenant", &req.tenant)?;
+        validate_name("namespace", &req.namespace)?;
+        let outcome_metric = |outcome: &str| {
+            self.registry
+                .counter_with(
+                    "prov_server_requests_total",
+                    "requests by operation and outcome",
+                    &[("op", req.body.op()), ("outcome", outcome)],
+                )
+                .inc();
+        };
+        let Some(_permit) = self.admission.try_acquire() else {
+            outcome_metric("overloaded");
+            return Err(ServerError::Overloaded {
+                inflight: self.admission.inflight(),
+                limit: self.admission.limit(),
+            });
+        };
+        if !self.limiter.try_take(&req.tenant, &req.namespace) {
+            outcome_metric("rate_limited");
+            return Err(ServerError::RateLimited {
+                tenant: req.tenant.clone(),
+                namespace: req.namespace.clone(),
+            });
+        }
+        let result = match &req.body {
+            RequestBody::CreateNamespace => self
+                .get_or_create_namespace(&req.namespace)
+                .map(|ns| ResponseBody::Created(ns.name().to_string())),
+            RequestBody::Ingest(retro) => self.ingest(&req.namespace, retro),
+            RequestBody::Query { pql } => self.query(&req.namespace, pql),
+            RequestBody::Stats => self.stats(&req.namespace).map(ResponseBody::Stats),
+        };
+        outcome_metric(match &result {
+            Ok(_) => "ok",
+            Err(e) => e.kind(),
+        });
+        result
+    }
+
+    /// Open an in-process session for `tenant`.
+    pub fn session(self: &Arc<Self>, tenant: &str) -> Session {
+        Session {
+            server: Arc::clone(self),
+            tenant: tenant.to_string(),
+        }
+    }
+
+    /// The namespace handle, if it exists.
+    pub fn namespace(&self, name: &str) -> Option<Arc<Namespace>> {
+        self.namespaces
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Namespace names, sorted.
+    pub fn namespace_names(&self) -> Vec<String> {
+        self.namespaces
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Server-wide admission statistics.
+    pub fn server_stats(&self) -> ServerStats {
+        ServerStats {
+            inflight: self.admission.inflight(),
+            admitted: self.admission.admitted(),
+            rejected: self.admission.rejected(),
+            throttled: self.limiter.throttled(),
+            namespaces: self
+                .namespaces
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
+        }
+    }
+
+    /// Drain the request-scoped query spans of one namespace as a
+    /// [`Trace`] (exportable with the `prov-telemetry` exporters).
+    pub fn take_trace(&self, namespace: &str) -> Option<Trace> {
+        let ns = self.namespace(namespace)?;
+        let trace = ns
+            .observer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take_trace();
+        Some(trace)
+    }
+
+    /// Render the namespace's slow-query log.
+    pub fn render_slowlog(&self, namespace: &str) -> Option<String> {
+        let ns = self.namespace(namespace)?;
+        let text = ns
+            .observer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .slowlog
+            .render();
+        Some(text)
+    }
+
+    fn get_or_create_namespace(&self, name: &str) -> Result<Arc<Namespace>, ServerError> {
+        if let Some(ns) = self.namespace(name) {
+            return Ok(ns);
+        }
+        let mut map = self.namespaces.write().unwrap_or_else(|e| e.into_inner());
+        let ns = map.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Namespace::new(
+                name,
+                &self.config,
+                Arc::clone(&self.registry),
+            ))
+        });
+        Ok(Arc::clone(ns))
+    }
+
+    fn resolve(&self, name: &str) -> Result<Arc<Namespace>, ServerError> {
+        self.namespace(name)
+            .ok_or_else(|| ServerError::NoSuchNamespace(name.to_string()))
+    }
+
+    fn ingest(
+        &self,
+        namespace: &str,
+        retro: &RetrospectiveProvenance,
+    ) -> Result<ResponseBody, ServerError> {
+        let ns = if self.config.auto_create_namespaces {
+            self.get_or_create_namespace(namespace)?
+        } else {
+            self.resolve(namespace)?
+        };
+        // Engine and graph store are written in the same order everywhere,
+        // and the generation reported is read under the engine write lock,
+        // so acks carry the generation this ingest produced.
+        let (generation, total_runs) = {
+            let mut engine = ns.write_engine();
+            engine.ingest(retro);
+            (engine.generation(), engine.run_count())
+        };
+        ns.graph.ingest_shared(retro);
+        ns.ingests.fetch_add(1, Ordering::Relaxed);
+        Ok(ResponseBody::Ingested(IngestAck {
+            namespace: namespace.to_string(),
+            generation,
+            runs_ingested: retro.run_count(),
+            total_runs,
+        }))
+    }
+
+    fn query(&self, namespace: &str, pql: &str) -> Result<ResponseBody, ServerError> {
+        let ns = self.resolve(namespace)?;
+        let query = parse(pql)?;
+        let key = QueryCache::key_for(&query);
+        // Hold the read lock across generation read + evaluation: the
+        // result is guaranteed to be computed against the generation it
+        // is tagged with (writers are excluded while we evaluate).
+        let engine = ns.read_engine();
+        let generation = engine.generation();
+        {
+            let mut cache = ns.cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(result) = cache.get("engine", &key, generation) {
+                drop(cache);
+                ns.queries.fetch_add(1, Ordering::Relaxed);
+                let mut obs = ns.observer.lock().unwrap_or_else(|e| e.into_inner());
+                obs.record(pql, "cache", 0, result.len(), Default::default());
+                return Ok(ResponseBody::Query(QueryReply {
+                    result,
+                    generation,
+                    micros: 0,
+                    cached: true,
+                }));
+            }
+        }
+        let analysis = analyze_optimized(&engine, &query)?;
+        drop(engine);
+        ns.cache.lock().unwrap_or_else(|e| e.into_inner()).put(
+            "engine",
+            &key,
+            generation,
+            analysis.result.clone(),
+        );
+        ns.queries.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut obs = ns.observer.lock().unwrap_or_else(|e| e.into_inner());
+            obs.record(
+                pql,
+                "engine",
+                analysis.total_micros,
+                analysis.result.len(),
+                analysis.total_accesses(),
+            );
+        }
+        Ok(ResponseBody::Query(QueryReply {
+            result: analysis.result,
+            generation,
+            micros: analysis.total_micros,
+            cached: false,
+        }))
+    }
+
+    fn stats(&self, namespace: &str) -> Result<NamespaceStats, ServerError> {
+        let ns = self.resolve(namespace)?;
+        let engine = ns.read_engine();
+        let (hits, misses) = {
+            let cache = ns.cache.lock().unwrap_or_else(|e| e.into_inner());
+            (cache.hits(), cache.misses())
+        };
+        Ok(NamespaceStats {
+            namespace: namespace.to_string(),
+            runs: engine.run_count(),
+            artifacts: engine.artifact_count(),
+            executions: engine.exec_count(),
+            generation: engine.generation(),
+            ingests: ns.ingests.load(Ordering::Relaxed),
+            queries: ns.queries.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            store_runs: ns.graph.run_count(),
+        })
+    }
+}
+
+/// An in-process client handle: the session API used when no network is
+/// available (tests, benchmarks, embedded use). All calls go through
+/// [`ProvServer::handle`], so admission control and rate limits apply
+/// exactly as they do over HTTP.
+#[derive(Debug, Clone)]
+pub struct Session {
+    server: Arc<ProvServer>,
+    tenant: String,
+}
+
+impl Session {
+    /// The tenant this session authenticates as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Create `namespace` (idempotent).
+    pub fn create_namespace(&self, namespace: &str) -> Result<(), ServerError> {
+        self.server
+            .handle(&Request {
+                tenant: self.tenant.clone(),
+                namespace: namespace.to_string(),
+                body: RequestBody::CreateNamespace,
+            })
+            .map(|_| ())
+    }
+
+    /// Ingest one execution's provenance into `namespace`.
+    pub fn ingest(
+        &self,
+        namespace: &str,
+        retro: &RetrospectiveProvenance,
+    ) -> Result<IngestAck, ServerError> {
+        match self.server.handle(&Request {
+            tenant: self.tenant.clone(),
+            namespace: namespace.to_string(),
+            body: RequestBody::Ingest(Box::new(retro.clone())),
+        })? {
+            ResponseBody::Ingested(ack) => Ok(ack),
+            other => Err(ServerError::BadRequest(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Evaluate a PQL query against `namespace`.
+    pub fn query(&self, namespace: &str, pql: &str) -> Result<QueryReply, ServerError> {
+        match self.server.handle(&Request {
+            tenant: self.tenant.clone(),
+            namespace: namespace.to_string(),
+            body: RequestBody::Query {
+                pql: pql.to_string(),
+            },
+        })? {
+            ResponseBody::Query(reply) => Ok(reply),
+            other => Err(ServerError::BadRequest(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Per-namespace statistics.
+    pub fn stats(&self, namespace: &str) -> Result<NamespaceStats, ServerError> {
+        match self.server.handle(&Request {
+            tenant: self.tenant.clone(),
+            namespace: namespace.to_string(),
+            body: RequestBody::Stats,
+        })? {
+            ResponseBody::Stats(stats) => Ok(stats),
+            other => Err(ServerError::BadRequest(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn retro(seed: u64) -> RetrospectiveProvenance {
+        let (wf, _) = figure1_workflow(seed);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let mut doc = cap.take(r.exec).unwrap();
+        // A fresh Executor hands out the same ExecId every time; make the
+        // execution identity follow the seed so documents are distinct.
+        doc.exec = wf_engine::ExecId(seed);
+        doc
+    }
+
+    fn server() -> Arc<ProvServer> {
+        Arc::new(ProvServer::new(ServerConfig::default()))
+    }
+
+    #[test]
+    fn server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProvServer>();
+        assert_send_sync::<Session>();
+    }
+
+    #[test]
+    fn ingest_then_query_round_trips() {
+        let srv = server();
+        let session = srv.session("alice");
+        let ack = session.ingest("lab", &retro(1)).unwrap();
+        assert_eq!(ack.generation, 1);
+        assert_eq!(ack.runs_ingested, 8);
+        assert_eq!(ack.total_runs, 8);
+        let reply = session.query("lab", "count runs").unwrap();
+        assert_eq!(reply.result, QueryResult::Count(8));
+        assert_eq!(reply.generation, 1);
+        assert!(!reply.cached);
+        let again = session.query("lab", "count runs").unwrap();
+        assert!(again.cached, "second identical query is a cache hit");
+        assert_eq!(again.result, QueryResult::Count(8));
+    }
+
+    #[test]
+    fn namespaces_are_isolated() {
+        let srv = server();
+        let session = srv.session("alice");
+        session.ingest("physics", &retro(1)).unwrap();
+        session.ingest("biology", &retro(2)).unwrap();
+        session.ingest("biology", &retro(3)).unwrap();
+        let physics = session.stats("physics").unwrap();
+        let biology = session.stats("biology").unwrap();
+        assert_eq!(physics.executions, 1);
+        assert_eq!(biology.executions, 2);
+        assert_eq!(physics.generation, 1);
+        assert_eq!(biology.generation, 2);
+        assert_eq!(physics.store_runs, physics.runs, "engine and store agree");
+        assert!(session.query("nowhere", "count runs").is_err());
+    }
+
+    #[test]
+    fn unknown_namespace_is_a_404_not_a_panic() {
+        let srv = server();
+        let session = srv.session("alice");
+        let err = session.query("ghost", "count runs").unwrap_err();
+        assert_eq!(err.status_code(), 404);
+        let err = session.stats("ghost").unwrap_err();
+        assert_eq!(err.status_code(), 404);
+    }
+
+    #[test]
+    fn malformed_pql_is_a_422() {
+        let srv = server();
+        let session = srv.session("alice");
+        session.ingest("lab", &retro(1)).unwrap();
+        let err = session.query("lab", "frobnicate the runs").unwrap_err();
+        assert_eq!(err.status_code(), 422);
+    }
+
+    #[test]
+    fn invalid_names_are_rejected() {
+        let srv = server();
+        let session = srv.session("alice");
+        for bad in ["", "has space", "sla/sh", &"x".repeat(65)] {
+            let err = session.query(bad, "count runs").unwrap_err();
+            assert_eq!(err.status_code(), 400, "namespace {bad:?}");
+        }
+        let err = srv
+            .handle(&Request {
+                tenant: "bad tenant".into(),
+                namespace: "ns".into(),
+                body: RequestBody::Stats,
+            })
+            .unwrap_err();
+        assert_eq!(err.status_code(), 400);
+    }
+
+    #[test]
+    fn rate_limit_throttles_one_tenant_not_another() {
+        let srv = Arc::new(ProvServer::new(ServerConfig {
+            tenant_burst: 3,
+            tenant_rate_per_sec: 0.000_001,
+            ..ServerConfig::default()
+        }));
+        let alice = srv.session("alice");
+        let bob = srv.session("bob");
+        alice.ingest("lab", &retro(1)).unwrap();
+        // Alice has 2 tokens left (ingest spent one).
+        assert!(alice.query("lab", "count runs").is_ok());
+        assert!(alice.query("lab", "count runs").is_ok());
+        let err = alice.query("lab", "count runs").unwrap_err();
+        assert_eq!(err.status_code(), 429);
+        assert!(err.is_backpressure());
+        assert!(bob.query("lab", "count runs").is_ok(), "bob unaffected");
+        assert!(srv.server_stats().throttled >= 1);
+    }
+
+    #[test]
+    fn shutdown_drains_new_requests() {
+        let srv = server();
+        let session = srv.session("alice");
+        session.ingest("lab", &retro(1)).unwrap();
+        srv.begin_shutdown();
+        let err = session.query("lab", "count runs").unwrap_err();
+        assert_eq!(err, ServerError::ShuttingDown);
+    }
+
+    #[test]
+    fn generation_in_reply_matches_the_data_queried() {
+        let srv = server();
+        let session = srv.session("alice");
+        session.ingest("lab", &retro(1)).unwrap();
+        let r1 = session.query("lab", "count executions").unwrap();
+        assert_eq!((r1.generation, r1.result), (1, QueryResult::Count(1)));
+        session.ingest("lab", &retro(2)).unwrap();
+        let r2 = session.query("lab", "count executions").unwrap();
+        assert_eq!((r2.generation, r2.result), (2, QueryResult::Count(2)));
+    }
+
+    #[test]
+    fn concurrent_mixed_load_is_consistent() {
+        let srv = server();
+        let namespaces = ["physics", "biology"];
+        // Pre-create so query threads never race namespace creation.
+        for ns in namespaces {
+            srv.session("seed").ingest(ns, &retro(999)).unwrap();
+        }
+        let writers = 4;
+        let per_writer = 3;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let session = srv.session(&format!("writer-{w}"));
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        let ns = namespaces[(w + i) % namespaces.len()];
+                        session
+                            .ingest(ns, &retro(1000 + (w * per_writer + i) as u64))
+                            .unwrap();
+                    }
+                });
+            }
+            for r in 0..4 {
+                let session = srv.session(&format!("reader-{r}"));
+                scope.spawn(move || {
+                    for i in 0..20 {
+                        let ns = namespaces[i % namespaces.len()];
+                        let reply = session.query(ns, "count executions").unwrap();
+                        // Monotone generations, result consistent with
+                        // *some* prefix of the ingest stream.
+                        assert!(reply.generation >= 1);
+                        assert!(reply.result.len() >= 1);
+                    }
+                });
+            }
+        });
+        let total_execs: usize = namespaces
+            .iter()
+            .map(|ns| srv.session("check").stats(ns).unwrap().executions)
+            .sum();
+        assert_eq!(
+            total_execs,
+            2 + writers * per_writer,
+            "no lost writes across namespaces"
+        );
+        for ns in namespaces {
+            let stats = srv.session("check").stats(ns).unwrap();
+            assert_eq!(stats.store_runs, stats.runs, "engine and store agree");
+        }
+    }
+
+    #[test]
+    fn request_scoped_spans_land_in_the_namespace_trace() {
+        let srv = server();
+        let session = srv.session("alice");
+        session.ingest("lab", &retro(1)).unwrap();
+        session.query("lab", "count runs").unwrap();
+        session.query("lab", "list runs").unwrap();
+        let trace = srv.take_trace("lab").unwrap();
+        assert_eq!(trace.spans.len(), 2, "one span per query request");
+        assert!(srv.take_trace("ghost").is_none());
+        let prom = srv.registry().render_prometheus();
+        assert!(prom.contains("prov_server_requests_total"));
+        assert!(prom.contains("pql_queries_total"));
+    }
+}

@@ -1,0 +1,732 @@
+//! The HTTP/JSON wire codec.
+//!
+//! Built on `prov_telemetry::json` (the repo's dependency-free JSON
+//! parser) rather than serde, so the server works in fully offline
+//! builds. Two representational rules keep the codec lossless:
+//!
+//! * **64-bit hashes travel as 16-digit hex strings.** `JsonValue`
+//!   numbers are `f64`, which silently rounds integers above 2^53 —
+//!   fatal for content hashes whose equality *is* their identity.
+//!   Matches [`prov_core::model::Artifact::digest`].
+//! * **`i64` parameters travel as decimal strings** for the same reason.
+//!
+//! Everything else (ids, timestamps, durations) is far below 2^53 and
+//! travels as a plain JSON number.
+
+use crate::error::ServerError;
+use crate::server::{IngestAck, NamespaceStats, QueryReply, ServerStats};
+use prov_core::model::{Artifact, Environment, ModuleRun, RetrospectiveProvenance};
+use prov_query::{QueryResult, ResultNode};
+use prov_telemetry::json::escape as escape_json;
+use prov_telemetry::JsonValue;
+use std::collections::BTreeMap;
+use wf_engine::{ExecId, RunStatus};
+use wf_model::{NodeId, ParamValue, WorkflowId};
+
+// ---------------------------------------------------------------------------
+// Rendering (JsonValue -> text)
+// ---------------------------------------------------------------------------
+
+/// Serialize a [`JsonValue`] to compact JSON text.
+pub fn render_json(v: &JsonValue) -> String {
+    let mut out = String::new();
+    write_json(v, &mut out);
+    out
+}
+
+fn write_json(v: &JsonValue, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        JsonValue::String(s) => {
+            out.push('"');
+            out.push_str(&escape_json(s));
+            out.push('"');
+        }
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape_json(k));
+                out.push_str("\":");
+                write_json(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Small builders and accessors
+// ---------------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(n: u64) -> JsonValue {
+    JsonValue::Number(n as f64)
+}
+
+fn s(text: &str) -> JsonValue {
+    JsonValue::String(text.to_string())
+}
+
+fn hash_to_json(h: u64) -> JsonValue {
+    JsonValue::String(format!("{h:016x}"))
+}
+
+fn bad(msg: impl Into<String>) -> ServerError {
+    ServerError::BadRequest(msg.into())
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ServerError> {
+    v.get(key)
+        .ok_or_else(|| bad(format!("missing field '{key}'")))
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Result<u64, ServerError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| bad(format!("field '{key}' must be a non-negative integer")))
+}
+
+fn get_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, ServerError> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("field '{key}' must be a string")))
+}
+
+fn get_bool(v: &JsonValue, key: &str) -> Result<bool, ServerError> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| bad(format!("field '{key}' must be a boolean")))
+}
+
+fn get_array<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], ServerError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| bad(format!("field '{key}' must be an array")))
+}
+
+fn get_hash(v: &JsonValue, key: &str) -> Result<u64, ServerError> {
+    hash_from_json(field(v, key)?)
+        .ok_or_else(|| bad(format!("field '{key}' must be a 16-digit hex hash string")))
+}
+
+fn hash_from_json(v: &JsonValue) -> Option<u64> {
+    let text = v.as_str()?;
+    if text.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Provenance document codec
+// ---------------------------------------------------------------------------
+
+fn status_to_json(status: RunStatus) -> JsonValue {
+    s(&status.to_string())
+}
+
+fn status_from_json(v: &JsonValue, key: &str) -> Result<RunStatus, ServerError> {
+    match v.get(key).and_then(JsonValue::as_str) {
+        Some("succeeded") => Ok(RunStatus::Succeeded),
+        Some("failed") => Ok(RunStatus::Failed),
+        Some("skipped") => Ok(RunStatus::Skipped),
+        other => Err(bad(format!(
+            "field '{key}' must be one of succeeded/failed/skipped, got {other:?}"
+        ))),
+    }
+}
+
+fn param_to_json(p: &ParamValue) -> JsonValue {
+    match p {
+        ParamValue::Bool(b) => obj(vec![("t", s("bool")), ("v", JsonValue::Bool(*b))]),
+        ParamValue::Int(i) => obj(vec![("t", s("int")), ("v", s(&i.to_string()))]),
+        ParamValue::Float(f) => obj(vec![("t", s("float")), ("v", JsonValue::Number(*f))]),
+        ParamValue::Text(t) => obj(vec![("t", s("text")), ("v", s(t))]),
+    }
+}
+
+fn param_from_json(v: &JsonValue) -> Result<ParamValue, ServerError> {
+    let value = field(v, "v")?;
+    match get_str(v, "t")? {
+        "bool" => value
+            .as_bool()
+            .map(ParamValue::Bool)
+            .ok_or_else(|| bad("bool param needs a boolean 'v'")),
+        "int" => value
+            .as_str()
+            .and_then(|t| t.parse::<i64>().ok())
+            .map(ParamValue::Int)
+            .ok_or_else(|| bad("int param needs a decimal string 'v'")),
+        "float" => value
+            .as_f64()
+            .map(ParamValue::Float)
+            .ok_or_else(|| bad("float param needs a numeric 'v'")),
+        "text" => value
+            .as_str()
+            .map(|t| ParamValue::Text(t.to_string()))
+            .ok_or_else(|| bad("text param needs a string 'v'")),
+        other => Err(bad(format!("unknown param type '{other}'"))),
+    }
+}
+
+fn ports_to_json(ports: &[(String, u64)]) -> JsonValue {
+    JsonValue::Array(
+        ports
+            .iter()
+            .map(|(port, hash)| obj(vec![("port", s(port)), ("hash", hash_to_json(*hash))]))
+            .collect(),
+    )
+}
+
+fn ports_from_json(v: &JsonValue, key: &str) -> Result<Vec<(String, u64)>, ServerError> {
+    get_array(v, key)?
+        .iter()
+        .map(|e| Ok((get_str(e, "port")?.to_string(), get_hash(e, "hash")?)))
+        .collect()
+}
+
+fn run_to_json(run: &ModuleRun) -> JsonValue {
+    obj(vec![
+        ("node", num(run.node.raw())),
+        ("identity", s(&run.identity)),
+        (
+            "params",
+            JsonValue::Array(
+                run.params
+                    .iter()
+                    .map(|(name, p)| obj(vec![("name", s(name)), ("value", param_to_json(p))]))
+                    .collect(),
+            ),
+        ),
+        ("status", status_to_json(run.status)),
+        ("started_millis", num(run.started_millis)),
+        ("elapsed_micros", num(run.elapsed_micros)),
+        ("from_cache", JsonValue::Bool(run.from_cache)),
+        (
+            "error",
+            run.error.as_deref().map(s).unwrap_or(JsonValue::Null),
+        ),
+        ("inputs", ports_to_json(&run.inputs)),
+        ("outputs", ports_to_json(&run.outputs)),
+        ("attempts", num(u64::from(run.attempts))),
+        ("backoff_micros", num(run.backoff_micros)),
+    ])
+}
+
+fn run_from_json(v: &JsonValue) -> Result<ModuleRun, ServerError> {
+    let attempts = get_u64(v, "attempts")?;
+    let attempts = u32::try_from(attempts)
+        .map_err(|_| bad(format!("field 'attempts' out of range: {attempts}")))?;
+    Ok(ModuleRun {
+        node: NodeId(get_u64(v, "node")?),
+        identity: get_str(v, "identity")?.to_string(),
+        params: get_array(v, "params")?
+            .iter()
+            .map(|p| {
+                Ok((
+                    get_str(p, "name")?.to_string(),
+                    param_from_json(field(p, "value")?)?,
+                ))
+            })
+            .collect::<Result<_, ServerError>>()?,
+        status: status_from_json(v, "status")?,
+        started_millis: get_u64(v, "started_millis")?,
+        elapsed_micros: get_u64(v, "elapsed_micros")?,
+        from_cache: get_bool(v, "from_cache")?,
+        error: match field(v, "error")? {
+            JsonValue::Null => None,
+            other => Some(
+                other
+                    .as_str()
+                    .ok_or_else(|| bad("field 'error' must be a string or null"))?
+                    .to_string(),
+            ),
+        },
+        inputs: ports_from_json(v, "inputs")?,
+        outputs: ports_from_json(v, "outputs")?,
+        attempts,
+        backoff_micros: get_u64(v, "backoff_micros")?,
+    })
+}
+
+fn artifact_to_json(a: &Artifact) -> JsonValue {
+    obj(vec![
+        ("hash", hash_to_json(a.hash)),
+        ("dtype", s(&a.dtype)),
+        ("size", num(a.size as u64)),
+        (
+            "preview",
+            a.preview.as_deref().map(s).unwrap_or(JsonValue::Null),
+        ),
+    ])
+}
+
+fn artifact_from_json(v: &JsonValue) -> Result<Artifact, ServerError> {
+    Ok(Artifact {
+        hash: get_hash(v, "hash")?,
+        dtype: get_str(v, "dtype")?.to_string(),
+        size: get_u64(v, "size")? as usize,
+        preview: match field(v, "preview")? {
+            JsonValue::Null => None,
+            other => Some(
+                other
+                    .as_str()
+                    .ok_or_else(|| bad("field 'preview' must be a string or null"))?
+                    .to_string(),
+            ),
+        },
+    })
+}
+
+/// Encode one retrospective provenance document.
+pub fn retro_to_json(retro: &RetrospectiveProvenance) -> JsonValue {
+    obj(vec![
+        ("exec", num(retro.exec.0)),
+        ("workflow", num(retro.workflow.raw())),
+        ("workflow_name", s(&retro.workflow_name)),
+        ("status", status_to_json(retro.status)),
+        ("started_millis", num(retro.started_millis)),
+        ("finished_millis", num(retro.finished_millis)),
+        (
+            "runs",
+            JsonValue::Array(retro.runs.iter().map(run_to_json).collect()),
+        ),
+        (
+            "artifacts",
+            JsonValue::Array(retro.artifacts.values().map(artifact_to_json).collect()),
+        ),
+        (
+            "environment",
+            obj(vec![
+                ("os", s(&retro.environment.os)),
+                ("arch", s(&retro.environment.arch)),
+                ("engine", s(&retro.environment.engine)),
+                ("threads", num(retro.environment.threads as u64)),
+            ]),
+        ),
+        (
+            "resumed_from",
+            retro
+                .resumed_from
+                .map(|e| num(e.0))
+                .unwrap_or(JsonValue::Null),
+        ),
+    ])
+}
+
+/// Decode one retrospective provenance document.
+pub fn retro_from_json(v: &JsonValue) -> Result<RetrospectiveProvenance, ServerError> {
+    let env = field(v, "environment")?;
+    let mut artifacts = BTreeMap::new();
+    for a in get_array(v, "artifacts")? {
+        let artifact = artifact_from_json(a)?;
+        artifacts.insert(artifact.hash, artifact);
+    }
+    Ok(RetrospectiveProvenance {
+        exec: ExecId(get_u64(v, "exec")?),
+        workflow: WorkflowId(get_u64(v, "workflow")?),
+        workflow_name: get_str(v, "workflow_name")?.to_string(),
+        status: status_from_json(v, "status")?,
+        started_millis: get_u64(v, "started_millis")?,
+        finished_millis: get_u64(v, "finished_millis")?,
+        runs: get_array(v, "runs")?
+            .iter()
+            .map(run_from_json)
+            .collect::<Result<_, _>>()?,
+        artifacts,
+        environment: Environment {
+            os: get_str(env, "os")?.to_string(),
+            arch: get_str(env, "arch")?.to_string(),
+            engine: get_str(env, "engine")?.to_string(),
+            threads: get_u64(env, "threads")? as usize,
+        },
+        resumed_from: match field(v, "resumed_from")? {
+            JsonValue::Null => None,
+            other => Some(ExecId(other.as_u64().ok_or_else(|| {
+                bad("field 'resumed_from' must be an integer or null")
+            })?)),
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Query result codec
+// ---------------------------------------------------------------------------
+
+fn node_to_json(node: &ResultNode) -> JsonValue {
+    match node {
+        ResultNode::Run {
+            exec,
+            node,
+            identity,
+            status,
+        } => obj(vec![
+            ("kind", s("run")),
+            ("exec", num(*exec)),
+            ("node", num(*node)),
+            ("identity", s(identity)),
+            ("status", s(status)),
+        ]),
+        ResultNode::Artifact { hash, dtype } => obj(vec![
+            ("kind", s("artifact")),
+            ("hash", hash_to_json(*hash)),
+            ("dtype", s(dtype)),
+        ]),
+        ResultNode::Execution {
+            exec,
+            workflow,
+            status,
+        } => obj(vec![
+            ("kind", s("execution")),
+            ("exec", num(*exec)),
+            ("workflow", s(workflow)),
+            ("status", s(status)),
+        ]),
+    }
+}
+
+fn node_from_json(v: &JsonValue) -> Result<ResultNode, ServerError> {
+    match get_str(v, "kind")? {
+        "run" => Ok(ResultNode::Run {
+            exec: get_u64(v, "exec")?,
+            node: get_u64(v, "node")?,
+            identity: get_str(v, "identity")?.to_string(),
+            status: get_str(v, "status")?.to_string(),
+        }),
+        "artifact" => Ok(ResultNode::Artifact {
+            hash: get_hash(v, "hash")?,
+            dtype: get_str(v, "dtype")?.to_string(),
+        }),
+        "execution" => Ok(ResultNode::Execution {
+            exec: get_u64(v, "exec")?,
+            workflow: get_str(v, "workflow")?.to_string(),
+            status: get_str(v, "status")?.to_string(),
+        }),
+        other => Err(bad(format!("unknown result node kind '{other}'"))),
+    }
+}
+
+/// Encode a query result.
+pub fn result_to_json(result: &QueryResult) -> JsonValue {
+    match result {
+        QueryResult::Count(n) => obj(vec![("type", s("count")), ("value", num(*n as u64))]),
+        QueryResult::Nodes(nodes) => obj(vec![
+            ("type", s("nodes")),
+            (
+                "nodes",
+                JsonValue::Array(nodes.iter().map(node_to_json).collect()),
+            ),
+        ]),
+        QueryResult::Paths(paths) => obj(vec![
+            ("type", s("paths")),
+            (
+                "paths",
+                JsonValue::Array(
+                    paths
+                        .iter()
+                        .map(|p| JsonValue::Array(p.iter().map(node_to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+/// Decode a query result.
+pub fn result_from_json(v: &JsonValue) -> Result<QueryResult, ServerError> {
+    match get_str(v, "type")? {
+        "count" => Ok(QueryResult::Count(get_u64(v, "value")? as usize)),
+        "nodes" => Ok(QueryResult::Nodes(
+            get_array(v, "nodes")?
+                .iter()
+                .map(node_from_json)
+                .collect::<Result<_, _>>()?,
+        )),
+        "paths" => Ok(QueryResult::Paths(
+            get_array(v, "paths")?
+                .iter()
+                .map(|p| {
+                    p.as_array()
+                        .ok_or_else(|| bad("each path must be an array"))?
+                        .iter()
+                        .map(node_from_json)
+                        .collect()
+                })
+                .collect::<Result<_, _>>()?,
+        )),
+        other => Err(bad(format!("unknown result type '{other}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response envelopes
+// ---------------------------------------------------------------------------
+
+/// Encode an ingest acknowledgement.
+pub fn ack_to_json(ack: &IngestAck) -> JsonValue {
+    obj(vec![
+        ("namespace", s(&ack.namespace)),
+        ("generation", num(ack.generation)),
+        ("runs_ingested", num(ack.runs_ingested as u64)),
+        ("total_runs", num(ack.total_runs as u64)),
+    ])
+}
+
+/// Decode an ingest acknowledgement.
+pub fn ack_from_json(v: &JsonValue) -> Result<IngestAck, ServerError> {
+    Ok(IngestAck {
+        namespace: get_str(v, "namespace")?.to_string(),
+        generation: get_u64(v, "generation")?,
+        runs_ingested: get_u64(v, "runs_ingested")? as usize,
+        total_runs: get_u64(v, "total_runs")? as usize,
+    })
+}
+
+/// Encode a query reply.
+pub fn reply_to_json(reply: &QueryReply) -> JsonValue {
+    obj(vec![
+        ("result", result_to_json(&reply.result)),
+        ("generation", num(reply.generation)),
+        ("micros", num(reply.micros)),
+        ("cached", JsonValue::Bool(reply.cached)),
+    ])
+}
+
+/// Decode a query reply.
+pub fn reply_from_json(v: &JsonValue) -> Result<QueryReply, ServerError> {
+    Ok(QueryReply {
+        result: result_from_json(field(v, "result")?)?,
+        generation: get_u64(v, "generation")?,
+        micros: get_u64(v, "micros")?,
+        cached: get_bool(v, "cached")?,
+    })
+}
+
+/// Encode per-namespace statistics.
+pub fn stats_to_json(stats: &NamespaceStats) -> JsonValue {
+    obj(vec![
+        ("namespace", s(&stats.namespace)),
+        ("runs", num(stats.runs as u64)),
+        ("artifacts", num(stats.artifacts as u64)),
+        ("executions", num(stats.executions as u64)),
+        ("generation", num(stats.generation)),
+        ("ingests", num(stats.ingests)),
+        ("queries", num(stats.queries)),
+        ("cache_hits", num(stats.cache_hits)),
+        ("cache_misses", num(stats.cache_misses)),
+        ("store_runs", num(stats.store_runs as u64)),
+    ])
+}
+
+/// Decode per-namespace statistics.
+pub fn stats_from_json(v: &JsonValue) -> Result<NamespaceStats, ServerError> {
+    Ok(NamespaceStats {
+        namespace: get_str(v, "namespace")?.to_string(),
+        runs: get_u64(v, "runs")? as usize,
+        artifacts: get_u64(v, "artifacts")? as usize,
+        executions: get_u64(v, "executions")? as usize,
+        generation: get_u64(v, "generation")?,
+        ingests: get_u64(v, "ingests")?,
+        queries: get_u64(v, "queries")?,
+        cache_hits: get_u64(v, "cache_hits")?,
+        cache_misses: get_u64(v, "cache_misses")?,
+        store_runs: get_u64(v, "store_runs")? as usize,
+    })
+}
+
+/// Encode server-wide admission statistics.
+pub fn server_stats_to_json(stats: &ServerStats) -> JsonValue {
+    obj(vec![
+        ("inflight", num(stats.inflight as u64)),
+        ("admitted", num(stats.admitted)),
+        ("rejected", num(stats.rejected)),
+        ("throttled", num(stats.throttled)),
+        ("namespaces", num(stats.namespaces as u64)),
+    ])
+}
+
+/// Encode a service error as the standard JSON error body.
+pub fn error_to_json(err: &ServerError) -> JsonValue {
+    obj(vec![
+        ("error", s(err.kind())),
+        ("message", s(&err.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use prov_telemetry::parse_json;
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn retro(seed: u64) -> RetrospectiveProvenance {
+        let (wf, _) = figure1_workflow(seed);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        cap.take(r.exec).unwrap()
+    }
+
+    #[test]
+    fn retro_documents_round_trip_losslessly() {
+        let original = retro(7);
+        let text = render_json(&retro_to_json(&original));
+        let back = retro_from_json(&parse_json(&text).unwrap()).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn hashes_survive_beyond_f64_precision() {
+        // A hash with entropy in the low bits that f64 would round away.
+        let h: u64 = 0xDEAD_BEEF_CAFE_F00D;
+        assert_ne!(h, (h as f64) as u64, "f64 would corrupt this hash");
+        let v = hash_to_json(h);
+        let text = render_json(&v);
+        let back = hash_from_json(&parse_json(&text).unwrap()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn query_results_round_trip() {
+        let cases = vec![
+            QueryResult::Count(42),
+            QueryResult::Nodes(vec![
+                ResultNode::Run {
+                    exec: 1,
+                    node: 2,
+                    identity: "align@v1".into(),
+                    status: "succeeded".into(),
+                },
+                ResultNode::Artifact {
+                    hash: 0xFFFF_FFFF_FFFF_FFFF,
+                    dtype: "table".into(),
+                },
+            ]),
+            QueryResult::Paths(vec![vec![
+                ResultNode::Execution {
+                    exec: 9,
+                    workflow: "fig1".into(),
+                    status: "failed".into(),
+                },
+                ResultNode::Artifact {
+                    hash: 1,
+                    dtype: "blob".into(),
+                },
+            ]]),
+        ];
+        for result in cases {
+            let text = render_json(&result_to_json(&result));
+            let back = result_from_json(&parse_json(&text).unwrap()).unwrap();
+            assert_eq!(back, result);
+        }
+    }
+
+    #[test]
+    fn envelopes_round_trip() {
+        let ack = IngestAck {
+            namespace: "lab".into(),
+            generation: 3,
+            runs_ingested: 8,
+            total_runs: 24,
+        };
+        let text = render_json(&ack_to_json(&ack));
+        assert_eq!(ack_from_json(&parse_json(&text).unwrap()).unwrap(), ack);
+
+        let reply = QueryReply {
+            result: QueryResult::Count(5),
+            generation: 3,
+            micros: 120,
+            cached: true,
+        };
+        let text = render_json(&reply_to_json(&reply));
+        assert_eq!(reply_from_json(&parse_json(&text).unwrap()).unwrap(), reply);
+
+        let stats = NamespaceStats {
+            namespace: "lab".into(),
+            runs: 24,
+            artifacts: 30,
+            executions: 3,
+            generation: 3,
+            ingests: 3,
+            queries: 17,
+            cache_hits: 9,
+            cache_misses: 8,
+            store_runs: 24,
+        };
+        let text = render_json(&stats_to_json(&stats));
+        assert_eq!(stats_from_json(&parse_json(&text).unwrap()).unwrap(), stats);
+    }
+
+    #[test]
+    fn malformed_documents_are_bad_requests_not_panics() {
+        let cases = [
+            r#"{}"#,
+            r#"{"exec": 1}"#,
+            r#"{"exec": "not a number"}"#,
+            r#"{"type": "count"}"#,
+            r#"{"type": "galaxy", "value": 1}"#,
+        ];
+        for text in cases {
+            let v = parse_json(text).unwrap();
+            assert!(
+                retro_from_json(&v).is_err() && result_from_json(&v).is_err(),
+                "document {text:?} must be rejected"
+            );
+        }
+        // Wrong-length or non-hex hash strings are rejected, not zeroed.
+        for bad_hash in [r#""deadbeef""#, r#""zzzzzzzzzzzzzzzz""#, "12"] {
+            let text =
+                format!(r#"{{"hash": {bad_hash}, "dtype": "t", "size": 0, "preview": null}}"#);
+            assert!(artifact_from_json(&parse_json(&text).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn error_bodies_carry_kind_and_message() {
+        let err = ServerError::NoSuchNamespace("ghost".into());
+        let text = render_json(&error_to_json(&err));
+        let v = parse_json(&text).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().as_str().unwrap(),
+            "no_such_namespace"
+        );
+        assert!(v
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("ghost"));
+    }
+}

@@ -12,8 +12,8 @@
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
-use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Interned node of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,7 +40,7 @@ pub struct GraphStore {
     /// current on ingest so the optimized Q4 path never scans `runs`.
     module_counts: BTreeMap<String, usize>,
     edge_count: usize,
-    optimized: Cell<bool>,
+    optimized: AtomicBool,
     stats: StoreStats,
 }
 
@@ -200,7 +200,7 @@ impl ProvenanceStore for GraphStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             // The aggregate is maintained on ingest: answering is one
             // keyed read of the index, no scan over `runs`.
             self.stats.add_keyed_lookups(1);
@@ -224,7 +224,7 @@ impl ProvenanceStore for GraphStore {
     }
 
     fn run_count(&self) -> usize {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             // Served from map metadata either way, but the optimized path
             // reports itself as one keyed read so ANALYZE stays exact.
             self.stats.add_keyed_lookups(1);
@@ -233,11 +233,11 @@ impl ProvenanceStore for GraphStore {
     }
 
     fn set_optimized(&self, on: bool) {
-        self.optimized.set(on);
+        self.optimized.store(on, Ordering::Relaxed);
     }
 
     fn optimized(&self) -> bool {
-        self.optimized.get()
+        self.optimized.load(Ordering::Relaxed)
     }
 
     fn approx_bytes(&self) -> usize {

@@ -22,12 +22,17 @@
 //!   retrospective provenance), with JSONL persistence;
 //! * [`stats`] — the [`stats::StoreStats`] access recorder every backend
 //!   carries, so the *same* query can be measured (reads, scans vs. keyed
-//!   lookups, bytes) across all four storage strategies (experiment E16).
+//!   lookups, bytes) across all four storage strategies (experiment E16);
+//! * [`shared`] — [`shared::SharedStore`], the `Arc<RwLock>`-style wrapper
+//!   that turns any single-writer backend into thread-safe shared state
+//!   for the concurrent service layer (generation-tagged ingest, reader
+//!   guards, exact stats under contention).
 
 pub mod api;
 pub mod graphstore;
 pub mod logstore;
 pub mod relstore;
+pub mod shared;
 pub mod spanstore;
 pub mod stats;
 pub mod triplestore;
@@ -36,6 +41,7 @@ pub use api::{sort_artifacts, sort_runs, ProvenanceStore};
 pub use graphstore::GraphStore;
 pub use logstore::LogStore;
 pub use relstore::{RelStore, RelValue, Relation, Schema};
+pub use shared::SharedStore;
 pub use spanstore::SpanStore;
 pub use stats::{StatsSnapshot, StoreStats};
 pub use triplestore::{Term, TripleStore};

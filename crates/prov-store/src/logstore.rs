@@ -17,11 +17,11 @@
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
-use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Position of a run inside the in-memory record vector:
 /// (record index, run index within the record).
@@ -117,7 +117,7 @@ pub struct LogStore {
     module_counts: BTreeMap<String, usize>,
     /// Total runs across all records.
     total_runs: usize,
-    optimized: Cell<bool>,
+    optimized: AtomicBool,
     stats: StoreStats,
 }
 
@@ -145,7 +145,7 @@ impl LogStore {
             in_index: HashMap::new(),
             module_counts: BTreeMap::new(),
             total_runs: 0,
-            optimized: Cell::new(false),
+            optimized: AtomicBool::new(false),
             stats,
         };
         store.rebuild_indexes();
@@ -164,7 +164,7 @@ impl LogStore {
             in_index: HashMap::new(),
             module_counts: BTreeMap::new(),
             total_runs: 0,
-            optimized: Cell::new(false),
+            optimized: AtomicBool::new(false),
             stats: StoreStats::new(),
         }
     }
@@ -347,7 +347,7 @@ impl ProvenanceStore for LogStore {
     }
 
     fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             return sort_runs(
                 self.probe(&self.out_index, artifact)
                     .iter()
@@ -369,7 +369,7 @@ impl ProvenanceStore for LogStore {
     }
 
     fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef> {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             // Index probe per frontier artifact instead of a whole-log pass.
             let mut result: Vec<RunRef> = Vec::new();
             let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
@@ -427,7 +427,7 @@ impl ProvenanceStore for LogStore {
     }
 
     fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             let mut result = Vec::new();
             let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
             let mut seen_arts: std::collections::BTreeSet<ArtifactHash> =
@@ -483,7 +483,7 @@ impl ProvenanceStore for LogStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             // The aggregate is maintained on append: only its entries are
             // read back, no pass over the log.
             self.stats.add_keyed_lookups(1);
@@ -505,7 +505,7 @@ impl ProvenanceStore for LogStore {
     }
 
     fn run_count(&self) -> usize {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             self.stats.add_keyed_lookups(1);
             return self.total_runs;
         }
@@ -513,11 +513,11 @@ impl ProvenanceStore for LogStore {
     }
 
     fn set_optimized(&self, on: bool) {
-        self.optimized.set(on);
+        self.optimized.store(on, Ordering::Relaxed);
     }
 
     fn optimized(&self) -> bool {
-        self.optimized.get()
+        self.optimized.load(Ordering::Relaxed)
     }
 
     fn approx_bytes(&self) -> usize {

@@ -21,6 +21,7 @@ use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use wf_engine::ExecId;
 use wf_model::NodeId;
 
@@ -343,7 +344,7 @@ pub struct RelStore {
     /// The optimized `runs_per_module` answers from this map instead of
     /// scanning `runs`; the cost is paid once per insert, not per query.
     module_counts: std::collections::BTreeMap<String, usize>,
-    optimized: std::cell::Cell<bool>,
+    optimized: AtomicBool,
     stats: StoreStats,
 }
 
@@ -370,7 +371,7 @@ impl RelStore {
             run_outputs: Relation::new(Schema::new(&["exec", "node", "port", "artifact"])),
             artifacts: Relation::new(Schema::new(&["hash", "dtype", "size"])),
             module_counts: std::collections::BTreeMap::new(),
-            optimized: std::cell::Cell::new(false),
+            optimized: AtomicBool::new(false),
             stats: StoreStats::new(),
         }
     }
@@ -403,7 +404,7 @@ impl RelStore {
             run_outputs,
             artifacts,
             module_counts: std::collections::BTreeMap::new(),
-            optimized: std::cell::Cell::new(false),
+            optimized: AtomicBool::new(false),
             stats: StoreStats::new(),
         }
     }
@@ -579,7 +580,7 @@ impl ProvenanceStore for RelStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
-        if self.optimized.get() && self.runs.is_indexed("identity") {
+        if self.optimized.load(Ordering::Relaxed) && self.runs.is_indexed("identity") {
             // Answer from the ingest-maintained aggregate: one keyed read
             // of the counts map, no row access at all (`count_by` compares
             // every row against every group seen so far). The unindexed
@@ -602,7 +603,7 @@ impl ProvenanceStore for RelStore {
     }
 
     fn run_count(&self) -> usize {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             // Served from table metadata either way, but the optimized
             // path reports itself as one keyed read so ANALYZE stays
             // exact.
@@ -612,11 +613,11 @@ impl ProvenanceStore for RelStore {
     }
 
     fn set_optimized(&self, on: bool) {
-        self.optimized.set(on);
+        self.optimized.store(on, Ordering::Relaxed);
     }
 
     fn optimized(&self) -> bool {
-        self.optimized.get()
+        self.optimized.load(Ordering::Relaxed)
     }
 
     fn approx_bytes(&self) -> usize {

@@ -1,0 +1,292 @@
+//! Thread-safe shared ownership of a store backend.
+//!
+//! The backends in this crate are single-writer structures: `ingest` takes
+//! `&mut self`. That is the right shape for the in-process experiments,
+//! but the concurrent service layer (the `prov-server` crate) needs many
+//! clients reading and writing one store at once. [`SharedStore`] is the
+//! bridge: it owns a backend behind an [`RwLock`], exposes `&self` ingest
+//! (writer lock) and `&self` queries (reader lock), and maintains an
+//! ingest **generation** so readers can tell which version of the data a
+//! result was computed against.
+//!
+//! Two properties make this safe and exact:
+//!
+//! * every backend is `Send + Sync` (its [`StoreStats`] counters are
+//!   relaxed atomics and its `optimized` flag is an `AtomicBool`), so a
+//!   reader-writer lock is sufficient — no per-method auditing;
+//! * [`StoreStats`] handles are cheap clones sharing one counter block, so
+//!   the wrapper can hand out the recorder of the locked-away backend
+//!   without holding any lock, and concurrent readers' bumps never lose
+//!   increments.
+//!
+//! The generation is bumped *while the write lock is held*, so any thread
+//! holding a read guard observes a stable generation for the whole guard
+//! lifetime: data and generation cannot change out from under it.
+
+use crate::api::{ProvenanceStore, RunRef};
+use crate::stats::StoreStats;
+use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard};
+
+/// A store backend shared between concurrent readers and writers.
+///
+/// Wraps any [`ProvenanceStore`] (including a boxed one) in an [`RwLock`]:
+/// queries take the read lock, [`SharedStore::ingest_shared`] takes the
+/// write lock. The wrapper itself implements [`ProvenanceStore`], so
+/// everything that consumes the trait — the canned-query harness, the plan
+/// analyzer, the differential tests — works unchanged on the shared form.
+#[derive(Debug)]
+pub struct SharedStore<S> {
+    name: &'static str,
+    stats: StoreStats,
+    generation: AtomicU64,
+    inner: RwLock<S>,
+}
+
+impl<S: ProvenanceStore> SharedStore<S> {
+    /// Take ownership of `store` and make it shareable.
+    pub fn new(store: S) -> Self {
+        SharedStore {
+            name: store.backend_name(),
+            stats: store.stats().clone(),
+            generation: AtomicU64::new(0),
+            inner: RwLock::new(store),
+        }
+    }
+
+    /// Ingest one execution's provenance under the write lock, returning
+    /// the new generation. Readers either see the store entirely before or
+    /// entirely after this call — never a half-applied execution.
+    pub fn ingest_shared(&self, retro: &RetrospectiveProvenance) -> u64 {
+        let mut guard = self.write();
+        guard.ingest(retro);
+        // Bumped while exclusive, so a read guard pins the generation.
+        self.generation.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// The number of ingests applied so far. A result computed under a
+    /// read guard is tagged with a generation that cannot change while
+    /// the guard is held.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Acquire the read lock for a multi-query consistent view.
+    pub fn read(&self) -> RwLockReadGuard<'_, S> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, S> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Unwrap, returning the inner backend.
+    pub fn into_inner(self) -> S {
+        match self.inner.into_inner() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<S: ProvenanceStore> ProvenanceStore for SharedStore<S> {
+    fn backend_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    fn ingest(&mut self, retro: &RetrospectiveProvenance) {
+        self.ingest_shared(retro);
+    }
+
+    fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        self.read().generators(artifact)
+    }
+
+    fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        self.read().lineage_runs(artifact)
+    }
+
+    fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
+        self.read().derived_artifacts(artifact)
+    }
+
+    fn runs_per_module(&self) -> Vec<(String, usize)> {
+        self.read().runs_per_module()
+    }
+
+    fn run_count(&self) -> usize {
+        self.read().run_count()
+    }
+
+    fn set_optimized(&self, on: bool) {
+        self.read().set_optimized(on)
+    }
+
+    fn optimized(&self) -> bool {
+        self.read().optimized()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.read().approx_bytes()
+    }
+}
+
+/// Boxed stores answer through the box, so `SharedStore<Box<dyn
+/// ProvenanceStore + Send + Sync>>` (the type-erased shared form the
+/// server uses) is itself a `ProvenanceStore`.
+impl<T: ProvenanceStore + ?Sized> ProvenanceStore for Box<T> {
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+    fn stats(&self) -> &StoreStats {
+        (**self).stats()
+    }
+    fn ingest(&mut self, retro: &RetrospectiveProvenance) {
+        (**self).ingest(retro)
+    }
+    fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        (**self).generators(artifact)
+    }
+    fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        (**self).lineage_runs(artifact)
+    }
+    fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
+        (**self).derived_artifacts(artifact)
+    }
+    fn runs_per_module(&self) -> Vec<(String, usize)> {
+        (**self).runs_per_module()
+    }
+    fn run_count(&self) -> usize {
+        (**self).run_count()
+    }
+    fn set_optimized(&self, on: bool) {
+        (**self).set_optimized(on)
+    }
+    fn optimized(&self) -> bool {
+        (**self).optimized()
+    }
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphstore::GraphStore;
+    use crate::logstore::LogStore;
+    use crate::relstore::RelStore;
+    use crate::triplestore::TripleStore;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use std::sync::Arc;
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn retro(seed: u64) -> RetrospectiveProvenance {
+        let (wf, _) = figure1_workflow(seed);
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        cap.take(r.exec).unwrap()
+    }
+
+    #[test]
+    fn every_backend_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphStore>();
+        assert_send_sync::<TripleStore>();
+        assert_send_sync::<RelStore>();
+        assert_send_sync::<LogStore>();
+        assert_send_sync::<SharedStore<GraphStore>>();
+        assert_send_sync::<SharedStore<Box<dyn ProvenanceStore + Send + Sync>>>();
+    }
+
+    #[test]
+    fn shared_store_answers_like_the_plain_store() {
+        let r = retro(1);
+        let mut plain = GraphStore::new();
+        plain.ingest(&r);
+        let shared = SharedStore::new(GraphStore::new());
+        assert_eq!(shared.generation(), 0);
+        shared.ingest_shared(&r);
+        assert_eq!(shared.generation(), 1);
+        assert_eq!(shared.backend_name(), "graph");
+        assert_eq!(shared.run_count(), plain.run_count());
+        assert_eq!(shared.runs_per_module(), plain.runs_per_module());
+        let a = *r.artifacts.keys().next().unwrap();
+        assert_eq!(shared.generators(a), plain.generators(a));
+        assert_eq!(shared.lineage_runs(a), plain.lineage_runs(a));
+        assert_eq!(shared.derived_artifacts(a), plain.derived_artifacts(a));
+    }
+
+    #[test]
+    fn shared_stats_alias_the_inner_recorder() {
+        let shared = SharedStore::new(GraphStore::new());
+        shared.ingest_shared(&retro(1));
+        let before = shared.stats().snapshot();
+        let _ = shared.runs_per_module();
+        let d = shared.stats().snapshot().delta(&before);
+        assert!(d.scans >= 1, "inner bumps are visible through the wrapper");
+    }
+
+    #[test]
+    fn concurrent_ingest_loses_no_writes() {
+        let shared = Arc::new(SharedStore::new(GraphStore::new()));
+        let retros: Vec<_> = (0..8).map(|i| retro(100 + i)).collect();
+        let expected: usize = {
+            let mut plain = GraphStore::new();
+            for r in &retros {
+                plain.ingest(r);
+            }
+            plain.run_count()
+        };
+        std::thread::scope(|scope| {
+            for r in &retros {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    shared.ingest_shared(r);
+                });
+            }
+        });
+        assert_eq!(shared.generation(), 8);
+        assert_eq!(shared.run_count(), expected, "no lost writes");
+    }
+
+    #[test]
+    fn readers_see_a_stable_generation_under_a_guard() {
+        let shared = Arc::new(SharedStore::new(GraphStore::new()));
+        shared.ingest_shared(&retro(1));
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for i in 0..4 {
+                    shared.ingest_shared(&retro(200 + i));
+                }
+            })
+        };
+        for _ in 0..50 {
+            let g1 = shared.generation();
+            let guard = shared.read();
+            let g2 = shared.generation();
+            let count = guard.run_count();
+            let g3 = shared.generation();
+            drop(guard);
+            assert_eq!(g2, g3, "generation is pinned while the guard is held");
+            assert!(g2 >= g1);
+            assert!(count > 0);
+        }
+        writer.join().unwrap();
+        assert_eq!(shared.generation(), 5);
+    }
+}

@@ -10,55 +10,66 @@
 //! its query paths (ingest is deliberately not counted: the stats describe
 //! the cost of *answering* a query, not of building the store).
 //!
-//! Counters use [`Cell`] rather than atomics: queries against a single
-//! store are single-threaded in this codebase, and a `Cell` bump is one
-//! unsynchronized add — cheap enough to leave on in the hot path (the E16
-//! acceptance bar is <5% overhead with observation enabled). Recording can
-//! still be switched off wholesale with [`StoreStats::set_enabled`], which
-//! is what the E16 harness uses for its unobserved baseline.
+//! Counters are relaxed [`AtomicU64`]s behind a shared [`Arc`], so a
+//! recorder is `Send + Sync` and stays *exact* when many readers query one
+//! store concurrently (the prov-server requirement: ANALYZE accounting
+//! must not lose bumps under contention). A relaxed fetch-add is a single
+//! uncontended instruction on the hot path, well inside the E16 acceptance
+//! bar of <5% overhead with observation enabled. Recording can still be
+//! switched off wholesale with [`StoreStats::set_enabled`], which is what
+//! the E16 harness uses for its unobserved baseline.
+//!
+//! Cloning a `StoreStats` clones the *handle*, not the counters: both
+//! clones bump and read the same shared cells. This is what lets a
+//! concurrency wrapper (see [`crate::shared::SharedStore`]) expose the
+//! recorder of a store it has locked away behind an `RwLock`.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The shared counter block behind a [`StoreStats`] handle.
+#[derive(Debug, Default)]
+struct StatsInner {
+    /// Graph-shaped node materializations (graph store, PQL engine).
+    node_reads: AtomicU64,
+    /// Adjacency-list entries followed (graph store, PQL engine).
+    edge_reads: AtomicU64,
+    /// Triples produced by index pattern matches (triple store).
+    triple_reads: AtomicU64,
+    /// Relational rows read out of heap tables (relational store).
+    row_reads: AtomicU64,
+    /// Log records replayed or re-examined (log store).
+    record_reads: AtomicU64,
+    /// Accesses served by a key or index (hash/B-tree probe).
+    keyed_lookups: AtomicU64,
+    /// Accesses that had to walk a whole table/log/index.
+    scans: AtomicU64,
+    /// Bytes decoded from a serialized representation.
+    bytes_deserialized: AtomicU64,
+    /// When false, every bump is a no-op (the unobserved baseline).
+    enabled: AtomicBool,
+}
 
 /// Counters for the primitive read operations of a store backend.
 ///
-/// Interior-mutable so that read-only query methods (`&self`) can record
-/// their work. Obtain a point-in-time copy with [`StoreStats::snapshot`]
-/// and attribute work to a region of code by subtracting snapshots with
-/// [`StatsSnapshot::delta`].
-#[derive(Debug)]
+/// Interior-mutable and thread-safe so that read-only query methods
+/// (`&self`) can record their work, including from several threads at
+/// once. Obtain a point-in-time copy with [`StoreStats::snapshot`] and
+/// attribute work to a region of code by subtracting snapshots with
+/// [`StatsSnapshot::delta`]. Clones share the same counters.
+#[derive(Debug, Clone)]
 pub struct StoreStats {
-    /// Graph-shaped node materializations (graph store, PQL engine).
-    node_reads: Cell<u64>,
-    /// Adjacency-list entries followed (graph store, PQL engine).
-    edge_reads: Cell<u64>,
-    /// Triples produced by index pattern matches (triple store).
-    triple_reads: Cell<u64>,
-    /// Relational rows read out of heap tables (relational store).
-    row_reads: Cell<u64>,
-    /// Log records replayed or re-examined (log store).
-    record_reads: Cell<u64>,
-    /// Accesses served by a key or index (hash/B-tree probe).
-    keyed_lookups: Cell<u64>,
-    /// Accesses that had to walk a whole table/log/index.
-    scans: Cell<u64>,
-    /// Bytes decoded from a serialized representation.
-    bytes_deserialized: Cell<u64>,
-    /// When false, every bump is a no-op (the unobserved baseline).
-    enabled: Cell<bool>,
+    inner: Arc<StatsInner>,
 }
 
 impl Default for StoreStats {
     fn default() -> Self {
+        let inner = StatsInner {
+            enabled: AtomicBool::new(true),
+            ..Default::default()
+        };
         StoreStats {
-            node_reads: Cell::new(0),
-            edge_reads: Cell::new(0),
-            triple_reads: Cell::new(0),
-            row_reads: Cell::new(0),
-            record_reads: Cell::new(0),
-            keyed_lookups: Cell::new(0),
-            scans: Cell::new(0),
-            bytes_deserialized: Cell::new(0),
-            enabled: Cell::new(true),
+            inner: Arc::new(inner),
         }
     }
 }
@@ -68,8 +79,8 @@ macro_rules! bump {
         $(#[$doc])*
         #[inline]
         pub fn $name(&self, n: u64) {
-            if self.enabled.get() {
-                self.$field.set(self.$field.get() + n);
+            if self.inner.enabled.load(Ordering::Relaxed) {
+                self.inner.$field.fetch_add(n, Ordering::Relaxed);
             }
         }
     };
@@ -124,37 +135,37 @@ impl StoreStats {
 
     /// Turn recording on or off. Counters keep their values either way.
     pub fn set_enabled(&self, on: bool) {
-        self.enabled.set(on);
+        self.inner.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Whether bumps are currently being recorded.
     pub fn enabled(&self) -> bool {
-        self.enabled.get()
+        self.inner.enabled.load(Ordering::Relaxed)
     }
 
     /// Reset every counter to zero (recording state is unchanged).
     pub fn reset(&self) {
-        self.node_reads.set(0);
-        self.edge_reads.set(0);
-        self.triple_reads.set(0);
-        self.row_reads.set(0);
-        self.record_reads.set(0);
-        self.keyed_lookups.set(0);
-        self.scans.set(0);
-        self.bytes_deserialized.set(0);
+        self.inner.node_reads.store(0, Ordering::Relaxed);
+        self.inner.edge_reads.store(0, Ordering::Relaxed);
+        self.inner.triple_reads.store(0, Ordering::Relaxed);
+        self.inner.row_reads.store(0, Ordering::Relaxed);
+        self.inner.record_reads.store(0, Ordering::Relaxed);
+        self.inner.keyed_lookups.store(0, Ordering::Relaxed);
+        self.inner.scans.store(0, Ordering::Relaxed);
+        self.inner.bytes_deserialized.store(0, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            node_reads: self.node_reads.get(),
-            edge_reads: self.edge_reads.get(),
-            triple_reads: self.triple_reads.get(),
-            row_reads: self.row_reads.get(),
-            record_reads: self.record_reads.get(),
-            keyed_lookups: self.keyed_lookups.get(),
-            scans: self.scans.get(),
-            bytes_deserialized: self.bytes_deserialized.get(),
+            node_reads: self.inner.node_reads.load(Ordering::Relaxed),
+            edge_reads: self.inner.edge_reads.load(Ordering::Relaxed),
+            triple_reads: self.inner.triple_reads.load(Ordering::Relaxed),
+            row_reads: self.inner.row_reads.load(Ordering::Relaxed),
+            record_reads: self.inner.record_reads.load(Ordering::Relaxed),
+            keyed_lookups: self.inner.keyed_lookups.load(Ordering::Relaxed),
+            scans: self.inner.scans.load(Ordering::Relaxed),
+            bytes_deserialized: self.inner.bytes_deserialized.load(Ordering::Relaxed),
         }
     }
 }
@@ -324,5 +335,45 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
         assert!(s.enabled());
+    }
+
+    #[test]
+    fn clones_share_the_same_counters() {
+        let a = StoreStats::new();
+        let b = a.clone();
+        a.add_node_reads(2);
+        b.add_node_reads(3);
+        assert_eq!(a.snapshot().node_reads, 5);
+        assert_eq!(b.snapshot().node_reads, 5);
+        b.set_enabled(false);
+        a.add_node_reads(10);
+        assert_eq!(a.snapshot().node_reads, 5, "enable state is shared too");
+    }
+
+    #[test]
+    fn recorder_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreStats>();
+    }
+
+    #[test]
+    fn concurrent_bumps_are_exact() {
+        let s = StoreStats::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        s.add_node_reads(1);
+                        s.add_keyed_lookups(2);
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.node_reads, threads * per_thread);
+        assert_eq!(snap.keyed_lookups, 2 * threads * per_thread);
     }
 }

@@ -14,8 +14,8 @@
 use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
-use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use wf_engine::ExecId;
 use wf_model::NodeId;
 
@@ -62,7 +62,7 @@ pub struct TripleStore {
     /// Aggregate index: count of `prov:identity` triples per identity term.
     module_counts: BTreeMap<u32, usize>,
     identity_triples: usize,
-    optimized: Cell<bool>,
+    optimized: AtomicBool,
     stats: StoreStats,
 }
 
@@ -320,7 +320,7 @@ impl ProvenanceStore for TripleStore {
         let Some(a) = self.lookup(&artifact_iri(artifact)) else {
             return Vec::new();
         };
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             return sort_runs(
                 self.adj(&self.adj_generated_by, a.0)
                     .iter()
@@ -343,7 +343,7 @@ impl ProvenanceStore for TripleStore {
         // Iterated pattern joins: frontier of artifacts -> generating runs
         // -> artifacts those runs used -> ... until fixpoint. This is the
         // only way to express transitivity with plain BGPs.
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             // Same fixpoint, but each probe is a hash-indexed adjacency
             // read instead of a B-tree range scan.
             let mut runs: BTreeSet<u32> = BTreeSet::new();
@@ -410,7 +410,7 @@ impl ProvenanceStore for TripleStore {
     }
 
     fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             let mut arts: BTreeSet<u32> = BTreeSet::new();
             let mut seen_run: BTreeSet<u32> = BTreeSet::new();
             let mut frontier: Vec<u32> = match self.lookup(&artifact_iri(artifact)) {
@@ -479,7 +479,7 @@ impl ProvenanceStore for TripleStore {
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             // The per-identity counts are maintained on insert; only the
             // aggregate entries themselves are read back.
             self.stats.add_keyed_lookups(1);
@@ -501,7 +501,7 @@ impl ProvenanceStore for TripleStore {
     }
 
     fn run_count(&self) -> usize {
-        if self.optimized.get() {
+        if self.optimized.load(Ordering::Relaxed) {
             self.stats.add_keyed_lookups(1);
             return self.identity_triples;
         }
@@ -511,11 +511,11 @@ impl ProvenanceStore for TripleStore {
     }
 
     fn set_optimized(&self, on: bool) {
-        self.optimized.set(on);
+        self.optimized.store(on, Ordering::Relaxed);
     }
 
     fn optimized(&self) -> bool {
-        self.optimized.get()
+        self.optimized.load(Ordering::Relaxed)
     }
 
     fn approx_bytes(&self) -> usize {

@@ -247,18 +247,26 @@ impl<'a> Parser<'a> {
                         b't' => out.push('\t'),
                         b'u' => {
                             let cp = self.hex4()?;
-                            // Surrogate pair?
+                            // A high surrogate is only valid as the first
+                            // half of an immediately following \uDC00..DFFF
+                            // low surrogate; anything else (lone high, lone
+                            // low, or a second escape outside the low range)
+                            // is malformed — decoding it anyway would
+                            // fabricate an unrelated code point.
                             let ch = if (0xD800..0xDC00).contains(&cp) {
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
-                                    self.pos += 2;
-                                    let lo = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((cp - 0xD800) << 10)
-                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
-                                    char::from_u32(combined)
-                                } else {
-                                    None
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate in \\u escape"));
                                 }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(
+                                        self.err("high surrogate not followed by low surrogate")
+                                    );
+                                }
+                                char::from_u32(0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00))
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(self.err("lone low surrogate in \\u escape"));
                             } else {
                                 char::from_u32(cp)
                             };
@@ -385,6 +393,43 @@ mod tests {
             parse("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
             JsonValue::String("é😀".into())
         );
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip_across_planes() {
+        // BMP edge, first astral, emoji, last valid scalar.
+        for s in ["\u{FFFF}", "\u{10000}", "😀", "𝕊", "\u{10FFFF}"] {
+            let doc = format!("\"{}\"", escape(s));
+            assert_eq!(parse(&doc).unwrap(), JsonValue::String(s.into()));
+            // The explicit \uXXXX pair spelling decodes to the same scalar.
+            let mut escaped = String::from("\"");
+            for u in s.encode_utf16().collect::<Vec<u16>>() {
+                escaped.push_str(&format!("\\u{u:04x}"));
+            }
+            escaped.push('"');
+            assert_eq!(parse(&escaped).unwrap(), JsonValue::String(s.into()));
+        }
+    }
+
+    #[test]
+    fn lone_and_mismatched_surrogates_are_rejected() {
+        for doc in [
+            "\"\\ud83d\"",        // lone high at end of string
+            "\"\\ud83d abc\"",    // lone high followed by plain text
+            "\"\\ud83d\\n\"",     // lone high followed by another escape
+            "\"\\ude00\"",        // lone low
+            "\"\\ude00\\ud83d\"", // reversed pair
+            "\"\\ud83d\\ud83d\"", // high followed by high
+            "\"\\ud83d\\u0041\"", // high followed by non-surrogate (the
+            // old decoder fabricated U+1F441 here)
+            "\"\\ud800\\udbff\"", // high followed by high (range edges)
+        ] {
+            let e = parse(doc).unwrap_err();
+            assert!(
+                e.message.contains("surrogate"),
+                "{doc} must fail with a surrogate error, got: {e}"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,34 @@ echo "==> optimizer smoke: EXPLAIN --optimized + differential harness"
 # query harness; keep the CI smoke cheap, go deeper locally by raising it.
 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test differential_query
 
+echo "==> server smoke: serve over HTTP, round-trip create/ingest/query, shutdown"
+./target/release/provctl serve 127.0.0.1:0 workers=4 > "$SMOKE_DIR/serve.out" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^prov-server listening on //p' "$SMOKE_DIR/serve.out")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR"
+./target/release/provctl client "$ADDR" health | grep -q "ok"
+./target/release/provctl client "$ADDR" create lab tenant=ci
+./target/release/provctl client "$ADDR" ingest lab "$SMOKE_DIR/challenge-prov.json" tenant=ci
+./target/release/provctl client "$ADDR" query lab "count runs" tenant=ci | grep -q '"type":"count"'
+./target/release/provctl client "$ADDR" stats lab | grep -q '"store_runs"'
+./target/release/provctl client "$ADDR" metrics | grep -q "prov_server_requests_total"
+./target/release/provctl client "$ADDR" shutdown
+wait "$SERVE_PID"
+
+echo "==> server stress: concurrent multi-tenant tests under PROVTEST_THREADS"
+PROVTEST_THREADS="${PROVTEST_THREADS:-8}" cargo test -q --test server
+PROVTEST_THREADS="${PROVTEST_THREADS:-8}" cargo test -q --test differential_query \
+    concurrent_ingest_and_query_loses_no_writes_on_any_backend
+
+echo "==> E18: concurrent server load benchmark"
+cargo run --release -q -p bench --bin report server
+test -s BENCH_server.json
+grep -q '"consistent": true' BENCH_server.json
+
 echo "==> E16: query observability overhead benchmark"
 cargo run --release -q -p bench --bin report query
 test -s BENCH_query.json

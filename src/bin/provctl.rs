@@ -24,6 +24,9 @@
 //! provctl trace wf.json trace.json     # run with telemetry, export Chrome trace
 //! provctl tracecheck trace.json        # validate a Chrome trace file
 //! provctl metrics wf.json              # run and print Prometheus metrics
+//! provctl serve 127.0.0.1:7077         # long-running multi-tenant provenance server
+//! provctl client 127.0.0.1:7077 ingest lab prov.json   # ship provenance to a server
+//! provctl client 127.0.0.1:7077 query lab "count runs" # PQL against a server
 //! ```
 
 use provenance_workflows::prelude::*;
@@ -34,7 +37,10 @@ use std::process::ExitCode;
 /// Print to stdout, exiting quietly on a broken pipe (e.g. `provctl … | head`).
 fn out(text: &str) {
     let mut stdout = std::io::stdout().lock();
-    if let Err(e) = stdout.write_all(text.as_bytes()) {
+    let wrote = stdout
+        .write_all(text.as_bytes())
+        .and_then(|()| stdout.flush());
+    if let Err(e) = wrote {
         if e.kind() == std::io::ErrorKind::BrokenPipe {
             std::process::exit(0);
         }
@@ -70,7 +76,16 @@ fn usage() -> ExitCode {
          \x20 trace    <wf.json> <trace.json>\n\
          \x20          [spans=<file>] [threads=N]          run with telemetry, export Chrome trace\n\
          \x20 tracecheck <trace.json>                    validate a Chrome trace file\n\
-         \x20 metrics  <wf.json> [threads=N]             run and print Prometheus metrics"
+         \x20 metrics  <wf.json> [threads=N]             run and print Prometheus metrics\n\
+         \x20 serve    <addr> [workers=N] [max_inflight=N]\n\
+         \x20          [rate_per_sec=F] [burst=N]          serve ingest + PQL over HTTP/JSON\n\
+         \x20                                             (blocks; stop with 'client ... shutdown')\n\
+         \x20 client   <addr> <op> [args] [tenant=NAME]   talk to a running server; ops:\n\
+         \x20          create <namespace>                  create a namespace\n\
+         \x20          ingest <namespace> <prov.json...>   ship provenance documents\n\
+         \x20          query  <namespace> <pql>            evaluate PQL remotely\n\
+         \x20          stats  <namespace>                  namespace statistics\n\
+         \x20          health | metrics | shutdown         server-level operations"
     );
     ExitCode::from(2)
 }
@@ -152,7 +167,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         ["run", wf_path, prov_path, rest @ ..] => {
-            let wf = load_workflow(wf_path)?;
+            // Parse options before touching the filesystem so bad
+            // arguments fail fast with a usage error.
             let mut level = CaptureLevel::Fine;
             let mut policy = ExecPolicy::new();
             for opt in rest {
@@ -167,15 +183,24 @@ fn run() -> Result<(), String> {
                             .parse()
                             .map_err(|_| format!("{key} needs an integer, got '{value}'"))?;
                         policy = match key {
-                            "retries" => policy.with_retry(
-                                RetryPolicy::attempts(n as u32 + 1).backoff(10_000, 2.0, 1_000_000),
-                            ),
+                            "retries" => {
+                                // Bound the value so `attempts` (retries + 1)
+                                // cannot overflow or sit in a pathological loop.
+                                if n > 1_000 {
+                                    return Err(format!("retries must be 0-1000, got {n}"));
+                                }
+                                policy.with_retry(
+                                    RetryPolicy::attempts(n as u32 + 1)
+                                        .backoff(10_000, 2.0, 1_000_000),
+                                )
+                            }
                             "timeout_ms" => policy.with_deadline(Deadline::millis(n)),
                             other => return Err(format!("unknown run option '{other}'")),
                         };
                     }
                 }
             }
+            let wf = load_workflow(wf_path)?;
             let exec = Executor::new(standard_registry()).with_policy(policy);
             let mut cap = ProvenanceCapture::new(level);
             let result = exec
@@ -522,6 +547,98 @@ fn run() -> Result<(), String> {
                     );
                 }
                 Err("reproduction failed".into())
+            }
+        }
+        ["serve", addr, rest @ ..] => {
+            let mut config = prov_server::ServerConfig::default();
+            let mut workers = 8usize;
+            for opt in rest {
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("unknown serve option '{opt}'"))?;
+                match key {
+                    "workers" => {
+                        workers = value
+                            .parse()
+                            .map_err(|_| format!("workers needs an integer, got '{value}'"))?
+                    }
+                    "max_inflight" => {
+                        config.max_inflight = value
+                            .parse()
+                            .map_err(|_| format!("max_inflight needs an integer, got '{value}'"))?
+                    }
+                    "rate_per_sec" => {
+                        config.tenant_rate_per_sec = value
+                            .parse()
+                            .map_err(|_| format!("rate_per_sec needs a number, got '{value}'"))?
+                    }
+                    "burst" => {
+                        config.tenant_burst = value
+                            .parse()
+                            .map_err(|_| format!("burst needs an integer, got '{value}'"))?
+                    }
+                    other => return Err(format!("unknown serve option '{other}'")),
+                }
+            }
+            let server = std::sync::Arc::new(prov_server::ProvServer::new(config));
+            let http = prov_server::HttpServer::bind(server, addr, workers)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            out(&format!("prov-server listening on {}\n", http.addr()));
+            http.join();
+            out("prov-server stopped\n");
+            Ok(())
+        }
+        ["client", addr, rest @ ..] => {
+            let mut tenant = "cli";
+            let mut args: Vec<&str> = Vec::new();
+            for a in rest {
+                if let Some(v) = a.strip_prefix("tenant=") {
+                    tenant = v;
+                } else {
+                    args.push(a);
+                }
+            }
+            let addr: std::net::SocketAddr = addr
+                .parse()
+                .map_err(|_| format!("bad server address '{addr}' (expected host:port)"))?;
+            let client = prov_server::HttpClient::new(addr, tenant);
+            let reply =
+                match args.as_slice() {
+                    ["health"] => client.healthz(),
+                    ["metrics"] => client.metrics(),
+                    ["shutdown"] => client.shutdown(),
+                    ["create", namespace] => client.create(namespace),
+                    ["stats", namespace] => client.stats(namespace),
+                    ["query", namespace, pql] => client.query(namespace, pql),
+                    ["ingest", namespace, files @ ..] if !files.is_empty() => {
+                        let mut last = None;
+                        for p in files {
+                            let retro = load_prov(p)?;
+                            let reply = client
+                                .ingest(namespace, &retro)
+                                .map_err(|e| format!("cannot reach server: {e}"))?;
+                            if reply.status != 200 {
+                                return Err(format!(
+                                    "server rejected {p} (HTTP {}): {}",
+                                    reply.status, reply.body
+                                ));
+                            }
+                            last = Some(reply);
+                        }
+                        Ok(last.expect("files is non-empty"))
+                    }
+                    _ => return Err(
+                        "usage: client <addr> <create|ingest|query|stats|health|metrics|shutdown> \
+                         [args] [tenant=NAME]"
+                            .into(),
+                    ),
+                }
+                .map_err(|e| format!("cannot reach server: {e}"))?;
+            out(&format!("{}\n", reply.body.trim_end()));
+            if reply.status == 200 {
+                Ok(())
+            } else {
+                Err(format!("server returned HTTP {}", reply.status))
             }
         }
         _ => {

@@ -344,3 +344,102 @@ fn profile_reports_critical_path_and_utilization_from_stored_provenance() {
     assert!(text.contains("speedup"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn bad_user_input_exits_one_with_a_message_never_a_panic() {
+    // Missing provenance file.
+    let o = provctl(&["query", "/nonexistent/prov.json", "count runs"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("cannot read"), "{}", stderr(&o));
+    assert!(!stderr(&o).contains("panicked"), "{}", stderr(&o));
+
+    // Bad numeric run options: reject, don't wrap or truncate.
+    let dir = tempdir("bad-input");
+    let wf = dir.join("wf.json");
+    provctl(&["demo", "fig1", wf.to_str().unwrap()]);
+    for (opt, needle) in [
+        ("retries=abc", "needs an integer"),
+        ("retries=5000000000", "needs an integer"), // overflows u32 range check via bound
+        ("retries=2000", "retries must be 0-1000"),
+        ("timeout_ms=never", "needs an integer"),
+        ("frobnicate=1", "unknown run option"),
+    ] {
+        let o = provctl(&[
+            "run",
+            wf.to_str().unwrap(),
+            dir.join("p.json").to_str().unwrap(),
+            opt,
+        ]);
+        assert!(!o.status.success(), "option {opt} must fail");
+        let err = stderr(&o);
+        assert!(
+            err.contains(needle) || err.contains("retries must be 0-1000"),
+            "option {opt}: expected '{needle}' in {err}"
+        );
+        assert!(!err.contains("panicked"), "option {opt} panicked: {err}");
+    }
+
+    // Bad serve/client arguments fail fast without touching the network.
+    let o = provctl(&["serve", "127.0.0.1:0", "workers=many"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("workers needs an integer"));
+    let o = provctl(&["client", "not-an-address", "health"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("bad server address"));
+    let o = provctl(&["client", "127.0.0.1:9", "frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("usage: client"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_and_client_round_trip_over_http() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    // Start a server on an ephemeral port and read the bound address
+    // from its first stdout line.
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_provctl"))
+        .args(["serve", "127.0.0.1:0", "workers=2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let mut first_line = String::new();
+    std::io::BufReader::new(serve.stdout.take().expect("stdout piped"))
+        .read_line(&mut first_line)
+        .expect("read listen line");
+    let addr = first_line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address on listen line")
+        .to_string();
+
+    let o = provctl(&["client", &addr, "health"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert_eq!(stdout(&o).trim(), "ok");
+
+    let o = provctl(&["client", &addr, "create", "lab", "tenant=alice"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("\"created\":\"lab\""));
+
+    let o = provctl(&["client", &addr, "query", "lab", "count runs"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("\"type\":\"count\""), "{}", stdout(&o));
+
+    // Unknown namespace: clean exit 1 with the server's JSON error.
+    let o = provctl(&["client", &addr, "query", "ghost", "count runs"]);
+    assert!(!o.status.success());
+    assert!(stdout(&o).contains("no_such_namespace"), "{}", stdout(&o));
+
+    let o = provctl(&["client", &addr, "metrics"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("prov_server_requests_total"));
+
+    // Shutdown drains the server; the serve process exits on its own.
+    let o = provctl(&["client", &addr, "shutdown"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let status = serve.wait().expect("serve process exits after shutdown");
+    assert!(status.success(), "serve must exit cleanly, got {status:?}");
+}

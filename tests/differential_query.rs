@@ -508,3 +508,131 @@ fn shrinker_reduces_to_a_minimal_failing_query() {
         other => panic!("shrinker changed the query shape: {other}"),
     }
 }
+
+// ---- concurrent ingest/query stress --------------------------------------
+
+/// Thread count for the stress pass, from `PROVTEST_THREADS` (default 8).
+fn stress_threads() -> usize {
+    std::env::var("PROVTEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .clamp(2, 64)
+}
+
+/// Concurrent ingest + query against every backend behind `SharedStore`:
+/// writers race distinct documents in while readers hammer the query
+/// surface. Afterwards the shared store must hold exactly what a plain
+/// single-threaded store holds — no lost writes, no torn generation.
+#[test]
+fn concurrent_ingest_and_query_loses_no_writes_on_any_backend() {
+    use provenance_workflows::store::{sort_artifacts as sort_arts, SharedStore};
+
+    let threads = stress_threads();
+    let exec = Executor::new(standard_registry());
+    let docs: Vec<RetrospectiveProvenance> = (0..8u64)
+        .map(|i| {
+            let wf = challenge_workflow(i + 10, 3, 3);
+            let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+            let r = exec.run_observed(&wf, &mut cap).expect("workflow runs");
+            let mut doc = cap.take(r.exec).expect("captured");
+            doc.exec = wf_engine::ExecId(5_000 + i);
+            doc
+        })
+        .collect();
+    let probe: u64 = *docs[0].runs[0]
+        .outputs
+        .first()
+        .map(|(_, h)| h)
+        .expect("first run has an output");
+
+    let factories: Vec<(&str, fn() -> Box<dyn ProvenanceStore + Send + Sync>)> = vec![
+        ("graph", || Box::new(GraphStore::new())),
+        ("relational", || Box::new(RelStore::new())),
+        ("triple", || Box::new(TripleStore::new())),
+        ("log", || Box::new(LogStore::ephemeral())),
+    ];
+
+    for (name, make) in factories {
+        // The single-threaded reference.
+        let mut plain = make();
+        for d in &docs {
+            plain.ingest(d);
+        }
+
+        // The shared store, written by `threads` racing writers.
+        let shared = SharedStore::new(make());
+        let writers = (threads / 2).max(2);
+        let readers = threads - writers;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let shared = &shared;
+                let docs = &docs;
+                scope.spawn(move || {
+                    for (i, d) in docs.iter().enumerate() {
+                        if i % writers == w {
+                            shared.ingest_shared(d);
+                        }
+                    }
+                });
+            }
+            for _ in 0..readers {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut last_runs = 0usize;
+                    let mut last_gen = 0u64;
+                    for _ in 0..50 {
+                        // Reads under one guard see a pinned generation.
+                        let guard = shared.read();
+                        let gen = shared.generation();
+                        let runs = guard.run_count();
+                        let _ = guard.lineage_runs(probe);
+                        let _ = guard.derived_artifacts(probe);
+                        drop(guard);
+                        assert!(
+                            runs >= last_runs,
+                            "{name}: run count went backwards ({last_runs} -> {runs})"
+                        );
+                        assert!(
+                            gen >= last_gen,
+                            "{name}: generation went backwards ({last_gen} -> {gen})"
+                        );
+                        last_runs = runs;
+                        last_gen = gen;
+                    }
+                });
+            }
+        });
+
+        // No lost writes, exact generation accounting.
+        assert_eq!(
+            shared.generation(),
+            docs.len() as u64,
+            "{name}: one generation bump per ingest"
+        );
+        assert_eq!(
+            shared.run_count(),
+            plain.run_count(),
+            "{name}: concurrent ingest lost module runs"
+        );
+        // Order-independent query agreement with the reference store.
+        assert_eq!(
+            sort_runs(shared.lineage_runs(probe)),
+            sort_runs(plain.lineage_runs(probe)),
+            "{name}: lineage diverged after concurrent ingest"
+        );
+        assert_eq!(
+            sort_arts(shared.derived_artifacts(probe)),
+            sort_arts(plain.derived_artifacts(probe)),
+            "{name}: impact diverged after concurrent ingest"
+        );
+        let mut shared_modules = shared.runs_per_module();
+        let mut plain_modules = plain.runs_per_module();
+        shared_modules.sort();
+        plain_modules.sort();
+        assert_eq!(
+            shared_modules, plain_modules,
+            "{name}: per-module counts diverged"
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! End-to-end tests of the concurrent provenance server: HTTP smoke test
+//! (start, ingest, query, shutdown) plus concurrent multi-tenant stress.
+//!
+//! Thread counts scale with the `PROVTEST_THREADS` environment variable
+//! (default 8) so CI can dial contention up or down.
+
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_core::model::RetrospectiveProvenance;
+use prov_server::{run_load, HttpClient, HttpServer, LoadConfig, ProvServer, ServerConfig};
+use prov_store::ProvenanceStore;
+use std::sync::Arc;
+use wf_engine::synth::figure1_workflow;
+use wf_engine::{standard_registry, ExecId, Executor};
+
+fn test_threads() -> usize {
+    std::env::var("PROVTEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .clamp(2, 64)
+}
+
+fn retro(seed: u64) -> RetrospectiveProvenance {
+    let (wf, _) = figure1_workflow(seed);
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&wf, &mut cap).unwrap();
+    let mut doc = cap.take(r.exec).unwrap();
+    doc.exec = ExecId(seed);
+    doc
+}
+
+#[test]
+fn http_smoke_start_ingest_query_shutdown() {
+    let server = Arc::new(ProvServer::new(ServerConfig::default()));
+    let http = HttpServer::bind(server, "127.0.0.1:0", 4).expect("bind");
+    let client = HttpClient::new(http.addr(), "smoke");
+
+    // Start: the server answers health checks.
+    assert_eq!(client.healthz().expect("healthz").status, 200);
+
+    // Ingest over the wire codec (no serde involved).
+    let reply = client.ingest("lab", &retro(1)).expect("ingest");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains("\"generation\":1"), "{}", reply.body);
+
+    // Query what was just ingested.
+    let reply = client.query("lab", "count runs").expect("query");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains("\"value\":8"), "{}", reply.body);
+
+    // Stats agree across the engine and the shared store.
+    let reply = client.stats("lab").expect("stats");
+    assert!(reply.body.contains("\"runs\":8"), "{}", reply.body);
+    assert!(reply.body.contains("\"store_runs\":8"), "{}", reply.body);
+
+    // Shutdown: the endpoint drains and the listener goes away.
+    assert_eq!(client.shutdown().expect("shutdown").status, 200);
+    http.shutdown();
+}
+
+#[test]
+fn concurrent_tenants_never_lose_writes_over_http() {
+    let threads = test_threads();
+    let server = Arc::new(ProvServer::new(ServerConfig::default()));
+    let http = HttpServer::bind(server, "127.0.0.1:0", threads).expect("bind");
+    let addr = http.addr();
+    let base = retro(1);
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let base = base.clone();
+            scope.spawn(move || {
+                let client = HttpClient::new(addr, &format!("tenant-{t}"));
+                // Two namespaces, interleaved ingests and queries.
+                for i in 0..4u64 {
+                    let ns = if (t + i as usize) % 2 == 0 {
+                        "physics"
+                    } else {
+                        "biology"
+                    };
+                    let mut doc = base.clone();
+                    doc.exec = ExecId(10_000 + (t as u64) * 100 + i);
+                    let reply = client.ingest(ns, &doc).expect("ingest");
+                    assert_eq!(reply.status, 200, "{}", reply.body);
+                    let reply = client.query(ns, "count executions").expect("query");
+                    assert_eq!(reply.status, 200, "{}", reply.body);
+                }
+            });
+        }
+    });
+
+    let check = HttpClient::new(addr, "checker");
+    let mut total = 0usize;
+    for ns in ["physics", "biology"] {
+        let reply = check.stats(ns).expect("stats");
+        let body = reply.body;
+        // Pull "executions":N out of the JSON body.
+        let execs: usize = body
+            .split("\"executions\":")
+            .nth(1)
+            .and_then(|rest| rest.split(&[',', '}'][..]).next())
+            .and_then(|n| n.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no executions field in {body}"));
+        let gen: usize = body
+            .split("\"generation\":")
+            .nth(1)
+            .and_then(|rest| rest.split(&[',', '}'][..]).next())
+            .and_then(|n| n.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no generation field in {body}"));
+        assert_eq!(execs, gen, "every ack'd ingest bumped the generation");
+        total += execs;
+    }
+    assert_eq!(total, threads * 4, "no lost writes across tenants");
+    http.shutdown();
+}
+
+#[test]
+fn in_process_load_generator_verifies_consistency() {
+    let server = Arc::new(ProvServer::new(ServerConfig::default()));
+    let config = LoadConfig {
+        clients: test_threads(),
+        requests_per_client: 50,
+        namespaces: vec!["physics".into(), "biology".into()],
+        ingest_percent: 25,
+    };
+    let report = run_load(&server, &config);
+    assert!(report.consistent, "violations: {:?}", report.violations);
+    assert_eq!(report.errors, 0, "no non-backpressure errors");
+    assert!(report.ingests_acked > 0 && report.queries_answered > 0);
+}
+
+#[test]
+fn per_tenant_rate_limits_isolate_noisy_neighbors() {
+    let server = Arc::new(ProvServer::new(ServerConfig {
+        tenant_burst: 10,
+        tenant_rate_per_sec: 0.000_001,
+        ..ServerConfig::default()
+    }));
+    let noisy = server.session("noisy");
+    let quiet = server.session("quiet");
+    noisy.create_namespace("shared").unwrap();
+    let mut throttled = 0;
+    for _ in 0..50 {
+        if let Err(e) = noisy.query("shared", "count runs") {
+            assert_eq!(e.status_code(), 429);
+            throttled += 1;
+        }
+    }
+    assert!(throttled > 0, "the noisy tenant must hit its bucket");
+    // The quiet tenant's bucket is untouched.
+    quiet
+        .query("shared", "count runs")
+        .expect("quiet tenant is isolated");
+}
+
+#[test]
+fn analyze_accounting_stays_exact_under_concurrent_queries() {
+    // Relaxed atomic counters lose nothing: with N threads running the
+    // same read-only query K times each, the global store-stats delta is
+    // exactly N*K times the single-threaded cost of that query.
+    let server = Arc::new(ProvServer::new(ServerConfig::default()));
+    let session = server.session("bench");
+    let mut hashes: Vec<u64> = Vec::new();
+    for seed in 1..=4 {
+        let doc = retro(seed);
+        hashes.extend(doc.artifacts.keys().take(2).copied());
+        session.ingest("lab", &doc).unwrap();
+    }
+    let ns = server.namespace("lab").expect("namespace exists");
+    let store = ns.store();
+    let threads = test_threads();
+    let per_thread = 25u64;
+
+    assert!(!hashes.is_empty());
+    let sweep = |_: ()| {
+        for h in &hashes {
+            let guard = store.read();
+            let _ = guard.generators(*h);
+            let _ = guard.lineage_runs(*h);
+            let _ = guard.derived_artifacts(*h);
+        }
+    };
+    // Single-threaded baseline for one lineage sweep.
+    let before = store.stats().snapshot();
+    sweep(());
+    let single = store.stats().snapshot().delta(&before);
+    assert!(single.total_reads() > 0, "the sweep must read something");
+
+    // Concurrent: N threads, K sweeps each.
+    let before = store.stats().snapshot();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                for _ in 0..per_thread {
+                    sweep(());
+                }
+            });
+        }
+    });
+    let concurrent = store.stats().snapshot().delta(&before);
+    let factor = threads as u64 * per_thread;
+    assert_eq!(
+        concurrent.total_reads(),
+        single.total_reads() * factor,
+        "relaxed counters must not lose a single increment"
+    );
+    assert_eq!(concurrent.keyed_lookups, single.keyed_lookups * factor);
+    assert_eq!(concurrent.scans, single.scans * factor);
+}
