@@ -203,9 +203,112 @@ fn report_server(requests_per_client: usize) {
     }
 }
 
+/// E19 measures what WAL durability costs: the closed-loop load generator
+/// runs pure-ingest traffic against an in-memory server and against
+/// WAL-backed servers under each fsync policy, and the per-policy
+/// durable-ingest throughput + latency quantiles land in
+/// `BENCH_durability.json`. Batch fsync is the shipping default; the
+/// interesting number is its throughput as a fraction of in-memory.
+fn report_durability(requests_per_client: usize) {
+    use prov_server::{run_load, DurabilityConfig, LoadConfig, ProvServer, ServerConfig};
+    use prov_store::wal::FsyncPolicy;
+    use std::sync::Arc;
+
+    println!("## E19 — durable ingest: WAL fsync policies vs in-memory\n");
+    let clients = std::env::var("PROVBENCH_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8)
+        .max(2);
+    let config = LoadConfig {
+        clients,
+        requests_per_client,
+        namespaces: vec!["physics".into(), "biology".into()],
+        ingest_percent: 100,
+    };
+    let scratch = std::env::temp_dir().join(format!("prov-bench-wal-{}", std::process::id()));
+
+    let mut rows = Vec::new();
+    let mut modes_json = Vec::new();
+    let mut ingest_rps = std::collections::BTreeMap::new();
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("memory", None),
+        ("always", Some(FsyncPolicy::Always)),
+        ("batch", Some(FsyncPolicy::batch_default())),
+        ("never", Some(FsyncPolicy::Never)),
+    ];
+    for (label, policy) in policies {
+        let mut server_config = ServerConfig::default();
+        if let Some(policy) = policy {
+            let dir = scratch.join(label);
+            std::fs::remove_dir_all(&dir).ok();
+            server_config.durability = Some(DurabilityConfig::new(dir).fsync(policy));
+        }
+        let server = Arc::new(ProvServer::new(server_config));
+        server.recover().expect("bench recovery");
+        let report = run_load(&server, &config);
+        let secs = report.wall_micros as f64 / 1e6;
+        let rps = report.ingests_acked as f64 / secs.max(1e-9);
+        ingest_rps.insert(label, rps);
+        rows.push(vec![
+            label.to_string(),
+            report.ingests_acked.to_string(),
+            format!("{rps:.0}"),
+            report.p50_micros.to_string(),
+            report.p99_micros.to_string(),
+            report.consistent.to_string(),
+        ]);
+        if !report.consistent {
+            eprintln!("[{label}] CONSISTENCY VIOLATIONS: {:?}", report.violations);
+        }
+        modes_json.push(format!(
+            "{{\"fsync\":\"{label}\",\"ingests_acked\":{},\"wall_micros\":{},\"ingest_rps\":{rps:.1},\"latency_micros\":{{\"p50\":{},\"p99\":{},\"p999\":{}}},\"consistent\":{}}}",
+            report.ingests_acked,
+            report.wall_micros,
+            report.p50_micros,
+            report.p99_micros,
+            report.p999_micros,
+            report.consistent
+        ));
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "fsync",
+                "ingests",
+                "ingest rps",
+                "p50 (us)",
+                "p99 (us)",
+                "consistent"
+            ],
+            &rows,
+        )
+    );
+    let ratio = ingest_rps["batch"] / ingest_rps["memory"].max(1e-9);
+    println!(
+        "\nbatch fsync sustains {:.0}% of in-memory ingest throughput\n",
+        ratio * 100.0
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"prov-server-durability\",\n  \"clients\": {clients},\n  \"requests_per_client\": {requests_per_client},\n  \"modes\": [\n    {}\n  ],\n  \"batch_vs_memory_ratio\": {ratio:.3}\n}}\n",
+        modes_json.join(",\n    ")
+    );
+    match std::fs::write("BENCH_durability.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_durability.json"),
+        Err(e) => eprintln!("could not write BENCH_durability.json: {e}"),
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("server") {
         report_server(250);
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("durability") {
+        report_durability(250);
         return;
     }
     if std::env::args().nth(1).as_deref() == Some("telemetry") {
@@ -635,4 +738,7 @@ fn main() {
 
     // ---- E18 ---------------------------------------------------------
     report_server(250);
+
+    // ---- E19 ---------------------------------------------------------
+    report_durability(250);
 }

@@ -39,6 +39,15 @@ pub enum ServerError {
     Query(String),
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The server has not finished WAL replay: requests would race
+    /// recovery (503-style; retry after the server reports ready).
+    NotReady,
+    /// The namespace degraded to read-only after persistent write-ahead
+    /// log failures; ingest is refused so no ack can outrun durability.
+    ReadOnly(String),
+    /// A durability (WAL) write failed; the ingest was not applied and
+    /// must not be considered acknowledged.
+    Durability(String),
 }
 
 impl ServerError {
@@ -51,6 +60,9 @@ impl ServerError {
             ServerError::BadRequest(_) => 400,
             ServerError::Query(_) => 422,
             ServerError::ShuttingDown => 503,
+            ServerError::NotReady => 503,
+            ServerError::ReadOnly(_) => 503,
+            ServerError::Durability(_) => 500,
         }
     }
 
@@ -64,6 +76,9 @@ impl ServerError {
             ServerError::BadRequest(_) => "bad_request",
             ServerError::Query(_) => "query_error",
             ServerError::ShuttingDown => "shutting_down",
+            ServerError::NotReady => "not_ready",
+            ServerError::ReadOnly(_) => "read_only",
+            ServerError::Durability(_) => "durability",
         }
     }
 
@@ -72,7 +87,9 @@ impl ServerError {
     pub fn is_backpressure(&self) -> bool {
         matches!(
             self,
-            ServerError::Overloaded { .. } | ServerError::RateLimited { .. }
+            ServerError::Overloaded { .. }
+                | ServerError::RateLimited { .. }
+                | ServerError::NotReady
         )
     }
 }
@@ -93,6 +110,14 @@ impl fmt::Display for ServerError {
             ServerError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServerError::Query(msg) => write!(f, "query error: {msg}"),
             ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::NotReady => write!(f, "server is replaying its write-ahead logs"),
+            ServerError::ReadOnly(ns) => {
+                write!(
+                    f,
+                    "namespace '{ns}' is read-only (degraded after WAL failures)"
+                )
+            }
+            ServerError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }

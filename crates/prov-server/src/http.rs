@@ -246,6 +246,7 @@ fn write_response(
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
+        500 => "Internal Server Error",
         404 => "Not Found",
         405 => "Method Not Allowed",
         422 => "Unprocessable Entity",
@@ -272,11 +273,34 @@ fn handle_connection(server: &ProvServer, stream: &mut TcpStream) -> std::io::Re
 fn route(server: &ProvServer, req: &HttpRequest) -> (u16, &'static str, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            if server.is_shutting_down() {
-                (503, "text/plain", "draining\n".to_string())
-            } else {
-                (200, "text/plain", "ok\n".to_string())
-            }
+            // Liveness + readiness in one JSON body: `alive` is true
+            // whenever we can answer at all; `ready` is false during WAL
+            // replay and while any namespace is degraded read-only.
+            let draining = server.is_shutting_down();
+            let degraded = server.degraded_namespaces();
+            let ready = server.is_ready() && !draining && degraded.is_empty();
+            let body = wire::render_json(&prov_telemetry::JsonValue::Object(
+                [
+                    ("alive".to_string(), prov_telemetry::JsonValue::Bool(true)),
+                    ("ready".to_string(), prov_telemetry::JsonValue::Bool(ready)),
+                    (
+                        "draining".to_string(),
+                        prov_telemetry::JsonValue::Bool(draining),
+                    ),
+                    (
+                        "degraded".to_string(),
+                        prov_telemetry::JsonValue::Array(
+                            degraded
+                                .into_iter()
+                                .map(prov_telemetry::JsonValue::String)
+                                .collect(),
+                        ),
+                    ),
+                ]
+                .into_iter()
+                .collect(),
+            ));
+            (if ready { 200 } else { 503 }, "application/json", body)
         }
         ("GET", "/metrics") => (
             200,
@@ -343,7 +367,13 @@ fn api_request(path: &str, body: &str) -> Result<Request, ServerError> {
             let retro = v
                 .get("retro")
                 .ok_or_else(|| ServerError::BadRequest("missing field 'retro'".into()))?;
-            RequestBody::Ingest(Box::new(wire::retro_from_json(retro)?))
+            RequestBody::Ingest {
+                retro: Box::new(wire::retro_from_json(retro)?),
+                request_id: v
+                    .get("request_id")
+                    .and_then(|r| r.as_str())
+                    .map(str::to_string),
+            }
         }
         "/v1/query" => RequestBody::Query {
             pql: v
@@ -383,10 +413,17 @@ fn render_response(response: &ResponseBody) -> String {
 // ---------------------------------------------------------------------------
 
 /// A minimal blocking HTTP/1.1 client for the routes above.
+///
+/// With [`HttpClient::with_retry`], connection-level failures and 5xx
+/// responses are retried under a bounded, seeded backoff schedule — but
+/// *only* for idempotent requests. An ingest is idempotent only when it
+/// carries a request id (the server dedupes on it); without one, a failed
+/// ingest is returned to the caller rather than risked twice.
 #[derive(Debug, Clone)]
 pub struct HttpClient {
     addr: SocketAddr,
     tenant: String,
+    retry: Option<crate::retry::HttpRetry>,
 }
 
 /// A decoded HTTP response: status code + body text.
@@ -404,7 +441,14 @@ impl HttpClient {
         HttpClient {
             addr,
             tenant: tenant.to_string(),
+            retry: None,
         }
+    }
+
+    /// Enable bounded retries for idempotent requests.
+    pub fn with_retry(mut self, retry: crate::retry::HttpRetry) -> Self {
+        self.retry = Some(retry);
+        self
     }
 
     /// The tenant this client sends as.
@@ -412,8 +456,43 @@ impl HttpClient {
         &self.tenant
     }
 
-    /// Raw request against any path.
+    /// Issue `method path`, retrying per policy when `idempotent` — on
+    /// connection-level errors and 5xx responses only; 4xx responses are
+    /// the request's fault and return immediately.
+    fn send(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+        idempotent: bool,
+    ) -> std::io::Result<HttpReply> {
+        let Some(retry) = self.retry.as_ref().filter(|_| idempotent) else {
+            return self.request_once(method, path, body);
+        };
+        let mut attempt = 1u32;
+        loop {
+            let outcome = self.request_once(method, path, body);
+            let retryable = match &outcome {
+                Ok(reply) => crate::retry::HttpRetry::should_retry_status(reply.status),
+                Err(_) => true,
+            };
+            if !retryable || attempt >= retry.max_attempts {
+                return outcome;
+            }
+            let backoff = retry.backoff_micros(attempt);
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_micros(backoff));
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Raw single-shot request against any path (no retries).
     pub fn request(&self, method: &str, path: &str, body: &str) -> std::io::Result<HttpReply> {
+        self.request_once(method, path, body)
+    }
+
+    fn request_once(&self, method: &str, path: &str, body: &str) -> std::io::Result<HttpReply> {
         let mut stream = TcpStream::connect(self.addr)?;
         stream.set_read_timeout(Some(IO_TIMEOUT))?;
         stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -459,6 +538,7 @@ impl HttpClient {
         path: &str,
         mut fields: Vec<(&str, prov_telemetry::JsonValue)>,
         namespace: &str,
+        idempotent: bool,
     ) -> std::io::Result<HttpReply> {
         fields.push((
             "tenant",
@@ -474,7 +554,7 @@ impl HttpClient {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
         ));
-        self.request("POST", path, &body)
+        self.send("POST", path, &body, idempotent)
     }
 
     /// `GET /healthz`.
@@ -484,15 +564,16 @@ impl HttpClient {
 
     /// `GET /metrics`.
     pub fn metrics(&self) -> std::io::Result<HttpReply> {
-        self.request("GET", "/metrics", "")
+        self.send("GET", "/metrics", "", true)
     }
 
-    /// `POST /v1/create`.
+    /// `POST /v1/create` (idempotent, retried under policy).
     pub fn create(&self, namespace: &str) -> std::io::Result<HttpReply> {
-        self.post("/v1/create", Vec::new(), namespace)
+        self.post("/v1/create", Vec::new(), namespace, true)
     }
 
-    /// `POST /v1/ingest`.
+    /// `POST /v1/ingest` with no request id — **never retried**, because
+    /// without an idempotency key a retry could apply the document twice.
     pub fn ingest(
         &self,
         namespace: &str,
@@ -502,21 +583,45 @@ impl HttpClient {
             "/v1/ingest",
             vec![("retro", wire::retro_to_json(retro))],
             namespace,
+            false,
         )
     }
 
-    /// `POST /v1/query`.
+    /// `POST /v1/ingest` with a request id: the server dedupes on the id,
+    /// so retries under policy are safe.
+    pub fn ingest_with_id(
+        &self,
+        namespace: &str,
+        retro: &prov_core::model::RetrospectiveProvenance,
+        request_id: &str,
+    ) -> std::io::Result<HttpReply> {
+        self.post(
+            "/v1/ingest",
+            vec![
+                ("retro", wire::retro_to_json(retro)),
+                (
+                    "request_id",
+                    prov_telemetry::JsonValue::String(request_id.to_string()),
+                ),
+            ],
+            namespace,
+            true,
+        )
+    }
+
+    /// `POST /v1/query` (idempotent, retried under policy).
     pub fn query(&self, namespace: &str, pql: &str) -> std::io::Result<HttpReply> {
         self.post(
             "/v1/query",
             vec![("pql", prov_telemetry::JsonValue::String(pql.to_string()))],
             namespace,
+            true,
         )
     }
 
-    /// `POST /v1/stats`.
+    /// `POST /v1/stats` (idempotent, retried under policy).
     pub fn stats(&self, namespace: &str) -> std::io::Result<HttpReply> {
-        self.post("/v1/stats", Vec::new(), namespace)
+        self.post("/v1/stats", Vec::new(), namespace, true)
     }
 
     /// `POST /v1/shutdown`.
@@ -612,6 +717,110 @@ mod tests {
             .map(|r| r.status == 200)
             .unwrap_or(false);
         assert!(!still_healthy, "listener must be gone or draining");
+    }
+
+    #[test]
+    fn healthz_reports_readiness_and_degradation() {
+        use prov_store::{IoFault, IoFaultPlan};
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "prov-http-healthz-{}-{}",
+            std::process::id(),
+            wf_engine::event::now_millis()
+        ));
+        // Arm the WAL so the disk "fills up" after recovery: three
+        // consecutive ENOSPC faults degrade the namespace to read-only.
+        let config = ServerConfig {
+            durability: Some(
+                crate::durability::DurabilityConfig::new(&dir)
+                    .fsync(prov_store::wal::FsyncPolicy::Never)
+                    .fault_plan(
+                        IoFaultPlan::new()
+                            .at(10, IoFault::NoSpace)
+                            .at(11, IoFault::NoSpace)
+                            .at(12, IoFault::NoSpace),
+                    ),
+            ),
+            ..ServerConfig::default()
+        };
+        let server = Arc::new(ProvServer::new(config));
+        let http = HttpServer::bind(Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+        let client = HttpClient::new(http.addr(), "alice");
+
+        // Before recovery: alive but not ready, and the API refuses work.
+        let reply = client.healthz().unwrap();
+        assert_eq!(reply.status, 503, "body: {}", reply.body);
+        let v = parse_json(&reply.body).unwrap();
+        assert_eq!(v.get("alive").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(v.get("ready").and_then(|b| b.as_bool()), Some(false));
+        let reply = client.ingest("lab", &retro(1)).unwrap();
+        assert_eq!(reply.status, 503);
+        assert!(reply.body.contains("not_ready"), "body: {}", reply.body);
+
+        // After recovery: ready.
+        server.recover().unwrap();
+        let reply = client.healthz().unwrap();
+        assert_eq!(reply.status, 200, "body: {}", reply.body);
+        let v = parse_json(&reply.body).unwrap();
+        assert_eq!(v.get("ready").and_then(|b| b.as_bool()), Some(true));
+
+        // Fill the "disk": three failed ingests degrade the namespace,
+        // and readiness flips back off with the namespace named.
+        for seed in 1..=3 {
+            let reply = client.ingest("lab", &retro(seed)).unwrap();
+            assert_eq!(reply.status, 500, "body: {}", reply.body);
+        }
+        let reply = client.healthz().unwrap();
+        assert_eq!(reply.status, 503, "body: {}", reply.body);
+        let v = parse_json(&reply.body).unwrap();
+        assert_eq!(v.get("ready").and_then(|b| b.as_bool()), Some(false));
+        let degraded = v.get("degraded").unwrap();
+        assert_eq!(
+            degraded.as_array().unwrap()[0].as_str(),
+            Some("lab"),
+            "body: {}",
+            reply.body
+        );
+        http.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retries_are_bounded_and_skip_unidentified_ingest() {
+        // A stub that answers every request 503: idempotent requests
+        // should burn their full retry budget against it, while an ingest
+        // without a request id must not be retried at all.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counted = Arc::clone(&hits);
+        let stub = std::thread::spawn(move || {
+            // 3 (query) + 1 (bare ingest) + 3 (ingest with id) = 7.
+            for _ in 0..7 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let _ = read_request(&mut stream);
+                counted.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let _ = write_response(&mut stream, 503, "application/json", "{}");
+            }
+        });
+
+        let client =
+            HttpClient::new(addr, "alice").with_retry(crate::retry::HttpRetry::attempts(3));
+        let reply = client.query("lab", "count runs").unwrap();
+        assert_eq!(reply.status, 503, "budget exhausted, final reply surfaces");
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 3);
+
+        // No request id: ambiguous failures could double-apply, so the
+        // client refuses to retry — exactly one attempt.
+        let reply = client.ingest("lab", &retro(1)).unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 4);
+
+        // With a request id the server dedupes, so retrying is safe.
+        let reply = client.ingest_with_id("lab", &retro(1), "req-1").unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 7);
+        stub.join().unwrap();
     }
 
     #[test]

@@ -19,21 +19,32 @@
 //!   sockets, for tests, benchmarks, and embedding;
 //! * a closed-loop load generator ([`loadgen`]) drives mixed
 //!   ingest/query traffic and verifies zero lost writes, engine/store
-//!   agreement, and exact counter accounting afterwards.
+//!   agreement, and exact counter accounting afterwards;
+//! * the [`durability`] layer writes every acked ingest to a per-namespace
+//!   write-ahead log before applying it, replays the logs on restart
+//!   ([`ProvServer::recover`]), gates readiness on replay, and degrades a
+//!   namespace to read-only after persistent WAL failures;
+//! * the [`retry`] policy gives clients bounded, seeded
+//!   exponential-backoff retries that never retry a non-idempotent ingest
+//!   without a request id.
 
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod durability;
 pub mod error;
 pub mod http;
 pub mod loadgen;
+pub mod retry;
 pub mod server;
 pub mod wire;
 
 pub use admission::{Admission, RateLimiter};
+pub use durability::{DurabilityConfig, RecoveryReport};
 pub use error::ServerError;
 pub use http::{HttpClient, HttpReply, HttpServer};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use retry::HttpRetry;
 pub use server::{
     IngestAck, Namespace, NamespaceStats, ProvServer, QueryReply, Request, RequestBody,
     ResponseBody, ServerConfig, ServerStats, Session,

@@ -1,0 +1,144 @@
+//! Bounded client-side retries with seeded exponential backoff + jitter.
+//!
+//! [`HttpRetry`] mirrors the shape of the engine's `RetryPolicy`
+//! (`wf_engine::policy`): a bounded attempt count, exponential backoff
+//! capped at a maximum, and *deterministic, seeded* jitter — the same seed
+//! replays the same backoff schedule, so client recovery behaviour is as
+//! reproducible as the engine's.
+//!
+//! What is retried is deliberately narrow: connection-level I/O errors
+//! (connection refused while a server restarts, resets mid-flight) and
+//! 5xx responses. 4xx responses are the caller's fault and are never
+//! retried. **Non-idempotent requests are never retried without a request
+//! id**: an ingest whose first attempt died ambiguously may or may not
+//! have been applied, so blindly retrying could double-ingest; with a
+//! request id the server's dedupe cache makes the retry safe.
+
+use wf_engine::stdlib::SplitMix64;
+
+/// A bounded retry schedule for the HTTP client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpRetry {
+    /// Maximum attempts including the first; at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, microseconds.
+    pub base_backoff_micros: u64,
+    /// Multiplier applied per subsequent attempt.
+    pub multiplier: f64,
+    /// Cap on any single backoff, microseconds.
+    pub max_backoff_micros: u64,
+    /// Jitter fraction in `[0, 1]`: each backoff scales by a factor drawn
+    /// deterministically from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed for the jitter streams (per-attempt, order-independent).
+    pub seed: u64,
+}
+
+impl HttpRetry {
+    /// Up to `max_attempts` attempts with no backoff. Chain
+    /// [`HttpRetry::backoff`] / [`HttpRetry::jitter`] to add a schedule.
+    pub fn attempts(max_attempts: u32) -> Self {
+        HttpRetry {
+            max_attempts: max_attempts.max(1),
+            base_backoff_micros: 0,
+            multiplier: 2.0,
+            max_backoff_micros: 0,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Set the exponential backoff schedule.
+    pub fn backoff(mut self, base_micros: u64, multiplier: f64, max_micros: u64) -> Self {
+        self.base_backoff_micros = base_micros;
+        self.multiplier = if multiplier.is_finite() && multiplier >= 1.0 {
+            multiplier
+        } else {
+            1.0
+        };
+        self.max_backoff_micros = max_micros.max(base_micros);
+        self
+    }
+
+    /// Set the jitter fraction (clamped to `[0, 1]`).
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the jitter seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Is a response status worth retrying? Only server-side failures —
+    /// 4xx are the request's fault and will fail identically again.
+    pub fn should_retry_status(status: u16) -> bool {
+        status >= 500
+    }
+
+    /// The backoff before attempt `attempt + 1`, given that attempt
+    /// `attempt` (1-based) just failed. Deterministic in
+    /// `(seed, attempt)`.
+    pub fn backoff_micros(&self, attempt: u32) -> u64 {
+        if self.base_backoff_micros == 0 {
+            return 0;
+        }
+        let exp = self
+            .multiplier
+            .powi(attempt.saturating_sub(1).min(62) as i32);
+        let raw = (self.base_backoff_micros as f64 * exp).min(self.max_backoff_micros as f64);
+        if self.jitter <= 0.0 {
+            return raw as u64;
+        }
+        let stream = self.seed ^ u64::from(attempt).wrapping_mul(0xd1b5_4a32_d192_ed03);
+        let mut rng = SplitMix64::new(stream);
+        let factor = 1.0 + self.jitter * (2.0 * rng.next_f64() - 1.0);
+        (raw * factor).max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = HttpRetry::attempts(6).backoff(100, 2.0, 500);
+        assert_eq!(p.backoff_micros(1), 100);
+        assert_eq!(p.backoff_micros(2), 200);
+        assert_eq!(p.backoff_micros(3), 400);
+        assert_eq!(p.backoff_micros(4), 500, "capped");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_in_the_seed_and_bounded() {
+        let a = HttpRetry::attempts(4)
+            .backoff(1_000, 2.0, 10_000)
+            .jitter(0.5)
+            .seeded(7);
+        let b = a.clone();
+        for attempt in 1..4 {
+            let x = a.backoff_micros(attempt);
+            assert_eq!(x, b.backoff_micros(attempt), "same seed, same schedule");
+            let raw = 1_000 * 2u64.pow(attempt - 1);
+            assert!(x >= raw / 2 && x <= raw * 3 / 2, "attempt {attempt}: {x}");
+        }
+        let c = a.clone().seeded(8);
+        assert!(
+            (1..4).any(|n| a.backoff_micros(n) != c.backoff_micros(n)),
+            "different seeds give different schedules"
+        );
+    }
+
+    #[test]
+    fn only_5xx_statuses_are_retryable() {
+        for s in [500, 502, 503] {
+            assert!(HttpRetry::should_retry_status(s));
+        }
+        for s in [200, 400, 404, 422, 429] {
+            assert!(!HttpRetry::should_retry_status(s), "{s}");
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Deterministic I/O fault injection for testing durability paths.
+//!
+//! The interesting failures of a write-ahead log — torn writes, failed
+//! fsyncs, a full disk — never happen in an ordinary test run. An
+//! [`IoFaultPlan`] makes them first-class and *reproducible*, in the style
+//! of the engine's `FaultPlan`: a plan maps seeded **byte offsets** of the
+//! append stream to injected [`IoFault`]s, so the same seed tears the same
+//! write at the same byte every time. A [`FaultyMedia`] wraps a real file
+//! and consults the plan on every `append`/`sync`, writing exactly the
+//! prefix a real torn write would leave behind before reporting the error.
+//!
+//! Injected faults flow through the same error paths as real ones: a torn
+//! write leaves a partial frame the recovery scan must truncate, a failed
+//! fsync surfaces as an `io::Error` the caller must handle, and `NoSpace`
+//! is `ErrorKind::StorageFull`-shaped ENOSPC.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// One injected I/O failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoFault {
+    /// The write persists only `keep` bytes of the remaining buffer at the
+    /// trigger offset, then fails — a torn write.
+    TornWrite {
+        /// Bytes of the in-flight buffer that reach the file anyway.
+        keep: usize,
+    },
+    /// The write fails outright with ENOSPC; nothing past the trigger
+    /// offset reaches the file.
+    NoSpace,
+    /// The next `count` fsyncs fail (data may or may not be durable —
+    /// exactly the ambiguity real fsync failures have).
+    FailSync {
+        /// How many consecutive syncs fail.
+        count: u32,
+    },
+}
+
+/// A deterministic schedule of I/O faults keyed by byte offset of the
+/// append stream (the total number of bytes successfully appended so far).
+///
+/// Plans are immutable and cheaply cloneable; per-file trigger state lives
+/// in the [`FaultyMedia`] that consults them, so one plan can arm many
+/// files.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    seed: u64,
+    /// Offset-triggered faults: fires when the append stream reaches or
+    /// crosses the keyed offset.
+    faults: Arc<BTreeMap<u64, IoFault>>,
+}
+
+impl IoFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `fault` to fire when the append stream reaches byte
+    /// `offset`.
+    pub fn at(mut self, offset: u64, fault: IoFault) -> Self {
+        let mut faults = (*self.faults).clone();
+        faults.insert(offset, fault);
+        self.faults = Arc::new(faults);
+        self
+    }
+
+    /// A pseudo-random plan fully determined by `seed`: a handful of
+    /// offset-triggered faults spread over the first `horizon` bytes,
+    /// mixing torn writes, ENOSPC, and failed fsyncs.
+    pub fn random(seed: u64, horizon: u64) -> Self {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut plan = Self::new();
+        plan.seed = seed;
+        let horizon = horizon.max(64);
+        for _ in 0..1 + next() % 3 {
+            let offset = next() % horizon;
+            let fault = match next() % 3 {
+                0 => IoFault::TornWrite {
+                    keep: (next() % 24) as usize,
+                },
+                1 => IoFault::NoSpace,
+                _ => IoFault::FailSync {
+                    count: 1 + (next() % 2) as u32,
+                },
+            };
+            plan = plan.at(offset, fault);
+        }
+        plan
+    }
+
+    /// The seed this plan was generated from (0 for hand-built plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Does this plan inject nothing?
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The first scheduled fault in `[from, to)` not yet in `consumed`.
+    /// (A healed append can re-cover an already-fired offset; later faults
+    /// in the same range must still trigger.)
+    fn next_in(&self, from: u64, to: u64, consumed: &[u64]) -> Option<(u64, &IoFault)> {
+        self.faults
+            .range(from..to)
+            .find(|(off, _)| !consumed.contains(off))
+            .map(|(&off, fault)| (off, fault))
+    }
+}
+
+/// The storage a WAL appends to: a real file, or a faulty wrapper around
+/// one. Only the *append* surface is abstracted — replay reads files
+/// directly through `std::fs`, which is exactly what recovery after a real
+/// crash does.
+pub trait WalMedia: Send + std::fmt::Debug {
+    /// Append the whole buffer (or fail, possibly leaving a torn prefix).
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Make previous appends durable.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Cut the file back to `len` bytes (how a WAL self-heals after a
+    /// failed append left torn bytes). Never fault-injected: recovery
+    /// paths must work even while the append path is failing.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+    /// Bytes successfully appended through this handle's lifetime plus
+    /// whatever the file held when it was opened.
+    fn len(&self) -> u64;
+    /// Does this media currently hold zero bytes?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Plain disk-backed media: every call goes straight to the file.
+#[derive(Debug)]
+pub struct DiskMedia {
+    file: File,
+    len: u64,
+}
+
+impl DiskMedia {
+    /// Wrap `file`, which currently holds `len` valid bytes and is
+    /// positioned at its end.
+    pub fn new(file: File, len: u64) -> Self {
+        DiskMedia { file, len }
+    }
+}
+
+impl WalMedia for DiskMedia {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all(buf)?;
+        self.len += buf.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        use std::io::Seek;
+        self.file.set_len(len)?;
+        self.file.seek(io::SeekFrom::Start(len))?;
+        self.len = len;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+/// Disk-backed media armed with an [`IoFaultPlan`]. Appends that cross a
+/// scheduled offset write exactly the bytes a torn write would persist,
+/// then fail; scheduled fsync failures burn down before syncs succeed
+/// again.
+#[derive(Debug)]
+pub struct FaultyMedia {
+    inner: DiskMedia,
+    plan: IoFaultPlan,
+    /// Armed faults already consumed (offsets fire once).
+    consumed: Vec<u64>,
+    /// Remaining fsync failures from a triggered `FailSync`.
+    failing_syncs: u32,
+}
+
+impl FaultyMedia {
+    /// Arm `file` (holding `len` valid bytes) with `plan`.
+    pub fn new(file: File, len: u64, plan: IoFaultPlan) -> Self {
+        FaultyMedia {
+            inner: DiskMedia::new(file, len),
+            plan,
+            consumed: Vec::new(),
+            failing_syncs: 0,
+        }
+    }
+
+    fn take_fault(&mut self, from: u64, to: u64) -> Option<(u64, IoFault)> {
+        let (off, fault) = self
+            .plan
+            .next_in(from, to, &self.consumed)
+            .map(|(off, f)| (off, f.clone()))?;
+        self.consumed.push(off);
+        Some((off, fault))
+    }
+}
+
+impl WalMedia for FaultyMedia {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        let start = self.inner.len();
+        let end = start + buf.len() as u64;
+        match self.take_fault(start, end) {
+            None => self.inner.append(buf),
+            Some((off, IoFault::TornWrite { keep })) => {
+                // Persist the prefix up to the trigger plus `keep` stray
+                // bytes — the shape an interrupted write_all leaves.
+                let torn = ((off - start) as usize + keep).min(buf.len());
+                self.inner.append(&buf[..torn])?;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!(
+                        "injected torn write at offset {off} ({torn} of {} bytes persisted)",
+                        buf.len()
+                    ),
+                ))
+            }
+            Some((off, IoFault::NoSpace)) => {
+                let kept = (off - start) as usize;
+                self.inner.append(&buf[..kept])?;
+                Err(io::Error::other(format!(
+                    "injected ENOSPC at offset {off}: no space left on device"
+                )))
+            }
+            Some((_, IoFault::FailSync { count })) => {
+                // Sync faults triggered by offset arm the sync path but let
+                // the write itself through.
+                self.failing_syncs = self.failing_syncs.max(count);
+                self.inner.append(buf)
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.failing_syncs > 0 {
+            self.failing_syncs -= 1;
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate(len)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+/// Read a file the way a recovery scan would, optionally injecting a
+/// *short read*: the returned bytes stop at `short_read_at` even though
+/// the file is longer — the view a reader racing a crash can observe.
+pub fn read_for_replay(path: &Path, short_read_at: Option<u64>) -> io::Result<Vec<u8>> {
+    let mut data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    if let Some(at) = short_read_at {
+        data.truncate(at as usize);
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "prov-iofault-{}-{}-{name}.bin",
+            std::process::id(),
+            wf_engine::event::now_millis()
+        ));
+        p
+    }
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        assert_eq!(IoFaultPlan::random(7, 4096), IoFaultPlan::random(7, 4096));
+        assert!(
+            (0..20u64).any(|s| IoFaultPlan::random(s, 4096) != IoFaultPlan::random(s + 1, 4096))
+        );
+        assert!(!IoFaultPlan::random(3, 4096).is_empty());
+    }
+
+    #[test]
+    fn torn_write_persists_exactly_the_prefix() {
+        let path = temp_path("torn");
+        let file = File::create(&path).unwrap();
+        let plan = IoFaultPlan::new().at(10, IoFault::TornWrite { keep: 3 });
+        let mut media = FaultyMedia::new(file, 0, plan);
+        media.append(&[0xAA; 8]).unwrap();
+        let err = media.append(&[0xBB; 8]).unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        // 8 clean + (10 - 8) prefix + 3 stray = 13 bytes on disk.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 13);
+        assert_eq!(media.len(), 13);
+        // The fault fires once; later appends succeed.
+        media.append(&[0xCC; 4]).unwrap();
+        assert_eq!(media.len(), 17);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn enospc_keeps_bytes_before_the_trigger_only() {
+        let path = temp_path("enospc");
+        let file = File::create(&path).unwrap();
+        let plan = IoFaultPlan::new().at(5, IoFault::NoSpace);
+        let mut media = FaultyMedia::new(file, 0, plan);
+        let err = media.append(&[1u8; 20]).unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_fsyncs_burn_down_then_recover() {
+        let path = temp_path("fsync");
+        let file = File::create(&path).unwrap();
+        let plan = IoFaultPlan::new().at(0, IoFault::FailSync { count: 2 });
+        let mut media = FaultyMedia::new(file, 0, plan);
+        media.append(b"hello").unwrap();
+        assert!(media.sync().is_err());
+        assert!(media.sync().is_err());
+        assert!(media.sync().is_ok(), "failures are bounded");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_reads_truncate_the_replay_view() {
+        let path = temp_path("short");
+        std::fs::write(&path, [7u8; 32]).unwrap();
+        assert_eq!(read_for_replay(&path, None).unwrap().len(), 32);
+        assert_eq!(read_for_replay(&path, Some(9)).unwrap().len(), 9);
+        assert!(read_for_replay(Path::new("/nonexistent/x"), None)
+            .unwrap()
+            .is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -16,6 +16,12 @@
 //!   baseline);
 //! * [`logstore`] — an append-only, CRC-framed binary log with snapshots
 //!   and compaction (the durability substrate);
+//! * [`wal`] — the per-namespace write-ahead log under the provenance
+//!   server: hash-chained CRC frames, configurable fsync policy,
+//!   snapshot+compaction checkpoints, and torn-tail recovery;
+//! * [`iofault`] — deterministic I/O fault injection (torn writes, failed
+//!   fsyncs, ENOSPC, short reads at seeded byte offsets) so the WAL's
+//!   failure paths are exercised reproducibly;
 //! * [`api`] — the [`api::ProvenanceStore`] trait: the canned queries every
 //!   backend must answer, so benchmarks compare like for like;
 //! * [`spanstore`] — storage for telemetry spans (the timing half of
@@ -30,18 +36,22 @@
 
 pub mod api;
 pub mod graphstore;
+pub mod iofault;
 pub mod logstore;
 pub mod relstore;
 pub mod shared;
 pub mod spanstore;
 pub mod stats;
 pub mod triplestore;
+pub mod wal;
 
 pub use api::{sort_artifacts, sort_runs, ProvenanceStore};
 pub use graphstore::GraphStore;
+pub use iofault::{IoFault, IoFaultPlan};
 pub use logstore::LogStore;
 pub use relstore::{RelStore, RelValue, Relation, Schema};
 pub use shared::SharedStore;
 pub use spanstore::SpanStore;
 pub use stats::{StatsSnapshot, StoreStats};
 pub use triplestore::{Term, TripleStore};
+pub use wal::{FsyncPolicy, NamespaceWal, Wal, WalRecovery, WalReplay};

@@ -301,8 +301,16 @@ impl LogStore {
                     f.write_all(&payload)?;
                 }
                 f.flush()?;
+                // The temp file must be durable before the rename
+                // publishes it — a crash between flush and rename must
+                // not be able to leave a truncated or missing log.
+                f.sync_all()?;
             }
             std::fs::rename(&tmp, path)?;
+            // The rename itself lives in the parent directory entry.
+            if let Some(parent) = path.parent() {
+                crate::wal::sync_dir(parent)?;
+            }
             let mut file = OpenOptions::new().read(true).write(true).open(path)?;
             file.seek(SeekFrom::End(0))?;
             self.file = Some(file);

@@ -51,7 +51,7 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 test -n "$ADDR"
-./target/release/provctl client "$ADDR" health | grep -q "ok"
+./target/release/provctl client "$ADDR" health | grep -q '"ready":true'
 ./target/release/provctl client "$ADDR" create lab tenant=ci
 ./target/release/provctl client "$ADDR" ingest lab "$SMOKE_DIR/challenge-prov.json" tenant=ci
 ./target/release/provctl client "$ADDR" query lab "count runs" tenant=ci | grep -q '"type":"count"'
@@ -59,6 +59,44 @@ test -n "$ADDR"
 ./target/release/provctl client "$ADDR" metrics | grep -q "prov_server_requests_total"
 ./target/release/provctl client "$ADDR" shutdown
 wait "$SERVE_PID"
+
+echo "==> crash-recovery smoke: kill -9 a durable server, restart, audit zero acked loss"
+DATA_DIR="$SMOKE_DIR/wal-data"
+./target/release/provctl run "$SMOKE_DIR/wf.json" "$SMOKE_DIR/fig1-prov.json"
+./target/release/provctl serve 127.0.0.1:0 workers=4 "data_dir=$DATA_DIR" fsync=batch \
+    > "$SMOKE_DIR/serve-durable.out" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^prov-server listening on //p' "$SMOKE_DIR/serve-durable.out")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR"
+# Two acked ingests with distinct executions, then SIGKILL mid-run: no
+# drain, no flush. Every ack must survive the restart.
+./target/release/provctl client "$ADDR" ingest lab "$SMOKE_DIR/challenge-prov.json" tenant=ci
+./target/release/provctl client "$ADDR" ingest lab "$SMOKE_DIR/fig1-prov.json" tenant=ci \
+    retries=3 request_id=ci-smoke
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" || true
+./target/release/provctl recover "$DATA_DIR" | grep -q "namespace 'lab'"
+./target/release/provctl serve 127.0.0.1:0 workers=4 "data_dir=$DATA_DIR" fsync=batch \
+    > "$SMOKE_DIR/serve-recovered.out" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^prov-server listening on //p' "$SMOKE_DIR/serve-recovered.out")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR"
+grep -q "recovered namespace 'lab'" "$SMOKE_DIR/serve-recovered.out"
+./target/release/provctl client "$ADDR" stats lab | grep -q '"executions":2'
+./target/release/provctl client "$ADDR" query lab "count executions" tenant=ci \
+    | grep -q '"value":2'
+./target/release/provctl client "$ADDR" shutdown
+wait "$SERVE_PID"
+cargo test -q --test crash_recovery
+PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test property_wal
 
 echo "==> server stress: concurrent multi-tenant tests under PROVTEST_THREADS"
 PROVTEST_THREADS="${PROVTEST_THREADS:-8}" cargo test -q --test server
@@ -69,6 +107,14 @@ echo "==> E18: concurrent server load benchmark"
 cargo run --release -q -p bench --bin report server
 test -s BENCH_server.json
 grep -q '"consistent": true' BENCH_server.json
+
+echo "==> E19: durable ingest benchmark (WAL fsync policies)"
+cargo run --release -q -p bench --bin report durability
+test -s BENCH_durability.json
+grep -q '"consistent":true' BENCH_durability.json
+# Durability must not cost more than half the in-memory ingest throughput
+# under the default batch fsync policy.
+awk -F': ' '/batch_vs_memory_ratio/ { exit !($2 + 0 >= 0.5) }' BENCH_durability.json
 
 echo "==> E16: query observability overhead benchmark"
 cargo run --release -q -p bench --bin report query

@@ -79,8 +79,13 @@ fn usage() -> ExitCode {
          \x20 metrics  <wf.json> [threads=N]             run and print Prometheus metrics\n\
          \x20 serve    <addr> [workers=N] [max_inflight=N]\n\
          \x20          [rate_per_sec=F] [burst=N]          serve ingest + PQL over HTTP/JSON\n\
+         \x20          [data_dir=DIR] [fsync=always|batch[:N[:US]]|never]\n\
+         \x20          [checkpoint_every=N]                with data_dir, every acked ingest is\n\
+         \x20                                             WAL-durable and replayed on restart\n\
          \x20                                             (blocks; stop with 'client ... shutdown')\n\
-         \x20 client   <addr> <op> [args] [tenant=NAME]   talk to a running server; ops:\n\
+         \x20 recover  <data_dir>                        replay namespace WALs offline and report\n\
+         \x20 client   <addr> <op> [args] [tenant=NAME]\n\
+         \x20          [retries=N] [seed=N] [request_id=ID] talk to a running server; ops:\n\
          \x20          create <namespace>                  create a namespace\n\
          \x20          ingest <namespace> <prov.json...>   ship provenance documents\n\
          \x20          query  <namespace> <pql>            evaluate PQL remotely\n\
@@ -577,10 +582,48 @@ fn run() -> Result<(), String> {
                             .parse()
                             .map_err(|_| format!("burst needs an integer, got '{value}'"))?
                     }
+                    "data_dir" => {
+                        let dur = config
+                            .durability
+                            .take()
+                            .unwrap_or_else(|| prov_server::DurabilityConfig::new(value));
+                        config.durability = Some(prov_server::DurabilityConfig {
+                            data_dir: value.into(),
+                            ..dur
+                        });
+                    }
+                    "fsync" => {
+                        let policy = prov_store::wal::FsyncPolicy::parse(value)
+                            .map_err(|e| format!("bad fsync policy '{value}': {e}"))?;
+                        let dur = config.durability.ok_or_else(|| {
+                            "fsync= requires data_dir= (give data_dir first)".to_string()
+                        })?;
+                        config.durability = Some(dur.fsync(policy));
+                    }
+                    "checkpoint_every" => {
+                        let every: u64 = value.parse().map_err(|_| {
+                            format!("checkpoint_every needs an integer, got '{value}'")
+                        })?;
+                        let dur = config.durability.ok_or_else(|| {
+                            "checkpoint_every= requires data_dir= (give data_dir first)".to_string()
+                        })?;
+                        config.durability = Some(dur.checkpoint_every(every));
+                    }
                     other => return Err(format!("unknown serve option '{other}'")),
                 }
             }
+            let durable = config.durability.is_some();
             let server = std::sync::Arc::new(prov_server::ProvServer::new(config));
+            if durable {
+                // Replay WALs before accepting traffic; until this
+                // finishes the server answers 503 not_ready.
+                let reports = server
+                    .recover()
+                    .map_err(|e| format!("recovery failed: {e}"))?;
+                for r in &reports {
+                    out(&format!("recovered {}\n", r.render()));
+                }
+            }
             let http = prov_server::HttpServer::bind(server, addr, workers)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             out(&format!("prov-server listening on {}\n", http.addr()));
@@ -588,12 +631,46 @@ fn run() -> Result<(), String> {
             out("prov-server stopped\n");
             Ok(())
         }
+        ["recover", data_dir] => {
+            // Offline inspection: replay every namespace WAL under
+            // `data_dir` into fresh stores and report what survived,
+            // without serving anything.
+            let config = prov_server::ServerConfig {
+                durability: Some(prov_server::DurabilityConfig::new(*data_dir)),
+                ..prov_server::ServerConfig::default()
+            };
+            let server = std::sync::Arc::new(prov_server::ProvServer::new(config));
+            let reports = server
+                .recover()
+                .map_err(|e| format!("recovery failed: {e}"))?;
+            if reports.is_empty() {
+                out(&format!("no namespaces under {data_dir}\n"));
+                return Ok(());
+            }
+            for r in &reports {
+                out(&format!("{}\n", r.render()));
+            }
+            Ok(())
+        }
         ["client", addr, rest @ ..] => {
             let mut tenant = "cli";
+            let mut retries = 0u32;
+            let mut seed = 0u64;
+            let mut request_id: Option<&str> = None;
             let mut args: Vec<&str> = Vec::new();
             for a in rest {
                 if let Some(v) = a.strip_prefix("tenant=") {
                     tenant = v;
+                } else if let Some(v) = a.strip_prefix("retries=") {
+                    retries = v
+                        .parse()
+                        .map_err(|_| format!("retries needs an integer, got '{v}'"))?;
+                } else if let Some(v) = a.strip_prefix("seed=") {
+                    seed = v
+                        .parse()
+                        .map_err(|_| format!("seed needs an integer, got '{v}'"))?;
+                } else if let Some(v) = a.strip_prefix("request_id=") {
+                    request_id = Some(v);
                 } else {
                     args.push(a);
                 }
@@ -601,7 +678,17 @@ fn run() -> Result<(), String> {
             let addr: std::net::SocketAddr = addr
                 .parse()
                 .map_err(|_| format!("bad server address '{addr}' (expected host:port)"))?;
-            let client = prov_server::HttpClient::new(addr, tenant);
+            let mut client = prov_server::HttpClient::new(addr, tenant);
+            if retries > 0 {
+                // Bounded, seeded backoff; only idempotent requests are
+                // retried (ingest needs request_id= to qualify).
+                client = client.with_retry(
+                    prov_server::HttpRetry::attempts(1 + retries)
+                        .backoff(50_000, 2.0, 2_000_000)
+                        .jitter(0.25)
+                        .seeded(seed),
+                );
+            }
             let reply =
                 match args.as_slice() {
                     ["health"] => client.healthz(),
@@ -612,11 +699,18 @@ fn run() -> Result<(), String> {
                     ["query", namespace, pql] => client.query(namespace, pql),
                     ["ingest", namespace, files @ ..] if !files.is_empty() => {
                         let mut last = None;
-                        for p in files {
+                        for (i, p) in files.iter().enumerate() {
                             let retro = load_prov(p)?;
-                            let reply = client
-                                .ingest(namespace, &retro)
-                                .map_err(|e| format!("cannot reach server: {e}"))?;
+                            let reply = match request_id {
+                                // A request id makes the ingest
+                                // idempotent (and thus safely retried);
+                                // multiple files get distinct ids.
+                                Some(id) => {
+                                    client.ingest_with_id(namespace, &retro, &format!("{id}-{i}"))
+                                }
+                                None => client.ingest(namespace, &retro),
+                            }
+                            .map_err(|e| format!("cannot reach server: {e}"))?;
                             if reply.status != 200 {
                                 return Err(format!(
                                     "server rejected {p} (HTTP {}): {}",

@@ -418,7 +418,7 @@ fn serve_and_client_round_trip_over_http() {
 
     let o = provctl(&["client", &addr, "health"]);
     assert!(o.status.success(), "{}", stderr(&o));
-    assert_eq!(stdout(&o).trim(), "ok");
+    assert!(stdout(&o).contains("\"ready\":true"), "{}", stdout(&o));
 
     let o = provctl(&["client", &addr, "create", "lab", "tenant=alice"]);
     assert!(o.status.success(), "{}", stderr(&o));

@@ -636,3 +636,79 @@ fn concurrent_ingest_and_query_loses_no_writes_on_any_backend() {
         );
     }
 }
+
+#[test]
+fn wal_recovered_store_agrees_with_the_precrash_reference() {
+    // Durability differential: ingest the corpus into a WAL-backed server
+    // and into a plain in-memory engine, "crash" the server (drop it cold),
+    // recover a fresh one from the WAL directory, and run the seeded query
+    // suite against both. Replay must reconstruct a store that is
+    // *query-indistinguishable* from the one that never crashed.
+    use prov_server::{DurabilityConfig, ProvServer, ServerConfig};
+    use std::sync::Arc;
+
+    let data_dir = std::env::temp_dir().join(format!(
+        "prov-diff-wal-{}-{}",
+        std::process::id(),
+        wf_engine::event::now_millis()
+    ));
+    let durable = || ServerConfig {
+        durability: Some(DurabilityConfig::new(&data_dir).checkpoint_every(3)),
+        ..ServerConfig::default()
+    };
+
+    let exec = Executor::new(standard_registry());
+    let mut reference = PqlEngine::new();
+    let mut pools = Pools {
+        digests: Vec::new(),
+        execs: Vec::new(),
+        nodes: Vec::new(),
+        modules: Vec::new(),
+    };
+    {
+        let server = Arc::new(ProvServer::new(durable()));
+        server.recover().expect("fresh recovery");
+        let session = server.session("differential");
+        for i in 0..4u64 {
+            let wf = challenge_workflow(i + 1, 3, 3);
+            let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+            let r = exec.run_observed(&wf, &mut cap).expect("workflow runs");
+            let retro = cap.take(r.exec).expect("captured");
+            reference.ingest(&retro);
+            session.ingest("lab", &retro).expect("durable ingest");
+            pools.execs.push(retro.exec.0);
+            for run in &retro.runs {
+                pools.nodes.push(run.node.0);
+                pools.modules.push(run.identity.clone());
+                for (_, h) in &run.outputs {
+                    pools.digests.push(*h);
+                }
+            }
+        }
+    } // crash: no shutdown, no flush beyond the WAL's own appends
+
+    let server = Arc::new(ProvServer::new(durable()));
+    let reports = server.recover().expect("recovery succeeds");
+    assert_eq!(reports.len(), 1, "one namespace on disk");
+    let session = server.session("differential");
+
+    pools.digests.sort_unstable();
+    pools.digests.dedup();
+    pools.modules.sort();
+    pools.modules.dedup();
+    let mut rng = Lcg::new(0x3A1D);
+    let cases = case_count();
+    for case in 0..cases {
+        let q = gen_query(&mut rng, &pools);
+        let want = eval_optimized(&reference, &q);
+        let got = session.query("lab", &q.to_string());
+        match (&want, &got) {
+            (Ok(w), Ok(g)) => {
+                assert_eq!(*w, g.result, "case {case}: {q} diverged after WAL recovery")
+            }
+            (Err(_), Err(_)) => {}
+            _ => panic!("case {case}: {q}: reference {want:?} vs recovered {got:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&data_dir).ok();
+}
