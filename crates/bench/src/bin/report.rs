@@ -160,6 +160,7 @@ fn report_server(requests_per_client: usize) {
         requests_per_client,
         namespaces: vec!["physics".into(), "biology".into()],
         ingest_percent: 25,
+        traced: false,
     };
     let report = run_load(&server, &config);
     println!(
@@ -225,6 +226,7 @@ fn report_durability(requests_per_client: usize) {
         requests_per_client,
         namespaces: vec!["physics".into(), "biology".into()],
         ingest_percent: 100,
+        traced: false,
     };
     let scratch = std::env::temp_dir().join(format!("prov-bench-wal-{}", std::process::id()));
 
@@ -302,9 +304,113 @@ fn report_durability(requests_per_client: usize) {
     }
 }
 
+/// E20 measures what the observability plane costs: interleaved rounds of
+/// the closed-loop load with the plane ON (traced clients + per-tenant
+/// metric families) and OFF (untraced, global counters only), on fresh
+/// servers each round so neither mode inherits warm state. The headline
+/// number is `overhead_ratio` — observed throughput as a fraction of
+/// baseline — which CI gates at >= 0.95 (<= 5% overhead). Lands in
+/// `BENCH_observability.json`.
+fn report_observability(requests_per_client: usize) {
+    use prov_server::{run_load, LoadConfig, ProvServer, ServerConfig};
+    use std::sync::Arc;
+
+    println!("## E20 — observability plane: tracing + per-tenant metrics overhead\n");
+    let clients = std::env::var("PROVBENCH_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8)
+        .max(2);
+    const ROUNDS: usize = 3;
+    let mut rows = Vec::new();
+    let mut baseline_rps = Vec::new();
+    let mut observed_rps = Vec::new();
+    let mut traces_recorded = 0usize;
+    for round in 0..ROUNDS {
+        // Interleave the modes inside each round so machine drift (turbo,
+        // thermal, noisy neighbours) hits both sides evenly.
+        for observed in [false, true] {
+            let server = Arc::new(ProvServer::new(ServerConfig {
+                per_tenant_metrics: observed,
+                ..ServerConfig::default()
+            }));
+            let config = LoadConfig {
+                clients,
+                requests_per_client,
+                namespaces: vec!["physics".into(), "biology".into()],
+                ingest_percent: 25,
+                traced: observed,
+            };
+            let report = run_load(&server, &config);
+            if !report.consistent {
+                eprintln!(
+                    "[observability round {round}] CONSISTENCY VIOLATIONS: {:?}",
+                    report.violations
+                );
+            }
+            if observed {
+                observed_rps.push(report.throughput_rps);
+                traces_recorded = traces_recorded.max(server.trace_count());
+            } else {
+                baseline_rps.push(report.throughput_rps);
+            }
+            rows.push(vec![
+                round.to_string(),
+                if observed { "on" } else { "off" }.to_string(),
+                format!("{:.0}", report.throughput_rps),
+                report.p50_micros.to_string(),
+                report.p99_micros.to_string(),
+                report.consistent.to_string(),
+            ]);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let base = mean(&baseline_rps);
+    let obs = mean(&observed_rps);
+    let overhead_ratio = obs / base.max(1e-9);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "round",
+                "observability",
+                "rps",
+                "p50 (us)",
+                "p99 (us)",
+                "consistent"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nobservability plane sustains {:.1}% of baseline throughput \
+         ({traces_recorded} traces recorded)\n",
+        overhead_ratio * 100.0
+    );
+    let fmt_list = |v: &[f64]| {
+        v.iter()
+            .map(|r| format!("{r:.1}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"prov-server-observability\",\n  \"clients\": {clients},\n  \"requests_per_client\": {requests_per_client},\n  \"rounds\": {ROUNDS},\n  \"baseline_rps\": [{}],\n  \"observed_rps\": [{}],\n  \"baseline_mean_rps\": {base:.1},\n  \"observed_mean_rps\": {obs:.1},\n  \"traces_recorded\": {traces_recorded},\n  \"overhead_ratio\": {overhead_ratio:.4}\n}}\n",
+        fmt_list(&baseline_rps),
+        fmt_list(&observed_rps),
+    );
+    match std::fs::write("BENCH_observability.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_observability.json"),
+        Err(e) => eprintln!("could not write BENCH_observability.json: {e}"),
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("server") {
         report_server(250);
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("observability") {
+        report_observability(250);
         return;
     }
     if std::env::args().nth(1).as_deref() == Some("durability") {
@@ -741,4 +847,7 @@ fn main() {
 
     // ---- E19 ---------------------------------------------------------
     report_durability(250);
+
+    // ---- E20 ---------------------------------------------------------
+    report_observability(250);
 }

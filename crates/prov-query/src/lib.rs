@@ -50,7 +50,7 @@ pub mod render;
 pub use ast::{Comparison, Condition, Direction, Entity, Field, Op, Query, Target};
 pub use error::PqlError;
 pub use eval::{PqlEngine, QueryResult, ResultNode};
-pub use obs::{QueryObserver, SlowQueryEntry, SlowQueryLog};
+pub use obs::{QueryObserver, SlowQueryEntry, SlowQueryLog, DEFAULT_JSONL_CAP};
 pub use optimize::{
     analyze_optimized, eval_cached, eval_optimized, optimize, Optimization, QueryCache,
 };

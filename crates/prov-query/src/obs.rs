@@ -195,7 +195,39 @@ impl SlowQueryLog {
         }
         out
     }
+
+    /// [`SlowQueryLog::to_jsonl`] bounded to at most `max_bytes` of
+    /// output: whole lines only, and when the full dump would exceed the
+    /// cap the *newest* entries win (the old ones already scrolled out of
+    /// operational interest). `max_bytes` of 0 disables the cap.
+    pub fn to_jsonl_capped(&self, max_bytes: usize) -> String {
+        let full = self.to_jsonl();
+        if max_bytes == 0 || full.len() <= max_bytes {
+            return full;
+        }
+        let mut kept: Vec<&str> = Vec::new();
+        let mut size = 0usize;
+        for line in full.lines().rev() {
+            let cost = line.len() + 1;
+            if size + cost > max_bytes {
+                break;
+            }
+            size += cost;
+            kept.push(line);
+        }
+        kept.reverse();
+        let mut out = String::with_capacity(size);
+        for line in kept {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
 }
+
+/// Default byte cap for slow-log JSONL dumps (1 MiB) — see
+/// [`SlowQueryLog::to_jsonl_capped`].
+pub const DEFAULT_JSONL_CAP: usize = 1 << 20;
 
 /// Latency-histogram bucket bounds in microseconds (1us .. 1s).
 const LATENCY_BOUNDS: &[u64] = &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
@@ -261,12 +293,30 @@ impl QueryObserver {
         rows: usize,
         accesses: StatsSnapshot,
     ) {
-        let end = now_micros();
         let id = SpanId(self.next_span);
         self.next_span += 1;
-        self.spans.push(Span {
+        self.record_with_ids(query, backend, duration_micros, rows, accesses, id, None);
+    }
+
+    /// [`QueryObserver::record`] with caller-supplied span identity and
+    /// parentage, so a query span can join a larger trace (e.g. as a
+    /// child of a server request span whose ids live in a different
+    /// allocator). Returns a clone of the recorded span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_ids(
+        &mut self,
+        query: &str,
+        backend: &str,
+        duration_micros: u64,
+        rows: usize,
+        accesses: StatsSnapshot,
+        id: SpanId,
+        parent: Option<SpanId>,
+    ) -> Span {
+        let end = now_micros();
+        let span = Span {
             id,
-            parent: None,
+            parent,
             kind: SpanKind::Query,
             name: query.to_string(),
             exec: ExecId(0),
@@ -278,7 +328,8 @@ impl QueryObserver {
                 ("rows".into(), rows.to_string()),
                 ("accesses".into(), accesses.render()),
             ],
-        });
+        };
+        self.spans.push(span.clone());
 
         let labels = [("backend", backend)];
         self.registry
@@ -310,6 +361,7 @@ impl QueryObserver {
                 .counter_with("pql_slow_queries_total", "slow-log admissions", &labels)
                 .inc();
         }
+        span
     }
 
     /// Evaluate a query against the PQL engine with full observation
@@ -428,6 +480,50 @@ mod tests {
         let acc = doc.get("accesses").unwrap();
         assert_eq!(acc.get("nodes").unwrap().as_u64(), Some(3));
         assert_eq!(acc.get("scans").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn capped_jsonl_keeps_whole_newest_lines() {
+        let mut log = SlowQueryLog::new(0, 32);
+        for i in 0..10 {
+            log.observe(&format!("count runs /* {i} */"), "engine", i, 0, {
+                StatsSnapshot::default()
+            });
+        }
+        let full = log.to_jsonl();
+        assert_eq!(log.to_jsonl_capped(0), full, "0 disables the cap");
+        assert_eq!(log.to_jsonl_capped(full.len()), full, "exact fit kept");
+        let one_line = full.lines().next().unwrap().len() + 1;
+        let capped = log.to_jsonl_capped(one_line * 3);
+        assert!(capped.len() <= one_line * 3);
+        let lines: Vec<&str> = capped.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            prov_telemetry::parse_json(line).expect("whole lines only");
+        }
+        // Newest entries win.
+        assert!(lines.last().unwrap().contains("/* 9 */"));
+        let tiny = log.to_jsonl_capped(3);
+        assert!(tiny.is_empty(), "cap smaller than any line keeps nothing");
+    }
+
+    #[test]
+    fn record_with_ids_sets_identity_and_parent() {
+        let mut obs = QueryObserver::new().with_slowlog(u64::MAX, 4);
+        let span = obs.record_with_ids(
+            "count runs",
+            "engine",
+            5,
+            1,
+            StatsSnapshot::default(),
+            SpanId(77),
+            Some(SpanId(70)),
+        );
+        assert_eq!(span.id, SpanId(77));
+        assert_eq!(span.parent, Some(SpanId(70)));
+        let trace = obs.take_trace();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0], span);
     }
 
     #[test]

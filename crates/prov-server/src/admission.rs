@@ -168,6 +168,23 @@ impl RateLimiter {
     pub fn throttled(&self) -> u64 {
         self.throttled.load(Ordering::Relaxed)
     }
+
+    /// Current token level for `(tenant, namespace)` without spending one.
+    /// Accounts for refill since the last spend but does not advance the
+    /// bucket clock. `None` when metering is off or the pair has never
+    /// been seen (it would start at full burst).
+    pub fn level(&self, tenant: &str, namespace: &str) -> Option<f64> {
+        if self.per_second <= 0.0 {
+            return None;
+        }
+        let key = (tenant.to_string(), namespace.to_string());
+        let map = self.buckets.read().unwrap_or_else(|e| e.into_inner());
+        map.get(&key).map(|bucket| {
+            let b = bucket.lock().unwrap_or_else(|e| e.into_inner());
+            let elapsed = b.last.elapsed().as_secs_f64();
+            (b.tokens + elapsed * self.per_second).min(self.burst)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +244,23 @@ mod tests {
             "per-namespace isolation: alice has a fresh bucket elsewhere"
         );
         assert_eq!(limiter.throttled(), 1);
+    }
+
+    #[test]
+    fn level_reads_without_spending() {
+        let limiter = RateLimiter::new(4, 0.000001);
+        assert_eq!(limiter.level("alice", "ns"), None, "never seen");
+        assert!(limiter.try_take("alice", "ns"));
+        let first = limiter.level("alice", "ns").expect("bucket exists");
+        assert!(first <= 3.1, "one token spent, got {first}");
+        let second = limiter.level("alice", "ns").expect("bucket exists");
+        assert!(
+            (first - second).abs() < 0.5,
+            "reading the level does not spend tokens"
+        );
+        let off = RateLimiter::new(4, 0.0);
+        assert!(off.try_take("alice", "ns"));
+        assert_eq!(off.level("alice", "ns"), None, "metering disabled");
     }
 
     #[test]

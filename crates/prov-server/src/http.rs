@@ -8,23 +8,36 @@
 //!
 //! Routes (all bodies JSON, see `crate::wire` for the codec):
 //!
-//! | method | path           | body                                        |
-//! |--------|----------------|---------------------------------------------|
-//! | GET    | `/healthz`     | —                                           |
-//! | GET    | `/metrics`     | — (Prometheus text)                         |
-//! | POST   | `/v1/create`   | `{tenant, namespace}`                       |
-//! | POST   | `/v1/ingest`   | `{tenant, namespace, retro}`                |
-//! | POST   | `/v1/query`    | `{tenant, namespace, pql}`                  |
-//! | POST   | `/v1/stats`    | `{tenant, namespace}`                       |
-//! | POST   | `/v1/shutdown` | `{}` (drains, then stops the listener)      |
+//! | method | path               | body                                    |
+//! |--------|--------------------|-----------------------------------------|
+//! | GET    | `/healthz`         | — (readiness + per-namespace detail)    |
+//! | GET    | `/metrics`         | — (Prometheus text)                     |
+//! | GET    | `/v1/metrics`      | — (alias of `/metrics`)                 |
+//! | GET    | `/v1/trace/{id}`   | — (assembled span tree for a trace id)  |
+//! | GET    | `/v1/slowlog/{ns}` | — (slow-query log as JSONL)             |
+//! | POST   | `/v1/create`       | `{tenant, namespace}`                   |
+//! | POST   | `/v1/ingest`       | `{tenant, namespace, retro}`            |
+//! | POST   | `/v1/query`        | `{tenant, namespace, pql}`              |
+//! | POST   | `/v1/stats`        | `{tenant, namespace}`                   |
+//! | POST   | `/v1/shutdown`     | `{}` (drains, then stops the listener)  |
 //!
 //! Errors come back as `{"error": kind, "message": ...}` with the status
 //! code from [`ServerError::status_code`].
+//!
+//! `/v1/*` API requests honour a W3C-style `traceparent` header (with a
+//! companion `tracestate: prov=attempt:N` for retry linking): the server
+//! records its request/query/operator spans under the caller's trace id,
+//! retrievable afterwards via `GET /v1/trace/{trace_id}`. A malformed
+//! `traceparent` never fails the request — the server mints a fresh root
+//! instead, exactly as the W3C spec prescribes (restart the trace).
 
 use crate::error::ServerError;
-use crate::server::{ProvServer, Request, RequestBody, ResponseBody};
+use crate::server::{ProvServer, Request, RequestBody, ResponseBody, TraceMeta};
 use crate::wire;
-use prov_telemetry::parse_json;
+use prov_telemetry::{
+    parse_json, parse_tracestate_attempt, render_tracestate_attempt, JsonValue, Span, SpanId,
+    TraceContext,
+};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -194,6 +207,10 @@ struct HttpRequest {
     method: String,
     path: String,
     body: String,
+    /// Raw `traceparent` header value, if the client sent one.
+    traceparent: Option<String>,
+    /// Raw `tracestate` header value, if the client sent one.
+    tracestate: Option<String>,
 }
 
 fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> {
@@ -206,6 +223,8 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
     let mut content_length = 0usize;
+    let mut traceparent = None;
+    let mut tracestate = None;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -218,6 +237,10 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("traceparent") {
+                traceparent = Some(value.trim().to_string());
+            } else if name.eq_ignore_ascii_case("tracestate") {
+                tracestate = Some(value.trim().to_string());
             }
         }
     }
@@ -226,6 +249,8 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
             method,
             path,
             body: String::new(),
+            traceparent,
+            tracestate,
         }));
     }
     let mut body = vec![0u8; content_length];
@@ -234,6 +259,8 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<HttpRequest>> 
         method,
         path,
         body: String::from_utf8_lossy(&body).into_owned(),
+        traceparent,
+        tracestate,
     }))
 }
 
@@ -270,7 +297,178 @@ fn handle_connection(server: &ProvServer, stream: &mut TcpStream) -> std::io::Re
     write_response(stream, status, content_type, &body)
 }
 
+/// Build the request's trace metadata from its propagation headers.
+///
+/// No header → untraced (`None`). A malformed or wrong-version header must
+/// never fail the request: per the W3C spec the receiver *restarts* the
+/// trace, so the server mints a fresh sampled root instead.
+fn trace_meta(req: &HttpRequest) -> Option<TraceMeta> {
+    let header = req.traceparent.as_deref()?;
+    let context = TraceContext::parse(header).unwrap_or_else(|_| {
+        TraceContext::root(
+            wf_engine::event::now_micros(),
+            u64::from(std::process::id()),
+        )
+    });
+    let attempt = req
+        .tracestate
+        .as_deref()
+        .and_then(parse_tracestate_attempt)
+        .unwrap_or(1);
+    Some(TraceMeta { context, attempt })
+}
+
+/// Render one namespace's health detail for `/healthz`.
+fn namespace_health(server: &ProvServer, name: &str) -> Option<JsonValue> {
+    let ns = server.namespace(name)?;
+    let mut fields = vec![
+        ("name".to_string(), JsonValue::String(name.to_string())),
+        ("durable".to_string(), JsonValue::Bool(ns.is_durable())),
+        ("read_only".to_string(), JsonValue::Bool(ns.is_read_only())),
+        (
+            "ingests".to_string(),
+            JsonValue::Number(ns.ingest_count() as f64),
+        ),
+        (
+            "queries".to_string(),
+            JsonValue::Number(ns.query_count() as f64),
+        ),
+    ];
+    if let Some(records) = ns.wal_records() {
+        fields.push(("wal_records".to_string(), JsonValue::Number(records as f64)));
+    }
+    Some(JsonValue::Object(fields.into_iter().collect()))
+}
+
+/// `GET /v1/trace/{id}` — the assembled span tree for one trace.
+fn trace_route(server: &ProvServer, id_hex: &str) -> (u16, &'static str, String) {
+    let Ok(trace_id) = TraceContext::parse_trace_id(id_hex) else {
+        let err = ServerError::BadRequest(format!("malformed trace id '{id_hex}'"));
+        return (
+            err.status_code(),
+            "application/json",
+            wire::render_json(&wire::error_to_json(&err)),
+        );
+    };
+    let Some(stored) = server.stored_trace(trace_id) else {
+        let body = wire::render_json(&JsonValue::Object(
+            [
+                (
+                    "error".to_string(),
+                    JsonValue::String("no_such_trace".to_string()),
+                ),
+                (
+                    "message".to_string(),
+                    JsonValue::String(format!("no recorded trace {id_hex}")),
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        ));
+        return (404, "application/json", body);
+    };
+    let body = wire::render_json(&JsonValue::Object(
+        [
+            (
+                "trace_id".to_string(),
+                JsonValue::String(format!("{trace_id:032x}")),
+            ),
+            (
+                "spans".to_string(),
+                JsonValue::Number(stored.spans.len() as f64),
+            ),
+            (
+                "dropped".to_string(),
+                JsonValue::Number(stored.dropped as f64),
+            ),
+            ("roots".to_string(), span_tree_json(&stored.spans)),
+        ]
+        .into_iter()
+        .collect(),
+    ));
+    (200, "application/json", body)
+}
+
+/// Nest a flat span list into root-first JSON trees. Spans arrive sorted
+/// by `(start_micros, id)`; a span whose parent was never recorded (e.g.
+/// the client's remote root) becomes a root itself.
+fn span_tree_json(spans: &[Span]) -> JsonValue {
+    fn node(span: &Span, by_parent: &std::collections::HashMap<SpanId, Vec<&Span>>) -> JsonValue {
+        let children = by_parent
+            .get(&span.id)
+            .map(|kids| kids.iter().map(|k| node(k, by_parent)).collect())
+            .unwrap_or_default();
+        JsonValue::Object(
+            [
+                (
+                    "span_id".to_string(),
+                    JsonValue::String(format!("{:016x}", span.id.0)),
+                ),
+                (
+                    "kind".to_string(),
+                    JsonValue::String(span.kind.label().to_string()),
+                ),
+                ("name".to_string(), JsonValue::String(span.name.clone())),
+                (
+                    "start_micros".to_string(),
+                    JsonValue::Number(span.start_micros as f64),
+                ),
+                (
+                    "duration_micros".to_string(),
+                    JsonValue::Number(span.duration_micros() as f64),
+                ),
+                (
+                    "attrs".to_string(),
+                    JsonValue::Object(
+                        span.attrs
+                            .iter()
+                            .map(|(k, v)| (k.clone(), JsonValue::String(v.clone())))
+                            .collect(),
+                    ),
+                ),
+                ("children".to_string(), JsonValue::Array(children)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+    let recorded: std::collections::HashSet<SpanId> = spans.iter().map(|s| s.id).collect();
+    let mut by_parent: std::collections::HashMap<SpanId, Vec<&Span>> =
+        std::collections::HashMap::new();
+    let mut roots = Vec::new();
+    for span in spans {
+        match span.parent.filter(|p| recorded.contains(p)) {
+            Some(parent) => by_parent.entry(parent).or_default().push(span),
+            None => roots.push(span),
+        }
+    }
+    JsonValue::Array(roots.iter().map(|s| node(s, &by_parent)).collect())
+}
+
+/// `GET /v1/slowlog/{ns}` — the namespace's slow-query log as JSONL.
+fn slowlog_route(server: &ProvServer, namespace: &str) -> (u16, &'static str, String) {
+    match server.slowlog_jsonl(namespace, prov_query::DEFAULT_JSONL_CAP) {
+        Some(jsonl) => (200, "application/x-ndjson", jsonl),
+        None => {
+            let err = ServerError::NoSuchNamespace(namespace.to_string());
+            (
+                err.status_code(),
+                "application/json",
+                wire::render_json(&wire::error_to_json(&err)),
+            )
+        }
+    }
+}
+
 fn route(server: &ProvServer, req: &HttpRequest) -> (u16, &'static str, String) {
+    if req.method == "GET" {
+        if let Some(id_hex) = req.path.strip_prefix("/v1/trace/") {
+            return trace_route(server, id_hex);
+        }
+        if let Some(ns) = req.path.strip_prefix("/v1/slowlog/") {
+            return slowlog_route(server, ns);
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             // Liveness + readiness in one JSON body: `alive` is true
@@ -279,6 +477,11 @@ fn route(server: &ProvServer, req: &HttpRequest) -> (u16, &'static str, String) 
             let draining = server.is_shutting_down();
             let degraded = server.degraded_namespaces();
             let ready = server.is_ready() && !draining && degraded.is_empty();
+            let namespaces = server
+                .namespace_names()
+                .iter()
+                .filter_map(|name| namespace_health(server, name))
+                .collect();
             let body = wire::render_json(&prov_telemetry::JsonValue::Object(
                 [
                     ("alive".to_string(), prov_telemetry::JsonValue::Bool(true)),
@@ -296,13 +499,17 @@ fn route(server: &ProvServer, req: &HttpRequest) -> (u16, &'static str, String) 
                                 .collect(),
                         ),
                     ),
+                    (
+                        "namespaces".to_string(),
+                        prov_telemetry::JsonValue::Array(namespaces),
+                    ),
                 ]
                 .into_iter()
                 .collect(),
             ));
             (if ready { 200 } else { 503 }, "application/json", body)
         }
-        ("GET", "/metrics") => (
+        ("GET", "/metrics" | "/v1/metrics") => (
             200,
             "text/plain; version=0.0.4",
             server.registry().render_prometheus(),
@@ -313,7 +520,7 @@ fn route(server: &ProvServer, req: &HttpRequest) -> (u16, &'static str, String) 
         }
         ("POST", "/v1/create" | "/v1/ingest" | "/v1/query" | "/v1/stats") => {
             match api_request(&req.path, &req.body) {
-                Ok(request) => match server.handle(&request) {
+                Ok(request) => match server.handle_traced(&request, trace_meta(req)) {
                     Ok(response) => (200, "application/json", render_response(&response)),
                     Err(err) => (
                         err.status_code(),
@@ -424,6 +631,15 @@ pub struct HttpClient {
     addr: SocketAddr,
     tenant: String,
     retry: Option<crate::retry::HttpRetry>,
+    tracer: Option<Arc<ClientTracer>>,
+}
+
+/// Deterministic trace-id mint shared by every clone of a traced client:
+/// one root context per *logical* request, sibling span ids per attempt.
+#[derive(Debug)]
+struct ClientTracer {
+    seed: u64,
+    counter: std::sync::atomic::AtomicU64,
 }
 
 /// A decoded HTTP response: status code + body text.
@@ -433,6 +649,9 @@ pub struct HttpReply {
     pub status: u16,
     /// Raw response body.
     pub body: String,
+    /// The trace id (32 hex chars) this request was issued under, when the
+    /// client has tracing enabled — feed it to `GET /v1/trace/{id}`.
+    pub trace_id: Option<String>,
 }
 
 impl HttpClient {
@@ -442,6 +661,7 @@ impl HttpClient {
             addr,
             tenant: tenant.to_string(),
             retry: None,
+            tracer: None,
         }
     }
 
@@ -451,9 +671,45 @@ impl HttpClient {
         self
     }
 
+    /// Propagate a W3C-style `traceparent` on every request, minting
+    /// deterministic trace ids from `seed` (0 picks a time-derived seed).
+    /// Retried attempts share the logical request's trace id and carry
+    /// `tracestate: prov=attempt:N`, so the server links them as siblings.
+    pub fn with_tracing(mut self, seed: u64) -> Self {
+        let seed = if seed == 0 {
+            wf_engine::event::now_micros() | 1
+        } else {
+            seed
+        };
+        self.tracer = Some(Arc::new(ClientTracer {
+            seed,
+            counter: std::sync::atomic::AtomicU64::new(0),
+        }));
+        self
+    }
+
     /// The tenant this client sends as.
     pub fn tenant(&self) -> &str {
         &self.tenant
+    }
+
+    /// Mint the root context for one logical request, if tracing is on.
+    fn mint_context(&self) -> Option<TraceContext> {
+        self.tracer.as_ref().map(|t| {
+            let sequence = t.counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            TraceContext::root(t.seed, sequence)
+        })
+    }
+
+    /// The propagation headers for one attempt of a traced request.
+    fn trace_headers(context: Option<&TraceContext>, attempt: u32) -> Vec<(String, String)> {
+        match context {
+            Some(ctx) => vec![
+                ("traceparent".to_string(), ctx.for_attempt(attempt).render()),
+                ("tracestate".to_string(), render_tracestate_attempt(attempt)),
+            ],
+            None => Vec::new(),
+        }
     }
 
     /// Issue `method path`, retrying per policy when `idempotent` — on
@@ -466,18 +722,28 @@ impl HttpClient {
         body: &str,
         idempotent: bool,
     ) -> std::io::Result<HttpReply> {
-        let Some(retry) = self.retry.as_ref().filter(|_| idempotent) else {
-            return self.request_once(method, path, body);
+        let context = self.mint_context();
+        let trace_id = context.as_ref().map(TraceContext::trace_id_hex);
+        let stamp = |outcome: std::io::Result<HttpReply>| {
+            outcome.map(|mut reply| {
+                reply.trace_id = trace_id.clone();
+                reply
+            })
         };
+        let retry = self.retry.as_ref().filter(|_| idempotent);
         let mut attempt = 1u32;
         loop {
-            let outcome = self.request_once(method, path, body);
+            let headers = Self::trace_headers(context.as_ref(), attempt);
+            let outcome = self.request_once(method, path, body, &headers);
             let retryable = match &outcome {
                 Ok(reply) => crate::retry::HttpRetry::should_retry_status(reply.status),
                 Err(_) => true,
             };
+            let Some(retry) = retry else {
+                return stamp(outcome);
+            };
             if !retryable || attempt >= retry.max_attempts {
-                return outcome;
+                return stamp(outcome);
             }
             let backoff = retry.backoff_micros(attempt);
             if backoff > 0 {
@@ -487,18 +753,31 @@ impl HttpClient {
         }
     }
 
-    /// Raw single-shot request against any path (no retries).
+    /// Raw single-shot request against any path (no retries, no trace).
     pub fn request(&self, method: &str, path: &str, body: &str) -> std::io::Result<HttpReply> {
-        self.request_once(method, path, body)
+        self.request_once(method, path, body, &[])
     }
 
-    fn request_once(&self, method: &str, path: &str, body: &str) -> std::io::Result<HttpReply> {
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+        extra_headers: &[(String, String)],
+    ) -> std::io::Result<HttpReply> {
         let mut stream = TcpStream::connect(self.addr)?;
         stream.set_read_timeout(Some(IO_TIMEOUT))?;
         stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let mut extras = String::new();
+        for (name, value) in extra_headers {
+            extras.push_str(name);
+            extras.push_str(": ");
+            extras.push_str(value);
+            extras.push_str("\r\n");
+        }
         write!(
             stream,
-            "{method} {path} HTTP/1.1\r\nHost: prov-server\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: prov-server\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extras}Connection: close\r\n\r\n{body}",
             body.len()
         )?;
         stream.flush()?;
@@ -530,6 +809,7 @@ impl HttpClient {
         Ok(HttpReply {
             status,
             body: String::from_utf8_lossy(&body).into_owned(),
+            trace_id: None,
         })
     }
 
@@ -565,6 +845,16 @@ impl HttpClient {
     /// `GET /metrics`.
     pub fn metrics(&self) -> std::io::Result<HttpReply> {
         self.send("GET", "/metrics", "", true)
+    }
+
+    /// `GET /v1/trace/{trace_id}` — the recorded span tree for a trace.
+    pub fn trace(&self, trace_id: &str) -> std::io::Result<HttpReply> {
+        self.request("GET", &format!("/v1/trace/{trace_id}"), "")
+    }
+
+    /// `GET /v1/slowlog/{namespace}` — the slow-query log as JSONL.
+    pub fn slowlog(&self, namespace: &str) -> std::io::Result<HttpReply> {
+        self.request("GET", &format!("/v1/slowlog/{namespace}"), "")
     }
 
     /// `POST /v1/create` (idempotent, retried under policy).

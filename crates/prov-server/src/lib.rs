@@ -26,7 +26,13 @@
 //!   namespace to read-only after persistent WAL failures;
 //! * the [`retry`] policy gives clients bounded, seeded
 //!   exponential-backoff retries that never retry a non-idempotent ingest
-//!   without a request id.
+//!   without a request id;
+//! * the observability plane ([`trace`] plus per-tenant metric families)
+//!   makes every request traceable end to end: clients propagate a
+//!   W3C-style `traceparent`, the server records request/query/operator
+//!   spans under the caller's trace id, and `/v1/trace/{id}`,
+//!   `/v1/metrics`, and `/v1/slowlog/{ns}` expose traces, Prometheus
+//!   series, and the slow-query log over the wire.
 
 #![warn(missing_docs)]
 
@@ -37,6 +43,7 @@ pub mod http;
 pub mod loadgen;
 pub mod retry;
 pub mod server;
+pub mod trace;
 pub mod wire;
 
 pub use admission::{Admission, RateLimiter};
@@ -47,5 +54,6 @@ pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use retry::HttpRetry;
 pub use server::{
     IngestAck, Namespace, NamespaceStats, ProvServer, QueryReply, Request, RequestBody,
-    ResponseBody, ServerConfig, ServerStats, Session,
+    ResponseBody, ServerConfig, ServerStats, Session, TraceMeta,
 };
+pub use trace::{StoredTrace, TraceStore};

@@ -37,6 +37,10 @@ pub struct LoadConfig {
     pub namespaces: Vec<String>,
     /// Out of 100: how many requests are ingests (the rest are queries).
     pub ingest_percent: u32,
+    /// Trace every request: each client session mints deterministic
+    /// per-request trace contexts, so the run exercises the span-recording
+    /// path (the observability-overhead benchmark flips this).
+    pub traced: bool,
 }
 
 impl Default for LoadConfig {
@@ -46,6 +50,7 @@ impl Default for LoadConfig {
             requests_per_client: 100,
             namespaces: vec!["physics".into(), "biology".into()],
             ingest_percent: 25,
+            traced: false,
         }
     }
 }
@@ -215,7 +220,12 @@ pub fn run_load(server: &Arc<ProvServer>, config: &LoadConfig) -> LoadReport {
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients)
             .map(|c| {
-                let session = server.session(&format!("client-{c}"));
+                let mut session = server.session(&format!("client-{c}"));
+                if config.traced {
+                    // Deterministic per-client seeds keep traced runs
+                    // replayable; the +1 avoids the degenerate zero seed.
+                    session = session.traced(0xC0FF_EE00_0000_0000 | (c as u64 + 1));
+                }
                 let docs = Arc::clone(&docs);
                 let next_exec = Arc::clone(&next_exec);
                 let expected = Arc::clone(&expected_execs);
@@ -375,6 +385,7 @@ mod tests {
             requests_per_client: 20,
             namespaces: vec!["a".into(), "b".into()],
             ingest_percent: 30,
+            traced: false,
         };
         let report = run_load(&server, &config);
         assert!(report.consistent, "violations: {:?}", report.violations);
@@ -394,6 +405,7 @@ mod tests {
             requests_per_client: 10,
             namespaces: vec!["solo".into()],
             ingest_percent: 50,
+            traced: false,
         };
         let report = run_load(&server, &config);
         let text = report.render_json();
@@ -405,6 +417,24 @@ mod tests {
         );
         assert!(v.get("latency_micros").is_some());
         assert_eq!(v.get("consistent").and_then(|c| c.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn traced_load_run_records_traces_and_stays_consistent() {
+        let server = Arc::new(ProvServer::new(ServerConfig::default()));
+        let config = LoadConfig {
+            clients: 2,
+            requests_per_client: 10,
+            namespaces: vec!["traced".into()],
+            ingest_percent: 50,
+            traced: true,
+        };
+        let report = run_load(&server, &config);
+        assert!(report.consistent, "violations: {:?}", report.violations);
+        assert!(
+            server.trace_count() > 0,
+            "traced load must record request spans"
+        );
     }
 
     #[test]
@@ -420,6 +450,7 @@ mod tests {
             requests_per_client: 25,
             namespaces: vec!["tight".into()],
             ingest_percent: 40,
+            traced: false,
         };
         let report = run_load(&server, &config);
         assert!(report.consistent, "violations: {:?}", report.violations);

@@ -22,14 +22,19 @@
 use crate::admission::{Admission, RateLimiter};
 use crate::durability::{self, DurabilityConfig, RecoveryReport, READ_ONLY_AFTER};
 use crate::error::ServerError;
+use crate::trace::{StoredTrace, TraceStore, DEFAULT_TRACE_CAPACITY};
 use prov_core::model::RetrospectiveProvenance;
 use prov_query::{analyze_optimized, parse, PqlEngine, QueryCache, QueryObserver, QueryResult};
 use prov_store::wal::NamespaceWal;
 use prov_store::{GraphStore, ProvenanceStore, SharedStore};
-use prov_telemetry::{MetricsRegistry, Trace};
+use prov_telemetry::{
+    Counter, Gauge, Histogram, MetricsRegistry, Span, SpanId, SpanKind, Trace, TraceContext,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use wf_engine::event::now_micros;
+use wf_engine::ExecId;
 
 /// Tuning knobs for a [`ProvServer`].
 #[derive(Debug, Clone)]
@@ -45,6 +50,20 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Slow-query log admission threshold in microseconds.
     pub slowlog_threshold_micros: u64,
+    /// Slow-query log ring-buffer entries retained per namespace.
+    pub slowlog_capacity: usize,
+    /// Distinct distributed traces retained for `/v1/trace/{id}` (oldest
+    /// evicted first).
+    pub trace_capacity: usize,
+    /// Publish per-`(tenant, namespace)` labeled request/cache/shed
+    /// metrics. Off turns the whole tenant-label plane into no-ops (the
+    /// global `prov_server_requests_total` family still updates).
+    pub per_tenant_metrics: bool,
+    /// Deterministically shed the first N admitted requests with an
+    /// `Overloaded` rejection — a fault hook (like
+    /// `DurabilityConfig::fault_plan`) that lets tests and CI force a
+    /// client retry without racing real overload.
+    pub shed_first: u64,
     /// Create namespaces on first ingest (`true`) or require explicit
     /// [`RequestBody::CreateNamespace`] (`false`).
     pub auto_create_namespaces: bool,
@@ -63,6 +82,10 @@ impl Default for ServerConfig {
             tenant_rate_per_sec: 0.0,
             cache_capacity: 128,
             slowlog_threshold_micros: 1_000,
+            slowlog_capacity: 128,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            per_tenant_metrics: true,
+            shed_first: 0,
             auto_create_namespaces: true,
             durability: None,
         }
@@ -97,6 +120,195 @@ impl AckCache {
     }
 }
 
+/// Latency-histogram bucket bounds in microseconds (1us .. 1s), matching
+/// the query observer's `pql_query_latency_micros`.
+const LATENCY_BOUNDS: &[u64] = &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Trace metadata accompanying one request: the caller's propagated
+/// context (which becomes the request span's parent) plus which client
+/// attempt this is, so retries of one logical request read as linked
+/// siblings under one trace id.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceMeta {
+    /// The propagated W3C-style context.
+    pub context: TraceContext,
+    /// 1-based client attempt number (from `tracestate`, default 1).
+    pub attempt: u32,
+}
+
+impl TraceMeta {
+    /// Wrap a context as attempt 1.
+    pub fn new(context: TraceContext) -> TraceMeta {
+        TraceMeta {
+            context,
+            attempt: 1,
+        }
+    }
+}
+
+/// Cached per-`(tenant, namespace)` instrument handles.
+///
+/// `MetricsRegistry::counter_with` resolves a labeled instrument with a
+/// registry-wide lock and a linear scan — fine once, hostile on a hot
+/// path. Resolving each handle once per pair and recording through the
+/// returned `Arc`s keeps the per-request cost at a few lock-free atomics,
+/// which is what holds the observability plane inside its ≤5% overhead
+/// budget.
+#[derive(Debug)]
+struct TenantMetrics {
+    requests_ok: Arc<Counter>,
+    requests_err: Arc<Counter>,
+    /// Request latency histograms indexed by [`op_index`].
+    latency: [Arc<Histogram>; 4],
+    rows_read: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    shed_overloaded: Arc<Counter>,
+    shed_rate_limited: Arc<Counter>,
+    bucket_tokens: Arc<Gauge>,
+}
+
+/// Index into [`TenantMetrics::latency`] for an operation label.
+fn op_index(op: &str) -> usize {
+    match op {
+        "create" => 0,
+        "ingest" => 1,
+        "query" => 2,
+        _ => 3,
+    }
+}
+
+impl TenantMetrics {
+    fn new(registry: &MetricsRegistry, tenant: &str, namespace: &str) -> TenantMetrics {
+        let base = [("tenant", tenant), ("namespace", namespace)];
+        fn with<'a>(
+            base: &[(&'a str, &'a str); 2],
+            extra: (&'a str, &'a str),
+        ) -> [(&'a str, &'a str); 3] {
+            [base[0], base[1], extra]
+        }
+        let latency = ["create", "ingest", "query", "stats"].map(|op| {
+            registry.histogram_with(
+                "prov_tenant_request_latency_micros",
+                "request latency by tenant, namespace, and operation",
+                LATENCY_BOUNDS,
+                &with(&base, ("op", op)),
+            )
+        });
+        TenantMetrics {
+            requests_ok: registry.counter_with(
+                "prov_tenant_requests_total",
+                "requests by tenant, namespace, and outcome",
+                &with(&base, ("outcome", "ok")),
+            ),
+            requests_err: registry.counter_with(
+                "prov_tenant_requests_total",
+                "requests by tenant, namespace, and outcome",
+                &with(&base, ("outcome", "error")),
+            ),
+            latency,
+            rows_read: registry.counter_with(
+                "prov_tenant_rows_read_total",
+                "store elements read answering queries",
+                &base,
+            ),
+            cache_hits: registry.counter_with(
+                "prov_tenant_cache_hits_total",
+                "result-cache hits",
+                &base,
+            ),
+            cache_misses: registry.counter_with(
+                "prov_tenant_cache_misses_total",
+                "result-cache misses",
+                &base,
+            ),
+            shed_overloaded: registry.counter_with(
+                "prov_tenant_sheds_total",
+                "requests shed, by kind",
+                &with(&base, ("kind", "overloaded")),
+            ),
+            shed_rate_limited: registry.counter_with(
+                "prov_tenant_sheds_total",
+                "requests shed, by kind",
+                &with(&base, ("kind", "rate_limited")),
+            ),
+            bucket_tokens: registry.gauge_with(
+                "prov_tenant_bucket_tokens",
+                "token-bucket level after the last metered request",
+                &base,
+            ),
+        }
+    }
+}
+
+/// Cached per-namespace WAL instrument handles (durable namespaces only).
+#[derive(Debug)]
+struct WalMetrics {
+    appends: Arc<Counter>,
+    failures: Arc<Counter>,
+    append_micros: Arc<Histogram>,
+    fsync_micros: Arc<Histogram>,
+    checkpoint_micros: Arc<Histogram>,
+    degraded: Arc<Gauge>,
+    /// WAL sync/checkpoint counters observed so far, for delta detection
+    /// (the WAL itself only exposes cumulative counts).
+    seen_syncs: AtomicU64,
+    seen_checkpoints: AtomicU64,
+}
+
+impl WalMetrics {
+    fn new(registry: &MetricsRegistry, namespace: &str) -> WalMetrics {
+        let labels = [("namespace", namespace)];
+        WalMetrics {
+            appends: registry.counter_with("prov_wal_appends_total", "WAL appends", &labels),
+            failures: registry.counter_with(
+                "prov_wal_append_failures_total",
+                "failed WAL appends",
+                &labels,
+            ),
+            append_micros: registry.histogram_with(
+                "prov_wal_append_micros",
+                "WAL append latency (including policy-driven fsync)",
+                LATENCY_BOUNDS,
+                &labels,
+            ),
+            fsync_micros: registry.histogram_with(
+                "prov_wal_fsync_micros",
+                "WAL fsync latency",
+                LATENCY_BOUNDS,
+                &labels,
+            ),
+            checkpoint_micros: registry.histogram_with(
+                "prov_wal_checkpoint_micros",
+                "WAL checkpoint duration",
+                LATENCY_BOUNDS,
+                &labels,
+            ),
+            degraded: registry.gauge_with(
+                "prov_wal_degraded",
+                "1 when the namespace is read-only after WAL failures",
+                &labels,
+            ),
+            seen_syncs: AtomicU64::new(0),
+            seen_checkpoints: AtomicU64::new(0),
+        }
+    }
+
+    /// Observe any fsyncs/checkpoints the WAL completed since last asked.
+    fn absorb(&self, wal: &NamespaceWal) {
+        let syncs = wal.syncs();
+        let prev = self.seen_syncs.swap(syncs, Ordering::Relaxed);
+        if syncs > prev {
+            self.fsync_micros.observe(wal.last_sync_micros());
+        }
+        let checkpoints = wal.checkpoints();
+        let prev = self.seen_checkpoints.swap(checkpoints, Ordering::Relaxed);
+        if checkpoints > prev {
+            self.checkpoint_micros.observe(wal.last_checkpoint_micros());
+        }
+    }
+}
+
 /// One tenant-visible, isolated provenance domain.
 ///
 /// All state a request can touch lives here; requests for namespace A can
@@ -119,6 +331,8 @@ pub struct Namespace {
     /// namespace degrades to read-only.
     wal_failures: AtomicU64,
     read_only: AtomicBool,
+    /// Cached WAL instrument handles (durable namespaces only).
+    wal_metrics: Option<WalMetrics>,
 }
 
 impl Namespace {
@@ -137,8 +351,8 @@ impl Namespace {
             graph: SharedStore::new(GraphStore::new()),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             observer: Mutex::new(
-                QueryObserver::with_registry(registry)
-                    .with_slowlog(config.slowlog_threshold_micros, 128),
+                QueryObserver::with_registry(Arc::clone(&registry))
+                    .with_slowlog(config.slowlog_threshold_micros, config.slowlog_capacity),
             ),
             ingests: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -146,6 +360,7 @@ impl Namespace {
             acks: Mutex::new(AckCache::default()),
             wal_failures: AtomicU64::new(0),
             read_only: AtomicBool::new(false),
+            wal_metrics: None,
         };
         let Some(dconf) = &config.durability else {
             return Ok((ns, None));
@@ -198,6 +413,33 @@ impl Namespace {
             tail_errors: recovery.tail_errors,
             codec_errors,
         };
+        // Recovery series: what replay found, labeled by namespace, so a
+        // scrape right after startup shows how the process came back.
+        let labels = [("namespace", name)];
+        registry
+            .counter_with(
+                "prov_recovery_frames_total",
+                "WAL frames replayed at recovery",
+                &labels,
+            )
+            .add(report.snapshot_records + report.wal_records);
+        if report.truncated {
+            registry
+                .counter_with(
+                    "prov_recovery_torn_tails_total",
+                    "torn WAL tails truncated at recovery",
+                    &labels,
+                )
+                .inc();
+        }
+        registry
+            .counter_with(
+                "prov_recovery_codec_errors_total",
+                "undecodable WAL records skipped at recovery",
+                &labels,
+            )
+            .add(report.codec_errors.len() as u64);
+        ns.wal_metrics = Some(WalMetrics::new(&registry, name));
         ns.wal = Some(Mutex::new(wal));
         Ok((ns, Some(report)))
     }
@@ -220,6 +462,23 @@ impl Namespace {
     /// Has this namespace degraded to read-only after WAL failures?
     pub fn is_read_only(&self) -> bool {
         self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Ingest requests served since the namespace opened.
+    pub fn ingest_count(&self) -> u64 {
+        self.ingests.load(Ordering::Relaxed)
+    }
+
+    /// Query requests served since the namespace opened.
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Records in the live WAL tail (`None` for volatile namespaces).
+    pub fn wal_records(&self) -> Option<u64> {
+        self.wal
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).wal_records())
     }
 
     /// Force the namespace's WAL to disk regardless of fsync policy.
@@ -383,6 +642,19 @@ pub struct ProvServer {
     /// False while WAL replay is pending (durable servers start not
     /// ready; [`ProvServer::recover`] flips this).
     ready: AtomicBool,
+    /// Completed spans of sampled requests, keyed by distributed trace id.
+    traces: TraceStore,
+    /// Server-wide span-id allocator for request/operator spans (starts at
+    /// 1; `traceparent` forbids zero span ids).
+    span_seq: AtomicU64,
+    /// Remaining forced sheds (see [`ServerConfig::shed_first`]).
+    shed_remaining: AtomicU64,
+    /// Cached per-`(tenant, namespace)` instrument handles.
+    tenant_metrics: RwLock<HashMap<(String, String), Arc<TenantMetrics>>>,
+    /// Pre-resolved global instruments for the request hot path.
+    admission_wait: Arc<Histogram>,
+    inflight_gauge: Arc<Gauge>,
+    degraded_gauge: Arc<Gauge>,
 }
 
 /// Validate a tenant or namespace name: 1–64 chars of `[A-Za-z0-9._-]`.
@@ -408,14 +680,35 @@ impl ProvServer {
     /// A server with the given configuration and a fresh metrics registry.
     pub fn new(config: ServerConfig) -> Self {
         let ready = config.durability.is_none();
+        let registry = Arc::new(MetricsRegistry::new());
+        let admission_wait = registry.histogram(
+            "prov_server_admission_wait_micros",
+            "time from request arrival to admission permit",
+            LATENCY_BOUNDS,
+        );
+        let inflight_gauge = registry.gauge(
+            "prov_server_inflight",
+            "requests currently holding a permit",
+        );
+        let degraded_gauge = registry.gauge(
+            "prov_server_degraded_namespaces",
+            "namespaces degraded to read-only",
+        );
         ProvServer {
             admission: Admission::new(config.max_inflight),
             limiter: RateLimiter::new(config.tenant_burst, config.tenant_rate_per_sec),
+            traces: TraceStore::new(config.trace_capacity),
+            span_seq: AtomicU64::new(1),
+            shed_remaining: AtomicU64::new(config.shed_first),
             config,
-            registry: Arc::new(MetricsRegistry::new()),
+            registry,
             namespaces: RwLock::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
             ready: AtomicBool::new(ready),
+            tenant_metrics: RwLock::new(HashMap::new()),
+            admission_wait,
+            inflight_gauge,
+            degraded_gauge,
         }
     }
 
@@ -494,8 +787,23 @@ impl ProvServer {
 
     /// Serve one request end to end: admission window, tenant rate limit,
     /// namespace resolution, dispatch. This is the single entry point both
-    /// the in-process [`Session`] API and the HTTP front end go through.
+    /// the in-process [`Session`] API and the HTTP front end go through;
+    /// it is [`ProvServer::handle_traced`] without trace propagation.
     pub fn handle(&self, req: &Request) -> Result<ResponseBody, ServerError> {
+        self.handle_traced(req, None)
+    }
+
+    /// [`ProvServer::handle`] carrying the caller's distributed trace
+    /// context. A sampled context makes the whole server-side execution —
+    /// the request span, the query/cache span beneath it, per-operator and
+    /// WAL child spans — retrievable from the [`TraceStore`] under the
+    /// caller's trace id, with the caller's span as parent.
+    pub fn handle_traced(
+        &self,
+        req: &Request,
+        meta: Option<TraceMeta>,
+    ) -> Result<ResponseBody, ServerError> {
+        let began = now_micros();
         if self.is_shutting_down() {
             return Err(ServerError::ShuttingDown);
         }
@@ -504,44 +812,159 @@ impl ProvServer {
         }
         validate_name("tenant", &req.tenant)?;
         validate_name("namespace", &req.namespace)?;
-        let outcome_metric = |outcome: &str| {
-            self.registry
-                .counter_with(
-                    "prov_server_requests_total",
-                    "requests by operation and outcome",
-                    &[("op", req.body.op()), ("outcome", outcome)],
-                )
-                .inc();
+
+        let recording = meta.is_some_and(|m| m.context.sampled);
+        let request_span = recording.then(|| SpanId(self.next_span_id()));
+        let tm = self
+            .config
+            .per_tenant_metrics
+            .then(|| self.tenant_metrics(&req.tenant, &req.namespace));
+        let traced = match (meta, request_span) {
+            (Some(m), Some(id)) => Some((m.context.trace_id, id)),
+            _ => None,
         };
+
+        let result = self.dispatch(req, began, traced, tm.as_deref());
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(e) => e.kind(),
+        };
+        self.registry
+            .counter_with(
+                "prov_server_requests_total",
+                "requests by operation and outcome",
+                &[("op", req.body.op()), ("outcome", outcome)],
+            )
+            .inc();
+        let ended = now_micros().max(began);
+        if let Some(tm) = &tm {
+            if outcome == "ok" {
+                tm.requests_ok.inc();
+            } else {
+                tm.requests_err.inc();
+            }
+            tm.latency[op_index(req.body.op())].observe(ended - began);
+            match outcome {
+                "overloaded" => tm.shed_overloaded.inc(),
+                "rate_limited" => tm.shed_rate_limited.inc(),
+                _ => {}
+            }
+            if let Some(level) = self.limiter.level(&req.tenant, &req.namespace) {
+                tm.bucket_tokens.set(level as i64);
+            }
+        }
+        if let (Some(m), Some(id)) = (meta, request_span) {
+            self.traces.record(
+                m.context.trace_id,
+                Span {
+                    id,
+                    parent: Some(SpanId(m.context.span_id)),
+                    kind: SpanKind::Request,
+                    name: format!("{} {}", req.body.op(), req.namespace),
+                    exec: ExecId(0),
+                    node: None,
+                    start_micros: began,
+                    end_micros: ended,
+                    attrs: vec![
+                        ("op".into(), req.body.op().into()),
+                        ("tenant".into(), req.tenant.clone()),
+                        ("namespace".into(), req.namespace.clone()),
+                        ("outcome".into(), outcome.into()),
+                        ("attempt".into(), m.attempt.to_string()),
+                    ],
+                },
+            );
+        }
+        result
+    }
+
+    /// Admission, rate limiting, and operation dispatch — the part of the
+    /// request between the span/metric bookkeeping that wraps it.
+    fn dispatch(
+        &self,
+        req: &Request,
+        began: u64,
+        traced: Option<(u128, SpanId)>,
+        tm: Option<&TenantMetrics>,
+    ) -> Result<ResponseBody, ServerError> {
+        if self.take_forced_shed() {
+            return Err(ServerError::Overloaded {
+                inflight: self.admission.inflight(),
+                limit: self.admission.limit(),
+            });
+        }
         let Some(_permit) = self.admission.try_acquire() else {
-            outcome_metric("overloaded");
             return Err(ServerError::Overloaded {
                 inflight: self.admission.inflight(),
                 limit: self.admission.limit(),
             });
         };
+        self.admission_wait
+            .observe(now_micros().saturating_sub(began));
+        self.inflight_gauge.set(self.admission.inflight() as i64);
         if !self.limiter.try_take(&req.tenant, &req.namespace) {
-            outcome_metric("rate_limited");
             return Err(ServerError::RateLimited {
                 tenant: req.tenant.clone(),
                 namespace: req.namespace.clone(),
             });
         }
-        let result = match &req.body {
+        match &req.body {
             RequestBody::CreateNamespace => self
                 .get_or_create_namespace(&req.namespace)
                 .map(|ns| ResponseBody::Created(ns.name().to_string())),
             RequestBody::Ingest { retro, request_id } => {
-                self.ingest(&req.namespace, retro, request_id.as_deref())
+                self.ingest(&req.namespace, retro, request_id.as_deref(), traced)
             }
-            RequestBody::Query { pql } => self.query(&req.namespace, pql),
+            RequestBody::Query { pql } => self.query(&req.namespace, pql, traced, tm),
             RequestBody::Stats => self.stats(&req.namespace).map(ResponseBody::Stats),
-        };
-        outcome_metric(match &result {
-            Ok(_) => "ok",
-            Err(e) => e.kind(),
-        });
-        result
+        }
+    }
+
+    /// Consume one forced shed if any remain (see
+    /// [`ServerConfig::shed_first`]).
+    fn take_forced_shed(&self) -> bool {
+        if self.shed_remaining.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        self.shed_remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.span_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The cached instrument handles for `(tenant, namespace)`, created
+    /// on first sight.
+    fn tenant_metrics(&self, tenant: &str, namespace: &str) -> Arc<TenantMetrics> {
+        {
+            let map = self
+                .tenant_metrics
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(tm) = map.get(&(tenant.to_string(), namespace.to_string())) {
+                return Arc::clone(tm);
+            }
+        }
+        let mut map = self
+            .tenant_metrics
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry((tenant.to_string(), namespace.to_string()))
+                .or_insert_with(|| Arc::new(TenantMetrics::new(&self.registry, tenant, namespace))),
+        )
+    }
+
+    /// The spans recorded under one distributed trace id, if any.
+    pub fn stored_trace(&self, trace_id: u128) -> Option<StoredTrace> {
+        self.traces.get(trace_id)
+    }
+
+    /// Distinct trace ids currently held by the bounded trace store.
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
     }
 
     /// Open an in-process session for `tenant`.
@@ -549,6 +972,7 @@ impl ProvServer {
         Session {
             server: Arc::clone(self),
             tenant: tenant.to_string(),
+            tracer: None,
         }
     }
 
@@ -610,6 +1034,20 @@ impl ProvServer {
         Some(text)
     }
 
+    /// The namespace's slow-query log as JSONL, capped to `max_bytes`
+    /// (newest entries win; 0 disables the cap). `None` for an unknown
+    /// namespace.
+    pub fn slowlog_jsonl(&self, namespace: &str, max_bytes: usize) -> Option<String> {
+        let ns = self.namespace(namespace)?;
+        let text = ns
+            .observer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .slowlog
+            .to_jsonl_capped(max_bytes);
+        Some(text)
+    }
+
     fn get_or_create_namespace(&self, name: &str) -> Result<Arc<Namespace>, ServerError> {
         if let Some(ns) = self.namespace(name) {
             return Ok(ns);
@@ -634,6 +1072,7 @@ impl ProvServer {
         namespace: &str,
         retro: &RetrospectiveProvenance,
         request_id: Option<&str>,
+        traced: Option<(u128, SpanId)>,
     ) -> Result<ResponseBody, ServerError> {
         let ns = if self.config.auto_create_namespaces {
             self.get_or_create_namespace(namespace)?
@@ -661,14 +1100,43 @@ impl ProvServer {
             if let Some(wal) = &ns.wal {
                 let payload = durability::encode_entry(retro, request_id);
                 let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+                let wal_began = now_micros();
                 if let Err(e) = wal.append(retro.exec.0, &payload) {
+                    if let Some(wm) = &ns.wal_metrics {
+                        wm.failures.inc();
+                    }
                     let failures = ns.wal_failures.fetch_add(1, Ordering::SeqCst) + 1;
-                    if failures >= READ_ONLY_AFTER {
-                        ns.read_only.store(true, Ordering::SeqCst);
+                    if failures >= READ_ONLY_AFTER && !ns.read_only.swap(true, Ordering::SeqCst) {
+                        self.degraded_gauge.inc();
+                        if let Some(wm) = &ns.wal_metrics {
+                            wm.degraded.set(1);
+                        }
                     }
                     return Err(ServerError::Durability(format!(
                         "wal append for '{namespace}': {e}"
                     )));
+                }
+                let wal_ended = now_micros().max(wal_began);
+                if let Some(wm) = &ns.wal_metrics {
+                    wm.appends.inc();
+                    wm.append_micros.observe(wal_ended - wal_began);
+                    wm.absorb(&wal);
+                }
+                if let Some((trace_id, parent)) = traced {
+                    self.traces.record(
+                        trace_id,
+                        Span {
+                            id: SpanId(self.next_span_id()),
+                            parent: Some(parent),
+                            kind: SpanKind::Operator,
+                            name: "wal.append".into(),
+                            exec: ExecId(0),
+                            node: None,
+                            start_micros: wal_began,
+                            end_micros: wal_ended,
+                            attrs: vec![("payload_bytes".into(), payload.len().to_string())],
+                        },
+                    );
                 }
                 ns.wal_failures.store(0, Ordering::SeqCst);
             }
@@ -692,7 +1160,44 @@ impl ProvServer {
         Ok(ResponseBody::Ingested(ack))
     }
 
-    fn query(&self, namespace: &str, pql: &str) -> Result<ResponseBody, ServerError> {
+    /// Record a query span into the namespace observer — and, when the
+    /// request is traced, into the trace store as a child of the request
+    /// span.
+    #[allow(clippy::too_many_arguments)]
+    fn record_query_span(
+        &self,
+        ns: &Namespace,
+        pql: &str,
+        backend: &str,
+        micros: u64,
+        rows: usize,
+        accesses: prov_store::StatsSnapshot,
+        traced: Option<(u128, SpanId)>,
+    ) -> Option<(u128, Span)> {
+        let mut obs = ns.observer.lock().unwrap_or_else(|e| e.into_inner());
+        match traced {
+            Some((trace_id, parent)) => {
+                let id = SpanId(self.next_span_id());
+                let span =
+                    obs.record_with_ids(pql, backend, micros, rows, accesses, id, Some(parent));
+                drop(obs);
+                self.traces.record(trace_id, span.clone());
+                Some((trace_id, span))
+            }
+            None => {
+                obs.record(pql, backend, micros, rows, accesses);
+                None
+            }
+        }
+    }
+
+    fn query(
+        &self,
+        namespace: &str,
+        pql: &str,
+        traced: Option<(u128, SpanId)>,
+        tm: Option<&TenantMetrics>,
+    ) -> Result<ResponseBody, ServerError> {
         let ns = self.resolve(namespace)?;
         let query = parse(pql)?;
         let key = QueryCache::key_for(&query);
@@ -706,8 +1211,18 @@ impl ProvServer {
             if let Some(result) = cache.get("engine", &key, generation) {
                 drop(cache);
                 ns.queries.fetch_add(1, Ordering::Relaxed);
-                let mut obs = ns.observer.lock().unwrap_or_else(|e| e.into_inner());
-                obs.record(pql, "cache", 0, result.len(), Default::default());
+                if let Some(tm) = tm {
+                    tm.cache_hits.inc();
+                }
+                self.record_query_span(
+                    &ns,
+                    pql,
+                    "cache",
+                    0,
+                    result.len(),
+                    Default::default(),
+                    traced,
+                );
                 return Ok(ResponseBody::Query(QueryReply {
                     result,
                     generation,
@@ -725,15 +1240,50 @@ impl ProvServer {
             analysis.result.clone(),
         );
         ns.queries.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut obs = ns.observer.lock().unwrap_or_else(|e| e.into_inner());
-            obs.record(
-                pql,
-                "engine",
-                analysis.total_micros,
-                analysis.result.len(),
-                analysis.total_accesses(),
-            );
+        let accesses = analysis.total_accesses();
+        if let Some(tm) = tm {
+            tm.cache_misses.inc();
+            tm.rows_read.add(accesses.total_reads());
+        }
+        let recorded = self.record_query_span(
+            &ns,
+            pql,
+            "engine",
+            analysis.total_micros,
+            analysis.result.len(),
+            accesses,
+            traced,
+        );
+        // Per-operator children: the plan's self-time attribution laid out
+        // sequentially under the query span, so `/v1/trace/{id}` shows
+        // where inside the engine the time went.
+        if let Some((trace_id, qspan)) = recorded {
+            let mut cursor = qspan.start_micros;
+            for op in &analysis.ops {
+                let end = cursor + op.self_micros;
+                self.traces.record(
+                    trace_id,
+                    Span {
+                        id: SpanId(self.next_span_id()),
+                        parent: Some(qspan.id),
+                        kind: SpanKind::Operator,
+                        name: op.label.clone(),
+                        exec: ExecId(0),
+                        node: None,
+                        start_micros: cursor,
+                        end_micros: end,
+                        attrs: vec![
+                            ("depth".into(), op.depth.to_string()),
+                            ("rows_out".into(), op.rows_out.to_string()),
+                            (
+                                "est_rows".into(),
+                                op.est_rows.map_or_else(|| "?".into(), |v| v.to_string()),
+                            ),
+                        ],
+                    },
+                );
+                cursor = end;
+            }
         }
         Ok(ResponseBody::Query(QueryReply {
             result: analysis.result,
@@ -773,6 +1323,16 @@ impl ProvServer {
 pub struct Session {
     server: Arc<ProvServer>,
     tenant: String,
+    /// When set, every request carries a fresh deterministic root trace
+    /// context (see [`Session::traced`]).
+    tracer: Option<Arc<SessionTracer>>,
+}
+
+/// Deterministic per-session trace-context minting state.
+#[derive(Debug)]
+struct SessionTracer {
+    seed: u64,
+    sequence: AtomicU64,
 }
 
 impl Session {
@@ -781,14 +1341,36 @@ impl Session {
         &self.tenant
     }
 
+    /// Make every request from this session a sampled root trace, with
+    /// ids minted deterministically from `seed` (builder-style).
+    pub fn traced(mut self, seed: u64) -> Session {
+        self.tracer = Some(Arc::new(SessionTracer {
+            seed,
+            sequence: AtomicU64::new(0),
+        }));
+        self
+    }
+
+    fn meta(&self) -> Option<TraceMeta> {
+        self.tracer.as_ref().map(|t| {
+            TraceMeta::new(TraceContext::root(
+                t.seed,
+                t.sequence.fetch_add(1, Ordering::Relaxed),
+            ))
+        })
+    }
+
     /// Create `namespace` (idempotent).
     pub fn create_namespace(&self, namespace: &str) -> Result<(), ServerError> {
         self.server
-            .handle(&Request {
-                tenant: self.tenant.clone(),
-                namespace: namespace.to_string(),
-                body: RequestBody::CreateNamespace,
-            })
+            .handle_traced(
+                &Request {
+                    tenant: self.tenant.clone(),
+                    namespace: namespace.to_string(),
+                    body: RequestBody::CreateNamespace,
+                },
+                self.meta(),
+            )
             .map(|_| ())
     }
 
@@ -809,14 +1391,17 @@ impl Session {
         retro: &RetrospectiveProvenance,
         request_id: Option<&str>,
     ) -> Result<IngestAck, ServerError> {
-        match self.server.handle(&Request {
-            tenant: self.tenant.clone(),
-            namespace: namespace.to_string(),
-            body: RequestBody::Ingest {
-                retro: Box::new(retro.clone()),
-                request_id: request_id.map(str::to_string),
+        match self.server.handle_traced(
+            &Request {
+                tenant: self.tenant.clone(),
+                namespace: namespace.to_string(),
+                body: RequestBody::Ingest {
+                    retro: Box::new(retro.clone()),
+                    request_id: request_id.map(str::to_string),
+                },
             },
-        })? {
+            self.meta(),
+        )? {
             ResponseBody::Ingested(ack) => Ok(ack),
             other => Err(ServerError::BadRequest(format!(
                 "unexpected response {other:?}"
@@ -826,13 +1411,16 @@ impl Session {
 
     /// Evaluate a PQL query against `namespace`.
     pub fn query(&self, namespace: &str, pql: &str) -> Result<QueryReply, ServerError> {
-        match self.server.handle(&Request {
-            tenant: self.tenant.clone(),
-            namespace: namespace.to_string(),
-            body: RequestBody::Query {
-                pql: pql.to_string(),
+        match self.server.handle_traced(
+            &Request {
+                tenant: self.tenant.clone(),
+                namespace: namespace.to_string(),
+                body: RequestBody::Query {
+                    pql: pql.to_string(),
+                },
             },
-        })? {
+            self.meta(),
+        )? {
             ResponseBody::Query(reply) => Ok(reply),
             other => Err(ServerError::BadRequest(format!(
                 "unexpected response {other:?}"
@@ -842,11 +1430,14 @@ impl Session {
 
     /// Per-namespace statistics.
     pub fn stats(&self, namespace: &str) -> Result<NamespaceStats, ServerError> {
-        match self.server.handle(&Request {
-            tenant: self.tenant.clone(),
-            namespace: namespace.to_string(),
-            body: RequestBody::Stats,
-        })? {
+        match self.server.handle_traced(
+            &Request {
+                tenant: self.tenant.clone(),
+                namespace: namespace.to_string(),
+                body: RequestBody::Stats,
+            },
+            self.meta(),
+        )? {
             ResponseBody::Stats(stats) => Ok(stats),
             other => Err(ServerError::BadRequest(format!(
                 "unexpected response {other:?}"
@@ -1029,7 +1620,7 @@ mod tests {
                         // Monotone generations, result consistent with
                         // *some* prefix of the ingest stream.
                         assert!(reply.generation >= 1);
-                        assert!(reply.result.len() >= 1);
+                        assert!(!reply.result.is_empty());
                     }
                 });
             }

@@ -1,0 +1,174 @@
+//! Server-side trace assembly: a bounded in-memory store of completed
+//! spans keyed by distributed trace id.
+//!
+//! Every sampled request records its server-side spans here under the
+//! caller's 128-bit trace id (parsed from the `traceparent` header, or a
+//! server-minted root when the header is absent on a traced path). The
+//! `/v1/trace/{id}` endpoint reads the accumulated spans back and
+//! assembles them into a parent/child tree, so a client can retrieve the
+//! full causal story of a request — including every retried attempt,
+//! which shares the trace id — after the fact.
+//!
+//! The store is deliberately bounded in both dimensions: at most
+//! [`TraceStore::capacity`] distinct traces (oldest evicted first) and at
+//! most [`MAX_SPANS_PER_TRACE`] spans per trace (later spans dropped and
+//! counted), so a trace-id-spraying client cannot grow server memory
+//! without bound.
+
+use prov_telemetry::Span;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Hard cap on spans retained per trace; spans beyond it are dropped
+/// (the drop count is reported by [`TraceStore::get`]).
+pub const MAX_SPANS_PER_TRACE: usize = 512;
+
+/// Default number of distinct traces retained.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+#[derive(Debug, Default)]
+struct Inner {
+    traces: HashMap<u128, TraceEntry>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u128>,
+}
+
+#[derive(Debug, Default)]
+struct TraceEntry {
+    spans: Vec<Span>,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe map from trace id to its recorded spans.
+#[derive(Debug)]
+pub struct TraceStore {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+/// The spans of one trace, as returned by [`TraceStore::get`].
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// All retained spans, sorted by `(start_micros, id)`.
+    pub spans: Vec<Span>,
+    /// Spans dropped because the per-trace cap was hit.
+    pub dropped: u64,
+}
+
+impl TraceStore {
+    /// A store retaining at most `capacity` distinct traces (minimum 1).
+    pub fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Record one completed span under `trace_id`, evicting the oldest
+    /// trace if the store is full.
+    pub fn record(&self, trace_id: u128, span: Span) {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.traces.contains_key(&trace_id) {
+            while inner.order.len() >= self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.traces.remove(&old);
+                }
+            }
+            inner.order.push_back(trace_id);
+            inner.traces.insert(trace_id, TraceEntry::default());
+        }
+        let entry = inner.traces.get_mut(&trace_id).expect("just inserted");
+        if entry.spans.len() >= MAX_SPANS_PER_TRACE {
+            entry.dropped += 1;
+        } else {
+            entry.spans.push(span);
+        }
+    }
+
+    /// Record several spans of one trace in one lock acquisition.
+    pub fn record_all(&self, trace_id: u128, spans: Vec<Span>) {
+        for span in spans {
+            self.record(trace_id, span);
+        }
+    }
+
+    /// The spans recorded under `trace_id`, sorted by start instant.
+    pub fn get(&self, trace_id: u128) -> Option<StoredTrace> {
+        let inner = self.inner.lock().unwrap();
+        inner.traces.get(&trace_id).map(|e| {
+            let mut spans = e.spans.clone();
+            spans.sort_by_key(|s| (s.start_micros, s.id));
+            StoredTrace {
+                spans,
+                dropped: e.dropped,
+            }
+        })
+    }
+
+    /// Number of distinct traces currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().traces.len()
+    }
+
+    /// Whether no traces are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_telemetry::{SpanId, SpanKind};
+    use wf_engine::ExecId;
+
+    fn span(id: u64, start: u64) -> Span {
+        Span {
+            id: SpanId(id),
+            parent: None,
+            kind: SpanKind::Request,
+            name: "req".into(),
+            exec: ExecId(0),
+            node: None,
+            start_micros: start,
+            end_micros: start + 1,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn records_and_sorts_spans_per_trace() {
+        let store = TraceStore::new(4);
+        store.record(7, span(2, 200));
+        store.record(7, span(1, 100));
+        store.record(9, span(3, 50));
+        let t = store.get(7).unwrap();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].id, SpanId(1), "sorted by start");
+        assert_eq!(t.dropped, 0);
+        assert!(store.get(8).is_none());
+    }
+
+    #[test]
+    fn evicts_oldest_trace_at_capacity() {
+        let store = TraceStore::new(2);
+        store.record(1, span(1, 1));
+        store.record(2, span(2, 2));
+        store.record(3, span(3, 3));
+        assert!(store.get(1).is_none(), "oldest evicted");
+        assert!(store.get(2).is_some());
+        assert!(store.get(3).is_some());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn caps_spans_per_trace_and_counts_drops() {
+        let store = TraceStore::new(2);
+        for i in 0..(MAX_SPANS_PER_TRACE as u64 + 5) {
+            store.record(42, span(i, i));
+        }
+        let t = store.get(42).unwrap();
+        assert_eq!(t.spans.len(), MAX_SPANS_PER_TRACE);
+        assert_eq!(t.dropped, 5);
+    }
+}

@@ -291,6 +291,10 @@ pub struct Wal {
     valid_len: u64,
     /// A failed append could not be healed; every further append fails.
     poisoned: bool,
+    /// Completed fsyncs since open (for observability).
+    syncs: u64,
+    /// Wall-clock duration of the most recent fsync, in microseconds.
+    last_sync_micros: u64,
 }
 
 impl Wal {
@@ -338,6 +342,8 @@ impl Wal {
             last_sync: Instant::now(),
             valid_len: replay.valid_bytes,
             poisoned: false,
+            syncs: 0,
+            last_sync_micros: 0,
         };
         Ok((wal, replay))
     }
@@ -391,15 +397,28 @@ impl Wal {
 
     /// Force everything appended so far to disk.
     pub fn sync(&mut self) -> io::Result<()> {
+        let began = Instant::now();
         self.media.sync()?;
         self.unsynced = 0;
         self.last_sync = Instant::now();
+        self.syncs += 1;
+        self.last_sync_micros = began.elapsed().as_micros() as u64;
         Ok(())
     }
 
     /// Records in the log (replayed + appended).
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Completed fsyncs since open.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Duration of the most recent fsync, in microseconds.
+    pub fn last_sync_micros(&self) -> u64 {
+        self.last_sync_micros
     }
 
     /// Current chain head (commits to the whole log).
@@ -459,6 +478,10 @@ pub struct NamespaceWal {
     /// Auto-checkpoint once the live tail holds this many records
     /// (0 = only on explicit request).
     pub checkpoint_every: u64,
+    /// Completed checkpoints since open (for observability).
+    checkpoints: u64,
+    /// Wall-clock duration of the most recent checkpoint, in microseconds.
+    last_checkpoint_micros: u64,
 }
 
 impl NamespaceWal {
@@ -548,6 +571,8 @@ impl NamespaceWal {
             base_generation,
             resident: entries,
             checkpoint_every: 0,
+            checkpoints: 0,
+            last_checkpoint_micros: 0,
         };
         Ok((nswal, recovery))
     }
@@ -591,10 +616,31 @@ impl NamespaceWal {
         &self.dir
     }
 
+    /// Completed fsyncs of the live tail since open.
+    pub fn syncs(&self) -> u64 {
+        self.wal.syncs()
+    }
+
+    /// Duration of the most recent live-tail fsync, in microseconds.
+    pub fn last_sync_micros(&self) -> u64 {
+        self.wal.last_sync_micros()
+    }
+
+    /// Completed checkpoints since open.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Duration of the most recent checkpoint, in microseconds.
+    pub fn last_checkpoint_micros(&self) -> u64 {
+        self.last_checkpoint_micros
+    }
+
     /// Checkpoint: compact resident records (latest per key, first-seen
     /// order) into a fresh snapshot stamped with `generation`, then reset
     /// the live tail. Crash-safe at every intermediate point.
     pub fn checkpoint(&mut self, generation: u64) -> io::Result<()> {
+        let began = Instant::now();
         // Latest-wins compaction, preserving first-occurrence order — the
         // same shape as LogStore::compact.
         let mut order: Vec<u64> = Vec::new();
@@ -647,6 +693,8 @@ impl NamespaceWal {
         self.wal = wal;
         self.base_generation = generation;
         self.resident = compacted;
+        self.checkpoints += 1;
+        self.last_checkpoint_micros = began.elapsed().as_micros() as u64;
         Ok(())
     }
 }

@@ -1,0 +1,318 @@
+//! Distributed trace context: a dependency-free W3C `traceparent` codec.
+//!
+//! A [`TraceContext`] is what crosses a process boundary: a 128-bit trace
+//! id naming the whole causal story, the 64-bit span id of the sender
+//! (the receiver's parent), and a sampled flag. It renders to and parses
+//! from the W3C Trace Context `traceparent` header format:
+//!
+//! ```text
+//! 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//! ^^ ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^ ^^^^^^^^^^^^^^^^ ^^
+//! version  trace-id (32 lowercase hex) parent-id (16)  flags
+//! ```
+//!
+//! Parsing is strict — wrong version, wrong field lengths, uppercase or
+//! non-hex digits, and the all-zero ids the spec forbids are all
+//! rejected as [`ContextError`]s, never panics. A server receiving a
+//! malformed header is expected to *fall back to a fresh root context*
+//! rather than fail the request: a broken tracing header must never
+//! break the traffic it rides on.
+//!
+//! Ids are minted deterministically from a caller-supplied seed and
+//! sequence number (SplitMix64 streams), so traced test traffic replays
+//! the same ids run after run — the same reproducibility contract as the
+//! engine's seeded retry jitter.
+
+use std::fmt;
+
+/// The version this codec renders (the only one it accepts).
+pub const TRACEPARENT_VERSION: &str = "00";
+
+/// A propagated trace context: who the caller is in the causal tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The 128-bit id shared by every span of the distributed trace
+    /// (never zero).
+    pub trace_id: u128,
+    /// The sender's span id — the receiver's parent (never zero).
+    pub span_id: u64,
+    /// Did the caller decide this trace should be recorded?
+    pub sampled: bool,
+}
+
+/// Why a `traceparent` header failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextError {
+    /// The header does not have the `version-traceid-parentid-flags` shape.
+    Malformed(String),
+    /// The version field is not `00`.
+    WrongVersion(String),
+    /// A field has the right length but is not lowercase hex.
+    BadHex(&'static str),
+    /// The spec forbids all-zero trace and span ids.
+    ZeroId(&'static str),
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextError::Malformed(s) => write!(f, "malformed traceparent '{s}'"),
+            ContextError::WrongVersion(v) => write!(f, "unsupported traceparent version '{v}'"),
+            ContextError::BadHex(field) => write!(f, "traceparent field '{field}' is not hex"),
+            ContextError::ZeroId(field) => write!(f, "traceparent {field} must not be zero"),
+        }
+    }
+}
+
+impl std::error::Error for ContextError {}
+
+/// One SplitMix64 step (kept local so the codec has zero dependencies).
+fn splitmix(state: &mut u64) {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    *state = z ^ (z >> 31);
+}
+
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut s = seed ^ stream.wrapping_mul(0xd1b5_4a32_d192_ed03);
+    splitmix(&mut s);
+    let out = s;
+    if out == 0 {
+        1
+    } else {
+        out
+    }
+}
+
+impl TraceContext {
+    /// Mint a fresh root context, sampled, with ids derived
+    /// deterministically from `(seed, sequence)`.
+    pub fn root(seed: u64, sequence: u64) -> TraceContext {
+        let hi = mix(seed, sequence.wrapping_mul(2));
+        let lo = mix(seed ^ 0xa076_1d64_78bd_642f, sequence.wrapping_mul(2) + 1);
+        TraceContext {
+            trace_id: (u128::from(hi) << 64) | u128::from(lo),
+            span_id: mix(seed ^ 0xe703_7ed1_a0b4_28db, sequence),
+            sampled: true,
+        }
+    }
+
+    /// The same trace, re-parented under `span_id` — what a component
+    /// sends downstream after opening its own span.
+    pub fn child(&self, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: if span_id == 0 { 1 } else { span_id },
+            sampled: self.sampled,
+        }
+    }
+
+    /// A sibling context for retry attempt `attempt` (1-based): same
+    /// trace id, a fresh deterministic span id per attempt — so a retry
+    /// storm reads as one causal story under one trace.
+    pub fn for_attempt(&self, attempt: u32) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: mix(self.span_id, u64::from(attempt)),
+            sampled: self.sampled,
+        }
+    }
+
+    /// The trace id as its canonical 32-digit lowercase hex form.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:032x}", self.trace_id)
+    }
+
+    /// Render the `traceparent` header value.
+    pub fn render(&self) -> String {
+        format!(
+            "{TRACEPARENT_VERSION}-{:032x}-{:016x}-{:02x}",
+            self.trace_id,
+            self.span_id,
+            if self.sampled { 1 } else { 0 }
+        )
+    }
+
+    /// Parse a `traceparent` header value (strict; see module docs).
+    pub fn parse(header: &str) -> Result<TraceContext, ContextError> {
+        let s = header.trim();
+        let parts: Vec<&str> = s.split('-').collect();
+        if parts.len() != 4 {
+            return Err(ContextError::Malformed(s.to_string()));
+        }
+        let (version, trace_hex, span_hex, flags_hex) = (parts[0], parts[1], parts[2], parts[3]);
+        if version.len() != 2
+            || trace_hex.len() != 32
+            || span_hex.len() != 16
+            || flags_hex.len() != 2
+        {
+            return Err(ContextError::Malformed(s.to_string()));
+        }
+        if version != TRACEPARENT_VERSION {
+            return Err(ContextError::WrongVersion(version.to_string()));
+        }
+        let trace_id =
+            u128::from_str_radix(trace_hex, 16).map_err(|_| ContextError::BadHex("trace-id"))?;
+        let span_id =
+            u64::from_str_radix(span_hex, 16).map_err(|_| ContextError::BadHex("parent-id"))?;
+        let flags =
+            u8::from_str_radix(flags_hex, 16).map_err(|_| ContextError::BadHex("trace-flags"))?;
+        // The spec's canonical form is lowercase; uppercase hex is a
+        // malformed header, not an alternate spelling.
+        if trace_hex.chars().any(|c| c.is_ascii_uppercase())
+            || span_hex.chars().any(|c| c.is_ascii_uppercase())
+            || flags_hex.chars().any(|c| c.is_ascii_uppercase())
+        {
+            return Err(ContextError::BadHex("uppercase"));
+        }
+        if trace_id == 0 {
+            return Err(ContextError::ZeroId("trace-id"));
+        }
+        if span_id == 0 {
+            return Err(ContextError::ZeroId("parent-id"));
+        }
+        Ok(TraceContext {
+            trace_id,
+            span_id,
+            sampled: flags & 0x01 != 0,
+        })
+    }
+
+    /// Parse a bare 32-digit hex trace id (the `/v1/trace/{id}` path
+    /// segment form).
+    pub fn parse_trace_id(hex: &str) -> Result<u128, ContextError> {
+        let s = hex.trim();
+        if s.len() != 32 || s.chars().any(|c| c.is_ascii_uppercase()) {
+            return Err(ContextError::Malformed(s.to_string()));
+        }
+        let id = u128::from_str_radix(s, 16).map_err(|_| ContextError::BadHex("trace-id"))?;
+        if id == 0 {
+            return Err(ContextError::ZeroId("trace-id"));
+        }
+        Ok(id)
+    }
+}
+
+/// Render the companion `tracestate` value carrying the attempt number:
+/// `prov=attempt:N`.
+pub fn render_tracestate_attempt(attempt: u32) -> String {
+    format!("prov=attempt:{attempt}")
+}
+
+/// Extract the attempt number from a `tracestate` value, leniently: the
+/// header is advisory, so anything unrecognised is simply `None`.
+pub fn parse_tracestate_attempt(value: &str) -> Option<u32> {
+    value.split(',').find_map(|entry| {
+        let (key, rest) = entry.trim().split_once('=')?;
+        if key.trim() != "prov" {
+            return None;
+        }
+        rest.split(';').find_map(|field| {
+            let (k, v) = field.trim().split_once(':')?;
+            if k == "attempt" {
+                v.parse().ok()
+            } else {
+                None
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let ctx = TraceContext {
+            trace_id: 0x4bf9_2f35_77b3_4da6_a3ce_929d_0e0e_4736,
+            span_id: 0x00f0_67aa_0ba9_02b7,
+            sampled: true,
+        };
+        let header = ctx.render();
+        assert_eq!(
+            header,
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+        );
+        assert_eq!(TraceContext::parse(&header).unwrap(), ctx);
+        let unsampled = TraceContext {
+            sampled: false,
+            ..ctx
+        };
+        assert!(unsampled.render().ends_with("-00"));
+        assert_eq!(TraceContext::parse(&unsampled.render()).unwrap(), unsampled);
+    }
+
+    #[test]
+    fn malformed_headers_are_errors_not_panics() {
+        for bad in [
+            "",
+            "00",
+            "00-abc-def-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+            "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+            "00-XBF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+            "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+            "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",
+        ] {
+            assert!(TraceContext::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let header = "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+        assert!(matches!(
+            TraceContext::parse(header),
+            Err(ContextError::WrongVersion(_))
+        ));
+        let header = "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+        assert!(TraceContext::parse(header).is_err());
+    }
+
+    #[test]
+    fn minted_ids_are_deterministic_and_nonzero() {
+        let a = TraceContext::root(7, 0);
+        let b = TraceContext::root(7, 0);
+        assert_eq!(a, b, "same seed and sequence mint the same context");
+        assert_ne!(a.trace_id, TraceContext::root(7, 1).trace_id);
+        assert_ne!(a.trace_id, TraceContext::root(8, 0).trace_id);
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.span_id, 0);
+        assert!(a.sampled);
+        let attempt2 = a.for_attempt(2);
+        assert_eq!(attempt2.trace_id, a.trace_id, "retries share the trace");
+        assert_ne!(attempt2.span_id, a.for_attempt(1).span_id);
+    }
+
+    #[test]
+    fn tracestate_attempt_round_trips_and_parses_leniently() {
+        assert_eq!(
+            parse_tracestate_attempt(&render_tracestate_attempt(3)),
+            Some(3)
+        );
+        assert_eq!(
+            parse_tracestate_attempt("other=1,prov=attempt:2;x:y"),
+            Some(2)
+        );
+        for garbage in ["", "prov=", "prov=attempt:", "prov=attempt:x", "a=b"] {
+            assert_eq!(parse_tracestate_attempt(garbage), None, "{garbage:?}");
+        }
+    }
+
+    #[test]
+    fn trace_id_hex_parses_back() {
+        let ctx = TraceContext::root(42, 9);
+        assert_eq!(
+            TraceContext::parse_trace_id(&ctx.trace_id_hex()).unwrap(),
+            ctx.trace_id
+        );
+        assert!(TraceContext::parse_trace_id("abc").is_err());
+        assert!(TraceContext::parse_trace_id(&"0".repeat(32)).is_err());
+    }
+}

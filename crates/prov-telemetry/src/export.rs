@@ -113,6 +113,8 @@ fn kind_from_label(label: &str) -> Option<SpanKind> {
         "backoff" => SpanKind::Backoff,
         "cache" => SpanKind::CacheLookup,
         "query" => SpanKind::Query,
+        "request" => SpanKind::Request,
+        "operator" => SpanKind::Operator,
         _ => return None,
     })
 }

@@ -25,12 +25,16 @@
 //! changes. [`Telemetry`] bundles a span collector and a metrics
 //! observer into a single subscriber for the common case.
 
+pub mod context;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod span;
 
+pub use context::{
+    parse_tracestate_attempt, render_tracestate_attempt, ContextError, TraceContext,
+};
 pub use export::{
     chrome_trace_json, spans_from_jsonl, spans_from_jsonl_lossy, spans_jsonl,
     validate_chrome_trace, JsonlSkip,

@@ -41,6 +41,12 @@ pub enum SpanKind {
     /// One PQL query evaluation (emitted by the query observer, not the
     /// engine event stream).
     Query,
+    /// One server-handled request (emitted by the provenance server's
+    /// request path; the root of a request's server-side subtree).
+    Request,
+    /// One internal server operation (WAL append, plan operator, …),
+    /// always a child of a `Request` or `Query` span.
+    Operator,
 }
 
 impl SpanKind {
@@ -53,6 +59,8 @@ impl SpanKind {
             SpanKind::Backoff => "backoff",
             SpanKind::CacheLookup => "cache",
             SpanKind::Query => "query",
+            SpanKind::Request => "request",
+            SpanKind::Operator => "operator",
         }
     }
 }

@@ -116,6 +116,49 @@ grep -q '"consistent":true' BENCH_durability.json
 # under the default batch fsync policy.
 awk -F': ' '/batch_vs_memory_ratio/ { exit !($2 + 0 >= 0.5) }' BENCH_durability.json
 
+echo "==> observability smoke: traced round-trip with a forced retry, metrics, slowlog"
+# shed_first=1 forces the first API request into a deterministic 503, so
+# the traced, retried ingest exercises the whole plane: two linked attempt
+# spans under one trace id, per-tenant metric series, a slow-query log.
+./target/release/provctl serve 127.0.0.1:0 workers=4 shed_first=1 slowlog_threshold_us=0 \
+    > "$SMOKE_DIR/serve-obs.out" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^prov-server listening on //p' "$SMOKE_DIR/serve-obs.out")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR"
+./target/release/provctl client "$ADDR" ingest lab "$SMOKE_DIR/challenge-prov.json" tenant=ci \
+    retries=3 request_id=obs-smoke traced seed=7 2> "$SMOKE_DIR/obs-ingest.err"
+TRACE_ID="$(sed -n 's/^trace_id: //p' "$SMOKE_DIR/obs-ingest.err")"
+test -n "$TRACE_ID"
+./target/release/provctl client "$ADDR" query lab "count runs" tenant=ci traced seed=9 \
+    2>/dev/null | grep -q '"type":"count"'
+./target/release/provctl client "$ADDR" trace "$TRACE_ID" > "$SMOKE_DIR/obs-trace.json"
+# The shed attempt and the served retry are both recorded under the trace.
+grep -q '"outcome":"overloaded"' "$SMOKE_DIR/obs-trace.json"
+grep -q '"outcome":"ok"' "$SMOKE_DIR/obs-trace.json"
+grep -q '"attempt":"2"' "$SMOKE_DIR/obs-trace.json"
+grep -q "\"trace_id\":\"$TRACE_ID\"" "$SMOKE_DIR/obs-trace.json"
+# Per-tenant series + WAL-free global series on /v1/metrics, and every
+# sample line must be valid Prometheus text (name ... value).
+./target/release/provctl client "$ADDR" metrics > "$SMOKE_DIR/obs-metrics.prom"
+grep -q 'prov_tenant_requests_total' "$SMOKE_DIR/obs-metrics.prom"
+grep -q 'tenant="ci"' "$SMOKE_DIR/obs-metrics.prom"
+grep -q 'prov_tenant_sheds_total' "$SMOKE_DIR/obs-metrics.prom"
+awk '!/^#/ && NF { if ($NF + 0 != $NF) exit 1 }' "$SMOKE_DIR/obs-metrics.prom"
+./target/release/provctl client "$ADDR" slowlog lab > "$SMOKE_DIR/obs-slowlog.jsonl"
+test -s "$SMOKE_DIR/obs-slowlog.jsonl"
+./target/release/provctl client "$ADDR" health | grep -q '"namespaces":'
+./target/release/provctl client "$ADDR" shutdown
+wait "$SERVE_PID"
+
+echo "==> E20: observability plane overhead benchmark (gate: <= 5%)"
+cargo run --release -q -p bench --bin report observability
+test -s BENCH_observability.json
+awk -F': ' '/overhead_ratio/ { exit !($2 + 0 >= 0.95) }' BENCH_observability.json
+
 echo "==> E16: query observability overhead benchmark"
 cargo run --release -q -p bench --bin report query
 test -s BENCH_query.json

@@ -83,14 +83,21 @@ fn usage() -> ExitCode {
          \x20          [checkpoint_every=N]                with data_dir, every acked ingest is\n\
          \x20                                             WAL-durable and replayed on restart\n\
          \x20                                             (blocks; stop with 'client ... shutdown')\n\
+         \x20          [slowlog_capacity=N] [slowlog_threshold_us=N]\n\
+         \x20          [trace_capacity=N] [shed_first=N]    observability knobs: slow-query ring\n\
+         \x20                                             size/threshold, bounded trace store,\n\
+         \x20                                             deterministic 503s for retry drills\n\
          \x20 recover  <data_dir>                        replay namespace WALs offline and report\n\
-         \x20 client   <addr> <op> [args] [tenant=NAME]\n\
+         \x20 client   <addr> <op> [args] [tenant=NAME] [traced]\n\
          \x20          [retries=N] [seed=N] [request_id=ID] talk to a running server; ops:\n\
          \x20          create <namespace>                  create a namespace\n\
          \x20          ingest <namespace> <prov.json...>   ship provenance documents\n\
          \x20          query  <namespace> <pql>            evaluate PQL remotely\n\
          \x20          stats  <namespace>                  namespace statistics\n\
-         \x20          health | metrics | shutdown         server-level operations"
+         \x20          trace  <trace_id>                   fetch a recorded span tree\n\
+         \x20          slowlog <namespace>                 fetch the slow-query log (JSONL)\n\
+         \x20          health | metrics | shutdown         server-level operations\n\
+         \x20          ('traced' propagates a W3C traceparent and prints the trace id)"
     );
     ExitCode::from(2)
 }
@@ -394,7 +401,10 @@ fn run() -> Result<(), String> {
             }
             out(&obs.slowlog.render());
             if let Some(p) = out_path {
-                std::fs::write(p, obs.slowlog.to_jsonl()).map_err(|e| e.to_string())?;
+                // Cap the dump so a huge ring never writes an unbounded
+                // file; newest entries win within the byte budget.
+                let jsonl = obs.slowlog.to_jsonl_capped(prov_query::DEFAULT_JSONL_CAP);
+                std::fs::write(p, jsonl).map_err(|e| e.to_string())?;
                 println!("slow-query log (JSONL) -> {p}");
             }
             Ok(())
@@ -609,6 +619,29 @@ fn run() -> Result<(), String> {
                         })?;
                         config.durability = Some(dur.checkpoint_every(every));
                     }
+                    "slowlog_capacity" => {
+                        config.slowlog_capacity = value.parse().map_err(|_| {
+                            format!("slowlog_capacity needs an integer, got '{value}'")
+                        })?
+                    }
+                    "slowlog_threshold_us" => {
+                        config.slowlog_threshold_micros = value.parse().map_err(|_| {
+                            format!("slowlog_threshold_us needs an integer, got '{value}'")
+                        })?
+                    }
+                    "trace_capacity" => {
+                        config.trace_capacity = value.parse().map_err(|_| {
+                            format!("trace_capacity needs an integer, got '{value}'")
+                        })?
+                    }
+                    "shed_first" => {
+                        // Deterministic fault hook: shed the first N API
+                        // requests with 503, so retry/trace behaviour can
+                        // be exercised without a real overload.
+                        config.shed_first = value
+                            .parse()
+                            .map_err(|_| format!("shed_first needs an integer, got '{value}'"))?
+                    }
                     other => return Err(format!("unknown serve option '{other}'")),
                 }
             }
@@ -656,6 +689,7 @@ fn run() -> Result<(), String> {
             let mut tenant = "cli";
             let mut retries = 0u32;
             let mut seed = 0u64;
+            let mut traced = false;
             let mut request_id: Option<&str> = None;
             let mut args: Vec<&str> = Vec::new();
             for a in rest {
@@ -671,6 +705,8 @@ fn run() -> Result<(), String> {
                         .map_err(|_| format!("seed needs an integer, got '{v}'"))?;
                 } else if let Some(v) = a.strip_prefix("request_id=") {
                     request_id = Some(v);
+                } else if *a == "traced" {
+                    traced = true;
                 } else {
                     args.push(a);
                 }
@@ -689,46 +725,58 @@ fn run() -> Result<(), String> {
                         .seeded(seed),
                 );
             }
-            let reply =
-                match args.as_slice() {
-                    ["health"] => client.healthz(),
-                    ["metrics"] => client.metrics(),
-                    ["shutdown"] => client.shutdown(),
-                    ["create", namespace] => client.create(namespace),
-                    ["stats", namespace] => client.stats(namespace),
-                    ["query", namespace, pql] => client.query(namespace, pql),
-                    ["ingest", namespace, files @ ..] if !files.is_empty() => {
-                        let mut last = None;
-                        for (i, p) in files.iter().enumerate() {
-                            let retro = load_prov(p)?;
-                            let reply = match request_id {
-                                // A request id makes the ingest
-                                // idempotent (and thus safely retried);
-                                // multiple files get distinct ids.
-                                Some(id) => {
-                                    client.ingest_with_id(namespace, &retro, &format!("{id}-{i}"))
-                                }
-                                None => client.ingest(namespace, &retro),
+            if traced {
+                // Propagate traceparent so the server records this
+                // request's spans; the trace id is printed afterwards and
+                // feeds `client <addr> trace <id>`.
+                client = client.with_tracing(seed);
+            }
+            let reply = match args.as_slice() {
+                ["health"] => client.healthz(),
+                ["metrics"] => client.metrics(),
+                ["shutdown"] => client.shutdown(),
+                ["trace", trace_id] => client.trace(trace_id),
+                ["slowlog", namespace] => client.slowlog(namespace),
+                ["create", namespace] => client.create(namespace),
+                ["stats", namespace] => client.stats(namespace),
+                ["query", namespace, pql] => client.query(namespace, pql),
+                ["ingest", namespace, files @ ..] if !files.is_empty() => {
+                    let mut last = None;
+                    for (i, p) in files.iter().enumerate() {
+                        let retro = load_prov(p)?;
+                        let reply = match request_id {
+                            // A request id makes the ingest
+                            // idempotent (and thus safely retried);
+                            // multiple files get distinct ids.
+                            Some(id) => {
+                                client.ingest_with_id(namespace, &retro, &format!("{id}-{i}"))
                             }
-                            .map_err(|e| format!("cannot reach server: {e}"))?;
-                            if reply.status != 200 {
-                                return Err(format!(
-                                    "server rejected {p} (HTTP {}): {}",
-                                    reply.status, reply.body
-                                ));
-                            }
-                            last = Some(reply);
+                            None => client.ingest(namespace, &retro),
                         }
-                        Ok(last.expect("files is non-empty"))
+                        .map_err(|e| format!("cannot reach server: {e}"))?;
+                        if reply.status != 200 {
+                            return Err(format!(
+                                "server rejected {p} (HTTP {}): {}",
+                                reply.status, reply.body
+                            ));
+                        }
+                        last = Some(reply);
                     }
-                    _ => return Err(
-                        "usage: client <addr> <create|ingest|query|stats|health|metrics|shutdown> \
-                         [args] [tenant=NAME]"
-                            .into(),
-                    ),
+                    Ok(last.expect("files is non-empty"))
                 }
-                .map_err(|e| format!("cannot reach server: {e}"))?;
+                _ => {
+                    return Err(
+                        "usage: client <addr> <create|ingest|query|stats|health|metrics|trace|\
+                         slowlog|shutdown> [args] [tenant=NAME] [traced]"
+                            .into(),
+                    )
+                }
+            }
+            .map_err(|e| format!("cannot reach server: {e}"))?;
             out(&format!("{}\n", reply.body.trim_end()));
+            if let Some(id) = &reply.trace_id {
+                eprintln!("trace_id: {id}");
+            }
             if reply.status == 200 {
                 Ok(())
             } else {

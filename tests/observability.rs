@@ -1,0 +1,301 @@
+//! End-to-end tests of the observability plane: distributed trace
+//! propagation over HTTP (including retry linking under one trace id),
+//! the `/v1/trace/{id}`, `/v1/metrics`, and `/v1/slowlog/{ns}` endpoints,
+//! the enriched `/healthz`, and the never-500 guarantee for malformed
+//! `traceparent` headers.
+
+use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+use prov_core::model::RetrospectiveProvenance;
+use prov_server::{HttpClient, HttpRetry, HttpServer, ProvServer, ServerConfig};
+use prov_telemetry::parse_json;
+use prov_telemetry::JsonValue;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
+use wf_engine::synth::figure1_workflow;
+use wf_engine::{standard_registry, Executor};
+
+fn retro(seed: u64) -> RetrospectiveProvenance {
+    let (wf, _) = figure1_workflow(seed);
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let r = exec.run_observed(&wf, &mut cap).expect("synth workflow");
+    cap.take(r.exec).expect("capture present")
+}
+
+fn start(config: ServerConfig) -> HttpServer {
+    let server = Arc::new(ProvServer::new(config));
+    HttpServer::bind(server, "127.0.0.1:0", 4).expect("bind ephemeral")
+}
+
+/// Collect `(attrs, kind, name)` over a span tree, depth-first.
+fn flatten(roots: &JsonValue, out: &mut Vec<JsonValue>) {
+    if let Some(spans) = roots.as_array() {
+        for span in spans {
+            out.push(span.clone());
+            if let Some(children) = span.get("children") {
+                flatten(children, out);
+            }
+        }
+    }
+}
+
+#[test]
+fn retried_request_records_linked_attempts_under_one_trace() {
+    // shed_first=1 forces the very first API request into a deterministic
+    // 503, so the traced client's retry produces two sibling Request
+    // spans — attempt 1 (shed) and attempt 2 (served) — in one trace.
+    let http = start(ServerConfig {
+        shed_first: 1,
+        ..ServerConfig::default()
+    });
+    let client = HttpClient::new(http.addr(), "alice")
+        .with_retry(HttpRetry::attempts(3))
+        .with_tracing(0xBEEF);
+    let reply = client.ingest_with_id("lab", &retro(1), "req-1").unwrap();
+    assert_eq!(reply.status, 200, "retry must recover: {}", reply.body);
+    let trace_id = reply.trace_id.clone().expect("traced client stamps ids");
+
+    let trace = client.trace(&trace_id).unwrap();
+    assert_eq!(trace.status, 200, "body: {}", trace.body);
+    let v = parse_json(&trace.body).unwrap();
+    assert_eq!(
+        v.get("trace_id").and_then(|t| t.as_str()),
+        Some(trace_id.as_str())
+    );
+    let mut spans = Vec::new();
+    flatten(v.get("roots").expect("roots array"), &mut spans);
+    let requests: Vec<&JsonValue> = spans
+        .iter()
+        .filter(|s| s.get("kind").and_then(|k| k.as_str()) == Some("request"))
+        .collect();
+    assert_eq!(
+        requests.len(),
+        2,
+        "one shed + one served attempt: {}",
+        trace.body
+    );
+    let attempt_outcomes: Vec<(Option<String>, Option<String>)> = requests
+        .iter()
+        .map(|r| {
+            let attrs = r.get("attrs").expect("attrs");
+            (
+                attrs
+                    .get("attempt")
+                    .and_then(|a| a.as_str())
+                    .map(str::to_string),
+                attrs
+                    .get("outcome")
+                    .and_then(|o| o.as_str())
+                    .map(str::to_string),
+            )
+        })
+        .collect();
+    assert!(
+        attempt_outcomes.contains(&(Some("1".into()), Some("overloaded".into()))),
+        "attempt 1 was shed: {attempt_outcomes:?}"
+    );
+    assert!(
+        attempt_outcomes.contains(&(Some("2".into()), Some("ok".into()))),
+        "attempt 2 succeeded: {attempt_outcomes:?}"
+    );
+    http.shutdown();
+}
+
+#[test]
+fn traced_query_exposes_query_and_operator_spans() {
+    let http = start(ServerConfig::default());
+    let client = HttpClient::new(http.addr(), "alice").with_tracing(42);
+    assert_eq!(client.ingest("lab", &retro(1)).unwrap().status, 200);
+    let reply = client
+        .query("lab", "count runs where status = failed")
+        .unwrap();
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    let trace_id = reply.trace_id.clone().expect("traced");
+
+    let trace = client.trace(&trace_id).unwrap();
+    assert_eq!(trace.status, 200, "body: {}", trace.body);
+    let v = parse_json(&trace.body).unwrap();
+    let mut spans = Vec::new();
+    flatten(v.get("roots").unwrap(), &mut spans);
+    let kinds: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("kind").and_then(|k| k.as_str()))
+        .collect();
+    assert!(kinds.contains(&"request"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"query"), "kinds: {kinds:?}");
+    assert!(
+        kinds.contains(&"operator"),
+        "per-operator child spans: {kinds:?}"
+    );
+    // The query span names the PQL and sits beneath the request span.
+    let request = spans
+        .iter()
+        .find(|s| s.get("kind").and_then(|k| k.as_str()) == Some("request"))
+        .unwrap();
+    let mut beneath = Vec::new();
+    flatten(request.get("children").unwrap(), &mut beneath);
+    assert!(
+        beneath.iter().any(|s| {
+            s.get("name").and_then(|n| n.as_str()) == Some("count runs where status = failed")
+        }),
+        "query span nested under request: {}",
+        trace.body
+    );
+    http.shutdown();
+}
+
+#[test]
+fn unknown_and_malformed_trace_ids_are_client_errors() {
+    let http = start(ServerConfig::default());
+    let client = HttpClient::new(http.addr(), "alice");
+    let reply = client.trace("not-a-trace-id").unwrap();
+    assert_eq!(reply.status, 400, "body: {}", reply.body);
+    let reply = client.trace("00000000000000000000000000000001").unwrap();
+    assert_eq!(reply.status, 404, "body: {}", reply.body);
+    assert!(reply.body.contains("no_such_trace"));
+    http.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_carries_per_tenant_series() {
+    let http = start(ServerConfig::default());
+    let alice = HttpClient::new(http.addr(), "alice").with_tracing(7);
+    let bob = HttpClient::new(http.addr(), "bob");
+    assert_eq!(alice.ingest("lab", &retro(1)).unwrap().status, 200);
+    assert_eq!(alice.query("lab", "count runs").unwrap().status, 200);
+    assert_eq!(bob.query("lab", "count runs").unwrap().status, 200);
+
+    // /v1/metrics is an alias of /metrics; both render Prometheus text.
+    let via_alias = alice.request("GET", "/v1/metrics", "").unwrap();
+    assert_eq!(via_alias.status, 200);
+    let body = &via_alias.body;
+    assert!(
+        body.contains(
+            "prov_tenant_requests_total{namespace=\"lab\",outcome=\"ok\",tenant=\"alice\"}"
+        ) || body.contains("tenant=\"alice\""),
+        "per-tenant request series: {body}"
+    );
+    assert!(body.contains("tenant=\"bob\""), "bob's series: {body}");
+    assert!(
+        body.contains("prov_tenant_request_latency_micros"),
+        "latency histograms: {body}"
+    );
+    assert!(
+        body.contains("prov_server_admission_wait_micros"),
+        "admission wait histogram: {body}"
+    );
+    assert!(
+        body.contains("prov_server_requests_total"),
+        "pre-existing global series stay: {body}"
+    );
+    // Prometheus text validity: every non-comment line is `name{labels} value`.
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (series, value) = line.rsplit_once(' ').expect("series + value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparsable sample '{value}' in line '{line}'"
+        );
+        assert!(
+            series
+                .chars()
+                .next()
+                .map(|c| c.is_ascii_alphabetic() || c == '_')
+                .unwrap_or(false),
+            "bad series name in '{line}'"
+        );
+    }
+    http.shutdown();
+}
+
+#[test]
+fn slowlog_endpoint_returns_jsonl_per_namespace() {
+    let http = start(ServerConfig {
+        slowlog_threshold_micros: 0, // admit every query
+        ..ServerConfig::default()
+    });
+    let client = HttpClient::new(http.addr(), "alice");
+    assert_eq!(client.ingest("lab", &retro(1)).unwrap().status, 200);
+    assert_eq!(client.query("lab", "count runs").unwrap().status, 200);
+
+    let reply = client.slowlog("lab").unwrap();
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    assert!(!reply.body.trim().is_empty(), "threshold 0 admits queries");
+    for line in reply.body.lines() {
+        let v = parse_json(line).expect("each slowlog line is JSON");
+        assert!(v.get("query").is_some(), "line: {line}");
+    }
+    let reply = client.slowlog("ghost").unwrap();
+    assert_eq!(reply.status, 404, "body: {}", reply.body);
+    assert!(reply.body.contains("no_such_namespace"));
+    http.shutdown();
+}
+
+#[test]
+fn healthz_details_every_namespace() {
+    let http = start(ServerConfig::default());
+    let client = HttpClient::new(http.addr(), "alice");
+    assert_eq!(client.ingest("lab", &retro(1)).unwrap().status, 200);
+    assert_eq!(client.query("lab", "count runs").unwrap().status, 200);
+
+    let reply = client.healthz().unwrap();
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    let v = parse_json(&reply.body).unwrap();
+    let namespaces = v
+        .get("namespaces")
+        .and_then(|n| n.as_array())
+        .expect("namespaces array");
+    let lab = namespaces
+        .iter()
+        .find(|ns| ns.get("name").and_then(|n| n.as_str()) == Some("lab"))
+        .expect("lab listed");
+    assert_eq!(lab.get("durable").and_then(|d| d.as_bool()), Some(false));
+    assert_eq!(lab.get("read_only").and_then(|r| r.as_bool()), Some(false));
+    assert_eq!(lab.get("ingests").and_then(|i| i.as_u64()), Some(1));
+    assert_eq!(lab.get("queries").and_then(|q| q.as_u64()), Some(1));
+    http.shutdown();
+}
+
+#[test]
+fn malformed_traceparent_never_fails_the_request() {
+    let http = start(ServerConfig::default());
+    let client = HttpClient::new(http.addr(), "alice");
+    assert_eq!(client.ingest("lab", &retro(1)).unwrap().status, 200);
+
+    // Hand-rolled request with garbage propagation headers: the server
+    // must restart the trace (W3C behaviour), not reject or 500.
+    for bad in [
+        "garbage",
+        "00-zz-zz-zz",
+        "00-00000000000000000000000000000000-0000000000000000-01",
+        "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+        "00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01",
+    ] {
+        let body = r#"{"tenant":"alice","namespace":"lab","pql":"count runs"}"#;
+        let mut stream = std::net::TcpStream::connect(http.addr()).unwrap();
+        write!(
+            stream,
+            "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\ntraceparent: {bad}\r\ntracestate: prov=attempt:1\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        assert_eq!(status, 200, "header '{bad}' must not fail the request");
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).ok();
+    }
+    // The restarted traces were recorded server-side.
+    assert!(http.server().trace_count() > 0, "fresh roots were minted");
+    http.shutdown();
+}

@@ -150,3 +150,86 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// W3C traceparent propagation: parse/render round-trips, and *anything*
+// that is not a well-formed header is rejected (the server then restarts
+// the trace — it must never error on propagation input).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn traceparent_round_trips_through_render_and_parse(
+        seed in 1u64..u64::MAX, sequence in 0u64..10_000, attempt in 1u32..16
+    ) {
+        use provenance_workflows::telemetry::TraceContext;
+        let root = TraceContext::root(seed, sequence);
+        let reparsed = TraceContext::parse(&root.render()).expect("own rendering parses");
+        prop_assert_eq!(root, reparsed);
+
+        // Retried attempts stay inside the same trace with distinct spans.
+        let retried = root.for_attempt(attempt);
+        prop_assert_eq!(retried.trace_id, root.trace_id);
+        let reparsed = TraceContext::parse(&retried.render()).expect("attempt parses");
+        prop_assert_eq!(retried, reparsed);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_parses_as_traceparent(header in "[ -~]{0,64}") {
+        use provenance_workflows::telemetry::TraceContext;
+        // Either the input is rejected, or it was a genuinely well-formed
+        // header: exactly 4 dash-parts of the right widths, version 00,
+        // lowercase hex, nonzero ids. Nothing else may slip through.
+        if let Ok(ctx) = TraceContext::parse(&header) {
+            let parts: Vec<&str> = header.trim().split('-').collect();
+            prop_assert_eq!(parts.len(), 4);
+            prop_assert_eq!(parts[0], "00");
+            prop_assert_eq!(parts[1].len(), 32);
+            prop_assert_eq!(parts[2].len(), 16);
+            prop_assert_eq!(parts[3].len(), 2);
+            for p in &parts[1..] {
+                prop_assert!(p.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+            }
+            prop_assert!(ctx.trace_id != 0 && ctx.span_id != 0);
+        }
+    }
+
+    #[test]
+    fn truncations_and_mutations_of_a_valid_header_are_rejected(
+        seed in 1u64..u64::MAX, cut in 0usize..55
+    ) {
+        use provenance_workflows::telemetry::TraceContext;
+        let valid = TraceContext::root(seed, 0).render();
+        prop_assert_eq!(valid.len(), 55, "00-<32>-<16>-<2> with three dashes");
+        // Every proper prefix must fail to parse.
+        let truncated = &valid[..cut];
+        prop_assert!(TraceContext::parse(truncated).is_err(), "prefix '{}'", truncated);
+        // Unknown versions must fail even with a valid tail.
+        let wrong_version = format!("ff{}", &valid[2..]);
+        prop_assert!(TraceContext::parse(&wrong_version).is_err());
+        // Uppercasing breaks the lowercase-hex requirement whenever the
+        // ids contain letters.
+        let upper = valid.to_ascii_uppercase();
+        if upper != valid {
+            prop_assert!(TraceContext::parse(&upper).is_err());
+        }
+    }
+
+    #[test]
+    fn tracestate_attempt_round_trips_and_tolerates_noise(
+        attempt in 1u32..1_000, noise in "[a-z0-9=:;,]{0,24}"
+    ) {
+        use provenance_workflows::telemetry::{
+            parse_tracestate_attempt, render_tracestate_attempt,
+        };
+        let rendered = render_tracestate_attempt(attempt);
+        prop_assert_eq!(parse_tracestate_attempt(&rendered), Some(attempt));
+        // Other vendors' entries before ours must not confuse the parser.
+        let padded = format!("{noise},{rendered}");
+        if parse_tracestate_attempt(&noise).is_none() {
+            prop_assert_eq!(parse_tracestate_attempt(&padded), Some(attempt));
+        }
+    }
+}

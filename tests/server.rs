@@ -123,6 +123,7 @@ fn in_process_load_generator_verifies_consistency() {
         requests_per_client: 50,
         namespaces: vec!["physics".into(), "biology".into()],
         ingest_percent: 25,
+        traced: false,
     };
     let report = run_load(&server, &config);
     assert!(report.consistent, "violations: {:?}", report.violations);
