@@ -404,7 +404,59 @@ fn report_observability(requests_per_client: usize) {
     }
 }
 
+/// E21 prints its tables and drops `BENCH_distributed.json` next to the
+/// working directory. Factored out so `report distributed` can regenerate
+/// just this section.
+fn report_distributed(reps: usize) {
+    println!("## E21 — distributed capture: probe overhead and stitch throughput\n");
+    let stitch = experiment_stitch(&[1, 2, 4, 8], reps);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workers",
+                "blobs",
+                "entries",
+                "hb edges",
+                "stitch (us)",
+                "entries/s",
+                "complete"
+            ],
+            &stitch
+                .iter()
+                .map(|r| vec![
+                    r.workers.to_string(),
+                    r.blobs.to_string(),
+                    r.entries.to_string(),
+                    r.hb_edges.to_string(),
+                    format!("{:.1}", r.stitch_us),
+                    format!("{:.0}", r.entries_per_sec),
+                    r.complete.to_string(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    let overhead = experiment_probe_overhead(4, reps);
+    println!(
+        "probed driver sustains {:.1}% of unprobed throughput \
+         ({} workers, {:.1}us vs {:.1}us)\n",
+        overhead.throughput_ratio() * 100.0,
+        overhead.workers,
+        overhead.probed_us,
+        overhead.unprobed_us
+    );
+    let json = distributed_json(&stitch, &overhead);
+    match std::fs::write("BENCH_distributed.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_distributed.json"),
+        Err(e) => eprintln!("could not write BENCH_distributed.json: {e}"),
+    }
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("distributed") {
+        report_distributed(21);
+        return;
+    }
     if std::env::args().nth(1).as_deref() == Some("server") {
         report_server(250);
         return;
@@ -850,4 +902,7 @@ fn main() {
 
     // ---- E20 ---------------------------------------------------------
     report_observability(250);
+
+    // ---- E21 ---------------------------------------------------------
+    report_distributed(21);
 }

@@ -1,0 +1,215 @@
+//! E21: what does distributed capture cost, and how fast does stitching go?
+//!
+//! Two questions, answered on the same workloads. First, overhead: the
+//! multi-worker driver runs the same workflow with probes on (vector
+//! clocks, event rings, snapshot piggybacking) and off; the probed run
+//! must sustain >= 95% of the unprobed throughput — CI gates on the
+//! `overhead_ratio` field of `BENCH_distributed.json`. Second, stitch
+//! throughput: for growing worker counts, the time to ingest every
+//! per-site report blob and reassemble one coherent provenance record
+//! (collector ordering + event replay + happens-before derivation),
+//! reported in log entries per second.
+
+use prov_core::stitch::stitch_blobs;
+use prov_probe::Collector;
+use wf_engine::synth::challenge_workflow;
+use wf_engine::{standard_registry, DistribOptions, Executor};
+
+/// One worker-count measurement of stitch throughput.
+#[derive(Debug)]
+pub struct StitchRow {
+    /// Simulated worker sites the run was spread over.
+    pub workers: usize,
+    /// Report blobs stitched (workers + coordinator).
+    pub blobs: usize,
+    /// Total log entries across the blobs.
+    pub entries: usize,
+    /// Cross-site happens-before edges derived.
+    pub hb_edges: usize,
+    /// Median time to ingest + stitch all blobs (µs).
+    pub stitch_us: f64,
+    /// Entries stitched per second at the median.
+    pub entries_per_sec: f64,
+    /// Whether the stitched record was complete (no gaps/conflicts).
+    pub complete: bool,
+}
+
+/// The probed-vs-unprobed driver comparison.
+#[derive(Debug)]
+pub struct OverheadRow {
+    /// Worker sites in both variants.
+    pub workers: usize,
+    /// Workflow runs per repetition.
+    pub runs_per_rep: usize,
+    /// Median duration with probes off (µs).
+    pub unprobed_us: f64,
+    /// Median duration with probes on (µs).
+    pub probed_us: f64,
+}
+
+impl OverheadRow {
+    /// Probed throughput as a fraction of unprobed (1.0 = free).
+    pub fn throughput_ratio(&self) -> f64 {
+        self.unprobed_us / self.probed_us.max(1e-9)
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Interleaved two-variant medians (same discipline as E15's `medians3`):
+/// one sample of each per round after a warm-up, so machine drift hits
+/// both variants equally.
+fn medians2(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let mut sa = Vec::with_capacity(reps);
+    let mut sb = Vec::with_capacity(reps);
+    a();
+    b();
+    let sample = |f: &mut dyn FnMut()| {
+        let t = std::time::Instant::now();
+        f();
+        t.elapsed().as_secs_f64() * 1e6
+    };
+    for _ in 0..reps {
+        sa.push(sample(&mut a));
+        sb.push(sample(&mut b));
+    }
+    (median(&mut sa), median(&mut sb))
+}
+
+/// Measure stitch throughput for each worker count: capture one probed
+/// distributed run, then repeatedly re-stitch its encoded blobs.
+pub fn experiment_stitch(worker_counts: &[usize], reps: usize) -> Vec<StitchRow> {
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        let wf = challenge_workflow(1, 4, 3);
+        let exec = Executor::new(standard_registry());
+        let dist = exec
+            .run_distributed(&wf, DistribOptions::new(workers).with_trace_id(0xe21))
+            .expect("distributed run");
+        let blobs: Vec<Vec<u8>> = dist.reports.iter().map(|r| r.encode()).collect();
+        let entries = {
+            let mut c = Collector::new();
+            for b in &blobs {
+                c.ingest_blob(b).expect("fresh blobs decode");
+            }
+            c.entry_count()
+        };
+        let mut samples = Vec::with_capacity(reps);
+        let mut hb_edges = 0;
+        let mut complete = false;
+        for _ in 0..=reps {
+            let t = std::time::Instant::now();
+            let s = stitch_blobs(blobs.iter().map(Vec::as_slice));
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            hb_edges = s.hb_edges.len();
+            complete = s.is_complete();
+            samples.push(us);
+        }
+        samples.remove(0); // warm-up
+        let stitch_us = median(&mut samples);
+        rows.push(StitchRow {
+            workers,
+            blobs: blobs.len(),
+            entries,
+            hb_edges,
+            stitch_us,
+            entries_per_sec: entries as f64 / (stitch_us / 1e6).max(1e-9),
+            complete,
+        });
+    }
+    rows
+}
+
+/// Measure probe overhead: the distributed driver with probes on vs off,
+/// interleaved, on a multi-subject challenge workload.
+pub fn experiment_probe_overhead(workers: usize, reps: usize) -> OverheadRow {
+    let wf = challenge_workflow(1, 4, 3);
+    let runs_per_rep = 2;
+    let exec = Executor::new(standard_registry());
+    let (unprobed_us, probed_us) = medians2(
+        reps,
+        || {
+            for _ in 0..runs_per_rep {
+                exec.run_distributed(&wf, DistribOptions::new(workers).unprobed())
+                    .expect("unprobed run");
+            }
+        },
+        || {
+            for _ in 0..runs_per_rep {
+                exec.run_distributed(&wf, DistribOptions::new(workers))
+                    .expect("probed run");
+            }
+        },
+    );
+    OverheadRow {
+        workers,
+        runs_per_rep,
+        unprobed_us,
+        probed_us,
+    }
+}
+
+/// Render E21 results as the stable `BENCH_distributed.json` document.
+pub fn distributed_json(stitch: &[StitchRow], overhead: &OverheadRow) -> String {
+    let rows = stitch
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workers\":{},\"blobs\":{},\"entries\":{},\"hb_edges\":{},\
+                 \"stitch_us\":{:.1},\"entries_per_sec\":{:.0},\"complete\":{}}}",
+                r.workers,
+                r.blobs,
+                r.entries,
+                r.hb_edges,
+                r.stitch_us,
+                r.entries_per_sec,
+                r.complete
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    format!(
+        "{{\n  \"benchmark\": \"distributed-capture\",\n  \"stitch\": [\n    {rows}\n  ],\n  \
+         \"probe_overhead\": {{\n    \"workers\": {},\n    \"runs_per_rep\": {},\n    \
+         \"unprobed_us\": {:.1},\n    \"probed_us\": {:.1}\n  }},\n  \
+         \"overhead_ratio\": {:.4}\n}}\n",
+        overhead.workers,
+        overhead.runs_per_rep,
+        overhead.unprobed_us,
+        overhead.probed_us,
+        overhead.throughput_ratio()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stitch_rows_are_complete_and_scale_with_workers() {
+        let rows = experiment_stitch(&[1, 3], 2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.complete, "stitched record must be complete");
+            assert!(r.entries > 0);
+            assert!(r.entries_per_sec > 0.0);
+            assert_eq!(r.blobs, r.workers + 1, "workers + coordinator");
+        }
+        assert_eq!(rows[0].hb_edges, 0, "one site has no cross-site edges");
+        assert!(rows[1].hb_edges > 0);
+    }
+
+    #[test]
+    fn json_document_carries_the_gate_field() {
+        let rows = experiment_stitch(&[2], 1);
+        let overhead = experiment_probe_overhead(2, 1);
+        let doc = distributed_json(&rows, &overhead);
+        assert!(doc.contains("\"overhead_ratio\":"));
+        assert!(doc.contains("\"entries_per_sec\":"));
+        let parsed = prov_telemetry::parse_json(&doc).expect("valid JSON");
+        assert!(parsed.get("stitch").is_some());
+    }
+}

@@ -10,12 +10,14 @@
 //! quantify each *claim* the tutorial makes about the design space (see
 //! DESIGN.md §3 for the mapping and the expected qualitative shapes).
 
+pub mod distrib;
 pub mod experiments;
 pub mod faults;
 pub mod optimizer;
 pub mod queryobs;
 pub mod telemetry;
 
+pub use distrib::*;
 pub use experiments::*;
 pub use faults::*;
 pub use optimizer::*;

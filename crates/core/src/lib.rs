@@ -28,6 +28,9 @@
 //!   provenance").
 //! * [`analytics`] — execution profiling from provenance: critical paths,
 //!   bottlenecks, regression comparison (§2.4 "provenance analytics").
+//! * [`stitch`] — cross-process trace assembly: replay per-site probe
+//!   reports (`prov-probe`) into one coherent retrospective record with
+//!   happens-before edges and explicit gap reports.
 //! * [`repro`] — re-execute from provenance and verify artifact fidelity
 //!   (§2.3 "provenance and scientific publications").
 //! * [`publication`] — research objects: named, annotated, verifiable
@@ -44,6 +47,7 @@ pub mod opm;
 pub mod publication;
 pub mod reduce;
 pub mod repro;
+pub mod stitch;
 pub mod views;
 
 pub use analytics::{profile, ExecutionProfile};
@@ -58,4 +62,7 @@ pub use model::{
 pub use opm::{OpmEdge, OpmGraph, OpmNodeId};
 pub use publication::ResearchObject;
 pub use repro::{check_resume, ReproReport, ResumeCheck};
+pub use stitch::{
+    graph_signature, stitch_blobs, stitch_provenance, stitch_reports, HbEdge, StitchedProvenance,
+};
 pub use views::{UserView, ViewedGraph};

@@ -1,0 +1,336 @@
+//! Cross-process trace assembly: from per-site probe reports back to one
+//! retrospective provenance record.
+//!
+//! The distributed driver (`wf-engine::distrib`) leaves behind nothing but
+//! per-site report blobs — there is no global event log to consume. This
+//! module closes the loop: a [`prov_probe::Collector`] orders the blobs
+//! into one causally-consistent sequence, and [`stitch_provenance`]
+//! *replays* that sequence through the ordinary [`ProvenanceCapture`]
+//! observer. The stitched record is therefore built by the same code path
+//! as a single-process run — isomorphism with the reference capture is by
+//! construction, not by a parallel re-implementation.
+//!
+//! On top of the replay, the stitcher derives **happens-before edges at
+//! module granularity**: every non-control snapshot merge anchors an edge
+//! from the last module finished at the producing site to the next module
+//! started at the consuming site. Gaps reported by the collector (dropped
+//! rings, missing blobs, dangling merges) are carried through verbatim —
+//! a hole in the record is reported as a hole, never papered over with a
+//! fabricated order.
+
+use crate::capture::{CaptureLevel, ProvenanceCapture};
+use crate::model::RetrospectiveProvenance;
+use prov_probe::{Collector, LogEntry, Report, Stitched};
+use std::collections::BTreeMap;
+use wf_engine::wire::decode_event;
+use wf_engine::{EngineEvent, ExecObserver};
+use wf_model::NodeId;
+
+/// One happens-before edge between module runs at different sites.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct HbEdge {
+    /// Site whose output was consumed.
+    pub from_site: u32,
+    /// The module that finished there before the snapshot was produced
+    /// (`None` when the producing site had not finished a module yet —
+    /// e.g. the anchor entry fell into a dropped-ring hole).
+    pub from_node: Option<NodeId>,
+    /// Site that merged the snapshot.
+    pub to_site: u32,
+    /// The module that started there after the merge (`None` when the
+    /// merge was the site's last recorded activity).
+    pub to_node: Option<NodeId>,
+}
+
+impl HbEdge {
+    /// Stable one-line rendering, e.g. `happens-before site0/n3 -> site2/n5`.
+    pub fn render(&self) -> String {
+        let end = |n: &Option<NodeId>| match n {
+            Some(id) => format!("{id}"),
+            None => "?".into(),
+        };
+        format!(
+            "happens-before site{}/{} -> site{}/{}",
+            self.from_site,
+            end(&self.from_node),
+            self.to_site,
+            end(&self.to_node)
+        )
+    }
+}
+
+/// The result of stitching per-site reports into provenance.
+#[derive(Debug)]
+pub struct StitchedProvenance {
+    /// Completed run records recovered by the replay (one per exec seen;
+    /// empty when the coordinator's `WorkflowFinished` never arrived).
+    pub retros: Vec<RetrospectiveProvenance>,
+    /// Cross-site happens-before edges, deduplicated and sorted.
+    pub hb_edges: Vec<HbEdge>,
+    /// Human-readable gap reports (dropped entries, missing blobs,
+    /// dangling merges, incomplete run records).
+    pub gaps: Vec<String>,
+    /// Duplicate report entries the collector absorbed.
+    pub duplicates: u64,
+    /// Clock/ordering conflicts the collector detected.
+    pub conflicts: u64,
+    /// The distributed trace id carried by the probes, if any.
+    pub trace_id: Option<u128>,
+    /// Event payloads that failed to decode (version skew or corruption).
+    pub decode_errors: usize,
+}
+
+impl StitchedProvenance {
+    /// The first (usually only) recovered run record.
+    pub fn retro(&self) -> Option<&RetrospectiveProvenance> {
+        self.retros.first()
+    }
+
+    /// Whether the stitched record is complete: no gaps, no conflicts,
+    /// no undecodable events, and a finished run recovered.
+    pub fn is_complete(&self) -> bool {
+        self.gaps.is_empty()
+            && self.conflicts == 0
+            && self.decode_errors == 0
+            && !self.retros.is_empty()
+    }
+
+    /// All happens-before edges rendered one per line.
+    pub fn render_hb(&self) -> String {
+        let mut out = String::new();
+        for e in &self.hb_edges {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Stitch a collector's ordered output into provenance.
+pub fn stitch_provenance(stitched: &Stitched) -> StitchedProvenance {
+    // Per-probe ordered event index, for anchoring hb edges.
+    let mut by_probe: BTreeMap<u32, BTreeMap<u64, &LogEntry>> = BTreeMap::new();
+    for e in &stitched.entries {
+        by_probe
+            .entry(e.probe.0)
+            .or_default()
+            .insert(e.seq, &e.entry);
+    }
+    let finished_before = |probe: u32, seq: u64| -> Option<NodeId> {
+        let log = by_probe.get(&probe)?;
+        log.range(..=seq).rev().find_map(|(_, entry)| {
+            if let LogEntry::Event(payload) = entry {
+                if let Ok(EngineEvent::ModuleFinished { node, .. }) = decode_event(payload) {
+                    return Some(node);
+                }
+            }
+            None
+        })
+    };
+    let started_after = |probe: u32, seq: u64| -> Option<NodeId> {
+        let log = by_probe.get(&probe)?;
+        log.range(seq + 1..).find_map(|(_, entry)| {
+            if let LogEntry::Event(payload) = entry {
+                if let Ok(EngineEvent::ModuleStarted { node, .. }) = decode_event(payload) {
+                    return Some(node);
+                }
+            }
+            None
+        })
+    };
+
+    // Replay the stitched order through the ordinary capture observer and
+    // collect hb edges from non-control cross-site merges along the way.
+    let mut capture = ProvenanceCapture::new(CaptureLevel::Fine);
+    let mut decode_errors = 0usize;
+    let mut hb_edges: Vec<HbEdge> = Vec::new();
+    for e in &stitched.entries {
+        match &e.entry {
+            LogEntry::Event(payload) => match decode_event(payload) {
+                Ok(event) => capture.on_event(&event),
+                Err(_) => decode_errors += 1,
+            },
+            LogEntry::SnapshotMerged {
+                origin,
+                origin_seq,
+                control,
+            } if !control && *origin != e.probe => {
+                hb_edges.push(HbEdge {
+                    from_site: origin.0,
+                    from_node: finished_before(origin.0, *origin_seq),
+                    to_site: e.probe.0,
+                    to_node: started_after(e.probe.0, e.seq),
+                });
+            }
+            _ => {}
+        }
+    }
+    hb_edges.sort();
+    hb_edges.dedup();
+
+    let mut gaps: Vec<String> = stitched.gaps.iter().map(|g| g.render()).collect();
+    let retros = capture.finish_all();
+    if retros.is_empty() {
+        gaps.push(
+            "incomplete run record: no WorkflowFinished event survived stitching".to_string(),
+        );
+    }
+    StitchedProvenance {
+        retros,
+        hb_edges,
+        gaps,
+        duplicates: stitched.duplicates,
+        conflicts: stitched.conflicts,
+        trace_id: stitched.trace_id,
+        decode_errors,
+    }
+}
+
+/// Convenience: ingest raw reports (any order, duplicates tolerated) and
+/// stitch them in one call.
+pub fn stitch_reports<I: IntoIterator<Item = Report>>(reports: I) -> StitchedProvenance {
+    let mut c = Collector::new();
+    for r in reports {
+        c.ingest(r);
+    }
+    stitch_provenance(&c.stitch())
+}
+
+/// Convenience: ingest encoded report blobs and stitch them; undecodable
+/// blobs are reported as gaps, not errors.
+pub fn stitch_blobs<'a, I: IntoIterator<Item = &'a [u8]>>(blobs: I) -> StitchedProvenance {
+    let mut c = Collector::new();
+    let mut bad = 0usize;
+    for b in blobs {
+        if c.ingest_blob(b).is_err() {
+            bad += 1;
+        }
+    }
+    let mut out = stitch_provenance(&c.stitch());
+    if bad > 0 {
+        out.gaps.push(format!(
+            "{bad} report blob(s) failed to decode and were ignored"
+        ));
+    }
+    out
+}
+
+/// A canonical, order- and timing-insensitive signature of a run record.
+///
+/// Two records have equal signatures iff they describe the same runs
+/// (identity, parameters, status, attempts, cache flags, input/output
+/// bindings) over the same artifacts — regardless of event arrival order
+/// or wall-clock timings. This is the isomorphism check the differential
+/// tests gate on.
+pub fn graph_signature(retro: &RetrospectiveProvenance) -> u64 {
+    let mut lines: Vec<String> = Vec::new();
+    lines.push(format!(
+        "wf|{:?}|{}|{:?}",
+        retro.workflow, retro.workflow_name, retro.status
+    ));
+    for run in &retro.runs {
+        let mut inputs = run.inputs.clone();
+        inputs.sort();
+        let mut outputs = run.outputs.clone();
+        outputs.sort();
+        lines.push(format!(
+            "run|{}|{}|{:?}|{}|{}|{:?}|{:?}|{:?}",
+            run.node.raw(),
+            run.identity,
+            run.status,
+            run.from_cache,
+            run.attempts,
+            run.params,
+            inputs,
+            outputs
+        ));
+    }
+    for art in retro.artifacts.values() {
+        lines.push(format!("art|{}|{}|{}", art.hash, art.dtype, art.size));
+    }
+    lines.sort();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for line in &lines {
+        for b in line.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0x0a;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_engine::synth::figure1_workflow;
+    use wf_engine::{standard_registry, DistribOptions, Executor, RunStatus};
+
+    fn reference_signature(wf: &wf_model::Workflow) -> u64 {
+        let exec = Executor::new(standard_registry());
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let result = exec.run_observed(wf, &mut cap).unwrap();
+        graph_signature(&cap.take(result.exec).unwrap())
+    }
+
+    #[test]
+    fn stitched_record_matches_single_process_reference() {
+        let (wf, _) = figure1_workflow(1);
+        let want = reference_signature(&wf);
+        let exec = Executor::new(standard_registry());
+        let dist = exec
+            .run_distributed(&wf, DistribOptions::new(3).with_trace_id(7))
+            .unwrap();
+        let s = stitch_reports(dist.reports);
+        assert!(s.is_complete(), "gaps: {:?}", s.gaps);
+        assert_eq!(s.trace_id, Some(7));
+        let retro = s.retro().unwrap();
+        assert_eq!(retro.status, RunStatus::Succeeded);
+        assert_eq!(graph_signature(retro), want, "stitched graph is isomorphic");
+    }
+
+    #[test]
+    fn hb_edges_follow_the_dataflow() {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let dist = exec.run_distributed(&wf, DistribOptions::new(2)).unwrap();
+        let s = stitch_reports(dist.reports);
+        // With two sites and round-robin assignment, consecutive pipeline
+        // stages alternate sites: cross-site hb edges must exist.
+        assert!(!s.hb_edges.is_empty());
+        for e in &s.hb_edges {
+            assert_ne!(e.from_site, e.to_site, "self-edges are filtered");
+        }
+        // The load module's output crosses to the next stage's site.
+        let load_site = dist.sites[&nodes.load];
+        assert!(
+            s.hb_edges
+                .iter()
+                .any(|e| e.from_site == load_site && e.from_node == Some(nodes.load)),
+            "edges: {}",
+            s.render_hb()
+        );
+    }
+
+    #[test]
+    fn dropped_report_is_a_gap_not_a_fabricated_order() {
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let mut dist = exec.run_distributed(&wf, DistribOptions::new(3)).unwrap();
+        dist.reports.remove(0); // lose one worker's blob entirely
+        let s = stitch_reports(dist.reports);
+        assert!(!s.is_complete());
+        assert!(!s.gaps.is_empty(), "missing blob must surface as a gap");
+    }
+
+    #[test]
+    fn signature_ignores_timing_but_not_structure() {
+        let (wf, _) = figure1_workflow(1);
+        let a = reference_signature(&wf);
+        let b = reference_signature(&wf); // second run: different timings
+        assert_eq!(a, b);
+        let (other, _) = figure1_workflow(2);
+        assert_ne!(a, reference_signature(&other));
+    }
+}

@@ -1,0 +1,169 @@
+//! Vector logical clocks for causal ordering across capture probes.
+//!
+//! Each probe owns one component of the vector; local activity ticks the
+//! owning component, and snapshot exchange merges clocks by pointwise
+//! maximum. Merge is commutative, associative, and idempotent — the
+//! algebraic properties the collector leans on when reports arrive out of
+//! order or duplicated (and the properties the property-test suite pins).
+
+use std::collections::BTreeMap;
+
+/// Identity of one capture probe (one simulated site / worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProbeId(pub u32);
+
+impl std::fmt::Display for ProbeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// A vector clock: one monotone counter per probe that has been observed.
+///
+/// Absent components are implicitly zero, so clocks over disjoint probe
+/// sets merge without pre-registration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogicalClock {
+    entries: BTreeMap<u32, u64>,
+}
+
+impl LogicalClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance `id`'s component by one; returns the new component value.
+    pub fn tick(&mut self, id: ProbeId) -> u64 {
+        let e = self.entries.entry(id.0).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// The component for `id` (zero when never observed).
+    pub fn get(&self, id: ProbeId) -> u64 {
+        self.entries.get(&id.0).copied().unwrap_or(0)
+    }
+
+    /// Merge `other` into `self` by pointwise maximum.
+    pub fn merge(&mut self, other: &LogicalClock) {
+        for (&id, &v) in &other.entries {
+            let e = self.entries.entry(id).or_insert(0);
+            if v > *e {
+                *e = v;
+            }
+        }
+    }
+
+    /// The pointwise-maximum of two clocks, as a new clock.
+    pub fn merged(a: &LogicalClock, b: &LogicalClock) -> LogicalClock {
+        let mut out = a.clone();
+        out.merge(b);
+        out
+    }
+
+    /// Whether `self` happened strictly before `other`: every component of
+    /// `self` is ≤ the matching component of `other`, and at least one is
+    /// strictly smaller.
+    pub fn happened_before(&self, other: &LogicalClock) -> bool {
+        let mut some_smaller = false;
+        for (&id, &v) in &self.entries {
+            let o = other.entries.get(&id).copied().unwrap_or(0);
+            if v > o {
+                return false;
+            }
+            if v < o {
+                some_smaller = true;
+            }
+        }
+        // Components present only in `other` make it strictly larger.
+        some_smaller
+            || other
+                .entries
+                .iter()
+                .any(|(id, &v)| v > 0 && !self.entries.contains_key(id))
+    }
+
+    /// Whether neither clock happened before the other (and they differ).
+    pub fn concurrent_with(&self, other: &LogicalClock) -> bool {
+        self != other && !self.happened_before(other) && !other.happened_before(self)
+    }
+
+    /// A scalar Lamport-style timestamp: the sum of all components.
+    /// Monotone under both [`LogicalClock::tick`] and
+    /// [`LogicalClock::merge`].
+    pub fn lamport(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// Iterate `(probe, count)` pairs in probe order (for the codec).
+    pub fn components(&self) -> impl Iterator<Item = (ProbeId, u64)> + '_ {
+        self.entries.iter().map(|(&id, &v)| (ProbeId(id), v))
+    }
+
+    /// Number of non-zero components.
+    pub fn width(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Rebuild from `(probe, count)` pairs (for the codec).
+    pub fn from_components(pairs: impl IntoIterator<Item = (ProbeId, u64)>) -> LogicalClock {
+        LogicalClock {
+            entries: pairs.into_iter().map(|(id, v)| (id.0, v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_advances_only_own_component() {
+        let mut c = LogicalClock::new();
+        assert_eq!(c.tick(ProbeId(3)), 1);
+        assert_eq!(c.tick(ProbeId(3)), 2);
+        assert_eq!(c.get(ProbeId(3)), 2);
+        assert_eq!(c.get(ProbeId(0)), 0);
+        assert_eq!(c.lamport(), 2);
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let mut a = LogicalClock::new();
+        a.tick(ProbeId(0));
+        a.tick(ProbeId(0));
+        let mut b = LogicalClock::new();
+        b.tick(ProbeId(0));
+        b.tick(ProbeId(1));
+        let m = LogicalClock::merged(&a, &b);
+        assert_eq!(m.get(ProbeId(0)), 2);
+        assert_eq!(m.get(ProbeId(1)), 1);
+        assert_eq!(m, LogicalClock::merged(&b, &a), "commutative");
+        assert_eq!(LogicalClock::merged(&m, &m), m, "idempotent");
+    }
+
+    #[test]
+    fn happened_before_tracks_causality() {
+        let mut a = LogicalClock::new();
+        a.tick(ProbeId(0));
+        let mut b = a.clone();
+        b.tick(ProbeId(1));
+        assert!(a.happened_before(&b));
+        assert!(!b.happened_before(&a));
+        let mut c = a.clone();
+        c.tick(ProbeId(2));
+        assert!(b.concurrent_with(&c));
+        assert!(!a.concurrent_with(&a));
+    }
+
+    #[test]
+    fn components_roundtrip() {
+        let mut a = LogicalClock::new();
+        a.tick(ProbeId(5));
+        a.tick(ProbeId(9));
+        let b = LogicalClock::from_components(a.components());
+        assert_eq!(a, b);
+        assert_eq!(b.width(), 2);
+    }
+}

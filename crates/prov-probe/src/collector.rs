@@ -1,0 +1,439 @@
+//! The collector: ingests report blobs from many probes — in any order,
+//! with duplicates, or with windows missing — and stitches the surviving
+//! entries into one deterministic total order consistent with
+//! happens-before.
+//!
+//! Ordering constraints come from two places only: a probe's own entries
+//! are ordered by sequence number, and a logged `SnapshotMerged` entry
+//! must follow the origin's `SnapshotProduced` entry it references. Any
+//! constraint whose origin entry is missing is reported as a gap, never
+//! fabricated: the merge is then ordered only after the origin entries
+//! that *are* known to precede the snapshot.
+
+use crate::clock::{LogicalClock, ProbeId};
+use crate::probe::LogEntry;
+use crate::report::{CodecError, Report};
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Accumulated per-probe log state, merged across reports.
+#[derive(Debug, Default, Clone)]
+struct ProbeLog {
+    entries: BTreeMap<u64, LogEntry>,
+    dropped: u64,
+    clock: LogicalClock,
+    trace_id: u128,
+}
+
+/// Ingests reports and stitches them into a causal total order.
+#[derive(Debug, Default, Clone)]
+pub struct Collector {
+    probes: BTreeMap<u32, ProbeLog>,
+    duplicates: u64,
+    conflicts: u64,
+}
+
+/// One entry in stitched order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StitchedEntry {
+    /// The probe that recorded the entry.
+    pub probe: ProbeId,
+    /// Its sequence number at that probe.
+    pub seq: u64,
+    /// The entry itself.
+    pub entry: LogEntry,
+}
+
+/// A hole in the evidence: something the stitcher knows it does *not*
+/// know, reported instead of being papered over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gap {
+    /// A contiguous range of sequence numbers never arrived for a probe
+    /// (a lost or late report window).
+    MissingEntries {
+        /// The probe with the hole.
+        probe: ProbeId,
+        /// First missing sequence number.
+        from_seq: u64,
+        /// Last missing sequence number.
+        to_seq: u64,
+    },
+    /// The probe itself evicted entries from its ring before reporting.
+    DroppedEntries {
+        /// The probe that dropped.
+        probe: ProbeId,
+        /// How many entries were evicted.
+        count: u64,
+    },
+    /// A merge references a snapshot-production entry that never arrived;
+    /// the cross-probe edge cannot be anchored.
+    DanglingMerge {
+        /// The probe that logged the merge.
+        probe: ProbeId,
+        /// The merge entry's sequence number.
+        seq: u64,
+        /// The referenced origin probe.
+        origin: ProbeId,
+        /// The referenced (missing) origin sequence number.
+        origin_seq: u64,
+    },
+}
+
+impl Gap {
+    /// One human-readable line.
+    pub fn render(&self) -> String {
+        match self {
+            Gap::MissingEntries {
+                probe,
+                from_seq,
+                to_seq,
+            } => format!("{probe}: entries {from_seq}..={to_seq} never arrived"),
+            Gap::DroppedEntries { probe, count } => {
+                format!("{probe}: {count} entries evicted at the probe")
+            }
+            Gap::DanglingMerge {
+                probe,
+                seq,
+                origin,
+                origin_seq,
+            } => format!("{probe}#{seq}: merge references missing {origin}#{origin_seq}"),
+        }
+    }
+}
+
+/// The stitched result: a deterministic causal total order plus every
+/// known hole in the evidence.
+#[derive(Debug, Clone, Default)]
+pub struct Stitched {
+    /// All surviving entries, in an order consistent with happens-before.
+    pub entries: Vec<StitchedEntry>,
+    /// Everything the stitcher knows is missing.
+    pub gaps: Vec<Gap>,
+    /// Identical `(probe, seq)` entries seen more than once.
+    pub duplicates: u64,
+    /// Conflicting re-reports of a `(probe, seq)` (first write wins).
+    pub conflicts: u64,
+    /// The distributed trace id carried by the reports, if any.
+    pub trace_id: Option<u128>,
+}
+
+impl Stitched {
+    /// Whether the evidence was complete (no gaps, no conflicts).
+    pub fn is_complete(&self) -> bool {
+        self.gaps.is_empty() && self.conflicts == 0
+    }
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one report. Reports may arrive in any order; duplicate
+    /// entries are counted and ignored, conflicting re-reports of the
+    /// same `(probe, seq)` keep the first-seen entry and count a
+    /// conflict.
+    pub fn ingest(&mut self, report: Report) {
+        let log = self.probes.entry(report.probe.0).or_default();
+        log.clock.merge(&report.clock);
+        log.dropped = log.dropped.max(report.dropped);
+        if log.trace_id == 0 {
+            log.trace_id = report.trace_id;
+        } else if report.trace_id != 0 && report.trace_id != log.trace_id {
+            self.conflicts += 1;
+        }
+        for (seq, entry) in report.entries {
+            match log.entries.get(&seq) {
+                None => {
+                    log.entries.insert(seq, entry);
+                }
+                Some(existing) if *existing == entry => self.duplicates += 1,
+                Some(_) => self.conflicts += 1,
+            }
+        }
+    }
+
+    /// Decode and ingest one binary blob.
+    pub fn ingest_blob(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        self.ingest(Report::decode(bytes)?);
+        Ok(())
+    }
+
+    /// Number of distinct probes seen.
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Total entries held across all probes.
+    pub fn entry_count(&self) -> usize {
+        self.probes.values().map(|l| l.entries.len()).sum()
+    }
+
+    /// The trace id carried by the ingested reports, if any probe had one.
+    pub fn trace_id(&self) -> Option<u128> {
+        self.probes.values().map(|l| l.trace_id).find(|&t| t != 0)
+    }
+
+    /// Stitch everything ingested so far into a deterministic total order
+    /// consistent with happens-before, reporting every known gap.
+    pub fn stitch(&self) -> Stitched {
+        // Dense-index every known (probe, seq) entry.
+        let mut index: BTreeMap<(u32, u64), usize> = BTreeMap::new();
+        let mut nodes: Vec<(u32, u64)> = Vec::new();
+        for (&pid, log) in &self.probes {
+            for &seq in log.entries.keys() {
+                index.insert((pid, seq), nodes.len());
+                nodes.push((pid, seq));
+            }
+        }
+
+        let mut gaps: Vec<Gap> = Vec::new();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut indegree: Vec<usize> = vec![0; nodes.len()];
+        fn edge(from: usize, to: usize, indegree: &mut [usize], succs: &mut [Vec<usize>]) {
+            succs[from].push(to);
+            indegree[to] += 1;
+        }
+
+        for (&pid, log) in &self.probes {
+            if log.dropped > 0 {
+                gaps.push(Gap::DroppedEntries {
+                    probe: ProbeId(pid),
+                    count: log.dropped,
+                });
+            }
+            // Program order within a probe (certain even across holes).
+            let seqs: Vec<u64> = log.entries.keys().copied().collect();
+            for w in seqs.windows(2) {
+                if w[1] > w[0] + 1 {
+                    gaps.push(Gap::MissingEntries {
+                        probe: ProbeId(pid),
+                        from_seq: w[0] + 1,
+                        to_seq: w[1] - 1,
+                    });
+                }
+                edge(
+                    index[&(pid, w[0])],
+                    index[&(pid, w[1])],
+                    &mut indegree,
+                    &mut succs,
+                );
+            }
+            // Cross-probe edges from logged merges.
+            for (&seq, entry) in &log.entries {
+                let LogEntry::SnapshotMerged {
+                    origin, origin_seq, ..
+                } = entry
+                else {
+                    continue;
+                };
+                if *origin == ProbeId(pid) {
+                    continue; // self-merge: program order already covers it
+                }
+                let me = index[&(pid, seq)];
+                if let Some(&o) = index.get(&(origin.0, *origin_seq)) {
+                    edge(o, me, &mut indegree, &mut succs);
+                } else {
+                    gaps.push(Gap::DanglingMerge {
+                        probe: ProbeId(pid),
+                        seq,
+                        origin: *origin,
+                        origin_seq: *origin_seq,
+                    });
+                    // Do not fabricate the missing anchor; order the merge
+                    // only after origin entries known to precede the
+                    // snapshot (still sound, strictly weaker).
+                    if let Some(log_o) = self.probes.get(&origin.0) {
+                        if let Some((&prev, _)) = log_o.entries.range(..*origin_seq).next_back() {
+                            edge(index[&(origin.0, prev)], me, &mut indegree, &mut succs);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Kahn's algorithm with a deterministic (probe, seq) tiebreak.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u64, usize)>> = BinaryHeap::new();
+        for (i, &(p, s)) in nodes.iter().enumerate() {
+            if indegree[i] == 0 {
+                heap.push(std::cmp::Reverse((p, s, i)));
+            }
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(nodes.len());
+        while let Some(std::cmp::Reverse((_, _, i))) = heap.pop() {
+            order.push(i);
+            for &next in &succs[i] {
+                indegree[next] -= 1;
+                if indegree[next] == 0 {
+                    let (p, s) = nodes[next];
+                    heap.push(std::cmp::Reverse((p, s, next)));
+                }
+            }
+        }
+        let mut conflicts = self.conflicts;
+        if order.len() < nodes.len() {
+            // Corrupt evidence formed a cycle; append the remainder in
+            // (probe, seq) order and flag it.
+            conflicts += (nodes.len() - order.len()) as u64;
+            let mut seen = vec![false; nodes.len()];
+            for &i in &order {
+                seen[i] = true;
+            }
+            order.extend((0..nodes.len()).filter(|&i| !seen[i]));
+        }
+
+        let entries = order
+            .into_iter()
+            .map(|i| {
+                let (pid, seq) = nodes[i];
+                StitchedEntry {
+                    probe: ProbeId(pid),
+                    seq,
+                    entry: self.probes[&pid].entries[&seq].clone(),
+                }
+            })
+            .collect();
+        Stitched {
+            entries,
+            gaps,
+            duplicates: self.duplicates,
+            conflicts,
+            trace_id: self.trace_id(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Probe;
+
+    /// Two probes, one dataflow handoff a -> b.
+    fn two_site_reports() -> (Report, Report) {
+        let mut a = Probe::new(ProbeId(0)).with_trace_id(42);
+        let mut b = Probe::new(ProbeId(1));
+        a.record_event(b"a0".to_vec());
+        let snap = a.produce_snapshot();
+        b.merge_snapshot(&snap);
+        b.record_event(b"b0".to_vec());
+        (a.report(), b.report())
+    }
+
+    fn positions(s: &Stitched) -> BTreeMap<(u32, u64), usize> {
+        s.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ((e.probe.0, e.seq), i))
+            .collect()
+    }
+
+    #[test]
+    fn stitch_orders_across_the_handoff_in_any_ingest_order() {
+        let (ra, rb) = two_site_reports();
+        for reports in [vec![ra.clone(), rb.clone()], vec![rb, ra]] {
+            let mut c = Collector::new();
+            for r in reports {
+                c.ingest(r);
+            }
+            let s = c.stitch();
+            assert!(s.is_complete(), "gaps: {:?}", s.gaps);
+            let pos = positions(&s);
+            assert!(pos[&(0, 1)] < pos[&(1, 0)], "produce before merge");
+            assert!(pos[&(0, 0)] < pos[&(1, 1)], "a's event before b's event");
+            assert_eq!(s.trace_id, Some(42));
+        }
+    }
+
+    #[test]
+    fn duplicates_are_counted_and_harmless() {
+        let (ra, rb) = two_site_reports();
+        let mut c = Collector::new();
+        c.ingest(ra.clone());
+        c.ingest(ra.clone());
+        c.ingest(rb);
+        let reference = {
+            let (ra, rb) = two_site_reports();
+            let mut c = Collector::new();
+            c.ingest(ra);
+            c.ingest(rb);
+            c.stitch().entries
+        };
+        let s = c.stitch();
+        assert_eq!(s.duplicates, ra.entries.len() as u64);
+        assert_eq!(s.entries, reference, "idempotent ingest");
+    }
+
+    #[test]
+    fn dropped_report_surfaces_as_dangling_merge_gap() {
+        let (ra, rb) = two_site_reports();
+        let mut c = Collector::new();
+        c.ingest(rb); // a's report never arrives
+        let s = c.stitch();
+        assert!(!s.is_complete());
+        assert!(matches!(
+            s.gaps.as_slice(),
+            [Gap::DanglingMerge {
+                origin: ProbeId(0),
+                ..
+            }]
+        ));
+        // b's own entries still come out in program order.
+        let pos = positions(&s);
+        assert!(pos[&(1, 0)] < pos[&(1, 1)]);
+        let _ = ra;
+    }
+
+    #[test]
+    fn missing_window_is_reported_as_a_hole() {
+        let mut p = Probe::new(ProbeId(3));
+        p.record_event(vec![0]);
+        let _lost = p.report();
+        p.record_event(vec![1]);
+        let kept = p.report();
+        let mut c = Collector::new();
+        c.ingest(kept);
+        // Entry 0 exists at the probe but its window was lost; the
+        // collector cannot know seq 0 existed, so no hole is reported —
+        // but a later window plus an early window with a gap between is.
+        let mut q = Probe::new(ProbeId(4));
+        q.record_event(vec![0]);
+        let w1 = q.report();
+        q.record_event(vec![1]);
+        let _w2 = q.report();
+        q.record_event(vec![2]);
+        let w3 = q.report();
+        c.ingest(w1);
+        c.ingest(w3);
+        let s = c.stitch();
+        assert!(s.gaps.contains(&Gap::MissingEntries {
+            probe: ProbeId(4),
+            from_seq: 1,
+            to_seq: 1
+        }));
+    }
+
+    #[test]
+    fn ring_eviction_is_reported() {
+        let mut p = Probe::with_capacity(ProbeId(9), 1);
+        p.record_event(vec![0]);
+        p.record_event(vec![1]);
+        let mut c = Collector::new();
+        c.ingest(p.report());
+        let s = c.stitch();
+        assert!(s
+            .gaps
+            .iter()
+            .any(|g| matches!(g, Gap::DroppedEntries { count: 1, .. })));
+    }
+
+    #[test]
+    fn blob_roundtrip_through_ingest() {
+        let (ra, rb) = two_site_reports();
+        let mut c = Collector::new();
+        c.ingest_blob(&ra.encode()).unwrap();
+        c.ingest_blob(&rb.encode()).unwrap();
+        assert_eq!(c.probe_count(), 2);
+        assert!(c.ingest_blob(b"junk").is_err());
+        assert_eq!(c.trace_id(), Some(42));
+    }
+}

@@ -1,0 +1,37 @@
+//! # prov-probe — causal-clock capture probes for distributed provenance
+//!
+//! The paper's hardest capture setting is the distributed one: workflow
+//! modules run at different sites, no single observer sees the whole run,
+//! and provenance must be reassembled after the fact. This crate is the
+//! capture side of that story, in the spirit of interaction-recording
+//! probes (modality-probe / ekotrace) and pipeline-centric provenance
+//! models:
+//!
+//! * [`Probe`] — a per-worker instrument: a compact ring buffer of opaque
+//!   event payloads, a vector [`LogicalClock`], and snapshot exchange
+//!   ([`Probe::produce_snapshot`] / [`Probe::merge_snapshot`]) at module
+//!   handoffs, so causality rides the dataflow edges themselves.
+//! * [`Report`] — a drained window of one probe's log, with a
+//!   dependency-free binary codec ([`Report::encode`] /
+//!   [`Report::decode`]) suitable for files, sockets, or logs.
+//! * [`Collector`] — ingests report blobs in any order (duplicates,
+//!   missing windows, late stragglers) and [`Collector::stitch`]es them
+//!   into one deterministic total order consistent with happens-before,
+//!   reporting every [`Gap`] it cannot close instead of fabricating
+//!   order.
+//!
+//! The crate is deliberately dependency-free and knows nothing about the
+//! workflow engine: payloads are bytes, and the engine's event codec
+//! lives with the engine. `wf-engine`'s distributed driver feeds probes,
+//! and `prov-core`'s stitcher replays collector output back into ordinary
+//! retrospective provenance.
+
+pub mod clock;
+pub mod collector;
+pub mod probe;
+pub mod report;
+
+pub use clock::{LogicalClock, ProbeId};
+pub use collector::{Collector, Gap, Stitched, StitchedEntry};
+pub use probe::{LogEntry, Probe, Snapshot, DEFAULT_RING_CAPACITY};
+pub use report::{CodecError, Report};

@@ -1,0 +1,244 @@
+//! The per-worker capture probe: a compact ring-buffered log of opaque
+//! event payloads plus the causality bookkeeping (snapshot production and
+//! merging) that lets a collector reconstruct happens-before ordering
+//! across workers after the fact.
+//!
+//! The probe is deliberately generic: payloads are byte blobs, so the
+//! engine (or any other producer) decides the event encoding. What the
+//! probe owns is *ordering*: every recorded entry consumes one local
+//! sequence number, and snapshot exchange stamps cross-probe edges into
+//! the log itself.
+
+use crate::clock::{LogicalClock, ProbeId};
+use crate::report::Report;
+use std::collections::VecDeque;
+
+/// Default ring capacity: generous enough that ordinary runs never drop.
+pub const DEFAULT_RING_CAPACITY: usize = 8192;
+
+/// One entry in a probe's log. Every entry consumes one local sequence
+/// number, so cross-probe references (`origin_seq`) are stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEntry {
+    /// An opaque recorded event payload.
+    Event(Vec<u8>),
+    /// A snapshot was produced here; the entry's own sequence number is
+    /// the `origin_seq` carried by that snapshot.
+    SnapshotProduced,
+    /// A snapshot from another probe was merged here. `control` marks
+    /// coordination edges (scheduler bookkeeping) as opposed to dataflow
+    /// handoffs — stitchers derive happens-before *data* edges only from
+    /// non-control merges.
+    SnapshotMerged {
+        /// The probe that produced the merged snapshot.
+        origin: ProbeId,
+        /// The `SnapshotProduced` sequence number at the origin.
+        origin_seq: u64,
+        /// Whether this is a coordination (non-dataflow) merge.
+        control: bool,
+    },
+}
+
+/// A causality snapshot: the producing probe's identity, the sequence
+/// number of its production entry, and its clock at that instant.
+/// Snapshots piggyback on dataflow edges between workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The producing probe.
+    pub origin: ProbeId,
+    /// Sequence number of the `SnapshotProduced` entry at the origin.
+    pub origin_seq: u64,
+    /// The origin's clock immediately after the production entry.
+    pub clock: LogicalClock,
+    /// Distributed trace id carried along the causal path (zero = none).
+    pub trace_id: u128,
+}
+
+/// The per-worker capture instrument.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    id: ProbeId,
+    clock: LogicalClock,
+    next_seq: u64,
+    ring: VecDeque<(u64, LogEntry)>,
+    capacity: usize,
+    dropped: u64,
+    trace_id: u128,
+}
+
+impl Probe {
+    /// A probe with the default ring capacity.
+    pub fn new(id: ProbeId) -> Self {
+        Self::with_capacity(id, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A probe retaining at most `capacity` entries (minimum 1); older
+    /// entries are evicted and counted, surfacing as a reported gap at
+    /// stitch time rather than silently vanishing.
+    pub fn with_capacity(id: ProbeId, capacity: usize) -> Self {
+        Probe {
+            id,
+            clock: LogicalClock::new(),
+            next_seq: 0,
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            trace_id: 0,
+        }
+    }
+
+    /// Attach a distributed trace id; it propagates to every snapshot
+    /// this probe produces (builder style).
+    pub fn with_trace_id(mut self, trace_id: u128) -> Self {
+        self.trace_id = trace_id;
+        self
+    }
+
+    /// This probe's identity.
+    pub fn id(&self) -> ProbeId {
+        self.id
+    }
+
+    /// The current clock (own component ticks once per log entry).
+    pub fn clock(&self) -> &LogicalClock {
+        &self.clock
+    }
+
+    /// Sequence number the next entry will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Entries evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The trace id carried by this probe (zero when unset).
+    pub fn trace_id(&self) -> u128 {
+        self.trace_id
+    }
+
+    fn push(&mut self, entry: LogEntry) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.clock.tick(self.id);
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back((seq, entry));
+        seq
+    }
+
+    /// Record one opaque event payload; returns its sequence number.
+    pub fn record_event(&mut self, payload: Vec<u8>) -> u64 {
+        self.push(LogEntry::Event(payload))
+    }
+
+    /// Produce a snapshot of this probe's causal state, logging the
+    /// production so the collector can anchor cross-probe edges to it.
+    pub fn produce_snapshot(&mut self) -> Snapshot {
+        let seq = self.push(LogEntry::SnapshotProduced);
+        Snapshot {
+            origin: self.id,
+            origin_seq: seq,
+            clock: self.clock.clone(),
+            trace_id: self.trace_id,
+        }
+    }
+
+    /// Merge a snapshot received on a dataflow edge: the merge is logged,
+    /// the clock absorbs the origin's (pointwise max), and a trace id
+    /// carried by the snapshot is adopted if this probe has none.
+    pub fn merge_snapshot(&mut self, snapshot: &Snapshot) {
+        self.merge_inner(snapshot, false)
+    }
+
+    /// Merge a snapshot received on a coordination (non-dataflow) edge.
+    /// Identical clock semantics, but stitchers exclude the edge from
+    /// happens-before *data* edges.
+    pub fn merge_snapshot_control(&mut self, snapshot: &Snapshot) {
+        self.merge_inner(snapshot, true)
+    }
+
+    fn merge_inner(&mut self, snapshot: &Snapshot, control: bool) {
+        self.clock.merge(&snapshot.clock);
+        if self.trace_id == 0 && snapshot.trace_id != 0 {
+            self.trace_id = snapshot.trace_id;
+        }
+        self.push(LogEntry::SnapshotMerged {
+            origin: snapshot.origin,
+            origin_seq: snapshot.origin_seq,
+            control,
+        });
+    }
+
+    /// Drain the ring into a report blob: the retained entries, the
+    /// current clock, and the drop count. Repeated calls yield successive
+    /// windows of the log (periodic reporting).
+    pub fn report(&mut self) -> Report {
+        Report {
+            probe: self.id,
+            clock: self.clock.clone(),
+            trace_id: self.trace_id,
+            dropped: self.dropped,
+            entries: self.ring.drain(..).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_get_consecutive_seqs_and_tick_the_clock() {
+        let mut p = Probe::new(ProbeId(2));
+        assert_eq!(p.record_event(vec![1]), 0);
+        assert_eq!(p.record_event(vec![2]), 1);
+        let snap = p.produce_snapshot();
+        assert_eq!(snap.origin_seq, 2);
+        assert_eq!(snap.origin, ProbeId(2));
+        assert_eq!(p.clock().get(ProbeId(2)), 3);
+    }
+
+    #[test]
+    fn merge_absorbs_clock_and_adopts_trace_id() {
+        let mut a = Probe::new(ProbeId(0)).with_trace_id(0xabcd);
+        a.record_event(vec![9]);
+        let snap = a.produce_snapshot();
+        let mut b = Probe::new(ProbeId(1));
+        b.merge_snapshot(&snap);
+        assert_eq!(b.trace_id(), 0xabcd);
+        assert_eq!(b.clock().get(ProbeId(0)), 2);
+        assert_eq!(b.clock().get(ProbeId(1)), 1, "merge itself is an entry");
+        // Producer's state at the snapshot happened before the consumer's now.
+        assert!(snap.clock.happened_before(b.clock()));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut p = Probe::with_capacity(ProbeId(0), 2);
+        p.record_event(vec![0]);
+        p.record_event(vec![1]);
+        p.record_event(vec![2]);
+        assert_eq!(p.dropped(), 1);
+        let r = p.report();
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[0].0, 1, "oldest surviving entry is seq 1");
+        assert_eq!(r.dropped, 1);
+    }
+
+    #[test]
+    fn report_drains_into_successive_windows() {
+        let mut p = Probe::new(ProbeId(7));
+        p.record_event(vec![0]);
+        let r1 = p.report();
+        p.record_event(vec![1]);
+        let r2 = p.report();
+        assert_eq!(r1.entries[0].0, 0);
+        assert_eq!(r2.entries[0].0, 1);
+        assert!(p.report().entries.is_empty());
+    }
+}

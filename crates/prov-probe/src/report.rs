@@ -1,0 +1,203 @@
+//! The report blob and its dependency-free binary codec.
+//!
+//! A report is one drained window of a probe's log. The encoding is a
+//! small hand-rolled little-endian format (magic `PRB1`), so blobs can be
+//! written to disk, shipped between processes, and decoded by a collector
+//! with no serialization library in the loop.
+
+use crate::clock::{LogicalClock, ProbeId};
+use crate::probe::LogEntry;
+
+/// One drained window of a probe's log, ready to ship to a collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The reporting probe.
+    pub probe: ProbeId,
+    /// The probe's clock when the report was cut.
+    pub clock: LogicalClock,
+    /// Distributed trace id carried by the probe (zero = none).
+    pub trace_id: u128,
+    /// Ring evictions at the probe up to this report (monotone).
+    pub dropped: u64,
+    /// `(seq, entry)` pairs, in sequence order.
+    pub entries: Vec<(u64, LogEntry)>,
+}
+
+/// Codec failure while decoding a report blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The blob does not start with the `PRB1` magic.
+    BadMagic,
+    /// The blob ended before a field was complete.
+    Truncated,
+    /// An unknown log-entry tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a probe report blob (bad magic)"),
+            CodecError::Truncated => write!(f, "truncated probe report blob"),
+            CodecError::BadTag(t) => write!(f, "unknown log entry tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const MAGIC: &[u8; 4] = b"PRB1";
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+}
+
+impl Report {
+    /// Encode the report as a self-contained binary blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.entries.len() * 16);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.probe.0.to_le_bytes());
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out.extend_from_slice(&(self.clock.width() as u32).to_le_bytes());
+        for (id, v) in self.clock.components() {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (seq, entry) in &self.entries {
+            out.extend_from_slice(&seq.to_le_bytes());
+            match entry {
+                LogEntry::Event(payload) => {
+                    out.push(0);
+                    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(payload);
+                }
+                LogEntry::SnapshotProduced => out.push(1),
+                LogEntry::SnapshotMerged {
+                    origin,
+                    origin_seq,
+                    control,
+                } => {
+                    out.push(2);
+                    out.extend_from_slice(&origin.0.to_le_bytes());
+                    out.extend_from_slice(&origin_seq.to_le_bytes());
+                    out.push(u8::from(*control));
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a blob produced by [`Report::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Report, CodecError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let probe = ProbeId(r.u32()?);
+        let trace_id = r.u128()?;
+        let dropped = r.u64()?;
+        let width = r.u32()? as usize;
+        let mut comps = Vec::with_capacity(width);
+        for _ in 0..width {
+            let id = ProbeId(r.u32()?);
+            let v = r.u64()?;
+            comps.push((id, v));
+        }
+        let clock = LogicalClock::from_components(comps);
+        let count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let seq = r.u64()?;
+            let entry = match r.u8()? {
+                0 => {
+                    let len = r.u32()? as usize;
+                    LogEntry::Event(r.take(len)?.to_vec())
+                }
+                1 => LogEntry::SnapshotProduced,
+                2 => LogEntry::SnapshotMerged {
+                    origin: ProbeId(r.u32()?),
+                    origin_seq: r.u64()?,
+                    control: r.u8()? != 0,
+                },
+                t => return Err(CodecError::BadTag(t)),
+            };
+            entries.push((seq, entry));
+        }
+        Ok(Report {
+            probe,
+            clock,
+            trace_id,
+            dropped,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Probe;
+
+    #[test]
+    fn roundtrips_a_real_report() {
+        let mut a = Probe::new(ProbeId(4)).with_trace_id(77);
+        a.record_event(b"hello".to_vec());
+        let snap = a.produce_snapshot();
+        let mut b = Probe::new(ProbeId(5));
+        b.merge_snapshot(&snap);
+        b.record_event(vec![]);
+        b.merge_snapshot_control(&snap);
+        let report = b.report();
+        let blob = report.encode();
+        let back = Report::decode(&blob).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.trace_id, 77, "trace id adopted and encoded");
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(Report::decode(b"nope").unwrap_err(), CodecError::BadMagic);
+        let mut p = Probe::new(ProbeId(0));
+        p.record_event(vec![1, 2, 3]);
+        let blob = p.report().encode();
+        for cut in 1..blob.len() {
+            let e = Report::decode(&blob[..cut]).unwrap_err();
+            assert!(matches!(e, CodecError::Truncated | CodecError::BadMagic));
+        }
+        let mut bad = blob.clone();
+        let tag_at = blob.len() - 3 - 4 - 1; // payload(3) + len(4) + tag
+        bad[tag_at] = 9;
+        assert_eq!(Report::decode(&bad).unwrap_err(), CodecError::BadTag(9));
+    }
+}

@@ -37,12 +37,17 @@ pub struct SlowQueryEntry {
     /// Admission order (monotone across the log's lifetime; survives
     /// evictions, so readers can tell how much history scrolled past).
     pub seq: u64,
+    /// The distributed trace this query ran under, when the caller was
+    /// traced — lets an operator jump from a slow-log line straight to
+    /// the request's span tree.
+    pub trace_id: Option<u128>,
 }
 
 impl SlowQueryEntry {
-    /// One human-readable line: `#seq  12345us  7 rows  [backend]  query  (accesses)`.
+    /// One human-readable line: `#seq  12345us  7 rows  [backend]  query  (accesses)`,
+    /// suffixed with `trace=<32hex>` when the query was traced.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "#{}  {}us  {} rows  [{}]  {}  ({})",
             self.seq,
             self.duration_micros,
@@ -50,7 +55,11 @@ impl SlowQueryEntry {
             self.backend,
             self.query,
             self.accesses.render()
-        )
+        );
+        if let Some(t) = self.trace_id {
+            line.push_str(&format!("  trace={t:032x}"));
+        }
+        line
     }
 }
 
@@ -104,6 +113,20 @@ impl SlowQueryLog {
         rows: usize,
         accesses: StatsSnapshot,
     ) -> bool {
+        self.observe_traced(query, backend, duration_micros, rows, accesses, None)
+    }
+
+    /// [`SlowQueryLog::observe`] carrying the distributed trace id the
+    /// query ran under, if any.
+    pub fn observe_traced(
+        &mut self,
+        query: &str,
+        backend: &str,
+        duration_micros: u64,
+        rows: usize,
+        accesses: StatsSnapshot,
+        trace_id: Option<u128>,
+    ) -> bool {
         self.seen += 1;
         if duration_micros < self.threshold_micros {
             return false;
@@ -119,6 +142,7 @@ impl SlowQueryLog {
             rows,
             accesses,
             seq: self.next_seq,
+            trace_id,
         });
         self.next_seq += 1;
         true
@@ -174,8 +198,13 @@ impl SlowQueryLog {
         let mut out = String::new();
         for e in &self.entries {
             let a = &e.accesses;
+            let trace = match e.trace_id {
+                Some(t) => format!("\"{t:032x}\""),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
                 "{{\"seq\":{},\"query\":\"{}\",\"backend\":\"{}\",\"micros\":{},\"rows\":{},\
+                 \"trace\":{trace},\
                  \"accesses\":{{\"nodes\":{},\"edges\":{},\"triples\":{},\"rows\":{},\
                  \"records\":{},\"keyed\":{},\"scans\":{},\"bytes\":{}}}}}\n",
                 e.seq,
@@ -313,6 +342,33 @@ impl QueryObserver {
         id: SpanId,
         parent: Option<SpanId>,
     ) -> Span {
+        self.record_traced(
+            query,
+            backend,
+            duration_micros,
+            rows,
+            accesses,
+            id,
+            parent,
+            None,
+        )
+    }
+
+    /// [`QueryObserver::record_with_ids`] also carrying the distributed
+    /// trace id the query ran under, which is stamped onto any slow-log
+    /// entry the observation produces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_traced(
+        &mut self,
+        query: &str,
+        backend: &str,
+        duration_micros: u64,
+        rows: usize,
+        accesses: StatsSnapshot,
+        id: SpanId,
+        parent: Option<SpanId>,
+        trace_id: Option<u128>,
+    ) -> Span {
         let end = now_micros();
         let span = Span {
             id,
@@ -355,7 +411,7 @@ impl QueryObserver {
             .add(accesses.scans);
         if self
             .slowlog
-            .observe(query, backend, duration_micros, rows, accesses)
+            .observe_traced(query, backend, duration_micros, rows, accesses, trace_id)
         {
             self.registry
                 .counter_with("pql_slow_queries_total", "slow-log admissions", &labels)
@@ -505,6 +561,54 @@ mod tests {
         assert!(lines.last().unwrap().contains("/* 9 */"));
         let tiny = log.to_jsonl_capped(3);
         assert!(tiny.is_empty(), "cap smaller than any line keeps nothing");
+    }
+
+    #[test]
+    fn traced_slow_queries_carry_the_trace_id_into_the_jsonl() {
+        let mut log = SlowQueryLog::new(0, 8);
+        log.observe("count runs", "engine", 10, 1, StatsSnapshot::default());
+        log.observe_traced(
+            "count artifacts",
+            "graph",
+            20,
+            1,
+            StatsSnapshot::default(),
+            Some(0xfeed),
+        );
+        let entries: Vec<_> = log.entries().collect();
+        assert_eq!(entries[0].trace_id, None);
+        assert_eq!(entries[1].trace_id, Some(0xfeed));
+        assert!(entries[1]
+            .render()
+            .contains(&format!("trace={:032x}", 0xfeed_u128)));
+        let jsonl = log.to_jsonl();
+        let mut lines = jsonl.lines();
+        let untraced = prov_telemetry::parse_json(lines.next().unwrap()).unwrap();
+        assert_eq!(
+            untraced.get("trace"),
+            Some(&prov_telemetry::JsonValue::Null)
+        );
+        let traced = prov_telemetry::parse_json(lines.next().unwrap()).unwrap();
+        assert_eq!(
+            traced.get("trace").unwrap().as_str(),
+            Some(format!("{:032x}", 0xfeed_u128).as_str())
+        );
+    }
+
+    #[test]
+    fn record_traced_stamps_the_slowlog_entry() {
+        let mut obs = QueryObserver::new().with_slowlog(0, 4);
+        obs.record_traced(
+            "count runs",
+            "engine",
+            5,
+            1,
+            StatsSnapshot::default(),
+            SpanId(1),
+            None,
+            Some(42),
+        );
+        assert_eq!(obs.slowlog.entries().next().unwrap().trace_id, Some(42));
     }
 
     #[test]

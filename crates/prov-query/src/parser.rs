@@ -171,6 +171,38 @@ impl Parser {
                 depth,
                 filter,
             }
+        } else if self.eat_word("happens_before") {
+            // `happens_before of run E/N [depth D] [where …]` — the
+            // distributed-capture reachability shape: every module run
+            // that causally precedes the target. Desugars to an upstream
+            // closure restricted to runs: the synthetic `module contains
+            // ""` clause holds for every run and for no artifact (the
+            // Module field resolves to nothing on artifacts), so the
+            // result set is exactly the happens-before cone at module
+            // granularity — and every backend, planner, and optimizer
+            // handles it with zero new AST surface.
+            self.expect_word("of")?;
+            let target = self.target()?;
+            let depth = self.depth()?;
+            let mut filter = self.condition()?;
+            let runs_only = Comparison {
+                field: Field::Module,
+                op: Op::Contains,
+                value: String::new(),
+            };
+            if filter.any_of.is_empty() {
+                filter.any_of.push(vec![runs_only]);
+            } else {
+                for conj in &mut filter.any_of {
+                    conj.push(runs_only.clone());
+                }
+            }
+            Query::Closure {
+                direction: Direction::Upstream,
+                target,
+                depth,
+                filter,
+            }
         } else if self.eat_word("count") {
             Query::Count {
                 entity: self.entity()?,
@@ -196,7 +228,9 @@ impl Parser {
             };
             Query::Paths { from, to, max_len }
         } else {
-            return Err(self.err("'lineage', 'impact', 'count', 'list' or 'paths'"));
+            return Err(
+                self.err("'lineage', 'impact', 'happens_before', 'count', 'list' or 'paths'")
+            );
         };
         if self.pos != self.tokens.len() {
             return Err(self.err("end of query"));
@@ -246,6 +280,56 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_happens_before_as_a_runs_only_upstream_closure() {
+        let q = parse("happens_before of run 3/7 depth 2").unwrap();
+        let Query::Closure {
+            direction,
+            target,
+            depth,
+            filter,
+        } = q
+        else {
+            panic!("expected closure");
+        };
+        assert_eq!(direction, Direction::Upstream);
+        assert_eq!(target, Target::Run(3, 7));
+        assert_eq!(depth, Some(2));
+        assert_eq!(
+            filter.any_of,
+            vec![vec![Comparison {
+                field: Field::Module,
+                op: Op::Contains,
+                value: String::new(),
+            }]]
+        );
+    }
+
+    #[test]
+    fn happens_before_merges_user_filters_conjunctively() {
+        let q = parse("happens_before of run 1/2 where status = failed or module contains align")
+            .unwrap();
+        let Query::Closure { filter, .. } = q else {
+            panic!("expected closure");
+        };
+        assert_eq!(filter.any_of.len(), 2, "both or-branches survive");
+        for conj in &filter.any_of {
+            assert!(
+                conj.iter().any(|c| c.field == Field::Module
+                    && c.op == Op::Contains
+                    && c.value.is_empty()),
+                "runs-only clause is added to every branch"
+            );
+        }
+    }
+
+    #[test]
+    fn happens_before_requires_a_run_target_shapeable_input() {
+        assert!(parse("happens_before of run 1").is_err());
+        assert!(parse("happens_before run 1/2").is_err());
+        assert!(parse("happens_before of artifact 00ff00ff00ff00ff").is_ok());
     }
 
     #[test]

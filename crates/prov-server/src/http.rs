@@ -14,6 +14,7 @@
 //! | GET    | `/metrics`         | — (Prometheus text)                     |
 //! | GET    | `/v1/metrics`      | — (alias of `/metrics`)                 |
 //! | GET    | `/v1/trace/{id}`   | — (assembled span tree for a trace id)  |
+//! | POST   | `/v1/trace/{id}`   | span JSONL (ingest stitched spans)      |
 //! | GET    | `/v1/slowlog/{ns}` | — (slow-query log as JSONL)             |
 //! | POST   | `/v1/create`       | `{tenant, namespace}`                   |
 //! | POST   | `/v1/ingest`       | `{tenant, namespace, retro}`            |
@@ -445,6 +446,50 @@ fn span_tree_json(spans: &[Span]) -> JsonValue {
     JsonValue::Array(roots.iter().map(|s| node(s, &by_parent)).collect())
 }
 
+/// `POST /v1/trace/{id}` — ingest externally-assembled spans (span JSONL,
+/// as produced by `prov_telemetry::spans_jsonl`) under a trace id. This is
+/// how a stitched distributed capture lands in the same store the server's
+/// own request spans live in, so `GET /v1/trace/{id}` shows both.
+fn trace_ingest_route(
+    server: &ProvServer,
+    id_hex: &str,
+    body: &str,
+) -> (u16, &'static str, String) {
+    let Ok(trace_id) = TraceContext::parse_trace_id(id_hex) else {
+        let err = ServerError::BadRequest(format!("malformed trace id '{id_hex}'"));
+        return (
+            err.status_code(),
+            "application/json",
+            wire::render_json(&wire::error_to_json(&err)),
+        );
+    };
+    match prov_telemetry::spans_from_jsonl(body) {
+        Ok(trace) => {
+            let accepted = server.ingest_trace_spans(trace_id, trace.spans);
+            let body = wire::render_json(&JsonValue::Object(
+                [
+                    (
+                        "trace_id".to_string(),
+                        JsonValue::String(format!("{trace_id:032x}")),
+                    ),
+                    ("accepted".to_string(), JsonValue::Number(accepted as f64)),
+                ]
+                .into_iter()
+                .collect(),
+            ));
+            (200, "application/json", body)
+        }
+        Err(e) => {
+            let err = ServerError::BadRequest(format!("bad span JSONL: {e}"));
+            (
+                err.status_code(),
+                "application/json",
+                wire::render_json(&wire::error_to_json(&err)),
+            )
+        }
+    }
+}
+
 /// `GET /v1/slowlog/{ns}` — the namespace's slow-query log as JSONL.
 fn slowlog_route(server: &ProvServer, namespace: &str) -> (u16, &'static str, String) {
     match server.slowlog_jsonl(namespace, prov_query::DEFAULT_JSONL_CAP) {
@@ -467,6 +512,11 @@ fn route(server: &ProvServer, req: &HttpRequest) -> (u16, &'static str, String) 
         }
         if let Some(ns) = req.path.strip_prefix("/v1/slowlog/") {
             return slowlog_route(server, ns);
+        }
+    }
+    if req.method == "POST" {
+        if let Some(id_hex) = req.path.strip_prefix("/v1/trace/") {
+            return trace_ingest_route(server, id_hex, &req.body);
         }
     }
     match (req.method.as_str(), req.path.as_str()) {
@@ -509,11 +559,9 @@ fn route(server: &ProvServer, req: &HttpRequest) -> (u16, &'static str, String) 
             ));
             (if ready { 200 } else { 503 }, "application/json", body)
         }
-        ("GET", "/metrics" | "/v1/metrics") => (
-            200,
-            "text/plain; version=0.0.4",
-            server.registry().render_prometheus(),
-        ),
+        ("GET", "/metrics" | "/v1/metrics") => {
+            (200, "text/plain; version=0.0.4", server.render_metrics())
+        }
         ("POST", "/v1/shutdown") => {
             server.begin_shutdown();
             (200, "application/json", "{\"draining\":true}".to_string())
@@ -914,6 +962,12 @@ impl HttpClient {
         self.post("/v1/stats", Vec::new(), namespace, true)
     }
 
+    /// `POST /v1/trace/{trace_id}` — ingest externally-assembled spans
+    /// (span JSONL) under a trace id.
+    pub fn ingest_trace(&self, trace_id: u128, span_jsonl: &str) -> std::io::Result<HttpReply> {
+        self.request("POST", &format!("/v1/trace/{trace_id:032x}"), span_jsonl)
+    }
+
     /// `POST /v1/shutdown`.
     pub fn shutdown(&self) -> std::io::Result<HttpReply> {
         self.request("POST", "/v1/shutdown", "{}")
@@ -1135,6 +1189,57 @@ mod tests {
         let stats = wire::stats_from_json(&parse_json(&reply.body).unwrap()).unwrap();
         assert_eq!(stats.executions, 4, "all four concurrent ingests landed");
         assert_eq!(stats.generation, 4);
+        http.shutdown();
+    }
+
+    #[test]
+    fn stitched_distributed_spans_ingest_and_read_back() {
+        let trace_id: u128 = 0xabcd_0000_1234;
+        // Capture a distributed run, stitch it, assemble the cross-worker
+        // span tree — then push it to the server over HTTP.
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let dist = exec
+            .run_distributed(
+                &wf,
+                wf_engine::DistribOptions::new(3).with_trace_id(trace_id),
+            )
+            .unwrap();
+        let mut collector = prov_probe::Collector::new();
+        for r in dist.reports {
+            collector.ingest(r);
+        }
+        let trace = prov_telemetry::assemble_distributed(&collector.stitch());
+        let jsonl = prov_telemetry::spans_jsonl(&trace);
+        let n_spans = trace.spans.len();
+        assert!(n_spans > 8, "run span + one per module");
+
+        let http = start();
+        let client = HttpClient::new(http.addr(), "alice");
+        let reply = client.ingest_trace(trace_id, &jsonl).unwrap();
+        assert_eq!(reply.status, 200, "body: {}", reply.body);
+        assert!(reply.body.contains(&format!("\"accepted\":{n_spans}")));
+
+        let reply = client.trace(&format!("{trace_id:032x}")).unwrap();
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"site\""), "spans keep site attrs");
+
+        let reply = client.request("GET", "/v1/metrics", "").unwrap();
+        assert_eq!(reply.status, 200);
+        assert!(reply
+            .body
+            .contains("prov_server_trace_spans_ingested_total"));
+        assert!(reply.body.contains("prov_server_trace_evictions_total 0"));
+        assert!(reply.body.contains("prov_server_trace_span_drops_total 0"));
+        assert!(reply.body.contains("prov_server_traces_retained 1"));
+
+        // Garbage bodies are rejected, malformed ids are rejected.
+        let reply = client
+            .ingest_trace(trace_id, "{\"span\":notjson}\n")
+            .unwrap();
+        assert_eq!(reply.status, 400);
+        let reply = client.request("POST", "/v1/trace/zzz", &jsonl).unwrap();
+        assert_eq!(reply.status, 400);
         http.shutdown();
     }
 }

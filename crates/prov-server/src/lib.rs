@@ -56,4 +56,4 @@ pub use server::{
     IngestAck, Namespace, NamespaceStats, ProvServer, QueryReply, Request, RequestBody,
     ResponseBody, ServerConfig, ServerStats, Session, TraceMeta,
 };
-pub use trace::{StoredTrace, TraceStore};
+pub use trace::{StoredTrace, TraceStore, TraceStoreStats};

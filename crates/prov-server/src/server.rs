@@ -967,6 +967,47 @@ impl ProvServer {
         self.traces.len()
     }
 
+    /// Record externally-assembled spans (e.g. a stitched distributed
+    /// capture) under `trace_id`, merging with any server-side spans the
+    /// same trace already accumulated. Returns how many spans were
+    /// offered.
+    pub fn ingest_trace_spans(&self, trace_id: u128, spans: Vec<Span>) -> usize {
+        let n = spans.len();
+        self.traces.record_all(trace_id, spans);
+        self.registry
+            .counter(
+                "prov_server_trace_spans_ingested_total",
+                "spans accepted via POST /v1/trace",
+            )
+            .add(n as u64);
+        n
+    }
+
+    /// Cumulative loss counters of the bounded trace store.
+    pub fn trace_store_stats(&self) -> crate::trace::TraceStoreStats {
+        self.traces.stats()
+    }
+
+    /// The Prometheus exposition body: the metrics registry plus the
+    /// trace-store loss counters (which live outside the registry).
+    pub fn render_metrics(&self) -> String {
+        let mut out = self.registry.render_prometheus();
+        let ts = self.traces.stats();
+        out.push_str(&format!(
+            "# HELP prov_server_trace_evictions_total traces evicted FIFO at capacity\n\
+             # TYPE prov_server_trace_evictions_total counter\n\
+             prov_server_trace_evictions_total {}\n\
+             # HELP prov_server_trace_span_drops_total spans dropped at the per-trace cap\n\
+             # TYPE prov_server_trace_span_drops_total counter\n\
+             prov_server_trace_span_drops_total {}\n\
+             # HELP prov_server_traces_retained traces currently held\n\
+             # TYPE prov_server_traces_retained gauge\n\
+             prov_server_traces_retained {}\n",
+            ts.evicted_traces, ts.dropped_spans, ts.retained_traces
+        ));
+        out
+    }
+
     /// Open an in-process session for `tenant`.
     pub fn session(self: &Arc<Self>, tenant: &str) -> Session {
         Session {
@@ -1178,8 +1219,16 @@ impl ProvServer {
         match traced {
             Some((trace_id, parent)) => {
                 let id = SpanId(self.next_span_id());
-                let span =
-                    obs.record_with_ids(pql, backend, micros, rows, accesses, id, Some(parent));
+                let span = obs.record_traced(
+                    pql,
+                    backend,
+                    micros,
+                    rows,
+                    accesses,
+                    id,
+                    Some(parent),
+                    Some(trace_id),
+                );
                 drop(obs);
                 self.traces.record(trace_id, span.clone());
                 Some((trace_id, span))

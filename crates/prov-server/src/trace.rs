@@ -31,6 +31,11 @@ struct Inner {
     traces: HashMap<u128, TraceEntry>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<u128>,
+    /// Cumulative count of traces evicted FIFO at capacity.
+    evicted_traces: u64,
+    /// Cumulative count of spans dropped at the per-trace cap, across all
+    /// traces ever recorded (survives eviction of the trace itself).
+    dropped_spans: u64,
 }
 
 #[derive(Debug, Default)]
@@ -55,6 +60,17 @@ pub struct StoredTrace {
     pub dropped: u64,
 }
 
+/// Cumulative loss counters for a [`TraceStore`], for the metrics plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStoreStats {
+    /// Traces evicted FIFO because the store was at capacity.
+    pub evicted_traces: u64,
+    /// Spans dropped because their trace hit [`MAX_SPANS_PER_TRACE`].
+    pub dropped_spans: u64,
+    /// Distinct traces currently retained.
+    pub retained_traces: usize,
+}
+
 impl TraceStore {
     /// A store retaining at most `capacity` distinct traces (minimum 1).
     pub fn new(capacity: usize) -> TraceStore {
@@ -72,6 +88,7 @@ impl TraceStore {
             while inner.order.len() >= self.capacity {
                 if let Some(old) = inner.order.pop_front() {
                     inner.traces.remove(&old);
+                    inner.evicted_traces += 1;
                 }
             }
             inner.order.push_back(trace_id);
@@ -80,6 +97,7 @@ impl TraceStore {
         let entry = inner.traces.get_mut(&trace_id).expect("just inserted");
         if entry.spans.len() >= MAX_SPANS_PER_TRACE {
             entry.dropped += 1;
+            inner.dropped_spans += 1;
         } else {
             entry.spans.push(span);
         }
@@ -113,6 +131,16 @@ impl TraceStore {
     /// Whether no traces are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Cumulative loss counters since the store was created.
+    pub fn stats(&self) -> TraceStoreStats {
+        let inner = self.inner.lock().unwrap();
+        TraceStoreStats {
+            evicted_traces: inner.evicted_traces,
+            dropped_spans: inner.dropped_spans,
+            retained_traces: inner.traces.len(),
+        }
     }
 }
 
@@ -170,5 +198,20 @@ mod tests {
         let t = store.get(42).unwrap();
         assert_eq!(t.spans.len(), MAX_SPANS_PER_TRACE);
         assert_eq!(t.dropped, 5);
+    }
+
+    #[test]
+    fn stats_accumulate_across_evictions() {
+        let store = TraceStore::new(2);
+        for i in 0..(MAX_SPANS_PER_TRACE as u64 + 3) {
+            store.record(1, span(i, i));
+        }
+        store.record(2, span(1, 1));
+        store.record(3, span(1, 1)); // evicts trace 1
+        store.record(4, span(1, 1)); // evicts trace 2
+        let s = store.stats();
+        assert_eq!(s.evicted_traces, 2);
+        assert_eq!(s.dropped_spans, 3, "drop count survives eviction");
+        assert_eq!(s.retained_traces, 2);
     }
 }

@@ -17,6 +17,8 @@
 //!   *or* purely from stored retrospective provenance,
 //! * [`export`] — Chrome `chrome://tracing` JSON and JSONL span logs,
 //!   with validators and a re-importer,
+//! * [`assemble`] — distributed span assembly: stitched multi-site probe
+//!   logs (`prov-probe`) become one trace under a single W3C context,
 //! * [`json`] — the dependency-free mini JSON reader backing the
 //!   validators.
 //!
@@ -25,6 +27,7 @@
 //! changes. [`Telemetry`] bundles a span collector and a metrics
 //! observer into a single subscriber for the common case.
 
+pub mod assemble;
 pub mod context;
 pub mod export;
 pub mod json;
@@ -32,6 +35,7 @@ pub mod metrics;
 pub mod profile;
 pub mod span;
 
+pub use assemble::assemble_distributed;
 pub use context::{
     parse_tracestate_attempt, render_tracestate_attempt, ContextError, TraceContext,
 };

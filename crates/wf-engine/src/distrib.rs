@@ -1,0 +1,531 @@
+//! Multi-worker execution driver simulating distributed sites.
+//!
+//! The paper's distributed-capture challenge: when workflow modules run at
+//! different sites, no single observer sees the whole run. This driver
+//! makes that concrete *inside one process*: each worker plays a remote
+//! site with its own `prov-probe` [`Probe`], engine events are recorded
+//! locally as binary payloads ([`crate::wire`]), and causality crosses
+//! sites only the way it does in a real deployment — snapshots
+//! piggybacked on the dataflow edges that hand values from one module to
+//! the next. No global event stream exists; the per-worker report blobs
+//! are the *only* observation, and a collector must stitch them back into
+//! one provenance record after the fact (see `prov-core`'s stitcher).
+//!
+//! Scheduling runs in rounds: each round scope-spawns one closure per
+//! site that drains the site's ready queue and exits (claim-or-exit, the
+//! same non-blocking discipline as the parallel driver — it must behave
+//! under both real scoped threads and the sequential offline stub).
+//! Between rounds the coordinator handles skip cascades from failed
+//! modules. The coordinator's probe (site index `workers`) records the
+//! run-level events; its snapshot exchange with workers is marked
+//! *control* so stitchers can distinguish scheduler bookkeeping from
+//! dataflow happens-before edges.
+
+use crate::error::ExecError;
+use crate::event::{now_millis, EngineEvent, ExecObserver};
+use crate::exec::{skip_node, ExecutionResult, Executor, NodeRunRecord, RunStatus};
+use crate::value::Value;
+use crate::wire::encode_event;
+use parking_lot::Mutex;
+use prov_probe::{Probe, ProbeId, Report, Snapshot, DEFAULT_RING_CAPACITY};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+use wf_model::{NodeId, Workflow};
+
+/// The coordinator's site index is always `workers + COORDINATOR_SITE_OFFSET`
+/// (i.e. one past the last worker).
+pub const COORDINATOR_SITE_OFFSET: u32 = 0;
+
+/// Configuration for one distributed run.
+#[derive(Debug, Clone)]
+pub struct DistribOptions {
+    /// Number of worker threads (simulated sites); minimum 1.
+    pub workers: usize,
+    /// Whether capture probes are attached. `false` runs the identical
+    /// driver without any recording — the overhead baseline of E21.
+    pub probed: bool,
+    /// Ring capacity per probe (small rings force drop gaps, for tests).
+    pub ring_capacity: usize,
+    /// Distributed trace id carried by every probe and snapshot
+    /// (zero = untraced).
+    pub trace_id: u128,
+}
+
+impl DistribOptions {
+    /// Probed execution on `workers` sites with the default ring.
+    pub fn new(workers: usize) -> Self {
+        DistribOptions {
+            workers: workers.max(1),
+            probed: true,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            trace_id: 0,
+        }
+    }
+
+    /// Disable probes (baseline mode).
+    pub fn unprobed(mut self) -> Self {
+        self.probed = false;
+        self
+    }
+
+    /// Carry a distributed trace id through every probe and snapshot.
+    pub fn with_trace_id(mut self, trace_id: u128) -> Self {
+        self.trace_id = trace_id;
+        self
+    }
+
+    /// Bound each probe's ring to `capacity` entries.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// The outcome of a distributed run: the ordinary execution result plus
+/// the per-site report blobs that are the run's only provenance record.
+#[derive(Debug)]
+pub struct DistributedRun {
+    /// The execution result (values, records, status) — what a caller
+    /// standing at the coordinator would see.
+    pub result: ExecutionResult,
+    /// One report per site, workers first, coordinator last. Empty when
+    /// the run was unprobed.
+    pub reports: Vec<Report>,
+    /// Which site executed each node (skipped nodes map to the site they
+    /// were assigned to, though their skip event is coordinator-recorded).
+    pub sites: BTreeMap<NodeId, u32>,
+    /// The trace id the run carried (zero = untraced).
+    pub trace_id: u128,
+}
+
+/// Deterministic node→site assignment used by the driver: round-robin
+/// over the workflow's node order.
+pub fn site_of(position: usize, workers: usize) -> u32 {
+    (position % workers.max(1)) as u32
+}
+
+/// Observer adapter recording events into a probe as wire payloads.
+struct ProbeRecorder<'p> {
+    probe: Option<&'p mut Probe>,
+}
+
+impl ExecObserver for ProbeRecorder<'_> {
+    fn on_event(&mut self, event: &EngineEvent) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.record_event(encode_event(event));
+        }
+    }
+}
+
+/// Per-site worker state that persists across scheduling rounds.
+struct SiteSlot {
+    probe: Option<Probe>,
+    merged_init: bool,
+}
+
+/// State shared between the coordinator and the site workers.
+struct Shared {
+    /// Remaining unfinished predecessors per node index.
+    pending: Vec<usize>,
+    /// Per-site queues of runnable nodes (all predecessors succeeded).
+    ready: Vec<VecDeque<usize>>,
+    /// Nodes whose predecessors finished but not all succeeded — the
+    /// coordinator turns these into skip records between rounds.
+    skip_ready: VecDeque<usize>,
+    records: BTreeMap<NodeId, NodeRunRecord>,
+    values: BTreeMap<(NodeId, String), Value>,
+    /// Completion snapshot of each finished node, keyed by node index —
+    /// consumers data-merge these before running.
+    site_snapshots: BTreeMap<usize, Snapshot>,
+    done: usize,
+    error: Option<ExecError>,
+}
+
+impl Shared {
+    /// Mark node index `i` finished and classify newly-unblocked
+    /// successors as runnable or skippable.
+    fn finish(
+        &mut self,
+        i: usize,
+        g: &wf_model::graph::Digraph,
+        ids: &[NodeId],
+        assignment: &[u32],
+        record: NodeRunRecord,
+    ) {
+        self.records.insert(ids[i], record);
+        self.done += 1;
+        for &succ in g.successors(i) {
+            self.pending[succ] -= 1;
+            if self.pending[succ] == 0 {
+                let all_ok = g.predecessors(succ).iter().all(|&p| {
+                    self.records
+                        .get(&ids[p])
+                        .map(|r| r.status == RunStatus::Succeeded)
+                        .unwrap_or(false)
+                });
+                if all_ok {
+                    self.ready[assignment[succ] as usize].push_back(succ);
+                } else {
+                    self.skip_ready.push_back(succ);
+                }
+            }
+        }
+    }
+}
+
+impl Executor {
+    /// Run `wf` across `opts.workers` simulated sites.
+    ///
+    /// Scheduling is dataflow-driven like [`Executor::run_parallel`], but
+    /// every node executes at its assigned site with that site's probe
+    /// observing it; values handed across sites carry the producer's
+    /// causality snapshot. The returned [`DistributedRun::reports`] are
+    /// the only record of what happened — feed them to a collector.
+    pub fn run_distributed(
+        &self,
+        wf: &Workflow,
+        opts: DistribOptions,
+    ) -> Result<DistributedRun, ExecError> {
+        let workers = opts.workers.max(1);
+        let (g, ids, _index) = wf.digraph();
+        if !g.is_dag() {
+            return Err(ExecError::InvalidWorkflow("workflow has a cycle".into()));
+        }
+        let exec = self.allocate_exec();
+        let started = Instant::now();
+        let n = ids.len();
+        let assignment: Vec<u32> = (0..n).map(|i| site_of(i, workers)).collect();
+
+        // Coordinator probe: run-level events and control merges.
+        let mut coord = opts.probed.then(|| {
+            Probe::with_capacity(ProbeId(workers as u32), opts.ring_capacity)
+                .with_trace_id(opts.trace_id)
+        });
+        {
+            let mut rec = ProbeRecorder {
+                probe: coord.as_mut(),
+            };
+            rec.on_event(&EngineEvent::WorkflowStarted {
+                exec,
+                workflow: wf.id,
+                name: wf.name.clone(),
+                at_millis: now_millis(),
+            });
+        }
+        let init_snapshot = coord.as_mut().map(|p| p.produce_snapshot());
+
+        let mut slots: Vec<SiteSlot> = (0..workers)
+            .map(|w| SiteSlot {
+                probe: opts.probed.then(|| {
+                    Probe::with_capacity(ProbeId(w as u32), opts.ring_capacity)
+                        .with_trace_id(opts.trace_id)
+                }),
+                merged_init: false,
+            })
+            .collect();
+
+        let mut pending: Vec<usize> = vec![0; n];
+        for (i, p) in pending.iter_mut().enumerate() {
+            *p = g.predecessors(i).len();
+        }
+        let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        for i in 0..n {
+            if pending[i] == 0 {
+                ready[assignment[i] as usize].push_back(i);
+            }
+        }
+        let shared = Mutex::new(Shared {
+            pending,
+            ready,
+            skip_ready: VecDeque::new(),
+            records: BTreeMap::new(),
+            values: BTreeMap::new(),
+            site_snapshots: BTreeMap::new(),
+            done: 0,
+            error: None,
+        });
+
+        // Rounds: run site workers until queues drain, then let the
+        // coordinator absorb skip cascades; repeat until every node is
+        // accounted for. Each round makes progress, so this terminates.
+        loop {
+            // Coordinator: skip cascade. Control-merge the predecessors'
+            // snapshots first so the skip record happens-after the
+            // failure it reacts to.
+            loop {
+                let (i, pred_snaps) = {
+                    let mut s = shared.lock();
+                    let Some(i) = s.skip_ready.pop_front() else {
+                        break;
+                    };
+                    let snaps: Vec<Snapshot> = g
+                        .predecessors(i)
+                        .iter()
+                        .filter_map(|p| s.site_snapshots.get(p).cloned())
+                        .collect();
+                    (i, snaps)
+                };
+                if let Some(c) = coord.as_mut() {
+                    for snap in &pred_snaps {
+                        c.merge_snapshot_control(snap);
+                    }
+                }
+                let identity = wf
+                    .node(ids[i])
+                    .map(|nd| nd.kind_identity())
+                    .unwrap_or_default();
+                let record = {
+                    let mut rec = ProbeRecorder {
+                        probe: coord.as_mut(),
+                    };
+                    skip_node(&mut rec, exec, ids[i], identity)
+                };
+                shared.lock().finish(i, &g, &ids, &assignment, record);
+            }
+
+            {
+                let s = shared.lock();
+                if s.error.is_some() || s.done == n {
+                    break;
+                }
+                if s.ready.iter().all(|q| q.is_empty()) {
+                    // Unreachable for a DAG; guard against looping forever.
+                    drop(s);
+                    shared.lock().error = Some(ExecError::InvalidWorkflow(
+                        "distributed scheduler stalled".into(),
+                    ));
+                    break;
+                }
+            }
+
+            // One round of site work.
+            crossbeam::thread::scope(|scope| {
+                for (w, slot) in slots.iter_mut().enumerate() {
+                    let shared = &shared;
+                    let init_snapshot = init_snapshot.as_ref();
+                    let g = &g;
+                    let ids = &ids[..];
+                    let assignment = &assignment[..];
+                    scope.spawn(move |_| loop {
+                        // Claim the next node of this site or exit the
+                        // round; never block (see module docs).
+                        let (i, node_id, inputs, pred_snaps) = {
+                            let mut s = shared.lock();
+                            if s.error.is_some() {
+                                break;
+                            }
+                            let Some(i) = s.ready[w].pop_front() else {
+                                break;
+                            };
+                            let node_id = ids[i];
+                            let mut inputs: Vec<((NodeId, String), Value)> = Vec::new();
+                            for conn in wf.inputs_of(node_id) {
+                                let k = (conn.from.node, conn.from.port.clone());
+                                if let Some(v) = s.values.get(&k) {
+                                    inputs.push((k, v.clone()));
+                                }
+                            }
+                            let snaps: Vec<Snapshot> = g
+                                .predecessors(i)
+                                .iter()
+                                .filter_map(|p| s.site_snapshots.get(p).cloned())
+                                .collect();
+                            (i, node_id, inputs, snaps)
+                        };
+                        if let Some(p) = slot.probe.as_mut() {
+                            if !slot.merged_init {
+                                slot.merged_init = true;
+                                if let Some(init) = init_snapshot {
+                                    p.merge_snapshot_control(init);
+                                }
+                            }
+                            // Dataflow merges: the producer's causality
+                            // arrives with its outputs.
+                            for snap in &pred_snaps {
+                                p.merge_snapshot(snap);
+                            }
+                        }
+                        let mut local: BTreeMap<(NodeId, String), Value> =
+                            inputs.into_iter().collect();
+                        let outcome = {
+                            let mut rec = ProbeRecorder {
+                                probe: slot.probe.as_mut(),
+                            };
+                            self.run_node(wf, node_id, exec, &mut local, &mut rec)
+                        };
+                        let snapshot = slot.probe.as_mut().map(|p| p.produce_snapshot());
+                        let mut s = shared.lock();
+                        match outcome {
+                            Err(e) => {
+                                s.error = Some(e);
+                                break;
+                            }
+                            Ok(record) => {
+                                for ((nid, port), v) in local {
+                                    if nid == node_id {
+                                        s.values.insert((nid, port), v);
+                                    }
+                                }
+                                if let Some(snap) = snapshot {
+                                    s.site_snapshots.insert(i, snap);
+                                }
+                                s.finish(i, g, ids, assignment, record);
+                            }
+                        }
+                    });
+                }
+            })
+            .map_err(|_| ExecError::WorkerPanicked {
+                node: None,
+                message: "distributed site worker panicked".into(),
+            })?;
+        }
+
+        let mut s = shared.into_inner();
+        if let Some(e) = s.error.take() {
+            return Err(e);
+        }
+
+        // Close the causal story: every site's final snapshot merges
+        // (control) into the coordinator before the run-finished event,
+        // so WorkflowFinished happens-after all recorded work.
+        let status = if s.records.values().all(|r| r.status == RunStatus::Succeeded) {
+            RunStatus::Succeeded
+        } else {
+            RunStatus::Failed
+        };
+        if let Some(c) = coord.as_mut() {
+            for slot in &mut slots {
+                if let Some(p) = slot.probe.as_mut() {
+                    let snap = p.produce_snapshot();
+                    c.merge_snapshot_control(&snap);
+                }
+            }
+        }
+        {
+            let mut rec = ProbeRecorder {
+                probe: coord.as_mut(),
+            };
+            rec.on_event(&EngineEvent::WorkflowFinished {
+                exec,
+                status,
+                at_millis: now_millis(),
+            });
+        }
+
+        let mut reports: Vec<Report> = Vec::new();
+        for slot in &mut slots {
+            if let Some(p) = slot.probe.as_mut() {
+                reports.push(p.report());
+            }
+        }
+        if let Some(c) = coord.as_mut() {
+            reports.push(c.report());
+        }
+
+        let sites = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, assignment[i]))
+            .collect();
+        Ok(DistributedRun {
+            result: ExecutionResult {
+                exec,
+                status,
+                node_runs: s.records,
+                values: s.values,
+                elapsed_micros: started.elapsed().as_micros() as u64,
+                resumed_from: None,
+            },
+            reports,
+            sites,
+            trace_id: opts.trace_id,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::stdlib::standard_registry;
+    use crate::synth::{challenge_workflow, figure1_workflow};
+    use prov_probe::Collector;
+
+    #[test]
+    fn distributed_run_matches_sequential_values() {
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let seq = exec.run(&wf).unwrap();
+        let dist = exec.run_distributed(&wf, DistribOptions::new(3)).unwrap();
+        assert_eq!(dist.result.status, RunStatus::Succeeded);
+        assert_eq!(dist.result.fingerprint(), seq.fingerprint());
+        assert_eq!(dist.reports.len(), 4, "three workers + coordinator");
+        assert_eq!(dist.sites.len(), wf.node_count());
+    }
+
+    #[test]
+    fn unprobed_run_produces_no_reports() {
+        let (wf, _) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry());
+        let dist = exec
+            .run_distributed(&wf, DistribOptions::new(2).unprobed())
+            .unwrap();
+        assert!(dist.reports.is_empty());
+        assert_eq!(dist.result.status, RunStatus::Succeeded);
+    }
+
+    #[test]
+    fn reports_stitch_into_a_complete_order_with_trace_id() {
+        let wf = challenge_workflow(1, 3, 2);
+        let exec = Executor::new(standard_registry());
+        let dist = exec
+            .run_distributed(&wf, DistribOptions::new(4).with_trace_id(0xfeed))
+            .unwrap();
+        let mut c = Collector::new();
+        for r in &dist.reports {
+            c.ingest(r.clone());
+        }
+        let s = c.stitch();
+        assert!(s.is_complete(), "gaps: {:?}", s.gaps);
+        assert_eq!(s.trace_id, Some(0xfeed));
+        // Every recorded event payload decodes.
+        let mut events = 0;
+        for e in &s.entries {
+            if let prov_probe::LogEntry::Event(payload) = &e.entry {
+                crate::wire::decode_event(payload).unwrap();
+                events += 1;
+            }
+        }
+        // Run started/finished + per-node module events at minimum.
+        assert!(events >= 2 + wf.node_count());
+    }
+
+    #[test]
+    fn failures_skip_downstream_and_record_at_the_coordinator() {
+        let (wf, nodes) = figure1_workflow(1);
+        let exec = Executor::new(standard_registry())
+            .with_faults(FaultPlan::new().fail_always(nodes.load, "dead site"));
+        let dist = exec.run_distributed(&wf, DistribOptions::new(2)).unwrap();
+        assert_eq!(dist.result.status, RunStatus::Failed);
+        let skipped = dist
+            .result
+            .node_runs
+            .values()
+            .filter(|r| r.status == RunStatus::Skipped)
+            .count();
+        assert!(skipped > 0, "downstream of the dead module is skipped");
+        // Coordinator report carries the skip events.
+        let coord = dist.reports.last().unwrap();
+        let skips = coord
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e, prov_probe::LogEntry::Event(p)
+                if matches!(crate::wire::decode_event(p),
+                    Ok(EngineEvent::ModuleFinished { status: RunStatus::Skipped, .. })))
+            })
+            .count();
+        assert_eq!(skips, skipped);
+    }
+}

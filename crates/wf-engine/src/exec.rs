@@ -243,7 +243,7 @@ impl Executor {
         }
     }
 
-    fn allocate_exec(&self) -> ExecId {
+    pub(crate) fn allocate_exec(&self) -> ExecId {
         ExecId(self.next_exec.fetch_add(1, Ordering::Relaxed))
     }
 
@@ -417,7 +417,7 @@ impl Executor {
     /// Execute one node: bind inputs, consult the cache, run the body under
     /// the node's retry policy and deadline, route outputs. Returns the run
     /// record; produced values land in `values`.
-    fn run_node(
+    pub(crate) fn run_node(
         &self,
         wf: &Workflow,
         node_id: NodeId,
@@ -903,7 +903,7 @@ fn emit_run_finished(observer: &mut dyn ExecObserver, exec: ExecId, status: RunS
 /// Record and report one node skipped because an upstream dependency did
 /// not succeed: emits the terminal `ModuleFinished { Skipped }` event
 /// (skipped nodes never emit `ModuleStarted`) and builds the run record.
-fn skip_node(
+pub(crate) fn skip_node(
     observer: &mut dyn ExecObserver,
     exec: ExecId,
     node_id: NodeId,

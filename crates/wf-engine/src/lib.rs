@@ -24,10 +24,16 @@
 //!   provenance (the §2.4 "connecting database and workflow provenance"
 //!   substrate),
 //! * [`sweep`] — parameter-space exploration on top of the cache,
-//! * [`synth`] — synthetic workload generators for tests and benchmarks.
+//! * [`synth`] — synthetic workload generators for tests and benchmarks,
+//! * [`distrib`] — the multi-worker driver simulating distributed sites,
+//!   with per-worker capture probes (`prov-probe`) and snapshot exchange
+//!   piggybacked on dataflow edges,
+//! * [`wire`] — a dependency-free binary codec for [`EngineEvent`], so
+//!   event streams can cross process boundaries inside probe reports.
 
 pub mod cache;
 pub mod dbops;
+pub mod distrib;
 pub mod error;
 pub mod event;
 pub mod exec;
@@ -38,8 +44,10 @@ pub mod stdlib;
 pub mod sweep;
 pub mod synth;
 pub mod value;
+pub mod wire;
 
 pub use cache::RunCache;
+pub use distrib::{site_of, DistribOptions, DistributedRun, COORDINATOR_SITE_OFFSET};
 pub use error::{ErrorClass, ExecError};
 pub use event::{EngineEvent, ExecObserver, FanoutObserver, ValueMeta};
 pub use exec::{ExecId, ExecutionResult, Executor, NodeRunRecord, NullObserver, RunStatus};

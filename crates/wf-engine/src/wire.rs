@@ -1,0 +1,548 @@
+//! Dependency-free binary codec for [`EngineEvent`].
+//!
+//! The distributed driver records engine events into per-worker probes as
+//! opaque byte payloads; the stitcher decodes them back on the collector
+//! side. The format is a compact hand-rolled little-endian encoding
+//! (tagged by variant), so event streams cross process boundaries without
+//! any serialization library in the loop.
+
+use crate::event::{EngineEvent, ValueMeta};
+use crate::exec::{ExecId, RunStatus};
+use wf_model::{NodeId, ParamValue, WorkflowId};
+
+/// Decoding failure for an event payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a field was complete.
+    Truncated,
+    /// An unknown event or value tag.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated event payload"),
+            WireError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            WireError::BadUtf8 => write!(f, "event string is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct W(Vec<u8>);
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn s(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v.as_bytes());
+    }
+    fn opt_s(&mut self, v: Option<&str>) {
+        match v {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.s(s);
+            }
+        }
+    }
+    fn status(&mut self, v: RunStatus) {
+        self.u8(match v {
+            RunStatus::Succeeded => 0,
+            RunStatus::Failed => 1,
+            RunStatus::Skipped => 2,
+        });
+    }
+    fn meta(&mut self, m: &ValueMeta) {
+        self.s(&m.dtype);
+        self.u64(m.hash);
+        self.u64(m.size as u64);
+        self.opt_s(m.preview.as_deref());
+    }
+    fn param(&mut self, p: &ParamValue) {
+        match p {
+            ParamValue::Bool(b) => {
+                self.u8(0);
+                self.u8(u8::from(*b));
+            }
+            ParamValue::Int(i) => {
+                self.u8(1);
+                self.i64(*i);
+            }
+            ParamValue::Float(x) => {
+                self.u8(2);
+                self.f64(*x);
+            }
+            ParamValue::Text(s) => {
+                self.u8(3);
+                self.s(s);
+            }
+        }
+    }
+}
+
+struct R<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn s(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+    fn opt_s(&mut self) -> Result<Option<String>, WireError> {
+        Ok(match self.u8()? {
+            0 => None,
+            _ => Some(self.s()?),
+        })
+    }
+    fn status(&mut self) -> Result<RunStatus, WireError> {
+        match self.u8()? {
+            0 => Ok(RunStatus::Succeeded),
+            1 => Ok(RunStatus::Failed),
+            2 => Ok(RunStatus::Skipped),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+    fn meta(&mut self) -> Result<ValueMeta, WireError> {
+        Ok(ValueMeta {
+            dtype: self.s()?,
+            hash: self.u64()?,
+            size: self.u64()? as usize,
+            preview: self.opt_s()?,
+        })
+    }
+    fn param(&mut self) -> Result<ParamValue, WireError> {
+        match self.u8()? {
+            0 => Ok(ParamValue::Bool(self.u8()? != 0)),
+            1 => Ok(ParamValue::Int(self.i64()?)),
+            2 => Ok(ParamValue::Float(self.f64()?)),
+            3 => Ok(ParamValue::Text(self.s()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Encode one event as a self-contained binary payload.
+pub fn encode_event(event: &EngineEvent) -> Vec<u8> {
+    let mut w = W(Vec::with_capacity(48));
+    match event {
+        EngineEvent::WorkflowStarted {
+            exec,
+            workflow,
+            name,
+            at_millis,
+        } => {
+            w.u8(0);
+            w.u64(exec.0);
+            w.u64(workflow.0);
+            w.s(name);
+            w.u64(*at_millis);
+        }
+        EngineEvent::ModuleStarted {
+            exec,
+            node,
+            identity,
+            params,
+            at_millis,
+        } => {
+            w.u8(1);
+            w.u64(exec.0);
+            w.u64(node.0);
+            w.s(identity);
+            w.u32(params.len() as u32);
+            for (k, v) in params {
+                w.s(k);
+                w.param(v);
+            }
+            w.u64(*at_millis);
+        }
+        EngineEvent::InputBound {
+            exec,
+            node,
+            port,
+            meta,
+        } => {
+            w.u8(2);
+            w.u64(exec.0);
+            w.u64(node.0);
+            w.s(port);
+            w.meta(meta);
+        }
+        EngineEvent::OutputProduced {
+            exec,
+            node,
+            port,
+            meta,
+        } => {
+            w.u8(3);
+            w.u64(exec.0);
+            w.u64(node.0);
+            w.s(port);
+            w.meta(meta);
+        }
+        EngineEvent::CacheChecked {
+            exec,
+            node,
+            hit,
+            elapsed_micros,
+        } => {
+            w.u8(4);
+            w.u64(exec.0);
+            w.u64(node.0);
+            w.u8(u8::from(*hit));
+            w.u64(*elapsed_micros);
+        }
+        EngineEvent::ModuleFinished {
+            exec,
+            node,
+            status,
+            elapsed_micros,
+            from_cache,
+            error,
+        } => {
+            w.u8(5);
+            w.u64(exec.0);
+            w.u64(node.0);
+            w.status(*status);
+            w.u64(*elapsed_micros);
+            w.u8(u8::from(*from_cache));
+            w.opt_s(error.as_deref());
+        }
+        EngineEvent::WorkflowFinished {
+            exec,
+            status,
+            at_millis,
+        } => {
+            w.u8(6);
+            w.u64(exec.0);
+            w.status(*status);
+            w.u64(*at_millis);
+        }
+        EngineEvent::AttemptStarted {
+            exec,
+            node,
+            attempt,
+        } => {
+            w.u8(7);
+            w.u64(exec.0);
+            w.u64(node.0);
+            w.u32(*attempt);
+        }
+        EngineEvent::AttemptFailed {
+            exec,
+            node,
+            attempt,
+            error,
+            will_retry,
+        } => {
+            w.u8(8);
+            w.u64(exec.0);
+            w.u64(node.0);
+            w.u32(*attempt);
+            w.s(error);
+            w.u8(u8::from(*will_retry));
+        }
+        EngineEvent::BackoffStarted {
+            exec,
+            node,
+            next_attempt,
+            delay_micros,
+        } => {
+            w.u8(9);
+            w.u64(exec.0);
+            w.u64(node.0);
+            w.u32(*next_attempt);
+            w.u64(*delay_micros);
+        }
+        EngineEvent::ModuleTimedOut {
+            exec,
+            node,
+            attempt,
+            limit_micros,
+        } => {
+            w.u8(10);
+            w.u64(exec.0);
+            w.u64(node.0);
+            w.u32(*attempt);
+            w.u64(*limit_micros);
+        }
+        EngineEvent::RunResumed {
+            exec,
+            resumed_from,
+            reused,
+        } => {
+            w.u8(11);
+            w.u64(exec.0);
+            w.u64(resumed_from.0);
+            w.u64(*reused as u64);
+        }
+    }
+    w.0
+}
+
+/// Decode a payload produced by [`encode_event`].
+pub fn decode_event(bytes: &[u8]) -> Result<EngineEvent, WireError> {
+    let mut r = R { bytes, pos: 0 };
+    let tag = r.u8()?;
+    let event = match tag {
+        0 => EngineEvent::WorkflowStarted {
+            exec: ExecId(r.u64()?),
+            workflow: WorkflowId(r.u64()?),
+            name: r.s()?,
+            at_millis: r.u64()?,
+        },
+        1 => {
+            let exec = ExecId(r.u64()?);
+            let node = NodeId(r.u64()?);
+            let identity = r.s()?;
+            let n = r.u32()? as usize;
+            let mut params = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = r.s()?;
+                let v = r.param()?;
+                params.push((k, v));
+            }
+            EngineEvent::ModuleStarted {
+                exec,
+                node,
+                identity,
+                params,
+                at_millis: r.u64()?,
+            }
+        }
+        2 => EngineEvent::InputBound {
+            exec: ExecId(r.u64()?),
+            node: NodeId(r.u64()?),
+            port: r.s()?,
+            meta: r.meta()?,
+        },
+        3 => EngineEvent::OutputProduced {
+            exec: ExecId(r.u64()?),
+            node: NodeId(r.u64()?),
+            port: r.s()?,
+            meta: r.meta()?,
+        },
+        4 => EngineEvent::CacheChecked {
+            exec: ExecId(r.u64()?),
+            node: NodeId(r.u64()?),
+            hit: r.u8()? != 0,
+            elapsed_micros: r.u64()?,
+        },
+        5 => EngineEvent::ModuleFinished {
+            exec: ExecId(r.u64()?),
+            node: NodeId(r.u64()?),
+            status: r.status()?,
+            elapsed_micros: r.u64()?,
+            from_cache: r.u8()? != 0,
+            error: r.opt_s()?,
+        },
+        6 => EngineEvent::WorkflowFinished {
+            exec: ExecId(r.u64()?),
+            status: r.status()?,
+            at_millis: r.u64()?,
+        },
+        7 => EngineEvent::AttemptStarted {
+            exec: ExecId(r.u64()?),
+            node: NodeId(r.u64()?),
+            attempt: r.u32()?,
+        },
+        8 => EngineEvent::AttemptFailed {
+            exec: ExecId(r.u64()?),
+            node: NodeId(r.u64()?),
+            attempt: r.u32()?,
+            error: r.s()?,
+            will_retry: r.u8()? != 0,
+        },
+        9 => EngineEvent::BackoffStarted {
+            exec: ExecId(r.u64()?),
+            node: NodeId(r.u64()?),
+            next_attempt: r.u32()?,
+            delay_micros: r.u64()?,
+        },
+        10 => EngineEvent::ModuleTimedOut {
+            exec: ExecId(r.u64()?),
+            node: NodeId(r.u64()?),
+            attempt: r.u32()?,
+            limit_micros: r.u64()?,
+        },
+        11 => EngineEvent::RunResumed {
+            exec: ExecId(r.u64()?),
+            resumed_from: ExecId(r.u64()?),
+            reused: r.u64()? as usize,
+        },
+        t => return Err(WireError::BadTag(t)),
+    };
+    if r.pos != bytes.len() {
+        return Err(WireError::Truncated);
+    }
+    Ok(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<EngineEvent> {
+        vec![
+            EngineEvent::WorkflowStarted {
+                exec: ExecId(3),
+                workflow: WorkflowId(9),
+                name: "fig1".into(),
+                at_millis: 1234,
+            },
+            EngineEvent::ModuleStarted {
+                exec: ExecId(3),
+                node: NodeId(1),
+                identity: "Histogram@1".into(),
+                params: vec![
+                    ("bins".into(), ParamValue::Int(64)),
+                    ("norm".into(), ParamValue::Bool(true)),
+                    ("scale".into(), ParamValue::Float(0.5)),
+                    ("label".into(), ParamValue::Text("hüst".into())),
+                ],
+                at_millis: 1235,
+            },
+            EngineEvent::InputBound {
+                exec: ExecId(3),
+                node: NodeId(1),
+                port: "in".into(),
+                meta: ValueMeta {
+                    dtype: "grid".into(),
+                    hash: 0xdead_beef,
+                    size: 4096,
+                    preview: None,
+                },
+            },
+            EngineEvent::OutputProduced {
+                exec: ExecId(3),
+                node: NodeId(1),
+                port: "out".into(),
+                meta: ValueMeta {
+                    dtype: "int".into(),
+                    hash: 7,
+                    size: 8,
+                    preview: Some("7".into()),
+                },
+            },
+            EngineEvent::CacheChecked {
+                exec: ExecId(3),
+                node: NodeId(1),
+                hit: true,
+                elapsed_micros: 12,
+            },
+            EngineEvent::ModuleFinished {
+                exec: ExecId(3),
+                node: NodeId(1),
+                status: RunStatus::Failed,
+                elapsed_micros: 99,
+                from_cache: false,
+                error: Some("boom".into()),
+            },
+            EngineEvent::WorkflowFinished {
+                exec: ExecId(3),
+                status: RunStatus::Succeeded,
+                at_millis: 2000,
+            },
+            EngineEvent::AttemptStarted {
+                exec: ExecId(3),
+                node: NodeId(2),
+                attempt: 2,
+            },
+            EngineEvent::AttemptFailed {
+                exec: ExecId(3),
+                node: NodeId(2),
+                attempt: 2,
+                error: "transient".into(),
+                will_retry: true,
+            },
+            EngineEvent::BackoffStarted {
+                exec: ExecId(3),
+                node: NodeId(2),
+                next_attempt: 3,
+                delay_micros: 500,
+            },
+            EngineEvent::ModuleTimedOut {
+                exec: ExecId(3),
+                node: NodeId(2),
+                attempt: 3,
+                limit_micros: 1_000_000,
+            },
+            EngineEvent::RunResumed {
+                exec: ExecId(4),
+                resumed_from: ExecId(3),
+                reused: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for ev in samples() {
+            let blob = encode_event(&ev);
+            let back = decode_event(&blob).expect("decodes");
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_rejected() {
+        assert_eq!(decode_event(&[]).unwrap_err(), WireError::Truncated);
+        assert_eq!(decode_event(&[200]).unwrap_err(), WireError::BadTag(200));
+        for ev in samples() {
+            let blob = encode_event(&ev);
+            for cut in 0..blob.len() {
+                assert!(decode_event(&blob[..cut]).is_err(), "prefix must fail");
+            }
+            let mut extended = blob.clone();
+            extended.push(0);
+            assert_eq!(
+                decode_event(&extended).unwrap_err(),
+                WireError::Truncated,
+                "trailing bytes rejected"
+            );
+        }
+    }
+}

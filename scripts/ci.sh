@@ -159,6 +159,32 @@ cargo run --release -q -p bench --bin report observability
 test -s BENCH_observability.json
 awk -F': ' '/overhead_ratio/ { exit !($2 + 0 >= 0.95) }' BENCH_observability.json
 
+echo "==> distributed-capture smoke: multi-worker run, stitch, happens-before + trace"
+BLOB_DIR="$SMOKE_DIR/blobs"
+./target/release/provctl capture fig1 "$BLOB_DIR" workers=3 trace=auto \
+    > "$SMOKE_DIR/capture.out"
+grep -q "^trace " "$SMOKE_DIR/capture.out"
+CAPTURE_TRACE="$(sed -n 's/^trace //p' "$SMOKE_DIR/capture.out")"
+test "$(ls "$BLOB_DIR"/site*.prb | wc -l)" -eq 4
+./target/release/provctl stitch "$BLOB_DIR" "out=$SMOKE_DIR/stitched.json" \
+    > "$SMOKE_DIR/stitch.out"
+# Cross-worker causality must be recovered at module granularity, the
+# capture's trace id must survive the stitch, and no gaps may be reported
+# for a complete blob set.
+grep -q "happens-before site0/" "$SMOKE_DIR/stitch.out"
+grep -q " -> site" "$SMOKE_DIR/stitch.out"
+grep -q "^trace $CAPTURE_TRACE\$" "$SMOKE_DIR/stitch.out"
+! grep -q "^gap:" "$SMOKE_DIR/stitch.out"
+test -s "$SMOKE_DIR/stitched.json"
+./target/release/provctl query "$SMOKE_DIR/stitched.json" "count runs" | grep -qx "8"
+PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test distributed
+PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test property_distrib
+
+echo "==> E21: distributed capture benchmark (gate: probe overhead <= 5%)"
+cargo run --release -q -p bench --bin report distributed
+test -s BENCH_distributed.json
+awk -F': ' '/overhead_ratio/ { exit !($2 + 0 >= 0.95) }' BENCH_distributed.json
+
 echo "==> E16: query observability overhead benchmark"
 cargo run --release -q -p bench --bin report query
 test -s BENCH_query.json

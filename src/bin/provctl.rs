@@ -76,6 +76,13 @@ fn usage() -> ExitCode {
          \x20 trace    <wf.json> <trace.json>\n\
          \x20          [spans=<file>] [threads=N]          run with telemetry, export Chrome trace\n\
          \x20 tracecheck <trace.json>                    validate a Chrome trace file\n\
+         \x20 capture  <wf.json> <blob_dir> [workers=N] [ring=N]\n\
+         \x20          [trace=<32hex|auto>] [unprobed]     run across simulated sites; each site's\n\
+         \x20                                             probe log lands in <blob_dir>/site<i>.prb\n\
+         \x20 stitch   <blob_dir|blob.prb...> [out=<prov.json>]\n\
+         \x20                                             reassemble site reports (any order) into\n\
+         \x20                                             one provenance record; prints gaps and\n\
+         \x20                                             cross-site happens-before edges\n\
          \x20 metrics  <wf.json> [threads=N]             run and print Prometheus metrics\n\
          \x20 serve    <addr> [workers=N] [max_inflight=N]\n\
          \x20          [rate_per_sec=F] [burst=N]          serve ingest + PQL over HTTP/JSON\n\
@@ -111,8 +118,15 @@ fn load_workflow(path: &str) -> Result<Workflow, String> {
 }
 
 fn load_prov(path: &str) -> Result<RetrospectiveProvenance, String> {
-    RetrospectiveProvenance::from_json(&read(path)?)
-        .map_err(|e| format!("bad provenance in {path}: {e}"))
+    let text = read(path)?;
+    // Try the serde-free wire format first (written by `stitch out=` and
+    // spoken by the server), then the serde at-rest format from `run`.
+    if let Ok(v) = telemetry::parse_json(&text) {
+        if let Ok(retro) = prov_server::wire::retro_from_json(&v) {
+            return Ok(retro);
+        }
+    }
+    RetrospectiveProvenance::from_json(&text).map_err(|e| format!("bad provenance in {path}: {e}"))
 }
 
 /// An empty store backend by name (the log backend is ephemeral — the
@@ -510,6 +524,148 @@ fn run() -> Result<(), String> {
         ["tracecheck", path] => {
             let events = telemetry::validate_chrome_trace(&read(path)?)?;
             println!("{path}: valid Chrome trace ({events} events)");
+            Ok(())
+        }
+        ["capture", wf_path, blob_dir, rest @ ..] => {
+            let mut workers = 4usize;
+            let mut ring = provenance_workflows::probe::DEFAULT_RING_CAPACITY;
+            let mut trace_id: u128 = 0;
+            let mut probed = true;
+            for opt in rest {
+                if *opt == "unprobed" {
+                    probed = false;
+                    continue;
+                }
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("unknown capture option '{opt}'"))?;
+                match key {
+                    "workers" => {
+                        workers = value
+                            .parse()
+                            .map_err(|_| format!("workers needs an integer, got '{value}'"))?
+                    }
+                    "ring" => {
+                        ring = value
+                            .parse()
+                            .map_err(|_| format!("ring needs an integer, got '{value}'"))?
+                    }
+                    "trace" => {
+                        trace_id = if value == "auto" {
+                            telemetry::TraceContext::root(workers as u64, 1).trace_id
+                        } else {
+                            telemetry::TraceContext::parse_trace_id(value)
+                                .map_err(|e| e.to_string())?
+                        }
+                    }
+                    other => return Err(format!("unknown capture option '{other}'")),
+                }
+            }
+            // Built-in names keep the distributed smoke path free of the
+            // JSON workflow loader; any other argument is a file path.
+            let wf = match *wf_path {
+                "fig1" => provenance_workflows::engine::synth::figure1_workflow(1).0,
+                "challenge" => provenance_workflows::engine::synth::challenge_workflow(1, 3, 2),
+                path => load_workflow(path)?,
+            };
+            let exec = Executor::new(standard_registry());
+            let mut opts = DistribOptions::new(workers)
+                .with_ring_capacity(ring)
+                .with_trace_id(trace_id);
+            if !probed {
+                opts = opts.unprobed();
+            }
+            let dist = exec.run_distributed(&wf, opts).map_err(|e| e.to_string())?;
+            std::fs::create_dir_all(blob_dir).map_err(|e| e.to_string())?;
+            for r in &dist.reports {
+                let path = format!("{blob_dir}/site{}.prb", r.probe.0);
+                std::fs::write(&path, r.encode()).map_err(|e| e.to_string())?;
+            }
+            println!(
+                "{}: {} ({} modules across {} sites, {} report blobs) -> {blob_dir}",
+                wf.name,
+                dist.result.status,
+                wf.node_count(),
+                workers,
+                dist.reports.len()
+            );
+            if trace_id != 0 {
+                println!("trace {trace_id:032x}");
+            }
+            if dist.result.status != RunStatus::Succeeded {
+                return Err("workflow failed (reports captured)".into());
+            }
+            Ok(())
+        }
+        ["stitch", rest @ ..] if !rest.is_empty() => {
+            let mut blob_paths: Vec<String> = Vec::new();
+            let mut out_path: Option<&str> = None;
+            for opt in rest {
+                if let Some(v) = opt.strip_prefix("out=") {
+                    out_path = Some(v);
+                    continue;
+                }
+                let meta = std::fs::metadata(opt).map_err(|e| format!("cannot stat {opt}: {e}"))?;
+                if meta.is_dir() {
+                    let mut found = Vec::new();
+                    for entry in
+                        std::fs::read_dir(opt).map_err(|e| format!("cannot list {opt}: {e}"))?
+                    {
+                        let p = entry.map_err(|e| e.to_string())?.path();
+                        if p.extension().and_then(|e| e.to_str()) == Some("prb") {
+                            found.push(p.to_string_lossy().into_owned());
+                        }
+                    }
+                    found.sort();
+                    if found.is_empty() {
+                        return Err(format!("{opt}: no .prb report blobs"));
+                    }
+                    blob_paths.extend(found);
+                } else {
+                    blob_paths.push((*opt).to_string());
+                }
+            }
+            if blob_paths.is_empty() {
+                return Err("usage: stitch <blob_dir|blob.prb...> [out=<prov.json>]".into());
+            }
+            let mut collector = provenance_workflows::probe::Collector::new();
+            for p in &blob_paths {
+                let bytes = std::fs::read(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+                if let Err(e) = collector.ingest_blob(&bytes) {
+                    eprintln!("{p}: {e} (ignored)");
+                }
+            }
+            let stitched = collector.stitch();
+            let sp = provenance_workflows::provenance::stitch_provenance(&stitched);
+            println!(
+                "stitched {} sites, {} log entries, {} duplicates, {} conflicts",
+                collector.probe_count(),
+                collector.entry_count(),
+                sp.duplicates,
+                sp.conflicts
+            );
+            for gap in &sp.gaps {
+                println!("gap: {gap}");
+            }
+            out(&sp.render_hb());
+            if let Some(t) = sp.trace_id {
+                println!("trace {t:032x}");
+            }
+            let Some(retro) = sp.retro() else {
+                return Err("stitch recovered no complete run record".into());
+            };
+            println!(
+                "{}: {} ({} module runs, {} artifacts)",
+                retro.workflow_name,
+                retro.status,
+                retro.run_count(),
+                retro.artifacts.len()
+            );
+            if let Some(out_path) = out_path {
+                let json = prov_server::wire::render_json(&prov_server::wire::retro_to_json(retro));
+                std::fs::write(out_path, json).map_err(|e| e.to_string())?;
+                println!("stitched provenance -> {out_path}");
+            }
             Ok(())
         }
         ["metrics", wf_path, rest @ ..] => {

@@ -92,9 +92,16 @@ pub mod telemetry {
     pub use prov_telemetry::*;
 }
 
+/// Distributed capture probes, logical clocks, report stitching
+/// (`prov-probe`).
+pub mod probe {
+    pub use prov_probe::*;
+}
+
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use prov_core::{check_resume, ResumeCheck};
+    pub use prov_core::{graph_signature, stitch_provenance, stitch_reports, StitchedProvenance};
     pub use prov_core::{
         Annotation, AnnotationStore, CaptureLevel, CausalityGraph, OpmGraph, ProspectiveProvenance,
         ProvNodeRef, ProvenanceBundle, ProvenanceCapture, RetrospectiveProvenance, Subject,
@@ -102,6 +109,7 @@ pub mod prelude {
     };
     pub use prov_evolution::{apply_by_analogy, diff_workflows, Action, VersionId, VersionTree};
     pub use prov_interop::{integrate, run_challenge};
+    pub use prov_probe::{Collector, LogicalClock, Probe, ProbeId};
     pub use prov_query::{
         analyze, analyze_optimized, analyze_store, eval_cached, eval_optimized,
         optimize as optimize_pql, parse as parse_pql, Optimization, Plan, PqlEngine, QueryCache,
@@ -116,8 +124,9 @@ pub mod prelude {
         profile_result, profile_retro, MetricsObserver, RunProfile, SpanCollector, Telemetry, Trace,
     };
     pub use wf_engine::{
-        standard_registry, Deadline, ErrorClass, ExecId, ExecPolicy, Executor, FanoutObserver,
-        FaultAction, FaultPlan, RetryPolicy, RunStatus, Value,
+        standard_registry, Deadline, DistribOptions, DistributedRun, ErrorClass, ExecId,
+        ExecPolicy, Executor, FanoutObserver, FaultAction, FaultPlan, RetryPolicy, RunStatus,
+        Value,
     };
     pub use wf_model::{
         validate, DataType, ModuleCatalog, ModuleKind, NodeId, ParamValue, Workflow,

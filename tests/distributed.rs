@@ -1,0 +1,198 @@
+//! Distributed capture, end to end: the multi-worker driver's per-site
+//! report blobs must stitch — in any delivery order, with duplicates,
+//! across worker counts — into a provenance record isomorphic to the
+//! single-process reference, with stable happens-before edges; dropped
+//! reports must surface as gaps, never as a fabricated order. The
+//! stitched record must also be a first-class citizen downstream:
+//! ingestible into every store backend and queryable from PQL, including
+//! the `happens_before` reachability shape.
+
+use provenance_workflows::prelude::*;
+use provenance_workflows::provenance::stitch::{stitch_blobs, HbEdge};
+use wf_engine::synth::{challenge_workflow, figure1_workflow};
+
+/// The single-process reference signature for a workflow.
+fn reference_signature(wf: &wf_model::Workflow) -> u64 {
+    let exec = Executor::new(standard_registry());
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let result = exec.run_observed(wf, &mut cap).unwrap();
+    graph_signature(&cap.take(result.exec).unwrap())
+}
+
+/// Deterministic Fisher–Yates driven by a splitmix-style LCG, so shuffle
+/// orders are seeded and reproducible without a rand dependency.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[test]
+fn stitched_graph_is_isomorphic_in_any_blob_order() {
+    let wf = challenge_workflow(5, 2, 3);
+    let want = reference_signature(&wf);
+    let exec = Executor::new(standard_registry());
+
+    for workers in [1usize, 2, 4, 7] {
+        let dist = exec
+            .run_distributed(&wf, DistribOptions::new(workers).with_trace_id(0xcafe))
+            .unwrap();
+        let blobs: Vec<Vec<u8>> = dist.reports.iter().map(|r| r.encode()).collect();
+
+        let mut reference_hb: Option<Vec<HbEdge>> = None;
+        for seed in 0..6u64 {
+            let mut order: Vec<&[u8]> = blobs.iter().map(Vec::as_slice).collect();
+            shuffle(&mut order, seed);
+            if seed % 2 == 0 {
+                // Duplicate deliveries must be absorbed, not double-counted.
+                order.push(order[0]);
+                order.push(order[order.len() / 2]);
+            }
+            let s = stitch_blobs(order);
+            assert!(
+                s.is_complete(),
+                "workers={workers} seed={seed} gaps: {:?}",
+                s.gaps
+            );
+            assert_eq!(s.trace_id, Some(0xcafe));
+            assert_eq!(
+                graph_signature(s.retro().unwrap()),
+                want,
+                "workers={workers} seed={seed}: stitched graph must be isomorphic"
+            );
+            // Happens-before edges are exact: identical across orders.
+            match &reference_hb {
+                None => reference_hb = Some(s.hb_edges.clone()),
+                Some(hb) => assert_eq!(
+                    &s.hb_edges, hb,
+                    "workers={workers} seed={seed}: hb edges must not depend on arrival order"
+                ),
+            }
+        }
+        if workers > 1 {
+            assert!(
+                !reference_hb.as_ref().unwrap().is_empty(),
+                "multi-site runs must produce cross-site edges"
+            );
+        }
+    }
+}
+
+#[test]
+fn dropped_reports_surface_as_gaps_never_fabricated_order() {
+    let wf = challenge_workflow(9, 2, 2);
+    let exec = Executor::new(standard_registry());
+    let dist = exec.run_distributed(&wf, DistribOptions::new(3)).unwrap();
+    let blobs: Vec<Vec<u8>> = dist.reports.iter().map(|r| r.encode()).collect();
+    let full = stitch_blobs(blobs.iter().map(Vec::as_slice));
+    assert!(full.is_complete());
+
+    for dropped in 0..blobs.len() {
+        let partial: Vec<&[u8]> = blobs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != dropped)
+            .map(|(_, b)| b.as_slice())
+            .collect();
+        let s = stitch_blobs(partial);
+        assert!(!s.is_complete(), "dropping blob {dropped} must be reported");
+        assert!(!s.gaps.is_empty(), "dropping blob {dropped}: gap expected");
+        // Whatever order survives is a subset of the truth: every partial
+        // edge must correspond to a fully-stitched edge. A hole in the
+        // record may erase an edge's module anchor (`None`) — that is an
+        // honest "unknown", so it matches any anchor — but it must never
+        // invent an ordering between sites, or between modules, that the
+        // complete stitching does not contain.
+        for e in &s.hb_edges {
+            assert!(
+                full.hb_edges.iter().any(|f| {
+                    f.from_site == e.from_site
+                        && f.to_site == e.to_site
+                        && (e.from_node.is_none() || e.from_node == f.from_node)
+                        && (e.to_node.is_none() || e.to_node == f.to_node)
+                }),
+                "dropping blob {dropped} fabricated edge {}",
+                e.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupt_blobs_are_ignored_and_reported() {
+    let (wf, _) = figure1_workflow(3);
+    let exec = Executor::new(standard_registry());
+    let dist = exec.run_distributed(&wf, DistribOptions::new(2)).unwrap();
+    let mut blobs: Vec<Vec<u8>> = dist.reports.iter().map(|r| r.encode()).collect();
+    blobs.push(b"PRB1garbage".to_vec());
+    blobs.push(Vec::new());
+    let s = stitch_blobs(blobs.iter().map(Vec::as_slice));
+    assert!(s
+        .gaps
+        .iter()
+        .any(|g| g.contains("2 report blob(s) failed to decode")));
+    // The good blobs still stitch into the full record.
+    assert!(s.retro().is_some());
+    assert_eq!(
+        graph_signature(s.retro().unwrap()),
+        reference_signature(&wf)
+    );
+}
+
+#[test]
+fn stitched_records_are_queryable_from_pql_and_stores() {
+    let (wf, nodes) = figure1_workflow(11);
+    let exec = Executor::new(standard_registry());
+    let dist = exec.run_distributed(&wf, DistribOptions::new(3)).unwrap();
+    let blobs: Vec<Vec<u8>> = dist.reports.iter().map(|r| r.encode()).collect();
+    let s = stitch_blobs(blobs.iter().map(Vec::as_slice));
+    let retro = s.retro().unwrap();
+
+    // The stitched record lands in ordinary stores like any other run.
+    let mut graph = GraphStore::new();
+    graph.ingest(retro);
+    let grid = retro.produced(nodes.load, "grid").unwrap().hash;
+    assert_eq!(graph.generators(grid).len(), 1);
+
+    // And PQL sees it — including the happens_before reachability shape.
+    let mut pql = PqlEngine::new();
+    pql.ingest(retro);
+    assert_eq!(pql.eval("count runs").unwrap(), QueryResult::Count(8));
+    let exec_id = retro.exec.0;
+    let iso = nodes.iso.raw();
+    let cone = pql
+        .eval(&format!("happens_before of run {exec_id}/{iso}"))
+        .unwrap();
+    let QueryResult::Nodes(ref cone_nodes) = cone else {
+        panic!("happens_before returns nodes");
+    };
+    assert!(!cone_nodes.is_empty(), "iso has causal predecessors");
+
+    // The cone must match what the single-process reference yields for
+    // the same query: stitching changed nothing about causality.
+    let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+    let result = exec.run_observed(&wf, &mut cap).unwrap();
+    let mut reference = cap.take(result.exec).unwrap();
+    reference.exec = retro.exec; // align exec ids for textual query parity
+    let mut ref_pql = PqlEngine::new();
+    ref_pql.ingest(&reference);
+    let ref_cone = ref_pql
+        .eval(&format!("happens_before of run {exec_id}/{iso}"))
+        .unwrap();
+    assert_eq!(cone, ref_cone, "stitched causality cone matches reference");
+
+    // happens_before composes with user filters conjunctively.
+    let filtered = pql
+        .eval(&format!(
+            "happens_before of run {exec_id}/{iso} where module contains \"Load\""
+        ))
+        .unwrap();
+    let QueryResult::Nodes(filtered) = filtered else {
+        panic!("filtered happens_before returns nodes");
+    };
+    assert_eq!(filtered.len(), 1, "only the loader survives the filter");
+}

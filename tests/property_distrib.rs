@@ -1,0 +1,131 @@
+//! Property tests for distributed capture: the logical-clock merge must
+//! be a join (commutative, associative, idempotent) — that is what makes
+//! snapshot exchange order-insensitive — and stitching must be robust to
+//! arbitrary shuffling, duplication, and dropping of report blobs.
+
+use proptest::prelude::*;
+use provenance_workflows::prelude::*;
+use provenance_workflows::provenance::stitch::stitch_blobs;
+use wf_engine::synth::figure1_workflow;
+
+/// Strategy: a small logical clock as sparse (site, counter) pairs.
+fn clock_strategy() -> impl Strategy<Value = LogicalClock> {
+    proptest::collection::vec((0u32..6, 1u64..40), 0..6).prop_map(|pairs| {
+        LogicalClock::from_components(pairs.into_iter().map(|(s, n)| (ProbeId(s), n)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn clock_merge_is_commutative(a in clock_strategy(), b in clock_strategy()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn clock_merge_is_associative(
+        a in clock_strategy(),
+        b in clock_strategy(),
+        c in clock_strategy(),
+    ) {
+        // (a ⊔ b) ⊔ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊔ (b ⊔ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn clock_merge_is_idempotent(a in clock_strategy(), b in clock_strategy()) {
+        let mut once = a.clone();
+        once.merge(&b);
+        let mut twice = once.clone();
+        twice.merge(&b);
+        prop_assert_eq!(&once, &twice);
+        // Self-merge is also a no-op.
+        let mut selfed = a.clone();
+        selfed.merge(&a);
+        prop_assert_eq!(selfed, a);
+    }
+
+    #[test]
+    fn clock_merge_dominates_both_inputs(a in clock_strategy(), b in clock_strategy()) {
+        let mut m = a.clone();
+        m.merge(&b);
+        // The merge is an upper bound: nothing in either input happens
+        // after it.
+        prop_assert!(!m.happened_before(&a) || m == a);
+        prop_assert!(!m.happened_before(&b) || m == b);
+        prop_assert!(a == m || a.happened_before(&m));
+        prop_assert!(b == m || b.happened_before(&m));
+    }
+
+    /// Stitching a real multi-worker run survives arbitrary blob
+    /// shuffling and duplication: the stitched graph stays isomorphic to
+    /// the single-process reference and the hb edges are stable. With
+    /// blobs dropped, the result is a reported gap and a subset — never a
+    /// fabricated edge.
+    #[test]
+    fn stitching_survives_shuffle_dup_drop(
+        seed in 1u64..5,
+        workers in 2usize..5,
+        perm in proptest::collection::vec(0usize..64, 8..16),
+        drop_one in any::<bool>(),
+    ) {
+        let (wf, _) = figure1_workflow(seed);
+        let exec = Executor::new(standard_registry());
+
+        // Single-process reference.
+        let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+        let r = exec.run_observed(&wf, &mut cap).unwrap();
+        let want = graph_signature(&cap.take(r.exec).unwrap());
+
+        let dist = exec.run_distributed(&wf, DistribOptions::new(workers)).unwrap();
+        let blobs: Vec<Vec<u8>> = dist.reports.iter().map(|r| r.encode()).collect();
+        let full = stitch_blobs(blobs.iter().map(Vec::as_slice));
+        prop_assert!(full.is_complete());
+        prop_assert_eq!(graph_signature(full.retro().unwrap()), want);
+
+        // Delivery order driven by the generated permutation indices —
+        // repeats act as duplicated deliveries, the trailing 0..n chain
+        // guarantees every blob is offered at least once, and (when
+        // dropping) one blob is withheld from the whole sequence.
+        let dropped = if drop_one { perm[0] % blobs.len() } else { blobs.len() };
+        let order: Vec<&[u8]> = perm
+            .iter()
+            .map(|i| i % blobs.len())
+            .chain(0..blobs.len())
+            .filter(|&i| i != dropped)
+            .map(|i| blobs[i].as_slice())
+            .collect();
+        let s = stitch_blobs(order);
+        if dropped < blobs.len() {
+            prop_assert!(!s.is_complete(), "a dropped report must be visible");
+            prop_assert!(!s.gaps.is_empty());
+            for e in &s.hb_edges {
+                prop_assert!(
+                    full.hb_edges.iter().any(|f| {
+                        f.from_site == e.from_site
+                            && f.to_site == e.to_site
+                            && (e.from_node.is_none() || e.from_node == f.from_node)
+                            && (e.to_node.is_none() || e.to_node == f.to_node)
+                    }),
+                    "fabricated edge {}",
+                    e.render()
+                );
+            }
+        } else {
+            prop_assert!(s.is_complete(), "gaps: {:?}", s.gaps);
+            prop_assert_eq!(graph_signature(s.retro().unwrap()), want);
+            prop_assert_eq!(&s.hb_edges, &full.hb_edges);
+        }
+    }
+}
