@@ -404,6 +404,52 @@ fn report_observability(requests_per_client: usize) {
     }
 }
 
+/// E22 prints its table and drops `BENCH_sharded.json` next to the
+/// working directory. Factored out so `report sharded` can regenerate
+/// just this section.
+fn report_sharded(reps: usize) {
+    println!("## E22 — sharded stores: scatter-gather PQL vs shard count\n");
+    let (width, depth) = (384, 4);
+    let (base_us, rows) = experiment_sharded(&[1, 2, 4, 8], width, depth, reps);
+    println!(
+        "corpus: {} docs ({} generations x {} executions); \
+         unsharded filtered lineage baseline {:.1}us\n",
+        width * depth,
+        depth,
+        width,
+        base_us
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "shards",
+                "eval (us)",
+                "wall speedup",
+                "scatter speedup",
+                "rows",
+                "stats exact"
+            ],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.shards.to_string(),
+                    format!("{:.1}", r.eval_us),
+                    format!("{:.2}x", r.wall_speedup),
+                    format!("{:.2}x", r.scatter_speedup),
+                    r.rows.to_string(),
+                    r.accesses_match.to_string(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    let json = sharded_json(width, depth, base_us, &rows);
+    match std::fs::write("BENCH_sharded.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_sharded.json"),
+        Err(e) => eprintln!("could not write BENCH_sharded.json: {e}"),
+    }
+}
+
 /// E21 prints its tables and drops `BENCH_distributed.json` next to the
 /// working directory. Factored out so `report distributed` can regenerate
 /// just this section.
@@ -453,6 +499,10 @@ fn report_distributed(reps: usize) {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("sharded") {
+        report_sharded(9);
+        return;
+    }
     if std::env::args().nth(1).as_deref() == Some("distributed") {
         report_distributed(21);
         return;
@@ -905,4 +955,7 @@ fn main() {
 
     // ---- E21 ---------------------------------------------------------
     report_distributed(21);
+
+    // ---- E22 ---------------------------------------------------------
+    report_sharded(9);
 }

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod faults;
 pub mod optimizer;
 pub mod queryobs;
+pub mod shardbench;
 pub mod telemetry;
 
 pub use distrib::*;
@@ -22,6 +23,7 @@ pub use experiments::*;
 pub use faults::*;
 pub use optimizer::*;
 pub use queryobs::*;
+pub use shardbench::*;
 pub use telemetry::*;
 
 /// Median wall-clock time of `f` over `reps` runs, in microseconds.

@@ -383,7 +383,7 @@ impl PqlEngine {
         let Some(info) = self.execs.get(&e) else {
             return false;
         };
-        self.matches_fields(cond, |field| match field {
+        Self::dnf_matches(cond, |field| match field {
             Field::Status => Some(info.status.clone()),
             Field::Exec => Some(e.0.to_string()),
             Field::Module => Some(info.workflow.clone()),
@@ -400,8 +400,10 @@ impl PqlEngine {
         }
     }
 
-    /// Evaluate a condition given a field resolver (DNF semantics).
-    fn matches_fields(&self, cond: &Condition, resolve: impl Fn(Field) -> Option<String>) -> bool {
+    /// Evaluate a condition given a field resolver (DNF semantics). An
+    /// associated function so other evaluators in this crate (the sharded
+    /// coordinator) reuse the exact comparison rules.
+    pub(crate) fn dnf_matches(cond: &Condition, resolve: impl Fn(Field) -> Option<String>) -> bool {
         if cond.is_trivial() {
             return true;
         }
@@ -431,7 +433,7 @@ impl PqlEngine {
     }
 
     fn matches(&self, n: PNode, cond: &Condition) -> bool {
-        self.matches_fields(cond, |field| match (n, field) {
+        Self::dnf_matches(cond, |field| match (n, field) {
             (PNode::Run(e, node), Field::Module) => {
                 self.runs.get(&(e, node)).map(|r| r.identity.clone())
             }
@@ -479,6 +481,14 @@ impl PqlEngine {
     /// The engine's access recorder (bumped only by the plan executor).
     pub fn stats(&self) -> &StoreStats {
         &self.stats
+    }
+
+    /// Replace the engine's recorder with a (cheaply cloned) handle onto
+    /// `stats`, so several engines bump one shared counter block. The
+    /// sharded engine adopts one recorder into every shard, making EXPLAIN
+    /// ANALYZE access totals sum exactly across shards.
+    pub(crate) fn adopt_stats(&mut self, stats: &StoreStats) {
+        self.stats = stats.clone();
     }
 
     /// Counted anchor resolution: one keyed lookup + one node read.

@@ -34,7 +34,12 @@
 //! pushdown into secondary indexes, metadata-backed counts, adjacency
 //! probes — plus a bounded LRU result cache; optimized evaluation is
 //! result-identical to the naive evaluator by construction and by the
-//! four-backend differential test harness.
+//! four-backend differential test harness. [`sharded`] scales the engine
+//! horizontally: [`sharded::ShardedEngine`] partitions the corpus by a
+//! seeded execution hash over N inner engines and evaluates plans by
+//! scatter-gather (parallel per-shard fan-out, order-preserving merges, a
+//! coordinator for the artifact joints), bit-identical to a single engine
+//! and pinned by the `sharded(N)` differential modes.
 
 pub mod ast;
 pub mod error;
@@ -46,6 +51,7 @@ pub mod parser;
 pub mod plan;
 pub mod qbe;
 pub mod render;
+pub mod sharded;
 
 pub use ast::{Comparison, Condition, Direction, Entity, Field, Op, Query, Target};
 pub use error::PqlError;
@@ -59,3 +65,4 @@ pub use plan::{
     analyze, analyze_store, Analysis, CostModel, OpReport, Plan, PlanNode, PlanOp, StoreAnalysis,
 };
 pub use qbe::{ExampleGraph, Match};
+pub use sharded::ShardedEngine;

@@ -32,9 +32,10 @@ use std::time::Instant;
 use wf_engine::ExecId;
 use wf_model::NodeId;
 
-/// The rewrite the optimizer settled on (internal shape).
+/// The rewrite the optimizer settled on (crate-internal shape, shared with
+/// the sharded engine so both execute identical decisions).
 #[derive(Debug, Clone, PartialEq)]
-enum Rewrite {
+pub(crate) enum Rewrite {
     /// No profitable rewrite: execute the naive plan.
     None,
     /// Trivial count from stored cardinality.
@@ -58,7 +59,7 @@ pub struct Optimization {
     pub plan: Plan,
     /// One note per applied rewrite; empty when the naive plan stands.
     pub rewrites: Vec<String>,
-    chosen: Rewrite,
+    pub(crate) chosen: Rewrite,
 }
 
 impl Optimization {
@@ -83,9 +84,12 @@ impl Optimization {
 
 /// For each disjunct, pick the cheapest indexed `=` clause (smallest
 /// posting). Returns `None` unless *every* disjunct has one — otherwise
-/// the probe union would miss rows the scan finds.
-fn choose_index_keys(
-    engine: &PqlEngine,
+/// the probe union would miss rows the scan finds. `posting_len` supplies
+/// the (uncounted) posting length for an `(entity, field, value)` key, or
+/// `None` when that pair has no index — the single engine answers from its
+/// secondary indexes, the sharded engine from per-shard sums.
+fn choose_index_keys_with(
+    posting_len: &dyn Fn(Entity, Field, &str) -> Option<usize>,
     entity: Entity,
     filter: &Condition,
 ) -> Option<(Vec<(Field, String)>, u64)> {
@@ -100,7 +104,7 @@ fn choose_index_keys(
             if c.op != Op::Eq {
                 continue;
             }
-            if let Some(len) = engine.posting_len(entity, c.field, &c.value) {
+            if let Some(len) = posting_len(entity, c.field, &c.value) {
                 if best.as_ref().is_none_or(|b| len < b.2) {
                     best = Some((c.field, c.value.clone(), len));
                 }
@@ -115,7 +119,21 @@ fn choose_index_keys(
 
 /// Derive the cost-optimal plan for `query` against `engine`.
 pub fn optimize(engine: &PqlEngine, query: &Query) -> Optimization {
-    let cost = CostModel::of_engine(engine);
+    optimize_with(
+        &CostModel::of_engine(engine),
+        &|entity, field, value| engine.posting_len(entity, field, value),
+        query,
+    )
+}
+
+/// The decision core of [`optimize`], parameterized over the cardinality
+/// snapshot and posting-length source so the sharded engine (whose global
+/// posting lengths are per-shard sums) reaches byte-identical decisions.
+pub(crate) fn optimize_with(
+    cost: &CostModel,
+    posting_len: &dyn Fn(Entity, Field, &str) -> Option<usize>,
+    query: &Query,
+) -> Optimization {
     let naive = || Optimization {
         plan: Plan::of(query),
         rewrites: Vec::new(),
@@ -134,7 +152,7 @@ pub fn optimize(engine: &PqlEngine, query: &Query) -> Optimization {
             chosen: Rewrite::MetaCount { entity: *entity },
         },
         Query::Count { entity, filter } | Query::List { entity, filter } => {
-            let Some((keys, est)) = choose_index_keys(engine, *entity, filter) else {
+            let Some((keys, est)) = choose_index_keys_with(posting_len, *entity, filter) else {
                 return naive();
             };
             let scan_rows = cost.entity_rows(*entity);

@@ -80,6 +80,14 @@ pub enum PlanOp {
         /// Up- or downstream.
         direction: Direction,
     },
+    /// Fan the child operator out across the shards of a sharded engine
+    /// and merge the partial streams (union / count aggregation / frontier
+    /// exchange). Produced only by the sharded engine (see
+    /// [`crate::sharded`]); EXPLAIN ANALYZE adds one child row per shard.
+    ScatterGather {
+        /// Number of shards the child runs on.
+        shards: usize,
+    },
 }
 
 impl PlanOp {
@@ -119,6 +127,9 @@ impl PlanOp {
                     Direction::Downstream => "downstream",
                 };
                 format!("NeighborProbe ({dir}) [adjacency]")
+            }
+            PlanOp::ScatterGather { shards } => {
+                format!("ScatterGather ({shards} shards) [merge]")
             }
         }
     }
@@ -429,6 +440,9 @@ impl CostModel {
             // One-third selectivity is the model's generic guess for a
             // residual predicate.
             PlanOp::Filter { .. } => input.map(|i| i.div_ceil(3)),
+            // The merge is row-preserving: duplicates across shards are
+            // absorbed, so the child's estimate is the output ceiling.
+            PlanOp::ScatterGather { .. } => input,
             PlanOp::Collect | PlanOp::CountRows => input,
             PlanOp::EnumeratePaths { .. } => None,
         };

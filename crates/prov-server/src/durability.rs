@@ -9,11 +9,14 @@
 //! staleness semantics survive the crash.
 //!
 //! WAL entries are JSON envelopes over the workspace's dependency-free
-//! wire codec (`crate::wire`), not serde: `{"request_id": ..., "retro":
-//! {...}}`. The request id (when the client supplied one) makes ingest
-//! idempotent — retries after an ambiguous failure are answered from the
-//! dedupe cache instead of double-applying — and the dedupe set itself is
-//! rebuilt from the WAL on recovery.
+//! wire codec (`crate::wire`), not serde: `{"request_id": ..., "seq": N,
+//! "retro": {...}}`. The request id (when the client supplied one) makes
+//! ingest idempotent — retries after an ambiguous failure are answered
+//! from the dedupe cache instead of double-applying — and the dedupe set
+//! itself is rebuilt from the WAL on recovery. The sequence number is the
+//! namespace generation the entry produced: with `shards=N` each shard
+//! owns its own WAL, and recovery merges the per-shard streams back into
+//! global ingest order by `seq` before replaying.
 
 use crate::error::ServerError;
 use crate::wire;
@@ -110,21 +113,29 @@ impl RecoveryReport {
     }
 }
 
-/// Encode one WAL entry: the provenance document plus the client's
-/// request id (when supplied).
-pub fn encode_entry(retro: &RetrospectiveProvenance, request_id: Option<&str>) -> Vec<u8> {
-    let mut fields: Vec<(String, JsonValue)> = Vec::with_capacity(2);
+/// Encode one WAL entry: the provenance document, the client's request id
+/// (when supplied), and the namespace-global sequence number the entry
+/// produced (the post-ingest generation).
+pub fn encode_entry(
+    retro: &RetrospectiveProvenance,
+    request_id: Option<&str>,
+    seq: u64,
+) -> Vec<u8> {
+    let mut fields: Vec<(String, JsonValue)> = Vec::with_capacity(3);
     if let Some(id) = request_id {
         fields.push(("request_id".to_string(), JsonValue::String(id.to_string())));
     }
+    fields.push(("seq".to_string(), JsonValue::Number(seq as f64)));
     fields.push(("retro".to_string(), wire::retro_to_json(retro)));
     wire::render_json(&JsonValue::Object(fields.into_iter().collect())).into_bytes()
 }
 
-/// Decode one WAL entry back into the document and its request id.
+/// Decode one WAL entry back into the document, its request id, and its
+/// global sequence number (`None` for records written before sequence
+/// stamping; they sort before stamped records, in file order).
 pub fn decode_entry(
     bytes: &[u8],
-) -> Result<(RetrospectiveProvenance, Option<String>), ServerError> {
+) -> Result<(RetrospectiveProvenance, Option<String>, Option<u64>), ServerError> {
     let text = std::str::from_utf8(bytes)
         .map_err(|e| ServerError::Durability(format!("wal entry is not UTF-8: {e}")))?;
     let v = parse_json(text)
@@ -138,7 +149,8 @@ pub fn decode_entry(
         .get("request_id")
         .and_then(|r| r.as_str())
         .map(str::to_string);
-    Ok((retro, request_id))
+    let seq = v.get("seq").and_then(JsonValue::as_u64);
+    Ok((retro, request_id, seq))
 }
 
 #[cfg(test)]
@@ -159,15 +171,29 @@ mod tests {
     #[test]
     fn entries_round_trip_with_and_without_request_id() {
         let doc = retro(3);
-        let bytes = encode_entry(&doc, Some("req-42"));
-        let (back, id) = decode_entry(&bytes).unwrap();
+        let bytes = encode_entry(&doc, Some("req-42"), 7);
+        let (back, id, seq) = decode_entry(&bytes).unwrap();
         assert_eq!(back, doc);
         assert_eq!(id.as_deref(), Some("req-42"));
+        assert_eq!(seq, Some(7));
 
-        let bytes = encode_entry(&doc, None);
-        let (back, id) = decode_entry(&bytes).unwrap();
+        let bytes = encode_entry(&doc, None, 1);
+        let (back, id, seq) = decode_entry(&bytes).unwrap();
         assert_eq!(back, doc);
         assert_eq!(id, None);
+        assert_eq!(seq, Some(1));
+    }
+
+    #[test]
+    fn legacy_entries_without_seq_still_decode() {
+        let doc = retro(3);
+        let mut fields = std::collections::BTreeMap::new();
+        fields.insert("retro".to_string(), wire::retro_to_json(&doc));
+        let bytes = wire::render_json(&JsonValue::Object(fields)).into_bytes();
+        let (back, id, seq) = decode_entry(&bytes).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(id, None);
+        assert_eq!(seq, None);
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! applies admission control, per-tenant rate limits, and namespace
 //! isolation, then serves ingest and PQL against shared state:
 //!
-//! * each [`Namespace`] owns one `RwLock<PqlEngine>` (ingest = write lock,
-//!   queries = read lock, generation bumps under the write lock) and one
-//!   [`SharedStore<GraphStore>`] answering the canned store queries;
+//! * each [`Namespace`] owns one `RwLock`ed PQL engine (ingest = write
+//!   lock, queries = read lock, generation bumps under the write lock) —
+//!   a single [`PqlEngine`] by default, or a scatter-gather
+//!   [`ShardedEngine`] when the server runs with
+//!   [`ServerConfig::shards`]` > 1` — and one [`SharedStore<GraphStore>`]
+//!   answering the canned store queries;
 //! * a bounded admission window ([`crate::admission::Admission`]) sheds
 //!   load with explicit 503-style rejections instead of queueing;
 //! * a token-bucket [`crate::admission::RateLimiter`] isolates tenants;
@@ -24,7 +27,10 @@ use crate::durability::{self, DurabilityConfig, RecoveryReport, READ_ONLY_AFTER}
 use crate::error::ServerError;
 use crate::trace::{StoredTrace, TraceStore, DEFAULT_TRACE_CAPACITY};
 use prov_core::model::RetrospectiveProvenance;
-use prov_query::{analyze_optimized, parse, PqlEngine, QueryCache, QueryObserver, QueryResult};
+use prov_query::{
+    analyze_optimized, parse, Analysis, PqlEngine, PqlError, Query, QueryCache, QueryObserver,
+    QueryResult, ShardedEngine,
+};
 use prov_store::wal::NamespaceWal;
 use prov_store::{GraphStore, ProvenanceStore, SharedStore};
 use prov_telemetry::{
@@ -72,6 +78,14 @@ pub struct ServerConfig {
     /// the server starts *not ready* and [`ProvServer::recover`] must run
     /// before requests are served.
     pub durability: Option<DurabilityConfig>,
+    /// Partitions per namespace engine. `1` (the default) keeps the
+    /// single [`PqlEngine`]; `N > 1` backs every namespace with a
+    /// [`ShardedEngine`] — executions are routed to shards by seeded
+    /// hash, queries evaluate by parallel scatter-gather, and (under
+    /// durability) each shard owns its own WAL directory. A durable
+    /// namespace pins its shard layout on first open; on restart the
+    /// on-disk layout wins over this knob.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +102,7 @@ impl Default for ServerConfig {
             shed_first: 0,
             auto_create_namespaces: true,
             durability: None,
+            shards: 1,
         }
     }
 }
@@ -294,17 +309,123 @@ impl WalMetrics {
         }
     }
 
-    /// Observe any fsyncs/checkpoints the WAL completed since last asked.
-    fn absorb(&self, wal: &NamespaceWal) {
-        let syncs = wal.syncs();
+    /// Observe any fsyncs/checkpoints the namespace's WALs (one per
+    /// shard) completed since last asked.
+    fn absorb(&self, wals: &[NamespaceWal]) {
+        let syncs: u64 = wals.iter().map(NamespaceWal::syncs).sum();
         let prev = self.seen_syncs.swap(syncs, Ordering::Relaxed);
         if syncs > prev {
-            self.fsync_micros.observe(wal.last_sync_micros());
+            if let Some(micros) = wals.iter().map(NamespaceWal::last_sync_micros).max() {
+                self.fsync_micros.observe(micros);
+            }
         }
-        let checkpoints = wal.checkpoints();
+        let checkpoints: u64 = wals.iter().map(NamespaceWal::checkpoints).sum();
         let prev = self.seen_checkpoints.swap(checkpoints, Ordering::Relaxed);
         if checkpoints > prev {
-            self.checkpoint_micros.observe(wal.last_checkpoint_micros());
+            if let Some(micros) = wals.iter().map(NamespaceWal::last_checkpoint_micros).max() {
+                self.checkpoint_micros.observe(micros);
+            }
+        }
+    }
+}
+
+/// The PQL engine behind one namespace: a single [`PqlEngine`], or — when
+/// the server runs with [`ServerConfig::shards`]` > 1` — a
+/// [`ShardedEngine`] that partitions the corpus by seeded execution hash
+/// and answers queries by parallel scatter-gather (`prov_query::sharded`).
+/// Both variants are result-identical; the sharded engine's generation
+/// counter sums the per-shard counters, so an ingest into *any* shard
+/// invalidates cached results.
+#[derive(Debug)]
+enum NsEngine {
+    /// The default single-partition engine.
+    Single(PqlEngine),
+    /// A seeded-hash sharded engine evaluating by scatter-gather.
+    Sharded(ShardedEngine),
+}
+
+impl NsEngine {
+    fn new(shards: usize) -> NsEngine {
+        if shards <= 1 {
+            NsEngine::Single(PqlEngine::new())
+        } else {
+            NsEngine::Sharded(ShardedEngine::new(shards))
+        }
+    }
+
+    /// Partitions behind this engine (1 for the single engine).
+    fn shard_count(&self) -> usize {
+        match self {
+            NsEngine::Single(_) => 1,
+            NsEngine::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// Which shard's WAL an execution's entries belong to.
+    fn route(&self, exec: ExecId) -> usize {
+        match self {
+            NsEngine::Single(_) => 0,
+            NsEngine::Sharded(s) => s.route(exec),
+        }
+    }
+
+    /// Result-cache backend key. Distinct per shard layout, so a sharded
+    /// result can never serve a single-engine cache entry or vice versa.
+    fn backend_key(&self) -> &str {
+        match self {
+            NsEngine::Single(_) => "engine",
+            NsEngine::Sharded(s) => s.backend_key(),
+        }
+    }
+
+    fn ingest(&mut self, retro: &RetrospectiveProvenance) {
+        match self {
+            NsEngine::Single(e) => e.ingest(retro),
+            NsEngine::Sharded(s) => s.ingest(retro),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            NsEngine::Single(e) => e.generation(),
+            NsEngine::Sharded(s) => s.generation(),
+        }
+    }
+
+    fn restore_generation(&mut self, watermark: u64) {
+        match self {
+            NsEngine::Single(e) => e.restore_generation(watermark),
+            NsEngine::Sharded(s) => s.restore_generation(watermark),
+        }
+    }
+
+    fn run_count(&self) -> usize {
+        match self {
+            NsEngine::Single(e) => e.run_count(),
+            NsEngine::Sharded(s) => s.run_count(),
+        }
+    }
+
+    fn artifact_count(&self) -> usize {
+        match self {
+            NsEngine::Single(e) => e.artifact_count(),
+            NsEngine::Sharded(s) => s.artifact_count(),
+        }
+    }
+
+    fn exec_count(&self) -> usize {
+        match self {
+            NsEngine::Single(e) => e.exec_count(),
+            NsEngine::Sharded(s) => s.exec_count(),
+        }
+    }
+
+    /// Cost-based optimized EXPLAIN ANALYZE — the query path both
+    /// variants serve with identical results.
+    fn analyze_optimized(&self, query: &Query) -> Result<Analysis, PqlError> {
+        match self {
+            NsEngine::Single(e) => analyze_optimized(e, query),
+            NsEngine::Sharded(s) => s.analyze_optimized(query),
         }
     }
 }
@@ -316,15 +437,17 @@ impl WalMetrics {
 #[derive(Debug)]
 pub struct Namespace {
     name: String,
-    engine: RwLock<PqlEngine>,
+    engine: RwLock<NsEngine>,
     graph: SharedStore<GraphStore>,
     cache: Mutex<QueryCache>,
     observer: Mutex<QueryObserver>,
     ingests: AtomicU64,
     queries: AtomicU64,
-    /// The write-ahead log (durable servers only). Locked *inside* the
-    /// engine write lock during ingest, so WAL order equals apply order.
-    wal: Option<Mutex<NamespaceWal>>,
+    /// The write-ahead logs, one per shard (durable servers only; a
+    /// single-engine namespace has exactly one). Locked *inside* the
+    /// engine write lock during ingest, so WAL order equals apply order
+    /// and the stamped sequence numbers are gap-free across shards.
+    wal: Option<Mutex<Vec<NamespaceWal>>>,
     /// Request-id → ack dedupe memory (rebuilt from the WAL on recovery).
     acks: Mutex<AckCache>,
     /// Consecutive WAL append failures; at [`READ_ONLY_AFTER`] the
@@ -345,9 +468,21 @@ impl Namespace {
         config: &ServerConfig,
         registry: Arc<MetricsRegistry>,
     ) -> Result<(Self, Option<RecoveryReport>), ServerError> {
+        let configured = config.shards.max(1);
+        // A durable namespace pins its shard layout on first open: the
+        // on-disk marker wins over the config, so a restart with a
+        // different `shards=` still replays the layout that was written.
+        let (wal_dir, shards) = match &config.durability {
+            Some(dconf) => {
+                let dir = dconf.data_dir.join(name);
+                let persisted = read_shard_marker(&dir);
+                (Some(dir), persisted.unwrap_or(configured))
+            }
+            None => (None, configured),
+        };
         let mut ns = Namespace {
             name: name.to_string(),
-            engine: RwLock::new(PqlEngine::new()),
+            engine: RwLock::new(NsEngine::new(shards)),
             graph: SharedStore::new(GraphStore::new()),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             observer: Mutex::new(
@@ -365,52 +500,98 @@ impl Namespace {
         let Some(dconf) = &config.durability else {
             return Ok((ns, None));
         };
-        let dir = dconf.data_dir.join(name);
-        let (mut wal, recovery) =
-            NamespaceWal::open_with_plan(&dir, dconf.fsync, dconf.fault_plan.clone())
-                .map_err(|e| ServerError::Durability(format!("open wal for '{name}': {e}")))?;
-        wal.checkpoint_every = dconf.checkpoint_every;
+        let dir = wal_dir.expect("durable namespace computed its wal dir");
+        if shards > 1 {
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| ServerError::Durability(format!("create '{name}' dir: {e}")))?;
+            std::fs::write(dir.join("SHARDS"), format!("{shards}\n")).map_err(|e| {
+                ServerError::Durability(format!("write '{name}' shard marker: {e}"))
+            })?;
+        }
+        // One WAL per shard: shard 0 of a single-engine namespace keeps
+        // the legacy flat layout, sharded namespaces use `shard-<i>/`.
+        let mut wals = Vec::with_capacity(shards);
+        let mut recoveries = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let sdir = if shards == 1 {
+                dir.clone()
+            } else {
+                dir.join(format!("shard-{s}"))
+            };
+            let (mut wal, recovery) =
+                NamespaceWal::open_with_plan(&sdir, dconf.fsync, dconf.fault_plan.clone())
+                    .map_err(|e| {
+                        ServerError::Durability(if shards == 1 {
+                            format!("open wal for '{name}': {e}")
+                        } else {
+                            format!("open wal for '{name}' shard {s}: {e}")
+                        })
+                    })?;
+            wal.checkpoint_every = dconf.checkpoint_every;
+            wals.push(wal);
+            recoveries.push(recovery);
+        }
 
-        // Replay into the fresh stores. Codec failures are reported and
-        // skipped — corruption in one record must not lose the rest.
+        // Decode every surviving record, then merge the per-shard streams
+        // back into global ingest order by the stamped sequence number —
+        // the coordinator side of a sharded engine mirrors artifacts in
+        // ingest order, so replay order must equal the original order.
+        // Codec failures are reported and skipped — corruption in one
+        // record must not lose the rest.
         let mut codec_errors = Vec::new();
-        let total = recovery.entries.len() as u64;
+        let mut entries = Vec::new();
+        for (s, recovery) in recoveries.iter().enumerate() {
+            for (i, (_, payload)) in recovery.entries.iter().enumerate() {
+                match durability::decode_entry(payload) {
+                    Ok((retro, request_id, seq)) => {
+                        entries.push((seq.unwrap_or(0), s, i, retro, request_id));
+                    }
+                    Err(e) => codec_errors.push(if shards == 1 {
+                        format!("record {i}: {e}")
+                    } else {
+                        format!("shard {s} record {i}: {e}")
+                    }),
+                }
+            }
+        }
+        entries.sort_by_key(|&(seq, s, i, ..)| (seq, s, i));
+        // The consistent watermark: each shard's WAL restores its own
+        // durable generation; the namespace generation is their sum.
+        let watermark: u64 = recoveries.iter().map(|r| r.generation).sum();
+        let total = entries.len() as u64;
         {
             let engine = ns.engine.get_mut().unwrap_or_else(|e| e.into_inner());
             let acks = ns.acks.get_mut().unwrap_or_else(|e| e.into_inner());
-            for (i, (_, payload)) in recovery.entries.iter().enumerate() {
-                match durability::decode_entry(payload) {
-                    Ok((retro, request_id)) => {
-                        engine.ingest(&retro);
-                        ns.graph.ingest_shared(&retro);
-                        if let Some(id) = request_id {
-                            // The logical generation of replayed entry i
-                            // counts back from the restored watermark.
-                            let generation = recovery.generation
-                                - (total - 1 - i as u64).min(recovery.generation);
-                            acks.put(
-                                &id,
-                                IngestAck {
-                                    namespace: name.to_string(),
-                                    generation,
-                                    runs_ingested: retro.run_count(),
-                                    total_runs: engine.run_count(),
-                                },
-                            );
-                        }
-                    }
-                    Err(e) => codec_errors.push(format!("record {i}: {e}")),
+            for (i, (_, _, _, retro, request_id)) in entries.iter().enumerate() {
+                engine.ingest(retro);
+                ns.graph.ingest_shared(retro);
+                if let Some(id) = request_id {
+                    // The logical generation of replayed entry i counts
+                    // back from the restored watermark.
+                    let generation = watermark - (total - 1 - i as u64).min(watermark);
+                    acks.put(
+                        id,
+                        IngestAck {
+                            namespace: name.to_string(),
+                            generation,
+                            runs_ingested: retro.run_count(),
+                            total_runs: engine.run_count(),
+                        },
+                    );
                 }
             }
-            engine.restore_generation(recovery.generation);
+            engine.restore_generation(watermark);
         }
         let report = RecoveryReport {
             namespace: name.to_string(),
-            snapshot_records: recovery.snapshot_records,
-            wal_records: recovery.wal_records,
-            generation: recovery.generation,
-            truncated: recovery.truncated,
-            tail_errors: recovery.tail_errors,
+            snapshot_records: recoveries.iter().map(|r| r.snapshot_records).sum(),
+            wal_records: recoveries.iter().map(|r| r.wal_records).sum(),
+            generation: watermark,
+            truncated: recoveries.iter().any(|r| r.truncated),
+            tail_errors: recoveries
+                .iter()
+                .flat_map(|r| r.tail_errors.iter().cloned())
+                .collect(),
             codec_errors,
         };
         // Recovery series: what replay found, labeled by namespace, so a
@@ -440,8 +621,14 @@ impl Namespace {
             )
             .add(report.codec_errors.len() as u64);
         ns.wal_metrics = Some(WalMetrics::new(&registry, name));
-        ns.wal = Some(Mutex::new(wal));
+        ns.wal = Some(Mutex::new(wals));
         Ok((ns, Some(report)))
+    }
+
+    /// Partitions behind this namespace's engine (1 unless the server
+    /// runs sharded).
+    pub fn shard_count(&self) -> usize {
+        self.read_engine().shard_count()
     }
 
     /// The namespace name.
@@ -474,31 +661,47 @@ impl Namespace {
         self.queries.load(Ordering::Relaxed)
     }
 
-    /// Records in the live WAL tail (`None` for volatile namespaces).
+    /// Records in the live WAL tails, summed across shards (`None` for
+    /// volatile namespaces).
     pub fn wal_records(&self) -> Option<u64> {
-        self.wal
-            .as_ref()
-            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).wal_records())
+        self.wal.as_ref().map(|w| {
+            w.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(NamespaceWal::wal_records)
+                .sum()
+        })
     }
 
-    /// Force the namespace's WAL to disk regardless of fsync policy.
+    /// Force every shard WAL of the namespace to disk regardless of
+    /// fsync policy.
     pub fn sync_wal(&self) -> Result<(), ServerError> {
         if let Some(wal) = &self.wal {
-            wal.lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .sync()
-                .map_err(|e| ServerError::Durability(format!("sync wal: {e}")))?;
+            for shard in wal.lock().unwrap_or_else(|e| e.into_inner()).iter_mut() {
+                shard
+                    .sync()
+                    .map_err(|e| ServerError::Durability(format!("sync wal: {e}")))?;
+            }
         }
         Ok(())
     }
 
-    fn read_engine(&self) -> std::sync::RwLockReadGuard<'_, PqlEngine> {
+    fn read_engine(&self) -> std::sync::RwLockReadGuard<'_, NsEngine> {
         self.engine.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn write_engine(&self) -> std::sync::RwLockWriteGuard<'_, PqlEngine> {
+    fn write_engine(&self) -> std::sync::RwLockWriteGuard<'_, NsEngine> {
         self.engine.write().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// The persisted shard count of a durable namespace directory (`None`
+/// when the namespace has never been opened sharded).
+fn read_shard_marker(dir: &std::path::Path) -> Option<usize> {
+    std::fs::read_to_string(dir.join("SHARDS"))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 1)
 }
 
 /// What a request asks for.
@@ -597,6 +800,8 @@ pub struct NamespaceStats {
     pub cache_misses: u64,
     /// Runs resident in the shared graph store (must equal `runs`).
     pub store_runs: usize,
+    /// Partitions behind the namespace engine (1 unless sharded).
+    pub shards: usize,
 }
 
 /// Server-wide admission numbers.
@@ -1139,10 +1344,16 @@ impl ProvServer {
         let (generation, total_runs) = {
             let mut engine = ns.write_engine();
             if let Some(wal) = &ns.wal {
-                let payload = durability::encode_entry(retro, request_id);
-                let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+                // The stamped sequence is the post-ingest generation:
+                // strictly monotone per namespace (assigned under the
+                // engine write lock), so recovery can merge the per-shard
+                // WAL streams back into global ingest order.
+                let seq = engine.generation() + 1;
+                let shard = engine.route(retro.exec);
+                let payload = durability::encode_entry(retro, request_id, seq);
+                let mut wals = wal.lock().unwrap_or_else(|e| e.into_inner());
                 let wal_began = now_micros();
-                if let Err(e) = wal.append(retro.exec.0, &payload) {
+                if let Err(e) = wals[shard].append(retro.exec.0, &payload) {
                     if let Some(wm) = &ns.wal_metrics {
                         wm.failures.inc();
                     }
@@ -1161,7 +1372,7 @@ impl ProvServer {
                 if let Some(wm) = &ns.wal_metrics {
                     wm.appends.inc();
                     wm.append_micros.observe(wal_ended - wal_began);
-                    wm.absorb(&wal);
+                    wm.absorb(&wals);
                 }
                 if let Some((trace_id, parent)) = traced {
                     self.traces.record(
@@ -1175,7 +1386,10 @@ impl ProvServer {
                             node: None,
                             start_micros: wal_began,
                             end_micros: wal_ended,
-                            attrs: vec![("payload_bytes".into(), payload.len().to_string())],
+                            attrs: vec![
+                                ("payload_bytes".into(), payload.len().to_string()),
+                                ("shard".into(), shard.to_string()),
+                            ],
                         },
                     );
                 }
@@ -1252,12 +1466,15 @@ impl ProvServer {
         let key = QueryCache::key_for(&query);
         // Hold the read lock across generation read + evaluation: the
         // result is guaranteed to be computed against the generation it
-        // is tagged with (writers are excluded while we evaluate).
+        // is tagged with (writers are excluded while we evaluate). A
+        // sharded engine's generation sums the per-shard counters, so a
+        // cached result goes stale when *any* shard advances.
         let engine = ns.read_engine();
         let generation = engine.generation();
+        let backend = engine.backend_key().to_string();
         {
             let mut cache = ns.cache.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(result) = cache.get("engine", &key, generation) {
+            if let Some(result) = cache.get(&backend, &key, generation) {
                 drop(cache);
                 ns.queries.fetch_add(1, Ordering::Relaxed);
                 if let Some(tm) = tm {
@@ -1280,10 +1497,10 @@ impl ProvServer {
                 }));
             }
         }
-        let analysis = analyze_optimized(&engine, &query)?;
+        let analysis = engine.analyze_optimized(&query)?;
         drop(engine);
         ns.cache.lock().unwrap_or_else(|e| e.into_inner()).put(
-            "engine",
+            &backend,
             &key,
             generation,
             analysis.result.clone(),
@@ -1297,7 +1514,7 @@ impl ProvServer {
         let recorded = self.record_query_span(
             &ns,
             pql,
-            "engine",
+            &backend,
             analysis.total_micros,
             analysis.result.len(),
             accesses,
@@ -1360,6 +1577,7 @@ impl ProvServer {
             cache_hits: hits,
             cache_misses: misses,
             store_runs: ns.graph.run_count(),
+            shards: engine.shard_count(),
         })
     }
 }
@@ -1856,6 +2074,101 @@ mod tests {
         assert_eq!(lab.generation, 1);
         let stats = srv.session("alice").stats("lab").unwrap();
         assert_eq!(stats.executions, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_namespace_serves_identical_results() {
+        let single = server();
+        let sharded = Arc::new(ProvServer::new(ServerConfig {
+            shards: 4,
+            ..ServerConfig::default()
+        }));
+        let a = single.session("alice");
+        let b = sharded.session("alice");
+        for seed in 1..=6 {
+            a.ingest("lab", &retro(seed)).unwrap();
+            b.ingest("lab", &retro(seed)).unwrap();
+        }
+        for pql in [
+            "count runs",
+            "list runs where status = succeeded",
+            "count artifacts",
+            "list executions",
+            "count runs where module = \"Histogram@1\"",
+        ] {
+            let lhs = a.query("lab", pql).unwrap();
+            let rhs = b.query("lab", pql).unwrap();
+            assert_eq!(lhs.result, rhs.result, "{pql}");
+            assert_eq!(lhs.generation, rhs.generation, "{pql}");
+        }
+        let stats = b.stats("lab").unwrap();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.generation, 6, "one generation per ingest");
+        assert_eq!(stats.store_runs, stats.runs);
+        assert_eq!(a.stats("lab").unwrap().shards, 1);
+    }
+
+    #[test]
+    fn sharded_cache_is_invalidated_by_ingest_into_any_shard() {
+        let srv = Arc::new(ProvServer::new(ServerConfig {
+            shards: 4,
+            ..ServerConfig::default()
+        }));
+        let session = srv.session("alice");
+        session.ingest("lab", &retro(1)).unwrap();
+        let first = session.query("lab", "count runs").unwrap();
+        assert!(!first.cached);
+        assert!(session.query("lab", "count runs").unwrap().cached);
+        // Ingest documents that land on several different shards; each
+        // one must invalidate the cached count (generation is the sum of
+        // the per-shard counters, so any shard's advance changes it).
+        let ns = srv.namespace("lab").unwrap();
+        assert_eq!(ns.shard_count(), 4);
+        for seed in 2..=5 {
+            session.ingest("lab", &retro(seed)).unwrap();
+            let reply = session.query("lab", "count runs").unwrap();
+            assert!(!reply.cached, "stale entry served after ingest {seed}");
+            assert_eq!(reply.result, QueryResult::Count(8 * seed as usize));
+        }
+    }
+
+    #[test]
+    fn sharded_durable_namespace_recovers_across_restart() {
+        let dir = temp_data_dir("sharded");
+        let sharded_config = || ServerConfig {
+            shards: 3,
+            ..durable_config(&dir)
+        };
+        {
+            let srv = Arc::new(ProvServer::new(sharded_config()));
+            srv.recover().unwrap();
+            let session = srv.session("alice");
+            for seed in 1..=6 {
+                session.ingest("lab", &retro(seed)).unwrap();
+            }
+            assert_eq!(session.stats("lab").unwrap().generation, 6);
+        } // process "dies" — only the per-shard WALs remain
+
+        // Restart with shards=1: the on-disk marker pins the layout, so
+        // the namespace still comes back sharded and complete.
+        let srv = Arc::new(ProvServer::new(durable_config(&dir)));
+        let reports = srv.recover().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].wal_records, 6, "all shard WALs replayed");
+        assert_eq!(reports[0].generation, 6);
+        let session = srv.session("alice");
+        let stats = session.stats("lab").unwrap();
+        assert_eq!(stats.shards, 3, "marker wins over config");
+        assert_eq!(stats.executions, 6);
+        assert_eq!(stats.generation, 6, "watermark sums shard generations");
+        assert_eq!(stats.store_runs, stats.runs);
+        let ack = session.ingest("lab", &retro(7)).unwrap();
+        assert_eq!(ack.generation, 7, "generation seamless across restart");
+        assert_eq!(
+            session.query("lab", "count executions").unwrap().result,
+            QueryResult::Count(7)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

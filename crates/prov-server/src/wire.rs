@@ -545,6 +545,7 @@ pub fn stats_to_json(stats: &NamespaceStats) -> JsonValue {
         ("cache_hits", num(stats.cache_hits)),
         ("cache_misses", num(stats.cache_misses)),
         ("store_runs", num(stats.store_runs as u64)),
+        ("shards", num(stats.shards as u64)),
     ])
 }
 
@@ -561,6 +562,8 @@ pub fn stats_from_json(v: &JsonValue) -> Result<NamespaceStats, ServerError> {
         cache_hits: get_u64(v, "cache_hits")?,
         cache_misses: get_u64(v, "cache_misses")?,
         store_runs: get_u64(v, "store_runs")? as usize,
+        // Absent in replies from servers predating sharding.
+        shards: get_u64(v, "shards").unwrap_or(1) as usize,
     })
 }
 
@@ -684,6 +687,7 @@ mod tests {
             cache_hits: 9,
             cache_misses: 8,
             store_runs: 24,
+            shards: 4,
         };
         let text = render_json(&stats_to_json(&stats));
         assert_eq!(stats_from_json(&parse_json(&text).unwrap()).unwrap(), stats);

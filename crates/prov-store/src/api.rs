@@ -14,6 +14,18 @@ use wf_model::NodeId;
 /// A module run identified across executions.
 pub type RunRef = (ExecId, NodeId);
 
+/// What one shard-local closure expansion reached: every run pulled into
+/// the closure and every *newly* discovered artifact (the seeds are
+/// excluded). Both lists are unsorted and may repeat across successive
+/// expansions — callers canonicalize with [`sort_runs`]/[`sort_artifacts`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Frontier {
+    /// Runs reached by the expansion.
+    pub runs: Vec<RunRef>,
+    /// Artifacts reached by the expansion, seeds excluded.
+    pub artifacts: Vec<ArtifactHash>,
+}
+
 /// The canned query surface implemented by every backend.
 pub trait ProvenanceStore {
     /// Backend name for reports.
@@ -39,6 +51,22 @@ pub trait ProvenanceStore {
     /// Q3 — downstream impact: every artifact transitively derived from
     /// this one.
     fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash>;
+
+    /// Multi-seed closure expansion, the scatter-gather primitive: from
+    /// the seed artifacts, chase generating runs and their inputs
+    /// (`upstream == true`) or consuming runs and their outputs
+    /// (`upstream == false`) to a local fixpoint. Equivalent to
+    /// [`ProvenanceStore::lineage_runs`]/[`ProvenanceStore::derived_artifacts`]
+    /// generalized to a seed *set*, and additionally reporting the reached
+    /// artifacts so a coordinator can re-seed sibling shards with the
+    /// cross-shard joint artifacts.
+    fn expand_frontier(&self, seeds: &[ArtifactHash], upstream: bool) -> Frontier;
+
+    /// Replace this store's stats recorder with a (cheaply cloned) handle
+    /// onto `stats`, so several stores bump one shared counter block. The
+    /// sharded store adopts one recorder into every shard, making
+    /// [`ProvenanceStore::stats`] totals sum exactly across shards.
+    fn adopt_stats(&mut self, stats: &StoreStats);
 
     /// Q4 — flat aggregate: how many runs of each module identity exist?
     /// Returns (identity, count) sorted by identity.

@@ -9,7 +9,7 @@
 //! executions automatically connects provenance *across* runs whenever one
 //! run consumed what another produced.
 
-use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use crate::api::{sort_artifacts, sort_runs, Frontier, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
@@ -197,6 +197,47 @@ impl ProvenanceStore for GraphStore {
                 })
                 .collect(),
         )
+    }
+
+    fn expand_frontier(&self, seeds: &[ArtifactHash], upstream: bool) -> Frontier {
+        // The multi-seed generalization of `closure`: one BFS from all
+        // seeds at once, partitioning reached nodes by kind.
+        let mut out = Frontier::default();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut q = VecDeque::new();
+        for &h in seeds {
+            self.stats.add_keyed_lookups(1);
+            if let Some(&i) = self.index.get(&GNode::Artifact(h)) {
+                if !seen[i] {
+                    seen[i] = true;
+                    q.push_back(i);
+                }
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            self.stats.add_node_reads(1);
+            let next = if upstream {
+                &self.pred[u]
+            } else {
+                &self.succ[u]
+            };
+            self.stats.add_edge_reads(next.len() as u64);
+            for &v in next {
+                if !seen[v] {
+                    seen[v] = true;
+                    match self.nodes[v] {
+                        GNode::Run(r) => out.runs.push(r),
+                        GNode::Artifact(h) => out.artifacts.push(h),
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        out
+    }
+
+    fn adopt_stats(&mut self, stats: &StoreStats) {
+        self.stats = stats.clone();
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {

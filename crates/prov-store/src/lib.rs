@@ -32,24 +32,31 @@
 //! * [`shared`] — [`shared::SharedStore`], the `Arc<RwLock>`-style wrapper
 //!   that turns any single-writer backend into thread-safe shared state
 //!   for the concurrent service layer (generation-tagged ingest, reader
-//!   guards, exact stats under contention).
+//!   guards, exact stats under contention);
+//! * [`sharded`] — [`sharded::ShardedStore`], execution-hash partitioning
+//!   over N inner stores with scatter-gather queries and an iterative
+//!   closure-frontier exchange for cross-shard lineage (the §3
+//!   scalability answer; shards share one stats recorder so ANALYZE
+//!   totals sum exactly).
 
 pub mod api;
 pub mod graphstore;
 pub mod iofault;
 pub mod logstore;
 pub mod relstore;
+pub mod sharded;
 pub mod shared;
 pub mod spanstore;
 pub mod stats;
 pub mod triplestore;
 pub mod wal;
 
-pub use api::{sort_artifacts, sort_runs, ProvenanceStore};
+pub use api::{sort_artifacts, sort_runs, Frontier, ProvenanceStore};
 pub use graphstore::GraphStore;
 pub use iofault::{IoFault, IoFaultPlan};
 pub use logstore::LogStore;
 pub use relstore::{RelStore, RelValue, Relation, Schema};
+pub use sharded::{shard_of, ShardedStore, DEFAULT_SHARD_SEED};
 pub use shared::SharedStore;
 pub use spanstore::SpanStore;
 pub use stats::{StatsSnapshot, StoreStats};

@@ -14,7 +14,7 @@
 //! Recovery tolerates a truncated final frame (a crash mid-append) and
 //! stops at the first CRC mismatch, reporting how much was recovered.
 
-use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use crate::api::{sort_artifacts, sort_runs, Frontier, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::collections::{BTreeMap, HashMap};
@@ -488,6 +488,75 @@ impl ProvenanceStore for LogStore {
             frontier = next;
         }
         sort_artifacts(result)
+    }
+
+    fn expand_frontier(&self, seeds: &[ArtifactHash], upstream: bool) -> Frontier {
+        // Multi-seed form of the log fixpoints: indexed probes per frontier
+        // artifact when optimized, one whole-log pass per frontier artifact
+        // otherwise.
+        let optimized = self.optimized.load(Ordering::Relaxed);
+        let mut out = Frontier::default();
+        let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
+        let mut seen_arts: std::collections::BTreeSet<ArtifactHash> = Default::default();
+        let mut frontier: Vec<ArtifactHash> = Vec::new();
+        for &h in seeds {
+            if seen_arts.insert(h) {
+                frontier.push(h);
+            }
+        }
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for a in frontier.drain(..) {
+                if optimized {
+                    let index = if upstream {
+                        &self.out_index
+                    } else {
+                        &self.in_index
+                    };
+                    for &(ri, i) in self.probe(index, a) {
+                        let rec = &self.records[ri];
+                        let run = &rec.runs[i];
+                        if seen_runs.insert((rec.exec, run.node)) {
+                            out.runs.push((rec.exec, run.node));
+                            let side = if upstream { &run.inputs } else { &run.outputs };
+                            for (_, h) in side {
+                                if seen_arts.insert(*h) {
+                                    out.artifacts.push(*h);
+                                    next.push(*h);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    self.count_scan();
+                    for rec in &self.records {
+                        for run in &rec.runs {
+                            let hit = if upstream {
+                                run.outputs.iter().any(|(_, h)| *h == a)
+                            } else {
+                                run.inputs.iter().any(|(_, h)| *h == a)
+                            };
+                            if hit && seen_runs.insert((rec.exec, run.node)) {
+                                out.runs.push((rec.exec, run.node));
+                                let side = if upstream { &run.inputs } else { &run.outputs };
+                                for (_, h) in side {
+                                    if seen_arts.insert(*h) {
+                                        out.artifacts.push(*h);
+                                        next.push(*h);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    fn adopt_stats(&mut self, stats: &StoreStats) {
+        self.stats = stats.clone();
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {

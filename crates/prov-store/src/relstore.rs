@@ -16,7 +16,7 @@
 //! artifacts(hash, dtype, size)
 //! ```
 
-use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use crate::api::{sort_artifacts, sort_runs, Frontier, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::collections::HashMap;
@@ -577,6 +577,59 @@ impl ProvenanceStore for RelStore {
             frontier = next;
         }
         sort_artifacts(result)
+    }
+
+    fn expand_frontier(&self, seeds: &[ArtifactHash], upstream: bool) -> Frontier {
+        // The multi-seed form of the iterated index-nested-loop joins
+        // above: probe one side's `artifact` column for runs, join to the
+        // other side on `node` (exec-checked) for the next artifact tier.
+        let (run_rel, art_rel) = if upstream {
+            (&self.run_outputs, &self.run_inputs)
+        } else {
+            (&self.run_inputs, &self.run_outputs)
+        };
+        let mut out = Frontier::default();
+        let mut seen_runs: std::collections::BTreeSet<RunRef> = Default::default();
+        let mut seen_arts: std::collections::BTreeSet<ArtifactHash> = Default::default();
+        let mut frontier: Vec<ArtifactHash> = Vec::new();
+        for &h in seeds {
+            if seen_arts.insert(h) {
+                frontier.push(h);
+            }
+        }
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for a in frontier.drain(..) {
+                for run_row in self.counted_lookup(run_rel, "artifact", &art_val(a)) {
+                    let Some(run) = RelStore::run_ref(&run_row[0], &run_row[1]) else {
+                        continue;
+                    };
+                    if !seen_runs.insert(run) {
+                        continue;
+                    }
+                    out.runs.push(run);
+                    for art_row in
+                        self.counted_lookup(art_rel, "node", &RelValue::Int(run.1.raw() as i64))
+                    {
+                        if art_row[0].as_int() == Some(run.0 .0 as i64) {
+                            if let Some(h) = art_row[3].as_int() {
+                                let h = h as u64;
+                                if seen_arts.insert(h) {
+                                    out.artifacts.push(h);
+                                    next.push(h);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    fn adopt_stats(&mut self, stats: &StoreStats) {
+        self.stats = stats.clone();
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {

@@ -1,0 +1,394 @@
+//! Execution-hash sharding over N inner stores, with scatter-gather
+//! queries.
+//!
+//! The tutorial's §3 scalability challenge: provenance stores must stay
+//! queryable as corpora grow to millions of runs. [`ShardedStore`]
+//! partitions provenance *by execution id* — lineage locality follows the
+//! run, so most closure work stays shard-local — and answers the canned
+//! queries by fanning out over the shards on a scoped thread pool:
+//!
+//! * flat queries (Q1 generators, Q4 aggregates, run counts) scatter to
+//!   every shard and merge by union / summation;
+//! * transitive queries (Q2 lineage, Q3 impact) run an **iterative
+//!   closure-frontier exchange**: each round expands every shard to its
+//!   local fixpoint from the current artifact frontier
+//!   ([`ProvenanceStore::expand_frontier`]), then the coordinator
+//!   re-seeds all shards with the newly discovered artifacts — the only
+//!   values that can join provenance *across* shards, since every run and
+//!   all of its edges live wholly in the shard that owns its execution.
+//!
+//! Each shard sits behind the existing [`SharedStore`] generation
+//! discipline, so per-shard ingest is concurrent-safe and the combined
+//! generation (the sum over shards) advances exactly once per ingested
+//! document. All shards adopt one [`StoreStats`] recorder
+//! ([`ProvenanceStore::adopt_stats`]), so stats deltas observed through
+//! the sharded store are the *exact sum* of per-shard work — EXPLAIN
+//! ANALYZE stays truthful.
+
+use crate::api::{sort_artifacts, sort_runs, Frontier, ProvenanceStore, RunRef};
+use crate::shared::SharedStore;
+use crate::stats::StoreStats;
+use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
+use std::collections::{BTreeMap, BTreeSet};
+use wf_engine::ExecId;
+
+/// Default seed for the shard hash; any fixed odd-mixed constant works.
+pub const DEFAULT_SHARD_SEED: u64 = 0x5AD5;
+
+/// The shard an execution id routes to, under `seed`, over `shards`
+/// shards. A seeded splitmix64 finalizer: cheap, deterministic across
+/// platforms, and adversarial inputs cannot line up with the unseeded
+/// identity hash of a `HashMap`.
+pub fn shard_of(seed: u64, exec: ExecId, shards: usize) -> usize {
+    let mut x = exec.0 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards.max(1) as u64) as usize
+}
+
+/// N stores partitioned by execution id, queried scatter-gather.
+#[derive(Debug)]
+pub struct ShardedStore<S> {
+    shards: Vec<SharedStore<S>>,
+    seed: u64,
+    stats: StoreStats,
+}
+
+impl<S: ProvenanceStore + Send + Sync> ShardedStore<S> {
+    /// `shards` stores built by `make`, routed by the default seed.
+    pub fn new(shards: usize, make: impl FnMut() -> S) -> Self {
+        Self::with_seed(shards, DEFAULT_SHARD_SEED, make)
+    }
+
+    /// `shards` stores built by `make`, routed by `shard_of(seed, exec)`.
+    pub fn with_seed(shards: usize, seed: u64, mut make: impl FnMut() -> S) -> Self {
+        let stats = StoreStats::new();
+        let shards = (0..shards.max(1))
+            .map(|_| {
+                let mut s = make();
+                // One recorder across all shards: totals sum exactly.
+                s.adopt_stats(&stats);
+                SharedStore::new(s)
+            })
+            .collect();
+        ShardedStore {
+            shards,
+            seed,
+            stats,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The seed the router hashes with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Which shard owns this execution.
+    pub fn route(&self, exec: ExecId) -> usize {
+        shard_of(self.seed, exec, self.shards.len())
+    }
+
+    /// Direct access to one shard (tests, per-shard EXPLAIN rows).
+    pub fn shard(&self, i: usize) -> &SharedStore<S> {
+        &self.shards[i]
+    }
+
+    /// Combined generation: the sum of per-shard generations. Bumps
+    /// exactly once per ingested document, and advances whenever *any*
+    /// shard ingests — the property the query-cache invalidation key
+    /// relies on.
+    pub fn generation(&self) -> u64 {
+        self.shards.iter().map(|s| s.generation()).sum()
+    }
+
+    /// Per-shard generations, index-aligned with the shard list.
+    pub fn generations(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.generation()).collect()
+    }
+
+    /// Route one document to its shard and ingest it under that shard's
+    /// write lock. Returns the new combined generation. Distinct shards
+    /// ingest concurrently; two documents for the same shard serialize on
+    /// its lock.
+    pub fn ingest_shared(&self, retro: &RetrospectiveProvenance) -> u64 {
+        let shard = self.route(retro.exec);
+        self.shards[shard].ingest_shared(retro);
+        self.generation()
+    }
+
+    /// Run `f` against every shard on a scoped thread pool, preserving
+    /// shard order in the result.
+    pub fn scatter<T: Send>(&self, f: impl Fn(&SharedStore<S>) -> T + Sync) -> Vec<T> {
+        if self.shards.len() == 1 {
+            return vec![f(&self.shards[0])];
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| scope.spawn(move || f(s)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// The closure-frontier exchange: expand every shard to its local
+    /// fixpoint from the frontier, union the results, re-seed with the
+    /// newly discovered artifacts, repeat until no shard finds anything
+    /// new. Returns the global closure (runs reached, artifacts reached
+    /// excluding the seeds), which equals the single-store closure.
+    pub fn exchange(&self, seeds: &[ArtifactHash], upstream: bool) -> Frontier {
+        let mut known: BTreeSet<ArtifactHash> = BTreeSet::new();
+        let mut frontier: Vec<ArtifactHash> = Vec::new();
+        for &h in seeds {
+            if known.insert(h) {
+                frontier.push(h);
+            }
+        }
+        let mut runs: BTreeSet<RunRef> = BTreeSet::new();
+        let mut artifacts: Vec<ArtifactHash> = Vec::new();
+        while !frontier.is_empty() {
+            let partials = self.scatter(|s| s.expand_frontier(&frontier, upstream));
+            let mut next = Vec::new();
+            for partial in partials {
+                runs.extend(partial.runs);
+                for h in partial.artifacts {
+                    if known.insert(h) {
+                        artifacts.push(h);
+                        next.push(h);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        Frontier {
+            runs: runs.into_iter().collect(),
+            artifacts,
+        }
+    }
+}
+
+impl<S: ProvenanceStore + Send + Sync> ProvenanceStore for ShardedStore<S> {
+    fn backend_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    fn ingest(&mut self, retro: &RetrospectiveProvenance) {
+        self.ingest_shared(retro);
+    }
+
+    fn generators(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        let partials = self.scatter(|s| s.generators(artifact));
+        sort_runs(partials.into_iter().flatten().collect())
+    }
+
+    fn lineage_runs(&self, artifact: ArtifactHash) -> Vec<RunRef> {
+        sort_runs(self.exchange(&[artifact], true).runs)
+    }
+
+    fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
+        sort_artifacts(self.exchange(&[artifact], false).artifacts)
+    }
+
+    fn expand_frontier(&self, seeds: &[ArtifactHash], upstream: bool) -> Frontier {
+        self.exchange(seeds, upstream)
+    }
+
+    fn adopt_stats(&mut self, stats: &StoreStats) {
+        for shard in &mut self.shards {
+            shard.adopt_stats(stats);
+        }
+        self.stats = stats.clone();
+    }
+
+    fn runs_per_module(&self) -> Vec<(String, usize)> {
+        let partials = self.scatter(|s| s.runs_per_module());
+        let mut merged: BTreeMap<String, usize> = BTreeMap::new();
+        for partial in partials {
+            for (identity, n) in partial {
+                *merged.entry(identity).or_default() += n;
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    fn run_count(&self) -> usize {
+        self.scatter(|s| s.run_count()).into_iter().sum()
+    }
+
+    fn set_optimized(&self, on: bool) {
+        for shard in &self.shards {
+            shard.set_optimized(on);
+        }
+    }
+
+    fn optimized(&self) -> bool {
+        self.shards[0].optimized()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.scatter(|s| s.approx_bytes()).into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphstore::GraphStore;
+    use crate::logstore::LogStore;
+    use crate::relstore::RelStore;
+    use crate::triplestore::TripleStore;
+    use prov_core::capture::{CaptureLevel, ProvenanceCapture};
+    use wf_engine::synth::challenge_workflow;
+    use wf_engine::{standard_registry, Executor};
+
+    fn corpus() -> Vec<RetrospectiveProvenance> {
+        let exec = Executor::new(standard_registry());
+        (0..6u64)
+            .map(|i| {
+                let wf = challenge_workflow(i + 1, 3, 3);
+                let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+                let r = exec.run_observed(&wf, &mut cap).expect("workflow runs");
+                cap.take(r.exec).expect("captured")
+            })
+            .collect()
+    }
+
+    fn probe_digests(docs: &[RetrospectiveProvenance]) -> Vec<ArtifactHash> {
+        let mut out: Vec<ArtifactHash> = docs
+            .iter()
+            .flat_map(|d| d.runs.iter())
+            .flat_map(|r| r.outputs.iter().map(|(_, h)| *h))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            for e in 0..200u64 {
+                let a = shard_of(DEFAULT_SHARD_SEED, ExecId(e), shards);
+                let b = shard_of(DEFAULT_SHARD_SEED, ExecId(e), shards);
+                assert_eq!(a, b);
+                assert!(a < shards);
+            }
+        }
+        // Different seeds give different assignments somewhere.
+        let moved = (0..64u64).any(|e| shard_of(1, ExecId(e), 4) != shard_of(2, ExecId(e), 4));
+        assert!(moved, "seed must actually perturb the routing");
+    }
+
+    #[test]
+    fn sharded_answers_match_a_single_store_on_every_backend() {
+        let docs = corpus();
+        let digests = probe_digests(&docs);
+        type Factory = fn() -> Box<dyn ProvenanceStore + Send + Sync>;
+        let factories: Vec<(&str, Factory)> = vec![
+            ("graph", || Box::new(GraphStore::new())),
+            ("relational", || Box::new(RelStore::new())),
+            ("triple", || Box::new(TripleStore::new())),
+            ("log", || Box::new(LogStore::ephemeral())),
+        ];
+        for (name, make) in factories {
+            let mut plain = make();
+            let sharded = ShardedStore::new(3, make);
+            for d in &docs {
+                plain.ingest(d);
+                sharded.ingest_shared(d);
+            }
+            assert_eq!(sharded.generation(), docs.len() as u64, "{name}");
+            assert_eq!(sharded.run_count(), plain.run_count(), "{name}");
+            assert_eq!(sharded.runs_per_module(), plain.runs_per_module(), "{name}");
+            for &h in &digests {
+                assert_eq!(
+                    sharded.generators(h),
+                    sort_runs(plain.generators(h)),
+                    "{name}: generators({h:016x})"
+                );
+                assert_eq!(
+                    sharded.lineage_runs(h),
+                    sort_runs(plain.lineage_runs(h)),
+                    "{name}: lineage({h:016x})"
+                );
+                assert_eq!(
+                    sharded.derived_artifacts(h),
+                    sort_artifacts(plain.derived_artifacts(h)),
+                    "{name}: impact({h:016x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_sum_exactly_across_shards() {
+        let docs = corpus();
+        let sharded = ShardedStore::new(4, GraphStore::new);
+        for d in &docs {
+            sharded.ingest_shared(d);
+        }
+        let h = probe_digests(&docs)[0];
+        let before = sharded.stats().snapshot();
+        let _ = sharded.lineage_runs(h);
+        let d = sharded.stats().snapshot().delta(&before);
+        // Every shard probes the seed at least once per exchange round.
+        assert!(d.keyed_lookups >= 4, "all shards report into one recorder");
+        assert!(d.node_reads > 0);
+    }
+
+    #[test]
+    fn shard_count_one_degenerates_to_a_single_store() {
+        let docs = corpus();
+        let mut plain = GraphStore::new();
+        let sharded = ShardedStore::new(1, GraphStore::new);
+        for d in &docs {
+            plain.ingest(d);
+            sharded.ingest_shared(d);
+        }
+        for &h in &probe_digests(&docs) {
+            assert_eq!(sharded.lineage_runs(h), sort_runs(plain.lineage_runs(h)));
+        }
+    }
+
+    #[test]
+    fn concurrent_shard_ingest_loses_no_writes() {
+        let docs = corpus();
+        let mut plain = GraphStore::new();
+        for d in &docs {
+            plain.ingest(d);
+        }
+        let sharded = ShardedStore::new(4, GraphStore::new);
+        std::thread::scope(|scope| {
+            for d in &docs {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    sharded.ingest_shared(d);
+                });
+            }
+        });
+        assert_eq!(sharded.generation(), docs.len() as u64);
+        assert_eq!(sharded.run_count(), plain.run_count());
+        assert_eq!(
+            sharded.generations().iter().sum::<u64>(),
+            docs.len() as u64,
+            "per-shard generations account for every document exactly once"
+        );
+    }
+}

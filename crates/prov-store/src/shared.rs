@@ -23,7 +23,7 @@
 //! holding a read guard observes a stable generation for the whole guard
 //! lifetime: data and generation cannot change out from under it.
 
-use crate::api::{ProvenanceStore, RunRef};
+use crate::api::{Frontier, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -121,6 +121,17 @@ impl<S: ProvenanceStore> ProvenanceStore for SharedStore<S> {
         self.read().derived_artifacts(artifact)
     }
 
+    fn expand_frontier(&self, seeds: &[ArtifactHash], upstream: bool) -> Frontier {
+        self.read().expand_frontier(seeds, upstream)
+    }
+
+    fn adopt_stats(&mut self, stats: &StoreStats) {
+        self.write().adopt_stats(stats);
+        // The wrapper hands out its own handle without locking, so it must
+        // track the recorder the inner store now bumps.
+        self.stats = stats.clone();
+    }
+
     fn runs_per_module(&self) -> Vec<(String, usize)> {
         self.read().runs_per_module()
     }
@@ -163,6 +174,12 @@ impl<T: ProvenanceStore + ?Sized> ProvenanceStore for Box<T> {
     }
     fn derived_artifacts(&self, artifact: ArtifactHash) -> Vec<ArtifactHash> {
         (**self).derived_artifacts(artifact)
+    }
+    fn expand_frontier(&self, seeds: &[ArtifactHash], upstream: bool) -> Frontier {
+        (**self).expand_frontier(seeds, upstream)
+    }
+    fn adopt_stats(&mut self, stats: &StoreStats) {
+        (**self).adopt_stats(stats)
     }
     fn runs_per_module(&self) -> Vec<(String, usize)> {
         (**self).runs_per_module()

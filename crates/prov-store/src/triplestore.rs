@@ -11,7 +11,7 @@
 //! pain the tutorial describes, and measurably slower than the native graph
 //! traversal (experiment E5).
 
-use crate::api::{sort_artifacts, sort_runs, ProvenanceStore, RunRef};
+use crate::api::{sort_artifacts, sort_runs, Frontier, ProvenanceStore, RunRef};
 use crate::stats::StoreStats;
 use prov_core::model::{ArtifactHash, RetrospectiveProvenance};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -476,6 +476,126 @@ impl ProvenanceStore for TripleStore {
                 .filter_map(|a| parse_artifact_iri(self.resolve(a)))
                 .collect(),
         )
+    }
+
+    fn expand_frontier(&self, seeds: &[ArtifactHash], upstream: bool) -> Frontier {
+        let mut out = Frontier::default();
+        if self.optimized.load(Ordering::Relaxed) {
+            // Hash-indexed adjacency probes, multi-seed variant of the
+            // optimized lineage/impact fixpoints.
+            let (run_adj, art_adj) = if upstream {
+                (&self.adj_generated_by, &self.adj_used)
+            } else {
+                (&self.adj_used_by, &self.adj_generates)
+            };
+            let mut seen_run: BTreeSet<u32> = BTreeSet::new();
+            let mut seen_art: BTreeSet<u32> = BTreeSet::new();
+            let mut frontier: Vec<u32> = Vec::new();
+            for &h in seeds {
+                if let Some(t) = self.lookup(&artifact_iri(h)) {
+                    if seen_art.insert(t.0) {
+                        frontier.push(t.0);
+                    }
+                }
+            }
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for a in frontier.drain(..) {
+                    for &r in self.adj(run_adj, a) {
+                        if seen_run.insert(r) {
+                            if let Some(run) = parse_run_iri(self.resolve(Term(r))) {
+                                out.runs.push(run);
+                            }
+                            for &a2 in self.adj(art_adj, r) {
+                                if seen_art.insert(a2) {
+                                    if let Some(h) = parse_artifact_iri(self.resolve(Term(a2))) {
+                                        out.artifacts.push(h);
+                                    }
+                                    next.push(a2);
+                                }
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            return out;
+        }
+        // Naive BGP fixpoint. Upstream chases generatedBy then used;
+        // downstream chases used-by then generates (object-bound patterns).
+        let (run_p, art_p) = if upstream {
+            let Some(gen_p) = self.lookup("prov:generatedBy") else {
+                return out;
+            };
+            (gen_p, self.lookup("prov:used"))
+        } else {
+            let Some(used_p) = self.lookup("prov:used") else {
+                return out;
+            };
+            let Some(gen_p) = self.lookup("prov:generatedBy") else {
+                return out;
+            };
+            (used_p, Some(gen_p))
+        };
+        let mut seen_run: BTreeSet<Term> = BTreeSet::new();
+        let mut seen_art: BTreeSet<Term> = BTreeSet::new();
+        let mut frontier: Vec<Term> = Vec::new();
+        for &h in seeds {
+            if let Some(t) = self.lookup(&artifact_iri(h)) {
+                if seen_art.insert(t) {
+                    frontier.push(t);
+                }
+            }
+        }
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for a in frontier.drain(..) {
+                let runs = if upstream {
+                    self.pattern(Some(a), Some(run_p), None)
+                        .into_iter()
+                        .map(|(_, _, r)| r)
+                        .collect::<Vec<_>>()
+                } else {
+                    self.pattern(None, Some(run_p), Some(a))
+                        .into_iter()
+                        .map(|(r, _, _)| r)
+                        .collect::<Vec<_>>()
+                };
+                for r in runs {
+                    if seen_run.insert(r) {
+                        if let Some(run) = parse_run_iri(self.resolve(r)) {
+                            out.runs.push(run);
+                        }
+                        let Some(art_p) = art_p else { continue };
+                        let arts = if upstream {
+                            self.pattern(Some(r), Some(art_p), None)
+                                .into_iter()
+                                .map(|(_, _, a2)| a2)
+                                .collect::<Vec<_>>()
+                        } else {
+                            self.pattern(None, Some(art_p), Some(r))
+                                .into_iter()
+                                .map(|(a2, _, _)| a2)
+                                .collect::<Vec<_>>()
+                        };
+                        for a2 in arts {
+                            if seen_art.insert(a2) {
+                                if let Some(h) = parse_artifact_iri(self.resolve(a2)) {
+                                    out.artifacts.push(h);
+                                }
+                                next.push(a2);
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    fn adopt_stats(&mut self, stats: &StoreStats) {
+        self.stats = stats.clone();
     }
 
     fn runs_per_module(&self) -> Vec<(String, usize)> {

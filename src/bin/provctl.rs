@@ -58,8 +58,9 @@ fn usage() -> ExitCode {
          \x20          [retries=N] [timeout_ms=N]          execute and capture\n\
          \x20 resumecheck <original.json> <resumed.json>   validate recovery lineage\n\
          \x20 log      <prov.json>                       render the execution log\n\
-         \x20 query    <prov.json...> <pql>              evaluate a PQL query\n\
-         \x20 explain  <prov.json...> <pql> [analyze] [--optimized]\n\
+         \x20 query    <prov.json...> [shards=N] <pql>   evaluate a PQL query (sharded when\n\
+         \x20                                             shards=N, result-identical)\n\
+         \x20 explain  <prov.json...> <pql> [analyze] [--optimized] [shards=N]\n\
          \x20          [backend=graph|triple|relational|log]  show the logical plan; with\n\
          \x20                                             'analyze', execute and annotate each\n\
          \x20                                             operator with rows/time/store accesses;\n\
@@ -86,6 +87,8 @@ fn usage() -> ExitCode {
          \x20 metrics  <wf.json> [threads=N]             run and print Prometheus metrics\n\
          \x20 serve    <addr> [workers=N] [max_inflight=N]\n\
          \x20          [rate_per_sec=F] [burst=N]          serve ingest + PQL over HTTP/JSON\n\
+         \x20          [shards=N]                          partition each namespace N ways and\n\
+         \x20                                             answer queries by scatter-gather\n\
          \x20          [data_dir=DIR] [fsync=always|batch[:N[:US]]|never]\n\
          \x20          [checkpoint_every=N]                with data_dir, every acked ingest is\n\
          \x20                                             WAL-durable and replayed on restart\n\
@@ -279,11 +282,30 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         ["query", middle @ .., pql] if !middle.is_empty() => {
-            let mut engine = PqlEngine::new();
-            for p in middle {
-                engine.ingest(&load_prov(p)?);
+            let mut shards = 1usize;
+            let mut files: Vec<&str> = Vec::new();
+            for a in middle {
+                if let Some(v) = a.strip_prefix("shards=") {
+                    shards = v
+                        .parse()
+                        .map_err(|_| format!("shards needs an integer, got '{v}'"))?;
+                } else {
+                    files.push(a);
+                }
             }
-            let result = engine.eval(pql).map_err(|e| e.to_string())?;
+            let result = if shards > 1 {
+                let mut engine = ShardedEngine::new(shards);
+                for p in &files {
+                    engine.ingest(&load_prov(p)?);
+                }
+                engine.eval(pql).map_err(|e| e.to_string())?
+            } else {
+                let mut engine = PqlEngine::new();
+                for p in &files {
+                    engine.ingest(&load_prov(p)?);
+                }
+                engine.eval(pql).map_err(|e| e.to_string())?
+            };
             out(&format!("{}\n", result.render()));
             Ok(())
         }
@@ -293,22 +315,41 @@ fn run() -> Result<(), String> {
             let mut analyze_mode = false;
             let mut optimized = false;
             let mut backend: Option<&str> = None;
+            let mut shards = 1usize;
             let mut positional: Vec<&str> = Vec::new();
             for a in rest {
                 match *a {
                     "analyze" => analyze_mode = true,
                     "--optimized" | "optimized" => optimized = true,
                     _ if a.starts_with("backend=") => backend = Some(&a["backend=".len()..]),
+                    _ if a.starts_with("shards=") => {
+                        shards = a["shards=".len()..]
+                            .parse()
+                            .map_err(|_| format!("shards needs an integer, got '{a}'"))?
+                    }
                     _ => positional.push(a),
                 }
             }
             let (pql, files) = positional.split_last().ok_or(
-                "usage: explain <prov.json...> <pql> [analyze] [--optimized] [backend=...]",
+                "usage: explain <prov.json...> <pql> [analyze] [--optimized] [backend=...] [shards=N]",
             )?;
+            if shards > 1 && backend.is_some() {
+                return Err("shards= applies to the native engine (drop backend=)".into());
+            }
             let query = parse_pql(pql).map_err(|e| e.to_string())?;
             match backend {
                 None if !analyze_mode => {
-                    if optimized {
+                    if shards > 1 {
+                        let mut engine = ShardedEngine::new(shards);
+                        for p in files {
+                            engine.ingest(&load_prov(p)?);
+                        }
+                        if optimized {
+                            out(&engine.optimize(&query).render());
+                        } else {
+                            out(&engine.plan(&query).render());
+                        }
+                    } else if optimized {
                         // Cost decisions read the engine's statistics, so
                         // ingest whatever provenance was given (none is
                         // fine: structural rewrites still show).
@@ -325,14 +366,26 @@ fn run() -> Result<(), String> {
                     if files.is_empty() {
                         return Err("explain analyze needs at least one prov.json".into());
                     }
-                    let mut engine = PqlEngine::new();
-                    for p in files {
-                        engine.ingest(&load_prov(p)?);
-                    }
-                    let analysis = if optimized {
-                        analyze_optimized(&engine, &query)
+                    let analysis = if shards > 1 {
+                        let mut engine = ShardedEngine::new(shards);
+                        for p in files {
+                            engine.ingest(&load_prov(p)?);
+                        }
+                        if optimized {
+                            engine.analyze_optimized(&query)
+                        } else {
+                            engine.analyze(&query)
+                        }
                     } else {
-                        analyze(&engine, &query)
+                        let mut engine = PqlEngine::new();
+                        for p in files {
+                            engine.ingest(&load_prov(p)?);
+                        }
+                        if optimized {
+                            analyze_optimized(&engine, &query)
+                        } else {
+                            analyze(&engine, &query)
+                        }
                     };
                     out(&analysis.map_err(|e| e.to_string())?.render());
                 }
@@ -747,6 +800,11 @@ fn run() -> Result<(), String> {
                         config.tenant_burst = value
                             .parse()
                             .map_err(|_| format!("burst needs an integer, got '{value}'"))?
+                    }
+                    "shards" => {
+                        config.shards = value
+                            .parse()
+                            .map_err(|_| format!("shards needs an integer, got '{value}'"))?
                     }
                     "data_dir" => {
                         let dur = config

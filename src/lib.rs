@@ -113,7 +113,7 @@ pub mod prelude {
     pub use prov_query::{
         analyze, analyze_optimized, analyze_store, eval_cached, eval_optimized,
         optimize as optimize_pql, parse as parse_pql, Optimization, Plan, PqlEngine, QueryCache,
-        QueryObserver, QueryResult, SlowQueryLog,
+        QueryObserver, QueryResult, ShardedEngine, SlowQueryLog,
     };
     pub use prov_social::{Collaboratory, FragmentMiner};
     pub use prov_store::{

@@ -9,11 +9,16 @@
 //!   and an error in one mode must be an error in every mode;
 //! * on the four store backends, for the query shapes that map onto the
 //!   backend-neutral store surface: naive vs `set_optimized(true)` on
-//!   each backend — all eight canonical result sets must be identical.
+//!   each backend — all eight canonical result sets must be identical;
+//! * on scatter-gather `sharded(2)` and `sharded(4)` engines (the ninth
+//!   and tenth modes): the same corpus partitioned by seeded execution
+//!   hash must answer every query — naive, optimized, and cached —
+//!   exactly like the single engine.
 //!
 //! On divergence the harness shrinks the query (dropping filter clauses,
 //! depth bounds, and disjuncts) and fails with the minimal offending
-//! query so the bug report is readable.
+//! query — plus, for sharded divergences, the execution→shard assignment
+//! that triggered it — so the bug report is readable.
 //!
 //! Case count comes from `PROPTEST_CASES` (default 256) so CI can run a
 //! cheap smoke pass while local runs go deep.
@@ -66,9 +71,17 @@ struct Pools {
     modules: Vec<String>,
 }
 
-fn corpus() -> (PqlEngine, Vec<Box<dyn ProvenanceStore>>, Pools) {
+fn corpus() -> (
+    PqlEngine,
+    Vec<ShardedEngine>,
+    Vec<Box<dyn ProvenanceStore>>,
+    Pools,
+) {
     let exec = Executor::new(standard_registry());
     let mut engine = PqlEngine::new();
+    // The ninth and tenth differential modes: the same corpus partitioned
+    // across 2 and 4 scatter-gather shards.
+    let mut shardeds = vec![ShardedEngine::new(2), ShardedEngine::new(4)];
     let mut stores: Vec<Box<dyn ProvenanceStore>> = vec![
         Box::new(GraphStore::new()),
         Box::new(RelStore::new()),
@@ -87,6 +100,9 @@ fn corpus() -> (PqlEngine, Vec<Box<dyn ProvenanceStore>>, Pools) {
         let r = exec.run_observed(&wf, &mut cap).expect("workflow runs");
         let retro = cap.take(r.exec).expect("captured");
         engine.ingest(&retro);
+        for se in &mut shardeds {
+            se.ingest(&retro);
+        }
         for s in &mut stores {
             s.ingest(&retro);
         }
@@ -106,7 +122,7 @@ fn corpus() -> (PqlEngine, Vec<Box<dyn ProvenanceStore>>, Pools) {
     pools.digests.dedup();
     pools.modules.sort();
     pools.modules.dedup();
-    (engine, stores, pools)
+    (engine, shardeds, stores, pools)
 }
 
 // ---- query generator -----------------------------------------------------
@@ -242,6 +258,7 @@ fn store_answer(store: &dyn ProvenanceStore, q: &Query) -> Option<String> {
 /// divergence description, or `None` when all modes agree.
 fn divergence(
     engine: &PqlEngine,
+    shardeds: &[ShardedEngine],
     stores: &[Box<dyn ProvenanceStore>],
     cache: &mut QueryCache,
     q: &Query,
@@ -260,6 +277,30 @@ fn divergence(
             match eval_cached(engine, q, cache) {
                 Ok(c) if &c == expected => {}
                 other => return Some(format!("cached ({pass}) {other:?} != naive {expected:?}")),
+            }
+        }
+    }
+    // Modes 9/10: the sharded(2)/sharded(4) scatter-gather engines, each
+    // in naive, optimized, and cached form, must agree with the single
+    // engine exactly — results, order, and error-ness.
+    for se in shardeds {
+        let s_naive = se.eval_query(q);
+        let s_fast = se.eval_optimized(q);
+        let s_cached = se.eval_cached(q, cache);
+        for (mode, got) in [
+            ("naive", &s_naive),
+            ("optimized", &s_fast),
+            ("cached", &s_cached),
+        ] {
+            match (&naive, got) {
+                (Ok(a), Ok(b)) if a == b => {}
+                (Err(_), Err(_)) => {}
+                _ => {
+                    return Some(format!(
+                        "{} {mode} {got:?} != engine naive {naive:?}",
+                        se.backend_key()
+                    ))
+                }
             }
         }
     }
@@ -384,9 +425,25 @@ fn case_count() -> usize {
         .unwrap_or(256)
 }
 
+/// The execution→shard routing of every sharded engine — printed with a
+/// sharded divergence so the failing partition is reproducible.
+fn shard_assignment(shardeds: &[ShardedEngine], execs: &[u64]) -> String {
+    shardeds
+        .iter()
+        .map(|se| {
+            let routes: Vec<String> = execs
+                .iter()
+                .map(|e| format!("exec {e}→{}", se.route(wf_engine::ExecId(*e))))
+                .collect();
+            format!("{}: {}", se.backend_key(), routes.join(", "))
+        })
+        .collect::<Vec<_>>()
+        .join("\n  ")
+}
+
 #[test]
 fn optimized_evaluation_never_diverges_from_naive_on_any_backend() {
-    let (engine, stores, pools) = corpus();
+    let (engine, shardeds, stores, pools) = corpus();
     let mut cache = QueryCache::new(64);
     let mut rng = Lcg::new(0xD1FF);
     let cases = case_count();
@@ -408,13 +465,15 @@ fn optimized_evaluation_never_diverges_from_naive_on_any_backend() {
         if store_answer(stores[0].as_ref(), &q).is_some() {
             mapped += 1;
         }
-        if let Some(report) = divergence(&engine, &stores, &mut cache, &q) {
+        if let Some(report) = divergence(&engine, &shardeds, &stores, &mut cache, &q) {
             let minimal = minimize(&q, |cand| {
-                divergence(&engine, &stores, &mut cache, cand).is_some()
+                divergence(&engine, &shardeds, &stores, &mut cache, cand).is_some()
             });
-            let min_report = divergence(&engine, &stores, &mut cache, &minimal).unwrap_or(report);
+            let min_report =
+                divergence(&engine, &shardeds, &stores, &mut cache, &minimal).unwrap_or(report);
             panic!(
-                "case {case}/{cases} diverged.\n  original: {q}\n  minimal:  {minimal}\n  {min_report}"
+                "case {case}/{cases} diverged.\n  original: {q}\n  minimal:  {minimal}\n  {min_report}\n  shard assignment:\n  {}",
+                shard_assignment(&shardeds, &pools.execs)
             );
         }
     }
@@ -431,7 +490,7 @@ fn store_analyze_agrees_with_direct_surface_in_both_modes() {
     // A focused differential on ANALYZE itself: for each mappable canned
     // shape, `analyze_store` must report the same row count naive and
     // optimized, on every backend.
-    let (_, stores, pools) = corpus();
+    let (_, _, stores, pools) = corpus();
     let digest = pools.digests[pools.digests.len() / 2];
     let queries = [
         format!("lineage of artifact {digest:016x}"),

@@ -1,0 +1,525 @@
+//! Property tests for the sharded scatter-gather layer.
+//!
+//! The scatter-gather merge operators carry the correctness of every
+//! sharded answer, so each one is pinned against the single-store
+//! reference as an algebraic law:
+//!
+//! * **union merge** (flat queries): commutative, associative, and
+//!   duplicate-free — any gather order over the per-shard partials
+//!   produces exactly the canonical single-store answer;
+//! * **count merge** (aggregates): the sum of per-shard counts equals the
+//!   unsharded count, at the store surface and through PQL `count`;
+//! * **closure-frontier exchange** (transitive queries): the fixpoint
+//!   equals the single-store closure no matter how executions land on
+//!   shards — random, all-in-one-shard, and round-robin assignments are
+//!   forced by remapping exec ids to values that hash where the test
+//!   wants them.
+//!
+//! Two stress tests then race writers against scatter-gather readers
+//! (`PROVTEST_THREADS` wide, default 8): zero lost writes, exact
+//! per-shard generation accounting, and final answers identical to a
+//! single-threaded reference — once over [`ShardedStore`], once over a
+//! lock-shared [`ShardedEngine`].
+
+use provenance_workflows::prelude::*;
+use provenance_workflows::store::{
+    shard_of, sort_artifacts, sort_runs, ShardedStore, DEFAULT_SHARD_SEED,
+};
+use std::collections::BTreeSet;
+use wf_engine::synth::challenge_workflow;
+use wf_model::NodeId;
+
+type RunRef = (ExecId, NodeId);
+
+// ---- deterministic RNG ---------------------------------------------------
+
+/// A tiny LCG: deterministic across platforms, no dependencies, seedable.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn stress_threads() -> usize {
+    std::env::var("PROVTEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .clamp(2, 64)
+}
+
+// ---- corpus --------------------------------------------------------------
+
+/// Two captures of each of three workflow seeds. The duplicate captures
+/// share every artifact hash while carrying distinct exec ids, so once
+/// the copies land on different shards a lineage closure genuinely has
+/// to cross shard boundaries to be complete.
+fn corpus() -> Vec<RetrospectiveProvenance> {
+    let exec = Executor::new(standard_registry());
+    let mut docs = Vec::new();
+    for seed in 1..=3u64 {
+        for _copy in 0..2 {
+            let wf = challenge_workflow(seed, 3, 3);
+            let mut cap = ProvenanceCapture::new(CaptureLevel::Fine);
+            let r = exec.run_observed(&wf, &mut cap).expect("workflow runs");
+            docs.push(cap.take(r.exec).expect("captured"));
+        }
+    }
+    docs
+}
+
+fn probe_digests(docs: &[RetrospectiveProvenance]) -> Vec<u64> {
+    let mut out: Vec<u64> = docs
+        .iter()
+        .flat_map(|d| d.runs.iter())
+        .flat_map(|r| r.outputs.iter().map(|(_, h)| *h))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The first `n` exec ids (from an arbitrary offset) whose shard under
+/// the default seed is `want(i)` — brute-forced, since the router is a
+/// one-way hash.
+fn execs_with_routes(shards: usize, want: impl Fn(usize) -> usize, n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut e = 10_000u64;
+    while out.len() < n {
+        if shard_of(DEFAULT_SHARD_SEED, ExecId(e), shards) == want(out.len()) {
+            out.push(e);
+        }
+        e += 1;
+    }
+    out
+}
+
+/// The corpus with exec ids rewritten to `execs`, index-aligned.
+fn remapped(docs: &[RetrospectiveProvenance], execs: &[u64]) -> Vec<RetrospectiveProvenance> {
+    docs.iter()
+        .zip(execs)
+        .map(|(d, &e)| {
+            let mut d = d.clone();
+            d.exec = ExecId(e);
+            d
+        })
+        .collect()
+}
+
+// ---- union merge ---------------------------------------------------------
+
+/// The gather-side union operator: exactly what the coordinator does to
+/// per-shard partials of a flat query.
+fn union(a: Vec<RunRef>, b: Vec<RunRef>) -> Vec<RunRef> {
+    sort_runs(a.into_iter().chain(b).collect())
+}
+
+#[test]
+fn union_merge_is_commutative_associative_and_duplicate_free() {
+    let docs = corpus();
+    let mut plain = GraphStore::new();
+    let sharded = ShardedStore::new(4, GraphStore::new);
+    for d in &docs {
+        plain.ingest(d);
+        sharded.ingest_shared(d);
+    }
+
+    let mut rng = Lcg::new(0xDECAF);
+    for &h in &probe_digests(&docs) {
+        let partials: Vec<Vec<RunRef>> = (0..sharded.shard_count())
+            .map(|i| sharded.shard(i).generators(h))
+            .collect();
+        let canonical = sort_runs(plain.generators(h));
+
+        // Gather in shard order.
+        let forward = partials.iter().cloned().fold(Vec::new(), union);
+        assert_eq!(forward, canonical, "forward gather of generators({h:016x})");
+        assert_eq!(
+            sharded.generators(h),
+            canonical,
+            "scatter-gather generators({h:016x})"
+        );
+
+        // Duplicate-free: strictly increasing once sorted.
+        assert!(
+            forward.windows(2).all(|w| w[0] < w[1]),
+            "merged generators({h:016x}) contain a duplicate"
+        );
+
+        // Commutative: any shard permutation gathers to the same answer.
+        for _ in 0..8 {
+            let mut order: Vec<usize> = (0..partials.len()).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.below(i + 1));
+            }
+            let shuffled = order
+                .iter()
+                .map(|&i| partials[i].clone())
+                .fold(Vec::new(), union);
+            assert_eq!(
+                shuffled, canonical,
+                "gather order changed generators({h:016x})"
+            );
+        }
+
+        // Associative: ((a∪b)∪(c∪d)) == (a∪(b∪(c∪d))).
+        let [a, b, c, d] = [
+            partials[0].clone(),
+            partials[1].clone(),
+            partials[2].clone(),
+            partials[3].clone(),
+        ];
+        let paired = union(union(a.clone(), b.clone()), union(c.clone(), d.clone()));
+        let nested = union(a, union(b, union(c, d)));
+        assert_eq!(
+            paired, nested,
+            "association grouping changed generators({h:016x})"
+        );
+        assert_eq!(paired, canonical);
+    }
+}
+
+// ---- count merge ---------------------------------------------------------
+
+#[test]
+fn count_merge_equals_the_unsharded_count() {
+    let docs = corpus();
+    let mut plain = GraphStore::new();
+    for d in &docs {
+        plain.ingest(d);
+    }
+
+    // Store surface: the sum of per-shard counts is the unsharded count,
+    // for every shard width.
+    for shards in [2usize, 3, 4, 7] {
+        let sharded = ShardedStore::new(shards, GraphStore::new);
+        for d in &docs {
+            sharded.ingest_shared(d);
+        }
+        let per_shard: Vec<usize> = (0..shards).map(|i| sharded.shard(i).run_count()).collect();
+        assert_eq!(
+            per_shard.iter().sum::<usize>(),
+            plain.run_count(),
+            "{shards} shards: per-shard run counts must sum to the unsharded count"
+        );
+        assert_eq!(sharded.run_count(), plain.run_count(), "{shards} shards");
+        assert_eq!(
+            sharded.runs_per_module(),
+            plain.runs_per_module(),
+            "{shards} shards: per-module counts"
+        );
+    }
+
+    // PQL surface: `count` answers agree between the single engine and
+    // scatter-gather engines of both widths.
+    let mut engine = PqlEngine::new();
+    let mut shardeds = vec![ShardedEngine::new(2), ShardedEngine::new(4)];
+    for d in &docs {
+        engine.ingest(d);
+        for se in &mut shardeds {
+            se.ingest(d);
+        }
+    }
+    for q in [
+        "count runs",
+        "count runs where status = succeeded",
+        "count runs where module contains load",
+        "count runs where attempts = 1",
+    ] {
+        let want = engine.eval(q).expect("reference count evaluates");
+        for se in &shardeds {
+            assert_eq!(se.eval(q).expect("sharded count evaluates"), want, "{q}");
+        }
+    }
+}
+
+// ---- closure-frontier exchange -------------------------------------------
+
+#[test]
+fn exchange_fixpoint_matches_single_store_under_forced_assignments() {
+    let shards = 3usize;
+    let base = corpus();
+    let n = base.len();
+
+    let mut rng = Lcg::new(0x51AD);
+    let mut random_execs: Vec<u64> = Vec::new();
+    while random_execs.len() < n {
+        let e = rng.next() % 1_000_000;
+        if !random_execs.contains(&e) {
+            random_execs.push(e);
+        }
+    }
+    let assignments: Vec<(&str, Vec<u64>)> = vec![
+        ("random", random_execs),
+        ("all-in-one-shard", execs_with_routes(shards, |_| 0, n)),
+        ("round-robin", execs_with_routes(shards, |i| i % shards, n)),
+    ];
+
+    for (name, execs) in assignments {
+        let docs = remapped(&base, &execs);
+        let mut plain = GraphStore::new();
+        let sharded = ShardedStore::new(shards, GraphStore::new);
+        for d in &docs {
+            plain.ingest(d);
+            sharded.ingest_shared(d);
+        }
+
+        // The forced placement actually held.
+        match name {
+            "all-in-one-shard" => assert_eq!(
+                sharded.generations(),
+                vec![n as u64, 0, 0],
+                "every document must land on shard 0"
+            ),
+            "round-robin" => assert_eq!(
+                sharded.generations(),
+                vec![2, 2, 2],
+                "documents must alternate across the three shards"
+            ),
+            _ => {}
+        }
+
+        let digests = probe_digests(&docs);
+        for &h in &digests {
+            for upstream in [true, false] {
+                let got = sharded.exchange(&[h], upstream);
+                let want = plain.expand_frontier(&[h], upstream);
+                assert_eq!(
+                    sort_runs(got.runs),
+                    sort_runs(want.runs),
+                    "{name}: exchange runs({h:016x}, upstream={upstream})"
+                );
+                assert_eq!(
+                    sort_artifacts(got.artifacts),
+                    sort_artifacts(want.artifacts),
+                    "{name}: exchange artifacts({h:016x}, upstream={upstream})"
+                );
+            }
+            // The canned closure queries ride on the same fixpoint.
+            assert_eq!(
+                sharded.lineage_runs(h),
+                sort_runs(plain.lineage_runs(h)),
+                "{name}: lineage({h:016x})"
+            );
+            assert_eq!(
+                sharded.derived_artifacts(h),
+                sort_artifacts(plain.derived_artifacts(h)),
+                "{name}: impact({h:016x})"
+            );
+        }
+
+        // Multi-seed frontier: the whole digest pool at once.
+        let got = sharded.exchange(&digests, true);
+        let want = plain.expand_frontier(&digests, true);
+        assert_eq!(
+            sort_runs(got.runs),
+            sort_runs(want.runs),
+            "{name}: pooled runs"
+        );
+        assert_eq!(
+            sort_artifacts(got.artifacts),
+            sort_artifacts(want.artifacts),
+            "{name}: pooled artifacts"
+        );
+    }
+}
+
+// ---- concurrency stress ---------------------------------------------------
+
+/// Writers race documents into their shards while readers run
+/// scatter-gather closures mid-ingest. Afterwards: zero lost writes,
+/// exact per-shard generation accounting, answers identical to the
+/// single-threaded reference. Mid-ingest closures must stay *monotone* —
+/// a subset of the final closure — since provenance only accretes.
+#[test]
+fn concurrent_shard_ingest_and_scatter_gather_lose_no_writes() {
+    let threads = stress_threads();
+    let shards = 4usize;
+    // Round-robin placement gives a known per-shard document count, so
+    // generation accounting is exact, not just conserved in total.
+    let docs = remapped(&corpus(), &execs_with_routes(shards, |i| i % shards, 6));
+
+    let mut plain = GraphStore::new();
+    for d in &docs {
+        plain.ingest(d);
+    }
+    let probes = probe_digests(&docs);
+    // Final closures, precomputed per (probe, direction): the bound every
+    // mid-ingest answer must stay within.
+    let full: Vec<(u64, bool, BTreeSet<RunRef>)> = probes
+        .iter()
+        .flat_map(|&h| {
+            [true, false].map(|up| {
+                let fr = plain.expand_frontier(&[h], up);
+                (h, up, fr.runs.into_iter().collect::<BTreeSet<_>>())
+            })
+        })
+        .collect();
+
+    let sharded = ShardedStore::new(shards, GraphStore::new);
+    let writers = (threads / 2).max(2);
+    let readers = (threads - writers).max(1);
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let sharded = &sharded;
+            let docs = &docs;
+            scope.spawn(move || {
+                for (i, d) in docs.iter().enumerate() {
+                    if i % writers == w {
+                        sharded.ingest_shared(d);
+                    }
+                }
+            });
+        }
+        for r in 0..readers {
+            let sharded = &sharded;
+            let full = &full;
+            let total = docs.len() as u64;
+            scope.spawn(move || {
+                let mut last_gen = 0u64;
+                for k in 0..40 {
+                    let gen = sharded.generation();
+                    assert!(gen >= last_gen, "combined generation went backwards");
+                    assert!(gen <= total, "generation overcounts the corpus");
+                    last_gen = gen;
+                    let (h, up, bound) = &full[(r + k) % full.len()];
+                    let fr = sharded.exchange(&[*h], *up);
+                    for run in &fr.runs {
+                        assert!(
+                            bound.contains(run),
+                            "mid-ingest closure of {h:016x} reached a run \
+                             outside the final closure"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(sharded.generation(), docs.len() as u64, "lost write");
+    assert_eq!(
+        sharded.generations(),
+        vec![2, 2, 1, 1],
+        "exact per-shard generation accounting: six documents round-robin \
+         over four shards"
+    );
+    assert_eq!(sharded.run_count(), plain.run_count());
+    for &h in &probes {
+        assert_eq!(sharded.generators(h), sort_runs(plain.generators(h)));
+        assert_eq!(sharded.lineage_runs(h), sort_runs(plain.lineage_runs(h)));
+        assert_eq!(
+            sharded.derived_artifacts(h),
+            sort_artifacts(plain.derived_artifacts(h))
+        );
+    }
+}
+
+/// The same discipline one level up: a [`ShardedEngine`] behind a
+/// read-write lock (the server's arrangement), writers ingesting while
+/// readers evaluate PQL scatter-gather. Result order follows ingest
+/// order, and racing writers serialize nondeterministically — so each
+/// writer logs its document *while still holding the write guard*, and
+/// the reference engine replays that exact serialization. Final answers
+/// must then match exactly, order included.
+#[test]
+fn racing_engine_ingest_and_queries_match_the_single_threaded_reference() {
+    use std::sync::{Mutex, RwLock};
+
+    let threads = stress_threads();
+    let docs = remapped(&corpus(), &[9_000, 9_001, 9_002, 9_003, 9_004, 9_005]);
+
+    let probe = probe_digests(&docs)[0];
+    let queries = [
+        "count runs".to_string(),
+        "count runs where status = succeeded".to_string(),
+        format!("lineage of artifact {probe:016x}"),
+        format!("impact of artifact {probe:016x}"),
+        format!("lineage of artifact {probe:016x} where status = succeeded"),
+        "list runs where module contains load".to_string(),
+    ];
+    let total_runs: usize = docs.iter().map(|d| d.runs.len()).sum();
+
+    let shared = RwLock::new(ShardedEngine::new(4));
+    let ingest_log: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let writers = (threads / 2).max(2);
+    let readers = (threads - writers).max(1);
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let shared = &shared;
+            let ingest_log = &ingest_log;
+            let docs = &docs;
+            scope.spawn(move || {
+                for (i, d) in docs.iter().enumerate() {
+                    if i % writers == w {
+                        let mut guard = shared.write().expect("engine lock");
+                        guard.ingest(d);
+                        // Logged under the write guard: the log order IS
+                        // the engine's ingest order.
+                        ingest_log.lock().expect("log lock").push(i);
+                    }
+                }
+            });
+        }
+        for _ in 0..readers {
+            let shared = &shared;
+            let total = docs.len() as u64;
+            scope.spawn(move || {
+                let mut last_gen = 0u64;
+                for _ in 0..40 {
+                    let guard = shared.read().expect("engine lock");
+                    let gen = guard.generation();
+                    assert!(gen >= last_gen, "engine generation went backwards");
+                    assert!(gen <= total, "engine generation overcounts");
+                    last_gen = gen;
+                    match guard.eval("count runs").expect("count evaluates") {
+                        QueryResult::Count(n) => {
+                            assert!(n <= total_runs, "mid-ingest count exceeds the final corpus")
+                        }
+                        other => panic!("count runs returned {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let engine = shared.into_inner().expect("engine lock");
+    assert_eq!(engine.generation(), docs.len() as u64, "lost write");
+
+    // Every document was logged exactly once.
+    let order = ingest_log.into_inner().expect("log lock");
+    let mut seen = order.clone();
+    seen.sort_unstable();
+    assert_eq!(
+        seen,
+        (0..docs.len()).collect::<Vec<_>>(),
+        "lost or doubled write"
+    );
+
+    // Replay the racing serialization single-threaded; answers must
+    // match exactly, order included.
+    let mut reference = PqlEngine::new();
+    for &i in &order {
+        reference.ingest(&docs[i]);
+    }
+    for q in &queries {
+        assert_eq!(
+            engine.eval(q).expect("sharded query evaluates"),
+            reference.eval(q).expect("reference query evaluates"),
+            "{q}"
+        );
+    }
+}
